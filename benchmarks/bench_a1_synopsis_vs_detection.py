@@ -1,0 +1,69 @@
+"""A1 (ablation) — does compression compromise detection? (§2.1)
+
+The paper's exact challenge: "address high levels of data compression
+without compromising the accuracy of the prediction / detection
+components."  This ablation sweeps the pipeline's synopsis threshold and
+measures rendezvous recall downstream of compression.  Shape: recall
+holds through aggressive (>90%) compression and only collapses when the
+synopsis tolerance approaches the rendezvous distance gate itself.
+"""
+
+import pytest
+
+from repro.events import detect_rendezvous, match_events
+from repro.simulation.world import REGIONAL_PORTS
+from repro.trajectory import compression_ratio, dead_reckoning_compress
+
+#: Synopsis thresholds from "off" to beyond the rendezvous gate (500 m).
+THRESHOLDS_M = [0.0, 60.0, 120.0, 240.0, 1000.0]
+
+
+@pytest.fixture(scope="module")
+def ablation(regional_run, regional_result):
+    trajectories = regional_result.trajectories
+    truth = regional_run.truth_events
+    out = []
+    for threshold in THRESHOLDS_M:
+        if threshold == 0.0:
+            synopses = trajectories
+            ratio = 0.0
+        else:
+            synopses = [
+                dead_reckoning_compress(tr, threshold) for tr in trajectories
+            ]
+            pairs = list(zip(trajectories, synopses))
+            ratio = sum(
+                compression_ratio(a, b) for a, b in pairs
+            ) / len(pairs)
+        events = detect_rendezvous(synopses, REGIONAL_PORTS)
+        score = match_events(
+            events, truth, "rendezvous",
+            time_slack_s=1200.0, distance_slack_m=20_000.0,
+        )
+        out.append((threshold, ratio, score))
+    return out
+
+
+def test_a1_synopsis_vs_rendezvous_recall(ablation, benchmark, report):
+    benchmark.pedantic(lambda: list(ablation), iterations=1, rounds=1)
+    report(
+        "",
+        "A1 — synopsis threshold vs rendezvous recall",
+        f"  {'threshold (m)':>14}{'compression':>13}{'recall':>8}"
+        f"{'precision':>11}",
+    )
+    for threshold, ratio, score in ablation:
+        report(
+            f"  {threshold:>14.0f}{ratio:>13.1%}{score.recall:>8.2f}"
+            f"{score.precision:>11.2f}"
+        )
+    by_threshold = {t: (r, s) for t, r, s in ablation}
+    baseline_recall = by_threshold[0.0][1].recall
+    # The paper's target: ≥90% compression without losing detections.
+    assert by_threshold[120.0][0] >= 0.90
+    assert by_threshold[120.0][1].recall >= baseline_recall
+    # Past the rendezvous gate, compression may finally hurt — but even
+    # a 1 km tolerance must not produce junk detections from nothing.
+    assert by_threshold[1000.0][1].precision >= 0.3 or (
+        by_threshold[1000.0][1].n_detected == 0
+    )

@@ -1,0 +1,124 @@
+"""A2 (ablation) — in-situ synopsis placement vs centralised processing.
+
+§2.1: in-situ frameworks "have to become communication efficient".  The
+placement model runs the same decode→synopsise→detect pipeline with the
+synopsis stage at the edge (receiver site) vs everything at the fusion
+centre, and accounts the bytes crossing the uplink.  Shape: placing the
+synopsis operator in-situ removes ~(compression ratio) of the traffic.
+"""
+
+import pytest
+
+from repro.streaming import (
+    ProcessingNode,
+    Record,
+    Stream,
+    compare_placements,
+)
+from repro.streaming.insitu import Stage
+
+
+@pytest.fixture(scope="module")
+def edge_feed(regional_result):
+    """The raw per-fix stream one receiver would forward."""
+    records = []
+    for trajectory in regional_result.trajectories:
+        for point in trajectory:
+            records.append(
+                Record(point.t, trajectory.mmsi, (point.lat, point.lon,
+                                                  point.sog_knots))
+            )
+    records.sort(key=lambda r: r.t)
+    return records
+
+
+def test_a2_in_situ_savings(edge_feed, benchmark, report):
+    edge = ProcessingNode("receiver-site", uplink_bytes_per_s=125_000.0)
+    centre = ProcessingNode("fusion-centre")
+
+    #: The synopsis stage: per-vessel throttling to one fix per 2 min —
+    #: the cheapest online synopsis, standing in for dead-reckoning.
+    stages = [
+        Stage(
+            name="synopsise",
+            transform=lambda s: s.throttle_per_key(120.0),
+            output_record_bytes=48,
+        ),
+        Stage(
+            name="detect",
+            transform=lambda s: s.filter(
+                lambda r: r.value[2] is not None and r.value[2] < 1.0
+            ),
+            output_record_bytes=96,
+        ),
+    ]
+
+    comparison = benchmark.pedantic(
+        compare_placements,
+        kwargs=dict(
+            make_source=lambda: Stream(iter(list(edge_feed))),
+            stages=stages,
+            edge=edge,
+            centre=centre,
+            in_situ_stages={"synopsise", "detect"},
+        ),
+        iterations=1, rounds=3,
+    )
+    uplink_seconds_central = comparison["central_bytes"] / edge.uplink_bytes_per_s
+    uplink_seconds_insitu = comparison["in_situ_bytes"] / edge.uplink_bytes_per_s
+    report(
+        "",
+        "A2 — uplink traffic: centralised vs in-situ synopsis placement",
+        f"  raw records at the edge : {len(edge_feed)}",
+        f"  centralised uplink      : {comparison['central_bytes']:,.0f} B "
+        f"({uplink_seconds_central:.1f} s at 1 Mbit/s)",
+        f"  in-situ uplink          : {comparison['in_situ_bytes']:,.0f} B "
+        f"({uplink_seconds_insitu:.1f} s)",
+        f"  saving                  : {comparison['savings_ratio']:.1%}",
+    )
+    assert comparison["savings_ratio"] > 0.5
+
+
+def test_a3_watermark_lateness_ablation(regional_run, benchmark, report):
+    """A3 — reorder buffer bound vs data loss (§1 latency).
+
+    Satellite messages arrive minutes late; the watermark bound trades
+    completeness against reordering delay.  Shape: drops fall to ~zero
+    once the bound covers the satellite latency (~300-400 s).
+    """
+    from repro.ais.decoder import AisDecoder
+    from repro.streaming.watermarks import (
+        ReorderStats,
+        reorder_with_watermark,
+    )
+
+    decoder = AisDecoder()
+    arrivals = []
+    for obs in regional_run.observations:
+        message = decoder.feed(obs.sentence)
+        if message is not None:
+            arrivals.append((obs.t_received, obs.t_transmitted))
+
+    def drops_with_bound(bound):
+        stats = ReorderStats()
+        stream = Stream(
+            Record(event_t, None, None) for __, event_t in arrivals
+        )
+        reorder_with_watermark(stream, bound, stats=stats).drain()
+        return stats.late / max(1, len(arrivals))
+
+    bounds = [0.0, 60.0, 200.0, 400.0, 800.0]
+    drop_rates = benchmark.pedantic(
+        lambda: {b: drops_with_bound(b) for b in bounds},
+        iterations=1, rounds=1,
+    )
+    report(
+        "",
+        "A3 — watermark lateness bound vs late-drop rate",
+        f"  {'bound (s)':>10}{'drop rate':>11}",
+        *(f"  {b:>10.0f}{rate:>11.2%}" for b, rate in drop_rates.items()),
+    )
+    rates = [drop_rates[b] for b in bounds]
+    assert all(b <= a + 1e-9 for a, b in zip(rates, rates[1:]))
+    assert drop_rates[800.0] < 0.01
+    assert drop_rates[0.0] > drop_rates[800.0]

@@ -1,0 +1,126 @@
+"""A4 (ablation) — unsupervised pattern mining: routes and anchorages.
+
+§3.1's "machine learning methods supporting the identification and the
+formalization of ... patterns".  Two tasks with ground truth:
+
+- cluster a mixed bag of tracks from three lanes back into the lanes
+  (k-medoids under DTW); shape: near-perfect purity;
+- rediscover the scenario's ports as anchorages from stop centroids.
+"""
+
+import random
+
+import pytest
+
+from repro.geo import haversine_m
+from repro.simulation.behaviours import plan_transit
+from repro.simulation.world import REGIONAL_PORTS
+from repro.trajectory import cluster_routes, detect_stops, discover_anchorages
+from repro.trajectory.points import TrackPoint, Trajectory
+
+LANES = [
+    ((48.38, -4.49), (49.65, -1.62)),  # Brest → Cherbourg
+    ((48.38, -4.49), (43.35, -3.03)),  # Brest → Bilbao
+    ((51.85, -8.29), (49.48, 0.11)),   # Cork → Le Havre
+]
+
+
+@pytest.fixture(scope="module")
+def lane_tracks():
+    tracks = []
+    labels = []
+    for lane_index, (origin, dest) in enumerate(LANES):
+        for k in range(6):
+            rng = random.Random(lane_index * 100 + k)
+            plan = plan_transit(0.0, 10 * 3600.0, origin, dest, 13.0, rng)
+            points = [
+                TrackPoint(s.t, s.lat, s.lon, s.sog_knots, s.cog_deg)
+                for s in plan.sample(300.0)
+            ]
+            tracks.append(Trajectory(1000 * lane_index + k, points))
+            labels.append(lane_index)
+    return tracks, labels
+
+
+def test_a4_route_clustering_purity(lane_tracks, benchmark, report):
+    tracks, labels = lane_tracks
+    clusters = benchmark.pedantic(
+        cluster_routes, args=(tracks, 3),
+        kwargs=dict(resample_step_s=1200.0, seed=3),
+        iterations=1, rounds=1,
+    )
+    total = 0
+    majority = 0
+    purities = []
+    for cluster in clusters:
+        member_labels = [labels[i] for i in cluster.member_indices]
+        if not member_labels:
+            continue
+        dominant = max(set(member_labels), key=member_labels.count)
+        majority += member_labels.count(dominant)
+        total += len(member_labels)
+        purities.append(member_labels.count(dominant) / len(member_labels))
+    purity = majority / total
+    report(
+        "",
+        "A4a — route clustering (3 lanes, 18 tracks, k-medoids + DTW)",
+        f"  clusters: {[len(c.member_indices) for c in clusters]}",
+        f"  purity: {purity:.2f}",
+    )
+    assert purity >= 0.9
+
+
+@pytest.fixture(scope="module")
+def ferry_stops():
+    """Short-route ferry world: Brest↔Roscoff shuttles whose turnaround
+    dwells reveal both terminals."""
+    from repro.simulation.behaviours import plan_ferry
+    from repro.simulation.world import port_by_name
+
+    brest = port_by_name("BREST").position
+    roscoff = port_by_name("ROSCOFF").position
+    stops = []
+    for k in range(8):
+        rng = random.Random(500 + k)
+        plan = plan_ferry(
+            0.0, 10 * 3600.0, brest, roscoff, 16.0, rng,
+            turnaround_s=2400.0,
+        )
+        points = [
+            TrackPoint(s.t, s.lat, s.lon, s.sog_knots, s.cog_deg)
+            for s in plan.sample(120.0)
+        ]
+        stops.extend(
+            detect_stops(Trajectory(800 + k, points), min_duration_s=1200.0)
+        )
+    return stops
+
+
+def test_a4_anchorage_discovery(ferry_stops, benchmark, report):
+    anchorages = benchmark.pedantic(
+        discover_anchorages, args=(ferry_stops,),
+        kwargs=dict(merge_radius_m=5_000.0, min_stops=3),
+        iterations=1, rounds=3,
+    )
+    at_port = sum(
+        1 for anchorage in anchorages
+        if any(
+            haversine_m(anchorage.lat, anchorage.lon, port.lat, port.lon)
+            < 10_000.0
+            for port in REGIONAL_PORTS
+        )
+    )
+    report(
+        "",
+        "A4b — anchorage discovery from ferry turnaround stops",
+        f"  stops: {len(ferry_stops)}, anchorages: {len(anchorages)}, "
+        f"at catalogued ports: {at_port}",
+        *(
+            f"    ({a.lat:.3f}, {a.lon:.3f}) "
+            f"{a.n_stops} stops / {a.n_vessels} vessels"
+            for a in anchorages[:5]
+        ),
+    )
+    # Both terminals rediscovered, and every anchorage is a real port.
+    assert len(anchorages) >= 2
+    assert at_port == len(anchorages)

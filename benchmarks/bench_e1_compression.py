@@ -1,0 +1,91 @@
+"""E1 — trajectory synopses: the 95% compression claim (§2.1, [29]).
+
+Sweeps the three synopsis algorithms over error tolerances on
+reconstructed regional traffic and reports compression ratio vs
+time-synchronised deviation.  Shape to reproduce: ≥95% compression at
+navigation-grade error (~100 m) on lane traffic; the *online*
+dead-reckoning synopsis reaches it too, which is what makes in-situ
+placement (§2.1) viable.
+"""
+
+import pytest
+
+from repro.trajectory import (
+    compression_ratio,
+    dead_reckoning_compress,
+    douglas_peucker,
+    max_sed_error_m,
+    mean_sed_error_m,
+    squish_e,
+)
+
+ALGORITHMS = {
+    "douglas-peucker": douglas_peucker,
+    "dead-reckoning": dead_reckoning_compress,
+    "squish-e": squish_e,
+}
+TOLERANCES_M = [25.0, 50.0, 100.0, 200.0]
+
+
+@pytest.fixture(scope="module")
+def tracks(regional_result):
+    return [tr for tr in regional_result.trajectories if len(tr) >= 100]
+
+
+def sweep(tracks, algorithm, tolerance):
+    ratios, max_errors, mean_errors = [], [], []
+    for track in tracks:
+        synopsis = algorithm(track, tolerance)
+        ratios.append(compression_ratio(track, synopsis))
+        max_errors.append(max_sed_error_m(track, synopsis))
+        mean_errors.append(mean_sed_error_m(track, synopsis))
+    n = len(tracks)
+    return (
+        sum(ratios) / n,
+        sum(max_errors) / n,
+        sum(mean_errors) / n,
+    )
+
+
+def test_e1_compression_sweep(tracks, benchmark, report):
+    assert len(tracks) >= 5
+
+    def run_sweep():
+        out = {}
+        for name, algorithm in ALGORITHMS.items():
+            for tolerance in TOLERANCES_M:
+                out[(name, tolerance)] = sweep(tracks, algorithm, tolerance)
+        return out
+
+    full = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    report(
+        "",
+        "E1 — synopsis compression sweep "
+        f"({len(tracks)} tracks, {sum(len(t) for t in tracks)} fixes)",
+        f"  {'algorithm':<16}{'tol (m)':>8}{'ratio':>9}"
+        f"{'max SED (m)':>13}{'mean SED (m)':>14}",
+    )
+    results = {}
+    for (name, tolerance), (ratio, max_err, mean_err) in full.items():
+        results[(name, tolerance)] = (ratio, max_err)
+        report(
+            f"  {name:<16}{tolerance:>8.0f}{ratio:>9.1%}"
+            f"{max_err:>13.0f}{mean_err:>14.1f}"
+        )
+
+    # The paper's anchor: ≥95% compression at ~100 m tolerance.
+    for name in ALGORITHMS:
+        ratio, __ = results[(name, 100.0)]
+        assert ratio >= 0.90, f"{name} only reached {ratio:.1%}"
+    assert results[("dead-reckoning", 100.0)][0] >= 0.95
+    # Ratios must not decrease with tolerance (monotone trade-off).
+    for name in ALGORITHMS:
+        ratios = [results[(name, tol)][0] for tol in TOLERANCES_M]
+        assert all(b >= a - 0.02 for a, b in zip(ratios, ratios[1:]))
+
+
+def test_e1_online_synopsis_speed(tracks, benchmark):
+    """The dead-reckoning synopsis must be cheap enough for in-situ use."""
+    track = max(tracks, key=len)
+    result = benchmark(dead_reckoning_compress, track, 100.0)
+    assert compression_ratio(track, result) > 0.5

@@ -1,0 +1,68 @@
+"""E2 — ingest throughput vs the 18M positions/day worldwide feed (§1).
+
+The paper quotes ~18 million positions per day worldwide ([16]), i.e. an
+*average* of ~208 messages/second.  This benchmark measures the pure-
+Python decode and decode+reconstruct rates and reports the headroom —
+the feasibility premise behind a single-node integrated pipeline.
+"""
+
+import pytest
+
+from repro.ais.decoder import AisDecoder
+from repro.ais.types import ClassBPositionReport, PositionReport
+from repro.trajectory.reconstruction import TrackReconstructor
+
+WORLDWIDE_AVG_MSG_PER_S = 18_000_000 / 86_400.0  # ≈208
+
+
+@pytest.fixture(scope="module")
+def sentences(regional_run):
+    return regional_run.sentences[:40_000]
+
+
+def decode_all(sentences):
+    decoder = AisDecoder()
+    count = 0
+    for sentence in sentences:
+        if decoder.feed(sentence) is not None:
+            count += 1
+    return count
+
+
+def decode_and_reconstruct(sentences):
+    decoder = AisDecoder()
+    reconstructor = TrackReconstructor()
+    t = 0.0
+    for sentence in sentences:
+        message = decoder.feed(sentence)
+        if isinstance(message, (PositionReport, ClassBPositionReport)):
+            t += 0.1
+            reconstructor.add(message, t)
+    return reconstructor
+
+
+def test_e2_decode_throughput(sentences, benchmark, report):
+    count = benchmark(decode_all, sentences)
+    seconds = benchmark.stats.stats.mean
+    rate = len(sentences) / seconds
+    report(
+        "",
+        "E2 — ingest throughput",
+        f"  decoded {count}/{len(sentences)} sentences",
+        f"  decode rate: {rate:,.0f} msg/s",
+        f"  worldwide average feed: {WORLDWIDE_AVG_MSG_PER_S:,.0f} msg/s",
+        f"  headroom: {rate / WORLDWIDE_AVG_MSG_PER_S:,.0f}x",
+    )
+    assert rate > 10 * WORLDWIDE_AVG_MSG_PER_S
+
+
+def test_e2_decode_reconstruct_throughput(sentences, benchmark, report):
+    reconstructor = benchmark(decode_and_reconstruct, sentences)
+    seconds = benchmark.stats.stats.mean
+    rate = len(sentences) / seconds
+    report(
+        f"  decode+reconstruct rate: {rate:,.0f} msg/s "
+        f"({rate / WORLDWIDE_AVG_MSG_PER_S:,.0f}x the worldwide average)",
+    )
+    assert rate > 5 * WORLDWIDE_AVG_MSG_PER_S
+    assert reconstructor.stats.accepted > 0

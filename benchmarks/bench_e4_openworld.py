@@ -1,0 +1,84 @@
+"""E4 — open-world vs closed-world rendezvous querying (§4, [9], [43]).
+
+The paper: 27% of ships go dark ≥10% of the time, so "querying rendez-vous
+events from an AIS database will return only those events reflected by the
+AIS data".  We sweep the dark-ship rate, measure closed-world recall of
+injected rendezvous, and show the open-world evaluation recovering the
+missed events as possibility mass.  Shape: closed-world recall degrades
+as ships go dark; the open-world upper bound stays high exactly when the
+data is incomplete.
+"""
+
+import pytest
+
+from repro.core import MaritimePipeline
+from repro.events import EventKind, match_events
+from repro.simulation import regional_scenario
+from repro.uncertainty import OpenWorldRelation, ProbabilisticRelation
+from repro.uncertainty.openworld import unobserved_pair_candidates
+
+DARK_RATES = [0.0, 0.27, 0.6]
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    out = []
+    for dark_rate in DARK_RATES:
+        run = regional_scenario(
+            n_vessels=24,
+            duration_s=2 * 3600.0,
+            seed=404,
+            dark_ship_fraction=dark_rate,
+            include_spoofer=False,
+            n_rendezvous_pairs=2,
+        ).run()
+        result = MaritimePipeline().process(run)
+        rendezvous_events = result.events_of(EventKind.RENDEZVOUS)
+        score = match_events(
+            rendezvous_events, run.truth_events, "rendezvous",
+            time_slack_s=1800.0, distance_slack_m=30_000.0,
+        )
+        observed = ProbabilisticRelation()
+        for event in rendezvous_events:
+            observed.add(event.mmsis, event.confidence)
+        n_dark = sum(1 for s in run.specs.values() if s.goes_dark)
+        hidden = unobserved_pair_candidates(n_dark, len(run.specs))
+        interval = OpenWorldRelation(
+            observed, completion_lambda=0.05
+        ).probability_exists(lambda v: True, n_unobserved=hidden)
+        out.append((dark_rate, n_dark, score, interval))
+    return out
+
+
+def test_e4_openworld_sweep(sweep_results, benchmark, report):
+    benchmark.pedantic(lambda: list(sweep_results), iterations=1, rounds=1)
+    report(
+        "",
+        "E4 — rendezvous under the closed vs open world",
+        f"  {'dark rate':>10}{'dark':>6}{'recall(CW)':>12}"
+        f"{'P(CW)':>8}{'P(OW) upper':>13}{'ignorance':>11}",
+    )
+    for dark_rate, n_dark, score, interval in sweep_results:
+        report(
+            f"  {dark_rate:>10.2f}{n_dark:>6}{score.recall:>12.2f}"
+            f"{interval.lower:>8.2f}{interval.upper:>13.2f}"
+            f"{interval.width:>11.2f}"
+        )
+    by_rate = {r: (s, i) for r, __, s, i in sweep_results}
+    # Closed-world answers shrink as the fleet goes dark...
+    assert by_rate[0.0][0].recall >= by_rate[0.6][0].recall
+    # ...but open-world ignorance (interval width) grows to compensate.
+    assert by_rate[0.6][1].width >= by_rate[0.0][1].width
+    # With no dark ships the interval is (nearly) closed.
+    assert by_rate[0.0][1].width <= 0.05
+
+
+def test_e4_openworld_query_speed(benchmark):
+    relation = ProbabilisticRelation()
+    for i in range(1000):
+        relation.add(i, 0.3)
+    ow = OpenWorldRelation(relation, completion_lambda=0.05)
+    interval = benchmark(
+        ow.probability_exists, lambda v: v % 7 == 0, 500
+    )
+    assert 0.0 <= interval.lower <= interval.upper <= 1.0

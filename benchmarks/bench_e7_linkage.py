@@ -1,0 +1,105 @@
+"""E7 — link discovery and contextual enrichment (§2.2, §2.5).
+
+1. **Registry linkage** precision/recall as corruption grows — the
+   cross-source integration primitive.  Shape: precision stays high under
+   realistic (5%) corruption; recall falls gracefully as records diverge.
+
+2. **Weather enrichment** cost and the multi-resolution quantisation
+   error of §2.5 (km-scale, hourly products vs 10 m, seconds AIS).
+"""
+
+import pytest
+
+from repro.ais.types import ShipType
+from repro.semantics import build_registry, corrupt_registry
+from repro.simulation import FleetBuilder
+from repro.simulation.weather import WeatherProvider
+from repro.storage import discover_links
+
+CORRUPTION_RATES = [0.0, 0.05, 0.15, 0.30]
+
+
+@pytest.fixture(scope="module")
+def registries():
+    builder = FleetBuilder(77)
+    specs = [builder.build(ShipType.CARGO) for __ in range(120)]
+    base = build_registry(specs, "MT")
+    out = {}
+    for rate in CORRUPTION_RATES:
+        left = corrupt_registry(
+            base, seed=int(rate * 100) + 1,
+            typo_rate=rate, stale_flag_rate=rate, missing_imo_rate=rate,
+        )
+        right = corrupt_registry(
+            build_registry(specs, "LL"), seed=int(rate * 100) + 2,
+            typo_rate=rate, stale_flag_rate=rate, missing_imo_rate=rate,
+        )
+        out[rate] = (left, right, len(specs))
+    return out
+
+
+def test_e7_linkage_vs_corruption(registries, benchmark, report):
+    def run_sweep():
+        results = {}
+        for rate, (left, right, n_truth) in registries.items():
+            links = discover_links(
+                [r.as_linkage_dict() for r in left],
+                [r.as_linkage_dict() for r in right],
+            )
+            truth_left = {r.id: r.truth_mmsi for r in left}
+            truth_right = {r.id: r.truth_mmsi for r in right}
+            correct = sum(
+                1 for link in links
+                if truth_left[link.left_id] == truth_right[link.right_id]
+            )
+            precision = correct / len(links) if links else 1.0
+            recall = correct / n_truth
+            results[rate] = (len(links), precision, recall)
+        return results
+
+    results = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    report(
+        "",
+        "E7a — registry linkage vs corruption rate",
+        f"  {'corruption':>11}{'links':>7}{'precision':>11}{'recall':>8}",
+    )
+    for rate, (n, precision, recall) in results.items():
+        report(f"  {rate:>11.2f}{n:>7}{precision:>11.2f}{recall:>8.2f}")
+
+    assert results[0.0][1] >= 0.99 and results[0.0][2] >= 0.95
+    assert results[0.05][1] >= 0.95 and results[0.05][2] >= 0.85
+    # Recall degrades with corruption but precision holds.
+    assert results[0.30][2] <= results[0.0][2]
+    assert results[0.30][1] >= 0.85
+
+
+RESOLUTIONS = [0.05, 0.25, 1.0, 2.0]
+
+
+def test_e7_weather_quantisation(benchmark, report):
+    """§2.5's resolution mismatch, measured."""
+    points = [
+        (46.0 + i * 0.173, -7.0 + i * 0.211, i * 600.0) for i in range(200)
+    ]
+
+    def errors_for(resolution):
+        provider = WeatherProvider(seed=5, grid_resolution_deg=resolution)
+        errs = [provider.quantisation_error(*p) for p in points]
+        return sum(errs) / len(errs)
+
+    mean_errors = benchmark.pedantic(
+        lambda: {r: errors_for(r) for r in RESOLUTIONS},
+        iterations=1, rounds=1,
+    )
+    report(
+        "",
+        "E7b — weather product quantisation error (wind speed, m/s)",
+        f"  {'grid (deg)':>11}{'mean error':>12}",
+        *(
+            f"  {resolution:>11.2f}{error:>12.3f}"
+            for resolution, error in mean_errors.items()
+        ),
+    )
+    ordered = [mean_errors[r] for r in RESOLUTIONS]
+    # Coarser products misalign more (allowing small non-monotone noise).
+    assert ordered[-1] > ordered[0]

@@ -1,0 +1,102 @@
+"""E8 — trajectory-oriented storage vs generic stores (§2.3).
+
+The paper: "current RDF stores with spatial and/or temporal support are
+not tailored to offer efficient trajectory-oriented data management".
+The same spatio-temporal range query runs three ways:
+
+- dedicated moving-object store (grid index)  — our §2.3 answer;
+- full scan over stored segments              — the no-index floor;
+- triple store with per-fix triples + filters — the generic-store path.
+
+Shape: the dedicated index beats the triple-pattern evaluation by orders
+of magnitude, and all three return identical answers.
+"""
+
+import pytest
+
+from repro.geo import BoundingBox
+from repro.storage import (
+    RangeQuery,
+    TrajectoryStore,
+    TripleStore,
+    Variable,
+)
+
+V = Variable
+QUERY = RangeQuery(BoundingBox(47.5, 48.8, -6.0, -4.0), 1800.0, 7200.0)
+
+
+@pytest.fixture(scope="module")
+def stores(regional_result):
+    trajectory_store = TrajectoryStore(cell_deg=0.1, time_bucket_s=1800.0)
+    triple_store = TripleStore()
+    for trajectory in regional_result.trajectories:
+        trajectory_store.add(trajectory)
+        for i, point in enumerate(trajectory):
+            node = f"fix:{trajectory.mmsi}:{i}:{point.t}"
+            triple_store.add(node, "mmsi", trajectory.mmsi)
+            triple_store.add(node, "lat", point.lat)
+            triple_store.add(node, "lon", point.lon)
+            triple_store.add(node, "t", point.t)
+    return trajectory_store, triple_store
+
+
+def query_grid(store):
+    return {(p.mmsi, p.t) for p in store.range_points(QUERY)}
+
+
+def query_scan(store):
+    return {(p.mmsi, p.t) for p in store.range_points_scan(QUERY)}
+
+
+def query_triples(store):
+    bindings = store.query(
+        [
+            (V("f"), "lat", V("lat")),
+            (V("f"), "lon", V("lon")),
+            (V("f"), "t", V("t")),
+            (V("f"), "mmsi", V("mmsi")),
+        ],
+        filters=[
+            lambda b: QUERY.box.lat_min <= b["lat"] <= QUERY.box.lat_max,
+            lambda b: QUERY.box.lon_min <= b["lon"] <= QUERY.box.lon_max,
+            lambda b: QUERY.t0 <= b["t"] <= QUERY.t1,
+        ],
+    )
+    return {(b["mmsi"], b["t"]) for b in bindings}
+
+
+def test_e8_grid_index(stores, benchmark, report):
+    trajectory_store, __ = stores
+    result = benchmark(query_grid, trajectory_store)
+    report(
+        "",
+        "E8 — spatio-temporal range query over "
+        f"{len(trajectory_store)} fixes: {len(result)} hits",
+        "  (compare the three bench timings: grid vs scan vs triples)",
+    )
+    assert result
+
+
+def test_e8_full_scan(stores, benchmark):
+    trajectory_store, __ = stores
+    result = benchmark(query_scan, trajectory_store)
+    assert result == query_grid(trajectory_store)
+
+
+def test_e8_triple_store(stores, benchmark):
+    trajectory_store, triple_store = stores
+    result = benchmark.pedantic(
+        query_triples, args=(triple_store,), iterations=1, rounds=2
+    )
+    assert result == query_grid(trajectory_store)
+
+
+def test_e8_knn(stores, benchmark):
+    trajectory_store, __ = stores
+    result = benchmark(
+        trajectory_store.knn, 48.2, -4.8, 0.0, 10_800.0, 10
+    )
+    assert len(result) == 10
+    distances = [d for d, __ in result]
+    assert distances == sorted(distances)

@@ -1,0 +1,79 @@
+"""E9 — visual analytics: multi-scale aggregation and monitoring (§3.2).
+
+Measures the aggregation-cube operations behind "drill-down / zoom-in on
+user-defined spatio-temporal regions" and checks cross-scale consistency
+(roll-ups preserve totals), plus the situation monitor's alarm quality on
+traffic that deviates from the learned pattern of life.
+"""
+
+import pytest
+
+from repro.geo import BoundingBox
+from repro.trajectory.points import TrackPoint
+from repro.visual import CubeQuery, SituationMonitor, SpatioTemporalCube
+
+
+@pytest.fixture(scope="module")
+def cube(regional_run, regional_result):
+    cube = SpatioTemporalCube(cell_deg=0.05, time_bucket_s=900.0)
+    for trajectory in regional_result.trajectories:
+        spec = regional_run.specs.get(trajectory.mmsi)
+        category = spec.ship_type.name.lower() if spec else "unknown"
+        for point in trajectory:
+            cube.add(point.lat, point.lon, point.t, category)
+    return cube
+
+
+def test_e9_drill_down(cube, benchmark, report):
+    box = BoundingBox(47.8, 48.8, -5.5, -4.0)
+    cells = benchmark(cube.drill_down, box, 0.0, 10_800.0)
+    report(
+        "",
+        "E9 — aggregation cube",
+        f"  base cells: {cube.total} observations, "
+        f"{len(cube.categories())} categories",
+        f"  drill-down into 1°x1.5° box: {len(cells)} cells, "
+        f"{sum(cells.values())} observations",
+    )
+    assert sum(cells.values()) == cube.count(
+        CubeQuery(box=box, t0=0.0, t1=10_800.0)
+    )
+
+
+def test_e9_roll_up_consistency(cube, benchmark, report):
+    def roll_ups():
+        return [cube.roll_up_space(factor) for factor in (2, 5, 10)]
+
+    spaces = benchmark.pedantic(roll_ups, iterations=1, rounds=3)
+    totals = [sum(level.values()) for level in spaces]
+    cells = [len(level) for level in spaces]
+    report(
+        f"  roll-up x2/x5/x10: {cells} cells, totals {totals}",
+    )
+    # Totals preserved at every scale; cell counts shrink monotonically.
+    assert all(total == cube.total for total in totals)
+    assert cells[0] >= cells[1] >= cells[2]
+
+
+def test_e9_situation_monitor(regional_result, benchmark, report):
+    pol = regional_result.pol
+    monitor = SituationMonitor(pol, alarm_threshold=0.85)
+    # Score every final state; time the scoring loop.
+    states = {
+        tr.mmsi: tr.points[-1] for tr in regional_result.trajectories
+    }
+
+    def score_all():
+        local = SituationMonitor(pol, alarm_threshold=0.85)
+        for mmsi, point in states.items():
+            local.offer(mmsi, point)
+        return local
+
+    monitor = benchmark(score_all)
+    report(
+        f"  situation monitor: {len(states)} live tracks scored, "
+        f"{len(monitor.alarms)} alarms "
+        f"(model: {pol.n_cells} cells, {pol.n_training_points} fixes)",
+    )
+    for alarm in monitor.alarms:
+        assert alarm.explanation  # every alarm is explained (§3.2/§4)

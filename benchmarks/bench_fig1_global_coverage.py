@@ -1,0 +1,71 @@
+"""FIG1 — regenerate Figure 1: worldwide AIS positions from satellites.
+
+Paper anchor: Figure 1 ("Worldwide AIS positions acquired by satellites,
+ORBCOMM") and §1's 18M positions/day scale.  Shape to reproduce: traffic
+concentrates on the Europe-Asia corridor and coastal approaches; satellite
+coverage of the open ocean is partial (revisit gaps, collisions).
+"""
+
+from repro.ais.decoder import AisDecoder
+from repro.ais.types import ClassBPositionReport, PositionReport
+from repro.geo import BoundingBox
+from repro.visual import DensityMap, render_ascii_map
+from repro.simulation.world import WORLD_PORTS
+
+
+def decode_positions(run):
+    decoder = AisDecoder()
+    lats, lons = [], []
+    for obs in run.observations:
+        message = decoder.feed(obs.sentence)
+        if (
+            isinstance(message, (PositionReport, ClassBPositionReport))
+            and message.has_position
+        ):
+            lats.append(message.lat)
+            lons.append(message.lon)
+    return lats, lons
+
+
+def build_density(lats, lons):
+    density = DensityMap(
+        BoundingBox(-65.0, 75.0, -180.0, 180.0), n_lat_bins=32, n_lon_bins=100
+    )
+    density.add_positions(lats, lons)
+    return density
+
+
+def test_fig1_density_map(global_run, benchmark, report):
+    lats, lons = decode_positions(global_run)
+    density = benchmark(build_density, lats, lons)
+
+    coverage = len(lats) / max(1, len(global_run.transmissions))
+    report(
+        "",
+        "FIG1 — worldwide satellite AIS picture",
+        f"  transmissions: {len(global_run.transmissions)}",
+        f"  received positions: {len(lats)} ({coverage:.0%} coverage)",
+        f"  occupied map cells: {density.occupied_cells}"
+        f" / {density.counts.size}",
+        "",
+        render_ascii_map(
+            density, markers={(p.lat, p.lon): "o" for p in WORLD_PORTS}
+        ),
+        "",
+        "  densest cells (lat, lon, count):",
+        *(
+            f"    ({lat:6.1f}, {lon:7.1f}): {count}"
+            for lat, lon, count in density.top_cells(5)
+        ),
+    )
+
+    # Shape assertions: partial open-ocean coverage, concentrated traffic.
+    assert 0.02 < coverage < 0.7
+    assert density.total > 10_000
+    # Traffic concentrates: the top 10% of occupied cells hold much more
+    # than their uniform share (10%) of the received positions.
+    counts = sorted(
+        (int(c) for c in density.counts.flatten() if c > 0), reverse=True
+    )
+    top_decile = counts[: max(1, len(counts) // 10)]
+    assert sum(top_decile) > 0.2 * sum(counts)

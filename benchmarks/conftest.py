@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+Each ``bench_*.py`` regenerates one figure or experiment from
+EXPERIMENTS.md.  Scenarios are session-scoped (building them dominates
+runtime); the ``report`` fixture prints experiment tables to the real
+stdout so they land in ``bench_output.txt`` even under pytest capture.
+"""
+
+import pytest
+
+from repro.core import MaritimePipeline
+from repro.simulation import global_scenario, regional_scenario
+
+
+@pytest.fixture(scope="session")
+def regional_run():
+    """The standard surveillance-theatre workload (E2, E3, E5, E8, FIG2)."""
+    return regional_scenario(n_vessels=30, duration_s=3 * 3600.0, seed=101).run()
+
+
+@pytest.fixture(scope="session")
+def regional_result(regional_run):
+    return MaritimePipeline().process(regional_run)
+
+
+@pytest.fixture(scope="session")
+def global_run():
+    """The worldwide satellite workload (FIG1)."""
+    return global_scenario(n_vessels=150, duration_s=6 * 3600.0, seed=101).run()
+
+
+@pytest.fixture
+def report(capsys):
+    """Print experiment tables past pytest's capture."""
+
+    def _print(*lines: str) -> None:
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+
+    return _print

@@ -1,0 +1,108 @@
+"""Dark-vessel hunt: fusion + open-world reasoning (§2.4 and §4).
+
+The paper's §4 makes two points this example demonstrates end to end:
+
+1. **Fusion beats any single source.**  27% of ships go dark part of the
+   time [43]; coastal radar still sees them.  We associate anonymous
+   radar contacts to AIS tracks; the contacts that associate to *nothing*
+   are candidate dark vessels.
+
+2. **The AIS database violates the closed-world assumption.**  Querying
+   rendezvous from AIS alone "will return only those events reflected by
+   the AIS data"; open-world evaluation returns probability *bounds* that
+   widen with the number of vessel pairs that could have met unobserved.
+
+Run:  python examples/dark_vessel_hunt.py
+"""
+
+from repro.core import MaritimePipeline
+from repro.fusion import MultiSourceTracker
+from repro.fusion.hardsoft import SoftReport, fuse_hard_soft
+from repro.simulation import regional_scenario
+from repro.trajectory.points import TrackPoint
+from repro.uncertainty import OpenWorldRelation, ProbabilisticRelation
+from repro.uncertainty.openworld import unobserved_pair_candidates
+
+
+def main() -> None:
+    scenario = regional_scenario(
+        n_vessels=35, duration_s=3 * 3600.0, seed=23, dark_ship_fraction=0.3
+    )
+    run = scenario.run()
+    result = MaritimePipeline().process(run)
+
+    # -- 1. Fuse radar with AIS ------------------------------------------------
+    tracker = MultiSourceTracker()
+    for trajectory in result.trajectories:
+        for point in trajectory:
+            tracker.add_ais_fix(trajectory.mmsi, point)
+    for report in run.lrit_reports:
+        tracker.add_lrit(
+            report.mmsi,
+            TrackPoint(report.t, report.lat, report.lon, source="lrit"),
+        )
+    assignments = tracker.add_radar_contacts(run.radar_contacts)
+    uncorrelated = [a for a in assignments if a.mmsi is None]
+    print(
+        f"radar: {len(assignments)} contacts, "
+        f"{len(assignments) - len(uncorrelated)} associated to AIS tracks, "
+        f"{len(uncorrelated)} uncorrelated "
+        f"→ {len(tracker.anonymous_tracks)} anonymous radar tracks"
+    )
+    dark_truth = {
+        spec.mmsi for spec in run.specs.values() if spec.goes_dark
+    }
+    print(f"ground truth: {len(dark_truth)} vessels go dark in this window")
+
+    # -- 2. Open-world rendezvous query ------------------------------------------
+    observed = ProbabilisticRelation()
+    for event in result.events:
+        if event.kind.value == "rendezvous":
+            observed.add(
+                {"mmsis": event.mmsis, "t": event.t_start}, event.confidence
+            )
+    n_dark = len(dark_truth)
+    hidden_pairs = unobserved_pair_candidates(n_dark, len(run.specs))
+    open_world = OpenWorldRelation(observed, completion_lambda=0.05)
+    interval = open_world.probability_exists(
+        lambda fact: True, n_unobserved=hidden_pairs
+    )
+    print(
+        f"\nrendezvous query: closed-world P = {interval.lower:.2f}; "
+        f"open-world P ∈ [{interval.lower:.2f}, {interval.upper:.2f}] "
+        f"({hidden_pairs} dark vessel-pairs could have met unobserved)"
+    )
+
+    # -- 3. Hard-soft fusion: a sighting report --------------------------------------
+    # A fishing skipper reports "a vessel holding position" near the first
+    # truth rendezvous — can we attribute it?
+    rendezvous_truth = [
+        e for e in run.truth_events if e.kind == "rendezvous"
+    ]
+    if rendezvous_truth:
+        truth = rendezvous_truth[0]
+        report = SoftReport(
+            t=truth.t_start,
+            lat=truth.lat + 0.01,
+            lon=truth.lon - 0.01,
+            sigma_m=3000.0,
+            sigma_t_s=1200.0,
+            confidence=0.7,
+            text="vessel holding position mid-channel, no lights",
+        )
+        matches = fuse_hard_soft(report, result.trajectories)
+        print(f"\nsoft report: {report.text!r}")
+        for match in matches[:3]:
+            marker = (
+                " ← rendezvous participant"
+                if match.mmsi in truth.mmsis else ""
+            )
+            print(
+                f"  candidate MMSI {match.mmsi}: consistency "
+                f"{match.consistency:.2f}, {match.distance_m / 1000:.1f} km "
+                f"off{marker}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Port surveillance: zones, semantic queries and forecasting (§3).
+
+A harbour-master's view of the regional scenario: watch a protected zone
+off Brest, detect entries and loitering, query the semantic store for
+suspicious activity by vessel class, and forecast where current traffic
+will be in 30 minutes (with honest uncertainty, §4).
+
+Run:  python examples/port_surveillance.py
+"""
+
+from repro.core import MaritimePipeline, PipelineConfig
+from repro.events.detectors import ZoneWatch, detect_zone_events
+from repro.forecasting import estimate_eta
+from repro.geo import CircleRegion
+from repro.semantics.ontology import VOCAB
+from repro.simulation import regional_scenario
+from repro.simulation.world import REGIONAL_PORTS
+from repro.storage import Variable
+
+
+def main() -> None:
+    run = regional_scenario(n_vessels=30, duration_s=3 * 3600.0, seed=5).run()
+    result = MaritimePipeline().process(run)
+
+    # -- zone watching -----------------------------------------------------
+    protected = ZoneWatch(
+        name="IROISE-PROTECTED",
+        region=CircleRegion(lat=48.3, lon=-5.1, radius_m=25_000.0),
+        restricted=True,
+    )
+    zone_events = []
+    for trajectory in result.trajectories:
+        zone_events.extend(detect_zone_events(trajectory, [protected]))
+    entries = [e for e in zone_events if e.kind.value == "zone_entry"]
+    print(f"protected-zone entries: {len(entries)}")
+    for event in entries[:5]:
+        spec = run.specs.get(event.mmsis[0])
+        name = spec.name if spec else "?"
+        print(f"  {name} (MMSI {event.mmsis[0]}) at t={event.t_start:.0f}")
+
+    # -- semantic queries over the annotated store -----------------------------
+    V = Variable
+    suspicious = result.triples.query(
+        [
+            (V("event"), VOCAB.EVENT_TYPE, "loitering"),
+            (V("event"), VOCAB.ACTOR, V("vessel")),
+            (V("vessel"), VOCAB.TYPE, V("class")),
+        ]
+    )
+    print(f"\nloitering activities in the semantic store: {len(suspicious)}")
+    for binding in suspicious[:5]:
+        print(
+            f"  {binding['vessel']} ({binding['class']}) "
+            f"in {binding['event']}"
+        )
+    port_call_count = len(
+        result.triples.query([(V("e"), VOCAB.TYPE, "PortCall")])
+    )
+    print(f"port calls recorded: {port_call_count}")
+
+    # -- forecasting with uncertainty ------------------------------------------
+    print("\n30-minute forecasts (position ± 1σ):")
+    shown = 0
+    for mmsi, predictions in result.forecasts.items():
+        for prediction in predictions:
+            if prediction.horizon_s == 1800.0 and shown < 5:
+                print(
+                    f"  MMSI {mmsi}: ({prediction.lat:.3f}, "
+                    f"{prediction.lon:.3f}) ± {prediction.sigma_m:.0f} m"
+                )
+                shown += 1
+
+    # -- ETA estimation -----------------------------------------------------------
+    print("\ndestination guesses from course/speed:")
+    shown = 0
+    for trajectory in result.trajectories:
+        estimate = estimate_eta(trajectory, REGIONAL_PORTS)
+        if estimate is not None and shown < 5:
+            print(
+                f"  MMSI {trajectory.mmsi} → {estimate.port.name}, "
+                f"ETA {estimate.eta_s / 3600:.1f} h "
+                f"(course agreement {estimate.course_agreement:.0%})"
+            )
+            shown += 1
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — Maritime data integration and analysis.
+
+An open reproduction of *"Maritime Data Integration and Analysis: Recent
+Progress and Research Challenges"* (Claramunt et al., EDBT 2017): the
+integrated maritime information infrastructure the paper envisions,
+implemented end to end in Python — AIS link layer, world simulator,
+stream engine, trajectory analytics, moving-object storage, multi-source
+fusion, complex event recognition, forecasting, uncertainty handling,
+semantics and visual analytics.
+
+Quickstart::
+
+    from repro.simulation import regional_scenario
+    from repro.core import MaritimePipeline
+
+    run = regional_scenario(n_vessels=40, duration_s=4 * 3600).run()
+    result = MaritimePipeline().process(run)
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import MaritimePipeline, PipelineConfig, DecisionSupport
+
+__all__ = ["MaritimePipeline", "PipelineConfig", "DecisionSupport", "__version__"]

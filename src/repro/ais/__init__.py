@@ -1,0 +1,75 @@
+"""AIS substrate: a from-scratch AIVDM (NMEA 0183) encoder/decoder.
+
+The paper's entire data layer rides on the Automatic Identification System.
+This package implements the link format itself so that the simulator emits
+*genuine* `!AIVDM` sentences and the pipeline ingests them exactly as a real
+receiver feed would, including multi-sentence messages, checksums, padding
+and the field quirks (value 511 = "heading unavailable", etc.) that make AIS
+data messy in practice (§1 of the paper).
+
+Supported message types:
+
+====  =========================================  =========
+Type  Name                                       Direction
+====  =========================================  =========
+1-3   Class A position report                    decoded + encoded
+4     Base station report                        decoded + encoded
+5     Class A static & voyage data               decoded + encoded
+18    Class B position report                    decoded + encoded
+24    Class B static data (parts A and B)        decoded + encoded
+====  =========================================  =========
+"""
+
+from repro.ais.types import (
+    NavigationStatus,
+    ShipType,
+    PositionReport,
+    BaseStationReport,
+    StaticVoyageData,
+    ClassBPositionReport,
+    StaticDataReport,
+    AisMessage,
+)
+from repro.ais.sixbit import BitBuffer, sixbit_to_ascii, ascii_to_sixbit
+from repro.ais.checksum import nmea_checksum, verify_checksum
+from repro.ais.encoder import encode_message, encode_sentences
+from repro.ais.decoder import (
+    AisDecoder,
+    decode_sentences,
+    decode_payload,
+    DecodeError,
+)
+from repro.ais.validation import validate_message, ValidationIssue, IssueSeverity
+from repro.ais.extended import (
+    SarAircraftReport,
+    AidToNavigationReport,
+    LongRangeReport,
+)
+
+__all__ = [
+    "NavigationStatus",
+    "ShipType",
+    "PositionReport",
+    "BaseStationReport",
+    "StaticVoyageData",
+    "ClassBPositionReport",
+    "StaticDataReport",
+    "AisMessage",
+    "BitBuffer",
+    "sixbit_to_ascii",
+    "ascii_to_sixbit",
+    "nmea_checksum",
+    "verify_checksum",
+    "encode_message",
+    "encode_sentences",
+    "AisDecoder",
+    "decode_sentences",
+    "decode_payload",
+    "DecodeError",
+    "validate_message",
+    "ValidationIssue",
+    "IssueSeverity",
+    "SarAircraftReport",
+    "AidToNavigationReport",
+    "LongRangeReport",
+]

@@ -1,0 +1,22 @@
+"""NMEA 0183 sentence checksum (XOR of the bytes between '!' and '*')."""
+
+
+def nmea_checksum(sentence_body: str) -> str:
+    """Checksum of the sentence body (without the leading '!'/'$' and
+    without the '*hh' trailer), as two uppercase hex digits."""
+    value = 0
+    for char in sentence_body:
+        value ^= ord(char)
+    return f"{value:02X}"
+
+
+def verify_checksum(sentence: str) -> bool:
+    """True when a full `!AIVDM...*hh` sentence has a valid checksum."""
+    if not sentence or sentence[0] not in "!$":
+        return False
+    star = sentence.rfind("*")
+    if star == -1 or len(sentence) < star + 3:
+        return False
+    body = sentence[1:star]
+    expected = sentence[star + 1 : star + 3].upper()
+    return nmea_checksum(body) == expected

@@ -1,0 +1,222 @@
+"""Encode AIS messages into bit payloads and `!AIVDM` sentences."""
+
+import math
+
+from repro.ais.checksum import nmea_checksum
+from repro.ais.sixbit import BitBuffer
+from repro.ais.types import (
+    AisMessage,
+    BaseStationReport,
+    ClassBPositionReport,
+    PositionReport,
+    StaticDataReport,
+    StaticVoyageData,
+)
+
+#: Maximum armoured payload characters per sentence.  Keeps each NMEA line
+#: within the 82-character budget; longer payloads are fragmented.
+MAX_PAYLOAD_CHARS = 60
+
+_LATLON_SCALE = 600_000.0  # 1/10000 arc-minute units
+_LON_NA = 0x6791AC0  # 181 degrees: "longitude not available"
+_LAT_NA = 0x3412140  # 91 degrees: "latitude not available"
+
+
+def _encode_rot(rot_deg_per_min: float | None) -> int:
+    """Encode rate-of-turn using the AIS 4.733*sqrt law; -128 = unavailable."""
+    if rot_deg_per_min is None:
+        return -128
+    magnitude = min(126.0, 4.733 * math.sqrt(abs(rot_deg_per_min)))
+    return int(round(math.copysign(magnitude, rot_deg_per_min)))
+
+
+def _encode_sog(sog_knots: float | None) -> int:
+    if sog_knots is None:
+        return 1023
+    return min(1022, max(0, int(round(sog_knots * 10.0))))
+
+
+def _encode_cog(cog_deg: float | None) -> int:
+    if cog_deg is None:
+        return 3600
+    return int(round((cog_deg % 360.0) * 10.0)) % 3600
+
+
+def _encode_heading(heading_deg: float | None) -> int:
+    if heading_deg is None:
+        return 511
+    return int(round(heading_deg % 360.0)) % 360
+
+
+def _encode_latlon(buffer: BitBuffer, lat: float, lon: float) -> None:
+    if abs(lon) > 180.0:
+        buffer.write_int(_LON_NA, 28)
+    else:
+        buffer.write_int(int(round(lon * _LATLON_SCALE)), 28)
+    if abs(lat) > 90.0:
+        buffer.write_int(_LAT_NA, 27)
+    else:
+        buffer.write_int(int(round(lat * _LATLON_SCALE)), 27)
+
+
+def _encode_position_report(msg: PositionReport) -> BitBuffer:
+    buf = BitBuffer()
+    buf.write_uint(msg.msg_type, 6)
+    buf.write_uint(msg.repeat, 2)
+    buf.write_uint(msg.mmsi, 30)
+    buf.write_uint(int(msg.nav_status), 4)
+    buf.write_int(_encode_rot(msg.rot_deg_per_min), 8)
+    buf.write_uint(_encode_sog(msg.sog_knots), 10)
+    buf.write_uint(1 if msg.position_accuracy else 0, 1)
+    _encode_latlon(buf, msg.lat, msg.lon)
+    buf.write_uint(_encode_cog(msg.cog_deg), 12)
+    buf.write_uint(_encode_heading(msg.heading_deg), 9)
+    buf.write_uint(60 if msg.timestamp_s is None else msg.timestamp_s % 64, 6)
+    buf.write_uint(0, 2)  # manoeuvre indicator: not available
+    buf.write_uint(0, 3)  # spare
+    buf.write_uint(1 if msg.raim else 0, 1)
+    buf.write_uint(0, 19)  # radio status (SOTDMA), irrelevant to analytics
+    return buf
+
+
+def _encode_base_station(msg: BaseStationReport) -> BitBuffer:
+    buf = BitBuffer()
+    buf.write_uint(msg.msg_type, 6)
+    buf.write_uint(msg.repeat, 2)
+    buf.write_uint(msg.mmsi, 30)
+    buf.write_uint(msg.year, 14)
+    buf.write_uint(msg.month, 4)
+    buf.write_uint(msg.day, 5)
+    buf.write_uint(msg.hour, 5)
+    buf.write_uint(msg.minute, 6)
+    buf.write_uint(msg.second, 6)
+    buf.write_uint(1 if msg.position_accuracy else 0, 1)
+    _encode_latlon(buf, msg.lat, msg.lon)
+    buf.write_uint(1, 4)  # EPFD: GPS
+    buf.write_uint(0, 10)  # spare
+    buf.write_uint(1 if msg.raim else 0, 1)
+    buf.write_uint(0, 19)
+    return buf
+
+
+def _encode_static_voyage(msg: StaticVoyageData) -> BitBuffer:
+    buf = BitBuffer()
+    buf.write_uint(msg.msg_type, 6)
+    buf.write_uint(msg.repeat, 2)
+    buf.write_uint(msg.mmsi, 30)
+    buf.write_uint(0, 2)  # AIS version
+    buf.write_uint(msg.imo, 30)
+    buf.write_text(msg.callsign, 7)
+    buf.write_text(msg.shipname, 20)
+    buf.write_uint(msg.ship_type_code & 0xFF, 8)
+    buf.write_uint(min(511, msg.to_bow_m), 9)
+    buf.write_uint(min(511, msg.to_stern_m), 9)
+    buf.write_uint(min(63, msg.to_port_m), 6)
+    buf.write_uint(min(63, msg.to_starboard_m), 6)
+    buf.write_uint(1, 4)  # EPFD: GPS
+    buf.write_uint(msg.eta_month, 4)
+    buf.write_uint(msg.eta_day, 5)
+    buf.write_uint(msg.eta_hour, 5)
+    buf.write_uint(msg.eta_minute, 6)
+    buf.write_uint(min(255, int(round(msg.draught_m * 10.0))), 8)
+    buf.write_text(msg.destination, 20)
+    buf.write_uint(0, 1)  # DTE
+    buf.write_uint(0, 1)  # spare
+    return buf
+
+
+def _encode_class_b(msg: ClassBPositionReport) -> BitBuffer:
+    buf = BitBuffer()
+    buf.write_uint(msg.msg_type, 6)
+    buf.write_uint(msg.repeat, 2)
+    buf.write_uint(msg.mmsi, 30)
+    buf.write_uint(0, 8)  # regional reserved
+    buf.write_uint(_encode_sog(msg.sog_knots), 10)
+    buf.write_uint(1 if msg.position_accuracy else 0, 1)
+    _encode_latlon(buf, msg.lat, msg.lon)
+    buf.write_uint(_encode_cog(msg.cog_deg), 12)
+    buf.write_uint(_encode_heading(msg.heading_deg), 9)
+    buf.write_uint(60 if msg.timestamp_s is None else msg.timestamp_s % 64, 6)
+    buf.write_uint(0, 2)  # regional reserved
+    buf.write_uint(1, 1)  # CS unit: carrier-sense
+    buf.write_uint(0, 1)  # no display
+    buf.write_uint(0, 1)  # no DSC
+    buf.write_uint(0, 1)  # band
+    buf.write_uint(0, 1)  # msg22
+    buf.write_uint(0, 1)  # assigned mode
+    buf.write_uint(1 if msg.raim else 0, 1)
+    buf.write_uint(0, 20)
+    return buf
+
+
+def _encode_static_data(msg: StaticDataReport) -> BitBuffer:
+    buf = BitBuffer()
+    buf.write_uint(msg.msg_type, 6)
+    buf.write_uint(msg.repeat, 2)
+    buf.write_uint(msg.mmsi, 30)
+    buf.write_uint(msg.part, 2)
+    if msg.part == 0:
+        buf.write_text(msg.shipname, 20)
+    else:
+        buf.write_uint(msg.ship_type_code & 0xFF, 8)
+        buf.write_text(msg.vendor_id, 7)
+        buf.write_text(msg.callsign, 7)
+        buf.write_uint(min(511, msg.to_bow_m), 9)
+        buf.write_uint(min(511, msg.to_stern_m), 9)
+        buf.write_uint(min(63, msg.to_port_m), 6)
+        buf.write_uint(min(63, msg.to_starboard_m), 6)
+        buf.write_uint(0, 6)  # spare
+    return buf
+
+
+def encode_message(msg) -> BitBuffer:
+    """Serialise a message dataclass into its AIS bit layout."""
+    from repro.ais.extended import (
+        AidToNavigationReport,
+        LongRangeReport,
+        SarAircraftReport,
+        encode_aton,
+        encode_long_range,
+        encode_sar_aircraft,
+    )
+
+    if isinstance(msg, PositionReport):
+        return _encode_position_report(msg)
+    if isinstance(msg, BaseStationReport):
+        return _encode_base_station(msg)
+    if isinstance(msg, StaticVoyageData):
+        return _encode_static_voyage(msg)
+    if isinstance(msg, ClassBPositionReport):
+        return _encode_class_b(msg)
+    if isinstance(msg, StaticDataReport):
+        return _encode_static_data(msg)
+    if isinstance(msg, SarAircraftReport):
+        return encode_sar_aircraft(msg)
+    if isinstance(msg, AidToNavigationReport):
+        return encode_aton(msg)
+    if isinstance(msg, LongRangeReport):
+        return encode_long_range(msg)
+    raise TypeError(f"cannot encode message of type {type(msg).__name__}")
+
+
+def encode_sentences(
+    msg: AisMessage, channel: str = "A", sequence_id: int = 0
+) -> list[str]:
+    """Encode a message as one or more complete `!AIVDM` sentences.
+
+    Multi-part messages (type 5 mainly) are fragmented at
+    :data:`MAX_PAYLOAD_CHARS` and share ``sequence_id`` per the standard.
+    """
+    payload, fill = encode_message(msg).to_payload()
+    fragments = [
+        payload[i : i + MAX_PAYLOAD_CHARS]
+        for i in range(0, len(payload), MAX_PAYLOAD_CHARS)
+    ] or [""]
+    total = len(fragments)
+    sentences = []
+    for index, fragment in enumerate(fragments, start=1):
+        frag_fill = fill if index == total else 0
+        seq = str(sequence_id % 10) if total > 1 else ""
+        body = f"AIVDM,{total},{index},{seq},{channel},{fragment},{frag_fill}"
+        sentences.append(f"!{body}*{nmea_checksum(body)}")
+    return sentences

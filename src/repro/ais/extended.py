@@ -1,0 +1,215 @@
+"""Extended AIS message types: 9 (SAR aircraft), 21 (AtoN), 27 (long-range).
+
+Type 27 matters most for this library: it is the short (96-bit) position
+report designed specifically for *satellite* reception — reduced position
+resolution (1/10 arc-minute) in exchange for a shorter, more
+collision-resistant burst.  The global scenario's satellite path can use
+it to model the real ORBCOMM feed of Figure 1 more closely.
+"""
+
+from dataclasses import dataclass
+
+from repro.ais.sixbit import BitBuffer
+from repro.ais.types import NavigationStatus
+
+_LATLON_SCALE_HIGH = 600_000.0  # 1/10000 arc-minute (types 9, 21)
+_LATLON_SCALE_LOW = 600.0       # 1/10 arc-minute (type 27)
+
+
+@dataclass(frozen=True)
+class SarAircraftReport:
+    """Search-and-rescue aircraft position report (message type 9)."""
+
+    mmsi: int
+    lat: float
+    lon: float
+    altitude_m: int | None = None  # 4095 = not available
+    sog_knots: float | None = None
+    cog_deg: float | None = None
+    timestamp_s: int | None = None
+    msg_type: int = 9
+    repeat: int = 0
+    received_at: float | None = None
+
+    @property
+    def has_position(self) -> bool:
+        return abs(self.lat) <= 90.0 and abs(self.lon) <= 180.0
+
+
+@dataclass(frozen=True)
+class AidToNavigationReport:
+    """Aid-to-navigation report (message type 21): buoys, beacons.
+
+    ``off_position`` is the alarming field: a drifting buoy is itself a
+    maritime safety event.
+    """
+
+    mmsi: int
+    aton_type: int
+    name: str
+    lat: float
+    lon: float
+    off_position: bool = False
+    virtual: bool = False
+    msg_type: int = 21
+    repeat: int = 0
+    received_at: float | None = None
+
+
+@dataclass(frozen=True)
+class LongRangeReport:
+    """Long-range AIS broadcast (message type 27, 96 bits).
+
+    Coarse position (±1/10 arc-minute ≈ ±185 m), coarse speed (1 kn) and
+    course (1°), designed for satellite reception.
+    """
+
+    mmsi: int
+    lat: float
+    lon: float
+    sog_knots: float | None = None  # 63 = N/A, resolution 1 kn
+    cog_deg: float | None = None    # 511 = N/A, resolution 1°
+    nav_status: NavigationStatus = NavigationStatus.UNDEFINED
+    position_accuracy: bool = False
+    raim: bool = False
+    msg_type: int = 27
+    repeat: int = 0
+    received_at: float | None = None
+
+    @property
+    def has_position(self) -> bool:
+        return abs(self.lat) <= 90.0 and abs(self.lon) <= 180.0
+
+
+# -- encoding -----------------------------------------------------------------
+
+
+def encode_sar_aircraft(msg: SarAircraftReport) -> BitBuffer:
+    buf = BitBuffer()
+    buf.write_uint(9, 6)
+    buf.write_uint(msg.repeat, 2)
+    buf.write_uint(msg.mmsi, 30)
+    altitude = 4095 if msg.altitude_m is None else min(4094, max(0, msg.altitude_m))
+    buf.write_uint(altitude, 12)
+    sog = 1023 if msg.sog_knots is None else min(1022, int(round(msg.sog_knots)))
+    buf.write_uint(sog, 10)
+    buf.write_uint(0, 1)  # position accuracy
+    buf.write_int(int(round(msg.lon * _LATLON_SCALE_HIGH)), 28)
+    buf.write_int(int(round(msg.lat * _LATLON_SCALE_HIGH)), 27)
+    cog = 3600 if msg.cog_deg is None else int(round((msg.cog_deg % 360.0) * 10.0)) % 3600
+    buf.write_uint(cog, 12)
+    buf.write_uint(60 if msg.timestamp_s is None else msg.timestamp_s % 64, 6)
+    buf.write_uint(0, 8)  # regional reserved
+    buf.write_uint(0, 1)  # DTE
+    buf.write_uint(0, 3)  # spare
+    buf.write_uint(0, 1)  # assigned
+    buf.write_uint(0, 1)  # RAIM
+    buf.write_uint(0, 20)  # radio
+    return buf
+
+
+def decode_sar_aircraft(buf: BitBuffer, repeat: int, mmsi: int) -> SarAircraftReport:
+    altitude = buf.read_uint(12)
+    sog = buf.read_uint(10)
+    buf.read_uint(1)
+    lon = buf.read_int(28) / _LATLON_SCALE_HIGH
+    lat = buf.read_int(27) / _LATLON_SCALE_HIGH
+    cog = buf.read_uint(12)
+    second = buf.read_uint(6)
+    return SarAircraftReport(
+        mmsi=mmsi,
+        lat=lat,
+        lon=lon,
+        altitude_m=None if altitude == 4095 else altitude,
+        sog_knots=None if sog == 1023 else float(sog),
+        cog_deg=None if cog >= 3600 else cog / 10.0,
+        timestamp_s=None if second >= 60 else second,
+        repeat=repeat,
+    )
+
+
+def encode_aton(msg: AidToNavigationReport) -> BitBuffer:
+    buf = BitBuffer()
+    buf.write_uint(21, 6)
+    buf.write_uint(msg.repeat, 2)
+    buf.write_uint(msg.mmsi, 30)
+    buf.write_uint(msg.aton_type & 0x1F, 5)
+    buf.write_text(msg.name, 20)
+    buf.write_uint(0, 1)  # position accuracy
+    buf.write_int(int(round(msg.lon * _LATLON_SCALE_HIGH)), 28)
+    buf.write_int(int(round(msg.lat * _LATLON_SCALE_HIGH)), 27)
+    buf.write_uint(0, 9 + 9 + 6 + 6)  # dimensions
+    buf.write_uint(1, 4)  # EPFD
+    buf.write_uint(60, 6)  # UTC second N/A
+    buf.write_uint(1 if msg.off_position else 0, 1)
+    buf.write_uint(0, 8)  # regional
+    buf.write_uint(0, 1)  # RAIM
+    buf.write_uint(1 if msg.virtual else 0, 1)
+    buf.write_uint(0, 1)  # assigned
+    buf.write_uint(0, 1)  # spare
+    return buf
+
+
+def decode_aton(buf: BitBuffer, repeat: int, mmsi: int) -> AidToNavigationReport:
+    aton_type = buf.read_uint(5)
+    name = buf.read_text(20)
+    buf.read_uint(1)
+    lon = buf.read_int(28) / _LATLON_SCALE_HIGH
+    lat = buf.read_int(27) / _LATLON_SCALE_HIGH
+    buf.read_uint(9 + 9 + 6 + 6)
+    buf.read_uint(4)
+    buf.read_uint(6)
+    off_position = bool(buf.read_uint(1))
+    buf.read_uint(8)
+    buf.read_uint(1)  # RAIM
+    virtual = bool(buf.read_uint(1))
+    return AidToNavigationReport(
+        mmsi=mmsi,
+        aton_type=aton_type,
+        name=name,
+        lat=lat,
+        lon=lon,
+        off_position=off_position,
+        virtual=virtual,
+        repeat=repeat,
+    )
+
+
+def encode_long_range(msg: LongRangeReport) -> BitBuffer:
+    buf = BitBuffer()
+    buf.write_uint(27, 6)
+    buf.write_uint(msg.repeat, 2)
+    buf.write_uint(msg.mmsi, 30)
+    buf.write_uint(1 if msg.position_accuracy else 0, 1)
+    buf.write_uint(1 if msg.raim else 0, 1)
+    buf.write_uint(int(msg.nav_status), 4)
+    buf.write_int(int(round(msg.lon * _LATLON_SCALE_LOW)), 18)
+    buf.write_int(int(round(msg.lat * _LATLON_SCALE_LOW)), 17)
+    sog = 63 if msg.sog_knots is None else min(62, int(round(msg.sog_knots)))
+    buf.write_uint(sog, 6)
+    cog = 511 if msg.cog_deg is None else int(round(msg.cog_deg % 360.0)) % 360
+    buf.write_uint(cog, 9)
+    buf.write_uint(0, 1)  # GNSS position, current
+    buf.write_uint(0, 1)  # spare
+    return buf
+
+
+def decode_long_range(buf: BitBuffer, repeat: int, mmsi: int) -> LongRangeReport:
+    accuracy = bool(buf.read_uint(1))
+    raim = bool(buf.read_uint(1))
+    status = NavigationStatus(buf.read_uint(4))
+    lon = buf.read_int(18) / _LATLON_SCALE_LOW
+    lat = buf.read_int(17) / _LATLON_SCALE_LOW
+    sog = buf.read_uint(6)
+    cog = buf.read_uint(9)
+    return LongRangeReport(
+        mmsi=mmsi,
+        lat=lat,
+        lon=lon,
+        sog_knots=None if sog == 63 else float(sog),
+        cog_deg=None if cog == 511 else float(cog),
+        nav_status=status,
+        position_accuracy=accuracy,
+        raim=raim,
+        repeat=repeat,
+    )

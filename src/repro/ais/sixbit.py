@@ -1,0 +1,148 @@
+"""Bit-level plumbing for AIS payloads.
+
+AIS packs message fields into a bit string, then "armours" every 6 bits as
+one printable ASCII character for transport in NMEA sentences.  Text fields
+inside messages use a *different* 6-bit alphabet.  Both live here.
+"""
+
+#: The 6-bit text alphabet used inside AIS messages ('@' is the null/pad).
+SIXBIT_ALPHABET = (
+    "@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_ !\"#$%&'()*+,-./0123456789:;<=>?"
+)
+_SIXBIT_INDEX = {c: i for i, c in enumerate(SIXBIT_ALPHABET)}
+
+
+def char_to_armor(value: int) -> str:
+    """Armour one 6-bit value (0..63) as a payload character."""
+    if not 0 <= value <= 63:
+        raise ValueError(f"6-bit value out of range: {value}")
+    return chr(value + 48 if value < 40 else value + 56)
+
+
+def armor_to_char(char: str) -> int:
+    """Recover the 6-bit value from a payload character."""
+    code = ord(char)
+    if 48 <= code <= 87:
+        return code - 48
+    if 96 <= code <= 119:
+        return code - 56
+    raise ValueError(f"invalid AIS payload character: {char!r}")
+
+
+def sixbit_to_ascii(values: list[int]) -> str:
+    """Decode a sequence of 6-bit codes into message text, trimming the
+    trailing '@' padding and whitespace per the AIS convention."""
+    text = "".join(SIXBIT_ALPHABET[v & 0x3F] for v in values)
+    return text.split("@", 1)[0].rstrip()
+
+
+def ascii_to_sixbit(text: str, width_chars: int) -> list[int]:
+    """Encode message text as exactly ``width_chars`` 6-bit codes,
+    '@'-padded.  Unrepresentable characters become '?'; lowercase is
+    upcased, matching shipborne transceiver behaviour."""
+    codes = []
+    for char in text.upper()[:width_chars]:
+        codes.append(_SIXBIT_INDEX.get(char, _SIXBIT_INDEX["?"]))
+    while len(codes) < width_chars:
+        codes.append(0)  # '@' padding
+    return codes
+
+
+class BitBuffer:
+    """Append-or-read bit buffer for AIS payload (de)serialisation.
+
+    Writing and reading are independent: encoders only append, decoders
+    construct from a payload and only read.  Integers are big-endian within
+    the buffer, as the AIS standard requires.
+    """
+
+    def __init__(self, bits: list[int] | None = None) -> None:
+        self._bits: list[int] = list(bits) if bits else []
+        self._pos = 0
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    # -- writing ---------------------------------------------------------
+
+    def write_uint(self, value: int, width: int) -> None:
+        """Append an unsigned integer of ``width`` bits."""
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def write_int(self, value: int, width: int) -> None:
+        """Append a signed (two's-complement) integer of ``width`` bits."""
+        lo = -(1 << (width - 1))
+        hi = (1 << (width - 1)) - 1
+        if not lo <= value <= hi:
+            raise ValueError(f"value {value} does not fit in signed {width} bits")
+        self.write_uint(value & ((1 << width) - 1), width)
+
+    def write_text(self, text: str, width_chars: int) -> None:
+        """Append a 6-bit text field of ``width_chars`` characters."""
+        for code in ascii_to_sixbit(text, width_chars):
+            self.write_uint(code, 6)
+
+    # -- reading ---------------------------------------------------------
+
+    @property
+    def remaining(self) -> int:
+        return len(self._bits) - self._pos
+
+    def read_uint(self, width: int) -> int:
+        """Read an unsigned integer; missing trailing bits read as zero,
+        which mirrors how receivers treat truncated payloads."""
+        value = 0
+        for _ in range(width):
+            bit = self._bits[self._pos] if self._pos < len(self._bits) else 0
+            value = (value << 1) | bit
+            self._pos += 1
+        return value
+
+    def read_int(self, width: int) -> int:
+        """Read a signed (two's-complement) integer."""
+        value = self.read_uint(width)
+        if value & (1 << (width - 1)):
+            value -= 1 << width
+        return value
+
+    def read_text(self, width_chars: int) -> str:
+        """Read a 6-bit text field."""
+        return sixbit_to_ascii([self.read_uint(6) for _ in range(width_chars)])
+
+    def seek(self, bit_position: int) -> None:
+        self._pos = bit_position
+
+    # -- armouring -------------------------------------------------------
+
+    def to_payload(self) -> tuple[str, int]:
+        """Armour the buffer as ``(payload, fill_bits)``.
+
+        ``fill_bits`` is the number of padding bits appended to reach a
+        multiple of 6, reported in the NMEA sentence trailer.
+        """
+        fill = (-len(self._bits)) % 6
+        bits = self._bits + [0] * fill
+        chars = []
+        for i in range(0, len(bits), 6):
+            value = 0
+            for bit in bits[i : i + 6]:
+                value = (value << 1) | bit
+            chars.append(char_to_armor(value))
+        return "".join(chars), fill
+
+    @classmethod
+    def from_payload(cls, payload: str, fill_bits: int = 0) -> "BitBuffer":
+        """De-armour an NMEA payload back into a bit buffer."""
+        bits: list[int] = []
+        for char in payload:
+            value = armor_to_char(char)
+            for shift in range(5, -1, -1):
+                bits.append((value >> shift) & 1)
+        if fill_bits:
+            if fill_bits > 5 or fill_bits > len(bits):
+                raise ValueError(f"invalid fill_bits: {fill_bits}")
+            bits = bits[:-fill_bits]
+        return cls(bits)

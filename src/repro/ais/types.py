@@ -1,0 +1,209 @@
+"""AIS message dataclasses and enumerations.
+
+Field semantics (sentinel values, scaling) follow ITU-R M.1371-5.  Decoded
+messages keep sentinels as ``None`` at the Python level: a ``PositionReport``
+with no heading has ``heading is None``, never ``511``.
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+
+class NavigationStatus(enum.IntEnum):
+    """Class A navigation status (4-bit field)."""
+
+    UNDER_WAY_ENGINE = 0
+    AT_ANCHOR = 1
+    NOT_UNDER_COMMAND = 2
+    RESTRICTED_MANOEUVRABILITY = 3
+    CONSTRAINED_BY_DRAUGHT = 4
+    MOORED = 5
+    AGROUND = 6
+    ENGAGED_IN_FISHING = 7
+    UNDER_WAY_SAILING = 8
+    RESERVED_9 = 9
+    RESERVED_10 = 10
+    POWER_DRIVEN_TOWING_ASTERN = 11
+    POWER_DRIVEN_PUSHING_AHEAD = 12
+    RESERVED_13 = 13
+    AIS_SART = 14
+    UNDEFINED = 15
+
+
+class ShipType(enum.IntEnum):
+    """Coarse ship-type groups from the 8-bit AIS ship type code.
+
+    AIS uses decades (30 = fishing, 60-69 = passenger, 70-79 = cargo,
+    80-89 = tanker ...); we expose the codes the simulator and the semantic
+    layer care about and map everything else to OTHER.
+    """
+
+    NOT_AVAILABLE = 0
+    WING_IN_GROUND = 20
+    FISHING = 30
+    TOWING = 31
+    DREDGING = 33
+    DIVING = 34
+    MILITARY = 35
+    SAILING = 36
+    PLEASURE_CRAFT = 37
+    HIGH_SPEED_CRAFT = 40
+    PILOT_VESSEL = 50
+    SEARCH_AND_RESCUE = 51
+    TUG = 52
+    PASSENGER = 60
+    CARGO = 70
+    TANKER = 80
+    OTHER = 90
+
+    @classmethod
+    def from_code(cls, code: int) -> "ShipType":
+        """Collapse any raw 8-bit code onto the enum, preserving decades."""
+        if code in cls._value2member_map_:
+            return cls(code)
+        decade = (code // 10) * 10
+        if decade in (40, 60, 70, 80, 90):
+            return cls(decade)
+        return cls.OTHER
+
+    @property
+    def decade_label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class PositionReport:
+    """Class A position report (message types 1, 2 and 3)."""
+
+    mmsi: int
+    lat: float
+    lon: float
+    sog_knots: float | None = None
+    cog_deg: float | None = None
+    heading_deg: float | None = None
+    nav_status: NavigationStatus = NavigationStatus.UNDEFINED
+    rot_deg_per_min: float | None = None
+    timestamp_s: int | None = None
+    position_accuracy: bool = False
+    raim: bool = False
+    msg_type: int = 1
+    repeat: int = 0
+    #: Receiver-assigned reception epoch (seconds); not part of the wire
+    #: format but carried once decoded.
+    received_at: float | None = None
+
+    @property
+    def has_position(self) -> bool:
+        """False for the 'position unavailable' sentinel (lat=91, lon=181)."""
+        return abs(self.lat) <= 90.0 and abs(self.lon) <= 180.0
+
+
+@dataclass(frozen=True)
+class BaseStationReport:
+    """Base station report (message type 4): UTC time + position."""
+
+    mmsi: int
+    year: int
+    month: int
+    day: int
+    hour: int
+    minute: int
+    second: int
+    lat: float
+    lon: float
+    position_accuracy: bool = False
+    raim: bool = False
+    msg_type: int = 4
+    repeat: int = 0
+    received_at: float | None = None
+
+
+@dataclass(frozen=True)
+class StaticVoyageData:
+    """Class A static and voyage-related data (message type 5)."""
+
+    mmsi: int
+    imo: int = 0
+    callsign: str = ""
+    shipname: str = ""
+    ship_type_code: int = 0
+    to_bow_m: int = 0
+    to_stern_m: int = 0
+    to_port_m: int = 0
+    to_starboard_m: int = 0
+    eta_month: int = 0
+    eta_day: int = 0
+    eta_hour: int = 24
+    eta_minute: int = 60
+    draught_m: float = 0.0
+    destination: str = ""
+    msg_type: int = 5
+    repeat: int = 0
+    received_at: float | None = None
+
+    @property
+    def ship_type(self) -> ShipType:
+        return ShipType.from_code(self.ship_type_code)
+
+    @property
+    def length_m(self) -> int:
+        return self.to_bow_m + self.to_stern_m
+
+    @property
+    def beam_m(self) -> int:
+        return self.to_port_m + self.to_starboard_m
+
+
+@dataclass(frozen=True)
+class ClassBPositionReport:
+    """Class B equipment position report (message type 18)."""
+
+    mmsi: int
+    lat: float
+    lon: float
+    sog_knots: float | None = None
+    cog_deg: float | None = None
+    heading_deg: float | None = None
+    timestamp_s: int | None = None
+    position_accuracy: bool = False
+    raim: bool = False
+    msg_type: int = 18
+    repeat: int = 0
+    received_at: float | None = None
+
+    @property
+    def has_position(self) -> bool:
+        return abs(self.lat) <= 90.0 and abs(self.lon) <= 180.0
+
+
+@dataclass(frozen=True)
+class StaticDataReport:
+    """Class B static data report (message type 24, parts A and B)."""
+
+    mmsi: int
+    part: int
+    shipname: str = ""
+    ship_type_code: int = 0
+    vendor_id: str = ""
+    callsign: str = ""
+    to_bow_m: int = 0
+    to_stern_m: int = 0
+    to_port_m: int = 0
+    to_starboard_m: int = 0
+    msg_type: int = 24
+    repeat: int = 0
+    received_at: float | None = None
+
+    @property
+    def ship_type(self) -> ShipType:
+        return ShipType.from_code(self.ship_type_code)
+
+
+#: Union of every message the codec produces.
+AisMessage = (
+    PositionReport
+    | BaseStationReport
+    | StaticVoyageData
+    | ClassBPositionReport
+    | StaticDataReport
+)

@@ -1,0 +1,167 @@
+"""Semantic validation of decoded AIS messages.
+
+The paper cites [44]: roughly 5% of AIS *static* transmissions contain
+errors of some kind.  This module is the programmatic form of that audit —
+it checks decoded messages against ITU/IMO plausibility rules and returns a
+list of issues, each tagged with a severity.  The validator is pure (no
+state); cross-message checks (identity clashes, teleports) live in
+:mod:`repro.events.spoofing`, which has track context.
+"""
+
+import enum
+from dataclasses import dataclass
+
+from repro.ais.types import (
+    AisMessage,
+    ClassBPositionReport,
+    PositionReport,
+    StaticDataReport,
+    StaticVoyageData,
+)
+
+#: Maritime Identification Digits are 3-digit country codes in [201, 775].
+_MID_RANGE = (201, 775)
+
+
+class IssueSeverity(enum.Enum):
+    """How bad a validation finding is for downstream processing."""
+
+    #: Field unusable; consumers must treat it as missing.
+    ERROR = "error"
+    #: Field suspicious; usable but should lower source confidence.
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    field_name: str
+    severity: IssueSeverity
+    reason: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.field_name}: {self.reason}"
+
+
+def _check_mmsi(mmsi: int, issues: list[ValidationIssue]) -> None:
+    if not (100_000_000 <= mmsi <= 999_999_999):
+        issues.append(
+            ValidationIssue("mmsi", IssueSeverity.ERROR, f"not 9 digits: {mmsi}")
+        )
+        return
+    mid = mmsi // 1_000_000
+    if not (_MID_RANGE[0] <= mid <= _MID_RANGE[1]):
+        issues.append(
+            ValidationIssue(
+                "mmsi",
+                IssueSeverity.WARNING,
+                f"MID {mid} outside ship range [201, 775]",
+            )
+        )
+
+
+def _imo_check_digit_ok(imo: int) -> bool:
+    """IMO numbers carry a weighted check digit (weights 7..2)."""
+    digits = [int(d) for d in f"{imo:07d}"]
+    if len(digits) != 7:
+        return False
+    weighted = sum(d * w for d, w in zip(digits[:6], range(7, 1, -1)))
+    return weighted % 10 == digits[6]
+
+
+def _check_position(msg: PositionReport | ClassBPositionReport, issues: list[ValidationIssue]) -> None:
+    if not msg.has_position:
+        issues.append(
+            ValidationIssue(
+                "position", IssueSeverity.ERROR, "position-unavailable sentinel"
+            )
+        )
+    if msg.sog_knots is not None and msg.sog_knots > 60.0:
+        issues.append(
+            ValidationIssue(
+                "sog", IssueSeverity.WARNING, f"implausible speed {msg.sog_knots:.1f} kn"
+            )
+        )
+    if msg.cog_deg is None:
+        issues.append(
+            ValidationIssue("cog", IssueSeverity.WARNING, "course not available")
+        )
+
+
+def _check_static_voyage(msg: StaticVoyageData, issues: list[ValidationIssue]) -> None:
+    if msg.imo == 0:
+        issues.append(
+            ValidationIssue("imo", IssueSeverity.WARNING, "IMO number missing")
+        )
+    elif not (1_000_000 <= msg.imo <= 9_999_999) or not _imo_check_digit_ok(msg.imo):
+        issues.append(
+            ValidationIssue(
+                "imo", IssueSeverity.ERROR, f"invalid IMO number {msg.imo}"
+            )
+        )
+    if not msg.shipname:
+        issues.append(
+            ValidationIssue("shipname", IssueSeverity.WARNING, "ship name empty")
+        )
+    if not msg.callsign:
+        issues.append(
+            ValidationIssue("callsign", IssueSeverity.WARNING, "callsign empty")
+        )
+    if msg.length_m == 0:
+        issues.append(
+            ValidationIssue(
+                "dimensions", IssueSeverity.WARNING, "length not reported"
+            )
+        )
+    elif msg.length_m > 460:
+        issues.append(
+            ValidationIssue(
+                "dimensions",
+                IssueSeverity.ERROR,
+                f"length {msg.length_m} m exceeds the largest ship afloat",
+            )
+        )
+    if msg.draught_m > 25.0:
+        issues.append(
+            ValidationIssue(
+                "draught", IssueSeverity.ERROR, f"draught {msg.draught_m:.1f} m implausible"
+            )
+        )
+    if msg.ship_type_code == 0:
+        issues.append(
+            ValidationIssue(
+                "ship_type", IssueSeverity.WARNING, "ship type not available"
+            )
+        )
+    if msg.eta_month == 0 and not msg.destination:
+        issues.append(
+            ValidationIssue(
+                "voyage", IssueSeverity.WARNING, "neither ETA nor destination set"
+            )
+        )
+
+
+def validate_message(msg: AisMessage) -> list[ValidationIssue]:
+    """Run every applicable plausibility rule; empty list means clean."""
+    issues: list[ValidationIssue] = []
+    _check_mmsi(msg.mmsi, issues)
+    if isinstance(msg, (PositionReport, ClassBPositionReport)):
+        _check_position(msg, issues)
+    if isinstance(msg, StaticVoyageData):
+        _check_static_voyage(msg, issues)
+    if isinstance(msg, StaticDataReport) and msg.part == 0 and not msg.shipname:
+        issues.append(
+            ValidationIssue("shipname", IssueSeverity.WARNING, "ship name empty")
+        )
+    return issues
+
+
+def error_rate(messages: list[AisMessage]) -> float:
+    """Fraction of messages with at least one validation issue.
+
+    Reproduces the audit style of [44] (the "~5% of static transmissions
+    have errors" figure) against simulator output.
+    """
+    if not messages:
+        return 0.0
+    flagged = sum(1 for m in messages if validate_message(m))
+    return flagged / len(messages)

@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``simulate`` — generate a scenario and dump its NMEA feed;
+- ``pipeline`` — run the Figure 2 pipeline over a scenario and print the
+  stage report and triaged alerts;
+- ``map`` — render the global density map (Figure 1) as ASCII;
+- ``decode`` — decode NMEA sentences from a file or stdin.
+"""
+
+import argparse
+import sys
+
+from repro.ais.decoder import AisDecoder
+from repro.core import DecisionSupport, MaritimePipeline, OperatorProfile
+from repro.simulation import global_scenario, regional_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Maritime data integration and analysis "
+        "(EDBT 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="generate a scenario NMEA feed")
+    simulate.add_argument("--vessels", type=int, default=30)
+    simulate.add_argument("--hours", type=float, default=2.0)
+    simulate.add_argument("--seed", type=int, default=42)
+    simulate.add_argument(
+        "--world", action="store_true",
+        help="global satellite scenario instead of the regional theatre",
+    )
+    simulate.add_argument(
+        "--output", default="-", help="output file ('-' for stdout)"
+    )
+
+    pipeline = sub.add_parser("pipeline", help="run the integrated pipeline")
+    pipeline.add_argument("--vessels", type=int, default=30)
+    pipeline.add_argument("--hours", type=float, default=3.0)
+    pipeline.add_argument("--seed", type=int, default=42)
+    pipeline.add_argument("--alerts", type=int, default=10,
+                          help="max alerts to print")
+
+    world_map = sub.add_parser("map", help="render the Figure 1 density map")
+    world_map.add_argument("--vessels", type=int, default=150)
+    world_map.add_argument("--hours", type=float, default=6.0)
+    world_map.add_argument("--seed", type=int, default=7)
+
+    decode = sub.add_parser("decode", help="decode NMEA sentences")
+    decode.add_argument(
+        "input", nargs="?", default="-",
+        help="file of !AIVDM sentences ('-' for stdin)",
+    )
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    factory = global_scenario if args.world else regional_scenario
+    run = factory(
+        n_vessels=args.vessels, duration_s=args.hours * 3600.0,
+        seed=args.seed,
+    ).run()
+    out = sys.stdout if args.output == "-" else open(args.output, "w")
+    try:
+        for sentence in run.sentences:
+            out.write(sentence + "\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    print(
+        f"# {len(run.sentences)} sentences from {len(run.specs)} vessels",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    run = regional_scenario(
+        n_vessels=args.vessels, duration_s=args.hours * 3600.0,
+        seed=args.seed,
+    ).run()
+    pipeline = MaritimePipeline()
+    result = pipeline.process(run)
+    print(result.summary())
+    print(f"synopsis compression: {pipeline.mean_compression_ratio(result):.1%}")
+    officer = DecisionSupport(OperatorProfile(name="cli"))
+    alerts = officer.triage(result.events + result.complex_events)
+    print(f"\n{len(alerts)} alerts:")
+    for alert in alerts[: args.alerts]:
+        print("  " + alert.render())
+    if result.overview is not None:
+        print("\n" + result.overview.headline())
+    return 0
+
+
+def _cmd_map(args) -> int:
+    from repro.ais.types import ClassBPositionReport, PositionReport
+    from repro.geo import BoundingBox
+    from repro.simulation.world import WORLD_PORTS
+    from repro.visual import DensityMap, render_ascii_map
+
+    run = global_scenario(
+        n_vessels=args.vessels, duration_s=args.hours * 3600.0,
+        seed=args.seed,
+    ).run()
+    decoder = AisDecoder()
+    density = DensityMap(
+        BoundingBox(-65.0, 75.0, -180.0, 180.0), n_lat_bins=36, n_lon_bins=110
+    )
+    lats, lons = [], []
+    for obs in run.observations:
+        message = decoder.feed(obs.sentence)
+        if (
+            isinstance(message, (PositionReport, ClassBPositionReport))
+            and message.has_position
+        ):
+            lats.append(message.lat)
+            lons.append(message.lon)
+    density.add_positions(lats, lons)
+    print(render_ascii_map(
+        density, markers={(p.lat, p.lon): "o" for p in WORLD_PORTS}
+    ))
+    print(f"# {density.total} positions from {len(run.specs)} vessels")
+    return 0
+
+
+def _cmd_decode(args) -> int:
+    stream = sys.stdin if args.input == "-" else open(args.input)
+    decoder = AisDecoder()
+    try:
+        for line in stream:
+            message = decoder.feed(line)
+            if message is not None:
+                print(message)
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    print(f"# stats: {dict(decoder.stats)}", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "pipeline": _cmd_pipeline,
+        "map": _cmd_map,
+        "decode": _cmd_decode,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""The paper's primary contribution: the integrated maritime information
+infrastructure of Figure 2.
+
+:class:`MaritimePipeline` wires every substrate into the end-to-end flow
+the figure sketches — in-situ stream processing and synopses over the raw
+feed, trajectory reconstruction, semantic integration with contextual
+data, complex event recognition, trajectory forecasting, visual-analytics
+aggregation — and :class:`DecisionSupport` applies §4's requirements on
+top: operator-profile filtering, uncertainty communication, explanations.
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import MaritimePipeline, PipelineResult, StageStats
+from repro.core.decision import (
+    Alert,
+    AlertLevel,
+    DecisionSupport,
+    OperatorProfile,
+    verbal_probability,
+)
+
+__all__ = [
+    "PipelineConfig",
+    "MaritimePipeline",
+    "PipelineResult",
+    "StageStats",
+    "Alert",
+    "AlertLevel",
+    "DecisionSupport",
+    "OperatorProfile",
+    "verbal_probability",
+]

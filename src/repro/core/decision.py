@@ -1,0 +1,219 @@
+"""Decision support: the §4 requirements on top of the pipeline.
+
+The paper closes §4 with four requirements for decision-support systems:
+(1) simplicity through judicious filtering suited to the user's needs;
+(2) flexibility by separating events of interest from their context;
+(3) adequate uncertainty representation considering source quality;
+(4) human-system synergy: outputs with explanations.
+
+:class:`DecisionSupport` implements them: an :class:`OperatorProfile`
+declares what the user cares about; events are scored, discounted by
+source quality, mapped to alert levels, deduplicated and explained —
+including verbal uncertainty phrases (:func:`verbal_probability`), since
+operators reason better over words than decimals.
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.events.base import Event, EventKind
+from repro.uncertainty.secondorder import BetaProbability
+
+
+class AlertLevel(enum.IntEnum):
+    INFO = 0
+    ADVISORY = 1
+    WARNING = 2
+    CRITICAL = 3
+
+
+#: NATO-style verbal probability ladder.
+_VERBAL_LADDER = [
+    (0.05, "remote"),
+    (0.20, "highly unlikely"),
+    (0.45, "unlikely"),
+    (0.55, "about even"),
+    (0.80, "likely"),
+    (0.95, "highly likely"),
+    (1.01, "almost certain"),
+]
+
+
+def verbal_probability(p: float) -> str:
+    """Map a probability to an operator-friendly phrase."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("probability out of range")
+    for bound, phrase in _VERBAL_LADDER:
+        if p < bound:
+            return phrase
+    return "almost certain"
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """What this operator wants to see (§4 requirement 1)."""
+
+    name: str
+    #: Event kinds of interest; empty = everything.
+    kinds: frozenset[EventKind] = frozenset()
+    #: Minimum discounted confidence to surface at all.
+    min_confidence: float = 0.2
+    #: Confidence at or above which an alert is WARNING / CRITICAL.
+    warning_confidence: float = 0.5
+    critical_confidence: float = 0.8
+    #: Suppress repeat alerts for the same vessels+kind within this window.
+    dedup_window_s: float = 1800.0
+
+
+@dataclass(frozen=True)
+class Alert:
+    """An operator-facing alert: event + level + uncertainty + explanation."""
+
+    event: Event
+    level: AlertLevel
+    #: Confidence after source-quality discounting.
+    discounted_confidence: float
+    #: Second-order statement when evidence counts are known.
+    confidence_statement: str
+    explanation: str
+
+    def render(self) -> str:
+        return (
+            f"[{self.level.name}] {self.event.kind.value} — "
+            f"{self.confidence_statement}. {self.explanation}"
+        )
+
+
+class DecisionSupport:
+    """Filters, scores and explains pipeline events for one operator."""
+
+    def __init__(
+        self,
+        profile: OperatorProfile,
+        source_quality: dict[str, float] | None = None,
+    ) -> None:
+        self.profile = profile
+        #: Reliability in [0, 1] per source tag found in event details.
+        self.source_quality = source_quality or {}
+        self._recent: dict[tuple, float] = {}
+
+    # -- scoring ----------------------------------------------------------
+
+    def _discount(self, event: Event) -> float:
+        source = event.details.get("source", "ais")
+        reliability = self.source_quality.get(source, 1.0)
+        return event.confidence * reliability
+
+    def _level(self, confidence: float) -> AlertLevel:
+        profile = self.profile
+        if confidence >= profile.critical_confidence:
+            return AlertLevel.CRITICAL
+        if confidence >= profile.warning_confidence:
+            return AlertLevel.WARNING
+        if confidence >= profile.min_confidence:
+            return AlertLevel.ADVISORY
+        return AlertLevel.INFO
+
+    def _confidence_statement(self, event: Event, confidence: float) -> str:
+        n_points = event.details.get("n_points")
+        phrase = verbal_probability(confidence)
+        if n_points:
+            beta = BetaProbability.from_counts(
+                confidence * n_points, (1.0 - confidence) * n_points
+            )
+            lo, hi = beta.credible_interval()
+            return (
+                f"{phrase} (p≈{confidence:.2f}, "
+                f"credible [{lo:.2f}, {hi:.2f}] from {n_points} fixes)"
+            )
+        return f"{phrase} (p≈{confidence:.2f})"
+
+    def _explain(self, event: Event) -> str:
+        who = ", ".join(str(m) for m in event.mmsis)
+        where = f"({event.lat:.3f}, {event.lon:.3f})"
+        base = {
+            EventKind.GAP: (
+                f"vessel {who} stopped reporting for "
+                f"{event.details.get('gap_s', 0.0) / 60:.0f} min near {where}"
+            ),
+            EventKind.RENDEZVOUS: (
+                f"vessels {who} held station within "
+                f"{event.details.get('duration_s', 0.0) / 60:.0f} min of "
+                f"close contact at open sea near {where}"
+            ),
+            EventKind.LOITERING: (
+                f"vessel {who} loitered "
+                f"{event.details.get('duration_s', 0.0) / 60:.0f} min away "
+                f"from any port near {where}"
+            ),
+            EventKind.TELEPORT: (
+                f"vessel {who} jumped "
+                f"{event.details.get('jump_m', 0.0) / 1000:.0f} km "
+                f"(implied {event.details.get('implied_speed_knots', 0.0):.0f} kn) "
+                f"— possible GPS spoofing"
+            ),
+            EventKind.IDENTITY_CLASH: (
+                f"MMSI {who} transmitted from positions "
+                f"{event.details.get('separation_m', 0.0) / 1000:.0f} km apart "
+                f"at the same time — possible identity fraud"
+            ),
+            EventKind.COLLISION_RISK: (
+                f"vessels {who} predicted CPA "
+                f"{event.details.get('dcpa_m', 0.0):.0f} m in "
+                f"{event.details.get('tcpa_s', 0.0) / 60:.0f} min"
+            ),
+            EventKind.POL_ANOMALY: (
+                f"vessel {who} deviates from the traffic pattern of life "
+                f"near {where}"
+            ),
+            EventKind.UNCORRELATED_TRACK: (
+                f"radar holds a track of "
+                f"{event.details.get('n_contacts', 0)} contacts near {where} "
+                f"with no AIS identity — possible dark vessel"
+            ),
+            EventKind.COMPLEX: (
+                f"pattern '{event.details.get('pattern', '?')}' completed: "
+                + " → ".join(event.details.get("steps", []))
+            ),
+        }
+        return base.get(
+            event.kind, f"{event.kind.value} involving {who} near {where}"
+        )
+
+    # -- the operator stream ----------------------------------------------
+
+    def triage(self, events: list[Event]) -> list[Alert]:
+        """Filter, dedupe, score and explain a batch of events.
+
+        Returns alerts the profile cares about, most severe first (ties by
+        time), with per-(vessels, kind) deduplication inside the profile's
+        window.
+        """
+        alerts: list[Alert] = []
+        for event in sorted(events, key=lambda e: e.t_start):
+            if self.profile.kinds and event.kind not in self.profile.kinds:
+                continue
+            confidence = self._discount(event)
+            if confidence < self.profile.min_confidence:
+                continue
+            dedup_key = (event.kind, event.mmsis)
+            last_seen = self._recent.get(dedup_key)
+            if (
+                last_seen is not None
+                and event.t_start - last_seen < self.profile.dedup_window_s
+            ):
+                continue
+            self._recent[dedup_key] = event.t_start
+            alerts.append(
+                Alert(
+                    event=event,
+                    level=self._level(confidence),
+                    discounted_confidence=confidence,
+                    confidence_statement=self._confidence_statement(
+                        event, confidence
+                    ),
+                    explanation=self._explain(event),
+                )
+            )
+        alerts.sort(key=lambda a: (-int(a.level), a.event.t_start))
+        return alerts

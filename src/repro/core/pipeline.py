@@ -1,0 +1,423 @@
+"""The integrated maritime information infrastructure (Figure 2).
+
+``MaritimePipeline.process`` consumes a scenario's observable feed and
+produces everything the figure promises:
+
+1. **Ingest & decode** — NMEA sentences through the AIS codec, with
+   watermark reordering of late (satellite) data;
+2. **Reconstruct** — clean per-vessel trajectory segments;
+3. **Synopses** — dead-reckoning compression of each segment (§2.1);
+4. **Integrate** — weather/registry enrichment and semantic annotation
+   into the triple store (§2.2, §2.5);
+5. **Detect** — gaps, loitering, rendezvous, spoofing indicators,
+   collision risk, pattern-of-life anomalies, CEP composites (§3.1);
+6. **Forecast** — per-vessel predicted positions with uncertainty (§4);
+7. **Overview** — density map, aggregation cube, situation monitor
+   (§3.2).
+
+Every stage reports wall-clock and record counts in ``StageStats`` so the
+FIG2 benchmark can print the per-stage throughput table.
+"""
+
+import time
+from dataclasses import dataclass, field
+
+from repro.ais.decoder import AisDecoder
+from repro.ais.types import ClassBPositionReport, PositionReport
+from repro.core.config import PipelineConfig
+from repro.events.base import Event, EventKind
+from repro.events.cep import CepEngine, SequencePattern
+from repro.events.detectors import (
+    ZoneWatch,
+    detect_gaps,
+    detect_loitering,
+    detect_zone_events,
+)
+from repro.events.collision import detect_collision_risk
+from repro.events.pol import PatternOfLife
+from repro.events.rendezvous import detect_rendezvous
+from repro.events.spoofing import detect_identity_clashes, detect_teleports
+from repro.forecasting.kalmanpredict import KalmanPredictor, PredictionWithUncertainty
+from repro.fusion.association import MultiSourceTracker
+from repro.geo import BoundingBox
+from repro.semantics.annotate import SemanticAnnotator
+from repro.simulation.scenario import ScenarioRun
+from repro.simulation.world import Port, REGIONAL_PORTS
+from repro.storage.store import TrajectoryStore
+from repro.storage.triples import TripleStore
+from repro.streaming.stream import Record, Stream
+from repro.streaming.watermarks import reorder_with_watermark
+from repro.trajectory.compression import compression_ratio, dead_reckoning_compress
+from repro.trajectory.points import TrackPoint, Trajectory
+from repro.trajectory.reconstruction import TrackReconstructor
+from repro.visual.cube import SpatioTemporalCube
+from repro.visual.overview import SituationMonitor, SituationOverview
+
+
+@dataclass
+class StageStats:
+    name: str
+    n_in: int = 0
+    n_out: int = 0
+    seconds: float = 0.0
+
+    @property
+    def throughput_per_s(self) -> float:
+        return self.n_in / self.seconds if self.seconds > 0 else float("inf")
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline produced for one scenario window."""
+
+    stages: list[StageStats]
+    trajectories: list[Trajectory]
+    synopses: list[Trajectory]
+    events: list[Event]
+    complex_events: list[Event]
+    forecasts: dict[int, list[PredictionWithUncertainty]]
+    store: TrajectoryStore
+    triples: TripleStore
+    cube: SpatioTemporalCube
+    overview: SituationOverview | None
+    pol: PatternOfLife
+    monitor: SituationMonitor
+    decoder_stats: dict = field(default_factory=dict)
+    #: Multi-source fused picture; ``None`` when the scenario carried no
+    #: secondary sensors.
+    fused: MultiSourceTracker | None = None
+
+    def stage(self, name: str) -> StageStats:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(name)
+
+    def events_of(self, kind: EventKind) -> list[Event]:
+        return [e for e in self.events if e.kind is kind]
+
+    def summary(self) -> str:
+        lines = ["stage            in        out     records/s"]
+        for stage in self.stages:
+            lines.append(
+                f"{stage.name:<14}{stage.n_in:>8}{stage.n_out:>10}"
+                f"{stage.throughput_per_s:>13.0f}"
+            )
+        lines.append(
+            f"events: {len(self.events)} primitive, "
+            f"{len(self.complex_events)} complex; "
+            f"forecasts for {len(self.forecasts)} vessels"
+        )
+        return "\n".join(lines)
+
+
+#: The default complex pattern: silence then a rendezvous nearby — the
+#: classic covert-transfer signature (example of §3.1/§4).
+DARK_RENDEZVOUS = SequencePattern(
+    name="dark_rendezvous",
+    sequence=(EventKind.GAP, EventKind.RENDEZVOUS),
+    window_s=4 * 3600.0,
+    same_vessel=True,
+    max_radius_m=80_000.0,
+)
+
+
+class MaritimePipeline:
+    """The Figure 2 infrastructure, end to end."""
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        ports: list[Port] | None = None,
+        cep_patterns: list[SequencePattern] | None = None,
+        zones: list[ZoneWatch] | None = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.ports = ports if ports is not None else REGIONAL_PORTS
+        self.cep_patterns = (
+            cep_patterns if cep_patterns is not None else [DARK_RENDEZVOUS]
+        )
+        #: Zones of interest watched by the detect stage (§3.1 zone events).
+        self.zones = zones or []
+
+    # -- stages ---------------------------------------------------------------
+
+    def _timed(self, stages: list[StageStats], name: str) -> StageStats:
+        stage = StageStats(name)
+        stages.append(stage)
+        return stage
+
+    def process(self, run: ScenarioRun) -> PipelineResult:
+        """Run the full pipeline over a scenario's observable feed."""
+        config = self.config
+        stages: list[StageStats] = []
+
+        # 1. Ingest & decode ---------------------------------------------------
+        stage = self._timed(stages, "decode")
+        t0 = time.perf_counter()
+        decoder = AisDecoder()
+        decoded: list[tuple[float, object]] = []
+        for obs in run.observations:
+            message = decoder.feed(obs.sentence, received_at=obs.t_received)
+            if message is not None:
+                decoded.append((obs.t_transmitted, message))
+        stage.n_in = len(run.observations)
+        stage.n_out = len(decoded)
+        stage.seconds = time.perf_counter() - t0
+
+        # Reorder by event time with bounded lateness (satellite delay).
+        stage = self._timed(stages, "reorder")
+        t0 = time.perf_counter()
+        ordered_stream = reorder_with_watermark(
+            Stream(
+                Record(t=t, key=msg.mmsi, value=msg) for t, msg in decoded
+            ),
+            max_lateness_s=config.max_lateness_s,
+        )
+        ordered = ordered_stream.collect()
+        stage.n_in = len(decoded)
+        stage.n_out = len(ordered)
+        stage.seconds = time.perf_counter() - t0
+
+        # 2. Reconstruct -------------------------------------------------------
+        stage = self._timed(stages, "reconstruct")
+        t0 = time.perf_counter()
+        reconstructor = TrackReconstructor(config.reconstruction)
+        raw_fixes: dict[int, list[TrackPoint]] = {}
+        for record in ordered:
+            message = record.value
+            if isinstance(message, (PositionReport, ClassBPositionReport)):
+                point = reconstructor.add(message, record.t)
+                raw_point = TrackPoint(
+                    record.t, message.lat, message.lon,
+                    message.sog_knots, message.cog_deg,
+                )
+                raw_fixes.setdefault(message.mmsi, []).append(raw_point)
+                del point
+        trajectories = [
+            tr for tr in reconstructor.finish()
+            if len(tr) >= config.min_segment_points
+        ]
+        stage.n_in = len(ordered)
+        stage.n_out = sum(len(tr) for tr in trajectories)
+        stage.seconds = time.perf_counter() - t0
+
+        # 3. Synopses ----------------------------------------------------------
+        stage = self._timed(stages, "synopses")
+        t0 = time.perf_counter()
+        if config.synopsis_threshold_m > 0:
+            synopses = [
+                dead_reckoning_compress(tr, config.synopsis_threshold_m)
+                for tr in trajectories
+            ]
+        else:
+            synopses = list(trajectories)
+        stage.n_in = sum(len(tr) for tr in trajectories)
+        stage.n_out = sum(len(tr) for tr in synopses)
+        stage.seconds = time.perf_counter() - t0
+
+        # 4. Integrate: store, cube, semantic annotation ------------------------
+        stage = self._timed(stages, "integrate")
+        t0 = time.perf_counter()
+        store = TrajectoryStore(
+            cell_deg=config.cube_cell_deg,
+            time_bucket_s=config.cube_time_bucket_s,
+        )
+        store.add_all(synopses)
+        cube = SpatioTemporalCube(
+            cell_deg=config.cube_cell_deg,
+            time_bucket_s=config.cube_time_bucket_s,
+        )
+        triples = TripleStore()
+        annotator = SemanticAnnotator(triples, self.ports, run.weather)
+        for mmsi, spec in run.specs.items():
+            annotator.annotate_vessel(spec)
+        for trajectory in synopses:
+            annotator.annotate_trajectory(trajectory)
+            spec = run.specs.get(trajectory.mmsi)
+            category = spec.ship_type.name.lower() if spec else "unknown"
+            for point in trajectory:
+                cube.add(point.lat, point.lon, point.t, category)
+        stage.n_in = sum(len(tr) for tr in synopses)
+        stage.n_out = len(triples)
+        stage.seconds = time.perf_counter() - t0
+
+        # 4b. Fuse: radar contacts + LRIT onto the AIS picture (§2.4) -----------
+        stage = self._timed(stages, "fuse")
+        t0 = time.perf_counter()
+        fused: MultiSourceTracker | None = None
+        fusion_events: list[Event] = []
+        if run.radar_contacts or run.lrit_reports:
+            fused = MultiSourceTracker()
+            for trajectory in trajectories:
+                for point in trajectory:
+                    fused.add_ais_fix(trajectory.mmsi, point)
+            for report in run.lrit_reports:
+                fused.add_lrit(
+                    report.mmsi,
+                    TrackPoint(report.t, report.lat, report.lon, source="lrit"),
+                )
+            fused.add_radar_contacts(run.radar_contacts)
+            # Sustained anonymous radar tracks are dark-vessel candidates.
+            for track in fused.anonymous_tracks:
+                if len(track.points) < 5:
+                    continue
+                ordered = sorted(track.points, key=lambda p: p.t)
+                duration = ordered[-1].t - ordered[0].t
+                if duration < 300.0:
+                    continue
+                mid = ordered[len(ordered) // 2]
+                fusion_events.append(
+                    Event(
+                        kind=EventKind.UNCORRELATED_TRACK,
+                        t_start=ordered[0].t,
+                        t_end=ordered[-1].t,
+                        mmsis=(),
+                        lat=mid.lat,
+                        lon=mid.lon,
+                        confidence=min(1.0, len(ordered) / 50.0),
+                        details={
+                            "n_contacts": len(ordered),
+                            "duration_s": duration,
+                        },
+                    )
+                )
+        stage.n_in = len(run.radar_contacts) + len(run.lrit_reports)
+        stage.n_out = len(fusion_events)
+        stage.seconds = time.perf_counter() - t0
+
+        # 5. Detect -------------------------------------------------------------
+        stage = self._timed(stages, "detect")
+        t0 = time.perf_counter()
+        events: list[Event] = list(fusion_events)
+        # Gap detection runs on the merged per-vessel timeline: the
+        # reconstructor *splits* segments exactly at long silences, so the
+        # gaps live between segments, not inside them.
+        by_vessel: dict[int, list[Trajectory]] = {}
+        for trajectory in trajectories:
+            by_vessel.setdefault(trajectory.mmsi, []).append(trajectory)
+        for mmsi, segments in by_vessel.items():
+            segments.sort(key=lambda tr: tr.t_start)
+            merged_points = [p for segment in segments for p in segment]
+            if len(merged_points) >= 2:
+                events.extend(
+                    detect_gaps(
+                        Trajectory(mmsi, merged_points),
+                        min_gap_s=config.gap_min_s,
+                    )
+                )
+        for trajectory in trajectories:
+            events.extend(
+                detect_loitering(
+                    trajectory, self.ports, min_duration_s=config.loiter_min_s
+                )
+            )
+            if self.zones:
+                events.extend(detect_zone_events(trajectory, self.zones))
+        events.extend(
+            detect_rendezvous(trajectories, self.ports, config.rendezvous)
+        )
+        events.extend(detect_teleports(raw_fixes))
+        events.extend(detect_identity_clashes(raw_fixes))
+
+        # Pattern-of-life: train on the first window fraction, score the rest.
+        pol = PatternOfLife()
+        split_t = run.t_start + config.pol_training_fraction * (
+            run.t_end - run.t_start
+        )
+        training, monitoring = [], []
+        for trajectory in trajectories:
+            head = trajectory.slice_time(run.t_start, split_t)
+            tail = trajectory.slice_time(split_t, run.t_end)
+            if head is not None and len(head) >= 2:
+                training.append(head)
+            if tail is not None and len(tail) >= 2:
+                monitoring.append(tail)
+        pol.train(training)
+        for trajectory in monitoring:
+            events.extend(pol.detect_anomalies(trajectory))
+
+        # Collision screening on the latest state per vessel.
+        current: dict[int, TrackPoint] = {}
+        for trajectory in trajectories:
+            last = trajectory.points[-1]
+            existing = current.get(trajectory.mmsi)
+            if existing is None or last.t > existing.t:
+                current[trajectory.mmsi] = last
+        events.extend(detect_collision_risk(current))
+        events.sort(key=lambda e: e.t_start)
+
+        cep = CepEngine(self.cep_patterns)
+        complex_events = cep.feed_all(events)
+        stage.n_in = sum(len(tr) for tr in trajectories)
+        stage.n_out = len(events) + len(complex_events)
+        stage.seconds = time.perf_counter() - t0
+
+        # 6. Forecast -------------------------------------------------------------
+        stage = self._timed(stages, "forecast")
+        t0 = time.perf_counter()
+        predictor = KalmanPredictor()
+        forecasts: dict[int, list[PredictionWithUncertainty]] = {}
+        for trajectory in trajectories:
+            if len(trajectory) < config.min_segment_points:
+                continue
+            per_vessel = forecasts.setdefault(trajectory.mmsi, [])
+            if per_vessel:
+                continue  # one (latest-segment) forecast set per vessel
+            for horizon in config.forecast_horizons_s:
+                per_vessel.append(predictor.predict(trajectory, horizon))
+        stage.n_in = len(trajectories)
+        stage.n_out = sum(len(v) for v in forecasts.values())
+        stage.seconds = time.perf_counter() - t0
+
+        # 7. Overview ---------------------------------------------------------------
+        stage = self._timed(stages, "overview")
+        t0 = time.perf_counter()
+        monitor = SituationMonitor(pol)
+        for mmsi, point in current.items():
+            monitor.offer(mmsi, point)
+        overview = None
+        if current:
+            lats = [p.lat for p in current.values()]
+            lons = [p.lon for p in current.values()]
+            box = BoundingBox(
+                min(lats) - 0.5, max(lats) + 0.5,
+                min(lons) - 0.5, max(lons) + 0.5,
+            )
+            overview = SituationOverview.build(
+                t=run.t_end, box=box, current_states=current,
+                recent_events=events,
+            )
+        stage.n_in = len(current)
+        stage.n_out = len(monitor.alarms)
+        stage.seconds = time.perf_counter() - t0
+
+        return PipelineResult(
+            stages=stages,
+            trajectories=trajectories,
+            synopses=synopses,
+            events=events,
+            complex_events=complex_events,
+            forecasts=forecasts,
+            store=store,
+            triples=triples,
+            cube=cube,
+            overview=overview,
+            pol=pol,
+            monitor=monitor,
+            decoder_stats=dict(decoder.stats),
+            fused=fused,
+        )
+
+    def mean_compression_ratio(self, result: PipelineResult) -> float:
+        """Aggregate synopsis compression achieved by stage 3."""
+        pairs = [
+            (original, synopsis)
+            for original, synopsis in zip(result.trajectories, result.synopses)
+            if len(original) > 0
+        ]
+        if not pairs:
+            return 0.0
+        return sum(
+            compression_ratio(original, synopsis) for original, synopsis in pairs
+        ) / len(pairs)

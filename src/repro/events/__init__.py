@@ -1,0 +1,46 @@
+"""Event pattern detection and anomaly analysis (§3.1).
+
+Detectors consume reconstructed tracks (batch) or track-point streams
+(online) and emit :class:`~repro.events.base.Event` records: zone
+entries/exits, reporting gaps, loitering, rendezvous, collision risk,
+spoofing indicators, and pattern-of-life anomalies.  The CEP layer
+composes them into complex events ("gap then rendezvous nearby"), and the
+scoring module matches detections against scenario ground truth.
+"""
+
+from repro.events.base import Event, EventKind
+from repro.events.detectors import (
+    ZoneWatch,
+    detect_gaps,
+    detect_loitering,
+    detect_speed_anomalies,
+    detect_zone_events,
+)
+from repro.events.rendezvous import RendezvousConfig, detect_rendezvous
+from repro.events.collision import detect_collision_risk, CollisionRiskConfig
+from repro.events.spoofing import detect_teleports, detect_identity_clashes
+from repro.events.pol import PatternOfLife, PolConfig
+from repro.events.cep import SequencePattern, CepEngine
+from repro.events.scoring import match_events, DetectionScore
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "ZoneWatch",
+    "detect_gaps",
+    "detect_loitering",
+    "detect_speed_anomalies",
+    "detect_zone_events",
+    "RendezvousConfig",
+    "detect_rendezvous",
+    "detect_collision_risk",
+    "CollisionRiskConfig",
+    "detect_teleports",
+    "detect_identity_clashes",
+    "PatternOfLife",
+    "PolConfig",
+    "SequencePattern",
+    "CepEngine",
+    "match_events",
+    "DetectionScore",
+]

@@ -1,0 +1,55 @@
+"""Event model shared by all detectors."""
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EventKind(enum.Enum):
+    ZONE_ENTRY = "zone_entry"
+    ZONE_EXIT = "zone_exit"
+    GAP = "gap"
+    LOITERING = "loitering"
+    RENDEZVOUS = "rendezvous"
+    COLLISION_RISK = "collision_risk"
+    SPEED_ANOMALY = "speed_anomaly"
+    TELEPORT = "teleport"
+    IDENTITY_CLASH = "identity_clash"
+    POL_ANOMALY = "pol_anomaly"
+    #: A sustained radar track with no AIS identity — the dark-vessel
+    #: signature the fusion layer surfaces (§2.4).
+    UNCORRELATED_TRACK = "uncorrelated_track"
+    COMPLEX = "complex"
+
+
+@dataclass(frozen=True)
+class Event:
+    """A detected occurrence, with enough context to score and explain it.
+
+    ``confidence`` is the detector's own belief in [0, 1]; the uncertainty
+    layer may re-weight it by source quality before the operator sees it.
+    """
+
+    kind: EventKind
+    t_start: float
+    t_end: float
+    mmsis: tuple[int, ...]
+    lat: float
+    lon: float
+    confidence: float = 1.0
+    details: dict = field(default_factory=dict, hash=False, compare=False)
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end - self.t_start
+
+    def overlaps_time(self, t0: float, t1: float, slack_s: float = 0.0) -> bool:
+        return self.t_start <= t1 + slack_s and t0 - slack_s <= self.t_end
+
+    def describe(self) -> str:
+        """One-line operator-facing description."""
+        who = "/".join(str(m) for m in self.mmsis) or "unknown"
+        return (
+            f"{self.kind.value} [{who}] at ({self.lat:.3f}, {self.lon:.3f}) "
+            f"t={self.t_start:.0f}..{self.t_end:.0f} "
+            f"(confidence {self.confidence:.2f})"
+        )

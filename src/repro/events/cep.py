@@ -1,0 +1,141 @@
+"""Complex event processing: sequence patterns over event streams.
+
+§3.1 asks for "algorithms for complex event (and outlier) recognition ...
+in real-time".  The engine here matches declarative sequence patterns —
+ordered event kinds within a time window, with optional spatial
+co-location and shared-vessel constraints — over a time-ordered stream of
+primitive events, emitting COMPLEX events whose details carry the full
+match for explanation (§4's requirement that outputs be interpretable).
+
+Example: "GAP, then RENDEZVOUS involving the same vessel within 2 h and
+50 km" is the dark-transshipment pattern used in example 3.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.events.base import Event, EventKind
+from repro.geo import haversine_m
+
+
+@dataclass(frozen=True)
+class SequencePattern:
+    """An ordered sequence of event kinds with window constraints."""
+
+    name: str
+    sequence: tuple[EventKind, ...]
+    #: Whole match must fit in this window (first start → last start).
+    window_s: float
+    #: Every step must involve at least one vessel from the first step.
+    same_vessel: bool = True
+    #: Steps must all lie within this radius of the first step (0 = off).
+    max_radius_m: float = 0.0
+    #: Confidence assigned to emitted complex events.
+    confidence: float = 0.9
+
+    def __post_init__(self) -> None:
+        if len(self.sequence) < 2:
+            raise ValueError("a sequence pattern needs at least 2 steps")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+
+
+@dataclass
+class _PartialMatch:
+    matched: list[Event] = field(default_factory=list)
+
+    @property
+    def t_first(self) -> float:
+        return self.matched[0].t_start
+
+    @property
+    def next_index(self) -> int:
+        return len(self.matched)
+
+
+class CepEngine:
+    """Multi-pattern NFA-style matcher.
+
+    Feed primitive events in time order (:meth:`feed`), collect complex
+    events as they complete.  Partial matches expire once their window
+    passes, bounding state.
+    """
+
+    def __init__(self, patterns: list[SequencePattern]) -> None:
+        self.patterns = list(patterns)
+        self._partials: dict[str, list[_PartialMatch]] = {
+            p.name: [] for p in self.patterns
+        }
+        self.n_fed = 0
+
+    def _compatible(
+        self, pattern: SequencePattern, partial: _PartialMatch, event: Event
+    ) -> bool:
+        if event.kind is not pattern.sequence[partial.next_index]:
+            return False
+        if event.t_start - partial.t_first > pattern.window_s:
+            return False
+        if event.t_start < partial.matched[-1].t_start:
+            return False
+        if pattern.same_vessel:
+            first_vessels = set(partial.matched[0].mmsis)
+            if not first_vessels.intersection(event.mmsis):
+                return False
+        if pattern.max_radius_m > 0:
+            anchor = partial.matched[0]
+            if (
+                haversine_m(anchor.lat, anchor.lon, event.lat, event.lon)
+                > pattern.max_radius_m
+            ):
+                return False
+        return True
+
+    def feed(self, event: Event) -> list[Event]:
+        """Offer one primitive event; returns any completed complex events."""
+        self.n_fed += 1
+        completed: list[Event] = []
+        for pattern in self.patterns:
+            partials = self._partials[pattern.name]
+            # Expire stale partials.
+            partials[:] = [
+                p for p in partials
+                if event.t_start - p.t_first <= pattern.window_s
+            ]
+            new_partials: list[_PartialMatch] = []
+            for partial in partials:
+                if self._compatible(pattern, partial, event):
+                    extended = _PartialMatch(partial.matched + [event])
+                    if extended.next_index == len(pattern.sequence):
+                        completed.append(self._emit(pattern, extended))
+                    else:
+                        new_partials.append(extended)
+            partials.extend(new_partials)
+            if event.kind is pattern.sequence[0]:
+                partials.append(_PartialMatch([event]))
+        return completed
+
+    def feed_all(self, events: list[Event]) -> list[Event]:
+        """Feed a batch (sorted by start time first) and collect matches."""
+        out: list[Event] = []
+        for event in sorted(events, key=lambda e: e.t_start):
+            out.extend(self.feed(event))
+        return out
+
+    def _emit(self, pattern: SequencePattern, match: _PartialMatch) -> Event:
+        vessels: set[int] = set()
+        for event in match.matched:
+            vessels.update(event.mmsis)
+        last = match.matched[-1]
+        return Event(
+            kind=EventKind.COMPLEX,
+            t_start=match.matched[0].t_start,
+            t_end=last.t_end,
+            mmsis=tuple(sorted(vessels)),
+            lat=last.lat,
+            lon=last.lon,
+            confidence=pattern.confidence
+            * min(e.confidence for e in match.matched),
+            details={
+                "pattern": pattern.name,
+                "steps": [e.describe() for e in match.matched],
+            },
+        )

@@ -1,0 +1,201 @@
+"""Single-track detectors: zones, gaps, loitering, speed anomalies."""
+
+from dataclasses import dataclass
+
+from repro.ais.types import ShipType
+from repro.events.base import Event, EventKind
+from repro.geo import CircleRegion, PolygonRegion, haversine_m
+from repro.trajectory.points import Trajectory
+from repro.trajectory.stops import detect_stops
+from repro.simulation.world import Port
+
+
+Region = PolygonRegion | CircleRegion
+
+
+@dataclass
+class ZoneWatch:
+    """A named zone of interest to monitor for entries/exits."""
+
+    name: str
+    region: Region
+    #: Zones can be restricted (protected area) or merely logged.
+    restricted: bool = False
+
+
+def detect_zone_events(
+    trajectory: Trajectory, zones: list[ZoneWatch]
+) -> list[Event]:
+    """Entry/exit events: transitions of the inside/outside predicate.
+
+    A vessel already inside at track start yields an entry at the first
+    fix, so downstream logic always sees balanced context.
+    """
+    events: list[Event] = []
+    for zone in zones:
+        inside = False
+        entered_at: float | None = None
+        for point in trajectory:
+            now_inside = zone.region.contains(point.lat, point.lon)
+            if now_inside and not inside:
+                entered_at = point.t
+                events.append(
+                    Event(
+                        kind=EventKind.ZONE_ENTRY,
+                        t_start=point.t,
+                        t_end=point.t,
+                        mmsis=(trajectory.mmsi,),
+                        lat=point.lat,
+                        lon=point.lon,
+                        details={"zone": zone.name, "restricted": zone.restricted},
+                    )
+                )
+            elif not now_inside and inside:
+                events.append(
+                    Event(
+                        kind=EventKind.ZONE_EXIT,
+                        t_start=point.t,
+                        t_end=point.t,
+                        mmsis=(trajectory.mmsi,),
+                        lat=point.lat,
+                        lon=point.lon,
+                        details={
+                            "zone": zone.name,
+                            "dwell_s": point.t - (entered_at or point.t),
+                        },
+                    )
+                )
+            inside = now_inside
+    events.sort(key=lambda e: e.t_start)
+    return events
+
+
+def detect_gaps(
+    trajectory: Trajectory,
+    min_gap_s: float = 1800.0,
+    expected_interval_s: float = 180.0,
+) -> list[Event]:
+    """Reporting gaps: silences much longer than the expected cadence.
+
+    Confidence grows with how many expected reports were missed — a 10x
+    silence is a strong dark-ship indicator (§4), a 1.5x one is probably
+    coverage.
+    """
+    events: list[Event] = []
+    for a, b in zip(trajectory.points, trajectory.points[1:]):
+        gap = b.t - a.t
+        if gap < min_gap_s:
+            continue
+        missed = gap / expected_interval_s
+        confidence = min(1.0, (missed - 1.0) / 10.0)
+        events.append(
+            Event(
+                kind=EventKind.GAP,
+                t_start=a.t,
+                t_end=b.t,
+                mmsis=(trajectory.mmsi,),
+                lat=(a.lat + b.lat) / 2.0,
+                lon=(a.lon + b.lon) / 2.0,
+                confidence=confidence,
+                details={
+                    "gap_s": gap,
+                    "silence_start": (a.lat, a.lon),
+                    "silence_end": (b.lat, b.lon),
+                },
+            )
+        )
+    return events
+
+
+def detect_loitering(
+    trajectory: Trajectory,
+    ports: list[Port],
+    min_duration_s: float = 1800.0,
+    max_radius_m: float = 1500.0,
+    port_exclusion_m: float = 10_000.0,
+    speed_threshold_knots: float = 2.0,
+) -> list[Event]:
+    """Loitering: a long slow dwell *away from any port or anchorage*.
+
+    Port-adjacent stops are normal operations; the same kinematics at open
+    sea is the §3.1 suspicious pattern.
+    """
+    events: list[Event] = []
+    stops = detect_stops(
+        trajectory,
+        speed_threshold_knots=speed_threshold_knots,
+        min_duration_s=min_duration_s,
+        max_radius_m=max_radius_m,
+    )
+    for stop in stops:
+        near_port = any(
+            haversine_m(stop.lat, stop.lon, port.lat, port.lon) < port_exclusion_m
+            for port in ports
+        )
+        if near_port:
+            continue
+        events.append(
+            Event(
+                kind=EventKind.LOITERING,
+                t_start=stop.t_start,
+                t_end=stop.t_end,
+                mmsis=(trajectory.mmsi,),
+                lat=stop.lat,
+                lon=stop.lon,
+                confidence=min(1.0, stop.duration_s / (4.0 * min_duration_s)),
+                details={"duration_s": stop.duration_s},
+            )
+        )
+    return events
+
+
+#: Plausible service-speed bands (knots) by coarse ship type.
+_SPEED_BANDS: dict[ShipType, tuple[float, float]] = {
+    ShipType.CARGO: (0.0, 25.0),
+    ShipType.TANKER: (0.0, 18.0),
+    ShipType.PASSENGER: (0.0, 30.0),
+    ShipType.FISHING: (0.0, 14.0),
+    ShipType.HIGH_SPEED_CRAFT: (0.0, 45.0),
+    ShipType.PLEASURE_CRAFT: (0.0, 25.0),
+}
+
+
+def detect_speed_anomalies(
+    trajectory: Trajectory,
+    ship_type: ShipType,
+    min_run: int = 3,
+) -> list[Event]:
+    """Sustained speeds outside the type's plausible band.
+
+    Requires ``min_run`` consecutive violating fixes, so single noisy SOG
+    values do not alarm.
+    """
+    lo, hi = _SPEED_BANDS.get(ship_type, (0.0, 35.0))
+    events: list[Event] = []
+    run: list = []
+    for point in trajectory:
+        speed = point.sog_knots
+        if speed is not None and (speed < lo or speed > hi):
+            run.append(point)
+            continue
+        if len(run) >= min_run:
+            events.append(_speed_event(trajectory.mmsi, run, ship_type, hi))
+        run = []
+    if len(run) >= min_run:
+        events.append(_speed_event(trajectory.mmsi, run, ship_type, hi))
+    return events
+
+
+def _speed_event(mmsi: int, run: list, ship_type: ShipType, hi: float) -> Event:
+    peak = max(p.sog_knots for p in run)
+    mid = run[len(run) // 2]
+    return Event(
+        kind=EventKind.SPEED_ANOMALY,
+        t_start=run[0].t,
+        t_end=run[-1].t,
+        mmsis=(mmsi,),
+        lat=mid.lat,
+        lon=mid.lon,
+        confidence=min(1.0, (peak - hi) / hi) if hi else 1.0,
+        details={"peak_sog_knots": peak, "ship_type": ship_type.name},
+    )

@@ -1,0 +1,159 @@
+"""Pattern-of-life normalcy model and anomaly scoring.
+
+§4: "an explicit consideration of context provides an understanding of
+normalcy as a reference for anomaly detection (i.e., pattern-of-life)".
+The model is a spatial grid; each cell accumulates histograms of observed
+speed and course (optionally per ship type) from historical traffic.
+Scoring a fix returns a surprisal-like anomaly score: how unlikely are
+this speed and course *here*, given what normally happens here.
+
+Deliberately simple and fully inspectable — the paper asks for models
+whose residuals an operator can reason about (§3.2 "user-guided model
+building and validation"), not a black box.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+from repro.events.base import Event, EventKind
+from repro.trajectory.points import Trajectory
+
+
+@dataclass(frozen=True)
+class PolConfig:
+    cell_deg: float = 0.2
+    speed_bin_knots: float = 2.0
+    course_bin_deg: float = 30.0
+    #: Laplace smoothing mass per bin when scoring.
+    smoothing: float = 1.0
+    #: Cells with fewer observations than this score neutrally (0.5):
+    #: absence of history is not evidence of anomaly.
+    min_cell_observations: int = 20
+
+
+@dataclass
+class _CellStats:
+    n: int = 0
+    speed_hist: dict[int, int] = field(default_factory=dict)
+    course_hist: dict[int, int] = field(default_factory=dict)
+
+
+class PatternOfLife:
+    """Grid-based normalcy model: train on history, score live fixes."""
+
+    def __init__(self, config: PolConfig | None = None) -> None:
+        self.config = config or PolConfig()
+        self._cells: dict[tuple[int, int], _CellStats] = {}
+        self.n_training_points = 0
+
+    # -- training ----------------------------------------------------------
+
+    def _key(self, lat: float, lon: float) -> tuple[int, int]:
+        return (
+            int(math.floor(lat / self.config.cell_deg)),
+            int(math.floor(lon / self.config.cell_deg)),
+        )
+
+    def _bins(self, sog_knots: float, cog_deg: float) -> tuple[int, int]:
+        return (
+            int(sog_knots // self.config.speed_bin_knots),
+            int((cog_deg % 360.0) // self.config.course_bin_deg),
+        )
+
+    def observe(self, lat: float, lon: float, sog_knots: float, cog_deg: float) -> None:
+        cell = self._cells.setdefault(self._key(lat, lon), _CellStats())
+        speed_bin, course_bin = self._bins(sog_knots, cog_deg)
+        cell.n += 1
+        cell.speed_hist[speed_bin] = cell.speed_hist.get(speed_bin, 0) + 1
+        cell.course_hist[course_bin] = cell.course_hist.get(course_bin, 0) + 1
+        self.n_training_points += 1
+
+    def train(self, trajectories: list[Trajectory]) -> None:
+        for trajectory in trajectories:
+            for point in trajectory:
+                if point.sog_knots is None or point.cog_deg is None:
+                    continue
+                self.observe(point.lat, point.lon, point.sog_knots, point.cog_deg)
+
+    # -- scoring ------------------------------------------------------------
+
+    def anomaly_score(
+        self, lat: float, lon: float, sog_knots: float, cog_deg: float
+    ) -> float:
+        """Score in [0, 1): 0 = perfectly ordinary, →1 = never seen here.
+
+        Computed as ``1 - sqrt(p_speed * p_course)`` with Laplace-smoothed
+        bin probabilities; unseen cells return the neutral 0.5.
+        """
+        cell = self._cells.get(self._key(lat, lon))
+        config = self.config
+        if cell is None or cell.n < config.min_cell_observations:
+            return 0.5
+        speed_bin, course_bin = self._bins(sog_knots, cog_deg)
+        n_speed_bins = max(len(cell.speed_hist), 1)
+        n_course_bins = max(len(cell.course_hist), 1)
+        p_speed = (cell.speed_hist.get(speed_bin, 0) + config.smoothing) / (
+            cell.n + config.smoothing * (n_speed_bins + 1)
+        )
+        p_course = (cell.course_hist.get(course_bin, 0) + config.smoothing) / (
+            cell.n + config.smoothing * (n_course_bins + 1)
+        )
+        # Normalise by the modal probability so "as common as the most
+        # common behaviour" scores 0.
+        p_speed_mode = (max(cell.speed_hist.values()) + config.smoothing) / (
+            cell.n + config.smoothing * (n_speed_bins + 1)
+        )
+        p_course_mode = (max(cell.course_hist.values()) + config.smoothing) / (
+            cell.n + config.smoothing * (n_course_bins + 1)
+        )
+        ratio = math.sqrt(
+            (p_speed / p_speed_mode) * (p_course / p_course_mode)
+        )
+        return max(0.0, 1.0 - min(1.0, ratio))
+
+    def detect_anomalies(
+        self,
+        trajectory: Trajectory,
+        threshold: float = 0.85,
+        min_run: int = 3,
+    ) -> list[Event]:
+        """Sustained high-anomaly episodes on a track."""
+        events: list[Event] = []
+        run: list = []
+
+        def flush() -> None:
+            if len(run) < min_run:
+                run.clear()
+                return
+            mid = run[len(run) // 2]
+            mean_score = sum(s for __, s in run) / len(run)
+            events.append(
+                Event(
+                    kind=EventKind.POL_ANOMALY,
+                    t_start=run[0][0].t,
+                    t_end=run[-1][0].t,
+                    mmsis=(trajectory.mmsi,),
+                    lat=mid[0].lat,
+                    lon=mid[0].lon,
+                    confidence=mean_score,
+                    details={"mean_score": mean_score, "n_points": len(run)},
+                )
+            )
+            run.clear()
+
+        for point in trajectory:
+            if point.sog_knots is None or point.cog_deg is None:
+                continue
+            score = self.anomaly_score(
+                point.lat, point.lon, point.sog_knots, point.cog_deg
+            )
+            if score >= threshold:
+                run.append((point, score))
+            else:
+                flush()
+        flush()
+        return events
+
+    @property
+    def n_cells(self) -> int:
+        return len(self._cells)

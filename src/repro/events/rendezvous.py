@@ -1,0 +1,160 @@
+"""Rendezvous detection: two vessels slow and close at open sea.
+
+The signature event of maritime anomaly detection (§4 uses "querying
+rendezvous events" as its open-world example): transshipment, smuggling
+and bunkering all look like two tracks converging, dwelling within a few
+hundred metres of each other away from any port, then separating.
+
+The detector resamples tracks to a common cadence and sweeps time with a
+spatial hash, so it scales as O(points) rather than O(pairs x time).
+"""
+
+from dataclasses import dataclass
+
+from repro.events.base import Event, EventKind
+from repro.geo import haversine_m
+from repro.simulation.world import Port
+from repro.trajectory.points import Trajectory
+from repro.trajectory.resample import resample
+
+
+@dataclass(frozen=True)
+class RendezvousConfig:
+    #: Maximum separation during the contact, metres.
+    max_distance_m: float = 500.0
+    #: Both vessels must be at or below this speed.
+    max_speed_knots: float = 3.0
+    #: Minimum duration of sustained contact.
+    min_duration_s: float = 900.0
+    #: Contacts within this range of a port are ignored (normal ops).
+    port_exclusion_m: float = 10_000.0
+    #: Common resampling cadence.
+    step_s: float = 60.0
+
+
+def detect_rendezvous(
+    trajectories: list[Trajectory],
+    ports: list[Port],
+    config: RendezvousConfig | None = None,
+) -> list[Event]:
+    """Find all pairwise rendezvous among the given tracks."""
+    config = config or RendezvousConfig()
+    # Resample once; build per-timestep spatial hash.
+    sampled = {}
+    for trajectory in trajectories:
+        if len(trajectory) < 2:
+            continue
+        sampled[trajectory.mmsi] = resample(trajectory, config.step_s)
+
+    cell_deg = max(0.01, config.max_distance_m / 111_000.0 * 2.0)
+    # contact_runs[(a, b)] = list of contact timestamps (sorted as built)
+    contact_runs: dict[tuple[int, int], list[tuple[float, float, float]]] = {}
+
+    # Iterate over global timeline at the common cadence.
+    if not sampled:
+        return []
+    t0 = min(tr.t_start for tr in sampled.values())
+    t1 = max(tr.t_end for tr in sampled.values())
+    t = t0
+    while t <= t1:
+        cells: dict[tuple[int, int], list[tuple[int, float, float, float]]] = {}
+        for mmsi, trajectory in sampled.items():
+            if not (trajectory.t_start <= t <= trajectory.t_end):
+                continue
+            lat, lon = trajectory.position_at(t)
+            speed = _speed_at(trajectory, t)
+            if speed is None or speed > config.max_speed_knots:
+                continue
+            key = (int(lat / cell_deg), int(lon / cell_deg))
+            cells.setdefault(key, []).append((mmsi, lat, lon, speed))
+        for key, members in cells.items():
+            # Include the 8 neighbour cells to avoid boundary misses.
+            pool = list(members)
+            ky, kx = key
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    if dy == 0 and dx == 0:
+                        continue
+                    pool.extend(cells.get((ky + dy, kx + dx), []))
+            for i, (mmsi_a, lat_a, lon_a, __) in enumerate(members):
+                for mmsi_b, lat_b, lon_b, __ in pool:
+                    if mmsi_b <= mmsi_a:
+                        continue
+                    if (
+                        haversine_m(lat_a, lon_a, lat_b, lon_b)
+                        <= config.max_distance_m
+                    ):
+                        pair = (mmsi_a, mmsi_b)
+                        contact_runs.setdefault(pair, []).append(
+                            (t, (lat_a + lat_b) / 2.0, (lon_a + lon_b) / 2.0)
+                        )
+        t += config.step_s
+
+    events: list[Event] = []
+    for (mmsi_a, mmsi_b), contacts in contact_runs.items():
+        events.extend(
+            _runs_to_events(
+                mmsi_a, mmsi_b, contacts, ports, config
+            )
+        )
+    events.sort(key=lambda e: e.t_start)
+    return events
+
+
+def _speed_at(trajectory: Trajectory, t: float) -> float | None:
+    """Reported SOG of the fix nearest ``t`` (resampled tracks carry it)."""
+    import bisect
+
+    times = [p.t for p in trajectory.points]
+    index = bisect.bisect_left(times, t)
+    index = min(len(times) - 1, index)
+    point = trajectory[index]
+    return point.sog_knots
+
+
+def _runs_to_events(
+    mmsi_a: int,
+    mmsi_b: int,
+    contacts: list[tuple[float, float, float]],
+    ports: list[Port],
+    config: RendezvousConfig,
+) -> list[Event]:
+    """Split a pair's contact instants into sustained runs and emit events."""
+    events = []
+    run: list[tuple[float, float, float]] = []
+
+    def flush() -> None:
+        if not run:
+            return
+        duration = run[-1][0] - run[0][0]
+        if duration < config.min_duration_s:
+            run.clear()
+            return
+        lat_c = sum(c[1] for c in run) / len(run)
+        lon_c = sum(c[2] for c in run) / len(run)
+        near_port = any(
+            haversine_m(lat_c, lon_c, port.lat, port.lon)
+            < config.port_exclusion_m
+            for port in ports
+        )
+        if not near_port:
+            events.append(
+                Event(
+                    kind=EventKind.RENDEZVOUS,
+                    t_start=run[0][0],
+                    t_end=run[-1][0],
+                    mmsis=(mmsi_a, mmsi_b),
+                    lat=lat_c,
+                    lon=lon_c,
+                    confidence=min(1.0, duration / (2 * config.min_duration_s)),
+                    details={"duration_s": duration},
+                )
+            )
+        run.clear()
+
+    for contact in contacts:
+        if run and contact[0] - run[-1][0] > 2.5 * config.step_s:
+            flush()
+        run.append(contact)
+    flush()
+    return events

@@ -1,0 +1,94 @@
+"""Detection scoring: match detected events against scenario ground truth."""
+
+from dataclasses import dataclass
+
+from repro.events.base import Event
+from repro.geo import haversine_m
+from repro.simulation.scenario import TruthEvent
+
+
+@dataclass(frozen=True)
+class DetectionScore:
+    """Precision/recall summary of one detector against one truth kind.
+
+    ``true_positives`` counts detections that matched some truth event;
+    ``truth_found`` counts truth events matched by some detection.  The two
+    differ when several detections cover one long event (precision should
+    credit all of them; recall should count the event once).
+    """
+
+    kind: str
+    n_truth: int
+    n_detected: int
+    true_positives: int
+    truth_found: int
+
+    @property
+    def precision(self) -> float:
+        return self.true_positives / self.n_detected if self.n_detected else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.truth_found / self.n_truth if self.n_truth else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def _matches(
+    detected: Event,
+    truth: TruthEvent,
+    time_slack_s: float,
+    distance_slack_m: float,
+    require_vessel_overlap: bool,
+) -> bool:
+    if not detected.overlaps_time(truth.t_start, truth.t_end, time_slack_s):
+        return False
+    if (
+        distance_slack_m > 0
+        and haversine_m(detected.lat, detected.lon, truth.lat, truth.lon)
+        > distance_slack_m
+    ):
+        return False
+    if require_vessel_overlap and truth.mmsis:
+        if not set(detected.mmsis).intersection(truth.mmsis):
+            return False
+    return True
+
+
+def match_events(
+    detected: list[Event],
+    truth: list[TruthEvent],
+    kind: str,
+    time_slack_s: float = 600.0,
+    distance_slack_m: float = 10_000.0,
+    require_vessel_overlap: bool = True,
+) -> DetectionScore:
+    """Match detections to truth events of one kind.
+
+    A truth event counts as found if at least one detection matches it; a
+    detection is a true positive if it matches at least one truth event.
+    """
+    relevant_truth = [t for t in truth if t.kind == kind]
+    found_truth: set[int] = set()
+    true_positive_detections = 0
+    for event in detected:
+        matched_any = False
+        for index, truth_event in enumerate(relevant_truth):
+            if _matches(
+                event, truth_event, time_slack_s, distance_slack_m,
+                require_vessel_overlap,
+            ):
+                found_truth.add(index)
+                matched_any = True
+        if matched_any:
+            true_positive_detections += 1
+    return DetectionScore(
+        kind=kind,
+        n_truth=len(relevant_truth),
+        n_detected=len(detected),
+        true_positives=true_positive_detections,
+        truth_found=len(found_truth),
+    )

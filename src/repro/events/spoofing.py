@@ -1,0 +1,107 @@
+"""Spoofing indicators: kinematic impossibilities and identity clashes.
+
+§1: "AIS messages are vulnerable to manipulation ... deliberate
+falsifications and spoofing, such as identity fraud, obscured
+destinations, or GPS manipulations" (DeAIS [36], Windward [43]).  Two
+detectors act on *raw accepted message sequences per MMSI* — before the
+reconstructor's cleaning hides the evidence:
+
+- :func:`detect_teleports` — persistent impossible jumps (GPS offset
+  spoofing turning on/off, or two transmitters sharing an MMSI);
+- :func:`detect_identity_clashes` — the same MMSI reporting from two
+  places at effectively the same time.
+"""
+
+from repro.events.base import Event, EventKind
+from repro.geo import KNOTS_TO_MPS, haversine_m
+from repro.trajectory.points import TrackPoint
+
+
+def detect_teleports(
+    fixes_by_mmsi: dict[int, list[TrackPoint]],
+    max_speed_knots: float = 60.0,
+    min_jump_m: float = 5_000.0,
+) -> list[Event]:
+    """Jumps requiring speeds beyond ``max_speed_knots``.
+
+    ``min_jump_m`` suppresses GPS-noise artefacts on near-simultaneous
+    fixes; a genuine spoof episode offsets by tens of kilometres.
+    """
+    events: list[Event] = []
+    for mmsi, fixes in fixes_by_mmsi.items():
+        ordered = sorted(fixes, key=lambda p: p.t)
+        for a, b in zip(ordered, ordered[1:]):
+            dt = b.t - a.t
+            if dt <= 0:
+                continue
+            jump = haversine_m(a.lat, a.lon, b.lat, b.lon)
+            if jump < min_jump_m:
+                continue
+            implied = jump / dt / KNOTS_TO_MPS
+            if implied > max_speed_knots:
+                events.append(
+                    Event(
+                        kind=EventKind.TELEPORT,
+                        t_start=a.t,
+                        t_end=b.t,
+                        mmsis=(mmsi,),
+                        lat=b.lat,
+                        lon=b.lon,
+                        confidence=min(1.0, implied / (4 * max_speed_knots)),
+                        details={
+                            "jump_m": jump,
+                            "implied_speed_knots": implied,
+                            "from": (a.lat, a.lon),
+                            "to": (b.lat, b.lon),
+                        },
+                    )
+                )
+    return events
+
+
+def detect_identity_clashes(
+    fixes_by_mmsi: dict[int, list[TrackPoint]],
+    window_s: float = 60.0,
+    min_separation_m: float = 10_000.0,
+) -> list[Event]:
+    """Same MMSI seen at widely separated positions within ``window_s``.
+
+    This is the classic two-transmitters-one-identity fraud.  Implemented
+    as a scan over time-sorted fixes per MMSI looking for near-simultaneous
+    pairs far apart.
+    """
+    events: list[Event] = []
+    for mmsi, fixes in fixes_by_mmsi.items():
+        ordered = sorted(fixes, key=lambda p: p.t)
+        clash_reported_until = float("-inf")
+        for i, a in enumerate(ordered):
+            if a.t < clash_reported_until:
+                continue
+            for b in ordered[i + 1 :]:
+                if b.t - a.t > window_s:
+                    break
+                separation = haversine_m(a.lat, a.lon, b.lat, b.lon)
+                if separation >= min_separation_m:
+                    events.append(
+                        Event(
+                            kind=EventKind.IDENTITY_CLASH,
+                            t_start=a.t,
+                            t_end=b.t,
+                            mmsis=(mmsi,),
+                            lat=a.lat,
+                            lon=a.lon,
+                            confidence=min(
+                                1.0, separation / (5 * min_separation_m)
+                            ),
+                            details={
+                                "separation_m": separation,
+                                "positions": [
+                                    (a.lat, a.lon), (b.lat, b.lon)
+                                ],
+                            },
+                        )
+                    )
+                    # Report each clash episode once, then move on.
+                    clash_reported_until = a.t + 600.0
+                    break
+    return events

@@ -1,0 +1,43 @@
+"""Trajectory forecasting (§3.1, §4).
+
+"Algorithms for the prediction of anticipated vessel trajectories at
+different time scales ... fundamental to achieve early warning maritime
+monitoring."  Three predictors of increasing context-awareness:
+
+- dead reckoning (constant velocity / constant turn);
+- Kalman prediction with honest covariance growth;
+- route-graph prediction: a directed graph of discretised cells mined
+  from historical traffic, followed at the vessel's current speed.
+
+Plus ETA estimation against a port catalogue and a horizon-sweep
+evaluation harness (benchmark E6 uses it to locate the CV-vs-route
+crossover).
+"""
+
+from repro.forecasting.deadreckoning import (
+    predict_constant_velocity,
+    predict_constant_turn,
+)
+from repro.forecasting.kalmanpredict import KalmanPredictor, PredictionWithUncertainty
+from repro.forecasting.routes import RouteGraph, RouteGraphConfig, RoutePredictor
+from repro.forecasting.eta import estimate_eta, EtaEstimate
+from repro.forecasting.evaluate import (
+    evaluate_predictor,
+    HorizonError,
+    Predictor,
+)
+
+__all__ = [
+    "predict_constant_velocity",
+    "predict_constant_turn",
+    "KalmanPredictor",
+    "PredictionWithUncertainty",
+    "RouteGraph",
+    "RouteGraphConfig",
+    "RoutePredictor",
+    "estimate_eta",
+    "EtaEstimate",
+    "evaluate_predictor",
+    "HorizonError",
+    "Predictor",
+]

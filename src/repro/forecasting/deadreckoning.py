@@ -1,0 +1,45 @@
+"""Dead-reckoning predictors: constant velocity and constant turn."""
+
+from repro.geo import destination_point, KNOTS_TO_MPS, normalize_course
+from repro.trajectory.points import TrackPoint
+
+
+def predict_constant_velocity(
+    state: TrackPoint, horizon_s: float
+) -> tuple[float, float]:
+    """Project the last fix along its course at its speed.
+
+    The baseline every maritime forecaster is compared against; excellent
+    over minutes, poor past the next waypoint.
+    """
+    if state.sog_knots is None or state.cog_deg is None:
+        return state.lat, state.lon
+    distance = state.sog_knots * KNOTS_TO_MPS * horizon_s
+    return destination_point(state.lat, state.lon, state.cog_deg, distance)
+
+
+def predict_constant_turn(
+    state: TrackPoint,
+    turn_rate_deg_per_min: float,
+    horizon_s: float,
+    step_s: float = 30.0,
+) -> tuple[float, float]:
+    """Constant-turn-rate projection, integrated in short arcs.
+
+    Useful when a recent turn rate is observable (ROT field or course
+    differencing); degenerates to constant velocity at zero rate.
+    """
+    if state.sog_knots is None or state.cog_deg is None:
+        return state.lat, state.lon
+    lat, lon = state.lat, state.lon
+    course = state.cog_deg
+    speed_mps = state.sog_knots * KNOTS_TO_MPS
+    remaining = horizon_s
+    while remaining > 0:
+        dt = min(step_s, remaining)
+        lat, lon = destination_point(lat, lon, course, speed_mps * dt)
+        course = normalize_course(
+            course + turn_rate_deg_per_min * dt / 60.0
+        )
+        remaining -= dt
+    return lat, lon

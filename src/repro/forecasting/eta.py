@@ -1,0 +1,51 @@
+"""Estimated time of arrival against the port catalogue."""
+
+from dataclasses import dataclass
+
+from repro.geo import angular_difference_deg, haversine_m, initial_bearing_deg
+from repro.simulation.world import Port
+from repro.trajectory.points import Trajectory
+
+
+@dataclass(frozen=True)
+class EtaEstimate:
+    port: Port
+    eta_s: float
+    distance_m: float
+    #: How well the current course points at the port, in [0, 1].
+    course_agreement: float
+
+
+def estimate_eta(
+    trajectory: Trajectory,
+    ports: list[Port],
+    max_course_off_deg: float = 45.0,
+) -> EtaEstimate | None:
+    """Best-guess destination and ETA from current course and speed.
+
+    Candidate ports are those roughly ahead (bearing within
+    ``max_course_off_deg`` of the course); the most closely aligned wins.
+    Returns ``None`` when the vessel is effectively stationary or nothing
+    lies ahead — a legitimate "don't know" rather than a junk estimate.
+    """
+    last = trajectory.points[-1]
+    if last.sog_knots is None or last.cog_deg is None or last.sog_knots < 1.0:
+        return None
+    speed_mps = last.sog_knots * 1852.0 / 3600.0
+    best: EtaEstimate | None = None
+    for port in ports:
+        bearing = initial_bearing_deg(last.lat, last.lon, port.lat, port.lon)
+        off = angular_difference_deg(bearing, last.cog_deg)
+        if off > max_course_off_deg:
+            continue
+        distance = haversine_m(last.lat, last.lon, port.lat, port.lon)
+        agreement = 1.0 - off / max_course_off_deg
+        candidate = EtaEstimate(
+            port=port,
+            eta_s=distance / speed_mps,
+            distance_m=distance,
+            course_agreement=agreement,
+        )
+        if best is None or candidate.course_agreement > best.course_agreement:
+            best = candidate
+    return best

@@ -1,0 +1,80 @@
+"""Forecast evaluation: error-versus-horizon sweeps.
+
+Benchmark E6's engine: cut each test trajectory at a point, let a
+predictor forecast ahead from the visible prefix, and measure the
+great-circle error against where the vessel actually went.
+"""
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.geo import haversine_m
+from repro.trajectory.points import Trajectory
+
+#: A predictor maps (visible prefix, horizon) to a predicted position.
+Predictor = Callable[[Trajectory, float], tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class HorizonError:
+    horizon_s: float
+    n_samples: int
+    mean_error_m: float
+    median_error_m: float
+    p90_error_m: float
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    index = min(
+        len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+def evaluate_predictor(
+    predictor: Predictor,
+    trajectories: list[Trajectory],
+    horizons_s: list[float],
+    cut_fractions: list[float] | None = None,
+    min_prefix_points: int = 10,
+) -> list[HorizonError]:
+    """Sweep horizons over all trajectories and cut points.
+
+    For each trajectory and each ``cut_fraction`` of its duration, the
+    prefix up to the cut is shown to the predictor; the error is measured
+    at ``cut + horizon`` (skipped when the trajectory ends earlier).
+    """
+    cut_fractions = cut_fractions or [0.3, 0.5, 0.7]
+    out: list[HorizonError] = []
+    for horizon in horizons_s:
+        errors: list[float] = []
+        for trajectory in trajectories:
+            for fraction in cut_fractions:
+                cut_t = trajectory.t_start + fraction * trajectory.duration_s
+                target_t = cut_t + horizon
+                if target_t > trajectory.t_end:
+                    continue
+                prefix = trajectory.slice_time(trajectory.t_start, cut_t)
+                if prefix is None or len(prefix) < min_prefix_points:
+                    continue
+                predicted = predictor(prefix, horizon)
+                actual = trajectory.position_at(target_t)
+                errors.append(
+                    haversine_m(predicted[0], predicted[1], actual[0], actual[1])
+                )
+        errors.sort()
+        if errors:
+            out.append(
+                HorizonError(
+                    horizon_s=horizon,
+                    n_samples=len(errors),
+                    mean_error_m=sum(errors) / len(errors),
+                    median_error_m=_percentile(errors, 0.5),
+                    p90_error_m=_percentile(errors, 0.9),
+                )
+            )
+        else:
+            out.append(HorizonError(horizon, 0, float("nan"), float("nan"), float("nan")))
+    return out

@@ -1,0 +1,70 @@
+"""Kalman-filter prediction with explicit uncertainty growth.
+
+Wraps :class:`repro.trajectory.kalman.CvKalmanFilter` for the forecasting
+use case: fit on the recent past of a track, predict ahead, and report the
+position *with* its 1-sigma circle.  §4 insists systems "inform the
+operator of some possible output uncertainty" — this predictor is the
+pipeline's way of doing that for anticipated positions.
+"""
+
+from dataclasses import dataclass
+
+from repro.geo import LocalTangentPlane
+from repro.trajectory.kalman import CvKalmanFilter
+from repro.trajectory.points import TrackPoint, Trajectory
+
+
+@dataclass(frozen=True)
+class PredictionWithUncertainty:
+    lat: float
+    lon: float
+    sigma_m: float
+    horizon_s: float
+
+
+class KalmanPredictor:
+    """Fit a CV Kalman filter to a track's tail; predict with covariance."""
+
+    def __init__(
+        self,
+        measurement_sigma_m: float = 15.0,
+        process_noise_accel: float = 0.05,
+        fit_window_s: float = 1800.0,
+    ) -> None:
+        self.measurement_sigma_m = measurement_sigma_m
+        self.process_noise_accel = process_noise_accel
+        self.fit_window_s = fit_window_s
+
+    def predict(
+        self, trajectory: Trajectory, horizon_s: float
+    ) -> PredictionWithUncertainty:
+        """Fit on the fixes inside the tail window, predict ``horizon_s``
+        past the last fix."""
+        if horizon_s < 0:
+            raise ValueError("horizon_s must be non-negative")
+        tail_start = trajectory.t_end - self.fit_window_s
+        tail = [p for p in trajectory if p.t >= tail_start]
+        if not tail:
+            tail = list(trajectory.points[-2:])
+        anchor = tail[len(tail) // 2]
+        plane = LocalTangentPlane(anchor.lat, anchor.lon)
+        kf = CvKalmanFilter(
+            plane, self.measurement_sigma_m, self.process_noise_accel
+        )
+        for point in tail:
+            kf.update(point)
+        state = kf.predict(trajectory.t_end + horizon_s)
+        lat, lon = plane.to_latlon(*state.position_m)
+        return PredictionWithUncertainty(
+            lat=lat,
+            lon=lon,
+            sigma_m=state.position_sigma_m(),
+            horizon_s=horizon_s,
+        )
+
+    def predict_point(
+        self, trajectory: Trajectory, horizon_s: float
+    ) -> tuple[float, float]:
+        """Position-only convenience used by the evaluation harness."""
+        prediction = self.predict(trajectory, horizon_s)
+        return prediction.lat, prediction.lon

@@ -1,0 +1,159 @@
+"""Route-graph extraction and route-following prediction.
+
+Vessels are "only in a limited way constrained by rigid network
+infrastructures" (§1) — yet commercial traffic concentrates on lanes.
+The route graph makes that latent network explicit: historical tracks are
+discretised into grid cells; transitions between cells become weighted
+directed edges.  Prediction walks the graph from the vessel's current
+cell, choosing the highest-probability next cell consistent with the
+current heading, and advances along the walk at the vessel's speed.
+
+Beyond the fit region the predictor falls back to dead reckoning, so it
+never refuses to answer (an early-warning system must always have a best
+guess, §3.1).
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.geo import (
+    angular_difference_deg,
+    destination_point,
+    haversine_m,
+    initial_bearing_deg,
+    KNOTS_TO_MPS,
+)
+from repro.forecasting.deadreckoning import predict_constant_velocity
+from repro.trajectory.points import Trajectory
+
+
+@dataclass(frozen=True)
+class RouteGraphConfig:
+    cell_deg: float = 0.05
+    #: Minimum observed transitions for an edge to be trusted.
+    min_edge_count: int = 2
+    #: Candidate next cells must be within this of the current heading.
+    heading_gate_deg: float = 90.0
+
+
+class RouteGraph:
+    """Directed cell-transition graph mined from historical trajectories."""
+
+    def __init__(self, config: RouteGraphConfig | None = None) -> None:
+        self.config = config or RouteGraphConfig()
+        #: edge -> count; nodes are (lat_i, lon_i) cells.
+        self.edges: dict[tuple[tuple[int, int], tuple[int, int]], int] = {}
+        self.n_trajectories = 0
+
+    def _cell(self, lat: float, lon: float) -> tuple[int, int]:
+        return (
+            int(math.floor(lat / self.config.cell_deg)),
+            int(math.floor(lon / self.config.cell_deg)),
+        )
+
+    def cell_center(self, cell: tuple[int, int]) -> tuple[float, float]:
+        return (
+            (cell[0] + 0.5) * self.config.cell_deg,
+            (cell[1] + 0.5) * self.config.cell_deg,
+        )
+
+    def add_trajectory(self, trajectory: Trajectory) -> None:
+        previous: tuple[int, int] | None = None
+        for point in trajectory:
+            cell = self._cell(point.lat, point.lon)
+            if previous is not None and cell != previous:
+                edge = (previous, cell)
+                self.edges[edge] = self.edges.get(edge, 0) + 1
+            previous = cell
+        self.n_trajectories += 1
+
+    def train(self, trajectories: list[Trajectory]) -> None:
+        for trajectory in trajectories:
+            self.add_trajectory(trajectory)
+
+    def successors(
+        self, cell: tuple[int, int]
+    ) -> list[tuple[tuple[int, int], int]]:
+        """Outgoing edges of a cell with counts, most-travelled first."""
+        out = [
+            (dst, count)
+            for (src, dst), count in self.edges.items()
+            if src == cell and count >= self.config.min_edge_count
+        ]
+        out.sort(key=lambda pair: pair[1], reverse=True)
+        return out
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+
+class RoutePredictor:
+    """Walk the route graph from the vessel's current state."""
+
+    def __init__(self, graph: RouteGraph) -> None:
+        self.graph = graph
+        # Successor lookup is hot; build an adjacency map once.
+        self._adjacency: dict[tuple[int, int], list[tuple[tuple[int, int], int]]] = {}
+        for (src, dst), count in graph.edges.items():
+            if count >= graph.config.min_edge_count:
+                self._adjacency.setdefault(src, []).append((dst, count))
+        for successors in self._adjacency.values():
+            successors.sort(key=lambda pair: pair[1], reverse=True)
+
+    def predict(
+        self, trajectory: Trajectory, horizon_s: float
+    ) -> tuple[float, float]:
+        """Predicted position ``horizon_s`` after the track's last fix."""
+        last = trajectory.points[-1]
+        if last.sog_knots is None or last.cog_deg is None or last.sog_knots < 0.5:
+            return last.lat, last.lon
+        speed_mps = last.sog_knots * KNOTS_TO_MPS
+        budget_m = speed_mps * horizon_s
+        lat, lon = last.lat, last.lon
+        heading = last.cog_deg
+        cell = self.graph._cell(lat, lon)
+        visited = {cell}
+        while budget_m > 0:
+            next_cell = self._pick_successor(cell, heading, visited)
+            if next_cell is None:
+                # Off the learned network: dead-reckon the remainder.
+                return destination_point(lat, lon, heading, budget_m)
+            target_lat, target_lon = self.graph.cell_center(next_cell)
+            hop = haversine_m(lat, lon, target_lat, target_lon)
+            if hop >= budget_m:
+                bearing = initial_bearing_deg(lat, lon, target_lat, target_lon)
+                return destination_point(lat, lon, bearing, budget_m)
+            heading = initial_bearing_deg(lat, lon, target_lat, target_lon)
+            lat, lon = target_lat, target_lon
+            budget_m -= hop
+            cell = next_cell
+            visited.add(cell)
+        return lat, lon
+
+    def _pick_successor(
+        self,
+        cell: tuple[int, int],
+        heading: float,
+        visited: set[tuple[int, int]],
+    ) -> tuple[int, int] | None:
+        """Most-travelled successor within the heading gate, not revisited."""
+        best: tuple[int, int] | None = None
+        best_count = 0
+        lat, lon = self.graph.cell_center(cell)
+        for successor, count in self._adjacency.get(cell, []):
+            if successor in visited:
+                continue
+            s_lat, s_lon = self.graph.cell_center(successor)
+            bearing = initial_bearing_deg(lat, lon, s_lat, s_lon)
+            if angular_difference_deg(bearing, heading) > self.graph.config.heading_gate_deg:
+                continue
+            if count > best_count:
+                best = successor
+                best_count = count
+        return best
+
+    def predict_point(
+        self, trajectory: Trajectory, horizon_s: float
+    ) -> tuple[float, float]:
+        return self.predict(trajectory, horizon_s)

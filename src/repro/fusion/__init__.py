@@ -1,0 +1,40 @@
+"""Multi-source fusion (§2.4).
+
+Implements the fusion ladder the paper describes: low-level contact-to-
+track association (radar contacts without identity onto AIS tracks),
+track-level state fusion, source-reliability estimation, and attribute
+conflict resolution for registry data (the MarineTraffic-vs-Lloyd's
+example of §4), plus hard+soft fusion of human reports.
+"""
+
+from repro.fusion.association import (
+    AssociationConfig,
+    Assignment,
+    associate_contacts,
+    MultiSourceTracker,
+)
+from repro.fusion.reliability import SourceReliability, estimate_reliability
+from repro.fusion.conflict import (
+    AttributeConflict,
+    detect_conflicts,
+    resolve_majority,
+    resolve_weighted,
+    resolve_most_recent,
+)
+from repro.fusion.hardsoft import SoftReport, fuse_hard_soft
+
+__all__ = [
+    "AssociationConfig",
+    "Assignment",
+    "associate_contacts",
+    "MultiSourceTracker",
+    "SourceReliability",
+    "estimate_reliability",
+    "AttributeConflict",
+    "detect_conflicts",
+    "resolve_majority",
+    "resolve_weighted",
+    "resolve_most_recent",
+    "SoftReport",
+    "fuse_hard_soft",
+]

@@ -1,0 +1,209 @@
+"""Contact-to-track association and multi-source track fusion.
+
+Radar contacts carry no identity (§2.4's "new sensor measurements are
+associated to tracks"); the associator assigns each contact to the AIS
+track whose predicted position is nearest, inside a gate.  Unassigned
+contacts become *uncorrelated* — these are the interesting ones, because
+dark ships show up only on radar.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+from repro.geo import KNOTS_TO_MPS, destination_point, haversine_m
+from repro.simulation.sensors import RadarContact
+from repro.trajectory.points import TrackPoint, Trajectory
+
+
+@dataclass(frozen=True)
+class AssociationConfig:
+    """Gating parameters."""
+
+    #: Hard association gate: contacts farther than this from every
+    #: predicted track position stay uncorrelated.
+    gate_m: float = 1500.0
+    #: Maximum extrapolation age of a track before it cannot gate contacts.
+    max_track_age_s: float = 600.0
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One contact-to-track decision."""
+
+    contact: RadarContact
+    mmsi: int | None  # None == uncorrelated
+    distance_m: float | None
+
+
+def _predict(track: list[TrackPoint], t: float) -> tuple[float, float] | None:
+    """Dead-reckoned position of a track at ``t`` from its last fix."""
+    if not track:
+        return None
+    last = track[-1]
+    dt = t - last.t
+    if dt < 0:
+        # Contact predates the newest fix: use the nearest fix instead.
+        candidates = [p for p in track if p.t <= t] or [track[0]]
+        last = candidates[-1]
+        dt = max(0.0, t - last.t)
+    if last.sog_knots is None or last.cog_deg is None or dt == 0.0:
+        return last.lat, last.lon
+    return destination_point(
+        last.lat, last.lon, last.cog_deg, last.sog_knots * KNOTS_TO_MPS * dt
+    )
+
+
+def associate_contacts(
+    contacts: list[RadarContact],
+    tracks: dict[int, list[TrackPoint]],
+    config: AssociationConfig | None = None,
+) -> list[Assignment]:
+    """Greedy nearest-neighbour association with gating.
+
+    Contacts are processed in time order; for each sweep instant, pairs are
+    assigned globally nearest-first (greedy GNN), each track taking at most
+    one contact per sweep.
+    """
+    config = config or AssociationConfig()
+    assignments: list[Assignment] = []
+    # Group contacts by sweep time so one track can't absorb two returns
+    # from the same scan.
+    by_sweep: dict[float, list[RadarContact]] = {}
+    for contact in contacts:
+        by_sweep.setdefault(contact.t, []).append(contact)
+
+    for sweep_t in sorted(by_sweep):
+        sweep = by_sweep[sweep_t]
+        candidate_pairs: list[tuple[float, int, int]] = []  # (dist, ci, mmsi)
+        predictions: dict[int, tuple[float, float]] = {}
+        for mmsi, track in tracks.items():
+            if not track:
+                continue
+            age = sweep_t - track[-1].t
+            if age > config.max_track_age_s:
+                continue
+            predicted = _predict(track, sweep_t)
+            if predicted is not None:
+                predictions[mmsi] = predicted
+        for ci, contact in enumerate(sweep):
+            for mmsi, (plat, plon) in predictions.items():
+                dist = haversine_m(contact.lat, contact.lon, plat, plon)
+                if dist <= config.gate_m:
+                    candidate_pairs.append((dist, ci, mmsi))
+        candidate_pairs.sort()
+        used_contacts: set[int] = set()
+        used_tracks: set[int] = set()
+        for dist, ci, mmsi in candidate_pairs:
+            if ci in used_contacts or mmsi in used_tracks:
+                continue
+            used_contacts.add(ci)
+            used_tracks.add(mmsi)
+            assignments.append(Assignment(sweep[ci], mmsi, dist))
+        for ci, contact in enumerate(sweep):
+            if ci not in used_contacts:
+                assignments.append(Assignment(contact, None, None))
+    return assignments
+
+
+@dataclass
+class FusedTrack:
+    """A track built from several sources, fixes interleaved by time."""
+
+    track_id: int
+    mmsi: int | None
+    points: list[TrackPoint] = field(default_factory=list)
+    sources: set[str] = field(default_factory=set)
+
+    def add(self, point: TrackPoint) -> None:
+        self.points.append(point)
+        self.sources.add(point.source)
+
+    def to_trajectory(self) -> Trajectory | None:
+        ordered = sorted(self.points, key=lambda p: p.t)
+        deduped = [p for i, p in enumerate(ordered)
+                   if i == 0 or p.t > ordered[i - 1].t]
+        if len(deduped) < 2:
+            return None
+        return Trajectory(self.mmsi or -self.track_id, deduped)
+
+
+class MultiSourceTracker:
+    """Maintains fused tracks from AIS fixes, radar contacts and LRIT.
+
+    AIS fixes seed identified tracks; radar contacts are associated to the
+    nearest predicted track or open anonymous tracks; LRIT reports merge
+    into identified tracks by MMSI.  The completeness gain of fusion —
+    anonymous radar tracks covering dark ships — is what E5 measures.
+    """
+
+    def __init__(self, config: AssociationConfig | None = None) -> None:
+        self.config = config or AssociationConfig()
+        self.tracks: dict[int, FusedTrack] = {}
+        self._by_mmsi: dict[int, int] = {}
+        self._next_id = 1
+
+    def _track_for_mmsi(self, mmsi: int) -> FusedTrack:
+        track_id = self._by_mmsi.get(mmsi)
+        if track_id is None:
+            track_id = self._next_id
+            self._next_id += 1
+            self.tracks[track_id] = FusedTrack(track_id, mmsi)
+            self._by_mmsi[mmsi] = track_id
+        return self.tracks[track_id]
+
+    def add_ais_fix(self, mmsi: int, point: TrackPoint) -> None:
+        self._track_for_mmsi(mmsi).add(point)
+
+    def add_lrit(self, mmsi: int, point: TrackPoint) -> None:
+        self._track_for_mmsi(mmsi).add(point)
+
+    def add_radar_contacts(self, contacts: list[RadarContact]) -> list[Assignment]:
+        """Associate a batch of contacts; unassociated ones open or extend
+        anonymous tracks (nearest anonymous track within the gate)."""
+        track_points = {
+            track.mmsi: track.points
+            for track in self.tracks.values()
+            if track.mmsi is not None
+        }
+        assignments = associate_contacts(contacts, track_points, self.config)
+        for assignment in assignments:
+            contact = assignment.contact
+            point = TrackPoint(
+                t=contact.t, lat=contact.lat, lon=contact.lon, source="radar"
+            )
+            if assignment.mmsi is not None:
+                self._track_for_mmsi(assignment.mmsi).add(point)
+                continue
+            anonymous = self._nearest_anonymous(contact)
+            if anonymous is not None:
+                anonymous.add(point)
+            else:
+                track_id = self._next_id
+                self._next_id += 1
+                track = FusedTrack(track_id, None)
+                track.add(point)
+                self.tracks[track_id] = track
+        return assignments
+
+    def _nearest_anonymous(self, contact: RadarContact) -> FusedTrack | None:
+        best: FusedTrack | None = None
+        best_dist = self.config.gate_m
+        for track in self.tracks.values():
+            if track.mmsi is not None or not track.points:
+                continue
+            last = max(track.points, key=lambda p: p.t)
+            if contact.t - last.t > self.config.max_track_age_s or contact.t < last.t:
+                continue
+            dist = haversine_m(contact.lat, contact.lon, last.lat, last.lon)
+            if dist <= best_dist:
+                best = track
+                best_dist = dist
+        return best
+
+    @property
+    def anonymous_tracks(self) -> list[FusedTrack]:
+        return [t for t in self.tracks.values() if t.mmsi is None]
+
+    @property
+    def identified_tracks(self) -> list[FusedTrack]:
+        return [t for t in self.tracks.values() if t.mmsi is not None]

@@ -1,0 +1,114 @@
+"""Attribute conflict detection and resolution across sources.
+
+§4's concrete example: "ship information from the MarineTraffic database
+may conflict with that from Lloyd's: the length may differ slightly, or
+the flag may be different due to a lack of update in one source.  In this
+regard, additional knowledge on sources' quality may help solving the
+issue."  Three resolution strategies are provided; E5 compares them under
+controlled corruption.
+"""
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class AttributeConflict:
+    """Disagreement on one attribute of one entity."""
+
+    entity_id: Any
+    attribute: str
+    values_by_source: dict  # source -> value
+
+    @property
+    def distinct_values(self) -> set:
+        return set(self.values_by_source.values())
+
+
+def detect_conflicts(
+    records_by_source: dict[str, dict[Any, dict]],
+    attributes: list[str],
+    numeric_tolerance: dict[str, float] | None = None,
+) -> list[AttributeConflict]:
+    """Find entities whose sources disagree on an attribute.
+
+    ``records_by_source[source][entity_id]`` is an attribute dict.  Numeric
+    attributes within ``numeric_tolerance`` of each other do not conflict
+    (small length differences are measurement convention, not error).
+    Missing/empty values never conflict — absence is incompleteness, not
+    contradiction (the open-world stance of §4).
+    """
+    numeric_tolerance = numeric_tolerance or {}
+    entity_ids = set()
+    for records in records_by_source.values():
+        entity_ids.update(records)
+    conflicts: list[AttributeConflict] = []
+    for entity_id in sorted(entity_ids, key=str):
+        for attribute in attributes:
+            values = {}
+            for source, records in records_by_source.items():
+                record = records.get(entity_id)
+                if record is None:
+                    continue
+                value = record.get(attribute)
+                if value in (None, "", 0):
+                    continue
+                values[source] = value
+            if len(values) < 2:
+                continue
+            tolerance = numeric_tolerance.get(attribute)
+            if tolerance is not None:
+                numeric = [float(v) for v in values.values()]
+                if max(numeric) - min(numeric) <= tolerance:
+                    continue
+                conflicts.append(AttributeConflict(entity_id, attribute, values))
+            elif len(set(values.values())) > 1:
+                conflicts.append(AttributeConflict(entity_id, attribute, values))
+    return conflicts
+
+
+def resolve_majority(conflict: AttributeConflict) -> Any:
+    """Most common value wins; ties broken by source-name order for
+    determinism."""
+    counts = Counter(conflict.values_by_source.values())
+    top = max(counts.values())
+    winners = sorted(
+        (str(source), value)
+        for source, value in conflict.values_by_source.items()
+        if counts[value] == top
+    )
+    return winners[0][1]
+
+
+def resolve_weighted(
+    conflict: AttributeConflict, reliability: dict[str, float]
+) -> Any:
+    """Value with the highest summed source reliability wins.
+
+    Sources without a reliability estimate count 0.5 (unknown, not
+    untrusted).
+    """
+    weights: dict[Any, float] = {}
+    for source, value in conflict.values_by_source.items():
+        weights[value] = weights.get(value, 0.0) + reliability.get(source, 0.5)
+    best_weight = max(weights.values())
+    winners = sorted(
+        str(v) for v, w in weights.items() if w == best_weight
+    )
+    for value, weight in weights.items():
+        if weight == best_weight and str(value) == winners[0]:
+            return value
+    raise AssertionError("unreachable")
+
+
+def resolve_most_recent(
+    conflict: AttributeConflict, updated_at: dict[str, float]
+) -> Any:
+    """Freshest source wins (for attributes that legitimately change,
+    like flag after re-registration)."""
+    freshest = max(
+        conflict.values_by_source,
+        key=lambda source: (updated_at.get(source, float("-inf")), str(source)),
+    )
+    return conflict.values_by_source[freshest]

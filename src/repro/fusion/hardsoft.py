@@ -1,0 +1,103 @@
+"""Hard-and-soft fusion: combining human reports with sensor tracks.
+
+§4: "The fusion of human generated information ('soft') with sensor data
+('hard') ... brings promising avenue to the MSA problem, in keeping the
+human at the core of the processing."  A soft report is a vague sighting
+("a trawler around here, maybe an hour ago") with explicit positional and
+temporal uncertainty plus a self-assessed confidence.  Fusion scores each
+candidate track by spatio-temporal consistency with the report, weighted
+by the reporter's confidence.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.geo import haversine_m
+from repro.trajectory.points import Trajectory
+
+
+@dataclass(frozen=True)
+class SoftReport:
+    """A human observation with explicit vagueness."""
+
+    t: float
+    lat: float
+    lon: float
+    #: 1-sigma positional vagueness of the sighting, metres.
+    sigma_m: float
+    #: 1-sigma temporal vagueness, seconds.
+    sigma_t_s: float
+    #: Reporter's self-assessed confidence in [0, 1].
+    confidence: float
+    #: Free-text content kept for the operator's display.
+    text: str = ""
+    #: Optional claimed vessel category ("fishing", "cargo", ...).
+    claimed_type: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError("confidence must be in [0, 1]")
+        if self.sigma_m <= 0 or self.sigma_t_s <= 0:
+            raise ValueError("sigmas must be positive")
+
+
+@dataclass(frozen=True)
+class HardSoftMatch:
+    """One track scored against a soft report."""
+
+    mmsi: int
+    #: Consistency likelihood in [0, 1] (Gaussian kernels in space & time).
+    consistency: float
+    #: consistency * reporter confidence.
+    weight: float
+    distance_m: float
+    dt_s: float
+
+
+def fuse_hard_soft(
+    report: SoftReport,
+    tracks: list[Trajectory],
+    search_window_sigmas: float = 3.0,
+) -> list[HardSoftMatch]:
+    """Rank tracks by consistency with a soft report, best first.
+
+    For each track, the vessel position is interpolated over a time window
+    of ``±search_window_sigmas * sigma_t`` around the reported time and the
+    best spatio-temporal agreement is kept.  Tracks outside the window
+    entirely score 0 and are omitted.
+
+    An empty result means *no* known track explains the sighting — under
+    the open-world stance of §4 that is itself actionable: a possible dark
+    vessel.
+    """
+    matches: list[HardSoftMatch] = []
+    t_lo = report.t - search_window_sigmas * report.sigma_t_s
+    t_hi = report.t + search_window_sigmas * report.sigma_t_s
+    for track in tracks:
+        if track.t_end < t_lo or track.t_start > t_hi:
+            continue
+        best: HardSoftMatch | None = None
+        # Evaluate at a handful of instants across the window.
+        steps = 9
+        for i in range(steps):
+            t = t_lo + (t_hi - t_lo) * i / (steps - 1)
+            t_clamped = min(track.t_end, max(track.t_start, t))
+            lat, lon = track.position_at(t_clamped)
+            distance = haversine_m(report.lat, report.lon, lat, lon)
+            dt = t_clamped - report.t
+            consistency = math.exp(
+                -0.5 * (distance / report.sigma_m) ** 2
+            ) * math.exp(-0.5 * (dt / report.sigma_t_s) ** 2)
+            candidate = HardSoftMatch(
+                mmsi=track.mmsi,
+                consistency=consistency,
+                weight=consistency * report.confidence,
+                distance_m=distance,
+                dt_s=dt,
+            )
+            if best is None or candidate.consistency > best.consistency:
+                best = candidate
+        if best is not None and best.consistency > 1e-4:
+            matches.append(best)
+    matches.sort(key=lambda m: m.weight, reverse=True)
+    return matches

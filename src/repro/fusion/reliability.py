@@ -1,0 +1,56 @@
+"""Source reliability estimation (§4, after Ceolin et al. [8]).
+
+A source's reliability is estimated from how well its reports agree with
+the consensus of the other sources at the same instants.  The scores feed
+(a) weighted conflict resolution and (b) evidence discounting in
+:mod:`repro.uncertainty.evidence`.
+"""
+
+from dataclasses import dataclass
+
+from repro.geo import haversine_m
+
+
+@dataclass(frozen=True)
+class SourceReliability:
+    """Agreement-based reliability estimate for one source."""
+
+    source: str
+    n_comparisons: int
+    mean_disagreement_m: float
+    #: Reliability in [0, 1]: exp(-disagreement / scale).
+    reliability: float
+
+
+def estimate_reliability(
+    reports_by_source: dict[str, list[tuple[float, float, float]]],
+    truth_fn,
+    scale_m: float = 500.0,
+) -> dict[str, SourceReliability]:
+    """Reliability of each source against a reference position function.
+
+    ``reports_by_source`` maps source name to ``(t, lat, lon)`` reports;
+    ``truth_fn(t) -> (lat, lon) | None`` provides the reference (in
+    production, the multi-source fused track; in tests, ground truth).
+    """
+    import math
+
+    out: dict[str, SourceReliability] = {}
+    for source, reports in reports_by_source.items():
+        errors = []
+        for t, lat, lon in reports:
+            reference = truth_fn(t)
+            if reference is None:
+                continue
+            errors.append(haversine_m(lat, lon, reference[0], reference[1]))
+        if not errors:
+            out[source] = SourceReliability(source, 0, float("nan"), 0.5)
+            continue
+        mean_error = sum(errors) / len(errors)
+        out[source] = SourceReliability(
+            source=source,
+            n_comparisons=len(errors),
+            mean_disagreement_m=mean_error,
+            reliability=math.exp(-mean_error / scale_m),
+        )
+    return out

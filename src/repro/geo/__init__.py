@@ -1,0 +1,76 @@
+"""Geodesy substrate: distances, bearings, interpolation, regions, kinematics.
+
+All angular quantities use degrees at the public API boundary (latitudes in
+[-90, 90], longitudes in [-180, 180], courses/bearings in [0, 360)), and all
+distances are in metres unless a function name says otherwise.  Speeds use
+knots at the API boundary because that is the unit AIS transmits.
+
+The module is deliberately self-contained: the rest of the library treats it
+as "the Earth" and never re-derives spherical trigonometry.
+"""
+
+from repro.geo.constants import (
+    EARTH_RADIUS_M,
+    KNOTS_TO_MPS,
+    MPS_TO_KNOTS,
+    NM_TO_M,
+    M_TO_NM,
+)
+from repro.geo.distance import (
+    haversine_m,
+    haversine_nm,
+    initial_bearing_deg,
+    destination_point,
+    equirectangular_m,
+    cross_track_distance_m,
+    along_track_distance_m,
+    normalize_lon,
+    normalize_course,
+    angular_difference_deg,
+)
+from repro.geo.interpolate import (
+    interpolate_great_circle,
+    interpolate_fraction,
+    interpolate_track_at_time,
+)
+from repro.geo.region import BoundingBox, PolygonRegion, CircleRegion
+from repro.geo.geohash import geohash_encode, geohash_decode, geohash_neighbors
+from repro.geo.kinematics import (
+    cpa_tcpa,
+    project_position,
+    speed_course_between,
+    turn_rate_deg_per_min,
+)
+from repro.geo.projection import LocalTangentPlane
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "KNOTS_TO_MPS",
+    "MPS_TO_KNOTS",
+    "NM_TO_M",
+    "M_TO_NM",
+    "haversine_m",
+    "haversine_nm",
+    "initial_bearing_deg",
+    "destination_point",
+    "equirectangular_m",
+    "cross_track_distance_m",
+    "along_track_distance_m",
+    "normalize_lon",
+    "normalize_course",
+    "angular_difference_deg",
+    "interpolate_great_circle",
+    "interpolate_fraction",
+    "interpolate_track_at_time",
+    "BoundingBox",
+    "PolygonRegion",
+    "CircleRegion",
+    "geohash_encode",
+    "geohash_decode",
+    "geohash_neighbors",
+    "cpa_tcpa",
+    "project_position",
+    "speed_course_between",
+    "turn_rate_deg_per_min",
+    "LocalTangentPlane",
+]

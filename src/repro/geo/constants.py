@@ -1,0 +1,19 @@
+"""Physical constants and unit conversions used across the library."""
+
+#: Mean Earth radius in metres (IUGG), sufficient for maritime accuracy.
+EARTH_RADIUS_M = 6_371_008.8
+
+#: One international nautical mile in metres.
+NM_TO_M = 1852.0
+
+#: Metres to nautical miles.
+M_TO_NM = 1.0 / NM_TO_M
+
+#: One knot (nautical mile per hour) in metres per second.
+KNOTS_TO_MPS = NM_TO_M / 3600.0
+
+#: Metres per second to knots.
+MPS_TO_KNOTS = 1.0 / KNOTS_TO_MPS
+
+#: Approximate metres per degree of latitude (used only for quick gating).
+METERS_PER_DEG_LAT = 111_194.9

@@ -1,0 +1,168 @@
+"""Great-circle distances, bearings and track geometry on a spherical Earth.
+
+These are the workhorse primitives of the library.  They intentionally use
+``math`` rather than ``numpy`` because the common call pattern is scalar
+(one vessel position at a time inside a stream operator); vectorised
+variants for analytics live in :mod:`repro.visual.density`.
+"""
+
+import math
+
+from repro.geo.constants import EARTH_RADIUS_M, M_TO_NM
+
+
+def normalize_lon(lon: float) -> float:
+    """Wrap a longitude into [-180, 180).
+
+    Values already in range pass through unchanged (no floating-point
+    drift from the modulo round-trip).
+
+    >>> normalize_lon(190.0)
+    -170.0
+    """
+    if -180.0 <= lon < 180.0:
+        return lon
+    wrapped = math.fmod(lon + 180.0, 360.0)
+    if wrapped < 0:
+        wrapped += 360.0
+    if wrapped >= 360.0:  # float rounding of tiny negatives
+        wrapped = 0.0
+    return wrapped - 180.0
+
+
+def normalize_course(course: float) -> float:
+    """Wrap a course/bearing into [0, 360)."""
+    if 0.0 <= course < 360.0:
+        return course
+    wrapped = math.fmod(course, 360.0)
+    if wrapped < 0:
+        wrapped += 360.0
+    if wrapped >= 360.0:  # float rounding of tiny negatives
+        wrapped = 0.0
+    return wrapped
+
+
+def angular_difference_deg(a: float, b: float) -> float:
+    """Smallest absolute difference between two courses, in [0, 180]."""
+    diff = abs(normalize_course(a) - normalize_course(b))
+    if diff > 180.0:
+        diff = 360.0 - diff
+    return diff
+
+
+def haversine_m(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two points in metres.
+
+    Uses the haversine formulation, which is numerically stable for the
+    short distances that dominate maritime tracking.
+    """
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(normalize_lon(lon2 - lon1))
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    )
+    a = min(1.0, max(0.0, a))
+    return 2.0 * EARTH_RADIUS_M * math.asin(math.sqrt(a))
+
+
+def haversine_nm(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance in nautical miles."""
+    return haversine_m(lat1, lon1, lat2, lon2) * M_TO_NM
+
+
+def equirectangular_m(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Fast flat-Earth distance approximation in metres.
+
+    Adequate below ~100 km; used in inner loops (index gating, clustering)
+    where the haversine trigonometry would dominate the profile.
+    """
+    mean_phi = math.radians((lat1 + lat2) / 2.0)
+    dx = math.radians(normalize_lon(lon2 - lon1)) * math.cos(mean_phi)
+    dy = math.radians(lat2 - lat1)
+    return EARTH_RADIUS_M * math.hypot(dx, dy)
+
+
+def initial_bearing_deg(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Initial great-circle bearing from point 1 to point 2, in [0, 360)."""
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dlam = math.radians(normalize_lon(lon2 - lon1))
+    y = math.sin(dlam) * math.cos(phi2)
+    x = math.cos(phi1) * math.sin(phi2) - math.sin(phi1) * math.cos(phi2) * math.cos(
+        dlam
+    )
+    return normalize_course(math.degrees(math.atan2(y, x)))
+
+
+def destination_point(
+    lat: float, lon: float, bearing_deg: float, distance_m: float
+) -> tuple[float, float]:
+    """Point reached travelling ``distance_m`` along ``bearing_deg``.
+
+    Returns ``(lat, lon)`` in degrees.  The inverse of
+    :func:`initial_bearing_deg` + :func:`haversine_m` up to floating error.
+    """
+    delta = distance_m / EARTH_RADIUS_M
+    theta = math.radians(bearing_deg)
+    phi1 = math.radians(lat)
+    lam1 = math.radians(lon)
+    sin_phi2 = math.sin(phi1) * math.cos(delta) + math.cos(phi1) * math.sin(
+        delta
+    ) * math.cos(theta)
+    sin_phi2 = min(1.0, max(-1.0, sin_phi2))
+    phi2 = math.asin(sin_phi2)
+    y = math.sin(theta) * math.sin(delta) * math.cos(phi1)
+    x = math.cos(delta) - math.sin(phi1) * sin_phi2
+    lam2 = lam1 + math.atan2(y, x)
+    return math.degrees(phi2), normalize_lon(math.degrees(lam2))
+
+
+def cross_track_distance_m(
+    lat: float,
+    lon: float,
+    lat1: float,
+    lon1: float,
+    lat2: float,
+    lon2: float,
+) -> float:
+    """Signed distance of a point from the great circle through two points.
+
+    Positive means the point lies to the right of the path 1→2.  This is the
+    error metric used by the trajectory compression algorithms ("SED-like"
+    spatial deviation).
+    """
+    d13 = haversine_m(lat1, lon1, lat, lon) / EARTH_RADIUS_M
+    theta13 = math.radians(initial_bearing_deg(lat1, lon1, lat, lon))
+    theta12 = math.radians(initial_bearing_deg(lat1, lon1, lat2, lon2))
+    return (
+        math.asin(
+            min(1.0, max(-1.0, math.sin(d13) * math.sin(theta13 - theta12)))
+        )
+        * EARTH_RADIUS_M
+    )
+
+
+def along_track_distance_m(
+    lat: float,
+    lon: float,
+    lat1: float,
+    lon1: float,
+    lat2: float,
+    lon2: float,
+) -> float:
+    """Distance from point 1 to the foot of the perpendicular from the point.
+
+    Together with :func:`cross_track_distance_m` this decomposes a deviation
+    from a leg into along/across components.
+    """
+    d13 = haversine_m(lat1, lon1, lat, lon) / EARTH_RADIUS_M
+    dxt = cross_track_distance_m(lat, lon, lat1, lon1, lat2, lon2) / EARTH_RADIUS_M
+    cos_d13 = math.cos(d13)
+    cos_dxt = math.cos(dxt)
+    if abs(cos_dxt) < 1e-15:
+        return 0.0
+    ratio = min(1.0, max(-1.0, cos_d13 / cos_dxt))
+    return math.acos(ratio) * EARTH_RADIUS_M

@@ -1,0 +1,104 @@
+"""Geohash encoding, used as the cheap spatial key for blocking and
+summaries (link discovery in §2.2 and density aggregation for Figure 1)."""
+
+_BASE32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+_BASE32_INDEX = {c: i for i, c in enumerate(_BASE32)}
+
+
+def geohash_encode(lat: float, lon: float, precision: int = 7) -> str:
+    """Encode a position as a geohash string of ``precision`` characters."""
+    if not (-90.0 <= lat <= 90.0):
+        raise ValueError("latitude out of range")
+    if precision < 1:
+        raise ValueError("precision must be >= 1")
+    lat_lo, lat_hi = -90.0, 90.0
+    lon_lo, lon_hi = -180.0, 180.0
+    bits = []
+    even = True
+    while len(bits) < precision * 5:
+        if even:
+            mid = (lon_lo + lon_hi) / 2.0
+            if lon >= mid:
+                bits.append(1)
+                lon_lo = mid
+            else:
+                bits.append(0)
+                lon_hi = mid
+        else:
+            mid = (lat_lo + lat_hi) / 2.0
+            if lat >= mid:
+                bits.append(1)
+                lat_lo = mid
+            else:
+                bits.append(0)
+                lat_hi = mid
+        even = not even
+    chars = []
+    for i in range(0, len(bits), 5):
+        value = 0
+        for bit in bits[i : i + 5]:
+            value = (value << 1) | bit
+        chars.append(_BASE32[value])
+    return "".join(chars)
+
+
+def geohash_decode(geohash: str) -> tuple[float, float, float, float]:
+    """Decode a geohash to ``(lat, lon, lat_err, lon_err)`` — cell centre
+    plus half-cell sizes."""
+    lat_lo, lat_hi = -90.0, 90.0
+    lon_lo, lon_hi = -180.0, 180.0
+    even = True
+    for char in geohash:
+        try:
+            value = _BASE32_INDEX[char]
+        except KeyError:
+            raise ValueError(f"invalid geohash character: {char!r}") from None
+        for shift in range(4, -1, -1):
+            bit = (value >> shift) & 1
+            if even:
+                mid = (lon_lo + lon_hi) / 2.0
+                if bit:
+                    lon_lo = mid
+                else:
+                    lon_hi = mid
+            else:
+                mid = (lat_lo + lat_hi) / 2.0
+                if bit:
+                    lat_lo = mid
+                else:
+                    lat_hi = mid
+            even = not even
+    lat = (lat_lo + lat_hi) / 2.0
+    lon = (lon_lo + lon_hi) / 2.0
+    return lat, lon, (lat_hi - lat_lo) / 2.0, (lon_hi - lon_lo) / 2.0
+
+
+def geohash_neighbors(geohash: str) -> list[str]:
+    """The 8 neighbouring cells of a geohash (may wrap in longitude).
+
+    Computed by decoding to the centre and re-encoding offset points, which
+    is simple and fully adequate for blocking purposes.
+    """
+    lat, lon, lat_err, lon_err = geohash_decode(geohash)
+    out = []
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            if dy == 0 and dx == 0:
+                continue
+            nlat = lat + dy * 2 * lat_err
+            nlon = lon + dx * 2 * lon_err
+            if nlat > 90.0 or nlat < -90.0:
+                continue
+            if nlon >= 180.0:
+                nlon -= 360.0
+            if nlon < -180.0:
+                nlon += 360.0
+            out.append(geohash_encode(nlat, nlon, len(geohash)))
+    # Deduplicate while keeping order (polar cells can collide).
+    seen: set[str] = set()
+    unique = []
+    for g in out:
+        if g not in seen and g != geohash:
+            seen.add(g)
+            unique.append(g)
+    return unique

@@ -1,0 +1,76 @@
+"""Great-circle interpolation between timestamped positions."""
+
+import math
+
+from repro.geo.constants import EARTH_RADIUS_M
+from repro.geo.distance import haversine_m, normalize_lon
+
+
+def interpolate_fraction(
+    lat1: float, lon1: float, lat2: float, lon2: float, fraction: float
+) -> tuple[float, float]:
+    """Point at ``fraction`` of the great circle from point 1 to point 2.
+
+    ``fraction`` 0 returns point 1, 1 returns point 2; values outside [0, 1]
+    extrapolate along the same great circle.
+    """
+    if fraction == 0.0:
+        return lat1, lon1
+    if fraction == 1.0:
+        return lat2, lon2
+    delta = haversine_m(lat1, lon1, lat2, lon2) / EARTH_RADIUS_M
+    if delta < 1e-12:
+        return lat1, lon1
+    if delta > math.pi - 1e-9:
+        # Antipodal endpoints: the great circle is not unique and the
+        # slerp below is numerically degenerate.  Nudge one endpoint by a
+        # few centimetres to select a route deterministically.
+        lat1 = lat1 + (1e-9 if lat1 < 89.0 else -1e-9)
+        delta = haversine_m(lat1, lon1, lat2, lon2) / EARTH_RADIUS_M
+    phi1, lam1 = math.radians(lat1), math.radians(lon1)
+    phi2, lam2 = math.radians(lat2), math.radians(lon2)
+    sin_delta = math.sin(delta)
+    a = math.sin((1.0 - fraction) * delta) / sin_delta
+    b = math.sin(fraction * delta) / sin_delta
+    x = a * math.cos(phi1) * math.cos(lam1) + b * math.cos(phi2) * math.cos(lam2)
+    y = a * math.cos(phi1) * math.sin(lam1) + b * math.cos(phi2) * math.sin(lam2)
+    z = a * math.sin(phi1) + b * math.sin(phi2)
+    phi = math.atan2(z, math.hypot(x, y))
+    lam = math.atan2(y, x)
+    return math.degrees(phi), normalize_lon(math.degrees(lam))
+
+
+def interpolate_great_circle(
+    lat1: float, lon1: float, lat2: float, lon2: float, n_points: int
+) -> list[tuple[float, float]]:
+    """Evenly spaced points along the great circle, endpoints included.
+
+    ``n_points`` is the total number of points returned and must be >= 2.
+    """
+    if n_points < 2:
+        raise ValueError("n_points must be >= 2")
+    step = 1.0 / (n_points - 1)
+    return [
+        interpolate_fraction(lat1, lon1, lat2, lon2, i * step)
+        for i in range(n_points)
+    ]
+
+
+def interpolate_track_at_time(
+    t1: float,
+    lat1: float,
+    lon1: float,
+    t2: float,
+    lat2: float,
+    lon2: float,
+    t: float,
+) -> tuple[float, float]:
+    """Linear-in-time great-circle interpolation between two fixes.
+
+    ``t`` outside ``[t1, t2]`` extrapolates.  Raises ``ValueError`` when the
+    fixes are simultaneous, because direction is then undefined.
+    """
+    if t2 == t1:
+        raise ValueError("cannot interpolate between simultaneous fixes")
+    fraction = (t - t1) / (t2 - t1)
+    return interpolate_fraction(lat1, lon1, lat2, lon2, fraction)

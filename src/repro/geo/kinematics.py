@@ -1,0 +1,110 @@
+"""Relative-motion kinematics: CPA/TCPA, dead-reckoning projection.
+
+Collision-risk events (§3.1) and short-horizon forecasting (§4) both reduce
+to these primitives.  Computations run in a local tangent plane around the
+ownship position, which is accurate for the <50 nm separations where CPA
+matters.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.geo.constants import KNOTS_TO_MPS
+from repro.geo.distance import (
+    destination_point,
+    haversine_m,
+    initial_bearing_deg,
+)
+from repro.geo.projection import LocalTangentPlane
+
+
+@dataclass(frozen=True)
+class CpaResult:
+    """Closest point of approach between two constant-velocity tracks."""
+
+    #: Time to CPA in seconds from now; negative means the CPA is in the past
+    #: (the vessels are already diverging).
+    tcpa_s: float
+    #: Distance at CPA in metres.
+    dcpa_m: float
+    #: Current separation in metres.
+    range_m: float
+
+
+def project_position(
+    lat: float,
+    lon: float,
+    sog_knots: float,
+    cog_deg: float,
+    dt_s: float,
+) -> tuple[float, float]:
+    """Dead-reckon a position forward ``dt_s`` seconds at constant
+    speed-over-ground / course-over-ground."""
+    distance = sog_knots * KNOTS_TO_MPS * dt_s
+    return destination_point(lat, lon, cog_deg, distance)
+
+
+def speed_course_between(
+    t1: float, lat1: float, lon1: float, t2: float, lat2: float, lon2: float
+) -> tuple[float, float]:
+    """Mean speed (knots) and course (deg) implied by two timestamped fixes.
+
+    Raises ``ValueError`` for non-increasing timestamps: callers must feed
+    fixes in time order (reconstruction sorts them first).
+    """
+    if t2 <= t1:
+        raise ValueError("fixes must be strictly increasing in time")
+    dist_m = haversine_m(lat1, lon1, lat2, lon2)
+    speed_knots = dist_m / (t2 - t1) / KNOTS_TO_MPS
+    course = initial_bearing_deg(lat1, lon1, lat2, lon2) if dist_m > 0.5 else 0.0
+    return speed_knots, course
+
+
+def turn_rate_deg_per_min(
+    course1_deg: float, course2_deg: float, dt_s: float
+) -> float:
+    """Signed turn rate between two course observations (deg/minute),
+    positive clockwise."""
+    if dt_s <= 0:
+        raise ValueError("dt_s must be positive")
+    delta = (course2_deg - course1_deg + 540.0) % 360.0 - 180.0
+    return delta / (dt_s / 60.0)
+
+
+def cpa_tcpa(
+    lat_a: float,
+    lon_a: float,
+    sog_a_knots: float,
+    cog_a_deg: float,
+    lat_b: float,
+    lon_b: float,
+    sog_b_knots: float,
+    cog_b_deg: float,
+) -> CpaResult:
+    """CPA/TCPA for two constant-velocity vessels.
+
+    The classic relative-motion solution: in a tangent plane centred between
+    the vessels, minimise ``|p_rel + v_rel * t|`` over ``t``.
+    """
+    plane = LocalTangentPlane((lat_a + lat_b) / 2.0, (lon_a + lon_b) / 2.0)
+    xa, ya = plane.to_xy(lat_a, lon_a)
+    xb, yb = plane.to_xy(lat_b, lon_b)
+
+    def velocity(sog_knots: float, cog_deg: float) -> tuple[float, float]:
+        speed = sog_knots * KNOTS_TO_MPS
+        theta = math.radians(cog_deg)
+        # Course is measured clockwise from north: x=east, y=north.
+        return speed * math.sin(theta), speed * math.cos(theta)
+
+    vax, vay = velocity(sog_a_knots, cog_a_deg)
+    vbx, vby = velocity(sog_b_knots, cog_b_deg)
+    px, py = xb - xa, yb - ya
+    vx, vy = vbx - vax, vby - vay
+    range_now = math.hypot(px, py)
+    v_sq = vx * vx + vy * vy
+    if v_sq < 1e-12:
+        # Identical velocities: separation never changes.
+        return CpaResult(tcpa_s=0.0, dcpa_m=range_now, range_m=range_now)
+    tcpa = -(px * vx + py * vy) / v_sq
+    dcpa = math.hypot(px + vx * tcpa, py + vy * tcpa)
+    return CpaResult(tcpa_s=tcpa, dcpa_m=dcpa, range_m=range_now)

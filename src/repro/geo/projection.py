@@ -1,0 +1,48 @@
+"""Local tangent plane (east-north) projection around a reference point.
+
+Kalman filtering, association gating and CPA computation all run in metres
+on a plane; this class owns the lat/lon ↔ metres conversion so the rest of
+the library never hand-rolls ``cos(lat)`` scalings.
+"""
+
+import math
+
+from repro.geo.constants import EARTH_RADIUS_M
+from repro.geo.distance import normalize_lon
+
+
+class LocalTangentPlane:
+    """Equirectangular projection centred on ``(lat0, lon0)``.
+
+    Accurate to well under 0.1% within ~200 km of the origin, which covers
+    every local computation in the library (association gates, CPA, port
+    approaches).  x points east, y points north, both in metres.
+    """
+
+    def __init__(self, lat0: float, lon0: float) -> None:
+        if not (-90.0 <= lat0 <= 90.0):
+            raise ValueError("lat0 out of range")
+        self.lat0 = float(lat0)
+        self.lon0 = normalize_lon(float(lon0))
+        self._cos_lat0 = math.cos(math.radians(lat0))
+        if abs(self._cos_lat0) < 1e-6:
+            raise ValueError("tangent plane undefined at the poles")
+
+    def to_xy(self, lat: float, lon: float) -> tuple[float, float]:
+        """Project a lat/lon to plane coordinates in metres."""
+        x = (
+            math.radians(normalize_lon(lon - self.lon0))
+            * self._cos_lat0
+            * EARTH_RADIUS_M
+        )
+        y = math.radians(lat - self.lat0) * EARTH_RADIUS_M
+        return x, y
+
+    def to_latlon(self, x: float, y: float) -> tuple[float, float]:
+        """Inverse of :meth:`to_xy`."""
+        lat = self.lat0 + math.degrees(y / EARTH_RADIUS_M)
+        lon = self.lon0 + math.degrees(x / (EARTH_RADIUS_M * self._cos_lat0))
+        return lat, normalize_lon(lon)
+
+    def __repr__(self) -> str:
+        return f"LocalTangentPlane(lat0={self.lat0:.4f}, lon0={self.lon0:.4f})"

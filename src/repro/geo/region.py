@@ -1,0 +1,162 @@
+"""Spatial regions: bounding boxes, polygons and circles.
+
+Regions are the vocabulary for zones of interest (harbours, anchorages,
+EEZ borders, protected areas) used by event detection (§3.1 of the paper)
+and by the spatio-temporal query layer (§2.3).
+"""
+
+from dataclasses import dataclass
+
+from repro.geo.distance import haversine_m, normalize_lon
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned lat/lon box.  ``lon_min > lon_max`` means it crosses
+    the antimeridian."""
+
+    lat_min: float
+    lat_max: float
+    lon_min: float
+    lon_max: float
+
+    def __post_init__(self) -> None:
+        if self.lat_min > self.lat_max:
+            raise ValueError("lat_min must be <= lat_max")
+        if not (-90.0 <= self.lat_min <= 90.0 and -90.0 <= self.lat_max <= 90.0):
+            raise ValueError("latitudes must be in [-90, 90]")
+
+    @property
+    def crosses_antimeridian(self) -> bool:
+        return self.lon_min > self.lon_max
+
+    def contains(self, lat: float, lon: float) -> bool:
+        """True when the point falls inside the box (edges inclusive)."""
+        if not (self.lat_min <= lat <= self.lat_max):
+            return False
+        lon = normalize_lon(lon)
+        if self.crosses_antimeridian:
+            return lon >= self.lon_min or lon <= self.lon_max
+        return self.lon_min <= lon <= self.lon_max
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """True when the two boxes overlap (edge contact counts)."""
+        if self.lat_max < other.lat_min or other.lat_max < self.lat_min:
+            return False
+        return self._lon_overlap(other)
+
+    def _lon_overlap(self, other: "BoundingBox") -> bool:
+        def spans(box: "BoundingBox") -> list[tuple[float, float]]:
+            if box.crosses_antimeridian:
+                return [(box.lon_min, 180.0), (-180.0, box.lon_max)]
+            return [(box.lon_min, box.lon_max)]
+
+        for a_lo, a_hi in spans(self):
+            for b_lo, b_hi in spans(other):
+                if a_lo <= b_hi and b_lo <= a_hi:
+                    return True
+        return False
+
+    def expand(self, margin_deg: float) -> "BoundingBox":
+        """Box grown by ``margin_deg`` on every side (lat clamped to poles)."""
+        return BoundingBox(
+            max(-90.0, self.lat_min - margin_deg),
+            min(90.0, self.lat_max + margin_deg),
+            normalize_lon(self.lon_min - margin_deg),
+            normalize_lon(self.lon_max + margin_deg),
+        )
+
+    @property
+    def center(self) -> tuple[float, float]:
+        lat_c = (self.lat_min + self.lat_max) / 2.0
+        if self.crosses_antimeridian:
+            width = (180.0 - self.lon_min) + (self.lon_max + 180.0)
+            lon_c = normalize_lon(self.lon_min + width / 2.0)
+        else:
+            lon_c = (self.lon_min + self.lon_max) / 2.0
+        return lat_c, lon_c
+
+
+@dataclass(frozen=True)
+class CircleRegion:
+    """Great-circle disc: all points within ``radius_m`` of the centre."""
+
+    lat: float
+    lon: float
+    radius_m: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.radius_m < 0:
+            raise ValueError("radius_m must be non-negative")
+
+    def contains(self, lat: float, lon: float) -> bool:
+        return haversine_m(self.lat, self.lon, lat, lon) <= self.radius_m
+
+    def bounding_box(self) -> BoundingBox:
+        """Conservative lat/lon box enclosing the disc."""
+        dlat = self.radius_m / 111_194.9
+        import math
+
+        coslat = max(0.01, math.cos(math.radians(self.lat)))
+        dlon = dlat / coslat
+        return BoundingBox(
+            max(-90.0, self.lat - dlat),
+            min(90.0, self.lat + dlat),
+            normalize_lon(self.lon - dlon),
+            normalize_lon(self.lon + dlon),
+        )
+
+
+class PolygonRegion:
+    """Simple (non-self-intersecting) polygon on the lat/lon plane.
+
+    Point-in-polygon uses the even-odd ray casting rule in plate carrée
+    coordinates, which is standard practice for maritime zones of the size
+    this library deals with (harbours to EEZ segments).  Polygons spanning
+    the antimeridian should be split by the caller.
+    """
+
+    def __init__(self, vertices: list[tuple[float, float]], name: str = "") -> None:
+        if len(vertices) < 3:
+            raise ValueError("a polygon needs at least 3 vertices")
+        self.vertices = [(float(lat), float(lon)) for lat, lon in vertices]
+        self.name = name
+        lats = [v[0] for v in self.vertices]
+        lons = [v[1] for v in self.vertices]
+        self._bbox = BoundingBox(min(lats), max(lats), min(lons), max(lons))
+
+    def bounding_box(self) -> BoundingBox:
+        return self._bbox
+
+    def contains(self, lat: float, lon: float) -> bool:
+        """Even-odd rule point-in-polygon test (boundary points may go
+        either way, as usual for ray casting)."""
+        if not self._bbox.contains(lat, lon):
+            return False
+        inside = False
+        n = len(self.vertices)
+        j = n - 1
+        for i in range(n):
+            yi, xi = self.vertices[i]
+            yj, xj = self.vertices[j]
+            if (yi > lat) != (yj > lat):
+                x_cross = xi + (lat - yi) / (yj - yi) * (xj - xi)
+                if lon < x_cross:
+                    inside = not inside
+            j = i
+        return inside
+
+    def area_sq_deg(self) -> float:
+        """Shoelace area in square degrees (plate carrée); used only for
+        sanity checks and zone ordering, never for physical area."""
+        total = 0.0
+        n = len(self.vertices)
+        for i in range(n):
+            y1, x1 = self.vertices[i]
+            y2, x2 = self.vertices[(i + 1) % n]
+            total += x1 * y2 - x2 * y1
+        return abs(total) / 2.0
+
+    def __repr__(self) -> str:
+        return f"PolygonRegion(name={self.name!r}, n={len(self.vertices)})"

@@ -1,0 +1,28 @@
+"""Semantic layer: ontology-lite, registries, trajectory annotation (§2.5).
+
+Bridges "low level data from maritime sensors and maritime domain
+semantics": a small vessel/activity taxonomy with subsumption, synthetic
+registries standing in for MarineTraffic/Lloyd's (with controlled
+corruption for the fusion experiments), and annotation of reconstructed
+trajectories into the triple store as SEM-style events [41].
+"""
+
+from repro.semantics.ontology import Taxonomy, MARITIME_TAXONOMY, VOCAB
+from repro.semantics.registry import (
+    RegistryRecord,
+    build_registry,
+    corrupt_registry,
+    registry_from_specs,
+)
+from repro.semantics.annotate import SemanticAnnotator
+
+__all__ = [
+    "Taxonomy",
+    "MARITIME_TAXONOMY",
+    "VOCAB",
+    "RegistryRecord",
+    "build_registry",
+    "corrupt_registry",
+    "registry_from_specs",
+    "SemanticAnnotator",
+]

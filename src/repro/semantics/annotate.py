@@ -1,0 +1,98 @@
+"""Semantic trajectory annotation into the triple store.
+
+The "automatic, real-time semantic annotation and linking of maritime
+data towards generating coherent views" challenge of §2.6: reconstructed
+trajectories, their stops/moves, detected events and weather context are
+written as SEM-style triples [41], so the same store answers questions
+like "fishing vessels that loitered near a protected area in bad weather".
+"""
+
+from repro.events.base import Event
+from repro.semantics.ontology import SHIP_TYPE_CLASS, VOCAB
+from repro.simulation.vessel import VesselSpec
+from repro.simulation.weather import WeatherProvider
+from repro.simulation.world import Port
+from repro.storage.triples import TripleStore
+from repro.trajectory.points import Trajectory
+from repro.trajectory.stops import detect_stops, port_calls
+
+
+class SemanticAnnotator:
+    """Writes vessels, trajectories, stops and events into a TripleStore."""
+
+    def __init__(
+        self,
+        store: TripleStore,
+        ports: list[Port],
+        weather: WeatherProvider | None = None,
+    ) -> None:
+        self.store = store
+        self.ports = ports
+        self.weather = weather
+        self._event_counter = 0
+
+    # -- identities ----------------------------------------------------------
+
+    def annotate_vessel(self, spec: VesselSpec) -> str:
+        """Insert a vessel's identity; returns its node id."""
+        node = f"vessel:{spec.mmsi}"
+        cls = SHIP_TYPE_CLASS.get(spec.ship_type, "Vessel")
+        self.store.add(node, VOCAB.TYPE, cls)
+        self.store.add(node, VOCAB.NAME, spec.name)
+        self.store.add(node, VOCAB.FLAG, spec.flag)
+        self.store.add(node, VOCAB.CALLSIGN, spec.callsign)
+        if spec.imo:
+            self.store.add(node, VOCAB.IMO, spec.imo)
+        self.store.add(node, VOCAB.LENGTH, spec.length_m)
+        return node
+
+    # -- movement ------------------------------------------------------------
+
+    def annotate_trajectory(self, trajectory: Trajectory) -> str:
+        """Insert a trajectory node with span and endpoints; annotate its
+        stops and port calls as activities."""
+        node = f"track:{trajectory.mmsi}:{int(trajectory.t_start)}"
+        vessel = f"vessel:{trajectory.mmsi}"
+        self.store.add(vessel, VOCAB.HAS_TRACK, node)
+        self.store.add(node, VOCAB.TYPE, "Voyage")
+        self.store.add(node, VOCAB.TIME_BEGIN, trajectory.t_start)
+        self.store.add(node, VOCAB.TIME_END, trajectory.t_end)
+        stops = detect_stops(trajectory)
+        for stop, port in port_calls(stops, self.ports):
+            call_node = self._next_event_node()
+            self.store.add(call_node, VOCAB.TYPE, "PortCall")
+            self.store.add(call_node, VOCAB.ACTOR, vessel)
+            self.store.add(call_node, VOCAB.NEAR_PORT, port.name)
+            self.store.add(call_node, VOCAB.TIME_BEGIN, stop.t_start)
+            self.store.add(call_node, VOCAB.TIME_END, stop.t_end)
+        return node
+
+    # -- events ---------------------------------------------------------------
+
+    def annotate_event(self, event: Event) -> str:
+        """Insert a detected event as a SEM-style event instance, with
+        weather context at its time and place when available."""
+        node = self._next_event_node()
+        self.store.add(node, VOCAB.TYPE, "Activity")
+        self.store.add(node, VOCAB.EVENT_TYPE, event.kind.value)
+        for mmsi in event.mmsis:
+            self.store.add(node, VOCAB.ACTOR, f"vessel:{mmsi}")
+        self.store.add(node, VOCAB.PLACE_LAT, round(event.lat, 5))
+        self.store.add(node, VOCAB.PLACE_LON, round(event.lon, 5))
+        self.store.add(node, VOCAB.TIME_BEGIN, event.t_start)
+        self.store.add(node, VOCAB.TIME_END, event.t_end)
+        self.store.add(node, VOCAB.CONFIDENCE, round(event.confidence, 3))
+        if self.weather is not None:
+            sample = self.weather.sample_gridded(
+                event.lat, event.lon, event.t_start
+            )
+            condition = (
+                "rough" if sample.wave_height_m > 2.5 else
+                "moderate" if sample.wave_height_m > 1.0 else "calm"
+            )
+            self.store.add(node, VOCAB.IN_WEATHER, condition)
+        return node
+
+    def _next_event_node(self) -> str:
+        self._event_counter += 1
+        return f"event:{self._event_counter}"

@@ -1,0 +1,123 @@
+"""A small maritime taxonomy with subsumption reasoning.
+
+Not a full OWL stack — §2.5 itself notes "existing semantic approaches and
+technologies are not adequate" and that semantics is best addressed at the
+application level.  What the pipeline actually needs is: a class
+hierarchy over vessels and activities, subsumption queries ("is a trawler
+a fishing vessel?"), and a stable vocabulary of predicate names shared by
+the annotator and the queries.
+"""
+
+from repro.ais.types import ShipType
+
+
+class Taxonomy:
+    """An is-a hierarchy with subsumption queries."""
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+
+    def add(self, child: str, parent: str) -> None:
+        if child == parent:
+            raise ValueError("a class cannot subsume itself")
+        # Reject cycles: walking up from parent must not reach child.
+        cursor = parent
+        while cursor is not None:
+            if cursor == child:
+                raise ValueError(f"cycle: {child} -> {parent}")
+            cursor = self._parent.get(cursor)
+        self._parent[child] = parent
+
+    def ancestors(self, cls: str) -> list[str]:
+        out = []
+        cursor = self._parent.get(cls)
+        while cursor is not None:
+            out.append(cursor)
+            cursor = self._parent.get(cursor)
+        return out
+
+    def is_a(self, cls: str, maybe_ancestor: str) -> bool:
+        """Subsumption: cls == ancestor or ancestor ∈ ancestors(cls)."""
+        return cls == maybe_ancestor or maybe_ancestor in self.ancestors(cls)
+
+    def descendants(self, cls: str) -> set[str]:
+        return {
+            child for child in self._parent
+            if self.is_a(child, cls) and child != cls
+        }
+
+    def classes(self) -> set[str]:
+        return set(self._parent) | set(self._parent.values())
+
+
+def _build_maritime_taxonomy() -> Taxonomy:
+    t = Taxonomy()
+    # Vessel classes.
+    for child, parent in [
+        ("Vessel", "MaritimeObject"),
+        ("MerchantVessel", "Vessel"),
+        ("CargoVessel", "MerchantVessel"),
+        ("ContainerShip", "CargoVessel"),
+        ("BulkCarrier", "CargoVessel"),
+        ("Tanker", "MerchantVessel"),
+        ("PassengerVessel", "MerchantVessel"),
+        ("Ferry", "PassengerVessel"),
+        ("FishingVessel", "Vessel"),
+        ("Trawler", "FishingVessel"),
+        ("ServiceVessel", "Vessel"),
+        ("Tug", "ServiceVessel"),
+        ("PilotVessel", "ServiceVessel"),
+        ("PleasureCraft", "Vessel"),
+    ]:
+        t.add(child, parent)
+    # Activity classes (§3.1's event vocabulary).
+    for child, parent in [
+        ("Activity", "MaritimeObject"),
+        ("Voyage", "Activity"),
+        ("PortCall", "Activity"),
+        ("Fishing", "Activity"),
+        ("Anchoring", "Activity"),
+        ("Loitering", "SuspiciousActivity"),
+        ("SuspiciousActivity", "Activity"),
+        ("Rendezvous", "SuspiciousActivity"),
+        ("GoingDark", "SuspiciousActivity"),
+        ("Spoofing", "SuspiciousActivity"),
+    ]:
+        t.add(child, parent)
+    return t
+
+
+#: The library's shared taxonomy instance.
+MARITIME_TAXONOMY = _build_maritime_taxonomy()
+
+#: Mapping from AIS ship types to taxonomy classes.
+SHIP_TYPE_CLASS: dict[ShipType, str] = {
+    ShipType.CARGO: "CargoVessel",
+    ShipType.TANKER: "Tanker",
+    ShipType.PASSENGER: "PassengerVessel",
+    ShipType.FISHING: "FishingVessel",
+    ShipType.TUG: "Tug",
+    ShipType.PILOT_VESSEL: "PilotVessel",
+    ShipType.PLEASURE_CRAFT: "PleasureCraft",
+}
+
+
+class VOCAB:
+    """Predicate vocabulary for the triple store (SEM-flavoured [41])."""
+
+    TYPE = "rdf:type"
+    NAME = "vessel:name"
+    FLAG = "vessel:flag"
+    CALLSIGN = "vessel:callsign"
+    IMO = "vessel:imo"
+    LENGTH = "vessel:length_m"
+    HAS_TRACK = "vessel:hasTrack"
+    EVENT_TYPE = "sem:eventType"
+    ACTOR = "sem:hasActor"
+    PLACE_LAT = "sem:placeLat"
+    PLACE_LON = "sem:placeLon"
+    TIME_BEGIN = "sem:hasBeginTimeStamp"
+    TIME_END = "sem:hasEndTimeStamp"
+    NEAR_PORT = "geo:nearPort"
+    IN_WEATHER = "met:condition"
+    CONFIDENCE = "repro:confidence"

@@ -1,0 +1,131 @@
+"""Synthetic vessel registries with controlled corruption.
+
+Stand-ins for the MarineTraffic and Lloyd's registries of §4's conflict
+example.  Both derive from the simulator's ground-truth fleet; each is
+independently corrupted (stale flags, slightly different lengths, name
+typos, missing fields) at configurable rates, so the linkage (E7) and
+conflict-resolution (E5) experiments have exact ground truth.
+"""
+
+import random
+from dataclasses import dataclass, asdict
+
+from repro.simulation.vessel import VesselSpec
+
+
+@dataclass(frozen=True)
+class RegistryRecord:
+    """One registry row.  ``id`` is registry-local (registries do not share
+    keys — that is the whole linkage problem)."""
+
+    id: str
+    name: str
+    callsign: str
+    imo: int
+    flag: str
+    length_m: float
+    ship_type: str
+    #: Epoch of last update, drives most-recent conflict resolution.
+    updated_at: float = 0.0
+    #: Ground truth for scoring only.
+    truth_mmsi: int = 0
+
+    def as_linkage_dict(self) -> dict:
+        """The attribute dict the linkage engine consumes."""
+        return {
+            "id": self.id,
+            "name": self.name,
+            "callsign": self.callsign,
+            "imo": self.imo or None,
+            "length_m": self.length_m or None,
+            "flag": self.flag or None,
+        }
+
+
+_TYPO_NEIGHBOURS = {
+    "A": "QS", "B": "VN", "C": "XV", "D": "SF", "E": "WR", "F": "DG",
+    "G": "FH", "H": "GJ", "I": "UO", "J": "HK", "K": "JL", "L": "K",
+    "M": "N", "N": "BM", "O": "IP", "P": "O", "Q": "WA", "R": "ET",
+    "S": "AD", "T": "RY", "U": "YI", "V": "CB", "W": "QE", "X": "ZC",
+    "Y": "TU", "Z": "X",
+}
+
+
+def _typo(name: str, rng: random.Random) -> str:
+    """One keyboard-neighbour substitution, as data-entry errors make."""
+    letters = [i for i, c in enumerate(name) if c.isalpha()]
+    if not letters:
+        return name
+    index = rng.choice(letters)
+    char = name[index].upper()
+    replacement = rng.choice(_TYPO_NEIGHBOURS.get(char, "X"))
+    return name[:index] + replacement + name[index + 1 :]
+
+
+def build_registry(
+    specs: list[VesselSpec], registry_name: str, updated_at: float = 0.0
+) -> list[RegistryRecord]:
+    """A clean registry straight from ground truth."""
+    return [
+        RegistryRecord(
+            id=f"{registry_name}-{i:05d}",
+            name=spec.name,
+            callsign=spec.callsign,
+            imo=spec.imo,
+            flag=spec.flag,
+            length_m=float(spec.length_m),
+            ship_type=spec.ship_type.name,
+            updated_at=updated_at,
+            truth_mmsi=spec.mmsi,
+        )
+        for i, spec in enumerate(specs)
+    ]
+
+
+def corrupt_registry(
+    records: list[RegistryRecord],
+    seed: int,
+    typo_rate: float = 0.05,
+    stale_flag_rate: float = 0.05,
+    length_jitter_rate: float = 0.30,
+    length_jitter_m: float = 4.0,
+    missing_imo_rate: float = 0.05,
+) -> list[RegistryRecord]:
+    """Independently corrupt a registry copy.
+
+    Default rates follow the paper's anchors: ~5% hard errors ([44]),
+    plus benign length differences (measurement convention) on a third of
+    records — §4's "the length may differ slightly".
+    """
+    rng = random.Random(seed)
+    flags = sorted({r.flag for r in records} | {"PA", "LR", "MT"})
+    out: list[RegistryRecord] = []
+    for record in records:
+        fields = asdict(record)
+        if rng.random() < typo_rate:
+            fields["name"] = _typo(record.name, rng)
+        if rng.random() < stale_flag_rate:
+            fields["flag"] = rng.choice([f for f in flags if f != record.flag])
+        if rng.random() < length_jitter_rate:
+            fields["length_m"] = max(
+                5.0, record.length_m + rng.uniform(-length_jitter_m, length_jitter_m)
+            )
+        if rng.random() < missing_imo_rate:
+            fields["imo"] = 0
+        out.append(RegistryRecord(**fields))
+    return out
+
+
+def registry_from_specs(
+    specs: list[VesselSpec],
+    registry_name: str,
+    seed: int,
+    updated_at: float = 0.0,
+    **corruption_rates,
+) -> list[RegistryRecord]:
+    """Build-and-corrupt in one call."""
+    return corrupt_registry(
+        build_registry(specs, registry_name, updated_at),
+        seed=seed,
+        **corruption_rates,
+    )

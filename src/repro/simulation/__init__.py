@@ -1,0 +1,72 @@
+"""Synthetic maritime world.
+
+This package replaces the paper's live data sources (terrestrial/satellite
+AIS, VTS radar, LRIT, weather products) with a deterministic simulator.
+Vessels follow behaviour-generated waypoint plans; an AIS transceiver model
+emits messages on the ITU reporting schedule; a receiver model applies
+coverage, loss and latency; everything is serialised through the real codec
+in :mod:`repro.ais`, so downstream components consume genuine NMEA.
+
+Ground truth (exact trajectories, injected events, fleet registry) is kept
+alongside the observable feed, which is what makes every experiment in
+EXPERIMENTS.md measurable.
+"""
+
+from repro.simulation.vessel import VesselSpec, Behaviour, FleetBuilder
+from repro.simulation.movement import Leg, WaypointPlan
+from repro.simulation.world import Port, WORLD_PORTS, REGIONAL_PORTS, port_by_name
+from repro.simulation.behaviours import (
+    plan_transit,
+    plan_ferry,
+    plan_fishing,
+    plan_loiter,
+    plan_rendezvous_pair,
+)
+from repro.simulation.reporting import reporting_interval_s, AisTransceiver
+from repro.simulation.receivers import (
+    TerrestrialStation,
+    SatelliteConstellation,
+    ReceiverNetwork,
+)
+from repro.simulation.weather import WeatherField, WeatherProvider
+from repro.simulation.sensors import RadarSite, RadarContact, LritReporter, LritReport
+from repro.simulation.scenario import (
+    Scenario,
+    ScenarioRun,
+    TruthEvent,
+    regional_scenario,
+    global_scenario,
+)
+
+__all__ = [
+    "VesselSpec",
+    "Behaviour",
+    "FleetBuilder",
+    "Leg",
+    "WaypointPlan",
+    "Port",
+    "WORLD_PORTS",
+    "REGIONAL_PORTS",
+    "port_by_name",
+    "plan_transit",
+    "plan_ferry",
+    "plan_fishing",
+    "plan_loiter",
+    "plan_rendezvous_pair",
+    "reporting_interval_s",
+    "AisTransceiver",
+    "TerrestrialStation",
+    "SatelliteConstellation",
+    "ReceiverNetwork",
+    "WeatherField",
+    "WeatherProvider",
+    "RadarSite",
+    "RadarContact",
+    "LritReporter",
+    "LritReport",
+    "Scenario",
+    "ScenarioRun",
+    "TruthEvent",
+    "regional_scenario",
+    "global_scenario",
+]

@@ -1,0 +1,241 @@
+"""Behaviour models: turn a vessel archetype into a timed waypoint plan.
+
+Each function returns a :class:`~repro.simulation.movement.WaypointPlan`
+covering ``[t_start, t_start + duration_s]`` (padded with dwells when the
+pattern finishes early).  Plans are deterministic given the ``rng``.
+"""
+
+import math
+import random
+
+from repro.geo import destination_point, haversine_m
+from repro.simulation.movement import Leg, WaypointPlan
+
+
+def _pad_to(plan: WaypointPlan, t_end: float) -> WaypointPlan:
+    """Extend a plan with a final dwell so it covers at least ``t_end``."""
+    if plan.t_end >= t_end:
+        return plan
+    return plan.append_dwell(t_end - plan.t_end)
+
+
+def _jittered_route(
+    origin: tuple[float, float],
+    dest: tuple[float, float],
+    rng: random.Random,
+    n_via: int = 2,
+    jitter_deg: float = 0.15,
+) -> list[tuple[float, float]]:
+    """Waypoints from origin to destination with slight lateral scatter, so
+    that different vessels on the same lane do not overlay exactly."""
+    from repro.geo import interpolate_fraction
+
+    waypoints = [origin]
+    for i in range(1, n_via + 1):
+        frac = i / (n_via + 1)
+        lat, lon = interpolate_fraction(
+            origin[0], origin[1], dest[0], dest[1], frac
+        )
+        waypoints.append(
+            (
+                lat + rng.uniform(-jitter_deg, jitter_deg),
+                lon + rng.uniform(-jitter_deg, jitter_deg),
+            )
+        )
+    waypoints.append(dest)
+    return waypoints
+
+
+def plan_transit(
+    t_start: float,
+    duration_s: float,
+    origin: tuple[float, float],
+    dest: tuple[float, float],
+    speed_knots: float,
+    rng: random.Random,
+) -> WaypointPlan:
+    """Port-to-port transit; arrives and stays moored if time remains.
+
+    If the voyage is longer than ``duration_s`` the plan is simply the first
+    part of it, which is fine — the scenario window is a slice of the world.
+    """
+    waypoints = _jittered_route(origin, dest, rng)
+    plan = WaypointPlan.from_waypoints(t_start, waypoints, speed_knots)
+    return _pad_to(plan, t_start + duration_s)
+
+
+def plan_ferry(
+    t_start: float,
+    duration_s: float,
+    port_a: tuple[float, float],
+    port_b: tuple[float, float],
+    speed_knots: float,
+    rng: random.Random,
+    turnaround_s: float = 1800.0,
+) -> WaypointPlan:
+    """Shuttle between two ports with dwell at each call."""
+    legs: list[Leg] = []
+    t = t_start
+    here, there = port_a, port_b
+    while t < t_start + duration_s:
+        crossing = WaypointPlan.from_waypoints(
+            t, _jittered_route(here, there, rng, n_via=1, jitter_deg=0.05),
+            speed_knots,
+        )
+        legs.extend(crossing.legs)
+        t = crossing.t_end
+        arrival = crossing.legs[-1]
+        legs.append(
+            Leg(t, t + turnaround_s, arrival.lat2, arrival.lon2,
+                arrival.lat2, arrival.lon2)
+        )
+        t += turnaround_s
+        here, there = there, here
+    return _pad_to(WaypointPlan(legs), t_start + duration_s)
+
+
+def plan_fishing(
+    t_start: float,
+    duration_s: float,
+    home_port: tuple[float, float],
+    ground_center: tuple[float, float],
+    rng: random.Random,
+    transit_speed_knots: float = 9.0,
+    trawl_speed_knots: float = 3.5,
+    ground_radius_m: float = 15_000.0,
+) -> WaypointPlan:
+    """Steam to the fishing ground, trawl a random zig-zag, steam home.
+
+    The slow erratic trawling phase is what the pattern-of-life model must
+    learn as *normal* for fishing vessels (and what looks anomalous for a
+    cargo ship) — see §3.1.
+    """
+    legs: list[Leg] = []
+    outbound = WaypointPlan.from_waypoints(
+        t_start, [home_port, ground_center], transit_speed_knots
+    )
+    legs.extend(outbound.legs)
+    t = outbound.t_end
+    # Reserve time to steam home.
+    home_time = (
+        haversine_m(*ground_center, *home_port)
+        / (transit_speed_knots * 1852.0 / 3600.0)
+    )
+    trawl_until = t_start + duration_s - home_time - 600.0
+    here = ground_center
+    while t < trawl_until:
+        bearing = rng.uniform(0.0, 360.0)
+        distance = rng.uniform(0.25, 1.0) * ground_radius_m
+        there = destination_point(here[0], here[1], bearing, distance)
+        # Keep the walk inside the ground.
+        if haversine_m(*there, *ground_center) > ground_radius_m:
+            there = destination_point(
+                ground_center[0], ground_center[1],
+                rng.uniform(0.0, 360.0),
+                rng.uniform(0.0, 0.8) * ground_radius_m,
+            )
+        tow = WaypointPlan.from_waypoints(t, [here, there], trawl_speed_knots)
+        legs.extend(tow.legs)
+        t = tow.t_end
+        here = there
+    inbound = WaypointPlan.from_waypoints(t, [here, home_port], transit_speed_knots)
+    legs.extend(inbound.legs)
+    return _pad_to(WaypointPlan(legs), t_start + duration_s)
+
+
+def plan_loiter(
+    t_start: float,
+    duration_s: float,
+    center: tuple[float, float],
+    rng: random.Random,
+    radius_m: float = 1_000.0,
+    drift_speed_knots: float = 1.0,
+) -> WaypointPlan:
+    """Slow drift around a point — the kinematic signature of loitering."""
+    legs: list[Leg] = []
+    t = t_start
+    here = center
+    while t < t_start + duration_s:
+        there = destination_point(
+            center[0], center[1],
+            rng.uniform(0.0, 360.0),
+            rng.uniform(0.1, 1.0) * radius_m,
+        )
+        hop_len = haversine_m(*here, *there)
+        if hop_len < 10.0:
+            legs.append(Leg(t, t + 300.0, here[0], here[1], here[0], here[1]))
+            t += 300.0
+            continue
+        hop = WaypointPlan.from_waypoints(t, [here, there], drift_speed_knots)
+        legs.extend(hop.legs)
+        t = hop.t_end
+        here = there
+    plan = WaypointPlan(legs)
+    return _pad_to(plan, t_start + duration_s)
+
+
+def plan_rendezvous_pair(
+    t_start: float,
+    duration_s: float,
+    origin_a: tuple[float, float],
+    origin_b: tuple[float, float],
+    meeting_point: tuple[float, float],
+    meeting_time: float,
+    meeting_duration_s: float,
+    rng: random.Random,
+    speed_knots: float = 11.0,
+) -> tuple[WaypointPlan, WaypointPlan, dict]:
+    """Two vessels converge on a mid-sea point, loiter together, separate.
+
+    Returns both plans plus a ground-truth record (used to score rendezvous
+    detection in E3/E4).  Approach legs are timed so both vessels arrive at
+    ``meeting_time``; speeds are derived per vessel.
+    """
+
+    def _approach(origin: tuple[float, float]) -> list[Leg]:
+        distance = haversine_m(*origin, *meeting_point)
+        travel_time = meeting_time - t_start
+        if travel_time <= 0:
+            raise ValueError("meeting_time must be after t_start")
+        speed_mps = distance / travel_time
+        if speed_mps > 15.0:
+            raise ValueError(
+                "meeting point unreachable in time "
+                f"({speed_mps * 3600 / 1852:.1f} kn needed)"
+            )
+        plan = WaypointPlan.from_waypoints(
+            t_start, [origin, meeting_point], speed_mps * 3600.0 / 1852.0
+        )
+        return list(plan.legs)
+
+    plans = []
+    for origin in (origin_a, origin_b):
+        legs = _approach(origin)
+        arrive = legs[-1].t_end
+        # Hold position together (offset a few hundred metres apart).
+        offset = destination_point(
+            meeting_point[0], meeting_point[1], rng.uniform(0, 360), 150.0
+        )
+        legs.append(
+            Leg(arrive, meeting_time + meeting_duration_s,
+                legs[-1].lat2, legs[-1].lon2, legs[-1].lat2, legs[-1].lon2)
+        )
+        # Depart on a random bearing.
+        depart_from = (legs[-1].lat2, legs[-1].lon2)
+        away = destination_point(
+            depart_from[0], depart_from[1], rng.uniform(0, 360), 60_000.0
+        )
+        depart = WaypointPlan.from_waypoints(
+            legs[-1].t_end, [depart_from, away], speed_knots
+        )
+        legs.extend(depart.legs)
+        plans.append(_pad_to(WaypointPlan(legs), t_start + duration_s))
+        del offset  # approach offset kept implicit; contact distance ~0
+    truth = {
+        "type": "rendezvous",
+        "t_start": meeting_time,
+        "t_end": meeting_time + meeting_duration_s,
+        "lat": meeting_point[0],
+        "lon": meeting_point[1],
+    }
+    return plans[0], plans[1], truth

@@ -1,0 +1,200 @@
+"""Analytic vessel movement: timed waypoint plans.
+
+A vessel's whole day is a :class:`WaypointPlan` — a sorted list of legs,
+each a constant-speed great-circle segment (or a stationary dwell).  The
+position at any instant is computed analytically (binary search + spherical
+interpolation), so querying a 24 h global scenario is O(log legs) per
+sample and no numerical integration error accumulates.
+"""
+
+import bisect
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.geo import (
+    KNOTS_TO_MPS,
+    haversine_m,
+    initial_bearing_deg,
+    interpolate_fraction,
+)
+
+
+@dataclass(frozen=True)
+class Leg:
+    """One constant-speed segment of a plan.  ``lat1 == lat2`` and
+    ``lon1 == lon2`` encodes a dwell (anchored / moored / drifting).
+
+    Geometry (length, speed, course) is cached on first access: plans are
+    immutable and these are evaluated millions of times per scenario.
+    """
+
+    t_start: float
+    t_end: float
+    lat1: float
+    lon1: float
+    lat2: float
+    lon2: float
+
+    def __post_init__(self) -> None:
+        if self.t_end <= self.t_start:
+            raise ValueError("leg must have positive duration")
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end - self.t_start
+
+    @cached_property
+    def length_m(self) -> float:
+        return haversine_m(self.lat1, self.lon1, self.lat2, self.lon2)
+
+    @cached_property
+    def speed_knots(self) -> float:
+        return self.length_m / self.duration_s / KNOTS_TO_MPS
+
+    @cached_property
+    def course_deg(self) -> float:
+        if self.length_m < 1.0:
+            return 0.0
+        return initial_bearing_deg(self.lat1, self.lon1, self.lat2, self.lon2)
+
+    def position_at(self, t: float) -> tuple[float, float]:
+        """Position at time ``t`` (clamped to the leg's time span)."""
+        fraction = (t - self.t_start) / self.duration_s
+        fraction = min(1.0, max(0.0, fraction))
+        return interpolate_fraction(
+            self.lat1, self.lon1, self.lat2, self.lon2, fraction
+        )
+
+
+@dataclass(frozen=True)
+class Kinematics:
+    """Instantaneous state sampled from a plan."""
+
+    t: float
+    lat: float
+    lon: float
+    sog_knots: float
+    cog_deg: float
+    underway: bool
+
+
+class WaypointPlan:
+    """A vessel's timed route: contiguous legs covering ``[t0, t1]``.
+
+    Build with :meth:`from_waypoints` (waypoints + speed) or directly from
+    legs.  Legs must be contiguous in time; gaps raise ``ValueError`` so
+    that behaviour-model bugs surface immediately rather than as teleports.
+    """
+
+    def __init__(self, legs: list[Leg]) -> None:
+        if not legs:
+            raise ValueError("a plan needs at least one leg")
+        ordered = sorted(legs, key=lambda leg: leg.t_start)
+        for prev, nxt in zip(ordered, ordered[1:]):
+            if abs(prev.t_end - nxt.t_start) > 1e-6:
+                raise ValueError(
+                    f"legs not contiguous: {prev.t_end} -> {nxt.t_start}"
+                )
+            jump = haversine_m(prev.lat2, prev.lon2, nxt.lat1, nxt.lon1)
+            if jump > 50.0:
+                raise ValueError(f"legs not spatially contiguous ({jump:.0f} m jump)")
+        self.legs = ordered
+        self._starts = [leg.t_start for leg in ordered]
+
+    @property
+    def t_start(self) -> float:
+        return self.legs[0].t_start
+
+    @property
+    def t_end(self) -> float:
+        return self.legs[-1].t_end
+
+    def leg_at(self, t: float) -> Leg:
+        """The leg active at time ``t`` (clamped to the plan's span)."""
+        index = bisect.bisect_right(self._starts, t) - 1
+        index = min(len(self.legs) - 1, max(0, index))
+        return self.legs[index]
+
+    def position_at(self, t: float) -> tuple[float, float]:
+        return self.leg_at(t).position_at(t)
+
+    def kinematics_at(self, t: float) -> Kinematics:
+        """Full kinematic state at ``t``; dwells report SOG 0 / last course."""
+        leg = self.leg_at(t)
+        lat, lon = leg.position_at(t)
+        speed = leg.speed_knots
+        underway = speed > 0.5
+        return Kinematics(
+            t=t,
+            lat=lat,
+            lon=lon,
+            sog_knots=speed if underway else 0.0,
+            cog_deg=leg.course_deg,
+            underway=underway,
+        )
+
+    def sample(self, step_s: float) -> list[Kinematics]:
+        """Regularly sampled states over the whole plan (endpoints included)."""
+        if step_s <= 0:
+            raise ValueError("step_s must be positive")
+        samples = []
+        t = self.t_start
+        while t < self.t_end:
+            samples.append(self.kinematics_at(t))
+            t += step_s
+        samples.append(self.kinematics_at(self.t_end))
+        return samples
+
+    @classmethod
+    def from_waypoints(
+        cls,
+        t_start: float,
+        waypoints: list[tuple[float, float]],
+        speed_knots: float,
+        max_leg_length_m: float = 500_000.0,
+    ) -> "WaypointPlan":
+        """Plan that sails the waypoint chain at constant speed.
+
+        Long ocean crossings are subdivided so each leg stays under
+        ``max_leg_length_m`` and the path follows the great circle rather
+        than a single rhumb-like chord.
+        """
+        if len(waypoints) < 2:
+            raise ValueError("need at least two waypoints")
+        if speed_knots <= 0:
+            raise ValueError("speed must be positive")
+        speed_mps = speed_knots * KNOTS_TO_MPS
+        legs: list[Leg] = []
+        t = t_start
+        for (lat1, lon1), (lat2, lon2) in zip(waypoints, waypoints[1:]):
+            total = haversine_m(lat1, lon1, lat2, lon2)
+            if total < 1.0:
+                continue
+            pieces = max(1, math.ceil(total / max_leg_length_m))
+            prev = (lat1, lon1)
+            for i in range(1, pieces + 1):
+                nxt = interpolate_fraction(lat1, lon1, lat2, lon2, i / pieces)
+                seg_len = haversine_m(prev[0], prev[1], nxt[0], nxt[1])
+                duration = seg_len / speed_mps
+                legs.append(
+                    Leg(t, t + duration, prev[0], prev[1], nxt[0], nxt[1])
+                )
+                t += duration
+                prev = nxt
+        if not legs:
+            raise ValueError("waypoints produced no movement")
+        return cls(legs)
+
+    def append_dwell(self, duration_s: float) -> "WaypointPlan":
+        """New plan with a stationary dwell appended at the final position."""
+        last = self.legs[-1]
+        dwell = Leg(
+            last.t_end,
+            last.t_end + duration_s,
+            last.lat2,
+            last.lon2,
+            last.lat2,
+            last.lon2,
+        )
+        return WaypointPlan(self.legs + [dwell])

@@ -1,0 +1,170 @@
+"""Receiver model: which transmissions are actually observed, and when.
+
+Reproduces the coverage characteristics the paper describes in §1:
+terrestrial stations hear reliably but only ~40 nm offshore; satellites
+cover the open ocean but with revisit gaps, message collisions in dense
+cells, and minutes-scale delivery latency (the "data sparseness, latency"
+of §1).  The output of the network is the observable feed: time-stamped
+NMEA sentences tagged with the receiving source.
+"""
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.ais.encoder import encode_sentences
+from repro.geo import NM_TO_M, haversine_m
+from repro.simulation.reporting import Transmission
+
+#: Default terrestrial VHF horizon.
+TERRESTRIAL_RANGE_M = 40.0 * NM_TO_M
+
+
+@dataclass(frozen=True)
+class Observation:
+    """A received sentence: reception epoch, raw NMEA, and provenance."""
+
+    t_received: float
+    sentence: str
+    source: str
+    mmsi: int
+    t_transmitted: float
+
+
+@dataclass(frozen=True)
+class TerrestrialStation:
+    """Coastal AIS base station with a fixed reception radius."""
+
+    name: str
+    lat: float
+    lon: float
+    range_m: float = TERRESTRIAL_RANGE_M
+    #: Per-message loss (interference, antenna shadowing).
+    loss_probability: float = 0.02
+    latency_s: float = 1.0
+
+    def hears(self, lat: float, lon: float) -> bool:
+        return haversine_m(self.lat, self.lon, lat, lon) <= self.range_m
+
+
+@dataclass
+class SatelliteConstellation:
+    """Polar LEO constellation abstracted as periodic coverage windows.
+
+    Any point on Earth is visible for ``pass_duration_s`` out of every
+    ``revisit_period_s``, with the window phase varying by longitude (the
+    orbit sweeps westwards).  Within a pass, messages are decoded with a
+    probability that decays with local traffic density — the well-known
+    satellite-AIS collision problem.
+    """
+
+    revisit_period_s: float = 5400.0
+    pass_duration_s: float = 600.0
+    base_detection_probability: float = 0.85
+    #: Detection probability multiplier halves per this many vessels in cell.
+    collision_halving_density: float = 60.0
+    latency_s: float = 300.0
+
+    def in_pass(self, t: float, lon: float) -> bool:
+        phase = ((lon + 180.0) / 360.0) * self.revisit_period_s
+        return (t + phase) % self.revisit_period_s < self.pass_duration_s
+
+    def detection_probability(self, local_density: int) -> float:
+        factor = 0.5 ** (local_density / self.collision_halving_density)
+        return self.base_detection_probability * factor
+
+
+class ReceiverNetwork:
+    """Terrestrial stations + optional satellite constellation."""
+
+    def __init__(
+        self,
+        stations: list[TerrestrialStation],
+        satellite: SatelliteConstellation | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.stations = stations
+        self.satellite = satellite
+        self._rng = random.Random(seed)
+
+    def _density_near(
+        self, lat: float, lon: float, density_grid: dict[tuple[int, int], int]
+    ) -> int:
+        return density_grid.get((int(lat // 2), int(lon // 2)), 0)
+
+    def observe(
+        self, transmissions: list[Transmission]
+    ) -> list[Observation]:
+        """Run every transmission through the coverage model.
+
+        Returns observations sorted by reception time.  A transmission heard
+        by several terrestrial stations yields one observation (the network
+        deduplicates, as coastal networks do); satellite reception is
+        evaluated only when no terrestrial station heard the message.
+        """
+        density_grid: dict[tuple[int, int], int] = {}
+        for tx in transmissions:
+            key = (int(tx.lat // 2), int(tx.lon // 2))
+            density_grid[key] = density_grid.get(key, 0) + 1
+        # Convert message counts to a rough "vessels in cell" proxy by
+        # normalising with the mean messages-per-vessel rate.
+        if transmissions:
+            mmsis_per_cell: dict[tuple[int, int], set[int]] = {}
+            for tx in transmissions:
+                key = (int(tx.lat // 2), int(tx.lon // 2))
+                mmsis_per_cell.setdefault(key, set()).add(tx.message.mmsi)
+            density_grid = {k: len(v) for k, v in mmsis_per_cell.items()}
+
+        observations: list[Observation] = []
+        for tx in transmissions:
+            heard_by: TerrestrialStation | None = None
+            for station in self.stations:
+                if station.hears(tx.lat, tx.lon):
+                    heard_by = station
+                    break
+            if heard_by is not None:
+                if self._rng.random() < heard_by.loss_probability:
+                    continue
+                self._emit(observations, tx, heard_by.name, heard_by.latency_s)
+                continue
+            if self.satellite is not None and self.satellite.in_pass(tx.t, tx.lon):
+                density = self._density_near(tx.lat, tx.lon, density_grid)
+                if self._rng.random() < self.satellite.detection_probability(density):
+                    jitter = self._rng.uniform(0.0, self.satellite.latency_s)
+                    self._emit(observations, tx, "satellite",
+                               self.satellite.latency_s + jitter)
+        observations.sort(key=lambda obs: obs.t_received)
+        return observations
+
+    def _emit(
+        self,
+        observations: list[Observation],
+        tx: Transmission,
+        source: str,
+        latency_s: float,
+    ) -> None:
+        for sentence in encode_sentences(
+            tx.message, sequence_id=self._rng.randint(0, 9)
+        ):
+            observations.append(
+                Observation(
+                    t_received=tx.t + latency_s,
+                    sentence=sentence,
+                    source=source,
+                    mmsi=tx.message.mmsi,
+                    t_transmitted=tx.t,
+                )
+            )
+
+    def coverage_fraction(
+        self, transmissions: list[Transmission], observations: list[Observation]
+    ) -> float:
+        """Fraction of transmissions that produced at least one observation."""
+        if not transmissions:
+            return 0.0
+        seen = {(o.mmsi, round(o.t_transmitted, 3)) for o in observations}
+        heard = sum(
+            1 for tx in transmissions
+            if (tx.message.mmsi, round(tx.t, 3)) in seen
+        )
+        return heard / len(transmissions)

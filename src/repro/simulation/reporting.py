@@ -1,0 +1,277 @@
+"""AIS transceiver model: when and what a vessel transmits.
+
+Reporting cadence follows ITU-R M.1371 (class A: 2-10 s underway by speed,
+3 min at anchor; class B: 30 s underway; static data every 6 min).  The
+transceiver also injects the *veracity* problems the paper centres on:
+
+- GPS noise (~10 m, the accuracy the paper quotes in §2.5);
+- deliberate dark periods (``goes_dark`` vessels, Windward's 27%/10% [43]);
+- position spoofing episodes (offset GPS, DeAIS-style [36]);
+- static-data corruption at a configurable rate ([44]'s ~5%).
+"""
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.ais.types import (
+    AisMessage,
+    ClassBPositionReport,
+    NavigationStatus,
+    PositionReport,
+    StaticDataReport,
+    StaticVoyageData,
+)
+from repro.geo import destination_point
+from repro.simulation.movement import WaypointPlan
+from repro.simulation.vessel import Behaviour, VesselSpec
+
+#: Static/voyage broadcast period (type 5 / type 24), seconds.
+STATIC_PERIOD_S = 360.0
+
+
+def reporting_interval_s(sog_knots: float, underway: bool, class_b: bool) -> float:
+    """Position-report interval per ITU-R M.1371."""
+    if class_b:
+        return 30.0 if sog_knots > 2.0 else 180.0
+    if not underway:
+        return 180.0
+    if sog_knots > 23.0:
+        return 2.0
+    if sog_knots > 14.0:
+        return 6.0
+    return 10.0
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One message leaving a ship's antenna at ``t`` from ``(lat, lon)``.
+
+    ``lat``/``lon`` are the *true* position (used by the receiver model for
+    propagation); the message payload may differ when spoofing.
+    """
+
+    t: float
+    lat: float
+    lon: float
+    message: AisMessage
+
+
+@dataclass
+class SpoofEpisode:
+    """During [t_start, t_end] the reported position is offset."""
+
+    t_start: float
+    t_end: float
+    offset_bearing_deg: float
+    offset_m: float
+
+
+@dataclass
+class DarkWindow:
+    t_start: float
+    t_end: float
+
+
+class AisTransceiver:
+    """Generates the full transmission schedule for one vessel."""
+
+    def __init__(
+        self,
+        spec: VesselSpec,
+        plan: WaypointPlan,
+        rng: random.Random,
+        gps_sigma_m: float = 10.0,
+        static_error_rate: float = 0.05,
+        horizon_s: float | None = None,
+    ) -> None:
+        self.spec = spec
+        self.plan = plan
+        self._rng = rng
+        self.gps_sigma_m = gps_sigma_m
+        self.static_error_rate = static_error_rate
+        #: End of the simulated window; deception scheduling and the
+        #: default transmission schedule stay inside it even when the plan
+        #: describes a longer voyage.
+        self.horizon_s = (
+            plan.t_end if horizon_s is None else min(horizon_s, plan.t_end)
+        )
+        self.dark_windows: list[DarkWindow] = []
+        self.spoof_episodes: list[SpoofEpisode] = []
+        if spec.goes_dark:
+            self._schedule_dark_windows()
+        if spec.behaviour is Behaviour.SPOOFER:
+            self._schedule_spoofing()
+
+    # -- deception scheduling ---------------------------------------------
+
+    #: Deliberate silences shorter than this are not scheduled: real
+    #: "going dark" episodes (Windward [43]) last tens of minutes to hours.
+    MIN_DARK_WINDOW_S = 1500.0
+
+    def _schedule_dark_windows(self) -> None:
+        """One or two silent windows totalling 10-30% of the run."""
+        duration = self.horizon_s - self.plan.t_start
+        dark_total = duration * self._rng.uniform(0.10, 0.30)
+        n_windows = self._rng.randint(1, 2)
+        if n_windows * self.MIN_DARK_WINDOW_S > 0.35 * duration:
+            n_windows = 1
+        w = max(dark_total / n_windows, self.MIN_DARK_WINDOW_S)
+        w = min(w, 0.35 * duration)
+        for _ in range(n_windows):
+            start = self.plan.t_start + self._rng.uniform(
+                0.1 * duration, max(0.1 * duration, 0.9 * duration - w)
+            )
+            self.dark_windows.append(DarkWindow(start, start + w))
+
+    def _schedule_spoofing(self) -> None:
+        duration = self.horizon_s - self.plan.t_start
+        start = self.plan.t_start + self._rng.uniform(0.2, 0.6) * duration
+        self.spoof_episodes.append(
+            SpoofEpisode(
+                t_start=start,
+                t_end=start + self._rng.uniform(0.1, 0.25) * duration,
+                offset_bearing_deg=self._rng.uniform(0.0, 360.0),
+                offset_m=self._rng.uniform(20_000.0, 60_000.0),
+            )
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    def _is_dark(self, t: float) -> bool:
+        return any(w.t_start <= t <= w.t_end for w in self.dark_windows)
+
+    def _reported_position(self, t: float, lat: float, lon: float) -> tuple[float, float]:
+        for episode in self.spoof_episodes:
+            if episode.t_start <= t <= episode.t_end:
+                lat, lon = destination_point(
+                    lat, lon, episode.offset_bearing_deg, episode.offset_m
+                )
+                break
+        if self.gps_sigma_m > 0:
+            noise_bearing = self._rng.uniform(0.0, 360.0)
+            noise_dist = abs(self._rng.gauss(0.0, self.gps_sigma_m))
+            lat, lon = destination_point(lat, lon, noise_bearing, noise_dist)
+        return lat, lon
+
+    def _nav_status(self, underway: bool) -> NavigationStatus:
+        if not underway:
+            return NavigationStatus.AT_ANCHOR
+        if self.spec.behaviour is Behaviour.FISHING:
+            return NavigationStatus.ENGAGED_IN_FISHING
+        return NavigationStatus.UNDER_WAY_ENGINE
+
+    def _position_message(self, t: float) -> AisMessage:
+        state = self.plan.kinematics_at(t)
+        lat, lon = self._reported_position(t, state.lat, state.lon)
+        heading = state.cog_deg + self._rng.gauss(0.0, 2.0)
+        if self.spec.class_b:
+            return ClassBPositionReport(
+                mmsi=self.spec.mmsi,
+                lat=lat,
+                lon=lon,
+                sog_knots=max(0.0, state.sog_knots + self._rng.gauss(0.0, 0.1)),
+                cog_deg=state.cog_deg % 360.0,
+                heading_deg=heading % 360.0,
+                timestamp_s=int(t) % 60,
+            )
+        return PositionReport(
+            mmsi=self.spec.mmsi,
+            lat=lat,
+            lon=lon,
+            sog_knots=max(0.0, state.sog_knots + self._rng.gauss(0.0, 0.1)),
+            cog_deg=state.cog_deg % 360.0,
+            heading_deg=heading % 360.0,
+            nav_status=self._nav_status(state.underway),
+            rot_deg_per_min=0.0,
+            timestamp_s=int(t) % 60,
+        )
+
+    def _corrupt_static(self, msg: StaticVoyageData) -> StaticVoyageData:
+        """Apply one of the error modes observed in real static data [44]."""
+        mode = self._rng.choice(
+            ["blank_name", "bad_imo", "zero_dims", "blank_callsign", "bad_type"]
+        )
+        fields = dict(msg.__dict__)
+        if mode == "blank_name":
+            fields["shipname"] = ""
+        elif mode == "bad_imo":
+            fields["imo"] = self._rng.randint(1_000_000, 9_999_999)
+        elif mode == "zero_dims":
+            fields["to_bow_m"] = 0
+            fields["to_stern_m"] = 0
+        elif mode == "blank_callsign":
+            fields["callsign"] = ""
+        elif mode == "bad_type":
+            fields["ship_type_code"] = 0
+        return StaticVoyageData(**fields)
+
+    def _static_message(self, part_toggle: int) -> AisMessage:
+        spec = self.spec
+        if spec.class_b:
+            if part_toggle % 2 == 0:
+                return StaticDataReport(mmsi=spec.mmsi, part=0, shipname=spec.name)
+            return StaticDataReport(
+                mmsi=spec.mmsi,
+                part=1,
+                ship_type_code=int(spec.ship_type),
+                vendor_id="REPRO",
+                callsign=spec.callsign,
+                to_bow_m=spec.length_m // 2,
+                to_stern_m=spec.length_m - spec.length_m // 2,
+                to_port_m=spec.beam_m // 2,
+                to_starboard_m=spec.beam_m - spec.beam_m // 2,
+            )
+        msg = StaticVoyageData(
+            mmsi=spec.mmsi,
+            imo=spec.imo,
+            callsign=spec.callsign,
+            shipname=spec.name,
+            ship_type_code=int(spec.ship_type),
+            to_bow_m=spec.length_m // 2,
+            to_stern_m=spec.length_m - spec.length_m // 2,
+            to_port_m=spec.beam_m // 2,
+            to_starboard_m=spec.beam_m - spec.beam_m // 2,
+            eta_month=6,
+            eta_day=15,
+            eta_hour=12,
+            eta_minute=0,
+            draught_m=spec.draught_m,
+            destination=spec.destination or "AT SEA",
+        )
+        if self._rng.random() < self.static_error_rate:
+            msg = self._corrupt_static(msg)
+        return msg
+
+    # -- schedule -----------------------------------------------------------
+
+    def transmissions(self, until: float | None = None) -> list[Transmission]:
+        """The vessel's transmission schedule, time-ordered.
+
+        ``until`` truncates the schedule at a scenario horizon: plans may
+        describe multi-day voyages, but only the simulated window emits.
+        """
+        out: list[Transmission] = []
+        horizon = self.horizon_s if until is None else min(until, self.plan.t_end)
+        t = self.plan.t_start + self._rng.uniform(0.0, 10.0)
+        static_due = self.plan.t_start + self._rng.uniform(0.0, STATIC_PERIOD_S)
+        part_toggle = 0
+        while t <= horizon:
+            state = self.plan.kinematics_at(t)
+            if not self._is_dark(t):
+                out.append(
+                    Transmission(t, state.lat, state.lon, self._position_message(t))
+                )
+                if t >= static_due:
+                    out.append(
+                        Transmission(
+                            t, state.lat, state.lon,
+                            self._static_message(part_toggle),
+                        )
+                    )
+                    part_toggle += 1
+                    static_due = t + STATIC_PERIOD_S
+            t += reporting_interval_s(
+                state.sog_knots, state.underway, self.spec.class_b
+            )
+        return out

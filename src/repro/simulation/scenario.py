@@ -1,0 +1,345 @@
+"""Scenario orchestration: world + fleet + sensors → observable feed + truth.
+
+A :class:`Scenario` is a deterministic recipe (seeded); :meth:`Scenario.run`
+produces a :class:`ScenarioRun` bundling the observable data (NMEA
+sentences, radar contacts, LRIT reports, weather provider) with the ground
+truth (exact plans, vessel specs, injected events) that experiments score
+against.
+
+Two canned scenarios reproduce the paper's two settings:
+
+- :func:`regional_scenario` — a Celtic Sea / Biscay surveillance theatre
+  with coastal receivers, radar, fishing activity, rendezvous, dark ships
+  and a spoofer (the §3 event-detection workload);
+- :func:`global_scenario` — worldwide port-to-port traffic seen by a
+  satellite constellation (the Figure 1 workload).
+"""
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.ais.types import ShipType
+from repro.geo import destination_point, interpolate_fraction
+from repro.simulation.behaviours import (
+    plan_fishing,
+    plan_loiter,
+    plan_rendezvous_pair,
+    plan_transit,
+    plan_ferry,
+)
+from repro.simulation.movement import WaypointPlan
+from repro.simulation.receivers import (
+    Observation,
+    ReceiverNetwork,
+    SatelliteConstellation,
+    TerrestrialStation,
+)
+from repro.simulation.reporting import AisTransceiver, Transmission
+from repro.simulation.sensors import LritReport, LritReporter, RadarContact, RadarSite
+from repro.simulation.vessel import Behaviour, FleetBuilder, VesselSpec
+from repro.simulation.weather import WeatherProvider
+from repro.simulation.world import Port, REGIONAL_PORTS, WORLD_PORTS
+
+
+@dataclass(frozen=True)
+class TruthEvent:
+    """Ground-truth record of an injected event, for scoring detectors."""
+
+    kind: str
+    mmsis: tuple[int, ...]
+    t_start: float
+    t_end: float
+    lat: float
+    lon: float
+
+
+@dataclass
+class ScenarioRun:
+    """Everything a scenario produces, observable and truth."""
+
+    #: Observable AIS feed (reception-time ordered).
+    observations: list[Observation]
+    #: Raw transmissions (pre-receiver), for coverage accounting.
+    transmissions: list[Transmission]
+    #: Radar contacts from coastal sites (empty for global runs).
+    radar_contacts: list[RadarContact]
+    #: LRIT reports.
+    lrit_reports: list[LritReport]
+    #: Ground-truth plans by MMSI.
+    plans: dict[int, WaypointPlan]
+    #: Vessel identities by MMSI.
+    specs: dict[int, VesselSpec]
+    #: Injected truth events.
+    truth_events: list[TruthEvent]
+    #: Weather provider for enrichment.
+    weather: WeatherProvider
+    t_start: float = 0.0
+    t_end: float = 0.0
+
+    @property
+    def sentences(self) -> list[str]:
+        """The raw NMEA feed in reception order."""
+        return [obs.sentence for obs in self.observations]
+
+    def dark_fraction(self, mmsi: int) -> float:
+        """Fraction of the run during which a vessel was silent by design."""
+        spec = self.specs[mmsi]
+        if not spec.goes_dark:
+            return 0.0
+        total = self.t_end - self.t_start
+        dark = sum(
+            e.t_end - e.t_start
+            for e in self.truth_events
+            if e.kind == "dark" and mmsi in e.mmsis
+        )
+        return dark / total if total else 0.0
+
+
+@dataclass
+class Scenario:
+    """A configurable scenario recipe.  Use the factory functions for the
+    canned paper workloads."""
+
+    name: str
+    duration_s: float
+    fleet: list[tuple[VesselSpec, WaypointPlan]]
+    receivers: ReceiverNetwork
+    radar_sites: list[RadarSite] = field(default_factory=list)
+    truth_events: list[TruthEvent] = field(default_factory=list)
+    weather_seed: int = 7
+    seed: int = 0
+    gps_sigma_m: float = 10.0
+    static_error_rate: float = 0.05
+
+    def run(self) -> ScenarioRun:
+        """Simulate: schedule transmissions, apply receivers and sensors."""
+        rng = random.Random(self.seed)
+        transmissions: list[Transmission] = []
+        plans: dict[int, WaypointPlan] = {}
+        specs: dict[int, VesselSpec] = {}
+        truth_events = list(self.truth_events)
+        for spec, plan in self.fleet:
+            plans[spec.mmsi] = plan
+            specs[spec.mmsi] = spec
+            transceiver = AisTransceiver(
+                spec, plan, random.Random(rng.randint(0, 2**31)),
+                gps_sigma_m=self.gps_sigma_m,
+                static_error_rate=self.static_error_rate,
+                horizon_s=self.duration_s,
+            )
+            transmissions.extend(transceiver.transmissions())
+            for window in transceiver.dark_windows:
+                lat, lon = plan.position_at(window.t_start)
+                truth_events.append(
+                    TruthEvent(
+                        "dark", (spec.mmsi,), window.t_start, window.t_end,
+                        lat, lon,
+                    )
+                )
+            for episode in transceiver.spoof_episodes:
+                lat, lon = plan.position_at(episode.t_start)
+                truth_events.append(
+                    TruthEvent(
+                        "spoof", (spec.mmsi,), episode.t_start, episode.t_end,
+                        lat, lon,
+                    )
+                )
+        transmissions.sort(key=lambda tx: tx.t)
+        observations = self.receivers.observe(transmissions)
+        radar_contacts: list[RadarContact] = []
+        for site in self.radar_sites:
+            radar_contacts.extend(
+                site.contacts(plans, 0.0, self.duration_s,
+                              random.Random(rng.randint(0, 2**31)))
+            )
+        radar_contacts.sort(key=lambda c: c.t)
+        lrit = LritReporter().reports(
+            specs, plans, random.Random(rng.randint(0, 2**31)),
+            until=self.duration_s,
+        )
+        return ScenarioRun(
+            observations=observations,
+            transmissions=transmissions,
+            radar_contacts=radar_contacts,
+            lrit_reports=lrit,
+            plans=plans,
+            specs=specs,
+            truth_events=truth_events,
+            weather=WeatherProvider(seed=self.weather_seed),
+            t_start=0.0,
+            t_end=self.duration_s,
+        )
+
+
+def _offshore_point(
+    port_a: Port, port_b: Port, fraction: float, rng: random.Random
+) -> tuple[float, float]:
+    lat, lon = interpolate_fraction(
+        port_a.lat, port_a.lon, port_b.lat, port_b.lon, fraction
+    )
+    return lat + rng.uniform(-0.2, 0.2), lon + rng.uniform(-0.2, 0.2)
+
+
+def regional_scenario(
+    n_vessels: int = 60,
+    duration_s: float = 6 * 3600.0,
+    seed: int = 42,
+    dark_ship_fraction: float = 0.27,
+    include_spoofer: bool = True,
+    n_rendezvous_pairs: int = 2,
+) -> Scenario:
+    """The surveillance-theatre scenario (Celtic Sea / Bay of Biscay).
+
+    Defaults follow the paper's numbers: 27% of ships go dark part of the
+    time [43]; ~5% static-message error rate is the transceiver default.
+    """
+    rng = random.Random(seed)
+    builder = FleetBuilder(seed)
+    ports = REGIONAL_PORTS
+    fleet: list[tuple[VesselSpec, WaypointPlan]] = []
+    truth_events: list[TruthEvent] = []
+
+    def pick_two_ports() -> tuple[Port, Port]:
+        a, b = rng.sample(ports, 2)
+        return a, b
+
+    n_special = 2 * n_rendezvous_pairs + (1 if include_spoofer else 0)
+    n_regular = max(0, n_vessels - n_special)
+    # Behaviour mix for regular traffic.
+    for i in range(n_regular):
+        roll = rng.random()
+        goes_dark = rng.random() < dark_ship_fraction
+        if roll < 0.45:
+            a, b = pick_two_ports()
+            spec = builder.build(
+                rng.choice([ShipType.CARGO, ShipType.CARGO, ShipType.TANKER]),
+                Behaviour.TRANSIT, goes_dark=goes_dark, destination=b.name,
+            )
+            plan = plan_transit(
+                0.0, duration_s, a.position, b.position,
+                rng.uniform(10.0, 18.0), rng,
+            )
+        elif roll < 0.65:
+            a, b = pick_two_ports()
+            spec = builder.build(
+                ShipType.PASSENGER, Behaviour.FERRY,
+                goes_dark=False, destination=b.name,
+            )
+            plan = plan_ferry(
+                0.0, duration_s, a.position, b.position,
+                rng.uniform(15.0, 22.0), rng,
+            )
+        else:
+            home = rng.choice(ports)
+            ground = destination_point(
+                home.lat, home.lon, rng.uniform(200.0, 340.0),
+                rng.uniform(30_000.0, 80_000.0),
+            )
+            spec = builder.build(
+                ShipType.FISHING, Behaviour.FISHING, goes_dark=goes_dark,
+                destination=home.name,
+            )
+            plan = plan_fishing(0.0, duration_s, home.position, ground, rng)
+        fleet.append((spec, plan))
+
+    # Rendezvous pairs meet offshore mid-window.
+    for pair_index in range(n_rendezvous_pairs):
+        a, b = pick_two_ports()
+        meeting_time = duration_s * rng.uniform(0.35, 0.55)
+        meeting_point = _offshore_point(a, b, 0.5, rng)
+        spec1 = builder.build(ShipType.CARGO, Behaviour.RENDEZVOUS, goes_dark=False)
+        spec2 = builder.build(ShipType.FISHING, Behaviour.RENDEZVOUS, goes_dark=False)
+        # Origins close enough to reach the point in time at sane speed.
+        origin1 = destination_point(
+            meeting_point[0], meeting_point[1], rng.uniform(0, 360),
+            meeting_time * 5.0,  # ≈10 kn in m
+        )
+        origin2 = destination_point(
+            meeting_point[0], meeting_point[1], rng.uniform(0, 360),
+            meeting_time * 4.0,
+        )
+        plan1, plan2, truth = plan_rendezvous_pair(
+            0.0, duration_s, origin1, origin2, meeting_point,
+            meeting_time, meeting_duration_s=rng.uniform(1200.0, 2400.0),
+            rng=rng,
+        )
+        fleet.append((spec1, plan1))
+        fleet.append((spec2, plan2))
+        truth_events.append(
+            TruthEvent(
+                "rendezvous", (spec1.mmsi, spec2.mmsi),
+                truth["t_start"], truth["t_end"], truth["lat"], truth["lon"],
+            )
+        )
+
+    if include_spoofer:
+        a, b = pick_two_ports()
+        spec = builder.build(ShipType.CARGO, Behaviour.SPOOFER, destination=b.name)
+        plan = plan_transit(
+            0.0, duration_s, a.position, b.position, rng.uniform(11.0, 15.0), rng
+        )
+        fleet.append((spec, plan))
+
+    stations = [
+        TerrestrialStation(f"STA-{port.name}", port.lat, port.lon)
+        for port in ports
+    ]
+    receivers = ReceiverNetwork(
+        stations, SatelliteConstellation(), seed=seed + 1
+    )
+    radar_sites = [
+        RadarSite("RADAR-BREST", 48.38, -4.49),
+        RadarSite("RADAR-CHERBOURG", 49.65, -1.62),
+    ]
+    return Scenario(
+        name="regional",
+        duration_s=duration_s,
+        fleet=fleet,
+        receivers=receivers,
+        radar_sites=radar_sites,
+        truth_events=truth_events,
+        seed=seed,
+    )
+
+
+def global_scenario(
+    n_vessels: int = 400,
+    duration_s: float = 24 * 3600.0,
+    seed: int = 42,
+) -> Scenario:
+    """Worldwide traffic observed by satellite — the Figure 1 workload.
+
+    Voyages are sampled between world ports with probability proportional
+    to port weights, so the dense Asia-Europe corridor emerges naturally.
+    """
+    rng = random.Random(seed)
+    builder = FleetBuilder(seed)
+    weights = [p.weight for p in WORLD_PORTS]
+    fleet: list[tuple[VesselSpec, WaypointPlan]] = []
+    for _ in range(n_vessels):
+        a, b = rng.choices(WORLD_PORTS, weights=weights, k=2)
+        while b.name == a.name:
+            b = rng.choices(WORLD_PORTS, weights=weights, k=1)[0]
+        ship_type = rng.choices(
+            [ShipType.CARGO, ShipType.TANKER, ShipType.PASSENGER],
+            weights=[0.62, 0.28, 0.10],
+        )[0]
+        spec = builder.build(ship_type, Behaviour.TRANSIT, destination=b.name)
+        # Start mid-voyage so the day's snapshot covers open ocean.
+        start_fraction = rng.uniform(0.0, 0.8)
+        origin = interpolate_fraction(a.lat, a.lon, b.lat, b.lon, start_fraction)
+        plan = plan_transit(
+            0.0, duration_s, origin, b.position, rng.uniform(11.0, 20.0), rng
+        )
+        fleet.append((spec, plan))
+    receivers = ReceiverNetwork(
+        stations=[], satellite=SatelliteConstellation(), seed=seed + 1
+    )
+    return Scenario(
+        name="global",
+        duration_s=duration_s,
+        fleet=fleet,
+        receivers=receivers,
+        seed=seed,
+    )

@@ -1,0 +1,123 @@
+"""Non-cooperative and low-rate sensors: coastal radar and LRIT.
+
+These give the fusion layer (§2.4) genuinely heterogeneous inputs:
+
+- **Radar** sees everything in range — including dark ships — but with
+  coarse position accuracy and *no identity* (contacts must be associated
+  to tracks).
+- **LRIT** is identified and global but reports only every 6 hours, the
+  low-temporal-resolution extreme of §2.5.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro.geo import NM_TO_M, destination_point, haversine_m
+from repro.simulation.movement import WaypointPlan
+from repro.simulation.vessel import VesselSpec
+
+
+@dataclass(frozen=True)
+class RadarContact:
+    """Anonymous radar detection.  ``truth_mmsi`` is ground truth for
+    scoring only — real contacts do not carry it, and the fusion layer is
+    forbidden from reading it (enforced by convention and by the E5 harness
+    which shuffles contact order)."""
+
+    t: float
+    lat: float
+    lon: float
+    site: str
+    truth_mmsi: int
+
+
+@dataclass(frozen=True)
+class LritReport:
+    """Identified long-range position report (6-hourly)."""
+
+    t: float
+    mmsi: int
+    lat: float
+    lon: float
+
+
+@dataclass
+class RadarSite:
+    """Scanning coastal radar."""
+
+    name: str
+    lat: float
+    lon: float
+    range_m: float = 24.0 * NM_TO_M
+    scan_period_s: float = 10.0
+    position_sigma_m: float = 120.0
+    detection_probability: float = 0.9
+
+    def contacts(
+        self,
+        plans: dict[int, WaypointPlan],
+        t_start: float,
+        t_end: float,
+        rng: random.Random,
+    ) -> list[RadarContact]:
+        """All contacts over the window, one sweep per ``scan_period_s``."""
+        out: list[RadarContact] = []
+        t = t_start
+        while t <= t_end:
+            for mmsi, plan in plans.items():
+                if not (plan.t_start <= t <= plan.t_end):
+                    continue
+                lat, lon = plan.position_at(t)
+                if haversine_m(self.lat, self.lon, lat, lon) > self.range_m:
+                    continue
+                if rng.random() > self.detection_probability:
+                    continue
+                noisy_lat, noisy_lon = destination_point(
+                    lat, lon,
+                    rng.uniform(0.0, 360.0),
+                    abs(rng.gauss(0.0, self.position_sigma_m)),
+                )
+                out.append(
+                    RadarContact(
+                        t=t, lat=noisy_lat, lon=noisy_lon,
+                        site=self.name, truth_mmsi=mmsi,
+                    )
+                )
+            t += self.scan_period_s
+        return out
+
+
+@dataclass
+class LritReporter:
+    """LRIT-style 6-hourly identified reporting for SOLAS-class vessels."""
+
+    period_s: float = 21_600.0
+    position_sigma_m: float = 500.0
+
+    def reports(
+        self,
+        specs: dict[int, VesselSpec],
+        plans: dict[int, WaypointPlan],
+        rng: random.Random,
+        until: float | None = None,
+    ) -> list[LritReport]:
+        """Reports over each plan, truncated at ``until`` when given
+        (plans may describe voyages longer than the simulated window)."""
+        out: list[LritReport] = []
+        for mmsi, plan in plans.items():
+            spec = specs.get(mmsi)
+            if spec is not None and spec.class_b:
+                continue  # small craft are not LRIT-fitted
+            horizon = plan.t_end if until is None else min(until, plan.t_end)
+            t = plan.t_start + rng.uniform(0.0, self.period_s)
+            while t <= horizon:
+                lat, lon = plan.position_at(t)
+                noisy_lat, noisy_lon = destination_point(
+                    lat, lon,
+                    rng.uniform(0.0, 360.0),
+                    abs(rng.gauss(0.0, self.position_sigma_m)),
+                )
+                out.append(LritReport(t=t, mmsi=mmsi, lat=noisy_lat, lon=noisy_lon))
+                t += self.period_s
+        out.sort(key=lambda r: r.t)
+        return out

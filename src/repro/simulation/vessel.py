@@ -1,0 +1,155 @@
+"""Vessel identities and fleet construction.
+
+The fleet builder assigns realistic identities (MMSI with a country MID,
+IMO number with a valid check digit, callsign, name) so that the AIS
+validation layer and the registry-linkage experiments operate on data with
+the same shape as the real thing.
+"""
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.ais.types import ShipType
+
+_NAME_PREFIXES = [
+    "ATLANTIC", "PACIFIC", "NORDIC", "STELLA", "OCEAN", "GOLDEN", "SILVER",
+    "BLUE", "CELTIC", "IBERIAN", "BALTIC", "AEGEAN", "CORAL", "EMERALD",
+    "POLAR", "AURORA", "MISTRAL", "LEVANT", "ARMOR", "GASCOGNE",
+]
+_NAME_SUFFIXES = [
+    "TRADER", "EXPRESS", "PIONEER", "SPIRIT", "STAR", "WAVE", "HORIZON",
+    "CARRIER", "GLORY", "DAWN", "QUEEN", "VOYAGER", "NAVIGATOR", "FORTUNE",
+    "BREEZE", "TIDE", "CREST", "HARMONY", "GUARDIAN", "SWIFT",
+]
+
+#: MID prefixes per flag used by the generator (subset of the ITU table).
+_FLAG_MIDS = {
+    "FR": 227, "GB": 232, "ES": 224, "IE": 250, "NL": 244, "DE": 211,
+    "IT": 247, "GR": 237, "PA": 351, "LR": 636, "MT": 215, "CN": 412,
+    "SG": 563, "US": 366, "NO": 257, "DK": 219,
+}
+
+
+class Behaviour(enum.Enum):
+    """Behaviour archetypes the scenario builder can assign."""
+
+    TRANSIT = "transit"
+    FERRY = "ferry"
+    FISHING = "fishing"
+    TANKER = "tanker"
+    RENDEZVOUS = "rendezvous"
+    DARK = "dark"
+    SPOOFER = "spoofer"
+
+
+@dataclass
+class VesselSpec:
+    """Ground-truth identity and characteristics of one simulated vessel."""
+
+    mmsi: int
+    imo: int
+    name: str
+    callsign: str
+    flag: str
+    ship_type: ShipType
+    length_m: int
+    beam_m: int
+    draught_m: float
+    behaviour: Behaviour = Behaviour.TRANSIT
+    #: True for vessels that deliberately stop transmitting for part of the
+    #: run ("going dark", §4 / Windward [43]).
+    goes_dark: bool = False
+    #: Class B transponder (fishing and pleasure craft) vs Class A.
+    class_b: bool = False
+    destination: str = ""
+    extras: dict = field(default_factory=dict)
+
+
+def make_imo_number(rng: random.Random) -> int:
+    """A syntactically valid IMO number (correct check digit)."""
+    base = rng.randint(100_000, 999_999)
+    digits = [int(d) for d in f"{base:06d}"]
+    check = sum(d * w for d, w in zip(digits, range(7, 1, -1))) % 10
+    return base * 10 + check
+
+
+def make_callsign(flag: str, rng: random.Random) -> str:
+    """Country-flavoured callsign (first letters loosely follow ITU blocks)."""
+    first = {"FR": "F", "GB": "G", "ES": "E", "US": "W", "DE": "D"}.get(
+        flag, chr(rng.randint(ord("A"), ord("Z")))
+    )
+    rest = "".join(
+        rng.choice("ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789") for _ in range(4)
+    )
+    return first + rest
+
+
+class FleetBuilder:
+    """Deterministically generates unique vessel identities."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._used_mmsi: set[int] = set()
+        self._used_names: set[str] = set()
+
+    def _unique_mmsi(self, flag: str) -> int:
+        mid = _FLAG_MIDS.get(flag, 227)
+        while True:
+            mmsi = mid * 1_000_000 + self._rng.randint(0, 999_999)
+            if mmsi not in self._used_mmsi:
+                self._used_mmsi.add(mmsi)
+                return mmsi
+
+    def _unique_name(self) -> str:
+        for _ in range(1000):
+            name = (
+                f"{self._rng.choice(_NAME_PREFIXES)} "
+                f"{self._rng.choice(_NAME_SUFFIXES)}"
+            )
+            if name not in self._used_names:
+                self._used_names.add(name)
+                return name
+        # Exhausted the nice combinations: fall back to a numbered name.
+        name = f"VESSEL {len(self._used_names) + 1}"
+        self._used_names.add(name)
+        return name
+
+    def build(
+        self,
+        ship_type: ShipType,
+        behaviour: Behaviour = Behaviour.TRANSIT,
+        flag: str | None = None,
+        class_b: bool | None = None,
+        goes_dark: bool = False,
+        destination: str = "",
+    ) -> VesselSpec:
+        """One vessel with type-appropriate dimensions."""
+        rng = self._rng
+        flag = flag or rng.choice(list(_FLAG_MIDS))
+        dims = {
+            ShipType.CARGO: (120, 320, 18, 45, 8.0, 15.0),
+            ShipType.TANKER: (150, 330, 25, 60, 10.0, 20.0),
+            ShipType.PASSENGER: (90, 220, 20, 32, 5.5, 8.5),
+            ShipType.FISHING: (15, 45, 5, 10, 3.0, 6.0),
+            ShipType.TUG: (20, 40, 8, 12, 3.5, 5.5),
+            ShipType.PLEASURE_CRAFT: (8, 25, 3, 6, 1.5, 3.0),
+        }.get(ship_type, (30, 120, 8, 20, 4.0, 8.0))
+        lo_len, hi_len, lo_beam, hi_beam, lo_draught, hi_draught = dims
+        if class_b is None:
+            class_b = ship_type in (ShipType.FISHING, ShipType.PLEASURE_CRAFT)
+        return VesselSpec(
+            mmsi=self._unique_mmsi(flag),
+            imo=0 if class_b else make_imo_number(rng),
+            name=self._unique_name(),
+            callsign=make_callsign(flag, rng),
+            flag=flag,
+            ship_type=ship_type,
+            length_m=rng.randint(lo_len, hi_len),
+            beam_m=rng.randint(lo_beam, hi_beam),
+            draught_m=round(rng.uniform(lo_draught, hi_draught), 1),
+            behaviour=behaviour,
+            goes_dark=goes_dark,
+            class_b=class_b,
+            destination=destination,
+        )

@@ -1,0 +1,116 @@
+"""Synthetic gridded weather: wind, waves and surface current.
+
+The point of this module is not meteorology — it is the *multi-resolution
+integration problem* of §2.5: weather products arrive on km-scale grids
+with hourly steps while AIS is 10 m / seconds-scale, and the enrichment
+layer must align them.  Fields are smooth, deterministic functions of
+(lat, lon, t) built from a few random Fourier modes, so any two queries of
+the same provider agree and tests can assert exact values.
+"""
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WeatherSample:
+    """Weather interpolated at a point and instant."""
+
+    wind_speed_mps: float
+    wind_dir_deg: float
+    wave_height_m: float
+    current_east_mps: float
+    current_north_mps: float
+
+
+class WeatherField:
+    """A smooth scalar field: sum of a handful of planetary Fourier modes."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        base: float,
+        amplitude: float,
+        n_modes: int = 6,
+        time_period_s: float = 43_200.0,
+    ) -> None:
+        self.base = base
+        self.amplitude = amplitude
+        self.time_period_s = time_period_s
+        self._modes = [
+            (
+                rng.uniform(0.5, 3.0),   # latitude wavenumber
+                rng.uniform(0.5, 3.0),   # longitude wavenumber
+                rng.uniform(0, 2 * math.pi),  # phase
+                rng.uniform(0.3, 1.0),   # relative weight
+            )
+            for _ in range(n_modes)
+        ]
+        total_weight = sum(m[3] for m in self._modes)
+        self._norm = 1.0 / total_weight if total_weight else 1.0
+
+    def value(self, lat: float, lon: float, t: float) -> float:
+        acc = 0.0
+        t_phase = 2 * math.pi * (t / self.time_period_s)
+        for k_lat, k_lon, phase, weight in self._modes:
+            acc += weight * math.sin(
+                math.radians(lat) * k_lat * 4.0
+                + math.radians(lon) * k_lon * 2.0
+                + phase
+                + t_phase
+            )
+        return self.base + self.amplitude * acc * self._norm
+
+
+class WeatherProvider:
+    """Weather product with explicit grid/temporal resolution.
+
+    ``sample_exact`` evaluates the continuous truth; ``sample_gridded``
+    snaps the query to the product's grid cell centre and time step first —
+    that quantisation *is* the resolution mismatch benchmark E7 measures.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        grid_resolution_deg: float = 0.25,
+        time_step_s: float = 3600.0,
+    ) -> None:
+        rng = random.Random(seed)
+        self.grid_resolution_deg = grid_resolution_deg
+        self.time_step_s = time_step_s
+        self._wind_speed = WeatherField(rng, base=8.0, amplitude=7.0)
+        self._wind_dir = WeatherField(rng, base=180.0, amplitude=180.0)
+        self._wave = WeatherField(rng, base=1.5, amplitude=1.4)
+        self._cur_e = WeatherField(rng, base=0.0, amplitude=0.5)
+        self._cur_n = WeatherField(rng, base=0.0, amplitude=0.5)
+
+    def sample_exact(self, lat: float, lon: float, t: float) -> WeatherSample:
+        return WeatherSample(
+            wind_speed_mps=max(0.0, self._wind_speed.value(lat, lon, t)),
+            wind_dir_deg=self._wind_dir.value(lat, lon, t) % 360.0,
+            wave_height_m=max(0.0, self._wave.value(lat, lon, t)),
+            current_east_mps=self._cur_e.value(lat, lon, t),
+            current_north_mps=self._cur_n.value(lat, lon, t),
+        )
+
+    def snap(self, lat: float, lon: float, t: float) -> tuple[float, float, float]:
+        """Grid-cell centre and time-step start for a query point."""
+        res = self.grid_resolution_deg
+        lat_c = (math.floor(lat / res) + 0.5) * res
+        lon_c = (math.floor(lon / res) + 0.5) * res
+        t_c = math.floor(t / self.time_step_s) * self.time_step_s
+        return lat_c, lon_c, t_c
+
+    def sample_gridded(self, lat: float, lon: float, t: float) -> WeatherSample:
+        lat_c, lon_c, t_c = self.snap(lat, lon, t)
+        return self.sample_exact(lat_c, lon_c, t_c)
+
+    def quantisation_error(
+        self, lat: float, lon: float, t: float
+    ) -> float:
+        """Wind-speed error (m/s) introduced by the product resolution."""
+        exact = self.sample_exact(lat, lon, t)
+        grid = self.sample_gridded(lat, lon, t)
+        return abs(exact.wind_speed_mps - grid.wind_speed_mps)

@@ -1,0 +1,101 @@
+"""Static world geography: ports and shipping lanes.
+
+Port positions approximate real major ports so that the Figure 1
+reproduction shows the familiar global traffic picture (dense Europe-Asia
+corridor, trans-Pacific and trans-Atlantic lanes), but no external chart
+data is used — this table *is* the world model.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Port:
+    name: str
+    lat: float
+    lon: float
+    #: Relative traffic weight used when sampling voyages for the global
+    #: scenario; roughly proportional to real container throughput.
+    weight: float = 1.0
+    country: str = ""
+
+    @property
+    def position(self) -> tuple[float, float]:
+        return self.lat, self.lon
+
+
+#: Major world ports for the global (Figure 1) scenario.
+WORLD_PORTS: list[Port] = [
+    Port("SHANGHAI", 31.23, 121.49, 10.0, "CN"),
+    Port("SINGAPORE", 1.26, 103.84, 9.0, "SG"),
+    Port("NINGBO", 29.87, 121.55, 7.0, "CN"),
+    Port("SHENZHEN", 22.54, 114.06, 6.5, "CN"),
+    Port("BUSAN", 35.10, 129.04, 5.5, "KR"),
+    Port("HONG KONG", 22.30, 114.17, 5.0, "HK"),
+    Port("QINGDAO", 36.07, 120.38, 4.5, "CN"),
+    Port("TOKYO", 35.61, 139.79, 3.5, "JP"),
+    Port("KAOHSIUNG", 22.61, 120.28, 3.0, "TW"),
+    Port("PORT KLANG", 3.00, 101.39, 3.0, "MY"),
+    Port("COLOMBO", 6.95, 79.85, 2.5, "LK"),
+    Port("MUMBAI", 18.95, 72.84, 2.5, "IN"),
+    Port("DUBAI", 25.27, 55.30, 4.0, "AE"),
+    Port("SUEZ", 29.97, 32.55, 3.5, "EG"),
+    Port("PIRAEUS", 37.94, 23.64, 2.5, "GR"),
+    Port("VALENCIA", 39.44, -0.32, 2.0, "ES"),
+    Port("ALGECIRAS", 36.13, -5.45, 2.5, "ES"),
+    Port("TANGER MED", 35.88, -5.50, 2.0, "MA"),
+    Port("MARSEILLE", 43.31, 5.35, 1.5, "FR"),
+    Port("GENOA", 44.40, 8.93, 1.5, "IT"),
+    Port("ROTTERDAM", 51.95, 4.14, 6.0, "NL"),
+    Port("ANTWERP", 51.28, 4.30, 5.0, "BE"),
+    Port("HAMBURG", 53.54, 9.97, 4.0, "DE"),
+    Port("FELIXSTOWE", 51.95, 1.31, 2.5, "GB"),
+    Port("LE HAVRE", 49.48, 0.11, 2.0, "FR"),
+    Port("BREST", 48.38, -4.49, 1.0, "FR"),
+    Port("BILBAO", 43.35, -3.03, 1.0, "ES"),
+    Port("LISBON", 38.70, -9.16, 1.2, "PT"),
+    Port("NEW YORK", 40.67, -74.04, 4.0, "US"),
+    Port("SAVANNAH", 32.08, -81.09, 2.5, "US"),
+    Port("HOUSTON", 29.73, -95.01, 2.5, "US"),
+    Port("LOS ANGELES", 33.73, -118.26, 5.0, "US"),
+    Port("OAKLAND", 37.80, -122.32, 2.0, "US"),
+    Port("VANCOUVER", 49.29, -123.11, 2.0, "CA"),
+    Port("PANAMA", 8.95, -79.56, 3.0, "PA"),
+    Port("SANTOS", -23.98, -46.30, 2.5, "BR"),
+    Port("BUENOS AIRES", -34.60, -58.37, 1.5, "AR"),
+    Port("CAPE TOWN", -33.91, 18.43, 1.5, "ZA"),
+    Port("DURBAN", -29.87, 31.03, 1.8, "ZA"),
+    Port("LAGOS", 6.44, 3.40, 1.5, "NG"),
+    Port("MOMBASA", -4.07, 39.67, 1.2, "KE"),
+    Port("SYDNEY", -33.86, 151.20, 1.8, "AU"),
+    Port("MELBOURNE", -37.83, 144.92, 1.5, "AU"),
+    Port("AUCKLAND", -36.84, 174.77, 1.0, "NZ"),
+    Port("HONOLULU", 21.31, -157.87, 1.0, "US"),
+    Port("ANCHORAGE", 61.24, -149.89, 0.8, "US"),
+    Port("REYKJAVIK", 64.15, -21.94, 0.6, "IS"),
+    Port("MURMANSK", 68.97, 33.05, 0.8, "RU"),
+    Port("VLADIVOSTOK", 43.11, 131.89, 1.2, "RU"),
+    Port("SAINT PETERSBURG", 59.93, 30.25, 1.5, "RU"),
+]
+
+#: The regional (Celtic Sea / Biscay) scenario ports — the home waters of
+#: the paper's first-author institute, a realistic surveillance theatre.
+REGIONAL_PORTS: list[Port] = [
+    Port("BREST", 48.38, -4.49, 2.0, "FR"),
+    Port("ROSCOFF", 48.72, -3.97, 1.0, "FR"),
+    Port("CHERBOURG", 49.65, -1.62, 1.5, "FR"),
+    Port("LE HAVRE", 49.48, 0.11, 2.5, "FR"),
+    Port("SAINT-NAZAIRE", 47.27, -2.20, 1.5, "FR"),
+    Port("LA ROCHELLE", 46.15, -1.22, 1.0, "FR"),
+    Port("BILBAO", 43.35, -3.03, 1.5, "ES"),
+    Port("CORK", 51.85, -8.29, 1.0, "IE"),
+    Port("PLYMOUTH", 50.36, -4.14, 1.0, "GB"),
+    Port("SOUTHAMPTON", 50.90, -1.40, 2.0, "GB"),
+]
+
+_PORT_INDEX = {p.name: p for p in WORLD_PORTS + REGIONAL_PORTS}
+
+
+def port_by_name(name: str) -> Port:
+    """Look up a port in either catalogue; raises ``KeyError`` if absent."""
+    return _PORT_INDEX[name.upper()]

@@ -1,0 +1,39 @@
+"""Moving-object storage substrate.
+
+§2.3's diagnosis is that generic stores (RDF engines included) are "not
+tailored to offer efficient trajectory-oriented data management".  This
+package provides both sides of that comparison, built from scratch:
+
+- :class:`GridIndex` / :class:`TrajectoryStore` — a dedicated
+  spatio-temporal store (time-bucketed spatial grid over fixes plus
+  per-vessel segment storage) with range / k-NN / window queries;
+- :class:`TripleStore` — an RDF-lite triple store with SPO/POS/OSP hash
+  indexes, pattern matching and filter predicates, used for semantic
+  annotations and as the "generic store" baseline benchmark E8 measures;
+- :mod:`repro.storage.linkage` — link discovery between registries
+  (blocking + string/numeric similarity), the §2.2 integration primitive.
+"""
+
+from repro.storage.grid import GridIndex, IndexedPoint
+from repro.storage.store import TrajectoryStore, RangeQuery
+from repro.storage.triples import Triple, TripleStore, Variable
+from repro.storage.linkage import (
+    LinkageConfig,
+    LinkCandidate,
+    discover_links,
+    jaro_winkler,
+)
+
+__all__ = [
+    "GridIndex",
+    "IndexedPoint",
+    "TrajectoryStore",
+    "RangeQuery",
+    "Triple",
+    "TripleStore",
+    "Variable",
+    "LinkageConfig",
+    "LinkCandidate",
+    "discover_links",
+    "jaro_winkler",
+]

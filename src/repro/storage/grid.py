@@ -1,0 +1,154 @@
+"""Spatio-temporal grid index over track points.
+
+Cells are (lat band, lon band, time bucket); each cell holds the points
+that fall in it.  Range queries touch only overlapping cells; k-NN expands
+rings of cells outward from the query point.  Simple, predictable, and —
+as benchmark E8 shows — one to two orders of magnitude faster than scans
+or triple-pattern evaluation for trajectory workloads, which is §2.3's
+point.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.geo import BoundingBox, haversine_m
+
+
+@dataclass(frozen=True)
+class IndexedPoint:
+    """What the index stores: a fix plus its owning vessel."""
+
+    mmsi: int
+    t: float
+    lat: float
+    lon: float
+
+
+class GridIndex:
+    """Uniform lat/lon/time grid.
+
+    ``cell_deg`` trades memory for selectivity; 0.1° (≈11 km) suits
+    regional scenarios, 1° suits global ones.  ``time_bucket_s`` plays the
+    same role in time.
+    """
+
+    def __init__(self, cell_deg: float = 0.1, time_bucket_s: float = 3600.0) -> None:
+        if cell_deg <= 0 or time_bucket_s <= 0:
+            raise ValueError("cell_deg and time_bucket_s must be positive")
+        self.cell_deg = cell_deg
+        self.time_bucket_s = time_bucket_s
+        self._cells: dict[tuple[int, int, int], list[IndexedPoint]] = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _key(self, lat: float, lon: float, t: float) -> tuple[int, int, int]:
+        return (
+            int(math.floor(lat / self.cell_deg)),
+            int(math.floor(lon / self.cell_deg)),
+            int(math.floor(t / self.time_bucket_s)),
+        )
+
+    def insert(self, point: IndexedPoint) -> None:
+        self._cells.setdefault(
+            self._key(point.lat, point.lon, point.t), []
+        ).append(point)
+        self._count += 1
+
+    def insert_many(self, points: list[IndexedPoint]) -> None:
+        for point in points:
+            self.insert(point)
+
+    def range_query(
+        self, box: BoundingBox, t0: float, t1: float
+    ) -> list[IndexedPoint]:
+        """All points inside the box and ``[t0, t1]`` (inclusive)."""
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        lat_lo = int(math.floor(box.lat_min / self.cell_deg))
+        lat_hi = int(math.floor(box.lat_max / self.cell_deg))
+        time_lo = int(math.floor(t0 / self.time_bucket_s))
+        time_hi = int(math.floor(t1 / self.time_bucket_s))
+        lon_ranges = []
+        if box.crosses_antimeridian:
+            lon_ranges.append(
+                (int(math.floor(box.lon_min / self.cell_deg)),
+                 int(math.floor(180.0 / self.cell_deg)))
+            )
+            lon_ranges.append(
+                (int(math.floor(-180.0 / self.cell_deg)),
+                 int(math.floor(box.lon_max / self.cell_deg)))
+            )
+        else:
+            lon_ranges.append(
+                (int(math.floor(box.lon_min / self.cell_deg)),
+                 int(math.floor(box.lon_max / self.cell_deg)))
+            )
+        out: list[IndexedPoint] = []
+        for lat_i in range(lat_lo, lat_hi + 1):
+            for lon_lo, lon_hi in lon_ranges:
+                for lon_i in range(lon_lo, lon_hi + 1):
+                    for time_i in range(time_lo, time_hi + 1):
+                        cell = self._cells.get((lat_i, lon_i, time_i))
+                        if not cell:
+                            continue
+                        for point in cell:
+                            if (
+                                t0 <= point.t <= t1
+                                and box.contains(point.lat, point.lon)
+                            ):
+                                out.append(point)
+        return out
+
+    def knn(
+        self,
+        lat: float,
+        lon: float,
+        t0: float,
+        t1: float,
+        k: int,
+        max_rings: int = 50,
+    ) -> list[tuple[float, IndexedPoint]]:
+        """The ``k`` points nearest to (lat, lon) within the time window.
+
+        Expands square rings of cells until enough candidates exist and the
+        next ring cannot contain anything closer.  Returns
+        ``(distance_m, point)`` sorted ascending.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        centre_lat = int(math.floor(lat / self.cell_deg))
+        centre_lon = int(math.floor(lon / self.cell_deg))
+        time_lo = int(math.floor(t0 / self.time_bucket_s))
+        time_hi = int(math.floor(t1 / self.time_bucket_s))
+        found: list[tuple[float, IndexedPoint]] = []
+        cell_m = self.cell_deg * 111_195.0
+
+        for ring in range(max_rings + 1):
+            for lat_i in range(centre_lat - ring, centre_lat + ring + 1):
+                for lon_i in range(centre_lon - ring, centre_lon + ring + 1):
+                    if max(abs(lat_i - centre_lat), abs(lon_i - centre_lon)) != ring:
+                        continue
+                    for time_i in range(time_lo, time_hi + 1):
+                        for point in self._cells.get((lat_i, lon_i, time_i), []):
+                            if t0 <= point.t <= t1:
+                                dist = haversine_m(lat, lon, point.lat, point.lon)
+                                found.append((dist, point))
+            if len(found) >= k:
+                found.sort(key=lambda pair: pair[0])
+                # Safe to stop when the k-th hit is closer than the nearest
+                # possible point of the next unexplored ring.
+                if found[k - 1][0] < ring * cell_m:
+                    return found[:k]
+        found.sort(key=lambda pair: pair[0])
+        return found[:k]
+
+    def cell_histogram(self) -> dict[tuple[int, int], int]:
+        """Point counts per (lat, lon) cell, summed over time — feeds the
+        density renderer for Figure 1."""
+        out: dict[tuple[int, int], int] = {}
+        for (lat_i, lon_i, __), points in self._cells.items():
+            key = (lat_i, lon_i)
+            out[key] = out.get(key, 0) + len(points)
+        return out

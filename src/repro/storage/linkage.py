@@ -1,0 +1,193 @@
+"""Link discovery between heterogeneous vessel records.
+
+§2.2: link discovery approaches from the RDF world are "restricted to
+properties of specific (mostly numerical) types" and unproven on streams.
+This module implements the classic record-linkage pipeline — blocking,
+per-attribute similarity, weighted scoring, thresholding — tuned for
+vessel registries (the MarineTraffic-vs-Lloyd's example of §4): names
+with typos, slightly different lengths, stale flags, shared IMO/callsign.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def jaro_winkler(s1: str, s2: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler string similarity in [0, 1]."""
+    if s1 == s2:
+        return 1.0
+    if not s1 or not s2:
+        return 0.0
+    len1, len2 = len(s1), len(s2)
+    window = max(len1, len2) // 2 - 1
+    window = max(0, window)
+    matched1 = [False] * len1
+    matched2 = [False] * len2
+    matches = 0
+    for i, char in enumerate(s1):
+        lo = max(0, i - window)
+        hi = min(len2, i + window + 1)
+        for j in range(lo, hi):
+            if not matched2[j] and s2[j] == char:
+                matched1[i] = True
+                matched2[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    k = 0
+    for i in range(len1):
+        if matched1[i]:
+            while not matched2[k]:
+                k += 1
+            if s1[i] != s2[k]:
+                transpositions += 1
+            k += 1
+    transpositions //= 2
+    jaro = (
+        matches / len1 + matches / len2 + (matches - transpositions) / matches
+    ) / 3.0
+    prefix = 0
+    for a, b in zip(s1[:4], s2[:4]):
+        if a == b:
+            prefix += 1
+        else:
+            break
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+def numeric_similarity(a: float | None, b: float | None, tolerance: float) -> float:
+    """1 at equality, linearly to 0 at ``tolerance`` apart; missing → 0.5
+    (uninformative, not contradictory)."""
+    if a is None or b is None:
+        return 0.5
+    gap = abs(float(a) - float(b))
+    if tolerance <= 0:
+        return 1.0 if gap == 0 else 0.0
+    return max(0.0, 1.0 - gap / tolerance)
+
+
+@dataclass(frozen=True)
+class LinkageConfig:
+    """Attribute weights and thresholds for vessel-record matching."""
+
+    name_weight: float = 0.35
+    callsign_weight: float = 0.20
+    imo_weight: float = 0.25
+    length_weight: float = 0.10
+    flag_weight: float = 0.10
+    length_tolerance_m: float = 10.0
+    #: Score at or above which a candidate pair is declared a link.
+    accept_threshold: float = 0.75
+    #: Blocking: candidates must share a name 3-gram or an exact IMO.
+    require_block: bool = True
+
+
+@dataclass(frozen=True)
+class LinkCandidate:
+    """A scored candidate pair of records (record ids from both sides)."""
+
+    left_id: Any
+    right_id: Any
+    score: float
+    attribute_scores: dict = field(default_factory=dict, hash=False, compare=False)
+
+
+def _name_trigrams(name: str) -> set[str]:
+    cleaned = "".join(c for c in name.upper() if c.isalnum() or c == " ")
+    padded = f"  {cleaned}  "
+    return {padded[i : i + 3] for i in range(len(padded) - 2)}
+
+
+def _score_pair(
+    left: dict, right: dict, config: LinkageConfig
+) -> LinkCandidate:
+    scores = {
+        "name": jaro_winkler(
+            str(left.get("name", "")).upper(), str(right.get("name", "")).upper()
+        ),
+        "callsign": jaro_winkler(
+            str(left.get("callsign", "")).upper(),
+            str(right.get("callsign", "")).upper(),
+        ),
+        "imo": (
+            1.0
+            if left.get("imo") and left.get("imo") == right.get("imo")
+            else (0.0 if left.get("imo") and right.get("imo") else 0.5)
+        ),
+        "length": numeric_similarity(
+            left.get("length_m"), right.get("length_m"), config.length_tolerance_m
+        ),
+        "flag": (
+            1.0
+            if left.get("flag") and left.get("flag") == right.get("flag")
+            else (0.0 if left.get("flag") and right.get("flag") else 0.5)
+        ),
+    }
+    total = (
+        scores["name"] * config.name_weight
+        + scores["callsign"] * config.callsign_weight
+        + scores["imo"] * config.imo_weight
+        + scores["length"] * config.length_weight
+        + scores["flag"] * config.flag_weight
+    )
+    return LinkCandidate(
+        left_id=left["id"], right_id=right["id"],
+        score=total, attribute_scores=scores,
+    )
+
+
+def discover_links(
+    left_records: list[dict],
+    right_records: list[dict],
+    config: LinkageConfig | None = None,
+) -> list[LinkCandidate]:
+    """Match records across two registries.
+
+    Records are dicts with keys ``id``, ``name``, ``callsign``, ``imo``,
+    ``length_m``, ``flag`` (missing attributes tolerated).  Returns
+    accepted links, best-first, one per left record at most (greedy
+    one-to-one assignment).
+    """
+    config = config or LinkageConfig()
+    # Blocking: group right records by name trigrams and by IMO.
+    by_trigram: dict[str, list[int]] = {}
+    by_imo: dict[Any, list[int]] = {}
+    for index, record in enumerate(right_records):
+        for gram in _name_trigrams(str(record.get("name", ""))):
+            by_trigram.setdefault(gram, []).append(index)
+        if record.get("imo"):
+            by_imo.setdefault(record["imo"], []).append(index)
+
+    candidates: list[LinkCandidate] = []
+    for left in left_records:
+        seen: set[int] = set()
+        if config.require_block:
+            pool: set[int] = set()
+            for gram in _name_trigrams(str(left.get("name", ""))):
+                pool.update(by_trigram.get(gram, []))
+            if left.get("imo"):
+                pool.update(by_imo.get(left["imo"], []))
+        else:
+            pool = set(range(len(right_records)))
+        for index in pool:
+            if index in seen:
+                continue
+            seen.add(index)
+            candidate = _score_pair(left, right_records[index], config)
+            if candidate.score >= config.accept_threshold:
+                candidates.append(candidate)
+
+    # Greedy one-to-one: best scores first, skip already-linked ids.
+    candidates.sort(key=lambda c: c.score, reverse=True)
+    used_left: set[Any] = set()
+    used_right: set[Any] = set()
+    accepted: list[LinkCandidate] = []
+    for candidate in candidates:
+        if candidate.left_id in used_left or candidate.right_id in used_right:
+            continue
+        used_left.add(candidate.left_id)
+        used_right.add(candidate.right_id)
+        accepted.append(candidate)
+    return accepted

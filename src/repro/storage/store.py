@@ -1,0 +1,110 @@
+"""Trajectory store: segments by vessel + grid index over fixes.
+
+The "dedicated moving-object store" side of benchmark E8.  Stores whole
+trajectory segments (so trajectory-level operations stay cheap) and
+indexes every fix in a :class:`~repro.storage.grid.GridIndex` for
+spatio-temporal selection.
+"""
+
+from dataclasses import dataclass
+
+from repro.geo import BoundingBox
+from repro.storage.grid import GridIndex, IndexedPoint
+from repro.trajectory.points import Trajectory
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A spatio-temporal selection predicate."""
+
+    box: BoundingBox
+    t0: float
+    t1: float
+
+    def matches(self, lat: float, lon: float, t: float) -> bool:
+        return self.t0 <= t <= self.t1 and self.box.contains(lat, lon)
+
+
+class TrajectoryStore:
+    """In-memory moving-object database."""
+
+    def __init__(
+        self, cell_deg: float = 0.1, time_bucket_s: float = 3600.0
+    ) -> None:
+        self._segments: dict[int, list[Trajectory]] = {}
+        self._index = GridIndex(cell_deg, time_bucket_s)
+        self._n_points = 0
+
+    def __len__(self) -> int:
+        """Number of stored fixes."""
+        return self._n_points
+
+    @property
+    def n_vessels(self) -> int:
+        return len(self._segments)
+
+    def add(self, trajectory: Trajectory) -> None:
+        self._segments.setdefault(trajectory.mmsi, []).append(trajectory)
+        for point in trajectory:
+            self._index.insert(
+                IndexedPoint(trajectory.mmsi, point.t, point.lat, point.lon)
+            )
+        self._n_points += len(trajectory)
+
+    def add_all(self, trajectories: list[Trajectory]) -> None:
+        for trajectory in trajectories:
+            self.add(trajectory)
+
+    def segments(self, mmsi: int) -> list[Trajectory]:
+        return list(self._segments.get(mmsi, []))
+
+    def all_segments(self) -> list[Trajectory]:
+        out = []
+        for segments in self._segments.values():
+            out.extend(segments)
+        return out
+
+    # -- queries -----------------------------------------------------------
+
+    def range_points(self, query: RangeQuery) -> list[IndexedPoint]:
+        """Fixes matching the predicate, via the grid index."""
+        return self._index.range_query(query.box, query.t0, query.t1)
+
+    def range_points_scan(self, query: RangeQuery) -> list[IndexedPoint]:
+        """Same result by full scan — the baseline E8 compares against."""
+        out = []
+        for segments in self._segments.values():
+            for segment in segments:
+                for point in segment:
+                    if query.matches(point.lat, point.lon, point.t):
+                        out.append(
+                            IndexedPoint(segment.mmsi, point.t, point.lat, point.lon)
+                        )
+        return out
+
+    def vessels_in(self, query: RangeQuery) -> set[int]:
+        """MMSIs with at least one fix matching the predicate."""
+        return {point.mmsi for point in self.range_points(query)}
+
+    def knn(
+        self, lat: float, lon: float, t0: float, t1: float, k: int
+    ) -> list[tuple[float, IndexedPoint]]:
+        return self._index.knn(lat, lon, t0, t1, k)
+
+    def window_trajectories(self, query: RangeQuery) -> list[Trajectory]:
+        """Sub-trajectories clipped to the query's time window, for vessels
+        that intersect the box during it."""
+        out: list[Trajectory] = []
+        for mmsi in self.vessels_in(query):
+            for segment in self._segments.get(mmsi, []):
+                clipped = segment.slice_time(query.t0, query.t1)
+                if clipped is None:
+                    continue
+                lat_min, lat_max, lon_min, lon_max = clipped.bounding_box()
+                seg_box = BoundingBox(lat_min, lat_max, lon_min, lon_max)
+                if seg_box.intersects(query.box):
+                    out.append(clipped)
+        return out
+
+    def density_histogram(self) -> dict[tuple[int, int], int]:
+        return self._index.cell_histogram()

@@ -1,0 +1,179 @@
+"""RDF-lite triple store with hash indexes and pattern queries.
+
+The semantic layer (§2.5) writes annotations here, and benchmark E8 uses
+it as the "generic store" strawman for trajectory queries: each fix
+becomes several triples, and a spatio-temporal range query becomes a
+multi-pattern join with filters — exactly the access path the paper says
+RDF engines are stuck with for movement data.
+
+Supports: triple insertion, single-pattern matching against SPO/POS/OSP
+indexes, conjunctive (join) queries with variables, and Python-predicate
+filters.
+"""
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Triple:
+    subject: Any
+    predicate: Any
+    obj: Any
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.obj))
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A named query variable, e.g. ``Variable("vessel")``."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+Pattern = tuple[Any, Any, Any]
+Binding = dict[str, Any]
+
+
+class TripleStore:
+    """In-memory triple store with the three classic permutation indexes."""
+
+    def __init__(self) -> None:
+        self._spo: dict[Any, dict[Any, set[Any]]] = {}
+        self._pos: dict[Any, dict[Any, set[Any]]] = {}
+        self._osp: dict[Any, dict[Any, set[Any]]] = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, subject: Any, predicate: Any, obj: Any) -> None:
+        s_level = self._spo.setdefault(subject, {})
+        objects = s_level.setdefault(predicate, set())
+        if obj in objects:
+            return  # set semantics, like RDF
+        objects.add(obj)
+        self._pos.setdefault(predicate, {}).setdefault(obj, set()).add(subject)
+        self._osp.setdefault(obj, {}).setdefault(subject, set()).add(predicate)
+        self._count += 1
+
+    def add_triple(self, triple: Triple) -> None:
+        self.add(triple.subject, triple.predicate, triple.obj)
+
+    # -- single pattern ----------------------------------------------------
+
+    def match(self, pattern: Pattern) -> list[Triple]:
+        """All triples matching a pattern; ``Variable``/``None`` are wild."""
+
+        def is_bound(term: Any) -> bool:
+            return term is not None and not isinstance(term, Variable)
+
+        s, p, o = pattern
+        sb, pb, ob = is_bound(s), is_bound(p), is_bound(o)
+        out: list[Triple] = []
+        if sb:
+            predicates = self._spo.get(s, {})
+            for predicate, objects in (
+                [(p, predicates.get(p, set()))] if pb else predicates.items()
+            ):
+                for obj in objects:
+                    if not ob or obj == o:
+                        out.append(Triple(s, predicate, obj))
+        elif pb:
+            objects = self._pos.get(p, {})
+            for obj, subjects in (
+                [(o, objects.get(o, set()))] if ob else objects.items()
+            ):
+                for subject in subjects:
+                    out.append(Triple(subject, p, obj))
+        elif ob:
+            subjects = self._osp.get(o, {})
+            for subject, predicates in subjects.items():
+                for predicate in predicates:
+                    out.append(Triple(subject, predicate, o))
+        else:
+            for subject, predicates in self._spo.items():
+                for predicate, objects in predicates.items():
+                    for obj in objects:
+                        out.append(Triple(subject, predicate, obj))
+        return out
+
+    # -- conjunctive query ---------------------------------------------------
+
+    def query(
+        self,
+        patterns: list[Pattern],
+        filters: list[Callable[[Binding], bool]] | None = None,
+    ) -> list[Binding]:
+        """Conjunctive pattern join with optional filters.
+
+        Nested-loop join in pattern order with eager binding substitution —
+        no optimiser, which is deliberate: E8 measures the cost of this
+        access path against the dedicated index, optimiser or not.
+        Filters run as soon as their variables are bound.
+        """
+        filters = filters or []
+
+        def substitute(pattern: Pattern, binding: Binding) -> Pattern:
+            out = []
+            for term in pattern:
+                if isinstance(term, Variable) and term.name in binding:
+                    out.append(binding[term.name])
+                else:
+                    out.append(term)
+            return tuple(out)
+
+        def extend(pattern: Pattern, triple: Triple, binding: Binding) -> Binding | None:
+            new_binding = dict(binding)
+            for term, value in zip(pattern, triple):
+                if isinstance(term, Variable):
+                    if term.name in new_binding and new_binding[term.name] != value:
+                        return None
+                    new_binding[term.name] = value
+                elif term is not None and term != value:
+                    return None
+            return new_binding
+
+        def applicable(binding: Binding) -> bool:
+            for predicate in filters:
+                try:
+                    if not predicate(binding):
+                        return False
+                except KeyError:
+                    continue  # variables not bound yet: defer
+            return True
+
+        bindings: list[Binding] = [{}]
+        for pattern in patterns:
+            next_bindings: list[Binding] = []
+            for binding in bindings:
+                concrete = substitute(pattern, binding)
+                for triple in self.match(concrete):
+                    extended = extend(concrete, triple, binding)
+                    if extended is not None and applicable(extended):
+                        next_bindings.append(extended)
+            bindings = next_bindings
+            if not bindings:
+                return []
+        # Final filter pass with everything bound.
+        return [b for b in bindings if all(f(b) for f in _total(filters))]
+
+
+def _total(filters: list[Callable[[Binding], bool]]):
+    """Wrap filters so a KeyError at final evaluation means rejection."""
+
+    def wrap(fn: Callable[[Binding], bool]) -> Callable[[Binding], bool]:
+        def inner(binding: Binding) -> bool:
+            try:
+                return fn(binding)
+            except KeyError:
+                return False
+
+        return inner
+
+    return [wrap(f) for f in filters]

@@ -1,0 +1,45 @@
+"""Stream-processing substrate.
+
+A small, single-process dataflow engine providing the primitives the paper
+says maritime integration needs but generic platforms lack (§2.2-2.3):
+timestamped records, keyed windows, cross-stream interval joins,
+stream-static enrichment, watermark-based reordering, and an in-situ
+placement model that accounts communication cost (§2.1).
+
+The engine is pull-based (generators), so pipelines are lazy and memory-
+bounded; "running" a pipeline is draining its iterator.
+"""
+
+from repro.streaming.stream import Record, Stream, merge_by_time
+from repro.streaming.windows import (
+    Window,
+    tumbling_windows,
+    sliding_windows,
+    session_windows,
+)
+from repro.streaming.joins import interval_join, enrich
+from repro.streaming.watermarks import reorder_with_watermark, LateRecordPolicy
+from repro.streaming.insitu import (
+    ProcessingNode,
+    PlacementPlan,
+    CommunicationLedger,
+    compare_placements,
+)
+
+__all__ = [
+    "Record",
+    "Stream",
+    "merge_by_time",
+    "Window",
+    "tumbling_windows",
+    "sliding_windows",
+    "session_windows",
+    "interval_join",
+    "enrich",
+    "reorder_with_watermark",
+    "LateRecordPolicy",
+    "ProcessingNode",
+    "PlacementPlan",
+    "CommunicationLedger",
+    "compare_placements",
+]

@@ -1,0 +1,99 @@
+"""Stream joins: cross-stream interval join and stream-static enrichment.
+
+These are the two integration primitives §2.2 calls out: joining detected
+patterns across streams within a time band, and annotating a stream with
+quasi-static context (registries, zones, weather) in flight.
+"""
+
+from collections.abc import Callable, Iterator
+from typing import Any
+
+from repro.streaming.stream import Record, Stream
+
+
+def interval_join(
+    left: Stream,
+    right: Stream,
+    max_dt_s: float,
+    join_fn: Callable[[Record, Record], Any],
+    match_keys: bool = True,
+) -> Stream:
+    """Join records from two time-ordered streams within ``max_dt_s``.
+
+    Emits one output per (left, right) pair with ``|t_l - t_r| <= max_dt_s``
+    (and equal keys when ``match_keys``).  Buffers are pruned by the other
+    side's progress, so memory stays bounded by rate x ``max_dt_s``.
+    Output timestamps are the later of the pair.
+    """
+    if max_dt_s < 0:
+        raise ValueError("max_dt_s must be non-negative")
+
+    def _gen() -> Iterator[Record]:
+        left_iter = iter(left)
+        right_iter = iter(right)
+        left_buf: list[Record] = []
+        right_buf: list[Record] = []
+        left_next = next(left_iter, None)
+        right_next = next(right_iter, None)
+        while left_next is not None or right_next is not None:
+            take_left = right_next is None or (
+                left_next is not None and left_next.t <= right_next.t
+            )
+            if take_left:
+                record = left_next
+                left_next = next(left_iter, None)
+                left_buf.append(record)
+                for other in right_buf:
+                    if abs(record.t - other.t) <= max_dt_s and (
+                        not match_keys or record.key == other.key
+                    ):
+                        yield Record(
+                            max(record.t, other.t),
+                            record.key,
+                            join_fn(record, other),
+                        )
+                right_buf[:] = [
+                    r for r in right_buf if r.t >= record.t - max_dt_s
+                ]
+            else:
+                record = right_next
+                right_next = next(right_iter, None)
+                right_buf.append(record)
+                for other in left_buf:
+                    if abs(record.t - other.t) <= max_dt_s and (
+                        not match_keys or record.key == other.key
+                    ):
+                        yield Record(
+                            max(record.t, other.t),
+                            other.key,
+                            join_fn(other, record),
+                        )
+                left_buf[:] = [
+                    r for r in left_buf if r.t >= record.t - max_dt_s
+                ]
+
+    return Stream(_gen())
+
+
+def enrich(
+    stream: Stream,
+    lookup: Callable[[Record], Any],
+    combine: Callable[[Any, Any], Any] = lambda value, context: (value, context),
+) -> Stream:
+    """Stream-static join: annotate each record with looked-up context.
+
+    ``lookup`` receives the whole record (so it can use time *and*
+    position); ``combine`` merges value and context into the output value.
+    A ``None`` context passes the record through unchanged — missing
+    context must never drop surveillance data.
+    """
+
+    def _gen() -> Iterator[Record]:
+        for record in stream:
+            context = lookup(record)
+            if context is None:
+                yield record
+            else:
+                yield Record(record.t, record.key, combine(record.value, context))
+
+    return Stream(_gen())

@@ -1,0 +1,122 @@
+"""Stream synopses: sub-linear summaries of unbounded maritime streams.
+
+§2.1 pairs trajectory compression with "the computation of data synopses"
+in general.  Three classic sketches, tuned to the maritime use cases:
+
+- :class:`CountMinSketch` — approximate per-key counts (messages per
+  MMSI, per cell) with a provable overestimate bound;
+- :class:`ReservoirSample` — a uniform sample of an unbounded stream,
+  for model training on bounded memory;
+- :class:`HeavyHitters` (Misra-Gries) — the k most active keys (densest
+  cells, chattiest vessels) in O(k) space.
+"""
+
+import random
+
+
+class CountMinSketch:
+    """Count-min sketch: conservative approximate counting.
+
+    Guarantees ``true <= estimate <= true + eps * total`` with probability
+    ``1 - delta`` for width ``ceil(e/eps)`` and depth ``ceil(ln(1/delta))``.
+    """
+
+    def __init__(self, width: int = 1024, depth: int = 4, seed: int = 0) -> None:
+        if width < 1 or depth < 1:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        rng = random.Random(seed)
+        #: Per-row hash salts (Python's hash is salted per-process for
+        #: str; we combine with row salts for independence).
+        self._salts = [rng.getrandbits(61) for __ in range(depth)]
+        self._rows = [[0] * width for __ in range(depth)]
+        self.total = 0
+
+    def _index(self, row: int, key) -> int:
+        return (hash((self._salts[row], key))) % self.width
+
+    def add(self, key, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.total += count
+        for row in range(self.depth):
+            self._rows[row][self._index(row, key)] += count
+
+    def estimate(self, key) -> int:
+        """Never underestimates; overestimates by at most ~total/width."""
+        return min(
+            self._rows[row][self._index(row, key)]
+            for row in range(self.depth)
+        )
+
+    @property
+    def memory_cells(self) -> int:
+        return self.width * self.depth
+
+
+class ReservoirSample:
+    """Vitter's algorithm R: a uniform sample of a stream of unknown length."""
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self.items: list = []
+        self.n_seen = 0
+
+    def offer(self, item) -> None:
+        self.n_seen += 1
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            return
+        index = self._rng.randint(0, self.n_seen - 1)
+        if index < self.capacity:
+            self.items[index] = item
+
+    def sample(self) -> list:
+        return list(self.items)
+
+
+class HeavyHitters:
+    """Misra-Gries frequent-items summary.
+
+    Any key with true frequency above ``total / (k + 1)`` is guaranteed to
+    be present; reported counts underestimate by at most ``total/(k+1)``.
+    """
+
+    def __init__(self, k: int = 10) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self._counters: dict = {}
+        self.total = 0
+
+    def add(self, key, count: int = 1) -> None:
+        self.total += count
+        if key in self._counters:
+            self._counters[key] += count
+            return
+        if len(self._counters) < self.k:
+            self._counters[key] = count
+            return
+        # Decrement-all: the hallmark Misra-Gries step.
+        decrement = min(count, min(self._counters.values()))
+        for existing in list(self._counters):
+            self._counters[existing] -= decrement
+            if self._counters[existing] <= 0:
+                del self._counters[existing]
+        remaining = count - decrement
+        if remaining > 0 and len(self._counters) < self.k:
+            self._counters[key] = remaining
+
+    def top(self, n: int | None = None) -> list[tuple]:
+        """Candidate heavy hitters, most frequent first."""
+        ranked = sorted(
+            self._counters.items(), key=lambda kv: kv[1], reverse=True
+        )
+        return ranked if n is None else ranked[:n]
+
+    def __contains__(self, key) -> bool:
+        return key in self._counters

@@ -1,0 +1,75 @@
+"""Out-of-order handling: bounded-lateness reordering with watermarks.
+
+Satellite AIS arrives minutes late and interleaved with terrestrial data
+(§1 "sparse, or delayed ... multi-level processing issues").  Downstream
+operators want time order; this operator restores it up to a bounded
+lateness, counting what it had to drop.
+"""
+
+import enum
+import heapq
+from collections.abc import Iterator
+
+from repro.streaming.stream import Record, Stream
+
+
+class LateRecordPolicy(enum.Enum):
+    """What to do with records older than the watermark."""
+
+    DROP = "drop"
+    #: Emit immediately (out of order) rather than losing data.
+    EMIT_OUT_OF_ORDER = "emit"
+
+
+class ReorderStats:
+    """Mutable counters exposed by :func:`reorder_with_watermark`."""
+
+    def __init__(self) -> None:
+        self.emitted = 0
+        self.late = 0
+        self.max_observed_skew_s = 0.0
+
+
+def reorder_with_watermark(
+    stream: Stream,
+    max_lateness_s: float,
+    policy: LateRecordPolicy = LateRecordPolicy.DROP,
+    stats: ReorderStats | None = None,
+) -> Stream:
+    """Buffer records and release them in time order.
+
+    The watermark trails the maximum seen event time by ``max_lateness_s``;
+    records below the watermark on arrival are late and handled per
+    ``policy``.  Memory is bounded by the arrival rate times the lateness
+    bound.
+    """
+    if max_lateness_s < 0:
+        raise ValueError("max_lateness_s must be non-negative")
+    stats = stats if stats is not None else ReorderStats()
+
+    def _gen() -> Iterator[Record]:
+        heap: list[Record] = []
+        watermark = float("-inf")
+        for record in stream:
+            if record.t < watermark:
+                stats.late += 1
+                if policy is LateRecordPolicy.EMIT_OUT_OF_ORDER:
+                    stats.emitted += 1
+                    yield record
+                continue
+            heapq.heappush(heap, record)
+            high = max(watermark + max_lateness_s, record.t)
+            stats.max_observed_skew_s = max(
+                stats.max_observed_skew_s, high - record.t
+            )
+            new_watermark = high - max_lateness_s
+            if new_watermark > watermark:
+                watermark = new_watermark
+                while heap and heap[0].t <= watermark:
+                    stats.emitted += 1
+                    yield heapq.heappop(heap)
+        while heap:
+            stats.emitted += 1
+            yield heapq.heappop(heap)
+
+    return Stream(_gen())

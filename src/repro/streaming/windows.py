@@ -1,0 +1,166 @@
+"""Keyed window operators: tumbling, sliding and session windows.
+
+Windows consume a time-ordered stream and emit :class:`Window` records at
+window close, keyed like their inputs.  These are the aggregation
+primitives behind synopses (§2.1) and pattern detection (§3.1).
+"""
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.streaming.stream import Record, Stream
+
+
+@dataclass(frozen=True)
+class Window:
+    """A closed window of records for one key."""
+
+    key: Any
+    t_start: float
+    t_end: float
+    records: tuple[Record, ...] = field(default_factory=tuple)
+
+    @property
+    def values(self) -> list[Any]:
+        return [r.value for r in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def tumbling_windows(stream: Stream, size_s: float) -> Stream:
+    """Fixed, non-overlapping windows aligned to multiples of ``size_s``.
+
+    Emits a ``Record`` whose value is a :class:`Window` when event time
+    passes a window boundary for that key; remaining windows flush at end
+    of stream.
+    """
+    if size_s <= 0:
+        raise ValueError("size_s must be positive")
+
+    def _gen() -> Iterator[Record]:
+        # Windows are tracked by integer bucket index so that adjacent
+        # window boundaries are bit-identical ((k+1)*size), which float
+        # arithmetic on "start + size" does not guarantee.
+        open_windows: dict[Any, tuple[int, list[Record]]] = {}
+
+        def emit(key: Any, bucket: int, items: list[Record]) -> Record:
+            start = bucket * size_s
+            end = (bucket + 1) * size_s
+            return Record(end, key, Window(key, start, end, tuple(items)))
+
+        def bucket_of(t: float) -> int:
+            """Bucket index consistent with the boundaries ``k * size_s``:
+            floor division alone can disagree with the product by one ulp."""
+            bucket = int(t // size_s)
+            if t >= (bucket + 1) * size_s:
+                bucket += 1
+            elif t < bucket * size_s:
+                bucket -= 1
+            return bucket
+
+        for record in stream:
+            bucket = bucket_of(record.t)
+            current = open_windows.get(record.key)
+            if current is not None and current[0] != bucket:
+                yield emit(record.key, current[0], current[1])
+                current = None
+            if current is None:
+                open_windows[record.key] = (bucket, [record])
+            else:
+                current[1].append(record)
+        for key, (bucket, items) in sorted(
+            open_windows.items(), key=lambda kv: kv[1][0]
+        ):
+            yield emit(key, bucket, items)
+
+    return Stream(_gen())
+
+
+def sliding_windows(stream: Stream, size_s: float, slide_s: float) -> Stream:
+    """Overlapping windows of ``size_s`` emitted every ``slide_s``.
+
+    Implemented per key with a deque of live records; a window closes when
+    event time passes its end.
+    """
+    if size_s <= 0 or slide_s <= 0:
+        raise ValueError("size_s and slide_s must be positive")
+    if slide_s > size_s:
+        raise ValueError("slide_s must not exceed size_s")
+
+    def _gen() -> Iterator[Record]:
+        buffers: dict[Any, list[Record]] = {}
+        next_close: dict[Any, float] = {}
+        for record in stream:
+            buf = buffers.setdefault(record.key, [])
+            if record.key not in next_close:
+                first_end = ((record.t // slide_s) + 1) * slide_s
+                next_close[record.key] = first_end
+            while record.t >= next_close[record.key]:
+                end = next_close[record.key]
+                start = end - size_s
+                live = [r for r in buf if start <= r.t < end]
+                if live:
+                    yield Record(
+                        end, record.key,
+                        Window(record.key, start, end, tuple(live)),
+                    )
+                next_close[record.key] = end + slide_s
+                buf[:] = [r for r in buf if r.t >= end + slide_s - size_s]
+            buf.append(record)
+        for key, buf in buffers.items():
+            if not buf:
+                continue
+            end = next_close[key]
+            start = end - size_s
+            live = [r for r in buf if start <= r.t < end]
+            if live:
+                yield Record(end, key, Window(key, start, end, tuple(live)))
+
+    return Stream(_gen())
+
+
+def session_windows(stream: Stream, gap_s: float) -> Stream:
+    """Sessions: windows separated by inactivity gaps of at least ``gap_s``.
+
+    The natural windowing for voyages and port calls — a vessel's "session"
+    ends when it stops reporting for the gap (which is also exactly how AIS
+    *gap events* are defined in §3.1).
+    """
+    if gap_s <= 0:
+        raise ValueError("gap_s must be positive")
+
+    def _gen() -> Iterator[Record]:
+        sessions: dict[Any, list[Record]] = {}
+        for record in stream:
+            session = sessions.get(record.key)
+            if session and record.t - session[-1].t > gap_s:
+                yield Record(
+                    session[-1].t + gap_s,
+                    record.key,
+                    Window(record.key, session[0].t, session[-1].t, tuple(session)),
+                )
+                session = None
+            if session is None:
+                sessions[record.key] = [record]
+            else:
+                session.append(record)
+        for key, session in sorted(
+            sessions.items(), key=lambda kv: kv[1][0].t
+        ):
+            yield Record(
+                session[-1].t + gap_s, key,
+                Window(key, session[0].t, session[-1].t, tuple(session)),
+            )
+
+    return Stream(_gen())
+
+
+def aggregate_windows(
+    windows: Stream, fn: Callable[[Window], Any]
+) -> Stream:
+    """Map each window to an aggregate value, keeping time and key."""
+    return Stream(
+        Record(r.t, r.key, fn(r.value)) for r in windows
+    )

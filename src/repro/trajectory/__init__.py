@@ -1,0 +1,72 @@
+"""Trajectory substrate: reconstruction, filtering, synopses, analysis.
+
+Implements the trajectory-specific machinery the paper's infrastructure
+needs (§2.1, §2.6, §3.1): online reconstruction of clean per-vessel tracks
+from noisy message streams, Kalman smoothing, compression synopses at the
+95% ratios of [29], similarity measures for pattern mining, and stop/move
+semantic segmentation.
+"""
+
+from repro.trajectory.points import TrackPoint, Trajectory
+from repro.trajectory.reconstruction import TrackReconstructor, ReconstructionConfig
+from repro.trajectory.kalman import (
+    CvKalmanFilter,
+    KalmanState,
+    smooth_trajectory,
+    rts_smooth_trajectory,
+)
+from repro.trajectory.clustering import (
+    RouteCluster,
+    cluster_routes,
+    Anchorage,
+    discover_anchorages,
+)
+from repro.trajectory.compression import (
+    douglas_peucker,
+    dead_reckoning_compress,
+    squish_e,
+    compression_ratio,
+    max_sed_error_m,
+    mean_sed_error_m,
+)
+from repro.trajectory.similarity import (
+    dtw_distance_m,
+    frechet_distance_m,
+    hausdorff_distance_m,
+)
+from repro.trajectory.stops import (
+    StopSegment,
+    detect_stops,
+    stops_and_moves,
+    port_calls,
+)
+from repro.trajectory.resample import resample
+
+__all__ = [
+    "TrackPoint",
+    "Trajectory",
+    "TrackReconstructor",
+    "ReconstructionConfig",
+    "CvKalmanFilter",
+    "KalmanState",
+    "smooth_trajectory",
+    "rts_smooth_trajectory",
+    "RouteCluster",
+    "cluster_routes",
+    "Anchorage",
+    "discover_anchorages",
+    "douglas_peucker",
+    "dead_reckoning_compress",
+    "squish_e",
+    "compression_ratio",
+    "max_sed_error_m",
+    "mean_sed_error_m",
+    "dtw_distance_m",
+    "frechet_distance_m",
+    "hausdorff_distance_m",
+    "StopSegment",
+    "detect_stops",
+    "stops_and_moves",
+    "port_calls",
+    "resample",
+]

@@ -1,0 +1,162 @@
+"""Trajectory clustering and anchorage discovery.
+
+§3.1 asks for "machine learning methods supporting the identification
+... of patterns": the two classic unsupervised tasks are grouping tracks
+into routes (k-medoids under a trajectory metric) and discovering the
+places where ships habitually stop (anchorages/berths) from stop
+centroids.  Both are deliberately simple, deterministic and inspectable.
+"""
+
+import random
+from dataclasses import dataclass, field
+
+from repro.geo import haversine_m
+from repro.trajectory.points import Trajectory
+from repro.trajectory.resample import resample
+from repro.trajectory.similarity import dtw_distance_m
+from repro.trajectory.stops import StopSegment
+
+
+@dataclass
+class RouteCluster:
+    """One discovered route: a medoid track and its members."""
+
+    medoid_index: int
+    member_indices: list[int] = field(default_factory=list)
+
+
+def cluster_routes(
+    trajectories: list[Trajectory],
+    k: int,
+    resample_step_s: float = 600.0,
+    max_iterations: int = 20,
+    seed: int = 0,
+) -> list[RouteCluster]:
+    """k-medoids (PAM-style alternation) under DTW distance.
+
+    Tracks are resampled to a common cadence first so DTW compares shapes
+    rather than sampling rates.  Deterministic given the seed.  Returns
+    ``k`` clusters (possibly fewer when ``k > len(trajectories)``).
+    """
+    n = len(trajectories)
+    if n == 0:
+        return []
+    k = min(k, n)
+    sampled = [resample(tr, resample_step_s) for tr in trajectories]
+
+    # Distance matrix (symmetric; n is expected to be modest).
+    cache: dict[tuple[int, int], float] = {}
+
+    def distance(i: int, j: int) -> float:
+        if i == j:
+            return 0.0
+        key = (min(i, j), max(i, j))
+        if key not in cache:
+            cache[key] = dtw_distance_m(sampled[key[0]], sampled[key[1]])
+        return cache[key]
+
+    # Farthest-first initialisation: start from a seed-chosen track, then
+    # repeatedly add the track farthest from every chosen medoid.  Far more
+    # robust than random seeding when lanes share endpoints.
+    rng = random.Random(seed)
+    medoids = [rng.randrange(n)]
+    while len(medoids) < k:
+        farthest = max(
+            (i for i in range(n) if i not in medoids),
+            key=lambda i: min(distance(i, m) for m in medoids),
+        )
+        medoids.append(farthest)
+
+    def assign(medoid_list: list[int]) -> list[int]:
+        return [
+            min(medoid_list, key=lambda m: distance(i, m)) for i in range(n)
+        ]
+
+    assignment = assign(medoids)
+    for __ in range(max_iterations):
+        changed = False
+        for cluster_position, medoid in enumerate(medoids):
+            members = [i for i, m in enumerate(assignment) if m == medoid]
+            if not members:
+                continue
+            best = min(
+                members,
+                key=lambda candidate: sum(
+                    distance(candidate, other) for other in members
+                ),
+            )
+            if best != medoid:
+                medoids[cluster_position] = best
+                changed = True
+        new_assignment = assign(medoids)
+        if not changed and new_assignment == assignment:
+            break
+        assignment = new_assignment
+
+    clusters = []
+    for medoid in medoids:
+        clusters.append(
+            RouteCluster(
+                medoid_index=medoid,
+                member_indices=[
+                    i for i, m in enumerate(assignment) if m == medoid
+                ],
+            )
+        )
+    return clusters
+
+
+@dataclass(frozen=True)
+class Anchorage:
+    """A discovered habitual stopping place."""
+
+    lat: float
+    lon: float
+    n_stops: int
+    n_vessels: int
+    total_dwell_s: float
+
+
+def discover_anchorages(
+    stops: list[StopSegment],
+    merge_radius_m: float = 2_000.0,
+    min_stops: int = 3,
+) -> list[Anchorage]:
+    """Greedy agglomeration of stop centroids into anchorages.
+
+    Stops within ``merge_radius_m`` of a growing cluster centroid join it;
+    clusters with at least ``min_stops`` stops are reported, busiest
+    first.  A linear-scan DBSCAN-lite that is deterministic and entirely
+    adequate for the cluster counts of a surveillance region.
+    """
+    clusters: list[list[StopSegment]] = []
+    for stop in sorted(stops, key=lambda s: (s.t_start, s.mmsi)):
+        best = None
+        best_distance = merge_radius_m
+        for cluster in clusters:
+            lat_c = sum(s.lat for s in cluster) / len(cluster)
+            lon_c = sum(s.lon for s in cluster) / len(cluster)
+            d = haversine_m(stop.lat, stop.lon, lat_c, lon_c)
+            if d <= best_distance:
+                best = cluster
+                best_distance = d
+        if best is None:
+            clusters.append([stop])
+        else:
+            best.append(stop)
+
+    anchorages = []
+    for cluster in clusters:
+        if len(cluster) < min_stops:
+            continue
+        anchorages.append(
+            Anchorage(
+                lat=sum(s.lat for s in cluster) / len(cluster),
+                lon=sum(s.lon for s in cluster) / len(cluster),
+                n_stops=len(cluster),
+                n_vessels=len({s.mmsi for s in cluster}),
+                total_dwell_s=sum(s.duration_s for s in cluster),
+            )
+        )
+    anchorages.sort(key=lambda a: a.n_stops, reverse=True)
+    return anchorages

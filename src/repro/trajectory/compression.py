@@ -1,0 +1,191 @@
+"""Trajectory synopses: lossy compression with bounded deviation.
+
+§2.1: "state of the art techniques have achieved a compression ratio of
+95% over AIS vessel traces.  The challenge is to address high levels of
+data compression without compromising the accuracy of the prediction /
+detection components."  Three algorithms are provided:
+
+- :func:`douglas_peucker` — classic offline shape simplification bounded
+  by cross-track deviation;
+- :func:`dead_reckoning_compress` — *online* synopsis: keep a fix only
+  when dead reckoning from the last kept fix misses it by more than a
+  threshold (this is what ships' own transceivers effectively do, and the
+  natural in-situ synopsis operator);
+- :func:`squish_e` — SQUISH-E priority-queue compression bounded by
+  synchronised Euclidean distance (SED).
+
+The error metrics (:func:`max_sed_error_m`, :func:`mean_sed_error_m`)
+measure time-synchronised deviation of the original fixes from the
+synopsis, which is the quantity that matters for downstream detection.
+"""
+
+import heapq
+
+from repro.geo import (
+    KNOTS_TO_MPS,
+    cross_track_distance_m,
+    haversine_m,
+    initial_bearing_deg,
+    destination_point,
+    interpolate_track_at_time,
+)
+from repro.trajectory.points import TrackPoint, Trajectory
+
+
+def _sed_m(before: TrackPoint, after: TrackPoint, point: TrackPoint) -> float:
+    """Synchronised Euclidean distance: gap between ``point`` and the
+    position interpolated at ``point.t`` on the segment before→after."""
+    lat, lon = interpolate_track_at_time(
+        before.t, before.lat, before.lon, after.t, after.lat, after.lon, point.t
+    )
+    return haversine_m(lat, lon, point.lat, point.lon)
+
+
+def douglas_peucker(trajectory: Trajectory, tolerance_m: float) -> Trajectory:
+    """Douglas-Peucker simplification with a cross-track tolerance."""
+    if tolerance_m <= 0:
+        raise ValueError("tolerance_m must be positive")
+    points = trajectory.points
+    if len(points) <= 2:
+        return trajectory
+    keep = [False] * len(points)
+    keep[0] = keep[-1] = True
+    stack = [(0, len(points) - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < 2:
+            continue
+        anchor, floater = points[lo], points[hi]
+        worst_index = -1
+        worst_dist = 0.0
+        degenerate = (
+            haversine_m(anchor.lat, anchor.lon, floater.lat, floater.lon) < 1.0
+        )
+        for i in range(lo + 1, hi):
+            if degenerate:
+                dist = haversine_m(
+                    anchor.lat, anchor.lon, points[i].lat, points[i].lon
+                )
+            else:
+                dist = abs(
+                    cross_track_distance_m(
+                        points[i].lat, points[i].lon,
+                        anchor.lat, anchor.lon, floater.lat, floater.lon,
+                    )
+                )
+            if dist > worst_dist:
+                worst_dist = dist
+                worst_index = i
+        if worst_dist > tolerance_m:
+            keep[worst_index] = True
+            stack.append((lo, worst_index))
+            stack.append((worst_index, hi))
+    kept = [p for p, k in zip(points, keep) if k]
+    return Trajectory(trajectory.mmsi, kept)
+
+
+def dead_reckoning_compress(
+    trajectory: Trajectory, threshold_m: float
+) -> Trajectory:
+    """Online dead-reckoning synopsis.
+
+    Keep the first fix; from each kept fix, project forward at its reported
+    speed/course; keep the next fix whose actual position deviates from the
+    projection by more than ``threshold_m``.  Single pass, O(1) state —
+    suitable for in-situ placement (§2.1).
+    """
+    if threshold_m <= 0:
+        raise ValueError("threshold_m must be positive")
+    points = trajectory.points
+    if len(points) <= 2:
+        return trajectory
+    kept = [points[0]]
+    anchor = points[0]
+    for point in points[1:-1]:
+        dt = point.t - anchor.t
+        sog = anchor.sog_knots
+        cog = anchor.cog_deg
+        if sog is None or cog is None:
+            # No kinematics to reckon with: fall back to "hold position".
+            predicted = (anchor.lat, anchor.lon)
+        else:
+            predicted = destination_point(
+                anchor.lat, anchor.lon, cog, sog * KNOTS_TO_MPS * dt
+            )
+        deviation = haversine_m(
+            predicted[0], predicted[1], point.lat, point.lon
+        )
+        if deviation > threshold_m:
+            kept.append(point)
+            anchor = point
+    kept.append(points[-1])
+    return Trajectory(trajectory.mmsi, kept)
+
+
+def squish_e(trajectory: Trajectory, sed_bound_m: float) -> Trajectory:
+    """SQUISH-E(λ): remove points cheapest-first until every removal would
+    exceed the SED bound.
+
+    Each interior point carries a priority: the SED it would introduce if
+    removed, inflated by the priorities of already-removed neighbours (the
+    standard SQUISH-E accumulation, which guarantees the bound)."""
+    if sed_bound_m <= 0:
+        raise ValueError("sed_bound_m must be positive")
+    points = trajectory.points
+    n = len(points)
+    if n <= 2:
+        return trajectory
+    prev = list(range(-1, n - 1))
+    nxt = list(range(1, n + 1))
+    accumulated = [0.0] * n  # inflation from removed neighbours
+
+    def priority(i: int) -> float:
+        return accumulated[i] + _sed_m(points[prev[i]], points[nxt[i]], points[i])
+
+    heap: list[tuple[float, int, int]] = []
+    version = [0] * n
+    for i in range(1, n - 1):
+        heapq.heappush(heap, (priority(i), i, 0))
+    removed = [False] * n
+    while heap:
+        prio, i, ver = heapq.heappop(heap)
+        if removed[i] or ver != version[i]:
+            continue
+        if prio > sed_bound_m:
+            break
+        removed[i] = True
+        left, right = prev[i], nxt[i]
+        nxt[left] = right
+        prev[right] = left
+        for j in (left, right):
+            if 0 < j < n - 1 and not removed[j]:
+                accumulated[j] = max(accumulated[j], prio)
+                version[j] += 1
+                heapq.heappush(heap, (priority(j), j, version[j]))
+    kept = [p for p, r in zip(points, removed) if not r]
+    return Trajectory(trajectory.mmsi, kept)
+
+
+def compression_ratio(original: Trajectory, synopsis: Trajectory) -> float:
+    """Fraction of points removed: 0.95 == the paper's 95% figure."""
+    if len(original) == 0:
+        return 0.0
+    return 1.0 - len(synopsis) / len(original)
+
+
+def _sed_errors(original: Trajectory, synopsis: Trajectory) -> list[float]:
+    """SED of every original fix against the synopsis timeline."""
+    errors = []
+    for point in original:
+        lat, lon = synopsis.position_at(point.t)
+        errors.append(haversine_m(lat, lon, point.lat, point.lon))
+    return errors
+
+
+def max_sed_error_m(original: Trajectory, synopsis: Trajectory) -> float:
+    return max(_sed_errors(original, synopsis))
+
+
+def mean_sed_error_m(original: Trajectory, synopsis: Trajectory) -> float:
+    errors = _sed_errors(original, synopsis)
+    return sum(errors) / len(errors)

@@ -1,0 +1,203 @@
+"""Constant-velocity Kalman filtering of vessel tracks.
+
+Runs in a local tangent plane (metres).  Used for (a) smoothing noisy
+fixes before analytics, and (b) short-horizon prediction with honest
+uncertainty growth (the forecasting layer reuses the same model, §3.1).
+"""
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo import LocalTangentPlane
+from repro.trajectory.points import TrackPoint, Trajectory
+
+
+@dataclass
+class KalmanState:
+    """Filter state: position/velocity mean and covariance, in plane metres."""
+
+    t: float
+    x: np.ndarray  # [x, y, vx, vy]
+    P: np.ndarray  # 4x4 covariance
+
+    @property
+    def position_m(self) -> tuple[float, float]:
+        return float(self.x[0]), float(self.x[1])
+
+    @property
+    def speed_mps(self) -> float:
+        return float(math.hypot(self.x[2], self.x[3]))
+
+    def position_sigma_m(self) -> float:
+        """Circular 1-sigma position uncertainty (RMS of the axes)."""
+        return float(math.sqrt((self.P[0, 0] + self.P[1, 1]) / 2.0))
+
+
+class CvKalmanFilter:
+    """Nearly-constant-velocity Kalman filter for one track.
+
+    ``process_noise_accel`` is the white-acceleration intensity (m/s²);
+    3e-2 suits large merchant vessels, higher for manoeuvring small craft.
+    """
+
+    def __init__(
+        self,
+        plane: LocalTangentPlane,
+        measurement_sigma_m: float = 15.0,
+        process_noise_accel: float = 0.05,
+    ) -> None:
+        self.plane = plane
+        self.measurement_sigma_m = measurement_sigma_m
+        self.process_noise_accel = process_noise_accel
+        self.state: KalmanState | None = None
+        self._H = np.array([[1.0, 0, 0, 0], [0, 1.0, 0, 0]])
+        self._R = np.eye(2) * measurement_sigma_m**2
+
+    def _transition(self, dt: float) -> tuple[np.ndarray, np.ndarray]:
+        F = np.eye(4)
+        F[0, 2] = dt
+        F[1, 3] = dt
+        q = self.process_noise_accel**2
+        dt2, dt3, dt4 = dt * dt, dt**3, dt**4
+        Q = q * np.array(
+            [
+                [dt4 / 4, 0, dt3 / 2, 0],
+                [0, dt4 / 4, 0, dt3 / 2],
+                [dt3 / 2, 0, dt2, 0],
+                [0, dt3 / 2, 0, dt2],
+            ]
+        )
+        return F, Q
+
+    def predict(self, t: float) -> KalmanState:
+        """Predicted state at a (possibly future) time, without updating."""
+        if self.state is None:
+            raise RuntimeError("filter not initialised; call update first")
+        dt = t - self.state.t
+        if dt < 0:
+            raise ValueError("cannot predict into the past")
+        F, Q = self._transition(dt)
+        x = F @ self.state.x
+        P = F @ self.state.P @ F.T + Q
+        return KalmanState(t=t, x=x, P=P)
+
+    def update(self, point: TrackPoint) -> KalmanState:
+        """Fuse one fix; initialises on the first call."""
+        x_m, y_m = self.plane.to_xy(point.lat, point.lon)
+        z = np.array([x_m, y_m])
+        if self.state is None:
+            x0 = np.array([x_m, y_m, 0.0, 0.0])
+            P0 = np.diag(
+                [
+                    self.measurement_sigma_m**2,
+                    self.measurement_sigma_m**2,
+                    25.0,
+                    25.0,
+                ]
+            )
+            self.state = KalmanState(t=point.t, x=x0, P=P0)
+            return self.state
+        predicted = self.predict(point.t)
+        y = z - self._H @ predicted.x
+        S = self._H @ predicted.P @ self._H.T + self._R
+        K = predicted.P @ self._H.T @ np.linalg.inv(S)
+        x = predicted.x + K @ y
+        P = (np.eye(4) - K @ self._H) @ predicted.P
+        self.state = KalmanState(t=point.t, x=x, P=P)
+        return self.state
+
+    def innovation_distance(self, point: TrackPoint) -> float:
+        """Mahalanobis distance of a fix from the predicted state — the
+        gating statistic used by fusion association and spoof detection."""
+        if self.state is None:
+            return 0.0
+        predicted = self.predict(max(point.t, self.state.t))
+        x_m, y_m = self.plane.to_xy(point.lat, point.lon)
+        y = np.array([x_m, y_m]) - self._H @ predicted.x
+        S = self._H @ predicted.P @ self._H.T + self._R
+        return float(math.sqrt(y @ np.linalg.solve(S, y)))
+
+    def position_latlon(self) -> tuple[float, float]:
+        if self.state is None:
+            raise RuntimeError("filter not initialised")
+        return self.plane.to_latlon(float(self.state.x[0]), float(self.state.x[1]))
+
+
+def rts_smooth_trajectory(
+    trajectory: Trajectory,
+    measurement_sigma_m: float = 15.0,
+    process_noise_accel: float = 0.05,
+) -> Trajectory:
+    """Rauch-Tung-Striebel smoothing: forward filter + backward pass.
+
+    Unlike :func:`smooth_trajectory`, every estimate is conditioned on the
+    *whole* track, so early fixes benefit from later evidence — the right
+    tool for offline analytics (pattern-of-life training, archival
+    cleaning), while the forward filter remains the online tool.
+    """
+    mid = trajectory[len(trajectory) // 2]
+    plane = LocalTangentPlane(mid.lat, mid.lon)
+    kf = CvKalmanFilter(plane, measurement_sigma_m, process_noise_accel)
+    filtered: list[KalmanState] = []
+    predicted: list[KalmanState] = []
+    for point in trajectory:
+        if kf.state is None:
+            state = kf.update(point)
+            predicted.append(state)
+        else:
+            predicted.append(kf.predict(point.t))
+            state = kf.update(point)
+        filtered.append(KalmanState(state.t, state.x.copy(), state.P.copy()))
+
+    # Backward pass.
+    smoothed = [filtered[-1]]
+    for k in range(len(filtered) - 2, -1, -1):
+        dt = filtered[k + 1].t - filtered[k].t
+        F, __ = kf._transition(dt)
+        P_pred = predicted[k + 1].P
+        gain = filtered[k].P @ F.T @ np.linalg.inv(P_pred)
+        x = filtered[k].x + gain @ (smoothed[0].x - predicted[k + 1].x)
+        P = filtered[k].P + gain @ (smoothed[0].P - P_pred) @ gain.T
+        smoothed.insert(0, KalmanState(filtered[k].t, x, P))
+
+    out: list[TrackPoint] = []
+    for point, state in zip(trajectory, smoothed):
+        lat, lon = plane.to_latlon(float(state.x[0]), float(state.x[1]))
+        out.append(
+            TrackPoint(
+                t=point.t, lat=lat, lon=lon,
+                sog_knots=state.speed_mps / (1852.0 / 3600.0),
+                cog_deg=point.cog_deg, source=point.source,
+            )
+        )
+    return Trajectory(trajectory.mmsi, out)
+
+
+def smooth_trajectory(
+    trajectory: Trajectory,
+    measurement_sigma_m: float = 15.0,
+    process_noise_accel: float = 0.05,
+) -> Trajectory:
+    """Forward-filter a trajectory and return the filtered fixes.
+
+    Online-causal: each estimate uses only past fixes.  For offline
+    smoothing conditioned on the whole track, use
+    :func:`rts_smooth_trajectory`.
+    """
+    mid = trajectory[len(trajectory) // 2]
+    plane = LocalTangentPlane(mid.lat, mid.lon)
+    kf = CvKalmanFilter(plane, measurement_sigma_m, process_noise_accel)
+    smoothed: list[TrackPoint] = []
+    for point in trajectory:
+        state = kf.update(point)
+        lat, lon = plane.to_latlon(*state.position_m)
+        smoothed.append(
+            TrackPoint(
+                t=point.t, lat=lat, lon=lon,
+                sog_knots=state.speed_mps / (1852.0 / 3600.0),
+                cog_deg=point.cog_deg, source=point.source,
+            )
+        )
+    return Trajectory(trajectory.mmsi, smoothed)

@@ -1,0 +1,111 @@
+"""Track points and trajectories."""
+
+import bisect
+from dataclasses import dataclass
+
+from repro.geo import (
+    haversine_m,
+    interpolate_track_at_time,
+)
+
+
+@dataclass(frozen=True)
+class TrackPoint:
+    """One cleaned vessel fix."""
+
+    t: float
+    lat: float
+    lon: float
+    sog_knots: float | None = None
+    cog_deg: float | None = None
+    source: str = "ais"
+
+    @property
+    def position(self) -> tuple[float, float]:
+        return self.lat, self.lon
+
+
+class Trajectory:
+    """A time-ordered sequence of fixes for one vessel (or one segment).
+
+    Invariants enforced at construction: at least one point, strictly
+    increasing timestamps.  Instances are treated as immutable; all
+    "modifying" operations return new trajectories.
+    """
+
+    def __init__(self, mmsi: int, points: list[TrackPoint]) -> None:
+        if not points:
+            raise ValueError("a trajectory needs at least one point")
+        for a, b in zip(points, points[1:]):
+            if b.t <= a.t:
+                raise ValueError("trajectory timestamps must strictly increase")
+        self.mmsi = mmsi
+        self.points = list(points)
+        self._times = [p.t for p in self.points]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __getitem__(self, index: int) -> TrackPoint:
+        return self.points[index]
+
+    @property
+    def t_start(self) -> float:
+        return self.points[0].t
+
+    @property
+    def t_end(self) -> float:
+        return self.points[-1].t
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end - self.t_start
+
+    def length_m(self) -> float:
+        """Path length along the fixes."""
+        return sum(
+            haversine_m(a.lat, a.lon, b.lat, b.lon)
+            for a, b in zip(self.points, self.points[1:])
+        )
+
+    def position_at(self, t: float) -> tuple[float, float]:
+        """Great-circle interpolated position at ``t`` (clamped to span)."""
+        if t <= self.t_start:
+            return self.points[0].position
+        if t >= self.t_end:
+            return self.points[-1].position
+        index = bisect.bisect_right(self._times, t)
+        before = self.points[index - 1]
+        after = self.points[index]
+        return interpolate_track_at_time(
+            before.t, before.lat, before.lon, after.t, after.lat, after.lon, t
+        )
+
+    def slice_time(self, t0: float, t1: float) -> "Trajectory | None":
+        """Sub-trajectory of fixes with ``t0 <= t <= t1``; None if empty."""
+        lo = bisect.bisect_left(self._times, t0)
+        hi = bisect.bisect_right(self._times, t1)
+        if lo >= hi:
+            return None
+        return Trajectory(self.mmsi, self.points[lo:hi])
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """(lat_min, lat_max, lon_min, lon_max) over the fixes."""
+        lats = [p.lat for p in self.points]
+        lons = [p.lon for p in self.points]
+        return min(lats), max(lats), min(lons), max(lons)
+
+    def mean_speed_knots(self) -> float:
+        """Path length over duration; 0 for single-point trajectories."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.length_m() / self.duration_s / (1852.0 / 3600.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trajectory(mmsi={self.mmsi}, n={len(self)}, "
+            f"span={self.duration_s:.0f}s)"
+        )

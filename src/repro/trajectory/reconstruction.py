@@ -1,0 +1,147 @@
+"""Online trajectory reconstruction from decoded AIS position messages.
+
+The "real-time reconstruction of vessel trajectories" challenge of §3.1:
+messages arrive noisy, duplicated, out of order and with conflicting
+positions (spoofing); the reconstructor maintains one clean track per MMSI
+by deduplicating, gating physically impossible jumps, and segmenting on
+reporting gaps.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.ais.types import ClassBPositionReport, PositionReport
+from repro.geo import KNOTS_TO_MPS, haversine_m
+from repro.trajectory.points import TrackPoint, Trajectory
+
+
+@dataclass(frozen=True)
+class ReconstructionConfig:
+    """Tunables for the cleaning rules."""
+
+    #: Fastest speed considered physically possible; implied speeds above
+    #: this reject the fix (or open a conflict, see spoofing detection).
+    max_speed_knots: float = 50.0
+    #: Reports closer in time than this to the previous accepted fix are
+    #: duplicates (AIS repeaters, double reception).
+    min_dt_s: float = 1.0
+    #: A silence longer than this closes the current segment.
+    gap_timeout_s: float = 1800.0
+    #: Fixes rejected by the speed gate this many times in a row are
+    #: accepted as a new reality (the vessel jumped — e.g. decoded after a
+    #: long outage or genuine spoof); the segment is split instead.
+    max_consecutive_rejects: int = 3
+
+
+@dataclass
+class _TrackState:
+    points: list[TrackPoint] = field(default_factory=list)
+    consecutive_rejects: int = 0
+
+
+@dataclass
+class ReconstructorStats:
+    accepted: int = 0
+    duplicates: int = 0
+    speed_rejected: int = 0
+    out_of_order: int = 0
+    segments_closed: int = 0
+
+
+class TrackReconstructor:
+    """Incremental reconstructor: feed position messages, collect segments.
+
+    Usage::
+
+        rec = TrackReconstructor()
+        for t, msg in feed:
+            rec.add(msg, t)
+        trajectories = rec.finish()
+    """
+
+    def __init__(self, config: ReconstructionConfig | None = None) -> None:
+        self.config = config or ReconstructionConfig()
+        self.stats = ReconstructorStats()
+        self._states: dict[int, _TrackState] = {}
+        self._finished: list[Trajectory] = []
+
+    def add(
+        self,
+        msg: PositionReport | ClassBPositionReport,
+        t: float,
+        source: str = "ais",
+    ) -> TrackPoint | None:
+        """Offer one position message observed at epoch ``t``.
+
+        Returns the accepted :class:`TrackPoint`, or ``None`` if the
+        message was rejected (the reason is counted in ``stats``).
+        """
+        if not msg.has_position:
+            return None
+        state = self._states.setdefault(msg.mmsi, _TrackState())
+        point = TrackPoint(
+            t=t, lat=msg.lat, lon=msg.lon,
+            sog_knots=msg.sog_knots, cog_deg=msg.cog_deg, source=source,
+        )
+        if not state.points:
+            state.points.append(point)
+            self.stats.accepted += 1
+            return point
+        last = state.points[-1]
+        dt = t - last.t
+        if dt <= 0:
+            self.stats.out_of_order += 1
+            return None
+        if dt < self.config.min_dt_s:
+            self.stats.duplicates += 1
+            return None
+        if dt > self.config.gap_timeout_s:
+            self._close_segment(msg.mmsi, state)
+            state.points.append(point)
+            self.stats.accepted += 1
+            return point
+        implied_speed = (
+            haversine_m(last.lat, last.lon, point.lat, point.lon)
+            / dt / KNOTS_TO_MPS
+        )
+        if implied_speed > self.config.max_speed_knots:
+            state.consecutive_rejects += 1
+            self.stats.speed_rejected += 1
+            if state.consecutive_rejects >= self.config.max_consecutive_rejects:
+                # The new position is persistent: split and accept it.
+                self._close_segment(msg.mmsi, state)
+                state.points.append(point)
+                state.consecutive_rejects = 0
+                self.stats.accepted += 1
+                return point
+            return None
+        state.consecutive_rejects = 0
+        state.points.append(point)
+        self.stats.accepted += 1
+        return point
+
+    def _close_segment(self, mmsi: int, state: _TrackState) -> None:
+        if len(state.points) >= 2:
+            self._finished.append(Trajectory(mmsi, state.points))
+            self.stats.segments_closed += 1
+        state.points = []
+
+    def active_track(self, mmsi: int) -> list[TrackPoint]:
+        """The open (not yet closed) segment for a vessel, possibly empty."""
+        state = self._states.get(mmsi)
+        return list(state.points) if state else []
+
+    def last_point(self, mmsi: int) -> TrackPoint | None:
+        state = self._states.get(mmsi)
+        if state and state.points:
+            return state.points[-1]
+        return None
+
+    def finish(self) -> list[Trajectory]:
+        """Close all open segments and return every reconstructed segment,
+        ordered by (mmsi, start time)."""
+        for mmsi, state in self._states.items():
+            self._close_segment(mmsi, state)
+        self._states.clear()
+        out = sorted(self._finished, key=lambda tr: (tr.mmsi, tr.t_start))
+        self._finished = []
+        return out

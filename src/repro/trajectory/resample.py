@@ -1,0 +1,50 @@
+"""Uniform-rate resampling of trajectories.
+
+Similarity measures and the pattern-of-life grid want fixes at a fixed
+cadence; raw AIS cadence varies from 2 s to 3 min with speed (and coverage
+holes).  Resampling interpolates along the great circle between fixes.
+"""
+
+from repro.trajectory.points import TrackPoint, Trajectory
+
+
+def resample(trajectory: Trajectory, step_s: float) -> Trajectory:
+    """New trajectory sampled every ``step_s`` over the original span.
+
+    Speeds/courses are carried from the fix immediately before each sample
+    (they are step functions, not interpolatable angles).
+    """
+    if step_s <= 0:
+        raise ValueError("step_s must be positive")
+    if len(trajectory) == 1:
+        return trajectory
+    samples: list[TrackPoint] = []
+    t = trajectory.t_start
+    source_index = 0
+    points = trajectory.points
+    while t <= trajectory.t_end:
+        lat, lon = trajectory.position_at(t)
+        while (
+            source_index + 1 < len(points) and points[source_index + 1].t <= t
+        ):
+            source_index += 1
+        reference = points[source_index]
+        samples.append(
+            TrackPoint(
+                t=t, lat=lat, lon=lon,
+                sog_knots=reference.sog_knots,
+                cog_deg=reference.cog_deg,
+                source="resampled",
+            )
+        )
+        t += step_s
+    if samples[-1].t < trajectory.t_end:
+        last = points[-1]
+        samples.append(
+            TrackPoint(
+                t=trajectory.t_end, lat=last.lat, lon=last.lon,
+                sog_knots=last.sog_knots, cog_deg=last.cog_deg,
+                source="resampled",
+            )
+        )
+    return Trajectory(trajectory.mmsi, samples)

@@ -1,0 +1,77 @@
+"""Trajectory similarity measures: DTW, discrete Fréchet, Hausdorff.
+
+§3.1 lists "determining the similarity among trajectories" among the core
+analysis needs (route extraction, pattern-of-life clustering).  All three
+measures operate on the fix sequences directly and return metres.
+"""
+
+import numpy as np
+
+from repro.geo import haversine_m
+from repro.trajectory.points import Trajectory
+
+
+def _pairwise_matrix(a: Trajectory, b: Trajectory) -> np.ndarray:
+    """Dense haversine distance matrix between two fix sequences."""
+    out = np.empty((len(a), len(b)))
+    for i, p in enumerate(a):
+        for j, q in enumerate(b):
+            out[i, j] = haversine_m(p.lat, p.lon, q.lat, q.lon)
+    return out
+
+
+def dtw_distance_m(
+    a: Trajectory, b: Trajectory, window: int | None = None
+) -> float:
+    """Dynamic time warping distance (sum of matched-pair distances).
+
+    ``window`` is an optional Sakoe-Chiba band (in points) for speed; the
+    band is widened automatically to at least ``|len(a) - len(b)|`` so a
+    path always exists.
+    """
+    n, m = len(a), len(b)
+    dist = _pairwise_matrix(a, b)
+    if window is None:
+        band = max(n, m)
+    else:
+        band = max(window, abs(n - m))
+    INF = float("inf")
+    prev = np.full(m + 1, INF)
+    prev[0] = 0.0
+    current = np.full(m + 1, INF)
+    for i in range(1, n + 1):
+        current[:] = INF
+        j_lo = max(1, i - band)
+        j_hi = min(m, i + band)
+        for j in range(j_lo, j_hi + 1):
+            cost = dist[i - 1, j - 1]
+            current[j] = cost + min(prev[j], current[j - 1], prev[j - 1])
+        prev, current = current, prev
+    return float(prev[m])
+
+
+def frechet_distance_m(a: Trajectory, b: Trajectory) -> float:
+    """Discrete Fréchet distance (the classic dog-walking bottleneck)."""
+    n, m = len(a), len(b)
+    dist = _pairwise_matrix(a, b)
+    ca = np.full((n, m), -1.0)
+    ca[0, 0] = dist[0, 0]
+    for i in range(1, n):
+        ca[i, 0] = max(ca[i - 1, 0], dist[i, 0])
+    for j in range(1, m):
+        ca[0, j] = max(ca[0, j - 1], dist[0, j])
+    for i in range(1, n):
+        for j in range(1, m):
+            ca[i, j] = max(
+                min(ca[i - 1, j], ca[i - 1, j - 1], ca[i, j - 1]),
+                dist[i, j],
+            )
+    return float(ca[n - 1, m - 1])
+
+
+def hausdorff_distance_m(a: Trajectory, b: Trajectory) -> float:
+    """Symmetric Hausdorff distance between the two point sets."""
+    dist = _pairwise_matrix(a, b)
+    forward = float(dist.min(axis=1).max())
+    backward = float(dist.min(axis=0).max())
+    return max(forward, backward)

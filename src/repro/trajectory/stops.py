@@ -1,0 +1,132 @@
+"""Stop/move segmentation and port-call detection.
+
+The first step of *semantic trajectories* [34]: partition a track into
+stop episodes (anchored, moored, drifting, loitering) and move episodes.
+Stops near a known port become port calls; stops at open sea are exactly
+the precondition for loitering/rendezvous events (§3.1).
+"""
+
+from dataclasses import dataclass
+
+from repro.geo import haversine_m
+from repro.simulation.world import Port
+from repro.trajectory.points import Trajectory
+
+
+@dataclass(frozen=True)
+class StopSegment:
+    """A maximal episode during which the vessel is effectively stationary."""
+
+    mmsi: int
+    t_start: float
+    t_end: float
+    lat: float  # centroid
+    lon: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end - self.t_start
+
+
+def detect_stops(
+    trajectory: Trajectory,
+    speed_threshold_knots: float = 1.0,
+    min_duration_s: float = 900.0,
+    max_radius_m: float = 500.0,
+) -> list[StopSegment]:
+    """Stops: runs of fixes below the speed threshold that stay within
+    ``max_radius_m`` of their centroid for at least ``min_duration_s``.
+
+    Uses reported SOG when available, otherwise the implied speed between
+    consecutive fixes — dark/noisy feeds often lack SOG.
+    """
+    stops: list[StopSegment] = []
+    run: list = []
+
+    def speed_of(index: int) -> float:
+        point = trajectory[index]
+        if point.sog_knots is not None:
+            return point.sog_knots
+        if index == 0:
+            return 0.0
+        prev = trajectory[index - 1]
+        dt = point.t - prev.t
+        if dt <= 0:
+            return 0.0
+        return haversine_m(prev.lat, prev.lon, point.lat, point.lon) / dt / (
+            1852.0 / 3600.0
+        )
+
+    def flush() -> None:
+        if not run:
+            return
+        duration = run[-1].t - run[0].t
+        if duration < min_duration_s:
+            run.clear()
+            return
+        lat_c = sum(p.lat for p in run) / len(run)
+        lon_c = sum(p.lon for p in run) / len(run)
+        radius = max(haversine_m(lat_c, lon_c, p.lat, p.lon) for p in run)
+        if radius <= max_radius_m:
+            stops.append(
+                StopSegment(
+                    mmsi=trajectory.mmsi,
+                    t_start=run[0].t,
+                    t_end=run[-1].t,
+                    lat=lat_c,
+                    lon=lon_c,
+                )
+            )
+        run.clear()
+
+    for index, point in enumerate(trajectory):
+        if speed_of(index) <= speed_threshold_knots:
+            run.append(point)
+        else:
+            flush()
+    flush()
+    return stops
+
+
+def stops_and_moves(
+    trajectory: Trajectory,
+    speed_threshold_knots: float = 1.0,
+    min_duration_s: float = 900.0,
+) -> list[tuple[str, float, float]]:
+    """The full stop/move alternation as ``(label, t_start, t_end)``.
+
+    Moves are the complement of the detected stops over the track's span.
+    """
+    stops = detect_stops(
+        trajectory, speed_threshold_knots, min_duration_s
+    )
+    episodes: list[tuple[str, float, float]] = []
+    cursor = trajectory.t_start
+    for stop in stops:
+        if stop.t_start > cursor:
+            episodes.append(("move", cursor, stop.t_start))
+        episodes.append(("stop", stop.t_start, stop.t_end))
+        cursor = stop.t_end
+    if cursor < trajectory.t_end:
+        episodes.append(("move", cursor, trajectory.t_end))
+    return episodes
+
+
+def port_calls(
+    stops: list[StopSegment],
+    ports: list[Port],
+    port_radius_m: float = 8_000.0,
+) -> list[tuple[StopSegment, Port]]:
+    """Stops within ``port_radius_m`` of a catalogued port, labelled."""
+    calls = []
+    for stop in stops:
+        best: Port | None = None
+        best_dist = port_radius_m
+        for port in ports:
+            dist = haversine_m(stop.lat, stop.lon, port.lat, port.lon)
+            if dist <= best_dist:
+                best = port
+                best_dist = dist
+        if best is not None:
+            calls.append((stop, best))
+    return calls

@@ -1,0 +1,46 @@
+"""Uncertainty substrate (§4).
+
+The paper argues maritime decision support must handle "the different
+nature of uncertainty (probabilistic, subjective, vague, ambiguous)".
+This package implements the frameworks it names:
+
+- probabilistic tuples and relations (probabilistic databases [3][23]);
+- **open-world** query evaluation (Ceylan et al. [9]): facts absent from
+  the database are *possible*, not false — the rendezvous-querying
+  example of §4;
+- Dempster-Shafer evidence theory with Dempster's and Yager's combination
+  rules, discounting by source reliability, belief/plausibility and the
+  pignistic transform;
+- possibility theory (possibility/necessity, min-based combination);
+- second-order uncertainty as Beta-distributed probabilities.
+"""
+
+from repro.uncertainty.probabilistic import (
+    ProbabilisticTuple,
+    ProbabilisticRelation,
+)
+from repro.uncertainty.openworld import (
+    OpenWorldRelation,
+    PossibilityInterval,
+)
+from repro.uncertainty.evidence import (
+    MassFunction,
+    combine_dempster,
+    combine_yager,
+    discount,
+)
+from repro.uncertainty.possibility import PossibilityDistribution
+from repro.uncertainty.secondorder import BetaProbability
+
+__all__ = [
+    "ProbabilisticTuple",
+    "ProbabilisticRelation",
+    "OpenWorldRelation",
+    "PossibilityInterval",
+    "MassFunction",
+    "combine_dempster",
+    "combine_yager",
+    "discount",
+    "PossibilityDistribution",
+    "BetaProbability",
+]

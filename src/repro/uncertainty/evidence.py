@@ -1,0 +1,173 @@
+"""Dempster-Shafer evidence theory.
+
+§4 calls for "the extension to other uncertainty representations such as
+evidence or possibility theories ... to cope with the different nature of
+uncertainty".  Mass functions here assign belief mass to *sets* of
+hypotheses (e.g. {fishing, loitering}) over a finite frame of discernment;
+combination fuses independent sources; discounting weakens a source by
+its reliability (:mod:`repro.fusion.reliability`).
+"""
+
+import math
+from collections.abc import Iterable
+from typing import Any
+
+Hypothesis = frozenset
+
+
+class MassFunction:
+    """A Dempster-Shafer basic belief assignment over a frame.
+
+    Construct from a mapping of hypothesis sets to masses; masses must be
+    non-negative and sum to 1 (within tolerance).  The empty set must not
+    carry mass in a normalised assignment.
+    """
+
+    def __init__(
+        self,
+        masses: dict[frozenset, float],
+        frame: frozenset | None = None,
+        tolerance: float = 1e-9,
+    ) -> None:
+        cleaned: dict[frozenset, float] = {}
+        for hypothesis, mass in masses.items():
+            hypothesis = frozenset(hypothesis)
+            if mass < -tolerance:
+                raise ValueError("negative mass")
+            if mass <= 0:
+                continue
+            cleaned[hypothesis] = cleaned.get(hypothesis, 0.0) + mass
+        total = sum(cleaned.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"masses must sum to 1, got {total}")
+        if frozenset() in cleaned:
+            raise ValueError("normalised assignment cannot mass the empty set")
+        self.masses = cleaned
+        if frame is None:
+            frame = frozenset().union(*cleaned) if cleaned else frozenset()
+        self.frame = frozenset(frame)
+
+    @classmethod
+    def vacuous(cls, frame: Iterable[Any]) -> "MassFunction":
+        """Total ignorance: all mass on the whole frame."""
+        frame = frozenset(frame)
+        return cls({frame: 1.0}, frame)
+
+    @classmethod
+    def categorical(cls, hypothesis: Iterable[Any], frame: Iterable[Any]) -> "MassFunction":
+        return cls({frozenset(hypothesis): 1.0}, frozenset(frame))
+
+    @classmethod
+    def simple(
+        cls, hypothesis: Iterable[Any], mass: float, frame: Iterable[Any]
+    ) -> "MassFunction":
+        """A simple support function: ``mass`` on the hypothesis, the rest
+        on the frame."""
+        frame = frozenset(frame)
+        hypothesis = frozenset(hypothesis)
+        if not 0.0 <= mass <= 1.0:
+            raise ValueError("mass must be in [0, 1]")
+        if mass == 1.0:
+            return cls({hypothesis: 1.0}, frame)
+        return cls({hypothesis: mass, frame: 1.0 - mass}, frame)
+
+    # -- measures ------------------------------------------------------------
+
+    def belief(self, hypothesis: Iterable[Any]) -> float:
+        """Bel(A) = sum of masses of subsets of A."""
+        hypothesis = frozenset(hypothesis)
+        return sum(
+            mass for subset, mass in self.masses.items()
+            if subset and subset.issubset(hypothesis)
+        )
+
+    def plausibility(self, hypothesis: Iterable[Any]) -> float:
+        """Pl(A) = sum of masses of sets intersecting A = 1 - Bel(not A)."""
+        hypothesis = frozenset(hypothesis)
+        return sum(
+            mass for subset, mass in self.masses.items()
+            if subset & hypothesis
+        )
+
+    def pignistic(self) -> dict[Any, float]:
+        """BetP: spread each mass uniformly over its elements — the
+        probability a decision-maker should act on (Smets)."""
+        out: dict[Any, float] = {element: 0.0 for element in self.frame}
+        for subset, mass in self.masses.items():
+            share = mass / len(subset)
+            for element in subset:
+                out[element] = out.get(element, 0.0) + share
+        return out
+
+    def conflict_with(self, other: "MassFunction") -> float:
+        """Dempster's conflict K: total mass on empty intersections."""
+        conflict = 0.0
+        for a, mass_a in self.masses.items():
+            for b, mass_b in other.masses.items():
+                if not a & b:
+                    conflict += mass_a * mass_b
+        return conflict
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{set(h) or '{}'}:{m:.3f}" for h, m in sorted(
+                self.masses.items(), key=lambda kv: -kv[1]
+            )
+        )
+        return f"MassFunction({parts})"
+
+
+def combine_dempster(a: MassFunction, b: MassFunction) -> MassFunction:
+    """Dempster's rule: conjunctive combination with conflict renormalised.
+
+    Raises ``ValueError`` on total conflict (K = 1), where the rule is
+    undefined — callers should fall back to Yager or flag the sources.
+    """
+    frame = a.frame | b.frame
+    raw: dict[frozenset, float] = {}
+    conflict = 0.0
+    for ha, ma in a.masses.items():
+        for hb, mb in b.masses.items():
+            intersection = ha & hb
+            product = ma * mb
+            if intersection:
+                raw[intersection] = raw.get(intersection, 0.0) + product
+            else:
+                conflict += product
+    if conflict >= 1.0 - 1e-12:
+        raise ValueError("total conflict: Dempster's rule undefined")
+    scale = 1.0 / (1.0 - conflict)
+    return MassFunction({h: m * scale for h, m in raw.items()}, frame)
+
+
+def combine_yager(a: MassFunction, b: MassFunction) -> MassFunction:
+    """Yager's rule: conflict mass goes to the frame (ignorance) instead
+    of renormalising — more cautious under high conflict, which suits
+    deceptive sources (§2.4 "deliberate deception")."""
+    frame = a.frame | b.frame
+    raw: dict[frozenset, float] = {}
+    conflict = 0.0
+    for ha, ma in a.masses.items():
+        for hb, mb in b.masses.items():
+            intersection = ha & hb
+            product = ma * mb
+            if intersection:
+                raw[intersection] = raw.get(intersection, 0.0) + product
+            else:
+                conflict += product
+    if conflict > 0:
+        raw[frame] = raw.get(frame, 0.0) + conflict
+    return MassFunction(raw, frame)
+
+
+def discount(mass_function: MassFunction, reliability: float) -> MassFunction:
+    """Shafer discounting: scale masses by reliability, move the rest to
+    the frame.  reliability 1 is identity; 0 is vacuous."""
+    if not 0.0 <= reliability <= 1.0:
+        raise ValueError("reliability must be in [0, 1]")
+    frame = mass_function.frame
+    out: dict[frozenset, float] = {}
+    for hypothesis, mass in mass_function.masses.items():
+        out[hypothesis] = out.get(hypothesis, 0.0) + mass * reliability
+    out[frame] = out.get(frame, 0.0) + (1.0 - reliability)
+    return MassFunction(out, frame)

@@ -1,0 +1,128 @@
+"""Open-world probabilistic querying (§4, after Ceylan et al. [9]).
+
+"The AIS database clearly violates the closed-world assumption ...
+querying rendez-vous events from an AIS database will return only those
+events reflected by the AIS data.  Considering that anything which is not
+in the AIS database remains possible is thus crucial."
+
+An :class:`OpenWorldRelation` is a probabilistic relation plus a
+*completion budget* λ: facts not present are not false but merely
+unobserved, and may hold with probability up to λ.  Queries therefore
+return :class:`PossibilityInterval` bounds ``[lower, upper]`` instead of a
+single closed-world probability:
+
+- ``lower`` — probability from recorded tuples only (the closed-world
+  answer);
+- ``upper`` — lower combined with the λ-bounded possibility that an
+  unobserved fact completes the query.
+
+The interval collapses to a point when coverage is total (λ = 0) and
+widens exactly where the data went dark — which is what benchmark E4
+demonstrates against the Windward 27% dark-ship rate.
+"""
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.uncertainty.probabilistic import ProbabilisticRelation
+
+
+@dataclass(frozen=True)
+class PossibilityInterval:
+    """Probability bounds under the open-world assumption."""
+
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lower <= self.upper <= 1.0:
+            raise ValueError(
+                f"invalid interval [{self.lower}, {self.upper}]"
+            )
+
+    @property
+    def width(self) -> float:
+        """Residual ignorance: 0 = fully determined."""
+        return self.upper - self.lower
+
+    @property
+    def possible(self) -> bool:
+        return self.upper > 0.0
+
+    @property
+    def certain(self) -> bool:
+        return self.lower == 1.0
+
+
+class OpenWorldRelation:
+    """A probabilistic relation with open-world completion.
+
+    ``completion_lambda`` bounds the probability of any *single*
+    unobserved fact; ``n_unobserved`` estimates how many candidate facts
+    escaped observation (e.g. vessel-pairs both dark during the window).
+    Both can be set globally or per query.
+    """
+
+    def __init__(
+        self,
+        relation: ProbabilisticRelation,
+        completion_lambda: float = 0.1,
+    ) -> None:
+        if not 0.0 <= completion_lambda <= 1.0:
+            raise ValueError("completion_lambda must be in [0, 1]")
+        self.relation = relation
+        self.completion_lambda = completion_lambda
+
+    def probability_exists(
+        self,
+        predicate: Callable[[Any], bool],
+        n_unobserved: int = 0,
+        completion_lambda: float | None = None,
+    ) -> PossibilityInterval:
+        """Open-world bounds on "some tuple satisfying predicate exists".
+
+        The lower bound is the closed-world noisy-or over recorded tuples;
+        the upper bound additionally lets each of the ``n_unobserved``
+        candidate facts hold with probability ``completion_lambda``.
+        """
+        lam = (
+            self.completion_lambda
+            if completion_lambda is None
+            else completion_lambda
+        )
+        lower = self.relation.probability_exists(predicate)
+        p_no_hidden = (1.0 - lam) ** max(0, n_unobserved)
+        upper = 1.0 - (1.0 - lower) * p_no_hidden
+        return PossibilityInterval(lower=lower, upper=min(1.0, upper))
+
+    def expected_count(
+        self,
+        predicate: Callable[[Any], bool],
+        n_unobserved: int = 0,
+        completion_lambda: float | None = None,
+    ) -> tuple[float, float]:
+        """Open-world bounds on the expected number of satisfying facts."""
+        lam = (
+            self.completion_lambda
+            if completion_lambda is None
+            else completion_lambda
+        )
+        lower = self.relation.expected_count(predicate)
+        return lower, lower + lam * max(0, n_unobserved)
+
+
+def unobserved_pair_candidates(
+    n_dark_vessels: int, n_total_vessels: int
+) -> int:
+    """How many vessel *pairs* could have met unobserved.
+
+    A rendezvous needs both parties invisible to stay unrecorded, so the
+    candidate count is C(dark, 2) plus dark-with-visible pairs where the
+    visible side's track still leaves room (we count only the fully dark
+    pairs, the conservative floor).
+    """
+    if n_dark_vessels < 2:
+        return 0
+    del n_total_vessels  # kept in the signature for future refinements
+    return n_dark_vessels * (n_dark_vessels - 1) // 2

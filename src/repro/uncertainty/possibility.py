@@ -1,0 +1,76 @@
+"""Possibility theory: vague, linguistic uncertainty.
+
+The third framework §4 names.  A possibility distribution assigns each
+hypothesis a degree in [0, 1] with max = 1 (normalisation); possibility
+and necessity of a set follow; combination is min-based (conjunctive)
+with renormalisation.
+
+Soft reports map naturally here: "probably a trawler" becomes
+π(fishing)=1, π(cargo)=0.4, π(other)=0.2 — no additivity implied.
+"""
+
+from collections.abc import Iterable
+from typing import Any
+
+
+class PossibilityDistribution:
+    """π: frame → [0, 1], normalised so max π = 1."""
+
+    def __init__(self, degrees: dict[Any, float]) -> None:
+        if not degrees:
+            raise ValueError("empty possibility distribution")
+        for value in degrees.values():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError("degrees must be in [0, 1]")
+        peak = max(degrees.values())
+        if peak <= 0.0:
+            raise ValueError("at least one hypothesis must be possible")
+        # Normalise: a distribution with max < 1 encodes sub-normal
+        # information; we renormalise and keep the deficit as inconsistency.
+        self.inconsistency = 1.0 - peak
+        self.degrees = {k: v / peak for k, v in degrees.items()}
+        self.frame = frozenset(degrees)
+
+    def possibility(self, hypotheses: Iterable[Any]) -> float:
+        """Π(A) = max over A."""
+        return max(
+            (self.degrees.get(h, 0.0) for h in hypotheses), default=0.0
+        )
+
+    def necessity(self, hypotheses: Iterable[Any]) -> float:
+        """N(A) = 1 - Π(complement of A)."""
+        hypotheses = set(hypotheses)
+        complement = self.frame - hypotheses
+        return 1.0 - self.possibility(complement)
+
+    def combine_min(
+        self, other: "PossibilityDistribution"
+    ) -> "PossibilityDistribution":
+        """Conjunctive (min) combination over the union frame.
+
+        Hypotheses absent from a distribution count as impossible there.
+        Raises ``ValueError`` when the sources are fully inconsistent
+        (min yields all-zero).
+        """
+        frame = self.frame | other.frame
+        combined = {
+            h: min(self.degrees.get(h, 0.0), other.degrees.get(h, 0.0))
+            for h in frame
+        }
+        if max(combined.values()) <= 0.0:
+            raise ValueError("fully inconsistent possibility distributions")
+        return PossibilityDistribution(combined)
+
+    def most_plausible(self) -> Any:
+        """A hypothesis with π = 1 (ties broken by repr order)."""
+        return max(
+            sorted(self.degrees, key=repr), key=lambda h: self.degrees[h]
+        )
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{k!r}:{v:.2f}" for k, v in sorted(
+                self.degrees.items(), key=lambda kv: -kv[1]
+            )
+        )
+        return f"PossibilityDistribution({body})"

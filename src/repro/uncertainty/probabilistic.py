@@ -1,0 +1,84 @@
+"""Tuple-independent probabilistic relations.
+
+The standard probabilistic-database model: each tuple exists independently
+with probability ``p``.  Selections keep probabilities; independent joins
+multiply them; duplicate elimination combines by noisy-or.  Enough to
+express "how certain are we this vessel was in the zone" queries over
+fused, partially trusted data (§4 [3][23]).
+"""
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ProbabilisticTuple:
+    value: Any
+    p: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"probability out of range: {self.p}")
+
+
+class ProbabilisticRelation:
+    """A bag of probabilistic tuples under tuple independence."""
+
+    def __init__(self, tuples: list[ProbabilisticTuple] | None = None) -> None:
+        self.tuples = list(tuples) if tuples else []
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    def add(self, value: Any, p: float) -> None:
+        self.tuples.append(ProbabilisticTuple(value, p))
+
+    def select(self, predicate: Callable[[Any], bool]) -> "ProbabilisticRelation":
+        return ProbabilisticRelation(
+            [t for t in self.tuples if predicate(t.value)]
+        )
+
+    def project(self, fn: Callable[[Any], Any]) -> "ProbabilisticRelation":
+        """Projection with duplicate elimination: equal projected values
+        combine by noisy-or (independence assumption)."""
+        by_value: dict[Any, float] = {}
+        for t in self.tuples:
+            key = fn(t.value)
+            prior = by_value.get(key, 0.0)
+            by_value[key] = 1.0 - (1.0 - prior) * (1.0 - t.p)
+        return ProbabilisticRelation(
+            [ProbabilisticTuple(v, p) for v, p in by_value.items()]
+        )
+
+    def join(
+        self,
+        other: "ProbabilisticRelation",
+        on: Callable[[Any, Any], bool],
+        combine: Callable[[Any, Any], Any] = lambda a, b: (a, b),
+    ) -> "ProbabilisticRelation":
+        """Independent join: pair probability is the product."""
+        out = ProbabilisticRelation()
+        for left in self.tuples:
+            for right in other.tuples:
+                if on(left.value, right.value):
+                    out.add(combine(left.value, right.value), left.p * right.p)
+        return out
+
+    def probability_exists(self, predicate: Callable[[Any], bool]) -> float:
+        """P(at least one tuple satisfying the predicate exists)."""
+        p_none = 1.0
+        for t in self.tuples:
+            if predicate(t.value):
+                p_none *= 1.0 - t.p
+        return 1.0 - p_none
+
+    def expected_count(self, predicate: Callable[[Any], bool] = lambda v: True) -> float:
+        return sum(t.p for t in self.tuples if predicate(t.value))
+
+    def top_k(self, k: int) -> list[ProbabilisticTuple]:
+        """The k most probable tuples."""
+        return sorted(self.tuples, key=lambda t: t.p, reverse=True)[:k]

@@ -1,0 +1,88 @@
+"""Second-order uncertainty: uncertain probabilities as Beta laws.
+
+§4: "Considering second-order uncertainty seems also unavoidable if one
+wants to properly account for the imperfection of data in the estimation
+of patterns-of-life ... but also if one wants to communicate to the user
+faithful information."
+
+A :class:`BetaProbability` carries evidence counts (α successes, β
+failures); its mean is the point probability, its credible interval the
+second-order spread.  Pattern-of-life cell estimates and source
+reliabilities both use it: "anomalous with p=0.9 from 5 observations" and
+"from 5000 observations" are different claims, and the operator display
+(:mod:`repro.core.decision`) renders them differently.
+"""
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BetaProbability:
+    """A Beta(alpha, beta) distributed probability."""
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ValueError("alpha and beta must be positive")
+
+    @classmethod
+    def from_counts(
+        cls, successes: float, failures: float, prior: float = 1.0
+    ) -> "BetaProbability":
+        """Laplace-style: counts plus a symmetric prior."""
+        if successes < 0 or failures < 0:
+            raise ValueError("counts must be non-negative")
+        return cls(successes + prior, failures + prior)
+
+    @property
+    def mean(self) -> float:
+        return self.alpha / (self.alpha + self.beta)
+
+    @property
+    def evidence(self) -> float:
+        """Total pseudo-count: how much data backs the estimate."""
+        return self.alpha + self.beta
+
+    @property
+    def variance(self) -> float:
+        total = self.alpha + self.beta
+        return self.alpha * self.beta / (total * total * (total + 1.0))
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def credible_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation credible interval, clipped to [0, 1].
+
+        The normal approximation is adequate for evidence >= ~10; for tiny
+        counts it is conservative (wide), which is the safe direction for
+        an operator display.
+        """
+        lo = self.mean - z * self.std
+        hi = self.mean + z * self.std
+        return max(0.0, lo), min(1.0, hi)
+
+    def update(self, successes: float = 0.0, failures: float = 0.0) -> "BetaProbability":
+        """Bayesian update with more evidence."""
+        if successes < 0 or failures < 0:
+            raise ValueError("counts must be non-negative")
+        return BetaProbability(self.alpha + successes, self.beta + failures)
+
+    def combine(self, other: "BetaProbability") -> "BetaProbability":
+        """Pool two independent evidence bodies about the same probability
+        (add pseudo-counts, subtracting one shared uniform prior)."""
+        return BetaProbability(
+            self.alpha + other.alpha - 1.0,
+            self.beta + other.beta - 1.0,
+        )
+
+    def is_reliable(self, min_evidence: float = 10.0) -> bool:
+        return self.evidence >= min_evidence
+
+    def __str__(self) -> str:
+        lo, hi = self.credible_interval()
+        return f"{self.mean:.2f} [{lo:.2f}, {hi:.2f}] (n≈{self.evidence:.0f})"

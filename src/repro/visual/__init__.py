@@ -1,0 +1,22 @@
+"""Visual analytics substrate (§3.2).
+
+Terminal-native visual analytics: density maps (the Figure 1 renderer),
+a spatio-temporal aggregation cube with drill-down/roll-up (the "scalable
+spatio-temporal analytical querying" challenge), and a situation
+overview/monitoring layer that compares observed traffic against the
+pattern-of-life model and explains its alarms.
+"""
+
+from repro.visual.density import DensityMap, render_ascii_map
+from repro.visual.cube import SpatioTemporalCube, CubeQuery
+from repro.visual.overview import SituationOverview, MonitoringAlarm, SituationMonitor
+
+__all__ = [
+    "DensityMap",
+    "render_ascii_map",
+    "SpatioTemporalCube",
+    "CubeQuery",
+    "SituationOverview",
+    "MonitoringAlarm",
+    "SituationMonitor",
+]

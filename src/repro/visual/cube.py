@@ -1,0 +1,124 @@
+"""Spatio-temporal aggregation cube with drill-down / roll-up.
+
+§3.2 asks for "scalable spatio-temporal analytical querying, such as
+drill-down / zoom-in and on user-defined spatio-temporal regions of
+interest".  The cube bins observations by (space cell, time bucket,
+category) at a base resolution and serves aggregates at any coarser
+resolution by summation, so zooming never rescans raw data.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.geo import BoundingBox
+
+
+@dataclass(frozen=True)
+class CubeQuery:
+    """An aggregate request: region x time span x optional category."""
+
+    box: BoundingBox | None = None
+    t0: float | None = None
+    t1: float | None = None
+    category: str | None = None
+
+
+class SpatioTemporalCube:
+    """Base-resolution count cube over (lat, lon, time, category)."""
+
+    def __init__(
+        self,
+        cell_deg: float = 0.1,
+        time_bucket_s: float = 3600.0,
+    ) -> None:
+        if cell_deg <= 0 or time_bucket_s <= 0:
+            raise ValueError("resolutions must be positive")
+        self.cell_deg = cell_deg
+        self.time_bucket_s = time_bucket_s
+        self._cells: dict[tuple[int, int, int, str], int] = {}
+        self._total = 0
+
+    def add(self, lat: float, lon: float, t: float, category: str = "all") -> None:
+        key = (
+            int(math.floor(lat / self.cell_deg)),
+            int(math.floor(lon / self.cell_deg)),
+            int(math.floor(t / self.time_bucket_s)),
+            category,
+        )
+        self._cells[key] = self._cells.get(key, 0) + 1
+        self._total += 1
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def count(self, query: CubeQuery) -> int:
+        """Total observations matching the query."""
+        return sum(
+            count for key, count in self._cells.items()
+            if self._matches(key, query)
+        )
+
+    def _matches(
+        self, key: tuple[int, int, int, str], query: CubeQuery
+    ) -> bool:
+        lat_i, lon_i, time_i, category = key
+        if query.category is not None and category != query.category:
+            return False
+        if query.t0 is not None and (time_i + 1) * self.time_bucket_s <= query.t0:
+            return False
+        if query.t1 is not None and time_i * self.time_bucket_s > query.t1:
+            return False
+        if query.box is not None:
+            lat_c = (lat_i + 0.5) * self.cell_deg
+            lon_c = (lon_i + 0.5) * self.cell_deg
+            if not query.box.contains(lat_c, lon_c):
+                return False
+        return True
+
+    def roll_up_space(
+        self, factor: int, query: CubeQuery | None = None
+    ) -> dict[tuple[int, int], int]:
+        """Counts aggregated to cells ``factor`` x coarser."""
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        query = query or CubeQuery()
+        out: dict[tuple[int, int], int] = {}
+        for key, count in self._cells.items():
+            if not self._matches(key, query):
+                continue
+            coarse = (key[0] // factor, key[1] // factor)
+            out[coarse] = out.get(coarse, 0) + count
+        return out
+
+    def roll_up_time(
+        self, factor: int, query: CubeQuery | None = None
+    ) -> dict[int, int]:
+        """Counts per time bucket ``factor`` x coarser (e.g. hour→day)."""
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        query = query or CubeQuery()
+        out: dict[int, int] = {}
+        for key, count in self._cells.items():
+            if not self._matches(key, query):
+                continue
+            coarse = key[2] // factor
+            out[coarse] = out.get(coarse, 0) + count
+        return out
+
+    def drill_down(
+        self, box: BoundingBox, t0: float, t1: float
+    ) -> dict[tuple[int, int, int], int]:
+        """Base-resolution cells inside a region of interest — the zoom-in
+        operation after a coarse view localised something."""
+        query = CubeQuery(box=box, t0=t0, t1=t1)
+        out: dict[tuple[int, int, int], int] = {}
+        for key, count in self._cells.items():
+            if self._matches(key, query):
+                out[(key[0], key[1], key[2])] = (
+                    out.get((key[0], key[1], key[2]), 0) + count
+                )
+        return out
+
+    def categories(self) -> set[str]:
+        return {key[3] for key in self._cells}

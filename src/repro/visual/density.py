@@ -1,0 +1,141 @@
+"""Density maps: the Figure 1 renderer.
+
+Aggregates positions onto a lat/lon grid (numpy 2-D histogram) and renders
+the counts as an ASCII map with a logarithmic character ramp — the same
+visual story as the paper's Figure 1 ("Worldwide AIS positions acquired by
+satellites"): dense coastal Europe/Asia corridors, sparse open ocean.
+"""
+
+import math
+
+import numpy as np
+
+from repro.geo import BoundingBox
+
+#: Character ramp, sparse → dense.
+_RAMP = " .:-=+*#%@"
+
+
+class DensityMap:
+    """A 2-D position histogram over a bounding box."""
+
+    def __init__(
+        self,
+        box: BoundingBox,
+        n_lat_bins: int = 40,
+        n_lon_bins: int = 120,
+    ) -> None:
+        if box.crosses_antimeridian:
+            raise ValueError("density maps require a non-wrapping box")
+        if n_lat_bins < 1 or n_lon_bins < 1:
+            raise ValueError("bin counts must be positive")
+        self.box = box
+        self.n_lat_bins = n_lat_bins
+        self.n_lon_bins = n_lon_bins
+        self.counts = np.zeros((n_lat_bins, n_lon_bins), dtype=np.int64)
+
+    def add_positions(self, lats: list[float], lons: list[float]) -> int:
+        """Accumulate positions; returns how many fell inside the box."""
+        if len(lats) != len(lons):
+            raise ValueError("lats and lons must have equal length")
+        if not lats:
+            return 0
+        lat_arr = np.asarray(lats, dtype=float)
+        lon_arr = np.asarray(lons, dtype=float)
+        inside = (
+            (lat_arr >= self.box.lat_min)
+            & (lat_arr <= self.box.lat_max)
+            & (lon_arr >= self.box.lon_min)
+            & (lon_arr <= self.box.lon_max)
+        )
+        lat_in = lat_arr[inside]
+        lon_in = lon_arr[inside]
+        hist, __, __ = np.histogram2d(
+            lat_in,
+            lon_in,
+            bins=[self.n_lat_bins, self.n_lon_bins],
+            range=[
+                [self.box.lat_min, self.box.lat_max],
+                [self.box.lon_min, self.box.lon_max],
+            ],
+        )
+        self.counts += hist.astype(np.int64)
+        return int(inside.sum())
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def occupied_cells(self) -> int:
+        return int((self.counts > 0).sum())
+
+    def occupancy_fraction(self) -> float:
+        return self.occupied_cells / self.counts.size
+
+    def top_cells(self, k: int = 10) -> list[tuple[float, float, int]]:
+        """The k densest cells as (lat_centre, lon_centre, count)."""
+        flat = self.counts.flatten()
+        order = np.argsort(flat)[::-1][:k]
+        out = []
+        lat_step = (self.box.lat_max - self.box.lat_min) / self.n_lat_bins
+        lon_step = (self.box.lon_max - self.box.lon_min) / self.n_lon_bins
+        for index in order:
+            if flat[index] == 0:
+                break
+            i, j = divmod(int(index), self.n_lon_bins)
+            out.append(
+                (
+                    self.box.lat_min + (i + 0.5) * lat_step,
+                    self.box.lon_min + (j + 0.5) * lon_step,
+                    int(flat[index]),
+                )
+            )
+        return out
+
+
+def render_ascii_map(
+    density: DensityMap, markers: dict[tuple[float, float], str] | None = None
+) -> str:
+    """Render a density map as text (north at the top).
+
+    ``markers`` places single characters at positions (port symbols etc.),
+    overriding the density ramp in their cells.
+    """
+    counts = density.counts
+    peak = counts.max()
+    lines: list[str] = []
+    log_peak = math.log1p(float(peak)) if peak > 0 else 1.0
+    marker_cells: dict[tuple[int, int], str] = {}
+    if markers:
+        lat_step = (density.box.lat_max - density.box.lat_min) / density.n_lat_bins
+        lon_step = (density.box.lon_max - density.box.lon_min) / density.n_lon_bins
+        for (lat, lon), symbol in markers.items():
+            if not density.box.contains(lat, lon):
+                continue
+            i = min(
+                density.n_lat_bins - 1,
+                int((lat - density.box.lat_min) / lat_step),
+            )
+            j = min(
+                density.n_lon_bins - 1,
+                int((lon - density.box.lon_min) / lon_step),
+            )
+            marker_cells[(i, j)] = symbol[0]
+    for i in range(density.n_lat_bins - 1, -1, -1):
+        row_chars = []
+        for j in range(density.n_lon_bins):
+            if (i, j) in marker_cells:
+                row_chars.append(marker_cells[(i, j)])
+                continue
+            count = counts[i, j]
+            if count == 0:
+                row_chars.append(_RAMP[0])
+            else:
+                level = math.log1p(float(count)) / log_peak
+                index = min(
+                    len(_RAMP) - 1, 1 + int(level * (len(_RAMP) - 2))
+                )
+                row_chars.append(_RAMP[index])
+        lines.append("".join(row_chars))
+    return "\n".join(lines)

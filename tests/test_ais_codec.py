@@ -1,0 +1,255 @@
+"""Round-trip tests for the AIVDM encoder/decoder across message types."""
+
+import pytest
+
+from repro.ais import (
+    BaseStationReport,
+    ClassBPositionReport,
+    NavigationStatus,
+    PositionReport,
+    StaticDataReport,
+    StaticVoyageData,
+    decode_payload,
+    decode_sentences,
+    encode_message,
+    encode_sentences,
+    nmea_checksum,
+    verify_checksum,
+)
+
+
+def roundtrip(msg):
+    sentences = encode_sentences(msg)
+    decoded = decode_sentences(sentences)
+    assert len(decoded) == 1
+    return decoded[0]
+
+
+class TestPositionReport:
+    def make(self, **overrides) -> PositionReport:
+        fields = dict(
+            mmsi=227123456,
+            lat=48.3829,
+            lon=-4.4951,
+            sog_knots=12.3,
+            cog_deg=87.6,
+            heading_deg=88.0,
+            nav_status=NavigationStatus.UNDER_WAY_ENGINE,
+            rot_deg_per_min=0.0,
+            timestamp_s=33,
+        )
+        fields.update(overrides)
+        return PositionReport(**fields)
+
+    def test_roundtrip_exact_fields(self):
+        out = roundtrip(self.make())
+        assert out.mmsi == 227123456
+        assert out.lat == pytest.approx(48.3829, abs=1e-4)
+        assert out.lon == pytest.approx(-4.4951, abs=1e-4)
+        assert out.sog_knots == pytest.approx(12.3, abs=0.05)
+        assert out.cog_deg == pytest.approx(87.6, abs=0.05)
+        assert out.heading_deg == 88.0
+        assert out.nav_status is NavigationStatus.UNDER_WAY_ENGINE
+        assert out.timestamp_s == 33
+
+    def test_position_precision_within_ais_quantum(self):
+        # 1/10000 arc-minute ≈ 0.18 m in latitude.
+        out = roundtrip(self.make(lat=48.123456789, lon=-4.987654321))
+        assert out.lat == pytest.approx(48.123456789, abs=2e-6)
+        assert out.lon == pytest.approx(-4.987654321, abs=2e-6)
+
+    def test_sentinels_become_none(self):
+        out = roundtrip(
+            self.make(sog_knots=None, cog_deg=None, heading_deg=None,
+                      timestamp_s=None, rot_deg_per_min=None)
+        )
+        assert out.sog_knots is None
+        assert out.cog_deg is None
+        assert out.heading_deg is None
+        assert out.timestamp_s is None
+        assert out.rot_deg_per_min is None
+
+    def test_southern_western_hemisphere(self):
+        out = roundtrip(self.make(lat=-33.91, lon=-71.62))
+        assert out.lat == pytest.approx(-33.91, abs=1e-4)
+        assert out.lon == pytest.approx(-71.62, abs=1e-4)
+
+    def test_message_types_2_and_3(self):
+        for msg_type in (2, 3):
+            out = roundtrip(self.make(msg_type=msg_type))
+            assert out.msg_type == msg_type
+
+    def test_rot_roundtrip_sign(self):
+        right = roundtrip(self.make(rot_deg_per_min=5.0))
+        left = roundtrip(self.make(rot_deg_per_min=-5.0))
+        assert right.rot_deg_per_min > 0
+        assert left.rot_deg_per_min < 0
+
+    def test_single_sentence(self):
+        assert len(encode_sentences(self.make())) == 1
+
+    def test_168_bits(self):
+        assert len(encode_message(self.make())) == 168
+
+
+class TestStaticVoyage:
+    def make(self, **overrides) -> StaticVoyageData:
+        fields = dict(
+            mmsi=227123456,
+            imo=9074729,
+            callsign="FQAB",
+            shipname="PONT AVEN",
+            ship_type_code=70,
+            to_bow_m=100,
+            to_stern_m=84,
+            to_port_m=12,
+            to_starboard_m=13,
+            eta_month=6,
+            eta_day=12,
+            eta_hour=10,
+            eta_minute=30,
+            draught_m=6.5,
+            destination="ROSCOFF",
+        )
+        fields.update(overrides)
+        return StaticVoyageData(**fields)
+
+    def test_multi_sentence(self):
+        sentences = encode_sentences(self.make())
+        assert len(sentences) == 2
+        assert ",2,1," in sentences[0]
+        assert ",2,2," in sentences[1]
+
+    def test_roundtrip(self):
+        out = roundtrip(self.make())
+        assert out.shipname == "PONT AVEN"
+        assert out.callsign == "FQAB"
+        assert out.imo == 9074729
+        assert out.destination == "ROSCOFF"
+        assert out.draught_m == pytest.approx(6.5)
+        assert out.length_m == 184
+        assert out.beam_m == 25
+        assert out.eta_month == 6 and out.eta_minute == 30
+
+    def test_empty_strings(self):
+        out = roundtrip(self.make(shipname="", callsign="", destination=""))
+        assert out.shipname == ""
+        assert out.callsign == ""
+        assert out.destination == ""
+
+    def test_424_bits(self):
+        assert len(encode_message(self.make())) == 424
+
+    def test_fragments_out_of_order_reassemble(self):
+        from repro.ais import AisDecoder
+
+        sentences = encode_sentences(self.make())
+        decoder = AisDecoder()
+        assert decoder.feed(sentences[1]) is None
+        out = decoder.feed(sentences[0])
+        assert out is not None and out.shipname == "PONT AVEN"
+
+
+class TestClassB:
+    def test_roundtrip(self):
+        msg = ClassBPositionReport(
+            mmsi=227999111, lat=47.1, lon=-3.5,
+            sog_knots=6.4, cog_deg=210.0, heading_deg=208.0, timestamp_s=12,
+        )
+        out = roundtrip(msg)
+        assert out.mmsi == 227999111
+        assert out.sog_knots == pytest.approx(6.4, abs=0.05)
+        assert out.cog_deg == pytest.approx(210.0, abs=0.05)
+        assert out.msg_type == 18
+
+
+class TestStaticDataReport:
+    def test_part_a(self):
+        out = roundtrip(StaticDataReport(mmsi=227, part=0, shipname="LE BATEAU"))
+        assert out.part == 0
+        assert out.shipname == "LE BATEAU"
+
+    def test_part_b(self):
+        out = roundtrip(
+            StaticDataReport(
+                mmsi=227, part=1, ship_type_code=30, vendor_id="REPRO",
+                callsign="FX123", to_bow_m=10, to_stern_m=12,
+                to_port_m=3, to_starboard_m=3,
+            )
+        )
+        assert out.part == 1
+        assert out.ship_type_code == 30
+        assert out.callsign == "FX123"
+        assert out.to_bow_m == 10
+
+
+class TestBaseStation:
+    def test_roundtrip(self):
+        msg = BaseStationReport(
+            mmsi=2275000, year=2017, month=3, day=21,
+            hour=9, minute=30, second=15, lat=48.38, lon=-4.49,
+        )
+        out = roundtrip(msg)
+        assert (out.year, out.month, out.day) == (2017, 3, 21)
+        assert (out.hour, out.minute, out.second) == (9, 30, 15)
+        assert out.lat == pytest.approx(48.38, abs=1e-4)
+
+
+class TestChecksum:
+    def test_valid_sentences(self):
+        for sentence in encode_sentences(
+            PositionReport(mmsi=227000001, lat=1.0, lon=2.0)
+        ):
+            assert verify_checksum(sentence)
+
+    def test_corrupted_fails(self):
+        sentence = encode_sentences(
+            PositionReport(mmsi=227000001, lat=1.0, lon=2.0)
+        )[0]
+        corrupted = sentence.replace(",A,", ",B,", 1)
+        assert not verify_checksum(corrupted)
+
+    def test_known_value(self):
+        assert nmea_checksum("AIVDM,1,1,,A,,0") == f"{_xor('AIVDM,1,1,,A,,0'):02X}"
+
+    def test_malformed(self):
+        assert not verify_checksum("")
+        assert not verify_checksum("AIVDM no bang")
+        assert not verify_checksum("!AIVDM,1,1,,A,x,0")  # no checksum
+
+
+def _xor(text: str) -> int:
+    value = 0
+    for char in text:
+        value ^= ord(char)
+    return value
+
+
+class TestDecodeErrors:
+    def test_unsupported_type(self):
+        from repro.ais import DecodeError
+        from repro.ais.sixbit import BitBuffer
+
+        buf = BitBuffer()
+        buf.write_uint(6, 6)  # binary addressed message: unsupported
+        buf.write_uint(0, 32)
+        payload, fill = buf.to_payload()
+        with pytest.raises(DecodeError):
+            decode_payload(payload, fill)
+
+    def test_too_short(self):
+        from repro.ais import DecodeError
+
+        with pytest.raises(DecodeError):
+            decode_payload("1", 0)
+
+    def test_truncated_type5(self):
+        from repro.ais import DecodeError
+        from repro.ais.sixbit import BitBuffer
+
+        buf = BitBuffer()
+        buf.write_uint(5, 6)
+        buf.write_uint(0, 60)
+        payload, fill = buf.to_payload()
+        with pytest.raises(DecodeError):
+            decode_payload(payload, fill)

@@ -1,0 +1,104 @@
+"""Tests for the stateful sentence-stream decoder (garbage tolerance)."""
+
+from repro.ais import AisDecoder, PositionReport, encode_sentences
+
+
+def make_sentence() -> str:
+    return encode_sentences(
+        PositionReport(mmsi=227000001, lat=48.0, lon=-5.0, sog_knots=10.0,
+                       cog_deg=90.0)
+    )[0]
+
+
+class TestFeedRobustness:
+    def test_clean_sentence_decodes(self):
+        decoder = AisDecoder()
+        assert decoder.feed(make_sentence()) is not None
+        assert decoder.stats["decoded"] == 1
+
+    def test_non_aivdm_skipped(self):
+        decoder = AisDecoder()
+        assert decoder.feed("$GPGGA,123519,4807.038,N") is None
+        assert decoder.stats["not_aivdm"] == 1
+
+    def test_bad_checksum_skipped(self):
+        decoder = AisDecoder()
+        sentence = make_sentence()
+        broken = sentence[:-2] + "00" if not sentence.endswith("00") else sentence[:-2] + "11"
+        assert decoder.feed(broken) is None
+        assert decoder.stats["bad_checksum"] == 1
+
+    def test_checksum_check_can_be_disabled(self):
+        decoder = AisDecoder(check_checksum=False)
+        sentence = make_sentence()
+        broken = sentence[:-2] + ("00" if not sentence.endswith("00") else "11")
+        # Payload is intact, only the checksum trailer is wrong.
+        assert decoder.feed(broken) is not None
+
+    def test_wrong_field_count(self):
+        decoder = AisDecoder(check_checksum=False)
+        assert decoder.feed("!AIVDM,1,1,,A,xx*00") is None
+        assert decoder.stats["bad_field_count"] == 1
+
+    def test_bad_numeric_fields(self):
+        decoder = AisDecoder(check_checksum=False)
+        assert decoder.feed("!AIVDM,x,1,,A,payload,0*00") is None
+        assert decoder.stats["bad_numeric_field"] == 1
+
+    def test_garbage_payload_counted(self):
+        decoder = AisDecoder(check_checksum=False)
+        assert decoder.feed("!AIVDM,1,1,,A,~~~~,0*00") is None
+        assert decoder.stats["decode_error"] >= 1
+
+    def test_whitespace_tolerated(self):
+        decoder = AisDecoder()
+        assert decoder.feed("  " + make_sentence() + "\r\n") is not None
+
+    def test_received_at_attached(self):
+        decoder = AisDecoder()
+        out = decoder.feed(make_sentence(), received_at=1234.5)
+        assert out.received_at == 1234.5
+
+    def test_mixed_feed_survives(self):
+        decoder = AisDecoder()
+        feed = [
+            make_sentence(),
+            "garbage line",
+            "$GPRMC,081836,A",
+            make_sentence(),
+            "!AIVDM,1,1",
+        ]
+        decoded = [m for s in feed if (m := decoder.feed(s)) is not None]
+        assert len(decoded) == 2
+
+
+class TestMultipart:
+    def test_interleaved_sequences(self):
+        """Two multi-part messages on different channels interleave."""
+        from repro.ais import StaticVoyageData
+
+        msg_a = StaticVoyageData(mmsi=227000001, shipname="ALPHA")
+        msg_b = StaticVoyageData(mmsi=227000002, shipname="BRAVO")
+        sentences_a = encode_sentences(msg_a, channel="A", sequence_id=1)
+        sentences_b = encode_sentences(msg_b, channel="B", sequence_id=2)
+        decoder = AisDecoder()
+        results = []
+        for sentence in [
+            sentences_a[0], sentences_b[0], sentences_b[1], sentences_a[1]
+        ]:
+            out = decoder.feed(sentence)
+            if out is not None:
+                results.append(out)
+        names = {m.shipname for m in results}
+        assert names == {"ALPHA", "BRAVO"}
+
+    def test_incomplete_fragment_never_completes(self):
+        from repro.ais import StaticVoyageData
+
+        sentences = encode_sentences(
+            StaticVoyageData(mmsi=227000003, shipname="GHOST")
+        )
+        decoder = AisDecoder()
+        assert decoder.feed(sentences[0]) is None
+        # Second part never arrives; decoder holds state but stays sane.
+        assert decoder.feed(make_sentence()) is not None

@@ -1,0 +1,112 @@
+"""Tests for extended AIS message types (9, 21, 27)."""
+
+import pytest
+
+from repro.ais import (
+    AidToNavigationReport,
+    LongRangeReport,
+    NavigationStatus,
+    SarAircraftReport,
+    decode_sentences,
+    encode_message,
+    encode_sentences,
+)
+
+
+def roundtrip(msg):
+    decoded = decode_sentences(encode_sentences(msg))
+    assert len(decoded) == 1
+    return decoded[0]
+
+
+class TestSarAircraft:
+    def test_roundtrip(self):
+        msg = SarAircraftReport(
+            mmsi=111227001, lat=48.7, lon=-5.3, altitude_m=450,
+            sog_knots=120.0, cog_deg=235.0, timestamp_s=17,
+        )
+        out = roundtrip(msg)
+        assert out.mmsi == 111227001
+        assert out.lat == pytest.approx(48.7, abs=1e-4)
+        assert out.altitude_m == 450
+        assert out.sog_knots == pytest.approx(120.0)
+        assert out.cog_deg == pytest.approx(235.0, abs=0.1)
+        assert out.timestamp_s == 17
+
+    def test_sentinels(self):
+        msg = SarAircraftReport(
+            mmsi=111227001, lat=48.7, lon=-5.3,
+            altitude_m=None, sog_knots=None, cog_deg=None, timestamp_s=None,
+        )
+        out = roundtrip(msg)
+        assert out.altitude_m is None
+        assert out.sog_knots is None
+        assert out.cog_deg is None
+        assert out.timestamp_s is None
+
+    def test_bit_length(self):
+        msg = SarAircraftReport(mmsi=111227001, lat=0.0, lon=0.0)
+        assert len(encode_message(msg)) == 168
+
+
+class TestAidToNavigation:
+    def test_roundtrip(self):
+        msg = AidToNavigationReport(
+            mmsi=992271001, aton_type=14, name="BASSE VIEILLE",
+            lat=48.29, lon=-4.78, off_position=True, virtual=False,
+        )
+        out = roundtrip(msg)
+        assert out.mmsi == 992271001
+        assert out.aton_type == 14
+        assert out.name == "BASSE VIEILLE"
+        assert out.off_position is True
+        assert out.virtual is False
+        assert out.lat == pytest.approx(48.29, abs=1e-4)
+
+    def test_virtual_aton(self):
+        msg = AidToNavigationReport(
+            mmsi=992271002, aton_type=1, name="V-AIS WRECK",
+            lat=48.0, lon=-5.0, virtual=True,
+        )
+        assert roundtrip(msg).virtual is True
+
+
+class TestLongRange:
+    def test_roundtrip(self):
+        msg = LongRangeReport(
+            mmsi=227123456, lat=-33.91, lon=151.2, sog_knots=14.0,
+            cog_deg=87.0, nav_status=NavigationStatus.UNDER_WAY_ENGINE,
+        )
+        out = roundtrip(msg)
+        assert out.mmsi == 227123456
+        # Type 27 position resolution is 1/10 arc-minute ≈ 0.00167°.
+        assert out.lat == pytest.approx(-33.91, abs=0.002)
+        assert out.lon == pytest.approx(151.2, abs=0.002)
+        assert out.sog_knots == 14.0
+        assert out.cog_deg == 87.0
+        assert out.nav_status is NavigationStatus.UNDER_WAY_ENGINE
+
+    def test_96_bits(self):
+        msg = LongRangeReport(mmsi=227123456, lat=0.0, lon=0.0)
+        assert len(encode_message(msg)) == 96
+        # One short sentence: the whole point of type 27.
+        assert len(encode_sentences(msg)) == 1
+
+    def test_sentinels(self):
+        out = roundtrip(
+            LongRangeReport(mmsi=227123456, lat=10.0, lon=20.0,
+                            sog_knots=None, cog_deg=None)
+        )
+        assert out.sog_knots is None
+        assert out.cog_deg is None
+
+    def test_coarser_than_type_1(self):
+        """Type 27's quantisation error is visibly larger than type 1's."""
+        from repro.ais import PositionReport
+
+        lat, lon = 48.123456, -4.987654
+        fine = roundtrip(PositionReport(mmsi=227000001, lat=lat, lon=lon))
+        coarse = roundtrip(LongRangeReport(mmsi=227000001, lat=lat, lon=lon))
+        fine_error = abs(fine.lat - lat) + abs(fine.lon - lon)
+        coarse_error = abs(coarse.lat - lat) + abs(coarse.lon - lon)
+        assert coarse_error > 10 * fine_error

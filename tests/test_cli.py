@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import io
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv, stdin_text=None, capsys=None):
+    if stdin_text is not None:
+        old_stdin = sys.stdin
+        sys.stdin = io.StringIO(stdin_text)
+        try:
+            code = main(argv)
+        finally:
+            sys.stdin = old_stdin
+    else:
+        code = main(argv)
+    out, err = capsys.readouterr()
+    return code, out, err
+
+
+class TestSimulate:
+    def test_stdout_sentences(self, capsys):
+        code, out, err = run_cli(
+            ["simulate", "--vessels", "3", "--hours", "0.3", "--seed", "2"],
+            capsys=capsys,
+        )
+        assert code == 0
+        lines = [l for l in out.splitlines() if l]
+        assert lines
+        assert all(line.startswith("!AIVDM") for line in lines)
+        assert "sentences" in err
+
+    def test_to_file(self, tmp_path, capsys):
+        target = tmp_path / "feed.nmea"
+        code, __, __ = run_cli(
+            ["simulate", "--vessels", "2", "--hours", "0.2",
+             "--output", str(target)],
+            capsys=capsys,
+        )
+        assert code == 0
+        assert target.read_text().startswith("!AIVDM")
+
+
+class TestPipeline:
+    def test_runs_and_reports(self, capsys):
+        code, out, __ = run_cli(
+            ["pipeline", "--vessels", "8", "--hours", "0.5", "--seed", "3"],
+            capsys=capsys,
+        )
+        assert code == 0
+        assert "decode" in out
+        assert "synopsis compression" in out
+        assert "alerts" in out
+
+
+class TestDecode:
+    def test_roundtrip_via_stdin(self, capsys):
+        from repro.ais import PositionReport, encode_sentences
+
+        sentences = "\n".join(
+            encode_sentences(
+                PositionReport(mmsi=227000001, lat=48.0, lon=-5.0,
+                               sog_knots=9.0, cog_deg=45.0)
+            )
+        )
+        code, out, err = run_cli(
+            ["decode", "-"], stdin_text=sentences + "\n", capsys=capsys
+        )
+        assert code == 0
+        assert "PositionReport" in out
+        assert "stats" in err
+
+    def test_decode_file(self, tmp_path, capsys):
+        from repro.ais import PositionReport, encode_sentences
+
+        feed = tmp_path / "in.nmea"
+        feed.write_text(
+            "\n".join(
+                encode_sentences(
+                    PositionReport(mmsi=227000002, lat=1.0, lon=2.0)
+                )
+            )
+            + "\ngarbage\n"
+        )
+        code, out, __ = run_cli(["decode", str(feed)], capsys=capsys)
+        assert code == 0
+        assert "227000002" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,121 @@
+"""Tests for decision support: triage, verbal uncertainty, explanations."""
+
+import pytest
+
+from repro.core import (
+    Alert,
+    AlertLevel,
+    DecisionSupport,
+    OperatorProfile,
+    verbal_probability,
+)
+from repro.events import Event, EventKind
+
+
+def event(kind=EventKind.RENDEZVOUS, t=1000.0, mmsis=(1, 2),
+          confidence=0.9, **details):
+    return Event(
+        kind=kind, t_start=t, t_end=t + 600.0, mmsis=mmsis,
+        lat=48.0, lon=-5.0, confidence=confidence,
+        details=details,
+    )
+
+
+class TestVerbalProbability:
+    def test_ladder(self):
+        assert verbal_probability(0.01) == "remote"
+        assert verbal_probability(0.30) == "unlikely"
+        assert verbal_probability(0.50) == "about even"
+        assert verbal_probability(0.70) == "likely"
+        assert verbal_probability(0.99) == "almost certain"
+
+    def test_bounds(self):
+        assert verbal_probability(0.0) == "remote"
+        assert verbal_probability(1.0) == "almost certain"
+        with pytest.raises(ValueError):
+            verbal_probability(1.1)
+
+
+class TestTriage:
+    def test_levels_by_confidence(self):
+        ds = DecisionSupport(OperatorProfile(name="op"))
+        alerts = ds.triage(
+            [
+                event(confidence=0.95, mmsis=(1,)),
+                event(confidence=0.6, mmsis=(2,)),
+                event(confidence=0.3, mmsis=(3,)),
+            ]
+        )
+        levels = {a.event.mmsis[0]: a.level for a in alerts}
+        assert levels[1] is AlertLevel.CRITICAL
+        assert levels[2] is AlertLevel.WARNING
+        assert levels[3] is AlertLevel.ADVISORY
+
+    def test_below_min_confidence_dropped(self):
+        ds = DecisionSupport(OperatorProfile(name="op", min_confidence=0.5))
+        assert ds.triage([event(confidence=0.3)]) == []
+
+    def test_kind_filter(self):
+        profile = OperatorProfile(
+            name="op", kinds=frozenset({EventKind.RENDEZVOUS})
+        )
+        ds = DecisionSupport(profile)
+        alerts = ds.triage(
+            [event(EventKind.RENDEZVOUS), event(EventKind.GAP, mmsis=(5,))]
+        )
+        assert len(alerts) == 1
+        assert alerts[0].event.kind is EventKind.RENDEZVOUS
+
+    def test_dedup_window(self):
+        ds = DecisionSupport(OperatorProfile(name="op", dedup_window_s=1800.0))
+        alerts = ds.triage(
+            [event(t=0.0), event(t=600.0), event(t=3600.0)]
+        )
+        assert len(alerts) == 2  # the 600 s repeat is suppressed
+
+    def test_source_quality_discounting(self):
+        ds = DecisionSupport(
+            OperatorProfile(name="op"),
+            source_quality={"rumour": 0.2},
+        )
+        trusted = ds.triage([event(confidence=0.9, mmsis=(1,))])[0]
+        doubtful_events = [event(confidence=0.9, mmsis=(2,), source="rumour")]
+        doubtful = ds.triage(doubtful_events)
+        assert trusted.level is AlertLevel.CRITICAL
+        assert not doubtful or doubtful[0].level < AlertLevel.WARNING
+
+    def test_sorted_most_severe_first(self):
+        ds = DecisionSupport(OperatorProfile(name="op"))
+        alerts = ds.triage(
+            [
+                event(confidence=0.3, mmsis=(1,), t=0.0),
+                event(confidence=0.95, mmsis=(2,), t=100.0),
+            ]
+        )
+        assert alerts[0].level is AlertLevel.CRITICAL
+
+    def test_explanations_are_specific(self):
+        ds = DecisionSupport(OperatorProfile(name="op"))
+        gap_alert = ds.triage(
+            [event(EventKind.GAP, mmsis=(7,), gap_s=3600.0)]
+        )[0]
+        assert "60 min" in gap_alert.explanation
+        assert "7" in gap_alert.explanation
+        rdv_alert = ds.triage(
+            [event(EventKind.RENDEZVOUS, mmsis=(8, 9), duration_s=1200.0)]
+        )[0]
+        assert "held station" in rdv_alert.explanation
+
+    def test_render_contains_level_and_phrase(self):
+        ds = DecisionSupport(OperatorProfile(name="op"))
+        alert = ds.triage([event(confidence=0.9)])[0]
+        text = alert.render()
+        assert "[CRITICAL]" in text
+        assert "rendezvous" in text
+
+    def test_second_order_statement_with_counts(self):
+        ds = DecisionSupport(OperatorProfile(name="op"))
+        alert = ds.triage(
+            [event(EventKind.POL_ANOMALY, confidence=0.9, n_points=40)]
+        )[0]
+        assert "credible" in alert.confidence_statement

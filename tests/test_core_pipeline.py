@@ -1,0 +1,127 @@
+"""Integration tests: the full Figure 2 pipeline on scenario feeds."""
+
+import pytest
+
+from repro.core import MaritimePipeline, PipelineConfig
+from repro.events import EventKind, match_events
+from repro.simulation import regional_scenario
+
+
+@pytest.fixture(scope="module")
+def run():
+    return regional_scenario(n_vessels=25, duration_s=3 * 3600.0, seed=17).run()
+
+
+@pytest.fixture(scope="module")
+def result(run):
+    return MaritimePipeline().process(run)
+
+
+class TestStages:
+    def test_all_stages_present(self, result):
+        names = [s.name for s in result.stages]
+        assert names == [
+            "decode", "reorder", "reconstruct", "synopses",
+            "integrate", "fuse", "detect", "forecast", "overview",
+        ]
+
+    def test_fusion_stage_products(self, result):
+        assert result.fused is not None
+        assert result.fused.identified_tracks
+        # The regional scenario has dark ships painted by coastal radar;
+        # at least some anonymous radar tracks should exist.
+        from repro.events import EventKind
+
+        uncorrelated = result.events_of(EventKind.UNCORRELATED_TRACK)
+        assert len(result.fused.anonymous_tracks) >= len(uncorrelated)
+
+    def test_decode_throughput_positive(self, result):
+        decode = result.stage("decode")
+        assert decode.n_in > 10_000
+        assert decode.n_out > 0.9 * decode.n_in
+
+    def test_reorder_restores_event_time(self, result):
+        assert result.stage("reorder").n_out > 0
+
+    def test_reconstruction_produces_tracks(self, run, result):
+        assert result.trajectories
+        mmsis = {tr.mmsi for tr in result.trajectories}
+        assert mmsis <= set(run.specs)
+        # Most of the fleet should be tracked.
+        assert len(mmsis) >= 0.8 * len(run.specs)
+
+    def test_synopses_compress(self, result):
+        pipeline = MaritimePipeline()
+        ratio = pipeline.mean_compression_ratio(result)
+        assert ratio > 0.85  # the paper's 95% is reached on lane traffic
+
+    def test_synopsis_faithful(self, run, result):
+        """Synopses must stay within ~3x the threshold of the original."""
+        from repro.trajectory.compression import max_sed_error_m
+
+        threshold = PipelineConfig().synopsis_threshold_m
+        for original, synopsis in list(
+            zip(result.trajectories, result.synopses)
+        )[:10]:
+            assert max_sed_error_m(original, synopsis) < 5 * threshold
+
+    def test_store_and_cube_populated(self, result):
+        assert len(result.store) > 0
+        assert result.cube.total == len(result.store)
+        assert len(result.triples) > 100
+
+    def test_summary_renders(self, result):
+        text = result.summary()
+        assert "decode" in text and "forecast" in text
+
+
+class TestDetection:
+    def test_dark_ship_gaps_found(self, run, result):
+        gap_events = result.events_of(EventKind.GAP)
+        score = match_events(
+            gap_events, run.truth_events, "dark",
+            time_slack_s=900.0, distance_slack_m=50_000.0,
+        )
+        assert score.recall >= 0.5
+
+    def test_spoofer_flagged(self, run, result):
+        spoof_truth = [e for e in run.truth_events if e.kind == "spoof"]
+        assert spoof_truth
+        flagged = {
+            m for e in result.events_of(EventKind.TELEPORT) for m in e.mmsis
+        } | {
+            m for e in result.events_of(EventKind.IDENTITY_CLASH)
+            for m in e.mmsis
+        }
+        spoofer_mmsis = {m for e in spoof_truth for m in e.mmsis}
+        assert spoofer_mmsis & flagged
+
+    def test_forecasts_for_most_vessels(self, run, result):
+        assert len(result.forecasts) >= 0.7 * len(run.specs)
+        for predictions in result.forecasts.values():
+            horizons = [p.horizon_s for p in predictions]
+            assert horizons == sorted(horizons)
+
+    def test_overview_built(self, result):
+        assert result.overview is not None
+        assert result.overview.n_vessels > 0
+
+
+class TestConfigKnobs:
+    def test_disable_compression(self, run):
+        config = PipelineConfig(synopsis_threshold_m=0.0)
+        result = MaritimePipeline(config).process(run)
+        assert MaritimePipeline(config).mean_compression_ratio(result) == 0.0
+
+    def test_custom_cep_pattern(self, run):
+        from repro.events import SequencePattern
+
+        pattern = SequencePattern(
+            name="double_gap",
+            sequence=(EventKind.GAP, EventKind.GAP),
+            window_s=4 * 3600.0,
+        )
+        pipeline = MaritimePipeline(cep_patterns=[pattern])
+        result = pipeline.process(run)
+        for complex_event in result.complex_events:
+            assert complex_event.details["pattern"] == "double_gap"

@@ -1,0 +1,58 @@
+"""Tests for zone watching wired into the pipeline."""
+
+import pytest
+
+from repro.core import MaritimePipeline
+from repro.events import EventKind
+from repro.events.detectors import ZoneWatch
+from repro.geo import CircleRegion
+from repro.simulation import regional_scenario
+
+
+@pytest.fixture(scope="module")
+def run():
+    return regional_scenario(n_vessels=15, duration_s=2 * 3600.0, seed=51).run()
+
+
+class TestPipelineZones:
+    def test_zone_events_emitted(self, run):
+        # A big disc over the western approaches: traffic must cross it.
+        zone = ZoneWatch(
+            name="WESTERN-APPROACHES",
+            region=CircleRegion(48.5, -4.5, 120_000.0),
+            restricted=True,
+        )
+        result = MaritimePipeline(zones=[zone]).process(run)
+        entries = result.events_of(EventKind.ZONE_ENTRY)
+        assert entries
+        assert all(e.details["zone"] == "WESTERN-APPROACHES" for e in entries)
+
+    def test_no_zones_no_zone_events(self, run):
+        result = MaritimePipeline().process(run)
+        assert result.events_of(EventKind.ZONE_ENTRY) == []
+
+    def test_unvisited_zone_silent(self, run):
+        zone = ZoneWatch(
+            name="ARCTIC", region=CircleRegion(80.0, 0.0, 50_000.0)
+        )
+        result = MaritimePipeline(zones=[zone]).process(run)
+        assert result.events_of(EventKind.ZONE_ENTRY) == []
+
+    def test_zone_events_feed_cep(self, run):
+        """Zone entries are first-class events: CEP can sequence them."""
+        from repro.events import SequencePattern
+
+        zone = ZoneWatch(
+            name="WESTERN-APPROACHES",
+            region=CircleRegion(48.5, -4.5, 120_000.0),
+        )
+        pattern = SequencePattern(
+            name="enter_exit",
+            sequence=(EventKind.ZONE_ENTRY, EventKind.ZONE_EXIT),
+            window_s=4 * 3600.0,
+        )
+        result = MaritimePipeline(
+            zones=[zone], cep_patterns=[pattern]
+        ).process(run)
+        for complex_event in result.complex_events:
+            assert complex_event.details["pattern"] == "enter_exit"

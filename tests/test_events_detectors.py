@@ -1,0 +1,146 @@
+"""Tests for single-track event detectors."""
+
+import pytest
+
+from repro.ais.types import ShipType
+from repro.events import (
+    EventKind,
+    ZoneWatch,
+    detect_gaps,
+    detect_loitering,
+    detect_speed_anomalies,
+    detect_zone_events,
+)
+from repro.geo import CircleRegion
+from repro.simulation.world import Port
+from repro.trajectory.points import TrackPoint, Trajectory
+
+PORTS = [Port("BREST", 48.38, -4.49)]
+
+
+def northbound(n=60, dt=60.0, lat0=47.0, sog=8.0):
+    return Trajectory(
+        9,
+        [
+            TrackPoint(i * dt, lat0 + i * 0.002, -5.0, sog, 0.0)
+            for i in range(n)
+        ],
+    )
+
+
+class TestZoneEvents:
+    ZONE = ZoneWatch("TEST", CircleRegion(47.06, -5.0, 3_000.0))
+
+    def test_entry_and_exit(self):
+        events = detect_zone_events(northbound(), [self.ZONE])
+        kinds = [e.kind for e in events]
+        assert kinds == [EventKind.ZONE_ENTRY, EventKind.ZONE_EXIT]
+        entry, exit_ = events
+        assert entry.t_start < exit_.t_start
+        assert exit_.details["dwell_s"] > 0
+
+    def test_never_entering(self):
+        zone = ZoneWatch("FAR", CircleRegion(60.0, 10.0, 1_000.0))
+        assert detect_zone_events(northbound(), [zone]) == []
+
+    def test_starting_inside(self):
+        zone = ZoneWatch("HOME", CircleRegion(47.0, -5.0, 5_000.0))
+        events = detect_zone_events(northbound(), [zone])
+        assert events[0].kind is EventKind.ZONE_ENTRY
+        assert events[0].t_start == 0.0
+
+    def test_multiple_zones(self):
+        zones = [
+            ZoneWatch("A", CircleRegion(47.02, -5.0, 1_000.0)),
+            ZoneWatch("B", CircleRegion(47.08, -5.0, 1_000.0)),
+        ]
+        events = detect_zone_events(northbound(), zones)
+        names = {e.details["zone"] for e in events}
+        assert names == {"A", "B"}
+
+
+class TestGaps:
+    def test_detects_silence(self):
+        points = [
+            TrackPoint(float(i * 60), 47.0 + i * 0.002, -5.0, 8.0, 0.0)
+            for i in range(10)
+        ]
+        points += [
+            TrackPoint(4_000.0 + i * 60, 47.1 + i * 0.002, -5.0, 8.0, 0.0)
+            for i in range(10)
+        ]
+        events = detect_gaps(Trajectory(9, points), min_gap_s=1800.0)
+        assert len(events) == 1
+        gap = events[0]
+        assert gap.details["gap_s"] == pytest.approx(4_000.0 - 540.0)
+        assert gap.confidence > 0.5
+
+    def test_normal_cadence_silent(self):
+        assert detect_gaps(northbound(), min_gap_s=1800.0) == []
+
+    def test_confidence_grows_with_gap(self):
+        def with_gap(gap_s):
+            points = [TrackPoint(0.0, 47.0, -5.0, 8.0, 0.0),
+                      TrackPoint(gap_s, 47.05, -5.0, 8.0, 0.0)]
+            return detect_gaps(
+                Trajectory(9, points), min_gap_s=1800.0,
+                expected_interval_s=600.0,
+            )[0].confidence
+
+        assert with_gap(6_000.0) > with_gap(2_000.0)
+
+
+class TestLoitering:
+    def loitering_track(self, lat=47.5, lon=-5.8):
+        """40 min pinned at one spot at 0.5 kn."""
+        points = [
+            TrackPoint(i * 60.0, lat, lon, 0.5, 0.0) for i in range(40)
+        ]
+        return Trajectory(9, points)
+
+    def test_open_sea_loiter_detected(self):
+        events = detect_loitering(self.loitering_track(), PORTS)
+        assert len(events) == 1
+        assert events[0].kind is EventKind.LOITERING
+
+    def test_port_stop_not_loitering(self):
+        events = detect_loitering(
+            self.loitering_track(lat=48.39, lon=-4.50), PORTS
+        )
+        assert events == []
+
+    def test_transiting_not_loitering(self):
+        assert detect_loitering(northbound(), PORTS) == []
+
+
+class TestSpeedAnomalies:
+    def test_overspeed_run_detected(self):
+        points = [
+            TrackPoint(i * 60.0, 47.0 + i * 0.01, -5.0,
+                       30.0 if 10 <= i < 16 else 10.0, 0.0)
+            for i in range(30)
+        ]
+        events = detect_speed_anomalies(
+            Trajectory(9, points), ShipType.TANKER
+        )
+        assert len(events) == 1
+        assert events[0].details["peak_sog_knots"] == 30.0
+
+    def test_single_glitch_ignored(self):
+        points = [
+            TrackPoint(i * 60.0, 47.0 + i * 0.01, -5.0,
+                       50.0 if i == 10 else 10.0, 0.0)
+            for i in range(30)
+        ]
+        assert detect_speed_anomalies(Trajectory(9, points), ShipType.TANKER) == []
+
+    def test_fast_type_tolerates_speed(self):
+        points = [
+            TrackPoint(i * 60.0, 47.0 + i * 0.01, -5.0, 38.0, 0.0)
+            for i in range(10)
+        ]
+        fast = detect_speed_anomalies(
+            Trajectory(9, points), ShipType.HIGH_SPEED_CRAFT
+        )
+        slow = detect_speed_anomalies(Trajectory(9, points), ShipType.TANKER)
+        assert fast == [] and len(slow) == 1

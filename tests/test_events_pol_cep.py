@@ -1,0 +1,205 @@
+"""Tests for the pattern-of-life model and the CEP engine."""
+
+import pytest
+
+from repro.events import (
+    CepEngine,
+    Event,
+    EventKind,
+    PatternOfLife,
+    PolConfig,
+    SequencePattern,
+)
+from repro.trajectory.points import TrackPoint, Trajectory
+
+
+def lane_traffic(n_tracks=20, n_points=50):
+    """Historical traffic: northbound lane at ~10 kn through one cell set."""
+    tracks = []
+    for k in range(n_tracks):
+        points = [
+            TrackPoint(
+                i * 60.0, 48.0 + i * 0.002, -5.0 + k * 1e-4, 10.0, 0.0
+            )
+            for i in range(n_points)
+        ]
+        tracks.append(Trajectory(1000 + k, points))
+    return tracks
+
+
+class TestPatternOfLife:
+    def test_normal_scores_low(self):
+        pol = PatternOfLife()
+        pol.train(lane_traffic())
+        score = pol.anomaly_score(48.05, -5.0, 10.0, 0.0)
+        assert score < 0.3
+
+    def test_wrong_direction_scores_high(self):
+        pol = PatternOfLife()
+        pol.train(lane_traffic())
+        score = pol.anomaly_score(48.05, -5.0, 10.0, 180.0)
+        assert score > 0.6
+
+    def test_wrong_speed_scores_high(self):
+        pol = PatternOfLife()
+        pol.train(lane_traffic())
+        assert pol.anomaly_score(48.05, -5.0, 0.5, 0.0) > 0.5
+
+    def test_unseen_cell_neutral(self):
+        pol = PatternOfLife()
+        pol.train(lane_traffic())
+        assert pol.anomaly_score(60.0, 10.0, 10.0, 0.0) == 0.5
+
+    def test_sparse_cell_neutral(self):
+        pol = PatternOfLife(PolConfig(min_cell_observations=1000))
+        pol.train(lane_traffic(n_tracks=2))
+        assert pol.anomaly_score(48.05, -5.0, 10.0, 0.0) == 0.5
+
+    def test_detect_anomalies_on_deviant_track(self):
+        pol = PatternOfLife()
+        pol.train(lane_traffic())
+        # Southbound through the northbound lane.
+        deviant = Trajectory(
+            9,
+            [
+                TrackPoint(i * 60.0, 48.1 - i * 0.002, -5.0, 10.0, 180.0)
+                for i in range(40)
+            ],
+        )
+        events = pol.detect_anomalies(deviant, threshold=0.6)
+        assert events
+        assert all(e.kind is EventKind.POL_ANOMALY for e in events)
+
+    def test_conforming_track_clean(self):
+        pol = PatternOfLife()
+        pol.train(lane_traffic())
+        conforming = Trajectory(
+            9,
+            [
+                TrackPoint(i * 60.0, 48.0 + i * 0.002, -5.0, 10.0, 0.0)
+                for i in range(40)
+            ],
+        )
+        assert pol.detect_anomalies(conforming, threshold=0.85) == []
+
+    def test_training_counts(self):
+        pol = PatternOfLife()
+        pol.train(lane_traffic(n_tracks=3, n_points=10))
+        assert pol.n_training_points == 30
+        assert pol.n_cells > 0
+
+
+def event(kind, t, mmsis=(1,), lat=48.0, lon=-5.0, confidence=1.0):
+    return Event(
+        kind=kind, t_start=t, t_end=t + 60.0, mmsis=mmsis,
+        lat=lat, lon=lon, confidence=confidence,
+    )
+
+
+DARK_RDV = SequencePattern(
+    name="dark_rdv",
+    sequence=(EventKind.GAP, EventKind.RENDEZVOUS),
+    window_s=3600.0,
+    same_vessel=True,
+    max_radius_m=50_000.0,
+)
+
+
+class TestCepEngine:
+    def test_sequence_completes(self):
+        engine = CepEngine([DARK_RDV])
+        out = engine.feed_all(
+            [
+                event(EventKind.GAP, 0.0, (1,)),
+                event(EventKind.RENDEZVOUS, 600.0, (1, 2)),
+            ]
+        )
+        assert len(out) == 1
+        complex_event = out[0]
+        assert complex_event.kind is EventKind.COMPLEX
+        assert complex_event.details["pattern"] == "dark_rdv"
+        assert set(complex_event.mmsis) == {1, 2}
+
+    def test_order_matters(self):
+        engine = CepEngine([DARK_RDV])
+        out = engine.feed_all(
+            [
+                event(EventKind.RENDEZVOUS, 0.0, (1, 2)),
+                event(EventKind.GAP, 600.0, (1,)),
+            ]
+        )
+        assert out == []
+
+    def test_window_expiry(self):
+        engine = CepEngine([DARK_RDV])
+        out = engine.feed_all(
+            [
+                event(EventKind.GAP, 0.0, (1,)),
+                event(EventKind.RENDEZVOUS, 10_000.0, (1, 2)),
+            ]
+        )
+        assert out == []
+
+    def test_vessel_constraint(self):
+        engine = CepEngine([DARK_RDV])
+        out = engine.feed_all(
+            [
+                event(EventKind.GAP, 0.0, (1,)),
+                event(EventKind.RENDEZVOUS, 600.0, (3, 4)),
+            ]
+        )
+        assert out == []
+
+    def test_spatial_constraint(self):
+        engine = CepEngine([DARK_RDV])
+        out = engine.feed_all(
+            [
+                event(EventKind.GAP, 0.0, (1,), lat=48.0, lon=-5.0),
+                event(EventKind.RENDEZVOUS, 600.0, (1, 2), lat=55.0, lon=3.0),
+            ]
+        )
+        assert out == []
+
+    def test_confidence_propagates_min(self):
+        engine = CepEngine([DARK_RDV])
+        out = engine.feed_all(
+            [
+                event(EventKind.GAP, 0.0, (1,), confidence=0.4),
+                event(EventKind.RENDEZVOUS, 600.0, (1, 2), confidence=0.9),
+            ]
+        )
+        assert out[0].confidence == pytest.approx(0.9 * 0.4)
+
+    def test_three_step_pattern(self):
+        pattern = SequencePattern(
+            name="triple",
+            sequence=(EventKind.GAP, EventKind.LOITERING, EventKind.GAP),
+            window_s=7200.0,
+        )
+        engine = CepEngine([pattern])
+        out = engine.feed_all(
+            [
+                event(EventKind.GAP, 0.0),
+                event(EventKind.LOITERING, 1000.0),
+                event(EventKind.GAP, 2000.0),
+            ]
+        )
+        assert len(out) == 1
+        assert len(out[0].details["steps"]) == 3
+
+    def test_multiple_matches(self):
+        engine = CepEngine([DARK_RDV])
+        out = engine.feed_all(
+            [
+                event(EventKind.GAP, 0.0, (1,)),
+                event(EventKind.GAP, 100.0, (1,)),
+                event(EventKind.RENDEZVOUS, 600.0, (1, 2)),
+            ]
+        )
+        assert len(out) == 2  # both gaps complete with the rendezvous
+
+    def test_invalid_patterns(self):
+        with pytest.raises(ValueError):
+            SequencePattern("x", (EventKind.GAP,), 100.0)
+        with pytest.raises(ValueError):
+            SequencePattern("x", (EventKind.GAP, EventKind.GAP), 0.0)

@@ -1,0 +1,130 @@
+"""Tests for rendezvous detection."""
+
+import random
+
+import pytest
+
+from repro.events import EventKind, RendezvousConfig, detect_rendezvous
+from repro.simulation.behaviours import plan_rendezvous_pair, plan_transit
+from repro.simulation.world import Port
+from repro.trajectory.points import TrackPoint, Trajectory
+
+PORTS = [Port("BREST", 48.38, -4.49)]
+
+
+def plan_to_trajectory(plan, mmsi, step_s=60.0):
+    return Trajectory(
+        mmsi,
+        [
+            TrackPoint(k.t, k.lat, k.lon, k.sog_knots, k.cog_deg)
+            for k in plan.sample(step_s)
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def rendezvous_tracks():
+    rng = random.Random(5)
+    plan_a, plan_b, truth = plan_rendezvous_pair(
+        0.0, 5 * 3600.0,
+        (48.9, -6.2), (47.8, -6.9),
+        (48.3, -6.5), 2 * 3600.0, meeting_duration_s=1800.0, rng=rng,
+    )
+    return (
+        plan_to_trajectory(plan_a, 101),
+        plan_to_trajectory(plan_b, 102),
+        truth,
+    )
+
+
+class TestDetection:
+    def test_finds_injected_rendezvous(self, rendezvous_tracks):
+        a, b, truth = rendezvous_tracks
+        events = detect_rendezvous([a, b], PORTS)
+        matches = [e for e in events if set(e.mmsis) == {101, 102}]
+        assert matches
+        event = matches[0]
+        assert abs(event.t_start - truth["t_start"]) < 1200.0
+        assert event.kind is EventKind.RENDEZVOUS
+
+    def test_passing_ships_not_rendezvous(self):
+        """Two vessels crossing at speed never count: the speed gate."""
+        rng = random.Random(1)
+        a = plan_to_trajectory(
+            plan_transit(0.0, 3 * 3600.0, (48.0, -6.0), (49.0, -6.0), 12.0, rng),
+            201,
+        )
+        b = plan_to_trajectory(
+            plan_transit(0.0, 3 * 3600.0, (49.0, -6.0), (48.0, -6.0), 12.0, rng),
+            202,
+        )
+        events = detect_rendezvous([a, b], PORTS)
+        assert [e for e in events if set(e.mmsis) == {201, 202}] == []
+
+    def test_port_meeting_excluded(self):
+        """Two vessels moored in the same harbour are not a rendezvous."""
+        points_a = [
+            TrackPoint(i * 60.0, 48.381, -4.491, 0.1, 0.0) for i in range(60)
+        ]
+        points_b = [
+            TrackPoint(i * 60.0, 48.382, -4.492, 0.1, 0.0) for i in range(60)
+        ]
+        events = detect_rendezvous(
+            [Trajectory(301, points_a), Trajectory(302, points_b)], PORTS
+        )
+        assert events == []
+
+    def test_open_sea_double_dwell_detected(self):
+        points_a = [
+            TrackPoint(i * 60.0, 47.5, -6.5, 0.5, 0.0) for i in range(60)
+        ]
+        points_b = [
+            TrackPoint(i * 60.0, 47.501, -6.501, 0.5, 0.0) for i in range(60)
+        ]
+        events = detect_rendezvous(
+            [Trajectory(301, points_a), Trajectory(302, points_b)], PORTS
+        )
+        assert len(events) == 1
+        assert events[0].duration_s >= 1800.0
+
+    def test_distance_gate(self):
+        """Dwells 5 km apart are not a rendezvous at the 500 m default."""
+        points_a = [
+            TrackPoint(i * 60.0, 47.5, -6.5, 0.5, 0.0) for i in range(60)
+        ]
+        points_b = [
+            TrackPoint(i * 60.0, 47.545, -6.5, 0.5, 0.0) for i in range(60)
+        ]
+        events = detect_rendezvous(
+            [Trajectory(301, points_a), Trajectory(302, points_b)], PORTS
+        )
+        assert events == []
+
+    def test_short_contact_ignored(self):
+        config = RendezvousConfig(min_duration_s=1800.0)
+        points_a = [
+            TrackPoint(i * 60.0, 47.5, -6.5, 0.5, 0.0) for i in range(10)
+        ]
+        points_b = [
+            TrackPoint(i * 60.0, 47.5005, -6.5, 0.5, 0.0) for i in range(10)
+        ]
+        events = detect_rendezvous(
+            [Trajectory(301, points_a), Trajectory(302, points_b)],
+            PORTS, config,
+        )
+        assert events == []
+
+    def test_three_way_meeting_reports_all_pairs(self):
+        tracks = [
+            Trajectory(
+                400 + k,
+                [
+                    TrackPoint(i * 60.0, 47.5 + k * 0.001, -6.5, 0.3, 0.0)
+                    for i in range(60)
+                ],
+            )
+            for k in range(3)
+        ]
+        events = detect_rendezvous(tracks, PORTS)
+        pairs = {tuple(sorted(e.mmsis)) for e in events}
+        assert pairs == {(400, 401), (400, 402), (401, 402)}

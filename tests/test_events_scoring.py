@@ -1,0 +1,84 @@
+"""Tests for detection scoring against ground truth."""
+
+import pytest
+
+from repro.events import Event, EventKind, match_events
+from repro.simulation.scenario import TruthEvent
+
+
+def detection(t=1000.0, mmsis=(1, 2), lat=48.0, lon=-5.0):
+    return Event(
+        kind=EventKind.RENDEZVOUS, t_start=t, t_end=t + 600.0,
+        mmsis=mmsis, lat=lat, lon=lon,
+    )
+
+
+def truth(t=1000.0, mmsis=(1, 2), lat=48.0, lon=-5.0, kind="rendezvous"):
+    return TruthEvent(
+        kind=kind, mmsis=mmsis, t_start=t, t_end=t + 600.0, lat=lat, lon=lon
+    )
+
+
+class TestMatching:
+    def test_perfect_match(self):
+        score = match_events([detection()], [truth()], "rendezvous")
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_miss(self):
+        score = match_events([], [truth()], "rendezvous")
+        assert score.recall == 0.0
+        assert score.n_truth == 1
+
+    def test_false_positive(self):
+        score = match_events(
+            [detection(t=90_000.0)], [truth()], "rendezvous"
+        )
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+
+    def test_time_slack(self):
+        score = match_events(
+            [detection(t=1500.0)], [truth(t=1000.0)], "rendezvous",
+            time_slack_s=600.0,
+        )
+        assert score.recall == 1.0
+
+    def test_distance_gate(self):
+        score = match_events(
+            [detection(lat=49.0)], [truth(lat=48.0)], "rendezvous",
+            distance_slack_m=10_000.0,
+        )
+        assert score.recall == 0.0
+
+    def test_vessel_overlap_required(self):
+        score = match_events(
+            [detection(mmsis=(7, 8))], [truth(mmsis=(1, 2))], "rendezvous"
+        )
+        assert score.recall == 0.0
+        relaxed = match_events(
+            [detection(mmsis=(7, 8))], [truth(mmsis=(1, 2))], "rendezvous",
+            require_vessel_overlap=False,
+        )
+        assert relaxed.recall == 1.0
+
+    def test_multiple_detections_one_truth(self):
+        """Repeat detections of one event: full precision, recall counts
+        the truth event once."""
+        detections = [detection(t=1000.0), detection(t=1100.0)]
+        score = match_events(detections, [truth()], "rendezvous")
+        assert score.precision == 1.0
+        assert score.truth_found == 1
+        assert score.recall == 1.0
+
+    def test_kind_filtering(self):
+        score = match_events(
+            [detection()], [truth(kind="dark")], "rendezvous"
+        )
+        assert score.n_truth == 0
+        assert score.recall == 0.0
+
+    def test_f1_zero_when_empty(self):
+        score = match_events([], [], "rendezvous")
+        assert score.f1 == 0.0

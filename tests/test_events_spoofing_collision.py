@@ -1,0 +1,127 @@
+"""Tests for spoofing indicators and collision-risk screening."""
+
+import pytest
+
+from repro.events import (
+    CollisionRiskConfig,
+    EventKind,
+    detect_collision_risk,
+    detect_identity_clashes,
+    detect_teleports,
+)
+from repro.trajectory.points import TrackPoint
+
+
+class TestTeleports:
+    def test_spoof_jump_detected(self):
+        fixes = {
+            1: [
+                TrackPoint(0.0, 48.0, -5.0),
+                TrackPoint(10.0, 48.001, -5.0),
+                TrackPoint(20.0, 48.5, -5.0),  # 55 km in 10 s
+            ]
+        }
+        events = detect_teleports(fixes)
+        assert len(events) == 1
+        assert events[0].kind is EventKind.TELEPORT
+        assert events[0].details["implied_speed_knots"] > 1000.0
+
+    def test_normal_track_clean(self):
+        fixes = {
+            1: [TrackPoint(i * 10.0, 48.0 + i * 5e-4, -5.0) for i in range(20)]
+        }
+        assert detect_teleports(fixes) == []
+
+    def test_small_noise_jump_ignored(self):
+        """A 200 m hop in 1 s is implausible but below min_jump_m: noise."""
+        fixes = {
+            1: [TrackPoint(0.0, 48.0, -5.0), TrackPoint(1.0, 48.002, -5.0)]
+        }
+        assert detect_teleports(fixes) == []
+
+    def test_unsorted_input_handled(self):
+        fixes = {
+            1: [
+                TrackPoint(20.0, 48.5, -5.0),
+                TrackPoint(0.0, 48.0, -5.0),
+                TrackPoint(10.0, 48.001, -5.0),
+            ]
+        }
+        assert len(detect_teleports(fixes)) == 1
+
+
+class TestIdentityClash:
+    def test_two_transmitters_detected(self):
+        # The same MMSI alternating between Brest and 50 km offshore.
+        fixes = {7: []}
+        for i in range(20):
+            fixes[7].append(TrackPoint(i * 10.0, 48.38, -4.49))
+            fixes[7].append(TrackPoint(i * 10.0 + 5.0, 48.0, -5.5))
+        events = detect_identity_clashes(fixes)
+        assert events
+        assert events[0].kind is EventKind.IDENTITY_CLASH
+        assert events[0].details["separation_m"] > 10_000.0
+
+    def test_episodes_deduplicated(self):
+        fixes = {7: []}
+        for i in range(100):
+            fixes[7].append(TrackPoint(i * 10.0, 48.38, -4.49))
+            fixes[7].append(TrackPoint(i * 10.0 + 5.0, 48.0, -5.5))
+        events = detect_identity_clashes(fixes)
+        # 1000 s of clashing split into ~10-minute episodes, not 100 events.
+        assert 1 <= len(events) <= 3
+
+    def test_single_transmitter_clean(self):
+        fixes = {
+            7: [TrackPoint(i * 10.0, 48.0 + i * 5e-4, -5.0) for i in range(50)]
+        }
+        assert detect_identity_clashes(fixes) == []
+
+
+class TestCollisionRisk:
+    def states(self, **kwargs):
+        base = {
+            1: TrackPoint(0.0, 0.0, 0.0, 10.0, 90.0),
+            2: TrackPoint(0.0, 0.0, 0.05, 10.0, 270.0),  # head-on, ~5.5 km
+        }
+        base.update(kwargs)
+        return base
+
+    def test_head_on_flagged(self):
+        events = detect_collision_risk(self.states())
+        assert len(events) == 1
+        event = events[0]
+        assert event.kind is EventKind.COLLISION_RISK
+        assert event.details["dcpa_m"] < 100.0
+        assert 0.0 < event.details["tcpa_s"] < 1200.0
+
+    def test_diverging_not_flagged(self):
+        states = {
+            1: TrackPoint(0.0, 0.0, 0.0, 10.0, 270.0),
+            2: TrackPoint(0.0, 0.0, 0.05, 10.0, 90.0),
+        }
+        assert detect_collision_risk(states) == []
+
+    def test_stationary_pairs_skipped(self):
+        states = {
+            1: TrackPoint(0.0, 48.381, -4.491, 0.1, 0.0),
+            2: TrackPoint(0.0, 48.3812, -4.4912, 0.1, 0.0),
+        }
+        assert detect_collision_risk(states) == []
+
+    def test_far_pairs_screened_out(self):
+        states = {
+            1: TrackPoint(0.0, 0.0, 0.0, 10.0, 90.0),
+            2: TrackPoint(0.0, 10.0, 10.0, 10.0, 270.0),
+        }
+        assert detect_collision_risk(states) == []
+
+    def test_safe_crossing_below_threshold(self):
+        config = CollisionRiskConfig(dcpa_alarm_m=100.0)
+        states = {
+            1: TrackPoint(0.0, 0.0, 0.0, 10.0, 0.0),
+            2: TrackPoint(0.0, 0.05, 0.1, 10.0, 270.0),
+        }
+        events = detect_collision_risk(states, config)
+        for event in events:
+            assert event.details["dcpa_m"] <= 100.0

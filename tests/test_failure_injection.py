@@ -1,0 +1,160 @@
+"""Failure injection: the pipeline must survive hostile/degraded feeds.
+
+§4: "empty fields very common in marine data, approximate values or
+uncertain fields"; §1: manipulation, hacking, poor quality.  These tests
+corrupt the feed in targeted ways and assert the system degrades
+gracefully — wrong data is dropped and counted, never crashing, and clean
+data still flows through.
+"""
+
+import random
+
+import pytest
+
+from repro.ais import AisDecoder, PositionReport, encode_sentences
+from repro.core import MaritimePipeline
+from repro.simulation import regional_scenario
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    return regional_scenario(n_vessels=12, duration_s=3600.0, seed=77).run()
+
+
+def corrupt_feed(sentences, mode, rate=0.2, seed=0):
+    rng = random.Random(seed)
+    out = []
+    for sentence in sentences:
+        if rng.random() > rate:
+            out.append(sentence)
+            continue
+        if mode == "bitflip":
+            index = rng.randrange(10, max(11, len(sentence) - 3))
+            flipped = chr((ord(sentence[index]) ^ 0x02) & 0x7F)
+            out.append(sentence[:index] + flipped + sentence[index + 1 :])
+        elif mode == "truncate":
+            out.append(sentence[: rng.randrange(5, len(sentence))])
+        elif mode == "binary_garbage":
+            out.append("".join(chr(rng.randrange(0, 255)) for __ in range(40)))
+        elif mode == "drop_fragment":
+            # Drop only continuation fragments of multipart messages.
+            if ",2,2," in sentence:
+                continue
+            out.append(sentence)
+        elif mode == "duplicate":
+            out.append(sentence)
+            out.append(sentence)
+    return out
+
+
+class TestDecoderUnderFire:
+    @pytest.mark.parametrize(
+        "mode", ["bitflip", "truncate", "binary_garbage", "drop_fragment"]
+    )
+    def test_no_crash_and_accounting(self, clean_run, mode):
+        feed = corrupt_feed(clean_run.sentences, mode, rate=0.3)
+        decoder = AisDecoder()
+        decoded = 0
+        for sentence in feed:
+            if decoder.feed(sentence) is not None:
+                decoded += 1
+        # Clean majority still decodes; corruption is counted, not fatal.
+        assert decoded > 0.5 * len(clean_run.sentences) * 0.7
+        rejects = sum(
+            count for reason, count in decoder.stats.items()
+            if reason not in ("decoded", "fragment_buffered")
+            and not reason.startswith("decode_error:")
+        )
+        if mode != "drop_fragment":
+            assert rejects > 0
+
+    def test_duplicates_are_harmless(self, clean_run):
+        feed = corrupt_feed(clean_run.sentences, "duplicate", rate=0.5)
+        decoder = AisDecoder()
+        decoded = sum(1 for s in feed if decoder.feed(s) is not None)
+        assert decoded >= len(clean_run.sentences)
+
+
+class TestPipelineUnderFire:
+    def test_pipeline_survives_corrupted_observations(self, clean_run):
+        import dataclasses
+
+        corrupted = corrupt_feed(clean_run.sentences, "bitflip", rate=0.2)
+        observations = [
+            dataclasses.replace(obs, sentence=sentence)
+            for obs, sentence in zip(clean_run.observations, corrupted)
+        ]
+        run = dataclasses.replace(clean_run, observations=observations)
+        result = MaritimePipeline().process(run)
+        assert result.trajectories  # the fleet is still tracked
+        assert result.stage("decode").n_out < result.stage("decode").n_in
+
+    def test_pipeline_with_empty_feed(self, clean_run):
+        import dataclasses
+
+        run = dataclasses.replace(
+            clean_run, observations=[], radar_contacts=[], lrit_reports=[]
+        )
+        result = MaritimePipeline().process(run)
+        assert result.trajectories == []
+        assert result.events == []
+        assert result.overview is None
+
+    def test_clock_skew_out_of_order_feed(self, clean_run):
+        """Receiver clock skew: shuffle arrival order within ±5 min; the
+        watermark stage must still deliver usable tracks."""
+        import dataclasses
+
+        rng = random.Random(3)
+        skewed = sorted(
+            (
+                dataclasses.replace(
+                    obs, t_received=obs.t_received + rng.uniform(-300.0, 300.0)
+                )
+                for obs in clean_run.observations
+            ),
+            key=lambda obs: obs.t_received,
+        )
+        run = dataclasses.replace(clean_run, observations=skewed)
+        result = MaritimePipeline().process(run)
+        assert len(result.trajectories) >= 0.7 * len(clean_run.specs)
+
+    def test_duplicate_mmsi_fleet(self):
+        """Two physical vessels sharing an MMSI (identity fraud): the
+        reconstructor splits impossible tracks instead of weaving them."""
+        from repro.trajectory.reconstruction import TrackReconstructor
+
+        rec = TrackReconstructor()
+        t = 0.0
+        for i in range(60):
+            # Vessel 1 near Brest, vessel 2 in Biscay — alternating reports.
+            rec.add(
+                PositionReport(
+                    mmsi=227000111, lat=48.4 + i * 1e-4, lon=-4.5,
+                    sog_knots=8.0, cog_deg=0.0,
+                ),
+                t,
+            )
+            rec.add(
+                PositionReport(
+                    mmsi=227000111, lat=45.0 + i * 1e-4, lon=-4.0,
+                    sog_knots=8.0, cog_deg=0.0,
+                ),
+                t + 5.0,
+            )
+            t += 10.0
+        tracks = rec.finish()
+        # Every produced segment must be internally consistent (< 50 kn).
+        for track in tracks:
+            assert track.mean_speed_knots() < 50.0
+
+    def test_all_fields_empty_static(self):
+        """§4's 'empty fields very common': fully blank static messages
+        decode and validate without crashing."""
+        from repro.ais import StaticVoyageData, decode_sentences, validate_message
+
+        blank = StaticVoyageData(mmsi=227000112)
+        out = decode_sentences(encode_sentences(blank))[0]
+        issues = validate_message(out)
+        assert issues  # plenty to complain about
+        assert out.shipname == "" and out.destination == ""

@@ -1,0 +1,238 @@
+"""Tests for the forecasting layer: dead reckoning, Kalman, routes, ETA."""
+
+import random
+
+import pytest
+
+from repro.forecasting import (
+    KalmanPredictor,
+    RouteGraph,
+    RouteGraphConfig,
+    RoutePredictor,
+    estimate_eta,
+    evaluate_predictor,
+    predict_constant_turn,
+    predict_constant_velocity,
+)
+from repro.geo import haversine_m
+from repro.simulation.behaviours import plan_transit
+from repro.simulation.world import Port
+from repro.trajectory.points import TrackPoint, Trajectory
+
+
+def northbound(n=40, dt=60.0, sog=10.0):
+    # 10 kn due north: ~5.14 m/s ≈ 2.777e-3 deg/min.
+    dlat = sog * 1852.0 / 3600.0 * dt / 111_195.0
+    return Trajectory(
+        1,
+        [TrackPoint(i * dt, 48.0 + i * dlat, -5.0, sog, 0.0) for i in range(n)],
+    )
+
+
+class TestDeadReckoning:
+    def test_cv_distance(self):
+        state = TrackPoint(0.0, 48.0, -5.0, 12.0, 90.0)
+        lat, lon = predict_constant_velocity(state, 1800.0)
+        assert haversine_m(48.0, -5.0, lat, lon) == pytest.approx(
+            12.0 * 1852.0 / 2.0, rel=1e-6
+        )
+
+    def test_cv_missing_kinematics_holds(self):
+        state = TrackPoint(0.0, 48.0, -5.0, None, None)
+        assert predict_constant_velocity(state, 1800.0) == (48.0, -5.0)
+
+    def test_ct_zero_rate_equals_cv(self):
+        state = TrackPoint(0.0, 48.0, -5.0, 12.0, 45.0)
+        cv = predict_constant_velocity(state, 900.0)
+        ct = predict_constant_turn(state, 0.0, 900.0)
+        assert haversine_m(*cv, *ct) < 100.0
+
+    def test_ct_curves(self):
+        state = TrackPoint(0.0, 48.0, -5.0, 12.0, 0.0)
+        straight = predict_constant_turn(state, 0.0, 1200.0)
+        turning = predict_constant_turn(state, 10.0, 1200.0)
+        assert haversine_m(*straight, *turning) > 1000.0
+
+    def test_ct_full_circle_returns(self):
+        state = TrackPoint(0.0, 48.0, -5.0, 10.0, 0.0)
+        # 360° at 12°/min takes 30 min.
+        final = predict_constant_turn(state, 12.0, 1800.0, step_s=5.0)
+        assert haversine_m(48.0, -5.0, *final) < 1_000.0
+
+
+class TestKalmanPredictor:
+    def test_straight_line_accuracy(self):
+        track = northbound(n=40)
+        predictor = KalmanPredictor()
+        prediction = predictor.predict(track, 600.0)
+        # Truth: continue north at 10 kn for 10 min ≈ 3086 m.
+        truth_lat = track[-1].lat + 3086.0 / 111_195.0
+        error = haversine_m(prediction.lat, prediction.lon, truth_lat, -5.0)
+        assert error < 500.0
+
+    def test_sigma_grows(self):
+        track = northbound()
+        predictor = KalmanPredictor()
+        near = predictor.predict(track, 300.0)
+        far = predictor.predict(track, 3600.0)
+        assert far.sigma_m > near.sigma_m
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            KalmanPredictor().predict(northbound(), -1.0)
+
+
+class TestRouteGraph:
+    def make_graph(self, seed=0, n_tracks=10):
+        """Historical traffic along a dog-leg route."""
+        graph = RouteGraph(RouteGraphConfig(cell_deg=0.05))
+        rng = random.Random(seed)
+        for k in range(n_tracks):
+            rng_k = random.Random(seed * 100 + k)
+            plan = plan_transit(
+                0.0, 20 * 3600.0, (48.0, -6.0), (49.5, -3.0),
+                12.0, rng_k,
+            )
+            points = [
+                TrackPoint(s.t, s.lat, s.lon, s.sog_knots, s.cog_deg)
+                for s in plan.sample(120.0)
+            ]
+            graph.add_trajectory(Trajectory(100 + k, points))
+        return graph
+
+    def test_edges_mined(self):
+        graph = self.make_graph()
+        assert graph.n_edges > 20
+        assert graph.n_trajectories == 10
+
+    def test_successors_sorted_by_count(self):
+        graph = self.make_graph()
+        cell = next(iter(graph.edges))[0]
+        successors = graph.successors(cell)
+        counts = [c for __, c in successors]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_route_following_beats_cv_after_turn(self):
+        """The E6 shape: after the route's dog-leg, CV sails off the lane
+        while the graph predictor follows it."""
+        graph = self.make_graph()
+        predictor = RoutePredictor(graph)
+        rng = random.Random(999)
+        plan = plan_transit(
+            0.0, 20 * 3600.0, (48.0, -6.0), (49.5, -3.0), 12.0, rng
+        )
+        points = [
+            TrackPoint(s.t, s.lat, s.lon, s.sog_knots, s.cog_deg)
+            for s in plan.sample(120.0)
+        ]
+        track = Trajectory(1, points)
+        cut = track.slice_time(0.0, track.duration_s * 0.3)
+        horizon = 2 * 3600.0
+        truth = track.position_at(cut.t_end + horizon)
+        route_prediction = predictor.predict(cut, horizon)
+        cv_prediction = predict_constant_velocity(cut.points[-1], horizon)
+        route_error = haversine_m(*route_prediction, *truth)
+        cv_error = haversine_m(*cv_prediction, *truth)
+        assert route_error < cv_error * 1.5  # route never catastrophically worse
+
+    def test_off_network_falls_back_to_cv(self):
+        graph = self.make_graph()
+        predictor = RoutePredictor(graph)
+        lonely = Trajectory(
+            1,
+            [
+                TrackPoint(i * 60.0, -30.0 + i * 0.001, 100.0, 10.0, 0.0)
+                for i in range(20)
+            ],
+        )
+        prediction = predictor.predict(lonely, 600.0)
+        cv = predict_constant_velocity(lonely.points[-1], 600.0)
+        assert haversine_m(*prediction, *cv) < 100.0
+
+    def test_stationary_vessel_stays_put(self):
+        graph = self.make_graph()
+        predictor = RoutePredictor(graph)
+        parked = Trajectory(
+            1, [TrackPoint(i * 60.0, 48.0, -6.0, 0.1, 0.0) for i in range(10)]
+        )
+        assert predictor.predict(parked, 3600.0) == (48.0, -6.0)
+
+
+class TestEta:
+    PORTS = [
+        Port("NORTH", 49.0, -5.0),
+        Port("EAST", 48.0, -3.0),
+    ]
+
+    def test_course_selects_port(self):
+        track = northbound()
+        estimate = estimate_eta(track, self.PORTS)
+        assert estimate is not None
+        assert estimate.port.name == "NORTH"
+
+    def test_eta_magnitude(self):
+        track = northbound()
+        estimate = estimate_eta(track, self.PORTS)
+        distance = haversine_m(
+            track[-1].lat, track[-1].lon, 49.0, -5.0
+        )
+        assert estimate.eta_s == pytest.approx(
+            distance / (10.0 * 1852.0 / 3600.0), rel=1e-6
+        )
+
+    def test_stationary_returns_none(self):
+        parked = Trajectory(
+            1, [TrackPoint(i * 60.0, 48.0, -5.0, 0.1, 0.0) for i in range(5)]
+        )
+        assert estimate_eta(parked, self.PORTS) is None
+
+    def test_nothing_ahead_returns_none(self):
+        southbound = Trajectory(
+            1,
+            [
+                TrackPoint(i * 60.0, 47.0 - i * 0.002, -5.0, 10.0, 180.0)
+                for i in range(10)
+            ],
+        )
+        assert estimate_eta(southbound, self.PORTS) is None
+
+
+class TestEvaluationHarness:
+    def test_errors_grow_with_horizon(self):
+        tracks = [northbound(n=120) for __ in range(3)]
+        results = evaluate_predictor(
+            lambda prefix, h: predict_constant_velocity(prefix.points[-1], h),
+            tracks,
+            horizons_s=[300.0, 1800.0],
+        )
+        assert results[0].n_samples > 0
+        # CV on a straight line is nearly exact; both should be tiny, but
+        # well-ordered and finite.
+        assert results[0].mean_error_m <= results[1].mean_error_m + 1.0
+
+    def test_insufficient_data_yields_nan(self):
+        short = Trajectory(1, [TrackPoint(0.0, 48.0, -5.0, 10.0, 0.0)])
+        results = evaluate_predictor(
+            lambda prefix, h: (48.0, -5.0), [short], horizons_s=[300.0]
+        )
+        assert results[0].n_samples == 0
+
+    def test_percentiles_ordered(self):
+        rng = random.Random(0)
+        plan = plan_transit(
+            0.0, 6 * 3600.0, (48.0, -6.0), (49.5, -3.0), 12.0, rng
+        )
+        track = Trajectory(
+            1,
+            [
+                TrackPoint(s.t, s.lat, s.lon, s.sog_knots, s.cog_deg)
+                for s in plan.sample(60.0)
+            ],
+        )
+        results = evaluate_predictor(
+            lambda prefix, h: predict_constant_velocity(prefix.points[-1], h),
+            [track],
+            horizons_s=[1800.0],
+        )
+        r = results[0]
+        assert r.median_error_m <= r.p90_error_m

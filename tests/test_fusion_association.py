@@ -1,0 +1,132 @@
+"""Tests for contact-to-track association and multi-source tracking."""
+
+import random
+
+import pytest
+
+from repro.fusion import AssociationConfig, MultiSourceTracker, associate_contacts
+from repro.simulation.sensors import RadarContact
+from repro.trajectory.points import TrackPoint
+
+
+def track_points(lat0, lon0, n=20, dt=10.0, dlat=0.0005):
+    return [
+        TrackPoint(i * dt, lat0 + i * dlat, lon0, 10.0, 0.0)
+        for i in range(n)
+    ]
+
+
+def contact(t, lat, lon, truth=0, site="R"):
+    return RadarContact(t=t, lat=lat, lon=lon, site=site, truth_mmsi=truth)
+
+
+class TestAssociateContacts:
+    def test_clean_association(self):
+        tracks = {1: track_points(48.0, -5.0), 2: track_points(48.5, -4.0)}
+        contacts = [
+            contact(200.0, 48.0 + 20 * 0.0005, -5.0, truth=1),
+            contact(200.0, 48.5 + 20 * 0.0005, -4.0, truth=2),
+        ]
+        out = associate_contacts(contacts, tracks)
+        by_truth = {a.contact.truth_mmsi: a.mmsi for a in out}
+        assert by_truth == {1: 1, 2: 2}
+
+    def test_gate_blocks_distant_contact(self):
+        tracks = {1: track_points(48.0, -5.0)}
+        out = associate_contacts(
+            [contact(200.0, 52.0, -5.0)], tracks,
+            AssociationConfig(gate_m=1500.0),
+        )
+        assert out[0].mmsi is None
+
+    def test_stale_track_cannot_gate(self):
+        tracks = {1: track_points(48.0, -5.0)}  # track ends at t=190
+        out = associate_contacts(
+            [contact(5_000.0, 48.01, -5.0)], tracks,
+            AssociationConfig(max_track_age_s=600.0),
+        )
+        assert out[0].mmsi is None
+
+    def test_one_contact_per_track_per_sweep(self):
+        tracks = {1: track_points(48.0, -5.0)}
+        near = 48.0 + 20 * 0.0005
+        contacts = [
+            contact(200.0, near, -5.0, truth=1),
+            contact(200.0, near + 0.001, -5.0, truth=99),
+        ]
+        out = associate_contacts(contacts, tracks)
+        associated = [a for a in out if a.mmsi == 1]
+        assert len(associated) == 1
+        # The closer one won.
+        assert associated[0].contact.truth_mmsi == 1
+
+    def test_dead_reckoning_prediction(self):
+        """A contact taken after the last fix associates via projection."""
+        tracks = {1: track_points(48.0, -5.0)}  # moving north at ~10 kn
+        # 60 s after the last fix the vessel has moved ~320 m north.
+        predicted_lat = 48.0 + 19 * 0.0005 + 0.003
+        out = associate_contacts(
+            [contact(250.0, predicted_lat, -5.0)], tracks,
+            AssociationConfig(gate_m=1000.0),
+        )
+        assert out[0].mmsi == 1
+
+
+class TestMultiSourceTracker:
+    def test_ais_seeds_identified_tracks(self):
+        tracker = MultiSourceTracker()
+        for point in track_points(48.0, -5.0):
+            tracker.add_ais_fix(1, point)
+        assert len(tracker.identified_tracks) == 1
+        assert tracker.identified_tracks[0].mmsi == 1
+
+    def test_radar_extends_identified_track(self):
+        tracker = MultiSourceTracker()
+        for point in track_points(48.0, -5.0):
+            tracker.add_ais_fix(1, point)
+        tracker.add_radar_contacts(
+            [contact(200.0, 48.0 + 20 * 0.0005, -5.0, truth=1)]
+        )
+        track = tracker.identified_tracks[0]
+        assert "radar" in track.sources and "ais" in track.sources
+
+    def test_uncorrelated_contacts_form_anonymous_track(self):
+        tracker = MultiSourceTracker()
+        for point in track_points(48.0, -5.0):
+            tracker.add_ais_fix(1, point)
+        # A dark vessel 50 km away paints a sequence of contacts.
+        dark = [
+            contact(float(i * 10), 48.5 + i * 0.0005, -4.3, truth=77)
+            for i in range(10)
+        ]
+        tracker.add_radar_contacts(dark)
+        assert len(tracker.anonymous_tracks) == 1
+        anonymous = tracker.anonymous_tracks[0]
+        assert len(anonymous.points) == 10
+
+    def test_anonymous_track_continuity(self):
+        """Consecutive contacts from the same dark vessel join one track,
+        not ten singleton tracks."""
+        tracker = MultiSourceTracker(AssociationConfig(gate_m=1500.0))
+        dark = [
+            contact(float(i * 10), 48.5 + i * 0.0005, -4.3, truth=77)
+            for i in range(30)
+        ]
+        tracker.add_radar_contacts(dark)
+        assert len(tracker.anonymous_tracks) == 1
+
+    def test_lrit_merges_by_identity(self):
+        tracker = MultiSourceTracker()
+        for point in track_points(48.0, -5.0):
+            tracker.add_ais_fix(1, point)
+        tracker.add_lrit(1, TrackPoint(500.0, 48.02, -5.0, source="lrit"))
+        track = tracker.identified_tracks[0]
+        assert "lrit" in track.sources
+
+    def test_to_trajectory_dedupes_and_sorts(self):
+        tracker = MultiSourceTracker()
+        tracker.add_ais_fix(1, TrackPoint(10.0, 48.0, -5.0))
+        tracker.add_ais_fix(1, TrackPoint(5.0, 47.999, -5.0))
+        tracker.add_ais_fix(1, TrackPoint(10.0, 48.0, -5.0))  # duplicate
+        trajectory = tracker.identified_tracks[0].to_trajectory()
+        assert [p.t for p in trajectory] == [5.0, 10.0]

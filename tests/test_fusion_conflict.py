@@ -1,0 +1,112 @@
+"""Tests for conflict detection/resolution and reliability estimation."""
+
+import pytest
+
+from repro.fusion import (
+    AttributeConflict,
+    detect_conflicts,
+    estimate_reliability,
+    resolve_majority,
+    resolve_most_recent,
+    resolve_weighted,
+)
+
+
+def registries(**entities):
+    """Build records_by_source from {entity: {source: attrs}}."""
+    out: dict[str, dict] = {}
+    for entity_id, by_source in entities.items():
+        for source, attrs in by_source.items():
+            out.setdefault(source, {})[entity_id] = attrs
+    return out
+
+
+class TestDetect:
+    def test_flag_conflict_detected(self):
+        data = registries(
+            v1={"MT": {"flag": "FR"}, "LL": {"flag": "PA"}},
+        )
+        conflicts = detect_conflicts(data, ["flag"])
+        assert len(conflicts) == 1
+        assert conflicts[0].attribute == "flag"
+        assert conflicts[0].distinct_values == {"FR", "PA"}
+
+    def test_agreement_no_conflict(self):
+        data = registries(v1={"MT": {"flag": "FR"}, "LL": {"flag": "FR"}})
+        assert detect_conflicts(data, ["flag"]) == []
+
+    def test_numeric_tolerance(self):
+        """§4: 'the length may differ slightly' — within tolerance is not
+        a conflict."""
+        data = registries(
+            v1={"MT": {"length_m": 180.0}, "LL": {"length_m": 183.0}},
+            v2={"MT": {"length_m": 180.0}, "LL": {"length_m": 230.0}},
+        )
+        conflicts = detect_conflicts(
+            data, ["length_m"], numeric_tolerance={"length_m": 10.0}
+        )
+        assert [c.entity_id for c in conflicts] == ["v2"]
+
+    def test_missing_values_not_conflicting(self):
+        data = registries(
+            v1={"MT": {"flag": "FR"}, "LL": {"flag": ""}},
+            v2={"MT": {"flag": None}, "LL": {"flag": "PA"}},
+        )
+        assert detect_conflicts(data, ["flag"]) == []
+
+    def test_entity_in_one_source_only(self):
+        data = registries(v1={"MT": {"flag": "FR"}})
+        assert detect_conflicts(data, ["flag"]) == []
+
+
+class TestResolve:
+    def conflict(self, values):
+        return AttributeConflict("v1", "flag", values)
+
+    def test_majority(self):
+        c = self.conflict({"A": "FR", "B": "FR", "C": "PA"})
+        assert resolve_majority(c) == "FR"
+
+    def test_majority_tie_deterministic(self):
+        c = self.conflict({"A": "FR", "B": "PA"})
+        assert resolve_majority(c) == resolve_majority(c)
+
+    def test_weighted_prefers_reliable_source(self):
+        c = self.conflict({"A": "FR", "B": "PA", "C": "PA"})
+        # A is near-perfect; B and C are junk.
+        assert resolve_weighted(c, {"A": 0.95, "B": 0.2, "C": 0.2}) == "FR"
+
+    def test_weighted_unknown_source_neutral(self):
+        c = self.conflict({"A": "FR", "B": "PA"})
+        assert resolve_weighted(c, {"A": 0.9}) == "FR"  # 0.9 vs default 0.5
+
+    def test_most_recent(self):
+        c = self.conflict({"A": "FR", "B": "PA"})
+        assert resolve_most_recent(c, {"A": 100.0, "B": 200.0}) == "PA"
+
+    def test_weighted_beats_majority_with_degraded_source(self):
+        """E5's shape: when two sources copy each other's stale value, the
+        reliability-weighted vote recovers the truth that majority loses."""
+        c = self.conflict({"good": "FR", "stale1": "PA", "stale2": "PA"})
+        assert resolve_majority(c) == "PA"  # majority is wrong
+        weighted = resolve_weighted(
+            c, {"good": 0.98, "stale1": 0.3, "stale2": 0.3}
+        )
+        assert weighted == "FR"
+
+
+class TestReliability:
+    def test_accurate_source_scores_high(self):
+        reports = {
+            "good": [(float(t), 48.0 + t * 1e-5, -5.0) for t in range(20)],
+            "bad": [(float(t), 48.0 + t * 1e-5 + 0.05, -5.0) for t in range(20)],
+        }
+        truth = lambda t: (48.0 + t * 1e-5, -5.0)
+        out = estimate_reliability(reports, truth, scale_m=500.0)
+        assert out["good"].reliability > 0.9
+        assert out["bad"].reliability < 0.1
+        assert out["good"].n_comparisons == 20
+
+    def test_no_overlap_neutral(self):
+        out = estimate_reliability({"s": [(0.0, 48.0, -5.0)]}, lambda t: None)
+        assert out["s"].reliability == 0.5

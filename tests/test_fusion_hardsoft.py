@@ -1,0 +1,85 @@
+"""Tests for hard-soft fusion of human reports with tracks."""
+
+import pytest
+
+from repro.fusion import SoftReport, fuse_hard_soft
+from repro.trajectory.points import TrackPoint, Trajectory
+
+
+def track(mmsi, lat0, lon0, n=30, dt=60.0, dlat=0.001):
+    return Trajectory(
+        mmsi,
+        [
+            TrackPoint(i * dt, lat0 + i * dlat, lon0, 8.0, 0.0)
+            for i in range(n)
+        ],
+    )
+
+
+class TestSoftReport:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SoftReport(0.0, 48.0, -5.0, sigma_m=-1.0, sigma_t_s=60.0,
+                       confidence=0.5)
+        with pytest.raises(ValueError):
+            SoftReport(0.0, 48.0, -5.0, sigma_m=100.0, sigma_t_s=60.0,
+                       confidence=1.5)
+
+
+class TestFusion:
+    def test_nearby_track_ranks_first(self):
+        near = track(1, 48.0, -5.0)
+        far = track(2, 49.0, -4.0)
+        report = SoftReport(
+            t=900.0, lat=48.015, lon=-5.0, sigma_m=2000.0, sigma_t_s=600.0,
+            confidence=0.8,
+        )
+        matches = fuse_hard_soft(report, [near, far])
+        assert matches
+        assert matches[0].mmsi == 1
+
+    def test_no_candidate_when_nothing_near(self):
+        report = SoftReport(
+            t=900.0, lat=55.0, lon=10.0, sigma_m=1000.0, sigma_t_s=600.0,
+            confidence=0.8,
+        )
+        assert fuse_hard_soft(report, [track(1, 48.0, -5.0)]) == []
+
+    def test_time_window_respected(self):
+        """A track that was there but hours earlier should not match a
+        fresh sighting."""
+        old = track(1, 48.0, -5.0, n=10)  # ends at t=540
+        report = SoftReport(
+            t=50_000.0, lat=48.005, lon=-5.0, sigma_m=1000.0,
+            sigma_t_s=300.0, confidence=0.9,
+        )
+        assert fuse_hard_soft(report, [old]) == []
+
+    def test_confidence_weights_ranking(self):
+        near = track(1, 48.0, -5.0)
+        report_confident = SoftReport(
+            t=900.0, lat=48.015, lon=-5.0, sigma_m=2000.0, sigma_t_s=600.0,
+            confidence=0.9,
+        )
+        report_vague = SoftReport(
+            t=900.0, lat=48.015, lon=-5.0, sigma_m=2000.0, sigma_t_s=600.0,
+            confidence=0.3,
+        )
+        strong = fuse_hard_soft(report_confident, [near])[0]
+        weak = fuse_hard_soft(report_vague, [near])[0]
+        assert strong.weight > weak.weight
+        assert strong.consistency == pytest.approx(weak.consistency)
+
+    def test_vaguer_report_matches_more(self):
+        tracks = [track(i, 48.0 + i * 0.05, -5.0) for i in range(5)]
+        tight = SoftReport(
+            t=900.0, lat=48.0, lon=-5.0, sigma_m=500.0, sigma_t_s=300.0,
+            confidence=0.8,
+        )
+        loose = SoftReport(
+            t=900.0, lat=48.0, lon=-5.0, sigma_m=20_000.0, sigma_t_s=300.0,
+            confidence=0.8,
+        )
+        assert len(fuse_hard_soft(loose, tracks)) >= len(
+            fuse_hard_soft(tight, tracks)
+        )

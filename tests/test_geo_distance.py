@@ -1,0 +1,170 @@
+"""Unit tests for great-circle distance and bearing primitives."""
+
+import math
+
+import pytest
+
+from repro.geo import (
+    EARTH_RADIUS_M,
+    along_track_distance_m,
+    angular_difference_deg,
+    cross_track_distance_m,
+    destination_point,
+    equirectangular_m,
+    haversine_m,
+    haversine_nm,
+    initial_bearing_deg,
+    normalize_course,
+    normalize_lon,
+)
+
+
+class TestNormalize:
+    def test_lon_in_range_unchanged(self):
+        assert normalize_lon(12.5) == pytest.approx(12.5)
+
+    def test_lon_wraps_east(self):
+        assert normalize_lon(190.0) == pytest.approx(-170.0)
+
+    def test_lon_wraps_west(self):
+        assert normalize_lon(-190.0) == pytest.approx(170.0)
+
+    def test_lon_180_maps_to_minus_180(self):
+        assert normalize_lon(180.0) == pytest.approx(-180.0)
+
+    def test_lon_multiple_wraps(self):
+        assert normalize_lon(720.0 + 10.0) == pytest.approx(10.0)
+
+    def test_course_wraps(self):
+        assert normalize_course(370.0) == pytest.approx(10.0)
+        assert normalize_course(-10.0) == pytest.approx(350.0)
+        assert normalize_course(360.0) == pytest.approx(0.0)
+
+    def test_angular_difference_symmetric(self):
+        assert angular_difference_deg(350.0, 10.0) == pytest.approx(20.0)
+        assert angular_difference_deg(10.0, 350.0) == pytest.approx(20.0)
+
+    def test_angular_difference_max_180(self):
+        assert angular_difference_deg(0.0, 180.0) == pytest.approx(180.0)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(48.0, -5.0, 48.0, -5.0) == 0.0
+
+    def test_one_degree_latitude(self):
+        # One degree of latitude is ~111.19 km on the sphere.
+        d = haversine_m(48.0, -5.0, 49.0, -5.0)
+        assert d == pytest.approx(111_195.0, rel=1e-3)
+
+    def test_equator_one_degree_longitude(self):
+        d = haversine_m(0.0, 0.0, 0.0, 1.0)
+        assert d == pytest.approx(111_195.0, rel=1e-3)
+
+    def test_longitude_shrinks_with_latitude(self):
+        d_equator = haversine_m(0.0, 0.0, 0.0, 1.0)
+        d_60 = haversine_m(60.0, 0.0, 60.0, 1.0)
+        assert d_60 == pytest.approx(d_equator * 0.5, rel=1e-2)
+
+    def test_antipodal(self):
+        d = haversine_m(0.0, 0.0, 0.0, 180.0)
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_M, rel=1e-6)
+
+    def test_antimeridian_shortcut(self):
+        # 179.5°E to 179.5°W is 1 degree, not 359.
+        d = haversine_m(0.0, 179.5, 0.0, -179.5)
+        assert d == pytest.approx(111_195.0, rel=1e-3)
+
+    def test_symmetry(self):
+        assert haversine_m(10.0, 20.0, 30.0, 40.0) == pytest.approx(
+            haversine_m(30.0, 40.0, 10.0, 20.0)
+        )
+
+    def test_nm_conversion(self):
+        d_m = haversine_m(48.0, -5.0, 49.0, -5.0)
+        assert haversine_nm(48.0, -5.0, 49.0, -5.0) == pytest.approx(d_m / 1852.0)
+
+    def test_one_minute_of_latitude_is_one_nm(self):
+        # The historical definition, good to ~0.3% on the sphere.
+        d = haversine_nm(48.0, -5.0, 48.0 + 1.0 / 60.0, -5.0)
+        assert d == pytest.approx(1.0, rel=5e-3)
+
+
+class TestEquirectangular:
+    def test_close_to_haversine_at_short_range(self):
+        exact = haversine_m(48.0, -5.0, 48.05, -4.95)
+        approx = equirectangular_m(48.0, -5.0, 48.05, -4.95)
+        assert approx == pytest.approx(exact, rel=1e-3)
+
+    def test_zero(self):
+        assert equirectangular_m(48.0, -5.0, 48.0, -5.0) == 0.0
+
+
+class TestBearing:
+    def test_due_north(self):
+        assert initial_bearing_deg(48.0, -5.0, 49.0, -5.0) == pytest.approx(0.0)
+
+    def test_due_south(self):
+        assert initial_bearing_deg(49.0, -5.0, 48.0, -5.0) == pytest.approx(180.0)
+
+    def test_due_east_at_equator(self):
+        assert initial_bearing_deg(0.0, 0.0, 0.0, 1.0) == pytest.approx(90.0)
+
+    def test_due_west_at_equator(self):
+        assert initial_bearing_deg(0.0, 1.0, 0.0, 0.0) == pytest.approx(270.0)
+
+    def test_range(self):
+        b = initial_bearing_deg(48.0, -5.0, 47.0, -6.0)
+        assert 0.0 <= b < 360.0
+
+
+class TestDestination:
+    def test_roundtrip_distance(self):
+        lat2, lon2 = destination_point(48.0, -5.0, 45.0, 50_000.0)
+        assert haversine_m(48.0, -5.0, lat2, lon2) == pytest.approx(
+            50_000.0, rel=1e-9
+        )
+
+    def test_roundtrip_bearing(self):
+        lat2, lon2 = destination_point(48.0, -5.0, 45.0, 50_000.0)
+        assert initial_bearing_deg(48.0, -5.0, lat2, lon2) == pytest.approx(
+            45.0, abs=1e-6
+        )
+
+    def test_zero_distance(self):
+        lat2, lon2 = destination_point(48.0, -5.0, 123.0, 0.0)
+        assert (lat2, lon2) == pytest.approx((48.0, -5.0))
+
+    def test_crosses_antimeridian(self):
+        lat2, lon2 = destination_point(0.0, 179.9, 90.0, 50_000.0)
+        assert lon2 < -179.0  # wrapped
+
+    def test_north_moves_latitude_only(self):
+        lat2, lon2 = destination_point(10.0, 20.0, 0.0, 111_195.0)
+        assert lat2 == pytest.approx(11.0, rel=1e-3)
+        assert lon2 == pytest.approx(20.0, abs=1e-9)
+
+
+class TestCrossTrack:
+    def test_point_on_track_is_zero(self):
+        d = cross_track_distance_m(0.0, 0.5, 0.0, 0.0, 0.0, 1.0)
+        assert abs(d) < 1.0
+
+    def test_sign_convention(self):
+        # Travelling east along the equator, a point to the south is to
+        # the right (positive by our convention: asin of positive).
+        south = cross_track_distance_m(-0.1, 0.5, 0.0, 0.0, 0.0, 1.0)
+        north = cross_track_distance_m(0.1, 0.5, 0.0, 0.0, 0.0, 1.0)
+        assert south > 0 > north
+
+    def test_magnitude(self):
+        d = cross_track_distance_m(0.1, 0.5, 0.0, 0.0, 0.0, 1.0)
+        assert abs(d) == pytest.approx(111_195.0 * 0.1, rel=1e-3)
+
+    def test_along_track(self):
+        d = along_track_distance_m(0.0, 0.5, 0.0, 0.0, 0.0, 1.0)
+        assert d == pytest.approx(haversine_m(0.0, 0.0, 0.0, 0.5), rel=1e-6)
+
+    def test_along_track_at_start(self):
+        d = along_track_distance_m(0.0, 0.0, 0.0, 0.0, 0.0, 1.0)
+        assert abs(d) < 1.0

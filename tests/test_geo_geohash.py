@@ -1,0 +1,72 @@
+"""Tests for geohash encode/decode/neighbours."""
+
+import pytest
+
+from repro.geo import geohash_decode, geohash_encode, geohash_neighbors
+
+
+class TestEncode:
+    def test_known_value(self):
+        # Canonical test vector: Jutland.
+        assert geohash_encode(57.64911, 10.40744, 11) == "u4pruydqqvj"
+
+    def test_precision_length(self):
+        for precision in range(1, 12):
+            assert len(geohash_encode(48.0, -5.0, precision)) == precision
+
+    def test_prefix_property(self):
+        # Longer hashes refine shorter ones.
+        long = geohash_encode(48.38, -4.49, 9)
+        short = geohash_encode(48.38, -4.49, 5)
+        assert long.startswith(short)
+
+    def test_out_of_range_latitude(self):
+        with pytest.raises(ValueError):
+            geohash_encode(95.0, 0.0)
+
+    def test_bad_precision(self):
+        with pytest.raises(ValueError):
+            geohash_encode(0.0, 0.0, 0)
+
+
+class TestDecode:
+    def test_roundtrip_within_cell_error(self):
+        lat, lon = 48.3829, -4.4951
+        decoded_lat, decoded_lon, lat_err, lon_err = geohash_decode(
+            geohash_encode(lat, lon, 8)
+        )
+        assert abs(decoded_lat - lat) <= lat_err
+        assert abs(decoded_lon - lon) <= lon_err
+
+    def test_invalid_character(self):
+        with pytest.raises(ValueError):
+            geohash_decode("abci")  # 'i' is not in the base32 alphabet
+
+    def test_error_shrinks_with_precision(self):
+        __, __, err5, __ = geohash_decode(geohash_encode(10.0, 10.0, 5))
+        __, __, err8, __ = geohash_decode(geohash_encode(10.0, 10.0, 8))
+        assert err8 < err5
+
+
+class TestNeighbors:
+    def test_eight_neighbours_inland(self):
+        neighbours = geohash_neighbors(geohash_encode(48.0, -5.0, 6))
+        assert len(neighbours) == 8
+        assert len(set(neighbours)) == 8
+
+    def test_neighbours_same_precision(self):
+        for n in geohash_neighbors(geohash_encode(48.0, -5.0, 7)):
+            assert len(n) == 7
+
+    def test_neighbours_are_adjacent(self):
+        center = geohash_encode(48.0, -5.0, 6)
+        __, __, lat_err, lon_err = geohash_decode(center)
+        for n in geohash_neighbors(center):
+            nlat, nlon, __, __ = geohash_decode(n)
+            clat, clon, __, __ = geohash_decode(center)
+            assert abs(nlat - clat) <= 2.5 * lat_err
+            assert abs(nlon - clon) <= 2.5 * lon_err
+
+    def test_antimeridian_wrap(self):
+        neighbours = geohash_neighbors(geohash_encode(0.0, 179.99, 5))
+        assert len(neighbours) >= 7  # wraps without crashing

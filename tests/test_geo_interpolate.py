@@ -1,0 +1,80 @@
+"""Tests for great-circle interpolation."""
+
+import pytest
+
+from repro.geo import (
+    haversine_m,
+    interpolate_fraction,
+    interpolate_great_circle,
+    interpolate_track_at_time,
+)
+
+
+class TestInterpolateFraction:
+    def test_endpoints(self):
+        assert interpolate_fraction(10.0, 20.0, 30.0, 40.0, 0.0) == (10.0, 20.0)
+        assert interpolate_fraction(10.0, 20.0, 30.0, 40.0, 1.0) == (30.0, 40.0)
+
+    def test_midpoint_equidistant(self):
+        mid = interpolate_fraction(48.0, -5.0, 50.0, 1.0, 0.5)
+        d1 = haversine_m(48.0, -5.0, *mid)
+        d2 = haversine_m(50.0, 1.0, *mid)
+        assert d1 == pytest.approx(d2, rel=1e-9)
+
+    def test_on_great_circle(self):
+        # Quarter point + three-quarter point: distances proportional.
+        total = haversine_m(10.0, 10.0, 20.0, 30.0)
+        quarter = interpolate_fraction(10.0, 10.0, 20.0, 30.0, 0.25)
+        assert haversine_m(10.0, 10.0, *quarter) == pytest.approx(
+            total / 4.0, rel=1e-9
+        )
+
+    def test_identical_points(self):
+        assert interpolate_fraction(5.0, 5.0, 5.0, 5.0, 0.5) == (5.0, 5.0)
+
+    def test_extrapolation(self):
+        beyond = interpolate_fraction(0.0, 0.0, 0.0, 1.0, 2.0)
+        assert beyond[1] == pytest.approx(2.0, rel=1e-6)
+
+    def test_antimeridian_path(self):
+        mid = interpolate_fraction(0.0, 179.0, 0.0, -179.0, 0.5)
+        assert abs(mid[1]) == pytest.approx(180.0, abs=1e-6)
+
+
+class TestInterpolateGreatCircle:
+    def test_count_and_endpoints(self):
+        points = interpolate_great_circle(48.0, -5.0, 49.0, -4.0, 5)
+        assert len(points) == 5
+        assert points[0] == (48.0, -5.0)
+        assert points[-1] == (49.0, -4.0)
+
+    def test_even_spacing(self):
+        points = interpolate_great_circle(0.0, 0.0, 0.0, 10.0, 11)
+        gaps = [
+            haversine_m(*a, *b) for a, b in zip(points, points[1:])
+        ]
+        assert max(gaps) == pytest.approx(min(gaps), rel=1e-6)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            interpolate_great_circle(0.0, 0.0, 1.0, 1.0, 1)
+
+
+class TestInterpolateTrackAtTime:
+    def test_midtime(self):
+        lat, lon = interpolate_track_at_time(
+            0.0, 0.0, 0.0, 100.0, 0.0, 1.0, 50.0
+        )
+        assert lon == pytest.approx(0.5, rel=1e-6)
+
+    def test_at_fix_times(self):
+        assert interpolate_track_at_time(
+            0.0, 10.0, 20.0, 100.0, 11.0, 21.0, 0.0
+        ) == (10.0, 20.0)
+        assert interpolate_track_at_time(
+            0.0, 10.0, 20.0, 100.0, 11.0, 21.0, 100.0
+        ) == (11.0, 21.0)
+
+    def test_simultaneous_fixes_raise(self):
+        with pytest.raises(ValueError):
+            interpolate_track_at_time(5.0, 0.0, 0.0, 5.0, 1.0, 1.0, 5.0)

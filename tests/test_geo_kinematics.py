@@ -1,0 +1,107 @@
+"""Tests for CPA/TCPA, projection and derived kinematics."""
+
+import pytest
+
+from repro.geo import (
+    LocalTangentPlane,
+    cpa_tcpa,
+    haversine_m,
+    project_position,
+    speed_course_between,
+    turn_rate_deg_per_min,
+)
+
+
+class TestProjectPosition:
+    def test_distance(self):
+        lat2, lon2 = project_position(48.0, -5.0, 10.0, 90.0, 3600.0)
+        # 10 knots for 1 hour = 10 nm.
+        assert haversine_m(48.0, -5.0, lat2, lon2) == pytest.approx(
+            18_520.0, rel=1e-6
+        )
+
+    def test_zero_speed(self):
+        assert project_position(48.0, -5.0, 0.0, 90.0, 3600.0) == pytest.approx(
+            (48.0, -5.0)
+        )
+
+
+class TestSpeedCourse:
+    def test_known_speed(self):
+        # 1 nm north in 6 minutes = 10 knots.
+        speed, course = speed_course_between(
+            0.0, 48.0, -5.0, 360.0, 48.0 + 1.0 / 60.0, -5.0
+        )
+        assert speed == pytest.approx(10.0, rel=5e-3)
+        assert course == pytest.approx(0.0, abs=0.1)
+
+    def test_non_increasing_time_raises(self):
+        with pytest.raises(ValueError):
+            speed_course_between(10.0, 0.0, 0.0, 10.0, 1.0, 1.0)
+
+
+class TestTurnRate:
+    def test_right_turn_positive(self):
+        assert turn_rate_deg_per_min(0.0, 30.0, 60.0) == pytest.approx(30.0)
+
+    def test_left_turn_negative(self):
+        assert turn_rate_deg_per_min(30.0, 0.0, 60.0) == pytest.approx(-30.0)
+
+    def test_wraps_through_north(self):
+        assert turn_rate_deg_per_min(350.0, 10.0, 60.0) == pytest.approx(20.0)
+
+    def test_bad_dt(self):
+        with pytest.raises(ValueError):
+            turn_rate_deg_per_min(0.0, 10.0, 0.0)
+
+
+class TestCpaTcpa:
+    def test_head_on(self):
+        # Two vessels on the equator closing head-on at 10 kn each,
+        # 0.1° (~11.1 km) apart: closing speed ~10.29 m/s.
+        result = cpa_tcpa(0.0, 0.0, 10.0, 90.0, 0.0, 0.1, 10.0, 270.0)
+        assert result.dcpa_m == pytest.approx(0.0, abs=1.0)
+        closing_mps = 2 * 10.0 * 1852.0 / 3600.0
+        assert result.tcpa_s == pytest.approx(
+            result.range_m / closing_mps, rel=1e-3
+        )
+
+    def test_parallel_same_speed(self):
+        result = cpa_tcpa(0.0, 0.0, 10.0, 0.0, 0.0, 0.1, 10.0, 0.0)
+        assert result.dcpa_m == pytest.approx(result.range_m, rel=1e-6)
+        assert result.tcpa_s == 0.0
+
+    def test_diverging_tcpa_negative(self):
+        result = cpa_tcpa(0.0, 0.0, 10.0, 270.0, 0.0, 0.1, 10.0, 90.0)
+        assert result.tcpa_s < 0.0
+
+    def test_crossing_miss_distance(self):
+        # Perpendicular crossing with an offset: DCPA < current range.
+        result = cpa_tcpa(0.0, 0.0, 10.0, 0.0, 0.05, 0.1, 10.0, 270.0)
+        assert 0.0 < result.dcpa_m < result.range_m
+
+
+class TestLocalTangentPlane:
+    def test_roundtrip(self):
+        plane = LocalTangentPlane(48.0, -5.0)
+        x, y = plane.to_xy(48.1, -4.9)
+        lat, lon = plane.to_latlon(x, y)
+        assert lat == pytest.approx(48.1, abs=1e-9)
+        assert lon == pytest.approx(-4.9, abs=1e-9)
+
+    def test_distance_preserved_locally(self):
+        plane = LocalTangentPlane(48.0, -5.0)
+        x, y = plane.to_xy(48.05, -4.95)
+        import math
+
+        plane_dist = math.hypot(x, y)
+        true_dist = haversine_m(48.0, -5.0, 48.05, -4.95)
+        assert plane_dist == pytest.approx(true_dist, rel=2e-3)
+
+    def test_poles_rejected(self):
+        with pytest.raises(ValueError):
+            LocalTangentPlane(90.0, 0.0)
+
+    def test_origin_maps_to_zero(self):
+        plane = LocalTangentPlane(48.0, -5.0)
+        assert plane.to_xy(48.0, -5.0) == pytest.approx((0.0, 0.0))

@@ -1,0 +1,127 @@
+"""Tests for bounding boxes, circles and polygons."""
+
+import pytest
+
+from repro.geo import BoundingBox, CircleRegion, PolygonRegion
+
+
+class TestBoundingBox:
+    def test_contains(self):
+        box = BoundingBox(45.0, 50.0, -10.0, 0.0)
+        assert box.contains(48.0, -5.0)
+        assert not box.contains(44.0, -5.0)
+        assert not box.contains(48.0, 5.0)
+
+    def test_edges_inclusive(self):
+        box = BoundingBox(45.0, 50.0, -10.0, 0.0)
+        assert box.contains(45.0, -10.0)
+        assert box.contains(50.0, 0.0)
+
+    def test_invalid_latitudes(self):
+        with pytest.raises(ValueError):
+            BoundingBox(50.0, 45.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            BoundingBox(-100.0, 0.0, 0.0, 10.0)
+
+    def test_antimeridian(self):
+        box = BoundingBox(-10.0, 10.0, 170.0, -170.0)
+        assert box.crosses_antimeridian
+        assert box.contains(0.0, 175.0)
+        assert box.contains(0.0, -175.0)
+        assert not box.contains(0.0, 0.0)
+
+    def test_intersects(self):
+        a = BoundingBox(0.0, 10.0, 0.0, 10.0)
+        b = BoundingBox(5.0, 15.0, 5.0, 15.0)
+        c = BoundingBox(20.0, 30.0, 20.0, 30.0)
+        assert a.intersects(b)
+        assert b.intersects(a)
+        assert not a.intersects(c)
+
+    def test_intersects_antimeridian(self):
+        wrap = BoundingBox(-10.0, 10.0, 170.0, -170.0)
+        east = BoundingBox(-5.0, 5.0, 175.0, 179.0)
+        west = BoundingBox(-5.0, 5.0, -179.0, -175.0)
+        mid = BoundingBox(-5.0, 5.0, -10.0, 10.0)
+        assert wrap.intersects(east)
+        assert wrap.intersects(west)
+        assert not wrap.intersects(mid)
+
+    def test_expand(self):
+        box = BoundingBox(45.0, 50.0, -10.0, 0.0).expand(1.0)
+        assert box.contains(44.5, -10.5)
+
+    def test_expand_clamps_poles(self):
+        box = BoundingBox(89.0, 90.0, 0.0, 10.0).expand(5.0)
+        assert box.lat_max == 90.0
+
+    def test_center(self):
+        assert BoundingBox(0.0, 10.0, 0.0, 10.0).center == (5.0, 5.0)
+
+    def test_center_antimeridian(self):
+        lat, lon = BoundingBox(-10.0, 10.0, 170.0, -170.0).center
+        assert abs(lon) == pytest.approx(180.0)
+
+
+class TestCircleRegion:
+    def test_contains(self):
+        circle = CircleRegion(48.0, -5.0, 10_000.0)
+        assert circle.contains(48.0, -5.0)
+        assert circle.contains(48.05, -5.0)  # ~5.5 km north
+        assert not circle.contains(48.2, -5.0)  # ~22 km north
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            CircleRegion(0.0, 0.0, -1.0)
+
+    def test_bounding_box_encloses(self):
+        circle = CircleRegion(48.0, -5.0, 20_000.0)
+        box = circle.bounding_box()
+        # Points on the circle's rim must be in the box.
+        from repro.geo import destination_point
+
+        for bearing in range(0, 360, 30):
+            lat, lon = destination_point(48.0, -5.0, bearing, 20_000.0)
+            assert box.contains(lat, lon)
+
+
+class TestPolygonRegion:
+    def _square(self) -> PolygonRegion:
+        return PolygonRegion(
+            [(0.0, 0.0), (0.0, 10.0), (10.0, 10.0), (10.0, 0.0)], name="sq"
+        )
+
+    def test_inside(self):
+        assert self._square().contains(5.0, 5.0)
+
+    def test_outside(self):
+        square = self._square()
+        assert not square.contains(15.0, 5.0)
+        assert not square.contains(5.0, 15.0)
+        assert not square.contains(-5.0, 5.0)
+
+    def test_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            PolygonRegion([(0.0, 0.0), (1.0, 1.0)])
+
+    def test_concave(self):
+        # A "C" shape: the notch is outside.
+        c_shape = PolygonRegion(
+            [
+                (0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0),
+                (0.0, 7.0), (7.0, 7.0), (7.0, 3.0), (0.0, 3.0),
+            ]
+        )
+        assert c_shape.contains(5.0, 8.5)  # top arm
+        assert c_shape.contains(5.0, 1.5)  # bottom arm
+        assert not c_shape.contains(5.0, 5.0)  # notch
+
+    def test_bounding_box(self):
+        box = self._square().bounding_box()
+        assert box.lat_min == 0.0 and box.lat_max == 10.0
+
+    def test_area(self):
+        assert self._square().area_sq_deg() == pytest.approx(100.0)
+
+    def test_repr(self):
+        assert "sq" in repr(self._square())

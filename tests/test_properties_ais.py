@@ -1,0 +1,181 @@
+"""Property-based tests for the AIS codec: decode(encode(x)) == x."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ais import (
+    ClassBPositionReport,
+    NavigationStatus,
+    PositionReport,
+    StaticVoyageData,
+    decode_sentences,
+    encode_sentences,
+    verify_checksum,
+)
+from repro.ais.sixbit import BitBuffer, SIXBIT_ALPHABET
+
+mmsi_strategy = st.integers(min_value=200_000_000, max_value=775_999_999)
+lat_strategy = st.floats(min_value=-89.99, max_value=89.99)
+lon_strategy = st.floats(min_value=-179.99, max_value=179.99)
+sog_strategy = st.one_of(
+    st.none(), st.floats(min_value=0.0, max_value=102.0)
+)
+cog_strategy = st.one_of(
+    st.none(), st.floats(min_value=0.0, max_value=359.9)
+)
+#: Text from the AIS 6-bit alphabet minus the '@' padding char; no
+#: leading/trailing spaces (trimmed by the wire format by design).
+sixbit_text = st.text(
+    alphabet=sorted(set(SIXBIT_ALPHABET) - {"@"}), min_size=0, max_size=18
+).map(lambda s: s.strip())
+
+
+class TestBitBufferRoundtrip:
+    @given(st.integers(min_value=0, max_value=2**30 - 1),
+           st.integers(min_value=30, max_value=32))
+    def test_uint(self, value, width):
+        buf = BitBuffer()
+        buf.write_uint(value, width)
+        assert buf.read_uint(width) == value
+
+    @given(st.integers(min_value=-(2**27), max_value=2**27 - 1))
+    def test_int28(self, value):
+        buf = BitBuffer()
+        buf.write_int(value, 28)
+        assert buf.read_int(28) == value
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                    max_size=100))
+    def test_payload_armor(self, values):
+        buf = BitBuffer()
+        for v in values:
+            buf.write_uint(v, 6)
+        payload, fill = buf.to_payload()
+        assert fill == 0
+        restored = BitBuffer.from_payload(payload)
+        assert [restored.read_uint(6) for __ in values] == values
+
+
+class TestPositionRoundtrip:
+    @given(
+        mmsi=mmsi_strategy, lat=lat_strategy, lon=lon_strategy,
+        sog=sog_strategy, cog=cog_strategy,
+        heading=st.one_of(st.none(), st.integers(min_value=0, max_value=359)),
+        status=st.sampled_from(list(NavigationStatus)),
+        second=st.one_of(st.none(), st.integers(min_value=0, max_value=59)),
+    )
+    @settings(max_examples=200)
+    def test_roundtrip(self, mmsi, lat, lon, sog, cog, heading, status, second):
+        msg = PositionReport(
+            mmsi=mmsi, lat=lat, lon=lon, sog_knots=sog, cog_deg=cog,
+            heading_deg=float(heading) if heading is not None else None,
+            nav_status=status, timestamp_s=second,
+        )
+        sentences = encode_sentences(msg)
+        assert all(verify_checksum(s) for s in sentences)
+        out = decode_sentences(sentences)[0]
+        assert out.mmsi == mmsi
+        assert math.isclose(out.lat, lat, abs_tol=2e-6)
+        assert math.isclose(out.lon, lon, abs_tol=2e-6)
+        if sog is None:
+            assert out.sog_knots is None
+        else:
+            assert math.isclose(out.sog_knots, min(sog, 102.2), abs_tol=0.051)
+        if cog is None:
+            assert out.cog_deg is None
+        else:
+            assert math.isclose(out.cog_deg, cog, abs_tol=0.051) or (
+                cog > 359.94 and out.cog_deg == 0.0
+            )
+        if heading is None:
+            assert out.heading_deg is None
+        else:
+            assert out.heading_deg == float(heading)
+        assert out.nav_status is status
+        assert out.timestamp_s == second
+
+    @given(mmsi=mmsi_strategy, lat=lat_strategy, lon=lon_strategy)
+    @settings(max_examples=100)
+    def test_class_b_roundtrip(self, mmsi, lat, lon):
+        msg = ClassBPositionReport(mmsi=mmsi, lat=lat, lon=lon,
+                                   sog_knots=5.0, cog_deg=123.4)
+        out = decode_sentences(encode_sentences(msg))[0]
+        assert out.mmsi == mmsi
+        assert math.isclose(out.lat, lat, abs_tol=2e-6)
+        assert math.isclose(out.lon, lon, abs_tol=2e-6)
+
+
+class TestLongRangeRoundtrip:
+    @given(
+        mmsi=mmsi_strategy,
+        lat=st.floats(min_value=-89.9, max_value=89.9),
+        lon=st.floats(min_value=-179.9, max_value=179.9),
+        sog=st.one_of(st.none(), st.integers(min_value=0, max_value=62)),
+        cog=st.one_of(st.none(), st.integers(min_value=0, max_value=359)),
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_within_type27_quantum(self, mmsi, lat, lon, sog, cog):
+        from repro.ais import LongRangeReport
+
+        msg = LongRangeReport(
+            mmsi=mmsi, lat=lat, lon=lon,
+            sog_knots=None if sog is None else float(sog),
+            cog_deg=None if cog is None else float(cog),
+        )
+        out = decode_sentences(encode_sentences(msg))[0]
+        assert out.mmsi == mmsi
+        # 1/10 arc-minute quantum ≈ 0.00167°.
+        assert math.isclose(out.lat, lat, abs_tol=0.001)
+        assert math.isclose(out.lon, lon, abs_tol=0.001)
+        if sog is None:
+            assert out.sog_knots is None
+        else:
+            assert out.sog_knots == float(sog)
+        if cog is None:
+            assert out.cog_deg is None
+        else:
+            assert out.cog_deg == float(cog)
+
+
+class TestStaticRoundtrip:
+    @given(
+        mmsi=mmsi_strategy,
+        name=sixbit_text,
+        callsign=st.text(
+            alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789", max_size=7
+        ),
+        destination=sixbit_text,
+        draught=st.floats(min_value=0.0, max_value=25.5),
+        ship_type=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=100)
+    def test_roundtrip(self, mmsi, name, callsign, destination, draught,
+                       ship_type):
+        msg = StaticVoyageData(
+            mmsi=mmsi, imo=9074729, callsign=callsign, shipname=name,
+            ship_type_code=ship_type, draught_m=draught,
+            destination=destination,
+        )
+        out = decode_sentences(encode_sentences(msg))[0]
+        assert out.mmsi == mmsi
+        assert out.shipname == name[:20].rstrip()
+        assert out.callsign == callsign[:7].rstrip()
+        assert out.destination == destination[:20].rstrip()
+        assert out.ship_type_code == ship_type
+        assert math.isclose(out.draught_m, draught, abs_tol=0.051)
+
+    @given(mmsi=mmsi_strategy, name=sixbit_text)
+    @settings(max_examples=50)
+    def test_multipart_reassembly_order_independent(self, mmsi, name):
+        from repro.ais import AisDecoder
+
+        msg = StaticVoyageData(mmsi=mmsi, shipname=name)
+        sentences = encode_sentences(msg)
+        if len(sentences) == 1:
+            return
+        decoder = AisDecoder()
+        results = [decoder.feed(s) for s in reversed(sentences)]
+        decoded = [r for r in results if r is not None]
+        assert len(decoded) == 1
+        assert decoded[0].shipname == name[:20].rstrip()

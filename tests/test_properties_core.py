@@ -1,0 +1,229 @@
+"""Property-based tests: compression bounds, windows, uncertainty algebra,
+index/scan equivalence."""
+
+import math
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.geo import BoundingBox
+from repro.storage import GridIndex, IndexedPoint
+from repro.streaming import Record, Stream, tumbling_windows
+from repro.trajectory import (
+    Trajectory,
+    compression_ratio,
+    douglas_peucker,
+    max_sed_error_m,
+    squish_e,
+)
+from repro.trajectory.points import TrackPoint
+from repro.uncertainty import (
+    MassFunction,
+    PossibilityDistribution,
+    ProbabilisticRelation,
+    combine_dempster,
+    combine_yager,
+    discount,
+)
+
+
+# -- trajectory strategies ----------------------------------------------------
+
+@st.composite
+def trajectories(draw, min_points=3, max_points=60):
+    n = draw(st.integers(min_value=min_points, max_value=max_points))
+    lat0 = draw(st.floats(min_value=-60.0, max_value=60.0))
+    lon0 = draw(st.floats(min_value=-170.0, max_value=170.0))
+    points = []
+    t = 0.0
+    lat, lon = lat0, lon0
+    for __ in range(n):
+        points.append(TrackPoint(t, lat, lon, 10.0, 0.0))
+        t += draw(st.floats(min_value=1.0, max_value=600.0))
+        lat = min(85.0, max(-85.0, lat + draw(
+            st.floats(min_value=-0.02, max_value=0.02)
+        )))
+        lon = min(179.0, max(-179.0, lon + draw(
+            st.floats(min_value=-0.02, max_value=0.02)
+        )))
+    return Trajectory(1, points)
+
+
+class TestCompressionProperties:
+    @given(trajectories(), st.floats(min_value=10.0, max_value=5000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_squish_error_bound_holds(self, trajectory, bound):
+        synopsis = squish_e(trajectory, bound)
+        assert max_sed_error_m(trajectory, synopsis) <= bound * 1.02
+
+    @given(trajectories(), st.floats(min_value=10.0, max_value=5000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_synopsis_never_longer(self, trajectory, tolerance):
+        for algo in (douglas_peucker, squish_e):
+            synopsis = algo(trajectory, tolerance)
+            assert len(synopsis) <= len(trajectory)
+            assert 0.0 <= compression_ratio(trajectory, synopsis) < 1.0
+
+    @given(trajectories())
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_tolerance(self, trajectory):
+        tight = squish_e(trajectory, 50.0)
+        loose = squish_e(trajectory, 500.0)
+        assert len(loose) <= len(tight)
+
+
+class TestWindowProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10_000.0),
+            min_size=1, max_size=200,
+        ),
+        st.floats(min_value=1.0, max_value=1000.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_tumbling_partition(self, times, size):
+        """Tumbling windows partition the input: every record lands in
+        exactly one window, and windows do not overlap."""
+        times = sorted(times)
+        stream = Stream(Record(t, "k", i) for i, t in enumerate(times))
+        windows = [r.value for r in tumbling_windows(stream, size)]
+        seen = [rec.value for w in windows for rec in w.records]
+        assert sorted(seen) == list(range(len(times)))
+        for w in windows:
+            for rec in w.records:
+                assert w.t_start <= rec.t < w.t_end
+        spans = [(w.t_start, w.t_end) for w in windows]
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+
+masses_strategy = st.lists(
+    st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=4
+)
+
+
+@st.composite
+def mass_functions(draw):
+    frame = frozenset({"a", "b", "c"})
+    subsets = [
+        frozenset({"a"}), frozenset({"b"}), frozenset({"c"}),
+        frozenset({"a", "b"}), frozenset({"b", "c"}), frame,
+    ]
+    chosen = draw(
+        st.lists(st.sampled_from(subsets), min_size=1, max_size=4, unique=True)
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=1.0),
+            min_size=len(chosen), max_size=len(chosen),
+        )
+    )
+    total = sum(weights)
+    return MassFunction(
+        {s: w / total for s, w in zip(chosen, weights)}, frame
+    )
+
+
+class TestEvidenceProperties:
+    @given(mass_functions())
+    @settings(max_examples=100)
+    def test_belief_below_plausibility(self, m):
+        for subset in [{"a"}, {"b"}, {"a", "c"}, {"a", "b", "c"}]:
+            assert m.belief(subset) <= m.plausibility(subset) + 1e-9
+
+    @given(mass_functions())
+    @settings(max_examples=100)
+    def test_pignistic_is_distribution(self, m):
+        bet = m.pignistic()
+        assert math.isclose(sum(bet.values()), 1.0, abs_tol=1e-9)
+        assert all(v >= 0 for v in bet.values())
+
+    @given(mass_functions(), mass_functions())
+    @settings(max_examples=100)
+    def test_combinations_normalised(self, a, b):
+        if a.conflict_with(b) < 0.999:
+            d = combine_dempster(a, b)
+            assert math.isclose(sum(d.masses.values()), 1.0, abs_tol=1e-9)
+        y = combine_yager(a, b)
+        assert math.isclose(sum(y.masses.values()), 1.0, abs_tol=1e-9)
+
+    @given(mass_functions(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100)
+    def test_discount_normalised_and_weakening(self, m, reliability):
+        d = discount(m, reliability)
+        assert math.isclose(sum(d.masses.values()), 1.0, abs_tol=1e-9)
+        for subset in [{"a"}, {"b"}, {"c"}]:
+            assert d.belief(subset) <= m.belief(subset) + 1e-9
+
+
+class TestProbabilisticProperties:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=20)
+    )
+    @settings(max_examples=100)
+    def test_noisy_or_bounds(self, probabilities):
+        r = ProbabilisticRelation()
+        for i, p in enumerate(probabilities):
+            r.add(i, p)
+        p_any = r.probability_exists(lambda v: True)
+        assert 0.0 <= p_any <= 1.0
+        if probabilities:
+            assert p_any >= max(probabilities) - 1e-9
+        assert r.expected_count() >= p_any - 1e-9  # E[N] >= P(N >= 1)
+
+
+class TestIndexScanEquivalence:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-60.0, max_value=60.0),
+                st.floats(min_value=-170.0, max_value=170.0),
+                st.floats(min_value=0.0, max_value=86_400.0),
+            ),
+            max_size=200,
+        ),
+        st.floats(min_value=-60.0, max_value=50.0),
+        st.floats(min_value=-170.0, max_value=160.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_range_query_equals_filter(self, points, lat_lo, lon_lo):
+        index = GridIndex(cell_deg=1.0, time_bucket_s=3600.0)
+        indexed = [
+            IndexedPoint(i, t, lat, lon)
+            for i, (lat, lon, t) in enumerate(points)
+        ]
+        index.insert_many(indexed)
+        box = BoundingBox(lat_lo, lat_lo + 10.0, lon_lo, lon_lo + 10.0)
+        t0, t1 = 10_000.0, 60_000.0
+        expected = {
+            p.mmsi for p in indexed
+            if box.contains(p.lat, p.lon) and t0 <= p.t <= t1
+        }
+        got = {p.mmsi for p in index.range_query(box, t0, t1)}
+        assert got == expected
+
+
+class TestPossibilityProperties:
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d"]),
+            st.floats(min_value=0.05, max_value=1.0),
+            min_size=1, max_size=4,
+        )
+    )
+    @settings(max_examples=100)
+    def test_necessity_below_possibility(self, degrees):
+        pd = PossibilityDistribution(degrees)
+        for subset in [{"a"}, {"b", "c"}, set(degrees)]:
+            assert pd.necessity(subset) <= pd.possibility(subset) + 1e-9
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.floats(min_value=0.05, max_value=1.0),
+            min_size=1, max_size=3,
+        )
+    )
+    @settings(max_examples=100)
+    def test_normalised(self, degrees):
+        pd = PossibilityDistribution(degrees)
+        assert math.isclose(max(pd.degrees.values()), 1.0, abs_tol=1e-12)

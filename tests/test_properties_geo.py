@@ -1,0 +1,167 @@
+"""Property-based tests for the geodesy substrate (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geo import (
+    EARTH_RADIUS_M,
+    BoundingBox,
+    angular_difference_deg,
+    destination_point,
+    geohash_decode,
+    geohash_encode,
+    haversine_m,
+    initial_bearing_deg,
+    interpolate_fraction,
+    normalize_course,
+    normalize_lon,
+    LocalTangentPlane,
+)
+
+lat_strategy = st.floats(min_value=-85.0, max_value=85.0)
+lon_strategy = st.floats(min_value=-180.0, max_value=180.0)
+bearing_strategy = st.floats(min_value=0.0, max_value=360.0)
+distance_strategy = st.floats(min_value=0.0, max_value=2_000_000.0)
+
+
+class TestDistanceProperties:
+    @given(lat_strategy, lon_strategy, lat_strategy, lon_strategy)
+    def test_symmetry(self, lat1, lon1, lat2, lon2):
+        d_ab = haversine_m(lat1, lon1, lat2, lon2)
+        d_ba = haversine_m(lat2, lon2, lat1, lon1)
+        assert math.isclose(d_ab, d_ba, rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(lat_strategy, lon_strategy)
+    def test_identity(self, lat, lon):
+        assert haversine_m(lat, lon, lat, lon) == 0.0
+
+    @given(lat_strategy, lon_strategy, lat_strategy, lon_strategy)
+    def test_bounded_by_half_circumference(self, lat1, lon1, lat2, lon2):
+        d = haversine_m(lat1, lon1, lat2, lon2)
+        assert 0.0 <= d <= math.pi * EARTH_RADIUS_M * 1.0000001
+
+    @given(
+        lat_strategy, lon_strategy, lat_strategy, lon_strategy,
+        lat_strategy, lon_strategy,
+    )
+    @settings(max_examples=200)
+    def test_triangle_inequality(self, lat1, lon1, lat2, lon2, lat3, lon3):
+        d_ac = haversine_m(lat1, lon1, lat3, lon3)
+        d_ab = haversine_m(lat1, lon1, lat2, lon2)
+        d_bc = haversine_m(lat2, lon2, lat3, lon3)
+        assert d_ac <= d_ab + d_bc + 1e-6
+
+
+class TestDestinationProperties:
+    @given(lat_strategy, lon_strategy, bearing_strategy, distance_strategy)
+    def test_roundtrip_distance(self, lat, lon, bearing, distance):
+        lat2, lon2 = destination_point(lat, lon, bearing, distance)
+        back = haversine_m(lat, lon, lat2, lon2)
+        assert math.isclose(back, distance, rel_tol=1e-6, abs_tol=0.5)
+
+    @given(
+        lat_strategy, lon_strategy, bearing_strategy,
+        st.floats(min_value=1000.0, max_value=1_000_000.0),
+    )
+    def test_roundtrip_bearing(self, lat, lon, bearing, distance):
+        lat2, lon2 = destination_point(lat, lon, bearing, distance)
+        recovered = initial_bearing_deg(lat, lon, lat2, lon2)
+        assert angular_difference_deg(recovered, bearing) < 0.01
+
+    @given(lat_strategy, lon_strategy, bearing_strategy, distance_strategy)
+    def test_output_in_range(self, lat, lon, bearing, distance):
+        lat2, lon2 = destination_point(lat, lon, bearing, distance)
+        assert -90.0 <= lat2 <= 90.0
+        assert -180.0 <= lon2 <= 180.0
+
+
+class TestInterpolationProperties:
+    @given(
+        lat_strategy, lon_strategy, lat_strategy, lon_strategy,
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_point_between_endpoints(self, lat1, lon1, lat2, lon2, fraction):
+        total = haversine_m(lat1, lon1, lat2, lon2)
+        mid_lat, mid_lon = interpolate_fraction(lat1, lon1, lat2, lon2, fraction)
+        d1 = haversine_m(lat1, lon1, mid_lat, mid_lon)
+        d2 = haversine_m(mid_lat, mid_lon, lat2, lon2)
+        assert d1 + d2 <= total + 1.0  # on the geodesic, no detour
+
+    @given(
+        lat_strategy, lon_strategy, lat_strategy, lon_strategy,
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_proportionality(self, lat1, lon1, lat2, lon2, fraction):
+        from hypothesis import assume
+
+        total = haversine_m(lat1, lon1, lat2, lon2)
+        # Near-antipodal pairs have no unique geodesic; the library picks
+        # one deterministically but proportionality is then ill-posed.
+        assume(total < 0.999 * math.pi * EARTH_RADIUS_M)
+        mid = interpolate_fraction(lat1, lon1, lat2, lon2, fraction)
+        d1 = haversine_m(lat1, lon1, *mid)
+        assert math.isclose(d1, fraction * total, rel_tol=1e-5, abs_tol=1.0)
+
+
+class TestNormalisationProperties:
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_lon_range(self, lon):
+        assert -180.0 <= normalize_lon(lon) < 180.0
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_course_range(self, course):
+        assert 0.0 <= normalize_course(course) < 360.0
+
+    @given(bearing_strategy, bearing_strategy)
+    def test_angular_difference_range(self, a, b):
+        assert 0.0 <= angular_difference_deg(a, b) <= 180.0
+
+
+class TestGeohashProperties:
+    @given(lat_strategy, lon_strategy, st.integers(min_value=1, max_value=10))
+    def test_decode_contains_point(self, lat, lon, precision):
+        geohash = geohash_encode(lat, lon, precision)
+        clat, clon, lat_err, lon_err = geohash_decode(geohash)
+        assert abs(clat - lat) <= lat_err + 1e-9
+        assert abs(clon - lon) <= lon_err + 1e-9
+
+    @given(lat_strategy, lon_strategy, st.integers(min_value=2, max_value=9))
+    def test_prefix_refinement(self, lat, lon, precision):
+        fine = geohash_encode(lat, lon, precision)
+        coarse = geohash_encode(lat, lon, precision - 1)
+        assert fine.startswith(coarse)
+
+
+class TestTangentPlaneProperties:
+    @given(
+        st.floats(min_value=-80.0, max_value=80.0),
+        lon_strategy,
+        st.floats(min_value=-0.4, max_value=0.4),
+        st.floats(min_value=-0.4, max_value=0.4),
+    )
+    def test_roundtrip(self, lat0, lon0, dlat, dlon):
+        plane = LocalTangentPlane(lat0, lon0)
+        lat, lon = lat0 + dlat, normalize_lon(lon0 + dlon)
+        x, y = plane.to_xy(lat, lon)
+        lat2, lon2 = plane.to_latlon(x, y)
+        assert math.isclose(lat, lat2, abs_tol=1e-9)
+        assert angular_difference_deg(lon * 2, lon2 * 2) < 1e-6 or math.isclose(
+            lon, lon2, abs_tol=1e-9
+        )
+
+
+class TestBoundingBoxProperties:
+    @given(lat_strategy, lat_strategy, lon_strategy, lon_strategy,
+           lat_strategy, lon_strategy)
+    def test_contains_consistent_with_center(
+        self, lat_a, lat_b, lon_a, lon_b, probe_lat, probe_lon
+    ):
+        box = BoundingBox(
+            min(lat_a, lat_b), max(lat_a, lat_b),
+            min(lon_a, lon_b), max(lon_a, lon_b),
+        )
+        center_lat, center_lon = box.center
+        assert box.contains(center_lat, center_lon)
+        if box.contains(probe_lat, probe_lon):
+            assert box.intersects(box)

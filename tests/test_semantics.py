@@ -1,0 +1,174 @@
+"""Tests for the semantic layer: taxonomy, registries, annotation."""
+
+import pytest
+
+from repro.ais.types import ShipType
+from repro.events import Event, EventKind
+from repro.semantics import (
+    MARITIME_TAXONOMY,
+    SemanticAnnotator,
+    Taxonomy,
+    VOCAB,
+    build_registry,
+    corrupt_registry,
+)
+from repro.simulation import FleetBuilder
+from repro.simulation.weather import WeatherProvider
+from repro.simulation.world import Port
+from repro.storage import TripleStore, Variable
+
+V = Variable
+PORTS = [Port("BREST", 48.38, -4.49)]
+
+
+class TestTaxonomy:
+    def test_subsumption(self):
+        assert MARITIME_TAXONOMY.is_a("Trawler", "FishingVessel")
+        assert MARITIME_TAXONOMY.is_a("Trawler", "Vessel")
+        assert MARITIME_TAXONOMY.is_a("Ferry", "MerchantVessel")
+        assert not MARITIME_TAXONOMY.is_a("Trawler", "MerchantVessel")
+
+    def test_reflexive(self):
+        assert MARITIME_TAXONOMY.is_a("Tanker", "Tanker")
+
+    def test_activities(self):
+        assert MARITIME_TAXONOMY.is_a("Rendezvous", "SuspiciousActivity")
+        assert MARITIME_TAXONOMY.is_a("GoingDark", "Activity")
+        assert not MARITIME_TAXONOMY.is_a("PortCall", "SuspiciousActivity")
+
+    def test_descendants(self):
+        assert "Trawler" in MARITIME_TAXONOMY.descendants("Vessel")
+        assert "Rendezvous" in MARITIME_TAXONOMY.descendants("Activity")
+
+    def test_cycle_rejected(self):
+        t = Taxonomy()
+        t.add("B", "A")
+        t.add("C", "B")
+        with pytest.raises(ValueError):
+            t.add("A", "C")
+
+    def test_self_subsumption_rejected(self):
+        with pytest.raises(ValueError):
+            Taxonomy().add("A", "A")
+
+
+class TestRegistry:
+    def specs(self, n=30):
+        builder = FleetBuilder(4)
+        return [builder.build(ShipType.CARGO) for __ in range(n)]
+
+    def test_clean_registry_matches_truth(self):
+        specs = self.specs()
+        records = build_registry(specs, "MT")
+        assert len(records) == len(specs)
+        by_mmsi = {r.truth_mmsi: r for r in records}
+        for spec in specs:
+            record = by_mmsi[spec.mmsi]
+            assert record.name == spec.name
+            assert record.imo == spec.imo
+
+    def test_corruption_rates(self):
+        specs = self.specs(200)
+        clean = build_registry(specs, "MT")
+        corrupted = corrupt_registry(
+            clean, seed=9, typo_rate=0.1, stale_flag_rate=0.1,
+            length_jitter_rate=0.0, missing_imo_rate=0.0,
+        )
+        typos = sum(
+            1 for a, b in zip(clean, corrupted) if a.name != b.name
+        )
+        stale = sum(
+            1 for a, b in zip(clean, corrupted) if a.flag != b.flag
+        )
+        assert 8 <= typos <= 36
+        assert 8 <= stale <= 36
+
+    def test_corruption_deterministic(self):
+        clean = build_registry(self.specs(), "MT")
+        a = corrupt_registry(clean, seed=3)
+        b = corrupt_registry(clean, seed=3)
+        assert a == b
+
+    def test_length_jitter_bounded(self):
+        clean = build_registry(self.specs(100), "MT")
+        corrupted = corrupt_registry(
+            clean, seed=1, typo_rate=0.0, stale_flag_rate=0.0,
+            length_jitter_rate=1.0, length_jitter_m=4.0,
+            missing_imo_rate=0.0,
+        )
+        for a, b in zip(clean, corrupted):
+            assert abs(a.length_m - b.length_m) <= 4.0
+
+
+class TestAnnotator:
+    def make(self):
+        store = TripleStore()
+        annotator = SemanticAnnotator(store, PORTS, WeatherProvider(seed=1))
+        return store, annotator
+
+    def test_vessel_annotation(self):
+        store, annotator = self.make()
+        builder = FleetBuilder(1)
+        spec = builder.build(ShipType.FISHING)
+        node = annotator.annotate_vessel(spec)
+        assert store.match((node, VOCAB.TYPE, "FishingVessel"))
+        assert store.match((node, VOCAB.NAME, spec.name))
+
+    def test_trajectory_with_port_call(self):
+        from repro.trajectory.points import TrackPoint, Trajectory
+
+        store, annotator = self.make()
+        # Dwell at Brest for 30 min then leave.
+        points = [
+            TrackPoint(i * 60.0, 48.381, -4.492, 0.2, 0.0) for i in range(30)
+        ] + [
+            TrackPoint(1800.0 + i * 60.0, 48.381 + i * 0.002, -4.492, 8.0, 0.0)
+            for i in range(1, 20)
+        ]
+        annotator.annotate_trajectory(Trajectory(777, points))
+        calls = store.query(
+            [
+                (V("e"), VOCAB.TYPE, "PortCall"),
+                (V("e"), VOCAB.NEAR_PORT, V("port")),
+            ]
+        )
+        assert calls and calls[0]["port"] == "BREST"
+
+    def test_event_annotation_with_weather(self):
+        store, annotator = self.make()
+        event = Event(
+            kind=EventKind.RENDEZVOUS, t_start=1000.0, t_end=2000.0,
+            mmsis=(1, 2), lat=48.0, lon=-5.5, confidence=0.8,
+        )
+        node = annotator.annotate_event(event)
+        assert store.match((node, VOCAB.EVENT_TYPE, "rendezvous"))
+        actors = store.match((node, VOCAB.ACTOR, None))
+        assert len(actors) == 2
+        weather = store.match((node, VOCAB.IN_WEATHER, None))
+        assert len(weather) == 1
+        assert weather[0].obj in {"calm", "moderate", "rough"}
+
+    def test_cross_domain_query(self):
+        """The §2.5 payoff: one store answers vessel-class + event joins."""
+        store, annotator = self.make()
+        builder = FleetBuilder(2)
+        fisher = builder.build(ShipType.FISHING)
+        cargo = builder.build(ShipType.CARGO)
+        annotator.annotate_vessel(fisher)
+        annotator.annotate_vessel(cargo)
+        for mmsi in (fisher.mmsi, cargo.mmsi):
+            annotator.annotate_event(
+                Event(
+                    kind=EventKind.LOITERING, t_start=0.0, t_end=1800.0,
+                    mmsis=(mmsi,), lat=47.5, lon=-5.5,
+                )
+            )
+        out = store.query(
+            [
+                (V("e"), VOCAB.EVENT_TYPE, "loitering"),
+                (V("e"), VOCAB.ACTOR, V("v")),
+                (V("v"), VOCAB.TYPE, "FishingVessel"),
+            ]
+        )
+        assert len(out) == 1
+        assert out[0]["v"] == f"vessel:{fisher.mmsi}"

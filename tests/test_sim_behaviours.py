@@ -1,0 +1,144 @@
+"""Tests for behaviour models (plans must cover the window and be sane)."""
+
+import random
+
+import pytest
+
+from repro.geo import haversine_m
+from repro.simulation.behaviours import (
+    plan_ferry,
+    plan_fishing,
+    plan_loiter,
+    plan_rendezvous_pair,
+    plan_transit,
+)
+
+BREST = (48.38, -4.49)
+CHERBOURG = (49.65, -1.62)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestTransit:
+    def test_covers_window(self, rng):
+        plan = plan_transit(0.0, 6 * 3600.0, BREST, CHERBOURG, 12.0, rng)
+        assert plan.t_start == 0.0
+        assert plan.t_end >= 6 * 3600.0
+
+    def test_starts_at_origin(self, rng):
+        plan = plan_transit(0.0, 3600.0, BREST, CHERBOURG, 12.0, rng)
+        assert haversine_m(*plan.position_at(0.0), *BREST) < 1000.0
+
+    def test_heads_towards_destination(self, rng):
+        plan = plan_transit(0.0, 2 * 3600.0, BREST, CHERBOURG, 12.0, rng)
+        d0 = haversine_m(*plan.position_at(0.0), *CHERBOURG)
+        d1 = haversine_m(*plan.position_at(2 * 3600.0), *CHERBOURG)
+        assert d1 < d0
+
+    def test_deterministic_given_rng(self):
+        p1 = plan_transit(0.0, 3600.0, BREST, CHERBOURG, 12.0, random.Random(7))
+        p2 = plan_transit(0.0, 3600.0, BREST, CHERBOURG, 12.0, random.Random(7))
+        assert p1.position_at(1800.0) == p2.position_at(1800.0)
+
+
+class TestFerry:
+    def test_returns_near_start(self, rng):
+        # A short hop back and forth should revisit the origin.
+        plan = plan_ferry(
+            0.0, 8 * 3600.0, BREST, (48.72, -3.97), 18.0, rng,
+            turnaround_s=600.0,
+        )
+        distances = [
+            haversine_m(*plan.position_at(t), *BREST)
+            for t in range(0, int(plan.t_end), 600)
+        ]
+        # It must come back close to Brest at least once after leaving.
+        assert min(distances[10:]) < 5_000.0
+
+    def test_covers_window(self, rng):
+        plan = plan_ferry(0.0, 4 * 3600.0, BREST, CHERBOURG, 18.0, rng)
+        assert plan.t_end >= 4 * 3600.0
+
+
+class TestFishing:
+    def test_visits_ground(self, rng):
+        ground = (48.0, -5.8)
+        plan = plan_fishing(0.0, 8 * 3600.0, BREST, ground, rng)
+        closest = min(
+            haversine_m(*plan.position_at(t), *ground)
+            for t in range(0, int(plan.t_end), 300)
+        )
+        assert closest < 16_000.0
+
+    def test_has_slow_phase(self, rng):
+        # Ground ~40 km out: most of the day is spent trawling slowly.
+        plan = plan_fishing(0.0, 8 * 3600.0, BREST, (48.2, -5.0), rng)
+        speeds = [
+            plan.kinematics_at(float(t)).sog_knots
+            for t in range(0, int(plan.t_end), 300)
+        ]
+        slow = [s for s in speeds if 0.5 < s < 5.0]
+        assert len(slow) > len(speeds) * 0.3
+
+    def test_returns_home(self, rng):
+        plan = plan_fishing(0.0, 8 * 3600.0, BREST, (48.0, -5.8), rng)
+        assert haversine_m(*plan.position_at(plan.t_end), *BREST) < 5_000.0
+
+
+class TestLoiter:
+    def test_stays_within_radius(self, rng):
+        center = (47.5, -6.0)
+        plan = plan_loiter(0.0, 2 * 3600.0, center, rng, radius_m=1_000.0)
+        for t in range(0, int(plan.t_end), 120):
+            assert haversine_m(*plan.position_at(float(t)), *center) < 2_500.0
+
+    def test_slow(self, rng):
+        plan = plan_loiter(0.0, 3600.0, (47.5, -6.0), rng)
+        speeds = [
+            plan.kinematics_at(float(t)).sog_knots
+            for t in range(0, 3600, 60)
+        ]
+        assert max(speeds) < 4.0
+
+
+class TestRendezvousPair:
+    def test_both_at_meeting_point(self, rng):
+        meeting = (48.2, -5.5)
+        meeting_time = 2 * 3600.0
+        plan_a, plan_b, truth = plan_rendezvous_pair(
+            0.0, 6 * 3600.0,
+            (48.9, -5.2), (47.8, -5.9),
+            meeting, meeting_time, meeting_duration_s=1800.0, rng=rng,
+        )
+        mid = meeting_time + 900.0
+        pos_a = plan_a.position_at(mid)
+        pos_b = plan_b.position_at(mid)
+        assert haversine_m(*pos_a, *meeting) < 1_000.0
+        assert haversine_m(*pos_b, *meeting) < 1_000.0
+        assert haversine_m(*pos_a, *pos_b) < 1_000.0
+        assert truth["type"] == "rendezvous"
+        assert truth["t_start"] == meeting_time
+
+    def test_separate_afterwards(self, rng):
+        meeting = (48.2, -5.5)
+        plan_a, plan_b, truth = plan_rendezvous_pair(
+            0.0, 8 * 3600.0,
+            (48.9, -5.2), (47.8, -5.9),
+            meeting, 2 * 3600.0, meeting_duration_s=1800.0, rng=rng,
+        )
+        late = truth["t_end"] + 2 * 3600.0
+        separation = haversine_m(
+            *plan_a.position_at(late), *plan_b.position_at(late)
+        )
+        assert separation > 5_000.0
+
+    def test_unreachable_meeting_rejected(self, rng):
+        with pytest.raises(ValueError):
+            plan_rendezvous_pair(
+                0.0, 3600.0,
+                (60.0, 0.0), (47.8, -5.9),  # 1300+ km away
+                (48.0, -5.0), 600.0, 600.0, rng,
+            )

@@ -1,0 +1,125 @@
+"""Tests for waypoint plans and analytic movement."""
+
+import pytest
+
+from repro.geo import haversine_m
+from repro.simulation.movement import Leg, WaypointPlan
+
+
+class TestLeg:
+    def test_positive_duration_required(self):
+        with pytest.raises(ValueError):
+            Leg(10.0, 10.0, 0.0, 0.0, 1.0, 1.0)
+
+    def test_speed(self):
+        # ~111 km in 1 hour ≈ 60 knots.
+        leg = Leg(0.0, 3600.0, 0.0, 0.0, 1.0, 0.0)
+        assert leg.speed_knots == pytest.approx(60.0, rel=1e-2)
+
+    def test_dwell_speed_zero(self):
+        leg = Leg(0.0, 100.0, 5.0, 5.0, 5.0, 5.0)
+        assert leg.speed_knots == 0.0
+        assert leg.course_deg == 0.0
+
+    def test_position_clamped(self):
+        leg = Leg(0.0, 100.0, 0.0, 0.0, 1.0, 0.0)
+        assert leg.position_at(-50.0) == (0.0, 0.0)
+        assert leg.position_at(150.0) == pytest.approx((1.0, 0.0))
+
+    def test_position_midway(self):
+        leg = Leg(0.0, 100.0, 0.0, 0.0, 1.0, 0.0)
+        lat, lon = leg.position_at(50.0)
+        assert lat == pytest.approx(0.5, rel=1e-6)
+
+
+class TestWaypointPlan:
+    def test_from_waypoints_duration_matches_speed(self):
+        plan = WaypointPlan.from_waypoints(
+            0.0, [(0.0, 0.0), (1.0, 0.0)], speed_knots=60.0
+        )
+        # 60 nm at 60 kn takes ~1 h.
+        assert plan.t_end == pytest.approx(3600.0, rel=1e-2)
+
+    def test_contiguity_enforced_in_time(self):
+        legs = [
+            Leg(0.0, 10.0, 0.0, 0.0, 0.1, 0.0),
+            Leg(20.0, 30.0, 0.1, 0.0, 0.2, 0.0),  # 10 s hole
+        ]
+        with pytest.raises(ValueError):
+            WaypointPlan(legs)
+
+    def test_contiguity_enforced_in_space(self):
+        legs = [
+            Leg(0.0, 10.0, 0.0, 0.0, 0.1, 0.0),
+            Leg(10.0, 20.0, 0.5, 0.0, 0.6, 0.0),  # ~44 km jump
+        ]
+        with pytest.raises(ValueError):
+            WaypointPlan(legs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WaypointPlan([])
+
+    def test_position_before_start_clamps(self):
+        plan = WaypointPlan.from_waypoints(
+            100.0, [(0.0, 0.0), (1.0, 0.0)], 10.0
+        )
+        assert plan.position_at(0.0) == (0.0, 0.0)
+
+    def test_long_crossing_subdivided(self):
+        plan = WaypointPlan.from_waypoints(
+            0.0, [(0.0, 0.0), (0.0, 60.0)], 15.0, max_leg_length_m=500_000.0
+        )
+        assert len(plan.legs) >= 13  # ~6700 km / 500 km
+
+    def test_great_circle_not_rhumb(self):
+        # A long east-west crossing at 50°N must arc poleward of 50°N.
+        plan = WaypointPlan.from_waypoints(
+            0.0, [(50.0, -40.0), (50.0, 0.0)], 15.0
+        )
+        mid = plan.position_at((plan.t_start + plan.t_end) / 2.0)
+        assert mid[0] > 50.5
+
+    def test_sample_covers_span(self):
+        plan = WaypointPlan.from_waypoints(
+            0.0, [(0.0, 0.0), (0.5, 0.0)], 10.0
+        )
+        samples = plan.sample(60.0)
+        assert samples[0].t == plan.t_start
+        assert samples[-1].t == plan.t_end
+        assert all(b.t > a.t for a, b in zip(samples, samples[1:]))
+
+    def test_kinematics_underway_flag(self):
+        plan = WaypointPlan.from_waypoints(
+            0.0, [(0.0, 0.0), (0.5, 0.0)], 10.0
+        ).append_dwell(600.0)
+        moving = plan.kinematics_at(plan.t_start + 10.0)
+        parked = plan.kinematics_at(plan.t_end - 1.0)
+        assert moving.underway and moving.sog_knots == pytest.approx(10.0, rel=0.05)
+        assert not parked.underway and parked.sog_knots == 0.0
+
+    def test_append_dwell_position(self):
+        plan = WaypointPlan.from_waypoints(
+            0.0, [(0.0, 0.0), (0.5, 0.0)], 10.0
+        )
+        extended = plan.append_dwell(1000.0)
+        end_lat, end_lon = extended.position_at(extended.t_end)
+        assert (end_lat, end_lon) == pytest.approx(
+            plan.position_at(plan.t_end)
+        )
+
+    def test_interpolation_continuity(self):
+        """Positions sampled densely must never jump (>2x speed)."""
+        plan = WaypointPlan.from_waypoints(
+            0.0, [(48.0, -5.0), (48.5, -4.0), (49.0, -4.5)], 12.0
+        )
+        prev = None
+        step = 30.0
+        max_step_m = 12.0 * 1852.0 / 3600.0 * step * 2.0
+        t = plan.t_start
+        while t <= plan.t_end:
+            pos = plan.position_at(t)
+            if prev is not None:
+                assert haversine_m(*prev, *pos) <= max_step_m
+            prev = pos
+            t += step

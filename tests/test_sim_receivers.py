@@ -1,0 +1,127 @@
+"""Tests for the receiver/coverage model."""
+
+import random
+
+import pytest
+
+from repro.ais.types import PositionReport
+from repro.simulation.receivers import (
+    Observation,
+    ReceiverNetwork,
+    SatelliteConstellation,
+    TerrestrialStation,
+)
+from repro.simulation.reporting import Transmission
+
+
+def tx_at(t: float, lat: float, lon: float, mmsi: int = 227000001) -> Transmission:
+    return Transmission(
+        t=t, lat=lat, lon=lon,
+        message=PositionReport(mmsi=mmsi, lat=lat, lon=lon, sog_knots=10.0,
+                               cog_deg=0.0),
+    )
+
+
+class TestTerrestrialStation:
+    def test_hears_within_range(self):
+        station = TerrestrialStation("STA", 48.38, -4.49)
+        assert station.hears(48.5, -4.5)  # ~13 km
+        assert not station.hears(50.0, -4.5)  # ~180 km
+
+    def test_lossless_station_receives_everything(self):
+        station = TerrestrialStation("STA", 48.38, -4.49, loss_probability=0.0)
+        network = ReceiverNetwork([station], None, seed=1)
+        txs = [tx_at(float(t), 48.4, -4.5) for t in range(100)]
+        observations = network.observe(txs)
+        assert len(observations) == 100
+
+    def test_loss_rate_applied(self):
+        station = TerrestrialStation("STA", 48.38, -4.49, loss_probability=0.5)
+        network = ReceiverNetwork([station], None, seed=1)
+        txs = [tx_at(float(t), 48.4, -4.5) for t in range(400)]
+        observations = network.observe(txs)
+        assert 120 <= len(observations) <= 280
+
+    def test_out_of_range_unheard_without_satellite(self):
+        station = TerrestrialStation("STA", 48.38, -4.49)
+        network = ReceiverNetwork([station], None, seed=1)
+        observations = network.observe([tx_at(0.0, 30.0, -40.0)])
+        assert observations == []
+
+    def test_latency_applied(self):
+        station = TerrestrialStation(
+            "STA", 48.38, -4.49, loss_probability=0.0, latency_s=2.5
+        )
+        network = ReceiverNetwork([station], None, seed=1)
+        obs = network.observe([tx_at(100.0, 48.4, -4.5)])[0]
+        assert obs.t_received == pytest.approx(102.5)
+        assert obs.t_transmitted == 100.0
+        assert obs.source == "STA"
+
+
+class TestSatellite:
+    def test_pass_windows_periodic(self):
+        sat = SatelliteConstellation(revisit_period_s=1000.0, pass_duration_s=100.0)
+        in_pass_count = sum(
+            1 for t in range(0, 10_000, 10) if sat.in_pass(float(t), 0.0)
+        )
+        # 10% duty cycle.
+        assert in_pass_count == pytest.approx(100, abs=10)
+
+    def test_phase_varies_with_longitude(self):
+        sat = SatelliteConstellation(revisit_period_s=1000.0, pass_duration_s=100.0)
+        signatures = set()
+        for lon in (-120.0, 0.0, 120.0):
+            signatures.add(
+                tuple(sat.in_pass(float(t), lon) for t in range(0, 1000, 50))
+            )
+        assert len(signatures) > 1
+
+    def test_collision_degrades_detection(self):
+        sat = SatelliteConstellation()
+        assert sat.detection_probability(0) > sat.detection_probability(200)
+
+    def test_open_ocean_coverage_partial(self):
+        network = ReceiverNetwork([], SatelliteConstellation(), seed=3)
+        txs = [
+            tx_at(float(t), 30.0, -40.0, mmsi=227000001 + (t % 5))
+            for t in range(0, 20_000, 10)
+        ]
+        observations = network.observe(txs)
+        coverage = network.coverage_fraction(txs, observations)
+        # Revisit gaps mean far less than full coverage, but not zero.
+        assert 0.02 < coverage < 0.6
+
+    def test_satellite_latency_larger(self):
+        network = ReceiverNetwork([], SatelliteConstellation(), seed=3)
+        txs = [tx_at(float(t), 30.0, -40.0) for t in range(0, 20_000, 10)]
+        observations = network.observe(txs)
+        assert observations
+        for obs in observations:
+            assert obs.t_received - obs.t_transmitted >= 300.0
+            assert obs.source == "satellite"
+
+
+class TestNetworkOrdering:
+    def test_observations_sorted_by_reception(self):
+        stations = [
+            TerrestrialStation("A", 48.38, -4.49, loss_probability=0.0,
+                               latency_s=1.0),
+        ]
+        network = ReceiverNetwork(stations, SatelliteConstellation(), seed=4)
+        txs = [tx_at(float(t), 48.4, -4.5) for t in range(0, 1000, 10)]
+        txs += [tx_at(float(t), 30.0, -40.0) for t in range(0, 1000, 10)]
+        txs.sort(key=lambda tx: tx.t)
+        observations = network.observe(txs)
+        times = [o.t_received for o in observations]
+        assert times == sorted(times)
+
+    def test_terrestrial_preferred_over_satellite(self):
+        """In coastal range the observation source is the station."""
+        stations = [TerrestrialStation("COAST", 48.38, -4.49,
+                                       loss_probability=0.0)]
+        network = ReceiverNetwork(stations, SatelliteConstellation(), seed=5)
+        observations = network.observe(
+            [tx_at(float(t), 48.4, -4.5) for t in range(0, 5000, 10)]
+        )
+        assert all(o.source == "COAST" for o in observations)

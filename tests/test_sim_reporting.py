@@ -1,0 +1,144 @@
+"""Tests for the AIS transceiver model (cadence, deception injection)."""
+
+import random
+
+import pytest
+
+from repro.ais.types import (
+    ClassBPositionReport,
+    PositionReport,
+    ShipType,
+    StaticVoyageData,
+)
+from repro.simulation.reporting import (
+    AisTransceiver,
+    reporting_interval_s,
+    STATIC_PERIOD_S,
+)
+from repro.simulation import FleetBuilder, Behaviour, plan_transit
+from repro.geo import haversine_m
+
+
+class TestReportingInterval:
+    def test_class_a_speed_bands(self):
+        assert reporting_interval_s(5.0, True, False) == 10.0
+        assert reporting_interval_s(18.0, True, False) == 6.0
+        assert reporting_interval_s(25.0, True, False) == 2.0
+
+    def test_class_a_anchored(self):
+        assert reporting_interval_s(0.0, False, False) == 180.0
+
+    def test_class_b(self):
+        assert reporting_interval_s(6.0, True, True) == 30.0
+        assert reporting_interval_s(1.0, False, True) == 180.0
+
+
+@pytest.fixture
+def cargo_transceiver():
+    builder = FleetBuilder(1)
+    spec = builder.build(ShipType.CARGO)
+    rng = random.Random(1)
+    plan = plan_transit(0.0, 4 * 3600.0, (48.38, -4.49), (49.65, -1.62), 12.0, rng)
+    return spec, plan, AisTransceiver(spec, plan, random.Random(2))
+
+
+class TestTransmissions:
+    def test_cadence_roughly_ten_seconds(self, cargo_transceiver):
+        __, __, transceiver = cargo_transceiver
+        txs = [
+            tx for tx in transceiver.transmissions()
+            if isinstance(tx.message, PositionReport)
+        ]
+        gaps = [b.t - a.t for a, b in zip(txs, txs[1:])]
+        typical = sorted(gaps)[len(gaps) // 2]
+        assert typical == pytest.approx(10.0, abs=1.0)
+
+    def test_static_every_six_minutes(self, cargo_transceiver):
+        __, plan, transceiver = cargo_transceiver
+        statics = [
+            tx for tx in transceiver.transmissions()
+            if isinstance(tx.message, StaticVoyageData)
+        ]
+        expected = plan.duration_s / STATIC_PERIOD_S if hasattr(plan, "duration_s") else None
+        span = plan.t_end - plan.t_start
+        assert len(statics) == pytest.approx(span / STATIC_PERIOD_S, abs=3)
+
+    def test_gps_noise_bounded(self, cargo_transceiver):
+        spec, plan, __ = cargo_transceiver
+        transceiver = AisTransceiver(
+            spec, plan, random.Random(3), gps_sigma_m=10.0
+        )
+        for tx in transceiver.transmissions()[:200]:
+            if isinstance(tx.message, PositionReport):
+                error = haversine_m(tx.lat, tx.lon, tx.message.lat, tx.message.lon)
+                assert error < 60.0  # ~6 sigma
+
+    def test_zero_noise_exact(self, cargo_transceiver):
+        spec, plan, __ = cargo_transceiver
+        transceiver = AisTransceiver(
+            spec, plan, random.Random(3), gps_sigma_m=0.0,
+            static_error_rate=0.0,
+        )
+        for tx in transceiver.transmissions()[:50]:
+            if isinstance(tx.message, PositionReport):
+                assert tx.message.lat == pytest.approx(tx.lat, abs=1e-9)
+
+
+class TestDarkShips:
+    def test_dark_windows_scheduled(self):
+        builder = FleetBuilder(5)
+        spec = builder.build(ShipType.CARGO, goes_dark=True)
+        rng = random.Random(5)
+        plan = plan_transit(0.0, 6 * 3600.0, (48.38, -4.49), (43.35, -3.03), 12.0, rng)
+        transceiver = AisTransceiver(spec, plan, random.Random(6))
+        assert transceiver.dark_windows
+        total_dark = sum(w.t_end - w.t_start for w in transceiver.dark_windows)
+        duration = plan.t_end - plan.t_start
+        assert 0.08 * duration <= total_dark <= 0.32 * duration
+
+    def test_no_transmission_during_dark(self):
+        builder = FleetBuilder(5)
+        spec = builder.build(ShipType.CARGO, goes_dark=True)
+        rng = random.Random(5)
+        plan = plan_transit(0.0, 6 * 3600.0, (48.38, -4.49), (43.35, -3.03), 12.0, rng)
+        transceiver = AisTransceiver(spec, plan, random.Random(6))
+        windows = transceiver.dark_windows
+        for tx in transceiver.transmissions():
+            for w in windows:
+                assert not (w.t_start <= tx.t <= w.t_end)
+
+
+class TestSpoofing:
+    def test_offset_applied_during_episode(self):
+        builder = FleetBuilder(9)
+        spec = builder.build(ShipType.CARGO, Behaviour.SPOOFER)
+        rng = random.Random(9)
+        plan = plan_transit(0.0, 6 * 3600.0, (48.38, -4.49), (43.35, -3.03), 12.0, rng)
+        transceiver = AisTransceiver(spec, plan, random.Random(10))
+        assert transceiver.spoof_episodes
+        episode = transceiver.spoof_episodes[0]
+        spoofed, honest = [], []
+        for tx in transceiver.transmissions():
+            if not isinstance(tx.message, PositionReport):
+                continue
+            error = haversine_m(tx.lat, tx.lon, tx.message.lat, tx.message.lon)
+            if episode.t_start <= tx.t <= episode.t_end:
+                spoofed.append(error)
+            else:
+                honest.append(error)
+        assert spoofed and honest
+        assert min(spoofed) > 15_000.0  # offset is 20-60 km
+        assert max(honest) < 100.0
+
+
+class TestClassB:
+    def test_class_b_message_types(self):
+        builder = FleetBuilder(11)
+        spec = builder.build(ShipType.FISHING)
+        assert spec.class_b
+        rng = random.Random(11)
+        plan = plan_transit(0.0, 2 * 3600.0, (48.38, -4.49), (48.72, -3.97), 8.0, rng)
+        transceiver = AisTransceiver(spec, plan, random.Random(12))
+        messages = [tx.message for tx in transceiver.transmissions()]
+        assert any(isinstance(m, ClassBPositionReport) for m in messages)
+        assert not any(isinstance(m, PositionReport) for m in messages)

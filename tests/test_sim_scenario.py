@@ -1,0 +1,87 @@
+"""Integration tests for the scenario orchestrator."""
+
+import pytest
+
+from repro.simulation import global_scenario, regional_scenario
+
+
+@pytest.fixture(scope="module")
+def regional_run():
+    return regional_scenario(n_vessels=20, duration_s=2 * 3600.0, seed=9).run()
+
+
+class TestRegionalScenario:
+    def test_fleet_size(self, regional_run):
+        assert len(regional_run.specs) == 20
+        assert len(regional_run.plans) == 20
+
+    def test_observations_nonempty_and_ordered(self, regional_run):
+        assert len(regional_run.observations) > 1000
+        times = [o.t_received for o in regional_run.observations]
+        assert times == sorted(times)
+
+    def test_sentences_are_valid_nmea(self, regional_run):
+        from repro.ais import verify_checksum
+
+        for sentence in regional_run.sentences[:500]:
+            assert sentence.startswith("!AIVDM")
+            assert verify_checksum(sentence)
+
+    def test_truth_events_present(self, regional_run):
+        kinds = {e.kind for e in regional_run.truth_events}
+        assert "rendezvous" in kinds
+        assert "spoof" in kinds
+
+    def test_rendezvous_truth_consistent_with_plans(self, regional_run):
+        from repro.geo import haversine_m
+
+        for event in regional_run.truth_events:
+            if event.kind != "rendezvous":
+                continue
+            mid_t = (event.t_start + event.t_end) / 2.0
+            for mmsi in event.mmsis:
+                pos = regional_run.plans[mmsi].position_at(mid_t)
+                assert haversine_m(*pos, event.lat, event.lon) < 2_000.0
+
+    def test_dark_fraction_accounting(self, regional_run):
+        dark_vessels = [
+            m for m, s in regional_run.specs.items() if s.goes_dark
+        ]
+        for mmsi in dark_vessels:
+            fraction = regional_run.dark_fraction(mmsi)
+            assert 0.05 <= fraction <= 0.35
+
+    def test_radar_and_lrit_present(self, regional_run):
+        assert regional_run.radar_contacts
+        assert regional_run.lrit_reports
+
+    def test_reproducible(self):
+        a = regional_scenario(n_vessels=8, duration_s=1800.0, seed=4).run()
+        b = regional_scenario(n_vessels=8, duration_s=1800.0, seed=4).run()
+        assert a.sentences == b.sentences
+
+    def test_different_seeds_differ(self):
+        a = regional_scenario(n_vessels=8, duration_s=1800.0, seed=4).run()
+        b = regional_scenario(n_vessels=8, duration_s=1800.0, seed=5).run()
+        assert a.sentences != b.sentences
+
+
+class TestGlobalScenario:
+    def test_satellite_only(self):
+        run = global_scenario(n_vessels=30, duration_s=2 * 3600.0, seed=2).run()
+        assert all(o.source == "satellite" for o in run.observations)
+
+    def test_coverage_is_partial(self):
+        scenario = global_scenario(n_vessels=30, duration_s=2 * 3600.0, seed=2)
+        run = scenario.run()
+        coverage = scenario.receivers.coverage_fraction(
+            run.transmissions, run.observations
+        )
+        assert 0.01 < coverage < 0.7
+
+    def test_positions_worldwide(self):
+        run = global_scenario(n_vessels=60, duration_s=4 * 3600.0, seed=2).run()
+        lats = [tx.lat for tx in run.transmissions]
+        lons = [tx.lon for tx in run.transmissions]
+        assert max(lats) - min(lats) > 40.0
+        assert max(lons) - min(lons) > 120.0

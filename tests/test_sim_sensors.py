@@ -1,0 +1,115 @@
+"""Tests for radar and LRIT sensor models."""
+
+import random
+
+import pytest
+
+from repro.ais.types import ShipType
+from repro.geo import haversine_m
+from repro.simulation import FleetBuilder, plan_transit
+from repro.simulation.sensors import LritReporter, RadarSite
+
+
+@pytest.fixture
+def coastal_plan():
+    rng = random.Random(0)
+    # A transit passing near Brest.
+    return plan_transit(0.0, 2 * 3600.0, (48.38, -4.60), (48.72, -3.97), 10.0, rng)
+
+
+class TestRadar:
+    def test_detects_in_range_vessel(self, coastal_plan):
+        site = RadarSite("R", 48.38, -4.49, detection_probability=1.0)
+        contacts = site.contacts(
+            {1: coastal_plan}, 0.0, 3600.0, random.Random(1)
+        )
+        assert contacts
+        assert all(c.truth_mmsi == 1 for c in contacts)
+
+    def test_sweep_cadence(self, coastal_plan):
+        site = RadarSite(
+            "R", 48.38, -4.49, scan_period_s=30.0, detection_probability=1.0
+        )
+        contacts = site.contacts({1: coastal_plan}, 0.0, 600.0, random.Random(1))
+        times = sorted({c.t for c in contacts})
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g % 30.0 == 0 for g in gaps)
+
+    def test_position_noise(self, coastal_plan):
+        site = RadarSite(
+            "R", 48.38, -4.49, position_sigma_m=100.0, detection_probability=1.0
+        )
+        contacts = site.contacts({1: coastal_plan}, 0.0, 1800.0, random.Random(1))
+        errors = [
+            haversine_m(c.lat, c.lon, *coastal_plan.position_at(c.t))
+            for c in contacts
+        ]
+        assert max(errors) < 600.0  # bounded noise
+        assert sum(errors) / len(errors) > 20.0  # but real noise
+
+    def test_out_of_range_invisible(self):
+        rng = random.Random(0)
+        far_plan = plan_transit(0.0, 3600.0, (30.0, -40.0), (31.0, -40.0), 10.0, rng)
+        site = RadarSite("R", 48.38, -4.49, detection_probability=1.0)
+        assert site.contacts({1: far_plan}, 0.0, 3600.0, random.Random(1)) == []
+
+    def test_detection_probability(self, coastal_plan):
+        site = RadarSite("R", 48.38, -4.49, detection_probability=0.5)
+        full = RadarSite("R", 48.38, -4.49, detection_probability=1.0)
+        degraded = site.contacts({1: coastal_plan}, 0.0, 3600.0, random.Random(1))
+        complete = full.contacts({1: coastal_plan}, 0.0, 3600.0, random.Random(1))
+        assert 0.3 * len(complete) < len(degraded) < 0.7 * len(complete)
+
+    def test_sees_dark_vessels(self):
+        """Radar is non-cooperative: it does not care about AIS silence.
+
+        (The radar model reads ground-truth plans, so 'dark' never hides a
+        vessel from it — asserted here as the design invariant E5 relies
+        on.)"""
+        rng = random.Random(0)
+        plan = plan_transit(0.0, 3600.0, (48.38, -4.60), (48.5, -4.2), 10.0, rng)
+        site = RadarSite("R", 48.38, -4.49, detection_probability=1.0)
+        contacts = site.contacts({42: plan}, 0.0, 3600.0, random.Random(2))
+        assert len(contacts) > 100
+
+
+class TestLrit:
+    def test_six_hour_cadence(self):
+        rng = random.Random(0)
+        builder = FleetBuilder(0)
+        spec = builder.build(ShipType.CARGO)
+        plan = plan_transit(
+            0.0, 24 * 3600.0, (48.38, -4.49), (38.70, -9.16), 14.0, rng
+        )
+        reports = LritReporter().reports(
+            {spec.mmsi: spec}, {spec.mmsi: plan}, random.Random(1),
+            until=24 * 3600.0,
+        )
+        assert 3 <= len(reports) <= 5  # ~4 in 24 h
+        gaps = [b.t - a.t for a, b in zip(reports, reports[1:])]
+        for gap in gaps:
+            assert gap == pytest.approx(21_600.0, rel=1e-6)
+
+    def test_class_b_excluded(self):
+        rng = random.Random(0)
+        builder = FleetBuilder(0)
+        fisher = builder.build(ShipType.FISHING)
+        plan = plan_transit(0.0, 24 * 3600.0, (48.38, -4.49), (48.72, -3.97), 8.0, rng)
+        reports = LritReporter().reports(
+            {fisher.mmsi: fisher}, {fisher.mmsi: plan}, random.Random(1)
+        )
+        assert reports == []
+
+    def test_reports_sorted(self):
+        rng = random.Random(0)
+        builder = FleetBuilder(0)
+        specs = {s.mmsi: s for s in (builder.build(ShipType.CARGO) for _ in range(5))}
+        plans = {
+            mmsi: plan_transit(
+                0.0, 24 * 3600.0, (48.38, -4.49), (43.35, -3.03), 12.0, rng
+            )
+            for mmsi in specs
+        }
+        reports = LritReporter().reports(specs, plans, random.Random(1))
+        times = [r.t for r in reports]
+        assert times == sorted(times)

@@ -1,0 +1,78 @@
+"""Tests for fleet identity generation."""
+
+import random
+
+from repro.ais.types import ShipType
+from repro.ais.validation import _imo_check_digit_ok
+from repro.simulation import Behaviour, FleetBuilder
+from repro.simulation.vessel import make_callsign, make_imo_number
+
+
+class TestFleetBuilder:
+    def test_unique_mmsis(self):
+        builder = FleetBuilder(0)
+        specs = [builder.build(ShipType.CARGO) for _ in range(200)]
+        assert len({s.mmsi for s in specs}) == 200
+
+    def test_unique_names(self):
+        builder = FleetBuilder(0)
+        specs = [builder.build(ShipType.CARGO) for _ in range(200)]
+        assert len({s.name for s in specs}) == 200
+
+    def test_mmsi_has_valid_mid(self):
+        builder = FleetBuilder(1)
+        for _ in range(50):
+            spec = builder.build(ShipType.TANKER)
+            mid = spec.mmsi // 1_000_000
+            assert 201 <= mid <= 775
+
+    def test_flag_consistent_with_mid(self):
+        builder = FleetBuilder(2)
+        spec = builder.build(ShipType.CARGO, flag="FR")
+        assert spec.mmsi // 1_000_000 == 227
+        assert spec.flag == "FR"
+
+    def test_imo_check_digit_valid(self):
+        builder = FleetBuilder(3)
+        for _ in range(50):
+            spec = builder.build(ShipType.CARGO)
+            assert _imo_check_digit_ok(spec.imo)
+
+    def test_class_b_defaults(self):
+        builder = FleetBuilder(4)
+        fishing = builder.build(ShipType.FISHING)
+        cargo = builder.build(ShipType.CARGO)
+        assert fishing.class_b and not cargo.class_b
+        assert fishing.imo == 0  # small craft carry no IMO number
+
+    def test_dimensions_by_type(self):
+        builder = FleetBuilder(5)
+        fishing = builder.build(ShipType.FISHING)
+        tanker = builder.build(ShipType.TANKER)
+        assert fishing.length_m < 50 < tanker.length_m
+
+    def test_behaviour_and_darkness(self):
+        builder = FleetBuilder(6)
+        spec = builder.build(
+            ShipType.CARGO, Behaviour.RENDEZVOUS, goes_dark=True
+        )
+        assert spec.behaviour is Behaviour.RENDEZVOUS
+        assert spec.goes_dark
+
+    def test_deterministic(self):
+        a = FleetBuilder(7).build(ShipType.CARGO)
+        b = FleetBuilder(7).build(ShipType.CARGO)
+        assert a == b
+
+
+class TestIdentityHelpers:
+    def test_imo_numbers_valid(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            assert _imo_check_digit_ok(make_imo_number(rng))
+
+    def test_callsign_shape(self):
+        rng = random.Random(0)
+        callsign = make_callsign("FR", rng)
+        assert len(callsign) == 5
+        assert callsign[0] == "F"

@@ -1,0 +1,84 @@
+"""Tests for the synthetic weather provider (multi-resolution semantics)."""
+
+import pytest
+
+from repro.simulation.weather import WeatherProvider
+
+
+class TestDeterminism:
+    def test_same_seed_same_field(self):
+        a = WeatherProvider(seed=7).sample_exact(48.0, -5.0, 3600.0)
+        b = WeatherProvider(seed=7).sample_exact(48.0, -5.0, 3600.0)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = WeatherProvider(seed=7).sample_exact(48.0, -5.0, 3600.0)
+        b = WeatherProvider(seed=8).sample_exact(48.0, -5.0, 3600.0)
+        assert a != b
+
+
+class TestPhysicalBounds:
+    def test_non_negative_quantities(self):
+        provider = WeatherProvider(seed=1)
+        for lat, lon, t in [
+            (0.0, 0.0, 0.0), (48.0, -5.0, 7200.0), (-40.0, 170.0, 86400.0),
+        ]:
+            sample = provider.sample_exact(lat, lon, t)
+            assert sample.wind_speed_mps >= 0.0
+            assert sample.wave_height_m >= 0.0
+            assert 0.0 <= sample.wind_dir_deg < 360.0
+
+    def test_fields_vary_in_space(self):
+        provider = WeatherProvider(seed=1)
+        values = {
+            round(provider.sample_exact(lat, 0.0, 0.0).wind_speed_mps, 3)
+            for lat in range(-60, 61, 10)
+        }
+        assert len(values) > 5
+
+    def test_fields_vary_in_time(self):
+        provider = WeatherProvider(seed=1)
+        values = {
+            round(provider.sample_exact(48.0, -5.0, t * 3600.0).wind_speed_mps, 3)
+            for t in range(24)
+        }
+        assert len(values) > 5
+
+
+class TestGridding:
+    def test_snap_is_idempotent(self):
+        provider = WeatherProvider(seed=1, grid_resolution_deg=0.25,
+                                   time_step_s=3600.0)
+        lat_c, lon_c, t_c = provider.snap(48.13, -4.97, 5000.0)
+        assert provider.snap(lat_c, lon_c, t_c)[0] == pytest.approx(lat_c)
+
+    def test_gridded_constant_within_cell(self):
+        provider = WeatherProvider(seed=1, grid_resolution_deg=0.5)
+        a = provider.sample_gridded(48.01, -5.01, 100.0)
+        b = provider.sample_gridded(48.24, -5.24, 100.0)
+        assert a == b  # same 0.5° cell, same time step
+
+    def test_gridded_changes_across_cells(self):
+        provider = WeatherProvider(seed=1, grid_resolution_deg=0.5)
+        a = provider.sample_gridded(48.01, -5.01, 100.0)
+        b = provider.sample_gridded(48.76, -5.01, 100.0)
+        assert a != b
+
+    def test_quantisation_error_grows_with_resolution(self):
+        """§2.5: coarser products introduce larger alignment error."""
+        fine = WeatherProvider(seed=1, grid_resolution_deg=0.05)
+        coarse = WeatherProvider(seed=1, grid_resolution_deg=2.0)
+        points = [
+            (48.13 + i * 0.37, -5.0 + i * 0.73, i * 1800.0) for i in range(40)
+        ]
+        fine_err = sum(fine.quantisation_error(*p) for p in points)
+        coarse_err = sum(coarse.quantisation_error(*p) for p in points)
+        assert coarse_err > fine_err
+
+    def test_time_quantisation(self):
+        provider = WeatherProvider(seed=1, time_step_s=3600.0)
+        a = provider.sample_gridded(48.0, -5.0, 0.0)
+        b = provider.sample_gridded(48.0, -5.0, 3599.0)
+        c = provider.sample_gridded(48.0, -5.0, 3601.0)
+        assert a == b
+        assert a != c

@@ -1,0 +1,116 @@
+"""Tests for the spatio-temporal grid index."""
+
+import random
+
+import pytest
+
+from repro.geo import BoundingBox
+from repro.storage import GridIndex, IndexedPoint
+
+
+def random_points(n=2000, seed=1):
+    rng = random.Random(seed)
+    return [
+        IndexedPoint(
+            mmsi=rng.randint(1, 50),
+            t=rng.uniform(0.0, 86400.0),
+            lat=rng.uniform(40.0, 55.0),
+            lon=rng.uniform(-10.0, 5.0),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self):
+        points = random_points()
+        index = GridIndex(cell_deg=0.5, time_bucket_s=3600.0)
+        index.insert_many(points)
+        box = BoundingBox(44.0, 49.0, -6.0, -1.0)
+        t0, t1 = 10_000.0, 50_000.0
+        expected = {
+            (p.mmsi, p.t) for p in points
+            if box.contains(p.lat, p.lon) and t0 <= p.t <= t1
+        }
+        got = {(p.mmsi, p.t) for p in index.range_query(box, t0, t1)}
+        assert got == expected
+
+    def test_empty_region(self):
+        index = GridIndex()
+        index.insert_many(random_points(100))
+        out = index.range_query(BoundingBox(-10.0, -5.0, 100.0, 110.0), 0, 1e6)
+        assert out == []
+
+    def test_time_bounds_inclusive(self):
+        index = GridIndex()
+        point = IndexedPoint(1, 1000.0, 48.0, -5.0)
+        index.insert(point)
+        box = BoundingBox(47.0, 49.0, -6.0, -4.0)
+        assert index.range_query(box, 1000.0, 1000.0) == [point]
+
+    def test_invalid_time_order(self):
+        index = GridIndex()
+        with pytest.raises(ValueError):
+            index.range_query(BoundingBox(0, 1, 0, 1), 10.0, 0.0)
+
+    def test_antimeridian_box(self):
+        index = GridIndex(cell_deg=1.0)
+        east = IndexedPoint(1, 0.0, 0.0, 179.5)
+        west = IndexedPoint(2, 0.0, 0.0, -179.5)
+        middle = IndexedPoint(3, 0.0, 0.0, 0.0)
+        index.insert_many([east, west, middle])
+        box = BoundingBox(-5.0, 5.0, 175.0, -175.0)
+        got = {p.mmsi for p in index.range_query(box, 0.0, 1.0)}
+        assert got == {1, 2}
+
+    def test_len(self):
+        index = GridIndex()
+        index.insert_many(random_points(123))
+        assert len(index) == 123
+
+
+class TestKnn:
+    def test_finds_true_nearest(self):
+        points = random_points(1000)
+        index = GridIndex(cell_deg=0.5)
+        index.insert_many(points)
+        from repro.geo import haversine_m
+
+        query = (48.0, -5.0)
+        true_order = sorted(
+            points, key=lambda p: haversine_m(*query, p.lat, p.lon)
+        )
+        got = index.knn(query[0], query[1], 0.0, 86400.0, 5)
+        assert [p.mmsi for __, p in got] == [p.mmsi for p in true_order[:5]]
+
+    def test_respects_time_window(self):
+        index = GridIndex(cell_deg=0.5)
+        near_wrong_time = IndexedPoint(1, 90_000.0, 48.0, -5.0)
+        far_right_time = IndexedPoint(2, 100.0, 48.5, -5.0)
+        index.insert_many([near_wrong_time, far_right_time])
+        got = index.knn(48.0, -5.0, 0.0, 1000.0, 1)
+        assert got[0][1].mmsi == 2
+
+    def test_k_larger_than_data(self):
+        index = GridIndex()
+        index.insert(IndexedPoint(1, 0.0, 48.0, -5.0))
+        assert len(index.knn(48.0, -5.0, 0.0, 10.0, 10)) == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            GridIndex().knn(0.0, 0.0, 0.0, 1.0, 0)
+
+    def test_distances_ascending(self):
+        index = GridIndex(cell_deg=0.5)
+        index.insert_many(random_points(500))
+        got = index.knn(48.0, -5.0, 0.0, 86400.0, 10)
+        distances = [d for d, __ in got]
+        assert distances == sorted(distances)
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        index = GridIndex(cell_deg=1.0)
+        index.insert_many(random_points(500))
+        histogram = index.cell_histogram()
+        assert sum(histogram.values()) == 500

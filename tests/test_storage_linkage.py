@@ -1,0 +1,126 @@
+"""Tests for link discovery between registries."""
+
+import pytest
+
+from repro.storage import LinkageConfig, discover_links, jaro_winkler
+from repro.storage.linkage import numeric_similarity
+
+
+class TestJaroWinkler:
+    def test_identity(self):
+        assert jaro_winkler("MARTHA", "MARTHA") == 1.0
+
+    def test_empty(self):
+        assert jaro_winkler("", "ABC") == 0.0
+        assert jaro_winkler("", "") == 1.0
+
+    def test_known_value(self):
+        # The canonical MARTHA/MARHTA example ≈ 0.961.
+        assert jaro_winkler("MARTHA", "MARHTA") == pytest.approx(0.961, abs=0.01)
+
+    def test_prefix_bonus(self):
+        # Same edit, one at the front, one at the back: prefix match wins.
+        assert jaro_winkler("ATLANTIC", "ATLANTIX") > jaro_winkler(
+            "ATLANTIC", "XTLANTIC"
+        )
+
+    def test_symmetry(self):
+        assert jaro_winkler("DWAYNE", "DUANE") == pytest.approx(
+            jaro_winkler("DUANE", "DWAYNE")
+        )
+
+    def test_disjoint(self):
+        assert jaro_winkler("AAAA", "BBBB") == 0.0
+
+    def test_range(self):
+        for a, b in [("OCEAN STAR", "OCEAN STARR"), ("A", "ABCD"), ("XY", "YX")]:
+            assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+
+class TestNumericSimilarity:
+    def test_equal(self):
+        assert numeric_similarity(100.0, 100.0, 10.0) == 1.0
+
+    def test_linear_falloff(self):
+        assert numeric_similarity(100.0, 105.0, 10.0) == pytest.approx(0.5)
+
+    def test_beyond_tolerance(self):
+        assert numeric_similarity(100.0, 200.0, 10.0) == 0.0
+
+    def test_missing_neutral(self):
+        assert numeric_similarity(None, 100.0, 10.0) == 0.5
+
+
+def record(id, name, callsign, imo, length, flag):
+    return {
+        "id": id, "name": name, "callsign": callsign,
+        "imo": imo, "length_m": length, "flag": flag,
+    }
+
+
+class TestDiscoverLinks:
+    def test_exact_match_links(self):
+        left = [record(1, "ATLANTIC TRADER", "FABC", 9074729, 180, "FR")]
+        right = [record("x", "ATLANTIC TRADER", "FABC", 9074729, 180, "FR")]
+        links = discover_links(left, right)
+        assert len(links) == 1
+        assert links[0].score > 0.95
+
+    def test_slight_differences_still_link(self):
+        """§4's example: length differs slightly, flag is stale."""
+        left = [record(1, "ATLANTIC TRADER", "FABC", 9074729, 180, "FR")]
+        right = [record("x", "ATLANTIC TRADER", "FABC", 9074729, 184, "PA")]
+        links = discover_links(left, right)
+        assert len(links) == 1
+
+    def test_typo_in_name_links_via_imo(self):
+        left = [record(1, "ATLANTIC TRADER", "FABC", 9074729, 180, "FR")]
+        right = [record("x", "ATLQNTIC TRADER", "FABC", 9074729, 180, "FR")]
+        links = discover_links(left, right)
+        assert len(links) == 1
+
+    def test_different_vessels_do_not_link(self):
+        left = [record(1, "ATLANTIC TRADER", "FABC", 9074729, 180, "FR")]
+        right = [record("y", "PACIFIC STAR", "GXYZ", 1234567, 90, "GB")]
+        assert discover_links(left, right) == []
+
+    def test_one_to_one_assignment(self):
+        """Two identical-looking right records: only one may link."""
+        left = [record(1, "OCEAN WAVE", "FAAA", 9074729, 120, "FR")]
+        right = [
+            record("a", "OCEAN WAVE", "FAAA", 9074729, 120, "FR"),
+            record("b", "OCEAN WAVE", "FAAA", 9074729, 121, "FR"),
+        ]
+        links = discover_links(left, right)
+        assert len(links) == 1
+
+    def test_threshold_respected(self):
+        left = [record(1, "OCEAN WAVE", "FAAA", None, 120, "FR")]
+        right = [record("a", "OCEAN WAVES", "FBBB", None, 150, "GB")]
+        strict = LinkageConfig(accept_threshold=0.9)
+        assert discover_links(left, right, strict) == []
+
+    def test_registry_scale_precision_recall(self):
+        """End-to-end against the synthetic corrupted registries."""
+        from repro.ais.types import ShipType
+        from repro.simulation import FleetBuilder
+        from repro.semantics import build_registry, corrupt_registry
+
+        builder = FleetBuilder(3)
+        specs = [builder.build(ShipType.CARGO) for _ in range(80)]
+        left = corrupt_registry(build_registry(specs, "MT"), seed=1)
+        right = corrupt_registry(build_registry(specs, "LL"), seed=2)
+        links = discover_links(
+            [r.as_linkage_dict() for r in left],
+            [r.as_linkage_dict() for r in right],
+        )
+        truth_left = {r.id: r.truth_mmsi for r in left}
+        truth_right = {r.id: r.truth_mmsi for r in right}
+        correct = sum(
+            1 for link in links
+            if truth_left[link.left_id] == truth_right[link.right_id]
+        )
+        precision = correct / len(links)
+        recall = correct / len(specs)
+        assert precision > 0.95
+        assert recall > 0.80

@@ -1,0 +1,74 @@
+"""Tests for the trajectory store."""
+
+import random
+
+import pytest
+
+from repro.geo import BoundingBox
+from repro.storage import RangeQuery, TrajectoryStore
+from repro.trajectory.points import TrackPoint, Trajectory
+
+
+def make_trajectory(mmsi, lat0, n=50, dt=60.0):
+    return Trajectory(
+        mmsi,
+        [
+            TrackPoint(i * dt, lat0 + i * 0.001, -5.0, 10.0, 0.0)
+            for i in range(n)
+        ],
+    )
+
+
+@pytest.fixture
+def store():
+    s = TrajectoryStore(cell_deg=0.1, time_bucket_s=600.0)
+    s.add(make_trajectory(1, 48.0))
+    s.add(make_trajectory(2, 49.0))
+    s.add(make_trajectory(3, 55.0))
+    return s
+
+
+class TestBasics:
+    def test_counts(self, store):
+        assert len(store) == 150
+        assert store.n_vessels == 3
+
+    def test_segments_by_mmsi(self, store):
+        assert len(store.segments(1)) == 1
+        assert store.segments(99) == []
+
+    def test_multiple_segments_per_vessel(self, store):
+        extra = make_trajectory(1, 48.5)
+        store.add(extra)
+        assert len(store.segments(1)) == 2
+        assert len(store.all_segments()) == 4
+
+
+class TestQueries:
+    def test_index_equals_scan(self, store):
+        query = RangeQuery(BoundingBox(47.9, 48.6, -5.5, -4.5), 0.0, 1800.0)
+        via_index = {(p.mmsi, p.t) for p in store.range_points(query)}
+        via_scan = {(p.mmsi, p.t) for p in store.range_points_scan(query)}
+        assert via_index == via_scan
+        assert via_index  # non-trivial
+
+    def test_vessels_in(self, store):
+        query = RangeQuery(BoundingBox(47.9, 48.2, -5.5, -4.5), 0.0, 3600.0)
+        assert store.vessels_in(query) == {1}
+
+    def test_knn(self, store):
+        got = store.knn(48.0, -5.0, 0.0, 4000.0, 3)
+        assert len(got) == 3
+        assert got[0][1].mmsi == 1
+
+    def test_window_trajectories_clipped(self, store):
+        query = RangeQuery(BoundingBox(47.0, 50.0, -6.0, -4.0), 600.0, 1200.0)
+        clipped = store.window_trajectories(query)
+        for trajectory in clipped:
+            assert trajectory.t_start >= 600.0
+            assert trajectory.t_end <= 1200.0
+        assert {tr.mmsi for tr in clipped} == {1, 2}
+
+    def test_density_histogram_total(self, store):
+        histogram = store.density_histogram()
+        assert sum(histogram.values()) == 150

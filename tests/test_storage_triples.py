@@ -1,0 +1,134 @@
+"""Tests for the RDF-lite triple store."""
+
+import pytest
+
+from repro.storage import Triple, TripleStore, Variable
+
+V = Variable
+
+
+@pytest.fixture
+def store():
+    s = TripleStore()
+    s.add("v1", "type", "Cargo")
+    s.add("v1", "flag", "FR")
+    s.add("v1", "length", 180)
+    s.add("v2", "type", "Cargo")
+    s.add("v2", "flag", "PA")
+    s.add("v3", "type", "Fishing")
+    s.add("v3", "flag", "FR")
+    return s
+
+
+class TestAdd:
+    def test_set_semantics(self):
+        s = TripleStore()
+        s.add("a", "b", "c")
+        s.add("a", "b", "c")
+        assert len(s) == 1
+
+    def test_add_triple_object(self):
+        s = TripleStore()
+        s.add_triple(Triple("a", "b", "c"))
+        assert len(s) == 1
+
+
+class TestMatch:
+    def test_fully_bound(self, store):
+        assert len(store.match(("v1", "type", "Cargo"))) == 1
+        assert store.match(("v1", "type", "Tanker")) == []
+
+    def test_subject_bound(self, store):
+        assert len(store.match(("v1", None, None))) == 3
+
+    def test_predicate_bound(self, store):
+        assert len(store.match((None, "type", None))) == 3
+
+    def test_object_bound(self, store):
+        assert len(store.match((None, None, "FR"))) == 2
+
+    def test_predicate_object_bound(self, store):
+        got = store.match((None, "type", "Cargo"))
+        assert {t.subject for t in got} == {"v1", "v2"}
+
+    def test_all_wild(self, store):
+        assert len(store.match((None, None, None))) == 7
+
+    def test_variables_act_as_wildcards(self, store):
+        got = store.match((V("s"), "type", V("o")))
+        assert len(got) == 3
+
+
+class TestQuery:
+    def test_single_pattern_bindings(self, store):
+        out = store.query([(V("v"), "type", "Cargo")])
+        assert {b["v"] for b in out} == {"v1", "v2"}
+
+    def test_join_two_patterns(self, store):
+        out = store.query(
+            [(V("v"), "type", "Cargo"), (V("v"), "flag", "FR")]
+        )
+        assert [b["v"] for b in out] == ["v1"]
+
+    def test_join_across_subjects(self, store):
+        store.add("v1", "sameFlagAs", "v3")
+        out = store.query(
+            [
+                (V("a"), "sameFlagAs", V("b")),
+                (V("a"), "flag", V("f")),
+                (V("b"), "flag", V("f")),
+            ]
+        )
+        assert out == [{"a": "v1", "b": "v3", "f": "FR"}]
+
+    def test_filters(self, store):
+        out = store.query(
+            [(V("v"), "length", V("len"))],
+            filters=[lambda b: b["len"] > 100],
+        )
+        assert [b["v"] for b in out] == ["v1"]
+
+    def test_filter_rejects(self, store):
+        out = store.query(
+            [(V("v"), "length", V("len"))],
+            filters=[lambda b: b["len"] > 1000],
+        )
+        assert out == []
+
+    def test_no_match_short_circuits(self, store):
+        out = store.query(
+            [(V("v"), "type", "Submarine"), (V("v"), "flag", V("f"))]
+        )
+        assert out == []
+
+    def test_shared_variable_consistency(self, store):
+        # ?v type Cargo AND ?v type Fishing is unsatisfiable.
+        out = store.query(
+            [(V("v"), "type", "Cargo"), (V("v"), "type", "Fishing")]
+        )
+        assert out == []
+
+    def test_spatial_filter_style(self):
+        """The E8 pattern: fixes as triples, range query as join+filter."""
+        s = TripleStore()
+        for i in range(100):
+            node = f"fix{i}"
+            s.add(node, "lat", 48.0 + i * 0.01)
+            s.add(node, "lon", -5.0)
+            s.add(node, "t", float(i * 60))
+        out = s.query(
+            [
+                (V("f"), "lat", V("lat")),
+                (V("f"), "lon", V("lon")),
+                (V("f"), "t", V("t")),
+            ],
+            filters=[
+                lambda b: 48.2 <= b["lat"] <= 48.5,
+                lambda b: 0.0 <= b["t"] <= 4000.0,
+            ],
+        )
+        expected = sum(
+            1 for i in range(100)
+            if 48.2 <= 48.0 + i * 0.01 <= 48.5 and i * 60 <= 4000.0
+        )
+        assert len(out) == expected

@@ -1,0 +1,109 @@
+"""Tests for the in-situ placement and communication-cost model."""
+
+import pytest
+
+from repro.streaming import (
+    CommunicationLedger,
+    PlacementPlan,
+    ProcessingNode,
+    Record,
+    Stream,
+    compare_placements,
+)
+from repro.streaming.insitu import Stage
+
+
+def source(n=100):
+    return Stream(Record(float(t), "v", t) for t in range(n))
+
+
+EDGE = ProcessingNode("edge", uplink_bytes_per_s=1000.0)
+CENTRE = ProcessingNode("centre")
+
+
+def compress_stage(keep_every=10):
+    return Stage(
+        name="compress",
+        transform=lambda s: s.filter(lambda r: int(r.t) % keep_every == 0),
+        output_record_bytes=48,
+    )
+
+
+def detect_stage():
+    return Stage(
+        name="detect",
+        transform=lambda s: s.filter(lambda r: r.value % 50 == 0),
+        output_record_bytes=96,
+    )
+
+
+class TestLedger:
+    def test_local_handoff_free(self):
+        ledger = CommunicationLedger()
+        ledger.charge("edge", "edge", 1000)
+        assert ledger.total_bytes == 0
+
+    def test_accumulates_per_link(self):
+        ledger = CommunicationLedger()
+        ledger.charge("edge", "centre", 100)
+        ledger.charge("edge", "centre", 50)
+        assert ledger.bytes_by_link[("edge", "centre")] == 150
+        assert ledger.total_records == 2
+
+    def test_transfer_time(self):
+        ledger = CommunicationLedger()
+        ledger.charge("edge", "centre", 2000)
+        assert ledger.transfer_time_s(EDGE) == pytest.approx(2.0)
+
+
+class TestPlacementPlan:
+    def test_all_central_charges_source_records(self):
+        plan = PlacementPlan(
+            [compress_stage(), detect_stage()],
+            {"compress": CENTRE, "detect": CENTRE},
+            source_node=EDGE, sink_node=CENTRE, source_record_bytes=48,
+        )
+        plan.run(source(100))
+        # All 100 raw records crossed edge→centre.
+        assert plan.ledger.records_by_link[("edge", "centre")] == 100
+
+    def test_in_situ_charges_compressed_only(self):
+        plan = PlacementPlan(
+            [compress_stage(), detect_stage()],
+            {"compress": EDGE, "detect": CENTRE},
+            source_node=EDGE, sink_node=CENTRE,
+        )
+        plan.run(source(100))
+        assert plan.ledger.records_by_link[("edge", "centre")] == 10
+
+    def test_missing_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementPlan(
+                [compress_stage()], {}, source_node=EDGE, sink_node=CENTRE
+            )
+
+    def test_results_identical_across_placements(self):
+        stages = [compress_stage(), detect_stage()]
+        central = PlacementPlan(
+            stages, {"compress": CENTRE, "detect": CENTRE},
+            source_node=EDGE, sink_node=CENTRE,
+        ).run(source(200))
+        insitu = PlacementPlan(
+            stages, {"compress": EDGE, "detect": CENTRE},
+            source_node=EDGE, sink_node=CENTRE,
+        ).run(source(200))
+        assert [r.t for r in central] == [r.t for r in insitu]
+
+
+class TestComparePlacements:
+    def test_in_situ_saves_bandwidth(self):
+        result = compare_placements(
+            make_source=lambda: source(500),
+            stages=[compress_stage(), detect_stage()],
+            edge=EDGE,
+            centre=CENTRE,
+            in_situ_stages={"compress"},
+        )
+        assert result["in_situ_bytes"] < result["central_bytes"]
+        # 10:1 record compression should save ~90% of the uplink.
+        assert result["savings_ratio"] > 0.75

@@ -1,0 +1,98 @@
+"""Tests for interval joins and stream-static enrichment."""
+
+import pytest
+
+from repro.streaming import Record, Stream, enrich, interval_join
+
+
+def keyed(times, key="k", tag=""):
+    return Stream(Record(float(t), key, f"{tag}{t}") for t in times)
+
+
+class TestIntervalJoin:
+    def test_pairs_within_band(self):
+        out = interval_join(
+            keyed([0, 10, 20], tag="L"),
+            keyed([1, 11, 25], tag="R"),
+            max_dt_s=2.0,
+            join_fn=lambda a, b: (a.value, b.value),
+        ).collect()
+        assert [(r.value) for r in out] == [("L0", "R1"), ("L10", "R11")]
+
+    def test_key_matching(self):
+        left = Stream([Record(0.0, "a", "La"), Record(0.0, "b", "Lb")])
+        right = Stream([Record(1.0, "a", "Ra")])
+        out = interval_join(
+            left, right, 5.0, lambda a, b: (a.value, b.value)
+        ).collect()
+        assert [r.value for r in out] == [("La", "Ra")]
+
+    def test_cross_keys_when_disabled(self):
+        left = Stream([Record(0.0, "a", "La")])
+        right = Stream([Record(1.0, "b", "Rb")])
+        out = interval_join(
+            left, right, 5.0, lambda a, b: (a.value, b.value),
+            match_keys=False,
+        ).collect()
+        assert len(out) == 1
+
+    def test_output_timestamp_is_later(self):
+        out = interval_join(
+            keyed([0]), keyed([3]), 5.0, lambda a, b: None
+        ).collect()
+        assert out[0].t == 3.0
+
+    def test_no_matches(self):
+        out = interval_join(
+            keyed([0]), keyed([100]), 5.0, lambda a, b: None
+        ).collect()
+        assert out == []
+
+    def test_multiple_matches_per_record(self):
+        out = interval_join(
+            keyed([10]), keyed([8, 9, 11, 12]), 2.0, lambda a, b: b.value
+        ).collect()
+        assert len(out) == 4
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            interval_join(keyed([0]), keyed([1]), -1.0, lambda a, b: None)
+
+
+class TestEnrich:
+    def test_context_combined(self):
+        stream = keyed([0, 1], tag="v")
+        out = enrich(
+            stream,
+            lookup=lambda r: {"zone": "A"},
+            combine=lambda value, ctx: (value, ctx["zone"]),
+        ).collect()
+        assert [r.value for r in out] == [("v0", "A"), ("v1", "A")]
+
+    def test_missing_context_passthrough(self):
+        stream = keyed([0, 1], tag="v")
+        out = enrich(stream, lookup=lambda r: None).collect()
+        assert [r.value for r in out] == ["v0", "v1"]
+
+    def test_lookup_sees_time_and_key(self):
+        seen = []
+        stream = keyed([5], key="vessel9")
+        enrich(stream, lookup=lambda r: seen.append((r.t, r.key))).drain()
+        assert seen == [(5.0, "vessel9")]
+
+    def test_weather_enrichment_integration(self):
+        """Enriching a position stream with the gridded weather provider."""
+        from repro.simulation.weather import WeatherProvider
+
+        provider = WeatherProvider(seed=3)
+        stream = Stream(
+            Record(float(t), "v", (48.0 + t * 0.01, -5.0)) for t in range(10)
+        )
+        out = enrich(
+            stream,
+            lookup=lambda r: provider.sample_gridded(
+                r.value[0], r.value[1], r.t
+            ),
+            combine=lambda value, wx: {"pos": value, "wind": wx.wind_speed_mps},
+        ).collect()
+        assert all("wind" in r.value for r in out)

@@ -1,0 +1,85 @@
+"""Tests for the core stream abstraction."""
+
+import pytest
+
+from repro.streaming import Record, Stream, merge_by_time
+
+
+def records(*times, key="k"):
+    return [Record(float(t), key, t) for t in times]
+
+
+class TestTransforms:
+    def test_map_values(self):
+        out = Stream(records(1, 2, 3)).map_values(lambda v: v * 10).collect()
+        assert [r.value for r in out] == [10, 20, 30]
+
+    def test_filter(self):
+        out = Stream(records(1, 2, 3, 4)).filter(lambda r: r.value % 2 == 0)
+        assert [r.value for r in out.collect()] == [2, 4]
+
+    def test_flat_map(self):
+        out = Stream(records(1, 2)).flat_map(
+            lambda r: [r, Record(r.t + 0.5, r.key, -r.value)]
+        )
+        assert [r.value for r in out.collect()] == [1, -1, 2, -2]
+
+    def test_key_by(self):
+        out = Stream(records(1, 2, 3)).key_by(lambda r: r.value % 2).collect()
+        assert [r.key for r in out] == [1, 0, 1]
+
+    def test_chaining_lazy(self):
+        seen = []
+        stream = Stream(records(1, 2, 3)).tap(lambda r: seen.append(r.value))
+        assert seen == []  # nothing consumed yet
+        stream.drain()
+        assert seen == [1, 2, 3]
+
+    def test_single_shot(self):
+        stream = Stream(records(1, 2))
+        assert stream.count() == 2
+        assert stream.count() == 0  # already drained
+
+    def test_from_values(self):
+        stream = Stream.from_values(
+            [{"t": 5.0, "id": "a"}], timestamp=lambda v: v["t"],
+            key=lambda v: v["id"],
+        )
+        record = stream.collect()[0]
+        assert record.t == 5.0 and record.key == "a"
+
+
+class TestThrottle:
+    def test_throttle_per_key(self):
+        stream = Stream(records(0, 1, 2, 10, 11, 20))
+        out = stream.throttle_per_key(5.0).collect()
+        assert [r.t for r in out] == [0.0, 10.0, 20.0]
+
+    def test_throttle_independent_keys(self):
+        mixed = [
+            Record(0.0, "a", 1), Record(1.0, "b", 2),
+            Record(2.0, "a", 3), Record(6.0, "a", 4),
+        ]
+        out = Stream(iter(mixed)).throttle_per_key(5.0).collect()
+        assert [(r.t, r.key) for r in out] == [
+            (0.0, "a"), (1.0, "b"), (6.0, "a"),
+        ]
+
+
+class TestMerge:
+    def test_global_time_order(self):
+        a = Stream(records(1, 4, 7))
+        b = Stream(records(2, 5, 8, key="x"))
+        c = Stream(records(3, 6, key="y"))
+        merged = merge_by_time(a, b, c).collect()
+        assert [r.t for r in merged] == [1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_empty_streams(self):
+        merged = merge_by_time(Stream(iter([])), Stream(records(1))).collect()
+        assert len(merged) == 1
+
+    def test_record_ordering_ties(self):
+        # Equal timestamps must not crash the heap merge.
+        a = Stream([Record(1.0, "a", None), Record(1.0, "a", None)])
+        b = Stream([Record(1.0, "b", None)])
+        assert len(merge_by_time(a, b).collect()) == 3

@@ -1,0 +1,155 @@
+"""Tests (incl. property-based) for stream sketches."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.streaming.synopses import CountMinSketch, HeavyHitters, ReservoirSample
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        sketch = CountMinSketch(width=64, depth=4)
+        truth = Counter()
+        rng = random.Random(0)
+        for __ in range(5000):
+            key = rng.randint(0, 200)
+            sketch.add(key)
+            truth[key] += 1
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_overestimate_bounded(self):
+        width = 256
+        sketch = CountMinSketch(width=width, depth=5)
+        truth = Counter()
+        rng = random.Random(1)
+        for __ in range(10_000):
+            key = rng.randint(0, 500)
+            sketch.add(key)
+            truth[key] += 1
+        # e/width bound with depth independent rows: allow 3x slack.
+        bound = 3 * 2.72 * sketch.total / width
+        violations = sum(
+            1 for key, count in truth.items()
+            if sketch.estimate(key) - count > bound
+        )
+        assert violations <= len(truth) * 0.05
+
+    def test_unseen_key_small(self):
+        sketch = CountMinSketch(width=1024, depth=4)
+        for i in range(1000):
+            sketch.add(i % 50)
+        assert sketch.estimate("never-seen") <= 3 * 1000 / 1024 + 5
+
+    def test_weighted_add(self):
+        sketch = CountMinSketch()
+        sketch.add("v", 10)
+        sketch.add("v", 5)
+        assert sketch.estimate("v") >= 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+        with pytest.raises(ValueError):
+            CountMinSketch().add("x", -1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=500))
+    @settings(max_examples=30, deadline=None)
+    def test_property_no_underestimate(self, keys):
+        sketch = CountMinSketch(width=128, depth=4)
+        truth = Counter(keys)
+        for key in keys:
+            sketch.add(key)
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+
+class TestReservoir:
+    def test_fills_then_caps(self):
+        reservoir = ReservoirSample(capacity=10, seed=0)
+        for i in range(100):
+            reservoir.offer(i)
+        assert len(reservoir.sample()) == 10
+        assert reservoir.n_seen == 100
+
+    def test_small_stream_kept_entirely(self):
+        reservoir = ReservoirSample(capacity=10, seed=0)
+        for i in range(5):
+            reservoir.offer(i)
+        assert sorted(reservoir.sample()) == [0, 1, 2, 3, 4]
+
+    def test_approximately_uniform(self):
+        """Each item's inclusion probability ≈ capacity/n."""
+        counts = Counter()
+        for seed in range(400):
+            reservoir = ReservoirSample(capacity=10, seed=seed)
+            for i in range(100):
+                reservoir.offer(i)
+            counts.update(reservoir.sample())
+        # Expected inclusion count per item: 400 * 10/100 = 40.
+        for i in range(100):
+            assert 15 <= counts[i] <= 75
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(0)
+
+
+class TestHeavyHitters:
+    def test_finds_dominant_keys(self):
+        hh = HeavyHitters(k=5)
+        rng = random.Random(0)
+        for __ in range(10_000):
+            if rng.random() < 0.6:
+                hh.add(rng.choice(["whale-1", "whale-2"]))
+            else:
+                hh.add(rng.randint(0, 5000))
+        top_keys = [key for key, __ in hh.top(2)]
+        assert set(top_keys) == {"whale-1", "whale-2"}
+
+    def test_guarantee_above_threshold(self):
+        """Keys above total/(k+1) must survive."""
+        hh = HeavyHitters(k=9)
+        stream = ["big"] * 300 + [f"small-{i}" for i in range(700)]
+        random.Random(1).shuffle(stream)
+        for key in stream:
+            hh.add(key)
+        assert "big" in hh
+
+    def test_bounded_memory(self):
+        hh = HeavyHitters(k=10)
+        for i in range(100_000):
+            hh.add(i)  # all distinct
+        assert len(hh.top()) <= 10
+
+    def test_counts_underestimate_boundedly(self):
+        hh = HeavyHitters(k=10)
+        truth = Counter()
+        rng = random.Random(2)
+        for __ in range(5000):
+            key = rng.choice(["a"] * 5 + ["b"] * 3 + list(range(50)))
+            hh.add(key)
+            truth[key] += 1
+        for key, estimate in hh.top():
+            assert estimate <= truth[key]
+            assert truth[key] - estimate <= hh.total / (hh.k + 1) + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeavyHitters(0)
+
+    def test_mmsi_chatter_use_case(self):
+        """The maritime use: find the chattiest vessels in one pass."""
+        hh = HeavyHitters(k=8)
+        rng = random.Random(3)
+        # A fast ferry reports every 2 s; cargo every 10 s.
+        for t in range(0, 3600, 2):
+            hh.add(227000111)
+            if t % 10 == 0:
+                for mmsi in range(227000200, 227000230):
+                    hh.add(mmsi)
+        top = hh.top(1)
+        assert top[0][0] == 227000111

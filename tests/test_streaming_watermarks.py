@@ -1,0 +1,76 @@
+"""Tests for watermark-based reordering."""
+
+import pytest
+
+from repro.streaming import (
+    LateRecordPolicy,
+    Record,
+    Stream,
+    reorder_with_watermark,
+)
+from repro.streaming.watermarks import ReorderStats
+
+
+def stream_of(times):
+    return Stream(Record(float(t), "k", t) for t in times)
+
+
+class TestReorder:
+    def test_restores_order_within_bound(self):
+        out = reorder_with_watermark(
+            stream_of([0, 3, 1, 2, 5, 4, 8]), max_lateness_s=5.0
+        ).collect()
+        assert [r.t for r in out] == sorted([0, 3, 1, 2, 5, 4, 8])
+
+    def test_already_ordered_passthrough(self):
+        out = reorder_with_watermark(
+            stream_of(range(10)), max_lateness_s=2.0
+        ).collect()
+        assert [r.t for r in out] == list(map(float, range(10)))
+
+    def test_too_late_dropped(self):
+        stats = ReorderStats()
+        out = reorder_with_watermark(
+            stream_of([0, 100, 1]), max_lateness_s=5.0, stats=stats
+        ).collect()
+        assert [r.t for r in out] == [0.0, 100.0]
+        assert stats.late == 1
+
+    def test_too_late_emitted_when_policy_says_so(self):
+        out = reorder_with_watermark(
+            stream_of([0, 100, 1]),
+            max_lateness_s=5.0,
+            policy=LateRecordPolicy.EMIT_OUT_OF_ORDER,
+        ).collect()
+        assert len(out) == 3
+
+    def test_everything_flushed_at_end(self):
+        stats = ReorderStats()
+        out = reorder_with_watermark(
+            stream_of([5, 4, 3, 2, 1]), max_lateness_s=10.0, stats=stats
+        ).collect()
+        assert len(out) == 5
+        assert stats.emitted == 5
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            reorder_with_watermark(stream_of([1]), -1.0)
+
+    def test_satellite_latency_scenario(self):
+        """Terrestrial (fast) and satellite (minutes late) interleave; the
+        reorderer restores event-time order with a 400 s bound."""
+        import random
+
+        rng = random.Random(0)
+        arrivals = []
+        for t in range(0, 2000, 10):
+            latency = 1.0 if rng.random() < 0.7 else rng.uniform(250.0, 390.0)
+            arrivals.append((t + latency, float(t)))
+        arrivals.sort()  # arrival order
+        out = reorder_with_watermark(
+            Stream(Record(event_t, "v", None) for __, event_t in arrivals),
+            max_lateness_s=400.0,
+        ).collect()
+        times = [r.t for r in out]
+        assert times == sorted(times)
+        assert len(times) == len(arrivals)

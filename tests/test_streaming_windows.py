@@ -1,0 +1,91 @@
+"""Tests for window operators."""
+
+import pytest
+
+from repro.streaming import (
+    Record,
+    Stream,
+    session_windows,
+    sliding_windows,
+    tumbling_windows,
+)
+
+
+def keyed(times, key="k"):
+    return Stream(Record(float(t), key, t) for t in times)
+
+
+class TestTumbling:
+    def test_alignment(self):
+        out = tumbling_windows(keyed([0, 5, 9, 10, 15, 21]), 10.0).collect()
+        spans = [(r.value.t_start, r.value.t_end) for r in out]
+        assert spans == [(0.0, 10.0), (10.0, 20.0), (20.0, 30.0)]
+
+    def test_contents(self):
+        out = tumbling_windows(keyed([0, 5, 9, 10]), 10.0).collect()
+        assert out[0].value.values == [0, 5, 9]
+        assert out[1].value.values == [10]
+
+    def test_keys_independent(self):
+        mixed = Stream(
+            [Record(0.0, "a", 1), Record(1.0, "b", 2), Record(11.0, "a", 3)]
+        )
+        out = tumbling_windows(mixed, 10.0).collect()
+        keys = [(r.key, len(r.value)) for r in out]
+        assert ("a", 1) in keys and ("b", 1) in keys
+
+    def test_final_flush(self):
+        out = tumbling_windows(keyed([3]), 10.0).collect()
+        assert len(out) == 1
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            tumbling_windows(keyed([1]), 0.0).collect()
+
+
+class TestSliding:
+    def test_overlap(self):
+        out = sliding_windows(keyed(range(0, 30)), 20.0, 10.0).collect()
+        # Every record should appear in up to two windows.
+        total = sum(len(r.value) for r in out)
+        assert total > 30
+
+    def test_window_spans(self):
+        out = sliding_windows(keyed(range(0, 25)), 20.0, 10.0).collect()
+        for r in out:
+            assert r.value.t_end - r.value.t_start == pytest.approx(20.0)
+            for inner in r.value.records:
+                assert r.value.t_start <= inner.t < r.value.t_end
+
+    def test_slide_must_not_exceed_size(self):
+        with pytest.raises(ValueError):
+            sliding_windows(keyed([1]), 10.0, 20.0).collect()
+
+
+class TestSession:
+    def test_gap_splits_sessions(self):
+        out = session_windows(keyed([0, 1, 2, 50, 51, 100]), 10.0).collect()
+        spans = [(r.value.t_start, r.value.t_end) for r in out]
+        assert spans == [(0.0, 2.0), (50.0, 51.0), (100.0, 100.0)]
+
+    def test_continuous_single_session(self):
+        out = session_windows(keyed(range(0, 100, 5)), 10.0).collect()
+        assert len(out) == 1
+        assert len(out[0].value) == 20
+
+    def test_per_key_sessions(self):
+        mixed = Stream(
+            [
+                Record(0.0, "a", 1), Record(2.0, "b", 2),
+                Record(30.0, "a", 3), Record(4.0, "b", 4),
+            ]
+        )
+        out = session_windows(mixed, 10.0).collect()
+        a_sessions = [r for r in out if r.key == "a"]
+        b_sessions = [r for r in out if r.key == "b"]
+        assert len(a_sessions) == 2
+        assert len(b_sessions) == 1
+
+    def test_session_emission_time_is_gap_expiry(self):
+        out = session_windows(keyed([0, 1, 2, 50]), 10.0).collect()
+        assert out[0].t == pytest.approx(12.0)  # last event + gap

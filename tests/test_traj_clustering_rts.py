@@ -1,0 +1,168 @@
+"""Tests for route clustering, anchorage discovery and RTS smoothing."""
+
+import random
+
+import pytest
+
+from repro.geo import haversine_m
+from repro.trajectory.clustering import (
+    Anchorage,
+    cluster_routes,
+    discover_anchorages,
+)
+from repro.trajectory.kalman import rts_smooth_trajectory, smooth_trajectory
+from repro.trajectory.points import TrackPoint, Trajectory
+from repro.trajectory.stops import StopSegment
+
+
+def lane_track(mmsi, lat0, lon0, dlat, dlon, n=30, dt=120.0, jitter=0.002,
+               seed=0):
+    rng = random.Random(seed + mmsi)
+    points = [
+        TrackPoint(
+            i * dt,
+            lat0 + i * dlat + rng.uniform(-jitter, jitter),
+            lon0 + i * dlon + rng.uniform(-jitter, jitter),
+            10.0, 0.0,
+        )
+        for i in range(n)
+    ]
+    return Trajectory(mmsi, points)
+
+
+class TestClusterRoutes:
+    def make_two_lanes(self):
+        northbound = [
+            lane_track(100 + i, 48.0, -5.0, 0.01, 0.0) for i in range(5)
+        ]
+        eastbound = [
+            lane_track(200 + i, 47.0, -6.0, 0.0, 0.015) for i in range(5)
+        ]
+        return northbound + eastbound
+
+    def test_separates_lanes(self):
+        tracks = self.make_two_lanes()
+        clusters = cluster_routes(tracks, k=2, seed=1)
+        assert len(clusters) == 2
+        groups = [
+            {tracks[i].mmsi // 100 for i in c.member_indices}
+            for c in clusters
+        ]
+        # Each cluster is pure: all northbound or all eastbound.
+        assert all(len(group) == 1 for group in groups)
+        assert {g.pop() for g in groups} == {1, 2}
+
+    def test_every_track_assigned_once(self):
+        tracks = self.make_two_lanes()
+        clusters = cluster_routes(tracks, k=2, seed=1)
+        assigned = sorted(
+            i for c in clusters for i in c.member_indices
+        )
+        assert assigned == list(range(len(tracks)))
+
+    def test_medoid_is_member(self):
+        tracks = self.make_two_lanes()
+        for cluster in cluster_routes(tracks, k=2, seed=1):
+            assert cluster.medoid_index in cluster.member_indices
+
+    def test_k_larger_than_n(self):
+        tracks = self.make_two_lanes()[:3]
+        clusters = cluster_routes(tracks, k=10, seed=1)
+        assert len(clusters) == 3
+
+    def test_empty(self):
+        assert cluster_routes([], k=3) == []
+
+    def test_deterministic(self):
+        tracks = self.make_two_lanes()
+        a = cluster_routes(tracks, k=2, seed=5)
+        b = cluster_routes(tracks, k=2, seed=5)
+        assert [c.member_indices for c in a] == [c.member_indices for c in b]
+
+
+class TestAnchorages:
+    def stop(self, mmsi, lat, lon, t=0.0, dwell=1800.0):
+        return StopSegment(mmsi, t, t + dwell, lat, lon)
+
+    def test_discovers_busy_spot(self):
+        stops = [
+            self.stop(i, 48.380 + i * 1e-4, -4.490, t=i * 1000.0)
+            for i in range(6)
+        ]
+        stops.append(self.stop(99, 43.0, -3.0))  # lone stop elsewhere
+        anchorages = discover_anchorages(stops, min_stops=3)
+        assert len(anchorages) == 1
+        anchorage = anchorages[0]
+        assert anchorage.n_stops == 6
+        assert anchorage.n_vessels == 6
+        assert haversine_m(anchorage.lat, anchorage.lon, 48.380, -4.490) < 500.0
+
+    def test_separate_spots_stay_separate(self):
+        brest = [self.stop(i, 48.38, -4.49, t=i * 100.0) for i in range(4)]
+        cherbourg = [
+            self.stop(10 + i, 49.65, -1.62, t=i * 100.0) for i in range(4)
+        ]
+        anchorages = discover_anchorages(brest + cherbourg, min_stops=3)
+        assert len(anchorages) == 2
+
+    def test_min_stops_filter(self):
+        stops = [self.stop(1, 48.0, -5.0), self.stop(2, 48.0, -5.0)]
+        assert discover_anchorages(stops, min_stops=3) == []
+
+    def test_busiest_first(self):
+        busy = [self.stop(i, 48.38, -4.49, t=i * 100.0) for i in range(8)]
+        quiet = [self.stop(20 + i, 49.65, -1.62, t=i * 100.0) for i in range(3)]
+        anchorages = discover_anchorages(busy + quiet, min_stops=3)
+        assert anchorages[0].n_stops == 8
+
+    def test_dwell_accumulated(self):
+        stops = [
+            self.stop(i, 48.0, -5.0, t=i * 10_000.0, dwell=3600.0)
+            for i in range(3)
+        ]
+        anchorage = discover_anchorages(stops, min_stops=3)[0]
+        assert anchorage.total_dwell_s == pytest.approx(3 * 3600.0)
+
+
+class TestRtsSmoother:
+    def noisy_track(self, noise_m=40.0, n=60, seed=4):
+        rng = random.Random(seed)
+        truth = []
+        noisy = []
+        for i in range(n):
+            lat = 48.0 + i * 1e-4
+            truth.append((lat, -5.0))
+            noisy.append(
+                TrackPoint(
+                    i * 10.0,
+                    lat + rng.gauss(0.0, noise_m / 111_195.0),
+                    -5.0 + rng.gauss(0.0, noise_m / 74_000.0),
+                )
+            )
+        return truth, Trajectory(3, noisy)
+
+    def mean_error(self, truth, track, skip=0):
+        return sum(
+            haversine_m(track[i].lat, track[i].lon, *truth[i])
+            for i in range(skip, len(track))
+        ) / (len(track) - skip)
+
+    def test_rts_beats_forward_filter(self):
+        truth, track = self.noisy_track()
+        forward = smooth_trajectory(track, measurement_sigma_m=40.0)
+        rts = rts_smooth_trajectory(track, measurement_sigma_m=40.0)
+        # RTS conditions on the whole track, so it must beat the causal
+        # filter overall — most visibly in the early, unconverged part.
+        assert self.mean_error(truth, rts) < self.mean_error(truth, forward)
+
+    def test_rts_beats_raw(self):
+        truth, track = self.noisy_track()
+        rts = rts_smooth_trajectory(track, measurement_sigma_m=40.0)
+        assert self.mean_error(truth, rts) < self.mean_error(truth, track)
+
+    def test_structure_preserved(self):
+        __, track = self.noisy_track()
+        rts = rts_smooth_trajectory(track)
+        assert len(rts) == len(track)
+        assert [p.t for p in rts] == [p.t for p in track]
+        assert rts.mmsi == track.mmsi

@@ -1,0 +1,152 @@
+"""Tests for trajectory synopses (the E1 / §2.1 machinery)."""
+
+import math
+import random
+
+import pytest
+
+from repro.trajectory import (
+    Trajectory,
+    compression_ratio,
+    dead_reckoning_compress,
+    douglas_peucker,
+    max_sed_error_m,
+    mean_sed_error_m,
+    squish_e,
+)
+from repro.trajectory.points import TrackPoint
+
+
+def straight_track(n=200, dt=10.0):
+    """Constant-velocity track: maximally compressible."""
+    return Trajectory(
+        1,
+        [
+            TrackPoint(i * dt, 48.0 + i * 0.0005, -5.0, 10.5, 0.0)
+            for i in range(n)
+        ],
+    )
+
+
+def wiggly_track(n=200, dt=10.0, amplitude=0.01, seed=3):
+    """Northbound track with a sinusoidal *cross-track* (longitude) wiggle
+    of ~amplitude*74 km, plus small noise."""
+    rng = random.Random(seed)
+    points = []
+    for i in range(n):
+        lat = 48.0 + i * 0.0005
+        lon = -5.0 + amplitude * math.sin(i / 5.0) + rng.uniform(-1e-4, 1e-4)
+        points.append(TrackPoint(i * dt, lat, lon, 10.0, 0.0))
+    return Trajectory(1, points)
+
+
+ALGORITHMS = [
+    ("dp", lambda tr, tol: douglas_peucker(tr, tol)),
+    ("dr", lambda tr, tol: dead_reckoning_compress(tr, tol)),
+    ("squish", lambda tr, tol: squish_e(tr, tol)),
+]
+
+
+@pytest.mark.parametrize("name,algo", ALGORITHMS)
+class TestCommonProperties:
+    def test_endpoints_kept(self, name, algo):
+        track = wiggly_track()
+        synopsis = algo(track, 100.0)
+        assert synopsis[0] == track[0]
+        assert synopsis[-1] == track[-1]
+
+    def test_synopsis_is_subset(self, name, algo):
+        track = wiggly_track()
+        synopsis = algo(track, 100.0)
+        original = set((p.t, p.lat, p.lon) for p in track)
+        assert all((p.t, p.lat, p.lon) in original for p in synopsis)
+
+    def test_timestamps_increasing(self, name, algo):
+        synopsis = algo(wiggly_track(), 100.0)
+        times = [p.t for p in synopsis]
+        assert times == sorted(times)
+
+    def test_tighter_tolerance_keeps_more(self, name, algo):
+        track = wiggly_track()
+        loose = algo(track, 500.0)
+        tight = algo(track, 20.0)
+        assert len(tight) >= len(loose)
+
+    def test_two_point_track_unchanged(self, name, algo):
+        track = Trajectory(
+            1, [TrackPoint(0.0, 48.0, -5.0, 10.0, 0.0),
+                TrackPoint(60.0, 48.01, -5.0, 10.0, 0.0)]
+        )
+        assert len(algo(track, 100.0)) == 2
+
+    def test_invalid_tolerance(self, name, algo):
+        with pytest.raises(ValueError):
+            algo(straight_track(), 0.0)
+
+
+class TestStraightLineCompression:
+    """A constant-velocity track compresses to ~2 points — this is how the
+    95% figure of [29] arises on lane traffic."""
+
+    def test_douglas_peucker_two_points(self):
+        synopsis = douglas_peucker(straight_track(), 50.0)
+        assert len(synopsis) <= 4
+        assert compression_ratio(straight_track(), synopsis) > 0.95
+
+    def test_dead_reckoning_high_ratio(self):
+        synopsis = dead_reckoning_compress(straight_track(), 100.0)
+        assert compression_ratio(straight_track(), synopsis) > 0.95
+
+    def test_squish_high_ratio(self):
+        synopsis = squish_e(straight_track(), 50.0)
+        assert compression_ratio(straight_track(), synopsis) > 0.95
+
+
+class TestErrorBounds:
+    def test_squish_respects_sed_bound(self):
+        track = wiggly_track()
+        bound = 200.0
+        synopsis = squish_e(track, bound)
+        # SQUISH-E's accumulated priority guarantees the bound.
+        assert max_sed_error_m(track, synopsis) <= bound * 1.01
+
+    def test_dp_cross_track_bound_approximates_sed(self):
+        track = wiggly_track()
+        synopsis = douglas_peucker(track, 100.0)
+        # DP bounds cross-track, not SED; on near-constant-speed tracks
+        # the SED stays within a small multiple.
+        assert max_sed_error_m(track, synopsis) <= 500.0
+
+    def test_mean_below_max(self):
+        track = wiggly_track()
+        synopsis = squish_e(track, 150.0)
+        assert mean_sed_error_m(track, synopsis) <= max_sed_error_m(track, synopsis)
+
+    def test_identity_synopsis_zero_error(self):
+        track = wiggly_track()
+        assert max_sed_error_m(track, track) == 0.0
+        assert compression_ratio(track, track) == 0.0
+
+
+class TestManoeuvrePreservation:
+    def test_turn_point_survives(self):
+        """A sharp course change must keep a fix near the corner."""
+        points = []
+        for i in range(50):
+            points.append(TrackPoint(i * 10.0, 48.0 + i * 0.001, -5.0, 10.0, 0.0))
+        corner_lat = 48.0 + 49 * 0.001
+        for i in range(1, 50):
+            points.append(
+                TrackPoint(
+                    490.0 + i * 10.0, corner_lat, -5.0 + i * 0.001, 10.0, 90.0
+                )
+            )
+        track = Trajectory(1, points)
+        for algo in (douglas_peucker, squish_e):
+            synopsis = algo(track, 100.0)
+            from repro.geo import haversine_m
+
+            nearest_to_corner = min(
+                haversine_m(p.lat, p.lon, corner_lat, -5.0) for p in synopsis
+            )
+            assert nearest_to_corner < 500.0

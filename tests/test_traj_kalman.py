@@ -1,0 +1,109 @@
+"""Tests for Kalman filtering and smoothing."""
+
+import random
+
+import pytest
+
+from repro.geo import LocalTangentPlane, haversine_m
+from repro.trajectory import CvKalmanFilter, smooth_trajectory
+from repro.trajectory.points import TrackPoint, Trajectory
+
+
+def noisy_straight_track(n=60, dt=10.0, noise_m=30.0, seed=2):
+    """Truth: due north at ~19.3 kn; fixes carry Gaussian noise."""
+    rng = random.Random(seed)
+    truth = []
+    noisy = []
+    for i in range(n):
+        lat = 48.0 + i * dt * 0.9e-5  # ~1 m/s per 1e-5 deg ≈ 10 m/s north
+        truth.append((lat, -5.0))
+        noisy.append(
+            TrackPoint(
+                i * dt,
+                lat + rng.gauss(0.0, noise_m / 111_195.0),
+                -5.0 + rng.gauss(0.0, noise_m / 74_000.0),
+                None, None,
+            )
+        )
+    return truth, Trajectory(7, noisy)
+
+
+class TestFilter:
+    def test_initialises_on_first_fix(self):
+        plane = LocalTangentPlane(48.0, -5.0)
+        kf = CvKalmanFilter(plane)
+        state = kf.update(TrackPoint(0.0, 48.0, -5.0))
+        assert state.position_m == pytest.approx((0.0, 0.0), abs=1e-6)
+
+    def test_predict_before_init_fails(self):
+        kf = CvKalmanFilter(LocalTangentPlane(48.0, -5.0))
+        with pytest.raises(RuntimeError):
+            kf.predict(10.0)
+
+    def test_predict_into_past_fails(self):
+        kf = CvKalmanFilter(LocalTangentPlane(48.0, -5.0))
+        kf.update(TrackPoint(100.0, 48.0, -5.0))
+        with pytest.raises(ValueError):
+            kf.predict(50.0)
+
+    def test_velocity_converges(self):
+        truth, track = noisy_straight_track()
+        kf = CvKalmanFilter(LocalTangentPlane(48.0, -5.0))
+        for point in track:
+            state = kf.update(point)
+        # Truth speed: 0.9e-5 deg / s * 111195 m/deg ≈ 1.0 m/s.
+        assert state.speed_mps == pytest.approx(1.0, abs=0.3)
+
+    def test_uncertainty_grows_with_prediction_horizon(self):
+        __, track = noisy_straight_track()
+        kf = CvKalmanFilter(LocalTangentPlane(48.0, -5.0))
+        for point in track:
+            kf.update(point)
+        near = kf.predict(track.t_end + 60.0).position_sigma_m()
+        far = kf.predict(track.t_end + 1800.0).position_sigma_m()
+        assert far > near
+
+    def test_update_shrinks_uncertainty(self):
+        __, track = noisy_straight_track()
+        kf = CvKalmanFilter(LocalTangentPlane(48.0, -5.0))
+        kf.update(track[0])
+        sigma_first = kf.state.position_sigma_m()
+        for point in track.points[1:20]:
+            kf.update(point)
+        assert kf.state.position_sigma_m() < sigma_first
+
+    def test_innovation_distance_flags_jump(self):
+        __, track = noisy_straight_track()
+        kf = CvKalmanFilter(LocalTangentPlane(48.0, -5.0))
+        for point in track.points[:20]:
+            kf.update(point)
+        consistent = TrackPoint(205.0, track[20].lat, track[20].lon)
+        jumped = TrackPoint(205.0, track[20].lat + 0.5, track[20].lon)
+        assert kf.innovation_distance(jumped) > 10 * kf.innovation_distance(
+            consistent
+        ) or kf.innovation_distance(jumped) > 50.0
+
+
+class TestSmoothing:
+    def test_smoothing_reduces_noise(self):
+        truth, track = noisy_straight_track(noise_m=50.0)
+        smoothed = smooth_trajectory(track, measurement_sigma_m=50.0)
+        raw_error = 0.0
+        smooth_error = 0.0
+        # Skip the convergence phase.
+        for i in range(20, len(track)):
+            true_lat, true_lon = truth[i]
+            raw_error += haversine_m(
+                track[i].lat, track[i].lon, true_lat, true_lon
+            )
+            smooth_error += haversine_m(
+                smoothed[i].lat, smoothed[i].lon, true_lat, true_lon
+            )
+        assert smooth_error < raw_error
+
+    def test_smoothing_preserves_structure(self):
+        __, track = noisy_straight_track()
+        smoothed = smooth_trajectory(track)
+        assert len(smoothed) == len(track)
+        assert smoothed.mmsi == track.mmsi
+        assert [p.t for p in smoothed] == [p.t for p in track]

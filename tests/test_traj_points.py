@@ -1,0 +1,86 @@
+"""Tests for TrackPoint and Trajectory."""
+
+import pytest
+
+from repro.trajectory.points import TrackPoint, Trajectory
+
+
+def straight_track(n=10, dt=60.0, speed_deg=0.01):
+    return Trajectory(
+        1,
+        [
+            TrackPoint(i * dt, 48.0 + i * speed_deg, -5.0, 10.0, 0.0)
+            for i in range(n)
+        ],
+    )
+
+
+class TestInvariants:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(1, [])
+
+    def test_non_increasing_rejected(self):
+        points = [
+            TrackPoint(0.0, 48.0, -5.0),
+            TrackPoint(0.0, 48.1, -5.0),
+        ]
+        with pytest.raises(ValueError):
+            Trajectory(1, points)
+
+    def test_single_point_ok(self):
+        trajectory = Trajectory(1, [TrackPoint(0.0, 48.0, -5.0)])
+        assert trajectory.duration_s == 0.0
+        assert trajectory.length_m() == 0.0
+
+
+class TestGeometry:
+    def test_length(self):
+        trajectory = straight_track(n=11, speed_deg=0.01)
+        # 0.1 degrees of latitude total ≈ 11.1 km.
+        assert trajectory.length_m() == pytest.approx(11_119.5, rel=1e-3)
+
+    def test_position_at_fix_times(self):
+        trajectory = straight_track()
+        assert trajectory.position_at(60.0) == (48.01, -5.0)
+
+    def test_position_interpolates(self):
+        trajectory = straight_track()
+        lat, lon = trajectory.position_at(90.0)
+        assert lat == pytest.approx(48.015, abs=1e-6)
+
+    def test_position_clamps(self):
+        trajectory = straight_track()
+        assert trajectory.position_at(-100.0) == trajectory[0].position
+        assert trajectory.position_at(1e9) == trajectory[-1].position
+
+    def test_bounding_box(self):
+        trajectory = straight_track(n=5)
+        lat_min, lat_max, lon_min, lon_max = trajectory.bounding_box()
+        assert lat_min == 48.0 and lat_max == pytest.approx(48.04)
+        assert lon_min == lon_max == -5.0
+
+    def test_mean_speed(self):
+        trajectory = straight_track(n=11, dt=360.0, speed_deg=0.01)
+        # 11.1 km in 1 h ≈ 6 kn.
+        assert trajectory.mean_speed_knots() == pytest.approx(6.0, rel=0.01)
+
+
+class TestSlice:
+    def test_slice_inclusive(self):
+        trajectory = straight_track(n=10)
+        sliced = trajectory.slice_time(60.0, 180.0)
+        assert [p.t for p in sliced] == [60.0, 120.0, 180.0]
+
+    def test_slice_empty_returns_none(self):
+        trajectory = straight_track(n=10)
+        assert trajectory.slice_time(1e6, 2e6) is None
+
+    def test_slice_preserves_mmsi(self):
+        assert straight_track().slice_time(0.0, 120.0).mmsi == 1
+
+    def test_iteration_and_indexing(self):
+        trajectory = straight_track(n=3)
+        assert len(list(trajectory)) == 3
+        assert trajectory[0].t == 0.0
+        assert trajectory[-1].t == 120.0

@@ -1,0 +1,127 @@
+"""Tests for online trajectory reconstruction and cleaning."""
+
+import pytest
+
+from repro.ais.types import PositionReport
+from repro.trajectory import ReconstructionConfig, TrackReconstructor
+
+
+def report(mmsi=227000001, lat=48.0, lon=-5.0, sog=10.0, cog=0.0):
+    return PositionReport(
+        mmsi=mmsi, lat=lat, lon=lon, sog_knots=sog, cog_deg=cog
+    )
+
+
+class TestBasicFlow:
+    def test_clean_sequence_accepted(self):
+        rec = TrackReconstructor()
+        for i in range(10):
+            out = rec.add(report(lat=48.0 + i * 0.001), t=float(i * 10))
+            assert out is not None
+        tracks = rec.finish()
+        assert len(tracks) == 1
+        assert len(tracks[0]) == 10
+
+    def test_multiple_vessels_separate_tracks(self):
+        rec = TrackReconstructor()
+        for i in range(10):
+            rec.add(report(mmsi=1, lat=48.0 + i * 0.001), t=float(i * 10))
+            rec.add(report(mmsi=2, lat=50.0 + i * 0.001), t=float(i * 10))
+        tracks = rec.finish()
+        assert {tr.mmsi for tr in tracks} == {1, 2}
+
+    def test_position_unavailable_skipped(self):
+        rec = TrackReconstructor()
+        assert rec.add(report(lat=91.0, lon=181.0), t=0.0) is None
+
+    def test_finish_resets(self):
+        rec = TrackReconstructor()
+        for i in range(5):
+            rec.add(report(lat=48.0 + i * 0.001), t=float(i * 10))
+        assert len(rec.finish()) == 1
+        assert rec.finish() == []
+
+
+class TestCleaningRules:
+    def test_duplicates_dropped(self):
+        rec = TrackReconstructor(ReconstructionConfig(min_dt_s=5.0))
+        rec.add(report(), t=0.0)
+        assert rec.add(report(), t=1.0) is None
+        assert rec.stats.duplicates == 1
+
+    def test_out_of_order_dropped(self):
+        rec = TrackReconstructor()
+        rec.add(report(), t=100.0)
+        assert rec.add(report(lat=48.001), t=50.0) is None
+        assert rec.stats.out_of_order == 1
+
+    def test_speed_gate_rejects_single_glitch(self):
+        rec = TrackReconstructor()
+        rec.add(report(lat=48.0), t=0.0)
+        # 1 degree (~111 km) in 10 s → thousands of knots.
+        assert rec.add(report(lat=49.0), t=10.0) is None
+        assert rec.stats.speed_rejected == 1
+        # Vessel continues normally: next plausible fix accepted.
+        assert rec.add(report(lat=48.0005), t=20.0) is not None
+
+    def test_persistent_jump_splits_segment(self):
+        config = ReconstructionConfig(max_consecutive_rejects=3)
+        rec = TrackReconstructor(config)
+        for i in range(5):
+            rec.add(report(lat=48.0 + i * 0.0005), t=float(i * 10))
+        # Vessel "teleports" (spoof) and keeps reporting there.
+        for i in range(5):
+            rec.add(report(lat=49.5 + i * 0.0005), t=float(50 + i * 10))
+        tracks = rec.finish()
+        assert len(tracks) == 2
+        assert rec.stats.segments_closed >= 1
+
+    def test_gap_splits_segment(self):
+        config = ReconstructionConfig(gap_timeout_s=600.0)
+        rec = TrackReconstructor(config)
+        for i in range(5):
+            rec.add(report(lat=48.0 + i * 0.0005), t=float(i * 10))
+        rec.add(report(lat=48.01), t=5_000.0)  # long silence
+        for i in range(4):
+            rec.add(report(lat=48.01 + i * 0.0005), t=5_010.0 + i * 10)
+        tracks = rec.finish()
+        assert len(tracks) == 2
+
+    def test_active_track_inspection(self):
+        rec = TrackReconstructor()
+        rec.add(report(), t=0.0)
+        rec.add(report(lat=48.0005), t=10.0)
+        assert len(rec.active_track(227000001)) == 2
+        assert rec.last_point(227000001).t == 10.0
+        assert rec.last_point(999) is None
+
+
+class TestEndToEnd:
+    def test_reconstruction_tracks_truth(self):
+        """Feeding simulator output must recover the true path within GPS
+        noise + receiver loss."""
+        import random
+
+        from repro.geo import haversine_m
+        from repro.simulation import FleetBuilder, plan_transit
+        from repro.simulation.reporting import AisTransceiver
+        from repro.ais.types import ShipType
+
+        rng = random.Random(1)
+        builder = FleetBuilder(1)
+        spec = builder.build(ShipType.CARGO)
+        plan = plan_transit(
+            0.0, 2 * 3600.0, (48.38, -4.49), (49.65, -1.62), 14.0, rng
+        )
+        transceiver = AisTransceiver(spec, plan, random.Random(2))
+        rec = TrackReconstructor()
+        for tx in transceiver.transmissions():
+            if isinstance(tx.message, PositionReport):
+                rec.add(tx.message, tx.t)
+        tracks = rec.finish()
+        assert len(tracks) == 1
+        track = tracks[0]
+        for t in range(0, 7200, 600):
+            true_pos = plan.position_at(float(t))
+            rec_pos = track.position_at(float(t))
+            assert haversine_m(*true_pos, *rec_pos) < 100.0

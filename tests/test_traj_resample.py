@@ -1,0 +1,59 @@
+"""Tests for uniform resampling."""
+
+import pytest
+
+from repro.trajectory import resample
+from repro.trajectory.points import TrackPoint, Trajectory
+
+
+def irregular_track():
+    times = [0.0, 7.0, 30.0, 31.0, 95.0, 180.0]
+    return Trajectory(
+        3,
+        [
+            TrackPoint(t, 48.0 + t * 1e-4, -5.0, 9.0, 0.0)
+            for t in times
+        ],
+    )
+
+
+class TestResample:
+    def test_uniform_cadence(self):
+        out = resample(irregular_track(), 30.0)
+        gaps = [b.t - a.t for a, b in zip(out.points, out.points[1:-1])]
+        assert all(g == pytest.approx(30.0) for g in gaps)
+
+    def test_span_preserved(self):
+        track = irregular_track()
+        out = resample(track, 30.0)
+        assert out.t_start == track.t_start
+        assert out.t_end == track.t_end
+
+    def test_positions_on_path(self):
+        track = irregular_track()
+        out = resample(track, 10.0)
+        for point in out:
+            expected = track.position_at(point.t)
+            assert point.lat == pytest.approx(expected[0], abs=1e-9)
+
+    def test_kinematics_carried_from_previous_fix(self):
+        points = [
+            TrackPoint(0.0, 48.0, -5.0, 5.0, 10.0),
+            TrackPoint(100.0, 48.01, -5.0, 15.0, 20.0),
+        ]
+        out = resample(Trajectory(1, points), 40.0)
+        # Samples before t=100 carry the first fix's SOG.
+        assert out[1].sog_knots == 5.0
+
+    def test_single_point_passthrough(self):
+        track = Trajectory(1, [TrackPoint(0.0, 48.0, -5.0)])
+        assert resample(track, 10.0) is track
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            resample(irregular_track(), 0.0)
+
+    def test_upsampling(self):
+        track = irregular_track()
+        out = resample(track, 5.0)
+        assert len(out) > len(track)

@@ -1,0 +1,96 @@
+"""Tests for DTW, Fréchet and Hausdorff distances."""
+
+import pytest
+
+from repro.trajectory import (
+    Trajectory,
+    dtw_distance_m,
+    frechet_distance_m,
+    hausdorff_distance_m,
+)
+from repro.trajectory.points import TrackPoint
+
+
+def line(lat0, lon0, n=10, dlat=0.01, dlon=0.0, mmsi=1):
+    return Trajectory(
+        mmsi,
+        [
+            TrackPoint(i * 60.0, lat0 + i * dlat, lon0 + i * dlon)
+            for i in range(n)
+        ],
+    )
+
+
+MEASURES = [dtw_distance_m, frechet_distance_m, hausdorff_distance_m]
+
+
+@pytest.mark.parametrize("measure", MEASURES)
+class TestMetricProperties:
+    def test_self_distance_zero(self, measure):
+        track = line(48.0, -5.0)
+        assert measure(track, track) == 0.0
+
+    def test_symmetry(self, measure):
+        a = line(48.0, -5.0)
+        b = line(48.1, -5.05, dlat=0.012)
+        assert measure(a, b) == pytest.approx(measure(b, a), rel=1e-9)
+
+    def test_non_negative(self, measure):
+        a = line(48.0, -5.0)
+        b = line(50.0, -3.0)
+        assert measure(a, b) >= 0.0
+
+    def test_monotone_in_offset(self, measure):
+        base = line(48.0, -5.0)
+        near = line(48.001, -5.0)
+        far = line(48.5, -5.0)
+        assert measure(base, near) < measure(base, far)
+
+
+class TestParallelLines:
+    def test_frechet_equals_offset(self):
+        a = line(48.0, -5.0)
+        b = line(48.1, -5.0)  # parallel, 0.1° north ≈ 11.1 km
+        assert frechet_distance_m(a, b) == pytest.approx(11_119.5, rel=1e-3)
+
+    def test_hausdorff_equals_offset(self):
+        a = line(48.0, -5.0)
+        b = line(48.1, -5.0)
+        assert hausdorff_distance_m(a, b) == pytest.approx(11_119.5, rel=1e-3)
+
+    def test_dtw_sums_offsets(self):
+        a = line(48.0, -5.0, n=10)
+        b = line(48.1, -5.0, n=10)
+        # Diagonal alignment: 10 pairs at ~11.1 km.
+        assert dtw_distance_m(a, b) == pytest.approx(111_195.0, rel=1e-2)
+
+
+class TestWarpingBehaviour:
+    def test_dtw_tolerates_different_sampling(self):
+        """The same path at different rates: DTW stays small, while a
+        naive lockstep sum would not."""
+        coarse = line(48.0, -5.0, n=5, dlat=0.02)
+        fine = line(48.0, -5.0, n=9, dlat=0.01)
+        assert dtw_distance_m(coarse, fine) < 5_000.0
+
+    def test_frechet_tolerates_different_sampling(self):
+        coarse = line(48.0, -5.0, n=5, dlat=0.02)
+        fine = line(48.0, -5.0, n=9, dlat=0.01)
+        assert frechet_distance_m(coarse, fine) < 2_000.0
+
+    def test_dtw_band_widens_for_unequal_lengths(self):
+        a = line(48.0, -5.0, n=30)
+        b = line(48.0, -5.0, n=5, dlat=0.06)
+        # Must not be infinite even with a tiny window.
+        assert dtw_distance_m(a, b, window=1) < float("inf")
+
+    def test_hausdorff_ignores_order(self):
+        forward = line(48.0, -5.0)
+        backward = Trajectory(
+            2,
+            [
+                TrackPoint(i * 60.0, p.lat, p.lon)
+                for i, p in enumerate(reversed(forward.points))
+            ],
+        )
+        assert hausdorff_distance_m(forward, backward) == pytest.approx(0.0, abs=1.0)

@@ -1,0 +1,122 @@
+"""Tests for stop/move segmentation and port-call detection."""
+
+import pytest
+
+from repro.simulation.world import Port
+from repro.trajectory import detect_stops, port_calls, stops_and_moves
+from repro.trajectory.points import TrackPoint, Trajectory
+
+
+def track_with_stop(
+    stop_start=20, stop_len=30, n=70, dt=60.0, stop_lat=48.5, mmsi=5
+):
+    """Move north, dwell at ``stop_lat`` (reached at ``stop_start``),
+    move on."""
+    points = []
+    lat = stop_lat - stop_start * 0.002
+    for i in range(n):
+        moving = i < stop_start or i >= stop_start + stop_len
+        if moving and i > 0:
+            lat += 0.002
+        points.append(
+            TrackPoint(
+                i * dt, lat, -5.0, sog_knots=7.0 if moving else 0.2,
+                cog_deg=0.0,
+            )
+        )
+    return Trajectory(mmsi, points)
+
+
+class TestDetectStops:
+    def test_finds_the_dwell(self):
+        track = track_with_stop()
+        stops = detect_stops(track, min_duration_s=900.0)
+        assert len(stops) == 1
+        stop = stops[0]
+        assert stop.duration_s >= 25 * 60.0
+        assert stop.mmsi == 5
+
+    def test_short_pause_ignored(self):
+        track = track_with_stop(stop_len=5)  # 5 min < 15 min threshold
+        assert detect_stops(track, min_duration_s=900.0) == []
+
+    def test_moving_track_no_stops(self):
+        points = [
+            TrackPoint(i * 60.0, 48.0 + i * 0.002, -5.0, 8.0, 0.0)
+            for i in range(60)
+        ]
+        assert detect_stops(Trajectory(1, points)) == []
+
+    def test_uses_implied_speed_when_sog_missing(self):
+        points = []
+        for i in range(40):
+            lat = 48.0 if i < 30 else 48.0 + (i - 30) * 0.002
+            points.append(TrackPoint(i * 60.0, lat, -5.0, None, None))
+        stops = detect_stops(Trajectory(1, points), min_duration_s=900.0)
+        assert len(stops) == 1
+
+    def test_drifting_beyond_radius_not_a_stop(self):
+        # Slow but steadily moving: covers > max_radius.
+        points = [
+            TrackPoint(i * 60.0, 48.0 + i * 0.0004, -5.0, 0.8, 0.0)
+            for i in range(60)
+        ]
+        stops = detect_stops(
+            Trajectory(1, points), min_duration_s=900.0, max_radius_m=500.0
+        )
+        assert stops == []
+
+
+class TestStopsAndMoves:
+    def test_alternation(self):
+        episodes = stops_and_moves(track_with_stop())
+        labels = [label for label, __, __ in episodes]
+        assert labels == ["move", "stop", "move"]
+
+    def test_episodes_cover_span(self):
+        track = track_with_stop()
+        episodes = stops_and_moves(track)
+        assert episodes[0][1] == track.t_start
+        assert episodes[-1][2] == track.t_end
+        for (__, __, end), (__, start, __) in zip(episodes, episodes[1:]):
+            assert end == start
+
+    def test_all_stop_track(self):
+        points = [
+            TrackPoint(i * 60.0, 48.0, -5.0, 0.1, 0.0) for i in range(40)
+        ]
+        episodes = stops_and_moves(Trajectory(1, points))
+        assert [label for label, *_ in episodes] == ["stop"]
+
+
+class TestPortCalls:
+    PORTS = [Port("BREST", 48.38, -4.49), Port("CHERBOURG", 49.65, -1.62)]
+
+    def test_stop_near_port_is_call(self):
+        track = track_with_stop(stop_lat=48.38)
+        # Shift longitudes so the dwell sits on Brest.
+        points = [
+            TrackPoint(p.t, p.lat, -4.49, p.sog_knots, p.cog_deg)
+            for p in track.points
+        ]
+        stops = detect_stops(Trajectory(5, points), min_duration_s=900.0)
+        calls = port_calls(stops, self.PORTS)
+        assert len(calls) == 1
+        assert calls[0][1].name == "BREST"
+
+    def test_open_sea_stop_is_not_a_call(self):
+        track = track_with_stop(stop_lat=47.0)  # far from both ports
+        stops = detect_stops(track, min_duration_s=900.0)
+        assert stops  # sanity
+        assert port_calls(stops, self.PORTS) == []
+
+    def test_nearest_port_wins(self):
+        stop = detect_stops(
+            track_with_stop(stop_lat=48.38), min_duration_s=900.0
+        )
+        # Build a fake stop exactly between two nearby ports.
+        from repro.trajectory.stops import StopSegment
+
+        near_brest = StopSegment(1, 0.0, 1800.0, 48.39, -4.49)
+        calls = port_calls([near_brest], self.PORTS)
+        assert calls[0][1].name == "BREST"

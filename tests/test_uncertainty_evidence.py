@@ -1,0 +1,163 @@
+"""Tests for Dempster-Shafer evidence theory."""
+
+import pytest
+
+from repro.uncertainty import (
+    MassFunction,
+    combine_dempster,
+    combine_yager,
+    discount,
+)
+
+FRAME = frozenset({"fishing", "cargo", "smuggling"})
+
+
+class TestMassFunction:
+    def test_masses_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            MassFunction({frozenset({"fishing"}): 0.5})
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            MassFunction({frozenset(): 0.3, FRAME: 0.7})
+
+    def test_vacuous(self):
+        m = MassFunction.vacuous(FRAME)
+        assert m.belief({"fishing"}) == 0.0
+        assert m.plausibility({"fishing"}) == 1.0
+
+    def test_categorical(self):
+        m = MassFunction.categorical({"fishing"}, FRAME)
+        assert m.belief({"fishing"}) == 1.0
+        assert m.plausibility({"cargo"}) == 0.0
+
+    def test_simple_support(self):
+        m = MassFunction.simple({"fishing"}, 0.7, FRAME)
+        assert m.belief({"fishing"}) == pytest.approx(0.7)
+        assert m.plausibility({"fishing"}) == 1.0
+        assert m.plausibility({"cargo"}) == pytest.approx(0.3)
+
+    def test_belief_below_plausibility(self):
+        m = MassFunction(
+            {
+                frozenset({"fishing"}): 0.4,
+                frozenset({"fishing", "smuggling"}): 0.3,
+                FRAME: 0.3,
+            },
+            FRAME,
+        )
+        for hypothesis in [{"fishing"}, {"smuggling"}, {"fishing", "cargo"}]:
+            assert m.belief(hypothesis) <= m.plausibility(hypothesis) + 1e-12
+
+    def test_belief_plausibility_duality(self):
+        m = MassFunction.simple({"fishing"}, 0.6, FRAME)
+        a = {"fishing", "cargo"}
+        complement = set(FRAME) - a
+        assert m.plausibility(a) == pytest.approx(1.0 - m.belief(complement))
+
+    def test_pignistic_sums_to_one(self):
+        m = MassFunction.simple({"fishing", "smuggling"}, 0.8, FRAME)
+        bet = m.pignistic()
+        assert sum(bet.values()) == pytest.approx(1.0)
+        assert bet["fishing"] == pytest.approx(0.4 + 0.2 / 3)
+
+
+class TestDempster:
+    def test_agreement_reinforces(self):
+        a = MassFunction.simple({"smuggling"}, 0.6, FRAME)
+        b = MassFunction.simple({"smuggling"}, 0.7, FRAME)
+        combined = combine_dempster(a, b)
+        assert combined.belief({"smuggling"}) > 0.85
+
+    def test_identity_with_vacuous(self):
+        a = MassFunction.simple({"fishing"}, 0.6, FRAME)
+        combined = combine_dempster(a, MassFunction.vacuous(FRAME))
+        assert combined.masses == a.masses
+
+    def test_commutative(self):
+        a = MassFunction.simple({"fishing"}, 0.6, FRAME)
+        b = MassFunction.simple({"fishing", "smuggling"}, 0.5, FRAME)
+        ab = combine_dempster(a, b)
+        ba = combine_dempster(b, a)
+        for h in ab.masses:
+            assert ab.masses[h] == pytest.approx(ba.masses[h])
+
+    def test_total_conflict_raises(self):
+        a = MassFunction.categorical({"fishing"}, FRAME)
+        b = MassFunction.categorical({"cargo"}, FRAME)
+        with pytest.raises(ValueError):
+            combine_dempster(a, b)
+
+    def test_conflict_measure(self):
+        a = MassFunction.simple({"fishing"}, 0.8, FRAME)
+        b = MassFunction.simple({"cargo"}, 0.8, FRAME)
+        assert a.conflict_with(b) == pytest.approx(0.64)
+
+    def test_zadeh_paradox_behaviour(self):
+        """The classic pathological case: Dempster renormalisation makes
+        the barely-supported middle hypothesis certain — documented
+        behaviour, and the reason Yager's rule exists."""
+        frame = frozenset({"a", "b", "c"})
+        m1 = MassFunction({frozenset("a"): 0.99, frozenset("b"): 0.01}, frame)
+        m2 = MassFunction({frozenset("c"): 0.99, frozenset("b"): 0.01}, frame)
+        combined = combine_dempster(m1, m2)
+        assert combined.belief({"b"}) == pytest.approx(1.0)
+
+
+class TestYager:
+    def test_conflict_goes_to_ignorance(self):
+        a = MassFunction.simple({"fishing"}, 0.8, FRAME)
+        b = MassFunction.simple({"cargo"}, 0.8, FRAME)
+        combined = combine_yager(a, b)
+        assert combined.masses[FRAME] >= 0.64
+
+    def test_total_conflict_fully_ignorant(self):
+        a = MassFunction.categorical({"fishing"}, FRAME)
+        b = MassFunction.categorical({"cargo"}, FRAME)
+        combined = combine_yager(a, b)
+        assert combined.masses[FRAME] == pytest.approx(1.0)
+
+    def test_agreement_matches_dempster_when_no_conflict(self):
+        a = MassFunction.simple({"fishing"}, 0.6, FRAME)
+        b = MassFunction.simple({"fishing"}, 0.5, FRAME)
+        d = combine_dempster(a, b)
+        y = combine_yager(a, b)
+        for h in d.masses:
+            assert d.masses[h] == pytest.approx(y.masses[h])
+
+    def test_zadeh_paradox_stays_cautious(self):
+        frame = frozenset({"a", "b", "c"})
+        m1 = MassFunction({frozenset("a"): 0.99, frozenset("b"): 0.01}, frame)
+        m2 = MassFunction({frozenset("c"): 0.99, frozenset("b"): 0.01}, frame)
+        combined = combine_yager(m1, m2)
+        assert combined.belief({"b"}) < 0.01
+        assert combined.masses[frame] > 0.97
+
+
+class TestDiscounting:
+    def test_full_reliability_identity(self):
+        m = MassFunction.simple({"fishing"}, 0.8, FRAME)
+        assert discount(m, 1.0).masses == m.masses
+
+    def test_zero_reliability_vacuous(self):
+        m = MassFunction.simple({"fishing"}, 0.8, FRAME)
+        discounted = discount(m, 0.0)
+        assert discounted.masses == {FRAME: pytest.approx(1.0)}
+
+    def test_partial_discount(self):
+        m = MassFunction.categorical({"smuggling"}, FRAME)
+        discounted = discount(m, 0.6)
+        assert discounted.belief({"smuggling"}) == pytest.approx(0.6)
+        assert discounted.masses[FRAME] == pytest.approx(0.4)
+
+    def test_invalid_reliability(self):
+        m = MassFunction.vacuous(FRAME)
+        with pytest.raises(ValueError):
+            discount(m, 1.2)
+
+    def test_discounted_sources_combine_softly(self):
+        """An unreliable contradicting source should barely move belief."""
+        trusted = MassFunction.simple({"smuggling"}, 0.8, FRAME)
+        junk = discount(MassFunction.categorical({"fishing"}, FRAME), 0.1)
+        combined = combine_dempster(trusted, junk)
+        assert combined.belief({"smuggling"}) > 0.6

@@ -1,0 +1,105 @@
+"""Tests for possibility theory and second-order (Beta) probabilities."""
+
+import pytest
+
+from repro.uncertainty import BetaProbability, PossibilityDistribution
+
+
+class TestPossibility:
+    def test_normalisation(self):
+        pd = PossibilityDistribution({"a": 0.5, "b": 0.25})
+        assert max(pd.degrees.values()) == 1.0
+        assert pd.inconsistency == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PossibilityDistribution({})
+        with pytest.raises(ValueError):
+            PossibilityDistribution({"a": 1.5})
+        with pytest.raises(ValueError):
+            PossibilityDistribution({"a": 0.0})
+
+    def test_possibility_is_max(self):
+        pd = PossibilityDistribution({"a": 1.0, "b": 0.6, "c": 0.2})
+        assert pd.possibility({"b", "c"}) == pytest.approx(0.6)
+        assert pd.possibility({"a", "c"}) == 1.0
+        assert pd.possibility(set()) == 0.0
+
+    def test_necessity_duality(self):
+        pd = PossibilityDistribution({"a": 1.0, "b": 0.6, "c": 0.2})
+        for subset in [{"a"}, {"a", "b"}, {"c"}]:
+            complement = pd.frame - set(subset)
+            assert pd.necessity(subset) == pytest.approx(
+                1.0 - pd.possibility(complement)
+            )
+
+    def test_necessity_below_possibility(self):
+        pd = PossibilityDistribution({"a": 1.0, "b": 0.6})
+        for subset in [{"a"}, {"b"}]:
+            assert pd.necessity(subset) <= pd.possibility(subset)
+
+    def test_combine_min(self):
+        a = PossibilityDistribution({"fishing": 1.0, "cargo": 0.5})
+        b = PossibilityDistribution({"fishing": 0.8, "cargo": 1.0})
+        combined = a.combine_min(b)
+        assert combined.degrees["fishing"] == 1.0  # renormalised from 0.8
+        assert combined.degrees["cargo"] == pytest.approx(0.5 / 0.8)
+
+    def test_combine_inconsistent_raises(self):
+        a = PossibilityDistribution({"fishing": 1.0})
+        b = PossibilityDistribution({"cargo": 1.0})
+        with pytest.raises(ValueError):
+            a.combine_min(b)
+
+    def test_most_plausible(self):
+        pd = PossibilityDistribution({"a": 0.3, "b": 1.0})
+        assert pd.most_plausible() == "b"
+
+
+class TestBetaProbability:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BetaProbability(0.0, 1.0)
+        with pytest.raises(ValueError):
+            BetaProbability.from_counts(-1, 5)
+
+    def test_mean(self):
+        assert BetaProbability(3.0, 1.0).mean == pytest.approx(0.75)
+
+    def test_from_counts_laplace(self):
+        bp = BetaProbability.from_counts(9, 0)
+        assert bp.mean == pytest.approx(10.0 / 11.0)
+
+    def test_more_evidence_narrower(self):
+        small = BetaProbability.from_counts(90, 10)
+        large = BetaProbability.from_counts(900, 100)
+        assert small.mean == pytest.approx(large.mean, abs=0.01)
+        assert large.std < small.std
+        lo_s, hi_s = small.credible_interval()
+        lo_l, hi_l = large.credible_interval()
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_interval_clipped(self):
+        lo, hi = BetaProbability.from_counts(1, 0).credible_interval()
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_update(self):
+        bp = BetaProbability.from_counts(5, 5)
+        updated = bp.update(successes=10)
+        assert updated.mean > bp.mean
+        assert updated.evidence == bp.evidence + 10
+
+    def test_combine_pools_evidence(self):
+        a = BetaProbability.from_counts(8, 2)
+        b = BetaProbability.from_counts(7, 3)
+        pooled = a.combine(b)
+        assert pooled.evidence > a.evidence
+        assert 0.6 < pooled.mean < 0.9
+
+    def test_reliability_flag(self):
+        assert not BetaProbability.from_counts(2, 1).is_reliable()
+        assert BetaProbability.from_counts(50, 50).is_reliable()
+
+    def test_str_contains_interval(self):
+        text = str(BetaProbability.from_counts(9, 1))
+        assert "[" in text and "n≈" in text

@@ -1,0 +1,126 @@
+"""Tests for probabilistic relations and open-world evaluation."""
+
+import pytest
+
+from repro.uncertainty import (
+    OpenWorldRelation,
+    PossibilityInterval,
+    ProbabilisticRelation,
+    ProbabilisticTuple,
+)
+from repro.uncertainty.openworld import unobserved_pair_candidates
+
+
+class TestProbabilisticRelation:
+    def make(self):
+        r = ProbabilisticRelation()
+        r.add({"vessel": 1, "zone": "A"}, 0.9)
+        r.add({"vessel": 2, "zone": "A"}, 0.5)
+        r.add({"vessel": 3, "zone": "B"}, 0.8)
+        return r
+
+    def test_tuple_validation(self):
+        with pytest.raises(ValueError):
+            ProbabilisticTuple("x", 1.5)
+
+    def test_select_keeps_probabilities(self):
+        out = self.make().select(lambda v: v["zone"] == "A")
+        assert len(out) == 2
+        assert {t.p for t in out} == {0.9, 0.5}
+
+    def test_probability_exists_noisy_or(self):
+        r = self.make()
+        p = r.probability_exists(lambda v: v["zone"] == "A")
+        assert p == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_probability_exists_no_match(self):
+        assert self.make().probability_exists(lambda v: False) == 0.0
+
+    def test_expected_count(self):
+        assert self.make().expected_count() == pytest.approx(2.2)
+
+    def test_project_noisy_or_merges(self):
+        out = self.make().project(lambda v: v["zone"])
+        by_zone = {t.value: t.p for t in out}
+        assert by_zone["A"] == pytest.approx(1.0 - 0.1 * 0.5)
+        assert by_zone["B"] == pytest.approx(0.8)
+
+    def test_join_multiplies(self):
+        left = ProbabilisticRelation([ProbabilisticTuple("a", 0.5)])
+        right = ProbabilisticRelation([ProbabilisticTuple("a", 0.4)])
+        joined = left.join(right, on=lambda l, r: l == r)
+        assert joined.tuples[0].p == pytest.approx(0.2)
+
+    def test_top_k(self):
+        top = self.make().top_k(2)
+        assert [t.p for t in top] == [0.9, 0.8]
+
+
+class TestPossibilityInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PossibilityInterval(0.7, 0.3)
+        with pytest.raises(ValueError):
+            PossibilityInterval(-0.1, 0.5)
+
+    def test_width(self):
+        assert PossibilityInterval(0.2, 0.7).width == pytest.approx(0.5)
+
+    def test_flags(self):
+        assert PossibilityInterval(0.0, 0.3).possible
+        assert not PossibilityInterval(0.0, 0.0).possible
+        assert PossibilityInterval(1.0, 1.0).certain
+
+
+class TestOpenWorld:
+    def test_closed_world_is_lower_bound(self):
+        r = ProbabilisticRelation([ProbabilisticTuple("rdv", 0.6)])
+        ow = OpenWorldRelation(r, completion_lambda=0.1)
+        interval = ow.probability_exists(lambda v: v == "rdv", n_unobserved=0)
+        assert interval.lower == interval.upper == pytest.approx(0.6)
+
+    def test_unobserved_widens_upper(self):
+        r = ProbabilisticRelation([ProbabilisticTuple("rdv", 0.6)])
+        ow = OpenWorldRelation(r, completion_lambda=0.1)
+        interval = ow.probability_exists(lambda v: v == "rdv", n_unobserved=5)
+        assert interval.lower == pytest.approx(0.6)
+        assert interval.upper == pytest.approx(1.0 - 0.4 * 0.9**5)
+
+    def test_empty_database_still_possible(self):
+        """§4's punchline: no recorded rendezvous does NOT mean none
+        happened."""
+        ow = OpenWorldRelation(ProbabilisticRelation(), completion_lambda=0.05)
+        interval = ow.probability_exists(lambda v: True, n_unobserved=66)
+        assert interval.lower == 0.0
+        assert interval.upper > 0.9
+
+    def test_lambda_zero_is_closed_world(self):
+        ow = OpenWorldRelation(ProbabilisticRelation(), completion_lambda=0.0)
+        interval = ow.probability_exists(lambda v: True, n_unobserved=100)
+        assert interval.upper == 0.0
+
+    def test_expected_count_bounds(self):
+        r = ProbabilisticRelation([ProbabilisticTuple("rdv", 0.5)])
+        ow = OpenWorldRelation(r, completion_lambda=0.1)
+        lo, hi = ow.expected_count(lambda v: True, n_unobserved=10)
+        assert lo == pytest.approx(0.5)
+        assert hi == pytest.approx(1.5)
+
+    def test_lambda_validation(self):
+        with pytest.raises(ValueError):
+            OpenWorldRelation(ProbabilisticRelation(), completion_lambda=1.5)
+
+    def test_per_query_lambda_override(self):
+        ow = OpenWorldRelation(ProbabilisticRelation(), completion_lambda=0.0)
+        interval = ow.probability_exists(
+            lambda v: True, n_unobserved=10, completion_lambda=0.2
+        )
+        assert interval.upper > 0.8
+
+
+class TestPairCounting:
+    def test_pairs(self):
+        assert unobserved_pair_candidates(0, 100) == 0
+        assert unobserved_pair_candidates(1, 100) == 0
+        assert unobserved_pair_candidates(4, 100) == 6
+        assert unobserved_pair_candidates(12, 100) == 66

@@ -1,0 +1,179 @@
+"""Tests for the visual analytics substrate."""
+
+import pytest
+
+from repro.events import Event, EventKind
+from repro.geo import BoundingBox
+from repro.trajectory.points import TrackPoint
+from repro.visual import (
+    CubeQuery,
+    DensityMap,
+    SituationOverview,
+    SpatioTemporalCube,
+    render_ascii_map,
+)
+
+BOX = BoundingBox(40.0, 60.0, -20.0, 10.0)
+
+
+class TestDensityMap:
+    def test_counts_inside(self):
+        density = DensityMap(BOX, 10, 10)
+        n = density.add_positions([45.0, 55.0, 70.0], [-10.0, 0.0, 0.0])
+        assert n == 2
+        assert density.total == 2
+
+    def test_antimeridian_rejected(self):
+        with pytest.raises(ValueError):
+            DensityMap(BoundingBox(0.0, 10.0, 170.0, -170.0))
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            DensityMap(BOX).add_positions([1.0], [])
+
+    def test_top_cells(self):
+        density = DensityMap(BOX, 10, 10)
+        density.add_positions([45.0] * 10 + [55.0], [-10.0] * 10 + [0.0])
+        top = density.top_cells(2)
+        assert top[0][2] == 10
+        assert top[1][2] == 1
+
+    def test_occupancy(self):
+        density = DensityMap(BOX, 10, 10)
+        density.add_positions([45.0], [-10.0])
+        assert density.occupancy_fraction() == pytest.approx(0.01)
+
+
+class TestRenderAscii:
+    def test_dimensions(self):
+        density = DensityMap(BOX, 8, 30)
+        density.add_positions([45.0, 55.0], [-10.0, 0.0])
+        rendered = render_ascii_map(density)
+        lines = rendered.split("\n")
+        assert len(lines) == 8
+        assert all(len(line) == 30 for line in lines)
+
+    def test_empty_map_blank(self):
+        rendered = render_ascii_map(DensityMap(BOX, 4, 10))
+        assert set(rendered) <= {" ", "\n"}
+
+    def test_density_ramp_monotone(self):
+        density = DensityMap(BOX, 1, 3)
+        density.add_positions(
+            [50.0] * 100 + [50.0] * 5,
+            [-15.0] * 100 + [-5.0] * 5,
+        )
+        row = render_ascii_map(density)
+        ramp = " .:-=+*#%@"
+        assert ramp.index(row[0]) > ramp.index(row[1])
+
+    def test_markers_override(self):
+        density = DensityMap(BOX, 8, 30)
+        rendered = render_ascii_map(density, markers={(50.0, -5.0): "o"})
+        assert "o" in rendered
+
+    def test_north_at_top(self):
+        density = DensityMap(BOX, 4, 4)
+        density.add_positions([59.0], [-15.0])  # far north-west
+        lines = render_ascii_map(density).split("\n")
+        assert lines[0].strip() != ""
+        assert lines[-1].strip() == ""
+
+
+class TestCube:
+    def make(self):
+        cube = SpatioTemporalCube(cell_deg=1.0, time_bucket_s=3600.0)
+        for hour in range(24):
+            for i in range(hour + 1):  # traffic grows through the day
+                cube.add(48.5, -5.5, hour * 3600.0 + i, "cargo")
+        cube.add(55.5, 3.5, 0.0, "fishing")
+        return cube
+
+    def test_total(self):
+        cube = self.make()
+        assert cube.total == sum(range(1, 25)) + 1
+
+    def test_category_filter(self):
+        cube = self.make()
+        assert cube.count(CubeQuery(category="fishing")) == 1
+
+    def test_spatial_filter(self):
+        cube = self.make()
+        north_sea = BoundingBox(54.0, 57.0, 2.0, 5.0)
+        assert cube.count(CubeQuery(box=north_sea)) == 1
+
+    def test_time_filter(self):
+        cube = self.make()
+        first_hour = cube.count(CubeQuery(t0=0.0, t1=3599.0))
+        assert first_hour == 1 + 1  # one cargo + the fishing point
+
+    def test_roll_up_time_day(self):
+        cube = self.make()
+        by_day = cube.roll_up_time(24)
+        assert by_day[0] == cube.total
+
+    def test_roll_up_space(self):
+        cube = self.make()
+        coarse = cube.roll_up_space(10)
+        assert sum(coarse.values()) == cube.total
+        assert len(coarse) <= 2
+
+    def test_drill_down_consistent_with_count(self):
+        cube = self.make()
+        box = BoundingBox(48.0, 49.0, -6.0, -5.0)
+        drilled = cube.drill_down(box, 0.0, 86400.0)
+        assert sum(drilled.values()) == cube.count(
+            CubeQuery(box=box, t0=0.0, t1=86400.0)
+        )
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            self.make().roll_up_space(0)
+
+
+class TestOverview:
+    def test_build(self):
+        states = {
+            1: TrackPoint(1000.0, 48.0, -5.0, 12.0, 0.0),
+            2: TrackPoint(1000.0, 48.1, -5.0, 0.2, 0.0),
+            3: TrackPoint(1000.0, 70.0, 10.0, 9.0, 0.0),  # outside box
+        }
+        events = [
+            Event(EventKind.GAP, 500.0, 600.0, (1,), 48.0, -5.0),
+            Event(EventKind.GAP, 500.0, 600.0, (3,), 70.0, 10.0),
+        ]
+        overview = SituationOverview.build(
+            t=1000.0, box=BoundingBox(47.0, 49.0, -6.0, -4.0),
+            current_states=states, recent_events=events,
+        )
+        assert overview.n_vessels == 2
+        assert overview.n_underway == 1
+        assert overview.n_stationary == 1
+        assert len(overview.events_last_hour) == 1
+        assert "2 vessels" in overview.headline()
+
+    def test_monitor_alarm_explanation(self):
+        from repro.events.pol import PatternOfLife
+        from repro.trajectory.points import Trajectory
+        from repro.visual import SituationMonitor
+
+        pol = PatternOfLife()
+        lane = [
+            Trajectory(
+                k,
+                [
+                    TrackPoint(i * 60.0, 48.0 + i * 0.002, -5.0, 10.0, 0.0)
+                    for i in range(50)
+                ],
+            )
+            for k in range(20)
+        ]
+        pol.train(lane)
+        monitor = SituationMonitor(pol, alarm_threshold=0.6)
+        # Southbound through the northbound lane.
+        alarm = monitor.offer(99, TrackPoint(100.0, 48.05, -5.0, 10.0, 180.0))
+        assert alarm is not None
+        assert "unusual" in alarm.explanation
+        assert str(pol.n_training_points) in alarm.explanation
+        # Conforming traffic does not alarm.
+        assert monitor.offer(98, TrackPoint(100.0, 48.05, -5.0, 10.0, 0.0)) is None
