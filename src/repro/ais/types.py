@@ -6,7 +6,7 @@ with no heading has ``heading is None``, never ``511``.
 """
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class NavigationStatus(enum.IntEnum):

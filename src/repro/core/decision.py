@@ -14,7 +14,7 @@ operators reason better over words than decimals.
 """
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.events.base import Event, EventKind
 from repro.uncertainty.secondorder import BetaProbability

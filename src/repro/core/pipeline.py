@@ -63,7 +63,9 @@ class StageStats:
 
     @property
     def throughput_per_s(self) -> float:
-        return self.n_in / self.seconds if self.seconds > 0 else float("inf")
+        # 0.0, not inf, for zero-duration stages: the value must survive
+        # ``json.dumps`` in benchmark result files.
+        return self.n_in / self.seconds if self.seconds > 0 else 0.0
 
 
 @dataclass
@@ -99,9 +101,13 @@ class PipelineResult:
     def summary(self) -> str:
         lines = ["stage            in        out     records/s"]
         for stage in self.stages:
-            lines.append(
-                f"{stage.name:<14}{stage.n_in:>8}{stage.n_out:>10}"
+            rate = (
                 f"{stage.throughput_per_s:>13.0f}"
+                if stage.seconds > 0
+                else f"{'n/a':>13}"
+            )
+            lines.append(
+                f"{stage.name:<14}{stage.n_in:>8}{stage.n_out:>10}{rate}"
             )
         lines.append(
             f"events: {len(self.events)} primitive, "

@@ -3,7 +3,8 @@
 from dataclasses import dataclass
 
 from repro.events.base import Event, EventKind
-from repro.geo import cpa_tcpa, haversine_m
+from repro.geo import cpa_tcpa, pair_midpoint
+from repro.spatial import GridIndex
 from repro.trajectory.points import TrackPoint
 
 
@@ -26,49 +27,52 @@ def detect_collision_risk(
     """Screen every live pair for dangerous CPA.
 
     ``current_states`` maps MMSI to the latest fix (with SOG/COG).  Pairs
-    are screened by current range before the CPA solve; output events carry
-    DCPA/TCPA in details for the operator display.
+    are screened by current range before the CPA solve — via a
+    :class:`~repro.spatial.GridIndex` sweep rather than the quadratic
+    all-pairs loop, so screening cost tracks the number of *nearby* pairs;
+    output events carry DCPA/TCPA in details for the operator display.
     """
     config = config or CollisionRiskConfig()
-    vessels = [
-        (mmsi, point)
+    vessels = {
+        mmsi: point
         for mmsi, point in current_states.items()
         if point.sog_knots is not None
         and point.cog_deg is not None
         and point.sog_knots >= config.min_speed_knots
-    ]
+    }
+    index = GridIndex.from_points(
+        ((mmsi, point.lat, point.lon) for mmsi, point in vessels.items()),
+        cell_size_m=config.screening_range_m,
+    )
     events: list[Event] = []
-    for i, (mmsi_a, a) in enumerate(vessels):
-        for mmsi_b, b in vessels[i + 1 :]:
-            if (
-                haversine_m(a.lat, a.lon, b.lat, b.lon)
-                > config.screening_range_m
-            ):
-                continue
-            result = cpa_tcpa(
-                a.lat, a.lon, a.sog_knots, a.cog_deg,
-                b.lat, b.lon, b.sog_knots, b.cog_deg,
-            )
-            if (
-                0.0 <= result.tcpa_s <= config.tcpa_horizon_s
-                and result.dcpa_m <= config.dcpa_alarm_m
-            ):
-                risk = 1.0 - result.dcpa_m / config.dcpa_alarm_m
-                urgency = 1.0 - result.tcpa_s / config.tcpa_horizon_s
-                events.append(
-                    Event(
-                        kind=EventKind.COLLISION_RISK,
-                        t_start=max(a.t, b.t),
-                        t_end=max(a.t, b.t) + result.tcpa_s,
-                        mmsis=(mmsi_a, mmsi_b),
-                        lat=(a.lat + b.lat) / 2.0,
-                        lon=(a.lon + b.lon) / 2.0,
-                        confidence=min(1.0, 0.5 * (risk + urgency)),
-                        details={
-                            "dcpa_m": result.dcpa_m,
-                            "tcpa_s": result.tcpa_s,
-                            "range_m": result.range_m,
-                        },
-                    )
+    for mmsi_a, mmsi_b, __ in index.all_pairs_within(config.screening_range_m):
+        a = vessels[mmsi_a]
+        b = vessels[mmsi_b]
+        result = cpa_tcpa(
+            a.lat, a.lon, a.sog_knots, a.cog_deg,
+            b.lat, b.lon, b.sog_knots, b.cog_deg,
+        )
+        if (
+            0.0 <= result.tcpa_s <= config.tcpa_horizon_s
+            and result.dcpa_m <= config.dcpa_alarm_m
+        ):
+            risk = 1.0 - result.dcpa_m / config.dcpa_alarm_m
+            urgency = 1.0 - result.tcpa_s / config.tcpa_horizon_s
+            mid_lat, mid_lon = pair_midpoint(a.lat, a.lon, b.lat, b.lon)
+            events.append(
+                Event(
+                    kind=EventKind.COLLISION_RISK,
+                    t_start=max(a.t, b.t),
+                    t_end=max(a.t, b.t) + result.tcpa_s,
+                    mmsis=(mmsi_a, mmsi_b),
+                    lat=mid_lat,
+                    lon=mid_lon,
+                    confidence=min(1.0, 0.5 * (risk + urgency)),
+                    details={
+                        "dcpa_m": result.dcpa_m,
+                        "tcpa_s": result.tcpa_s,
+                        "range_m": result.range_m,
+                    },
                 )
+            )
     return events

@@ -6,14 +6,18 @@ and bunkering all look like two tracks converging, dwelling within a few
 hundred metres of each other away from any port, then separating.
 
 The detector resamples tracks to a common cadence and sweeps time with a
-spatial hash, so it scales as O(points) rather than O(pairs x time).
+:class:`~repro.spatial.GridIndex`, so it scales as O(points) rather than
+O(pairs x time).  The index sizes longitude cells by ``cos(lat)``, so the
+metric contact gate holds at high latitudes (where fixed-degree cells
+shrink below the search neighbourhood) and across the antimeridian.
 """
 
 from dataclasses import dataclass
 
 from repro.events.base import Event, EventKind
-from repro.geo import haversine_m
+from repro.geo import haversine_m, normalize_lon, pair_midpoint
 from repro.simulation.world import Port
+from repro.spatial import GridIndex
 from repro.trajectory.points import Trajectory
 from repro.trajectory.resample import resample
 
@@ -39,14 +43,13 @@ def detect_rendezvous(
 ) -> list[Event]:
     """Find all pairwise rendezvous among the given tracks."""
     config = config or RendezvousConfig()
-    # Resample once; build per-timestep spatial hash.
+    # Resample once; build a per-timestep spatial index.
     sampled = {}
     for trajectory in trajectories:
         if len(trajectory) < 2:
             continue
         sampled[trajectory.mmsi] = resample(trajectory, config.step_s)
 
-    cell_deg = max(0.01, config.max_distance_m / 111_000.0 * 2.0)
     # contact_runs[(a, b)] = list of contact timestamps (sorted as built)
     contact_runs: dict[tuple[int, int], list[tuple[float, float, float]]] = {}
 
@@ -55,9 +58,11 @@ def detect_rendezvous(
         return []
     t0 = min(tr.t_start for tr in sampled.values())
     t1 = max(tr.t_end for tr in sampled.values())
+    index = GridIndex(cell_size_m=config.max_distance_m)
     t = t0
     while t <= t1:
-        cells: dict[tuple[int, int], list[tuple[int, float, float, float]]] = {}
+        index.clear()
+        positions: dict[int, tuple[float, float]] = {}
         for mmsi, trajectory in sampled.items():
             if not (trajectory.t_start <= t <= trajectory.t_end):
                 continue
@@ -65,29 +70,17 @@ def detect_rendezvous(
             speed = _speed_at(trajectory, t)
             if speed is None or speed > config.max_speed_knots:
                 continue
-            key = (int(lat / cell_deg), int(lon / cell_deg))
-            cells.setdefault(key, []).append((mmsi, lat, lon, speed))
-        for key, members in cells.items():
-            # Include the 8 neighbour cells to avoid boundary misses.
-            pool = list(members)
-            ky, kx = key
-            for dy in (-1, 0, 1):
-                for dx in (-1, 0, 1):
-                    if dy == 0 and dx == 0:
-                        continue
-                    pool.extend(cells.get((ky + dy, kx + dx), []))
-            for i, (mmsi_a, lat_a, lon_a, __) in enumerate(members):
-                for mmsi_b, lat_b, lon_b, __ in pool:
-                    if mmsi_b <= mmsi_a:
-                        continue
-                    if (
-                        haversine_m(lat_a, lon_a, lat_b, lon_b)
-                        <= config.max_distance_m
-                    ):
-                        pair = (mmsi_a, mmsi_b)
-                        contact_runs.setdefault(pair, []).append(
-                            (t, (lat_a + lat_b) / 2.0, (lon_a + lon_b) / 2.0)
-                        )
+            index.insert(mmsi, lat, lon)
+            positions[mmsi] = (lat, lon)
+        for mmsi_a, mmsi_b, __ in index.all_pairs_within(config.max_distance_m):
+            if mmsi_b < mmsi_a:
+                mmsi_a, mmsi_b = mmsi_b, mmsi_a
+            lat_a, lon_a = positions[mmsi_a]
+            lat_b, lon_b = positions[mmsi_b]
+            mid_lat, mid_lon = pair_midpoint(lat_a, lon_a, lat_b, lon_b)
+            contact_runs.setdefault((mmsi_a, mmsi_b), []).append(
+                (t, mid_lat, mid_lon)
+            )
         t += config.step_s
 
     events: list[Event] = []
@@ -131,7 +124,13 @@ def _runs_to_events(
             run.clear()
             return
         lat_c = sum(c[1] for c in run) / len(run)
-        lon_c = sum(c[2] for c in run) / len(run)
+        # Average longitudes as wrapped offsets from the first contact so
+        # a run hugging the antimeridian doesn't centre on lon 0.
+        lon_ref = run[0][2]
+        lon_c = normalize_lon(
+            lon_ref
+            + sum(normalize_lon(c[2] - lon_ref) for c in run) / len(run)
+        )
         near_port = any(
             haversine_m(lat_c, lon_c, port.lat, port.lon)
             < config.port_exclusion_m

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from repro.geo import LocalTangentPlane
 from repro.trajectory.kalman import CvKalmanFilter
-from repro.trajectory.points import TrackPoint, Trajectory
+from repro.trajectory.points import Trajectory
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,6 @@ from repro.geo import (
     initial_bearing_deg,
     KNOTS_TO_MPS,
 )
-from repro.forecasting.deadreckoning import predict_constant_velocity
 from repro.trajectory.points import Trajectory
 
 

@@ -7,11 +7,11 @@ contacts become *uncorrelated* — these are the interesting ones, because
 dark ships show up only on radar.
 """
 
-import math
 from dataclasses import dataclass, field
 
 from repro.geo import KNOTS_TO_MPS, destination_point, haversine_m
 from repro.simulation.sensors import RadarContact
+from repro.spatial import GridIndex
 from repro.trajectory.points import TrackPoint, Trajectory
 
 
@@ -85,11 +85,20 @@ def associate_contacts(
             predicted = _predict(track, sweep_t)
             if predicted is not None:
                 predictions[mmsi] = predicted
+        # Index the predicted positions so each contact probes only its
+        # neighbourhood instead of every live track (candidate gating).
+        index = GridIndex.from_points(
+            (
+                (mmsi, plat, plon)
+                for mmsi, (plat, plon) in predictions.items()
+            ),
+            cell_size_m=config.gate_m,
+        )
         for ci, contact in enumerate(sweep):
-            for mmsi, (plat, plon) in predictions.items():
-                dist = haversine_m(contact.lat, contact.lon, plat, plon)
-                if dist <= config.gate_m:
-                    candidate_pairs.append((dist, ci, mmsi))
+            for mmsi, dist in index.radius_query(
+                contact.lat, contact.lon, config.gate_m
+            ):
+                candidate_pairs.append((dist, ci, mmsi))
         candidate_pairs.sort()
         used_contacts: set[int] = set()
         used_tracks: set[int] = set()

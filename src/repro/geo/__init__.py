@@ -27,6 +27,7 @@ from repro.geo.distance import (
     normalize_lon,
     normalize_course,
     angular_difference_deg,
+    pair_midpoint,
 )
 from repro.geo.interpolate import (
     interpolate_great_circle,
@@ -59,6 +60,7 @@ __all__ = [
     "normalize_lon",
     "normalize_course",
     "angular_difference_deg",
+    "pair_midpoint",
     "interpolate_great_circle",
     "interpolate_fraction",
     "interpolate_track_at_time",

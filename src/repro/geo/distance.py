@@ -30,6 +30,22 @@ def normalize_lon(lon: float) -> float:
     return wrapped - 180.0
 
 
+def pair_midpoint(
+    lat1: float, lon1: float, lat2: float, lon2: float
+) -> tuple[float, float]:
+    """Arithmetic midpoint of a nearby pair, safe across the antimeridian.
+
+    The longitude is offset from point 1 by half the *wrapped* delta, so a
+    pair straddling lon ±180° lands on the seam instead of ~180° away.
+    Adequate for the short separations where event/CPA midpoints are used;
+    not a great-circle midpoint.
+    """
+    return (
+        (lat1 + lat2) / 2.0,
+        normalize_lon(lon1 + normalize_lon(lon2 - lon1) / 2.0),
+    )
+
+
 def normalize_course(course: float) -> float:
     """Wrap a course/bearing into [0, 360)."""
     if 0.0 <= course < 360.0:

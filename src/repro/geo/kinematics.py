@@ -14,6 +14,7 @@ from repro.geo.distance import (
     destination_point,
     haversine_m,
     initial_bearing_deg,
+    pair_midpoint,
 )
 from repro.geo.projection import LocalTangentPlane
 
@@ -86,7 +87,10 @@ def cpa_tcpa(
     The classic relative-motion solution: in a tangent plane centred between
     the vessels, minimise ``|p_rel + v_rel * t|`` over ``t``.
     """
-    plane = LocalTangentPlane((lat_a + lat_b) / 2.0, (lon_a + lon_b) / 2.0)
+    # Centre the plane on the *wrapped* midpoint: the naive lon average
+    # lands ~180° away for pairs straddling the antimeridian, which blew
+    # the tangent-plane approximation up to half-circumference ranges.
+    plane = LocalTangentPlane(*pair_midpoint(lat_a, lon_a, lat_b, lon_b))
     xa, ya = plane.to_xy(lat_a, lon_a)
     xb, yb = plane.to_xy(lat_b, lon_b)
 

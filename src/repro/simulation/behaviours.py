@@ -5,7 +5,6 @@ covering ``[t_start, t_start + duration_s]`` (padded with dwells when the
 pattern finishes early).  Plans are deterministic given the ``rng``.
 """
 
-import math
 import random
 
 from repro.geo import destination_point, haversine_m

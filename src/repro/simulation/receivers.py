@@ -8,7 +8,6 @@ of §1).  The output of the network is the observable feed: time-stamped
 NMEA sentences tagged with the receiving source.
 """
 
-import math
 import random
 from dataclasses import dataclass
 

@@ -10,9 +10,8 @@ transceiver also injects the *veracity* problems the paper centres on:
 - static-data corruption at a configurable rate ([44]'s ~5%).
 """
 
-import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ais.types import (
     AisMessage,

@@ -15,7 +15,6 @@ Two canned scenarios reproduce the paper's two settings:
   satellite constellation (the Figure 1 workload).
 """
 
-import math
 import random
 from dataclasses import dataclass, field
 
@@ -23,7 +22,6 @@ from repro.ais.types import ShipType
 from repro.geo import destination_point, interpolate_fraction
 from repro.simulation.behaviours import (
     plan_fishing,
-    plan_loiter,
     plan_rendezvous_pair,
     plan_transit,
     plan_ferry,

@@ -1,0 +1,33 @@
+"""Spatial indexing substrate for proximity-shaped workloads.
+
+Every surveillance primitive in the library — collision screening,
+rendezvous detection, stream-stream spatial joins, contact-to-track
+gating — reduces to the same question: *which tracked objects are within
+d metres of here?*  The seed answered it four different ways (an O(n²)
+haversine loop and three hand-rolled lat/lon grids), each with its own
+antimeridian and high-latitude blind spots.  This package answers it
+once:
+
+- :class:`~repro.spatial.grid.GridIndex` — a uniform geo-grid over
+  latitude bands whose longitude cells are sized by ``cos(lat)``, so a
+  metric radius is correct from the equator to the pole caps, and whose
+  cell neighbourhoods wrap modulo the band width, so queries spanning
+  the antimeridian need no special handling.  Exposes ``radius_query``,
+  ``knn`` and an ``all_pairs_within(d)`` generator that replaces
+  quadratic pair screens with a near-linear sweep.
+- :class:`~repro.spatial.streaming.StreamingGridIndex` — the incremental
+  variant for live feeds: latest position per key, tolerant of slightly
+  out-of-order fixes, with age-based eviction of silent vessels.
+
+Grid cells only *pre-filter* candidates; membership is always decided by
+an exact :func:`~repro.geo.haversine_m` test, so query results are
+identical to brute-force great-circle enumeration.
+
+Open follow-ups tracked in ROADMAP.md: an R-tree backend for skewed
+fleets and interop with :mod:`repro.geo.geohash` cell naming.
+"""
+
+from repro.spatial.grid import GridIndex
+from repro.spatial.streaming import StreamingGridIndex
+
+__all__ = ["GridIndex", "StreamingGridIndex"]

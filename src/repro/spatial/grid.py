@@ -1,0 +1,257 @@
+"""Uniform geo-grid spatial index with latitude-aware cell sizing.
+
+The grid partitions the sphere into latitude bands of constant angular
+height; each band is split into an integer number of longitude cells so
+that a cell is never *narrower* than ``cell_size_m`` metres anywhere
+inside the band.  Two consequences follow:
+
+- **High latitudes are correct.**  Bands near the poles hold fewer
+  longitude cells (down to a single cell at the pole caps), so a metric
+  radius query never has to inspect an unbounded run of degenerate
+  slivers, and a one-cell neighbourhood is always wide enough for
+  queries up to the cell size.
+- **The antimeridian is seamless.**  Longitude cells wrap modulo the
+  band's cell count, so a neighbourhood at lon ±180° spans the seam with
+  no special cases at the call sites.
+
+Candidate gathering is conservative (cells are only ever *larger* than
+requested); exactness comes from the final :func:`~repro.geo.haversine_m`
+check, so results match brute-force great-circle enumeration bit for bit.
+"""
+
+import math
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.geo import EARTH_RADIUS_M, haversine_m, normalize_lon
+from repro.geo.constants import METERS_PER_DEG_LAT
+
+#: Half the Earth's circumference — no great-circle distance exceeds it.
+_MAX_DISTANCE_M = math.pi * EARTH_RADIUS_M
+
+
+class GridIndex:
+    """Point index over (lat, lon) supporting metric proximity queries.
+
+    Items are identified by an arbitrary hashable id; re-inserting an id
+    moves it (upsert semantics), so the index doubles as a live position
+    table.  All query radii are great-circle metres and all results are
+    exact (grid cells only pre-filter candidates).
+    """
+
+    def __init__(self, cell_size_m: float) -> None:
+        if cell_size_m <= 0:
+            raise ValueError("cell_size_m must be positive")
+        self.cell_size_m = float(cell_size_m)
+        self._cell_lat_deg = self.cell_size_m / METERS_PER_DEG_LAT
+        self._n_bands = max(1, math.ceil(180.0 / self._cell_lat_deg))
+        self._cell_lat_deg = 180.0 / self._n_bands
+        #: (band, lon cell) -> {id: (seq, lat, lon)}; dicts keep insertion
+        #: order, which makes pair enumeration deterministic.
+        self._cells: dict[tuple[int, int], dict[Hashable, tuple[int, float, float]]] = {}
+        #: id -> (band, lon cell, lat, lon, seq)
+        self._items: dict[Hashable, tuple[int, int, float, float, int]] = {}
+        #: band -> set of occupied lon cells (for full-band sweeps).
+        self._occupied: dict[int, set[int]] = {}
+        #: band -> (n_lon, cos at the band edge nearest a pole).
+        self._band_geometry: dict[int, tuple[int, float]] = {}
+        self._seq = 0
+
+    # -- geometry ---------------------------------------------------------
+
+    def _band_of(self, lat: float) -> int:
+        band = int((lat + 90.0) / self._cell_lat_deg)
+        return min(self._n_bands - 1, max(0, band))
+
+    def _geometry(self, band: int) -> tuple[int, float]:
+        """Longitude cell count and worst-case cosine for a band."""
+        cached = self._band_geometry.get(band)
+        if cached is not None:
+            return cached
+        lat0 = -90.0 + band * self._cell_lat_deg
+        lat1 = min(90.0, lat0 + self._cell_lat_deg)
+        # The poleward edge has the smallest cosine, hence the narrowest
+        # metres-per-degree; sizing by it keeps every cell >= cell_size_m.
+        cos_min = min(
+            math.cos(math.radians(lat0)), math.cos(math.radians(lat1))
+        )
+        cos_min = max(0.0, cos_min)
+        if cos_min < 1e-12:
+            n_lon = 1
+        else:
+            cell_lon_deg = self.cell_size_m / (METERS_PER_DEG_LAT * cos_min)
+            n_lon = max(1, int(360.0 / cell_lon_deg))
+        self._band_geometry[band] = (n_lon, cos_min)
+        return n_lon, cos_min
+
+    @staticmethod
+    def _lon_cell(lon: float, n_lon: int) -> int:
+        return int((normalize_lon(lon) + 180.0) / 360.0 * n_lon) % n_lon
+
+    def _covering_cells(
+        self, lat: float, lon: float, radius_m: float
+    ) -> Iterator[tuple[int, int]]:
+        """Occupied cells that could hold a point within ``radius_m``.
+
+        Conservative: every point within the radius lies in one of the
+        yielded cells; the converse is checked by exact distance later.
+        """
+        r_lat_deg = radius_m / METERS_PER_DEG_LAT
+        band_lo = self._band_of(max(-90.0, lat - r_lat_deg))
+        band_hi = self._band_of(min(90.0, lat + r_lat_deg))
+        cos_query = math.cos(math.radians(lat))
+        for band in range(band_lo, band_hi + 1):
+            occupied = self._occupied.get(band)
+            if not occupied:
+                continue
+            n_lon, cos_band = self._geometry(band)
+            # |delta lon| bound: haversine gives
+            # sin(d/2R) >= sqrt(cos(lat1) cos(lat2)) * sin(dlon/2), and the
+            # geometric mean is >= the smaller cosine.
+            cos_bound = min(cos_query, cos_band)
+            span_all = True
+            if cos_bound > 1e-12:
+                x = radius_m / (2.0 * EARTH_RADIUS_M * cos_bound)
+                if x < 1.0:
+                    half_deg = math.degrees(2.0 * math.asin(x))
+                    half_cells = int(half_deg / (360.0 / n_lon)) + 1
+                    span_all = 2 * half_cells + 1 >= n_lon
+            if span_all:
+                for ix in occupied:
+                    yield band, ix
+            else:
+                centre = self._lon_cell(lon, n_lon)
+                for dx in range(-half_cells, half_cells + 1):
+                    ix = (centre + dx) % n_lon
+                    if ix in occupied:
+                        yield band, ix
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, item_id: Hashable, lat: float, lon: float) -> None:
+        """Add an item, or move it if already present."""
+        if item_id in self._items:
+            self.remove(item_id)
+        lat = min(90.0, max(-90.0, lat))
+        lon = normalize_lon(lon)
+        band = self._band_of(lat)
+        n_lon, __ = self._geometry(band)
+        ix = self._lon_cell(lon, n_lon)
+        key = (band, ix)
+        self._cells.setdefault(key, {})[item_id] = (self._seq, lat, lon)
+        self._occupied.setdefault(band, set()).add(ix)
+        self._items[item_id] = (band, ix, lat, lon, self._seq)
+        self._seq += 1
+
+    def remove(self, item_id: Hashable) -> None:
+        """Drop an item; raises ``KeyError`` if absent."""
+        band, ix, __, __, __ = self._items.pop(item_id)
+        key = (band, ix)
+        bucket = self._cells[key]
+        del bucket[item_id]
+        if not bucket:
+            del self._cells[key]
+            occupied = self._occupied[band]
+            occupied.discard(ix)
+            if not occupied:
+                del self._occupied[band]
+
+    def clear(self) -> None:
+        self._cells.clear()
+        self._items.clear()
+        self._occupied.clear()
+        self._seq = 0
+
+    # -- introspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item_id: Hashable) -> bool:
+        return item_id in self._items
+
+    def position(self, item_id: Hashable) -> tuple[float, float]:
+        """Stored ``(lat, lon)`` of an item."""
+        __, __, lat, lon, __ = self._items[item_id]
+        return lat, lon
+
+    def ids(self) -> Iterator[Hashable]:
+        return iter(self._items)
+
+    @classmethod
+    def from_points(
+        cls,
+        points: Iterable[tuple[Hashable, float, float]],
+        cell_size_m: float,
+    ) -> "GridIndex":
+        """Build an index from ``(id, lat, lon)`` triples."""
+        index = cls(cell_size_m)
+        for item_id, lat, lon in points:
+            index.insert(item_id, lat, lon)
+        return index
+
+    # -- queries ----------------------------------------------------------
+
+    def radius_query(
+        self, lat: float, lon: float, radius_m: float
+    ) -> Iterator[tuple[Hashable, float]]:
+        """Yield ``(id, distance_m)`` for every item within ``radius_m``.
+
+        The bound is inclusive and a co-located indexed item (distance 0)
+        is reported like any other — callers filter self-matches.
+        """
+        if radius_m < 0:
+            return
+        for key in self._covering_cells(lat, lon, radius_m):
+            bucket = self._cells.get(key)
+            if not bucket:
+                continue
+            for item_id, (__, item_lat, item_lon) in bucket.items():
+                dist = haversine_m(lat, lon, item_lat, item_lon)
+                if dist <= radius_m:
+                    yield item_id, dist
+
+    def knn(
+        self, lat: float, lon: float, k: int
+    ) -> list[tuple[Hashable, float]]:
+        """The ``k`` nearest items as ``(id, distance_m)``, nearest first.
+
+        Expands the search radius geometrically from one cell size until
+        ``k`` hits are confirmed inside the searched radius (so no closer
+        item can hide in an unvisited cell), or the whole sphere is
+        covered.  Ties break by insertion order.
+        """
+        if k <= 0 or not self._items:
+            return []
+        radius = self.cell_size_m
+        while True:
+            hits = sorted(
+                self.radius_query(lat, lon, radius),
+                key=lambda hit: (hit[1], self._items[hit[0]][4]),
+            )
+            if len(hits) >= k or radius >= _MAX_DISTANCE_M:
+                return hits[:k]
+            radius = min(_MAX_DISTANCE_M, radius * 4.0)
+
+    def all_pairs_within(
+        self, distance_m: float
+    ) -> Iterator[tuple[Hashable, Hashable, float]]:
+        """Yield each unordered pair of items within ``distance_m`` once.
+
+        Pairs come out as ``(earlier_inserted, later_inserted, distance_m)``
+        ordered by the first item's insertion; with one insert per vessel
+        that matches the classic ``for i, for j > i`` enumeration while
+        touching only neighbouring cells.
+        """
+        if distance_m < 0 or len(self._items) < 2:
+            return
+        for item_id, (__, __, lat, lon, seq) in self._items.items():
+            for key in self._covering_cells(lat, lon, distance_m):
+                bucket = self._cells.get(key)
+                if not bucket:
+                    continue
+                for other_id, (other_seq, other_lat, other_lon) in bucket.items():
+                    if other_seq <= seq:
+                        continue
+                    dist = haversine_m(lat, lon, other_lat, other_lon)
+                    if dist <= distance_m:
+                        yield item_id, other_id, dist

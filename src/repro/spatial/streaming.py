@@ -1,0 +1,91 @@
+"""Incremental spatial index over a live position feed.
+
+A surveillance stream carries many fixes per vessel; proximity queries
+only ever care about the *latest* one, and vessels that fall silent must
+eventually stop matching.  :class:`StreamingGridIndex` maintains exactly
+that view on top of :class:`~repro.spatial.grid.GridIndex`: one position
+per key, updated in place as observations arrive, with stale keys evicted
+once they age past ``max_age_s`` behind the observed clock.
+"""
+
+import heapq
+import math
+from collections.abc import Hashable, Iterator
+
+from repro.spatial.grid import GridIndex
+
+
+class StreamingGridIndex:
+    """Latest-position-per-key index with age-based eviction.
+
+    ``observe`` is the single ingestion point; out-of-order fixes older
+    than the key's current state are ignored, so the index is safe to
+    feed from a merely *approximately* ordered stream.
+    """
+
+    def __init__(self, cell_size_m: float, max_age_s: float | None = None) -> None:
+        if max_age_s is not None and max_age_s <= 0:
+            raise ValueError("max_age_s must be positive when given")
+        self.max_age_s = max_age_s
+        self._grid = GridIndex(cell_size_m)
+        self._t: dict[Hashable, float] = {}
+        #: Lazy-deleted expiry heap of (t, key); stale entries are skipped
+        #: when their timestamp no longer matches ``_t``.
+        self._expiry: list[tuple[float, Hashable]] = []
+        self.now = -math.inf
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._t
+
+    def observe(self, key: Hashable, t: float, lat: float, lon: float) -> bool:
+        """Ingest one fix; returns False if it was older than the state."""
+        current = self._t.get(key)
+        if current is not None and t < current:
+            self.advance(t)
+            return False
+        self._t[key] = t
+        self._grid.insert(key, lat, lon)
+        if self.max_age_s is not None:
+            heapq.heappush(self._expiry, (t, key))
+        self.advance(t)
+        return True
+
+    def advance(self, t: float) -> None:
+        """Move the clock forward (never backward) and evict stale keys."""
+        if t > self.now:
+            self.now = t
+        if self.max_age_s is None:
+            return
+        horizon = self.now - self.max_age_s
+        while self._expiry and self._expiry[0][0] < horizon:
+            expired_t, key = heapq.heappop(self._expiry)
+            # Only evict if this heap entry still describes the live state.
+            if self._t.get(key) == expired_t:
+                del self._t[key]
+                self._grid.remove(key)
+
+    def remove(self, key: Hashable) -> None:
+        del self._t[key]
+        self._grid.remove(key)
+
+    def timestamp(self, key: Hashable) -> float:
+        return self._t[key]
+
+    def position(self, key: Hashable) -> tuple[float, float]:
+        return self._grid.position(key)
+
+    def radius_query(
+        self, lat: float, lon: float, radius_m: float
+    ) -> Iterator[tuple[Hashable, float]]:
+        return self._grid.radius_query(lat, lon, radius_m)
+
+    def knn(self, lat: float, lon: float, k: int) -> list[tuple[Hashable, float]]:
+        return self._grid.knn(lat, lon, k)
+
+    def all_pairs_within(
+        self, distance_m: float
+    ) -> Iterator[tuple[Hashable, Hashable, float]]:
+        return self._grid.all_pairs_within(distance_m)

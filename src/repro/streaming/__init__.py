@@ -2,9 +2,9 @@
 
 A small, single-process dataflow engine providing the primitives the paper
 says maritime integration needs but generic platforms lack (§2.2-2.3):
-timestamped records, keyed windows, cross-stream interval joins,
-stream-static enrichment, watermark-based reordering, and an in-situ
-placement model that accounts communication cost (§2.1).
+timestamped records, keyed windows, cross-stream interval and spatial
+joins, stream-static enrichment, watermark-based reordering, and an
+in-situ placement model that accounts communication cost (§2.1).
 
 The engine is pull-based (generators), so pipelines are lazy and memory-
 bounded; "running" a pipeline is draining its iterator.
@@ -17,7 +17,7 @@ from repro.streaming.windows import (
     sliding_windows,
     session_windows,
 )
-from repro.streaming.joins import interval_join, enrich
+from repro.streaming.joins import interval_join, spatial_join, enrich
 from repro.streaming.watermarks import reorder_with_watermark, LateRecordPolicy
 from repro.streaming.insitu import (
     ProcessingNode,
@@ -35,6 +35,7 @@ __all__ = [
     "sliding_windows",
     "session_windows",
     "interval_join",
+    "spatial_join",
     "enrich",
     "reorder_with_watermark",
     "LateRecordPolicy",

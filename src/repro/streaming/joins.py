@@ -1,13 +1,16 @@
-"""Stream joins: cross-stream interval join and stream-static enrichment.
+"""Stream joins: cross-stream interval, spatial and stream-static joins.
 
-These are the two integration primitives §2.2 calls out: joining detected
-patterns across streams within a time band, and annotating a stream with
-quasi-static context (registries, zones, weather) in flight.
+These are the integration primitives §2.2 calls out: joining detected
+patterns across streams within a time band (optionally also within a
+metric distance), and annotating a stream with quasi-static context
+(registries, zones, weather) in flight.
 """
 
+from collections import deque
 from collections.abc import Callable, Iterator
 from typing import Any
 
+from repro.spatial import GridIndex
 from repro.streaming.stream import Record, Stream
 
 
@@ -42,7 +45,10 @@ def interval_join(
             if take_left:
                 record = left_next
                 left_next = next(left_iter, None)
-                left_buf.append(record)
+                # An exhausted right side can never consume this record;
+                # buffering it would just grow memory for nothing.
+                if right_next is not None:
+                    left_buf.append(record)
                 for other in right_buf:
                     if abs(record.t - other.t) <= max_dt_s and (
                         not match_keys or record.key == other.key
@@ -58,7 +64,8 @@ def interval_join(
             else:
                 record = right_next
                 right_next = next(right_iter, None)
-                right_buf.append(record)
+                if left_next is not None:
+                    right_buf.append(record)
                 for other in left_buf:
                     if abs(record.t - other.t) <= max_dt_s and (
                         not match_keys or record.key == other.key
@@ -71,6 +78,108 @@ def interval_join(
                 left_buf[:] = [
                     r for r in left_buf if r.t >= record.t - max_dt_s
                 ]
+
+    return Stream(_gen())
+
+
+def spatial_join(
+    left: Stream,
+    right: Stream,
+    max_dt_s: float,
+    max_distance_m: float,
+    position: Callable[[Record], tuple[float, float]],
+    join_fn: Callable[[Record, Record], Any],
+) -> Stream:
+    """Join two time-ordered streams on time band *and* proximity.
+
+    Emits one output per (left, right) pair with ``|t_l - t_r| <=
+    max_dt_s`` whose positions (as extracted by ``position``, returning
+    ``(lat, lon)``) lie within ``max_distance_m`` great-circle metres.
+    Buffered records sit in a :class:`~repro.spatial.GridIndex` per side,
+    so each arrival probes only its spatial neighbourhood instead of the
+    whole opposite buffer — the screen stays correct across the
+    antimeridian and at high latitudes.  Buffers are pruned by the other
+    side's progress, so memory stays bounded by rate x ``max_dt_s``.
+    Output timestamps are the later of the pair; output keys are the left
+    record's.
+    """
+    if max_dt_s < 0:
+        raise ValueError("max_dt_s must be non-negative")
+    if max_distance_m < 0:
+        raise ValueError("max_distance_m must be non-negative")
+
+    def _gen() -> Iterator[Record]:
+        left_iter = iter(left)
+        right_iter = iter(right)
+        # Per side: FIFO of (t, token), token -> record, and the index.
+        left_buf: deque[tuple[float, int]] = deque()
+        right_buf: deque[tuple[float, int]] = deque()
+        left_records: dict[int, Record] = {}
+        right_records: dict[int, Record] = {}
+        left_index = GridIndex(cell_size_m=max_distance_m or 1.0)
+        right_index = GridIndex(cell_size_m=max_distance_m or 1.0)
+        token = 0
+
+        def _prune(
+            buf: deque, records: dict[int, Record], index: GridIndex, t: float
+        ) -> None:
+            while buf and buf[0][0] < t - max_dt_s:
+                __, old = buf.popleft()
+                del records[old]
+                index.remove(old)
+
+        def _matches(
+            record: Record, records: dict[int, Record], index: GridIndex
+        ) -> list[Record]:
+            lat, lon = position(record)
+            hits = [
+                tok
+                for tok, __ in index.radius_query(lat, lon, max_distance_m)
+                if abs(record.t - records[tok].t) <= max_dt_s
+            ]
+            # Buffer (arrival) order keeps output deterministic.
+            return [records[tok] for tok in sorted(hits)]
+
+        left_next = next(left_iter, None)
+        right_next = next(right_iter, None)
+        while left_next is not None or right_next is not None:
+            take_left = right_next is None or (
+                left_next is not None and left_next.t <= right_next.t
+            )
+            if take_left:
+                record = left_next
+                left_next = next(left_iter, None)
+                _prune(right_buf, right_records, right_index, record.t)
+                for other in _matches(record, right_records, right_index):
+                    yield Record(
+                        max(record.t, other.t),
+                        record.key,
+                        join_fn(record, other),
+                    )
+                # An exhausted right side can never consume this record;
+                # buffering it would just grow memory for nothing.
+                if right_next is not None:
+                    lat, lon = position(record)
+                    left_buf.append((record.t, token))
+                    left_records[token] = record
+                    left_index.insert(token, lat, lon)
+                    token += 1
+            else:
+                record = right_next
+                right_next = next(right_iter, None)
+                _prune(left_buf, left_records, left_index, record.t)
+                for other in _matches(record, left_records, left_index):
+                    yield Record(
+                        max(record.t, other.t),
+                        other.key,
+                        join_fn(other, record),
+                    )
+                if left_next is not None:
+                    lat, lon = position(record)
+                    right_buf.append((record.t, token))
+                    right_records[token] = record
+                    right_index.insert(token, lat, lon)
+                    token += 1
 
     return Stream(_gen())
 

@@ -25,7 +25,6 @@ from repro.geo import (
     KNOTS_TO_MPS,
     cross_track_distance_m,
     haversine_m,
-    initial_bearing_deg,
     destination_point,
     interpolate_track_at_time,
 )

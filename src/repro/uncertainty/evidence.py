@@ -8,7 +8,6 @@ combination fuses independent sources; discounting weakens a source by
 its reliability (:mod:`repro.fusion.reliability`).
 """
 
-import math
 from collections.abc import Iterable
 from typing import Any
 

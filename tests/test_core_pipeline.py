@@ -125,3 +125,28 @@ class TestConfigKnobs:
         result = pipeline.process(run)
         for complex_event in result.complex_events:
             assert complex_event.details["pattern"] == "double_gap"
+
+
+class TestStageStats:
+    def test_zero_duration_throughput_is_json_safe(self):
+        """Regression: inf throughput broke json.dumps of result tables."""
+        import json
+
+        from repro.core.pipeline import StageStats
+
+        stage = StageStats("decode", n_in=100, n_out=100, seconds=0.0)
+        assert stage.throughput_per_s == 0.0
+        assert json.loads(json.dumps(stage.throughput_per_s)) == 0.0
+
+    def test_summary_formats_zero_duration_stage(self):
+        from repro.core.pipeline import PipelineResult, StageStats
+
+        result = PipelineResult(
+            stages=[StageStats("decode", n_in=10, n_out=10, seconds=0.0)],
+            trajectories=[], synopses=[], events=[], complex_events=[],
+            forecasts={}, store=None, triples=(), cube=None, overview=None,
+            pol=None, monitor=None,
+        )
+        summary = result.summary()
+        assert "inf" not in summary
+        assert "n/a" in summary

@@ -114,6 +114,40 @@ class TestDetection:
         )
         assert events == []
 
+    def test_high_latitude_contact_found(self):
+        """Regression: fixed-degree cells shrink to ~230 m of longitude at
+        78°N, so a true 480 m contact fell outside the 3x3 neighbourhood
+        searched by the old hash.  The latitude-aware index must find it."""
+        import math
+
+        lon_offset = 480.0 / (111_194.9 * math.cos(math.radians(78.0)))
+        points_a = [
+            TrackPoint(i * 60.0, 78.0, 0.0, 0.5, 0.0) for i in range(60)
+        ]
+        points_b = [
+            TrackPoint(i * 60.0, 78.0, lon_offset, 0.5, 0.0) for i in range(60)
+        ]
+        events = detect_rendezvous(
+            [Trajectory(501, points_a), Trajectory(502, points_b)], PORTS
+        )
+        assert len(events) == 1
+        assert set(events[0].mmsis) == {501, 502}
+
+    def test_antimeridian_contact_and_centroid(self):
+        """A dwell straddling lon ±180° is detected and its centroid sits
+        on the seam, not at lon ~0."""
+        points_a = [
+            TrackPoint(i * 60.0, 10.0, 179.999, 0.5, 0.0) for i in range(60)
+        ]
+        points_b = [
+            TrackPoint(i * 60.0, 10.0, -179.999, 0.5, 0.0) for i in range(60)
+        ]
+        events = detect_rendezvous(
+            [Trajectory(601, points_a), Trajectory(602, points_b)], PORTS
+        )
+        assert len(events) == 1
+        assert abs(abs(events[0].lon) - 180.0) < 0.01
+
     def test_three_way_meeting_reports_all_pairs(self):
         tracks = [
             Trajectory(

@@ -1,7 +1,5 @@
 """Tests for detection scoring against ground truth."""
 
-import pytest
-
 from repro.events import Event, EventKind, match_events
 from repro.simulation.scenario import TruthEvent
 

@@ -125,3 +125,25 @@ class TestCollisionRisk:
         events = detect_collision_risk(states, config)
         for event in events:
             assert event.details["dcpa_m"] <= 100.0
+
+    def test_antimeridian_pair_screened_in(self):
+        """The 20 km screen must not treat lon ±180° as 360° apart."""
+        states = {
+            1: TrackPoint(0.0, 0.0, 179.99, 10.0, 90.0),
+            2: TrackPoint(0.0, 0.0, -179.99, 10.0, 270.0),  # head-on
+        }
+        events = detect_collision_risk(states)
+        assert len(events) == 1
+
+    def test_antimeridian_midpoint_on_seam(self):
+        """Regression: the naive lon average put this event near lon 0,
+        half a world from both vessels."""
+        states = {
+            1: TrackPoint(0.0, 10.0, 179.98, 10.0, 90.0),
+            2: TrackPoint(0.0, 10.0, -179.98, 10.0, 270.0),
+        }
+        events = detect_collision_risk(states)
+        assert len(events) == 1
+        event = events[0]
+        assert abs(abs(event.lon) - 180.0) < 0.05
+        assert event.lat == pytest.approx(10.0)

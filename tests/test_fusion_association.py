@@ -1,9 +1,5 @@
 """Tests for contact-to-track association and multi-source tracking."""
 
-import random
-
-import pytest
-
 from repro.fusion import AssociationConfig, MultiSourceTracker, associate_contacts
 from repro.simulation.sensors import RadarContact
 from repro.trajectory.points import TrackPoint

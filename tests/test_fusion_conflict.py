@@ -1,7 +1,5 @@
 """Tests for conflict detection/resolution and reliability estimation."""
 
-import pytest
-
 from repro.fusion import (
     AttributeConflict,
     detect_conflicts,

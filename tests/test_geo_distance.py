@@ -168,3 +168,24 @@ class TestCrossTrack:
     def test_along_track_at_start(self):
         d = along_track_distance_m(0.0, 0.0, 0.0, 0.0, 0.0, 1.0)
         assert abs(d) < 1.0
+
+
+class TestPairMidpoint:
+    def test_plain_midpoint(self):
+        from repro.geo import pair_midpoint
+
+        assert pair_midpoint(48.0, -5.0, 50.0, -6.0) == (49.0, -5.5)
+
+    def test_antimeridian_midpoint_on_seam(self):
+        from repro.geo import pair_midpoint
+
+        lat, lon = pair_midpoint(10.0, 179.9, 10.0, -179.9)
+        assert lat == pytest.approx(10.0)
+        assert abs(lon) == pytest.approx(180.0)
+
+    def test_symmetric_up_to_wrap(self):
+        from repro.geo import haversine_m, pair_midpoint
+
+        ab = pair_midpoint(10.0, 179.9, 12.0, -179.9)
+        ba = pair_midpoint(12.0, -179.9, 10.0, 179.9)
+        assert haversine_m(*ab, *ba) == pytest.approx(0.0, abs=1e-6)

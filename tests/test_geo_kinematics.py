@@ -80,6 +80,16 @@ class TestCpaTcpa:
         result = cpa_tcpa(0.0, 0.0, 10.0, 0.0, 0.05, 0.1, 10.0, 270.0)
         assert 0.0 < result.dcpa_m < result.range_m
 
+    def test_antimeridian_head_on(self):
+        """Regression: the tangent plane used to be centred on the naive
+        lon average (~0° for this pair), reporting half-circumference
+        ranges for a 2.2 km head-on encounter across lon ±180°."""
+        result = cpa_tcpa(0.0, 179.99, 10.0, 90.0, 0.0, -179.99, 10.0, 270.0)
+        seam_shifted = cpa_tcpa(0.0, -0.01, 10.0, 90.0, 0.0, 0.01, 10.0, 270.0)
+        assert result.range_m == pytest.approx(seam_shifted.range_m, rel=1e-6)
+        assert result.tcpa_s == pytest.approx(seam_shifted.tcpa_s, rel=1e-6)
+        assert result.dcpa_m == pytest.approx(0.0, abs=1.0)
+
 
 class TestLocalTangentPlane:
     def test_roundtrip(self):

@@ -3,7 +3,7 @@ index/scan equivalence."""
 
 import math
 
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.geo import BoundingBox
 from repro.storage import GridIndex, IndexedPoint

@@ -1,12 +1,9 @@
 """Tests for the receiver/coverage model."""
 
-import random
-
 import pytest
 
 from repro.ais.types import PositionReport
 from repro.simulation.receivers import (
-    Observation,
     ReceiverNetwork,
     SatelliteConstellation,
     TerrestrialStation,

@@ -1,0 +1,190 @@
+"""Tests for the shared geo-grid spatial index."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo import haversine_m, normalize_lon
+from repro.spatial import GridIndex
+
+
+def brute_pairs(points, distance_m):
+    """Reference O(n²) haversine pair enumeration (insertion order)."""
+    found = set()
+    for i in range(len(points)):
+        pid, lat, lon = points[i]
+        for qid, qlat, qlon in points[i + 1 :]:
+            if haversine_m(lat, lon, qlat, qlon) <= distance_m:
+                found.add((pid, qid))
+    return found
+
+
+def scatter(rng, n, lat_c, lon_c, spread_deg):
+    """Random points around a centre, spread widened for lon convergence."""
+    lon_spread = spread_deg / max(0.05, math.cos(math.radians(lat_c)))
+    return [
+        (
+            i,
+            min(90.0, max(-90.0, lat_c + rng.uniform(-spread_deg, spread_deg))),
+            normalize_lon(lon_c + rng.uniform(-lon_spread, lon_spread)),
+        )
+        for i in range(n)
+    ]
+
+
+class TestBasics:
+    def test_invalid_cell_size_rejected(self):
+        with pytest.raises(ValueError):
+            GridIndex(0.0)
+
+    def test_insert_contains_position(self):
+        index = GridIndex(1000.0)
+        index.insert("a", 48.0, -5.0)
+        assert "a" in index
+        assert len(index) == 1
+        assert index.position("a") == (48.0, -5.0)
+
+    def test_insert_is_upsert(self):
+        index = GridIndex(1000.0)
+        index.insert("a", 48.0, -5.0)
+        index.insert("a", 10.0, 120.0)
+        assert len(index) == 1
+        assert index.position("a") == (10.0, 120.0)
+        assert {i for i, __ in index.radius_query(10.0, 120.0, 1.0)} == {"a"}
+
+    def test_remove(self):
+        index = GridIndex(1000.0)
+        index.insert("a", 48.0, -5.0)
+        index.remove("a")
+        assert len(index) == 0
+        with pytest.raises(KeyError):
+            index.remove("a")
+
+    def test_radius_query_inclusive_and_exact(self):
+        index = GridIndex(500.0)
+        index.insert(1, 0.0, 0.0)
+        index.insert(2, 0.0, 0.01)  # ~1113 m east
+        hits = dict(index.radius_query(0.0, 0.0, 1500.0))
+        assert set(hits) == {1, 2}
+        assert hits[1] == 0.0
+        assert hits[2] == pytest.approx(
+            haversine_m(0.0, 0.0, 0.0, 0.01), abs=1e-9
+        )
+
+    def test_knn_orders_by_distance(self):
+        index = GridIndex(1000.0)
+        for i in range(10):
+            index.insert(i, 0.0, 0.001 * i)
+        assert [i for i, __ in index.knn(0.0, 0.0, 3)] == [0, 1, 2]
+        # k larger than the population returns everything.
+        assert len(index.knn(0.0, 0.0, 50)) == 10
+        assert index.knn(0.0, 0.0, 0) == []
+
+    def test_knn_reaches_far_items(self):
+        """Expansion must find neighbours many cells away."""
+        index = GridIndex(100.0)
+        index.insert("far", 1.0, 1.0)
+        index.insert("farther", -2.0, 3.0)
+        assert [i for i, __ in index.knn(0.0, 0.0, 2)] == ["far", "farther"]
+
+
+class TestAntimeridian:
+    def test_pair_across_seam_found(self):
+        index = GridIndex(500.0)
+        index.insert(1, 10.0, 179.999)
+        index.insert(2, 10.0, -179.999)
+        pairs = list(index.all_pairs_within(500.0))
+        assert [(a, b) for a, b, __ in pairs] == [(1, 2)]
+        assert pairs[0][2] == pytest.approx(
+            haversine_m(10.0, 179.999, 10.0, -179.999), abs=1e-9
+        )
+
+    def test_radius_query_across_seam(self):
+        index = GridIndex(1000.0)
+        index.insert("west", 0.0, -179.995)
+        index.insert("east", 0.0, 179.995)
+        assert {i for i, __ in index.radius_query(0.0, 180.0, 2000.0)} == {
+            "west",
+            "east",
+        }
+
+
+class TestHighLatitude:
+    def test_metric_radius_holds_at_78_north(self):
+        """~480 m of longitude at 78°N is >2 naive 0.01° cells apart."""
+        index = GridIndex(500.0)
+        lon_offset = 480.0 / (111_194.9 * math.cos(math.radians(78.0)))
+        index.insert(1, 78.0, 0.0)
+        index.insert(2, 78.0, lon_offset)
+        assert [(a, b) for a, b, __ in index.all_pairs_within(500.0)] == [(1, 2)]
+
+    def test_pole_cap_single_cell(self):
+        index = GridIndex(500.0)
+        index.insert(1, 89.999, 0.0)
+        index.insert(2, 89.999, 180.0)  # ~250 m across the pole cap
+        dist = haversine_m(89.999, 0.0, 89.999, 180.0)
+        assert [p[:2] for p in index.all_pairs_within(dist + 1.0)] == [(1, 2)]
+
+    def test_poles_accepted(self):
+        index = GridIndex(500.0)
+        index.insert("n", 90.0, 0.0)
+        index.insert("s", -90.0, 123.0)
+        assert len(index) == 2
+        assert [i for i, __ in index.knn(89.9999, 50.0, 1)] == ["n"]
+
+
+class TestAllPairsMatchesBruteForce:
+    @pytest.mark.parametrize(
+        "seed,lat_c,lon_c,spread_deg,distance_m",
+        [
+            (0, 48.0, -5.0, 0.5, 2_000.0),
+            (1, 0.0, 0.0, 2.0, 20_000.0),
+            (2, 78.0, 179.9, 1.0, 500.0),
+            (3, -62.0, -179.95, 0.8, 5_000.0),
+            (4, 85.0, 10.0, 3.0, 10_000.0),
+            (5, 45.0, 180.0, 0.1, 700.0),
+        ],
+    )
+    def test_matches_brute_force(self, seed, lat_c, lon_c, spread_deg, distance_m):
+        rng = random.Random(seed)
+        points = scatter(rng, 250, lat_c, lon_c, spread_deg)
+        index = GridIndex.from_points(points, cell_size_m=distance_m)
+        got = {(a, b) for a, b, __ in index.all_pairs_within(distance_m)}
+        assert got == brute_pairs(points, distance_m)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        lat_c=st.floats(min_value=-89.0, max_value=89.0),
+        lon_c=st.floats(min_value=-180.0, max_value=180.0),
+        distance_m=st.floats(min_value=50.0, max_value=50_000.0),
+    )
+    def test_property_random_clusters(self, seed, lat_c, lon_c, distance_m):
+        """Index pair enumeration == brute force for arbitrary clusters."""
+        rng = random.Random(seed)
+        spread_deg = distance_m / 111_194.9 * rng.uniform(0.5, 4.0)
+        points = scatter(rng, 60, lat_c, lon_c, spread_deg)
+        index = GridIndex.from_points(points, cell_size_m=distance_m)
+        got = {(a, b) for a, b, __ in index.all_pairs_within(distance_m)}
+        assert got == brute_pairs(points, distance_m)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        lat_c=st.floats(min_value=-89.0, max_value=89.0),
+        radius_m=st.floats(min_value=10.0, max_value=100_000.0),
+    )
+    def test_property_radius_query(self, seed, lat_c, radius_m):
+        rng = random.Random(seed)
+        points = scatter(rng, 80, lat_c, 179.9, radius_m / 111_194.9 * 2.0)
+        index = GridIndex.from_points(points, cell_size_m=max(radius_m / 3, 1.0))
+        q_lat, q_lon = points[0][1], points[0][2]
+        got = {i for i, __ in index.radius_query(q_lat, q_lon, radius_m)}
+        want = {
+            i
+            for i, lat, lon in points
+            if haversine_m(q_lat, q_lon, lat, lon) <= radius_m
+        }
+        assert got == want

@@ -1,0 +1,69 @@
+"""Tests for the incremental (streaming) spatial index."""
+
+import pytest
+
+from repro.spatial import StreamingGridIndex
+
+
+class TestObserve:
+    def test_latest_position_wins(self):
+        index = StreamingGridIndex(1000.0)
+        index.observe(7, 0.0, 48.0, -5.0)
+        index.observe(7, 60.0, 48.1, -5.0)
+        assert len(index) == 1
+        assert index.position(7) == (48.1, -5.0)
+        assert index.timestamp(7) == 60.0
+
+    def test_out_of_order_fix_ignored(self):
+        index = StreamingGridIndex(1000.0)
+        index.observe(7, 60.0, 48.1, -5.0)
+        assert index.observe(7, 30.0, 47.0, -6.0) is False
+        assert index.position(7) == (48.1, -5.0)
+
+    def test_queries_follow_updates(self):
+        index = StreamingGridIndex(1000.0)
+        index.observe(1, 0.0, 48.0, -5.0)
+        index.observe(2, 0.0, 48.0005, -5.0)
+        assert [p[:2] for p in index.all_pairs_within(200.0)] == [(1, 2)]
+        # Vessel 2 steams away; the pair disappears.
+        index.observe(2, 60.0, 49.0, -5.0)
+        assert list(index.all_pairs_within(200.0)) == []
+        assert [k for k, __ in index.knn(49.0, -5.0, 1)] == [2]
+
+
+class TestEviction:
+    def test_silent_vessels_expire(self):
+        index = StreamingGridIndex(1000.0, max_age_s=300.0)
+        index.observe(1, 0.0, 48.0, -5.0)
+        index.observe(2, 0.0, 48.001, -5.0)
+        index.observe(2, 600.0, 48.001, -5.0)  # vessel 1 now 600 s silent
+        assert 1 not in index
+        assert 2 in index
+        assert list(index.radius_query(48.0, -5.0, 500.0)) != []
+
+    def test_refresh_defers_eviction(self):
+        index = StreamingGridIndex(1000.0, max_age_s=300.0)
+        index.observe(1, 0.0, 48.0, -5.0)
+        index.observe(1, 250.0, 48.0, -5.0)
+        index.advance(450.0)  # 200 s after the refresh: still live
+        assert 1 in index
+        index.advance(600.0)
+        assert 1 not in index
+
+    def test_advance_never_goes_backward(self):
+        index = StreamingGridIndex(1000.0, max_age_s=100.0)
+        index.observe(1, 1000.0, 48.0, -5.0)
+        index.advance(0.0)
+        assert index.now == 1000.0
+        assert 1 in index
+
+    def test_invalid_max_age_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingGridIndex(1000.0, max_age_s=0.0)
+
+    def test_remove(self):
+        index = StreamingGridIndex(1000.0)
+        index.observe(1, 0.0, 48.0, -5.0)
+        index.remove(1)
+        assert 1 not in index
+        assert list(index.radius_query(48.0, -5.0, 1000.0)) == []

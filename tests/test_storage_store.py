@@ -1,7 +1,5 @@
 """Tests for the trajectory store."""
 
-import random
-
 import pytest
 
 from repro.geo import BoundingBox

@@ -1,8 +1,8 @@
-"""Tests for interval joins and stream-static enrichment."""
+"""Tests for interval joins, spatial joins and stream-static enrichment."""
 
 import pytest
 
-from repro.streaming import Record, Stream, enrich, interval_join
+from repro.streaming import Record, Stream, enrich, interval_join, spatial_join
 
 
 def keyed(times, key="k", tag=""):
@@ -57,6 +57,110 @@ class TestIntervalJoin:
     def test_negative_band_rejected(self):
         with pytest.raises(ValueError):
             interval_join(keyed([0]), keyed([1]), -1.0, lambda a, b: None)
+
+
+def positioned(entries, key="k"):
+    """Build a stream of records whose values are (lat, lon) tuples."""
+    return Stream(Record(float(t), key, (lat, lon)) for t, lat, lon in entries)
+
+
+def _pos(record):
+    return record.value
+
+
+class TestSpatialJoin:
+    def test_near_pairs_joined(self):
+        out = spatial_join(
+            positioned([(0, 48.0, -5.0), (10, 20.0, 30.0)], key="L"),
+            positioned([(1, 48.001, -5.0), (11, 48.0, -5.0)], key="R"),
+            max_dt_s=5.0,
+            max_distance_m=500.0,
+            position=_pos,
+            join_fn=lambda a, b: (a.t, b.t),
+        ).collect()
+        # Only the t=0/t=1 pair is close in both time and space.
+        assert [r.value for r in out] == [(0.0, 1.0)]
+
+    def test_far_pairs_screened_out(self):
+        out = spatial_join(
+            positioned([(0, 48.0, -5.0)]),
+            positioned([(1, 49.0, -5.0)]),  # ~111 km away
+            max_dt_s=5.0,
+            max_distance_m=1000.0,
+            position=_pos,
+            join_fn=lambda a, b: None,
+        ).collect()
+        assert out == []
+
+    def test_time_band_still_applies(self):
+        out = spatial_join(
+            positioned([(0, 48.0, -5.0)]),
+            positioned([(100, 48.0, -5.0)]),
+            max_dt_s=5.0,
+            max_distance_m=1000.0,
+            position=_pos,
+            join_fn=lambda a, b: None,
+        ).collect()
+        assert out == []
+
+    def test_antimeridian_pair_joined(self):
+        out = spatial_join(
+            positioned([(0, 0.0, 179.999)], key="L"),
+            positioned([(1, 0.0, -179.999)], key="R"),
+            max_dt_s=5.0,
+            max_distance_m=500.0,
+            position=_pos,
+            join_fn=lambda a, b: (a.key, b.key),
+        ).collect()
+        assert [r.value for r in out] == [("L", "R")]
+        assert out[0].key == "L"  # output keyed by the left record
+
+    def test_output_timestamp_is_later(self):
+        out = spatial_join(
+            positioned([(0, 48.0, -5.0)]),
+            positioned([(3, 48.0, -5.0)]),
+            5.0, 100.0, _pos, lambda a, b: None,
+        ).collect()
+        assert out[0].t == 3.0
+
+    def test_matches_interval_join_when_all_near(self):
+        """With everything co-located, spatial_join degrades to the pure
+        interval join (cross-key)."""
+        left = [(0, 48.0, -5.0), (10, 48.0, -5.0), (20, 48.0, -5.0)]
+        right = [(1, 48.0, -5.0), (11, 48.0, -5.0), (25, 48.0, -5.0)]
+        spatial = spatial_join(
+            positioned(left), positioned(right),
+            2.0, 1000.0, _pos, lambda a, b: (a.t, b.t),
+        ).collect()
+        interval = interval_join(
+            positioned(left), positioned(right),
+            2.0, lambda a, b: (a.t, b.t), match_keys=False,
+        ).collect()
+        assert [r.value for r in spatial] == [r.value for r in interval]
+
+    def test_buffers_pruned(self):
+        """Old records leave the spatial buffer with the time band."""
+        n = 50
+        left = [(t, 48.0, -5.0) for t in range(n)]
+        right = [(t + 0.5, 48.0, -5.0) for t in range(n)]
+        out = spatial_join(
+            positioned(left), positioned(right),
+            1.0, 1000.0, _pos, lambda a, b: (a.t, b.t),
+        ).collect()
+        # Each left t matches right t-0.5 and t+0.5 (except the first).
+        assert len(out) == 2 * n - 1
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            spatial_join(
+                positioned([]), positioned([]), -1.0, 10.0, _pos,
+                lambda a, b: None,
+            )
+        with pytest.raises(ValueError):
+            spatial_join(
+                positioned([]), positioned([]), 1.0, -10.0, _pos,
+                lambda a, b: None,
+            )
 
 
 class TestEnrich:

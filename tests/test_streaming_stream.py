@@ -1,7 +1,5 @@
 """Tests for the core stream abstraction."""
 
-import pytest
-
 from repro.streaming import Record, Stream, merge_by_time
 
 

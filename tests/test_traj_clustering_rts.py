@@ -6,7 +6,6 @@ import pytest
 
 from repro.geo import haversine_m
 from repro.trajectory.clustering import (
-    Anchorage,
     cluster_routes,
     discover_anchorages,
 )

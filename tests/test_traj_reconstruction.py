@@ -1,7 +1,5 @@
 """Tests for online trajectory reconstruction and cleaning."""
 
-import pytest
-
 from repro.ais.types import PositionReport
 from repro.trajectory import ReconstructionConfig, TrackReconstructor
 

@@ -1,7 +1,5 @@
 """Tests for stop/move segmentation and port-call detection."""
 
-import pytest
-
 from repro.simulation.world import Port
 from repro.trajectory import detect_stops, port_calls, stops_and_moves
 from repro.trajectory.points import TrackPoint, Trajectory
