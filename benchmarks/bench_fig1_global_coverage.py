@@ -46,7 +46,7 @@ def test_fig1_density_map(global_run, benchmark, report):
         f"  transmissions: {len(global_run.transmissions)}",
         f"  received positions: {len(lats)} ({coverage:.0%} coverage)",
         f"  occupied map cells: {density.occupied_cells}"
-        f" / {density.counts.size}",
+        f" ({density.occupancy_fraction():.1%} of the box)",
         "",
         render_ascii_map(
             density, markers={(p.lat, p.lon): "o" for p in WORLD_PORTS}
@@ -64,8 +64,6 @@ def test_fig1_density_map(global_run, benchmark, report):
     assert density.total > 10_000
     # Traffic concentrates: the top 10% of occupied cells hold much more
     # than their uniform share (10%) of the received positions.
-    counts = sorted(
-        (int(c) for c in density.counts.flatten() if c > 0), reverse=True
-    )
+    counts = sorted(density.cell_counts().values(), reverse=True)
     top_decile = counts[: max(1, len(counts) // 10)]
     assert sum(top_decile) > 0.2 * sum(counts)

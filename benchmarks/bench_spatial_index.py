@@ -1,18 +1,22 @@
-"""SPATIAL — indexed vs brute-force proximity screening.
+"""SPATIAL — indexed vs brute-force proximity screening, grid vs R-tree.
 
 The tentpole claim of the shared spatial index: pair screening over live
 vessel states drops from O(n²) haversine evaluations to a near-linear
-grid sweep, with *identical* results.  This benchmark measures both
-implementations at 1k/5k/20k vessels and verifies that the indexed
-collision and rendezvous detectors emit exactly the events their
-brute-force references do, including across the antimeridian and at high
-latitude.
+indexed sweep, with *identical* results.  This benchmark measures both
+implementations at 1k/5k/20k vessels, verifies that the indexed collision
+and rendezvous detectors emit exactly the events their brute-force
+references do (including across the antimeridian and at high latitude),
+and compares the grid and STR R-tree backends on uniform vs skewed
+(coastal-clustered) fleets, recording the numbers in
+``BENCH_spatial.json``.
 
 The 20k brute-force pass is extrapolated from a timed slice of outer-loop
 rows (the per-pair cost is constant), unless ``REPRO_BENCH_FULL=1`` asks
-for the full quadratic run.
+for the full quadratic run.  ``REPRO_BENCH_SMOKE=1`` shrinks every fleet
+so CI can run the whole file as a fast regression gate.
 """
 
+import json
 import math
 import os
 import random
@@ -22,13 +26,19 @@ from repro.events.collision import CollisionRiskConfig, detect_collision_risk
 from repro.events.rendezvous import RendezvousConfig, detect_rendezvous
 from repro.events.base import Event, EventKind
 from repro.geo import cpa_tcpa, haversine_m, normalize_lon, pair_midpoint
-from repro.spatial import GridIndex
+from repro.spatial import GridIndex, STRTree, build_index, cell_occupancy_skew
 from repro.trajectory.points import TrackPoint, Trajectory
 
+#: CI smoke mode: tiny fleets, no perf assertions, same code paths.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
 SCREEN_M = 20_000.0
-SIZES = (1_000, 5_000, 20_000)
+SIZES = (300, 800) if SMOKE else (1_000, 5_000, 20_000)
 #: Target ratio from the issue's acceptance criteria.
 MIN_SPEEDUP_AT_20K = 5.0
+#: Fleet size for the backend comparison.
+BACKEND_N = 1_200 if SMOKE else 6_000
+BENCH_JSON = os.environ.get("REPRO_BENCH_JSON", "BENCH_spatial.json")
 
 
 def make_fleet(n, seed, lat_c=45.0, lon_c=0.0):
@@ -44,6 +54,38 @@ def make_fleet(n, seed, lat_c=45.0, lon_c=0.0):
             0.0, lat, lon, rng.uniform(2.5, 20.0), rng.uniform(0.0, 360.0)
         )
     return states
+
+
+def make_coastal_fleet(n, seed, n_hubs=12):
+    """The Figure 1 distribution: most traffic packed into tight coastal
+    hubs strung along an arc, a thin scatter over open ocean.  Uniform
+    cells sized to the 20 km screen swallow whole hubs, which is exactly
+    where the grid degenerates."""
+    rng = random.Random(seed)
+    hubs = [
+        (36.0 + 9.0 * math.sin(k / 2.1), -8.0 + 4.5 * k)
+        for k in range(n_hubs)
+    ]
+    points = []
+    for i in range(n):
+        if rng.random() < 0.9:
+            lat_c, lon_c = hubs[rng.randrange(n_hubs)]
+            points.append(
+                (
+                    i,
+                    lat_c + rng.gauss(0.0, 0.03),
+                    normalize_lon(lon_c + rng.gauss(0.0, 0.03)),
+                )
+            )
+        else:
+            points.append(
+                (
+                    i,
+                    rng.uniform(25.0, 60.0),
+                    normalize_lon(rng.uniform(-15.0, 50.0)),
+                )
+            )
+    return points
 
 
 def brute_screen(points, distance_m, max_rows=None):
@@ -158,7 +200,8 @@ def test_spatial_screening_speedup(report):
             f"{speedups[n]:>9.1f}x{len(indexed_pairs):>10}{note}"
         )
     report(*lines)
-    assert speedups[20_000] >= MIN_SPEEDUP_AT_20K
+    if not SMOKE:
+        assert speedups[SIZES[-1]] >= MIN_SPEEDUP_AT_20K
 
 
 def test_collision_event_sets_identical(report):
@@ -237,3 +280,120 @@ def test_rendezvous_event_sets_match_brute_contacts(report):
         f"{len(events)} events ({len(seam)} on the seam, "
         f"{len(high_lat)} above 70°N), all pairs confirmed by brute force",
     )
+
+
+#: Association-style gate probed against the shared screening index.
+GATE_M = 1_500.0
+
+
+def _pair_sweep(index, distance_m):
+    """Full pair sweep as an orientation-free set, plus elapsed seconds."""
+    t0 = time.perf_counter()
+    pairs = {
+        (a, b) if a < b else (b, a)
+        for a, b, __ in index.all_pairs_within(distance_m)
+    }
+    return pairs, time.perf_counter() - t0
+
+
+def _radius_batch(index, queries, radius_m):
+    """Contact-gating probes; returns (sorted hit lists, seconds)."""
+    t0 = time.perf_counter()
+    hits = [
+        sorted(i for i, __ in index.radius_query(lat, lon, radius_m))
+        for lat, lon in queries
+    ]
+    return hits, time.perf_counter() - t0
+
+
+def test_backend_comparison_grid_vs_rtree(report):
+    """Grid vs STR R-tree on uniform and coastal-skewed fleets.
+
+    One shared index per backend serves the two workloads it faces in
+    production: the 20 km collision pair sweep and a batch of 1.5 km
+    association-gate probes.  Both backends must return identical result
+    sets; the R-tree must beat the grid on the skewed fleet (the
+    acceptance criterion — uniform 20 km cells swallow whole coastal
+    hubs, so every fine-radius probe degenerates into a hub scan), and
+    the auto factory must route each fleet to the winning backend.
+    Results land in BENCH_spatial.json for the CI artifact.
+    """
+    uniform_states = make_fleet(BACKEND_N, seed=31)
+    workloads = {
+        "uniform": [(m, p.lat, p.lon) for m, p in uniform_states.items()],
+        "skewed_coastal": make_coastal_fleet(BACKEND_N, seed=37),
+    }
+    results = {}
+    lines = [
+        "",
+        f"SPATIAL — grid vs STR R-tree ({BACKEND_N} vessels; "
+        f"{SCREEN_M / 1000:.0f} km pair sweep + "
+        f"{GATE_M / 1000:.1f} km gate probes)",
+        f"{'workload':>16}{'skew':>8}{'grid_s':>10}{'rtree_s':>10}"
+        f"{'rtree_speedup':>15}{'pairs':>10}{'auto':>10}",
+    ]
+    for name, points in workloads.items():
+        rng = random.Random(41)
+        queries = [
+            (lat + rng.uniform(-0.01, 0.01), lon + rng.uniform(-0.01, 0.01))
+            for __, lat, lon in points[:: max(1, len(points) // 1000)]
+        ]
+        skew = cell_occupancy_skew(points, SCREEN_M)
+        t0 = time.perf_counter()
+        grid = GridIndex.from_points(points, cell_size_m=SCREEN_M)
+        grid_build = time.perf_counter() - t0
+        grid_pairs, grid_sweep = _pair_sweep(grid, SCREEN_M)
+        grid_hits, grid_probe = _radius_batch(grid, queries, GATE_M)
+        t0 = time.perf_counter()
+        tree = STRTree(points)
+        tree_build = time.perf_counter() - t0
+        tree_pairs, tree_sweep = _pair_sweep(tree, SCREEN_M)
+        tree_hits, tree_probe = _radius_batch(tree, queries, GATE_M)
+        assert tree_pairs == grid_pairs, f"{name}: pair sweeps diverge"
+        assert tree_hits == grid_hits, f"{name}: gate probes diverge"
+        grid_s = grid_build + grid_sweep + grid_probe
+        tree_s = tree_build + tree_sweep + tree_probe
+        auto = type(build_index(points, SCREEN_M)).__name__
+        results[name] = {
+            "n": BACKEND_N,
+            "screen_m": SCREEN_M,
+            "gate_m": GATE_M,
+            "n_probes": len(queries),
+            "occupancy_skew": round(skew, 2),
+            "grid": {
+                "build_s": round(grid_build, 4),
+                "sweep_s": round(grid_sweep, 4),
+                "probe_s": round(grid_probe, 4),
+                "total_s": round(grid_s, 4),
+            },
+            "rtree": {
+                "build_s": round(tree_build, 4),
+                "sweep_s": round(tree_sweep, 4),
+                "probe_s": round(tree_probe, 4),
+                "total_s": round(tree_s, 4),
+            },
+            "rtree_speedup": round(grid_s / tree_s, 2),
+            "pairs": len(grid_pairs),
+            "auto_backend": auto,
+        }
+        lines.append(
+            f"{name:>16}{skew:>8.1f}{grid_s:>10.3f}{tree_s:>10.3f}"
+            f"{grid_s / tree_s:>14.1f}x{len(grid_pairs):>10}{auto:>10}"
+        )
+    payload = {
+        "benchmark": "spatial_backend_comparison",
+        "smoke": SMOKE,
+        "workloads": results,
+    }
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    lines.append(f"  written to {BENCH_JSON}")
+    report(*lines)
+    # The auto factory must route the skewed fleet to the R-tree.
+    assert results["skewed_coastal"]["auto_backend"] == "STRTree"
+    assert results["uniform"]["auto_backend"] == "GridIndex"
+    if not SMOKE:
+        # Acceptance criterion: the R-tree beats the grid where uniform
+        # cells degenerate.
+        assert results["skewed_coastal"]["rtree_speedup"] > 1.0

@@ -4,7 +4,7 @@ from dataclasses import dataclass
 
 from repro.events.base import Event, EventKind
 from repro.geo import cpa_tcpa, pair_midpoint
-from repro.spatial import GridIndex
+from repro.spatial import build_index
 from repro.trajectory.points import TrackPoint
 
 
@@ -18,6 +18,8 @@ class CollisionRiskConfig:
     screening_range_m: float = 20_000.0
     #: Ignore near-stationary vessels (moored rafts trigger otherwise).
     min_speed_knots: float = 2.0
+    #: Spatial backend for the pair screen: "auto", "grid" or "rtree".
+    index_backend: str = "auto"
 
 
 def detect_collision_risk(
@@ -28,9 +30,11 @@ def detect_collision_risk(
 
     ``current_states`` maps MMSI to the latest fix (with SOG/COG).  Pairs
     are screened by current range before the CPA solve — via a
-    :class:`~repro.spatial.GridIndex` sweep rather than the quadratic
+    :class:`~repro.spatial.SpatialIndex` sweep rather than the quadratic
     all-pairs loop, so screening cost tracks the number of *nearby* pairs;
-    output events carry DCPA/TCPA in details for the operator display.
+    the backend (latitude-aware grid vs STR R-tree for skewed fleets)
+    follows ``config.index_backend``.  Output events carry DCPA/TCPA in
+    details for the operator display.
     """
     config = config or CollisionRiskConfig()
     vessels = {
@@ -40,9 +44,10 @@ def detect_collision_risk(
         and point.cog_deg is not None
         and point.sog_knots >= config.min_speed_knots
     }
-    index = GridIndex.from_points(
-        ((mmsi, point.lat, point.lon) for mmsi, point in vessels.items()),
+    index = build_index(
+        [(mmsi, point.lat, point.lon) for mmsi, point in vessels.items()],
         cell_size_m=config.screening_range_m,
+        hint=config.index_backend,
     )
     events: list[Event] = []
     for mmsi_a, mmsi_b, __ in index.all_pairs_within(config.screening_range_m):

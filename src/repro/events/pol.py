@@ -16,11 +16,16 @@ import math
 from dataclasses import dataclass, field
 
 from repro.events.base import Event, EventKind
+from repro.geo.constants import METERS_PER_DEG_LAT
+from repro.spatial import CellGrid, geohash_counts
 from repro.trajectory.points import Trajectory
 
 
 @dataclass(frozen=True)
 class PolConfig:
+    #: Cell height in degrees of latitude; cells keep this *metric* size
+    #: everywhere (latitude-aware longitude splitting), so a cell covers
+    #: the same patch of sea at 75°N as at the equator.
     cell_deg: float = 0.2
     speed_bin_knots: float = 2.0
     course_bin_deg: float = 30.0
@@ -43,21 +48,29 @@ class PatternOfLife:
 
     def __init__(self, config: PolConfig | None = None) -> None:
         self.config = config or PolConfig()
+        #: Latitude-aware, antimeridian-wrapped cell keying: a vessel
+        #: loitering at lon ±180° trains ONE history, and cells keep
+        #: their metric size at high latitude instead of shrinking.
+        self._grid = CellGrid(
+            cell_size_m=self.config.cell_deg * METERS_PER_DEG_LAT
+        )
         self._cells: dict[tuple[int, int], _CellStats] = {}
         self.n_training_points = 0
 
     # -- training ----------------------------------------------------------
 
     def _key(self, lat: float, lon: float) -> tuple[int, int]:
-        return (
-            int(math.floor(lat / self.config.cell_deg)),
-            int(math.floor(lon / self.config.cell_deg)),
-        )
+        return self._grid.key(lat, lon)
 
     def _bins(self, sog_knots: float, cog_deg: float) -> tuple[int, int]:
+        # Negative or non-finite SOG (sensor garbage, AIS "not available"
+        # sentinels mapped carelessly) clamps to bin 0 instead of minting
+        # negative bins that silently pollute the histogram.
+        sog = sog_knots if math.isfinite(sog_knots) else 0.0
+        cog = cog_deg if math.isfinite(cog_deg) else 0.0
         return (
-            int(sog_knots // self.config.speed_bin_knots),
-            int((cog_deg % 360.0) // self.config.course_bin_deg),
+            int(max(0.0, sog) // self.config.speed_bin_knots),
+            int((cog % 360.0) // self.config.course_bin_deg),
         )
 
     def observe(self, lat: float, lon: float, sog_knots: float, cog_deg: float) -> None:
@@ -157,3 +170,15 @@ class PatternOfLife:
     @property
     def n_cells(self) -> int:
         return len(self._cells)
+
+    def cell_counts_by_geohash(self, precision: int | None = None) -> dict[str, int]:
+        """Training-observation counts per cell, named as geohash strings.
+
+        The export format for exchanging normalcy coverage with external
+        systems; see :mod:`repro.spatial.cells`.
+        """
+        return geohash_counts(
+            self._grid,
+            ((key, stats.n) for key, stats in self._cells.items()),
+            precision,
+        )

@@ -6,10 +6,11 @@ and bunkering all look like two tracks converging, dwelling within a few
 hundred metres of each other away from any port, then separating.
 
 The detector resamples tracks to a common cadence and sweeps time with a
-:class:`~repro.spatial.GridIndex`, so it scales as O(points) rather than
-O(pairs x time).  The index sizes longitude cells by ``cos(lat)``, so the
-metric contact gate holds at high latitudes (where fixed-degree cells
-shrink below the search neighbourhood) and across the antimeridian.
+per-timestep :class:`~repro.spatial.SpatialIndex`, so it scales as
+O(points) rather than O(pairs x time).  Whichever backend serves the
+sweep, longitude handling is metric-exact, so the contact gate holds at
+high latitudes (where fixed-degree cells shrink below the search
+neighbourhood) and across the antimeridian.
 """
 
 from dataclasses import dataclass
@@ -17,7 +18,8 @@ from dataclasses import dataclass
 from repro.events.base import Event, EventKind
 from repro.geo import haversine_m, normalize_lon, pair_midpoint
 from repro.simulation.world import Port
-from repro.spatial import GridIndex
+from repro.spatial import GridIndex, build_index
+from repro.spatial.factory import AUTO_MIN_RTREE_N
 from repro.trajectory.points import Trajectory
 from repro.trajectory.resample import resample
 
@@ -34,6 +36,8 @@ class RendezvousConfig:
     port_exclusion_m: float = 10_000.0
     #: Common resampling cadence.
     step_s: float = 60.0
+    #: Spatial backend per sweep step: "auto", "grid" or "rtree".
+    index_backend: str = "auto"
 
 
 def detect_rendezvous(
@@ -58,10 +62,13 @@ def detect_rendezvous(
         return []
     t0 = min(tr.t_start for tr in sampled.values())
     t1 = max(tr.t_end for tr in sampled.values())
-    index = GridIndex(cell_size_m=config.max_distance_m)
+    # Resolve an "auto" backend once, from the first timestep populous
+    # enough to exercise the heuristic (small steps choose the grid
+    # without computing any statistic), so later sweeps skip the skew
+    # pass without pinning "grid" off an unrepresentative sparse step.
+    hint = config.index_backend
     t = t0
     while t <= t1:
-        index.clear()
         positions: dict[int, tuple[float, float]] = {}
         for mmsi, trajectory in sampled.items():
             if not (trajectory.t_start <= t <= trajectory.t_end):
@@ -70,8 +77,14 @@ def detect_rendezvous(
             speed = _speed_at(trajectory, t)
             if speed is None or speed > config.max_speed_knots:
                 continue
-            index.insert(mmsi, lat, lon)
             positions[mmsi] = (lat, lon)
+        index = build_index(
+            [(mmsi, lat, lon) for mmsi, (lat, lon) in positions.items()],
+            cell_size_m=config.max_distance_m,
+            hint=hint,
+        )
+        if hint == "auto" and len(positions) >= AUTO_MIN_RTREE_N:
+            hint = "grid" if isinstance(index, GridIndex) else "rtree"
         for mmsi_a, mmsi_b, __ in index.all_pairs_within(config.max_distance_m):
             if mmsi_b < mmsi_a:
                 mmsi_a, mmsi_b = mmsi_b, mmsi_a

@@ -9,9 +9,9 @@ dark ships show up only on radar.
 
 from dataclasses import dataclass, field
 
-from repro.geo import KNOTS_TO_MPS, destination_point, haversine_m
+from repro.geo import KNOTS_TO_MPS, destination_point
 from repro.simulation.sensors import RadarContact
-from repro.spatial import GridIndex
+from repro.spatial import StreamingGridIndex, build_index
 from repro.trajectory.points import TrackPoint, Trajectory
 
 
@@ -24,6 +24,9 @@ class AssociationConfig:
     gate_m: float = 1500.0
     #: Maximum extrapolation age of a track before it cannot gate contacts.
     max_track_age_s: float = 600.0
+    #: Spatial backend for per-sweep candidate gating: "auto", "grid" or
+    #: "rtree".
+    index_backend: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -87,12 +90,13 @@ def associate_contacts(
                 predictions[mmsi] = predicted
         # Index the predicted positions so each contact probes only its
         # neighbourhood instead of every live track (candidate gating).
-        index = GridIndex.from_points(
-            (
+        index = build_index(
+            [
                 (mmsi, plat, plon)
                 for mmsi, (plat, plon) in predictions.items()
-            ),
+            ],
             cell_size_m=config.gate_m,
+            hint=config.index_backend,
         )
         for ci, contact in enumerate(sweep):
             for mmsi, dist in index.radius_query(
@@ -150,6 +154,12 @@ class MultiSourceTracker:
         self.tracks: dict[int, FusedTrack] = {}
         self._by_mmsi: dict[int, int] = {}
         self._next_id = 1
+        #: Cached heads (latest point) of anonymous tracks, so contact
+        #: gating probes a neighbourhood instead of scanning every track
+        #: and re-deriving max(points) per candidate.
+        self._anonymous_heads = StreamingGridIndex(
+            cell_size_m=self.config.gate_m
+        )
 
     def _track_for_mmsi(self, mmsi: int) -> FusedTrack:
         track_id = self._by_mmsi.get(mmsi)
@@ -186,28 +196,38 @@ class MultiSourceTracker:
             anonymous = self._nearest_anonymous(contact)
             if anonymous is not None:
                 anonymous.add(point)
+                self._observe_anonymous_head(anonymous, point)
             else:
                 track_id = self._next_id
                 self._next_id += 1
                 track = FusedTrack(track_id, None)
                 track.add(point)
                 self.tracks[track_id] = track
+                self._observe_anonymous_head(track, point)
         return assignments
 
+    def _observe_anonymous_head(self, track: FusedTrack, point: TrackPoint) -> None:
+        """Keep the cached head current (older fixes are ignored)."""
+        self._anonymous_heads.observe(track.track_id, point.t, point.lat, point.lon)
+
     def _nearest_anonymous(self, contact: RadarContact) -> FusedTrack | None:
-        best: FusedTrack | None = None
-        best_dist = self.config.gate_m
-        for track in self.tracks.values():
-            if track.mmsi is not None or not track.points:
+        """Nearest open anonymous track whose head gates this contact.
+
+        Probes the streaming index of cached track heads instead of
+        scanning every track and recomputing ``max(points)`` per
+        candidate; ties break toward the older (lower-id) track.
+        """
+        best: tuple[float, int] | None = None
+        heads = self._anonymous_heads
+        for track_id, dist in heads.radius_query(
+            contact.lat, contact.lon, self.config.gate_m
+        ):
+            head_t = heads.timestamp(track_id)
+            if contact.t - head_t > self.config.max_track_age_s or contact.t < head_t:
                 continue
-            last = max(track.points, key=lambda p: p.t)
-            if contact.t - last.t > self.config.max_track_age_s or contact.t < last.t:
-                continue
-            dist = haversine_m(contact.lat, contact.lon, last.lat, last.lon)
-            if dist <= best_dist:
-                best = track
-                best_dist = dist
-        return best
+            if best is None or (dist, track_id) < best:
+                best = (dist, track_id)
+        return self.tracks[best[1]] if best is not None else None
 
     @property
     def anonymous_tracks(self) -> list[FusedTrack]:

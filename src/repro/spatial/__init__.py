@@ -3,31 +3,56 @@
 Every surveillance primitive in the library — collision screening,
 rendezvous detection, stream-stream spatial joins, contact-to-track
 gating — reduces to the same question: *which tracked objects are within
-d metres of here?*  The seed answered it four different ways (an O(n²)
-haversine loop and three hand-rolled lat/lon grids), each with its own
-antimeridian and high-latitude blind spots.  This package answers it
-once:
+d metres of here?*  This package answers it once, behind the pluggable
+:class:`~repro.spatial.base.SpatialIndex` protocol:
 
-- :class:`~repro.spatial.grid.GridIndex` — a uniform geo-grid over
-  latitude bands whose longitude cells are sized by ``cos(lat)``, so a
-  metric radius is correct from the equator to the pole caps, and whose
-  cell neighbourhoods wrap modulo the band width, so queries spanning
-  the antimeridian need no special handling.  Exposes ``radius_query``,
-  ``knn`` and an ``all_pairs_within(d)`` generator that replaces
-  quadratic pair screens with a near-linear sweep.
+- :class:`~repro.spatial.grid.GridIndex` — a mutable uniform geo-grid
+  over latitude bands whose longitude cells are sized by ``cos(lat)``, so
+  a metric radius is correct from the equator to the pole caps, and whose
+  cell neighbourhoods wrap modulo the band width, so queries spanning the
+  antimeridian need no special handling.
+- :class:`~repro.spatial.rtree.STRTree` — a sort-tile-recursive bulk
+  loaded R-tree over unit-sphere coordinates, for heavily skewed fleets
+  where uniform cells degenerate; leaf evaluation is vectorised.
 - :class:`~repro.spatial.streaming.StreamingGridIndex` — the incremental
   variant for live feeds: latest position per key, tolerant of slightly
   out-of-order fixes, with age-based eviction of silent vessels.
+- :func:`~repro.spatial.factory.build_index` — picks grid vs R-tree from
+  a cheap cell-occupancy skew statistic.
+- :mod:`~repro.spatial.cells` — the shared latitude-aware cell geometry
+  (:class:`~repro.spatial.cells.CellGrid`) plus geohash interop so cells
+  can be named, exported and exchanged as geohash strings.
 
-Grid cells only *pre-filter* candidates; membership is always decided by
-an exact :func:`~repro.geo.haversine_m` test, so query results are
-identical to brute-force great-circle enumeration.
-
-Open follow-ups tracked in ROADMAP.md: an R-tree backend for skewed
-fleets and interop with :mod:`repro.geo.geohash` cell naming.
+Spatial structures only *pre-filter* candidates; membership is always
+decided by an exact great-circle test, so query results are identical to
+brute-force haversine enumeration whichever backend serves them.  See
+README.md in this directory for backend selection guidance.
 """
 
+from repro.spatial.base import MutableSpatialIndex, SpatialIndex
+from repro.spatial.cells import (
+    CellGrid,
+    cell_to_geohash,
+    geohash_counts,
+    geohash_precision_for,
+    geohash_to_cell,
+)
+from repro.spatial.factory import build_index, cell_occupancy_skew
 from repro.spatial.grid import GridIndex
+from repro.spatial.rtree import STRTree
 from repro.spatial.streaming import StreamingGridIndex
 
-__all__ = ["GridIndex", "StreamingGridIndex"]
+__all__ = [
+    "CellGrid",
+    "GridIndex",
+    "MutableSpatialIndex",
+    "STRTree",
+    "SpatialIndex",
+    "StreamingGridIndex",
+    "build_index",
+    "cell_occupancy_skew",
+    "cell_to_geohash",
+    "geohash_counts",
+    "geohash_precision_for",
+    "geohash_to_cell",
+]

@@ -1,0 +1,72 @@
+"""The pluggable spatial-index contract.
+
+Every proximity consumer in the library — collision screening, rendezvous
+detection, contact gating, stream spatial joins — programs against
+:class:`SpatialIndex`, never against a concrete backend.  Two backends
+implement it:
+
+- :class:`~repro.spatial.grid.GridIndex` — mutable latitude-aware geo
+  grid; the right choice for incremental workloads (live feeds, per-step
+  sweeps) and for roughly uniform fleets.
+- :class:`~repro.spatial.rtree.STRTree` — bulk-loaded sort-tile-recursive
+  R-tree over unit-sphere coordinates; static, but far better behaved on
+  heavily skewed fleets (the coastal-clustered Figure 1 distribution)
+  where uniform cells overload.
+
+All radii and distances are great-circle metres; results are exact (the
+spatial structure only pre-filters candidates), so the backends are
+interchangeable query for query.  :func:`~repro.spatial.factory.
+build_index` picks between them automatically.
+"""
+
+from collections.abc import Hashable, Iterator
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class SpatialIndex(Protocol):
+    """Read-side contract: exact metric proximity queries over points."""
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, item_id: Hashable) -> bool: ...
+
+    def ids(self) -> Iterator[Hashable]:
+        """All indexed ids, in insertion order."""
+        ...
+
+    def position(self, item_id: Hashable) -> tuple[float, float]:
+        """Stored ``(lat, lon)`` of an item."""
+        ...
+
+    def radius_query(
+        self, lat: float, lon: float, radius_m: float
+    ) -> Iterator[tuple[Hashable, float]]:
+        """Yield ``(id, distance_m)`` for every item within ``radius_m``
+        (inclusive); self-matches at distance 0 are the caller's problem."""
+        ...
+
+    def knn(self, lat: float, lon: float, k: int) -> list[tuple[Hashable, float]]:
+        """The ``k`` nearest items, nearest first, ties by insertion."""
+        ...
+
+    def all_pairs_within(
+        self, distance_m: float
+    ) -> Iterator[tuple[Hashable, Hashable, float]]:
+        """Each unordered pair of items within ``distance_m``, exactly once."""
+        ...
+
+
+@runtime_checkable
+class MutableSpatialIndex(SpatialIndex, Protocol):
+    """Write-side extension for incremental consumers (streams, sweeps)."""
+
+    def insert(self, item_id: Hashable, lat: float, lon: float) -> None:
+        """Add an item, or move it if already present (upsert)."""
+        ...
+
+    def remove(self, item_id: Hashable) -> None:
+        """Drop an item; raises ``KeyError`` if absent."""
+        ...
+
+    def clear(self) -> None: ...

@@ -1,0 +1,205 @@
+"""Latitude-aware cell geometry shared by every spatial consumer.
+
+:class:`CellGrid` is the naming scheme behind :class:`~repro.spatial.grid.
+GridIndex`, the pattern-of-life normalcy grid and the density aggregator:
+the sphere is cut into latitude bands of constant angular height, and each
+band is split into an integer number of longitude cells sized so that no
+cell is ever *narrower* than ``cell_size_m`` metres.  Keys therefore
+
+- never split at the antimeridian (longitude cells wrap modulo the band's
+  cell count), and
+- never shrink physically toward the poles (bands near the poles simply
+  hold fewer cells, down to a single polar cap).
+
+The module also bridges cells to :mod:`repro.geo.geohash` so that a cell
+can be *named*, exported and exchanged as a plain geohash string —
+the lingua franca for handing spatial summaries to external systems.
+"""
+
+import math
+from collections.abc import Iterable
+
+from repro.geo import normalize_lon
+from repro.geo.constants import METERS_PER_DEG_LAT
+from repro.geo.geohash import geohash_decode, geohash_encode
+
+#: A cell identity: (latitude band, longitude cell within the band).
+CellKey = tuple[int, int]
+
+
+class CellGrid:
+    """Geometry of a latitude-aware cell partition of the sphere.
+
+    Stateless apart from per-band caches; cheap to share between an index,
+    a histogram and a naming layer so they all agree on what "a cell" is.
+    """
+
+    def __init__(self, cell_size_m: float) -> None:
+        if cell_size_m <= 0:
+            raise ValueError("cell_size_m must be positive")
+        self.cell_size_m = float(cell_size_m)
+        cell_lat_deg = self.cell_size_m / METERS_PER_DEG_LAT
+        self.n_bands = max(1, math.ceil(180.0 / cell_lat_deg))
+        self.cell_lat_deg = 180.0 / self.n_bands
+        #: band -> (n_lon, cos at the band edge nearest a pole).
+        self._band_geometry: dict[int, tuple[int, float]] = {}
+
+    # -- keying -----------------------------------------------------------
+
+    def band_of(self, lat: float) -> int:
+        band = int((lat + 90.0) / self.cell_lat_deg)
+        return min(self.n_bands - 1, max(0, band))
+
+    def band_geometry(self, band: int) -> tuple[int, float]:
+        """Longitude cell count and worst-case cosine for a band."""
+        cached = self._band_geometry.get(band)
+        if cached is not None:
+            return cached
+        lat0 = -90.0 + band * self.cell_lat_deg
+        lat1 = min(90.0, lat0 + self.cell_lat_deg)
+        # The poleward edge has the smallest cosine, hence the narrowest
+        # metres-per-degree; sizing by it keeps every cell >= cell_size_m.
+        cos_min = min(math.cos(math.radians(lat0)), math.cos(math.radians(lat1)))
+        cos_min = max(0.0, cos_min)
+        if cos_min < 1e-12:
+            n_lon = 1
+        else:
+            cell_lon_deg = self.cell_size_m / (METERS_PER_DEG_LAT * cos_min)
+            n_lon = max(1, int(360.0 / cell_lon_deg))
+        self._band_geometry[band] = (n_lon, cos_min)
+        return n_lon, cos_min
+
+    @staticmethod
+    def lon_cell(lon: float, n_lon: int) -> int:
+        return int((normalize_lon(lon) + 180.0) / 360.0 * n_lon) % n_lon
+
+    def key(self, lat: float, lon: float) -> CellKey:
+        """The cell containing a position (lat clamped, lon wrapped)."""
+        lat = min(90.0, max(-90.0, lat))
+        band = self.band_of(lat)
+        n_lon, __ = self.band_geometry(band)
+        return band, self.lon_cell(lon, n_lon)
+
+    def keys_array(self, lats, lons):
+        """Vectorised :meth:`key` over numpy arrays -> ``(n, 2)`` ints.
+
+        Uses the scalar band geometry (cached per band) so vector and
+        scalar keying agree bit for bit.
+        """
+        import numpy as np
+
+        lats = np.clip(np.asarray(lats, dtype=float), -90.0, 90.0)
+        lons = np.asarray(lons, dtype=float)
+        bands = np.clip(
+            ((lats + 90.0) / self.cell_lat_deg).astype(np.int64),
+            0,
+            self.n_bands - 1,
+        )
+        uniq, inverse = np.unique(bands, return_inverse=True)
+        n_lon = np.array(
+            [self.band_geometry(int(b))[0] for b in uniq], dtype=np.int64
+        )[inverse]
+        wrapped = np.mod(lons + 180.0, 360.0)
+        ix = ((wrapped / 360.0) * n_lon).astype(np.int64) % n_lon
+        return np.stack([bands, ix], axis=1)
+
+    # -- geometry of a cell ----------------------------------------------
+
+    def center(self, key: CellKey) -> tuple[float, float]:
+        """``(lat, lon)`` centre of a cell."""
+        band, ix = key
+        n_lon, __ = self.band_geometry(band)
+        lat = -90.0 + (band + 0.5) * self.cell_lat_deg
+        lon = normalize_lon(-180.0 + (ix + 0.5) * 360.0 / n_lon)
+        return min(90.0, lat), lon
+
+    def bounds(self, key: CellKey) -> tuple[float, float, float, float]:
+        """``(lat_min, lat_max, lon_west, lon_east)``; edges wrap at ±180."""
+        band, ix = key
+        n_lon, __ = self.band_geometry(band)
+        lat0 = -90.0 + band * self.cell_lat_deg
+        lat1 = min(90.0, lat0 + self.cell_lat_deg)
+        lon_w = normalize_lon(-180.0 + ix * 360.0 / n_lon)
+        lon_e = normalize_lon(-180.0 + (ix + 1) * 360.0 / n_lon)
+        return lat0, lat1, lon_w, lon_e
+
+    def cells_in_box(
+        self, lat_min: float, lat_max: float, lon_span_deg: float
+    ) -> int:
+        """Approximate number of cells inside a lat range x lon span.
+
+        Used for occupancy statistics; each band contributes its share of
+        longitude cells proportional to the span (at least one).
+        """
+        lon_span_deg = min(360.0, max(0.0, lon_span_deg))
+        total = 0
+        for band in range(self.band_of(lat_min), self.band_of(lat_max) + 1):
+            n_lon, __ = self.band_geometry(band)
+            total += max(1, round(n_lon * lon_span_deg / 360.0))
+        return total
+
+
+# -- geohash interop -------------------------------------------------------
+
+#: Geohash characters carry 5 bits, alternating lon/lat starting with lon.
+_MAX_PRECISION = 12
+
+
+def geohash_precision_for(cell_size_m: float) -> int:
+    """Finest-necessary geohash precision to name cells of a given size.
+
+    Picks the smallest precision whose geohash cells are at most *half* a
+    grid cell tall and (at the equator) wide, so the geohash containing a
+    grid cell's centre lies well inside that cell and the
+    :func:`geohash_to_cell` round trip is stable.
+    """
+    if cell_size_m <= 0:
+        raise ValueError("cell_size_m must be positive")
+    for precision in range(1, _MAX_PRECISION + 1):
+        lat_bits = (5 * precision) // 2
+        lon_bits = 5 * precision - lat_bits
+        height_m = 180.0 / (1 << lat_bits) * METERS_PER_DEG_LAT
+        width_m = 360.0 / (1 << lon_bits) * METERS_PER_DEG_LAT
+        if max(height_m, width_m) <= cell_size_m / 2.0:
+            return precision
+    return _MAX_PRECISION
+
+
+def cell_to_geohash(
+    grid: CellGrid, key: CellKey, precision: int | None = None
+) -> str:
+    """Name a cell by the geohash of its centre.
+
+    With the default precision (from :func:`geohash_precision_for`) the
+    name decodes back to the same cell, so geohashes can stand in for cell
+    keys when exporting summaries to systems that speak geohash.
+    """
+    if precision is None:
+        precision = geohash_precision_for(grid.cell_size_m)
+    lat, lon = grid.center(key)
+    return geohash_encode(lat, lon, precision)
+
+
+def geohash_to_cell(grid: CellGrid, geohash: str) -> CellKey:
+    """The cell containing a geohash's centre point."""
+    lat, lon, __, __ = geohash_decode(geohash)
+    return grid.key(lat, lon)
+
+
+def geohash_counts(
+    grid: CellGrid,
+    cell_counts: Iterable[tuple[CellKey, int]],
+    precision: int | None = None,
+) -> dict[str, int]:
+    """Aggregate per-cell counts into named geohash buckets for export.
+
+    Distinct cells that share a geohash name (possible near the poles or
+    at coarse precision) merge additively.
+    """
+    if precision is None:
+        precision = geohash_precision_for(grid.cell_size_m)
+    out: dict[str, int] = {}
+    for key, count in cell_counts:
+        name = cell_to_geohash(grid, key, precision)
+        out[name] = out.get(name, 0) + count
+    return out

@@ -17,6 +17,10 @@ inside the band.  Two consequences follow:
 Candidate gathering is conservative (cells are only ever *larger* than
 requested); exactness comes from the final :func:`~repro.geo.haversine_m`
 check, so results match brute-force great-circle enumeration bit for bit.
+
+Cell geometry (band/longitude-cell keying, geohash naming) lives in
+:mod:`repro.spatial.cells` and is shared with every other latitude-aware
+consumer; this module owns only the point store and the query sweeps.
 """
 
 import math
@@ -24,6 +28,7 @@ from collections.abc import Hashable, Iterable, Iterator
 
 from repro.geo import EARTH_RADIUS_M, haversine_m, normalize_lon
 from repro.geo.constants import METERS_PER_DEG_LAT
+from repro.spatial.cells import CellGrid
 
 #: Half the Earth's circumference — no great-circle distance exceeds it.
 _MAX_DISTANCE_M = math.pi * EARTH_RADIUS_M
@@ -39,12 +44,9 @@ class GridIndex:
     """
 
     def __init__(self, cell_size_m: float) -> None:
-        if cell_size_m <= 0:
-            raise ValueError("cell_size_m must be positive")
-        self.cell_size_m = float(cell_size_m)
-        self._cell_lat_deg = self.cell_size_m / METERS_PER_DEG_LAT
-        self._n_bands = max(1, math.ceil(180.0 / self._cell_lat_deg))
-        self._cell_lat_deg = 180.0 / self._n_bands
+        #: Shared latitude-aware cell geometry (validates cell_size_m).
+        self.cells = CellGrid(cell_size_m)
+        self.cell_size_m = self.cells.cell_size_m
         #: (band, lon cell) -> {id: (seq, lat, lon)}; dicts keep insertion
         #: order, which makes pair enumeration deterministic.
         self._cells: dict[tuple[int, int], dict[Hashable, tuple[int, float, float]]] = {}
@@ -52,40 +54,7 @@ class GridIndex:
         self._items: dict[Hashable, tuple[int, int, float, float, int]] = {}
         #: band -> set of occupied lon cells (for full-band sweeps).
         self._occupied: dict[int, set[int]] = {}
-        #: band -> (n_lon, cos at the band edge nearest a pole).
-        self._band_geometry: dict[int, tuple[int, float]] = {}
         self._seq = 0
-
-    # -- geometry ---------------------------------------------------------
-
-    def _band_of(self, lat: float) -> int:
-        band = int((lat + 90.0) / self._cell_lat_deg)
-        return min(self._n_bands - 1, max(0, band))
-
-    def _geometry(self, band: int) -> tuple[int, float]:
-        """Longitude cell count and worst-case cosine for a band."""
-        cached = self._band_geometry.get(band)
-        if cached is not None:
-            return cached
-        lat0 = -90.0 + band * self._cell_lat_deg
-        lat1 = min(90.0, lat0 + self._cell_lat_deg)
-        # The poleward edge has the smallest cosine, hence the narrowest
-        # metres-per-degree; sizing by it keeps every cell >= cell_size_m.
-        cos_min = min(
-            math.cos(math.radians(lat0)), math.cos(math.radians(lat1))
-        )
-        cos_min = max(0.0, cos_min)
-        if cos_min < 1e-12:
-            n_lon = 1
-        else:
-            cell_lon_deg = self.cell_size_m / (METERS_PER_DEG_LAT * cos_min)
-            n_lon = max(1, int(360.0 / cell_lon_deg))
-        self._band_geometry[band] = (n_lon, cos_min)
-        return n_lon, cos_min
-
-    @staticmethod
-    def _lon_cell(lon: float, n_lon: int) -> int:
-        return int((normalize_lon(lon) + 180.0) / 360.0 * n_lon) % n_lon
 
     def _covering_cells(
         self, lat: float, lon: float, radius_m: float
@@ -96,14 +65,14 @@ class GridIndex:
         yielded cells; the converse is checked by exact distance later.
         """
         r_lat_deg = radius_m / METERS_PER_DEG_LAT
-        band_lo = self._band_of(max(-90.0, lat - r_lat_deg))
-        band_hi = self._band_of(min(90.0, lat + r_lat_deg))
+        band_lo = self.cells.band_of(max(-90.0, lat - r_lat_deg))
+        band_hi = self.cells.band_of(min(90.0, lat + r_lat_deg))
         cos_query = math.cos(math.radians(lat))
         for band in range(band_lo, band_hi + 1):
             occupied = self._occupied.get(band)
             if not occupied:
                 continue
-            n_lon, cos_band = self._geometry(band)
+            n_lon, cos_band = self.cells.band_geometry(band)
             # |delta lon| bound: haversine gives
             # sin(d/2R) >= sqrt(cos(lat1) cos(lat2)) * sin(dlon/2), and the
             # geometric mean is >= the smaller cosine.
@@ -119,7 +88,7 @@ class GridIndex:
                 for ix in occupied:
                     yield band, ix
             else:
-                centre = self._lon_cell(lon, n_lon)
+                centre = self.cells.lon_cell(lon, n_lon)
                 for dx in range(-half_cells, half_cells + 1):
                     ix = (centre + dx) % n_lon
                     if ix in occupied:
@@ -133,9 +102,7 @@ class GridIndex:
             self.remove(item_id)
         lat = min(90.0, max(-90.0, lat))
         lon = normalize_lon(lon)
-        band = self._band_of(lat)
-        n_lon, __ = self._geometry(band)
-        ix = self._lon_cell(lon, n_lon)
+        band, ix = self.cells.key(lat, lon)
         key = (band, ix)
         self._cells.setdefault(key, {})[item_id] = (self._seq, lat, lon)
         self._occupied.setdefault(band, set()).add(ix)
@@ -173,6 +140,19 @@ class GridIndex:
         """Stored ``(lat, lon)`` of an item."""
         __, __, lat, lon, __ = self._items[item_id]
         return lat, lon
+
+    def occupancy_skew(self) -> float:
+        """Mean same-cell co-occupants per item (including itself).
+
+        The expected candidate-scan length of a probe on this index —
+        the degeneracy signal :func:`~repro.spatial.factory.build_index`
+        uses to fall back to the R-tree.  0.0 when empty.
+        """
+        if not self._items:
+            return 0.0
+        return sum(
+            len(bucket) ** 2 for bucket in self._cells.values()
+        ) / len(self._items)
 
     def ids(self) -> Iterator[Hashable]:
         return iter(self._items)

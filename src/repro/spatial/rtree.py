@@ -1,0 +1,381 @@
+"""Sort-tile-recursive bulk-loaded R-tree over unit-sphere coordinates.
+
+The tree embeds positions as 3-D Cartesian points on the spherical Earth
+(ECEF, metres) and packs them bottom-up with the classic STR recipe: sort
+by x, slice into slabs, sort each slab by y, slice again, sort by z, pack
+runs of ``leaf_capacity`` points into leaves.  Upper levels group
+consecutive runs of ``branching`` child boxes.  Working in 3-D buys two
+things the lat/lon plane cannot offer:
+
+- **No seams.**  The antimeridian and the poles are ordinary places on
+  the sphere; boxes never wrap and no query needs splitting.
+- **A true metric bound.**  Chord length is monotone in great-circle
+  distance (``chord = 2R sin(d / 2R)``), so Euclidean point-to-box
+  distances prune subtrees *exactly* for metric queries.
+
+Unlike the uniform :class:`~repro.spatial.grid.GridIndex`, leaf extents
+adapt to the data, so heavily skewed fleets (dense coastal clusters amid
+empty ocean) do not overload any one bucket; and leaf evaluation is
+vectorised with numpy, so the per-candidate cost is a fraction of the
+grid's per-point Python loop.  The structure is static — build it with
+:meth:`STRTree.from_points`; for incremental workloads use the grid.
+
+Membership is decided by the chord bound except within a ±1e-9 relative
+band of the query radius, where the exact scalar
+:func:`~repro.geo.haversine_m` arbitrates — so result *sets* match the
+grid and brute-force great-circle enumeration on any realistic input.
+"""
+
+import heapq
+import math
+from collections.abc import Hashable, Iterable, Iterator
+
+import numpy as np
+
+from repro.geo import EARTH_RADIUS_M, haversine_m, normalize_lon
+
+#: Half the Earth's circumference — no great-circle distance exceeds it.
+_MAX_DISTANCE_M = math.pi * EARTH_RADIUS_M
+
+
+def _chord_m(distance_m: float) -> float:
+    """Chord length subtending a great-circle distance."""
+    d = min(max(distance_m, 0.0), _MAX_DISTANCE_M)
+    return 2.0 * EARTH_RADIUS_M * math.sin(d / (2.0 * EARTH_RADIUS_M))
+
+
+def _str_leaf_slices(xyz: np.ndarray, capacity: int) -> list[np.ndarray]:
+    """Partition point indices into STR leaves (contiguous tiles)."""
+    leaves: list[np.ndarray] = []
+
+    def tile(ix: np.ndarray, depth: int) -> None:
+        if len(ix) <= capacity:
+            leaves.append(ix)
+            return
+        ordered = ix[np.argsort(xyz[ix, depth], kind="stable")]
+        if depth >= 2:
+            for i in range(0, len(ordered), capacity):
+                leaves.append(ordered[i : i + capacity])
+            return
+        n_groups = math.ceil(len(ix) / capacity)
+        n_slabs = max(1, math.ceil(n_groups ** (1.0 / (3 - depth))))
+        slab = math.ceil(len(ix) / n_slabs)
+        for i in range(0, len(ordered), slab):
+            tile(ordered[i : i + slab], depth + 1)
+
+    tile(np.arange(len(xyz)), 0)
+    return leaves
+
+
+class STRTree:
+    """Static spatial index over (lat, lon) points; metric-exact queries.
+
+    Implements the :class:`~repro.spatial.base.SpatialIndex` protocol.
+    Duplicate ids in the input follow upsert semantics: the last position
+    wins, matching :meth:`GridIndex.from_points`.
+    """
+
+    def __init__(
+        self,
+        points: Iterable[tuple[Hashable, float, float]],
+        leaf_capacity: int = 64,
+        branching: int = 8,
+    ) -> None:
+        if leaf_capacity < 2 or branching < 2:
+            raise ValueError("leaf_capacity and branching must be >= 2")
+        latest: dict[Hashable, tuple[float, float]] = {}
+        for item_id, lat, lon in points:
+            latest[item_id] = (
+                min(90.0, max(-90.0, lat)),
+                normalize_lon(lon),
+            )
+        self._n = len(latest)
+        self._order_ids = list(latest)
+        lat_arr = np.array([p[0] for p in latest.values()], dtype=float)
+        lon_arr = np.array([p[1] for p in latest.values()], dtype=float)
+        phi = np.radians(lat_arr)
+        lam = np.radians(lon_arr)
+        xyz = np.empty((self._n, 3), dtype=float)
+        xyz[:, 0] = EARTH_RADIUS_M * np.cos(phi) * np.cos(lam)
+        xyz[:, 1] = EARTH_RADIUS_M * np.cos(phi) * np.sin(lam)
+        xyz[:, 2] = EARTH_RADIUS_M * np.sin(phi)
+
+        #: Levels bottom-up; level 0 = leaves whose start/end index the
+        #: point arrays, level L>0 nodes index level L-1.  Built until a
+        #: single root remains.
+        self._levels: list[dict[str, np.ndarray]] = []
+        if self._n == 0:
+            self._ids: list[Hashable] = []
+            self._seq = np.empty(0, dtype=np.int64)
+            self._lat = lat_arr
+            self._lon = lon_arr
+            self._xyz = xyz
+            self._pos: dict[Hashable, int] = {}
+            return
+
+        slices = _str_leaf_slices(xyz, leaf_capacity)
+        order = np.concatenate(slices)
+        self._xyz = xyz[order]
+        self._lat = lat_arr[order]
+        self._lon = lon_arr[order]
+        self._seq = order.astype(np.int64)  # original insertion position
+        self._ids = [self._order_ids[i] for i in order]
+        self._pos = {item_id: p for p, item_id in enumerate(self._ids)}
+
+        lengths = np.array([len(s) for s in slices], dtype=np.int64)
+        ends = np.cumsum(lengths)
+        starts = ends - lengths
+        level = {
+            "start": starts,
+            "end": ends,
+            "lo": np.minimum.reduceat(self._xyz, starts, axis=0),
+            "hi": np.maximum.reduceat(self._xyz, starts, axis=0),
+        }
+        self._levels.append(level)
+        while len(level["start"]) > 1:
+            k = len(level["start"])
+            starts = np.arange(0, k, branching, dtype=np.int64)
+            ends = np.minimum(starts + branching, k)
+            level = {
+                "start": starts,
+                "end": ends,
+                "lo": np.minimum.reduceat(level["lo"], starts, axis=0),
+                "hi": np.maximum.reduceat(level["hi"], starts, axis=0),
+            }
+            self._levels.append(level)
+
+    @classmethod
+    def from_points(
+        cls,
+        points: Iterable[tuple[Hashable, float, float]],
+        leaf_capacity: int = 64,
+        branching: int = 8,
+    ) -> "STRTree":
+        return cls(points, leaf_capacity=leaf_capacity, branching=branching)
+
+    # -- introspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, item_id: Hashable) -> bool:
+        return item_id in self._pos
+
+    def ids(self) -> Iterator[Hashable]:
+        return iter(self._order_ids)
+
+    def position(self, item_id: Hashable) -> tuple[float, float]:
+        p = self._pos[item_id]
+        return float(self._lat[p]), float(self._lon[p])
+
+    # -- geometry helpers -------------------------------------------------
+
+    @staticmethod
+    def _unit(lat: float, lon: float) -> np.ndarray:
+        lat = min(90.0, max(-90.0, lat))
+        phi = math.radians(lat)
+        lam = math.radians(normalize_lon(lon))
+        return np.array(
+            [
+                EARTH_RADIUS_M * math.cos(phi) * math.cos(lam),
+                EARTH_RADIUS_M * math.cos(phi) * math.sin(lam),
+                EARTH_RADIUS_M * math.sin(phi),
+            ]
+        )
+
+    @staticmethod
+    def _limits(distance_m: float) -> tuple[float, float]:
+        """Squared-chord decision band ``(lo, hi)`` around the radius.
+
+        Candidates below ``lo`` are definitely inside, above ``hi``
+        definitely outside; the sliver between is arbitrated by the exact
+        scalar haversine so sets match great-circle enumeration.
+        """
+        c2 = _chord_m(distance_m) ** 2
+        band = 1e-9 * c2 + 1e-12
+        return c2 - band, c2 + band
+
+    def _node_mindist2(self, q: np.ndarray, level: int, s: int, e: int) -> np.ndarray:
+        """Squared Euclidean distance from ``q`` to child boxes ``s:e``."""
+        child = self._levels[level]
+        clipped = np.clip(q, child["lo"][s:e], child["hi"][s:e])
+        return ((clipped - q) ** 2).sum(axis=1)
+
+    def _candidate_slices(
+        self, q: np.ndarray, limit2: float
+    ) -> Iterator[tuple[int, int]]:
+        """Point ranges of leaves whose boxes pass the chord bound."""
+        top = len(self._levels) - 1
+        stack = [(top, 0)]
+        while stack:
+            level, i = stack.pop()
+            node = self._levels[level]
+            s, e = int(node["start"][i]), int(node["end"][i])
+            if level == 0:
+                yield s, e
+                continue
+            d2 = self._node_mindist2(q, level - 1, s, e)
+            for j in np.nonzero(d2 <= limit2)[0]:
+                stack.append((level - 1, s + int(j)))
+
+    # -- queries ----------------------------------------------------------
+
+    def radius_query(
+        self, lat: float, lon: float, radius_m: float
+    ) -> Iterator[tuple[Hashable, float]]:
+        """Yield ``(id, distance_m)`` for every item within ``radius_m``."""
+        if radius_m < 0 or self._n == 0:
+            return
+        q = self._unit(lat, lon)
+        lo_lim, hi_lim = self._limits(radius_m)
+        for s, e in self._candidate_slices(q, hi_lim):
+            d2 = ((self._xyz[s:e] - q) ** 2).sum(axis=1)
+            for j in np.nonzero(d2 <= hi_lim)[0]:
+                p = s + int(j)
+                dist = haversine_m(lat, lon, self._lat[p], self._lon[p])
+                if d2[j] > lo_lim and dist > radius_m:
+                    continue
+                yield self._ids[p], dist
+
+    def knn(self, lat: float, lon: float, k: int) -> list[tuple[Hashable, float]]:
+        """The ``k`` nearest items as ``(id, distance_m)``, nearest first.
+
+        Best-first search over box lower bounds; ties break by insertion
+        order, matching the grid backend.
+        """
+        if k <= 0 or self._n == 0:
+            return []
+        q = self._unit(lat, lon)
+        top = len(self._levels) - 1
+        counter = 0
+        # Entries: (d2, is_point, tiebreak, payload); nodes sort before
+        # points at equal bound so no closer point can hide unexpanded.
+        heap: list[tuple[float, int, int, tuple[int, int] | int]] = [
+            (0.0, 0, counter, (top, 0))
+        ]
+        found: list[int] = []
+        while heap and len(found) < k:
+            d2, is_point, __, payload = heapq.heappop(heap)
+            if is_point:
+                found.append(payload)  # type: ignore[arg-type]
+                continue
+            level, i = payload  # type: ignore[misc]
+            node = self._levels[level]
+            s, e = int(node["start"][i]), int(node["end"][i])
+            if level == 0:
+                pd2 = ((self._xyz[s:e] - q) ** 2).sum(axis=1)
+                for j in range(e - s):
+                    heapq.heappush(
+                        heap, (float(pd2[j]), 1, int(self._seq[s + j]), s + j)
+                    )
+            else:
+                cd2 = self._node_mindist2(q, level - 1, s, e)
+                for j in range(e - s):
+                    counter += 1
+                    heapq.heappush(
+                        heap, (float(cd2[j]), 0, counter, (level - 1, s + j))
+                    )
+        hits = [
+            (haversine_m(lat, lon, self._lat[p], self._lon[p]), int(self._seq[p]), p)
+            for p in found
+        ]
+        hits.sort(key=lambda h: (h[0], h[1]))
+        return [(self._ids[p], dist) for dist, __, p in hits]
+
+    def all_pairs_within(
+        self, distance_m: float
+    ) -> Iterator[tuple[Hashable, Hashable, float]]:
+        """Each unordered pair within ``distance_m``, once, oriented as
+        ``(earlier_inserted, later_inserted, distance_m)``.
+
+        A dual-tree join: node pairs are pruned by box-to-box chord
+        distance, and surviving leaf pairs are evaluated as vectorised
+        distance blocks.
+        """
+        if distance_m < 0 or self._n < 2:
+            return
+        lo_lim, hi_lim = self._limits(distance_m)
+        top = len(self._levels) - 1
+        stack = [(top, 0, top, 0)]
+        while stack:
+            la, ia, lb, ib = stack.pop()
+            same = la == lb and ia == ib
+            if not same:
+                gap = np.maximum(
+                    0.0,
+                    np.maximum(
+                        self._levels[la]["lo"][ia] - self._levels[lb]["hi"][ib],
+                        self._levels[lb]["lo"][ib] - self._levels[la]["hi"][ia],
+                    ),
+                )
+                if float((gap**2).sum()) > hi_lim:
+                    continue
+            if la == 0 and lb == 0:
+                yield from self._leaf_pairs(ia, ib, distance_m, lo_lim, hi_lim)
+            elif la >= lb:
+                node = self._levels[la]
+                s, e = int(node["start"][ia]), int(node["end"][ia])
+                if same:
+                    for i in range(s, e):
+                        for j in range(i, e):
+                            stack.append((la - 1, i, la - 1, j))
+                else:
+                    for i in range(s, e):
+                        stack.append((la - 1, i, lb, ib))
+            else:
+                node = self._levels[lb]
+                s, e = int(node["start"][ib]), int(node["end"][ib])
+                for j in range(s, e):
+                    stack.append((la, ia, lb - 1, j))
+
+    def _leaf_pairs(
+        self, ia: int, ib: int, distance_m: float, lo_lim: float, hi_lim: float
+    ) -> Iterator[tuple[Hashable, Hashable, float]]:
+        leaves = self._levels[0]
+        sa, ea = int(leaves["start"][ia]), int(leaves["end"][ia])
+        if ia == ib:
+            block = self._xyz[sa:ea]
+            d2 = ((block[:, None, :] - block[None, :, :]) ** 2).sum(axis=-1)
+            ii, jj = np.nonzero(np.triu(d2 <= hi_lim, k=1))
+            pp = sa + ii
+            qq = sa + jj
+        else:
+            sb, eb = int(leaves["start"][ib]), int(leaves["end"][ib])
+            d2 = (
+                (self._xyz[sa:ea, None, :] - self._xyz[None, sb:eb, :]) ** 2
+            ).sum(axis=-1)
+            ii, jj = np.nonzero(d2 <= hi_lim)
+            pp = sa + ii
+            qq = sb + jj
+        if len(pp) == 0:
+            return
+        d2v = d2[ii, jj]
+        # Great-circle distance from the chord; identical to the haversine
+        # up to floating-point rounding, hence the border re-check below.
+        dv = (
+            2.0
+            * EARTH_RADIUS_M
+            * np.arcsin(np.clip(np.sqrt(d2v) / (2.0 * EARTH_RADIUS_M), 0.0, 1.0))
+        )
+        # Native lists keep the emit loop out of numpy scalar indexing —
+        # the sweep is pair-output-bound on dense fleets.
+        sure = (d2v <= lo_lim).tolist()
+        swap = (self._seq[pp] > self._seq[qq]).tolist()
+        p_list = pp.tolist()
+        q_list = qq.tolist()
+        d_list = dv.tolist()
+        ids = self._ids
+        for m, p in enumerate(p_list):
+            q = q_list[m]
+            if sure[m]:
+                dist = d_list[m]
+            else:
+                dist = haversine_m(
+                    self._lat[p], self._lon[p], self._lat[q], self._lon[q]
+                )
+                if dist > distance_m:
+                    continue
+            if swap[m]:
+                yield ids[q], ids[p], dist
+            else:
+                yield ids[p], ids[q], dist

@@ -10,7 +10,7 @@ from collections import deque
 from collections.abc import Callable, Iterator
 from typing import Any
 
-from repro.spatial import GridIndex
+from repro.spatial import GridIndex, MutableSpatialIndex
 from repro.streaming.stream import Record, Stream
 
 
@@ -89,24 +89,30 @@ def spatial_join(
     max_distance_m: float,
     position: Callable[[Record], tuple[float, float]],
     join_fn: Callable[[Record, Record], Any],
+    index_factory: Callable[[], MutableSpatialIndex] | None = None,
 ) -> Stream:
     """Join two time-ordered streams on time band *and* proximity.
 
     Emits one output per (left, right) pair with ``|t_l - t_r| <=
     max_dt_s`` whose positions (as extracted by ``position``, returning
     ``(lat, lon)``) lie within ``max_distance_m`` great-circle metres.
-    Buffered records sit in a :class:`~repro.spatial.GridIndex` per side,
-    so each arrival probes only its spatial neighbourhood instead of the
-    whole opposite buffer — the screen stays correct across the
-    antimeridian and at high latitudes.  Buffers are pruned by the other
-    side's progress, so memory stays bounded by rate x ``max_dt_s``.
-    Output timestamps are the later of the pair; output keys are the left
-    record's.
+    Buffered records sit in a
+    :class:`~repro.spatial.MutableSpatialIndex` per side, so each arrival
+    probes only its spatial neighbourhood instead of the whole opposite
+    buffer — the screen stays correct across the antimeridian and at high
+    latitudes.  ``index_factory`` swaps the backend (default: a
+    latitude-aware :class:`~repro.spatial.GridIndex` sized to the join
+    distance).  Buffers are pruned by the other side's progress, so
+    memory stays bounded by rate x ``max_dt_s``.  Output timestamps are
+    the later of the pair; output keys are the left record's.
     """
     if max_dt_s < 0:
         raise ValueError("max_dt_s must be non-negative")
     if max_distance_m < 0:
         raise ValueError("max_distance_m must be non-negative")
+    if index_factory is None:
+        def index_factory() -> MutableSpatialIndex:
+            return GridIndex(cell_size_m=max_distance_m or 1.0)
 
     def _gen() -> Iterator[Record]:
         left_iter = iter(left)
@@ -116,12 +122,15 @@ def spatial_join(
         right_buf: deque[tuple[float, int]] = deque()
         left_records: dict[int, Record] = {}
         right_records: dict[int, Record] = {}
-        left_index = GridIndex(cell_size_m=max_distance_m or 1.0)
-        right_index = GridIndex(cell_size_m=max_distance_m or 1.0)
+        left_index = index_factory()
+        right_index = index_factory()
         token = 0
 
         def _prune(
-            buf: deque, records: dict[int, Record], index: GridIndex, t: float
+            buf: deque,
+            records: dict[int, Record],
+            index: MutableSpatialIndex,
+            t: float,
         ) -> None:
             while buf and buf[0][0] < t - max_dt_s:
                 __, old = buf.popleft()
@@ -129,7 +138,7 @@ def spatial_join(
                 index.remove(old)
 
         def _matches(
-            record: Record, records: dict[int, Record], index: GridIndex
+            record: Record, records: dict[int, Record], index: MutableSpatialIndex
         ) -> list[Record]:
             lat, lon = position(record)
             hits = [

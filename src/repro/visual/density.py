@@ -1,9 +1,16 @@
 """Density maps: the Figure 1 renderer.
 
-Aggregates positions onto a lat/lon grid (numpy 2-D histogram) and renders
-the counts as an ASCII map with a logarithmic character ramp — the same
-visual story as the paper's Figure 1 ("Worldwide AIS positions acquired by
-satellites"): dense coastal Europe/Asia corridors, sparse open ocean.
+Aggregates positions onto the shared latitude-aware cell partition
+(:class:`~repro.spatial.cells.CellGrid`) and renders the counts as an
+ASCII map with a logarithmic character ramp — the same visual story as
+the paper's Figure 1 ("Worldwide AIS positions acquired by satellites"):
+dense coastal Europe/Asia corridors, sparse open ocean.
+
+Unlike the seed's fixed-degree histogram, cells keep a constant *metric*
+footprint from the equator to the polar caps (so "dense" means the same
+thing at 75°N as in the Channel), boxes may cross the antimeridian, and
+the aggregate can be exported as geohash-named counts for exchange with
+external systems.
 """
 
 import math
@@ -11,28 +18,61 @@ import math
 import numpy as np
 
 from repro.geo import BoundingBox
+from repro.geo.constants import METERS_PER_DEG_LAT
+from repro.spatial import CellGrid, geohash_counts
 
 #: Character ramp, sparse → dense.
 _RAMP = " .:-=+*#%@"
 
+#: Cells never shrink below this, however fine the requested raster.
+_MIN_CELL_M = 100.0
+
 
 class DensityMap:
-    """A 2-D position histogram over a bounding box."""
+    """A position histogram over latitude-aware cells in a bounding box.
+
+    ``n_lat_bins`` x ``n_lon_bins`` fixes the *display* raster;
+    accumulation happens on metric cells sized to the finer raster step
+    (override with ``cell_size_m``).  The box may cross the antimeridian
+    (``lon_min > lon_max``).
+    """
 
     def __init__(
         self,
         box: BoundingBox,
         n_lat_bins: int = 40,
         n_lon_bins: int = 120,
+        cell_size_m: float | None = None,
     ) -> None:
-        if box.crosses_antimeridian:
-            raise ValueError("density maps require a non-wrapping box")
         if n_lat_bins < 1 or n_lon_bins < 1:
             raise ValueError("bin counts must be positive")
         self.box = box
         self.n_lat_bins = n_lat_bins
         self.n_lon_bins = n_lon_bins
-        self.counts = np.zeros((n_lat_bins, n_lon_bins), dtype=np.int64)
+        if box.crosses_antimeridian:
+            self.lon_span = (180.0 - box.lon_min) + (box.lon_max + 180.0)
+        else:
+            self.lon_span = box.lon_max - box.lon_min
+        self.lat_span = box.lat_max - box.lat_min
+        if cell_size_m is None:
+            lat_step_deg = self.lat_span / n_lat_bins
+            lon_step_deg = self.lon_span / n_lon_bins
+            # The narrowest metres-per-degree inside the box decides how
+            # fine the raster's longitude step really is on the water.
+            cos_min = min(
+                math.cos(math.radians(box.lat_min)),
+                math.cos(math.radians(box.lat_max)),
+            )
+            steps_m = [lat_step_deg * METERS_PER_DEG_LAT]
+            if cos_min > 1e-12:
+                steps_m.append(lon_step_deg * METERS_PER_DEG_LAT * cos_min)
+            cell_size_m = max(_MIN_CELL_M, min(steps_m))
+        self.cells = CellGrid(cell_size_m)
+        self.cell_size_m = self.cells.cell_size_m
+        self._counts: dict[tuple[int, int], int] = {}
+        self.total = 0
+
+    # -- accumulation -----------------------------------------------------
 
     def add_positions(self, lats: list[float], lons: list[float]) -> int:
         """Accumulate positions; returns how many fell inside the box."""
@@ -42,56 +82,84 @@ class DensityMap:
             return 0
         lat_arr = np.asarray(lats, dtype=float)
         lon_arr = np.asarray(lons, dtype=float)
+        # Wrap-aware longitude membership: offset east of the west edge.
+        offsets = np.mod(lon_arr - self.box.lon_min, 360.0)
         inside = (
             (lat_arr >= self.box.lat_min)
             & (lat_arr <= self.box.lat_max)
-            & (lon_arr >= self.box.lon_min)
-            & (lon_arr <= self.box.lon_max)
+            & (offsets <= self.lon_span)
         )
-        lat_in = lat_arr[inside]
-        lon_in = lon_arr[inside]
-        hist, __, __ = np.histogram2d(
-            lat_in,
-            lon_in,
-            bins=[self.n_lat_bins, self.n_lon_bins],
-            range=[
-                [self.box.lat_min, self.box.lat_max],
-                [self.box.lon_min, self.box.lon_max],
-            ],
-        )
-        self.counts += hist.astype(np.int64)
-        return int(inside.sum())
+        n_inside = int(inside.sum())
+        if n_inside == 0:
+            return 0
+        keys = self.cells.keys_array(lat_arr[inside], lon_arr[inside])
+        uniq, counts = np.unique(keys, axis=0, return_counts=True)
+        for (band, ix), count in zip(uniq, counts):
+            key = (int(band), int(ix))
+            self._counts[key] = self._counts.get(key, 0) + int(count)
+        self.total += n_inside
+        return n_inside
 
-    @property
-    def total(self) -> int:
-        return int(self.counts.sum())
+    # -- statistics -------------------------------------------------------
 
     @property
     def occupied_cells(self) -> int:
-        return int((self.counts > 0).sum())
+        return len(self._counts)
+
+    def cell_counts(self) -> dict[tuple[int, int], int]:
+        """Per-cell position counts, keyed by ``CellGrid`` cell."""
+        return dict(self._counts)
 
     def occupancy_fraction(self) -> float:
-        return self.occupied_cells / self.counts.size
+        """Occupied share of the (approximate) cell population in the box."""
+        in_box = self.cells.cells_in_box(
+            self.box.lat_min, self.box.lat_max, self.lon_span
+        )
+        return self.occupied_cells / max(1, in_box)
 
     def top_cells(self, k: int = 10) -> list[tuple[float, float, int]]:
         """The k densest cells as (lat_centre, lon_centre, count)."""
-        flat = self.counts.flatten()
-        order = np.argsort(flat)[::-1][:k]
+        ranked = sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))
         out = []
-        lat_step = (self.box.lat_max - self.box.lat_min) / self.n_lat_bins
-        lon_step = (self.box.lon_max - self.box.lon_min) / self.n_lon_bins
-        for index in order:
-            if flat[index] == 0:
-                break
-            i, j = divmod(int(index), self.n_lon_bins)
-            out.append(
-                (
-                    self.box.lat_min + (i + 0.5) * lat_step,
-                    self.box.lon_min + (j + 0.5) * lon_step,
-                    int(flat[index]),
-                )
-            )
+        for key, count in ranked[:k]:
+            lat, lon = self.cells.center(key)
+            out.append((lat, lon, count))
         return out
+
+    def to_geohash_counts(self, precision: int | None = None) -> dict[str, int]:
+        """Export the aggregate as geohash-named counts (interop format)."""
+        return geohash_counts(self.cells, self._counts.items(), precision)
+
+    # -- display raster ---------------------------------------------------
+
+    def _pixel_of(self, lat: float, lon: float) -> tuple[int, int]:
+        """Display pixel containing a position (clamped to the raster)."""
+        i = int(
+            (lat - self.box.lat_min) / max(1e-9, self.lat_span) * self.n_lat_bins
+        )
+        off = (lon - self.box.lon_min) % 360.0
+        if off > self.lon_span:
+            # Centre spills outside the box; fold onto the nearer border.
+            off = self.lon_span if off - self.lon_span <= 360.0 - off else 0.0
+        j = int(off / max(1e-9, self.lon_span) * self.n_lon_bins)
+        return (
+            min(self.n_lat_bins - 1, max(0, i)),
+            min(self.n_lon_bins - 1, max(0, j)),
+        )
+
+    def raster(self) -> np.ndarray:
+        """Cell counts folded onto the display raster (row 0 = south).
+
+        Each occupied cell contributes its whole count to the pixel
+        holding its centre, so the raster sums to ``total`` (cells whose
+        centres spill past the box edge clamp onto the border pixels).
+        """
+        counts = np.zeros((self.n_lat_bins, self.n_lon_bins), dtype=np.int64)
+        for key, count in self._counts.items():
+            lat, lon = self.cells.center(key)
+            i, j = self._pixel_of(lat, lon)
+            counts[i, j] += count
+        return counts
 
 
 def render_ascii_map(
@@ -102,26 +170,16 @@ def render_ascii_map(
     ``markers`` places single characters at positions (port symbols etc.),
     overriding the density ramp in their cells.
     """
-    counts = density.counts
+    counts = density.raster()
     peak = counts.max()
     lines: list[str] = []
     log_peak = math.log1p(float(peak)) if peak > 0 else 1.0
     marker_cells: dict[tuple[int, int], str] = {}
     if markers:
-        lat_step = (density.box.lat_max - density.box.lat_min) / density.n_lat_bins
-        lon_step = (density.box.lon_max - density.box.lon_min) / density.n_lon_bins
         for (lat, lon), symbol in markers.items():
             if not density.box.contains(lat, lon):
                 continue
-            i = min(
-                density.n_lat_bins - 1,
-                int((lat - density.box.lat_min) / lat_step),
-            )
-            j = min(
-                density.n_lon_bins - 1,
-                int((lon - density.box.lon_min) / lon_step),
-            )
-            marker_cells[(i, j)] = symbol[0]
+            marker_cells[density._pixel_of(lat, lon)] = symbol[0]
     for i in range(density.n_lat_bins - 1, -1, -1):
         row_chars = []
         for j in range(density.n_lon_bins):

@@ -88,6 +88,63 @@ class TestPatternOfLife:
         assert pol.n_training_points == 30
         assert pol.n_cells > 0
 
+    def test_antimeridian_trains_one_history(self):
+        """A vessel loitering at ±180° must train a single cell history,
+        however its longitude is reported (regression: the fixed-degree
+        key split +180/-180 into disjoint cells)."""
+        pol = PatternOfLife()
+        for i in range(40):
+            lon = 180.0 if i % 2 == 0 else -180.0
+            pol.observe(10.0, lon, 8.0, 90.0)
+        pol.observe(10.0, 540.0, 8.0, 90.0)  # same meridian, wrapped rep
+        assert pol.n_cells == 1
+        # The combined history crosses min_cell_observations, so the
+        # behaviour scores as ordinary rather than unknown-neutral.
+        assert pol.anomaly_score(10.0, 180.0, 8.0, 90.0) < 0.3
+        assert pol.anomaly_score(10.0, -180.0, 8.0, 90.0) < 0.3
+
+    def test_high_latitude_cells_keep_metric_size(self):
+        """At 75°N, fixes spread over ~8 km of longitude belong to one
+        ~22 km cell (regression: fixed 0.2° cells shrink to ~5.8 km)."""
+        import math
+
+        pol = PatternOfLife()
+        c_lat, c_lon = pol._grid.center(pol._grid.key(75.05, 20.0))
+        half_deg = 4_000.0 / (111_194.9 * math.cos(math.radians(c_lat)))
+        assert 2 * half_deg > PolConfig().cell_deg  # would split if fixed
+        for i in range(30):
+            pol.observe(c_lat, c_lon - half_deg + i * half_deg / 15.0, 10.0, 0.0)
+        assert pol.n_cells == 1
+        assert pol.anomaly_score(c_lat, c_lon + half_deg, 10.0, 0.0) < 0.3
+
+    def test_negative_sog_clamps_to_bin_zero(self):
+        """Garbage negative speeds must not mint negative histogram bins
+        (regression: they silently polluted the speed histogram)."""
+        pol = PatternOfLife()
+        for __ in range(30):
+            pol.observe(48.0, -5.0, -3.0, 0.0)
+        cell = pol._cells[pol._key(48.0, -5.0)]
+        assert set(cell.speed_hist) == {0}
+        # Scoring garbage speeds uses the same clamped bin.
+        assert pol.anomaly_score(48.0, -5.0, -1.0, 0.0) == pol.anomaly_score(
+            48.0, -5.0, 0.5, 0.0
+        )
+
+    def test_non_finite_kinematics_are_binned_safely(self):
+        pol = PatternOfLife()
+        pol.observe(48.0, -5.0, float("nan"), float("inf"))
+        assert pol.n_training_points == 1
+        cell = pol._cells[pol._key(48.0, -5.0)]
+        assert set(cell.speed_hist) == {0}
+        assert set(cell.course_hist) == {0}
+
+    def test_geohash_export(self):
+        pol = PatternOfLife()
+        pol.train(lane_traffic(n_tracks=2, n_points=10))
+        named = pol.cell_counts_by_geohash()
+        assert sum(named.values()) == pol.n_training_points
+        assert all(isinstance(name, str) for name in named)
+
 
 def event(kind, t, mmsis=(1,), lat=48.0, lon=-5.0, confidence=1.0):
     return Event(

@@ -1,6 +1,9 @@
 """Tests for contact-to-track association and multi-source tracking."""
 
+import random
+
 from repro.fusion import AssociationConfig, MultiSourceTracker, associate_contacts
+from repro.geo import haversine_m
 from repro.simulation.sensors import RadarContact
 from repro.trajectory.points import TrackPoint
 
@@ -126,3 +129,81 @@ class TestMultiSourceTracker:
         tracker.add_ais_fix(1, TrackPoint(10.0, 48.0, -5.0))  # duplicate
         trajectory = tracker.identified_tracks[0].to_trajectory()
         assert [p.t for p in trajectory] == [5.0, 10.0]
+
+
+def brute_nearest_anonymous(tracker, contact):
+    """The seed's O(tracks) scan, kept as the reference oracle for the
+    indexed `_nearest_anonymous` (ties broken toward the lower id, as the
+    indexed version documents)."""
+    best = None
+    best_key = None
+    for track in tracker.tracks.values():
+        if track.mmsi is not None or not track.points:
+            continue
+        last = max(track.points, key=lambda p: p.t)
+        age = contact.t - last.t
+        if age > tracker.config.max_track_age_s or contact.t < last.t:
+            continue
+        dist = haversine_m(contact.lat, contact.lon, last.lat, last.lon)
+        if dist <= tracker.config.gate_m:
+            key = (dist, track.track_id)
+            if best_key is None or key < best_key:
+                best = track
+                best_key = key
+    return best
+
+
+class TestNearestAnonymousIndex:
+    """The streaming-index gating must match the brute-force scan."""
+
+    def random_contacts(self, seed, n=300, n_sources=12):
+        """Several dark vessels drifting near each other plus clutter,
+        contacts interleaved in time order."""
+        rng = random.Random(seed)
+        sources = [
+            (48.0 + rng.uniform(-0.3, 0.3), -5.0 + rng.uniform(-0.3, 0.3))
+            for __ in range(n_sources)
+        ]
+        out = []
+        for i in range(n):
+            lat0, lon0 = sources[rng.randrange(n_sources)]
+            out.append(
+                RadarContact(
+                    t=float(i * 7),
+                    lat=lat0 + rng.uniform(-0.004, 0.004),
+                    lon=lon0 + rng.uniform(-0.004, 0.004),
+                    site="R",
+                    truth_mmsi=0,
+                )
+            )
+        return out
+
+    def test_indexed_matches_brute_force_scan(self):
+        for seed in (5, 6, 7):
+            tracker = MultiSourceTracker(
+                AssociationConfig(gate_m=1200.0, max_track_age_s=400.0)
+            )
+            for contact in self.random_contacts(seed):
+                expected = brute_nearest_anonymous(tracker, contact)
+                got = tracker._nearest_anonymous(contact)
+                assert (got is None) == (expected is None)
+                if got is not None:
+                    assert got.track_id == expected.track_id
+                # Feed the contact through the real path so the index
+                # evolves exactly as in production.
+                tracker.add_radar_contacts([contact])
+            assert len(tracker.anonymous_tracks) >= 2
+
+    def test_head_cache_follows_latest_point(self):
+        tracker = MultiSourceTracker(AssociationConfig(gate_m=2000.0))
+        # One dark vessel moving north; every contact must extend the
+        # same track, probed at the *latest* head position.
+        for i in range(25):
+            tracker.add_radar_contacts(
+                [RadarContact(t=i * 30.0, lat=48.0 + i * 0.005, lon=-5.0,
+                              site="R", truth_mmsi=0)]
+            )
+        assert len(tracker.anonymous_tracks) == 1
+        head = tracker._anonymous_heads
+        track_id = tracker.anonymous_tracks[0].track_id
+        assert head.position(track_id) == (48.0 + 24 * 0.005, -5.0)

@@ -1,0 +1,152 @@
+"""Tests for the shared cell geometry, geohash interop and the factory."""
+
+import math
+import random
+
+import pytest
+
+from repro.geo import haversine_m, normalize_lon
+from repro.geo.geohash import geohash_decode
+from repro.spatial import (
+    CellGrid,
+    GridIndex,
+    STRTree,
+    build_index,
+    cell_occupancy_skew,
+    cell_to_geohash,
+    geohash_counts,
+    geohash_precision_for,
+    geohash_to_cell,
+)
+
+
+class TestCellGrid:
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            CellGrid(0.0)
+
+    def test_key_wraps_longitude_representations(self):
+        grid = CellGrid(20_000.0)
+        assert grid.key(10.0, 180.0) == grid.key(10.0, -180.0)
+        assert grid.key(10.0, 190.0) == grid.key(10.0, -170.0)
+
+    def test_cells_keep_metric_width_at_high_latitude(self):
+        """At 75°N a fixed 0.2° cell is ~5.8 km wide; latitude-aware
+        cells keep ~cell_size width, so nearby points stay together."""
+        grid = CellGrid(0.2 * 111_194.9)  # ~22 km
+        c_lat, c_lon = grid.center(grid.key(75.1, 0.0))
+        half = 4_000.0 / (111_194.9 * math.cos(math.radians(c_lat)))
+        # 8 km of longitude at 75°N spans more than 0.2°, so a fixed
+        # 0.2° grid could never hold both points in one cell.
+        assert 2 * half > 0.2
+        assert grid.key(c_lat, c_lon - half) == grid.key(c_lat, c_lon + half)
+
+    def test_pole_band_single_cell(self):
+        grid = CellGrid(500.0)
+        assert grid.key(89.9999, 0.0)[1] == grid.key(89.9999, 179.0)[1]
+
+    def test_center_and_bounds_consistent(self):
+        grid = CellGrid(50_000.0)
+        for lat, lon in [(48.2, -5.3), (75.0, 179.99), (-62.0, -180.0), (0.0, 0.0)]:
+            key = grid.key(lat, lon)
+            c_lat, c_lon = grid.center(key)
+            assert grid.key(c_lat, c_lon) == key
+            lat0, lat1, __, __ = grid.bounds(key)
+            assert lat0 <= lat <= lat1 or lat == 90.0
+
+    def test_keys_array_matches_scalar(self):
+        grid = CellGrid(7_500.0)
+        rng = random.Random(3)
+        lats = [rng.uniform(-90, 90) for __ in range(300)]
+        lons = [normalize_lon(rng.uniform(-360, 360)) for __ in range(300)]
+        vector = grid.keys_array(lats, lons)
+        for (band, ix), lat, lon in zip(vector, lats, lons):
+            assert (int(band), int(ix)) == grid.key(lat, lon)
+
+
+class TestGeohashInterop:
+    def test_precision_tracks_cell_size(self):
+        # Finer cells need longer geohashes.
+        assert geohash_precision_for(500.0) > geohash_precision_for(100_000.0)
+        with pytest.raises(ValueError):
+            geohash_precision_for(0.0)
+
+    def test_cell_name_round_trips(self):
+        for cell_size in (500.0, 20_000.0, 250_000.0):
+            grid = CellGrid(cell_size)
+            rng = random.Random(int(cell_size))
+            for __ in range(50):
+                key = grid.key(rng.uniform(-89, 89), rng.uniform(-180, 180))
+                name = cell_to_geohash(grid, key)
+                assert geohash_to_cell(grid, name) == key
+
+    def test_name_decodes_near_cell_center(self):
+        grid = CellGrid(20_000.0)
+        key = grid.key(48.0, -5.0)
+        lat, lon, __, __ = geohash_decode(cell_to_geohash(grid, key))
+        c_lat, c_lon = grid.center(key)
+        assert haversine_m(lat, lon, c_lat, c_lon) < grid.cell_size_m
+
+    def test_geohash_counts_merge(self):
+        grid = CellGrid(20_000.0)
+        a = grid.key(48.0, -5.0)
+        b = grid.key(10.0, 120.0)
+        named = geohash_counts(grid, [(a, 3), (b, 4), (a, 1)])
+        assert sum(named.values()) == 8
+        assert len(named) == 2
+
+
+class TestFactory:
+    def scatter(self, rng, n, lat_c, lon_c, spread):
+        return [
+            (i, lat_c + rng.uniform(-spread, spread), lon_c + rng.uniform(-spread, spread))
+            for i in range(n)
+        ]
+
+    def clustered(self, rng, n, hubs=8, sigma=0.01):
+        points = []
+        for i in range(n):
+            hub = i % hubs
+            points.append(
+                (
+                    i,
+                    40.0 + hub * 1.0 + rng.gauss(0.0, sigma),
+                    normalize_lon(170.0 + hub * 2.0 + rng.gauss(0.0, sigma)),
+                )
+            )
+        return points
+
+    def test_skew_statistic_separates_shapes(self):
+        rng = random.Random(11)
+        uniform = self.scatter(rng, 2000, 45.0, 0.0, 4.0)
+        clustered = self.clustered(rng, 2000)
+        assert cell_occupancy_skew(uniform, 20_000.0) < 8.0
+        assert cell_occupancy_skew(clustered, 20_000.0) > 50.0
+        assert cell_occupancy_skew([], 20_000.0) == 0.0
+
+    def test_auto_selects_by_skew(self):
+        rng = random.Random(12)
+        assert isinstance(
+            build_index(self.scatter(rng, 2000, 45.0, 0.0, 4.0), 20_000.0),
+            GridIndex,
+        )
+        assert isinstance(
+            build_index(self.clustered(rng, 2000), 20_000.0), STRTree
+        )
+        # Small populations always take the grid (constant factors win).
+        assert isinstance(
+            build_index(self.clustered(rng, 100), 20_000.0), GridIndex
+        )
+
+    def test_backends_agree_on_clustered_fleet(self):
+        rng = random.Random(13)
+        points = self.clustered(rng, 600, hubs=4, sigma=0.02)
+        grid = build_index(points, 5_000.0, hint="grid")
+        tree = build_index(points, 5_000.0, hint="rtree")
+        got_grid = {
+            frozenset((a, b)) for a, b, __ in grid.all_pairs_within(5_000.0)
+        }
+        got_tree = {
+            frozenset((a, b)) for a, b, __ in tree.all_pairs_within(5_000.0)
+        }
+        assert got_grid == got_tree

@@ -1,0 +1,229 @@
+"""Tests for the STR R-tree backend and backend interchangeability.
+
+The load-bearing property: whatever the fleet looks like — random,
+clustered, antimeridian-straddling, polar — the R-tree answers every
+query with exactly the same result set as the grid backend and as
+brute-force haversine enumeration.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo import haversine_m, normalize_lon
+from repro.spatial import (
+    GridIndex,
+    MutableSpatialIndex,
+    STRTree,
+    SpatialIndex,
+    build_index,
+)
+
+
+def brute_pairs(points, distance_m):
+    found = set()
+    for i in range(len(points)):
+        pid, lat, lon = points[i]
+        for qid, qlat, qlon in points[i + 1 :]:
+            if haversine_m(lat, lon, qlat, qlon) <= distance_m:
+                found.add(frozenset((pid, qid)))
+    return found
+
+
+def scatter(rng, n, lat_c, lon_c, spread_deg):
+    lon_spread = spread_deg / max(0.05, math.cos(math.radians(lat_c)))
+    return [
+        (
+            i,
+            min(90.0, max(-90.0, lat_c + rng.uniform(-spread_deg, spread_deg))),
+            normalize_lon(lon_c + rng.uniform(-lon_spread, lon_spread)),
+        )
+        for i in range(n)
+    ]
+
+
+class TestBasics:
+    def test_protocol_conformance(self):
+        assert isinstance(STRTree([]), SpatialIndex)
+        assert not isinstance(STRTree([]), MutableSpatialIndex)
+        assert isinstance(GridIndex(100.0), MutableSpatialIndex)
+
+    def test_introspection(self):
+        tree = STRTree([("a", 48.0, -5.0), ("b", 10.0, 120.0)])
+        assert len(tree) == 2
+        assert "a" in tree and "c" not in tree
+        assert list(tree.ids()) == ["a", "b"]
+        assert tree.position("b") == (10.0, 120.0)
+
+    def test_duplicate_ids_upsert(self):
+        tree = STRTree([("a", 48.0, -5.0), ("a", 10.0, 120.0)])
+        assert len(tree) == 1
+        assert tree.position("a") == (10.0, 120.0)
+        assert {i for i, __ in tree.radius_query(10.0, 120.0, 1.0)} == {"a"}
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            STRTree([], leaf_capacity=1)
+
+    def test_empty_and_singleton(self):
+        empty = STRTree([])
+        assert list(empty.radius_query(0.0, 0.0, 1e6)) == []
+        assert empty.knn(0.0, 0.0, 3) == []
+        assert list(empty.all_pairs_within(1e6)) == []
+        one = STRTree([("only", 5.0, 5.0)])
+        assert one.knn(0.0, 0.0, 3) == [
+            ("only", haversine_m(0.0, 0.0, 5.0, 5.0))
+        ]
+        assert list(one.all_pairs_within(1e9)) == []
+
+    def test_radius_query_inclusive_and_exact(self):
+        tree = STRTree([(1, 0.0, 0.0), (2, 0.0, 0.01)])
+        hits = dict(tree.radius_query(0.0, 0.0, 1500.0))
+        assert set(hits) == {1, 2}
+        assert hits[1] == 0.0
+        assert hits[2] == pytest.approx(
+            haversine_m(0.0, 0.0, 0.0, 0.01), abs=1e-6
+        )
+
+    def test_knn_matches_grid_ordering(self):
+        points = [(i, 0.0, 0.001 * i) for i in range(10)]
+        tree = STRTree(points)
+        grid = GridIndex.from_points(points, 1000.0)
+        assert [i for i, __ in tree.knn(0.0, 0.0, 3)] == [0, 1, 2]
+        assert tree.knn(0.0, 0.0, 0) == []
+        assert [i for i, __ in tree.knn(0.0, 0.0, 50)] == [
+            i for i, __ in grid.knn(0.0, 0.0, 50)
+        ]
+
+    def test_knn_reaches_far_items(self):
+        tree = STRTree([("far", 1.0, 1.0), ("farther", -2.0, 3.0)])
+        assert [i for i, __ in tree.knn(0.0, 0.0, 2)] == ["far", "farther"]
+
+
+class TestAntimeridianAndPoles:
+    def test_pair_across_seam_found(self):
+        tree = STRTree([(1, 10.0, 179.999), (2, 10.0, -179.999)])
+        pairs = list(tree.all_pairs_within(500.0))
+        assert [(a, b) for a, b, __ in pairs] == [(1, 2)]
+        assert pairs[0][2] == pytest.approx(
+            haversine_m(10.0, 179.999, 10.0, -179.999), abs=1e-6
+        )
+
+    def test_radius_query_across_seam(self):
+        tree = STRTree([("west", 0.0, -179.995), ("east", 0.0, 179.995)])
+        assert {i for i, __ in tree.radius_query(0.0, 180.0, 2000.0)} == {
+            "west",
+            "east",
+        }
+
+    def test_pole_cap(self):
+        tree = STRTree([(1, 89.999, 0.0), (2, 89.999, 180.0)])
+        dist = haversine_m(89.999, 0.0, 89.999, 180.0)
+        assert [p[:2] for p in tree.all_pairs_within(dist + 1.0)] == [(1, 2)]
+
+
+# Fleet shapes for the equivalence suite: (lat_c, lon_c, spread_deg,
+# distance_m) covering mid-latitude, seam-straddling and polar cases.
+FLEETS = [
+    (0, 48.0, -5.0, 0.5, 2_000.0),
+    (1, 0.0, 180.0, 2.0, 20_000.0),
+    (2, 78.0, 179.9, 1.0, 500.0),
+    (3, -62.0, -179.95, 0.8, 5_000.0),
+    (4, 85.0, 10.0, 3.0, 10_000.0),
+    (5, 45.0, 180.0, 0.1, 700.0),
+]
+
+
+class TestBackendsAgree:
+    """R-tree == grid == brute force, query for query (satellite #4)."""
+
+    @pytest.mark.parametrize("seed,lat_c,lon_c,spread_deg,distance_m", FLEETS)
+    def test_all_pairs_identical(self, seed, lat_c, lon_c, spread_deg, distance_m):
+        rng = random.Random(seed)
+        points = scatter(rng, 250, lat_c, lon_c, spread_deg)
+        grid = GridIndex.from_points(points, cell_size_m=distance_m)
+        tree = STRTree(points)
+        want = brute_pairs(points, distance_m)
+        got_grid = {
+            frozenset((a, b)) for a, b, __ in grid.all_pairs_within(distance_m)
+        }
+        got_tree = {
+            frozenset((a, b)) for a, b, __ in tree.all_pairs_within(distance_m)
+        }
+        assert got_grid == want
+        assert got_tree == want
+
+    @pytest.mark.parametrize("seed,lat_c,lon_c,spread_deg,distance_m", FLEETS)
+    def test_radius_sets_identical(self, seed, lat_c, lon_c, spread_deg, distance_m):
+        rng = random.Random(seed + 100)
+        points = scatter(rng, 150, lat_c, lon_c, spread_deg)
+        grid = GridIndex.from_points(points, cell_size_m=distance_m)
+        tree = STRTree(points)
+        for __, q_lat, q_lon in points[:10]:
+            grid_hits = dict(grid.radius_query(q_lat, q_lon, distance_m))
+            tree_hits = dict(tree.radius_query(q_lat, q_lon, distance_m))
+            assert set(grid_hits) == set(tree_hits)
+            for item, dist in grid_hits.items():
+                assert tree_hits[item] == pytest.approx(dist, abs=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        lat_c=st.floats(min_value=-89.0, max_value=89.0),
+        lon_c=st.floats(min_value=-180.0, max_value=180.0),
+        distance_m=st.floats(min_value=50.0, max_value=50_000.0),
+    )
+    def test_property_pairs_match_brute_force(
+        self, seed, lat_c, lon_c, distance_m
+    ):
+        rng = random.Random(seed)
+        spread_deg = distance_m / 111_194.9 * rng.uniform(0.5, 4.0)
+        points = scatter(rng, 60, lat_c, lon_c, spread_deg)
+        tree = STRTree(points, leaf_capacity=rng.choice([4, 16, 64]))
+        got = {frozenset((a, b)) for a, b, __ in tree.all_pairs_within(distance_m)}
+        assert got == brute_pairs(points, distance_m)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        lat_c=st.floats(min_value=-89.0, max_value=89.0),
+        radius_m=st.floats(min_value=10.0, max_value=100_000.0),
+    )
+    def test_property_radius_query_on_seam(self, seed, lat_c, radius_m):
+        rng = random.Random(seed)
+        points = scatter(rng, 80, lat_c, 179.9, radius_m / 111_194.9 * 2.0)
+        tree = STRTree(points)
+        q_lat, q_lon = points[0][1], points[0][2]
+        got = {i for i, __ in tree.radius_query(q_lat, q_lon, radius_m)}
+        want = {
+            i
+            for i, lat, lon in points
+            if haversine_m(q_lat, q_lon, lat, lon) <= radius_m
+        }
+        assert got == want
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        lat_c=st.floats(min_value=-85.0, max_value=85.0),
+        k=st.integers(min_value=1, max_value=12),
+    )
+    def test_property_knn_matches_grid(self, seed, lat_c, k):
+        rng = random.Random(seed)
+        points = scatter(rng, 50, lat_c, 179.95, 0.7)
+        grid = GridIndex.from_points(points, cell_size_m=5_000.0)
+        tree = STRTree(points)
+        q_lat, q_lon = lat_c, 180.0
+        got = [i for i, __ in tree.knn(q_lat, q_lon, k)]
+        want = [i for i, __ in grid.knn(q_lat, q_lon, k)]
+        assert got == want
+
+    def test_build_index_honours_hints(self):
+        rng = random.Random(9)
+        points = scatter(rng, 100, 45.0, 0.0, 1.0)
+        assert isinstance(build_index(points, 1000.0, hint="rtree"), STRTree)
+        assert isinstance(build_index(points, 1000.0, hint="grid"), GridIndex)
+        with pytest.raises(ValueError):
+            build_index(points, 1000.0, hint="quadtree")

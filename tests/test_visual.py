@@ -23,9 +23,25 @@ class TestDensityMap:
         assert n == 2
         assert density.total == 2
 
-    def test_antimeridian_rejected(self):
-        with pytest.raises(ValueError):
-            DensityMap(BoundingBox(0.0, 10.0, 170.0, -170.0))
+    def test_antimeridian_box_counts_across_seam(self):
+        density = DensityMap(BoundingBox(0.0, 10.0, 170.0, -170.0), 5, 20)
+        n = density.add_positions([5.0, 5.0, 5.0], [175.0, -175.0, 0.0])
+        assert n == 2  # lon 0 is outside the wrapped box
+        assert density.total == 2
+        # Both sides of the seam land on the raster, west side left of east.
+        raster = density.raster()
+        occupied = sorted(int(j) for j in raster.nonzero()[1])
+        assert len(occupied) == 2
+        assert occupied[0] < density.n_lon_bins / 2 < occupied[1]
+
+    def test_seam_longitude_representations_share_a_cell(self):
+        """The same seam position written as +180, -180 or 540-360 keys
+        one cell, not a fixed-degree key per representation."""
+        density = DensityMap(BoundingBox(0.0, 10.0, 170.0, -170.0), 5, 20)
+        density.add_positions([5.0, 5.0, 5.0], [180.0, -180.0, 540.0])
+        assert density.total == 3
+        assert density.occupied_cells == 1
+        assert density.top_cells(1)[0][2] == 3
 
     def test_mismatched_inputs(self):
         with pytest.raises(ValueError):
@@ -41,7 +57,26 @@ class TestDensityMap:
     def test_occupancy(self):
         density = DensityMap(BOX, 10, 10)
         density.add_positions([45.0], [-10.0])
-        assert density.occupancy_fraction() == pytest.approx(0.01)
+        assert 0.0 < density.occupancy_fraction() < 0.05
+
+    def test_east_spilling_cell_folds_onto_east_border(self):
+        """A cell whose centre lies just past lon_max must render on the
+        east border column, not wrap to the west edge."""
+        density = DensityMap(BoundingBox(40.0, 41.0, -15.0, -5.0), 10, 10)
+        assert density.add_positions([40.05], [-5.0001]) == 1
+        raster = density.raster()
+        assert raster.sum() == 1
+        assert int(raster.nonzero()[1][0]) == density.n_lon_bins - 1
+
+    def test_geohash_export_round_trip(self):
+        from repro.spatial import geohash_to_cell
+
+        density = DensityMap(BOX, 10, 10)
+        density.add_positions([45.0] * 3 + [55.0], [-10.0] * 3 + [0.0])
+        named = density.to_geohash_counts()
+        assert sum(named.values()) == 4
+        cells = {geohash_to_cell(density.cells, name) for name in named}
+        assert cells == set(density._counts)
 
 
 class TestRenderAscii:
