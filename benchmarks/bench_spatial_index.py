@@ -22,6 +22,8 @@ import os
 import random
 import time
 
+from benchutil import machine_calibration_s
+
 from repro.events.collision import CollisionRiskConfig, detect_collision_risk
 from repro.events.rendezvous import RendezvousConfig, detect_rendezvous
 from repro.events.base import Event, EventKind
@@ -383,6 +385,9 @@ def test_backend_comparison_grid_vs_rtree(report):
     payload = {
         "benchmark": "spatial_backend_comparison",
         "smoke": SMOKE,
+        #: Machine-speed normaliser so the CI trend check compares
+        #: ``total_s / calibration_s`` across differently sized runners.
+        "calibration_s": round(machine_calibration_s(), 5),
         "workloads": results,
     }
     with open(BENCH_JSON, "w") as fh:

@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness (not collected by pytest)."""
+
+import math
+import time
+
+
+def machine_calibration_s(n: int = 200_000, repeats: int = 3) -> float:
+    """Seconds this machine takes for a fixed pure-python workload.
+
+    Benchmark JSONs record it so CI trend checks can compare *normalised*
+    times (``total_s / calibration_s``) across runners of different
+    speeds instead of failing on hardware variance.
+    """
+    best = float("inf")
+    for __ in range(repeats):
+        t0 = time.perf_counter()
+        acc = 0.0
+        for i in range(n):
+            acc += math.sqrt((i % 997) + 1.5)
+        best = min(best, time.perf_counter() - t0)
+    # ``acc`` keeps the loop from being optimised away by exotic runtimes.
+    return best + (0.0 * acc)

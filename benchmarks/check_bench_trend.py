@@ -1,0 +1,112 @@
+"""CI trend gate: fail when a spatial backend regresses against baseline.
+
+Usage::
+
+    python benchmarks/check_bench_trend.py \
+        [--current BENCH_spatial.json] \
+        [--baseline benchmarks/baselines/BENCH_spatial_smoke.json] \
+        [--tolerance 0.30]
+
+Compares the smoke-mode ``BENCH_spatial.json`` a CI run just produced
+against the committed baseline.  Times are normalised by each file's
+``calibration_s`` (a fixed pure-python workload timed on the same
+machine), so the check measures *code* regressions, not runner-size
+differences.  A backend fails when its normalised total exceeds the
+baseline by more than ``--tolerance`` (default 30%, per ROADMAP).
+
+Result-set invariants (pair counts, chosen auto backend) are compared
+exactly: the fleets are seeded, so any drift there is a correctness
+regression, not noise.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_BASELINE = "benchmarks/baselines/BENCH_spatial_smoke.json"
+BACKENDS = ("grid", "rtree")
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    failures: list[str] = []
+    cur_cal = current.get("calibration_s") or 0.0
+    base_cal = baseline.get("calibration_s") or 0.0
+    if cur_cal <= 0 or base_cal <= 0:
+        return ["missing calibration_s in current or baseline JSON"]
+    for name, base_wl in baseline.get("workloads", {}).items():
+        cur_wl = current.get("workloads", {}).get(name)
+        if cur_wl is None:
+            failures.append(f"{name}: workload missing from current run")
+            continue
+        if cur_wl.get("pairs") != base_wl.get("pairs"):
+            failures.append(
+                f"{name}: pair count changed "
+                f"{base_wl.get('pairs')} -> {cur_wl.get('pairs')} "
+                "(correctness regression, not noise)"
+            )
+        if cur_wl.get("auto_backend") != base_wl.get("auto_backend"):
+            failures.append(
+                f"{name}: auto backend changed "
+                f"{base_wl.get('auto_backend')} -> {cur_wl.get('auto_backend')}"
+            )
+        for backend in BACKENDS:
+            base_t = base_wl.get(backend, {}).get("total_s")
+            cur_t = cur_wl.get(backend, {}).get("total_s")
+            if not base_t or cur_t is None:
+                continue
+            base_norm = base_t / base_cal
+            cur_norm = cur_t / cur_cal
+            ratio = cur_norm / base_norm if base_norm > 0 else float("inf")
+            marker = "FAIL" if ratio > 1.0 + tolerance else "ok"
+            print(
+                f"  {name:>16} {backend:>6}: normalised "
+                f"{base_norm:8.2f} -> {cur_norm:8.2f}  "
+                f"({ratio - 1.0:+.1%})  {marker}"
+            )
+            if ratio > 1.0 + tolerance:
+                failures.append(
+                    f"{name}/{backend}: {ratio - 1.0:+.1%} vs baseline "
+                    f"(tolerance {tolerance:.0%})"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--current", default="BENCH_spatial.json")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load(args.baseline)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; nothing to compare")
+        return 0
+    current = load(args.current)
+    if bool(current.get("smoke")) != bool(baseline.get("smoke")):
+        print(
+            "warning: smoke flags differ between current and baseline; "
+            "fleet sizes are not comparable"
+        )
+    print(
+        f"trend check: {args.current} vs {args.baseline} "
+        f"(tolerance {args.tolerance:.0%})"
+    )
+    failures = check(current, baseline, args.tolerance)
+    if failures:
+        print("\nREGRESSIONS:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,34 +1,28 @@
-"""Live stream monitoring: incremental windows, sketches and CEP (§2-§3).
+"""Live stream monitoring: the incremental pipeline on a live feed (§2-§3).
 
-Unlike the batch pipeline, this example processes the feed *as a stream*:
-sentences arrive in reception order, are decoded one by one, summarised
-by sliding sketches (chattiest vessels, densest cells), windowed into
-per-vessel sessions, and matched online against a complex-event pattern —
-the "single pass, bounded memory" discipline of §2.1's in-situ vision.
+Unlike the batch replay, this example consumes the feed *as a stream*:
+``MaritimePipeline.run_live`` slices the observations into micro-batches
+of reception time and drives the same stage runtime the batch replay
+uses — decode, reorder, reconstruct, synopses, integrate, fuse, detect,
+forecast, overview — with bounded state ("single pass, bounded memory",
+§2.1).  Each tick yields a ``PipelineIncrement``: the events discovered,
+complex-event matches, forecast updates and monitor alarms of that tick,
+which is what a real operator console would render.
 
 Run:  python examples/live_stream_monitor.py
 """
 
-from repro.ais.decoder import AisDecoder
-from repro.ais.types import ClassBPositionReport, PositionReport
-from repro.events import CepEngine, EventKind, SequencePattern
-from repro.events.detectors import detect_gaps
-from repro.geo import geohash_encode
+from repro.core import MaritimePipeline
+from repro.events import EventKind, SequencePattern
 from repro.simulation import regional_scenario
-from repro.streaming import Record, Stream, session_windows
-from repro.streaming.synopses import CountMinSketch, HeavyHitters
-from repro.trajectory.points import TrackPoint, Trajectory
 
 
 def main() -> None:
     run = regional_scenario(n_vessels=30, duration_s=3 * 3600.0, seed=31).run()
-    print(f"replaying {len(run.observations)} sentences in reception order\n")
+    print(f"streaming {len(run.observations)} sentences in reception order\n")
 
-    decoder = AisDecoder()
-    chattiest = HeavyHitters(k=5)
-    cell_counts = CountMinSketch(width=2048, depth=4)
-    cep = CepEngine(
-        [
+    pipeline = MaritimePipeline(
+        cep_patterns=[
             SequencePattern(
                 name="repeated_silence",
                 sequence=(EventKind.GAP, EventKind.GAP),
@@ -37,57 +31,44 @@ def main() -> None:
         ]
     )
 
-    # One pass over the feed: decode → sketch → per-vessel session windows.
-    def position_records():
-        for obs in run.observations:
-            message = decoder.feed(obs.sentence, received_at=obs.t_received)
-            if not isinstance(message, (PositionReport, ClassBPositionReport)):
-                continue
-            if not message.has_position:
-                continue
-            chattiest.add(message.mmsi)
-            cell_counts.add(geohash_encode(message.lat, message.lon, 5))
-            yield Record(
-                obs.t_transmitted, message.mmsi,
-                TrackPoint(obs.t_transmitted, message.lat, message.lon,
-                           message.sog_knots, message.cog_deg),
+    n_ticks = 0
+    n_records = 0
+    events_by_kind: dict[str, int] = {}
+    complex_hits = []
+    alarms = 0
+    last_overview = None
+    for increment in pipeline.replay_live(run, tick_s=600.0):
+        n_ticks += 1
+        n_records += increment.n_records
+        for event in increment.new_events:
+            events_by_kind[event.kind.value] = (
+                events_by_kind.get(event.kind.value, 0) + 1
+            )
+        complex_hits.extend(increment.new_complex_events)
+        alarms += len(increment.new_alarms)
+        if increment.overview is not None:
+            last_overview = increment.overview
+        if increment.new_events or increment.new_complex_events:
+            shown = ", ".join(
+                e.describe() for e in increment.new_events[:2]
+            )
+            more = len(increment.new_events) - 2
+            print(
+                f"tick {n_ticks:>3} ({increment.n_records} records, "
+                f"{increment.seconds * 1000:.0f} ms): {shown}"
+                + (f" (+{more} more)" if more > 0 else "")
             )
 
-    sessions = session_windows(Stream(position_records()), gap_s=900.0)
-    complex_hits = []
-    n_sessions = 0
-    for record in sessions:
-        n_sessions += 1
-        window = record.value
-        points = sorted(window.values, key=lambda p: p.t)
-        deduped = [
-            p for i, p in enumerate(points) if i == 0 or p.t > points[i - 1].t
-        ]
-        if len(deduped) < 2:
-            continue
-        trajectory = Trajectory(record.key, deduped)
-        for gap in detect_gaps(trajectory, min_gap_s=600.0):
-            complex_hits.extend(cep.feed(gap))
-
-    print(f"per-vessel sessions closed: {n_sessions}")
-    print("\nchattiest vessels (Misra-Gries, 5 counters):")
-    for mmsi, count in chattiest.top():
-        name = run.specs[mmsi].name if mmsi in run.specs else "?"
-        print(f"  {mmsi} ({name}): ≥{count} messages")
-
-    print("\nbusiest 5-char geohash cells (count-min estimates):")
-    seen_cells = {
-        geohash_encode(tx.lat, tx.lon, 5) for tx in run.transmissions[::97]
-    }
-    top_cells = sorted(
-        seen_cells, key=cell_counts.estimate, reverse=True
-    )[:5]
-    for cell in top_cells:
-        print(f"  {cell}: ~{cell_counts.estimate(cell)} messages")
-
-    print(f"\ncomplex events (repeated silence): {len(complex_hits)}")
+    print(f"\nticks: {n_ticks}, records: {n_records}")
+    print("events by kind:")
+    for kind, count in sorted(events_by_kind.items()):
+        print(f"  {kind}: {count}")
+    print(f"monitor alarms: {alarms}")
+    print(f"complex events (repeated silence): {len(complex_hits)}")
     for event in complex_hits[:5]:
         print(f"  {event.describe()}")
+    if last_overview is not None:
+        print("\n" + last_overview.headline())
 
 
 if __name__ == "__main__":

@@ -43,6 +43,15 @@ def _build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--seed", type=int, default=42)
     pipeline.add_argument("--alerts", type=int, default=10,
                           help="max alerts to print")
+    pipeline.add_argument(
+        "--live", action="store_true",
+        help="stream the feed through run_live, printing one line per "
+        "micro-batch instead of the end-of-run report",
+    )
+    pipeline.add_argument(
+        "--tick", type=float, default=300.0,
+        help="micro-batch size in seconds of reception time (with --live)",
+    )
 
     world_map = sub.add_parser("map", help="render the Figure 1 density map")
     world_map.add_argument("--vessels", type=int, default=150)
@@ -83,6 +92,8 @@ def _cmd_pipeline(args) -> int:
         seed=args.seed,
     ).run()
     pipeline = MaritimePipeline()
+    if args.live:
+        return _run_pipeline_live(pipeline, run, args)
     result = pipeline.process(run)
     print(result.summary())
     print(f"synopsis compression: {pipeline.mean_compression_ratio(result):.1%}")
@@ -93,6 +104,32 @@ def _cmd_pipeline(args) -> int:
         print("  " + alert.render())
     if result.overview is not None:
         print("\n" + result.overview.headline())
+    return 0
+
+
+def _run_pipeline_live(pipeline, run, args) -> int:
+    """Stream the feed through the incremental runtime tick by tick."""
+    n_ticks = 0
+    n_records = 0
+    n_events = 0
+    n_complex = 0
+    last_overview = None
+    for increment in pipeline.replay_live(run, tick_s=args.tick):
+        n_ticks += 1
+        n_records += increment.n_records
+        n_events += len(increment.new_events)
+        n_complex += len(increment.new_complex_events)
+        if increment.overview is not None:
+            last_overview = increment.overview
+        print(increment.describe())
+        for event in increment.new_events[: args.alerts]:
+            print("  " + event.describe())
+    print(
+        f"\n{n_ticks} ticks, {n_records} records, {n_events} events "
+        f"({n_complex} complex)"
+    )
+    if last_overview is not None:
+        print(last_overview.headline())
     return 0
 
 

@@ -10,7 +10,13 @@ top: operator-profile filtering, uncertainty communication, explanations.
 """
 
 from repro.core.config import PipelineConfig
-from repro.core.pipeline import MaritimePipeline, PipelineResult, StageStats
+from repro.core.pipeline import (
+    MaritimePipeline,
+    PipelineIncrement,
+    PipelineResult,
+    StageStats,
+)
+from repro.core.stages import PipelineSession, PipelineState
 from repro.core.decision import (
     Alert,
     AlertLevel,
@@ -22,7 +28,10 @@ from repro.core.decision import (
 __all__ = [
     "PipelineConfig",
     "MaritimePipeline",
+    "PipelineIncrement",
     "PipelineResult",
+    "PipelineSession",
+    "PipelineState",
     "StageStats",
     "Alert",
     "AlertLevel",

@@ -41,3 +41,33 @@ class PipelineConfig:
     cube_time_bucket_s: float = 3600.0
     #: Minimum fixes for a segment to participate in analytics.
     min_segment_points: int = 5
+
+    # -- incremental stage runtime (batch replay and live share these) ----
+    #: Collision screening cadence: pairs are screened at every instant of
+    #: the absolute ``k * period`` grid the watermark crosses, so results
+    #: depend on the feed and the config — never on micro-batch size.
+    collision_screen_period_s: float = 300.0
+    #: Fixes older than this never enter a collision screen.
+    collision_max_state_age_s: float = 900.0
+    #: A dangerous pair re-alarms only after this long.
+    collision_suppress_s: float = 1800.0
+    #: Tracked per-vessel runtime entries (current states, spoofing state,
+    #: rendezvous samplers, fused track fixes) are evicted this long after
+    #: a vessel falls silent.  Must exceed ``reconstruction.gap_timeout_s``
+    #: (shorter would split segments the reconstructor still considers
+    #: open) and ``collision_max_state_age_s``.
+    vessel_ttl_s: float = 6 * 3600.0
+    #: Silences longer than this are not reported as gap events — the
+    #: vessel is treated as new — bounding how long per-vessel gap heads
+    #: are retained.
+    gap_head_ttl_s: float = 24 * 3600.0
+    #: The CEP engine keeps primitive events this long past each pattern
+    #: window to absorb detection latency (a gap is only discovered when
+    #: the silence ends).  Events later than this may miss matches.
+    cep_event_lateness_s: float = 4 * 3600.0
+    #: Live streams have no known end: train pattern-of-life on this much
+    #: leading data, then monitor (replays compute the split from the
+    #: scenario window via ``pol_training_fraction`` instead).
+    live_pol_training_s: float = 3600.0
+    #: Cap on retained situation-monitor alarms (None = keep all).
+    monitor_max_alarms: int | None = None

@@ -1,71 +1,58 @@
 """The integrated maritime information infrastructure (Figure 2).
 
-``MaritimePipeline.process`` consumes a scenario's observable feed and
-produces everything the figure promises:
+The paper's architecture is a *streaming* system — "single pass, bounded
+memory" in-situ processing (§2.1), "complex event recognition in
+real-time" (§3.1).  The pipeline therefore runs on an incremental stage
+runtime (:mod:`repro.core.stages`): decode, reorder, reconstruct,
+synopses, integrate, fuse, detect, forecast and overview are stage
+objects with ``feed``/``flush`` over micro-batches, sharing one
+:class:`~repro.core.stages.PipelineState`.
 
-1. **Ingest & decode** — NMEA sentences through the AIS codec, with
-   watermark reordering of late (satellite) data;
-2. **Reconstruct** — clean per-vessel trajectory segments;
-3. **Synopses** — dead-reckoning compression of each segment (§2.1);
-4. **Integrate** — weather/registry enrichment and semantic annotation
-   into the triple store (§2.2, §2.5);
-5. **Detect** — gaps, loitering, rendezvous, spoofing indicators,
-   collision risk, pattern-of-life anomalies, CEP composites (§3.1);
-6. **Forecast** — per-vessel predicted positions with uncertainty (§4);
-7. **Overview** — density map, aggregation cube, situation monitor
-   (§3.2).
+Two drivers wrap the same stages:
 
-Every stage reports wall-clock and record counts in ``StageStats`` so the
-FIG2 benchmark can print the per-stage throughput table.
+- :meth:`MaritimePipeline.process` — replay a finished scenario in one
+  batch and collect the classic :class:`PipelineResult`;
+- :meth:`MaritimePipeline.run_live` — consume an observation stream in
+  reception-time ticks, yielding a
+  :class:`~repro.core.stages.PipelineIncrement` (new events, updated
+  forecasts, monitor alarms) per micro-batch with bounded state.
+
+Because every stage is record-driven, both drivers produce the same
+event set, forecasts and cube totals for the same feed — the property
+``tests/test_core_stages.py`` locks down.
 """
 
-import time
 from dataclasses import dataclass, field
 
-from repro.ais.decoder import AisDecoder
-from repro.ais.types import ClassBPositionReport, PositionReport
 from repro.core.config import PipelineConfig
-from repro.events.base import Event, EventKind
-from repro.events.cep import CepEngine, SequencePattern
-from repro.events.detectors import (
-    ZoneWatch,
-    detect_gaps,
-    detect_loitering,
-    detect_zone_events,
+from repro.core.stages import (
+    PipelineIncrement,
+    PipelineSession,
+    PipelineState,
+    StageStats,
 )
-from repro.events.collision import detect_collision_risk
+from repro.events.base import Event, EventKind
+from repro.events.cep import SequencePattern
+from repro.events.detectors import ZoneWatch
 from repro.events.pol import PatternOfLife
-from repro.events.rendezvous import detect_rendezvous
-from repro.events.spoofing import detect_identity_clashes, detect_teleports
-from repro.forecasting.kalmanpredict import KalmanPredictor, PredictionWithUncertainty
+from repro.forecasting.kalmanpredict import PredictionWithUncertainty
 from repro.fusion.association import MultiSourceTracker
-from repro.geo import BoundingBox
-from repro.semantics.annotate import SemanticAnnotator
 from repro.simulation.scenario import ScenarioRun
 from repro.simulation.world import Port, REGIONAL_PORTS
 from repro.storage.store import TrajectoryStore
 from repro.storage.triples import TripleStore
-from repro.streaming.stream import Record, Stream
-from repro.streaming.watermarks import reorder_with_watermark
-from repro.trajectory.compression import compression_ratio, dead_reckoning_compress
-from repro.trajectory.points import TrackPoint, Trajectory
-from repro.trajectory.reconstruction import TrackReconstructor
+from repro.trajectory.compression import compression_ratio
+from repro.trajectory.points import Trajectory
 from repro.visual.cube import SpatioTemporalCube
 from repro.visual.overview import SituationMonitor, SituationOverview
 
-
-@dataclass
-class StageStats:
-    name: str
-    n_in: int = 0
-    n_out: int = 0
-    seconds: float = 0.0
-
-    @property
-    def throughput_per_s(self) -> float:
-        # 0.0, not inf, for zero-duration stages: the value must survive
-        # ``json.dumps`` in benchmark result files.
-        return self.n_in / self.seconds if self.seconds > 0 else 0.0
+__all__ = [
+    "DARK_RENDEZVOUS",
+    "MaritimePipeline",
+    "PipelineIncrement",
+    "PipelineResult",
+    "StageStats",
+]
 
 
 @dataclass
@@ -129,7 +116,7 @@ DARK_RENDEZVOUS = SequencePattern(
 
 
 class MaritimePipeline:
-    """The Figure 2 infrastructure, end to end."""
+    """The Figure 2 infrastructure, end to end — replay or live."""
 
     def __init__(
         self,
@@ -146,277 +133,178 @@ class MaritimePipeline:
         #: Zones of interest watched by the detect stage (§3.1 zone events).
         self.zones = zones or []
 
-    # -- stages ---------------------------------------------------------------
+    # -- sessions -------------------------------------------------------------
 
-    def _timed(self, stages: list[StageStats], name: str) -> StageStats:
-        stage = StageStats(name)
-        stages.append(stage)
-        return stage
+    def new_session(
+        self,
+        specs: dict | None = None,
+        weather=None,
+        pol_split_t: float | None = None,
+        keep_products: bool = True,
+    ) -> PipelineSession:
+        """A fresh incremental session over this pipeline's configuration."""
+        state = PipelineState(
+            config=self.config,
+            ports=self.ports,
+            zones=self.zones,
+            cep_patterns=self.cep_patterns,
+            specs=specs,
+            weather=weather,
+            pol_split_t=pol_split_t,
+            keep_products=keep_products,
+        )
+        return PipelineSession(state)
+
+    # -- batch replay ---------------------------------------------------------
 
     def process(self, run: ScenarioRun) -> PipelineResult:
-        """Run the full pipeline over a scenario's observable feed."""
-        config = self.config
-        stages: list[StageStats] = []
+        """Run the full pipeline over a scenario's observable feed.
 
-        # 1. Ingest & decode ---------------------------------------------------
-        stage = self._timed(stages, "decode")
-        t0 = time.perf_counter()
-        decoder = AisDecoder()
-        decoded: list[tuple[float, object]] = []
-        for obs in run.observations:
-            message = decoder.feed(obs.sentence, received_at=obs.t_received)
-            if message is not None:
-                decoded.append((obs.t_transmitted, message))
-        stage.n_in = len(run.observations)
-        stage.n_out = len(decoded)
-        stage.seconds = time.perf_counter() - t0
-
-        # Reorder by event time with bounded lateness (satellite delay).
-        stage = self._timed(stages, "reorder")
-        t0 = time.perf_counter()
-        ordered_stream = reorder_with_watermark(
-            Stream(
-                Record(t=t, key=msg.mmsi, value=msg) for t, msg in decoded
-            ),
-            max_lateness_s=config.max_lateness_s,
+        A thin replay driver: one ``feed`` with the whole feed, then
+        ``flush`` — the same stages ``run_live`` drives tick by tick.
+        """
+        session = self.new_session(
+            specs=run.specs,
+            weather=run.weather,
+            pol_split_t=self._pol_split(run),
+            keep_products=True,
         )
-        ordered = ordered_stream.collect()
-        stage.n_in = len(decoded)
-        stage.n_out = len(ordered)
-        stage.seconds = time.perf_counter() - t0
-
-        # 2. Reconstruct -------------------------------------------------------
-        stage = self._timed(stages, "reconstruct")
-        t0 = time.perf_counter()
-        reconstructor = TrackReconstructor(config.reconstruction)
-        raw_fixes: dict[int, list[TrackPoint]] = {}
-        for record in ordered:
-            message = record.value
-            if isinstance(message, (PositionReport, ClassBPositionReport)):
-                point = reconstructor.add(message, record.t)
-                raw_point = TrackPoint(
-                    record.t, message.lat, message.lon,
-                    message.sog_knots, message.cog_deg,
-                )
-                raw_fixes.setdefault(message.mmsi, []).append(raw_point)
-                del point
-        trajectories = [
-            tr for tr in reconstructor.finish()
-            if len(tr) >= config.min_segment_points
-        ]
-        stage.n_in = len(ordered)
-        stage.n_out = sum(len(tr) for tr in trajectories)
-        stage.seconds = time.perf_counter() - t0
-
-        # 3. Synopses ----------------------------------------------------------
-        stage = self._timed(stages, "synopses")
-        t0 = time.perf_counter()
-        if config.synopsis_threshold_m > 0:
-            synopses = [
-                dead_reckoning_compress(tr, config.synopsis_threshold_m)
-                for tr in trajectories
-            ]
-        else:
-            synopses = list(trajectories)
-        stage.n_in = sum(len(tr) for tr in trajectories)
-        stage.n_out = sum(len(tr) for tr in synopses)
-        stage.seconds = time.perf_counter() - t0
-
-        # 4. Integrate: store, cube, semantic annotation ------------------------
-        stage = self._timed(stages, "integrate")
-        t0 = time.perf_counter()
-        store = TrajectoryStore(
-            cell_deg=config.cube_cell_deg,
-            time_bucket_s=config.cube_time_bucket_s,
+        session.feed(
+            run.observations,
+            radar_contacts=run.radar_contacts,
+            lrit_reports=run.lrit_reports,
+            build_overview=False,
         )
-        store.add_all(synopses)
-        cube = SpatioTemporalCube(
-            cell_deg=config.cube_cell_deg,
-            time_bucket_s=config.cube_time_bucket_s,
-        )
-        triples = TripleStore()
-        annotator = SemanticAnnotator(triples, self.ports, run.weather)
-        for mmsi, spec in run.specs.items():
-            annotator.annotate_vessel(spec)
-        for trajectory in synopses:
-            annotator.annotate_trajectory(trajectory)
-            spec = run.specs.get(trajectory.mmsi)
-            category = spec.ship_type.name.lower() if spec else "unknown"
-            for point in trajectory:
-                cube.add(point.lat, point.lon, point.t, category)
-        stage.n_in = sum(len(tr) for tr in synopses)
-        stage.n_out = len(triples)
-        stage.seconds = time.perf_counter() - t0
+        session.flush(build_overview=False)
+        return self.result(session)
 
-        # 4b. Fuse: radar contacts + LRIT onto the AIS picture (§2.4) -----------
-        stage = self._timed(stages, "fuse")
-        t0 = time.perf_counter()
-        fused: MultiSourceTracker | None = None
-        fusion_events: list[Event] = []
-        if run.radar_contacts or run.lrit_reports:
-            fused = MultiSourceTracker()
-            for trajectory in trajectories:
-                for point in trajectory:
-                    fused.add_ais_fix(trajectory.mmsi, point)
-            for report in run.lrit_reports:
-                fused.add_lrit(
-                    report.mmsi,
-                    TrackPoint(report.t, report.lat, report.lon, source="lrit"),
-                )
-            fused.add_radar_contacts(run.radar_contacts)
-            # Sustained anonymous radar tracks are dark-vessel candidates.
-            for track in fused.anonymous_tracks:
-                if len(track.points) < 5:
-                    continue
-                ordered = sorted(track.points, key=lambda p: p.t)
-                duration = ordered[-1].t - ordered[0].t
-                if duration < 300.0:
-                    continue
-                mid = ordered[len(ordered) // 2]
-                fusion_events.append(
-                    Event(
-                        kind=EventKind.UNCORRELATED_TRACK,
-                        t_start=ordered[0].t,
-                        t_end=ordered[-1].t,
-                        mmsis=(),
-                        lat=mid.lat,
-                        lon=mid.lon,
-                        confidence=min(1.0, len(ordered) / 50.0),
-                        details={
-                            "n_contacts": len(ordered),
-                            "duration_s": duration,
-                        },
-                    )
-                )
-        stage.n_in = len(run.radar_contacts) + len(run.lrit_reports)
-        stage.n_out = len(fusion_events)
-        stage.seconds = time.perf_counter() - t0
-
-        # 5. Detect -------------------------------------------------------------
-        stage = self._timed(stages, "detect")
-        t0 = time.perf_counter()
-        events: list[Event] = list(fusion_events)
-        # Gap detection runs on the merged per-vessel timeline: the
-        # reconstructor *splits* segments exactly at long silences, so the
-        # gaps live between segments, not inside them.
-        by_vessel: dict[int, list[Trajectory]] = {}
-        for trajectory in trajectories:
-            by_vessel.setdefault(trajectory.mmsi, []).append(trajectory)
-        for mmsi, segments in by_vessel.items():
-            segments.sort(key=lambda tr: tr.t_start)
-            merged_points = [p for segment in segments for p in segment]
-            if len(merged_points) >= 2:
-                events.extend(
-                    detect_gaps(
-                        Trajectory(mmsi, merged_points),
-                        min_gap_s=config.gap_min_s,
-                    )
-                )
-        for trajectory in trajectories:
-            events.extend(
-                detect_loitering(
-                    trajectory, self.ports, min_duration_s=config.loiter_min_s
-                )
-            )
-            if self.zones:
-                events.extend(detect_zone_events(trajectory, self.zones))
-        events.extend(
-            detect_rendezvous(trajectories, self.ports, config.rendezvous)
-        )
-        events.extend(detect_teleports(raw_fixes))
-        events.extend(detect_identity_clashes(raw_fixes))
-
-        # Pattern-of-life: train on the first window fraction, score the rest.
-        pol = PatternOfLife()
-        split_t = run.t_start + config.pol_training_fraction * (
+    def _pol_split(self, run: ScenarioRun) -> float:
+        return run.t_start + self.config.pol_training_fraction * (
             run.t_end - run.t_start
         )
-        training, monitoring = [], []
-        for trajectory in trajectories:
-            head = trajectory.slice_time(run.t_start, split_t)
-            tail = trajectory.slice_time(split_t, run.t_end)
-            if head is not None and len(head) >= 2:
-                training.append(head)
-            if tail is not None and len(tail) >= 2:
-                monitoring.append(tail)
-        pol.train(training)
-        for trajectory in monitoring:
-            events.extend(pol.detect_anomalies(trajectory))
 
-        # Collision screening on the latest state per vessel.
-        current: dict[int, TrackPoint] = {}
-        for trajectory in trajectories:
-            last = trajectory.points[-1]
-            existing = current.get(trajectory.mmsi)
-            if existing is None or last.t > existing.t:
-                current[trajectory.mmsi] = last
-        events.extend(detect_collision_risk(current))
-        events.sort(key=lambda e: e.t_start)
-
-        cep = CepEngine(self.cep_patterns)
-        complex_events = cep.feed_all(events)
-        stage.n_in = sum(len(tr) for tr in trajectories)
-        stage.n_out = len(events) + len(complex_events)
-        stage.seconds = time.perf_counter() - t0
-
-        # 6. Forecast -------------------------------------------------------------
-        stage = self._timed(stages, "forecast")
-        t0 = time.perf_counter()
-        predictor = KalmanPredictor()
-        forecasts: dict[int, list[PredictionWithUncertainty]] = {}
-        for trajectory in trajectories:
-            if len(trajectory) < config.min_segment_points:
-                continue
-            per_vessel = forecasts.setdefault(trajectory.mmsi, [])
-            if per_vessel:
-                continue  # one (latest-segment) forecast set per vessel
-            for horizon in config.forecast_horizons_s:
-                per_vessel.append(predictor.predict(trajectory, horizon))
-        stage.n_in = len(trajectories)
-        stage.n_out = sum(len(v) for v in forecasts.values())
-        stage.seconds = time.perf_counter() - t0
-
-        # 7. Overview ---------------------------------------------------------------
-        stage = self._timed(stages, "overview")
-        t0 = time.perf_counter()
-        monitor = SituationMonitor(pol)
-        for mmsi, point in current.items():
-            monitor.offer(mmsi, point)
-        overview = None
-        if current:
-            lats = [p.lat for p in current.values()]
-            lons = [p.lon for p in current.values()]
-            box = BoundingBox(
-                min(lats) - 0.5, max(lats) + 0.5,
-                min(lons) - 0.5, max(lons) + 0.5,
-            )
-            overview = SituationOverview.build(
-                t=run.t_end, box=box, current_states=current,
-                recent_events=events,
-            )
-        stage.n_in = len(current)
-        stage.n_out = len(monitor.alarms)
-        stage.seconds = time.perf_counter() - t0
-
+    def result(self, session: PipelineSession) -> PipelineResult:
+        """Collect the classic batch result from a flushed session."""
+        state = session.state
+        # Keep trajectory/synopsis pairs aligned while restoring the
+        # deterministic (mmsi, t_start) order the batch API promised.
+        pairs = sorted(
+            zip(state.trajectories, state.synopses),
+            key=lambda pair: (pair[0].mmsi, pair[0].t_start),
+        )
+        trajectories = [p[0] for p in pairs]
+        synopses = [p[1] for p in pairs]
+        overview = session.overview.snapshot(state)
         return PipelineResult(
-            stages=stages,
+            stages=session.stages,
             trajectories=trajectories,
             synopses=synopses,
-            events=events,
-            complex_events=complex_events,
-            forecasts=forecasts,
-            store=store,
-            triples=triples,
-            cube=cube,
+            events=sorted(state.events, key=lambda e: e.t_start),
+            complex_events=list(state.complex_events),
+            forecasts=dict(state.forecasts),
+            store=state.store,
+            triples=state.triples,
+            cube=state.cube,
             overview=overview,
-            pol=pol,
-            monitor=monitor,
-            decoder_stats=dict(decoder.stats),
-            fused=fused,
+            pol=state.pol,
+            monitor=state.monitor,
+            decoder_stats=dict(state.decoder.stats),
+            fused=state.fused,
         )
 
+    # -- live streaming -------------------------------------------------------
+
+    def run_live(
+        self,
+        stream,
+        tick_s: float = 60.0,
+        specs: dict | None = None,
+        weather=None,
+        pol_split_t: float | None = None,
+        radar_contacts=(),
+        lrit_reports=(),
+        keep_products: bool = False,
+        session: PipelineSession | None = None,
+    ):
+        """Consume an observation stream incrementally.
+
+        ``stream`` is any iterable of
+        :class:`~repro.simulation.receivers.Observation` in reception
+        order; it is sliced into micro-batches of ``tick_s`` of
+        *reception* time, and one
+        :class:`~repro.core.stages.PipelineIncrement` is yielded per
+        batch, then one final increment for the end-of-stream flush.
+        State stays bounded: per-vessel entries are evicted by age and
+        products ship in the increments instead of accumulating
+        (``keep_products=True`` restores warehousing for replays that
+        still want a :class:`PipelineResult` afterwards).
+        """
+        if tick_s <= 0:
+            raise ValueError("tick_s must be positive")
+        if session is None:
+            session = self.new_session(
+                specs=specs,
+                weather=weather,
+                pol_split_t=pol_split_t,
+                keep_products=keep_products,
+            )
+        sensors_pending = True
+
+        def _sensors():
+            nonlocal sensors_pending
+            if sensors_pending:
+                sensors_pending = False
+                return radar_contacts, lrit_reports
+            return (), ()
+
+        batch: list = []
+        batch_end: float | None = None
+        for obs in stream:
+            if batch_end is None:
+                batch_end = obs.t_received + tick_s
+            if obs.t_received >= batch_end and batch:
+                radar, lrit = _sensors()
+                yield session.feed(
+                    batch, radar_contacts=radar, lrit_reports=lrit
+                )
+                batch = []
+                while obs.t_received >= batch_end:
+                    batch_end += tick_s
+            batch.append(obs)
+        if batch or (
+            sensors_pending and (len(radar_contacts) or len(lrit_reports))
+        ):
+            radar, lrit = _sensors()
+            yield session.feed(
+                batch, radar_contacts=radar, lrit_reports=lrit
+            )
+        yield session.flush()
+
+    def replay_live(
+        self,
+        run: ScenarioRun,
+        tick_s: float = 60.0,
+        keep_products: bool = False,
+    ):
+        """Drive :meth:`run_live` from a simulated scenario's feed, with
+        the scenario's sensors and the replay's pattern-of-life split —
+        the incremental twin of :meth:`process` for the same run.
+        """
+        return self.run_live(
+            run.observations,
+            tick_s=tick_s,
+            specs=run.specs,
+            weather=run.weather,
+            pol_split_t=self._pol_split(run),
+            radar_contacts=run.radar_contacts,
+            lrit_reports=run.lrit_reports,
+            keep_products=keep_products,
+        )
+
+    # -- metrics --------------------------------------------------------------
+
     def mean_compression_ratio(self, result: PipelineResult) -> float:
-        """Aggregate synopsis compression achieved by stage 3."""
+        """Aggregate synopsis compression achieved by the synopses stage."""
         pairs = [
             (original, synopsis)
             for original, synopsis in zip(result.trajectories, result.synopses)

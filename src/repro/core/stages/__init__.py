@@ -1,0 +1,44 @@
+"""The incremental stage runtime behind :class:`~repro.core.MaritimePipeline`.
+
+One set of stages serves both execution modes: ``process(run)`` replays a
+finished scenario as a single micro-batch; ``run_live(stream)`` feeds the
+same stages tick by tick with bounded state.  See ``src/repro/core/README.md``
+for the stage protocol and the state-ownership rules.
+"""
+
+from repro.core.stages.base import Stage, StageStats
+from repro.core.stages.state import (
+    PipelineIncrement,
+    PipelineState,
+    RecordOutcome,
+    TtlTable,
+)
+from repro.core.stages.session import PipelineSession
+from repro.core.stages.ingest import DecodeStage, ReconstructStage, ReorderStage
+from repro.core.stages.analytics import (
+    ForecastStage,
+    IntegrateStage,
+    OverviewStage,
+    SynopsesStage,
+)
+from repro.core.stages.detect import DetectStage
+from repro.core.stages.fuse import FuseStage
+
+__all__ = [
+    "Stage",
+    "StageStats",
+    "PipelineIncrement",
+    "PipelineState",
+    "PipelineSession",
+    "RecordOutcome",
+    "TtlTable",
+    "DecodeStage",
+    "ReorderStage",
+    "ReconstructStage",
+    "SynopsesStage",
+    "IntegrateStage",
+    "FuseStage",
+    "DetectStage",
+    "ForecastStage",
+    "OverviewStage",
+]

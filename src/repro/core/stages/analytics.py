@@ -1,0 +1,140 @@
+"""Analytics stages: synopses, integrate, forecast, overview.
+
+Each consumes completed segments (or accepted fixes) and feeds the
+accumulating analytical products: compressed synopses, the trajectory
+store and aggregation cube, the semantic triple store, per-vessel
+forecasts, and the situation monitor/overview.
+"""
+
+from repro.core.stages.base import Stage
+from repro.core.stages.state import PipelineState, RecordOutcome
+from repro.forecasting.kalmanpredict import PredictionWithUncertainty
+from repro.geo import BoundingBox
+from repro.trajectory.compression import dead_reckoning_compress
+from repro.trajectory.points import Trajectory
+from repro.visual.overview import MonitoringAlarm, SituationOverview
+
+
+class SynopsesStage(Stage):
+    """Dead-reckoning compression of each completed segment (§2.1)."""
+
+    name = "synopses"
+
+    def feed(
+        self, state: PipelineState, segments: list[Trajectory]
+    ) -> list[Trajectory]:
+        threshold = state.config.synopsis_threshold_m
+        if threshold > 0:
+            synopses = [
+                dead_reckoning_compress(segment, threshold)
+                for segment in segments
+            ]
+        else:
+            synopses = list(segments)
+        self.stats.n_in += sum(len(s) for s in segments)
+        self.stats.n_out += sum(len(s) for s in synopses)
+        return synopses
+
+
+class IntegrateStage(Stage):
+    """Store, cube and semantic annotation over new synopses (§2.2, §2.5).
+
+    The cube always accumulates (it is a compact aggregate and the
+    cross-path equivalence witness); the trajectory store and triple
+    store only grow when the session keeps products — live sessions ship
+    synopses in increments instead of warehousing them.
+    """
+
+    name = "integrate"
+
+    def start(self, state: PipelineState) -> None:
+        """Annotate known vessel identities once per session."""
+        if state.keep_products:
+            for spec in state.specs.values():
+                state.annotator.annotate_vessel(spec)
+
+    def feed(
+        self, state: PipelineState, synopses: list[Trajectory]
+    ) -> None:
+        for synopsis in synopses:
+            spec = state.specs.get(synopsis.mmsi)
+            category = spec.ship_type.name.lower() if spec else "unknown"
+            for point in synopsis:
+                state.cube.add(point.lat, point.lon, point.t, category)
+            if state.keep_products:
+                state.store.add(synopsis)
+                state.annotator.annotate_trajectory(synopsis)
+        self.stats.n_in += sum(len(s) for s in synopses)
+        self.stats.n_out = len(state.triples)
+
+
+class ForecastStage(Stage):
+    """Per-vessel predicted positions with uncertainty (§4); the latest
+    completed qualifying segment wins."""
+
+    name = "forecast"
+
+    def feed(
+        self, state: PipelineState, segments: list[Trajectory]
+    ) -> dict[int, list[PredictionWithUncertainty]]:
+        updated: dict[int, list[PredictionWithUncertainty]] = {}
+        for segment in segments:
+            predictions = [
+                state.predictor.predict(segment, horizon)
+                for horizon in state.config.forecast_horizons_s
+            ]
+            state.forecasts[segment.mmsi] = predictions
+            updated[segment.mmsi] = predictions
+        self.stats.n_in += len(segments)
+        self.stats.n_out = sum(len(v) for v in state.forecasts.values())
+        return updated
+
+
+class OverviewStage(Stage):
+    """Situation monitoring and the operational-picture snapshot (§3.2).
+
+    Every accepted fix in the monitoring era (past the pattern-of-life
+    split) is scored against the normalcy model; the overview snapshot is
+    built on demand from the live per-vessel state table.
+    """
+
+    name = "overview"
+
+    def feed(
+        self, state: PipelineState, outcomes: list[RecordOutcome]
+    ) -> list[MonitoringAlarm]:
+        alarms: list[MonitoringAlarm] = []
+        split = state.pol_split_t
+        for outcome in outcomes:
+            point = outcome.accepted
+            if point is None or split is None or point.t < split:
+                continue
+            alarm = state.monitor.offer(outcome.mmsi, point)
+            if alarm is not None:
+                alarms.append(alarm)
+        self.stats.n_in = len(state.current)
+        self.stats.n_out = len(state.monitor.alarms)
+        return alarms
+
+    def snapshot(self, state: PipelineState) -> SituationOverview | None:
+        """The current operational picture (age-filtered states)."""
+        now = state.watermark
+        states = {
+            mmsi: point
+            for mmsi, point in state.current.items()
+            if now - point.t <= state.config.vessel_ttl_s
+        }
+        if not states:
+            return None
+        lats = [p.lat for p in states.values()]
+        lons = [p.lon for p in states.values()]
+        box = BoundingBox(
+            max(-90.0, min(lats) - 0.5), min(90.0, max(lats) + 0.5),
+            min(lons) - 0.5, max(lons) + 0.5,
+        )
+        recent = [
+            e for e in state.events if e.t_end >= now - 3600.0
+        ] if state.keep_products else []
+        return SituationOverview.build(
+            t=now, box=box, current_states=states, recent_events=recent,
+        )

@@ -1,0 +1,59 @@
+"""Stage protocol and per-stage accounting for the incremental runtime.
+
+A stage is an object with ``feed(state, inputs) -> outputs`` over
+micro-batches and a ``flush(state)`` at end of stream.  Stages share one
+:class:`~repro.core.stages.state.PipelineState`; everything a stage
+remembers between feeds lives there, so a replayed batch and a live
+stream running the same stages see exactly the same state evolution.
+
+Two invariants every stage must keep (they are what makes
+``process(run)`` and ``run_live(...)`` provably equivalent):
+
+1. **Record-driven logic.**  Any decision tied to time advances with the
+   watermark *per record*, never per ``feed`` call — a stage may not
+   behave differently because the same records arrived in one batch or
+   in fifty.
+2. **Causality.**  Anything computed "at time t" may only read state
+   derived from records with event time <= t.
+"""
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass
+class StageStats:
+    name: str
+    n_in: int = 0
+    n_out: int = 0
+    seconds: float = 0.0
+
+    @property
+    def throughput_per_s(self) -> float:
+        # 0.0, not inf, for zero-duration stages: the value must survive
+        # ``json.dumps`` in benchmark result files.
+        return self.n_in / self.seconds if self.seconds > 0 else 0.0
+
+
+class Stage:
+    """Base class: named, with cumulative :class:`StageStats`."""
+
+    name = "stage"
+
+    def __init__(self) -> None:
+        self.stats = StageStats(self.name)
+
+    class _Timer:
+        def __init__(self, stats: StageStats) -> None:
+            self.stats = stats
+
+        def __enter__(self) -> "Stage._Timer":
+            self._t0 = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc) -> None:
+            self.stats.seconds += time.perf_counter() - self._t0
+
+    def timed(self) -> "_Timer":
+        """Context manager accumulating wall time into the stage stats."""
+        return Stage._Timer(self.stats)

@@ -1,0 +1,160 @@
+"""Detect stage: every §3.1 detector, ported to incremental form.
+
+Per accepted fix: spoofing indicators (teleports, identity clashes),
+pattern-of-life training or monitoring, rendezvous sampling, the current
+per-vessel state table.  Per completed segment: gap detection (stitched
+across segments through per-vessel track heads), loitering, zone events,
+pattern-of-life episode scoring.  Per watermark advance: rendezvous
+sweeps and periodic collision screens on absolute time grids.  Every
+primitive event feeds the order-insensitive CEP engine as it is
+discovered; completed complex events come back in the same call.
+"""
+
+from repro.core.stages.base import Stage
+from repro.core.stages.state import PipelineState, RecordOutcome
+from repro.events.base import Event
+from repro.events.cep import event_key
+from repro.events.detectors import (
+    detect_gaps,
+    detect_loitering,
+    detect_zone_events,
+)
+from repro.trajectory.points import Trajectory
+
+
+class DetectStage(Stage):
+    """Incremental event recognition over record outcomes."""
+
+    name = "detect"
+
+    def feed(
+        self,
+        state: PipelineState,
+        outcomes: list[RecordOutcome],
+        upstream_events: list[Event] = (),
+    ) -> tuple[list[Event], list[Event]]:
+        """Returns ``(new_primitive_events, new_complex_events)``.
+
+        ``upstream_events`` carries events another stage discovered this
+        batch (fusion's uncorrelated tracks) so they join the CEP feed.
+        """
+        events: list[Event] = []
+        config = state.config
+        if state.pol_split_t is None and outcomes:
+            # Live stream with no declared window: train on the leading
+            # ``live_pol_training_s`` of event time, then monitor.
+            state.pol_split_t = outcomes[0].t + config.live_pol_training_s
+        for outcome in outcomes:
+            if outcome.raw_fix is not None:
+                teleport = state.teleports.feed(outcome.mmsi, outcome.raw_fix)
+                if teleport is not None:
+                    events.append(teleport)
+                events.extend(
+                    state.clashes.feed(outcome.mmsi, outcome.raw_fix)
+                )
+            point = outcome.accepted
+            if point is not None:
+                state.current.put(outcome.mmsi, point.t, point)
+                if (
+                    point.t <= state.pol_split_t
+                    and point.sog_knots is not None
+                    and point.cog_deg is not None
+                ):
+                    state.pol.observe(
+                        point.lat, point.lon, point.sog_knots, point.cog_deg
+                    )
+                state.rendezvous.feed(
+                    outcome.mmsi, point, outcome.new_segment
+                )
+            for segment in outcome.completed:
+                events.extend(self._on_segment(state, segment))
+            # Watermark-driven sweeps, advanced per record so results
+            # never depend on micro-batch boundaries.
+            events.extend(state.rendezvous.advance(outcome.t))
+            events.extend(state.collisions.advance(outcome.t, state.current))
+        complex_events = self._publish(state, events, upstream_events)
+        self.stats.n_in += sum(
+            len(s) for o in outcomes for s in o.completed
+        )
+        self.stats.n_out += len(events) + len(complex_events)
+        return events, complex_events
+
+    def flush(
+        self,
+        state: PipelineState,
+        outcomes: list[RecordOutcome],
+        upstream_events: list[Event] = (),
+    ) -> tuple[list[Event], list[Event]]:
+        """End of stream: score the final segments, close every pending
+        rendezvous instant and run."""
+        events: list[Event] = []
+        for outcome in outcomes:
+            for segment in outcome.completed:
+                events.extend(self._on_segment(state, segment))
+        events.extend(state.rendezvous.flush())
+        complex_events = self._publish(state, events, upstream_events)
+        self.stats.n_in += sum(
+            len(s) for o in outcomes for s in o.completed
+        )
+        self.stats.n_out += len(events) + len(complex_events)
+        return events, complex_events
+
+    # -- per-segment detectors --------------------------------------------
+
+    def _on_segment(
+        self, state: PipelineState, segment: Trajectory
+    ) -> list[Event]:
+        config = state.config
+        events: list[Event] = []
+        # Gaps on the stitched per-vessel timeline: the reconstructor
+        # splits exactly at long silences, so the interesting gap lies
+        # *between* this segment and the previous one's last fix.
+        head = state.gap_heads.get(
+            segment.mmsi,
+            now=segment.t_start,
+            max_age_s=config.gap_head_ttl_s,
+        )
+        if head is not None:
+            merged = Trajectory(segment.mmsi, [head] + segment.points)
+        else:
+            merged = segment
+        events.extend(detect_gaps(merged, min_gap_s=config.gap_min_s))
+        state.gap_heads.put(segment.mmsi, segment.t_end, segment.points[-1])
+
+        events.extend(
+            detect_loitering(
+                segment, state.ports, min_duration_s=config.loiter_min_s
+            )
+        )
+        if state.zones:
+            events.extend(detect_zone_events(segment, state.zones))
+
+        # Pattern-of-life scoring on the monitored part of the segment.
+        # By the time a segment completes, every training-era fix has
+        # been observed (records arrive in time order), so the model is
+        # frozen before the first score — whatever the batching.
+        tail = segment.slice_time(state.pol_split_t, float("inf"))
+        if tail is not None and len(tail) >= 2:
+            events.extend(state.pol.detect_anomalies(tail))
+        return events
+
+    # -- event publication -------------------------------------------------
+
+    def _publish(
+        self,
+        state: PipelineState,
+        events: list[Event],
+        upstream_events: list[Event],
+    ) -> list[Event]:
+        """Accumulate, feed CEP (order-insensitive), expire old buffers."""
+        complex_events: list[Event] = []
+        all_new = list(upstream_events) + events
+        for event in sorted(all_new, key=event_key):
+            complex_events.extend(state.cep.feed(event))
+        state.cep.expire(
+            state.watermark - state.config.cep_event_lateness_s
+        )
+        if state.keep_products:
+            state.events.extend(all_new)
+            state.complex_events.extend(complex_events)
+        return complex_events

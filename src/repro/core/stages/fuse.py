@@ -1,0 +1,197 @@
+"""Fuse stage: radar contacts and LRIT onto the AIS picture (§2.4).
+
+The batch pipeline associated every radar sweep against the *complete*
+AIS picture — including fixes from the future of the sweep.  The
+incremental port is strictly causal: a contact at time ``s`` is gated
+against tracks with a fix inside ``[s - max_track_age_s, s]`` and the
+dead-reckoned position from the newest fix at or before ``s``.  Contacts
+wait in a queue until the AIS watermark passes their sweep time, so the
+association result depends only on the feed — never on micro-batching.
+
+Sustained anonymous radar tracks (the dark-vessel candidates of §2.4) are
+reported the moment they cross the evidence threshold, not at end of
+run, so a live operator hears about them while they are still paintable.
+"""
+
+from repro.core.stages.base import Stage
+from repro.core.stages.state import PipelineState, RecordOutcome
+from repro.events.base import Event, EventKind
+from repro.fusion.association import (
+    AssociationConfig,
+    MultiSourceTracker,
+    _predict,
+)
+from repro.simulation.sensors import RadarContact
+from repro.spatial import build_index
+from repro.trajectory.points import TrackPoint
+
+#: Evidence thresholds for reporting an anonymous track (same numbers the
+#: batch pipeline used at end of run).
+_UNCORRELATED_MIN_CONTACTS = 5
+_UNCORRELATED_MIN_DURATION_S = 300.0
+
+
+class FuseStage(Stage):
+    """Causal multi-sensor fusion over the record stream."""
+
+    name = "fuse"
+
+    def enqueue(
+        self,
+        state: PipelineState,
+        radar_contacts,
+        lrit_reports,
+    ) -> None:
+        """Buffer sensor data until the AIS watermark reaches it."""
+        if radar_contacts:
+            state.radar_queue.extend(radar_contacts)
+            state.radar_queue.sort(key=lambda c: c.t)
+        if lrit_reports:
+            state.lrit_queue.extend(lrit_reports)
+            state.lrit_queue.sort(key=lambda r: r.t)
+        if (state.radar_queue or state.lrit_queue) and state.fused is None:
+            state.fused = MultiSourceTracker(
+                head_max_age_s=state.config.vessel_ttl_s
+            )
+
+    def feed(
+        self, state: PipelineState, outcomes: list[RecordOutcome]
+    ) -> list[Event]:
+        if state.fused is None:
+            return []
+        events: list[Event] = []
+        for outcome in outcomes:
+            if outcome.accepted is not None:
+                state.fused.track_for(outcome.mmsi).add_sorted(
+                    outcome.accepted
+                )
+            events.extend(self._drain(state, outcome.t))
+        self.stats.n_out += len(events)
+        return events
+
+    def flush(self, state: PipelineState) -> list[Event]:
+        if state.fused is None:
+            return []
+        events = self._drain(state, float("inf"))
+        self.stats.n_out += len(events)
+        return events
+
+    # -- sensor draining ---------------------------------------------------
+
+    def _drain(self, state: PipelineState, watermark: float) -> list[Event]:
+        events: list[Event] = []
+        lrit = state.lrit_queue
+        consumed = 0
+        while consumed < len(lrit) and lrit[consumed].t <= watermark:
+            report = lrit[consumed]
+            consumed += 1
+            state.fused.track_for(report.mmsi).add_sorted(
+                TrackPoint(report.t, report.lat, report.lon, source="lrit")
+            )
+            self.stats.n_in += 1
+        if consumed:
+            del lrit[:consumed]
+        radar = state.radar_queue
+        consumed = 0
+        while consumed < len(radar) and radar[consumed].t <= watermark:
+            # One sweep = every queued contact at the same instant, so a
+            # track takes at most one return per scan (greedy GNN).
+            sweep_t = radar[consumed].t
+            sweep: list[RadarContact] = []
+            while consumed < len(radar) and radar[consumed].t == sweep_t:
+                sweep.append(radar[consumed])
+                consumed += 1
+            self.stats.n_in += len(sweep)
+            events.extend(self._associate_sweep(state, sweep_t, sweep))
+        if consumed:
+            del radar[:consumed]
+        return events
+
+    # -- causal association ------------------------------------------------
+
+    def _associate_sweep(
+        self, state: PipelineState, sweep_t: float, sweep: list[RadarContact]
+    ) -> list[Event]:
+        fused = state.fused
+        config: AssociationConfig = fused.config
+        predictions: dict[int, tuple[float, float]] = {}
+        for track in fused.identified_tracks:
+            causal_n = track.index_at_or_before(sweep_t)
+            if causal_n == 0:
+                continue
+            last = track.points[causal_n - 1]
+            if sweep_t - last.t > config.max_track_age_s:
+                continue
+            predicted = _predict(track.points[:causal_n], sweep_t)
+            if predicted is not None:
+                predictions[track.mmsi] = predicted
+        index = build_index(
+            [
+                (mmsi, lat, lon)
+                for mmsi, (lat, lon) in predictions.items()
+            ],
+            cell_size_m=config.gate_m,
+            hint=config.index_backend,
+        )
+        candidate_pairs: list[tuple[float, int, int]] = []
+        for ci, contact in enumerate(sweep):
+            for mmsi, dist in index.radius_query(
+                contact.lat, contact.lon, config.gate_m
+            ):
+                candidate_pairs.append((dist, ci, mmsi))
+        candidate_pairs.sort()
+        used_contacts: set[int] = set()
+        used_tracks: set[int] = set()
+        for __, ci, mmsi in candidate_pairs:
+            if ci in used_contacts or mmsi in used_tracks:
+                continue
+            used_contacts.add(ci)
+            used_tracks.add(mmsi)
+            contact = sweep[ci]
+            fused.track_for(mmsi).add_sorted(
+                TrackPoint(contact.t, contact.lat, contact.lon, source="radar")
+            )
+        events: list[Event] = []
+        for ci, contact in enumerate(sweep):
+            if ci in used_contacts:
+                continue
+            point = TrackPoint(
+                contact.t, contact.lat, contact.lon, source="radar"
+            )
+            track = fused.nearest_anonymous_track(contact)
+            if track is not None:
+                fused.extend_anonymous(track, point)
+            else:
+                track = fused.open_anonymous(point)
+            event = self._maybe_uncorrelated(state, track)
+            if event is not None:
+                events.append(event)
+        return events
+
+    def _maybe_uncorrelated(
+        self, state: PipelineState, track
+    ) -> Event | None:
+        """Report an anonymous track the moment it becomes sustained."""
+        if track.track_id in state.uncorrelated_emitted:
+            return None
+        if len(track.points) < _UNCORRELATED_MIN_CONTACTS:
+            return None
+        first, last = track.points[0], track.points[-1]
+        duration = last.t - first.t
+        if duration < _UNCORRELATED_MIN_DURATION_S:
+            return None
+        state.uncorrelated_emitted.add(track.track_id)
+        mid = track.points[len(track.points) // 2]
+        return Event(
+            kind=EventKind.UNCORRELATED_TRACK,
+            t_start=first.t,
+            t_end=last.t,
+            mmsis=(),
+            lat=mid.lat,
+            lon=mid.lon,
+            confidence=min(1.0, len(track.points) / 50.0),
+            details={
+                "n_contacts": len(track.points),
+                "duration_s": duration,
+            },
+        )

@@ -1,0 +1,111 @@
+"""Ingest stages: decode, reorder, reconstruct.
+
+These turn raw received sentences into the per-record
+:class:`~repro.core.stages.state.RecordOutcome` sequence every downstream
+stage consumes.  All three wrap incremental components (the AIS decoder,
+the watermark reorder buffer, the track reconstructor), so feeding one
+observation or a million through ``feed`` leaves identical state.
+"""
+
+from repro.ais.types import ClassBPositionReport, PositionReport
+from repro.core.stages.base import Stage
+from repro.core.stages.state import PipelineState, RecordOutcome
+from repro.simulation.receivers import Observation
+from repro.streaming.stream import Record
+from repro.trajectory.points import TrackPoint
+
+
+class DecodeStage(Stage):
+    """NMEA sentences through the AIS codec (multipart state included)."""
+
+    name = "decode"
+
+    def feed(
+        self, state: PipelineState, observations: list[Observation]
+    ) -> list[tuple[float, object]]:
+        decoded: list[tuple[float, object]] = []
+        for obs in observations:
+            message = state.decoder.feed(obs.sentence, received_at=obs.t_received)
+            if message is not None:
+                decoded.append((obs.t_transmitted, message))
+        self.stats.n_in += len(observations)
+        self.stats.n_out += len(decoded)
+        return decoded
+
+    def flush(self, state: PipelineState) -> list[tuple[float, object]]:
+        return []
+
+
+class ReorderStage(Stage):
+    """Restore event-time order up to the bounded lateness (satellite
+    delay); advances ``state.watermark`` as records are released."""
+
+    name = "reorder"
+
+    def feed(
+        self, state: PipelineState, decoded: list[tuple[float, object]]
+    ) -> list[Record]:
+        records = state.reorderer.feed(
+            Record(t=t, key=msg.mmsi, value=msg) for t, msg in decoded
+        )
+        if records:
+            state.watermark = records[-1].t
+        self.stats.n_in += len(decoded)
+        self.stats.n_out += len(records)
+        return records
+
+    def flush(self, state: PipelineState) -> list[Record]:
+        records = state.reorderer.flush()
+        if records:
+            state.watermark = records[-1].t
+        self.stats.n_out += len(records)
+        return records
+
+
+class ReconstructStage(Stage):
+    """Per-vessel track cleaning; emits one outcome per record, carrying
+    the raw fix (spoofing evidence), the accepted fix, and any segments
+    the record closed."""
+
+    name = "reconstruct"
+
+    def feed(
+        self, state: PipelineState, records: list[Record]
+    ) -> list[RecordOutcome]:
+        reconstructor = state.reconstructor
+        min_points = state.config.min_segment_points
+        outcomes: list[RecordOutcome] = []
+        for record in records:
+            message = record.value
+            outcome = RecordOutcome(t=record.t)
+            if isinstance(
+                message, (PositionReport, ClassBPositionReport)
+            ) and message.has_position:
+                outcome.mmsi = message.mmsi
+                outcome.raw_fix = TrackPoint(
+                    record.t, message.lat, message.lon,
+                    message.sog_knots, message.cog_deg,
+                )
+                accepted = reconstructor.add(message, record.t)
+                if accepted is not None:
+                    outcome.accepted = accepted
+                    outcome.new_segment = (
+                        reconstructor.open_segment_length(message.mmsi) == 1
+                    )
+                for segment in reconstructor.drain_finished():
+                    if len(segment) >= min_points:
+                        outcome.completed.append(segment)
+            outcomes.append(outcome)
+            self.stats.n_in += 1
+            self.stats.n_out += sum(len(s) for s in outcome.completed)
+        return outcomes
+
+    def flush(self, state: PipelineState) -> list[RecordOutcome]:
+        """Close every open segment; returns one synthetic outcome."""
+        min_points = state.config.min_segment_points
+        outcome = RecordOutcome(t=state.watermark)
+        for segment in state.reconstructor.finish():
+            if len(segment) >= min_points:
+                outcome.completed.append(segment)
+        self.stats.n_out += sum(len(s) for s in outcome.completed)
+        return [outcome]

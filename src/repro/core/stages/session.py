@@ -1,0 +1,170 @@
+"""One pipeline run — batch replay or live stream — over the stages.
+
+:class:`PipelineSession` owns a :class:`PipelineState` and one instance
+of each stage, and drives them per micro-batch: ``feed`` any number of
+times, ``flush`` once, then (for replays) collect state.  Because every
+stage is record-driven, the sequence of records — not the slicing into
+feeds — determines every product: ``process(run)`` is literally one
+``feed`` plus ``flush``.
+"""
+
+import time
+
+from repro.core.stages.analytics import (
+    ForecastStage,
+    IntegrateStage,
+    OverviewStage,
+    SynopsesStage,
+)
+from repro.core.stages.detect import DetectStage
+from repro.core.stages.fuse import FuseStage
+from repro.core.stages.ingest import DecodeStage, ReconstructStage, ReorderStage
+from repro.core.stages.state import (
+    PipelineIncrement,
+    PipelineState,
+    RecordOutcome,
+)
+
+
+class PipelineSession:
+    """Incremental execution of the Figure 2 pipeline."""
+
+    def __init__(self, state: PipelineState) -> None:
+        self.state = state
+        self.decode = DecodeStage()
+        self.reorder = ReorderStage()
+        self.reconstruct = ReconstructStage()
+        self.synopses = SynopsesStage()
+        self.integrate = IntegrateStage()
+        self.fuse = FuseStage()
+        self.detect = DetectStage()
+        self.forecast = ForecastStage()
+        self.overview = OverviewStage()
+        self._stages = [
+            self.decode, self.reorder, self.reconstruct, self.synopses,
+            self.integrate, self.fuse, self.detect, self.forecast,
+            self.overview,
+        ]
+        self._flushed = False
+        self.integrate.start(state)
+
+    @property
+    def stages(self) -> list:
+        """Cumulative per-stage stats, in Figure 2 order."""
+        return [stage.stats for stage in self._stages]
+
+    @property
+    def flushed(self) -> bool:
+        return self._flushed
+
+    # -- driving -----------------------------------------------------------
+
+    def feed(
+        self,
+        observations=(),
+        radar_contacts=(),
+        lrit_reports=(),
+        build_overview: bool = True,
+    ) -> PipelineIncrement:
+        """Process one micro-batch; returns everything it produced."""
+        if self._flushed:
+            raise RuntimeError("session already flushed")
+        state = self.state
+        t0 = time.perf_counter()
+        observations = list(observations)
+        self.fuse.enqueue(state, radar_contacts, lrit_reports)
+
+        with self.decode.timed():
+            decoded = self.decode.feed(state, observations)
+        with self.reorder.timed():
+            records = self.reorder.feed(state, decoded)
+        with self.reconstruct.timed():
+            outcomes = self.reconstruct.feed(state, records)
+        increment = self._downstream(
+            outcomes,
+            final_outcomes=[],
+            t0=t0,
+            build_overview=build_overview,
+            flushing=False,
+        )
+        increment.n_observations = len(observations)
+        increment.n_decoded = len(decoded)
+        increment.n_records = len(records)
+        state.purge()
+        return increment
+
+    def flush(self, build_overview: bool = True) -> PipelineIncrement:
+        """End of stream: drain every buffer and close open state."""
+        if self._flushed:
+            raise RuntimeError("session already flushed")
+        self._flushed = True
+        state = self.state
+        t0 = time.perf_counter()
+        with self.reorder.timed():
+            records = self.reorder.flush(state)
+        with self.reconstruct.timed():
+            outcomes = self.reconstruct.feed(state, records)
+            final_outcomes = self.reconstruct.flush(state)
+        increment = self._downstream(
+            outcomes,
+            final_outcomes=final_outcomes,
+            t0=t0,
+            build_overview=build_overview,
+            flushing=True,
+        )
+        increment.n_records = len(records)
+        return increment
+
+    def _downstream(
+        self,
+        outcomes: list[RecordOutcome],
+        final_outcomes: list[RecordOutcome],
+        t0: float,
+        build_overview: bool,
+        flushing: bool,
+    ) -> PipelineIncrement:
+        state = self.state
+        completed = [
+            s for o in (*outcomes, *final_outcomes) for s in o.completed
+        ]
+
+        with self.synopses.timed():
+            new_synopses = self.synopses.feed(state, completed)
+        with self.integrate.timed():
+            self.integrate.feed(state, new_synopses)
+        with self.fuse.timed():
+            fusion_events = self.fuse.feed(state, outcomes)
+            if flushing:
+                fusion_events.extend(self.fuse.flush(state))
+        with self.detect.timed():
+            new_events, new_complex = self.detect.feed(
+                state, outcomes, fusion_events
+            )
+            if flushing:
+                tail_events, tail_complex = self.detect.flush(
+                    state, final_outcomes
+                )
+                new_events.extend(tail_events)
+                new_complex.extend(tail_complex)
+        with self.forecast.timed():
+            updated_forecasts = self.forecast.feed(state, completed)
+        with self.overview.timed():
+            new_alarms = self.overview.feed(state, outcomes)
+            snapshot = (
+                self.overview.snapshot(state) if build_overview else None
+            )
+
+        if state.keep_products:
+            state.trajectories.extend(completed)
+            state.synopses.extend(new_synopses)
+        return PipelineIncrement(
+            t_watermark=state.watermark,
+            new_segments=completed,
+            new_synopses=new_synopses,
+            new_events=fusion_events + new_events,
+            new_complex_events=new_complex,
+            updated_forecasts=updated_forecasts,
+            new_alarms=new_alarms,
+            overview=snapshot,
+            seconds=time.perf_counter() - t0,
+        )

@@ -1,0 +1,286 @@
+"""Shared mutable state of the incremental pipeline.
+
+:class:`PipelineState` is the single bag of state every stage reads and
+writes: per-vessel track heads, open pattern-of-life histories, CEP
+buffers, streaming spatial summaries, the analytical accumulators (store,
+cube, triples) and the products a replay collects.  It is created per
+session; batch replay and live streaming differ only in how observations
+are sliced into ``feed`` calls, never in what lives here.
+
+Ownership rules (documented per field; see also ``src/repro/core/README``):
+each field is written by exactly one stage, everything else only reads it.
+"""
+
+import heapq
+from collections.abc import Hashable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.ais.decoder import AisDecoder
+from repro.core.config import PipelineConfig
+from repro.events.base import Event
+from repro.events.cep import CepEngine
+from repro.events.collision import CollisionRiskConfig, CollisionScreen
+from repro.events.pol import PatternOfLife
+from repro.events.rendezvous import IncrementalRendezvousDetector
+from repro.events.spoofing import IdentityClashDetector, TeleportDetector
+from repro.forecasting.kalmanpredict import KalmanPredictor, PredictionWithUncertainty
+from repro.fusion.association import MultiSourceTracker
+from repro.semantics.annotate import SemanticAnnotator
+from repro.simulation.sensors import LritReport, RadarContact
+from repro.simulation.world import Port
+from repro.storage.store import TrajectoryStore
+from repro.storage.triples import TripleStore
+from repro.streaming.watermarks import WatermarkReorderer
+from repro.trajectory.points import TrackPoint, Trajectory
+from repro.trajectory.reconstruction import TrackReconstructor
+from repro.visual.cube import SpatioTemporalCube
+from repro.visual.overview import MonitoringAlarm, SituationMonitor, SituationOverview
+
+
+class TtlTable:
+    """Latest-value-per-key table with age-based eviction.
+
+    The per-vessel companion of
+    :class:`~repro.spatial.streaming.StreamingGridIndex`: one entry per
+    key, each stamped with an event time; :meth:`purge` drops entries
+    older than a horizon via a lazy-deleted expiry heap.  Readers that
+    need exact semantics must filter by age themselves (``get`` with
+    ``max_age_s``) — purging only bounds memory.
+    """
+
+    def __init__(self) -> None:
+        self._values: dict[Hashable, Any] = {}
+        self._t: dict[Hashable, float] = {}
+        self._expiry: list[tuple[float, Hashable]] = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._values
+
+    def put(self, key: Hashable, t: float, value: Any) -> None:
+        current = self._t.get(key)
+        if current is not None and t < current:
+            return
+        self._t[key] = t
+        self._values[key] = value
+        heapq.heappush(self._expiry, (t, key))
+
+    def get(self, key: Hashable, now: float | None = None,
+            max_age_s: float | None = None) -> Any | None:
+        t = self._t.get(key)
+        if t is None:
+            return None
+        if max_age_s is not None and now is not None and now - t > max_age_s:
+            return None
+        return self._values[key]
+
+    def timestamp(self, key: Hashable) -> float | None:
+        return self._t.get(key)
+
+    def items(self) -> Iterator[tuple[Hashable, Any]]:
+        return iter(self._values.items())
+
+    def purge(self, before_t: float) -> None:
+        while self._expiry and self._expiry[0][0] < before_t:
+            expired_t, key = heapq.heappop(self._expiry)
+            if self._t.get(key) == expired_t:
+                del self._t[key]
+                del self._values[key]
+
+
+@dataclass
+class RecordOutcome:
+    """What one post-reorder record did to the per-vessel track state."""
+
+    t: float
+    mmsi: int | None = None
+    #: Every position-carrying message, pre-cleaning (spoofing evidence).
+    raw_fix: TrackPoint | None = None
+    #: The cleaned fix, when the reconstructor accepted it.
+    accepted: TrackPoint | None = None
+    #: True when the accepted fix opened a fresh segment (never
+    #: interpolate across it).
+    new_segment: bool = False
+    #: Segments (>= min_segment_points) closed by this record.
+    completed: list[Trajectory] = field(default_factory=list)
+
+
+@dataclass
+class PipelineIncrement:
+    """What one micro-batch produced — the unit ``run_live`` yields."""
+
+    t_watermark: float
+    n_observations: int = 0
+    n_decoded: int = 0
+    n_records: int = 0
+    new_segments: list[Trajectory] = field(default_factory=list)
+    new_synopses: list[Trajectory] = field(default_factory=list)
+    new_events: list[Event] = field(default_factory=list)
+    new_complex_events: list[Event] = field(default_factory=list)
+    #: Vessels whose forecast set was recomputed this batch.
+    updated_forecasts: dict[int, list[PredictionWithUncertainty]] = field(
+        default_factory=dict
+    )
+    new_alarms: list[MonitoringAlarm] = field(default_factory=list)
+    overview: SituationOverview | None = None
+    seconds: float = 0.0
+
+    @property
+    def throughput_per_s(self) -> float:
+        return self.n_records / self.seconds if self.seconds > 0 else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"watermark={self.t_watermark:.0f}: {self.n_records} records, "
+            f"{len(self.new_segments)} segments, "
+            f"{len(self.new_events)} events "
+            f"(+{len(self.new_complex_events)} complex), "
+            f"{len(self.new_alarms)} alarms"
+        )
+
+
+class PipelineState:
+    """Everything mutable the stages share for one session."""
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        ports: list[Port],
+        zones: list,
+        cep_patterns: list,
+        specs: dict | None = None,
+        weather=None,
+        pol_split_t: float | None = None,
+        keep_products: bool = True,
+    ) -> None:
+        self.config = config
+        self.ports = ports
+        self.zones = zones
+        self.specs = specs or {}
+        self.weather = weather
+        #: Fixes at or before this train pattern-of-life; later ones are
+        #: scored.  ``None`` = derive from the first record plus
+        #: ``config.live_pol_training_s``.
+        self.pol_split_t = pol_split_t
+        #: Replays keep full product lists and the trajectory store; live
+        #: sessions ship products in increments and keep state bounded.
+        self.keep_products = keep_products
+
+        # -- ingest (decode / reorder stages) -----------------------------
+        self.decoder = AisDecoder()
+        self.reorderer = WatermarkReorderer(config.max_lateness_s)
+        #: Event time of the last record released by the reorder stage.
+        self.watermark = float("-inf")
+
+        # -- track state (reconstruct stage) ------------------------------
+        self.reconstructor = TrackReconstructor(config.reconstruction)
+
+        # -- analytics accumulators (integrate stage) ---------------------
+        self.store = TrajectoryStore(
+            cell_deg=config.cube_cell_deg,
+            time_bucket_s=config.cube_time_bucket_s,
+        )
+        self.cube = SpatioTemporalCube(
+            cell_deg=config.cube_cell_deg,
+            time_bucket_s=config.cube_time_bucket_s,
+        )
+        self.triples = TripleStore()
+        self.annotator = SemanticAnnotator(self.triples, ports, weather)
+
+        # -- fusion (fuse stage) ------------------------------------------
+        self.fused: MultiSourceTracker | None = None
+        self.radar_queue: list[RadarContact] = []
+        self.lrit_queue: list[LritReport] = []
+        #: Anonymous tracks already reported as UNCORRELATED_TRACK.
+        self.uncorrelated_emitted: set[int] = set()
+
+        # -- detection (detect stage) -------------------------------------
+        self.pol = PatternOfLife()
+        self.cep = CepEngine(list(cep_patterns))
+        self.current = TtlTable()  # mmsi -> latest accepted TrackPoint
+        self.gap_heads = TtlTable()  # mmsi -> last fix of last segment
+        self.teleports = TeleportDetector(max_pair_dt_s=config.vessel_ttl_s)
+        self.clashes = IdentityClashDetector()
+        self.rendezvous = IncrementalRendezvousDetector(
+            ports,
+            config.rendezvous,
+            close_lag_s=config.reconstruction.gap_timeout_s,
+        )
+        self.collisions = CollisionScreen(
+            period_s=config.collision_screen_period_s,
+            max_state_age_s=config.collision_max_state_age_s,
+            suppress_s=config.collision_suppress_s,
+            config=CollisionRiskConfig(),
+        )
+
+        # -- forecasting / monitoring (forecast & overview stages) --------
+        self.predictor = KalmanPredictor()
+        self.forecasts: dict[int, list[PredictionWithUncertainty]] = {}
+        self.monitor = SituationMonitor(
+            self.pol, max_alarms=config.monitor_max_alarms
+        )
+
+        # -- replay products (only when keep_products) --------------------
+        self.trajectories: list[Trajectory] = []
+        self.synopses: list[Trajectory] = []
+        self.events: list[Event] = []
+        self.complex_events: list[Event] = []
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def purge(self) -> None:
+        """Evict per-vessel entries that aged past their horizons.
+
+        Purging is memory management only: every reader applies its own
+        age rule at read time (or the horizon provably cannot change
+        results), so *when* this runs never affects outputs.
+        """
+        ttl_horizon = self.watermark - self.config.vessel_ttl_s
+        self.current.purge(ttl_horizon)
+        self.gap_heads.purge(self.watermark - self.config.gap_head_ttl_s)
+        self.teleports.evict_before(ttl_horizon)
+        self.clashes.evict_before(ttl_horizon)
+        self.rendezvous.evict_before(ttl_horizon)
+        self.reconstructor.evict_idle(ttl_horizon)
+        if self.fused is not None and not self.keep_products:
+            # Fused track fixes only serve causal association; anything
+            # older than the still-undrained sensor frontier minus the
+            # TTL (>= the association age gate) is dead weight.
+            frontier = self.watermark
+            if self.radar_queue:
+                frontier = min(frontier, self.radar_queue[0].t)
+            if self.lrit_queue:
+                frontier = min(frontier, self.lrit_queue[0].t)
+            self.fused.prune_anonymous_before(ttl_horizon)
+            for track in self.fused.tracks.values():
+                track.prune_before(frontier - self.config.vessel_ttl_s)
+            self.uncorrelated_emitted.intersection_update(
+                self.fused.tracks.keys()
+            )
+
+    def size_report(self) -> dict[str, int]:
+        """Sizes of every bounded runtime structure (for memory tests)."""
+        return {
+            "reorder_buffer": len(self.reorderer),
+            "open_segments": self.reconstructor.n_open_segments(),
+            "current_states": len(self.current),
+            "gap_heads": len(self.gap_heads),
+            "teleport_state": len(self.teleports),
+            "clash_state": len(self.clashes),
+            "rendezvous_vessels": len(self.rendezvous),
+            "rendezvous_instants": self.rendezvous.n_pending_instants(),
+            "rendezvous_runs": self.rendezvous.n_open_runs(),
+            "cep_buffered": self.cep.buffered(),
+            "forecast_vessels": len(self.forecasts),
+            "monitor_alarms": len(self.monitor.alarms),
+            "fused_tracks": len(self.fused.tracks) if self.fused else 0,
+            "fused_points": (
+                sum(len(t.points) for t in self.fused.tracks.values())
+                if self.fused else 0
+            ),
+            "radar_queue": len(self.radar_queue),
+            "lrit_queue": len(self.lrit_queue),
+        }

@@ -16,11 +16,24 @@ from repro.events.detectors import (
     detect_speed_anomalies,
     detect_zone_events,
 )
-from repro.events.rendezvous import RendezvousConfig, detect_rendezvous
-from repro.events.collision import detect_collision_risk, CollisionRiskConfig
-from repro.events.spoofing import detect_teleports, detect_identity_clashes
+from repro.events.rendezvous import (
+    IncrementalRendezvousDetector,
+    RendezvousConfig,
+    detect_rendezvous,
+)
+from repro.events.collision import (
+    CollisionRiskConfig,
+    CollisionScreen,
+    detect_collision_risk,
+)
+from repro.events.spoofing import (
+    IdentityClashDetector,
+    TeleportDetector,
+    detect_identity_clashes,
+    detect_teleports,
+)
 from repro.events.pol import PatternOfLife, PolConfig
-from repro.events.cep import SequencePattern, CepEngine
+from repro.events.cep import CepEngine, SequencePattern, event_key
 from repro.events.scoring import match_events, DetectionScore
 
 __all__ = [
@@ -33,14 +46,19 @@ __all__ = [
     "detect_zone_events",
     "RendezvousConfig",
     "detect_rendezvous",
+    "IncrementalRendezvousDetector",
     "detect_collision_risk",
     "CollisionRiskConfig",
+    "CollisionScreen",
     "detect_teleports",
     "detect_identity_clashes",
+    "TeleportDetector",
+    "IdentityClashDetector",
     "PatternOfLife",
     "PolConfig",
     "SequencePattern",
     "CepEngine",
+    "event_key",
     "match_events",
     "DetectionScore",
 ]

@@ -1,20 +1,58 @@
 """Complex event processing: sequence patterns over event streams.
 
 §3.1 asks for "algorithms for complex event (and outlier) recognition ...
-in real-time".  The engine here matches declarative sequence patterns —
-ordered event kinds within a time window, with optional spatial
-co-location and shared-vessel constraints — over a time-ordered stream of
-primitive events, emitting COMPLEX events whose details carry the full
-match for explanation (§4's requirement that outputs be interpretable).
+in real-time".  The engine matches declarative sequence patterns — event
+kinds ordered by *start time* within a time window, with optional spatial
+co-location and shared-vessel constraints — over a stream of primitive
+events, emitting COMPLEX events whose details carry the full match for
+explanation (§4's requirement that outputs be interpretable).
+
+The engine is **arrival-order insensitive**: incremental detectors emit
+events as they are *discovered*, which is not the order in which they
+*started* (a reporting gap is only known once the silence ends; a
+rendezvous only once the contact run closes).  Matching is therefore
+defined purely over event timestamps: a pattern matches any tuple of
+distinct buffered events whose canonical (start-time) order follows the
+declared sequence, regardless of the order they were fed.  Each match is
+emitted exactly once — when its last-arriving member arrives.  Exact
+duplicate events (same kind, times, vessels, position, confidence) are
+dropped on arrival, so replays and overlapping detector windows cannot
+double-fire a pattern.
+
+Memory is bounded by :meth:`CepEngine.expire`: callers advance a low
+watermark and the engine evicts buffered events too old to participate in
+any future match.  Events arriving with a start time older than the
+expired horizon may miss matches — pick the horizon from the maximum
+detection latency of the upstream detectors.
 
 Example: "GAP, then RENDEZVOUS involving the same vessel within 2 h and
 50 km" is the dark-transshipment pattern used in example 3.
 """
 
-from dataclasses import dataclass, field
+import bisect
+import heapq
+from dataclasses import dataclass
 
 from repro.events.base import Event, EventKind
 from repro.geo import haversine_m
+
+#: Canonical total order on events: start time first, then stable
+#: tie-breakers so ties are resolved identically however events arrive.
+EventKey = tuple[float, str, tuple[int, ...], float, float, float, float]
+
+
+def event_key(event: Event) -> EventKey:
+    """Canonical sort/dedup key (every field that defines event identity;
+    ``details`` is explanation payload and excluded, as in ``Event.__eq__``)."""
+    return (
+        event.t_start,
+        event.kind.value,
+        event.mmsis,
+        event.lat,
+        event.lon,
+        event.t_end,
+        event.confidence,
+    )
 
 
 @dataclass(frozen=True)
@@ -39,103 +77,177 @@ class SequencePattern:
             raise ValueError("window_s must be positive")
 
 
-@dataclass
-class _PartialMatch:
-    matched: list[Event] = field(default_factory=list)
-
-    @property
-    def t_first(self) -> float:
-        return self.matched[0].t_start
-
-    @property
-    def next_index(self) -> int:
-        return len(self.matched)
-
-
 class CepEngine:
-    """Multi-pattern NFA-style matcher.
+    """Multi-pattern matcher over canonically ordered event tuples.
 
-    Feed primitive events in time order (:meth:`feed`), collect complex
-    events as they complete.  Partial matches expire once their window
-    passes, bounding state.
+    Feed primitive events in any order (:meth:`feed`), collect complex
+    events as their matches complete.  Call :meth:`expire` with a low
+    watermark to bound state for unbounded streams.
     """
 
     def __init__(self, patterns: list[SequencePattern]) -> None:
         self.patterns = list(patterns)
-        self._partials: dict[str, list[_PartialMatch]] = {
-            p.name: [] for p in self.patterns
-        }
+        #: pattern name -> kind -> (sorted keys, events) parallel lists.
+        self._buffers: dict[str, dict[EventKind, tuple[list, list]]] = {}
+        for pattern in self.patterns:
+            per_kind: dict[EventKind, tuple[list, list]] = {}
+            for kind in pattern.sequence:
+                per_kind.setdefault(kind, ([], []))
+            self._buffers[pattern.name] = per_kind
+        self._seen: set[EventKey] = set()
+        self._seen_expiry: list[EventKey] = []
         self.n_fed = 0
 
-    def _compatible(
-        self, pattern: SequencePattern, partial: _PartialMatch, event: Event
-    ) -> bool:
-        if event.kind is not pattern.sequence[partial.next_index]:
-            return False
-        if event.t_start - partial.t_first > pattern.window_s:
-            return False
-        if event.t_start < partial.matched[-1].t_start:
-            return False
-        if pattern.same_vessel:
-            first_vessels = set(partial.matched[0].mmsis)
-            if not first_vessels.intersection(event.mmsis):
-                return False
-        if pattern.max_radius_m > 0:
-            anchor = partial.matched[0]
-            if (
-                haversine_m(anchor.lat, anchor.lon, event.lat, event.lon)
-                > pattern.max_radius_m
-            ):
-                return False
-        return True
+    # -- ingestion ---------------------------------------------------------
 
     def feed(self, event: Event) -> list[Event]:
-        """Offer one primitive event; returns any completed complex events."""
+        """Offer one primitive event; returns any completed complex events.
+
+        A match completes the moment its last member arrives, whatever
+        the arrival order; exact duplicates are ignored.
+        """
         self.n_fed += 1
+        key = event_key(event)
+        if key in self._seen:
+            return []
+        self._seen.add(key)
+        heapq.heappush(self._seen_expiry, key)
         completed: list[Event] = []
         for pattern in self.patterns:
-            partials = self._partials[pattern.name]
-            # Expire stale partials.
-            partials[:] = [
-                p for p in partials
-                if event.t_start - p.t_first <= pattern.window_s
-            ]
-            new_partials: list[_PartialMatch] = []
-            for partial in partials:
-                if self._compatible(pattern, partial, event):
-                    extended = _PartialMatch(partial.matched + [event])
-                    if extended.next_index == len(pattern.sequence):
-                        completed.append(self._emit(pattern, extended))
-                    else:
-                        new_partials.append(extended)
-            partials.extend(new_partials)
-            if event.kind is pattern.sequence[0]:
-                partials.append(_PartialMatch([event]))
+            buffers = self._buffers[pattern.name]
+            if event.kind not in buffers:
+                continue
+            for position, kind in enumerate(pattern.sequence):
+                if kind is event.kind:
+                    for match in self._assemble(pattern, position, event, key):
+                        completed.append(self._emit(pattern, match))
+            keys, events = buffers[event.kind]
+            index = bisect.bisect_left(keys, key)
+            keys.insert(index, key)
+            events.insert(index, event)
         return completed
 
     def feed_all(self, events: list[Event]) -> list[Event]:
-        """Feed a batch (sorted by start time first) and collect matches."""
+        """Feed a batch and collect matches (sorted for stable output
+        order; the match *set* does not depend on it)."""
         out: list[Event] = []
-        for event in sorted(events, key=lambda e: e.t_start):
+        for event in sorted(events, key=event_key):
             out.extend(self.feed(event))
         return out
 
-    def _emit(self, pattern: SequencePattern, match: _PartialMatch) -> Event:
+    # -- state bounding ----------------------------------------------------
+
+    def expire(self, low_watermark: float) -> None:
+        """Evict events that can no longer participate in any match.
+
+        ``low_watermark`` promises that every event fed from now on has
+        ``t_start >= low_watermark``; buffered events more than a pattern
+        window older can never again be a match's first step.
+        """
+        max_window = max((p.window_s for p in self.patterns), default=0.0)
+        for pattern in self.patterns:
+            horizon = low_watermark - pattern.window_s
+            for keys, events in self._buffers[pattern.name].values():
+                cut = bisect.bisect_left(keys, (horizon,))
+                if cut:
+                    del keys[:cut]
+                    del events[:cut]
+        seen_horizon = low_watermark - max_window
+        while self._seen_expiry and self._seen_expiry[0][0] < seen_horizon:
+            self._seen.discard(heapq.heappop(self._seen_expiry))
+
+    def buffered(self) -> int:
+        """Total buffered (pattern, event) entries — a state-size probe."""
+        return sum(
+            len(keys)
+            for per_kind in self._buffers.values()
+            for keys, __ in per_kind.values()
+        )
+
+    # -- matching ----------------------------------------------------------
+
+    def _step_ok(
+        self, pattern: SequencePattern, anchor: Event, candidate: Event
+    ) -> bool:
+        if candidate.t_start - anchor.t_start > pattern.window_s:
+            return False
+        if pattern.same_vessel and not (
+            set(anchor.mmsis) & set(candidate.mmsis)
+        ):
+            return False
+        if pattern.max_radius_m > 0 and (
+            haversine_m(anchor.lat, anchor.lon, candidate.lat, candidate.lon)
+            > pattern.max_radius_m
+        ):
+            return False
+        return True
+
+    def _assemble(
+        self,
+        pattern: SequencePattern,
+        fixed_position: int,
+        event: Event,
+        key: EventKey,
+    ) -> list[tuple[Event, ...]]:
+        """All full matches placing ``event`` (not yet buffered) at
+        ``fixed_position``, every other step drawn from the buffers in
+        canonical order."""
+        sequence = pattern.sequence
+        buffers = self._buffers[pattern.name]
+        matches: list[tuple[Event, ...]] = []
+        chosen: list[Event] = []
+        chosen_keys: list[EventKey] = []
+
+        def extend(position: int) -> None:
+            if position == len(sequence):
+                matches.append(tuple(chosen))
+                return
+            previous_key = chosen_keys[-1] if chosen_keys else None
+            anchor = chosen[0] if chosen else None
+            if position == fixed_position:
+                candidates = ((key, event),)
+            else:
+                keys, events = buffers[sequence[position]]
+                start = (
+                    0 if previous_key is None
+                    else bisect.bisect_left(keys, previous_key)
+                )
+                candidates = zip(keys[start:], events[start:])
+            for cand_key, candidate in candidates:
+                if previous_key is not None and cand_key < previous_key:
+                    continue
+                if anchor is not None:
+                    if candidate.t_start - anchor.t_start > pattern.window_s:
+                        break  # keys sorted by t_start: no later fit either
+                    if not self._step_ok(pattern, anchor, candidate):
+                        continue
+                if any(c is candidate for c in chosen):
+                    continue
+                chosen.append(candidate)
+                chosen_keys.append(cand_key)
+                extend(position + 1)
+                chosen.pop()
+                chosen_keys.pop()
+
+        extend(0)
+        return matches
+
+    def _emit(self, pattern: SequencePattern, match: tuple[Event, ...]) -> Event:
         vessels: set[int] = set()
-        for event in match.matched:
+        for event in match:
             vessels.update(event.mmsis)
-        last = match.matched[-1]
+        last = match[-1]
         return Event(
             kind=EventKind.COMPLEX,
-            t_start=match.matched[0].t_start,
+            t_start=match[0].t_start,
             t_end=last.t_end,
             mmsis=tuple(sorted(vessels)),
             lat=last.lat,
             lon=last.lon,
             confidence=pattern.confidence
-            * min(e.confidence for e in match.matched),
+            * min(e.confidence for e in match),
             details={
                 "pattern": pattern.name,
-                "steps": [e.describe() for e in match.matched],
+                "steps": [e.describe() for e in match],
             },
         )

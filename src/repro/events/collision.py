@@ -1,5 +1,6 @@
 """Collision-risk detection via CPA/TCPA on live track pairs."""
 
+import math
 from dataclasses import dataclass
 
 from repro.events.base import Event, EventKind
@@ -81,3 +82,77 @@ def detect_collision_risk(
                 )
             )
     return events
+
+
+class CollisionScreen:
+    """Periodic collision screening for the incremental pipeline.
+
+    The batch pipeline screened the fleet's *final* states once; a live
+    pipeline screens at every instant of an absolute time grid
+    (``k * period_s``) as the watermark crosses it, so results depend on
+    the feed and the grid — never on micro-batch boundaries.  A pair that
+    stays dangerous re-alarms only after ``suppress_s``, keeping a
+    standing close-quarters situation from spamming one alarm per screen.
+    """
+
+    def __init__(
+        self,
+        period_s: float = 300.0,
+        max_state_age_s: float = 900.0,
+        suppress_s: float = 1800.0,
+        config: CollisionRiskConfig | None = None,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.period_s = period_s
+        self.max_state_age_s = max_state_age_s
+        self.suppress_s = suppress_s
+        self.config = config or CollisionRiskConfig()
+        self._next_screen_t: float | None = None
+        self._last_alarm: dict[tuple[int, int], float] = {}
+
+    def __len__(self) -> int:
+        return len(self._last_alarm)
+
+    def _first_instant_after(self, t: float) -> float:
+        return math.floor(t / self.period_s + 1.0) * self.period_s
+
+    def advance(
+        self, watermark: float, current_states: dict[int, TrackPoint]
+    ) -> list[Event]:
+        """Screen every grid instant now at or below the watermark."""
+        if self._next_screen_t is None:
+            if not math.isfinite(watermark):
+                return []
+            self._next_screen_t = self._first_instant_after(
+                watermark - self.period_s
+            )
+        events: list[Event] = []
+        while self._next_screen_t <= watermark:
+            screen_t = self._next_screen_t
+            self._next_screen_t += self.period_s
+            fresh = {
+                mmsi: point
+                for mmsi, point in current_states.items()
+                if point.t >= screen_t - self.max_state_age_s
+            }
+            if len(fresh) < 2:
+                continue
+            for event in detect_collision_risk(fresh, self.config):
+                # Canonical pair orientation: the index emits (a, b) in
+                # insertion order, which need not repeat between screens.
+                pair = tuple(sorted(event.mmsis))
+                last = self._last_alarm.get(pair)
+                if last is not None and screen_t - last < self.suppress_s:
+                    continue
+                self._last_alarm[pair] = screen_t
+                events.append(event)
+            # Old pair-suppression entries can never suppress again.
+            horizon = screen_t - self.suppress_s
+            if len(self._last_alarm) > 4 * max(1, len(fresh)):
+                self._last_alarm = {
+                    pair: t
+                    for pair, t in self._last_alarm.items()
+                    if t >= horizon
+                }
+        return events

@@ -13,14 +13,21 @@ high latitudes (where fixed-degree cells shrink below the search
 neighbourhood) and across the antimeridian.
 """
 
+import heapq
+import math
 from dataclasses import dataclass
 
 from repro.events.base import Event, EventKind
-from repro.geo import haversine_m, normalize_lon, pair_midpoint
+from repro.geo import (
+    haversine_m,
+    interpolate_track_at_time,
+    normalize_lon,
+    pair_midpoint,
+)
 from repro.simulation.world import Port
 from repro.spatial import GridIndex, build_index
 from repro.spatial.factory import AUTO_MIN_RTREE_N
-from repro.trajectory.points import Trajectory
+from repro.trajectory.points import TrackPoint, Trajectory
 from repro.trajectory.resample import resample
 
 
@@ -130,38 +137,9 @@ def _runs_to_events(
     run: list[tuple[float, float, float]] = []
 
     def flush() -> None:
-        if not run:
-            return
-        duration = run[-1][0] - run[0][0]
-        if duration < config.min_duration_s:
-            run.clear()
-            return
-        lat_c = sum(c[1] for c in run) / len(run)
-        # Average longitudes as wrapped offsets from the first contact so
-        # a run hugging the antimeridian doesn't centre on lon 0.
-        lon_ref = run[0][2]
-        lon_c = normalize_lon(
-            lon_ref
-            + sum(normalize_lon(c[2] - lon_ref) for c in run) / len(run)
-        )
-        near_port = any(
-            haversine_m(lat_c, lon_c, port.lat, port.lon)
-            < config.port_exclusion_m
-            for port in ports
-        )
-        if not near_port:
-            events.append(
-                Event(
-                    kind=EventKind.RENDEZVOUS,
-                    t_start=run[0][0],
-                    t_end=run[-1][0],
-                    mmsis=(mmsi_a, mmsi_b),
-                    lat=lat_c,
-                    lon=lon_c,
-                    confidence=min(1.0, duration / (2 * config.min_duration_s)),
-                    details={"duration_s": duration},
-                )
-            )
+        event = _run_to_event(mmsi_a, mmsi_b, run, ports, config)
+        if event is not None:
+            events.append(event)
         run.clear()
 
     for contact in contacts:
@@ -170,3 +148,203 @@ def _runs_to_events(
         run.append(contact)
     flush()
     return events
+
+
+def _run_to_event(
+    mmsi_a: int,
+    mmsi_b: int,
+    run: list[tuple[float, float, float]],
+    ports: list[Port],
+    config: RendezvousConfig,
+) -> Event | None:
+    """One sustained contact run → one rendezvous event (or None)."""
+    if not run:
+        return None
+    duration = run[-1][0] - run[0][0]
+    if duration < config.min_duration_s:
+        return None
+    lat_c = sum(c[1] for c in run) / len(run)
+    # Average longitudes as wrapped offsets from the first contact so
+    # a run hugging the antimeridian doesn't centre on lon 0.
+    lon_ref = run[0][2]
+    lon_c = normalize_lon(
+        lon_ref
+        + sum(normalize_lon(c[2] - lon_ref) for c in run) / len(run)
+    )
+    near_port = any(
+        haversine_m(lat_c, lon_c, port.lat, port.lon)
+        < config.port_exclusion_m
+        for port in ports
+    )
+    if near_port:
+        return None
+    return Event(
+        kind=EventKind.RENDEZVOUS,
+        t_start=run[0][0],
+        t_end=run[-1][0],
+        mmsis=(mmsi_a, mmsi_b),
+        lat=lat_c,
+        lon=lon_c,
+        confidence=min(1.0, duration / (2 * config.min_duration_s)),
+        details={"duration_s": duration},
+    )
+
+
+class IncrementalRendezvousDetector:
+    """Streaming rendezvous detection over accepted fixes.
+
+    The batch detector resamples finished tracks and sweeps the whole
+    timeline; this port keeps the same physics with single-pass, bounded
+    state:
+
+    - each accepted fix interpolates its vessel's track onto an *absolute*
+      sample grid (``k * step_s``), so the sweep instants depend on the
+      data and the config only — never on micro-batch boundaries;
+    - a grid instant is swept (indexed pair search over its slow-vessel
+      samples) once the watermark passes it by ``close_lag_s``: beyond
+      that lag no same-segment pair of fixes can still straddle the
+      instant, because the reconstructor would have split the track;
+    - per-pair contact runs flush into events exactly like the batch
+      ``_runs_to_events`` once the swept frontier leaves them behind.
+
+    State is bounded by ``close_lag_s / step_s`` instants times the number
+    of slow vessels, plus open contact runs.
+    """
+
+    def __init__(
+        self,
+        ports: list[Port],
+        config: RendezvousConfig | None = None,
+        close_lag_s: float = 1800.0,
+    ) -> None:
+        self.ports = ports
+        self.config = config or RendezvousConfig()
+        if close_lag_s <= 0:
+            raise ValueError("close_lag_s must be positive")
+        self.close_lag_s = close_lag_s
+        self._previous: dict[int, TrackPoint] = {}
+        #: instant t -> [(mmsi, lat, lon)] samples awaiting the sweep.
+        self._samples: dict[float, list[tuple[int, float, float]]] = {}
+        self._instant_heap: list[float] = []
+        #: (a, b) -> open contact run [(t, mid_lat, mid_lon)].
+        self._runs: dict[tuple[int, int], list[tuple[float, float, float]]] = {}
+        self._hint = self.config.index_backend
+        self._swept_to = float("-inf")
+        #: Events from runs split *during* a sweep (a contact gap wider
+        #: than the run tolerance inside one watermark jump).
+        self._late_events: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._previous)
+
+    def n_pending_instants(self) -> int:
+        return len(self._samples)
+
+    def n_open_runs(self) -> int:
+        return len(self._runs)
+
+    def evict_before(self, t: float) -> None:
+        stale = [m for m, p in self._previous.items() if p.t < t]
+        for mmsi in stale:
+            del self._previous[mmsi]
+
+    # -- sampling ----------------------------------------------------------
+
+    def feed(self, mmsi: int, point: TrackPoint, new_segment: bool) -> None:
+        """Offer one accepted fix (``new_segment`` when the reconstructor
+        opened a fresh segment with it — no interpolation across splits)."""
+        previous = self._previous.get(mmsi)
+        self._previous[mmsi] = point
+        if new_segment or previous is None or point.t <= previous.t:
+            return
+        step = self.config.step_s
+        k = math.floor(previous.t / step) + 1
+        t = k * step
+        while t <= point.t:
+            sog = previous.sog_knots if t < point.t else point.sog_knots
+            if sog is not None and sog <= self.config.max_speed_knots:
+                lat, lon = interpolate_track_at_time(
+                    previous.t, previous.lat, previous.lon,
+                    point.t, point.lat, point.lon, t,
+                )
+                bucket = self._samples.get(t)
+                if bucket is None:
+                    bucket = self._samples[t] = []
+                    heapq.heappush(self._instant_heap, t)
+                bucket.append((mmsi, lat, lon))
+            k += 1
+            t = k * step
+
+    # -- sweeping ----------------------------------------------------------
+
+    def advance(self, watermark: float) -> list[Event]:
+        """Sweep every instant closed by the watermark; return new events."""
+        events: list[Event] = []
+        horizon = watermark - self.close_lag_s
+        while self._instant_heap and self._instant_heap[0] <= horizon:
+            t = heapq.heappop(self._instant_heap)
+            self._sweep_instant(t, self._samples.pop(t))
+            self._swept_to = t
+        events.extend(self._late_events)
+        self._late_events = []
+        # Runs the frontier has left behind can no longer grow.
+        if math.isfinite(self._swept_to):
+            stale_cut = self._swept_to - 2.5 * self.config.step_s
+            for pair in [
+                p for p, run in self._runs.items() if run[-1][0] < stale_cut
+            ]:
+                event = _run_to_event(
+                    pair[0], pair[1], self._runs.pop(pair),
+                    self.ports, self.config,
+                )
+                if event is not None:
+                    events.append(event)
+        return events
+
+    def flush(self) -> list[Event]:
+        """End of stream: sweep everything pending and close all runs."""
+        events: list[Event] = []
+        while self._instant_heap:
+            t = heapq.heappop(self._instant_heap)
+            self._sweep_instant(t, self._samples.pop(t))
+        events.extend(self._late_events)
+        self._late_events = []
+        for (mmsi_a, mmsi_b), run in sorted(self._runs.items()):
+            event = _run_to_event(mmsi_a, mmsi_b, run, self.ports, self.config)
+            if event is not None:
+                events.append(event)
+        self._runs.clear()
+        return events
+
+    def _sweep_instant(
+        self, t: float, samples: list[tuple[int, float, float]]
+    ) -> None:
+        if len(samples) < 2:
+            return
+        positions = {mmsi: (lat, lon) for mmsi, lat, lon in samples}
+        index = build_index(
+            samples,
+            cell_size_m=self.config.max_distance_m,
+            hint=self._hint,
+        )
+        if self._hint == "auto" and len(positions) >= AUTO_MIN_RTREE_N:
+            self._hint = "grid" if isinstance(index, GridIndex) else "rtree"
+        for mmsi_a, mmsi_b, __ in index.all_pairs_within(
+            self.config.max_distance_m
+        ):
+            if mmsi_b < mmsi_a:
+                mmsi_a, mmsi_b = mmsi_b, mmsi_a
+            lat_a, lon_a = positions[mmsi_a]
+            lat_b, lon_b = positions[mmsi_b]
+            mid_lat, mid_lon = pair_midpoint(lat_a, lon_a, lat_b, lon_b)
+            run = self._runs.setdefault((mmsi_a, mmsi_b), [])
+            if run and t - run[-1][0] > 2.5 * self.config.step_s:
+                # The gap already split the run; it would have been
+                # flushed by ``advance`` — guard for direct driving.
+                event = _run_to_event(
+                    mmsi_a, mmsi_b, run, self.ports, self.config
+                )
+                if event is not None:
+                    self._late_events.append(event)
+                run = self._runs[(mmsi_a, mmsi_b)] = []
+            run.append((t, mid_lat, mid_lon))

@@ -12,6 +12,8 @@ reconstructor's cleaning hides the evidence:
   places at effectively the same time.
 """
 
+from collections import deque
+
 from repro.events.base import Event, EventKind
 from repro.geo import KNOTS_TO_MPS, haversine_m
 from repro.trajectory.points import TrackPoint
@@ -105,3 +107,140 @@ def detect_identity_clashes(
                     clash_reported_until = a.t + 600.0
                     break
     return events
+
+
+class TeleportDetector:
+    """Incremental port of :func:`detect_teleports`: feed raw fixes per
+    MMSI in time order, collect events as the jumps are observed.
+
+    Only the previous fix per MMSI is retained; ``max_pair_dt_s`` (when
+    set) skips pairs separated by more than that — after such a silence
+    the *gap* detector owns the episode — which is also the state-eviction
+    horizon for vessels that fall silent.
+    """
+
+    def __init__(
+        self,
+        max_speed_knots: float = 60.0,
+        min_jump_m: float = 5_000.0,
+        max_pair_dt_s: float | None = None,
+    ) -> None:
+        self.max_speed_knots = max_speed_knots
+        self.min_jump_m = min_jump_m
+        self.max_pair_dt_s = max_pair_dt_s
+        self._last: dict[int, TrackPoint] = {}
+
+    def __len__(self) -> int:
+        return len(self._last)
+
+    def evict_before(self, t: float) -> None:
+        """Drop state for vessels silent since before ``t`` (safe when
+        ``t`` trails the clock by at least ``max_pair_dt_s``)."""
+        stale = [m for m, p in self._last.items() if p.t < t]
+        for mmsi in stale:
+            del self._last[mmsi]
+
+    def feed(self, mmsi: int, fix: TrackPoint) -> Event | None:
+        previous = self._last.get(mmsi)
+        self._last[mmsi] = fix
+        if previous is None:
+            return None
+        dt = fix.t - previous.t
+        if dt <= 0:
+            return None
+        if self.max_pair_dt_s is not None and dt > self.max_pair_dt_s:
+            return None
+        jump = haversine_m(previous.lat, previous.lon, fix.lat, fix.lon)
+        if jump < self.min_jump_m:
+            return None
+        implied = jump / dt / KNOTS_TO_MPS
+        if implied <= self.max_speed_knots:
+            return None
+        return Event(
+            kind=EventKind.TELEPORT,
+            t_start=previous.t,
+            t_end=fix.t,
+            mmsis=(mmsi,),
+            lat=fix.lat,
+            lon=fix.lon,
+            confidence=min(1.0, implied / (4 * self.max_speed_knots)),
+            details={
+                "jump_m": jump,
+                "implied_speed_knots": implied,
+                "from": (previous.lat, previous.lon),
+                "to": (fix.lat, fix.lon),
+            },
+        )
+
+
+class IdentityClashDetector:
+    """Incremental port of :func:`detect_identity_clashes`.
+
+    Keeps, per MMSI, only the fixes inside the clash window plus the last
+    episode-suppression deadline, so memory is bounded by the reporting
+    rate times ``window_s``.  Fed the same time-ordered fixes, it emits
+    exactly the pairs the batch scan reports: the arriving fix plays the
+    "b" role against every buffered unsuppressed anchor "a", earliest
+    anchors first, and a clash consumes anchors for 600 s just as the
+    batch episode rule does.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 60.0,
+        min_separation_m: float = 10_000.0,
+        suppress_s: float = 600.0,
+    ) -> None:
+        self.window_s = window_s
+        self.min_separation_m = min_separation_m
+        self.suppress_s = suppress_s
+        self._recent: dict[int, deque[TrackPoint]] = {}
+        self._suppressed_until: dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._recent)
+
+    def evict_before(self, t: float) -> None:
+        stale = [
+            m for m, buf in self._recent.items()
+            if not buf or buf[-1].t < t
+        ]
+        for mmsi in stale:
+            del self._recent[mmsi]
+            self._suppressed_until.pop(mmsi, None)
+
+    def feed(self, mmsi: int, fix: TrackPoint) -> list[Event]:
+        buffer = self._recent.setdefault(mmsi, deque())
+        while buffer and fix.t - buffer[0].t > self.window_s:
+            buffer.popleft()
+        events: list[Event] = []
+        suppressed_until = self._suppressed_until.get(mmsi, float("-inf"))
+        for anchor in buffer:
+            if anchor.t < suppressed_until:
+                continue
+            separation = haversine_m(anchor.lat, anchor.lon, fix.lat, fix.lon)
+            if separation >= self.min_separation_m:
+                events.append(
+                    Event(
+                        kind=EventKind.IDENTITY_CLASH,
+                        t_start=anchor.t,
+                        t_end=fix.t,
+                        mmsis=(mmsi,),
+                        lat=anchor.lat,
+                        lon=anchor.lon,
+                        confidence=min(
+                            1.0, separation / (5 * self.min_separation_m)
+                        ),
+                        details={
+                            "separation_m": separation,
+                            "positions": [
+                                (anchor.lat, anchor.lon), (fix.lat, fix.lon)
+                            ],
+                        },
+                    )
+                )
+                suppressed_until = anchor.t + self.suppress_s
+        if events:
+            self._suppressed_until[mmsi] = suppressed_until
+        buffer.append(fix)
+        return events

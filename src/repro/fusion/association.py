@@ -7,6 +7,7 @@ contacts become *uncorrelated* — these are the interesting ones, because
 dark ships show up only on radar.
 """
 
+import bisect
 from dataclasses import dataclass, field
 
 from repro.geo import KNOTS_TO_MPS, destination_point
@@ -131,6 +132,48 @@ class FusedTrack:
         self.points.append(point)
         self.sources.add(point.source)
 
+    def add_sorted(self, point: TrackPoint) -> None:
+        """Insert keeping ``points`` time-ordered (multi-source feeds may
+        deliver a late source after a newer one).
+
+        In-order arrivals — the overwhelmingly common case — append in
+        O(1); only a genuinely late fix pays for a positional insert.
+        """
+        if not self.points or point.t >= self.points[-1].t:
+            self.points.append(point)
+        else:
+            index = bisect.bisect_right(
+                [p.t for p in self.points], point.t
+            )
+            self.points.insert(index, point)
+        self.sources.add(point.source)
+
+    def index_at_or_before(self, t: float) -> int:
+        """Count of time-ordered fixes with ``fix.t <= t``.
+
+        Scans backwards from the newest fix: causal reads sit near the
+        head of the track, so this is O(#newer fixes), not O(track).
+        """
+        index = len(self.points)
+        while index and self.points[index - 1].t > t:
+            index -= 1
+        return index
+
+    def last_fix_at_or_before(self, t: float) -> TrackPoint | None:
+        """Newest time-ordered fix with ``fix.t <= t`` (causal reads)."""
+        index = self.index_at_or_before(t)
+        return self.points[index - 1] if index else None
+
+    def prune_before(self, t: float) -> int:
+        """Drop fixes older than ``t``; returns how many were removed."""
+        cut = 0
+        points = self.points
+        while cut < len(points) and points[cut].t < t:
+            cut += 1
+        if cut:
+            del points[:cut]
+        return cut
+
     def to_trajectory(self) -> Trajectory | None:
         ordered = sorted(self.points, key=lambda p: p.t)
         deduped = [p for i, p in enumerate(ordered)
@@ -149,16 +192,23 @@ class MultiSourceTracker:
     anonymous radar tracks covering dark ships — is what E5 measures.
     """
 
-    def __init__(self, config: AssociationConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: AssociationConfig | None = None,
+        head_max_age_s: float | None = None,
+    ) -> None:
         self.config = config or AssociationConfig()
         self.tracks: dict[int, FusedTrack] = {}
         self._by_mmsi: dict[int, int] = {}
         self._next_id = 1
         #: Cached heads (latest point) of anonymous tracks, so contact
         #: gating probes a neighbourhood instead of scanning every track
-        #: and re-deriving max(points) per candidate.
+        #: and re-deriving max(points) per candidate.  ``head_max_age_s``
+        #: (for unbounded live runs) evicts heads of tracks silent far
+        #: longer than the association age gate — results-neutral as long
+        #: as it exceeds ``config.max_track_age_s``.
         self._anonymous_heads = StreamingGridIndex(
-            cell_size_m=self.config.gate_m
+            cell_size_m=self.config.gate_m, max_age_s=head_max_age_s
         )
 
     def _track_for_mmsi(self, mmsi: int) -> FusedTrack:
@@ -170,11 +220,48 @@ class MultiSourceTracker:
             self._by_mmsi[mmsi] = track_id
         return self.tracks[track_id]
 
+    def track_for(self, mmsi: int) -> FusedTrack:
+        """The identified track for an MMSI, created on first use."""
+        return self._track_for_mmsi(mmsi)
+
     def add_ais_fix(self, mmsi: int, point: TrackPoint) -> None:
         self._track_for_mmsi(mmsi).add(point)
 
     def add_lrit(self, mmsi: int, point: TrackPoint) -> None:
         self._track_for_mmsi(mmsi).add(point)
+
+    def nearest_anonymous_track(self, contact: RadarContact) -> FusedTrack | None:
+        """Public causal lookup used by the incremental fuse stage."""
+        return self._nearest_anonymous(contact)
+
+    def open_anonymous(self, point: TrackPoint) -> FusedTrack:
+        """Start a new anonymous track seeded with one contact point."""
+        track_id = self._next_id
+        self._next_id += 1
+        track = FusedTrack(track_id, None)
+        track.add(point)
+        self.tracks[track_id] = track
+        self._observe_anonymous_head(track, point)
+        return track
+
+    def extend_anonymous(self, track: FusedTrack, point: TrackPoint) -> None:
+        track.add(point)
+        self._observe_anonymous_head(track, point)
+
+    def prune_anonymous_before(self, t: float) -> int:
+        """Drop anonymous tracks whose newest fix predates ``t`` (for
+        unbounded live runs; such tracks can never gate a contact again
+        when ``t`` trails the clock by more than the age gate)."""
+        stale = [
+            track_id
+            for track_id, track in self.tracks.items()
+            if track.mmsi is None and track.points and track.points[-1].t < t
+        ]
+        for track_id in stale:
+            del self.tracks[track_id]
+            if track_id in self._anonymous_heads:
+                self._anonymous_heads.remove(track_id)
+        return len(stale)
 
     def add_radar_contacts(self, contacts: list[RadarContact]) -> list[Assignment]:
         """Associate a batch of contacts; unassociated ones open or extend

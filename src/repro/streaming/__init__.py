@@ -18,7 +18,12 @@ from repro.streaming.windows import (
     session_windows,
 )
 from repro.streaming.joins import interval_join, spatial_join, enrich
-from repro.streaming.watermarks import reorder_with_watermark, LateRecordPolicy
+from repro.streaming.watermarks import (
+    LateRecordPolicy,
+    ReorderStats,
+    WatermarkReorderer,
+    reorder_with_watermark,
+)
 from repro.streaming.insitu import (
     ProcessingNode,
     PlacementPlan,
@@ -39,6 +44,8 @@ __all__ = [
     "enrich",
     "reorder_with_watermark",
     "LateRecordPolicy",
+    "ReorderStats",
+    "WatermarkReorderer",
     "ProcessingNode",
     "PlacementPlan",
     "CommunicationLedger",

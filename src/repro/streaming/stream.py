@@ -85,15 +85,34 @@ class Stream:
 
     def throttle_per_key(self, min_gap_s: float) -> "Stream":
         """Drop records arriving within ``min_gap_s`` of the previous record
-        with the same key — the simplest load-shedding synopsis."""
+        with the same key — the simplest load-shedding synopsis.
+
+        Keys idle for longer than ``min_gap_s`` behind the observed clock
+        are evicted (lazy-deleted expiry heap, mirroring
+        :class:`~repro.spatial.streaming.StreamingGridIndex`), so state is
+        bounded by the arrival rate times the gap instead of growing with
+        key cardinality.  Eviction is lossless on time-ordered streams: an
+        entry older than ``min_gap_s`` can never suppress anything.  On
+        disordered streams a record more than ``min_gap_s`` older than the
+        max seen time may survive throttling that an unbounded table would
+        have caught — use a reorder operator upstream if that matters.
+        """
 
         def _gen() -> Iterator[Record]:
             last_seen: dict[Any, float] = {}
+            expiry: list[tuple[float, Any]] = []
+            now = float("-inf")
             for record in self:
+                now = max(now, record.t)
+                while expiry and expiry[0][0] < now - min_gap_s:
+                    expired_t, key = heapq.heappop(expiry)
+                    if last_seen.get(key) == expired_t:
+                        del last_seen[key]
                 prev = last_seen.get(record.key)
                 if prev is not None and record.t - prev < min_gap_s:
                     continue
                 last_seen[record.key] = record.t
+                heapq.heappush(expiry, (record.t, record.key))
                 yield record
 
         return Stream(_gen())

@@ -4,11 +4,19 @@ Satellite AIS arrives minutes late and interleaved with terrestrial data
 (§1 "sparse, or delayed ... multi-level processing issues").  Downstream
 operators want time order; this operator restores it up to a bounded
 lateness, counting what it had to drop.
+
+Two entry points share one implementation:
+
+- :class:`WatermarkReorderer` — the incremental core: ``feed`` batches of
+  records, collect the in-order prefix each time, ``flush`` the tail.
+  This is what the stage runtime drives, one micro-batch at a time.
+- :func:`reorder_with_watermark` — the stream-to-stream wrapper used by
+  one-shot replays.
 """
 
 import enum
 import heapq
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.streaming.stream import Record, Stream
 
@@ -22,12 +30,77 @@ class LateRecordPolicy(enum.Enum):
 
 
 class ReorderStats:
-    """Mutable counters exposed by :func:`reorder_with_watermark`."""
+    """Mutable counters exposed by the reorder operators."""
 
     def __init__(self) -> None:
         self.emitted = 0
         self.late = 0
         self.max_observed_skew_s = 0.0
+
+
+class WatermarkReorderer:
+    """Incremental bounded-lateness reorder buffer.
+
+    The watermark trails the maximum seen event time by ``max_lateness_s``;
+    records below the watermark on arrival are late and handled per
+    ``policy``.  Memory is bounded by the arrival rate times the lateness
+    bound.  Results depend only on the record sequence, never on how that
+    sequence is sliced into ``feed`` calls.
+    """
+
+    def __init__(
+        self,
+        max_lateness_s: float,
+        policy: LateRecordPolicy = LateRecordPolicy.DROP,
+        stats: ReorderStats | None = None,
+    ) -> None:
+        if max_lateness_s < 0:
+            raise ValueError("max_lateness_s must be non-negative")
+        self.max_lateness_s = max_lateness_s
+        self.policy = policy
+        self.stats = stats if stats is not None else ReorderStats()
+        self.watermark = float("-inf")
+        self._heap: list[Record] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def feed_one(self, record: Record) -> list[Record]:
+        """Offer one record; returns records released in event-time order."""
+        stats = self.stats
+        if record.t < self.watermark:
+            stats.late += 1
+            if self.policy is LateRecordPolicy.EMIT_OUT_OF_ORDER:
+                stats.emitted += 1
+                return [record]
+            return []
+        heapq.heappush(self._heap, record)
+        high = max(self.watermark + self.max_lateness_s, record.t)
+        stats.max_observed_skew_s = max(
+            stats.max_observed_skew_s, high - record.t
+        )
+        out: list[Record] = []
+        new_watermark = high - self.max_lateness_s
+        if new_watermark > self.watermark:
+            self.watermark = new_watermark
+            while self._heap and self._heap[0].t <= self.watermark:
+                stats.emitted += 1
+                out.append(heapq.heappop(self._heap))
+        return out
+
+    def feed(self, records: Iterable[Record]) -> list[Record]:
+        out: list[Record] = []
+        for record in records:
+            out.extend(self.feed_one(record))
+        return out
+
+    def flush(self) -> list[Record]:
+        """Drain the buffer at end of stream (remaining in time order)."""
+        out: list[Record] = []
+        while self._heap:
+            self.stats.emitted += 1
+            out.append(heapq.heappop(self._heap))
+        return out
 
 
 def reorder_with_watermark(
@@ -36,40 +109,13 @@ def reorder_with_watermark(
     policy: LateRecordPolicy = LateRecordPolicy.DROP,
     stats: ReorderStats | None = None,
 ) -> Stream:
-    """Buffer records and release them in time order.
-
-    The watermark trails the maximum seen event time by ``max_lateness_s``;
-    records below the watermark on arrival are late and handled per
-    ``policy``.  Memory is bounded by the arrival rate times the lateness
-    bound.
-    """
-    if max_lateness_s < 0:
-        raise ValueError("max_lateness_s must be non-negative")
-    stats = stats if stats is not None else ReorderStats()
+    """Buffer records and release them in time order (stream wrapper
+    around :class:`WatermarkReorderer`)."""
+    reorderer = WatermarkReorderer(max_lateness_s, policy, stats)
 
     def _gen() -> Iterator[Record]:
-        heap: list[Record] = []
-        watermark = float("-inf")
         for record in stream:
-            if record.t < watermark:
-                stats.late += 1
-                if policy is LateRecordPolicy.EMIT_OUT_OF_ORDER:
-                    stats.emitted += 1
-                    yield record
-                continue
-            heapq.heappush(heap, record)
-            high = max(watermark + max_lateness_s, record.t)
-            stats.max_observed_skew_s = max(
-                stats.max_observed_skew_s, high - record.t
-            )
-            new_watermark = high - max_lateness_s
-            if new_watermark > watermark:
-                watermark = new_watermark
-                while heap and heap[0].t <= watermark:
-                    stats.emitted += 1
-                    yield heapq.heappop(heap)
-        while heap:
-            stats.emitted += 1
-            yield heapq.heappop(heap)
+            yield from reorderer.feed_one(record)
+        yield from reorderer.flush()
 
     return Stream(_gen())

@@ -130,6 +130,44 @@ class TrackReconstructor:
         state = self._states.get(mmsi)
         return list(state.points) if state else []
 
+    def open_segment_length(self, mmsi: int) -> int:
+        """Points in the open segment (0 when none) — cheap, no copy."""
+        state = self._states.get(mmsi)
+        return len(state.points) if state else 0
+
+    def drain_finished(self) -> list[Trajectory]:
+        """Segments closed since the last drain, in the order they closed.
+
+        The incremental counterpart of :meth:`finish`: open segments stay
+        open, so the caller can keep feeding and drain again.  Per vessel
+        the drained order is chronological (a segment closes before its
+        successor opens).
+        """
+        out = self._finished
+        self._finished = []
+        return out
+
+    def n_open_segments(self) -> int:
+        return sum(1 for s in self._states.values() if s.points)
+
+    def evict_idle(self, before_t: float) -> int:
+        """Close and discard open per-vessel state idle since ``before_t``.
+
+        For unbounded live runs: a vessel whose last accepted fix is older
+        than the horizon has its open segment closed (recoverable via
+        :meth:`drain_finished`) and its per-vessel entry dropped; if it
+        returns, it simply starts a fresh segment.  Returns the number of
+        vessels evicted.
+        """
+        stale = [
+            mmsi for mmsi, state in self._states.items()
+            if not state.points or state.points[-1].t < before_t
+        ]
+        for mmsi in stale:
+            self._close_segment(mmsi, self._states[mmsi])
+            del self._states[mmsi]
+        return len(stale)
+
     def last_point(self, mmsi: int) -> TrackPoint | None:
         state = self._states.get(mmsi)
         if state and state.points:

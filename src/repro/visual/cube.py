@@ -5,17 +5,38 @@ drill-down / zoom-in and on user-defined spatio-temporal regions of
 interest".  The cube bins observations by (space cell, time bucket,
 category) at a base resolution and serves aggregates at any coarser
 resolution by summation, so zooming never rescans raw data.
+
+Spatial keying rides the shared latitude-aware
+:class:`~repro.spatial.cells.CellGrid` (the same geometry the spatial
+indexes, the density map and the pattern-of-life model use), so
+
+- cells keep their metric size at high latitude instead of shrinking,
+- the antimeridian never splits a cell (± 180° longitudes key together),
+- a :class:`CubeQuery` box may cross the antimeridian
+  (``lon_min > lon_max``), and
+- cube slices export as geohash-named counts for external systems.
+
+Query region matching is by cell/box *intersection*: a cell contributes
+to a query when any part of it overlaps the box (the former
+centre-in-box rule silently excluded edge cells whose centre fell just
+outside the region of interest).
 """
 
 import math
 from dataclasses import dataclass
 
 from repro.geo import BoundingBox
+from repro.geo.constants import METERS_PER_DEG_LAT
+from repro.spatial.cells import CellGrid, CellKey, geohash_counts
 
 
 @dataclass(frozen=True)
 class CubeQuery:
-    """An aggregate request: region x time span x optional category."""
+    """An aggregate request: region x time span x optional category.
+
+    ``box`` may cross the antimeridian (``lon_min > lon_max``), exactly
+    like every other :class:`~repro.geo.region.BoundingBox` consumer.
+    """
 
     box: BoundingBox | None = None
     t0: float | None = None
@@ -24,7 +45,13 @@ class CubeQuery:
 
 
 class SpatioTemporalCube:
-    """Base-resolution count cube over (lat, lon, time, category)."""
+    """Base-resolution count cube over (lat, lon, time, category).
+
+    ``cell_deg`` fixes the cell *height* in degrees of latitude; the
+    metric cell size everywhere is ``cell_deg * METERS_PER_DEG_LAT``
+    (longitude splitting adapts per latitude band).  Cube keys are
+    ``(band, lon_cell, time_bucket, category)``.
+    """
 
     def __init__(
         self,
@@ -35,13 +62,17 @@ class SpatioTemporalCube:
             raise ValueError("resolutions must be positive")
         self.cell_deg = cell_deg
         self.time_bucket_s = time_bucket_s
+        self.grid = CellGrid(cell_size_m=cell_deg * METERS_PER_DEG_LAT)
         self._cells: dict[tuple[int, int, int, str], int] = {}
         self._total = 0
+        #: Cell bounding boxes are derived per distinct cell, memoised.
+        self._cell_boxes: dict[CellKey, BoundingBox] = {}
 
     def add(self, lat: float, lon: float, t: float, category: str = "all") -> None:
+        band, lon_cell = self.grid.key(lat, lon)
         key = (
-            int(math.floor(lat / self.cell_deg)),
-            int(math.floor(lon / self.cell_deg)),
+            band,
+            lon_cell,
             int(math.floor(t / self.time_bucket_s)),
             category,
         )
@@ -59,10 +90,21 @@ class SpatioTemporalCube:
             if self._matches(key, query)
         )
 
+    def _cell_box(self, cell: CellKey) -> BoundingBox:
+        box = self._cell_boxes.get(cell)
+        if box is None:
+            lat0, lat1, lon_w, lon_e = self.grid.bounds(cell)
+            n_lon, __ = self.grid.band_geometry(cell[0])
+            if n_lon == 1:
+                lon_w, lon_e = -180.0, 180.0
+            box = BoundingBox(lat0, lat1, lon_w, lon_e)
+            self._cell_boxes[cell] = box
+        return box
+
     def _matches(
         self, key: tuple[int, int, int, str], query: CubeQuery
     ) -> bool:
-        lat_i, lon_i, time_i, category = key
+        band, lon_cell, time_i, category = key
         if query.category is not None and category != query.category:
             return False
         if query.t0 is not None and (time_i + 1) * self.time_bucket_s <= query.t0:
@@ -70,24 +112,30 @@ class SpatioTemporalCube:
         if query.t1 is not None and time_i * self.time_bucket_s > query.t1:
             return False
         if query.box is not None:
-            lat_c = (lat_i + 0.5) * self.cell_deg
-            lon_c = (lon_i + 0.5) * self.cell_deg
-            if not query.box.contains(lat_c, lon_c):
+            if not query.box.intersects(self._cell_box((band, lon_cell))):
                 return False
         return True
 
     def roll_up_space(
         self, factor: int, query: CubeQuery | None = None
-    ) -> dict[tuple[int, int], int]:
-        """Counts aggregated to cells ``factor`` x coarser."""
+    ) -> dict[CellKey, int]:
+        """Counts aggregated onto a grid ``factor`` x coarser (keys are
+        cells of that coarser latitude-aware grid)."""
         if factor < 1:
             raise ValueError("factor must be >= 1")
         query = query or CubeQuery()
-        out: dict[tuple[int, int], int] = {}
+        coarse_grid = CellGrid(cell_size_m=self.grid.cell_size_m * factor)
+        coarse_of: dict[CellKey, CellKey] = {}
+        out: dict[CellKey, int] = {}
         for key, count in self._cells.items():
             if not self._matches(key, query):
                 continue
-            coarse = (key[0] // factor, key[1] // factor)
+            cell = (key[0], key[1])
+            coarse = coarse_of.get(cell)
+            if coarse is None:
+                coarse = coarse_of[cell] = coarse_grid.key(
+                    *self.grid.center(cell)
+                )
             out[coarse] = out.get(coarse, 0) + count
         return out
 
@@ -122,3 +170,27 @@ class SpatioTemporalCube:
 
     def categories(self) -> set[str]:
         return {key[3] for key in self._cells}
+
+    # -- export ------------------------------------------------------------
+
+    def cell_counts(self, query: CubeQuery | None = None) -> dict[CellKey, int]:
+        """Spatial counts (summed over time and category) for a query."""
+        query = query or CubeQuery()
+        out: dict[CellKey, int] = {}
+        for key, count in self._cells.items():
+            if not self._matches(key, query):
+                continue
+            cell = (key[0], key[1])
+            out[cell] = out.get(cell, 0) + count
+        return out
+
+    def to_geohash_counts(
+        self,
+        query: CubeQuery | None = None,
+        precision: int | None = None,
+    ) -> dict[str, int]:
+        """A query's spatial counts as geohash-named buckets — the
+        exchange format for handing cube slices to external systems."""
+        return geohash_counts(
+            self.grid, self.cell_counts(query).items(), precision
+        )

@@ -75,14 +75,25 @@ class MonitoringAlarm:
 
 class SituationMonitor:
     """Scores live fixes against a trained PatternOfLife and explains
-    alarms in operator language."""
+    alarms in operator language.
+
+    ``max_alarms`` bounds retention for unbounded live runs (oldest
+    dropped first); ``None`` keeps everything, as replay analysis wants.
+    """
 
     def __init__(
-        self, pol: PatternOfLife, alarm_threshold: float = 0.85
+        self,
+        pol: PatternOfLife,
+        alarm_threshold: float = 0.85,
+        max_alarms: int | None = None,
     ) -> None:
+        if max_alarms is not None and max_alarms <= 0:
+            raise ValueError("max_alarms must be positive when given")
         self.pol = pol
         self.alarm_threshold = alarm_threshold
+        self.max_alarms = max_alarms
         self.alarms: list[MonitoringAlarm] = []
+        self.n_alarms_total = 0
 
     def offer(self, mmsi: int, point: TrackPoint) -> MonitoringAlarm | None:
         """Score one live fix; returns (and records) an alarm if deviant."""
@@ -102,6 +113,9 @@ class SituationMonitor:
             explanation=self._explain(point, score),
         )
         self.alarms.append(alarm)
+        self.n_alarms_total += 1
+        if self.max_alarms is not None and len(self.alarms) > self.max_alarms:
+            del self.alarms[: len(self.alarms) - self.max_alarms]
         return alarm
 
     def _explain(self, point: TrackPoint, score: float) -> str:

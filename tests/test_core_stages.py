@@ -1,0 +1,252 @@
+"""The incremental stage runtime: batch/live equivalence, bounded memory.
+
+The headline property of the runtime: for any simulated scenario,
+replaying its feed through ``run_live`` — at any ``tick_s`` — yields the
+same event set, the same forecasts, and the same cube totals as the
+one-shot ``process(run)``.  Plus: a long-running live session over a
+repeating feed keeps every tracked per-vessel structure at a stable
+size (entries evicted by age).
+"""
+
+import random
+
+import pytest
+
+from repro.ais.types import ShipType
+from repro.core import MaritimePipeline, PipelineConfig
+from repro.events.cep import event_key
+from repro.simulation import global_scenario, regional_scenario
+from repro.simulation.behaviours import plan_rendezvous_pair, plan_transit
+from repro.simulation.receivers import (
+    Observation,
+    ReceiverNetwork,
+    SatelliteConstellation,
+    TerrestrialStation,
+)
+from repro.simulation.scenario import Scenario
+from repro.simulation.vessel import Behaviour, FleetBuilder
+from repro.simulation.world import Port
+
+
+def seam_scenario(n_vessels: int = 8, duration_s: float = 5400.0, seed: int = 5):
+    """Traffic straddling the antimeridian (Chukchi/Bering theatre)."""
+    rng = random.Random(seed)
+    builder = FleetBuilder(seed)
+    ports = [
+        Port("WEST-OF-SEAM", 52.0, 178.6),
+        Port("EAST-OF-SEAM", 52.6, -178.8),
+    ]
+    fleet = []
+    for i in range(n_vessels - 2):
+        a, b = (ports[0], ports[1]) if i % 2 == 0 else (ports[1], ports[0])
+        spec = builder.build(
+            ShipType.CARGO, Behaviour.TRANSIT,
+            goes_dark=(i % 3 == 0), destination=b.name,
+        )
+        fleet.append(
+            (spec, plan_transit(
+                0.0, duration_s, a.position, b.position,
+                rng.uniform(10.0, 16.0), rng,
+            ))
+        )
+    # A rendezvous pair meeting on the seam itself.
+    meet = (52.3, 179.97)
+    plan1, plan2, __ = plan_rendezvous_pair(
+        0.0, duration_s,
+        (52.36, 179.80), (52.24, -179.86), meet,
+        meeting_time=duration_s * 0.5,
+        meeting_duration_s=1500.0, rng=rng,
+    )
+    fleet.append(
+        (builder.build(ShipType.CARGO, Behaviour.RENDEZVOUS), plan1)
+    )
+    fleet.append(
+        (builder.build(ShipType.FISHING, Behaviour.RENDEZVOUS), plan2)
+    )
+    stations = [
+        TerrestrialStation(f"STA-{p.name}", p.lat, p.lon) for p in ports
+    ]
+    # A buoy-mounted receiver on the seam so the rendezvous is observed.
+    stations.append(TerrestrialStation("STA-SEAM", 52.35, -179.95))
+    receivers = ReceiverNetwork(
+        stations, SatelliteConstellation(), seed=seed + 1
+    )
+    return Scenario(
+        name="seam", duration_s=duration_s, fleet=fleet,
+        receivers=receivers, seed=seed,
+    )
+
+
+def event_keys(events):
+    return {event_key(e) for e in events}
+
+
+SCENARIOS = {
+    "regional": lambda: regional_scenario(
+        n_vessels=12, duration_s=1.5 * 3600.0, seed=9
+    ),
+    "global": lambda: global_scenario(
+        n_vessels=25, duration_s=2 * 3600.0, seed=13
+    ),
+    "seam": seam_scenario,
+}
+
+
+class TestBatchLiveEquivalence:
+    @pytest.mark.parametrize("name", ["regional", "global", "seam"])
+    @pytest.mark.parametrize("tick_s", [240.0, 1500.0])
+    def test_same_events_forecasts_and_cube(self, name, tick_s):
+        run = SCENARIOS[name]().run()
+        batch = MaritimePipeline().process(run)
+
+        live = MaritimePipeline()
+        session = live.new_session(
+            specs=run.specs,
+            weather=run.weather,
+            pol_split_t=live._pol_split(run),
+            keep_products=False,
+        )
+        events, complex_events, forecasts = [], [], {}
+        for increment in live.run_live(
+            run.observations,
+            tick_s=tick_s,
+            radar_contacts=run.radar_contacts,
+            lrit_reports=run.lrit_reports,
+            session=session,
+        ):
+            events.extend(increment.new_events)
+            complex_events.extend(increment.new_complex_events)
+            forecasts.update(increment.updated_forecasts)
+
+        assert event_keys(events) == event_keys(batch.events)
+        assert event_keys(complex_events) == event_keys(batch.complex_events)
+        assert forecasts == batch.forecasts
+        assert session.state.cube.total == batch.cube.total
+        # Not just totals: the full spatial distribution agrees.
+        assert session.state.cube.cell_counts() == batch.cube.cell_counts()
+
+    def test_tick_size_does_not_matter(self):
+        """Two very different ticks produce identical increments' union."""
+        run = SCENARIOS["regional"]().run()
+        outputs = []
+        for tick_s in (120.0, 2700.0):
+            pipeline = MaritimePipeline()
+            events = []
+            for increment in pipeline.replay_live(run, tick_s=tick_s):
+                events.extend(increment.new_events)
+            outputs.append(event_keys(events))
+        assert outputs[0] == outputs[1]
+
+    def test_replay_live_matches_process(self):
+        """The convenience wrapper carries sensors and the PoL split."""
+        run = SCENARIOS["regional"]().run()
+        batch = MaritimePipeline().process(run)
+        events = []
+        for increment in MaritimePipeline().replay_live(run, tick_s=600.0):
+            events.extend(increment.new_events)
+        assert event_keys(events) == event_keys(batch.events)
+
+
+class TestSessionBasics:
+    def test_stage_names_cumulative(self):
+        run = regional_scenario(n_vessels=6, duration_s=1800.0, seed=3).run()
+        pipeline = MaritimePipeline()
+        session = pipeline.new_session(specs=run.specs, weather=run.weather,
+                                       pol_split_t=900.0)
+        session.feed(run.observations[: len(run.observations) // 2])
+        session.feed(run.observations[len(run.observations) // 2:])
+        session.flush()
+        assert [s.name for s in session.stages] == [
+            "decode", "reorder", "reconstruct", "synopses",
+            "integrate", "fuse", "detect", "forecast", "overview",
+        ]
+        assert session.stages[0].n_in == len(run.observations)
+
+    def test_feed_after_flush_rejected(self):
+        session = MaritimePipeline().new_session()
+        session.flush()
+        with pytest.raises(RuntimeError):
+            session.feed([])
+        with pytest.raises(RuntimeError):
+            session.flush()
+
+    def test_increment_describe(self):
+        run = regional_scenario(n_vessels=5, duration_s=1200.0, seed=4).run()
+        increments = list(
+            MaritimePipeline().replay_live(run, tick_s=600.0)
+        )
+        assert increments
+        assert "records" in increments[0].describe()
+        # The flush increment closes the remaining segments.
+        assert any(increment.new_segments for increment in increments)
+
+    def test_run_live_rejects_bad_tick(self):
+        with pytest.raises(ValueError):
+            list(MaritimePipeline().run_live([], tick_s=0.0))
+
+
+class TestBoundedMemory:
+    def test_repeating_feed_state_stays_flat(self):
+        """A live session fed the same half-hour of traffic over and over
+        must not grow: per-vessel entries are evicted by age."""
+        base = regional_scenario(
+            n_vessels=10, duration_s=1800.0, seed=21
+        ).run()
+        config = PipelineConfig(
+            vessel_ttl_s=3600.0,
+            gap_head_ttl_s=3600.0,
+            cep_event_lateness_s=3600.0,
+            monitor_max_alarms=200,
+        )
+        pipeline = MaritimePipeline(config)
+        session = pipeline.new_session(
+            specs=base.specs, weather=base.weather,
+            pol_split_t=900.0, keep_products=False,
+        )
+        epoch_s = 1800.0
+        sizes = []
+        for epoch in range(8):
+            shift = epoch * epoch_s
+            observations = [
+                Observation(
+                    t_received=obs.t_received + shift,
+                    sentence=obs.sentence,
+                    source=obs.source,
+                    mmsi=obs.mmsi,
+                    t_transmitted=obs.t_transmitted + shift,
+                )
+                for obs in base.observations
+            ]
+            session.feed(observations, build_overview=False)
+            sizes.append(session.state.size_report())
+        # After warmup, no tracked structure keeps growing epoch over
+        # epoch: the last lap's sizes match the third lap's within 2x.
+        reference, final = sizes[2], sizes[-1]
+        for key, end_size in final.items():
+            if key == "monitor_alarms":
+                continue  # capped by config, asserted below
+            assert end_size <= max(2 * reference[key], 64), (
+                key, reference[key], end_size, sizes
+            )
+        assert final["monitor_alarms"] <= 200  # the configured cap
+        # And the per-vessel tables really track the fleet, not history.
+        assert final["current_states"] <= len(base.specs)
+        assert final["gap_heads"] <= len(base.specs)
+
+    def test_products_not_accumulated_in_live_mode(self):
+        run = regional_scenario(n_vessels=6, duration_s=1800.0, seed=7).run()
+        pipeline = MaritimePipeline()
+        session = pipeline.new_session(
+            specs=run.specs, weather=run.weather,
+            pol_split_t=900.0, keep_products=False,
+        )
+        for increment in pipeline.run_live(
+            run.observations, tick_s=300.0, session=session
+        ):
+            pass
+        state = session.state
+        assert state.trajectories == []
+        assert state.events == []
+        assert len(state.store) == 0
+        assert len(state.triples) == 0
+        assert state.cube.total > 0  # the aggregate always accumulates

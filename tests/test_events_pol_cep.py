@@ -260,3 +260,91 @@ class TestCepEngine:
             SequencePattern("x", (EventKind.GAP,), 100.0)
         with pytest.raises(ValueError):
             SequencePattern("x", (EventKind.GAP, EventKind.GAP), 0.0)
+
+
+class TestCepOutOfOrderAndDuplicates:
+    """The incremental detect stage emits events as they are discovered,
+    not globally time-sorted; the engine must not care."""
+
+    def _flow(self):
+        return [
+            event(EventKind.GAP, 0.0, (1,)),
+            event(EventKind.GAP, 100.0, (1,)),
+            event(EventKind.RENDEZVOUS, 600.0, (1, 2)),
+            event(EventKind.GAP, 1200.0, (2,)),
+            event(EventKind.RENDEZVOUS, 1800.0, (2, 3)),
+        ]
+
+    def test_reversed_feed_finds_same_matches(self):
+        sorted_out = CepEngine([DARK_RDV]).feed_all(self._flow())
+        reversed_engine = CepEngine([DARK_RDV])
+        reversed_out = []
+        for e in reversed(self._flow()):
+            reversed_out.extend(reversed_engine.feed(e))
+        assert len(sorted_out) == len(reversed_out) == 3
+        key = lambda c: (c.t_start, c.t_end, c.mmsis)  # noqa: E731
+        assert sorted(map(key, sorted_out)) == sorted(map(key, reversed_out))
+        # Matched steps are reported in start-time order either way.
+        for complex_event in reversed_out:
+            steps = complex_event.details["steps"]
+            assert steps == sorted(
+                steps, key=lambda s: float(s.split("t=")[1].split("..")[0])
+            )
+
+    def test_shuffled_feeds_are_order_insensitive(self):
+        import itertools
+
+        expected = None
+        for order in itertools.permutations(self._flow()):
+            engine = CepEngine([DARK_RDV])
+            out = []
+            for e in order:
+                out.extend(engine.feed(e))
+            got = sorted((c.t_start, c.t_end, c.mmsis) for c in out)
+            if expected is None:
+                expected = got
+            assert got == expected
+
+    def test_duplicates_do_not_double_match(self):
+        engine = CepEngine([DARK_RDV])
+        gap = event(EventKind.GAP, 0.0, (1,))
+        rdv = event(EventKind.RENDEZVOUS, 600.0, (1, 2))
+        out = []
+        for e in (gap, gap, rdv, rdv, gap):
+            out.extend(engine.feed(e))
+        assert len(out) == 1
+
+    def test_late_arrival_completes_pattern(self):
+        """A first step discovered after the second (gap reported when the
+        silence *ends*) still completes the match on arrival."""
+        engine = CepEngine([DARK_RDV])
+        assert engine.feed(event(EventKind.RENDEZVOUS, 600.0, (1, 2))) == []
+        completed = engine.feed(event(EventKind.GAP, 0.0, (1,)))
+        assert len(completed) == 1
+        assert completed[0].t_start == 0.0
+
+    def test_expire_bounds_state_and_blocks_stale_matches(self):
+        engine = CepEngine([DARK_RDV])
+        engine.feed(event(EventKind.GAP, 0.0, (1,)))
+        assert engine.buffered() == 1
+        engine.expire(low_watermark=10_000.0)
+        assert engine.buffered() == 0
+        # The evicted gap can no longer anchor a (stale) match.
+        assert engine.feed(event(EventKind.RENDEZVOUS, 600.0, (1, 2))) == []
+
+    def test_three_step_out_of_order(self):
+        pattern = SequencePattern(
+            name="triple",
+            sequence=(EventKind.GAP, EventKind.LOITERING, EventKind.GAP),
+            window_s=7200.0,
+        )
+        engine = CepEngine([pattern])
+        out = []
+        for e in (
+            event(EventKind.GAP, 2000.0),
+            event(EventKind.GAP, 0.0),
+            event(EventKind.LOITERING, 1000.0),
+        ):
+            out.extend(engine.feed(e))
+        assert len(out) == 1
+        assert len(out[0].details["steps"]) == 3

@@ -63,6 +63,52 @@ class TestThrottle:
             (0.0, "a"), (1.0, "b"), (6.0, "a"),
         ]
 
+    def test_throttle_state_bounded_on_high_cardinality_keys(self):
+        """Regression: ``last_seen`` grew forever — one entry per key ever
+        seen.  With age eviction the table tracks only the keys active
+        inside the gap window, and the output is unchanged."""
+        min_gap = 5.0
+        n = 20_000
+
+        def one_shot_keys():
+            # Tens of thousands of distinct keys, one record each, plus a
+            # chatty key that must still be throttled correctly throughout.
+            for i in range(n):
+                yield Record(float(i), f"k{i}", i)
+                yield Record(float(i) + 0.5, "hot", i)
+
+        throttled = iter(Stream(one_shot_keys()).throttle_per_key(min_gap))
+        table_sizes = []
+        kept_hot = 0
+        for count, record in enumerate(throttled):
+            if record.key == "hot":
+                kept_hot += 1
+            if count % 500 == 0 and throttled.gi_frame is not None:
+                table_sizes.append(
+                    len(throttled.gi_frame.f_locals["last_seen"])
+                )
+        # Bounded: only keys seen inside one gap window stay tracked
+        # (~7 here), not one entry per key ever seen (~20k).
+        assert max(table_sizes) <= 16
+        # Correct: "hot" reports every second; one in five survives.
+        assert kept_hot == n / 5
+
+    def test_throttle_eviction_preserves_output(self):
+        """Eviction must not change what a time-ordered stream emits."""
+        records_in = [
+            Record(float(t), f"k{t % 7}", t) for t in range(0, 300, 3)
+        ]
+        out = Stream(iter(records_in)).throttle_per_key(20.0).collect()
+        # Reference: the unbounded-table semantics, computed naively.
+        expected, last = [], {}
+        for r in records_in:
+            prev = last.get(r.key)
+            if prev is not None and r.t - prev < 20.0:
+                continue
+            last[r.key] = r.t
+            expected.append((r.t, r.key))
+        assert [(r.t, r.key) for r in out] == expected
+
 
 class TestMerge:
     def test_global_time_order(self):

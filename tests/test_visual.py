@@ -165,6 +165,74 @@ class TestCube:
         with pytest.raises(ValueError):
             self.make().roll_up_space(0)
 
+    def test_edge_cell_intersecting_box_counts(self):
+        """Regression: the centre-in-box rule dropped cells whose centre
+        fell just outside the query box even though the observations
+        inside them intersected it."""
+        cube = SpatioTemporalCube(cell_deg=1.0, time_bucket_s=3600.0)
+        cube.add(48.9, -5.5, 0.0)  # near the cell's northern edge
+        box = cube._cell_box(cube.grid.key(48.9, -5.5))
+        # A thin query box overlapping only the top tenth of the cell —
+        # it misses the centre but must still count the cell.
+        lat_hi = box.lat_max
+        thin = BoundingBox(lat_hi - 0.1, lat_hi + 0.2, -6.0, -5.0)
+        assert cube.count(CubeQuery(box=thin)) == 1
+
+    def test_antimeridian_cells_key_together(self):
+        """±180° representations of the same spot land in one cell."""
+        cube = SpatioTemporalCube(cell_deg=1.0, time_bucket_s=3600.0)
+        cube.add(10.5, 180.0, 0.0)
+        cube.add(10.5, -180.0, 0.0)
+        cube.add(10.5, 540.0, 0.0)
+        assert len(cube.cell_counts()) == 1
+        assert cube.total == 3
+
+    def test_antimeridian_query_box(self):
+        """A seam-crossing CubeQuery box counts both sides, nothing else."""
+        cube = SpatioTemporalCube(cell_deg=1.0, time_bucket_s=3600.0)
+        cube.add(5.5, 177.5, 0.0)
+        cube.add(5.5, -177.5, 0.0)
+        cube.add(5.5, 0.5, 0.0)
+        seam_box = BoundingBox(0.0, 10.0, 175.0, -175.0)
+        assert cube.count(CubeQuery(box=seam_box)) == 2
+        drilled = cube.drill_down(seam_box, 0.0, 3600.0)
+        assert sum(drilled.values()) == 2
+
+    def test_roll_up_space_geometric(self):
+        """Roll-up keys are cells of a real coarser latitude-aware grid,
+        so nearby base cells merge and distant ones stay apart."""
+        cube = SpatioTemporalCube(cell_deg=1.0, time_bucket_s=3600.0)
+        cube.add(48.2, -5.2, 0.0)
+        cube.add(48.7, -5.7, 0.0)  # ~70 km away: same 10x cell
+        cube.add(-33.0, 151.0, 0.0)  # the other side of the planet
+        coarse = cube.roll_up_space(10)
+        assert sum(coarse.values()) == 3
+        assert len(coarse) == 2
+
+    def test_geohash_export(self):
+        from repro.spatial import geohash_to_cell
+
+        cube = self.make()
+        named = cube.to_geohash_counts()
+        assert sum(named.values()) == cube.total
+        cells = {geohash_to_cell(cube.grid, name) for name in named}
+        assert cells == set(cube.cell_counts())
+        # Query-scoped export only ships the matching slice.
+        fishing = cube.to_geohash_counts(CubeQuery(category="fishing"))
+        assert sum(fishing.values()) == 1
+
+    def test_high_latitude_cells_keep_metric_size(self):
+        """A 0.1° cube at 75°N keys ~8 km of longitude into one cell
+        instead of splitting it across fixed-degree slivers."""
+        cube = SpatioTemporalCube(cell_deg=0.2, time_bucket_s=3600.0)
+        import math
+
+        lat, lon = cube.grid.center(cube.grid.key(75.05, 20.0))
+        half_deg = 4_000.0 / (111_194.9 * math.cos(math.radians(lat)))
+        for i in range(10):
+            cube.add(lat, lon - half_deg + i * half_deg / 5.0, 0.0)
+        assert len(cube.cell_counts()) == 1
+
 
 class TestOverview:
     def test_build(self):
