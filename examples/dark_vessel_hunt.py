@@ -16,10 +16,9 @@ Run:  python examples/dark_vessel_hunt.py
 """
 
 from repro.core import MaritimePipeline
-from repro.fusion import MultiSourceTracker
+from repro.events import EventKind
 from repro.fusion.hardsoft import SoftReport, fuse_hard_soft
 from repro.simulation import regional_scenario
-from repro.trajectory.points import TrackPoint
 from repro.uncertainty import OpenWorldRelation, ProbabilisticRelation
 from repro.uncertainty.openworld import unobserved_pair_candidates
 
@@ -32,22 +31,15 @@ def main() -> None:
     result = MaritimePipeline().process(run)
 
     # -- 1. Fuse radar with AIS ------------------------------------------------
-    tracker = MultiSourceTracker()
-    for trajectory in result.trajectories:
-        for point in trajectory:
-            tracker.add_ais_fix(trajectory.mmsi, point)
-    for report in run.lrit_reports:
-        tracker.add_lrit(
-            report.mmsi,
-            TrackPoint(report.t, report.lat, report.lon, source="lrit"),
-        )
-    assignments = tracker.add_radar_contacts(run.radar_contacts)
-    uncorrelated = [a for a in assignments if a.mmsi is None]
+    # The fuse stage already associated every radar contact causally
+    # during the run; ``result.fused`` is the multi-sensor picture, and
+    # sustained anonymous tracks surfaced as UNCORRELATED_TRACK events.
+    tracker = result.fused
+    dark_candidates = result.events_of(EventKind.UNCORRELATED_TRACK)
     print(
-        f"radar: {len(assignments)} contacts, "
-        f"{len(assignments) - len(uncorrelated)} associated to AIS tracks, "
-        f"{len(uncorrelated)} uncorrelated "
-        f"→ {len(tracker.anonymous_tracks)} anonymous radar tracks"
+        f"radar: {len(run.radar_contacts)} contacts over the window "
+        f"→ {len(tracker.anonymous_tracks)} anonymous radar tracks, "
+        f"{len(dark_candidates)} reported as dark-vessel candidates"
     )
     dark_truth = {
         spec.mmsi for spec in run.specs.values() if spec.goes_dark

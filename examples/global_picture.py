@@ -8,6 +8,11 @@ ocean, visible coverage banding from the orbit model.
 
 Run:  python examples/global_picture.py            (quick, ~150 vessels)
       python examples/global_picture.py --full     (denser picture)
+
+The same feed can be exported for the live pipeline: ``repro simulate
+--world --tagged --output feed.nmea`` writes it with TAG-block
+timestamps, and ``repro pipeline --live --nmea-file feed.nmea`` streams
+it through the monitoring service.
 """
 
 import sys

@@ -1,74 +1,86 @@
-"""Live stream monitoring: the incremental pipeline on a live feed (§2-§3).
+"""Live stream monitoring: the monitoring service end to end (§2-§3).
 
-Unlike the batch replay, this example consumes the feed *as a stream*:
-``MaritimePipeline.run_live`` slices the observations into micro-batches
-of reception time and drives the same stage runtime the batch replay
-uses — decode, reorder, reconstruct, synopses, integrate, fuse, detect,
-forecast, overview — with bounded state ("single pass, bounded memory",
-§2.1).  Each tick yields a ``PipelineIncrement``: the events discovered,
-complex-event matches, forecast updates and monitor alarms of that tick,
-which is what a real operator console would render.
+Unlike the batch replay, this example consumes the feed *as a stream*
+through the public service API: a ``MaritimeMonitor`` wires a *source*
+(here the simulated feed written to an NMEA file with TAG-block
+timestamps, replayed by ``NmeaFileSource`` — swap in
+``NmeaTcpSource(host, port)`` for a real receiver) into the incremental
+pipeline, and *subscriptions* fan the products out: an operator console
+(filtered events), a triaged alert log, and a JSONL archive of every
+increment — each consumer seeing only what it asked for.
 
 Run:  python examples/live_stream_monitor.py
 """
 
-from repro.core import MaritimePipeline
+import io
+import os
+import tempfile
+
+from repro import MaritimeMonitor
 from repro.events import EventKind, SequencePattern
 from repro.simulation import regional_scenario
+from repro.sinks import AlertLogSink, JsonlSink
+from repro.sources import NmeaFileSource, write_nmea_file
 
 
 def main() -> None:
+    # A real deployment points NmeaFileSource at a receiver's log (tail
+    # mode) or NmeaTcpSource at its socket; here we materialise the
+    # simulated feed as the file a logger would have written.
     run = regional_scenario(n_vessels=30, duration_s=3 * 3600.0, seed=31).run()
-    print(f"streaming {len(run.observations)} sentences in reception order\n")
+    with tempfile.NamedTemporaryFile(
+        mode="w", suffix=".nmea", delete=False
+    ) as fh:
+        feed_path = fh.name
+        write_nmea_file(run.observations, fh)
+    print(f"streaming {len(run.observations)} sentences from {feed_path}\n")
 
-    pipeline = MaritimePipeline(
+    monitor = MaritimeMonitor(
         cep_patterns=[
             SequencePattern(
                 name="repeated_silence",
                 sequence=(EventKind.GAP, EventKind.GAP),
                 window_s=4 * 3600.0,
             )
-        ]
+        ],
+        specs=run.specs,
+        weather=run.weather,
+    )
+    monitor.attach(NmeaFileSource(feed_path))
+
+    # Console subscription: only the kinds a watch officer acts on.
+    def console(event):
+        print(f"  {event.describe()}")
+
+    monitor.subscribe(
+        on_event=console,
+        kinds=[EventKind.RENDEZVOUS, EventKind.COLLISION_RISK,
+               EventKind.COMPLEX],
     )
 
-    n_ticks = 0
-    n_records = 0
-    events_by_kind: dict[str, int] = {}
-    complex_hits = []
-    alarms = 0
-    last_overview = None
-    for increment in pipeline.replay_live(run, tick_s=600.0):
-        n_ticks += 1
-        n_records += increment.n_records
-        for event in increment.new_events:
-            events_by_kind[event.kind.value] = (
-                events_by_kind.get(event.kind.value, 0) + 1
-            )
-        complex_hits.extend(increment.new_complex_events)
-        alarms += len(increment.new_alarms)
-        if increment.overview is not None:
-            last_overview = increment.overview
-        if increment.new_events or increment.new_complex_events:
-            shown = ", ".join(
-                e.describe() for e in increment.new_events[:2]
-            )
-            more = len(increment.new_events) - 2
-            print(
-                f"tick {n_ticks:>3} ({increment.n_records} records, "
-                f"{increment.seconds * 1000:.0f} ms): {shown}"
-                + (f" (+{more} more)" if more > 0 else "")
-            )
+    # Sinks: triaged alerts, plus a JSONL archive of every increment.
+    alert_log = AlertLogSink()
+    alert_log.attach(monitor.hub)
+    archive = io.StringIO()
+    jsonl = JsonlSink(archive)
+    jsonl.attach(monitor.hub)
 
-    print(f"\nticks: {n_ticks}, records: {n_records}")
-    print("events by kind:")
-    for kind, count in sorted(events_by_kind.items()):
-        print(f"  {kind}: {count}")
-    print(f"monitor alarms: {alarms}")
-    print(f"complex events (repeated silence): {len(complex_hits)}")
-    for event in complex_hits[:5]:
-        print(f"  {event.describe()}")
-    if last_overview is not None:
-        print("\n" + last_overview.headline())
+    report = monitor.run(tick_s=600.0)
+
+    print(f"\n{report.describe()}")
+    print(
+        f"tick latency: p95 {report.latency_quantile_s(0.95) * 1000:.1f} ms "
+        f"over {report.n_increments} increments"
+    )
+    print(f"alert log kept {len(alert_log.alerts)} triaged alerts:")
+    for alert in alert_log.alerts[:5]:
+        print(f"  {alert.render()}")
+    print(f"jsonl archive: {jsonl.n_lines} lines, {archive.tell()} bytes")
+
+    state = monitor.session.state
+    overview = monitor.session.overview.snapshot(state)
+    print("\n" + overview.headline())
+    os.unlink(feed_path)
 
 
 if __name__ == "__main__":

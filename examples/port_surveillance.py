@@ -9,7 +9,7 @@ Run:  python examples/port_surveillance.py
 """
 
 from repro.core import MaritimePipeline, PipelineConfig
-from repro.events.detectors import ZoneWatch, detect_zone_events
+from repro.events.detectors import ZoneWatch
 from repro.forecasting import estimate_eta
 from repro.geo import CircleRegion
 from repro.semantics.ontology import VOCAB
@@ -20,18 +20,19 @@ from repro.storage import Variable
 
 def main() -> None:
     run = regional_scenario(n_vessels=30, duration_s=3 * 3600.0, seed=5).run()
-    result = MaritimePipeline().process(run)
 
     # -- zone watching -----------------------------------------------------
+    # The watched zone is part of the pipeline's configuration: the
+    # detect stage emits zone events alongside every other detector.
     protected = ZoneWatch(
         name="IROISE-PROTECTED",
         region=CircleRegion(lat=48.3, lon=-5.1, radius_m=25_000.0),
         restricted=True,
     )
-    zone_events = []
-    for trajectory in result.trajectories:
-        zone_events.extend(detect_zone_events(trajectory, [protected]))
-    entries = [e for e in zone_events if e.kind.value == "zone_entry"]
+    config = PipelineConfig.from_overrides(loiter_min_s=1800.0)
+    result = MaritimePipeline(config, zones=[protected]).process(run)
+
+    entries = [e for e in result.events if e.kind.value == "zone_entry"]
     print(f"protected-zone entries: {len(entries)}")
     for event in entries[:5]:
         spec = run.specs.get(event.mmsis[0])

@@ -8,7 +8,12 @@ AIS feed, and triage the detected events for a watch officer.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import DecisionSupport, MaritimePipeline, OperatorProfile
+from repro.core import (
+    DecisionSupport,
+    MaritimePipeline,
+    OperatorProfile,
+    PipelineConfig,
+)
 from repro.simulation import regional_scenario
 
 
@@ -22,8 +27,12 @@ def main() -> None:
         f"{len(run.radar_contacts)} radar contacts"
     )
 
-    # 2. The integrated pipeline of the paper's Figure 2.
-    pipeline = MaritimePipeline()
+    # 2. The integrated pipeline of the paper's Figure 2.  Knobs live in
+    #    one validated config — an impossible combination (an eviction
+    #    horizon shorter than the detectors that read through it) fails
+    #    here, not hours into a run.
+    config = PipelineConfig.from_overrides(gap_min_s=900.0)
+    pipeline = MaritimePipeline(config)
     result = pipeline.process(run)
     print()
     print(result.summary())
@@ -43,6 +52,9 @@ def main() -> None:
     # 4. The situation overview (§3.2).
     if result.overview is not None:
         print("\n" + result.overview.headline())
+
+    # Next: the same infrastructure as a *service* — sources, ticks and
+    # subscriptions — in examples/live_stream_monitor.py.
 
 
 if __name__ == "__main__":

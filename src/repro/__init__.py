@@ -8,7 +8,7 @@ stream engine, trajectory analytics, moving-object storage, multi-source
 fusion, complex event recognition, forecasting, uncertainty handling,
 semantics and visual analytics.
 
-Quickstart::
+Quickstart (batch replay)::
 
     from repro.simulation import regional_scenario
     from repro.core import MaritimePipeline
@@ -16,10 +16,26 @@ Quickstart::
     run = regional_scenario(n_vessels=40, duration_s=4 * 3600).run()
     result = MaritimePipeline().process(run)
     print(result.summary())
+
+As a monitoring service (source → session → subscriptions)::
+
+    from repro import MaritimeMonitor
+    from repro.sources import NmeaFileSource
+
+    monitor = MaritimeMonitor().attach(NmeaFileSource("feed.nmea"))
+    report = monitor.subscribe(on_event=print).run(tick_s=60.0)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core import MaritimePipeline, PipelineConfig, DecisionSupport
+from repro.monitor import MaritimeMonitor, MonitorReport
 
-__all__ = ["MaritimePipeline", "PipelineConfig", "DecisionSupport", "__version__"]
+__all__ = [
+    "MaritimePipeline",
+    "MaritimeMonitor",
+    "MonitorReport",
+    "PipelineConfig",
+    "DecisionSupport",
+    "__version__",
+]

@@ -2,9 +2,14 @@
 
 Commands:
 
-- ``simulate`` — generate a scenario and dump its NMEA feed;
+- ``simulate`` — generate a scenario and dump its NMEA feed (with
+  ``--tagged``, TAG-blocked lines carrying reception timestamps that
+  round-trip through ``pipeline --live --nmea-file``);
 - ``pipeline`` — run the Figure 2 pipeline over a scenario and print the
-  stage report and triaged alerts;
+  stage report and triaged alerts; with ``--live``, stream instead —
+  from the simulated feed, an NMEA file (``--nmea-file``), or a TCP
+  receiver (``--nmea-tcp host:port``), optionally as JSON lines
+  (``--json``);
 - ``map`` — render the global density map (Figure 1) as ASCII;
 - ``decode`` — decode NMEA sentences from a file or stdin.
 """
@@ -14,7 +19,10 @@ import sys
 
 from repro.ais.decoder import AisDecoder
 from repro.core import DecisionSupport, MaritimePipeline, OperatorProfile
+from repro.monitor import MaritimeMonitor
 from repro.simulation import global_scenario, regional_scenario
+from repro.sinks import JsonlSink
+from repro.sources import NmeaFileSource, NmeaTcpSource, write_nmea_file
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -36,6 +44,11 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--output", default="-", help="output file ('-' for stdout)"
     )
+    simulate.add_argument(
+        "--tagged", action="store_true",
+        help="prefix each sentence with an NMEA TAG block carrying the "
+        "reception epoch and source (lossless input for --nmea-file)",
+    )
 
     pipeline = sub.add_parser("pipeline", help="run the integrated pipeline")
     pipeline.add_argument("--vessels", type=int, default=30)
@@ -51,6 +64,21 @@ def _build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument(
         "--tick", type=float, default=300.0,
         help="micro-batch size in seconds of reception time (with --live)",
+    )
+    pipeline.add_argument(
+        "--nmea-file", metavar="PATH",
+        help="with --live: stream observations from an NMEA file "
+        "(TAG-blocked or bare) instead of simulating a scenario",
+    )
+    pipeline.add_argument(
+        "--nmea-tcp", metavar="HOST:PORT",
+        help="with --live: stream observations from a line-framed NMEA "
+        "TCP feed instead of simulating a scenario",
+    )
+    pipeline.add_argument(
+        "--json", action="store_true",
+        help="with --live: emit one JSON line per increment on stdout "
+        "instead of the human-readable tick log",
     )
 
     world_map = sub.add_parser("map", help="render the Figure 1 density map")
@@ -74,8 +102,11 @@ def _cmd_simulate(args) -> int:
     ).run()
     out = sys.stdout if args.output == "-" else open(args.output, "w")
     try:
-        for sentence in run.sentences:
-            out.write(sentence + "\n")
+        if args.tagged:
+            write_nmea_file(run.observations, out)
+        else:
+            for sentence in run.sentences:
+                out.write(sentence + "\n")
     finally:
         if out is not sys.stdout:
             out.close()
@@ -87,6 +118,11 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_pipeline(args) -> int:
+    if args.nmea_file or args.nmea_tcp:
+        if not args.live:
+            print("--nmea-file/--nmea-tcp require --live", file=sys.stderr)
+            return 2
+        return _run_pipeline_source(args)
     run = regional_scenario(
         n_vessels=args.vessels, duration_s=args.hours * 3600.0,
         seed=args.seed,
@@ -107,8 +143,39 @@ def _cmd_pipeline(args) -> int:
     return 0
 
 
+def _run_pipeline_source(args) -> int:
+    """Stream a real feed (file or socket) through the monitor façade."""
+    if args.nmea_file:
+        source = NmeaFileSource(args.nmea_file)
+    else:
+        host, _, port = args.nmea_tcp.rpartition(":")
+        if not host or not port.isdigit():
+            print("--nmea-tcp expects HOST:PORT", file=sys.stderr)
+            return 2
+        source = NmeaTcpSource(host, int(port))
+    monitor = MaritimeMonitor().attach(source)
+    if args.json:
+        JsonlSink(sys.stdout).attach(monitor.hub)
+    else:
+        monitor.subscribe(
+            on_increment=lambda inc: print(inc.describe())
+        ).subscribe(
+            on_event=lambda event: print("  " + event.describe())
+        )
+    report = monitor.run(tick_s=args.tick)
+    print(report.describe(), file=sys.stderr)
+    stats = report.source
+    if stats is not None and (stats.n_dropped or stats.errors):
+        print(
+            f"source: {stats.n_dropped} dropped, errors {stats.errors}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _run_pipeline_live(pipeline, run, args) -> int:
     """Stream the feed through the incremental runtime tick by tick."""
+    sink = JsonlSink(sys.stdout) if args.json else None
     n_ticks = 0
     n_records = 0
     n_events = 0
@@ -121,15 +188,20 @@ def _run_pipeline_live(pipeline, run, args) -> int:
         n_complex += len(increment.new_complex_events)
         if increment.overview is not None:
             last_overview = increment.overview
+        if sink is not None:
+            sink.write_increment(increment)
+            continue
         print(increment.describe())
         for event in increment.new_events[: args.alerts]:
             print("  " + event.describe())
+    out = sys.stderr if sink is not None else sys.stdout
     print(
         f"\n{n_ticks} ticks, {n_records} records, {n_events} events "
-        f"({n_complex} complex)"
+        f"({n_complex} complex)",
+        file=out,
     )
     if last_overview is not None:
-        print(last_overview.headline())
+        print(last_overview.headline(), file=out)
     return 0
 
 

@@ -9,14 +9,18 @@ aggregation — and :class:`DecisionSupport` applies §4's requirements on
 top: operator-profile filtering, uncertainty communication, explanations.
 """
 
-from repro.core.config import PipelineConfig
+from repro.core.config import ConfigError, PipelineConfig
 from repro.core.pipeline import (
     MaritimePipeline,
     PipelineIncrement,
     PipelineResult,
     StageStats,
 )
-from repro.core.stages import PipelineSession, PipelineState
+from repro.core.stages import (
+    BackpressureMetrics,
+    PipelineSession,
+    PipelineState,
+)
 from repro.core.decision import (
     Alert,
     AlertLevel,
@@ -26,6 +30,8 @@ from repro.core.decision import (
 )
 
 __all__ = [
+    "BackpressureMetrics",
+    "ConfigError",
     "PipelineConfig",
     "MaritimePipeline",
     "PipelineIncrement",

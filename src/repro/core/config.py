@@ -1,9 +1,48 @@
-"""Pipeline configuration."""
+"""Pipeline configuration.
 
+:class:`PipelineConfig` is a plain dataclass, but its fields carry
+cross-field invariants the docstrings always promised (eviction horizons
+must outlive the detectors that read through them).  They are now
+*enforced*: :meth:`PipelineConfig.validate` checks every documented
+invariant and :class:`~repro.core.pipeline.MaritimePipeline` calls it on
+construction, so a bad knob fails loudly at configuration time instead
+of silently splitting segments hours into a live run.  Derive variants
+with :meth:`replace` or build from a flat mapping (CLI flags, JSON
+profiles) with :meth:`from_overrides` — both validate.
+"""
+
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.events.rendezvous import RendezvousConfig
 from repro.trajectory.reconstruction import ReconstructionConfig
+
+
+class ConfigError(ValueError):
+    """A :class:`PipelineConfig` violates its documented invariants."""
+
+
+def _apply_overrides(config, overrides: dict, prefix: str):
+    """Rebuild a (possibly frozen) dataclass with dotted-key overrides."""
+    valid = {f.name for f in dataclasses.fields(config)}
+    direct: dict = {}
+    nested: dict[str, dict] = {}
+    for key, value in overrides.items():
+        head, dot, rest = str(key).partition(".")
+        if head not in valid:
+            raise ConfigError(f"unknown config field '{prefix}{key}'")
+        if dot:
+            nested.setdefault(head, {})[rest] = value
+        else:
+            direct[head] = value
+    for head, sub in nested.items():
+        base = direct.get(head, getattr(config, head))
+        if not dataclasses.is_dataclass(base):
+            raise ConfigError(
+                f"config field {prefix}{head!r} is not a nested config"
+            )
+        direct[head] = _apply_overrides(base, sub, prefix=f"{prefix}{head}.")
+    return dataclasses.replace(config, **direct)
 
 
 @dataclass
@@ -71,3 +110,121 @@ class PipelineConfig:
     live_pol_training_s: float = 3600.0
     #: Cap on retained situation-monitor alarms (None = keep all).
     monitor_max_alarms: int | None = None
+
+    # -- construction and checking ----------------------------------------
+
+    def validate(self) -> "PipelineConfig":
+        """Enforce the documented invariants; returns ``self``.
+
+        Raises :class:`ConfigError` listing *every* violation at once —
+        an operator fixing a profile should not play whack-a-mole.
+        """
+        problems: list[str] = []
+
+        def numeric(name: str, value) -> bool:
+            # JSON/CLI profiles love to hand strings in; report them as
+            # config errors instead of raising bare TypeError mid-check.
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                problems.append(f"{name} must be a number (got {value!r})")
+                return False
+            return True
+
+        def positive(name: str, value) -> None:
+            if numeric(name, value) and not value > 0:
+                problems.append(f"{name} must be positive (got {value!r})")
+
+        def non_negative(name: str, value) -> None:
+            if numeric(name, value) and not value >= 0:
+                problems.append(f"{name} must be >= 0 (got {value!r})")
+
+        non_negative("max_lateness_s", self.max_lateness_s)
+        non_negative("synopsis_threshold_m", self.synopsis_threshold_m)
+        positive("gap_min_s", self.gap_min_s)
+        positive("loiter_min_s", self.loiter_min_s)
+        positive("cube_cell_deg", self.cube_cell_deg)
+        positive("cube_time_bucket_s", self.cube_time_bucket_s)
+        positive("collision_screen_period_s", self.collision_screen_period_s)
+        positive("collision_max_state_age_s", self.collision_max_state_age_s)
+        non_negative("collision_suppress_s", self.collision_suppress_s)
+        positive("vessel_ttl_s", self.vessel_ttl_s)
+        positive("gap_head_ttl_s", self.gap_head_ttl_s)
+        non_negative("cep_event_lateness_s", self.cep_event_lateness_s)
+        non_negative("live_pol_training_s", self.live_pol_training_s)
+        if numeric(
+            "pol_training_fraction", self.pol_training_fraction
+        ) and not 0.0 <= self.pol_training_fraction <= 1.0:
+            problems.append(
+                "pol_training_fraction must be in [0, 1] "
+                f"(got {self.pol_training_fraction!r})"
+            )
+        if numeric(
+            "min_segment_points", self.min_segment_points
+        ) and self.min_segment_points < 2:
+            problems.append(
+                "min_segment_points must be >= 2 "
+                f"(got {self.min_segment_points!r})"
+            )
+        if not self.forecast_horizons_s:
+            problems.append("forecast_horizons_s must not be empty")
+        elif all(
+            numeric(f"forecast_horizons_s[{i}]", h)
+            for i, h in enumerate(self.forecast_horizons_s)
+        ) and any(h <= 0 for h in self.forecast_horizons_s):
+            problems.append(
+                "forecast_horizons_s must all be positive "
+                f"(got {self.forecast_horizons_s!r})"
+            )
+        if self.monitor_max_alarms is not None and (
+            numeric("monitor_max_alarms", self.monitor_max_alarms)
+            and self.monitor_max_alarms < 1
+        ):
+            problems.append(
+                "monitor_max_alarms must be None or >= 1 "
+                f"(got {self.monitor_max_alarms!r})"
+            )
+        # Cross-field horizons: eviction must outlive every reader that
+        # looks through the evicted state (see the field docstrings).
+        # Only comparable once both sides passed the numeric checks.
+        ttl = self.vessel_ttl_s
+        gap_timeout = self.reconstruction.gap_timeout_s
+        state_age = self.collision_max_state_age_s
+        comparable = all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in (ttl, gap_timeout, state_age)
+        )
+        if comparable and ttl < gap_timeout:
+            problems.append(
+                f"vessel_ttl_s ({ttl!r}) must be >= "
+                f"reconstruction.gap_timeout_s ({gap_timeout!r}): shorter "
+                "would evict segments the reconstructor still considers open"
+            )
+        if comparable and ttl < state_age:
+            problems.append(
+                f"vessel_ttl_s ({ttl!r}) must be >= "
+                f"collision_max_state_age_s ({state_age!r}): shorter would "
+                "evict fixes the collision screen still wants to read"
+            )
+        if problems:
+            raise ConfigError(
+                "invalid PipelineConfig:\n  - " + "\n  - ".join(problems)
+            )
+        return self
+
+    def replace(self, **overrides) -> "PipelineConfig":
+        """A validated copy with the given fields replaced."""
+        return dataclasses.replace(self, **overrides).validate()
+
+    @classmethod
+    def from_overrides(
+        cls, overrides: dict | None = None, /, **kwargs
+    ) -> "PipelineConfig":
+        """Build from defaults plus a flat mapping of overrides.
+
+        Nested fields use dotted keys (``"reconstruction.gap_timeout_s"``)
+        — the shape CLI flags and JSON profiles naturally produce, which
+        callers used to hand-roll with attribute assignment.  Unknown
+        keys raise :class:`ConfigError`; the result is validated.
+        """
+        merged = dict(overrides or {})
+        merged.update(kwargs)
+        return _apply_overrides(cls(), merged, prefix="").validate()

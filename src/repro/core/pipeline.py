@@ -125,7 +125,7 @@ class MaritimePipeline:
         cep_patterns: list[SequencePattern] | None = None,
         zones: list[ZoneWatch] | None = None,
     ) -> None:
-        self.config = config or PipelineConfig()
+        self.config = (config or PipelineConfig()).validate()
         self.ports = ports if ports is not None else REGIONAL_PORTS
         self.cep_patterns = (
             cep_patterns if cep_patterns is not None else [DARK_RENDEZVOUS]

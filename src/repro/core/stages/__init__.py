@@ -8,6 +8,7 @@ for the stage protocol and the state-ownership rules.
 
 from repro.core.stages.base import Stage, StageStats
 from repro.core.stages.state import (
+    BackpressureMetrics,
     PipelineIncrement,
     PipelineState,
     RecordOutcome,
@@ -27,6 +28,7 @@ from repro.core.stages.fuse import FuseStage
 __all__ = [
     "Stage",
     "StageStats",
+    "BackpressureMetrics",
     "PipelineIncrement",
     "PipelineState",
     "PipelineSession",

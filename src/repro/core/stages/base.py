@@ -27,12 +27,24 @@ class StageStats:
     n_in: int = 0
     n_out: int = 0
     seconds: float = 0.0
+    #: Records currently deferred inside the stage (reorder buffer,
+    #: undrained sensor queues, CEP buffers) — the stage's queue depth
+    #: right now.  Most stages hold nothing between feeds and stay 0.
+    pending: int = 0
+    #: High-water mark of :attr:`pending` over the session.
+    max_pending: int = 0
 
     @property
     def throughput_per_s(self) -> float:
         # 0.0, not inf, for zero-duration stages: the value must survive
         # ``json.dumps`` in benchmark result files.
         return self.n_in / self.seconds if self.seconds > 0 else 0.0
+
+    def record_pending(self, depth: int) -> None:
+        """Update the queue-depth gauge (and its high-water mark)."""
+        self.pending = depth
+        if depth > self.max_pending:
+            self.max_pending = depth
 
 
 class Stage:

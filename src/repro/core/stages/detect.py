@@ -151,8 +151,10 @@ class DetectStage(Stage):
         all_new = list(upstream_events) + events
         for event in sorted(all_new, key=event_key):
             complex_events.extend(state.cep.feed(event))
+        # Patterns without their own lateness_s inherit the global knob.
         state.cep.expire(
-            state.watermark - state.config.cep_event_lateness_s
+            state.watermark,
+            default_lateness_s=state.config.cep_event_lateness_s,
         )
         if state.keep_products:
             state.events.extend(all_new)

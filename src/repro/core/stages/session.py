@@ -6,6 +6,12 @@ times, ``flush`` once, then (for replays) collect state.  Because every
 stage is record-driven, the sequence of records — not the slicing into
 feeds — determines every product: ``process(run)`` is literally one
 ``feed`` plus ``flush``.
+
+Downstream consumers attach through :meth:`PipelineSession.subscribe`:
+every increment a feed or flush produces is dispatched to the session's
+:class:`~repro.sinks.subscription.SubscriptionHub` before it is
+returned, carrying :class:`~repro.core.stages.state.BackpressureMetrics`
+for the batch.
 """
 
 import time
@@ -20,10 +26,12 @@ from repro.core.stages.detect import DetectStage
 from repro.core.stages.fuse import FuseStage
 from repro.core.stages.ingest import DecodeStage, ReconstructStage, ReorderStage
 from repro.core.stages.state import (
+    BackpressureMetrics,
     PipelineIncrement,
     PipelineState,
     RecordOutcome,
 )
+from repro.sinks.subscription import Subscription, SubscriptionHub
 
 
 class PipelineSession:
@@ -46,6 +54,12 @@ class PipelineSession:
             self.overview,
         ]
         self._flushed = False
+        self.subscriptions = SubscriptionHub()
+        #: Extra queue-depth probes merged into each increment's
+        #: backpressure metrics; a driver that owns an upstream queue (the
+        #: monitor façade with a TCP source) appends a zero-arg callable
+        #: returning ``{name: depth}``.
+        self.queue_probes: list = []
         self.integrate.start(state)
 
     @property
@@ -56,6 +70,33 @@ class PipelineSession:
     @property
     def flushed(self) -> bool:
         return self._flushed
+
+    # -- subscriptions -----------------------------------------------------
+
+    def subscribe(
+        self,
+        on_increment=None,
+        on_event=None,
+        on_alarm=None,
+        on_forecast=None,
+        kinds=None,
+        region=None,
+        mmsis=None,
+    ) -> Subscription:
+        """Attach a consumer; see :mod:`repro.sinks.subscription`.
+
+        Every subsequent ``feed``/``flush`` dispatches its increment to
+        the returned subscription (until its ``close()``).
+        """
+        return self.subscriptions.subscribe(
+            on_increment=on_increment,
+            on_event=on_event,
+            on_alarm=on_alarm,
+            on_forecast=on_forecast,
+            kinds=kinds,
+            region=region,
+            mmsis=mmsis,
+        )
 
     # -- driving -----------------------------------------------------------
 
@@ -91,6 +132,7 @@ class PipelineSession:
         increment.n_decoded = len(decoded)
         increment.n_records = len(records)
         state.purge()
+        self.subscriptions.dispatch(increment)
         return increment
 
     def flush(self, build_overview: bool = True) -> PipelineIncrement:
@@ -113,6 +155,7 @@ class PipelineSession:
             flushing=True,
         )
         increment.n_records = len(records)
+        self.subscriptions.dispatch(increment)
         return increment
 
     def _downstream(
@@ -157,6 +200,7 @@ class PipelineSession:
         if state.keep_products:
             state.trajectories.extend(completed)
             state.synopses.extend(new_synopses)
+        seconds = time.perf_counter() - t0
         return PipelineIncrement(
             t_watermark=state.watermark,
             new_segments=completed,
@@ -166,5 +210,27 @@ class PipelineSession:
             updated_forecasts=updated_forecasts,
             new_alarms=new_alarms,
             overview=snapshot,
-            seconds=time.perf_counter() - t0,
+            seconds=seconds,
+            backpressure=self._backpressure(seconds),
+        )
+
+    def _backpressure(self, seconds: float) -> BackpressureMetrics:
+        """Queue depths across the whole path, gauged after this batch."""
+        state = self.state
+        depths = {
+            "reorder": len(state.reorderer),
+            "radar": len(state.radar_queue),
+            "lrit": len(state.lrit_queue),
+            "cep": state.cep.buffered(),
+        }
+        for probe in self.queue_probes:
+            for name, depth in probe().items():
+                depths[name] = depth
+        self.reorder.stats.record_pending(depths["reorder"])
+        self.fuse.stats.record_pending(depths["radar"] + depths["lrit"])
+        self.detect.stats.record_pending(depths["cep"])
+        return BackpressureMetrics(
+            feed_latency_s=seconds,
+            records_deferred=depths["reorder"],
+            queue_depths=depths,
         )

@@ -109,6 +109,32 @@ class RecordOutcome:
 
 
 @dataclass
+class BackpressureMetrics:
+    """Where records are waiting, per micro-batch.
+
+    The live path's health gauge: how long the feed call took, how many
+    records the reorder stage is holding back for the lateness bound, and
+    the depth of every internal queue.  Sources (the TCP client's bounded
+    receive queue) contribute their own depth via the session's
+    ``queue_probes`` so one increment shows the whole receiver-to-alarm
+    path.
+    """
+
+    #: Wall-clock seconds this micro-batch spent inside ``feed``/``flush``.
+    feed_latency_s: float = 0.0
+    #: Records admitted but not yet released by the reorder stage.
+    records_deferred: int = 0
+    #: Current depth of every internal queue, by name ("reorder",
+    #: "radar", "lrit", "cep", plus any probe-supplied entries such as
+    #: "source").
+    queue_depths: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_queued(self) -> int:
+        return sum(self.queue_depths.values())
+
+
+@dataclass
 class PipelineIncrement:
     """What one micro-batch produced — the unit ``run_live`` yields."""
 
@@ -127,6 +153,10 @@ class PipelineIncrement:
     new_alarms: list[MonitoringAlarm] = field(default_factory=list)
     overview: SituationOverview | None = None
     seconds: float = 0.0
+    #: Queue depths and feed latency for this batch (always populated).
+    backpressure: BackpressureMetrics = field(
+        default_factory=BackpressureMetrics
+    )
 
     @property
     def throughput_per_s(self) -> float:

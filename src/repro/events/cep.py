@@ -69,12 +69,22 @@ class SequencePattern:
     max_radius_m: float = 0.0
     #: Confidence assigned to emitted complex events.
     confidence: float = 0.9
+    #: How long past the pattern window buffered events are retained to
+    #: absorb detection latency, overriding the engine-wide default
+    #: passed to :meth:`CepEngine.expire` (``None`` = use that default).
+    #: A pattern over low-latency detectors (zone entries are known the
+    #: moment the fix arrives) can expire aggressively while a pattern
+    #: over high-latency ones (a gap is only discovered when the silence
+    #: ends) keeps its buffers long.
+    lateness_s: float | None = None
 
     def __post_init__(self) -> None:
         if len(self.sequence) < 2:
             raise ValueError("a sequence pattern needs at least 2 steps")
         if self.window_s <= 0:
             raise ValueError("window_s must be positive")
+        if self.lateness_s is not None and self.lateness_s < 0:
+            raise ValueError("lateness_s must be None or >= 0")
 
 
 class CepEngine:
@@ -137,22 +147,37 @@ class CepEngine:
 
     # -- state bounding ----------------------------------------------------
 
-    def expire(self, low_watermark: float) -> None:
+    def expire(
+        self, low_watermark: float, default_lateness_s: float = 0.0
+    ) -> None:
         """Evict events that can no longer participate in any match.
 
-        ``low_watermark`` promises that every event fed from now on has
-        ``t_start >= low_watermark``; buffered events more than a pattern
-        window older can never again be a match's first step.
+        ``low_watermark`` is the event-time frontier (the stream
+        watermark).  Each pattern retains buffered events for its own
+        ``lateness_s`` (detection-latency allowance; falling back to
+        ``default_lateness_s``) plus its window past that frontier:
+        an event older than ``low_watermark - lateness - window_s`` can
+        never again be a match's first step, even for a maximally late
+        discovery.  Events *discovered* later than their pattern's
+        lateness allowance may miss matches — pick the lateness from the
+        upstream detectors' latency.
         """
-        max_window = max((p.window_s for p in self.patterns), default=0.0)
+        def lateness(pattern: SequencePattern) -> float:
+            if pattern.lateness_s is not None:
+                return pattern.lateness_s
+            return default_lateness_s
+
+        max_horizon_s = max(
+            (p.window_s + lateness(p) for p in self.patterns), default=0.0
+        )
         for pattern in self.patterns:
-            horizon = low_watermark - pattern.window_s
+            horizon = low_watermark - lateness(pattern) - pattern.window_s
             for keys, events in self._buffers[pattern.name].values():
                 cut = bisect.bisect_left(keys, (horizon,))
                 if cut:
                     del keys[:cut]
                     del events[:cut]
-        seen_horizon = low_watermark - max_window
+        seen_horizon = low_watermark - max_horizon_s
         while self._seen_expiry and self._seen_expiry[0][0] < seen_horizon:
             self._seen.discard(heapq.heappop(self._seen_expiry))
 

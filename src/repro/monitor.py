@@ -1,0 +1,218 @@
+"""The embeddable monitoring service: source → session → subscriptions.
+
+:class:`MaritimeMonitor` is the one-object public API over the Figure 2
+infrastructure — the receiver-to-alarm path as a service instead of a
+pair of driver methods::
+
+    from repro import MaritimeMonitor
+    from repro.sources import NmeaTcpSource
+    from repro.sinks import AlertLogSink
+
+    monitor = MaritimeMonitor()                      # default config
+    monitor.attach(NmeaTcpSource("ais.example", 4001))
+    alerts = AlertLogSink()
+    alerts.attach(monitor.hub)
+    monitor.subscribe(
+        on_event=print, kinds=["rendezvous", "gap"]
+    ).run(tick_s=60.0)
+
+It wraps — without replacing — the existing layers: configuration is a
+validated :class:`~repro.core.PipelineConfig`, execution is a
+:class:`~repro.core.MaritimePipeline` driving a
+:class:`~repro.core.PipelineSession`, input is anything satisfying the
+:class:`~repro.sources.Source` protocol (bare iterables are wrapped),
+and output flows through the session's subscription hub.  ``process``
+and ``run_live`` keep working unchanged for callers that want the raw
+drivers.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import MaritimePipeline, PipelineResult
+from repro.core.stages import PipelineSession, StageStats
+from repro.sinks.subscription import SubscriptionHub
+from repro.sources.base import SourceStats
+from repro.sources.iterable import IterableSource
+
+__all__ = ["MaritimeMonitor", "MonitorReport"]
+
+
+@dataclass
+class MonitorReport:
+    """What one :meth:`MaritimeMonitor.run` consumed and produced."""
+
+    n_increments: int = 0
+    n_observations: int = 0
+    n_records: int = 0
+    n_events: int = 0
+    n_complex_events: int = 0
+    n_alarms: int = 0
+    n_forecast_updates: int = 0
+    #: Wall seconds spent inside feed/flush, per increment (tick
+    #: latencies; the flush is the last entry).
+    tick_seconds: list[float] = field(default_factory=list)
+    source: SourceStats | None = None
+    stages: list[StageStats] = field(default_factory=list)
+
+    @property
+    def wall_s(self) -> float:
+        return sum(self.tick_seconds)
+
+    def latency_quantile_s(self, q: float) -> float:
+        """Per-tick feed latency quantile (flush excluded)."""
+        ticks = sorted(self.tick_seconds[:-1])
+        if not ticks:
+            return 0.0
+        return ticks[min(len(ticks) - 1, int(q * (len(ticks) - 1)))]
+
+    def describe(self) -> str:
+        source = f" from {self.source.name}" if self.source else ""
+        return (
+            f"{self.n_records} records{source} in {self.n_increments} "
+            f"ticks: {self.n_events} events "
+            f"(+{self.n_complex_events} complex), {self.n_alarms} alarms, "
+            f"{self.n_forecast_updates} forecast updates"
+        )
+
+
+class MaritimeMonitor:
+    """Façade: configure once, attach a source, subscribe, run."""
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        ports=None,
+        cep_patterns=None,
+        zones=None,
+        specs: dict | None = None,
+        weather=None,
+        keep_products: bool = False,
+    ) -> None:
+        self.pipeline = MaritimePipeline(
+            config, ports=ports, cep_patterns=cep_patterns, zones=zones
+        )
+        self.specs = specs
+        self.weather = weather
+        self.keep_products = keep_products
+        #: Subscriptions registered before and during the run; installed
+        #: as the session's hub, so sinks may attach here at any time
+        #: (``sink.attach(monitor.hub)``).
+        self.hub = SubscriptionHub()
+        self.session: PipelineSession | None = None
+        #: The running/last run's accounting — populated even when a
+        #: failing subscriber aborts :meth:`run` mid-stream.
+        self.report: MonitorReport | None = None
+        self._source = None
+
+    @property
+    def config(self) -> PipelineConfig:
+        return self.pipeline.config
+
+    # -- fluent wiring -----------------------------------------------------
+
+    def attach(self, source) -> "MaritimeMonitor":
+        """Set the observation feed: a :class:`~repro.sources.Source` or
+        any iterable of observations (wrapped in ``IterableSource``)."""
+        if not hasattr(source, "stats"):
+            source = IterableSource(source)
+        self._source = source
+        return self
+
+    def subscribe(
+        self,
+        on_increment=None,
+        on_event=None,
+        on_alarm=None,
+        on_forecast=None,
+        kinds=None,
+        region=None,
+        mmsis=None,
+    ) -> "MaritimeMonitor":
+        """Register a consumer; returns ``self`` for chaining.
+
+        The created handle is appended to ``self.hub`` — grab it from
+        there (or call ``self.hub.subscribe`` directly) when you need to
+        close one subscription mid-run.
+        """
+        self.hub.subscribe(
+            on_increment=on_increment,
+            on_event=on_event,
+            on_alarm=on_alarm,
+            on_forecast=on_forecast,
+            kinds=kinds,
+            region=region,
+            mmsis=mmsis,
+        )
+        return self
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        tick_s: float = 60.0,
+        pol_split_t: float | None = None,
+        radar_contacts=(),
+        lrit_reports=(),
+    ) -> MonitorReport:
+        """Consume the attached source to exhaustion; returns the report.
+
+        Blocks until the source ends (EOF, remote close with reconnect
+        exhausted, or ``source.close()`` from another thread — the clean
+        way to stop an endless live feed).  A monitor runs once;
+        construct a new one for a new session.
+        """
+        if self._source is None:
+            raise RuntimeError("no source attached — call attach() first")
+        if self.session is not None:
+            raise RuntimeError("this monitor has already run")
+        source = self._source
+        session = self.pipeline.new_session(
+            specs=self.specs,
+            weather=self.weather,
+            pol_split_t=pol_split_t,
+            keep_products=self.keep_products,
+        )
+        session.subscriptions = self.hub
+        session.queue_probes.append(
+            lambda: {"source": source.stats().queue_depth}
+        )
+        self.session = session
+        report = self.report = MonitorReport()
+        try:
+            for increment in self.pipeline.run_live(
+                iter(source),
+                tick_s=tick_s,
+                radar_contacts=radar_contacts,
+                lrit_reports=lrit_reports,
+                session=session,
+            ):
+                report.n_increments += 1
+                report.n_observations += increment.n_observations
+                report.n_records += increment.n_records
+                report.n_events += len(increment.new_events)
+                report.n_complex_events += len(increment.new_complex_events)
+                report.n_alarms += len(increment.new_alarms)
+                report.n_forecast_updates += len(increment.updated_forecasts)
+                report.tick_seconds.append(increment.seconds)
+        finally:
+            # However the run ends — exhaustion or a subscriber raising
+            # (callbacks are fail-fast) — stop the source so a TCP
+            # reader thread does not keep the socket reconnecting, and
+            # keep the partial accounting diagnosable via self.report.
+            source.close()
+            report.source = source.stats()
+            report.stages = session.stages
+        return report
+
+    def result(self) -> PipelineResult:
+        """The classic batch result — only for ``keep_products=True``
+        monitors whose run has finished."""
+        if self.session is None or not self.session.flushed:
+            raise RuntimeError("run() has not completed")
+        if not self.keep_products:
+            raise RuntimeError(
+                "products were not kept; construct the monitor with "
+                "keep_products=True"
+            )
+        return self.pipeline.result(self.session)

@@ -1,0 +1,27 @@
+"""Selective consumers of pipeline output (the operator side).
+
+:class:`Subscription` and :class:`SubscriptionHub` implement the
+``session.subscribe(...)`` dispatch; :class:`JsonlSink`,
+:class:`CallbackSink` and :class:`AlertLogSink` package the common
+downstream consumers.  See :mod:`repro.sinks.subscription` for the
+filter semantics.
+"""
+
+from repro.sinks.subscription import Subscription, SubscriptionHub
+from repro.sinks.builtins import (
+    AlertLogSink,
+    CallbackSink,
+    JsonlSink,
+    event_to_dict,
+    increment_to_dict,
+)
+
+__all__ = [
+    "Subscription",
+    "SubscriptionHub",
+    "AlertLogSink",
+    "CallbackSink",
+    "JsonlSink",
+    "event_to_dict",
+    "increment_to_dict",
+]

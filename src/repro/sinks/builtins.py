@@ -1,0 +1,240 @@
+"""Built-in sinks: JSON lines, plain callbacks, triaged alert logs.
+
+Sinks are ordinary subscription consumers packaged for the common cases
+of Figure 2's downstream operators: ship increments to a store as JSON
+(:class:`JsonlSink`), hand selected events to a function
+(:class:`CallbackSink`), or run events through decision-support triage
+and keep the operator-facing alerts (:class:`AlertLogSink`).  Each sink
+exposes ``attach(target, ...)`` returning the subscription handle;
+``target`` is a :class:`~repro.core.stages.PipelineSession`, a
+:class:`~repro.sinks.subscription.SubscriptionHub`, or a
+:class:`~repro.monitor.MaritimeMonitor` (whose ``hub`` is used, since
+the monitor's own fluent ``subscribe`` returns the monitor).
+"""
+
+import json
+from typing import IO, Callable
+
+from repro.core.decision import DecisionSupport, OperatorProfile
+from repro.events.base import Event
+
+__all__ = [
+    "AlertLogSink",
+    "CallbackSink",
+    "JsonlSink",
+    "event_to_dict",
+    "increment_to_dict",
+]
+
+
+def event_to_dict(event: Event) -> dict:
+    """JSON-safe view of one event (details included: explanations are
+    part of the product, §4)."""
+    return {
+        "kind": event.kind.value,
+        "t_start": event.t_start,
+        "t_end": event.t_end,
+        "mmsis": list(event.mmsis),
+        "lat": event.lat,
+        "lon": event.lon,
+        "confidence": event.confidence,
+        "details": {str(k): _json_safe(v) for k, v in event.details.items()},
+    }
+
+
+def _subscribable(target):
+    """The object whose ``subscribe`` returns a Subscription handle.
+
+    The monitor façade's fluent ``subscribe`` returns the monitor
+    itself, so sinks attach to its hub instead.
+    """
+    return getattr(target, "hub", target)
+
+
+def _json_safe(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+def increment_to_dict(increment) -> dict:
+    """JSON-safe view of one :class:`PipelineIncrement` (the unit the
+    ``--json`` CLI mode and the JSONL sink stream)."""
+    backpressure = increment.backpressure
+    return {
+        "t_watermark": increment.t_watermark,
+        "n_observations": increment.n_observations,
+        "n_records": increment.n_records,
+        "n_segments": len(increment.new_segments),
+        "n_synopses": len(increment.new_synopses),
+        "events": [event_to_dict(e) for e in increment.new_events],
+        "complex_events": [
+            event_to_dict(e) for e in increment.new_complex_events
+        ],
+        "forecasts": {
+            str(mmsi): [
+                {
+                    "lat": p.lat,
+                    "lon": p.lon,
+                    "sigma_m": p.sigma_m,
+                    "horizon_s": p.horizon_s,
+                }
+                for p in predictions
+            ]
+            for mmsi, predictions in increment.updated_forecasts.items()
+        },
+        "alarms": [
+            {
+                "t": a.t,
+                "mmsi": a.mmsi,
+                "lat": a.lat,
+                "lon": a.lon,
+                "score": a.score,
+                "explanation": a.explanation,
+            }
+            for a in increment.new_alarms
+        ],
+        "seconds": increment.seconds,
+        "backpressure": {
+            "feed_latency_s": backpressure.feed_latency_s,
+            "records_deferred": backpressure.records_deferred,
+            "queue_depths": dict(backpressure.queue_depths),
+        },
+    }
+
+
+class JsonlSink:
+    """Stream increments (or just events) as JSON lines.
+
+    ``target`` is a path (opened and owned by the sink — call
+    :meth:`close`) or any writable text file object (borrowed).
+    ``mode="increments"`` writes one line per increment;
+    ``mode="events"`` writes one line per event passing the
+    subscription's filters.
+    """
+
+    def __init__(self, target: str | IO[str], mode: str = "increments") -> None:
+        if mode not in ("increments", "events"):
+            raise ValueError("mode must be 'increments' or 'events'")
+        self.mode = mode
+        self._owns = isinstance(target, str)
+        self._fh = open(target, "w") if isinstance(target, str) else target
+        self.n_lines = 0
+
+    def write_increment(self, increment) -> None:
+        self._write(increment_to_dict(increment))
+
+    def write_event(self, event: Event) -> None:
+        self._write(event_to_dict(event))
+
+    def _write(self, payload: dict) -> None:
+        self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        # Per-line flush: this sink serves live streams (the CLI --json
+        # mode pipes it), where block buffering would delay increments
+        # by whole ticks and lose the tail on interrupt.
+        self._fh.flush()
+        self.n_lines += 1
+
+    def attach(self, target, kinds=None, region=None, mmsis=None):
+        """Subscribe this sink; returns the subscription handle.
+
+        ``kinds``/``region``/``mmsis`` select events — they only apply
+        in ``mode="events"``; passing them with the increment mode is
+        rejected rather than silently archiving everything.
+        """
+        target = _subscribable(target)
+        if self.mode == "events":
+            return target.subscribe(
+                on_event=self.write_event,
+                kinds=kinds, region=region, mmsis=mmsis,
+            )
+        if kinds is not None or region is not None or mmsis is not None:
+            raise ValueError(
+                "event filters require mode='events'; increment mode "
+                "archives every increment whole"
+            )
+        return target.subscribe(on_increment=self.write_increment)
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+
+class CallbackSink:
+    """Hand each selected event to a function — the thinnest consumer.
+
+    Exists so ad-hoc consumers read like the other sinks::
+
+        CallbackSink(print, kinds=["rendezvous"]).attach(monitor)
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Event], None],
+        kinds=None,
+        region=None,
+        mmsis=None,
+    ) -> None:
+        self.fn = fn
+        self.kinds = kinds
+        self.region = region
+        self.mmsis = mmsis
+        self.n_delivered = 0
+
+    def _deliver(self, event: Event) -> None:
+        self.n_delivered += 1
+        self.fn(event)
+
+    def attach(self, target):
+        return _subscribable(target).subscribe(
+            on_event=self._deliver,
+            kinds=self.kinds, region=self.region, mmsis=self.mmsis,
+        )
+
+
+class AlertLogSink:
+    """Run events through decision-support triage and log the alerts.
+
+    The downstream operator of §4: every increment's events are filtered,
+    deduplicated, discounted and explained by a
+    :class:`~repro.core.decision.DecisionSupport` instance; resulting
+    alerts accumulate in :attr:`alerts` (bounded by ``max_alerts``,
+    oldest dropped) and optionally append to a text log, one rendered
+    line each.
+    """
+
+    def __init__(
+        self,
+        profile: OperatorProfile | None = None,
+        target: IO[str] | None = None,
+        max_alerts: int | None = None,
+    ) -> None:
+        self.support = DecisionSupport(
+            profile or OperatorProfile(name="alert-log")
+        )
+        self._fh = target
+        self.max_alerts = max_alerts
+        self.alerts: list = []
+
+    def _on_increment(self, increment) -> None:
+        events = list(increment.new_events) + list(
+            increment.new_complex_events
+        )
+        if not events:
+            return
+        for alert in self.support.triage(events):
+            self.alerts.append(alert)
+            if self._fh is not None:
+                self._fh.write(alert.render() + "\n")
+        if self.max_alerts is not None and len(self.alerts) > self.max_alerts:
+            del self.alerts[: len(self.alerts) - self.max_alerts]
+
+    def attach(self, target):
+        return _subscribable(target).subscribe(
+            on_increment=self._on_increment
+        )

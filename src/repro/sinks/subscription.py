@@ -1,0 +1,162 @@
+"""Selective consumption of pipeline increments: the subscription API.
+
+A :class:`Subscription` is a set of callbacks plus filters.  The session
+dispatches every :class:`~repro.core.stages.PipelineIncrement` through
+its :class:`SubscriptionHub`; each subscription routes the parts its
+owner asked for:
+
+- ``on_increment(increment)`` — the whole increment, unfiltered;
+- ``on_event(event)`` — each new primitive *and* complex event passing
+  the ``kinds`` / ``region`` / ``mmsis`` filters;
+- ``on_alarm(alarm)`` — each situation-monitor alarm (region/mmsi
+  filters apply; alarms carry no kind);
+- ``on_forecast(mmsi, predictions)`` — each vessel whose forecast set
+  was recomputed this increment.
+
+Filters: ``kinds`` accepts :class:`~repro.events.base.EventKind` members
+or their string values; ``region`` is anything with
+``contains(lat, lon)`` (every :mod:`repro.geo.region` shape qualifies);
+``mmsis`` keeps events involving at least one listed vessel.
+
+Callbacks run synchronously on the pipeline thread in subscription
+order; a sink that must not stall ingestion should hand off to its own
+queue.  A callback raising propagates to the driver — fail fast, the
+operator must know a consumer is broken.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.events.base import Event, EventKind
+
+__all__ = ["Subscription", "SubscriptionHub"]
+
+
+def _normalise_kinds(kinds) -> frozenset[EventKind] | None:
+    if kinds is None:
+        return None
+    out = set()
+    for kind in kinds:
+        out.add(kind if isinstance(kind, EventKind) else EventKind(kind))
+    return frozenset(out)
+
+
+@dataclass
+class Subscription:
+    """One consumer's view of the increment stream."""
+
+    on_increment: Callable | None = None
+    on_event: Callable[[Event], None] | None = None
+    on_alarm: Callable | None = None
+    on_forecast: Callable | None = None
+    kinds: frozenset[EventKind] | None = None
+    region: object | None = None
+    mmsis: frozenset[int] | None = None
+    #: Dispatch accounting (events/alarms/forecast updates delivered).
+    delivered: dict = field(default_factory=dict)
+    active: bool = True
+
+    def __post_init__(self) -> None:
+        self.kinds = _normalise_kinds(self.kinds)
+        if self.mmsis is not None:
+            self.mmsis = frozenset(self.mmsis)
+        if self.region is not None and not hasattr(self.region, "contains"):
+            raise TypeError("region must expose contains(lat, lon)")
+
+    # -- filters -----------------------------------------------------------
+
+    def _wants_event(self, event: Event) -> bool:
+        if self.kinds is not None and event.kind not in self.kinds:
+            return False
+        if self.mmsis is not None and not (self.mmsis & set(event.mmsis)):
+            return False
+        if self.region is not None and not self.region.contains(
+            event.lat, event.lon
+        ):
+            return False
+        return True
+
+    def _wants_alarm(self, alarm) -> bool:
+        if self.mmsis is not None and alarm.mmsi not in self.mmsis:
+            return False
+        if self.region is not None and not self.region.contains(
+            alarm.lat, alarm.lon
+        ):
+            return False
+        return True
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(self, increment) -> None:
+        """Route one increment through this subscription's callbacks."""
+        if not self.active:
+            return
+        if self.on_increment is not None:
+            self.on_increment(increment)
+            self._count("increments")
+        if self.on_event is not None:
+            for event in (*increment.new_events, *increment.new_complex_events):
+                if self._wants_event(event):
+                    self.on_event(event)
+                    self._count("events")
+        if self.on_alarm is not None:
+            for alarm in increment.new_alarms:
+                if self._wants_alarm(alarm):
+                    self.on_alarm(alarm)
+                    self._count("alarms")
+        if self.on_forecast is not None:
+            for mmsi, predictions in increment.updated_forecasts.items():
+                if self.mmsis is None or mmsi in self.mmsis:
+                    self.on_forecast(mmsi, predictions)
+                    self._count("forecasts")
+
+    def _count(self, what: str) -> None:
+        self.delivered[what] = self.delivered.get(what, 0) + 1
+
+    def close(self) -> None:
+        """Stop receiving; the hub forgets the subscription lazily."""
+        self.active = False
+
+
+class SubscriptionHub:
+    """The session-side registry dispatching increments to subscribers."""
+
+    def __init__(self) -> None:
+        self._subscriptions: list[Subscription] = []
+
+    def __len__(self) -> int:
+        return len([s for s in self._subscriptions if s.active])
+
+    def subscribe(
+        self,
+        on_increment: Callable | None = None,
+        on_event: Callable | None = None,
+        on_alarm: Callable | None = None,
+        on_forecast: Callable | None = None,
+        kinds=None,
+        region=None,
+        mmsis=None,
+    ) -> Subscription:
+        if not any((on_increment, on_event, on_alarm, on_forecast)):
+            raise ValueError("a subscription needs at least one callback")
+        subscription = Subscription(
+            on_increment=on_increment,
+            on_event=on_event,
+            on_alarm=on_alarm,
+            on_forecast=on_forecast,
+            kinds=kinds,
+            region=region,
+            mmsis=mmsis,
+        )
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def dispatch(self, increment) -> None:
+        closed = False
+        for subscription in self._subscriptions:
+            subscription.dispatch(increment)
+            closed = closed or not subscription.active
+        if closed:
+            self._subscriptions = [
+                s for s in self._subscriptions if s.active
+            ]

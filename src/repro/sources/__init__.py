@@ -1,0 +1,34 @@
+"""Typed observation feeds for the live pipeline (receiver side).
+
+One protocol, three transports:
+
+- :class:`IterableSource` — any in-process iterable of observations;
+- :class:`NmeaFileSource` — NMEA file replay with TAG-block timestamps
+  and a ``tail -f`` mode;
+- :class:`NmeaTcpSource` — line-framed TCP client with reconnect/backoff
+  and a bounded drop-oldest receive queue.
+
+See ``src/repro/sources/README.md`` for the protocol contract,
+timestamp grammar and overflow/reconnect semantics.
+"""
+
+from repro.sources.base import Source, SourceStats
+from repro.sources.iterable import IterableSource
+from repro.sources.nmea import (
+    NmeaFileSource,
+    format_tagged_sentence,
+    parse_tagged_line,
+    write_nmea_file,
+)
+from repro.sources.tcp import NmeaTcpSource
+
+__all__ = [
+    "Source",
+    "SourceStats",
+    "IterableSource",
+    "NmeaFileSource",
+    "NmeaTcpSource",
+    "format_tagged_sentence",
+    "parse_tagged_line",
+    "write_nmea_file",
+]

@@ -1,0 +1,68 @@
+"""The ``Source`` protocol: typed feeds into the live pipeline.
+
+A source is anything that yields
+:class:`~repro.simulation.receivers.Observation` objects in reception
+order and can report its own ingest accounting.  ``run_live`` (and the
+:class:`~repro.monitor.MaritimeMonitor` façade on top of it) consume a
+source exactly like any other observation iterable; what the protocol
+adds is provenance — every source knows how many lines it saw, how many
+observations it produced, and what it dropped or retried — so the
+backpressure metrics on each :class:`~repro.core.stages.PipelineIncrement`
+can reach all the way back to the receiver.
+"""
+
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.simulation.receivers import Observation
+
+__all__ = ["Source", "SourceStats"]
+
+
+@dataclass
+class SourceStats:
+    """Cumulative ingest accounting every source maintains.
+
+    Counters are cumulative over the source's lifetime; ``queue_depth``
+    is the *current* number of buffered observations (only queueing
+    sources — the TCP client — ever report a nonzero depth).
+    """
+
+    #: Short human-readable identity ("iterable", "file:feed.nmea", ...).
+    name: str = "source"
+    #: Raw input units seen (lines for file/socket sources, items for
+    #: in-process iterables).
+    n_lines: int = 0
+    #: Observations actually yielded downstream.
+    n_observations: int = 0
+    #: Inputs discarded: unparseable lines, or queue overflow victims.
+    n_dropped: int = 0
+    #: Parse/decode problems by reason (bad tag checksum, no sentence...).
+    errors: dict[str, int] = field(default_factory=dict)
+    #: Transport reconnects performed (TCP source only).
+    n_reconnects: int = 0
+    #: Observations currently buffered between transport and consumer.
+    queue_depth: int = 0
+    #: Largest queue depth ever observed.
+    queue_high_water: int = 0
+
+    def count_error(self, reason: str) -> None:
+        self.errors[reason] = self.errors.get(reason, 0) + 1
+
+
+@runtime_checkable
+class Source(Protocol):
+    """A typed observation feed.
+
+    ``__iter__`` yields observations in reception order and terminates
+    when the feed is exhausted (end of file without tail mode, remote
+    close without reconnect, or :meth:`close`).  ``stats`` may be called
+    at any time, including from another thread while iteration runs.
+    """
+
+    def __iter__(self) -> Iterator[Observation]: ...
+
+    def stats(self) -> SourceStats: ...
+
+    def close(self) -> None:
+        """Stop the feed; iteration ends after buffered items drain."""

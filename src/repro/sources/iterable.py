@@ -1,0 +1,37 @@
+"""In-process observation feeds wrapped in the :class:`Source` protocol."""
+
+from typing import Iterable, Iterator
+
+from repro.simulation.receivers import Observation
+from repro.sources.base import SourceStats
+
+__all__ = ["IterableSource"]
+
+
+class IterableSource:
+    """Adapt any iterable of :class:`Observation` to the source protocol.
+
+    The zero-cost source: replays, tests and benchmarks hand the feed
+    they already hold in memory to the same façade a socket would feed.
+    A generator is consumed once; a list can be iterated again.
+    """
+
+    def __init__(self, observations: Iterable[Observation],
+                 name: str = "iterable") -> None:
+        self._observations = observations
+        self._stats = SourceStats(name=name)
+        self._closed = False
+
+    def __iter__(self) -> Iterator[Observation]:
+        for obs in self._observations:
+            if self._closed:
+                break
+            self._stats.n_lines += 1
+            self._stats.n_observations += 1
+            yield obs
+
+    def stats(self) -> SourceStats:
+        return self._stats
+
+    def close(self) -> None:
+        self._closed = True

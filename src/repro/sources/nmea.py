@@ -1,0 +1,232 @@
+"""NMEA file feeds: TAG-block timestamps, file replay, and tail mode.
+
+Real AIS loggers prefix sentences with NMEA 4.0 *TAG blocks* —
+``\\c:1496127430,s:rORBCOMM000*4A\\!AIVDM,...`` — carrying reception
+metadata the sentence itself cannot (a position report encodes only the
+UTC second of its minute).  This module reads and writes that framing:
+
+- ``c:`` reception epoch, seconds (floats accepted; values above 10^12
+  are treated as milliseconds, the other convention in the wild);
+- ``s:`` receiving source name;
+- ``x:`` transmission epoch, seconds — our extension, written by
+  :func:`write_nmea_file` so a simulated feed round-trips through a file
+  with event time intact.  Unknown fields are ignored; a TAG block with a
+  bad checksum is dropped (counted) and the bare sentence still parses.
+
+Lines without a TAG block get a synthetic reception timeline
+(``start_t + n * synthetic_interval_s``) so plain ``!AIVDM`` dumps — the
+output of ``repro simulate`` — remain usable, just without real timing.
+
+:class:`NmeaFileSource` replays a file; with ``tail=True`` it keeps the
+file open at EOF and follows appended lines (``tail -f``), which is how
+a directory-drop feed from a real receiver is consumed.
+"""
+
+import time
+from typing import IO, Iterable, Iterator
+
+from repro.ais.checksum import nmea_checksum
+from repro.ais.decoder import AisDecoder
+from repro.simulation.receivers import Observation
+from repro.sources.base import SourceStats
+
+__all__ = [
+    "NmeaFileSource",
+    "format_tagged_sentence",
+    "parse_tagged_line",
+    "write_nmea_file",
+]
+
+#: Millisecond/second discrimination threshold for ``c:`` values.
+_MS_EPOCH_FLOOR = 1e12
+
+
+def parse_tagged_line(line: str) -> tuple[dict, str]:
+    """Split one feed line into (tag fields, sentence).
+
+    Returns ``({}, sentence)`` for untagged lines.  A malformed or
+    checksum-failing TAG block yields ``{"_bad_tag": reason}`` plus the
+    sentence after the block (defensive: never lose the payload).
+    """
+    line = line.strip()
+    if not line.startswith("\\"):
+        return {}, line
+    end = line.find("\\", 1)
+    if end == -1:
+        return {"_bad_tag": "unterminated"}, line.lstrip("\\")
+    block, sentence = line[1:end], line[end + 1:]
+    star = block.rfind("*")
+    if star == -1 or len(block) < star + 3:
+        return {"_bad_tag": "no_checksum"}, sentence
+    body, expected = block[:star], block[star + 1: star + 3].upper()
+    if nmea_checksum(body) != expected:
+        return {"_bad_tag": "checksum"}, sentence
+    fields: dict = {}
+    for item in body.split(","):
+        key, sep, value = item.partition(":")
+        if sep:
+            fields[key] = value
+    return fields, sentence
+
+
+def _tag_times(fields: dict) -> tuple[float | None, float | None]:
+    """(t_received, t_transmitted) from parsed TAG fields, if present."""
+    received = transmitted = None
+    try:
+        if "c" in fields:
+            received = float(fields["c"])
+            if received >= _MS_EPOCH_FLOOR:
+                received /= 1000.0
+    except ValueError:
+        pass
+    try:
+        if "x" in fields:
+            transmitted = float(fields["x"])
+    except ValueError:
+        pass
+    return received, transmitted
+
+
+def format_tagged_sentence(obs: Observation) -> str:
+    """One feed line for an observation: TAG block + raw sentence.
+
+    Epochs are written with ``repr`` (shortest round-tripping float), so
+    a write/read cycle reproduces reception and transmission times bit
+    for bit — the property the source-equivalence tests rely on.
+    """
+    body = f"c:{obs.t_received!r},s:{obs.source},x:{obs.t_transmitted!r}"
+    return f"\\{body}*{nmea_checksum(body)}\\{obs.sentence}"
+
+
+def write_nmea_file(
+    observations: Iterable[Observation],
+    target: str | IO[str],
+    tagged: bool = True,
+) -> int:
+    """Write a feed file; returns the number of lines written.
+
+    ``tagged=True`` (default) preserves reception/transmission epochs and
+    source names via TAG blocks, making the file a lossless transport for
+    :class:`NmeaFileSource`; ``tagged=False`` writes bare sentences.
+    """
+    fh = open(target, "w") if isinstance(target, str) else target
+    n = 0
+    try:
+        for obs in observations:
+            line = format_tagged_sentence(obs) if tagged else obs.sentence
+            fh.write(line + "\n")
+            n += 1
+    finally:
+        if isinstance(target, str):
+            fh.close()
+    return n
+
+
+class NmeaFileSource:
+    """Replay (or tail) a file of NMEA sentences as an observation feed.
+
+    Each line is parsed for a TAG block; the sentence is also run through
+    a local :class:`~repro.ais.decoder.AisDecoder` purely to recover the
+    MMSI for provenance (the pipeline re-decodes downstream — sources
+    stay stateless towards the session).  Timing rules:
+
+    - TAG ``c:`` present → that is the reception epoch; ``x:`` (if
+      present) the transmission epoch, else assumed equal to reception.
+    - no TAG block → synthetic reception timeline ``start_t + n * dt``.
+
+    ``tail=True`` keeps polling for appended lines every
+    ``poll_interval_s`` once EOF is reached, ending only after
+    ``idle_timeout_s`` without new data (``None`` = follow forever, until
+    :meth:`close`).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        tail: bool = False,
+        poll_interval_s: float = 0.2,
+        idle_timeout_s: float | None = None,
+        start_t: float = 0.0,
+        synthetic_interval_s: float = 1.0,
+        source_name: str | None = None,
+    ) -> None:
+        self.path = path
+        self.tail = tail
+        self.poll_interval_s = poll_interval_s
+        self.idle_timeout_s = idle_timeout_s
+        self.start_t = start_t
+        self.synthetic_interval_s = synthetic_interval_s
+        self.source_name = source_name
+        self._stats = SourceStats(name=f"file:{path}")
+        self._decoder = AisDecoder()
+        self._closed = False
+
+    # -- iteration ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Observation]:
+        with open(self.path) as fh:
+            yield from self._drain(fh)
+            idle_s = 0.0
+            while self.tail and not self._closed:
+                if self.idle_timeout_s is not None and idle_s >= self.idle_timeout_s:
+                    break
+                time.sleep(self.poll_interval_s)
+                produced = False
+                for obs in self._drain(fh):
+                    produced = True
+                    yield obs
+                idle_s = 0.0 if produced else idle_s + self.poll_interval_s
+
+    def _drain(self, fh: IO[str]) -> Iterator[Observation]:
+        """Yield observations for every complete line currently readable."""
+        while not self._closed:
+            # tell() is costly in text mode; only tail mode needs the
+            # rewind point for half-written lines.
+            position = fh.tell() if self.tail else 0
+            line = fh.readline()
+            if not line:
+                break
+            if not line.endswith("\n") and self.tail:
+                # A writer mid-line: rewind and retry on the next poll.
+                fh.seek(position)
+                break
+            obs = self._observation(line)
+            if obs is not None:
+                yield obs
+
+    def _observation(self, line: str) -> Observation | None:
+        stats = self._stats
+        stats.n_lines += 1
+        fields, sentence = parse_tagged_line(line)
+        if "_bad_tag" in fields:
+            stats.count_error(f"tag_{fields['_bad_tag']}")
+        if not sentence or sentence[0] not in "!$":
+            if sentence:  # blank lines are not worth counting as drops
+                stats.n_dropped += 1
+                stats.count_error("not_a_sentence")
+            return None
+        received, transmitted = _tag_times(fields)
+        if received is None:
+            received = (
+                self.start_t + (stats.n_observations) * self.synthetic_interval_s
+            )
+        if transmitted is None:
+            transmitted = received
+        message = self._decoder.feed(sentence, received_at=received)
+        mmsi = message.mmsi if message is not None else 0
+        stats.n_observations += 1
+        return Observation(
+            t_received=received,
+            sentence=sentence,
+            source=self.source_name or fields.get("s", "file"),
+            mmsi=mmsi,
+            t_transmitted=transmitted,
+        )
+
+    # -- protocol ----------------------------------------------------------
+
+    def stats(self) -> SourceStats:
+        return self._stats
+
+    def close(self) -> None:
+        self._closed = True

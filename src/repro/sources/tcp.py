@@ -1,0 +1,244 @@
+"""NMEA-over-TCP client source: the de-facto live AIS feed transport.
+
+Receivers and aggregators (dAISy, rtl-ais, AISHub, commercial feeds)
+serve newline-framed ``!AIVDM`` sentences over a plain TCP socket.
+:class:`NmeaTcpSource` is the consuming side, built for unattended runs:
+
+- a background reader thread owns the socket: connect, read, split into
+  lines, parse TAG blocks (same grammar as the file source) and stage
+  observations in a **bounded queue**;
+- the pipeline thread iterates the source and drains that queue, so a
+  slow tick never blocks the socket — when the queue fills, the *oldest*
+  staged observation is dropped (newest data wins; a surveillance
+  picture wants the current fix, not a complete backlog) and counted in
+  ``stats().n_dropped``;
+- connection loss triggers reconnect with exponential backoff
+  (``backoff_initial_s`` doubling to ``backoff_max_s``), counted in
+  ``stats().n_reconnects``; ``max_retries`` consecutive failed attempts
+  end the feed (``None`` retries forever until :meth:`close`), and
+  ``reconnect=False`` makes the feed single-shot — one connect attempt,
+  ended by failure or remote close.
+
+Iteration terminates when the reader has ended (remote close with
+reconnect exhausted, or :meth:`close`) and the queue is drained.
+"""
+
+import socket
+import threading
+import time
+from collections import deque
+from typing import Iterator
+
+from repro.ais.decoder import AisDecoder
+from repro.simulation.receivers import Observation
+from repro.sources.base import SourceStats
+from repro.sources.nmea import _tag_times, parse_tagged_line
+
+__all__ = ["NmeaTcpSource"]
+
+
+class NmeaTcpSource:
+    """Line-framed TCP client with reconnect, backoff and a bounded queue."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        max_queue: int = 10_000,
+        reconnect: bool = True,
+        max_retries: int | None = None,
+        backoff_initial_s: float = 0.5,
+        backoff_max_s: float = 30.0,
+        connect_timeout_s: float = 5.0,
+        read_timeout_s: float = 1.0,
+        source_name: str | None = None,
+    ) -> None:
+        if max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        self.host = host
+        self.port = port
+        self.max_queue = max_queue
+        self.reconnect = reconnect
+        self.max_retries = max_retries
+        self.backoff_initial_s = backoff_initial_s
+        self.backoff_max_s = backoff_max_s
+        self.connect_timeout_s = connect_timeout_s
+        self.read_timeout_s = read_timeout_s
+        self.source_name = source_name or f"tcp:{host}:{port}"
+        self._stats = SourceStats(name=self.source_name)
+        self._decoder = AisDecoder()
+        self._queue: deque[Observation] = deque()
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._stop = threading.Event()
+        self._reader: threading.Thread | None = None
+        self._sock: socket.socket | None = None
+
+    # -- reader thread -----------------------------------------------------
+
+    def _run_reader(self) -> None:
+        backoff = self.backoff_initial_s
+        failures = 0
+        first_attempt = True
+        while not self._stop.is_set():
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout_s
+                )
+            except OSError:
+                failures += 1
+                self._stats.count_error("connect_failed")
+                if not self._retry_allowed(failures):
+                    break
+                self._stop.wait(backoff)
+                backoff = min(backoff * 2.0, self.backoff_max_s)
+                continue
+            if not first_attempt:
+                self._stats.n_reconnects += 1
+            first_attempt = False
+            self._sock = sock
+            try:
+                got_data = self._read_lines(sock)
+            finally:
+                self._sock = None
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            if not self.reconnect:
+                break
+            if got_data:
+                # Only real data resets the backoff: a server that
+                # accepts and immediately closes (quota kicks) must back
+                # off like a failed connect, or we busy-loop on it.
+                failures = 0
+                backoff = self.backoff_initial_s
+            else:
+                failures += 1
+                self._stats.count_error("empty_connection")
+                if not self._retry_allowed(failures):
+                    break
+                self._stop.wait(backoff)
+                backoff = min(backoff * 2.0, self.backoff_max_s)
+        with self._available:
+            self._available.notify_all()
+
+    def _retry_allowed(self, failures: int) -> bool:
+        if not self.reconnect:
+            return False  # single-shot: one attempt, success or not
+        if self.max_retries is not None and failures > self.max_retries:
+            return False
+        return True
+
+    def _read_lines(self, sock: socket.socket) -> bool:
+        """Drain one connection, splitting the byte stream on newlines;
+        returns whether any data arrived (backoff-reset signal)."""
+        sock.settimeout(self.read_timeout_s)
+        buffer = b""
+        got_data = False
+        while not self._stop.is_set():
+            try:
+                chunk = sock.recv(4096)
+            except socket.timeout:
+                continue
+            except OSError:
+                return got_data
+            if not chunk:  # orderly remote close
+                if buffer.strip():
+                    self._ingest_line(buffer.decode("ascii", "replace"))
+                return got_data
+            got_data = True
+            buffer += chunk
+            while b"\n" in buffer:
+                raw, buffer = buffer.split(b"\n", 1)
+                line = raw.decode("ascii", "replace").strip()
+                if line:
+                    self._ingest_line(line)
+        return got_data
+
+    def _ingest_line(self, line: str) -> None:
+        stats = self._stats
+        stats.n_lines += 1
+        fields, sentence = parse_tagged_line(line)
+        if "_bad_tag" in fields:
+            stats.count_error(f"tag_{fields['_bad_tag']}")
+        if not sentence or sentence[0] not in "!$":
+            stats.n_dropped += 1
+            stats.count_error("not_a_sentence")
+            return
+        received, transmitted = _tag_times(fields)
+        if received is None:
+            received = time.time()
+        if transmitted is None:
+            transmitted = received
+        message = self._decoder.feed(sentence, received_at=received)
+        obs = Observation(
+            t_received=received,
+            sentence=sentence,
+            source=fields.get("s", self.source_name),
+            mmsi=message.mmsi if message is not None else 0,
+            t_transmitted=transmitted,
+        )
+        with self._available:
+            if len(self._queue) >= self.max_queue:
+                self._queue.popleft()  # drop-oldest: newest data wins
+                stats.n_dropped += 1
+                stats.count_error("queue_overflow")
+            self._queue.append(obs)
+            stats.queue_depth = len(self._queue)
+            stats.queue_high_water = max(
+                stats.queue_high_water, stats.queue_depth
+            )
+            self._available.notify()
+
+    # -- consumer side -----------------------------------------------------
+
+    def __iter__(self) -> Iterator[Observation]:
+        if self._reader is None:
+            self._reader = threading.Thread(
+                target=self._run_reader,
+                name=f"nmea-tcp-{self.host}:{self.port}",
+                daemon=True,
+            )
+            self._reader.start()
+        while True:
+            with self._available:
+                while not self._queue and self._feeding():
+                    self._available.wait(timeout=0.1)
+                if not self._queue:
+                    return
+                obs = self._queue.popleft()
+                # Counted here, not at staging: n_observations promises
+                # "yielded downstream", and overflow victims never are.
+                self._stats.n_observations += 1
+                self._stats.queue_depth = len(self._queue)
+            yield obs
+
+    def _feeding(self) -> bool:
+        """True while more observations may still arrive."""
+        return (
+            self._reader is not None
+            and self._reader.is_alive()
+            and not self._stop.is_set()
+        )
+
+    def stats(self) -> SourceStats:
+        return self._stats
+
+    def close(self) -> None:
+        """Stop reading; iteration ends once the queue drains."""
+        self._stop.set()
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        with self._available:
+            self._available.notify_all()
+        if self._reader is not None and self._reader is not threading.current_thread():
+            self._reader.join(timeout=2.0)

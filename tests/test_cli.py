@@ -57,6 +57,78 @@ class TestPipeline:
         assert "alerts" in out
 
 
+class TestPipelineSources:
+    def tagged_feed(self, tmp_path, capsys) -> str:
+        target = tmp_path / "feed.nmea"
+        code, __, err = run_cli(
+            ["simulate", "--vessels", "6", "--hours", "0.5", "--seed", "9",
+             "--tagged", "--output", str(target)],
+            capsys=capsys,
+        )
+        assert code == 0
+        assert "sentences" in err
+        return str(target)
+
+    def test_simulate_tagged_writes_tag_blocks(self, tmp_path, capsys):
+        path = self.tagged_feed(tmp_path, capsys)
+        first = open(path).readline()
+        assert first.startswith("\\c:")
+        assert "\\!AIVDM" in first
+
+    def test_nmea_file_end_to_end(self, tmp_path, capsys):
+        """simulate --tagged → pipeline --live --nmea-file: the full
+        file path from receiver log to tick report."""
+        path = self.tagged_feed(tmp_path, capsys)
+        code, out, err = run_cli(
+            ["pipeline", "--live", "--nmea-file", path, "--tick", "300"],
+            capsys=capsys,
+        )
+        assert code == 0
+        assert "watermark=" in out      # per-tick lines
+        assert "records from file:" in err  # monitor report on stderr
+
+    def test_nmea_file_json_stream(self, tmp_path, capsys):
+        import json
+
+        path = self.tagged_feed(tmp_path, capsys)
+        code, out, err = run_cli(
+            ["pipeline", "--live", "--nmea-file", path, "--json"],
+            capsys=capsys,
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in out.splitlines() if line]
+        assert lines
+        assert all("backpressure" in line for line in lines)
+        assert sum(line["n_records"] for line in lines) > 0
+
+    def test_replay_json_stream(self, capsys):
+        import json
+
+        code, out, __ = run_cli(
+            ["pipeline", "--live", "--json", "--vessels", "5",
+             "--hours", "0.4", "--seed", "3"],
+            capsys=capsys,
+        )
+        assert code == 0
+        assert all(json.loads(line) for line in out.splitlines() if line)
+
+    def test_source_requires_live(self, tmp_path, capsys):
+        code, __, err = run_cli(
+            ["pipeline", "--nmea-file", str(tmp_path / "x.nmea")],
+            capsys=capsys,
+        )
+        assert code == 2
+        assert "--live" in err
+
+    def test_bad_tcp_endpoint_rejected(self, capsys):
+        code, __, err = run_cli(
+            ["pipeline", "--live", "--nmea-tcp", "nonsense"],
+            capsys=capsys,
+        )
+        assert code == 2
+        assert "HOST:PORT" in err
+
+
 class TestDecode:
     def test_roundtrip_via_stdin(self, capsys):
         from repro.ais import PositionReport, encode_sentences

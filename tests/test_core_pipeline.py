@@ -127,6 +127,79 @@ class TestConfigKnobs:
             assert complex_event.details["pattern"] == "double_gap"
 
 
+class TestConfigValidation:
+    def test_default_config_is_valid(self):
+        assert PipelineConfig().validate() is not None
+
+    def test_cross_field_horizons_enforced(self):
+        from repro.core import ConfigError
+
+        with pytest.raises(ConfigError, match="gap_timeout_s"):
+            PipelineConfig(vessel_ttl_s=600.0).validate()
+        with pytest.raises(ConfigError, match="collision_max_state_age_s"):
+            PipelineConfig(
+                vessel_ttl_s=2000.0, collision_max_state_age_s=3000.0
+            ).validate()
+
+    def test_all_violations_reported_at_once(self):
+        from repro.core import ConfigError
+
+        with pytest.raises(ConfigError) as excinfo:
+            PipelineConfig(
+                gap_min_s=0.0, cube_cell_deg=-1.0,
+                pol_training_fraction=2.0,
+            ).validate()
+        message = str(excinfo.value)
+        for fragment in (
+            "gap_min_s", "cube_cell_deg", "pol_training_fraction",
+        ):
+            assert fragment in message
+
+    def test_pipeline_constructor_validates(self):
+        from repro.core import ConfigError
+
+        with pytest.raises(ConfigError):
+            MaritimePipeline(PipelineConfig(collision_screen_period_s=0.0))
+
+    def test_replace_returns_validated_copy(self):
+        from repro.core import ConfigError
+
+        base = PipelineConfig()
+        derived = base.replace(gap_min_s=1200.0)
+        assert derived.gap_min_s == 1200.0
+        assert base.gap_min_s == 900.0
+        with pytest.raises(ConfigError):
+            base.replace(vessel_ttl_s=1.0)
+
+    def test_non_numeric_values_reported_not_raised(self):
+        """A JSON/CLI profile handing strings in gets a ConfigError
+        naming the field, not a bare TypeError mid-validation."""
+        from repro.core import ConfigError
+
+        with pytest.raises(ConfigError, match="gap_min_s must be a number"):
+            PipelineConfig.from_overrides({"gap_min_s": "900"})
+        with pytest.raises(ConfigError, match="vessel_ttl_s must be a number"):
+            PipelineConfig(vessel_ttl_s="6h").validate()
+
+    def test_from_overrides_dotted_keys(self):
+        from repro.core import ConfigError
+
+        config = PipelineConfig.from_overrides(
+            {"reconstruction.gap_timeout_s": 900.0,
+             "rendezvous.max_distance_m": 400.0},
+            gap_min_s=600.0,
+        )
+        assert config.reconstruction.gap_timeout_s == 900.0
+        assert config.rendezvous.max_distance_m == 400.0
+        assert config.gap_min_s == 600.0
+        # The default instance is untouched (nested configs rebuilt).
+        assert PipelineConfig().reconstruction.gap_timeout_s == 1800.0
+        with pytest.raises(ConfigError, match="unknown config field"):
+            PipelineConfig.from_overrides({"reconstruction.nope": 1})
+        with pytest.raises(ConfigError, match="unknown config field"):
+            PipelineConfig.from_overrides(nope=1)
+
+
 class TestStageStats:
     def test_zero_duration_throughput_is_json_safe(self):
         """Regression: inf throughput broke json.dumps of result tables."""

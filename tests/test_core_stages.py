@@ -3,19 +3,31 @@
 The headline property of the runtime: for any simulated scenario,
 replaying its feed through ``run_live`` — at any ``tick_s`` — yields the
 same event set, the same forecasts, and the same cube totals as the
-one-shot ``process(run)``.  Plus: a long-running live session over a
-repeating feed keeps every tracked per-vessel structure at a stable
-size (entries evicted by age).
+one-shot ``process(run)``.  The same property extends across *sources*:
+the identical feed delivered in-process, through an NMEA file round
+trip, or over a TCP loopback produces the identical products.  Plus: a
+long-running live session over a repeating feed keeps every tracked
+per-vessel structure at a stable size (entries evicted by age).
 """
 
 import random
+import socket
+import threading
 
 import pytest
 
 from repro.ais.types import ShipType
 from repro.core import MaritimePipeline, PipelineConfig
 from repro.events.cep import event_key
+from repro.monitor import MaritimeMonitor
 from repro.simulation import global_scenario, regional_scenario
+from repro.sources import (
+    IterableSource,
+    NmeaFileSource,
+    NmeaTcpSource,
+    format_tagged_sentence,
+    write_nmea_file,
+)
 from repro.simulation.behaviours import plan_rendezvous_pair, plan_transit
 from repro.simulation.receivers import (
     Observation,
@@ -145,6 +157,164 @@ class TestBatchLiveEquivalence:
         for increment in MaritimePipeline().replay_live(run, tick_s=600.0):
             events.extend(increment.new_events)
         assert event_keys(events) == event_keys(batch.events)
+
+
+def monitor_products(run, source, tick_s: float = 240.0):
+    """Drive one source through the façade; returns comparable products."""
+    pipeline = MaritimePipeline()
+    monitor = MaritimeMonitor(specs=run.specs, weather=run.weather)
+    events, complex_events, forecasts = [], [], {}
+    monitor.subscribe(
+        on_event=lambda e: (
+            complex_events.append(e)
+            if e.kind.value == "complex" else events.append(e)
+        ),
+        on_forecast=lambda mmsi, p: forecasts.__setitem__(mmsi, p),
+    )
+    monitor.attach(source)
+    report = monitor.run(
+        tick_s=tick_s,
+        pol_split_t=pipeline._pol_split(run),
+        radar_contacts=run.radar_contacts,
+        lrit_reports=run.lrit_reports,
+    )
+    return {
+        "events": event_keys(events),
+        "complex": event_keys(complex_events),
+        "forecasts": forecasts,
+        "cube_total": monitor.session.state.cube.total,
+        "cube_cells": monitor.session.state.cube.cell_counts(),
+        "report": report,
+    }
+
+
+def serve_lines(lines):
+    """Loopback NMEA server replaying the feed once; returns the port."""
+    server = socket.socket()
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    port = server.getsockname()[1]
+
+    def run():
+        conn, __ = server.accept()
+        conn.sendall(("\n".join(lines) + "\n").encode())
+        conn.close()
+        server.close()
+
+    threading.Thread(target=run, daemon=True).start()
+    return port
+
+
+class TestSourceEquivalence:
+    """The acceptance property of the source layer: in-process iterable,
+    NMEA-file round trip and TCP loopback deliver the *same* feed, so
+    every product — events, forecasts, cube — matches ``process()``."""
+
+    def test_iterable_file_and_tcp_match_process(self, tmp_path):
+        run = SCENARIOS["regional"]().run()
+        batch = MaritimePipeline().process(run)
+
+        path = tmp_path / "feed.nmea"
+        write_nmea_file(run.observations, str(path))
+        port = serve_lines(
+            [format_tagged_sentence(o) for o in run.observations]
+        )
+        products = {
+            "iterable": monitor_products(
+                run, IterableSource(run.observations)
+            ),
+            "nmea_file": monitor_products(run, NmeaFileSource(str(path))),
+            "nmea_tcp": monitor_products(
+                run, NmeaTcpSource("127.0.0.1", port, reconnect=False)
+            ),
+        }
+        for name, got in products.items():
+            assert got["events"] == event_keys(batch.events), name
+            assert got["complex"] == event_keys(batch.complex_events), name
+            assert got["forecasts"] == batch.forecasts, name
+            assert got["cube_total"] == batch.cube.total, name
+            assert got["cube_cells"] == batch.cube.cell_counts(), name
+            assert got["report"].n_records > 0, name
+
+    def test_tick_size_invariance_through_file_source(self, tmp_path):
+        """The file transport composes with the tick-slicing property."""
+        run = SCENARIOS["regional"]().run()
+        path = tmp_path / "feed.nmea"
+        write_nmea_file(run.observations, str(path))
+        small = monitor_products(run, NmeaFileSource(str(path)), tick_s=120.0)
+        large = monitor_products(run, NmeaFileSource(str(path)), tick_s=2700.0)
+        assert small["events"] == large["events"]
+        assert small["cube_cells"] == large["cube_cells"]
+
+
+class TestBackpressureMetrics:
+    def test_every_increment_carries_metrics(self):
+        run = SCENARIOS["regional"]().run()
+        increments = list(MaritimePipeline().replay_live(run, tick_s=240.0))
+        assert increments
+        for increment in increments:
+            metrics = increment.backpressure
+            assert metrics.feed_latency_s == increment.seconds
+            assert set(metrics.queue_depths) >= {
+                "reorder", "radar", "lrit", "cep",
+            }
+            assert metrics.records_deferred == metrics.queue_depths["reorder"]
+        # The reorder buffer really holds records back mid-stream (the
+        # satellite lateness bound), and the flush drains everything.
+        assert any(
+            inc.backpressure.records_deferred > 0 for inc in increments
+        )
+        assert increments[-1].backpressure.records_deferred == 0
+
+    def test_stage_stats_track_pending_high_water(self):
+        run = SCENARIOS["regional"]().run()
+        pipeline = MaritimePipeline()
+        session = pipeline.new_session(
+            specs=run.specs, weather=run.weather, pol_split_t=900.0
+        )
+        for increment in pipeline.run_live(
+            run.observations, tick_s=240.0, session=session
+        ):
+            pass
+        reorder = session.stages[1]
+        assert reorder.name == "reorder"
+        assert reorder.max_pending > 0
+        assert reorder.pending == 0  # flushed
+
+    def test_failing_subscriber_still_closes_source(self):
+        """Subscriptions are fail-fast, but the monitor must not leak a
+        live source (a TCP reader would reconnect forever); the partial
+        accounting stays reachable via monitor.report."""
+        run = regional_scenario(n_vessels=5, duration_s=1200.0, seed=4).run()
+        source = IterableSource(run.observations)
+        monitor = MaritimeMonitor(specs=run.specs, weather=run.weather)
+        monitor.attach(source).subscribe(
+            on_increment=lambda inc: (_ for _ in ()).throw(
+                RuntimeError("consumer broke")
+            )
+        )
+        with pytest.raises(RuntimeError, match="consumer broke"):
+            monitor.run(tick_s=300.0)
+        assert list(source) == []  # close() stopped the feed
+        assert monitor.report is not None
+        assert monitor.report.source is source.stats()
+
+    def test_monitor_probes_source_queue(self):
+        run = SCENARIOS["regional"]().run()
+        port = serve_lines(
+            [format_tagged_sentence(o) for o in run.observations]
+        )
+        depths = []
+        monitor = MaritimeMonitor(specs=run.specs, weather=run.weather)
+        monitor.subscribe(
+            on_increment=lambda inc: depths.append(
+                inc.backpressure.queue_depths["source"]
+            )
+        )
+        monitor.attach(NmeaTcpSource("127.0.0.1", port, reconnect=False))
+        monitor.run(tick_s=600.0)
+        assert depths  # every increment exposed the source queue depth
 
 
 class TestSessionBasics:

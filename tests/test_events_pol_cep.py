@@ -332,6 +332,46 @@ class TestCepOutOfOrderAndDuplicates:
         # The evicted gap can no longer anchor a (stale) match.
         assert engine.feed(event(EventKind.RENDEZVOUS, 600.0, (1, 2))) == []
 
+    def test_per_pattern_lateness_overrides_default(self):
+        """A short-lateness pattern evicts its buffers early while a
+        long-lateness twin still matches the same late discovery."""
+        def pattern(name, lateness_s):
+            return SequencePattern(
+                name=name,
+                sequence=(EventKind.GAP, EventKind.RENDEZVOUS),
+                window_s=3600.0,
+                max_radius_m=50_000.0,
+                lateness_s=lateness_s,
+            )
+
+        engine = CepEngine(
+            [pattern("impatient", 600.0), pattern("patient", 14_400.0)]
+        )
+        engine.feed(event(EventKind.GAP, 0.0, (1,)))
+        # Watermark 5000: the impatient pattern's horizon is
+        # 5000 - 600 - 3600 = 800 > 0 (gap evicted); the patient one's is
+        # 5000 - 14400 - 3600 < 0 (gap retained).
+        engine.expire(5000.0, default_lateness_s=0.0)
+        completed = engine.feed(event(EventKind.RENDEZVOUS, 900.0, (1, 2)))
+        assert [c.details["pattern"] for c in completed] == ["patient"]
+
+    def test_default_lateness_applies_when_pattern_has_none(self):
+        engine = CepEngine([DARK_RDV])  # lateness_s=None
+        engine.feed(event(EventKind.GAP, 0.0, (1,)))
+        engine.expire(5000.0, default_lateness_s=7200.0)
+        assert engine.buffered() == 1  # 5000 - 7200 - 3600 < 0: retained
+        engine.expire(5000.0, default_lateness_s=0.0)
+        assert engine.buffered() == 0
+
+    def test_negative_lateness_rejected(self):
+        with pytest.raises(ValueError):
+            SequencePattern(
+                name="bad",
+                sequence=(EventKind.GAP, EventKind.RENDEZVOUS),
+                window_s=3600.0,
+                lateness_s=-1.0,
+            )
+
     def test_three_step_out_of_order(self):
         pattern = SequencePattern(
             name="triple",

@@ -1,0 +1,221 @@
+"""Sinks and subscriptions: filtered dispatch from pipeline increments."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.stages import BackpressureMetrics, PipelineIncrement
+from repro.events.base import Event, EventKind
+from repro.forecasting.kalmanpredict import PredictionWithUncertainty
+from repro.geo import CircleRegion
+from repro.sinks import (
+    AlertLogSink,
+    CallbackSink,
+    JsonlSink,
+    SubscriptionHub,
+    event_to_dict,
+    increment_to_dict,
+)
+from repro.visual.overview import MonitoringAlarm
+
+
+def event(kind=EventKind.GAP, t=0.0, mmsis=(1,), lat=48.0, lon=-5.0):
+    return Event(
+        kind=kind, t_start=t, t_end=t + 60.0, mmsis=tuple(mmsis),
+        lat=lat, lon=lon, confidence=0.9,
+        details={"note": "test", "kinds": [EventKind.GAP]},
+    )
+
+
+def increment(events=(), complex_events=(), alarms=(), forecasts=None):
+    return PipelineIncrement(
+        t_watermark=1000.0,
+        n_observations=10,
+        n_records=8,
+        new_events=list(events),
+        new_complex_events=list(complex_events),
+        new_alarms=list(alarms),
+        updated_forecasts=dict(forecasts or {}),
+        backpressure=BackpressureMetrics(
+            feed_latency_s=0.01, records_deferred=3,
+            queue_depths={"reorder": 3, "cep": 1},
+        ),
+    )
+
+
+class TestSubscriptionDispatch:
+    def test_kind_filter_spans_primitive_and_complex(self):
+        hub = SubscriptionHub()
+        got = []
+        hub.subscribe(on_event=got.append, kinds=["gap", EventKind.COMPLEX])
+        hub.dispatch(increment(
+            events=[event(EventKind.GAP), event(EventKind.LOITERING)],
+            complex_events=[event(EventKind.COMPLEX)],
+        ))
+        assert [e.kind for e in got] == [EventKind.GAP, EventKind.COMPLEX]
+
+    def test_region_and_mmsi_filters(self):
+        hub = SubscriptionHub()
+        in_region, by_vessel = [], []
+        hub.subscribe(
+            on_event=in_region.append,
+            region=CircleRegion(lat=48.0, lon=-5.0, radius_m=50_000.0),
+        )
+        hub.subscribe(on_event=by_vessel.append, mmsis=[2])
+        hub.dispatch(increment(events=[
+            event(mmsis=(1,), lat=48.1, lon=-5.1),
+            event(mmsis=(2, 3), lat=20.0, lon=10.0),
+        ]))
+        assert len(in_region) == 1 and in_region[0].lat == 48.1
+        assert len(by_vessel) == 1 and by_vessel[0].mmsis == (2, 3)
+
+    def test_alarm_and_forecast_routing(self):
+        hub = SubscriptionHub()
+        alarms, forecasts = [], []
+        hub.subscribe(on_alarm=alarms.append, mmsis=[7])
+        hub.subscribe(on_forecast=lambda mmsi, p: forecasts.append(mmsi))
+        hub.dispatch(increment(
+            alarms=[
+                MonitoringAlarm(t=1.0, mmsi=7, lat=0.0, lon=0.0,
+                                score=5.0, explanation="x"),
+                MonitoringAlarm(t=2.0, mmsi=8, lat=0.0, lon=0.0,
+                                score=5.0, explanation="y"),
+            ],
+            forecasts={
+                5: [PredictionWithUncertainty(48.0, -5.0, 100.0, 300.0)]
+            },
+        ))
+        assert [a.mmsi for a in alarms] == [7]
+        assert forecasts == [5]
+
+    def test_close_stops_delivery_and_hub_forgets(self):
+        hub = SubscriptionHub()
+        got = []
+        subscription = hub.subscribe(on_event=got.append)
+        hub.dispatch(increment(events=[event()]))
+        subscription.close()
+        hub.dispatch(increment(events=[event(t=60.0)]))
+        assert len(got) == 1
+        assert len(hub) == 0
+
+    def test_subscription_requires_a_callback(self):
+        with pytest.raises(ValueError):
+            SubscriptionHub().subscribe()
+
+    def test_region_must_have_contains(self):
+        with pytest.raises(TypeError):
+            SubscriptionHub().subscribe(on_event=print, region=object())
+
+    def test_delivery_accounting(self):
+        hub = SubscriptionHub()
+        subscription = hub.subscribe(
+            on_increment=lambda inc: None, on_event=lambda e: None
+        )
+        hub.dispatch(increment(events=[event(), event(t=60.0)]))
+        assert subscription.delivered == {"increments": 1, "events": 2}
+
+
+class TestSerialisers:
+    def test_event_dict_is_json_safe(self):
+        payload = json.dumps(event_to_dict(event()))
+        decoded = json.loads(payload)
+        assert decoded["kind"] == "gap"
+        assert decoded["details"]["kinds"] == ["EventKind.GAP"]
+
+    def test_increment_dict_carries_backpressure(self):
+        decoded = json.loads(json.dumps(increment_to_dict(
+            increment(events=[event()])
+        )))
+        assert decoded["backpressure"]["records_deferred"] == 3
+        assert decoded["backpressure"]["queue_depths"]["reorder"] == 3
+        assert len(decoded["events"]) == 1
+
+
+class TestJsonlSink:
+    def test_increment_mode(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        hub = SubscriptionHub()
+        sink.attach(hub)
+        hub.dispatch(increment(events=[event()]))
+        hub.dispatch(increment())
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 2 and sink.n_lines == 2
+        assert json.loads(lines[0])["n_records"] == 8
+
+    def test_event_mode_applies_filters(self):
+        buffer = io.StringIO()
+        hub = SubscriptionHub()
+        JsonlSink(buffer, mode="events").attach(hub, kinds=["gap"])
+        hub.dispatch(increment(
+            events=[event(EventKind.GAP), event(EventKind.LOITERING)]
+        ))
+        lines = [
+            json.loads(line) for line in buffer.getvalue().splitlines()
+        ]
+        assert [line["kind"] for line in lines] == ["gap"]
+
+    def test_owns_path_targets(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        sink = JsonlSink(str(path))
+        sink.write_event(event())
+        sink.close()
+        assert json.loads(path.read_text())["kind"] == "gap"
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            JsonlSink(io.StringIO(), mode="everything")
+
+    def test_increment_mode_rejects_event_filters(self):
+        """Filters only select events; silently archiving everything
+        while the caller believes it filtered would be worse."""
+        with pytest.raises(ValueError, match="mode='events'"):
+            JsonlSink(io.StringIO()).attach(
+                SubscriptionHub(), kinds=["rendezvous"]
+            )
+
+
+class TestCallbackSink:
+    def test_attach_to_monitor_returns_closable_subscription(self):
+        """Attaching to the façade subscribes on its hub, so the handle
+        really is a Subscription (the monitor's own fluent subscribe
+        returns the monitor)."""
+        from repro.monitor import MaritimeMonitor
+
+        monitor = MaritimeMonitor()
+        subscription = CallbackSink(lambda e: None).attach(monitor)
+        assert len(monitor.hub) == 1
+        subscription.close()
+        assert len(monitor.hub) == 0
+
+    def test_filters_and_counts(self):
+        got = []
+        hub = SubscriptionHub()
+        CallbackSink(got.append, kinds=[EventKind.RENDEZVOUS]).attach(hub)
+        hub.dispatch(increment(events=[
+            event(EventKind.RENDEZVOUS), event(EventKind.GAP),
+        ]))
+        assert [e.kind for e in got] == [EventKind.RENDEZVOUS]
+
+
+class TestAlertLogSink:
+    def test_triages_and_logs(self):
+        log = io.StringIO()
+        sink = AlertLogSink(target=log)
+        hub = SubscriptionHub()
+        sink.attach(hub)
+        hub.dispatch(increment(events=[event(EventKind.RENDEZVOUS)]))
+        assert len(sink.alerts) == 1
+        assert "rendezvous" in log.getvalue()
+
+    def test_max_alerts_bounds_retention(self):
+        sink = AlertLogSink(max_alerts=2)
+        hub = SubscriptionHub()
+        sink.attach(hub)
+        for i in range(5):
+            # Distinct vessels defeat triage dedup, so each event alerts.
+            hub.dispatch(increment(
+                events=[event(EventKind.GAP, t=10_000.0 * i, mmsis=(i,))]
+            ))
+        assert len(sink.alerts) == 2

@@ -1,0 +1,307 @@
+"""Sources: TAG-block grammar, file replay/tail, TCP client semantics."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.ais import PositionReport, encode_sentences
+from repro.simulation.receivers import Observation
+from repro.sources import (
+    IterableSource,
+    NmeaFileSource,
+    NmeaTcpSource,
+    Source,
+    format_tagged_sentence,
+    parse_tagged_line,
+    write_nmea_file,
+)
+
+
+def make_observation(
+    i: int = 0, mmsi: int = 227000001, t: float = 100.0
+) -> Observation:
+    sentence = encode_sentences(
+        PositionReport(
+            mmsi=mmsi, lat=48.0 + 0.01 * i, lon=-5.0, sog_knots=9.0,
+            cog_deg=45.0,
+        )
+    )[0]
+    return Observation(
+        t_received=t + 2.5,
+        sentence=sentence,
+        source="STA-TEST",
+        mmsi=mmsi,
+        t_transmitted=t,
+    )
+
+
+class TestTagBlocks:
+    def test_round_trip(self):
+        obs = make_observation()
+        fields, sentence = parse_tagged_line(format_tagged_sentence(obs))
+        assert sentence == obs.sentence
+        assert float(fields["c"]) == pytest.approx(obs.t_received)
+        assert float(fields["x"]) == pytest.approx(obs.t_transmitted)
+        assert fields["s"] == "STA-TEST"
+
+    def test_untagged_line_passes_through(self):
+        fields, sentence = parse_tagged_line("!AIVDM,1,1,,A,x,0*00\n")
+        assert fields == {}
+        assert sentence.startswith("!AIVDM")
+
+    def test_bad_checksum_flagged_but_sentence_kept(self):
+        obs = make_observation()
+        line = format_tagged_sentence(obs)
+        block_end = line.find("\\", 1)
+        corrupted = "\\" + line[1:block_end - 2] + "00" + line[block_end:]
+        fields, sentence = parse_tagged_line(corrupted)
+        assert fields == {"_bad_tag": "checksum"}
+        assert sentence == obs.sentence
+
+    def test_milliseconds_epoch_normalised(self):
+        from repro.sources.nmea import _tag_times
+
+        received, transmitted = _tag_times({"c": "1496127430000"})
+        assert received == pytest.approx(1496127430.0)
+        assert transmitted is None
+
+
+class TestIterableSource:
+    def test_counts_and_protocol(self):
+        observations = [make_observation(i, t=100.0 + i) for i in range(5)]
+        source = IterableSource(observations)
+        assert isinstance(source, Source)
+        assert list(source) == observations
+        assert source.stats().n_observations == 5
+
+    def test_close_stops_iteration(self):
+        source = IterableSource(
+            make_observation(i, t=100.0 + i) for i in range(100)
+        )
+        out = []
+        for obs in source:
+            out.append(obs)
+            if len(out) == 3:
+                source.close()
+        assert len(out) == 3
+
+
+class TestNmeaFileSource:
+    def test_tagged_round_trip_preserves_times(self, tmp_path):
+        observations = [make_observation(i, t=100.0 + 7 * i) for i in range(20)]
+        path = tmp_path / "feed.nmea"
+        assert write_nmea_file(observations, str(path)) == 20
+        got = list(NmeaFileSource(str(path)))
+        assert len(got) == 20
+        for a, b in zip(got, observations):
+            assert a.sentence == b.sentence
+            assert a.t_received == pytest.approx(b.t_received, abs=1e-3)
+            assert a.t_transmitted == pytest.approx(b.t_transmitted, abs=1e-3)
+            assert a.source == b.source
+            assert a.mmsi == b.mmsi
+
+    def test_bare_sentences_get_synthetic_timeline(self, tmp_path):
+        observations = [make_observation(i) for i in range(4)]
+        path = tmp_path / "bare.nmea"
+        write_nmea_file(observations, str(path), tagged=False)
+        got = list(
+            NmeaFileSource(str(path), start_t=50.0, synthetic_interval_s=2.0)
+        )
+        assert [o.t_received for o in got] == [50.0, 52.0, 54.0, 56.0]
+        assert all(o.t_transmitted == o.t_received for o in got)
+
+    def test_garbage_lines_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "dirty.nmea"
+        path.write_text(
+            format_tagged_sentence(make_observation())
+            + "\ngarbage line\n\n"
+            + make_observation(1).sentence + "\n"
+        )
+        source = NmeaFileSource(str(path))
+        assert len(list(source)) == 2
+        stats = source.stats()
+        assert stats.n_dropped == 1
+        assert stats.errors.get("not_a_sentence") == 1
+
+    def test_tail_mode_follows_appends(self, tmp_path):
+        path = tmp_path / "tail.nmea"
+        first = [make_observation(i, t=100.0 + i) for i in range(3)]
+        later = [make_observation(i, t=200.0 + i) for i in range(3, 6)]
+        write_nmea_file(first, str(path))
+        source = NmeaFileSource(
+            str(path), tail=True, poll_interval_s=0.01, idle_timeout_s=5.0
+        )
+
+        def append_then_close():
+            time.sleep(0.05)
+            with open(path, "a") as fh:
+                write_nmea_file(later, fh)
+            time.sleep(0.05)
+            source.close()
+
+        writer = threading.Thread(target=append_then_close)
+        writer.start()
+        got = list(source)
+        writer.join()
+        assert [o.t_transmitted for o in got] == [
+            o.t_transmitted for o in first + later
+        ]
+
+    def test_tail_idle_timeout_ends_iteration(self, tmp_path):
+        path = tmp_path / "idle.nmea"
+        write_nmea_file([make_observation()], str(path))
+        source = NmeaFileSource(
+            str(path), tail=True, poll_interval_s=0.01, idle_timeout_s=0.05
+        )
+        assert len(list(source)) == 1  # returns rather than hanging
+
+
+def serve_lines(lines, close_after=None, accept_n=1):
+    """One-shot loopback NMEA server; returns (port, thread)."""
+    server = socket.socket()
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    server.bind(("127.0.0.1", 0))
+    server.listen(accept_n)
+    port = server.getsockname()[1]
+
+    def run():
+        for __ in range(accept_n):
+            conn, __addr = server.accept()
+            payload = lines if close_after is None else lines[:close_after]
+            conn.sendall(("\n".join(payload) + "\n").encode())
+            conn.close()
+        server.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return port, thread
+
+
+class TestNmeaTcpSource:
+    def test_loopback_replay_preserves_feed(self):
+        observations = [make_observation(i, t=100.0 + i) for i in range(30)]
+        lines = [format_tagged_sentence(o) for o in observations]
+        port, thread = serve_lines(lines)
+        source = NmeaTcpSource("127.0.0.1", port, reconnect=False)
+        got = list(source)
+        thread.join(timeout=2.0)
+        assert len(got) == 30
+        for a, b in zip(got, observations):
+            assert a.sentence == b.sentence
+            assert a.t_received == pytest.approx(b.t_received, abs=1e-3)
+            assert a.t_transmitted == pytest.approx(b.t_transmitted, abs=1e-3)
+        stats = source.stats()
+        assert stats.n_lines == 30
+        assert stats.n_reconnects == 0
+        assert stats.queue_depth == 0
+
+    def test_bounded_queue_drops_oldest(self):
+        observations = [make_observation(i, t=100.0 + i) for i in range(50)]
+        lines = [format_tagged_sentence(o) for o in observations]
+        port, thread = serve_lines(lines)
+        source = NmeaTcpSource(
+            "127.0.0.1", port, max_queue=10, reconnect=False
+        )
+        iterator = iter(source)
+        # Let the reader outrun the (absent) consumer, then drain.
+        deadline = time.time() + 5.0
+        while source.stats().n_lines < 50 and time.time() < deadline:
+            time.sleep(0.01)
+        got = list(iterator)
+        stats = source.stats()
+        assert stats.n_dropped == 50 - len(got)
+        assert stats.n_dropped > 0
+        # n_observations promises "yielded downstream": overflow victims
+        # are not counted.
+        assert stats.n_observations == len(got)
+        assert stats.errors.get("queue_overflow") == stats.n_dropped
+        # Drop-oldest: the tail of the feed survives verbatim.
+        assert [o.sentence for o in got] == [
+            o.sentence for o in observations[-len(got):]
+        ]
+        assert stats.queue_high_water <= 10
+
+    def test_reconnect_counted_and_feed_resumes(self):
+        observations = [make_observation(i, t=100.0 + i) for i in range(6)]
+        lines = [format_tagged_sentence(o) for o in observations]
+        port, thread = serve_lines(lines, close_after=3, accept_n=2)
+        source = NmeaTcpSource(
+            "127.0.0.1", port,
+            reconnect=True, max_retries=5, backoff_initial_s=0.01,
+        )
+        got = []
+        for obs in source:
+            got.append(obs)
+            if len(got) == 6:  # first 3 + replayed 3 from second accept
+                source.close()
+        assert source.stats().n_reconnects >= 1
+
+    def test_no_reconnect_is_single_shot_even_on_connect_failure(self):
+        """reconnect=False against a dead endpoint ends the feed after
+        one attempt instead of retrying forever."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        source = NmeaTcpSource(
+            "127.0.0.1", port, reconnect=False, backoff_initial_s=0.01
+        )
+        assert list(source) == []
+        assert source.stats().errors.get("connect_failed") == 1
+
+    def test_connect_failure_exhausts_retries(self):
+        # Nothing listens on this port: grab one and close it.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        source = NmeaTcpSource(
+            "127.0.0.1", port,
+            reconnect=True, max_retries=2, backoff_initial_s=0.01,
+        )
+        assert list(source) == []
+        assert source.stats().errors.get("connect_failed", 0) >= 1
+
+    def test_accept_then_close_server_backs_off_and_terminates(self):
+        """A server that accepts and immediately closes (quota kick) is
+        treated like a failed connect: backoff applies and max_retries
+        ends the feed instead of a tight reconnect busy-loop."""
+        server = socket.socket()
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind(("127.0.0.1", 0))
+        server.listen(8)
+        port = server.getsockname()[1]
+
+        def kick():
+            try:
+                while True:
+                    conn, __ = server.accept()
+                    conn.close()
+            except OSError:
+                pass  # server closed at test end
+
+        threading.Thread(target=kick, daemon=True).start()
+        source = NmeaTcpSource(
+            "127.0.0.1", port,
+            reconnect=True, max_retries=3, backoff_initial_s=0.01,
+        )
+        assert list(source) == []  # terminates rather than looping
+        stats = source.stats()
+        assert stats.errors.get("empty_connection", 0) >= 1
+        assert stats.n_reconnects <= 4  # bounded by max_retries, not ∞
+        server.close()
+
+    def test_close_unblocks_consumer(self):
+        server = socket.socket()
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        port = server.getsockname()[1]
+        source = NmeaTcpSource("127.0.0.1", port, reconnect=False)
+        closer = threading.Timer(0.1, source.close)
+        closer.start()
+        assert list(source) == []  # returns instead of blocking forever
+        closer.join()
+        server.close()
