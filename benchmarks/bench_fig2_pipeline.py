@@ -2,12 +2,15 @@
 
 Paper anchor: Figure 2 ("Towards an integrated maritime information
 infrastructure").  The benchmark runs the complete pipeline over the
-regional feed three ways — a one-shot batch replay, a live stream of
-micro-batches through the same stage runtime, and the ingest path
-through the source layer (in-process iterable vs NMEA-file replay via
-the monitor façade) — reports per-stage throughput plus per-increment
-latency, verifies all paths agree on the event set, and records
-everything in ``BENCH_pipeline.json`` for the CI artifact upload.
+regional feed four ways — a one-shot batch replay, a live stream of
+micro-batches through the same stage runtime, the ingest path through
+the source layer (in-process iterable vs NMEA-file replay via the
+monitor façade), and the sink-dispatch path (a deliberately slow
+subscriber on the sync vs async dispatcher) — reports per-stage
+throughput plus per-increment latency, verifies all paths agree on the
+event set, and records everything in ``BENCH_pipeline.json`` for the CI
+artifact upload (``check_bench_trend.py --pipeline`` guards the
+dispatch invariants).
 """
 
 import json
@@ -195,4 +198,97 @@ def test_fig2_ingest_sources(regional_run, tmp_path, report):
         ),
     )
     _RESULTS["ingest"] = {"tick_s": LIVE_TICK_S, **results}
+    _write_json()
+
+
+#: Per-increment sleep of the deliberately slow subscriber — roughly
+#: 100x a healthy tick's feed latency on this workload.
+SLOW_SINK_SLEEP_S = 0.02
+
+
+def test_fig2_sink_dispatch(regional_run, report):
+    """The dispatch path under a slow consumer: ingest throughput with
+    no subscriber, with the slow sink on the synchronous hub, and with
+    the same sink behind the bounded async dispatcher — plus the
+    delivered/dropped reconciliation the async path promises."""
+
+    def slow_sink(increment):
+        time.sleep(SLOW_SINK_SLEEP_S)
+
+    def run_once(subscribe=None):
+        monitor = MaritimeMonitor(
+            specs=regional_run.specs, weather=regional_run.weather
+        )
+        if subscribe is not None:
+            subscribe(monitor)
+        monitor.attach(IterableSource(regional_run.observations))
+        t0 = time.perf_counter()
+        outcome = monitor.run(tick_s=LIVE_TICK_S)
+        return outcome, time.perf_counter() - t0
+
+    baseline, baseline_s = run_once()
+    sync_outcome, sync_s = run_once(
+        lambda m: m.subscribe(on_increment=slow_sink)
+    )
+    async_outcome, async_s = run_once(
+        lambda m: m.subscribe(
+            on_increment=slow_sink, async_dispatch=True, max_queue=2
+        )
+    )
+
+    def rate(outcome, seconds):
+        return round(outcome.n_records / seconds, 1) if seconds > 0 else 0.0
+
+    (async_sub,) = async_outcome.subscriptions
+    results = {
+        "tick_s": LIVE_TICK_S,
+        "slow_sink_sleep_s": SLOW_SINK_SLEEP_S,
+        "n_increments": baseline.n_increments,
+        "baseline": {
+            "total_s": round(baseline_s, 4),
+            "records_per_s": rate(baseline, baseline_s),
+        },
+        "sync": {
+            "total_s": round(sync_s, 4),
+            "records_per_s": rate(sync_outcome, sync_s),
+        },
+        "async": {
+            "total_s": round(async_s, 4),
+            "records_per_s": rate(async_outcome, async_s),
+            "n_submitted": async_sub.n_submitted,
+            "n_delivered": async_sub.n_delivered,
+            "n_dropped": async_sub.n_dropped,
+        },
+        # within-10%-of-baseline is the acceptance target; record the
+        # measured ratio so the trend gate can judge it.
+        "async_vs_baseline": round(async_s / baseline_s, 3)
+        if baseline_s > 0 else 0.0,
+        "sync_vs_baseline": round(sync_s / baseline_s, 3)
+        if baseline_s > 0 else 0.0,
+    }
+
+    # Invariants (mirrored by check_bench_trend.py --pipeline): the
+    # accounting reconciles exactly and the async path beats sync.
+    assert async_sub.n_submitted == async_outcome.n_increments
+    assert async_sub.n_submitted == (
+        async_sub.n_delivered + async_sub.n_dropped
+    )
+    assert async_s < sync_s
+    # Same feed, same products, whatever the dispatch mode.
+    assert sync_outcome.n_events == baseline.n_events
+    assert async_outcome.n_events == baseline.n_events
+
+    report(
+        "",
+        f"FIG2 — sink dispatch under a {SLOW_SINK_SLEEP_S * 1000:.0f} ms/"
+        f"increment subscriber ({baseline.n_increments} increments)",
+        f"  no subscriber: {results['baseline']['records_per_s']:>9,.0f} rec/s",
+        f"     sync hub:   {results['sync']['records_per_s']:>9,.0f} rec/s "
+        f"({results['sync_vs_baseline']:.2f}x baseline wall)",
+        f"     async hub:  {results['async']['records_per_s']:>9,.0f} rec/s "
+        f"({results['async_vs_baseline']:.2f}x baseline wall; "
+        f"{async_sub.n_delivered} delivered + {async_sub.n_dropped} dropped "
+        f"= {async_sub.n_submitted} submitted)",
+    )
+    _RESULTS["dispatch"] = results
     _write_json()

@@ -1,13 +1,17 @@
 """Live stream monitoring: the monitoring service end to end (§2-§3).
 
 Unlike the batch replay, this example consumes the feed *as a stream*
-through the public service API: a ``MaritimeMonitor`` wires a *source*
-(here the simulated feed written to an NMEA file with TAG-block
-timestamps, replayed by ``NmeaFileSource`` — swap in
-``NmeaTcpSource(host, port)`` for a real receiver) into the incremental
-pipeline, and *subscriptions* fan the products out: an operator console
-(filtered events), a triaged alert log, and a JSONL archive of every
-increment — each consumer seeing only what it asked for.
+through the public service API — and the way a real watch floor gets
+it: **several concurrent feeds**.  The simulated theatre's terrestrial
+receptions are written to an NMEA file with TAG-block timestamps
+(replayed by ``NmeaFileSource``, exactly what a receiver's logger
+produces), its satellite downlink stays an in-process batch
+(``IterableSource``, what a provider API hands you — swap in
+``NmeaTcpSource(host, port)`` for a live socket).  A ``MaritimeMonitor``
+merges both on reception time, and *subscriptions* fan the products
+out: an operator console (filtered events, synchronous — it must never
+lag), a triaged alert log, and a JSONL archive on an **async
+dispatcher** — archival I/O may stall, the pipeline must not.
 
 Run:  python examples/live_stream_monitor.py
 """
@@ -20,20 +24,25 @@ from repro import MaritimeMonitor
 from repro.events import EventKind, SequencePattern
 from repro.simulation import regional_scenario
 from repro.sinks import AlertLogSink, JsonlSink
-from repro.sources import NmeaFileSource, write_nmea_file
+from repro.sources import IterableSource, NmeaFileSource, write_nmea_file
 
 
 def main() -> None:
-    # A real deployment points NmeaFileSource at a receiver's log (tail
-    # mode) or NmeaTcpSource at its socket; here we materialise the
-    # simulated feed as the file a logger would have written.
+    # One theatre, two transports: terrestrial stations log to a file,
+    # the satellite downlink arrives as its own (much later) feed.
     run = regional_scenario(n_vessels=30, duration_s=3 * 3600.0, seed=31).run()
+    terrestrial = [o for o in run.observations if o.source != "satellite"]
+    satellite = [o for o in run.observations if o.source == "satellite"]
     with tempfile.NamedTemporaryFile(
         mode="w", suffix=".nmea", delete=False
     ) as fh:
         feed_path = fh.name
-        write_nmea_file(run.observations, fh)
-    print(f"streaming {len(run.observations)} sentences from {feed_path}\n")
+        write_nmea_file(terrestrial, fh)
+    print(
+        f"streaming {len(terrestrial)} terrestrial sentences from "
+        f"{feed_path}\n     plus {len(satellite)} satellite sentences "
+        "in-process, merged on reception time\n"
+    )
 
     monitor = MaritimeMonitor(
         cep_patterns=[
@@ -46,9 +55,17 @@ def main() -> None:
         specs=run.specs,
         weather=run.weather,
     )
-    monitor.attach(NmeaFileSource(feed_path))
+    # attach(*sources): the merge holds each feed back by at most half
+    # the reorder stage's lateness budget (the other half stays
+    # reserved for the feeds' own reception latency), so cross-feed
+    # disorder is repaired before detection.
+    monitor.attach(
+        NmeaFileSource(feed_path),
+        IterableSource(satellite, name="satellite"),
+    )
 
-    # Console subscription: only the kinds a watch officer acts on.
+    # Console subscription: only the kinds a watch officer acts on —
+    # synchronous, so a broken console fails the run loudly.
     def console(event):
         print(f"  {event.describe()}")
 
@@ -58,12 +75,18 @@ def main() -> None:
                EventKind.COMPLEX],
     )
 
-    # Sinks: triaged alerts, plus a JSONL archive of every increment.
+    # Sinks: triaged alerts (sync), plus a JSONL archive of every
+    # increment behind an async dispatcher — archival I/O may stall,
+    # ingestion must not ("block" because an archive wants every
+    # increment; "drop_oldest" suits freshest-picture consumers).
     alert_log = AlertLogSink()
     alert_log.attach(monitor.hub)
     archive = io.StringIO()
     jsonl = JsonlSink(archive)
-    jsonl.attach(monitor.hub)
+    monitor.hub.subscribe(
+        on_increment=jsonl.write_increment,
+        async_dispatch=True, max_queue=64, overflow="block",
+    )
 
     report = monitor.run(tick_s=600.0)
 
@@ -72,6 +95,14 @@ def main() -> None:
         f"tick latency: p95 {report.latency_quantile_s(0.95) * 1000:.1f} ms "
         f"over {report.n_increments} increments"
     )
+    for stats in report.sources:
+        print(
+            f"feed {stats.name}: {stats.n_observations} observations, "
+            f"{stats.n_dropped} dropped, {stats.n_rejected} rejected"
+        )
+    for i, sub in enumerate(report.subscriptions):
+        mode = "async" if sub.async_dispatch else "sync"
+        print(f"subscription {i} ({mode}): {sub.delivered}")
     print(f"alert log kept {len(alert_log.alerts)} triaged alerts:")
     for alert in alert_log.alerts[:5]:
         print(f"  {alert.render()}")

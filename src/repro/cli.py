@@ -66,14 +66,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="micro-batch size in seconds of reception time (with --live)",
     )
     pipeline.add_argument(
-        "--nmea-file", metavar="PATH",
+        "--nmea-file", metavar="PATH", action="append", default=[],
         help="with --live: stream observations from an NMEA file "
-        "(TAG-blocked or bare) instead of simulating a scenario",
+        "(TAG-blocked or bare) instead of simulating a scenario; "
+        "repeatable — several feeds (and --nmea-tcp) are merged on "
+        "reception time",
     )
     pipeline.add_argument(
-        "--nmea-tcp", metavar="HOST:PORT",
+        "--nmea-tcp", metavar="HOST:PORT", action="append", default=[],
         help="with --live: stream observations from a line-framed NMEA "
-        "TCP feed instead of simulating a scenario",
+        "TCP feed instead of simulating a scenario; repeatable — "
+        "several feeds (and --nmea-file) are merged on reception time",
     )
     pipeline.add_argument(
         "--json", action="store_true",
@@ -144,16 +147,16 @@ def _cmd_pipeline(args) -> int:
 
 
 def _run_pipeline_source(args) -> int:
-    """Stream a real feed (file or socket) through the monitor façade."""
-    if args.nmea_file:
-        source = NmeaFileSource(args.nmea_file)
-    else:
-        host, _, port = args.nmea_tcp.rpartition(":")
+    """Stream real feeds (files and/or sockets) through the façade;
+    several feeds are merged on reception time."""
+    sources = [NmeaFileSource(path) for path in args.nmea_file]
+    for endpoint in args.nmea_tcp:
+        host, _, port = endpoint.rpartition(":")
         if not host or not port.isdigit():
             print("--nmea-tcp expects HOST:PORT", file=sys.stderr)
             return 2
-        source = NmeaTcpSource(host, int(port))
-    monitor = MaritimeMonitor().attach(source)
+        sources.append(NmeaTcpSource(host, int(port)))
+    monitor = MaritimeMonitor().attach(*sources)
     if args.json:
         JsonlSink(sys.stdout).attach(monitor.hub)
     else:
@@ -165,11 +168,20 @@ def _run_pipeline_source(args) -> int:
     report = monitor.run(tick_s=args.tick)
     print(report.describe(), file=sys.stderr)
     stats = report.source
-    if stats is not None and (stats.n_dropped or stats.errors):
+    if stats is not None and (stats.n_dropped or stats.n_rejected or stats.errors):
         print(
-            f"source: {stats.n_dropped} dropped, errors {stats.errors}",
+            f"source: {stats.n_dropped} dropped (overflow), "
+            f"{stats.n_rejected} rejected (parse), errors {stats.errors}",
             file=sys.stderr,
         )
+    if len(report.sources) > 1:
+        for feed in report.sources:
+            print(
+                f"  {feed.name}: {feed.n_lines} lines, "
+                f"{feed.n_dropped} dropped, {feed.n_rejected} rejected, "
+                f"{feed.n_reconnects} reconnects",
+                file=sys.stderr,
+            )
     return 0
 
 

@@ -82,11 +82,17 @@ class PipelineSession:
         kinds=None,
         region=None,
         mmsis=None,
+        async_dispatch: bool = False,
+        max_queue: int = 256,
+        overflow: str = "drop_oldest",
     ) -> Subscription:
         """Attach a consumer; see :mod:`repro.sinks.subscription`.
 
         Every subsequent ``feed``/``flush`` dispatches its increment to
-        the returned subscription (until its ``close()``).
+        the returned subscription (until its ``close()``).  With
+        ``async_dispatch=True`` delivery happens on a per-subscription
+        worker behind a bounded queue, so a slow consumer cannot stall
+        ``feed``.
         """
         return self.subscriptions.subscribe(
             on_increment=on_increment,
@@ -96,6 +102,9 @@ class PipelineSession:
             kinds=kinds,
             region=region,
             mmsis=mmsis,
+            async_dispatch=async_dispatch,
+            max_queue=max_queue,
+            overflow=overflow,
         )
 
     # -- driving -----------------------------------------------------------
@@ -156,6 +165,11 @@ class PipelineSession:
         )
         increment.n_records = len(records)
         self.subscriptions.dispatch(increment)
+        # End of stream is also end of delivery: drain the async
+        # dispatchers here so direct session users (not just the
+        # monitor façade) get final delivered/dropped books and no
+        # increments stranded in a daemon worker's queue at exit.
+        self.subscriptions.close(drain=True)
         return increment
 
     def _downstream(

@@ -5,15 +5,19 @@ infrastructure — the receiver-to-alarm path as a service instead of a
 pair of driver methods::
 
     from repro import MaritimeMonitor
-    from repro.sources import NmeaTcpSource
+    from repro.sources import NmeaFileSource, NmeaTcpSource
     from repro.sinks import AlertLogSink
 
     monitor = MaritimeMonitor()                      # default config
-    monitor.attach(NmeaTcpSource("ais.example", 4001))
+    monitor.attach(                                  # several feeds,
+        NmeaTcpSource("ais.example", 4001),          # merged on
+        NmeaFileSource("satellite.nmea", tail=True), # reception time
+    )
     alerts = AlertLogSink()
     alerts.attach(monitor.hub)
     monitor.subscribe(
-        on_event=print, kinds=["rendezvous", "gap"]
+        on_event=print, kinds=["rendezvous", "gap"],
+        async_dispatch=True,                         # never stall feed
     ).run(tick_s=60.0)
 
 It wraps — without replacing — the existing layers: configuration is a
@@ -32,10 +36,35 @@ from repro.core.config import PipelineConfig
 from repro.core.pipeline import MaritimePipeline, PipelineResult
 from repro.core.stages import PipelineSession, StageStats
 from repro.sinks.subscription import SubscriptionHub
-from repro.sources.base import SourceStats
+from repro.sources.base import Source, SourceStats
 from repro.sources.iterable import IterableSource
+from repro.sources.merge import MergedSource
 
-__all__ = ["MaritimeMonitor", "MonitorReport"]
+__all__ = ["MaritimeMonitor", "MonitorReport", "SubscriptionReport"]
+
+
+@dataclass
+class SubscriptionReport:
+    """End-of-run accounting for one subscription."""
+
+    #: Counts by product ("increments", "events", "alarms", "forecasts",
+    #: plus "dropped_increments" for async subscriptions).
+    delivered: dict = field(default_factory=dict)
+    async_dispatch: bool = False
+    #: Async only: increments handed to / delivered by / dropped from
+    #: the dispatcher queue.  After the run, submitted == delivered +
+    #: dropped exactly (the hub drains on teardown).
+    n_submitted: int = 0
+    n_delivered: int = 0
+    n_dropped: int = 0
+    queue_high_water: int = 0
+    #: Async only: the end-of-run drain outlived its timeout — a sink
+    #: slower than the teardown budget still held increments when the
+    #: report was taken, so the books above were not final.
+    drain_timed_out: bool = False
+    #: Async only: the exception that killed the worker, if any (sync
+    #: subscription failures propagate out of ``run`` instead).
+    error: BaseException | None = None
 
 
 @dataclass
@@ -53,7 +82,12 @@ class MonitorReport:
     #: latencies; the flush is the last entry).
     tick_seconds: list[float] = field(default_factory=list)
     source: SourceStats | None = None
+    #: Per-feed accounting when several sources were attached (one entry
+    #: per feed, in attach order); ``[source]`` for a single feed.
+    sources: list[SourceStats] = field(default_factory=list)
     stages: list[StageStats] = field(default_factory=list)
+    #: Per-subscription delivery accounting, in subscribe order.
+    subscriptions: list[SubscriptionReport] = field(default_factory=list)
 
     @property
     def wall_s(self) -> float:
@@ -111,12 +145,39 @@ class MaritimeMonitor:
 
     # -- fluent wiring -----------------------------------------------------
 
-    def attach(self, source) -> "MaritimeMonitor":
-        """Set the observation feed: a :class:`~repro.sources.Source` or
-        any iterable of observations (wrapped in ``IterableSource``)."""
-        if not hasattr(source, "stats"):
-            source = IterableSource(source)
-        self._source = source
+    def attach(self, *sources, holdback_s: float | None = None) -> "MaritimeMonitor":
+        """Set the observation feed(s); returns ``self`` for chaining.
+
+        Each argument is a :class:`~repro.sources.Source` or any
+        iterable of observations (wrapped in ``IterableSource``).  With
+        several sources — terrestrial + satellite + radar-site feeds —
+        they are combined through a
+        :class:`~repro.sources.MergedSource` ordered by reception time.
+        Merge disorder *adds to* each feed's own event-time lateness
+        against the reorder stage's single ``config.max_lateness_s``
+        budget, so the per-source holdback defaults to **half** that
+        budget — leaving the other half for the latency the budget was
+        sized for (satellite passes).  Raise ``holdback_s`` only if
+        your feeds' intrinsic lateness is well under the budget.
+        ``holdback_s`` only shapes that cross-feed merge: with a single
+        source there is no cross-feed disorder to bound, so the source
+        is consumed directly and the parameter has no effect.
+        """
+        if not sources:
+            raise ValueError("attach() needs at least one source")
+        if len(sources) == 1:
+            source = sources[0]
+            self._source = (
+                source if isinstance(source, Source)
+                else IterableSource(source)
+            )
+        else:
+            if holdback_s is None:
+                holdback_s = self.config.max_lateness_s / 2.0
+            # Raw arguments go straight to MergedSource: it wraps bare
+            # iterables itself with per-index names, keeping multi-feed
+            # reports distinguishable.
+            self._source = MergedSource(*sources, holdback_s=holdback_s)
         return self
 
     def subscribe(
@@ -128,12 +189,19 @@ class MaritimeMonitor:
         kinds=None,
         region=None,
         mmsis=None,
+        async_dispatch: bool = False,
+        max_queue: int = 256,
+        overflow: str = "drop_oldest",
     ) -> "MaritimeMonitor":
         """Register a consumer; returns ``self`` for chaining.
 
         The created handle is appended to ``self.hub`` — grab it from
         there (or call ``self.hub.subscribe`` directly) when you need to
-        close one subscription mid-run.
+        close one subscription mid-run.  ``async_dispatch=True`` hands
+        this consumer its own bounded queue + worker thread
+        (:class:`~repro.sinks.AsyncDispatcher`) so it can never stall
+        ingestion; ``overflow`` picks what a full queue does
+        (``"drop_oldest"`` or ``"block"``).
         """
         self.hub.subscribe(
             on_increment=on_increment,
@@ -143,6 +211,9 @@ class MaritimeMonitor:
             kinds=kinds,
             region=region,
             mmsis=mmsis,
+            async_dispatch=async_dispatch,
+            max_queue=max_queue,
+            overflow=overflow,
         )
         return self
 
@@ -174,9 +245,13 @@ class MaritimeMonitor:
             keep_products=self.keep_products,
         )
         session.subscriptions = self.hub
-        session.queue_probes.append(
-            lambda: {"source": source.stats().queue_depth}
-        )
+        if hasattr(source, "queue_depths"):
+            # Merged feeds report one depth per child plus the total.
+            session.queue_probes.append(source.queue_depths)
+        else:
+            session.queue_probes.append(
+                lambda: {"source": source.stats().queue_depth}
+            )
         self.session = session
         report = self.report = MonitorReport()
         try:
@@ -197,13 +272,39 @@ class MaritimeMonitor:
                 report.tick_seconds.append(increment.seconds)
         finally:
             # However the run ends — exhaustion or a subscriber raising
-            # (callbacks are fail-fast) — stop the source so a TCP
-            # reader thread does not keep the socket reconnecting, and
+            # (sync callbacks are fail-fast) — stop the source so a TCP
+            # reader thread does not keep the socket reconnecting, drain
+            # the async dispatchers so delivery accounting is final, and
             # keep the partial accounting diagnosable via self.report.
             source.close()
+            self.hub.close(drain=True)
             report.source = source.stats()
+            report.sources = (
+                source.stats_by_source()
+                if hasattr(source, "stats_by_source")
+                else [report.source]
+            )
             report.stages = session.stages
+            report.subscriptions = [
+                self._subscription_report(s) for s in self.hub.registry
+            ]
         return report
+
+    @staticmethod
+    def _subscription_report(subscription) -> SubscriptionReport:
+        dispatcher = subscription.dispatcher
+        if dispatcher is None:
+            return SubscriptionReport(delivered=dict(subscription.delivered))
+        return SubscriptionReport(
+            delivered=dict(subscription.delivered),
+            async_dispatch=True,
+            n_submitted=dispatcher.n_submitted,
+            n_delivered=dispatcher.n_delivered,
+            n_dropped=dispatcher.n_dropped,
+            queue_high_water=dispatcher.queue_high_water,
+            drain_timed_out=dispatcher.drain_timed_out,
+            error=dispatcher.error,
+        )
 
     def result(self) -> PipelineResult:
         """The classic batch result — only for ``keep_products=True``

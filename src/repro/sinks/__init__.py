@@ -1,12 +1,16 @@
 """Selective consumers of pipeline output (the operator side).
 
 :class:`Subscription` and :class:`SubscriptionHub` implement the
-``session.subscribe(...)`` dispatch; :class:`JsonlSink`,
-:class:`CallbackSink` and :class:`AlertLogSink` package the common
-downstream consumers.  See :mod:`repro.sinks.subscription` for the
-filter semantics.
+``session.subscribe(...)`` dispatch — synchronous by default, or
+behind a per-subscription :class:`AsyncDispatcher` (bounded handoff
+queue + worker thread) with ``async_dispatch=True`` so a slow sink
+never stalls ingestion; :class:`JsonlSink`, :class:`CallbackSink` and
+:class:`AlertLogSink` package the common downstream consumers.  See
+:mod:`repro.sinks.subscription` for the filter semantics and
+``src/repro/sinks/README.md`` for the dispatch contract.
 """
 
+from repro.sinks.dispatch import AsyncDispatcher
 from repro.sinks.subscription import Subscription, SubscriptionHub
 from repro.sinks.builtins import (
     AlertLogSink,
@@ -17,6 +21,7 @@ from repro.sinks.builtins import (
 )
 
 __all__ = [
+    "AsyncDispatcher",
     "Subscription",
     "SubscriptionHub",
     "AlertLogSink",

@@ -1,0 +1,176 @@
+"""Asynchronous subscription dispatch: a bounded handoff per slow sink.
+
+Subscription callbacks run synchronously on the pipeline thread
+(:mod:`repro.sinks.subscription`), so one stalled consumer stalls
+ingestion for every feed.  :class:`AsyncDispatcher` is the opt-in
+escape hatch, mirroring the TCP source's queue semantics on the
+consumer side: the hub hands each increment to a bounded queue and
+returns immediately; a dedicated worker thread drains the queue and
+runs the subscription's callbacks in order.
+
+Overflow policy (``overflow=``):
+
+- ``"drop_oldest"`` (default) — the oldest queued increment is
+  discarded and counted (``n_dropped``, and
+  ``Subscription.delivered["dropped_increments"]``).  The consumer sees
+  the freshest picture, exactly like the TCP receive queue: a
+  surveillance sink wants current events, not a complete backlog.
+- ``"block"`` — the pipeline thread waits for queue space: no increment
+  is ever lost, at the price of backpressure reaching ingestion again
+  once the queue is full (a bounded stall instead of an unbounded one).
+
+Delivery contract versus the sync path:
+
+- Per-subscription order is preserved (one worker per subscription);
+  cross-subscription order is not — two async sinks see increments
+  independently.
+- A callback raising does **not** propagate to the driver (it cannot:
+  the driver has moved on).  The dispatcher records the exception
+  (:attr:`error`), deactivates the subscription, and stops; callers
+  that need fail-fast semantics stay on the sync path.
+- ``close(drain=True)`` (the default, called by the hub's ``close``)
+  blocks until every queued increment is delivered, so
+  delivered/dropped accounting reconciles exactly:
+  ``n_submitted == n_delivered + n_dropped`` after close.
+"""
+
+import threading
+from collections import deque
+
+__all__ = ["AsyncDispatcher"]
+
+_POLICIES = ("drop_oldest", "block")
+
+
+class AsyncDispatcher:
+    """Bounded queue + worker thread delivering to one subscription."""
+
+    def __init__(
+        self,
+        subscription,
+        max_queue: int = 256,
+        overflow: str = "drop_oldest",
+    ) -> None:
+        if max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        if overflow not in _POLICIES:
+            raise ValueError(f"overflow must be one of {_POLICIES}")
+        self.subscription = subscription
+        self.max_queue = max_queue
+        self.overflow = overflow
+        #: First exception a callback raised on the worker, if any.
+        self.error: BaseException | None = None
+        #: Set by :meth:`close`: the worker outlived the drain timeout,
+        #: so the delivered/dropped books were not final when read.
+        self.drain_timed_out = False
+        self.n_submitted = 0
+        self.n_delivered = 0
+        self.n_dropped = 0
+        self.queue_high_water = 0
+        self._queue: deque = deque()
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._closing = False
+        self._worker = threading.Thread(
+            target=self._run, name="sink-dispatch", daemon=True
+        )
+        self._worker.start()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- pipeline side -----------------------------------------------------
+
+    def submit(self, increment) -> None:
+        """Hand one increment off; never blocks under ``drop_oldest``."""
+        with self._changed:
+            if self._closing or self.error is not None:
+                return
+            if self.overflow == "block":
+                while len(self._queue) >= self.max_queue:
+                    if self._closing or self.error is not None:
+                        return
+                    # Every transition notifies; the timeout is pure
+                    # liveness insurance, so keep it long (idle wakeup
+                    # cost, not latency).
+                    self._changed.wait(timeout=1.0)
+            elif len(self._queue) >= self.max_queue:
+                self._queue.popleft()  # drop-oldest: newest picture wins
+                self._drop(1)
+            self._queue.append(increment)
+            self.n_submitted += 1
+            if len(self._queue) > self.queue_high_water:
+                self.queue_high_water = len(self._queue)
+            self._changed.notify_all()
+
+    # -- worker side -------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._changed:
+                while not self._queue and not self._closing:
+                    # Submit/close/error all notify; long timeout keeps
+                    # an idle subscription's worker near-silent.
+                    self._changed.wait(timeout=1.0)
+                if not self._queue and self._closing:
+                    self._changed.notify_all()
+                    return
+                increment = self._queue.popleft()
+                self._changed.notify_all()  # wake a blocked submit
+            try:
+                self.subscription.dispatch(increment)
+            except BaseException as exc:  # noqa: BLE001 — recorded, not lost
+                with self._changed:
+                    self.error = exc
+                    self.subscription.active = False
+                    # The in-flight increment and the undelivered
+                    # backlog are all dropped, keeping the submitted ==
+                    # delivered + dropped invariant exact.
+                    self._drop(1 + len(self._queue))
+                    self._queue.clear()
+                    self._changed.notify_all()
+                return
+            with self._changed:
+                self.n_delivered += 1
+
+    def _drop(self, n: int) -> None:
+        """Account ``n`` lost increments on both sides of the handoff
+        (dispatcher counters and ``Subscription.delivered``); callers
+        hold the lock."""
+        if n <= 0:
+            return
+        self.n_dropped += n
+        delivered = self.subscription.delivered
+        delivered["dropped_increments"] = (
+            delivered.get("dropped_increments", 0) + n
+        )
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self, drain: bool = True, timeout_s: float = 10.0) -> bool:
+        """Stop the worker; with ``drain`` deliver the backlog first.
+
+        Returns whether the worker actually finished within
+        ``timeout_s``.  ``False`` means a sink slower than the timeout
+        still holds undelivered increments: the books are not final yet
+        (``n_submitted > n_delivered + n_dropped`` until the daemon
+        worker drains them) — also recorded in :attr:`drain_timed_out`.
+        ``timeout_s=0`` is fire-and-forget: flag the shutdown and
+        return without waiting on the worker at all (what
+        ``Subscription.close()`` uses, so closing a stuck sink from the
+        pipeline thread never stalls ingestion).
+        """
+        with self._changed:
+            if not drain:
+                self._drop(len(self._queue))
+                self._queue.clear()
+            self._closing = True
+            self._changed.notify_all()
+        if timeout_s <= 0 or self._worker is threading.current_thread():
+            # Fire-and-forget, or close() from inside a callback (the
+            # worker itself) which must not join itself; the worker
+            # exits on its next loop either way.
+            return True
+        self._worker.join(timeout=timeout_s)
+        self.drain_timed_out = self._worker.is_alive()
+        return not self.drain_timed_out

@@ -18,16 +18,23 @@ or their string values; ``region`` is anything with
 ``contains(lat, lon)`` (every :mod:`repro.geo.region` shape qualifies);
 ``mmsis`` keeps events involving at least one listed vessel.
 
-Callbacks run synchronously on the pipeline thread in subscription
-order; a sink that must not stall ingestion should hand off to its own
-queue.  A callback raising propagates to the driver — fail fast, the
-operator must know a consumer is broken.
+Dispatch modes:
+
+- **Sync** (default): callbacks run synchronously on the pipeline
+  thread in subscription order; a callback raising propagates to the
+  driver — fail fast, the operator must know a consumer is broken.
+- **Async** (``async_dispatch=True``): increments are handed to a
+  bounded queue drained by a per-subscription worker thread
+  (:class:`~repro.sinks.dispatch.AsyncDispatcher`), so a slow sink
+  never stalls ingestion.  See that module for the overflow policies
+  and the weaker failure contract.
 """
 
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.events.base import Event, EventKind
+from repro.sinks.dispatch import AsyncDispatcher
 
 __all__ = ["Subscription", "SubscriptionHub"]
 
@@ -52,9 +59,13 @@ class Subscription:
     kinds: frozenset[EventKind] | None = None
     region: object | None = None
     mmsis: frozenset[int] | None = None
-    #: Dispatch accounting (events/alarms/forecast updates delivered).
+    #: Dispatch accounting (events/alarms/forecast updates delivered;
+    #: async subscriptions also count ``dropped_increments``).
     delivered: dict = field(default_factory=dict)
     active: bool = True
+    #: Present on async subscriptions: the bounded handoff that delivers
+    #: increments off the pipeline thread.
+    dispatcher: AsyncDispatcher | None = None
 
     def __post_init__(self) -> None:
         self.kinds = _normalise_kinds(self.kinds)
@@ -68,7 +79,9 @@ class Subscription:
     def _wants_event(self, event: Event) -> bool:
         if self.kinds is not None and event.kind not in self.kinds:
             return False
-        if self.mmsis is not None and not (self.mmsis & set(event.mmsis)):
+        # isdisjoint takes the mmsis tuple as-is: no per-event set() on
+        # the hot dispatch path.
+        if self.mmsis is not None and self.mmsis.isdisjoint(event.mmsis):
             return False
         if self.region is not None and not self.region.contains(
             event.lat, event.lon
@@ -86,6 +99,14 @@ class Subscription:
         return True
 
     # -- dispatch ----------------------------------------------------------
+
+    def deliver(self, increment) -> None:
+        """Hub entry point: hand off (async) or run callbacks (sync)."""
+        if self.dispatcher is not None:
+            if self.active:
+                self.dispatcher.submit(increment)
+            return
+        self.dispatch(increment)
 
     def dispatch(self, increment) -> None:
         """Route one increment through this subscription's callbacks."""
@@ -114,8 +135,18 @@ class Subscription:
         self.delivered[what] = self.delivered.get(what, 0) + 1
 
     def close(self) -> None:
-        """Stop receiving; the hub forgets the subscription lazily."""
+        """Stop receiving; the hub forgets the subscription lazily.
+
+        An async subscription's queued backlog is discarded (counted as
+        dropped) — close means "stop", not "finish up"; use the hub's
+        :meth:`SubscriptionHub.close` to drain instead.  The worker is
+        signalled, never joined: closing a stuck sink from the pipeline
+        thread must not stall ingestion (an in-flight callback finishes
+        on its own time, then the worker exits).
+        """
         self.active = False
+        if self.dispatcher is not None:
+            self.dispatcher.close(drain=False, timeout_s=0.0)
 
 
 class SubscriptionHub:
@@ -123,6 +154,14 @@ class SubscriptionHub:
 
     def __init__(self) -> None:
         self._subscriptions: list[Subscription] = []
+        #: Every subscription ever registered, in subscribe order —
+        #: closed ones included, so end-of-run accounting (and async
+        #: worker errors) survive the active list's lazy pruning.
+        #: This is deliberately unbounded *per hub*: a hub is scoped to
+        #: one session/run (the monitor façade builds a fresh one per
+        #: monitor).  A long-lived hub with per-query subscription churn
+        #: should be recreated per run rather than reused forever.
+        self.registry: list[Subscription] = []
 
     def __len__(self) -> int:
         return len([s for s in self._subscriptions if s.active])
@@ -136,7 +175,18 @@ class SubscriptionHub:
         kinds=None,
         region=None,
         mmsis=None,
+        async_dispatch: bool = False,
+        max_queue: int = 256,
+        overflow: str = "drop_oldest",
     ) -> Subscription:
+        """Register a consumer; see the module docstring for semantics.
+
+        ``async_dispatch=True`` gives the subscription its own
+        :class:`~repro.sinks.dispatch.AsyncDispatcher` — a bounded
+        handoff queue (``max_queue`` deep, ``overflow`` policy
+        ``"drop_oldest"`` or ``"block"``) drained by a worker thread,
+        so this consumer can never stall the pipeline thread.
+        """
         if not any((on_increment, on_event, on_alarm, on_forecast)):
             raise ValueError("a subscription needs at least one callback")
         subscription = Subscription(
@@ -148,15 +198,40 @@ class SubscriptionHub:
             region=region,
             mmsis=mmsis,
         )
+        if async_dispatch:
+            subscription.dispatcher = AsyncDispatcher(
+                subscription, max_queue=max_queue, overflow=overflow
+            )
         self._subscriptions.append(subscription)
+        self.registry.append(subscription)
         return subscription
 
     def dispatch(self, increment) -> None:
+        # Snapshot: a callback may subscribe() (the newcomer must not
+        # receive the in-flight increment) or close() mid-iteration.
+        subscriptions = tuple(self._subscriptions)
         closed = False
-        for subscription in self._subscriptions:
-            subscription.dispatch(increment)
+        for subscription in subscriptions:
+            subscription.deliver(increment)
             closed = closed or not subscription.active
         if closed:
             self._subscriptions = [
                 s for s in self._subscriptions if s.active
             ]
+
+    def close(self, drain: bool = True) -> None:
+        """Tear down every async dispatcher (draining by default).
+
+        After close the delivered/dropped accounting is final —
+        ``n_submitted == n_delivered + n_dropped`` for every async
+        subscription — unless a sink outlived the dispatcher's drain
+        timeout (then its ``drain_timed_out`` flags the still-open
+        books).  Sync subscriptions are untouched and keep receiving;
+        async subscriptions are *terminated*, so this is an end-of-run
+        call — the monitor façade makes it once, after the source is
+        exhausted (``run()`` refuses to run a monitor twice, so a
+        closed hub is never re-driven).
+        """
+        for subscription in self.registry:
+            if subscription.dispatcher is not None:
+                subscription.dispatcher.close(drain=drain)

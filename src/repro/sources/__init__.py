@@ -1,19 +1,22 @@
 """Typed observation feeds for the live pipeline (receiver side).
 
-One protocol, three transports:
+One protocol, three transports plus a combinator:
 
 - :class:`IterableSource` — any in-process iterable of observations;
 - :class:`NmeaFileSource` — NMEA file replay with TAG-block timestamps
   and a ``tail -f`` mode;
 - :class:`NmeaTcpSource` — line-framed TCP client with reconnect/backoff
-  and a bounded drop-oldest receive queue.
+  and a bounded drop-oldest receive queue;
+- :class:`MergedSource` — N heterogeneous sources heap-merged into one
+  stream ordered by reception time, with a bounded per-source holdback.
 
 See ``src/repro/sources/README.md`` for the protocol contract,
-timestamp grammar and overflow/reconnect semantics.
+timestamp grammar, overflow/reconnect and merge semantics.
 """
 
 from repro.sources.base import Source, SourceStats
 from repro.sources.iterable import IterableSource
+from repro.sources.merge import MergedSource
 from repro.sources.nmea import (
     NmeaFileSource,
     format_tagged_sentence,
@@ -26,6 +29,7 @@ __all__ = [
     "Source",
     "SourceStats",
     "IterableSource",
+    "MergedSource",
     "NmeaFileSource",
     "NmeaTcpSource",
     "format_tagged_sentence",

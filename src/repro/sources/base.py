@@ -35,8 +35,13 @@ class SourceStats:
     n_lines: int = 0
     #: Observations actually yielded downstream.
     n_observations: int = 0
-    #: Inputs discarded: unparseable lines, or queue overflow victims.
+    #: Good observations lost to backpressure (queue/holdback overflow
+    #: victims).  Parse rejects are *not* drops — see :attr:`n_rejected`.
     n_dropped: int = 0
+    #: Inputs refused at parse time (not an NMEA sentence).  Kept apart
+    #: from :attr:`n_dropped` so a dirty feed does not read as queue
+    #: pressure in the backpressure metrics.
+    n_rejected: int = 0
     #: Parse/decode problems by reason (bad tag checksum, no sentence...).
     errors: dict[str, int] = field(default_factory=dict)
     #: Transport reconnects performed (TCP source only).

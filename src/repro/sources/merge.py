@@ -1,0 +1,298 @@
+"""Merging N heterogeneous feeds into one reception-ordered stream.
+
+The paper's surveillance picture is fused from several concurrent
+receiver networks — terrestrial stations, satellite constellations,
+radar-site gateways — each arriving as its own feed.  The pipeline
+consumes *one* observation stream in reception order;
+:class:`MergedSource` is the bridge: it runs every child source on its
+own reader thread, stages their observations in a shared min-heap keyed
+on ``t_received``, and releases the heap minimum under a *holdback*
+rule:
+
+- Every child source promises reception order within itself (the
+  :class:`~repro.sources.base.Source` contract).  Across sources no
+  such promise exists, so the merge holds the earliest staged
+  observation back until every still-live, currently-empty feed has
+  been seen past ``t - holdback_s``: a feed whose frontier (reception
+  time of its newest observation) is beyond that point cannot later
+  produce anything this observation should have waited for by more
+  than the holdback.
+- ``holdback_s`` therefore bounds the *disorder* the merge may emit:
+  observations can interleave out of order across sources by at most
+  ``holdback_s`` of reception time.  The downstream reorder stage
+  absorbs event-time lateness up to ``PipelineConfig.max_lateness_s``
+  — but merge disorder *adds to* each feed's own reception latency
+  against that single budget (a record delayed ``holdback_s`` by the
+  merge on top of its network lateness can cross the watermark and be
+  dropped), so keep ``holdback_s`` plus the worst intrinsic feed
+  latency within the budget.  The monitor façade defaults the holdback
+  to half of it.  ``holdback_s=0`` is the strict k-way merge: sorted
+  output, but one silent feed stalls all of them.
+- A feed that stays silent holds the merge at ``frontier + holdback_s``
+  by design (bounded disorder beats unbounded reordering downstream);
+  :meth:`close` on the merged source — or on the silent child — releases
+  the stream.
+
+Per-source provenance survives untouched: observations keep whatever
+``Observation.source`` their feed assigned.  :meth:`stats` rolls every
+child's accounting into one :class:`~repro.sources.base.SourceStats`
+(lines/observations/drops/rejects/reconnects summed, error maps
+merged); :meth:`stats_by_source` keeps the per-feed view, and
+:meth:`queue_depths` exposes per-feed staged+transport depths, which
+the monitor façade probes into every increment's
+``BackpressureMetrics.queue_depths`` (one ``source:<name>`` entry per
+feed plus the aggregate ``source`` depth).
+"""
+
+import heapq
+import threading
+from typing import Iterator
+
+from repro.simulation.receivers import Observation
+from repro.sources.base import Source, SourceStats
+from repro.sources.iterable import IterableSource
+
+__all__ = ["MergedSource"]
+
+#: Default disorder bound: half of ``PipelineConfig.max_lateness_s``'s
+#: default, since merge disorder and intrinsic feed lateness share that
+#: budget additively — kept literal so the source layer stays
+#: import-free of core (the monitor façade derives it from the
+#: session's actual budget).
+DEFAULT_HOLDBACK_S = 200.0
+
+
+class _Feed:
+    """Bookkeeping for one child source (guarded by the merge lock)."""
+
+    def __init__(self, index: int, source: Source) -> None:
+        self.index = index
+        self.source = source
+        self.n_staged = 0  # entries currently in the shared heap
+        self.frontier = float("-inf")  # newest t_received seen
+        self.finished = False
+        #: Exception that killed this feed's reader mid-iteration, if
+        #: any — surfaced through the merged ``stats().errors``.
+        self.error: BaseException | None = None
+
+
+class MergedSource:
+    """Combine N sources into one reception-ordered observation stream.
+
+    ``sources`` are :class:`~repro.sources.base.Source` objects (bare
+    iterables are wrapped in :class:`IterableSource`); ``holdback_s``
+    bounds the cross-source disorder the merge may emit (see the module
+    docstring).  ``max_buffer`` bounds the staging heap: when feeds run
+    ahead of the merge frontier by more than that many observations in
+    total, the *oldest* staged entry is dropped (drop-oldest, the same
+    policy as the TCP receive queue) and counted in the merged
+    ``stats().n_dropped`` under ``errors["merge_overflow"]``.
+    """
+
+    def __init__(
+        self,
+        *sources,
+        holdback_s: float = DEFAULT_HOLDBACK_S,
+        max_buffer: int = 100_000,
+        name: str = "merged",
+    ) -> None:
+        if not sources:
+            raise ValueError("MergedSource needs at least one source")
+        if holdback_s < 0:
+            raise ValueError("holdback_s must be non-negative")
+        if max_buffer <= 0:
+            raise ValueError("max_buffer must be positive")
+        self.holdback_s = holdback_s
+        self.max_buffer = max_buffer
+        self._feeds = [
+            _Feed(
+                i,
+                source if isinstance(source, Source)
+                else IterableSource(source, name=f"iterable[{i}]"),
+            )
+            for i, source in enumerate(sources)
+        ]
+        self._stats = SourceStats(name=name)
+        #: (t_received, arrival_seq, feed_index, obs) — the seq both
+        #: breaks timestamp ties arrival-stably and keeps Observation
+        #: (unorderable) out of the comparison.
+        self._heap: list[tuple[float, int, int, Observation]] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._closed = False
+        self._started = False
+        self._readers: list[threading.Thread] = []
+
+    # -- reader threads ----------------------------------------------------
+
+    def _run_reader(self, feed: _Feed) -> None:
+        try:
+            for obs in feed.source:
+                with self._changed:
+                    if self._closed:
+                        break
+                    heapq.heappush(
+                        self._heap,
+                        (obs.t_received, self._seq, feed.index, obs),
+                    )
+                    self._seq += 1
+                    feed.n_staged += 1
+                    if obs.t_received > feed.frontier:
+                        feed.frontier = obs.t_received
+                    if len(self._heap) > self.max_buffer:
+                        # Drop-oldest: the stalled head of the backlog
+                        # goes, newest data wins (TCP queue policy).
+                        __, __, idx, __ = heapq.heappop(self._heap)
+                        self._feeds[idx].n_staged -= 1
+                        self._stats.n_dropped += 1
+                        self._stats.count_error("merge_overflow")
+                    if len(self._heap) > self._stats.queue_high_water:
+                        self._stats.queue_high_water = len(self._heap)
+                    self._changed.notify_all()
+        except Exception as exc:
+            # A feed dying mid-iteration must not look like a clean EOF:
+            # record it so stats()/MonitorReport show the dead feed (the
+            # merge itself continues on the surviving feeds).
+            with self._changed:
+                feed.error = exc
+                self._stats.count_error(
+                    f"feed_died:{feed.source.stats().name}"
+                )
+        finally:
+            with self._changed:
+                feed.finished = True
+                self._changed.notify_all()
+
+    def _start(self) -> None:
+        self._started = True
+        for feed in self._feeds:
+            thread = threading.Thread(
+                target=self._run_reader,
+                args=(feed,),
+                name=f"merge-reader-{feed.index}",
+                daemon=True,
+            )
+            self._readers.append(thread)
+            thread.start()
+
+    # -- merge loop --------------------------------------------------------
+
+    def _head_released(self) -> bool:
+        """Whether the heap minimum may be emitted now (lock held).
+
+        The heap minimum is globally earliest among *staged* data, so it
+        only waits on feeds with nothing staged: any unfinished empty
+        feed whose frontier trails ``t - holdback_s`` may still owe an
+        observation this one should have queued behind.
+        """
+        if not self._heap:
+            return False
+        t = self._heap[0][0]
+        for feed in self._feeds:
+            if feed.n_staged == 0 and not feed.finished:
+                if t - self.holdback_s > feed.frontier:
+                    return False
+        return True
+
+    def __iter__(self) -> Iterator[Observation]:
+        # Start the readers eagerly at iter() time (a generator body
+        # would defer them to the first next(), letting a caller hold a
+        # "running" iterator over a merge that has not begun staging).
+        if not self._started:
+            self._start()
+        return self._iterate()
+
+    def _iterate(self) -> Iterator[Observation]:
+        while True:
+            with self._changed:
+                while not self._head_released():
+                    done = self._closed or all(
+                        f.finished for f in self._feeds
+                    )
+                    if done:
+                        if not self._heap:
+                            return
+                        break  # drain staged data in heap order
+                    # Staging/finish/close all notify; the timeout is
+                    # liveness insurance only.
+                    self._changed.wait(timeout=1.0)
+                __, __, idx, obs = heapq.heappop(self._heap)
+                self._feeds[idx].n_staged -= 1
+                self._stats.n_observations += 1
+            yield obs
+
+    # -- protocol ----------------------------------------------------------
+
+    def stats(self) -> SourceStats:
+        """Aggregate accounting: every child rolled into one view.
+
+        Per-child counters are summed (lines, drops, rejects,
+        reconnects), error maps merged; ``queue_depth`` is the merge's
+        own staging heap on top of the children's transport queues.
+        ``n_observations``/``n_dropped`` count what actually left the
+        merged stream and what overflow (child queues plus merge
+        staging) discarded.
+        """
+        with self._lock:
+            merged = SourceStats(
+                name=self._stats.name,
+                n_observations=self._stats.n_observations,
+                n_dropped=self._stats.n_dropped,
+                errors=dict(self._stats.errors),
+                queue_depth=len(self._heap),
+            )
+        for feed in self._feeds:
+            child = feed.source.stats()
+            merged.n_lines += child.n_lines
+            merged.n_dropped += child.n_dropped
+            merged.n_rejected += child.n_rejected
+            merged.n_reconnects += child.n_reconnects
+            merged.queue_depth += child.queue_depth
+            # dict() is a single C-level copy (GIL-atomic), so a live
+            # reader thread adding a new error reason mid-poll cannot
+            # tear this iteration.
+            for reason, count in dict(child.errors).items():
+                merged.errors[reason] = merged.errors.get(reason, 0) + count
+        with self._lock:
+            if merged.queue_depth > self._stats.queue_high_water:
+                self._stats.queue_high_water = merged.queue_depth
+            merged.queue_high_water = self._stats.queue_high_water
+        return merged
+
+    def stats_by_source(self) -> list[SourceStats]:
+        """Each child feed's own accounting, in attach order."""
+        return [feed.source.stats() for feed in self._feeds]
+
+    def queue_depths(self) -> dict[str, int]:
+        """Per-feed staged+transport depths for backpressure probes.
+
+        Keys are ``source:<name>`` per feed plus the aggregate
+        ``source``; the monitor façade merges them into every
+        increment's ``BackpressureMetrics.queue_depths``.
+        """
+        depths: dict[str, int] = {}
+        total = 0
+        with self._lock:
+            staged = {feed.index: feed.n_staged for feed in self._feeds}
+        for feed in self._feeds:
+            child = feed.source.stats()
+            depth = staged[feed.index] + child.queue_depth
+            key = f"source:{child.name}"
+            if key in depths:  # duplicate names: index disambiguates
+                key = f"source:{child.name}[{feed.index}]"
+            depths[key] = depth
+            total += depth
+        depths["source"] = total
+        return depths
+
+    def close(self) -> None:
+        """Close every child; iteration ends after staged items drain."""
+        for feed in self._feeds:
+            feed.source.close()
+        with self._changed:
+            self._closed = True
+            self._changed.notify_all()
+        for thread in self._readers:
+            if thread is not threading.current_thread():
+                thread.join(timeout=2.0)

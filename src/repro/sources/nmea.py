@@ -201,8 +201,8 @@ class NmeaFileSource:
         if "_bad_tag" in fields:
             stats.count_error(f"tag_{fields['_bad_tag']}")
         if not sentence or sentence[0] not in "!$":
-            if sentence:  # blank lines are not worth counting as drops
-                stats.n_dropped += 1
+            if sentence:  # blank lines are not worth counting as rejects
+                stats.n_rejected += 1
                 stats.count_error("not_a_sentence")
             return None
         received, transmitted = _tag_times(fields)

@@ -11,7 +11,9 @@ serve newline-framed ``!AIVDM`` sentences over a plain TCP socket.
   slow tick never blocks the socket — when the queue fills, the *oldest*
   staged observation is dropped (newest data wins; a surveillance
   picture wants the current fix, not a complete backlog) and counted in
-  ``stats().n_dropped``;
+  ``stats().n_dropped``; lines refused at parse time count in
+  ``stats().n_rejected`` instead, so a dirty feed never reads as queue
+  pressure;
 - connection loss triggers reconnect with exponential backoff
   (``backoff_initial_s`` doubling to ``backoff_max_s``), counted in
   ``stats().n_reconnects``; ``max_retries`` consecutive failed attempts
@@ -163,7 +165,7 @@ class NmeaTcpSource:
         if "_bad_tag" in fields:
             stats.count_error(f"tag_{fields['_bad_tag']}")
         if not sentence or sentence[0] not in "!$":
-            stats.n_dropped += 1
+            stats.n_rejected += 1
             stats.count_error("not_a_sentence")
             return
         received, transmitted = _tag_times(fields)

@@ -13,6 +13,7 @@ per-vessel structure at a stable size (entries evicted by age).
 import random
 import socket
 import threading
+import time
 
 import pytest
 
@@ -23,6 +24,7 @@ from repro.monitor import MaritimeMonitor
 from repro.simulation import global_scenario, regional_scenario
 from repro.sources import (
     IterableSource,
+    MergedSource,
     NmeaFileSource,
     NmeaTcpSource,
     format_tagged_sentence,
@@ -159,8 +161,9 @@ class TestBatchLiveEquivalence:
         assert event_keys(events) == event_keys(batch.events)
 
 
-def monitor_products(run, source, tick_s: float = 240.0):
-    """Drive one source through the façade; returns comparable products."""
+def monitor_products(run, *sources, tick_s: float = 240.0,
+                     holdback_s: float | None = None):
+    """Drive source(s) through the façade; returns comparable products."""
     pipeline = MaritimePipeline()
     monitor = MaritimeMonitor(specs=run.specs, weather=run.weather)
     events, complex_events, forecasts = [], [], {}
@@ -171,7 +174,7 @@ def monitor_products(run, source, tick_s: float = 240.0):
         ),
         on_forecast=lambda mmsi, p: forecasts.__setitem__(mmsi, p),
     )
-    monitor.attach(source)
+    monitor.attach(*sources, holdback_s=holdback_s)
     report = monitor.run(
         tick_s=tick_s,
         pol_split_t=pipeline._pol_split(run),
@@ -420,3 +423,185 @@ class TestBoundedMemory:
         assert len(state.store) == 0
         assert len(state.triples) == 0
         assert state.cube.total > 0  # the aggregate always accumulates
+
+
+class TestMergedSourceEquivalence:
+    """The multi-feed acceptance property: N split feeds — file,
+    in-process iterable, TCP loopback — merged on reception time
+    produce exactly the products of ``process()`` over the sorted
+    union, at any tick size, including across the antimeridian seam.
+
+    The merge holdback used here (300 s) plus these scenarios'
+    intrinsic reception latency (~1 s) sits strictly inside the reorder
+    stage's lateness budget (max_lateness_s = 400 s) — the two compose
+    additively against that budget — so every record the merge delays
+    is still repaired by the reorder stage and parity is deterministic
+    rather than race-dependent.
+    """
+
+    @staticmethod
+    def split_feeds(observations, n_feeds: int = 3):
+        """Round-robin split: each sub-feed stays reception-ordered."""
+        return [observations[i::n_feeds] for i in range(n_feeds)]
+
+    @pytest.mark.parametrize("name", ["regional", "seam"])
+    @pytest.mark.parametrize("tick_s", [240.0, 1500.0])
+    def test_split_feeds_match_process(self, name, tick_s, tmp_path):
+        run = SCENARIOS[name]().run()
+        batch = MaritimePipeline().process(run)
+        feeds = self.split_feeds(run.observations)
+
+        path = tmp_path / "feed0.nmea"
+        write_nmea_file(feeds[0], str(path))
+        port = serve_lines([format_tagged_sentence(o) for o in feeds[1]])
+        got = monitor_products(
+            run,
+            NmeaFileSource(str(path)),
+            NmeaTcpSource("127.0.0.1", port, reconnect=False),
+            IterableSource(feeds[2]),
+            tick_s=tick_s,
+            holdback_s=300.0,
+        )
+        assert got["events"] == event_keys(batch.events)
+        assert got["complex"] == event_keys(batch.complex_events)
+        assert got["forecasts"] == batch.forecasts
+        assert got["cube_total"] == batch.cube.total
+        assert got["cube_cells"] == batch.cube.cell_counts()
+        assert got["report"].n_records > 0
+        # Aggregated stats cover the whole union; per-feed views remain.
+        source_stats = got["report"].source
+        assert source_stats.n_observations == len(run.observations)
+        assert len(got["report"].sources) == 3
+
+    def test_strict_merge_matches_process_too(self, tmp_path):
+        """holdback_s=0 (the exact k-way merge) is the strongest mode:
+        byte-for-byte reception order of the sorted union."""
+        run = SCENARIOS["regional"]().run()
+        batch = MaritimePipeline().process(run)
+        feeds = self.split_feeds(run.observations)
+        got = monitor_products(run, *feeds, tick_s=600.0, holdback_s=0.0)
+        assert got["events"] == event_keys(batch.events)
+        assert got["cube_cells"] == batch.cube.cell_counts()
+
+    def test_default_holdback_is_half_the_lateness_budget(self):
+        """Merge disorder and intrinsic feed lateness share the reorder
+        budget additively, so the default splits it between them."""
+        monitor = MaritimeMonitor()
+        monitor.attach([], [])
+        assert isinstance(monitor._source, MergedSource)
+        assert (
+            monitor._source.holdback_s == monitor.config.max_lateness_s / 2.0
+        )
+
+    def test_increments_carry_per_feed_queue_depths(self):
+        run = regional_scenario(n_vessels=6, duration_s=1800.0, seed=3).run()
+        feeds = self.split_feeds(run.observations, n_feeds=2)
+        monitor = MaritimeMonitor(specs=run.specs, weather=run.weather)
+        depth_keys = set()
+        monitor.subscribe(
+            on_increment=lambda inc: depth_keys.update(
+                inc.backpressure.queue_depths
+            )
+        )
+        monitor.attach(IterableSource(feeds[0], name="terrestrial"),
+                       IterableSource(feeds[1], name="satellite"))
+        monitor.run(tick_s=600.0)
+        assert {"source", "source:terrestrial", "source:satellite"} <= depth_keys
+
+
+class TestAsyncDispatchBackpressure:
+    """The consumer-side acceptance property: a subscriber sleeping far
+    longer than the tick budget must not stall ingestion when it opts
+    into async dispatch, while the sync path demonstrably degrades —
+    and the delivered/dropped accounting reconciles exactly."""
+
+    SLEEP_S = 0.04  # ~100x a typical tick's feed latency here
+
+    @staticmethod
+    def run_monitor(run, subscribe=None):
+        monitor = MaritimeMonitor(specs=run.specs, weather=run.weather)
+        if subscribe is not None:
+            subscribe(monitor)
+        monitor.attach(IterableSource(run.observations))
+        t0 = time.perf_counter()
+        report = monitor.run(tick_s=120.0)
+        return report, time.perf_counter() - t0
+
+    def test_async_dispatch_shields_ingestion_from_slow_sink(self):
+        run = regional_scenario(n_vessels=10, duration_s=3600.0, seed=21).run()
+
+        def sleeper(inc):
+            time.sleep(self.SLEEP_S)
+
+        baseline_report, baseline_s = self.run_monitor(run)
+        sync_report, sync_s = self.run_monitor(
+            run, lambda m: m.subscribe(on_increment=sleeper)
+        )
+        async_report, async_s = self.run_monitor(
+            run,
+            lambda m: m.subscribe(
+                on_increment=sleeper, async_dispatch=True, max_queue=2
+            ),
+        )
+        n = baseline_report.n_increments
+        assert n >= 20
+        # Compare per-increment overhead over the baseline, so machine
+        # noise is divided by n instead of compounding wall ratios.
+        sync_overhead = (sync_s - baseline_s) / n
+        async_overhead = (async_s - baseline_s) / n
+        # The sync path pays the sleep on every tick, serially.
+        assert sync_overhead >= 0.8 * self.SLEEP_S
+        # The async path pays a small fraction of it (the 10%-of-
+        # baseline acceptance target on quiet hardware; a 25%-of-sleep
+        # per-tick bound plus a drain allowance keeps CI noise out).
+        assert async_overhead <= 0.25 * self.SLEEP_S + (
+            4 * self.SLEEP_S / n  # end-of-run queue drain
+        )
+        assert async_s < 0.6 * sync_s  # the degradation gap itself
+
+        # Accounting reconciles exactly: every increment submitted was
+        # either delivered or counted dropped, nothing vanished.
+        (sub,) = async_report.subscriptions
+        assert sub.async_dispatch
+        assert sub.n_submitted == async_report.n_increments
+        assert sub.n_submitted == sub.n_delivered + sub.n_dropped
+        assert sub.delivered.get("increments", 0) == sub.n_delivered
+        assert sub.delivered.get("dropped_increments", 0) == sub.n_dropped
+        assert sub.n_dropped > 0  # the slow sink really was overrun
+        assert sub.error is None
+        # The sync subscriber, by contrast, received every increment.
+        (sync_sub,) = sync_report.subscriptions
+        assert not sync_sub.async_dispatch
+        assert sync_sub.delivered["increments"] == sync_report.n_increments
+
+    def test_block_policy_delivers_everything(self):
+        run = regional_scenario(n_vessels=5, duration_s=1200.0, seed=6).run()
+        got = []
+        report, __ = self.run_monitor(
+            run,
+            lambda m: m.subscribe(
+                on_increment=got.append, async_dispatch=True,
+                max_queue=2, overflow="block",
+            ),
+        )
+        (sub,) = report.subscriptions
+        assert sub.n_dropped == 0
+        assert sub.n_delivered == report.n_increments == len(got)
+
+    def test_async_worker_error_recorded_not_raised(self):
+        run = regional_scenario(n_vessels=5, duration_s=1200.0, seed=6).run()
+
+        def bad(inc):
+            raise RuntimeError("slow sink finally broke")
+
+        report, __ = self.run_monitor(
+            run, lambda m: m.subscribe(on_increment=bad, async_dispatch=True)
+        )
+        (sub,) = report.subscriptions
+        assert isinstance(sub.error, RuntimeError)
+        assert report.n_increments > 0  # the run itself completed
+        # Reconciliation survives the failure: the increment that blew
+        # up (and any backlog) counts as dropped, nothing vanishes.
+        assert sub.n_submitted == sub.n_delivered + sub.n_dropped
+        assert sub.n_dropped >= 1
+        assert sub.delivered.get("dropped_increments", 0) == sub.n_dropped

@@ -219,3 +219,226 @@ class TestAlertLogSink:
                 events=[event(EventKind.GAP, t=10_000.0 * i, mmsis=(i,))]
             ))
         assert len(sink.alerts) == 2
+
+
+class TestDispatchSnapshot:
+    def test_subscribe_from_callback_misses_inflight_increment(self):
+        """A subscription created by a callback must not receive the
+        increment being dispatched — only subsequent ones."""
+        hub = SubscriptionHub()
+        late = []
+
+        def add_subscriber(inc):
+            if not late_handles:
+                late_handles.append(
+                    hub.subscribe(on_increment=late.append)
+                )
+
+        late_handles = []
+        hub.subscribe(on_increment=add_subscriber)
+        hub.dispatch(increment(events=[event()]))
+        assert late == []  # not the in-flight increment
+        hub.dispatch(increment())
+        assert len(late) == 1  # but every later one
+
+    def test_close_other_from_callback_suppresses_delivery(self):
+        """Closing a later subscription mid-dispatch stops its delivery
+        of the in-flight increment (active is checked at dispatch)."""
+        hub = SubscriptionHub()
+        got = []
+        victim = hub.subscribe(on_increment=got.append)
+
+        def closer(inc):
+            victim.close()
+
+        hub.subscribe(on_increment=closer)
+        hub._subscriptions.reverse()  # closer first, victim second
+        hub.dispatch(increment())
+        assert got == []
+        assert len(hub) == 1  # victim pruned, closer remains
+
+    def test_close_self_from_callback_keeps_others_running(self):
+        hub = SubscriptionHub()
+        got = []
+        handle = []
+
+        def close_self(inc):
+            handle[0].close()
+
+        handle.append(hub.subscribe(on_increment=close_self))
+        hub.subscribe(on_increment=got.append)
+        hub.dispatch(increment(events=[event()]))
+        hub.dispatch(increment())
+        assert len(got) == 2  # the other subscriber saw both
+        assert len(hub) == 1
+
+
+class TestAsyncDispatcher:
+    def drain(self, hub):
+        hub.close(drain=True)
+
+    def test_delivery_happens_off_thread_and_counts_match(self):
+        import threading
+
+        hub = SubscriptionHub()
+        threads = set()
+        got = []
+
+        def record(inc):
+            threads.add(threading.current_thread().name)
+            got.append(inc)
+
+        subscription = hub.subscribe(on_increment=record, async_dispatch=True)
+        for i in range(5):
+            hub.dispatch(increment())
+        self.drain(hub)
+        assert len(got) == 5
+        assert threads == {"sink-dispatch"}
+        dispatcher = subscription.dispatcher
+        assert dispatcher.n_submitted == 5
+        assert dispatcher.n_delivered == 5
+        assert dispatcher.n_dropped == 0
+        assert subscription.delivered["increments"] == 5
+
+    def test_drop_oldest_bounds_queue_and_accounts_exactly(self):
+        import threading
+
+        gate = threading.Event()
+        got = []
+
+        def slow(inc):
+            gate.wait(timeout=5.0)
+            got.append(inc)
+
+        hub = SubscriptionHub()
+        subscription = hub.subscribe(
+            on_increment=slow, async_dispatch=True, max_queue=3
+        )
+        for i in range(10):
+            hub.dispatch(increment())
+        gate.set()
+        self.drain(hub)
+        dispatcher = subscription.dispatcher
+        assert dispatcher.n_submitted == 10
+        assert dispatcher.n_submitted == (
+            dispatcher.n_delivered + dispatcher.n_dropped
+        )
+        assert dispatcher.n_dropped >= 10 - 3 - 1  # at most queue + in-flight survive
+        assert subscription.delivered.get("dropped_increments") == (
+            dispatcher.n_dropped
+        )
+        assert len(got) == dispatcher.n_delivered
+        assert dispatcher.queue_high_water <= 3
+
+    def test_block_policy_never_drops(self):
+        import time as _time
+
+        hub = SubscriptionHub()
+        got = []
+        subscription = hub.subscribe(
+            on_increment=lambda inc: (_time.sleep(0.005), got.append(inc)),
+            async_dispatch=True, max_queue=2, overflow="block",
+        )
+        for i in range(12):
+            hub.dispatch(increment())
+        self.drain(hub)
+        dispatcher = subscription.dispatcher
+        assert dispatcher.n_dropped == 0
+        assert dispatcher.n_delivered == 12
+        assert len(got) == 12
+
+    def test_callback_error_deactivates_without_killing_pipeline(self):
+        hub = SubscriptionHub()
+        boom = RuntimeError("sink broke")
+
+        def bad(inc):
+            raise boom
+
+        subscription = hub.subscribe(on_increment=bad, async_dispatch=True)
+        hub.dispatch(increment())  # must not raise on the caller
+        self.drain(hub)
+        dispatcher = subscription.dispatcher
+        assert dispatcher.error is boom
+        assert not subscription.active
+        # The increment that blew up counts as dropped: reconciliation
+        # holds even through the failure path.
+        assert dispatcher.n_submitted == 1
+        assert dispatcher.n_delivered == 0
+        assert dispatcher.n_dropped == 1
+        assert subscription.delivered.get("dropped_increments", 0) == 1
+        # Later dispatches are no-ops, not crashes.
+        hub.dispatch(increment())
+
+    def test_sync_path_unaffected_and_interleaves(self):
+        hub = SubscriptionHub()
+        sync_got, async_got = [], []
+        hub.subscribe(on_increment=sync_got.append)
+        hub.subscribe(on_increment=async_got.append, async_dispatch=True)
+        for i in range(4):
+            hub.dispatch(increment())
+        self.drain(hub)
+        assert len(sync_got) == 4
+        assert len(async_got) == 4
+
+    def test_subscription_close_discards_backlog_as_dropped(self):
+        import threading
+
+        gate = threading.Event()
+        hub = SubscriptionHub()
+        subscription = hub.subscribe(
+            on_increment=lambda inc: gate.wait(timeout=5.0),
+            async_dispatch=True, max_queue=10,
+        )
+        for i in range(6):
+            hub.dispatch(increment())
+        subscription.close()  # close means stop, not finish up
+        gate.set()
+        dispatcher = subscription.dispatcher
+        dispatcher.close(drain=True)
+        assert dispatcher.n_submitted == (
+            dispatcher.n_delivered + dispatcher.n_dropped
+        )
+        assert dispatcher.n_dropped > 0
+        # Both sides of the handoff agree on the losses.
+        assert subscription.delivered.get("dropped_increments", 0) == (
+            dispatcher.n_dropped
+        )
+
+    def test_rejects_bad_parameters(self):
+        hub = SubscriptionHub()
+        with pytest.raises(ValueError):
+            hub.subscribe(on_event=print, async_dispatch=True, max_queue=0)
+        with pytest.raises(ValueError):
+            hub.subscribe(
+                on_event=print, async_dispatch=True, overflow="teleport"
+            )
+
+    def test_event_filters_apply_on_worker(self):
+        hub = SubscriptionHub()
+        got = []
+        hub.subscribe(on_event=got.append, kinds=["gap"], async_dispatch=True)
+        hub.dispatch(increment(
+            events=[event(EventKind.GAP), event(EventKind.LOITERING)]
+        ))
+        self.drain(hub)
+        assert [e.kind for e in got] == [EventKind.GAP]
+
+    def test_session_flush_drains_async_dispatchers(self):
+        """Direct session users get final books too: flush() closes the
+        hub's dispatchers, so nothing is stranded in a worker queue."""
+        from repro.core import MaritimePipeline
+
+        session = MaritimePipeline().new_session()
+        got = []
+        subscription = session.subscribe(
+            on_increment=got.append, async_dispatch=True
+        )
+        session.feed(())
+        session.flush()
+        dispatcher = subscription.dispatcher
+        # Both increments (feed + flush) delivered, worker shut down.
+        assert dispatcher.n_submitted == 2
+        assert dispatcher.n_delivered == 2
+        assert dispatcher.n_dropped == 0
+        assert len(got) == 2
+        assert not dispatcher._worker.is_alive()

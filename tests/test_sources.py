@@ -10,6 +10,7 @@ from repro.ais import PositionReport, encode_sentences
 from repro.simulation.receivers import Observation
 from repro.sources import (
     IterableSource,
+    MergedSource,
     NmeaFileSource,
     NmeaTcpSource,
     Source,
@@ -122,7 +123,9 @@ class TestNmeaFileSource:
         source = NmeaFileSource(str(path))
         assert len(list(source)) == 2
         stats = source.stats()
-        assert stats.n_dropped == 1
+        # Parse rejects are not backpressure drops.
+        assert stats.n_rejected == 1
+        assert stats.n_dropped == 0
         assert stats.errors.get("not_a_sentence") == 1
 
     def test_tail_mode_follows_appends(self, tmp_path):
@@ -305,3 +308,267 @@ class TestNmeaTcpSource:
         assert list(source) == []  # returns instead of blocking forever
         closer.join()
         server.close()
+
+    def test_parse_rejects_kept_apart_from_overflow_drops(self):
+        """A dirty feed must not read as queue pressure: garbage lines
+        count in n_rejected, only overflow victims in n_dropped."""
+        observations = [make_observation(i, t=100.0 + i) for i in range(40)]
+        lines = []
+        for obs in observations:
+            lines.append(format_tagged_sentence(obs))
+            lines.append("THIS IS NOT NMEA")  # interleaved garbage
+        port, thread = serve_lines(lines)
+        source = NmeaTcpSource(
+            "127.0.0.1", port, max_queue=10, reconnect=False
+        )
+        iterator = iter(source)
+        deadline = time.time() + 5.0
+        while source.stats().n_lines < 80 and time.time() < deadline:
+            time.sleep(0.01)
+        got = list(iterator)
+        stats = source.stats()
+        assert stats.n_rejected == 40
+        assert stats.errors.get("not_a_sentence") == 40
+        # Overflow accounting is exact and untouched by the rejects.
+        assert stats.n_dropped == 40 - len(got)
+        assert stats.n_dropped > 0
+        assert stats.errors.get("queue_overflow") == stats.n_dropped
+        assert stats.n_observations == len(got)
+
+    def test_reconnect_resumes_with_second_connection_content(self):
+        """After a mid-feed remote close the source reconnects and the
+        second connection's data flows through the same iterator."""
+        observations = [make_observation(i, t=100.0 + i) for i in range(6)]
+        lines = [format_tagged_sentence(o) for o in observations]
+        port, thread = serve_lines(lines, close_after=3, accept_n=2)
+        source = NmeaTcpSource(
+            "127.0.0.1", port,
+            reconnect=True, max_retries=5, backoff_initial_s=0.01,
+        )
+        got = []
+        for obs in source:
+            got.append(obs)
+            if len(got) == 6:
+                source.close()
+        # close_after serves lines[:3] on *each* accept: the reconnect
+        # replays the prefix, proving the second connection delivered.
+        assert [o.sentence for o in got] == [
+            o.sentence for o in (observations[:3] + observations[:3])
+        ]
+        assert source.stats().n_reconnects >= 1
+
+    def test_retry_exhaustion_after_data_ends_feed(self):
+        """max_retries bounds *consecutive* failures even after a
+        healthy connection delivered data (server gone for good)."""
+        observations = [make_observation(i, t=100.0 + i) for i in range(3)]
+        lines = [format_tagged_sentence(o) for o in observations]
+        port, thread = serve_lines(lines, accept_n=1)  # serves once, closes
+        source = NmeaTcpSource(
+            "127.0.0.1", port,
+            reconnect=True, max_retries=2, backoff_initial_s=0.01,
+        )
+        got = list(source)  # must terminate by exhausting retries
+        assert len(got) == 3
+        stats = source.stats()
+        assert stats.errors.get("connect_failed", 0) >= 1
+        thread.join(timeout=2.0)
+
+
+class TestMergedSource:
+    def make_feeds(self, n: int = 30, n_feeds: int = 3):
+        """Interleaved sub-feeds, each internally reception-ordered."""
+        observations = [
+            make_observation(i, mmsi=227000001 + i % 4, t=100.0 + 3.0 * i)
+            for i in range(n)
+        ]
+        feeds = [observations[i::n_feeds] for i in range(n_feeds)]
+        return observations, feeds
+
+    def test_merges_iterables_in_reception_order(self):
+        observations, feeds = self.make_feeds()
+        merged = MergedSource(*feeds)
+        got = list(merged)
+        assert [o.t_received for o in got] == [
+            o.t_received for o in observations
+        ]
+        assert merged.stats().n_observations == len(observations)
+
+    def test_provenance_preserved_per_feed(self):
+        observations, feeds = self.make_feeds(n=12)
+        tagged = [
+            [
+                Observation(
+                    t_received=o.t_received, sentence=o.sentence,
+                    source=f"FEED-{i}", mmsi=o.mmsi,
+                    t_transmitted=o.t_transmitted,
+                )
+                for o in feed
+            ]
+            for i, feed in enumerate(feeds)
+        ]
+        got = list(MergedSource(*tagged))
+        by_source = {o.source for o in got}
+        assert by_source == {"FEED-0", "FEED-1", "FEED-2"}
+        # Every observation kept the source its feed assigned.
+        for obs in got:
+            feed_index = int(obs.source[-1])
+            assert obs.sentence in {o.sentence for o in tagged[feed_index]}
+
+    def test_merges_file_and_tcp_transports(self, tmp_path):
+        observations, feeds = self.make_feeds(n=24, n_feeds=3)
+        path = tmp_path / "feed0.nmea"
+        write_nmea_file(feeds[0], str(path))
+        port, thread = serve_lines(
+            [format_tagged_sentence(o) for o in feeds[1]]
+        )
+        merged = MergedSource(
+            NmeaFileSource(str(path)),
+            NmeaTcpSource("127.0.0.1", port, reconnect=False),
+            IterableSource(feeds[2]),
+        )
+        got = list(merged)
+        thread.join(timeout=2.0)
+        assert [o.t_received for o in got] == [
+            o.t_received for o in observations
+        ]
+
+    def test_holdback_bounds_disorder_from_lagging_feed(self):
+        """A slow feed may lag without stalling the merge: emitted
+        disorder stays within holdback_s of reception time."""
+        fast = [make_observation(i, t=100.0 + i) for i in range(200)]
+
+        def slow():
+            for i in range(0, 200, 50):
+                time.sleep(0.05)
+                yield make_observation(i, t=100.5 + i)
+
+        merged = MergedSource(fast, slow(), holdback_s=25.0)
+        got = list(merged)
+        assert len(got) == 204
+        max_disorder = 0.0
+        frontier = float("-inf")
+        for obs in got:
+            frontier = max(frontier, obs.t_received)
+            max_disorder = max(max_disorder, frontier - obs.t_received)
+        assert max_disorder <= 25.0
+
+    def test_silent_feed_holds_merge_until_closed(self):
+        """A feed that never produces holds the stream back (bounded
+        disorder by design); closing it releases the backlog."""
+        silent = NmeaFileSource("/dev/null", tail=True, poll_interval_s=0.01)
+        fast = [make_observation(i, t=100.0 + i) for i in range(10)]
+        merged = MergedSource(IterableSource(fast), silent, holdback_s=5.0)
+        got = []
+        iterator = iter(merged)
+        threading.Timer(0.3, silent.close).start()
+        for obs in iterator:
+            got.append(obs)
+        # Nothing could be released before the close (frontier -inf),
+        # and everything staged drains afterwards, still in order.
+        assert [o.t_received for o in got] == [o.t_received for o in fast]
+
+    def test_aggregated_stats_roll_up_children(self, tmp_path):
+        path = tmp_path / "dirty.nmea"
+        path.write_text(
+            format_tagged_sentence(make_observation(0, t=100.0))
+            + "\ngarbage\n"
+            + format_tagged_sentence(make_observation(1, t=101.0))
+            + "\n"
+        )
+        feed = [make_observation(2, t=102.0)]
+        merged = MergedSource(NmeaFileSource(str(path)), IterableSource(feed))
+        got = list(merged)
+        assert len(got) == 3
+        stats = merged.stats()
+        assert stats.n_lines == 4  # 3 file lines + 1 iterable item
+        assert stats.n_observations == 3
+        assert stats.n_rejected == 1
+        assert stats.errors.get("not_a_sentence") == 1
+        assert stats.n_dropped == 0
+        per_feed = merged.stats_by_source()
+        assert len(per_feed) == 2
+        assert per_feed[0].n_rejected == 1
+
+    def test_queue_depths_expose_per_feed_entries(self):
+        observations, feeds = self.make_feeds(n=9)
+        merged = MergedSource(*feeds)
+        depths = merged.queue_depths()
+        assert set(depths) == {
+            "source",
+            "source:iterable[0]", "source:iterable[1]", "source:iterable[2]",
+        }
+        list(merged)  # drain
+        assert merged.queue_depths()["source"] == 0
+
+    def test_overflow_drops_oldest_staged(self):
+        """One feed far ahead of a holdback-blocked merge loses its
+        oldest staged entries once the shared buffer fills."""
+        ahead = [make_observation(i, t=100.0 + i) for i in range(50)]
+        gate = threading.Event()
+
+        def gated():
+            gate.wait(timeout=5.0)
+            yield make_observation(0, t=99.0)
+
+        merged = MergedSource(
+            IterableSource(ahead), gated(), holdback_s=0.0, max_buffer=10
+        )
+        iterator = iter(merged)
+        deadline = time.time() + 5.0
+        while merged.stats().n_dropped < 40 and time.time() < deadline:
+            time.sleep(0.01)
+        assert merged.stats().n_dropped == 40
+        gate.set()
+        got = list(iterator)
+        stats = merged.stats()
+        # The late gated observation is the oldest staged on arrival, so
+        # drop-oldest discards it too: 40 ahead-feed victims plus one.
+        assert stats.n_dropped == 41
+        assert stats.errors.get("merge_overflow") == 41
+        # The staging peak is recorded as it happens, not at stats time
+        # (the heap momentarily holds max_buffer + 1 before the drop).
+        assert stats.queue_high_water >= 10
+        # Drop-oldest: the tail of the ahead feed survives verbatim.
+        assert [o.t_received for o in got] == [
+            o.t_received for o in ahead[-10:]
+        ]
+
+    def test_close_ends_iteration(self):
+        def endless():
+            i = 0
+            while True:
+                yield make_observation(i, t=100.0 + i)
+                i += 1
+
+        merged = MergedSource(endless(), holdback_s=0.0)
+        got = []
+        for obs in merged:
+            got.append(obs)
+            if len(got) == 5:
+                merged.close()
+        assert len(got) >= 5
+
+    def test_rejects_empty_and_bad_arguments(self):
+        with pytest.raises(ValueError):
+            MergedSource()
+        with pytest.raises(ValueError):
+            MergedSource([], holdback_s=-1.0)
+        with pytest.raises(ValueError):
+            MergedSource([], max_buffer=0)
+
+    def test_child_feed_dying_is_surfaced_not_silent(self):
+        """A child raising mid-iteration must not masquerade as clean
+        EOF: the merge survives on the other feeds and the death is
+        visible in the aggregated error counters."""
+        healthy = [make_observation(i, t=100.0 + i) for i in range(6)]
+
+        def dying():
+            yield make_observation(0, t=100.5)
+            raise OSError("transport fell over")
+
+        merged = MergedSource(IterableSource(healthy), dying(),
+                              holdback_s=0.0)
+        got = list(merged)
+        assert len(got) == 7  # everything staged before the death
+        errors = merged.stats().errors
+        assert any(k.startswith("feed_died:") for k in errors), errors
