@@ -2,24 +2,26 @@
 
 Paper anchor: Figure 2 ("Towards an integrated maritime information
 infrastructure").  The benchmark runs the complete pipeline over the
-regional feed four ways — a one-shot batch replay, a live stream of
-micro-batches through the same stage runtime, the ingest path through
-the source layer (in-process iterable vs NMEA-file replay via the
-monitor façade), and the sink-dispatch path (a deliberately slow
-subscriber on the sync vs async dispatcher) — reports per-stage
-throughput plus per-increment latency, verifies all paths agree on the
-event set, and records everything in ``BENCH_pipeline.json`` for the CI
-artifact upload (``check_bench_trend.py --pipeline`` guards the
-dispatch invariants).
+regional feed five ways — a one-shot batch replay, a live stream of
+micro-batches through the same stage runtime, the sharded per-vessel
+phase at workers 1/2/4, the ingest path through the source layer
+(in-process iterable vs NMEA-file replay via the monitor façade), and
+the sink-dispatch path (a deliberately slow subscriber on the sync vs
+async dispatcher) — reports per-stage throughput plus per-increment
+latency, verifies all paths agree on the event set, and records
+everything in ``BENCH_pipeline.json`` for the CI artifact upload
+(``check_bench_trend.py --pipeline`` guards the dispatch and
+worker-scaling invariants).
 """
 
 import json
 import os
+import sys
 import time
 
 from benchutil import machine_calibration_s
 
-from repro.core import MaritimePipeline
+from repro.core import MaritimePipeline, PipelineConfig
 from repro.events.cep import event_key
 from repro.monitor import MaritimeMonitor
 from repro.sources import IterableSource, NmeaFileSource, write_nmea_file
@@ -198,6 +200,91 @@ def test_fig2_ingest_sources(regional_run, tmp_path, report):
         ),
     )
     _RESULTS["ingest"] = {"tick_s": LIVE_TICK_S, **results}
+    _write_json()
+
+
+#: Worker counts for the sharded per-vessel phase scaling axis.
+WORKER_COUNTS = (1, 2, 4)
+
+#: Required workers=4 vs workers=1 speedup where threads can actually
+#: run in parallel (>= 4 cores, free-threaded interpreter).  On GIL
+#: builds or small runners the guard degrades to an overhead floor —
+#: sharding must not *cost* more than ~35% — because pure-Python shard
+#: tasks cannot overlap under the GIL.
+EXPECTED_MIN_SPEEDUP = 1.8
+OVERHEAD_FLOOR = 0.65
+
+
+def _gil_enabled() -> bool:
+    probe = getattr(sys, "_is_gil_enabled", None)
+    return True if probe is None else bool(probe())
+
+
+def test_fig2_worker_scaling(regional_run, report):
+    """The sharded runtime's scaling axis: the same batch replay at
+    workers 1/2/4, with exact product parity asserted per count and the
+    hardware context recorded so the CI guard can judge the ratios."""
+    runs: dict = {}
+    baseline_events = None
+    baseline_cells = None
+    for workers in WORKER_COUNTS:
+        pipeline = MaritimePipeline(PipelineConfig(workers=workers))
+        t0 = time.perf_counter()
+        result = pipeline.process(regional_run)
+        wall = time.perf_counter() - t0
+        events = {event_key(e) for e in result.events}
+        cells = result.cube.cell_counts()
+        if workers == 1:
+            baseline_events, baseline_cells = events, cells
+        parity = events == baseline_events and cells == baseline_cells
+        assert parity, f"workers={workers} diverged from workers=1"
+        runs[str(workers)] = {
+            "wall_s": round(wall, 4),
+            "records_per_s": round(
+                len(regional_run.observations) / wall, 1
+            ) if wall > 0 else 0.0,
+            "n_events": len(result.events),
+            "events_equal_workers1": events == baseline_events,
+            "cube_equal_workers1": cells == baseline_cells,
+        }
+
+    wall_1 = runs["1"]["wall_s"]
+    for workers in WORKER_COUNTS[1:]:
+        wall_n = runs[str(workers)]["wall_s"]
+        runs[str(workers)]["speedup_vs_workers1"] = round(
+            wall_1 / wall_n, 3
+        ) if wall_n > 0 else 0.0
+
+    cpu_count = os.cpu_count() or 1
+    gil = _gil_enabled()
+    parallel_capable = cpu_count >= 4 and not gil
+    report(
+        "",
+        "FIG2 — sharded per-vessel phase (workers axis)",
+        *(
+            f"  workers={w}: {runs[str(w)]['records_per_s']:>9,.0f} rec/s"
+            + (
+                f" ({runs[str(w)]['speedup_vs_workers1']:.2f}x vs 1)"
+                if w > 1 else ""
+            )
+            for w in WORKER_COUNTS
+        ),
+        f"  hardware: {cpu_count} cores, GIL {'on' if gil else 'off'} — "
+        + (
+            f"guard requires >= {EXPECTED_MIN_SPEEDUP}x at workers=4"
+            if parallel_capable
+            else f"guard requires overhead floor >= {OVERHEAD_FLOOR}x only"
+        ),
+    )
+    _RESULTS["workers"] = {
+        "counts": list(WORKER_COUNTS),
+        "cpu_count": cpu_count,
+        "gil_enabled": gil,
+        "parallel_capable": parallel_capable,
+        "expected_min_speedup": EXPECTED_MIN_SPEEDUP,
+        "overhead_floor": OVERHEAD_FLOOR,
+        "runs": runs,
+    }
     _write_json()
 
 

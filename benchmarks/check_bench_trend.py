@@ -19,12 +19,15 @@ Result-set invariants (pair counts, chosen auto backend) are compared
 exactly: the fleets are seeded, so any drift there is a correctness
 regression, not noise.
 
-With ``--pipeline``, the sink-dispatch section of ``BENCH_pipeline.json``
-is guarded too — self-relative (no committed baseline needed): the
-async dispatcher must keep ingest within ``--dispatch-tolerance`` of
-the no-subscriber wall clock while the sync path shows the slow-sink
-degradation, and the delivered/dropped accounting must reconcile
-exactly.
+With ``--pipeline``, the sink-dispatch and workers sections of
+``BENCH_pipeline.json`` are guarded too — self-relative (no committed
+baseline needed): the async dispatcher must keep ingest within
+``--dispatch-tolerance`` of the no-subscriber wall clock while the sync
+path shows the slow-sink degradation, and the delivered/dropped
+accounting must reconcile exactly; the sharded runtime must keep exact
+product parity at every worker count and meet a hardware-aware speedup
+bar (>= 1.8x at 4 workers where threads can overlap, an overhead floor
+under the GIL or on small runners).
 """
 
 import argparse
@@ -135,6 +138,59 @@ def check_pipeline_dispatch(
     return failures
 
 
+def check_pipeline_workers(pipeline: dict) -> list[str]:
+    """Self-relative guard on the sharded-runtime workers axis.
+
+    Parity flags are hard invariants: every worker count must have
+    produced the workers=1 event set and cube cells.  The speedup guard
+    is hardware-aware — the benchmark records the runner's core count
+    and GIL state: where threads can actually overlap (>= 4 cores,
+    free-threaded) workers=4 must reach ``expected_min_speedup`` over
+    workers=1 (calibration-free: both walls come from the same run on
+    the same machine); everywhere else sharding must merely stay above
+    the overhead floor (it may not *slow* the pipeline down much).
+    """
+    workers = pipeline.get("workers")
+    if workers is None:
+        return ["workers section missing from pipeline JSON"]
+    failures: list[str] = []
+    runs = workers.get("runs", {})
+    for count, run in sorted(runs.items(), key=lambda kv: int(kv[0])):
+        if not run.get("events_equal_workers1") or not run.get(
+            "cube_equal_workers1"
+        ):
+            failures.append(
+                f"workers/{count}: products diverged from workers=1 "
+                "(parity is a correctness invariant, not noise)"
+            )
+    run_4 = runs.get("4", {})
+    speedup = run_4.get("speedup_vs_workers1")
+    if speedup is None:
+        failures.append("workers/4: speedup_vs_workers1 missing")
+        return failures
+    if workers.get("parallel_capable"):
+        required = workers.get("expected_min_speedup") or 1.8
+        label = f"parallel hardware: require >= {required}x"
+    else:
+        required = workers.get("overhead_floor") or 0.65
+        label = (
+            f"{workers.get('cpu_count')} cores, "
+            f"GIL {'on' if workers.get('gil_enabled') else 'off'}: "
+            f"require overhead floor >= {required}x"
+        )
+    marker = "FAIL" if speedup < required else "ok"
+    print(
+        f"  workers: 4-shard speedup {speedup:.2f}x vs workers=1 "
+        f"({label})  {marker}"
+    )
+    if speedup < required:
+        failures.append(
+            f"workers/4: speedup {speedup:.2f}x below the required "
+            f"{required}x ({label})"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--current", default="BENCH_spatial.json")
@@ -182,6 +238,7 @@ def main(argv: list[str] | None = None) -> int:
             failures += check_pipeline_dispatch(
                 pipeline, args.dispatch_tolerance
             )
+            failures += check_pipeline_workers(pipeline)
     if failures:
         print("\nREGRESSIONS:")
         for failure in failures:

@@ -30,8 +30,11 @@ def main() -> None:
     # 2. The integrated pipeline of the paper's Figure 2.  Knobs live in
     #    one validated config — an impossible combination (an eviction
     #    horizon shorter than the detectors that read through it) fails
-    #    here, not hours into a run.
-    config = PipelineConfig.from_overrides(gap_min_s=900.0)
+    #    here, not hours into a run.  ``workers=N`` shards the
+    #    per-vessel phase (decode, reconstruction, synopses, forecasts)
+    #    across N vessel-partitioned workers; products are identical
+    #    for every count, so it is purely a throughput knob.
+    config = PipelineConfig.from_overrides(gap_min_s=900.0, workers=2)
     pipeline = MaritimePipeline(config)
     result = pipeline.process(run)
     print()

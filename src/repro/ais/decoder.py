@@ -261,6 +261,21 @@ class AisDecoder:
 
     def feed(self, sentence: str, received_at: float | None = None) -> AisMessage | None:
         """Process one NMEA line; returns a message when one completes."""
+        ready = self.assemble(sentence)
+        if ready is None:
+            return None
+        return finish_payload(ready[0], ready[1], received_at, self.stats)
+
+    def assemble(self, sentence: str) -> tuple[str, int] | None:
+        """Line framing and multipart reassembly only — no bit decoding.
+
+        Returns ``(payload, fill_bits)`` once a complete armoured
+        payload is available, ``None`` otherwise (rejects counted in
+        ``stats``, fragments buffered).  This is the *stateful, serial*
+        half of decoding: fragments must arrive in order through one
+        assembler.  The returned payload is position-independent data —
+        hand it to :func:`finish_payload` on any thread.
+        """
         sentence = sentence.strip()
         if not sentence.startswith(("!AIVDM", "!AIVDO")):
             self.stats["not_aivdm"] += 1
@@ -282,7 +297,7 @@ class AisDecoder:
             self.stats["bad_numeric_field"] += 1
             return None
         if total == 1:
-            return self._finish(payload, fill, received_at)
+            return payload, fill
         key = (seq_id, channel)
         fragment = self._pending.get(key)
         if fragment is None or fragment.total != total:
@@ -294,26 +309,36 @@ class AisDecoder:
         if len(fragment.received) == total:
             del self._pending[key]
             assembled = "".join(fragment.received[i] for i in range(1, total + 1))
-            return self._finish(assembled, fragment.fill_bits, received_at)
+            return assembled, fragment.fill_bits
         self.stats["fragment_buffered"] += 1
         return None
 
-    def _finish(
-        self, payload: str, fill: int, received_at: float | None
-    ) -> AisMessage | None:
-        try:
-            message = decode_payload(payload, fill)
-        except DecodeError as exc:
-            self.stats["decode_error"] += 1
-            self.stats[f"decode_error:{exc.args[0][:40]}"] += 1
-            return None
-        self.stats["decoded"] += 1
-        if received_at is not None:
-            # Dataclasses are frozen; rebuild with the reception time.
-            message = type(message)(
-                **{**message.__dict__, "received_at": received_at}
-            )
-        return message
+
+def finish_payload(
+    payload: str,
+    fill: int,
+    received_at: float | None,
+    stats: Counter,
+) -> AisMessage | None:
+    """Decode one assembled payload, counting outcomes into ``stats``.
+
+    Stateless apart from the caller-supplied counter, so shard workers
+    decode chunks concurrently with thread-local counters and merge
+    them afterwards (Counter addition is order-insensitive).
+    """
+    try:
+        message = decode_payload(payload, fill)
+    except DecodeError as exc:
+        stats["decode_error"] += 1
+        stats[f"decode_error:{exc.args[0][:40]}"] += 1
+        return None
+    stats["decoded"] += 1
+    if received_at is not None:
+        # Dataclasses are frozen; rebuild with the reception time.
+        message = type(message)(
+            **{**message.__dict__, "received_at": received_at}
+        )
+    return message
 
 
 def decode_sentences(sentences: list[str]) -> list[AisMessage]:

@@ -18,7 +18,12 @@ import argparse
 import sys
 
 from repro.ais.decoder import AisDecoder
-from repro.core import DecisionSupport, MaritimePipeline, OperatorProfile
+from repro.core import (
+    DecisionSupport,
+    MaritimePipeline,
+    OperatorProfile,
+    PipelineConfig,
+)
 from repro.monitor import MaritimeMonitor
 from repro.simulation import global_scenario, regional_scenario
 from repro.sinks import JsonlSink
@@ -64,6 +69,11 @@ def _build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument(
         "--tick", type=float, default=300.0,
         help="micro-batch size in seconds of reception time (with --live)",
+    )
+    pipeline.add_argument(
+        "--workers", type=int, default=1,
+        help="worker shards for the per-vessel phase (vessel-partitioned; "
+        "products are identical for every count)",
     )
     pipeline.add_argument(
         "--nmea-file", metavar="PATH", action="append", default=[],
@@ -130,7 +140,7 @@ def _cmd_pipeline(args) -> int:
         n_vessels=args.vessels, duration_s=args.hours * 3600.0,
         seed=args.seed,
     ).run()
-    pipeline = MaritimePipeline()
+    pipeline = MaritimePipeline(PipelineConfig(workers=args.workers))
     if args.live:
         return _run_pipeline_live(pipeline, run, args)
     result = pipeline.process(run)
@@ -156,7 +166,9 @@ def _run_pipeline_source(args) -> int:
             print("--nmea-tcp expects HOST:PORT", file=sys.stderr)
             return 2
         sources.append(NmeaTcpSource(host, int(port)))
-    monitor = MaritimeMonitor().attach(*sources)
+    monitor = MaritimeMonitor(
+        PipelineConfig(workers=args.workers)
+    ).attach(*sources)
     if args.json:
         JsonlSink(sys.stdout).attach(monitor.hub)
     else:

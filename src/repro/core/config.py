@@ -110,6 +110,15 @@ class PipelineConfig:
     live_pol_training_s: float = 3600.0
     #: Cap on retained situation-monitor alarms (None = keep all).
     monitor_max_alarms: int | None = None
+    #: Worker shards for the per-vessel phase (decode payloads, track
+    #: reconstruction, synopses, forecasts, per-vessel spoofing
+    #: detectors).  Records route by ``hash(mmsi) % workers``; the
+    #: cross-vessel phase (collision screens, rendezvous sweeps,
+    #: association/fusion, CEP, overview) always runs serially at the
+    #: watermark barrier.  ``1`` (the default) keeps the runtime
+    #: single-threaded; any N yields the identical event/forecast/cube
+    #: products.  The shard count is fixed when a session is created.
+    workers: int = 1
 
     # -- construction and checking ----------------------------------------
 
@@ -181,6 +190,14 @@ class PipelineConfig:
             problems.append(
                 "monitor_max_alarms must be None or >= 1 "
                 f"(got {self.monitor_max_alarms!r})"
+            )
+        if isinstance(self.workers, bool) or not isinstance(self.workers, int):
+            problems.append(
+                f"workers must be an integer >= 1 (got {self.workers!r})"
+            )
+        elif self.workers < 1:
+            problems.append(
+                f"workers must be >= 1 (got {self.workers!r})"
             )
         # Cross-field horizons: eviction must outlive every reader that
         # looks through the evicted state (see the field docstrings).

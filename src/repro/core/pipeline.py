@@ -20,6 +20,12 @@ Two drivers wrap the same stages:
 Because every stage is record-driven, both drivers produce the same
 event set, forecasts and cube totals for the same feed — the property
 ``tests/test_core_stages.py`` locks down.
+
+Both drivers honour ``config.workers``: the per-vessel phase (decode
+payloads, reconstruction, synopses, forecasts, spoofing detectors) fans
+out over that many vessel-partitioned shards and merges at the watermark
+barrier, with products identical for every worker count
+(``tests/test_core_shards.py``).
 """
 
 from dataclasses import dataclass, field

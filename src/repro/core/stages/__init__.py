@@ -7,6 +7,7 @@ for the stage protocol and the state-ownership rules.
 """
 
 from repro.core.stages.base import Stage, StageStats
+from repro.core.stages.shard import ShardPool, ShardState, shard_of
 from repro.core.stages.state import (
     BackpressureMetrics,
     PipelineIncrement,
@@ -33,7 +34,10 @@ __all__ = [
     "PipelineState",
     "PipelineSession",
     "RecordOutcome",
+    "ShardPool",
+    "ShardState",
     "TtlTable",
+    "shard_of",
     "DecodeStage",
     "ReorderStage",
     "ReconstructStage",

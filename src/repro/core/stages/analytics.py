@@ -16,21 +16,35 @@ from repro.visual.overview import MonitoringAlarm, SituationOverview
 
 
 class SynopsesStage(Stage):
-    """Dead-reckoning compression of each completed segment (§2.1)."""
+    """Dead-reckoning compression of each completed segment (§2.1).
+
+    The compression itself runs in the per-vessel phase on the owning
+    shard (``RecordOutcome.synopses``, aligned 1:1 with ``completed``);
+    this stage collects the precomputed synopses at the barrier —
+    falling back to computing inline for callers that hand it bare
+    segments.
+    """
 
     name = "synopses"
+    phase = "vessel"
 
     def feed(
-        self, state: PipelineState, segments: list[Trajectory]
+        self,
+        state: PipelineState,
+        segments: list[Trajectory],
+        precomputed: list[Trajectory] | None = None,
     ) -> list[Trajectory]:
-        threshold = state.config.synopsis_threshold_m
-        if threshold > 0:
-            synopses = [
-                dead_reckoning_compress(segment, threshold)
-                for segment in segments
-            ]
+        if precomputed is not None and len(precomputed) == len(segments):
+            synopses = list(precomputed)
         else:
-            synopses = list(segments)
+            threshold = state.config.synopsis_threshold_m
+            if threshold > 0:
+                synopses = [
+                    dead_reckoning_compress(segment, threshold)
+                    for segment in segments
+                ]
+            else:
+                synopses = list(segments)
         self.stats.n_in += sum(len(s) for s in segments)
         self.stats.n_out += sum(len(s) for s in synopses)
         return synopses
@@ -70,22 +84,39 @@ class IntegrateStage(Stage):
 
 class ForecastStage(Stage):
     """Per-vessel predicted positions with uncertainty (§4); the latest
-    completed qualifying segment wins."""
+    completed qualifying segment wins.
+
+    Predictions are fitted in the per-vessel phase on the owning shard
+    (``RecordOutcome.forecasts``, aligned 1:1 with ``completed``); this
+    stage assigns them in merged release order, so "latest wins" means
+    the same segment for every worker count.  Outcomes lacking
+    precomputed sets (hand-built ones) are predicted inline.
+    """
 
     name = "forecast"
+    phase = "vessel"
 
     def feed(
-        self, state: PipelineState, segments: list[Trajectory]
+        self, state: PipelineState, outcomes: list[RecordOutcome]
     ) -> dict[int, list[PredictionWithUncertainty]]:
         updated: dict[int, list[PredictionWithUncertainty]] = {}
-        for segment in segments:
-            predictions = [
-                state.predictor.predict(segment, horizon)
-                for horizon in state.config.forecast_horizons_s
-            ]
-            state.forecasts[segment.mmsi] = predictions
-            updated[segment.mmsi] = predictions
-        self.stats.n_in += len(segments)
+        n_in = 0
+        for outcome in outcomes:
+            if len(outcome.forecasts) == len(outcome.completed):
+                pairs = zip(outcome.completed, outcome.forecasts)
+            else:
+                pairs = (
+                    (segment, [
+                        state.predictor.predict(segment, horizon)
+                        for horizon in state.config.forecast_horizons_s
+                    ])
+                    for segment in outcome.completed
+                )
+            for segment, predictions in pairs:
+                state.forecasts[segment.mmsi] = predictions
+                updated[segment.mmsi] = predictions
+                n_in += 1
+        self.stats.n_in += n_in
         self.stats.n_out = sum(len(v) for v in state.forecasts.values())
         return updated
 

@@ -15,6 +15,16 @@ Two invariants every stage must keep (they are what makes
    in fifty.
 2. **Causality.**  Anything computed "at time t" may only read state
    derived from records with event time <= t.
+
+With the sharded runtime a third invariant joins them:
+
+3. **Phase discipline.**  A stage declares its :attr:`Stage.phase`:
+   ``"vessel"`` work may touch only the owning shard's
+   :class:`~repro.core.stages.shard.ShardState` (plus read-only
+   config/stateless helpers) and may run concurrently across shards;
+   ``"cross"`` work runs serially at the watermark barrier over the
+   merged outcome order; ``"barrier"`` marks the single global reorder
+   frontier between them.
 """
 
 import time
@@ -51,6 +61,10 @@ class Stage:
     """Base class: named, with cumulative :class:`StageStats`."""
 
     name = "stage"
+    #: Which side of the watermark barrier the stage runs on — see the
+    #: module docstring.  ``"cross"`` (serial, merged order) is the safe
+    #: default; stages override with ``"vessel"`` or ``"barrier"``.
+    phase = "cross"
 
     def __init__(self) -> None:
         self.stats = StageStats(self.name)

@@ -1,13 +1,17 @@
 """Detect stage: every §3.1 detector, ported to incremental form.
 
-Per accepted fix: spoofing indicators (teleports, identity clashes),
+This is a *cross-vessel phase* stage: it runs serially at the watermark
+barrier over outcomes merged from the worker shards.  Per accepted fix:
 pattern-of-life training or monitoring, rendezvous sampling, the current
-per-vessel state table.  Per completed segment: gap detection (stitched
-across segments through per-vessel track heads), loitering, zone events,
-pattern-of-life episode scoring.  Per watermark advance: rendezvous
-sweeps and periodic collision screens on absolute time grids.  Every
-primitive event feeds the order-insensitive CEP engine as it is
-discovered; completed complex events come back in the same call.
+per-vessel state table (the spoofing indicators — teleports, identity
+clashes — were already computed on the owning shard and are published
+from ``outcome.vessel_events`` here).  Per completed segment: gap
+detection (stitched across segments through per-vessel track heads),
+loitering, zone events, pattern-of-life episode scoring.  Per watermark
+advance: rendezvous sweeps and periodic collision screens on absolute
+time grids.  Every primitive event feeds the order-insensitive CEP
+engine as it is discovered; completed complex events come back in the
+same call.
 """
 
 from repro.core.stages.base import Stage
@@ -45,13 +49,11 @@ class DetectStage(Stage):
             # ``live_pol_training_s`` of event time, then monitor.
             state.pol_split_t = outcomes[0].t + config.live_pol_training_s
         for outcome in outcomes:
-            if outcome.raw_fix is not None:
-                teleport = state.teleports.feed(outcome.mmsi, outcome.raw_fix)
-                if teleport is not None:
-                    events.append(teleport)
-                events.extend(
-                    state.clashes.feed(outcome.mmsi, outcome.raw_fix)
-                )
+            # Teleports and identity clashes were detected on the owning
+            # shard (per-vessel phase) in this same record order; the
+            # barrier publishes them here.
+            if outcome.vessel_events:
+                events.extend(outcome.vessel_events)
             point = outcome.accepted
             if point is not None:
                 state.current.put(outcome.mmsi, point.t, point)
@@ -69,9 +71,18 @@ class DetectStage(Stage):
             for segment in outcome.completed:
                 events.extend(self._on_segment(state, segment))
             # Watermark-driven sweeps, advanced per record so results
-            # never depend on micro-batch boundaries.
-            events.extend(state.rendezvous.advance(outcome.t))
-            events.extend(state.collisions.advance(outcome.t, state.current))
+            # never depend on micro-batch boundaries.  Each detector
+            # publishes the earliest watermark at which advancing could
+            # do anything (``next_due``), so the common case — no grid
+            # instant crossed — skips the call entirely; the gate
+            # depends only on detector state and ``outcome.t``, never
+            # on batch slicing.
+            if state.rendezvous.next_due() <= outcome.t:
+                events.extend(state.rendezvous.advance(outcome.t))
+            if state.collisions.next_due() <= outcome.t:
+                events.extend(
+                    state.collisions.advance(outcome.t, state.current)
+                )
         complex_events = self._publish(state, events, upstream_events)
         self.stats.n_in += sum(
             len(s) for o in outcomes for s in o.completed

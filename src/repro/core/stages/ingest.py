@@ -5,29 +5,80 @@ These turn raw received sentences into the per-record
 stage consumes.  All three wrap incremental components (the AIS decoder,
 the watermark reorder buffer, the track reconstructor), so feeding one
 observation or a million through ``feed`` leaves identical state.
+
+Decode and reconstruct carry the runtime's *per-vessel phase* and accept
+an optional :class:`~repro.core.stages.shard.ShardPool`:
+
+- decode splits into serial multipart assembly (fragments must pass
+  through one assembler in arrival order — NMEA sources tag incomplete
+  fragments with MMSI 0, so payload content, not the observation header,
+  decides identity) and stateless payload decoding, which fans out over
+  contiguous chunks and reassembles in arrival order;
+- reconstruct routes released records to worker shards by
+  ``shard_of(mmsi, n)``; each shard runs the whole per-vessel chain
+  (cleaning, segment closure, synopsis compression, forecasts, teleport
+  and identity-clash detection) on its own
+  :class:`~repro.core.stages.shard.ShardState`, and the outcomes merge
+  back into global release order before the cross-vessel phase.
+
+Reorder stays a single global operator on purpose: the DROP policy
+compares each arrival against the *global* frontier, so per-shard
+frontiers would change which late records survive.
 """
 
+from collections import Counter
+
+from repro.ais.decoder import finish_payload
 from repro.ais.types import ClassBPositionReport, PositionReport
+from repro.core.config import PipelineConfig
 from repro.core.stages.base import Stage
+from repro.core.stages.shard import ShardPool, ShardState, shard_of
 from repro.core.stages.state import PipelineState, RecordOutcome
+from repro.forecasting.kalmanpredict import KalmanPredictor
 from repro.simulation.receivers import Observation
 from repro.streaming.stream import Record
-from repro.trajectory.points import TrackPoint
+from repro.trajectory.compression import dead_reckoning_compress
+from repro.trajectory.points import TrackPoint, Trajectory
+
+#: Below this many staged items a batch runs inline: thread handoff
+#: would cost more than it saves.  Purely an execution choice — results
+#: never depend on it (decode chunks are stateless, shard routing is
+#: fixed by the key).
+_MIN_PARALLEL_ITEMS = 16
 
 
 class DecodeStage(Stage):
     """NMEA sentences through the AIS codec (multipart state included)."""
 
     name = "decode"
+    phase = "vessel"
 
     def feed(
-        self, state: PipelineState, observations: list[Observation]
+        self,
+        state: PipelineState,
+        observations: list[Observation],
+        pool: ShardPool | None = None,
     ) -> list[tuple[float, object]]:
-        decoded: list[tuple[float, object]] = []
+        decoder = state.decoder
+        # Serial half: framing, checksums, multipart reassembly.
+        staged: list[tuple[float, str, int, float]] = []
         for obs in observations:
-            message = state.decoder.feed(obs.sentence, received_at=obs.t_received)
-            if message is not None:
-                decoded.append((obs.t_transmitted, message))
+            ready = decoder.assemble(obs.sentence)
+            if ready is not None:
+                staged.append(
+                    (obs.t_transmitted, ready[0], ready[1], obs.t_received)
+                )
+        # Parallel half: stateless payload decoding, order-preserved.
+        if pool is None or len(staged) < _MIN_PARALLEL_ITEMS:
+            decoded = _decode_chunk(staged, decoder.stats)[0]
+        else:
+            decoded = []
+            for chunk_decoded, counts in pool.run([
+                (lambda c=chunk: _decode_chunk(c, Counter()))
+                for chunk in pool.split(staged)
+            ]):
+                decoded.extend(chunk_decoded)
+                decoder.stats.update(counts)
         self.stats.n_in += len(observations)
         self.stats.n_out += len(decoded)
         return decoded
@@ -36,11 +87,23 @@ class DecodeStage(Stage):
         return []
 
 
+def _decode_chunk(
+    staged: list[tuple[float, str, int, float]], stats: Counter
+) -> tuple[list[tuple[float, object]], Counter]:
+    decoded: list[tuple[float, object]] = []
+    for t_transmitted, payload, fill, received_at in staged:
+        message = finish_payload(payload, fill, received_at, stats)
+        if message is not None:
+            decoded.append((t_transmitted, message))
+    return decoded, stats
+
+
 class ReorderStage(Stage):
     """Restore event-time order up to the bounded lateness (satellite
     delay); advances ``state.watermark`` as records are released."""
 
     name = "reorder"
+    phase = "barrier"
 
     def feed(
         self, state: PipelineState, decoded: list[tuple[float, object]]
@@ -63,49 +126,154 @@ class ReorderStage(Stage):
 
 
 class ReconstructStage(Stage):
-    """Per-vessel track cleaning; emits one outcome per record, carrying
-    the raw fix (spoofing evidence), the accepted fix, and any segments
-    the record closed."""
+    """The sharded per-vessel phase: track cleaning plus everything else
+    that keys on MMSI alone (synopses, forecasts, teleport/clash
+    detection).  Emits one outcome per record, merged back into global
+    release order whatever the shard count."""
 
     name = "reconstruct"
+    phase = "vessel"
 
     def feed(
-        self, state: PipelineState, records: list[Record]
+        self,
+        state: PipelineState,
+        records: list[Record],
+        pool: ShardPool | None = None,
     ) -> list[RecordOutcome]:
-        reconstructor = state.reconstructor
-        min_points = state.config.min_segment_points
-        outcomes: list[RecordOutcome] = []
-        for record in records:
-            message = record.value
-            outcome = RecordOutcome(t=record.t)
-            if isinstance(
-                message, (PositionReport, ClassBPositionReport)
-            ) and message.has_position:
-                outcome.mmsi = message.mmsi
-                outcome.raw_fix = TrackPoint(
-                    record.t, message.lat, message.lon,
-                    message.sog_knots, message.cog_deg,
-                )
-                accepted = reconstructor.add(message, record.t)
-                if accepted is not None:
-                    outcome.accepted = accepted
-                    outcome.new_segment = (
-                        reconstructor.open_segment_length(message.mmsi) == 1
-                    )
-                for segment in reconstructor.drain_finished():
-                    if len(segment) >= min_points:
-                        outcome.completed.append(segment)
-            outcomes.append(outcome)
+        shards = state.shards
+        n = len(shards)
+        if n == 1:
+            outcomes = _vessel_phase(
+                state.config, state.predictor, shards[0], records
+            )
+        else:
+            # Route by key; each shard sees its vessels' records in
+            # release order, so per-vessel state evolves identically to
+            # the single-shard run.
+            parts: list[list[Record]] = [[] for _ in range(n)]
+            indices: list[list[int]] = [[] for _ in range(n)]
+            for position, record in enumerate(records):
+                shard_index = shard_of(record.key, n)
+                parts[shard_index].append(record)
+                indices[shard_index].append(position)
+            tasks = [
+                (lambda s=shard, p=part: _vessel_phase(
+                    state.config, state.predictor, s, p
+                ))
+                for shard, part in zip(shards, parts)
+            ]
+            if pool is not None and len(records) >= _MIN_PARALLEL_ITEMS:
+                results = pool.run(tasks)
+            else:
+                results = [task() for task in tasks]
+            # Barrier merge: outcomes return to global release order.
+            outcomes: list[RecordOutcome] = [None] * len(records)  # type: ignore[list-item]
+            for shard_indices, shard_outcomes in zip(indices, results):
+                for position, outcome in zip(shard_indices, shard_outcomes):
+                    outcomes[position] = outcome
+        for outcome in outcomes:
             self.stats.n_in += 1
             self.stats.n_out += sum(len(s) for s in outcome.completed)
         return outcomes
 
-    def flush(self, state: PipelineState) -> list[RecordOutcome]:
+    def flush(
+        self, state: PipelineState, pool: ShardPool | None = None
+    ) -> list[RecordOutcome]:
         """Close every open segment; returns one synthetic outcome."""
         min_points = state.config.min_segment_points
-        outcome = RecordOutcome(t=state.watermark)
-        for segment in state.reconstructor.finish():
-            if len(segment) >= min_points:
-                outcome.completed.append(segment)
-        self.stats.n_out += sum(len(s) for s in outcome.completed)
+        segments: list[Trajectory] = []
+        for shard in state.shards:
+            segments.extend(shard.reconstructor.finish())
+        # finish() sorts within each shard; re-sort the union so the
+        # merged order matches the single-shard runtime exactly.
+        segments = [
+            s for s in sorted(segments, key=lambda tr: (tr.mmsi, tr.t_start))
+            if len(s) >= min_points
+        ]
+        outcome = RecordOutcome(t=state.watermark, completed=segments)
+        if pool is not None and len(segments) >= _MIN_PARALLEL_ITEMS:
+            chunks = pool.split(segments)
+            for synopses, forecasts in pool.run([
+                (lambda c=chunk: _segment_products(
+                    state.config, state.predictor, c
+                ))
+                for chunk in chunks
+            ]):
+                outcome.synopses.extend(synopses)
+                outcome.forecasts.extend(forecasts)
+        else:
+            outcome.synopses, outcome.forecasts = _segment_products(
+                state.config, state.predictor, segments
+            )
+        self.stats.n_out += sum(len(s) for s in segments)
         return [outcome]
+
+
+def _vessel_phase(
+    config: PipelineConfig,
+    predictor: KalmanPredictor,
+    shard: ShardState,
+    records: list[Record],
+) -> list[RecordOutcome]:
+    """One shard's per-vessel work over its slice of a micro-batch.
+
+    Touches only ``shard`` (exclusive) plus read-only config and the
+    stateless predictor — safe to run concurrently across shards.
+    """
+    reconstructor = shard.reconstructor
+    min_points = config.min_segment_points
+    outcomes: list[RecordOutcome] = []
+    for record in records:
+        message = record.value
+        outcome = RecordOutcome(t=record.t)
+        if isinstance(
+            message, (PositionReport, ClassBPositionReport)
+        ) and message.has_position:
+            outcome.mmsi = message.mmsi
+            outcome.raw_fix = TrackPoint(
+                record.t, message.lat, message.lon,
+                message.sog_knots, message.cog_deg,
+            )
+            accepted = reconstructor.add(message, record.t)
+            if accepted is not None:
+                outcome.accepted = accepted
+                outcome.new_segment = (
+                    reconstructor.open_segment_length(message.mmsi) == 1
+                )
+            for segment in reconstructor.drain_finished():
+                if len(segment) >= min_points:
+                    outcome.completed.append(segment)
+            teleport = shard.teleports.feed(message.mmsi, outcome.raw_fix)
+            if teleport is not None:
+                outcome.vessel_events.append(teleport)
+            outcome.vessel_events.extend(
+                shard.clashes.feed(message.mmsi, outcome.raw_fix)
+            )
+            if outcome.completed:
+                outcome.synopses, outcome.forecasts = _segment_products(
+                    config, predictor, outcome.completed
+                )
+        outcomes.append(outcome)
+    return outcomes
+
+
+def _segment_products(
+    config: PipelineConfig,
+    predictor: KalmanPredictor,
+    segments: list[Trajectory],
+) -> tuple[list[Trajectory], list[list]]:
+    """Synopsis + forecast set per segment (stateless, any thread)."""
+    threshold = config.synopsis_threshold_m
+    synopses = [
+        dead_reckoning_compress(segment, threshold) if threshold > 0
+        else segment
+        for segment in segments
+    ]
+    forecasts = [
+        [
+            predictor.predict(segment, horizon)
+            for horizon in config.forecast_horizons_s
+        ]
+        for segment in segments
+    ]
+    return synopses, forecasts

@@ -12,6 +12,14 @@ every increment a feed or flush produces is dispatched to the session's
 :class:`~repro.sinks.subscription.SubscriptionHub` before it is
 returned, carrying :class:`~repro.core.stages.state.BackpressureMetrics`
 for the batch.
+
+Execution is two-phase per micro-batch (see
+:mod:`~repro.core.stages.shard`): the per-vessel phase (payload decode,
+reconstruction, synopses, forecasts, spoofing detectors) fans out over
+``config.workers`` shards; its outcomes merge back into global release
+order at the watermark barrier, where the cross-vessel phase (fusion,
+detection, CEP, overview) runs serially.  ``workers=1`` runs the same
+code inline on one shard — products are identical for every count.
 """
 
 import time
@@ -25,6 +33,7 @@ from repro.core.stages.analytics import (
 from repro.core.stages.detect import DetectStage
 from repro.core.stages.fuse import FuseStage
 from repro.core.stages.ingest import DecodeStage, ReconstructStage, ReorderStage
+from repro.core.stages.shard import ShardPool
 from repro.core.stages.state import (
     BackpressureMetrics,
     PipelineIncrement,
@@ -60,6 +69,18 @@ class PipelineSession:
         #: monitor façade with a TCP source) appends a zero-arg callable
         #: returning ``{name: depth}``.
         self.queue_probes: list = []
+        #: Alarm probes polled once per increment after the overview
+        #: stage: callables ``probe(watermark) -> list[MonitoringAlarm]``.
+        #: The monitor façade injects infrastructure alarms here (a child
+        #: feed dying) so they reach subscribers like any model alarm.
+        self.alarm_probes: list = []
+        #: Worker pool for the per-vessel phase; ``None`` when
+        #: ``config.workers == 1`` (the phase then runs inline on the
+        #: caller's thread — same code path, one shard).
+        self._pool = (
+            ShardPool(state.config.workers)
+            if state.config.workers > 1 else None
+        )
         self.integrate.start(state)
 
     @property
@@ -70,6 +91,28 @@ class PipelineSession:
     @property
     def flushed(self) -> bool:
         return self._flushed
+
+    @property
+    def workers(self) -> int:
+        """The session's shard count (fixed at creation)."""
+        return len(self.state.shards)
+
+    def _check_shard_count(self) -> None:
+        """Reject a mid-run ``config.workers`` change loudly.
+
+        Per-vessel state lives on the shards and routing is
+        ``hash(mmsi) % workers`` — changing the count mid-run would
+        strand every vessel's open track on the wrong shard.
+        """
+        if len(self.state.shards) != self.state.config.workers:
+            raise RuntimeError(
+                f"config.workers changed mid-run (session started with "
+                f"{len(self.state.shards)} shard(s), config now says "
+                f"{self.state.config.workers}): the shard count is fixed "
+                "when the session is created because per-vessel state "
+                "cannot migrate between shards — start a new session "
+                "with the new worker count instead"
+            )
 
     # -- subscriptions -----------------------------------------------------
 
@@ -120,16 +163,17 @@ class PipelineSession:
         if self._flushed:
             raise RuntimeError("session already flushed")
         state = self.state
+        self._check_shard_count()
         t0 = time.perf_counter()
         observations = list(observations)
         self.fuse.enqueue(state, radar_contacts, lrit_reports)
 
         with self.decode.timed():
-            decoded = self.decode.feed(state, observations)
+            decoded = self.decode.feed(state, observations, pool=self._pool)
         with self.reorder.timed():
             records = self.reorder.feed(state, decoded)
         with self.reconstruct.timed():
-            outcomes = self.reconstruct.feed(state, records)
+            outcomes = self.reconstruct.feed(state, records, pool=self._pool)
         increment = self._downstream(
             outcomes,
             final_outcomes=[],
@@ -150,12 +194,13 @@ class PipelineSession:
             raise RuntimeError("session already flushed")
         self._flushed = True
         state = self.state
+        self._check_shard_count()
         t0 = time.perf_counter()
         with self.reorder.timed():
             records = self.reorder.flush(state)
         with self.reconstruct.timed():
-            outcomes = self.reconstruct.feed(state, records)
-            final_outcomes = self.reconstruct.flush(state)
+            outcomes = self.reconstruct.feed(state, records, pool=self._pool)
+            final_outcomes = self.reconstruct.flush(state, pool=self._pool)
         increment = self._downstream(
             outcomes,
             final_outcomes=final_outcomes,
@@ -164,6 +209,9 @@ class PipelineSession:
             flushing=True,
         )
         increment.n_records = len(records)
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
         self.subscriptions.dispatch(increment)
         # End of stream is also end of delivery: drain the async
         # dispatchers here so direct session users (not just the
@@ -181,12 +229,12 @@ class PipelineSession:
         flushing: bool,
     ) -> PipelineIncrement:
         state = self.state
-        completed = [
-            s for o in (*outcomes, *final_outcomes) for s in o.completed
-        ]
+        all_outcomes = (*outcomes, *final_outcomes)
+        completed = [s for o in all_outcomes for s in o.completed]
+        precomputed = [s for o in all_outcomes for s in o.synopses]
 
         with self.synopses.timed():
-            new_synopses = self.synopses.feed(state, completed)
+            new_synopses = self.synopses.feed(state, completed, precomputed)
         with self.integrate.timed():
             self.integrate.feed(state, new_synopses)
         with self.fuse.timed():
@@ -204,12 +252,14 @@ class PipelineSession:
                 new_events.extend(tail_events)
                 new_complex.extend(tail_complex)
         with self.forecast.timed():
-            updated_forecasts = self.forecast.feed(state, completed)
+            updated_forecasts = self.forecast.feed(state, list(all_outcomes))
         with self.overview.timed():
             new_alarms = self.overview.feed(state, outcomes)
             snapshot = (
                 self.overview.snapshot(state) if build_overview else None
             )
+        for probe in self.alarm_probes:
+            new_alarms.extend(probe(state.watermark))
 
         if state.keep_products:
             state.trajectories.extend(completed)

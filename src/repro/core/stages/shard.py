@@ -1,0 +1,106 @@
+"""Vessel-partitioned worker shards for the two-phase stage runtime.
+
+The pipeline is embarrassingly parallel *per vessel*: payload decoding
+is stateless, and track reconstruction, synopsis compression,
+forecasting and the spoofing detectors all key on MMSI.  The runtime
+therefore splits each micro-batch into two phases:
+
+- the **per-vessel phase** runs on ``PipelineConfig.workers`` shards.
+  Post-reorder records route by ``shard_of(mmsi, n)``; each shard owns a
+  :class:`ShardState` — its exclusive slice of the per-vessel state —
+  so shard tasks never share mutable state and need no locks.
+- the **cross-vessel phase** (collision screens, rendezvous sweeps,
+  association/fusion, CEP, pattern-of-life, overview) runs serially at
+  the watermark barrier, over the shard outcomes merged back into
+  global release order.
+
+Because routing depends only on ``(mmsi, n)`` — never on batch slicing
+or thread scheduling — and each vessel's records reach its shard in
+release order, the merged outcome sequence is identical for every
+worker count: ``workers=N`` reproduces ``workers=1`` product-for-product.
+
+:class:`ShardPool` is the thread pool driving the phase.  Threads (not
+processes) keep the shard states in-process and zero-copy; on a
+free-threaded interpreter with multiple cores the phase scales toward
+core count, under the GIL it degrades gracefully to ~1x.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.config import PipelineConfig
+from repro.events.spoofing import IdentityClashDetector, TeleportDetector
+from repro.trajectory.reconstruction import TrackReconstructor
+
+__all__ = ["ShardState", "ShardPool", "shard_of"]
+
+
+def shard_of(mmsi: int, n: int) -> int:
+    """The shard owning a vessel: ``hash(mmsi) % n``.
+
+    Deterministic in the key and shard count only — MMSI 0 (anonymous
+    and not-yet-identified records) is an ordinary key that always lands
+    on shard ``hash(0) % n``.
+    """
+    return hash(mmsi) % n
+
+
+class ShardState:
+    """One worker shard's exclusive slice of the per-vessel state.
+
+    Ownership rule: every structure here is keyed by MMSI and only ever
+    touched for vessels with ``shard_of(mmsi, n) == index``, from the
+    one task running this shard in the current phase — no locks needed.
+    Cross-vessel structures (current-state table, rendezvous samplers,
+    fused tracks, pattern-of-life) stay on ``PipelineState``.
+    """
+
+    def __init__(self, index: int, config: PipelineConfig) -> None:
+        self.index = index
+        self.reconstructor = TrackReconstructor(config.reconstruction)
+        self.teleports = TeleportDetector(max_pair_dt_s=config.vessel_ttl_s)
+        self.clashes = IdentityClashDetector()
+
+    def purge(self, ttl_horizon: float) -> None:
+        """Evict per-vessel entries idle past the horizon (memory only)."""
+        self.teleports.evict_before(ttl_horizon)
+        self.clashes.evict_before(ttl_horizon)
+        self.reconstructor.evict_idle(ttl_horizon)
+
+
+class ShardPool:
+    """A bounded thread pool running per-batch shard tasks.
+
+    ``run`` executes zero-arg callables and returns their results in
+    task order (the caller's merge key); the first task runs on the
+    calling thread so a single-task batch pays no handoff.  Worker
+    exceptions propagate to the caller — a shard failure fails the feed.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="shard"
+        )
+
+    def run(self, tasks: list) -> list:
+        if not tasks:
+            return []
+        if len(tasks) == 1:
+            return [tasks[0]()]
+        futures = [self._executor.submit(task) for task in tasks[1:]]
+        results = [tasks[0]()]
+        results.extend(future.result() for future in futures)
+        return results
+
+    def split(self, items: list) -> list[list]:
+        """Contiguous, order-preserving chunks — at most one per worker."""
+        if not items:
+            return []
+        n = min(self.workers, len(items))
+        size = -(-len(items) // n)  # ceil division
+        return [items[i:i + size] for i in range(0, len(items), size)]
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True, cancel_futures=True)

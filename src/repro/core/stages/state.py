@@ -11,19 +11,18 @@ Ownership rules (documented per field; see also ``src/repro/core/README``):
 each field is written by exactly one stage, everything else only reads it.
 """
 
-import heapq
 from collections.abc import Hashable, Iterator
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.ais.decoder import AisDecoder
 from repro.core.config import PipelineConfig
+from repro.core.stages.shard import ShardState
 from repro.events.base import Event
 from repro.events.cep import CepEngine
 from repro.events.collision import CollisionRiskConfig, CollisionScreen
 from repro.events.pol import PatternOfLife
 from repro.events.rendezvous import IncrementalRendezvousDetector
-from repro.events.spoofing import IdentityClashDetector, TeleportDetector
 from repro.forecasting.kalmanpredict import KalmanPredictor, PredictionWithUncertainty
 from repro.fusion.association import MultiSourceTracker
 from repro.semantics.annotate import SemanticAnnotator
@@ -33,7 +32,6 @@ from repro.storage.store import TrajectoryStore
 from repro.storage.triples import TripleStore
 from repro.streaming.watermarks import WatermarkReorderer
 from repro.trajectory.points import TrackPoint, Trajectory
-from repro.trajectory.reconstruction import TrackReconstructor
 from repro.visual.cube import SpatioTemporalCube
 from repro.visual.overview import MonitoringAlarm, SituationMonitor, SituationOverview
 
@@ -43,16 +41,18 @@ class TtlTable:
 
     The per-vessel companion of
     :class:`~repro.spatial.streaming.StreamingGridIndex`: one entry per
-    key, each stamped with an event time; :meth:`purge` drops entries
-    older than a horizon via a lazy-deleted expiry heap.  Readers that
-    need exact semantics must filter by age themselves (``get`` with
-    ``max_age_s``) — purging only bounds memory.
+    key, each stamped with an event time.  :meth:`purge` drops entries
+    older than a horizon in one vectorised scan per call (the table
+    holds one entry per key, so a scan is linear in the *fleet*, not in
+    the put rate — cheaper at the per-tick barrier than the per-put
+    expiry-heap pushes it replaces).  Readers that need exact semantics
+    must filter by age themselves (``get`` with ``max_age_s``) —
+    purging only bounds memory.
     """
 
     def __init__(self) -> None:
         self._values: dict[Hashable, Any] = {}
         self._t: dict[Hashable, float] = {}
-        self._expiry: list[tuple[float, Hashable]] = []
 
     def __len__(self) -> int:
         return len(self._values)
@@ -66,7 +66,6 @@ class TtlTable:
             return
         self._t[key] = t
         self._values[key] = value
-        heapq.heappush(self._expiry, (t, key))
 
     def get(self, key: Hashable, now: float | None = None,
             max_age_s: float | None = None) -> Any | None:
@@ -84,11 +83,10 @@ class TtlTable:
         return iter(self._values.items())
 
     def purge(self, before_t: float) -> None:
-        while self._expiry and self._expiry[0][0] < before_t:
-            expired_t, key = heapq.heappop(self._expiry)
-            if self._t.get(key) == expired_t:
-                del self._t[key]
-                del self._values[key]
+        stale = [key for key, t in self._t.items() if t < before_t]
+        for key in stale:
+            del self._t[key]
+            del self._values[key]
 
 
 @dataclass
@@ -106,6 +104,17 @@ class RecordOutcome:
     new_segment: bool = False
     #: Segments (>= min_segment_points) closed by this record.
     completed: list[Trajectory] = field(default_factory=list)
+    #: Per-vessel detector events (teleport then identity clashes, in
+    #: record order) — computed on the owning shard, published by the
+    #: detect stage at the barrier.
+    vessel_events: list[Event] = field(default_factory=list)
+    #: Compressed synopses aligned 1:1 with ``completed``.
+    synopses: list[Trajectory] = field(default_factory=list)
+    #: Forecast sets aligned 1:1 with ``completed`` (one list of
+    #: predictions per segment, one entry per configured horizon).
+    forecasts: list[list[PredictionWithUncertainty]] = field(
+        default_factory=list
+    )
 
 
 @dataclass
@@ -205,8 +214,13 @@ class PipelineState:
         #: Event time of the last record released by the reorder stage.
         self.watermark = float("-inf")
 
-        # -- track state (reconstruct stage) ------------------------------
-        self.reconstructor = TrackReconstructor(config.reconstruction)
+        # -- per-vessel phase (reconstruct stage, sharded) ----------------
+        #: One state slice per worker; vessels route by
+        #: ``shard_of(mmsi, len(shards))``.  The count is fixed for the
+        #: session's lifetime — per-vessel state cannot migrate.
+        self.shards = [
+            ShardState(i, config) for i in range(max(1, config.workers))
+        ]
 
         # -- analytics accumulators (integrate stage) ---------------------
         self.store = TrajectoryStore(
@@ -232,8 +246,6 @@ class PipelineState:
         self.cep = CepEngine(list(cep_patterns))
         self.current = TtlTable()  # mmsi -> latest accepted TrackPoint
         self.gap_heads = TtlTable()  # mmsi -> last fix of last segment
-        self.teleports = TeleportDetector(max_pair_dt_s=config.vessel_ttl_s)
-        self.clashes = IdentityClashDetector()
         self.rendezvous = IncrementalRendezvousDetector(
             ports,
             config.rendezvous,
@@ -271,10 +283,9 @@ class PipelineState:
         ttl_horizon = self.watermark - self.config.vessel_ttl_s
         self.current.purge(ttl_horizon)
         self.gap_heads.purge(self.watermark - self.config.gap_head_ttl_s)
-        self.teleports.evict_before(ttl_horizon)
-        self.clashes.evict_before(ttl_horizon)
+        for shard in self.shards:
+            shard.purge(ttl_horizon)
         self.rendezvous.evict_before(ttl_horizon)
-        self.reconstructor.evict_idle(ttl_horizon)
         if self.fused is not None and not self.keep_products:
             # Fused track fixes only serve causal association; anything
             # older than the still-undrained sensor frontier minus the
@@ -295,11 +306,13 @@ class PipelineState:
         """Sizes of every bounded runtime structure (for memory tests)."""
         return {
             "reorder_buffer": len(self.reorderer),
-            "open_segments": self.reconstructor.n_open_segments(),
+            "open_segments": sum(
+                s.reconstructor.n_open_segments() for s in self.shards
+            ),
             "current_states": len(self.current),
             "gap_heads": len(self.gap_heads),
-            "teleport_state": len(self.teleports),
-            "clash_state": len(self.clashes),
+            "teleport_state": sum(len(s.teleports) for s in self.shards),
+            "clash_state": sum(len(s.clashes) for s in self.shards),
             "rendezvous_vessels": len(self.rendezvous),
             "rendezvous_instants": self.rendezvous.n_pending_instants(),
             "rendezvous_runs": self.rendezvous.n_open_runs(),

@@ -117,6 +117,18 @@ class CollisionScreen:
     def _first_instant_after(self, t: float) -> float:
         return math.floor(t / self.period_s + 1.0) * self.period_s
 
+    def next_due(self) -> float:
+        """Earliest watermark at which :meth:`advance` could screen.
+
+        Lets the caller skip the call entirely between grid instants.
+        Before the first advance the grid origin is unknown, so the
+        answer is ``-inf`` (always call); afterwards it is the next grid
+        instant.  Depends only on screen state, never on batching.
+        """
+        if self._next_screen_t is None:
+            return float("-inf")
+        return self._next_screen_t
+
     def advance(
         self, watermark: float, current_states: dict[int, TrackPoint]
     ) -> list[Event]:

@@ -277,6 +277,20 @@ class IncrementalRendezvousDetector:
 
     # -- sweeping ----------------------------------------------------------
 
+    def next_due(self) -> float:
+        """Earliest watermark at which :meth:`advance` could do anything.
+
+        The sweep loop only fires once the watermark passes the oldest
+        pending instant by ``close_lag_s``; between sweeps
+        ``_late_events`` is empty and the stale-run cut is unchanged, so
+        advancing earlier is a guaranteed no-op.  With nothing pending
+        the answer is ``+inf``.  Depends only on detector state, never
+        on batching.
+        """
+        if not self._instant_heap:
+            return float("inf")
+        return self._instant_heap[0] + self.close_lag_s
+
     def advance(self, watermark: float) -> list[Event]:
         """Sweep every instant closed by the watermark; return new events."""
         events: list[Event] = []

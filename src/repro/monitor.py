@@ -30,15 +30,17 @@ and ``run_live`` keep working unchanged for callers that want the raw
 drivers.
 """
 
+import math
 from dataclasses import dataclass, field
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import MaritimePipeline, PipelineResult
 from repro.core.stages import PipelineSession, StageStats
 from repro.sinks.subscription import SubscriptionHub
-from repro.sources.base import Source, SourceStats
+from repro.sources.base import FeedLiveness, Source, SourceStats
 from repro.sources.iterable import IterableSource
 from repro.sources.merge import MergedSource
+from repro.visual.overview import MonitoringAlarm
 
 __all__ = ["MaritimeMonitor", "MonitorReport", "SubscriptionReport"]
 
@@ -85,6 +87,10 @@ class MonitorReport:
     #: Per-feed accounting when several sources were attached (one entry
     #: per feed, in attach order); ``[source]`` for a single feed.
     sources: list[SourceStats] = field(default_factory=list)
+    #: Per-feed liveness at end of run (multi-feed monitors only): which
+    #: child feeds were still alive, how far each trailed the lead feed,
+    #: and the effective merge holdback each was granted.
+    feeds: list[FeedLiveness] = field(default_factory=list)
     stages: list[StageStats] = field(default_factory=list)
     #: Per-subscription delivery accounting, in subscribe order.
     subscriptions: list[SubscriptionReport] = field(default_factory=list)
@@ -155,13 +161,17 @@ class MaritimeMonitor:
         :class:`~repro.sources.MergedSource` ordered by reception time.
         Merge disorder *adds to* each feed's own event-time lateness
         against the reorder stage's single ``config.max_lateness_s``
-        budget, so the per-source holdback defaults to **half** that
-        budget — leaving the other half for the latency the budget was
-        sized for (satellite passes).  Raise ``holdback_s`` only if
-        your feeds' intrinsic lateness is well under the budget.
-        ``holdback_s`` only shapes that cross-feed merge: with a single
-        source there is no cross-feed disorder to bound, so the source
-        is consumed directly and the parameter has no effect.
+        budget, so by default the merge runs in **adaptive** mode: each
+        feed's holdback tracks the inter-feed skew actually observed
+        (an EWMA of frontier gaps), capped at **half** the budget — the
+        static default's old value, leaving the other half for the
+        latency the budget was sized for (satellite passes).  Feeds
+        that keep up are merged near-strictly; only demonstrated skew
+        is admitted as disorder.  Pass an explicit ``holdback_s`` float
+        to pin a fixed bound instead.  ``holdback_s`` only shapes that
+        cross-feed merge: with a single source there is no cross-feed
+        disorder to bound, so the source is consumed directly and the
+        parameter has no effect.
         """
         if not sources:
             raise ValueError("attach() needs at least one source")
@@ -172,12 +182,17 @@ class MaritimeMonitor:
                 else IterableSource(source)
             )
         else:
-            if holdback_s is None:
-                holdback_s = self.config.max_lateness_s / 2.0
             # Raw arguments go straight to MergedSource: it wraps bare
             # iterables itself with per-index names, keeping multi-feed
             # reports distinguishable.
-            self._source = MergedSource(*sources, holdback_s=holdback_s)
+            if holdback_s is None:
+                self._source = MergedSource(
+                    *sources,
+                    holdback_s="auto",
+                    holdback_cap_s=self.config.max_lateness_s / 2.0,
+                )
+            else:
+                self._source = MergedSource(*sources, holdback_s=holdback_s)
         return self
 
     def subscribe(
@@ -252,6 +267,11 @@ class MaritimeMonitor:
             session.queue_probes.append(
                 lambda: {"source": source.stats().queue_depth}
             )
+        if hasattr(source, "liveness"):
+            # A child feed dying is an operational alarm, not just a
+            # stats entry: surface it to subscribers like any model
+            # alarm, once per dead feed, at the next increment.
+            session.alarm_probes.append(self._feed_death_probe(source))
         self.session = session
         report = self.report = MonitorReport()
         try:
@@ -285,10 +305,45 @@ class MaritimeMonitor:
                 else [report.source]
             )
             report.stages = session.stages
+            if hasattr(source, "liveness"):
+                report.feeds = source.liveness()
             report.subscriptions = [
                 self._subscription_report(s) for s in self.hub.registry
             ]
         return report
+
+    @staticmethod
+    def _feed_death_probe(source):
+        """An alarm probe emitting one alarm per feed whose reader died.
+
+        A feed that merely finished (clean EOF) is not a death; one that
+        raised mid-iteration is.  The probe runs once per increment at
+        the watermark barrier, so the alarm reaches subscribers through
+        the ordinary delivery path.
+        """
+        reported: set[str] = set()
+
+        def probe(watermark: float) -> list[MonitoringAlarm]:
+            alarms: list[MonitoringAlarm] = []
+            for feed in source.liveness():
+                if feed.error is None or feed.name in reported:
+                    continue
+                reported.add(feed.name)
+                alarms.append(
+                    MonitoringAlarm(
+                        t=watermark if math.isfinite(watermark) else 0.0,
+                        mmsi=0,
+                        lat=0.0,
+                        lon=0.0,
+                        score=1.0,
+                        explanation=(
+                            f"feed '{feed.name}' died: {feed.error!r}"
+                        ),
+                    )
+                )
+            return alarms
+
+        return probe
 
     @staticmethod
     def _subscription_report(subscription) -> SubscriptionReport:

@@ -16,7 +16,7 @@ from typing import Iterator, Protocol, runtime_checkable
 
 from repro.simulation.receivers import Observation
 
-__all__ = ["Source", "SourceStats"]
+__all__ = ["FeedLiveness", "Source", "SourceStats"]
 
 
 @dataclass
@@ -53,6 +53,30 @@ class SourceStats:
 
     def count_error(self, reason: str) -> None:
         self.errors[reason] = self.errors.get(reason, 0) + 1
+
+
+@dataclass
+class FeedLiveness:
+    """One child feed's health as seen by a merging consumer.
+
+    ``last_record_age_s`` is measured in *stream* (reception) time — how
+    far this feed's frontier trails the lead feed's — so it works for
+    replays as well as wall-clock feeds; ``None`` until the feed has
+    produced anything (or when it is the lone feed).  ``alive`` means
+    the feed may still produce observations: neither finished nor dead.
+    """
+
+    name: str
+    alive: bool
+    #: Lead frontier minus this feed's frontier, in seconds of
+    #: reception time; ``None`` before the first observation.
+    last_record_age_s: float | None = None
+    finished: bool = False
+    #: The exception that killed the feed mid-iteration, if any.
+    error: BaseException | None = None
+    #: Effective merge holdback currently applied to this feed
+    #: (adaptive mode tracks observed skew; static mode is the knob).
+    holdback_s: float | None = None
 
 
 @runtime_checkable

@@ -32,6 +32,15 @@ rule:
   by design (bounded disorder beats unbounded reordering downstream);
   :meth:`close` on the merged source — or on the silent child — releases
   the stream.
+- ``holdback_s="auto"`` derives a *per-feed* holdback from the skew the
+  merge actually observes: each feed keeps an EWMA of how far its
+  frontier trails the lead feed's at staging time, and its effective
+  holdback is ``clamp(skew_margin * ewma, holdback_floor_s,
+  holdback_cap_s)``.  A feed that keeps up is waited for almost
+  strictly (near-sorted output); one that habitually lags a satellite
+  pass behind stops stalling the merge beyond its demonstrated skew.
+  Until a feed shows any skew it gets the cap — the static default's
+  behaviour.  An explicit float stays a fixed override.
 
 Per-source provenance survives untouched: observations keep whatever
 ``Observation.source`` their feed assigned.  :meth:`stats` rolls every
@@ -49,7 +58,7 @@ import threading
 from typing import Iterator
 
 from repro.simulation.receivers import Observation
-from repro.sources.base import Source, SourceStats
+from repro.sources.base import FeedLiveness, Source, SourceStats
 from repro.sources.iterable import IterableSource
 
 __all__ = ["MergedSource"]
@@ -74,6 +83,10 @@ class _Feed:
         #: Exception that killed this feed's reader mid-iteration, if
         #: any — surfaced through the merged ``stats().errors``.
         self.error: BaseException | None = None
+        #: EWMA of how far this feed's frontier trailed the lead feed's
+        #: at staging time (``None`` until the first observation) —
+        #: drives the adaptive per-feed holdback.
+        self.lag_ewma: float | None = None
 
 
 class MergedSource:
@@ -92,17 +105,36 @@ class MergedSource:
     def __init__(
         self,
         *sources,
-        holdback_s: float = DEFAULT_HOLDBACK_S,
+        holdback_s: "float | str" = DEFAULT_HOLDBACK_S,
         max_buffer: int = 100_000,
         name: str = "merged",
+        holdback_cap_s: float | None = None,
+        holdback_floor_s: float = 5.0,
+        skew_ewma_alpha: float = 0.2,
+        skew_margin: float = 1.5,
     ) -> None:
         if not sources:
             raise ValueError("MergedSource needs at least one source")
-        if holdback_s < 0:
+        if isinstance(holdback_s, str):
+            if holdback_s != "auto":
+                raise ValueError(
+                    f"holdback_s must be a number or 'auto' "
+                    f"(got {holdback_s!r})"
+                )
+        elif holdback_s < 0:
             raise ValueError("holdback_s must be non-negative")
         if max_buffer <= 0:
             raise ValueError("max_buffer must be positive")
+        if not 0.0 < skew_ewma_alpha <= 1.0:
+            raise ValueError("skew_ewma_alpha must be in (0, 1]")
         self.holdback_s = holdback_s
+        self._adaptive = holdback_s == "auto"
+        self.holdback_cap_s = (
+            DEFAULT_HOLDBACK_S if holdback_cap_s is None else holdback_cap_s
+        )
+        self.holdback_floor_s = min(holdback_floor_s, self.holdback_cap_s)
+        self.skew_ewma_alpha = skew_ewma_alpha
+        self.skew_margin = skew_margin
         self.max_buffer = max_buffer
         self._feeds = [
             _Feed(
@@ -140,6 +172,19 @@ class MergedSource:
                     feed.n_staged += 1
                     if obs.t_received > feed.frontier:
                         feed.frontier = obs.t_received
+                    if self._adaptive:
+                        # Observed inter-feed skew: how far this feed's
+                        # frontier trails the lead's right now.  The
+                        # staging feed's frontier is finite, so lag is
+                        # too (lead >= frontier).
+                        lead = max(f.frontier for f in self._feeds)
+                        lag = lead - feed.frontier
+                        if feed.lag_ewma is None:
+                            feed.lag_ewma = lag
+                        else:
+                            feed.lag_ewma += self.skew_ewma_alpha * (
+                                lag - feed.lag_ewma
+                            )
                     if len(self._heap) > self.max_buffer:
                         # Drop-oldest: the stalled head of the backlog
                         # goes, newest data wins (TCP queue policy).
@@ -178,20 +223,36 @@ class MergedSource:
 
     # -- merge loop --------------------------------------------------------
 
+    def _feed_holdback(self, feed: _Feed) -> float:
+        """Effective holdback for one feed (lock held in adaptive mode).
+
+        Static mode returns the knob; adaptive mode tracks the feed's
+        observed skew, clamped to ``[floor, cap]``, and grants the cap
+        until the feed has demonstrated any skew at all.
+        """
+        if not self._adaptive:
+            return self.holdback_s
+        if feed.lag_ewma is None:
+            return self.holdback_cap_s
+        return min(
+            self.holdback_cap_s,
+            max(self.holdback_floor_s, self.skew_margin * feed.lag_ewma),
+        )
+
     def _head_released(self) -> bool:
         """Whether the heap minimum may be emitted now (lock held).
 
         The heap minimum is globally earliest among *staged* data, so it
         only waits on feeds with nothing staged: any unfinished empty
-        feed whose frontier trails ``t - holdback_s`` may still owe an
-        observation this one should have queued behind.
+        feed whose frontier trails ``t`` by more than its holdback may
+        still owe an observation this one should have queued behind.
         """
         if not self._heap:
             return False
         t = self._heap[0][0]
         for feed in self._feeds:
             if feed.n_staged == 0 and not feed.finished:
-                if t - self.holdback_s > feed.frontier:
+                if t - self._feed_holdback(feed) > feed.frontier:
                     return False
         return True
 
@@ -263,6 +324,46 @@ class MergedSource:
     def stats_by_source(self) -> list[SourceStats]:
         """Each child feed's own accounting, in attach order."""
         return [feed.source.stats() for feed in self._feeds]
+
+    def liveness(self) -> list[FeedLiveness]:
+        """Each child feed's health, in attach order.
+
+        ``last_record_age_s`` is how far each feed's frontier trails the
+        lead feed's, in reception time (``None`` before the feed's first
+        observation); ``alive`` is false once the feed finished or its
+        reader died.  Safe to call from any thread at any time.
+        """
+        with self._lock:
+            snapshot = [
+                (
+                    feed.finished,
+                    feed.error,
+                    feed.frontier,
+                    self._feed_holdback(feed),
+                )
+                for feed in self._feeds
+            ]
+            lead = max((frontier for __, __, frontier, __ in snapshot),
+                       default=float("-inf"))
+        report: list[FeedLiveness] = []
+        for feed, (finished, error, frontier, holdback) in zip(
+            self._feeds, snapshot
+        ):
+            age = (
+                max(0.0, lead - frontier)
+                if frontier != float("-inf") else None
+            )
+            report.append(
+                FeedLiveness(
+                    name=feed.source.stats().name,
+                    alive=not finished and error is None,
+                    last_record_age_s=age,
+                    finished=finished,
+                    error=error,
+                    holdback_s=holdback,
+                )
+            )
+        return report
 
     def queue_depths(self) -> dict[str, int]:
         """Per-feed staged+transport depths for backpressure probes.

@@ -1,0 +1,256 @@
+"""The sharded stage runtime: vessel-partitioned workers, exact parity.
+
+The headline property: ``config.workers`` is purely a throughput knob.
+For any scenario, any worker count produces the *identical* event set,
+forecasts and cube cells as ``workers=1`` — batch and live, at any tick
+size, including across the antimeridian seam.  Plus the contracts that
+make the sharding safe: MMSI 0 routes like any other key (multipart
+fragments are assembled serially before routing), and the shard count is
+fixed for a session's lifetime.
+"""
+
+import functools
+
+import pytest
+
+from repro.ais.encoder import encode_sentences
+from repro.ais.types import PositionReport, StaticVoyageData
+from repro.core import MaritimePipeline, PipelineConfig
+from repro.core.config import ConfigError
+from repro.core.stages import ShardPool, ShardState, shard_of
+from repro.simulation.receivers import Observation
+
+from test_core_stages import SCENARIOS, event_keys
+
+WORKER_COUNTS = [1, 2, 4]
+
+
+@functools.lru_cache(maxsize=None)
+def scenario_run(name):
+    return SCENARIOS[name]().run()
+
+
+@functools.lru_cache(maxsize=None)
+def baseline(name):
+    """The single-shard batch products every other mode must reproduce."""
+    return MaritimePipeline(PipelineConfig(workers=1)).process(
+        scenario_run(name)
+    )
+
+
+def assert_same_products(batch, events, complex_events, forecasts, cube):
+    assert event_keys(events) == event_keys(batch.events)
+    assert event_keys(complex_events) == event_keys(batch.complex_events)
+    assert forecasts == batch.forecasts
+    assert cube.total == batch.cube.total
+    assert cube.cell_counts() == batch.cube.cell_counts()
+
+
+class TestShardParity:
+    """workers ∈ {1, 2, 4} × {regional, seam} × batch + two tick sizes."""
+
+    @pytest.mark.parametrize("name", ["regional", "seam"])
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_batch_parity(self, name, workers):
+        run = scenario_run(name)
+        batch = baseline(name)
+        result = MaritimePipeline(PipelineConfig(workers=workers)).process(run)
+        assert_same_products(
+            batch, result.events, result.complex_events,
+            result.forecasts, result.cube,
+        )
+        # Trajectories and synopses too — same segments, same order.
+        assert [
+            (t.mmsi, t.t_start, len(t)) for t in result.trajectories
+        ] == [
+            (t.mmsi, t.t_start, len(t)) for t in batch.trajectories
+        ]
+        assert [len(s) for s in result.synopses] == [
+            len(s) for s in batch.synopses
+        ]
+
+    @pytest.mark.parametrize("name", ["regional", "seam"])
+    @pytest.mark.parametrize("tick_s", [240.0, 1500.0])
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_live_parity(self, name, tick_s, workers):
+        run = scenario_run(name)
+        batch = baseline(name)
+        pipeline = MaritimePipeline(PipelineConfig(workers=workers))
+        session = pipeline.new_session(
+            specs=run.specs,
+            weather=run.weather,
+            pol_split_t=pipeline._pol_split(run),
+            keep_products=False,
+        )
+        assert session.workers == workers
+        events, complex_events, forecasts = [], [], {}
+        for increment in pipeline.run_live(
+            run.observations,
+            tick_s=tick_s,
+            radar_contacts=run.radar_contacts,
+            lrit_reports=run.lrit_reports,
+            session=session,
+        ):
+            events.extend(increment.new_events)
+            complex_events.extend(increment.new_complex_events)
+            forecasts.update(increment.updated_forecasts)
+        assert_same_products(
+            batch, events, complex_events, forecasts, session.state.cube
+        )
+
+
+def observation(message, t, i=0):
+    sentences = encode_sentences(message)
+    assert len(sentences) == 1
+    return Observation(
+        t_received=t + 1.0,
+        sentence=sentences[0],
+        source="STA-TEST",
+        mmsi=message.mmsi,
+        t_transmitted=t,
+    )
+
+
+def position(mmsi, t, i):
+    return PositionReport(
+        mmsi=mmsi,
+        lat=48.0 + 0.002 * i,
+        lon=-5.0 + 0.001 * i,
+        sog_knots=9.0,
+        cog_deg=45.0,
+    )
+
+
+class TestRouting:
+    def test_shard_of_is_deterministic_and_in_range(self):
+        for n in (1, 2, 4, 7):
+            for mmsi in (0, 1, 227000001, 999999999):
+                index = shard_of(mmsi, n)
+                assert 0 <= index < n
+                assert shard_of(mmsi, n) == index  # stable
+
+    def test_keys_spread_across_shards(self):
+        hit = {shard_of(mmsi, 4) for mmsi in range(64)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_mmsi_zero_routes_like_any_key(self):
+        """Anonymous reports (MMSI 0) are one vessel key: all of them on
+        one shard, products identical to the single-shard run."""
+        assert shard_of(0, 4) == hash(0) % 4
+        feed = []
+        t = 0.0
+        for i in range(60):
+            mmsi = [0, 227000001, 227000002, 227000003][i % 4]
+            feed.append(observation(position(mmsi, t, i), t, i))
+            t += 10.0
+        results = []
+        for workers in (1, 4):
+            pipeline = MaritimePipeline(PipelineConfig(workers=workers))
+            session = pipeline.new_session(keep_products=True)
+            session.feed(feed)
+            session.flush(build_overview=False)
+            state = session.state
+            results.append((
+                dict(state.decoder.stats),
+                [(tr.mmsi, tr.t_start, len(tr)) for tr in state.trajectories],
+                state.cube.cell_counts(),
+            ))
+        assert results[0] == results[1]
+        assert results[0][0]["decoded"] == 60
+
+    def test_multipart_fragments_survive_sharded_decode(self):
+        """Two-fragment type 5 messages interleaved with positions: the
+        serial assembler pairs fragments whatever the worker count, and
+        the chunk-parallel payload decode loses nothing."""
+        feed = []
+        t = 0.0
+        for i in range(40):
+            mmsi = 227000001 + (i % 3)
+            feed.append(observation(position(mmsi, t, i), t, i))
+            t += 10.0
+            if i % 5 == 0:
+                static = StaticVoyageData(
+                    mmsi=mmsi, imo=9074729, callsign="FQAB",
+                    shipname="PONT AVEN", ship_type_code=70,
+                    destination="ROSCOFF",
+                )
+                for sentence in encode_sentences(static):
+                    feed.append(Observation(
+                        t_received=t + 1.0, sentence=sentence,
+                        source="STA-TEST", mmsi=mmsi, t_transmitted=t,
+                    ))
+                t += 10.0
+        stats = []
+        for workers in (1, 2):
+            pipeline = MaritimePipeline(PipelineConfig(workers=workers))
+            session = pipeline.new_session(keep_products=False)
+            session.feed(feed)
+            session.flush(build_overview=False)
+            stats.append(dict(session.state.decoder.stats))
+        assert stats[0] == stats[1]
+        # 40 positions + 8 assembled type-5s, zero dangling fragments.
+        assert stats[0]["decoded"] == 48
+        assert stats[0]["fragment_buffered"] == 8
+
+
+class TestShardCountLifecycle:
+    def test_workers_knob_is_validated(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(workers=0).validate()
+        with pytest.raises(ConfigError):
+            PipelineConfig(workers=2.5).validate()
+        with pytest.raises(ConfigError):
+            PipelineConfig(workers=True).validate()
+
+    def test_mid_run_shard_count_change_is_rejected(self):
+        pipeline = MaritimePipeline(PipelineConfig(workers=2))
+        session = pipeline.new_session(keep_products=False)
+        feed = [
+            observation(position(227000001, 10.0 * i, i), 10.0 * i, i)
+            for i in range(4)
+        ]
+        session.feed(feed)
+        session.state.config.workers = 4
+        with pytest.raises(RuntimeError, match="changed mid-run"):
+            session.feed(feed)
+        with pytest.raises(RuntimeError, match="changed mid-run"):
+            session.flush()
+
+
+class TestShardPool:
+    def test_split_is_contiguous_ceil_division(self):
+        pool = ShardPool(2)
+        assert pool.split(list(range(7))) == [[0, 1, 2, 3], [4, 5, 6]]
+        assert pool.split([1]) == [[1]]
+        assert pool.split([]) == []
+        pool.close()
+
+    def test_run_preserves_task_order(self):
+        pool = ShardPool(3)
+        try:
+            got = pool.run([
+                (lambda value=i: value * value) for i in range(8)
+            ])
+            assert got == [i * i for i in range(8)]
+        finally:
+            pool.close()
+
+    def test_task_exception_propagates(self):
+        pool = ShardPool(2)
+        try:
+            def boom():
+                raise ValueError("shard task failed")
+            with pytest.raises(ValueError, match="shard task failed"):
+                pool.run([lambda: 1, boom])
+        finally:
+            pool.close()
+
+    def test_shard_state_purge_keeps_size_report_keys(self):
+        state = MaritimePipeline(
+            PipelineConfig(workers=3)
+        ).new_session(keep_products=False).state
+        report = state.size_report()
+        assert len(state.shards) == 3
+        for key in ("open_segments", "teleport_state", "clash_state"):
+            assert key in report
+        assert all(isinstance(s, ShardState) for s in state.shards)

@@ -483,15 +483,23 @@ class TestMergedSourceEquivalence:
         assert got["events"] == event_keys(batch.events)
         assert got["cube_cells"] == batch.cube.cell_counts()
 
-    def test_default_holdback_is_half_the_lateness_budget(self):
+    def test_default_holdback_is_adaptive_capped_at_half_the_budget(self):
         """Merge disorder and intrinsic feed lateness share the reorder
-        budget additively, so the default splits it between them."""
+        budget additively, so the default adapts to observed skew but
+        never admits more than half the budget as disorder."""
         monitor = MaritimeMonitor()
         monitor.attach([], [])
         assert isinstance(monitor._source, MergedSource)
+        assert monitor._source.holdback_s == "auto"
         assert (
-            monitor._source.holdback_s == monitor.config.max_lateness_s / 2.0
+            monitor._source.holdback_cap_s
+            == monitor.config.max_lateness_s / 2.0
         )
+
+    def test_explicit_holdback_overrides_adaptive_default(self):
+        monitor = MaritimeMonitor()
+        monitor.attach([], [], holdback_s=123.0)
+        assert monitor._source.holdback_s == 123.0
 
     def test_increments_carry_per_feed_queue_depths(self):
         run = regional_scenario(n_vessels=6, duration_s=1800.0, seed=3).run()
@@ -507,6 +515,44 @@ class TestMergedSourceEquivalence:
                        IterableSource(feeds[1], name="satellite"))
         monitor.run(tick_s=600.0)
         assert {"source", "source:terrestrial", "source:satellite"} <= depth_keys
+
+    def test_report_carries_per_feed_liveness(self):
+        run = regional_scenario(n_vessels=6, duration_s=1800.0, seed=3).run()
+        feeds = self.split_feeds(run.observations, n_feeds=2)
+        monitor = MaritimeMonitor(specs=run.specs, weather=run.weather)
+        monitor.attach(IterableSource(feeds[0], name="terrestrial"),
+                       IterableSource(feeds[1], name="satellite"))
+        report = monitor.run(tick_s=600.0)
+        assert {f.name for f in report.feeds} == {"terrestrial", "satellite"}
+        assert all(f.finished and f.error is None for f in report.feeds)
+
+    def test_dead_feed_raises_an_alarm_to_subscribers(self):
+        """A child feed dying mid-run is an operational alarm, not just
+        a stats entry: subscribers get it through the ordinary alarm
+        path, exactly once, and the report's liveness names the error."""
+        run = regional_scenario(n_vessels=6, duration_s=1800.0, seed=3).run()
+        feeds = self.split_feeds(run.observations, n_feeds=2)
+
+        def dying():
+            yield from feeds[1][:3]
+            raise OSError("receiver fell over")
+
+        alarms = []
+        monitor = MaritimeMonitor(specs=run.specs, weather=run.weather)
+        monitor.subscribe(on_alarm=alarms.append)
+        monitor.attach(
+            IterableSource(feeds[0], name="terrestrial"), dying(),
+            holdback_s=0.0,
+        )
+        report = monitor.run(tick_s=600.0)
+        feed_alarms = [
+            a for a in alarms if a.explanation.startswith("feed '")
+        ]
+        assert len(feed_alarms) == 1
+        assert "died" in feed_alarms[0].explanation
+        assert "receiver fell over" in feed_alarms[0].explanation
+        dead = [f for f in report.feeds if f.error is not None]
+        assert len(dead) == 1 and not dead[0].alive
 
 
 class TestAsyncDispatchBackpressure:

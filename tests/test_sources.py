@@ -572,3 +572,96 @@ class TestMergedSource:
         assert len(got) == 7  # everything staged before the death
         errors = merged.stats().errors
         assert any(k.startswith("feed_died:") for k in errors), errors
+
+
+class TestAdaptiveHoldback:
+    """holdback_s="auto": per-feed holdback tracks observed skew."""
+
+    def test_auto_merge_is_complete_and_ordered_for_synced_feeds(self):
+        """Feeds with no skew still merge losslessly under auto mode —
+        and, since their EWMA stays near zero, near-strictly."""
+        observations = [
+            make_observation(i, t=100.0 + i) for i in range(30)
+        ]
+        feeds = [observations[i::3] for i in range(3)]
+        merged = MergedSource(*feeds, holdback_s="auto")
+        got = list(merged)
+        assert sorted(o.t_received for o in got) == [
+            o.t_received for o in observations
+        ]
+        assert merged.stats().n_observations == 30
+
+    def test_effective_holdback_stays_within_floor_and_cap(self):
+        fast = [make_observation(i, t=100.0 + i) for i in range(100)]
+
+        def slow():
+            for i in range(0, 100, 25):
+                time.sleep(0.02)
+                yield make_observation(i, t=100.5 + i)
+
+        merged = MergedSource(
+            fast, slow(), holdback_s="auto",
+            holdback_cap_s=60.0, holdback_floor_s=2.0,
+        )
+        list(merged)
+        for feed in merged.liveness():
+            assert 2.0 <= feed.holdback_s <= 60.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MergedSource([], holdback_s="bogus")
+        with pytest.raises(ValueError):
+            MergedSource([], holdback_s="auto", skew_ewma_alpha=0.0)
+        # Floor above cap clamps rather than inverting the bounds.
+        merged = MergedSource(
+            [], holdback_s="auto", holdback_cap_s=10.0, holdback_floor_s=50.0
+        )
+        assert merged.holdback_floor_s == 10.0
+
+    def test_explicit_float_stays_static(self):
+        merged = MergedSource([], [], holdback_s=42.0)
+        assert merged.holdback_s == 42.0
+        for feed in merged.liveness():
+            assert feed.holdback_s == 42.0
+
+
+class TestFeedLiveness:
+    def test_liveness_reports_health_per_feed(self):
+        observations = [make_observation(i, t=100.0 + i) for i in range(8)]
+        feeds = [observations[0::2], observations[1::2]]
+        merged = MergedSource(*feeds)
+        before = merged.liveness()
+        assert len(before) == 2
+        assert all(f.alive and not f.finished for f in before)
+        assert all(f.last_record_age_s is None for f in before)
+        list(merged)
+        after = merged.liveness()
+        assert all(f.finished and not f.alive for f in after)
+        assert all(f.error is None for f in after)
+        assert all(f.last_record_age_s is not None for f in after)
+        assert {f.name for f in after} == {"iterable[0]", "iterable[1]"}
+
+    def test_liveness_tracks_frontier_lag(self):
+        ahead = [make_observation(i, t=100.0 + i) for i in range(5)]
+        behind = [make_observation(i, t=50.0 + i) for i in range(5)]
+        merged = MergedSource(ahead, behind, holdback_s=500.0)
+        list(merged)
+        lag = {f.name: f.last_record_age_s for f in merged.liveness()}
+        assert lag["iterable[0]"] == 0.0       # the lead feed
+        assert lag["iterable[1]"] == 50.0      # trails by 50 s
+
+    def test_dead_feed_is_flagged_with_its_error(self):
+        healthy = [make_observation(i, t=100.0 + i) for i in range(4)]
+
+        def dying():
+            yield make_observation(0, t=100.5)
+            raise OSError("transport fell over")
+
+        merged = MergedSource(IterableSource(healthy), dying(),
+                              holdback_s=0.0)
+        list(merged)
+        by_name = {f.name: f for f in merged.liveness()}
+        dead = by_name["iterable[1]"]
+        assert not dead.alive and dead.finished
+        assert isinstance(dead.error, OSError)
+        assert by_name["iterable"].error is None
