@@ -1,0 +1,190 @@
+"""Static invariant checkers for the sharded pipeline runtime.
+
+``repro.analysis`` enforces, by AST analysis, the conventions the
+concurrency design rests on (see ``src/repro/core/README.md`` for the
+invariant table and ``src/repro/analysis/README.md`` for each rule):
+
+- ``phase-ownership`` — stage phase discipline and per-stage
+  ``PipelineState`` ownership manifests (:mod:`repro.analysis.phase`);
+- ``single-writer`` — one writing class per shared state field
+  (:mod:`repro.analysis.writers`);
+- ``lock-discipline`` — attributes shared between worker threads and
+  public methods stay under the lock (:mod:`repro.analysis.locks`);
+- ``causal-lookahead`` / ``config-mutation`` — no peeking past the
+  watermark, no mutating validated configs
+  (:mod:`repro.analysis.causality`).
+
+Use :func:`analyze_paths` programmatically or ``repro analyze`` from
+the command line; the runtime companion — the ownership sanitizer
+enabled by ``REPRO_SANITIZE=1`` — lives in
+:mod:`repro.analysis.sanitize`.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.analysis import causality, locks, phase, writers
+from repro.analysis.base import (
+    AnalysisError,
+    Finding,
+    Module,
+    Suppression,
+    iter_python_files,
+    load_module,
+)
+from repro.analysis.sanitize import (
+    OwnershipSanitizer,
+    OwnershipViolation,
+    create_sanitizer,
+    sanitize_mode,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisError",
+    "AnalysisReport",
+    "Finding",
+    "Module",
+    "OwnershipSanitizer",
+    "OwnershipViolation",
+    "Suppression",
+    "analyze_paths",
+    "create_sanitizer",
+    "sanitize_mode",
+]
+
+#: rule name -> checker module.  Meta rules (suppression accounting) are
+#: produced by :func:`analyze_paths` itself.
+_CHECKERS = {
+    phase.RULE: phase,
+    writers.RULE: writers,
+    locks.RULE: locks,
+    causality.RULES[0]: causality,
+    causality.RULES[1]: causality,
+}
+
+ALL_RULES = tuple(sorted(_CHECKERS)) + (
+    "suppression-reason", "suppression-unused",
+)
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    findings: list = field(default_factory=list)
+    n_files: int = 0
+    #: Files that failed to parse, as (path, message).
+    broken: list = field(default_factory=list)
+
+    @property
+    def errors(self) -> list:
+        """Findings that fail a strict run (unsuppressed)."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors and not self.broken
+
+    def render(self, show_suppressed: bool = True) -> str:
+        lines: list[str] = []
+        for path, message in self.broken:
+            lines.append(f"{path}: analysis-error: {message}")
+        for finding in self.findings:
+            if finding.suppressed and not show_suppressed:
+                continue
+            lines.append(finding.render())
+        lines.append(
+            f"{self.n_files} file(s): {len(self.errors)} finding(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)
+
+
+def _rule_order(finding) -> tuple:
+    return (finding.path, finding.line, finding.rule, finding.message)
+
+
+def analyze_paths(paths, rules=None) -> AnalysisReport:
+    """Run the invariant checkers over files/directories.
+
+    ``rules`` optionally restricts to a subset of :data:`ALL_RULES`
+    (suppression accounting always runs for the selected rules).
+    Suppressions (``# repro: allow(<rule>) — <reason>``) mark matching
+    same-line findings as suppressed; a suppression that silences
+    nothing, or silences without a reason, is itself a finding.
+    """
+    selected = set(rules or _CHECKERS)
+    unknown = selected - set(ALL_RULES)
+    if unknown:
+        raise AnalysisError(
+            f"unknown rule(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(ALL_RULES)})"
+        )
+    report = AnalysisReport()
+    modules: list[Module] = []
+    for file_path in iter_python_files(paths):
+        try:
+            modules.append(load_module(file_path))
+        except AnalysisError as exc:
+            report.broken.append((str(file_path), str(exc)))
+    report.n_files = len(modules)
+
+    checkers = []
+    for checker in dict.fromkeys(_CHECKERS.values()):
+        checker_rules = (
+            {checker.RULE} if hasattr(checker, "RULE")
+            else set(checker.RULES)
+        )
+        if checker_rules & selected:
+            checkers.append(checker)
+
+    raw: list[Finding] = []
+    for checker in checkers:
+        for finding in checker.check(modules):
+            if finding.rule in selected:
+                raw.append(finding)
+
+    by_path = {str(m.path): m for m in modules}
+    for finding in raw:
+        module = by_path.get(finding.path)
+        if module is None:
+            continue
+        suppression = module.suppression_for(finding.line, finding.rule)
+        if suppression is not None:
+            suppression.used = True
+            finding.suppressed = True
+            finding.suppression_reason = (
+                suppression.reason or "<no reason given>"
+            )
+    report.findings = sorted(raw, key=_rule_order)
+
+    # Suppression accounting: every allow() must carry a reason and
+    # actually silence something, or it is a finding itself.
+    for module in modules:
+        for suppression in module.suppressions.values():
+            covered = {r for r in suppression.rules if r in selected}
+            if not covered and "all" not in suppression.rules:
+                continue
+            if suppression.used and not suppression.reason:
+                report.findings.append(Finding(
+                    "suppression-reason", str(module.path),
+                    suppression.line,
+                    "suppression without a reason — write "
+                    "'# repro: allow(<rule>) — <why this is safe>'",
+                ))
+            elif not suppression.used and selected == set(_CHECKERS):
+                # Only meaningful on a full run: a partial-rule run
+                # cannot tell an unused suppression from an unselected
+                # one.
+                report.findings.append(Finding(
+                    "suppression-unused", str(module.path),
+                    suppression.line,
+                    "suppression silences nothing — remove it (rules: "
+                    f"{', '.join(sorted(suppression.rules))})",
+                ))
+    report.findings.sort(key=_rule_order)
+    return report

@@ -1,0 +1,449 @@
+"""Shared infrastructure for the invariant checkers.
+
+The checkers (:mod:`repro.analysis.phase`, ``writers``, ``locks``,
+``causality``) are pure AST passes: they parse every Python file handed
+to :func:`repro.analysis.analyze_paths`, never import or execute it, and
+emit :class:`Finding` objects keyed by a *rule* name.
+
+Suppressions are inline, counted, and must carry a reason::
+
+    state.current.put(k, t, v)  # repro: allow(phase-ownership) — barrier publishes for the shard
+
+A suppression silences findings of the named rule(s) on its own line.
+One without a reason, or one that silences nothing, is itself reported
+(rules ``suppression-reason`` / ``suppression-unused``) — the allowlist
+stays as honest as the code it excuses.
+
+This module also hosts the field-access analysis shared by the phase and
+single-writer checkers: given a function whose parameter (or local
+alias) is a ``PipelineState``/``ShardState``-like object, it reports
+which fields the function reads and writes.  A *write* is an attribute
+assignment, augmented assignment, ``del``, or a method call that is not
+in :data:`PURE_METHODS` — calling an unknown method on a stateful
+component is assumed to mutate it, which errs toward flagging.
+"""
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "AnalysisError",
+    "FieldAccess",
+    "Finding",
+    "Module",
+    "PURE_METHODS",
+    "Suppression",
+    "attr_path",
+    "field_accesses",
+    "iter_python_files",
+    "literal_str_tuple",
+    "load_module",
+    "parent_map",
+]
+
+
+class AnalysisError(Exception):
+    """A file could not be analysed (syntax error, unreadable)."""
+
+
+#: Methods assumed side-effect free when called on a stateful component.
+#: Anything absent from this set counts as a mutation of the component.
+PURE_METHODS = frozenset({
+    # generic containers / accessors
+    "get", "items", "keys", "values", "copy", "count", "index",
+    # TtlTable / detector read-side
+    "timestamp", "buffered", "next_due", "n_pending_instants",
+    "n_open_runs", "n_open_segments", "open_segment_length",
+    # stateless helpers
+    "predict", "snapshot", "describe", "stats", "contains",
+    "slice_time", "index_at_or_before", "headline", "cell_counts",
+    "size_report", "liveness", "queue_depths", "stats_by_source",
+    "events_of", "isdisjoint", "report", "last",
+})
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*([A-Za-z0-9_\-, ]+?)\s*\)"
+    r"(?:\s*(?:[—–:-]|--)\s*(?P<reason>\S.*?))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One inline ``# repro: allow(rule, ...) — reason`` comment."""
+
+    rules: frozenset
+    reason: str
+    line: int
+    used: bool = False
+
+    def covers(self, rule: str) -> bool:
+        return rule in self.rules or "all" in self.rules
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    suppression_reason: str = ""
+
+    def render(self) -> str:
+        tag = " (suppressed: {})".format(self.suppression_reason) \
+            if self.suppressed else ""
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}{tag}"
+
+
+@dataclass
+class Module:
+    """One parsed source file plus its inline suppressions."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    suppressions: dict = field(default_factory=dict)  # line -> Suppression
+
+    @property
+    def name(self) -> str:
+        return self.path.stem
+
+    def suppression_for(self, line: int, rule: str):
+        sup = self.suppressions.get(line)
+        if sup is not None and sup.covers(rule):
+            return sup
+        return None
+
+
+def load_module(path: Path) -> Module:
+    """Parse one file and collect its inline suppression comments."""
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"{path}: unreadable ({exc})") from exc
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise AnalysisError(f"{path}: syntax error: {exc}") from exc
+    suppressions: dict[int, Suppression] = {}
+    # Real comment tokens only — a suppression quoted in a docstring
+    # (this package documents its own syntax) must not register.
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens if tok.type == tokenize.COMMENT
+        ]
+    except tokenize.TokenizeError:  # pragma: no cover - parse already passed
+        comments = []
+    for i, comment in comments:
+        match = _SUPPRESS_RE.search(comment)
+        if match is None:
+            continue
+        rules = frozenset(
+            rule.strip() for rule in match.group(1).split(",") if rule.strip()
+        )
+        suppressions[i] = Suppression(
+            rules=rules, reason=(match.group("reason") or "").strip(), line=i
+        )
+    return Module(
+        path=Path(path), source=source, tree=tree, suppressions=suppressions
+    )
+
+
+def iter_python_files(paths) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            out.append(p)
+        else:
+            raise AnalysisError(f"{p}: not a Python file or directory")
+    return out
+
+
+# -- AST helpers -------------------------------------------------------------
+
+
+def attr_path(node) -> tuple | None:
+    """``self._stats.queue_depth`` → ``("self", "_stats", "queue_depth")``.
+
+    Returns ``None`` for anything other than a plain Name/Attribute
+    chain (calls, subscripts, literals break the chain).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def parent_map(root) -> dict:
+    """Child node → parent node for every node under ``root``."""
+    parents: dict = {}
+    for parent in ast.walk(root):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def literal_str_tuple(node) -> tuple | None:
+    """Evaluate a literal tuple/list of strings (manifests), else None."""
+    if isinstance(node, (ast.Tuple, ast.List)):
+        out = []
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                out.append(element.value)
+            else:
+                return None
+        return tuple(out)
+    return None
+
+
+def annotation_names(node) -> set:
+    """Every type name mentioned in an annotation expression.
+
+    Handles plain names, dotted names, unions (``ShardState | None``)
+    and string annotations — good enough to ask "is this parameter a
+    PipelineState/ShardState?" without evaluating anything.
+    """
+    out: set[str] = set()
+    if node is None:
+        return out
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            out.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            out.add(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            for part in re.split(r"[\[\]|, ]+", sub.value):
+                if part:
+                    out.add(part.split(".")[-1])
+    return out
+
+
+def state_roots(func, annotations: dict | None = None) -> dict:
+    """Parameter/local names bound to analysed state objects.
+
+    Returns ``{name: "state" | "shard"}`` for parameters annotated
+    ``PipelineState``/``ShardState`` (configurable via ``annotations``)
+    and for locals assigned ``x = self.state``.
+    """
+    annotations = annotations or {
+        "PipelineState": "state", "ShardState": "shard"
+    }
+    roots: dict[str, str] = {}
+    args = func.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        names = annotation_names(arg.annotation)
+        for type_name, root in annotations.items():
+            if type_name in names:
+                roots[arg.arg] = root
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name):
+            if attr_path(node.value) == ("self", "state"):
+                roots[node.targets[0].id] = "state"
+    return roots
+
+
+def iter_classes(tree):
+    """Top-level class definitions of a parsed module."""
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def class_methods(cls) -> list:
+    """Function definitions directly inside a class body."""
+    return [
+        node for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def class_literal_attr(cls, name: str):
+    """The literal value of a class-level attribute, or None.
+
+    Supports string constants (``phase = "vessel"``) and string tuples
+    (``state_writes = ("decoder",)``); anything computed returns None.
+    """
+    for node in cls.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                if isinstance(node.value, ast.Constant):
+                    return node.value.value
+                return literal_str_tuple(node.value)
+    return None
+
+
+def module_functions(tree) -> dict:
+    """Top-level function definitions of a module, by name."""
+    return {
+        node.name: node for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def called_helpers(funcs, helpers: dict) -> set:
+    """Names of module-level helpers reachable from ``funcs``.
+
+    Follows plain-name references (calls and closures alike) through
+    the helper bodies to a fixed point — a lambda wrapping
+    ``_vessel_phase`` still attributes the helper to the caller.
+    """
+    reached: set[str] = set()
+    frontier = list(funcs)
+    while frontier:
+        func = frontier.pop()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name) and node.id in helpers and \
+                    node.id not in reached:
+                reached.add(node.id)
+                frontier.append(helpers[node.id])
+    return reached
+
+
+def _assign_targets(node):
+    if isinstance(node, ast.Assign):
+        return node.targets
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    if isinstance(node, ast.Delete):
+        return node.targets
+    return []
+
+
+@dataclass
+class FieldAccess:
+    """One read or write of a field on an analysed state object."""
+
+    root: str     # which analysed object ("state", "shard", ...)
+    fld: str      # field name on that object
+    write: bool
+    line: int
+    #: True when the access drills past the field into a sub-attribute
+    #: or element (``state.shards[0].reconstructor``).
+    deep: bool = False
+
+
+def field_accesses(func, roots: dict) -> list[FieldAccess]:
+    """Every field read/write on the given root objects inside ``func``.
+
+    ``roots`` maps parameter/variable names to a root label (usually
+    the class the object is an instance of, e.g. ``{"state": "state"}``).
+    Local aliases created by plain assignment (``decoder =
+    state.decoder``) are followed; an aliased component's method calls
+    and attribute stores count against the original field.
+    """
+    parents = parent_map(func)
+    # name -> (root, field) for simple "x = state.field" aliases.
+    aliases: dict[str, tuple] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name):
+            path = attr_path(node.value)
+            if path is not None and len(path) == 2 and path[0] in roots:
+                aliases[node.targets[0].id] = (roots[path[0]], path[1])
+            elif node.targets[0].id in aliases:
+                del aliases[node.targets[0].id]
+
+    accesses: list[FieldAccess] = []
+
+    def classify(node, root: str, fld: str, deep: bool) -> None:
+        """Decide read vs write from the node's syntactic context."""
+        parent = parents.get(node)
+        write = False
+        # Direct store/del: state.field = ..., del state.field,
+        # state.field += ...
+        probe, probe_parent = node, parent
+        while isinstance(probe_parent, (ast.Subscript, ast.Starred)):
+            # del state.queue[:n] / state.queue[i] = x target chains
+            probe, probe_parent = probe_parent, parents.get(probe_parent)
+            deep = True
+        for stmt in (probe_parent,) if probe_parent is not None else ():
+            if probe in _assign_targets(stmt):
+                write = True
+        # Method call: state.field.method(...) — mutation unless pure.
+        if isinstance(parent, ast.Attribute):
+            grand = parents.get(parent)
+            if isinstance(grand, ast.Call) and grand.func is parent:
+                if parent.attr not in PURE_METHODS:
+                    write = True
+            else:
+                deep = True
+            # Drilling deeper than one method/attr level is "deep".
+        if isinstance(parent, ast.Subscript) and parent.value is node:
+            # state.shards[i]... — handled above for stores; loads of an
+            # element are deep reads (may be followed by classify of the
+            # subscript's own parent, conservatively merged here).
+            grand = parents.get(parent)
+            if isinstance(grand, ast.Attribute):
+                deep = True
+                great = parents.get(grand)
+                if isinstance(great, ast.Call) and great.func is grand and \
+                        grand.attr not in PURE_METHODS:
+                    write = True
+        accesses.append(FieldAccess(
+            root=root, fld=fld, write=write,
+            line=getattr(node, "lineno", func.lineno), deep=deep,
+        ))
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id in roots:
+                classify(node, roots[base.id], node.attr, deep=False)
+            elif isinstance(base, ast.Name) and base.id in aliases:
+                root, fld = aliases[base.id]
+                # alias.method(...) / alias.sub = ... acts on the field.
+                parent = parents.get(node)
+                write = False
+                if isinstance(parent, ast.Call) and parent.func is node:
+                    write = node.attr not in PURE_METHODS
+                elif node in _assign_targets(parent) if parent else False:
+                    write = True
+                accesses.append(FieldAccess(
+                    root=root, fld=fld, write=write, line=node.lineno,
+                    deep=True,
+                ))
+        elif isinstance(node, ast.Name) and node.id in aliases:
+            root, fld = aliases[node.id]
+            parent = parents.get(node)
+            write = False
+            deep = False
+            if isinstance(parent, ast.Subscript) and parent.value is node:
+                deep = True
+                grand = parents.get(parent)
+                if parent in _assign_targets(grand) if grand else False:
+                    write = True
+                if isinstance(grand, ast.Delete):
+                    write = True
+            if isinstance(parent, (ast.Assign, ast.AugAssign, ast.Delete)) \
+                    and node in _assign_targets(parent):
+                # Rebinding the alias name itself is not a field write.
+                continue
+            accesses.append(FieldAccess(
+                root=root, fld=fld, write=write, line=node.lineno, deep=deep,
+            ))
+    return accesses

@@ -1,0 +1,175 @@
+"""Rules ``causal-lookahead`` and ``config-mutation``.
+
+**causal-lookahead** — the pipeline's causality invariant (stage
+protocol rule 2: anything computed at time *t* reads only state from
+records with event time <= *t*) dies quietly when a detector helper that
+expects a *time-ordered, released* trajectory is fed data still sitting
+in a buffer.  Two shapes are flagged:
+
+- reaching into the private internals of a buffered component
+  (``state.reorderer._buffer``, ``state.cep._pending`` — any
+  underscore attribute on the fields in :data:`BUFFERED_FIELDS`);
+- calling a time-ordered lookahead helper (:data:`LOOKAHEAD_HELPERS`)
+  with an argument derived from such a peek, or from a peek-style
+  accessor (:data:`PEEK_METHODS`) on a buffered field.  Derivation is
+  tracked through plain local assignments.
+
+**config-mutation** — configuration is immutable once validated:
+variants come from ``PipelineConfig.replace()`` / ``from_overrides()``,
+never from attribute assignment (the nested dataclasses are frozen; the
+top-level config relies on this rule).  Any attribute store whose
+target path goes through a ``config`` component
+(``state.config.workers = 2``, ``cfg.gap_min_s = 0``) is flagged,
+except inside ``core/config.py`` itself, which owns construction.
+"""
+
+import ast
+
+from repro.analysis.base import Finding, attr_path
+
+RULES = ("causal-lookahead", "config-mutation")
+
+#: ``PipelineState`` fields that buffer records past the watermark.
+BUFFERED_FIELDS = frozenset({
+    "reorderer", "cep", "rendezvous", "collisions",
+    "radar_queue", "lrit_queue",
+})
+
+#: Helpers whose contract requires released, time-ordered data.
+LOOKAHEAD_HELPERS = frozenset({
+    "detect_gaps", "detect_loitering", "detect_zone_events",
+    "detect_anomalies", "dead_reckoning_compress", "resample",
+    "slice_time", "predict",
+})
+
+#: Accessors that expose buffered-but-unreleased data.
+PEEK_METHODS = frozenset({
+    "peek", "peek_pending", "pending_records", "staged", "unreleased",
+})
+
+#: Local/parameter names treated as config objects for the mutation rule.
+_CONFIG_NAMES = frozenset({"config", "cfg"})
+
+
+def _is_peek(node) -> tuple | None:
+    """(line, description) when ``node`` reads unreleased buffered data."""
+    if isinstance(node, ast.Attribute):
+        base = node.value
+        if isinstance(base, ast.Attribute) and \
+                base.attr in BUFFERED_FIELDS and \
+                node.attr.startswith("_"):
+            return (node.lineno,
+                    f"{base.attr}.{node.attr} (private buffer internals)")
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        func = node.func
+        base = func.value
+        if isinstance(base, ast.Attribute) and \
+                base.attr in BUFFERED_FIELDS and \
+                func.attr in PEEK_METHODS:
+            return (node.lineno, f"{base.attr}.{func.attr}() (peek)")
+    return None
+
+
+def _check_lookahead(module) -> list:
+    findings: list[Finding] = []
+    for func in ast.walk(module.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        # Taint: locals assigned from a peeked expression.
+        tainted: dict[str, str] = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                for sub in ast.walk(node.value):
+                    peek = _is_peek(sub)
+                    if peek is not None:
+                        tainted[node.targets[0].id] = peek[1]
+                        break
+                else:
+                    # Propagate through derived locals.
+                    for sub in ast.walk(node.value):
+                        if isinstance(sub, ast.Name) and sub.id in tainted:
+                            tainted[node.targets[0].id] = tainted[sub.id]
+                            break
+        for node in ast.walk(func):
+            peek = _is_peek(node)
+            if peek is not None and isinstance(node, ast.Attribute):
+                # Direct reach into private buffer internals is always
+                # a violation, wherever the value flows.
+                findings.append(Finding(
+                    "causal-lookahead", str(module.path), peek[0],
+                    f"reads {peek[1]} — unreleased records must never "
+                    "be consumed before the watermark releases them",
+                ))
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            helper = None
+            if isinstance(callee, ast.Name):
+                helper = callee.id
+            elif isinstance(callee, ast.Attribute):
+                helper = callee.attr
+            if helper not in LOOKAHEAD_HELPERS:
+                continue
+            for arg in [*node.args, *[k.value for k in node.keywords]]:
+                source = None
+                for sub in ast.walk(arg):
+                    peek = _is_peek(sub)
+                    if peek is not None:
+                        source = peek[1]
+                        break
+                    if isinstance(sub, ast.Name) and sub.id in tainted:
+                        source = tainted[sub.id]
+                        break
+                if source is not None:
+                    findings.append(Finding(
+                        "causal-lookahead", str(module.path), node.lineno,
+                        f"{helper}() called on unflushed data from "
+                        f"{source} — time-ordered helpers require "
+                        "released records only",
+                    ))
+                    break
+    return findings
+
+
+def _check_config_mutation(module) -> list:
+    if module.path.name == "config.py" and \
+            module.path.parent.name == "core":
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.Assign, ast.AugAssign)):
+            continue
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            path = attr_path(target)
+            if path is None or len(path) < 2:
+                continue
+            # The stored-to attribute's owner chain: flag when it goes
+            # through a config object (base name `config`/`cfg`, or any
+            # intermediate `.config` / `.reconstruction` etc. attribute
+            # of one).
+            owners = path[:-1]
+            is_config = owners[0] in _CONFIG_NAMES or "config" in owners[1:]
+            if not is_config:
+                continue
+            # Allow `self.config = ...` style installation (storing a
+            # new validated instance) — only mutation *of* a config
+            # object is the violation, i.e. the final attr lands on it.
+            findings.append(Finding(
+                "config-mutation", str(module.path), target.lineno,
+                f"mutates {'.'.join(path)} — validated configs are "
+                "immutable; derive variants with replace() or "
+                "from_overrides()",
+            ))
+    return findings
+
+
+def check(modules) -> list:
+    findings: list[Finding] = []
+    for module in modules:
+        findings.extend(_check_lookahead(module))
+        findings.extend(_check_config_mutation(module))
+    return findings

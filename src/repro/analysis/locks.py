@@ -1,0 +1,438 @@
+"""Rule ``lock-discipline``: shared mutable attributes stay under the lock.
+
+The threaded sources and sinks (``sources/tcp.py``, ``sources/merge.py``,
+``sinks/dispatch.py``) follow one concurrency pattern: a worker thread
+(``threading.Thread(target=self._method)``) and the public caller-side
+methods communicate through instance attributes guarded by ``with
+self._lock`` / ``with self._condition`` blocks.  This checker enforces
+the pattern per class:
+
+1. **Sync attributes** are those assigned a
+   ``threading.Lock/RLock/Condition/Event/Semaphore`` in ``__init__``;
+   the lock attributes among them define what "inside the lock" means.
+2. The **worker set** W is every method reachable from a
+   ``Thread(target=self.x)`` entry point; the **public set** P is every
+   method reachable from the class's public API (non-underscore methods
+   plus iteration/len dunders).  ``__init__`` runs before the thread
+   exists and is exempt.
+3. An attribute path written from both W and P is **shared-mutated**;
+   every touch of it (read or write, from any method) must then happen
+   inside a lock block — either lexically, or inside a helper whose
+   every call site holds the lock (propagated to a fixed point, e.g.
+   ``AsyncDispatcher._drop``).
+
+Writes are attribute stores, ``del``, augmented assignments, mutating
+container calls (``append``/``popleft``/…) and
+``heapq.heappush/heappop`` on the attribute.  Element state reached
+through a container of bookkeeping objects (``MergedSource._feeds``
+holding ``_Feed`` instances) is tracked as one element path
+(``_feeds[].field``) — covering annotated parameters, indexing and
+iteration.  Sync attributes themselves are exempt (they *are* the
+discipline), as is anything named in a class-level ``_lock_free``
+tuple, the documented lock-free allowlist.
+"""
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.base import (
+    Finding,
+    attr_path,
+    class_literal_attr,
+    class_methods,
+    iter_classes,
+    parent_map,
+)
+
+RULE = "lock-discipline"
+
+_SYNC_TYPES = frozenset({
+    "Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore",
+    "Barrier",
+})
+
+#: Method names that mutate their receiver (containers, events).
+_MUTATING_METHODS = frozenset({
+    "append", "appendleft", "extend", "extendleft", "insert",
+    "pop", "popleft", "popitem", "remove", "discard", "clear",
+    "add", "update", "setdefault", "sort", "reverse",
+    "put", "put_nowait", "get_nowait", "set",
+})
+
+_HEAP_FUNCTIONS = frozenset({
+    "heappush", "heappop", "heappushpop", "heapreplace",
+})
+
+
+@dataclass
+class _Touch:
+    path: tuple        # e.g. ("_queue",) or ("_feeds[]", "n_staged")
+    write: bool
+    line: int
+    in_lock: bool      # lexically inside a ``with self.<sync>`` block
+    method: str
+
+
+class _ClassModel:
+    """Everything the rule needs to know about one class."""
+
+    def __init__(self, module, cls) -> None:
+        self.module = module
+        self.cls = cls
+        self.methods = {m.name: m for m in class_methods(cls)}
+        self.sync_attrs = self._sync_attrs()
+        self.element_types = self._element_container_types()
+        self.worker_entries = self._worker_entries()
+        self.lock_free = set(class_literal_attr(cls, "_lock_free") or ())
+        self.calls: dict[str, list] = {}       # method -> [(callee, in_lock)]
+        self.touches: dict[str, list] = {}     # method -> [_Touch]
+        for name, func in self.methods.items():
+            self._scan_method(name, func)
+
+    # -- structure discovery ----------------------------------------------
+
+    def _sync_attrs(self) -> set:
+        """self attributes assigned a threading primitive in __init__."""
+        out: set[str] = set()
+        init = self.methods.get("__init__")
+        if init is None:
+            return out
+        for node in ast.walk(init):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            callee = value.func
+            type_name = None
+            if isinstance(callee, ast.Attribute):
+                type_name = callee.attr
+            elif isinstance(callee, ast.Name):
+                type_name = callee.id
+            if type_name not in _SYNC_TYPES:
+                continue
+            for target in node.targets:
+                path = attr_path(target)
+                if path is not None and len(path) == 2 and \
+                        path[0] == "self":
+                    out.add(path[1])
+        return out
+
+    def _element_container_types(self) -> dict:
+        """Class names held as elements of self containers.
+
+        ``self._feeds = [_Feed(i, src) for ...]`` maps ``_Feed`` to the
+        container attribute ``_feeds`` — parameters annotated ``_Feed``
+        then count as ``_feeds[]`` element accesses.
+        """
+        out: dict[str, str] = {}
+        init = self.methods.get("__init__")
+        if init is None:
+            return out
+        for node in ast.walk(init):
+            if not isinstance(node, ast.Assign):
+                continue
+            path = attr_path(node.targets[0]) if node.targets else None
+            if path is None or len(path) != 2 or path[0] != "self":
+                continue
+            for sub in ast.walk(node.value):
+                if not (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Name)):
+                    continue
+                name = sub.func.id
+                # Private bookkeeping classes (_Feed) by convention.
+                if len(name) > 1 and name[0] == "_" and name[1].isupper():
+                    out[name] = path[1]
+        return out
+
+    def _worker_entries(self) -> set:
+        """Methods passed as ``target=self.x`` to a Thread anywhere."""
+        out: set[str] = set()
+        for func in self.methods.values():
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = node.func
+                is_thread = (
+                    isinstance(callee, ast.Attribute)
+                    and callee.attr == "Thread"
+                ) or (isinstance(callee, ast.Name) and callee.id == "Thread")
+                if not is_thread:
+                    continue
+                for keyword in node.keywords:
+                    if keyword.arg != "target":
+                        continue
+                    path = attr_path(keyword.value)
+                    if path is not None and len(path) == 2 and \
+                            path[0] == "self":
+                        out.add(path[1])
+        return out
+
+    # -- per-method scan ----------------------------------------------------
+
+    def _element_roots(self, func) -> dict:
+        """Local names that are elements of a tracked container.
+
+        Annotated parameters (``feed: _Feed``), ``for x in
+        self._feeds`` loops/comprehensions, and ``x =
+        self._feeds[...]`` bindings.
+        """
+        roots: dict[str, str] = {}
+        args = func.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            ann = arg.annotation
+            name = None
+            if isinstance(ann, ast.Name):
+                name = ann.id
+            elif isinstance(ann, ast.Constant) and isinstance(
+                ann.value, str
+            ):
+                name = ann.value
+            if name in self.element_types:
+                roots[arg.arg] = self.element_types[name]
+
+        def container_of(expr):
+            if isinstance(expr, ast.Subscript):
+                expr = expr.value
+            path = attr_path(expr)
+            if path is not None and len(path) == 2 and path[0] == "self" \
+                    and path[1] in self.element_types.values():
+                return path[1]
+            return None
+
+        for node in ast.walk(func):
+            if isinstance(node, (ast.For, ast.comprehension)):
+                container = container_of(node.iter)
+                if container and isinstance(node.target, ast.Name):
+                    roots[node.target.id] = container
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) and \
+                    isinstance(node.value, ast.Subscript):
+                container = container_of(node.value)
+                if container:
+                    roots[node.targets[0].id] = container
+        return roots
+
+    def _self_aliases(self, func) -> dict:
+        """Locals assigned ``x = self.attr`` → path prefix ``(attr,)``."""
+        aliases: dict[str, tuple] = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                path = attr_path(node.value)
+                if path is not None and path[0] == "self" and \
+                        2 <= len(path) <= 3:
+                    aliases[node.targets[0].id] = tuple(path[1:])
+        return aliases
+
+    def _scan_method(self, name: str, func) -> None:
+        parents = parent_map(func)
+        element_roots = self._element_roots(func)
+        aliases = self._self_aliases(func)
+        touches: list[_Touch] = []
+        calls: list[tuple] = []
+
+        def in_lock(node) -> bool:
+            probe = node
+            while probe is not None:
+                if isinstance(probe, ast.With):
+                    for item in probe.items:
+                        path = attr_path(item.context_expr)
+                        if path is not None and len(path) == 2 and \
+                                path[0] == "self" and \
+                                path[1] in self.sync_attrs:
+                            return True
+                probe = parents.get(probe)
+            return False
+
+        def resolve(node):
+            """Map an expression to a tracked attribute path, if any.
+
+            ``self.a`` → ``(a,)``; ``self.a.b`` → ``(a, b)``;
+            ``feed.x`` with feed an element root → ``(container[], x)``;
+            ``alias.x`` with ``alias = self.a`` → ``(a, x)``.
+            Subscripts on ``self._feeds`` resolve to the element path.
+            """
+            path = attr_path(node)
+            if path is not None and path[0] == "self" and len(path) >= 2:
+                return tuple(path[1:3])
+            if isinstance(node, ast.Attribute):
+                base = node.value
+                if isinstance(base, ast.Name):
+                    if base.id in element_roots:
+                        return (element_roots[base.id] + "[]", node.attr)
+                    if base.id in aliases:
+                        return (aliases[base.id] + (node.attr,))[:2]
+                elif isinstance(base, ast.Subscript):
+                    container = attr_path(base.value)
+                    if container is not None and len(container) == 2 and \
+                            container[0] == "self":
+                        return (container[1] + "[]", node.attr)
+            elif isinstance(node, ast.Name) and node.id in aliases:
+                return aliases[node.id][:2]
+            return None
+
+        def record(node, path, write) -> None:
+            if path is None:
+                return
+            if path[0] in self.sync_attrs:
+                return
+            touches.append(_Touch(
+                path=path, write=write, line=node.lineno,
+                in_lock=in_lock(node), method=name,
+            ))
+
+        for node in ast.walk(func):
+            # Calls: self.helper(...) edges, mutating container methods,
+            # heapq functions.
+            if isinstance(node, ast.Call):
+                callee = node.func
+                path = attr_path(callee)
+                if path is not None and len(path) == 2 and \
+                        path[0] == "self" and path[1] in self.methods:
+                    calls.append((path[1], in_lock(node)))
+                elif isinstance(callee, ast.Attribute):
+                    receiver = resolve(callee.value)
+                    if receiver is not None and \
+                            callee.attr in _MUTATING_METHODS:
+                        record(node, receiver, write=True)
+                    elif callee.attr in _HEAP_FUNCTIONS and node.args:
+                        record(node, resolve(node.args[0]), write=True)
+            # Stores/deletes.
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (
+                    node.targets if not isinstance(node, ast.AugAssign)
+                    else [node.target]
+                )
+                for target in targets:
+                    probe = target
+                    while isinstance(probe, (ast.Subscript, ast.Starred)):
+                        probe = probe.value
+                    path = resolve(probe)
+                    # Rebinding a bare local is not an attribute write.
+                    if isinstance(probe, ast.Name) and not isinstance(
+                        target, ast.Subscript
+                    ):
+                        continue
+                    record(target, path, write=True)
+            # Plain reads.
+            elif isinstance(node, ast.Attribute):
+                parent = parents.get(node)
+                if isinstance(parent, ast.Attribute):
+                    continue  # the outer attribute resolves the path
+                if isinstance(parent, (ast.Assign, ast.Delete)) and \
+                        node in getattr(parent, "targets", ()):
+                    continue  # handled as a store
+                if isinstance(parent, ast.AugAssign) and \
+                        node is parent.target:
+                    continue
+                if isinstance(parent, ast.Call) and parent.func is node:
+                    continue  # method call, handled above
+                record(node, resolve(node), write=False)
+
+        self.touches[name] = touches
+        self.calls[name] = calls
+
+    # -- reachability and verdicts ------------------------------------------
+
+    def _closure(self, roots) -> set:
+        reached = set()
+        frontier = [r for r in roots if r in self.methods]
+        while frontier:
+            name = frontier.pop()
+            if name in reached:
+                continue
+            reached.add(name)
+            for callee, __ in self.calls.get(name, ()):
+                if callee not in reached:
+                    frontier.append(callee)
+        return reached
+
+    def _lock_held_only(self) -> set:
+        """Helpers whose every call site holds the lock (fixed point)."""
+        public = {
+            name for name in self.methods
+            if not name.startswith("_") or name in ("__iter__", "__len__",
+                                                    "__next__", "__enter__",
+                                                    "__exit__")
+        }
+        held: set = set()
+        while True:
+            changed = False
+            for name in self.methods:
+                if name in held or name in public or \
+                        name in self.worker_entries or name == "__init__":
+                    continue
+                sites = [
+                    (caller, locked)
+                    for caller, edges in self.calls.items()
+                    if caller != "__init__"
+                    for callee, locked in edges if callee == name
+                ]
+                if not sites:
+                    continue
+                if all(
+                    locked or caller in held for caller, locked in sites
+                ):
+                    held.add(name)
+                    changed = True
+            if not changed:
+                return held
+
+    def findings(self) -> list:
+        if not self.worker_entries or not self.sync_attrs:
+            return []
+        worker_set = self._closure(self.worker_entries)
+        public_roots = [
+            name for name in self.methods
+            if (not name.startswith("_") or name in (
+                "__iter__", "__len__", "__next__", "__enter__", "__exit__"
+            )) and name not in self.worker_entries
+        ]
+        public_set = self._closure(public_roots) - {"__init__"}
+        held = self._lock_held_only()
+
+        def written_paths(method_names) -> set:
+            return {
+                touch.path
+                for name in method_names
+                for touch in self.touches.get(name, ())
+                if touch.write and name != "__init__"
+            }
+
+        shared = written_paths(worker_set) & written_paths(public_set)
+        shared = {
+            path for path in shared
+            if path[0] not in self.lock_free
+            and ".".join(path) not in self.lock_free
+        }
+        findings: list[Finding] = []
+        for name, touches in sorted(self.touches.items()):
+            if name == "__init__":
+                continue
+            if name not in worker_set and name not in public_set:
+                continue
+            for touch in touches:
+                if touch.path not in shared:
+                    continue
+                if touch.in_lock or name in held:
+                    continue
+                dotted = ".".join(touch.path).replace("[]", "[i]")
+                verb = "writes" if touch.write else "reads"
+                findings.append(Finding(
+                    RULE, str(self.module.path), touch.line,
+                    f"{self.cls.name}.{name} {verb} self.{dotted} "
+                    "outside the lock, but the attribute is mutated by "
+                    "both the worker thread and public methods — guard "
+                    "it with the lock or allowlist it in _lock_free",
+                ))
+        return findings
+
+
+def check(modules) -> list:
+    findings: list[Finding] = []
+    for module in modules:
+        for cls in iter_classes(module.tree):
+            model = _ClassModel(module, cls)
+            findings.extend(model.findings())
+    return findings

@@ -1,0 +1,166 @@
+"""Rule ``phase-ownership``: stage phase discipline and state manifests.
+
+The two-phase sharded runtime (see ``repro/core/stages/shard.py``) rests
+on every :class:`~repro.core.stages.base.Stage` subclass respecting its
+declared ``phase``:
+
+- every stage's ``phase`` must be one of ``"vessel"``, ``"barrier"`` or
+  ``"cross"``;
+- a **vessel**-phase stage must declare an ownership manifest
+  (``state_reads``/``state_writes`` class attributes) and may only touch
+  the ``PipelineState`` fields listed there — reads against
+  ``state_reads | state_writes``, writes against ``state_writes`` only;
+- a **cross**/**barrier** stage must never reach into a ``ShardState``:
+  not through an annotated parameter, not by indexing or iterating
+  ``state.shards``, not via a module-level helper it calls;
+- any stage that declares a manifest (whatever its phase) is held to it
+  — the manifest is the contract the single-writer checker and the
+  core README's ownership table are built from.
+
+Accesses are collected from the stage's methods plus every module-level
+helper the stage calls (``_vessel_phase`` counts against
+``ReconstructStage``).
+"""
+
+import ast
+
+from repro.analysis.base import (
+    Finding,
+    called_helpers,
+    class_literal_attr,
+    class_methods,
+    field_accesses,
+    iter_classes,
+    module_functions,
+    state_roots,
+)
+
+RULE = "phase-ownership"
+
+_PHASES = ("vessel", "barrier", "cross")
+
+
+def _is_stage(cls) -> bool:
+    for base in cls.bases:
+        if isinstance(base, ast.Name) and base.id == "Stage":
+            return True
+        if isinstance(base, ast.Attribute) and base.attr == "Stage":
+            return True
+    return False
+
+
+def _shard_locals(func) -> set:
+    """Local names holding a ShardState pulled out of ``state.shards``.
+
+    Covers ``x = state.shards[i]``, ``for x in state.shards`` and
+    comprehension bindings over ``state.shards`` — enough for a checker
+    that treats any such binding in a cross stage as a violation.
+    """
+    names: set[str] = set()
+
+    def from_shards(expr) -> bool:
+        if isinstance(expr, ast.Subscript):
+            expr = expr.value
+        if isinstance(expr, ast.Attribute) and expr.attr == "shards":
+            return True
+        return False
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name):
+            if from_shards(node.value):
+                names.add(node.targets[0].id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            target = node.target
+            if isinstance(target, ast.Name) and from_shards(node.iter):
+                names.add(target.id)
+    return names
+
+
+def _check_stage(module, cls, helpers) -> list:
+    findings: list[Finding] = []
+    phase = class_literal_attr(cls, "phase") or "cross"
+    if phase not in _PHASES:
+        findings.append(Finding(
+            RULE, str(module.path), cls.lineno,
+            f"{cls.name}: unknown phase {phase!r} "
+            f"(must be one of {_PHASES})",
+        ))
+        return findings
+
+    reads = class_literal_attr(cls, "state_reads")
+    writes = class_literal_attr(cls, "state_writes")
+    if phase == "vessel" and reads is None and writes is None:
+        findings.append(Finding(
+            RULE, str(module.path), cls.lineno,
+            f"{cls.name}: vessel-phase stage declares no ownership "
+            "manifest (state_reads/state_writes)",
+        ))
+    has_manifest = reads is not None or writes is not None
+    reads = set(reads or ())
+    writes = set(writes or ())
+
+    methods = class_methods(cls)
+    reached = called_helpers(methods, helpers)
+    functions = methods + [helpers[name] for name in sorted(reached)]
+
+    for func in functions:
+        roots = state_roots(func)
+        accesses = field_accesses(func, roots)
+        for access in accesses:
+            if access.root == "state" and has_manifest:
+                allowed = writes if access.write else reads | writes
+                if access.fld not in allowed:
+                    verb = "writes" if access.write else "reads"
+                    findings.append(Finding(
+                        RULE, str(module.path), access.line,
+                        f"{cls.name} ({phase} phase) {verb} "
+                        f"state.{access.fld}, not in its "
+                        f"{'state_writes' if access.write else 'ownership'}"
+                        " manifest",
+                    ))
+            if access.root == "shard" and phase in ("cross", "barrier"):
+                findings.append(Finding(
+                    RULE, str(module.path), access.line,
+                    f"{cls.name} ({phase} phase) touches ShardState "
+                    f"field .{access.fld} — shard state is exclusively "
+                    "vessel-phase",
+                ))
+        if phase in ("cross", "barrier"):
+            findings.extend(_cross_shard_touches(module, cls, phase, func))
+    return findings
+
+
+def _cross_shard_touches(module, cls, phase, func) -> list:
+    """Shard reach-ins a cross/barrier stage makes without annotations."""
+    findings: list[Finding] = []
+    shard_names = _shard_locals(func)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute):
+            if node.attr == "shards":
+                findings.append(Finding(
+                    RULE, str(module.path), node.lineno,
+                    f"{cls.name} ({phase} phase) reads state.shards — "
+                    "shard state is exclusively vessel-phase",
+                ))
+            elif isinstance(node.value, ast.Name) and \
+                    node.value.id in shard_names:
+                findings.append(Finding(
+                    RULE, str(module.path), node.lineno,
+                    f"{cls.name} ({phase} phase) touches ShardState "
+                    f"field .{node.attr} via local "
+                    f"'{node.value.id}' — shard state is exclusively "
+                    "vessel-phase",
+                ))
+    return findings
+
+
+def check(modules) -> list:
+    findings: list[Finding] = []
+    for module in modules:
+        helpers = module_functions(module.tree)
+        for cls in iter_classes(module.tree):
+            if not _is_stage(cls):
+                continue
+            findings.extend(_check_stage(module, cls, helpers))
+    return findings

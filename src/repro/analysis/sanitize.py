@@ -1,0 +1,287 @@
+"""Runtime ownership sanitizer: TSan-for-Python on the shard runtime.
+
+The static checkers prove what the *source* does; this module watches
+what the *threads* do.  When ``REPRO_SANITIZE=1`` is set,
+``PipelineState`` construction (see ``repro/core/stages/state.py``)
+wraps every :class:`ShardState` and the shared per-vessel tables
+(``current``, ``gap_heads``) in instrumenting proxies, and the
+reconstruct stage runs each shard task inside a
+:meth:`OwnershipSanitizer.shard_task` window.  The proxies then assert
+the two-phase ownership rules on every attribute access:
+
+- inside shard *i*'s task window, only shard *i*'s ``ShardState`` may
+  be touched — task 0 runs on the barrier thread
+  (:class:`~repro.core.stages.shard.ShardPool` keeps one task inline),
+  so ownership is bound to the *task window*, never to thread identity;
+- outside any task window (the serial barrier phase) every shard is
+  fair game — that is where merge, flush and purge legitimately run;
+- the shared tables are barrier-owned: touching them from inside any
+  shard task window is a violation, whichever shard.
+
+Modes (``REPRO_SANITIZE=``): any truthy value raises
+:class:`OwnershipViolation` at the offending access (tests, CI);
+``report`` records violations instead, so a monitored deployment can
+surface them as health alarms (the session registers a
+``HealthRegistry`` probe over :meth:`OwnershipSanitizer.drain`).
+
+Everything here is import-light on purpose: ``repro.core`` imports this
+module, not the other way round.  With the environment variable unset
+:func:`create_sanitizer` returns ``None`` and the runtime pays nothing.
+"""
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "OwnershipSanitizer",
+    "OwnershipViolation",
+    "ShardStateGuard",
+    "TableGuard",
+    "Violation",
+    "create_sanitizer",
+    "sanitize_mode",
+]
+
+
+class OwnershipViolation(AssertionError):
+    """A thread touched state it does not own under the sanitizer."""
+
+
+def sanitize_mode() -> str | None:
+    """The requested sanitizer mode: ``None``, ``"raise"`` or ``"report"``.
+
+    Driven by ``REPRO_SANITIZE``: unset/empty/``0``/``false``/``off``
+    disable, ``report`` records without raising, anything else raises.
+    """
+    value = os.environ.get("REPRO_SANITIZE", "").strip().lower()
+    if value in ("", "0", "false", "off", "no"):
+        return None
+    if value == "report":
+        return "report"
+    return "raise"
+
+
+def create_sanitizer() -> "OwnershipSanitizer | None":
+    """An :class:`OwnershipSanitizer` per the environment, or ``None``."""
+    mode = sanitize_mode()
+    if mode is None:
+        return None
+    return OwnershipSanitizer(mode=mode)
+
+
+@dataclass
+class Violation:
+    """One recorded ownership violation."""
+
+    kind: str          # "shard" | "table"
+    detail: str
+    thread: str
+    #: Shard index of the *task window* the access happened in.
+    actor_shard: int | None
+
+    def describe(self) -> str:
+        where = (
+            f"shard-{self.actor_shard} task" if self.actor_shard is not None
+            else "barrier phase"
+        )
+        return f"[{self.kind}] {self.detail} (from {where} "\
+               f"on thread '{self.thread}')"
+
+
+class OwnershipSanitizer:
+    """Tracks task windows and checks every guarded access against them."""
+
+    def __init__(self, mode: str = "raise") -> None:
+        if mode not in ("raise", "report"):
+            raise ValueError(f"mode must be 'raise' or 'report', got {mode!r}")
+        self.mode = mode
+        self.n_checks = 0
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._violations: list[Violation] = []
+        self._drained = 0
+
+    # -- task windows --------------------------------------------------------
+
+    def current_shard(self) -> int | None:
+        """The shard task window this thread is inside, if any."""
+        return getattr(self._tls, "shard", None)
+
+    @contextmanager
+    def shard_task(self, index: int):
+        """Mark this thread as running shard ``index``'s per-vessel task."""
+        previous = getattr(self._tls, "shard", None)
+        self._tls.shard = index
+        try:
+            yield
+        finally:
+            self._tls.shard = previous
+
+    def wrap_task(self, index: int, task):
+        """A zero-arg callable running ``task`` inside a task window."""
+        def run():
+            with self.shard_task(index):
+                return task()
+        return run
+
+    # -- guards --------------------------------------------------------------
+
+    def guard_shard(self, shard) -> "ShardStateGuard":
+        return ShardStateGuard(shard, self)
+
+    def guard_table(self, table, name: str) -> "TableGuard":
+        return TableGuard(table, self, name)
+
+    def check_shard_access(self, index: int, attr: str) -> None:
+        self.n_checks += 1
+        actor = self.current_shard()
+        if actor is None or actor == index:
+            # Barrier phase (serial, sees everything) or the owner.
+            return
+        self._record(Violation(
+            kind="shard",
+            detail=(
+                f"shard-{actor} task touched ShardState[{index}].{attr} "
+                f"(owned by shard {index})"
+            ),
+            thread=threading.current_thread().name,
+            actor_shard=actor,
+        ))
+
+    def check_table_access(self, name: str, attr: str) -> None:
+        self.n_checks += 1
+        actor = self.current_shard()
+        if actor is None:
+            return  # barrier phase owns the shared tables
+        self._record(Violation(
+            kind="table",
+            detail=(
+                f"shard-{actor} task touched shared table "
+                f"'{name}' (.{attr}) — shared tables are barrier-owned"
+            ),
+            thread=threading.current_thread().name,
+            actor_shard=actor,
+        ))
+
+    # -- accounting ----------------------------------------------------------
+
+    def _record(self, violation: Violation) -> None:
+        with self._lock:
+            self._violations.append(violation)
+        if self.mode == "raise":
+            raise OwnershipViolation(violation.describe())
+
+    @property
+    def violations(self) -> list:
+        """Every violation recorded so far (snapshot)."""
+        with self._lock:
+            return list(self._violations)
+
+    def drain(self) -> list:
+        """Violations recorded since the last drain (for health probes)."""
+        with self._lock:
+            fresh = self._violations[self._drained:]
+            self._drained = len(self._violations)
+            return fresh
+
+    def clear(self) -> None:
+        with self._lock:
+            self._violations.clear()
+            self._drained = 0
+
+
+class ShardStateGuard:
+    """Attribute-forwarding proxy asserting shard-task ownership.
+
+    Wraps one ``ShardState``; every attribute get/set first checks the
+    accessing thread's task window against the shard's index.  The
+    wrapped object's components (reconstructor, detectors) are returned
+    as-is — the guard polices the *field fetch*, keeping the hot path
+    one extra call, not a proxy per touch.
+    """
+
+    __slots__ = ("_target", "_sanitizer")
+
+    def __init__(self, target, sanitizer: OwnershipSanitizer) -> None:
+        object.__setattr__(self, "_target", target)
+        object.__setattr__(self, "_sanitizer", sanitizer)
+
+    @property
+    def __wrapped__(self):
+        return object.__getattribute__(self, "_target")
+
+    @property
+    def __class__(self):
+        # Transparent to isinstance(): the guard *is* its ShardState
+        # as far as type checks go.
+        return type(object.__getattribute__(self, "_target"))
+
+    def __getattr__(self, name: str):
+        target = object.__getattribute__(self, "_target")
+        sanitizer = object.__getattribute__(self, "_sanitizer")
+        sanitizer.check_shard_access(target.index, name)
+        return getattr(target, name)
+
+    def __setattr__(self, name: str, value) -> None:
+        target = object.__getattribute__(self, "_target")
+        sanitizer = object.__getattribute__(self, "_sanitizer")
+        sanitizer.check_shard_access(target.index, name)
+        setattr(target, name, value)
+
+    def __repr__(self) -> str:
+        target = object.__getattribute__(self, "_target")
+        return f"ShardStateGuard({target!r})"
+
+
+class TableGuard:
+    """Proxy over a shared table (``TtlTable``): barrier-thread-owned.
+
+    Any access from inside a shard task window is a violation —
+    vessel-phase code must stay on its ``ShardState``.  Container
+    dunders are forwarded explicitly (``__getattr__`` never sees them).
+    """
+
+    __slots__ = ("_target", "_sanitizer", "_name")
+
+    def __init__(self, target, sanitizer: OwnershipSanitizer,
+                 name: str) -> None:
+        object.__setattr__(self, "_target", target)
+        object.__setattr__(self, "_sanitizer", sanitizer)
+        object.__setattr__(self, "_name", name)
+
+    @property
+    def __wrapped__(self):
+        return object.__getattribute__(self, "_target")
+
+    @property
+    def __class__(self):
+        return type(object.__getattribute__(self, "_target"))
+
+    def _check(self, attr: str):
+        sanitizer = object.__getattribute__(self, "_sanitizer")
+        sanitizer.check_table_access(
+            object.__getattribute__(self, "_name"), attr
+        )
+        return object.__getattribute__(self, "_target")
+
+    def __getattr__(self, name: str):
+        return getattr(self._check(name), name)
+
+    def __setattr__(self, name: str, value) -> None:
+        setattr(self._check(name), name, value)
+
+    def __len__(self) -> int:
+        return len(self._check("__len__"))
+
+    def __contains__(self, key) -> bool:
+        return key in self._check("__contains__")
+
+    def __iter__(self):
+        return iter(self._check("__iter__"))
+
+    def __repr__(self) -> str:
+        target = object.__getattribute__(self, "_target")
+        name = object.__getattribute__(self, "_name")
+        return f"TableGuard({name}={target!r})"

@@ -1,0 +1,125 @@
+"""Rule ``single-writer``: one writing class per shared state field.
+
+``PipelineState``'s ownership contract (see its docstring and
+``src/repro/core/README.md``) is that every field is written by exactly
+one stage; everything else only reads it.  ``ShardState`` is stricter
+still — all three detector slices belong to the reconstruct stage's
+vessel phase.  This checker verifies both by attribute-assignment
+analysis across the whole tree:
+
+- the field universes come from the ``__init__`` self-assignments of
+  the ``PipelineState``/``ShardState`` class definitions found among
+  the analysed modules (when absent — fixture runs — the universe is
+  whatever gets written);
+- writes are collected from every class whose methods see a
+  ``PipelineState``/``ShardState`` (annotated parameter or
+  ``x = self.state``), plus the module-level helpers those methods
+  call; a write is an attribute store, ``del``, augmented assignment,
+  or a non-pure method call on the field (see
+  :data:`~repro.analysis.base.PURE_METHODS`);
+- the classes defining the state (``PipelineState`` itself, whose
+  ``purge`` is owner-side maintenance) are exempt;
+- a field with two or more distinct writing classes is a finding, at
+  the second writer's location.
+"""
+
+import ast
+
+from repro.analysis.base import (
+    Finding,
+    attr_path,
+    called_helpers,
+    class_methods,
+    field_accesses,
+    iter_classes,
+    module_functions,
+    state_roots,
+)
+
+RULE = "single-writer"
+
+#: Classes that *are* the state (owner-side maintenance is exempt).
+_OWNER_CLASSES = frozenset({"PipelineState", "ShardState", "TtlTable"})
+
+
+def _init_fields(cls) -> set:
+    """Field names a class assigns on ``self`` in its ``__init__``."""
+    fields: set[str] = set()
+    for func in class_methods(cls):
+        if func.name != "__init__":
+            continue
+        for node in ast.walk(func):
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            for target in targets:
+                path = attr_path(target)
+                if path is not None and len(path) == 2 and \
+                        path[0] == "self":
+                    fields.add(path[1])
+    return fields
+
+
+def check(modules) -> list:
+    # Pass 1: the field universes, from the state class definitions.
+    state_fields: set = set()
+    shard_fields: set = set()
+    for module in modules:
+        for cls in iter_classes(module.tree):
+            if cls.name == "PipelineState":
+                state_fields |= _init_fields(cls)
+            elif cls.name == "ShardState":
+                shard_fields |= _init_fields(cls)
+
+    # Pass 2: every write, attributed to its class.
+    # (root, field) -> {class: (path, line of first write)}
+    writers: dict[tuple, dict] = {}
+    for module in modules:
+        helpers = module_functions(module.tree)
+        for cls in iter_classes(module.tree):
+            if cls.name in _OWNER_CLASSES:
+                continue
+            methods = class_methods(cls)
+            reached = called_helpers(methods, helpers)
+            functions = methods + [helpers[n] for n in sorted(reached)]
+            for func in functions:
+                roots = state_roots(func)
+                if not roots:
+                    continue
+                for access in field_accesses(func, roots):
+                    if not access.write:
+                        continue
+                    universe = (
+                        state_fields if access.root == "state"
+                        else shard_fields
+                    )
+                    if universe and access.fld not in universe:
+                        # Not a known state field (a method, a typo the
+                        # phase checker owns) — not a write conflict.
+                        continue
+                    by_class = writers.setdefault(
+                        (access.root, access.fld), {}
+                    )
+                    by_class.setdefault(
+                        cls.name, (str(module.path), access.line)
+                    )
+
+    findings: list[Finding] = []
+    for (root, fld), by_class in sorted(writers.items()):
+        if len(by_class) <= 1:
+            continue
+        names = sorted(by_class)
+        owner = names[0]
+        prefix = "state" if root == "state" else "shard"
+        for name in names[1:]:
+            path, line = by_class[name]
+            findings.append(Finding(
+                RULE, path, line,
+                f"{prefix}.{fld} has multiple writing classes: "
+                f"{name} also writes it (first writer here: {owner} at "
+                f"{by_class[owner][0]}:{by_class[owner][1]}) — every "
+                "shared state field must have exactly one writer",
+            ))
+    return findings

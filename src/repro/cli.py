@@ -11,11 +11,14 @@ Commands:
   receiver (``--nmea-tcp host:port``), optionally as JSON lines
   (``--json``);
 - ``map`` — render the global density map (Figure 1) as ASCII;
-- ``decode`` — decode NMEA sentences from a file or stdin.
+- ``decode`` — decode NMEA sentences from a file or stdin;
+- ``analyze`` — run the concurrency/causality invariant checkers over
+  the source tree (``--strict`` gates CI).
 """
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.ais.decoder import AisDecoder
 from repro.core import (
@@ -103,6 +106,32 @@ def _build_parser() -> argparse.ArgumentParser:
     decode.add_argument(
         "input", nargs="?", default="-",
         help="file of !AIVDM sentences ('-' for stdin)",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the concurrency/causality invariant checkers",
+        description="Static analysis over the source tree: stage phase "
+        "and ownership manifests, single-writer discipline, lock "
+        "discipline in threaded modules, causality and config-mutation "
+        "rules.  See src/repro/analysis/README.md.",
+    )
+    analyze.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyse "
+        "(default: the installed repro package)",
+    )
+    analyze.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on any unsuppressed finding",
+    )
+    analyze.add_argument(
+        "--rule", action="append", dest="rules", metavar="RULE",
+        help="restrict to one rule (repeatable); default: all rules",
+    )
+    analyze.add_argument(
+        "--no-suppressed", action="store_true",
+        help="hide suppressed findings from the listing",
     )
     return parser
 
@@ -275,6 +304,26 @@ def _cmd_decode(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    # Imported here: the analysis package is pure stdlib but pulls in
+    # the AST machinery no other command needs.
+    import repro
+    from repro.analysis import AnalysisError, analyze_paths
+
+    paths = args.paths or [Path(repro.__file__).parent]
+    try:
+        report = analyze_paths(paths, rules=args.rules)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render(show_suppressed=not args.no_suppressed))
+    if report.broken:
+        return 2
+    if args.strict and not report.ok:
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -282,6 +331,7 @@ def main(argv: list[str] | None = None) -> int:
         "pipeline": _cmd_pipeline,
         "map": _cmd_map,
         "decode": _cmd_decode,
+        "analyze": _cmd_analyze,
     }
     return handlers[args.command](args)
 

@@ -199,6 +199,35 @@ class PipelineConfig:
             problems.append(
                 f"workers must be >= 1 (got {self.workers!r})"
             )
+        # Nested configs: dotted overrides ("reconstruction.min_dt_s")
+        # build these through from_overrides(), so a bad nested value
+        # must fail at construction like any top-level one.
+        rec = self.reconstruction
+        positive("reconstruction.max_speed_knots", rec.max_speed_knots)
+        non_negative("reconstruction.min_dt_s", rec.min_dt_s)
+        positive("reconstruction.gap_timeout_s", rec.gap_timeout_s)
+        if isinstance(rec.max_consecutive_rejects, bool) or \
+                not isinstance(rec.max_consecutive_rejects, int):
+            problems.append(
+                "reconstruction.max_consecutive_rejects must be an "
+                f"integer >= 1 (got {rec.max_consecutive_rejects!r})"
+            )
+        elif rec.max_consecutive_rejects < 1:
+            problems.append(
+                "reconstruction.max_consecutive_rejects must be >= 1 "
+                f"(got {rec.max_consecutive_rejects!r})"
+            )
+        rdv = self.rendezvous
+        positive("rendezvous.max_distance_m", rdv.max_distance_m)
+        non_negative("rendezvous.max_speed_knots", rdv.max_speed_knots)
+        positive("rendezvous.min_duration_s", rdv.min_duration_s)
+        non_negative("rendezvous.port_exclusion_m", rdv.port_exclusion_m)
+        positive("rendezvous.step_s", rdv.step_s)
+        if rdv.index_backend not in ("auto", "grid", "rtree"):
+            problems.append(
+                "rendezvous.index_backend must be one of 'auto', 'grid', "
+                f"'rtree' (got {rdv.index_backend!r})"
+            )
         # Cross-field horizons: eviction must outlive every reader that
         # looks through the evicted state (see the field docstrings).
         # Only comparable once both sides passed the numeric checks.

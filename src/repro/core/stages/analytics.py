@@ -27,6 +27,7 @@ class SynopsesStage(Stage):
 
     name = "synopses"
     phase = "vessel"
+    state_reads = ("config",)
 
     def feed(
         self,
@@ -60,6 +61,8 @@ class IntegrateStage(Stage):
     """
 
     name = "integrate"
+    state_reads = ("specs", "keep_products", "triples")
+    state_writes = ("store", "cube", "annotator")
 
     def start(self, state: PipelineState) -> None:
         """Annotate known vessel identities once per session."""
@@ -95,6 +98,8 @@ class ForecastStage(Stage):
 
     name = "forecast"
     phase = "vessel"
+    state_reads = ("config", "predictor")
+    state_writes = ("forecasts",)
 
     def feed(
         self, state: PipelineState, outcomes: list[RecordOutcome]
@@ -130,6 +135,11 @@ class OverviewStage(Stage):
     """
 
     name = "overview"
+    state_reads = (
+        "pol_split_t", "current", "watermark", "config", "events",
+        "keep_products",
+    )
+    state_writes = ("monitor",)
 
     def feed(
         self, state: PipelineState, outcomes: list[RecordOutcome]

@@ -65,6 +65,14 @@ class Stage:
     #: module docstring.  ``"cross"`` (serial, merged order) is the safe
     #: default; stages override with ``"vessel"`` or ``"barrier"``.
     phase = "cross"
+    #: Ownership manifest: the ``PipelineState`` fields this stage reads
+    #: (beyond what it writes) and the fields it owns the writes to.
+    #: Mandatory for vessel-phase stages — ``repro analyze`` (rule
+    #: ``phase-ownership``) checks every method body against it, and the
+    #: single-writer rule checks that no field appears in two stages'
+    #: ``state_writes``.
+    state_reads: tuple = ()
+    state_writes: tuple = ()
 
     def __init__(self) -> None:
         self.stats = StageStats(self.name)

@@ -30,6 +30,11 @@ class DetectStage(Stage):
     """Incremental event recognition over record outcomes."""
 
     name = "detect"
+    state_reads = ("config", "ports", "zones", "watermark", "keep_products")
+    state_writes = (
+        "pol_split_t", "current", "pol", "gap_heads", "rendezvous",
+        "collisions", "cep", "events", "complex_events",
+    )
 
     def feed(
         self,

@@ -35,6 +35,10 @@ class FuseStage(Stage):
     """Causal multi-sensor fusion over the record stream."""
 
     name = "fuse"
+    state_reads = ("config",)
+    state_writes = (
+        "fused", "radar_queue", "lrit_queue", "uncorrelated_emitted",
+    )
 
     def enqueue(
         self,

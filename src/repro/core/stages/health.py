@@ -1,0 +1,101 @@
+"""Named health probes polled once per pipeline increment.
+
+Generalises the session's former ``alarm_probes`` list: infrastructure
+health checks — a child feed dying, the runtime ownership sanitizer
+catching a cross-shard access — register as *named* probes on a
+:class:`HealthRegistry`; the session polls the registry after the
+overview stage, merges whatever alarms the probes raise into the
+increment's ``new_alarms`` (so they reach subscribers through the same
+delivery path as model alarms), and the registry keeps a per-probe
+:class:`HealthStatus` cache so the end-of-run report can say which
+checks ran, how often they fired, and what they last said.
+
+A probe is a callable ``probe(watermark) -> list[MonitoringAlarm]``.
+Probes must be cheap and must not raise: they run on the barrier thread
+inside the increment loop.
+"""
+
+from dataclasses import dataclass, field
+
+__all__ = ["HealthRegistry", "HealthStatus"]
+
+
+@dataclass
+class HealthStatus:
+    """Cached result history for one named probe."""
+
+    name: str
+    #: Watermark of the most recent poll; ``-inf`` before the first.
+    last_polled_t: float = float("-inf")
+    n_polls: int = 0
+    #: Alarms raised by this probe over the whole run.
+    n_alarms_total: int = 0
+    #: What the probe returned at the most recent poll (often empty —
+    #: healthy probes are silent).
+    last_alarms: list = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """No alarm at the most recent poll (vacuously true unpolled)."""
+        return not self.last_alarms
+
+    def describe(self) -> str:
+        state = "ok" if self.healthy else f"ALARM x{len(self.last_alarms)}"
+        return (
+            f"{self.name}: {state} "
+            f"({self.n_alarms_total} alarm(s) over {self.n_polls} poll(s))"
+        )
+
+
+class HealthRegistry:
+    """Named ``probe(watermark) -> list[MonitoringAlarm]`` callables.
+
+    Registration order is poll order, so alarm ordering within an
+    increment is deterministic.  Re-registering a name replaces the
+    probe but keeps its accumulated :class:`HealthStatus`.
+    """
+
+    def __init__(self) -> None:
+        self._probes: dict = {}
+        self._status: dict = {}
+
+    def register(self, name: str, probe) -> None:
+        """Add (or replace) the probe polled under ``name``."""
+        self._probes[name] = probe
+        self._status.setdefault(name, HealthStatus(name))
+
+    def unregister(self, name: str) -> None:
+        self._probes.pop(name, None)
+
+    def names(self) -> list:
+        return list(self._probes)
+
+    def __len__(self) -> int:
+        return len(self._probes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._probes
+
+    def poll(self, watermark: float) -> list:
+        """Run every probe once; all alarms raised, in register order."""
+        merged: list = []
+        for name, probe in self._probes.items():
+            alarms = list(probe(watermark))
+            status = self._status[name]
+            status.last_polled_t = watermark
+            status.n_polls += 1
+            status.n_alarms_total += len(alarms)
+            status.last_alarms = alarms
+            merged.extend(alarms)
+        return merged
+
+    def report(self) -> dict:
+        """``{name: HealthStatus}`` for every probe ever registered."""
+        return dict(self._status)
+
+    def describe(self) -> str:
+        if not self._status:
+            return "no health probes registered"
+        return "; ".join(
+            status.describe() for status in self._status.values()
+        )

@@ -52,6 +52,7 @@ class DecodeStage(Stage):
 
     name = "decode"
     phase = "vessel"
+    state_writes = ("decoder",)
 
     def feed(
         self,
@@ -104,6 +105,7 @@ class ReorderStage(Stage):
 
     name = "reorder"
     phase = "barrier"
+    state_writes = ("reorderer", "watermark")
 
     def feed(
         self, state: PipelineState, decoded: list[tuple[float, object]]
@@ -133,6 +135,8 @@ class ReconstructStage(Stage):
 
     name = "reconstruct"
     phase = "vessel"
+    state_reads = ("config", "predictor", "watermark")
+    state_writes = ("shards",)
 
     def feed(
         self,
@@ -162,6 +166,16 @@ class ReconstructStage(Stage):
                 ))
                 for shard, part in zip(shards, parts)
             ]
+            sanitizer = getattr(state, "sanitizer", None)
+            if sanitizer is not None:
+                # Each task runs inside its shard's ownership window —
+                # the sanitizer then rejects any touch of another
+                # shard's state or of the barrier-owned tables, whether
+                # the task runs pooled or inline.
+                tasks = [
+                    sanitizer.wrap_task(i, task)
+                    for i, task in enumerate(tasks)
+                ]
             if pool is not None and len(records) >= _MIN_PARALLEL_ITEMS:
                 results = pool.run(tasks)
             else:

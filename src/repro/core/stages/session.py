@@ -22,6 +22,7 @@ detection, CEP, overview) runs serially.  ``workers=1`` runs the same
 code inline on one shard — products are identical for every count.
 """
 
+import math
 import time
 
 from repro.core.stages.analytics import (
@@ -32,6 +33,7 @@ from repro.core.stages.analytics import (
 )
 from repro.core.stages.detect import DetectStage
 from repro.core.stages.fuse import FuseStage
+from repro.core.stages.health import HealthRegistry
 from repro.core.stages.ingest import DecodeStage, ReconstructStage, ReorderStage
 from repro.core.stages.shard import ShardPool
 from repro.core.stages.state import (
@@ -41,6 +43,29 @@ from repro.core.stages.state import (
     RecordOutcome,
 )
 from repro.sinks.subscription import Subscription, SubscriptionHub
+from repro.visual.overview import MonitoringAlarm
+
+
+def _sanitizer_probe(sanitizer):
+    """A health probe surfacing recorded ownership violations as alarms.
+
+    Only meaningful under ``REPRO_SANITIZE=report`` (in ``raise`` mode
+    the violating access itself throws); each violation becomes one
+    infrastructure alarm at the current watermark, drained so a
+    violation alarms exactly once.
+    """
+    def probe(watermark: float) -> list[MonitoringAlarm]:
+        return [
+            MonitoringAlarm(
+                t=watermark if math.isfinite(watermark) else 0.0,
+                mmsi=0, lat=0.0, lon=0.0, score=1.0,
+                explanation=(
+                    "ownership sanitizer: " + violation.describe()
+                ),
+            )
+            for violation in sanitizer.drain()
+        ]
+    return probe
 
 
 class PipelineSession:
@@ -69,11 +94,20 @@ class PipelineSession:
         #: monitor façade with a TCP source) appends a zero-arg callable
         #: returning ``{name: depth}``.
         self.queue_probes: list = []
-        #: Alarm probes polled once per increment after the overview
-        #: stage: callables ``probe(watermark) -> list[MonitoringAlarm]``.
-        #: The monitor façade injects infrastructure alarms here (a child
-        #: feed dying) so they reach subscribers like any model alarm.
-        self.alarm_probes: list = []
+        #: Named health probes polled once per increment after the
+        #: overview stage (``probe(watermark) -> list[MonitoringAlarm]``).
+        #: The monitor façade registers infrastructure checks here (a
+        #: child feed dying) so their alarms reach subscribers like any
+        #: model alarm; per-probe status is cached for the run report.
+        self.health = HealthRegistry()
+        if state.sanitizer is not None and \
+                state.sanitizer.mode == "report":
+            # Under REPRO_SANITIZE=report, ownership violations become
+            # operational alarms instead of crashes.
+            self.health.register(
+                "ownership-sanitizer",
+                _sanitizer_probe(state.sanitizer),
+            )
         #: Worker pool for the per-vessel phase; ``None`` when
         #: ``config.workers == 1`` (the phase then runs inline on the
         #: caller's thread — same code path, one shard).
@@ -258,8 +292,7 @@ class PipelineSession:
             snapshot = (
                 self.overview.snapshot(state) if build_overview else None
             )
-        for probe in self.alarm_probes:
-            new_alarms.extend(probe(state.watermark))
+        new_alarms.extend(self.health.poll(state.watermark))
 
         if state.keep_products:
             state.trajectories.extend(completed)

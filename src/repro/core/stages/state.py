@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.ais.decoder import AisDecoder
+from repro.analysis.sanitize import create_sanitizer
 from repro.core.config import PipelineConfig
 from repro.core.stages.shard import ShardState
 from repro.events.base import Event
@@ -215,12 +216,21 @@ class PipelineState:
         self.watermark = float("-inf")
 
         # -- per-vessel phase (reconstruct stage, sharded) ----------------
+        #: Runtime ownership sanitizer (``REPRO_SANITIZE=1``), or
+        #: ``None``.  When armed, the shard slices and the shared
+        #: per-vessel tables below are wrapped in instrumenting proxies
+        #: that assert the two-phase ownership rules on every access.
+        self.sanitizer = create_sanitizer()
         #: One state slice per worker; vessels route by
         #: ``shard_of(mmsi, len(shards))``.  The count is fixed for the
         #: session's lifetime — per-vessel state cannot migrate.
         self.shards = [
             ShardState(i, config) for i in range(max(1, config.workers))
         ]
+        if self.sanitizer is not None:
+            self.shards = [
+                self.sanitizer.guard_shard(s) for s in self.shards
+            ]
 
         # -- analytics accumulators (integrate stage) ---------------------
         self.store = TrajectoryStore(
@@ -246,6 +256,15 @@ class PipelineState:
         self.cep = CepEngine(list(cep_patterns))
         self.current = TtlTable()  # mmsi -> latest accepted TrackPoint
         self.gap_heads = TtlTable()  # mmsi -> last fix of last segment
+        if self.sanitizer is not None:
+            # Barrier-owned tables: any touch from inside a shard task
+            # window is an ownership violation.
+            self.current = self.sanitizer.guard_table(
+                self.current, "current"
+            )
+            self.gap_heads = self.sanitizer.guard_table(
+                self.gap_heads, "gap_heads"
+            )
         self.rendezvous = IncrementalRendezvousDetector(
             ports,
             config.rendezvous,

@@ -94,6 +94,9 @@ class MonitorReport:
     stages: list[StageStats] = field(default_factory=list)
     #: Per-subscription delivery accounting, in subscribe order.
     subscriptions: list[SubscriptionReport] = field(default_factory=list)
+    #: Final status of every registered health probe
+    #: (``{name: HealthStatus}`` — feed liveness, ownership sanitizer).
+    health: dict = field(default_factory=dict)
 
     @property
     def wall_s(self) -> float:
@@ -271,7 +274,9 @@ class MaritimeMonitor:
             # A child feed dying is an operational alarm, not just a
             # stats entry: surface it to subscribers like any model
             # alarm, once per dead feed, at the next increment.
-            session.alarm_probes.append(self._feed_death_probe(source))
+            session.health.register(
+                "feed-liveness", self._feed_death_probe(source)
+            )
         self.session = session
         report = self.report = MonitorReport()
         try:
@@ -310,6 +315,7 @@ class MaritimeMonitor:
             report.subscriptions = [
                 self._subscription_report(s) for s in self.hub.registry
             ]
+            report.health = session.health.report()
         return report
 
     @staticmethod

@@ -77,7 +77,8 @@ class AsyncDispatcher:
         self._worker.start()
 
     def __len__(self) -> int:
-        return len(self._queue)
+        with self._lock:
+            return len(self._queue)
 
     # -- pipeline side -----------------------------------------------------
 

@@ -1,0 +1,21 @@
+# ruff: noqa
+"""causal-lookahead + config-mutation violations (fixture)."""
+
+
+def eager_gaps(state):
+    staged = state.reorderer._buffer          # private buffer internals
+    return detect_gaps(staged, min_gap_s=600.0)
+
+
+def eager_loiter(state):
+    pending = state.cep.peek()                # peek accessor
+    track = list(pending)
+    return detect_loitering(track)            # tainted argument
+
+
+def tune(state):
+    state.config.workers = 8                  # mutating validated config
+
+
+def retune(cfg):
+    cfg.gap_min_s = 0.0                       # mutating a config local

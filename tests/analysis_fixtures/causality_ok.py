@@ -1,0 +1,17 @@
+# ruff: noqa
+"""Causality-clean detector usage and config handling (fixture)."""
+
+
+def released_gaps(state, released):
+    # Released records came through the watermark barrier: fine.
+    return detect_gaps(released, min_gap_s=600.0)
+
+
+def depth(state):
+    # Asking a buffer for its *size* is not a peek.
+    return state.reorderer.buffered()
+
+
+def tune(config):
+    # Deriving a validated variant is the sanctioned path.
+    return config.replace(workers=8)

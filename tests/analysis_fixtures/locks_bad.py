@@ -1,0 +1,24 @@
+# ruff: noqa
+"""lock-discipline: shared attribute touched outside the lock (fixture)."""
+import threading
+
+
+class LeakyQueue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queue = []
+        self._worker = threading.Thread(target=self._run, daemon=True)
+        self._worker.start()
+
+    def _run(self):
+        while True:
+            with self._lock:
+                if self._queue:
+                    self._queue.pop()
+
+    def submit(self, item):
+        with self._lock:
+            self._queue.append(item)
+
+    def __len__(self):
+        return len(self._queue)  # unlocked read of a shared attribute

@@ -1,0 +1,34 @@
+# ruff: noqa
+"""lock-discipline: every shared touch under the lock; one documented
+lock-free counter on the allowlist (fixture)."""
+import threading
+
+
+class DisciplinedQueue:
+    _lock_free = ("n_peeks",)  # monotonic int, torn reads acceptable
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queue = []
+        self.n_peeks = 0
+        self._worker = threading.Thread(target=self._run, daemon=True)
+        self._worker.start()
+
+    def _run(self):
+        while True:
+            with self._lock:
+                if self._queue:
+                    self._queue.pop()
+            self.n_peeks += 1
+
+    def submit(self, item):
+        with self._lock:
+            self._queue.append(item)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._queue)
+
+    def peeks(self):
+        self.n_peeks += 1
+        return self.n_peeks

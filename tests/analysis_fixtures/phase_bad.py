@@ -1,0 +1,47 @@
+# ruff: noqa
+"""phase-ownership: three distinct violations (fixture, not imported)."""
+
+
+class Stage:
+    name = "stage"
+    phase = "cross"
+    state_reads = ()
+    state_writes = ()
+
+
+class NoManifestStage(Stage):
+    """Vessel-phase stage with no ownership manifest: flagged."""
+
+    name = "bare"
+    phase = "vessel"
+
+    def feed(self, state: PipelineState, items):
+        return items
+
+
+class OverreachStage(Stage):
+    """Reads and writes state fields missing from its manifest."""
+
+    name = "overreach"
+    phase = "vessel"
+    state_reads = ("config",)
+    state_writes = ("decoder",)
+
+    def feed(self, state: PipelineState, items):
+        state.decoder.consume(items)
+        state.watermark = 0.0      # write outside state_writes
+        return state.forecasts     # read outside the manifest
+
+
+class GreedyBarrierStage(Stage):
+    """Barrier stage touching a ShardState: flagged."""
+
+    name = "greedy"
+    phase = "barrier"
+    state_writes = ("watermark",)
+
+    def feed(self, state: PipelineState, shard: ShardState):
+        shard.reconstructor.finish()
+        for sh in state.shards:
+            sh.teleports.clear()
+        return []

@@ -1,0 +1,32 @@
+# ruff: noqa
+"""phase-ownership: compliant vessel-phase stage (fixture, not imported)."""
+
+
+class Stage:
+    name = "stage"
+    phase = "cross"
+    state_reads = ()
+    state_writes = ()
+
+
+class CleanVesselStage(Stage):
+    name = "clean"
+    phase = "vessel"
+    state_reads = ("config",)
+    state_writes = ("decoder",)
+
+    def feed(self, state: PipelineState, items):
+        threshold = state.config.threshold
+        state.decoder.consume(items, threshold)
+        return items
+
+
+class CleanBarrierStage(Stage):
+    name = "merge"
+    phase = "barrier"
+    state_writes = ("watermark",)
+
+    def feed(self, state: PipelineState, records):
+        if records:
+            state.watermark = records[-1].t
+        return records

@@ -1,0 +1,14 @@
+# ruff: noqa
+"""Suppression accounting: reasoned, reasonless and unused (fixture)."""
+
+
+def tune_with_reason(state):
+    state.config.workers = 8  # repro: allow(config-mutation) — fixture exercising a reasoned suppression
+
+
+def tune_without_reason(state):
+    state.config.workers = 8  # repro: allow(config-mutation)
+
+
+def innocent(state):
+    return state.watermark  # repro: allow(single-writer) — suppresses nothing

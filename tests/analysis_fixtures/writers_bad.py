@@ -1,0 +1,14 @@
+# ruff: noqa
+"""single-writer: two classes write the same state field (fixture)."""
+
+
+class FirstStage:
+    def feed(self, state: PipelineState, records):
+        state.watermark = records[-1].t
+        state.ledger.append(records)
+
+
+class SecondStage:
+    def feed(self, state: PipelineState, records):
+        state.watermark = 0.0          # second writer of state.watermark
+        return list(state.ledger)      # reading is fine

@@ -1,0 +1,14 @@
+# ruff: noqa
+"""single-writer: one writer per field, many readers (fixture)."""
+
+
+class WriterStage:
+    def feed(self, state: PipelineState, records):
+        state.watermark = records[-1].t
+        state.ledger.append(records)
+
+
+class ReaderStage:
+    def feed(self, state: PipelineState, records):
+        horizon = state.watermark - 60.0
+        return [r for r in state.ledger.items() if r.t >= horizon]

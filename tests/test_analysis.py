@@ -1,0 +1,187 @@
+"""The static invariant checkers (``repro.analysis`` / ``repro analyze``).
+
+Each rule is exercised against fixture snippets under
+``tests/analysis_fixtures/`` — one file that violates it, one that
+complies — and the whole checker suite must come back clean over the
+real source tree with zero unexplained suppressions (the same gate CI
+runs via ``repro analyze --strict``).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    AnalysisError,
+    analyze_paths,
+)
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+
+def findings_for(fixture: str, rule: str | None = None):
+    report = analyze_paths(
+        [FIXTURES / fixture], rules=[rule] if rule else None
+    )
+    assert not report.broken
+    return report
+
+
+class TestPhaseOwnership:
+    def test_violations_flagged(self):
+        report = findings_for("phase_bad.py", "phase-ownership")
+        messages = [f.message for f in report.errors]
+        assert any("declares no ownership manifest" in m for m in messages)
+        assert any(
+            "writes state.watermark, not in its state_writes" in m
+            for m in messages
+        )
+        assert any(
+            "reads state.forecasts, not in its ownership manifest" in m
+            for m in messages
+        )
+        # Barrier-phase shard touches: the annotated parameter, the
+        # .shards read, and the loop variable derived from it.
+        shard_messages = [m for m in messages if "vessel-phase" in m]
+        assert len(shard_messages) >= 3
+
+    def test_clean_fixture_passes(self):
+        assert findings_for("phase_ok.py", "phase-ownership").ok
+
+    def test_real_stages_carry_manifests(self):
+        report = analyze_paths(
+            [SRC / "core" / "stages"], rules=["phase-ownership"]
+        )
+        assert report.ok, report.render()
+
+
+class TestSingleWriter:
+    def test_second_writer_flagged(self):
+        report = findings_for("writers_bad.py", "single-writer")
+        assert len(report.errors) == 1
+        finding = report.errors[0]
+        assert "state.watermark" in finding.message
+        assert "SecondStage" in finding.message
+        assert "FirstStage" in finding.message
+
+    def test_readers_are_free(self):
+        assert findings_for("writers_ok.py", "single-writer").ok
+
+
+class TestLockDiscipline:
+    def test_unlocked_shared_read_flagged(self):
+        report = findings_for("locks_bad.py", "lock-discipline")
+        assert len(report.errors) == 1
+        assert "__len__" in report.errors[0].message
+        assert "_queue" in report.errors[0].message
+
+    def test_locked_class_with_allowlist_passes(self):
+        assert findings_for("locks_ok.py", "lock-discipline").ok
+
+    def test_threaded_modules_are_clean(self):
+        report = analyze_paths(
+            [SRC / "sources", SRC / "sinks"], rules=["lock-discipline"]
+        )
+        assert report.ok, report.render()
+
+
+class TestCausality:
+    def test_peeks_and_mutations_flagged(self):
+        report = findings_for("causality_bad.py")
+        rules = sorted({f.rule for f in report.errors})
+        assert rules == ["causal-lookahead", "config-mutation"]
+        lookahead = [
+            f for f in report.errors if f.rule == "causal-lookahead"
+        ]
+        assert len(lookahead) == 3  # private read + 2 tainted helper calls
+        mutation = [
+            f for f in report.errors if f.rule == "config-mutation"
+        ]
+        assert len(mutation) == 2
+
+    def test_released_data_and_replace_pass(self):
+        assert findings_for("causality_ok.py").ok
+
+
+class TestSuppressions:
+    def test_accounting(self):
+        report = findings_for("suppressed.py")
+        assert len(report.suppressed) == 2
+        reasoned = [
+            f for f in report.suppressed
+            if f.suppression_reason != "<no reason given>"
+        ]
+        assert len(reasoned) == 1
+        meta = sorted(f.rule for f in report.errors)
+        assert meta == ["suppression-reason", "suppression-unused"]
+
+    def test_unused_not_reported_on_partial_runs(self):
+        # A single-rule run cannot tell "unused" from "not selected".
+        report = findings_for("suppressed.py", "config-mutation")
+        assert "suppression-unused" not in {f.rule for f in report.errors}
+
+    def test_suppression_syntax_in_docstrings_is_inert(self):
+        # base.py documents the allow() syntax in its docstring; only
+        # real comment tokens may register as suppressions.
+        report = analyze_paths([SRC / "analysis" / "base.py"])
+        assert report.ok, report.render()
+
+
+class TestWholeTree:
+    def test_source_tree_is_clean(self):
+        """The CI gate: zero findings, zero unexplained suppressions."""
+        report = analyze_paths([SRC])
+        assert report.ok, report.render()
+        for finding in report.suppressed:
+            assert finding.suppression_reason != "<no reason given>"
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown rule"):
+            analyze_paths([SRC], rules=["bogus"])
+
+    def test_all_rules_registry(self):
+        assert "phase-ownership" in ALL_RULES
+        assert "suppression-unused" in ALL_RULES
+
+    def test_broken_file_is_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        report = analyze_paths([bad])
+        assert not report.ok
+        assert report.broken and "syntax error" in report.broken[0][1]
+
+
+class TestCli:
+    def test_strict_fails_on_violations(self, capsys):
+        code = main([
+            "analyze", "--strict", str(FIXTURES / "locks_bad.py")
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "lock-discipline" in out
+        assert "1 finding(s)" in out
+
+    def test_strict_passes_on_clean_input(self, capsys):
+        code = main(["analyze", "--strict", str(FIXTURES / "locks_ok.py")])
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_non_strict_reports_but_exits_zero(self):
+        assert main(["analyze", str(FIXTURES / "locks_bad.py")]) == 0
+
+    def test_rule_filter_and_unknown_rule(self, capsys):
+        assert main([
+            "analyze", "--rule", "single-writer",
+            str(FIXTURES / "locks_bad.py"),
+        ]) == 0  # lock finding filtered out
+        assert main([
+            "analyze", "--rule", "nonsense", str(FIXTURES),
+        ]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_default_target_is_installed_package(self, capsys):
+        assert main(["analyze", "--strict"]) == 0
+        assert "file(s)" in capsys.readouterr().out

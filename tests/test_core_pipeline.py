@@ -199,6 +199,46 @@ class TestConfigValidation:
         with pytest.raises(ConfigError, match="unknown config field"):
             PipelineConfig.from_overrides(nope=1)
 
+    def test_nested_values_validated_at_construction(self):
+        """Invalid dotted overrides fail like top-level ones: validate()
+        descends into the nested reconstruction/rendezvous configs."""
+        from repro.core import ConfigError
+
+        with pytest.raises(
+            ConfigError, match=r"reconstruction\.min_dt_s must be >= 0"
+        ):
+            PipelineConfig.from_overrides({"reconstruction.min_dt_s": -1.0})
+        with pytest.raises(
+            ConfigError,
+            match=r"reconstruction\.max_consecutive_rejects must be",
+        ):
+            PipelineConfig.from_overrides(
+                {"reconstruction.max_consecutive_rejects": 0}
+            )
+        with pytest.raises(
+            ConfigError, match=r"rendezvous\.step_s must be positive"
+        ):
+            PipelineConfig().replace(
+                rendezvous=PipelineConfig().rendezvous.__class__(step_s=0.0)
+            )
+        with pytest.raises(
+            ConfigError, match=r"rendezvous\.index_backend must be one of"
+        ):
+            PipelineConfig.from_overrides(
+                {"rendezvous.index_backend": "kdtree"}
+            )
+        # Several nested problems surface together, not whack-a-mole.
+        try:
+            PipelineConfig.from_overrides({
+                "reconstruction.max_speed_knots": -5.0,
+                "rendezvous.max_distance_m": 0.0,
+            })
+        except ConfigError as exc:
+            assert "reconstruction.max_speed_knots" in str(exc)
+            assert "rendezvous.max_distance_m" in str(exc)
+        else:  # pragma: no cover - the raise is the point
+            pytest.fail("invalid nested overrides were accepted")
+
 
 class TestStageStats:
     def test_zero_duration_throughput_is_json_safe(self):
