@@ -2,29 +2,37 @@
 
 Paper anchor: Figure 2 ("Towards an integrated maritime information
 infrastructure").  The benchmark runs the complete pipeline over the
-regional feed five ways — a one-shot batch replay, a live stream of
+regional feed six ways — a one-shot batch replay, a live stream of
 micro-batches through the same stage runtime, the sharded per-vessel
 phase at workers 1/2/4, the ingest path through the source layer
-(in-process iterable vs NMEA-file replay via the monitor façade), and
-the sink-dispatch path (a deliberately slow subscriber on the sync vs
-async dispatcher) — reports per-stage throughput plus per-increment
-latency, verifies all paths agree on the event set, and records
-everything in ``BENCH_pipeline.json`` for the CI artifact upload
-(``check_bench_trend.py --pipeline`` guards the dispatch and
-worker-scaling invariants).
+(in-process iterable vs NMEA-file replay via the monitor façade), the
+sink-dispatch path (a deliberately slow subscriber on the sync vs
+async dispatcher), and the decode-only axis (scalar loop vs the
+vectorised micro-batch decoder over identical assembled payloads, with
+the columnar-vs-object fix materialisation comparison) — reports
+per-stage throughput plus per-increment latency, verifies all paths
+agree on the event set, and records everything in
+``BENCH_pipeline.json`` for the CI artifact upload
+(``check_bench_trend.py --pipeline`` guards the dispatch,
+worker-scaling and decode-speedup invariants).
 """
 
 import json
 import os
 import sys
 import time
+from collections import Counter
 
 from benchutil import machine_calibration_s
 
+from repro.ais import AisDecoder, ClassBPositionReport, PositionReport
+from repro.ais import batch as ais_batch
+from repro.ais.batch import FixBatch
 from repro.core import MaritimePipeline, PipelineConfig
 from repro.events.cep import event_key
 from repro.monitor import MaritimeMonitor
 from repro.sources import IterableSource, NmeaFileSource, write_nmea_file
+from repro.trajectory.points import TrackPoint
 
 BENCH_JSON = os.environ.get("REPRO_BENCH_PIPELINE_JSON", "BENCH_pipeline.json")
 LIVE_TICK_S = 300.0
@@ -50,6 +58,17 @@ def test_fig2_full_pipeline(regional_run, benchmark, report):
     result = benchmark.pedantic(
         pipeline.process, args=(regional_run,), iterations=1, rounds=3
     )
+    # The JSON records per-stage walls from one run; re-run a couple of
+    # rounds and keep the quietest one (min-of-N, the same convention
+    # as the benchmark table's Min column) so a scheduler hiccup in a
+    # single round does not land in the committed trend baseline.
+    for _ in range(2):
+        candidate = pipeline.process(regional_run)
+        if (
+            sum(s.seconds for s in candidate.stages)
+            < sum(s.seconds for s in result.stages)
+        ):
+            result = candidate
 
     report(
         "",
@@ -284,6 +303,109 @@ def test_fig2_worker_scaling(regional_run, report):
         "expected_min_speedup": EXPECTED_MIN_SPEEDUP,
         "overhead_floor": OVERHEAD_FLOOR,
         "runs": runs,
+    }
+    _write_json()
+
+
+#: Required vectorised-vs-scalar decode speedup, recorded in the JSON
+#: for ``check_bench_trend.py --pipeline``.  Measured ~6.5x on 1-core
+#: CI-class hardware; the floor leaves room for runner noise while
+#: still failing loudly if the hot types fall off the vector path.
+DECODE_MIN_SPEEDUP = 3.5
+
+#: Decode timing repetitions (best-of, to shed warmup and GC noise).
+DECODE_ROUNDS = 3
+
+
+def test_fig2_decode_axis(regional_run, report):
+    """The decode-only axis: scalar loop vs vectorised micro-batch over
+    the *same* assembled payloads (multipart assembly runs once, up
+    front, exactly as in ``DecodeStage``), plus the columnar
+    :class:`FixBatch` vs per-message object materialisation of track
+    points.  Decoded messages and stats must match pair-for-pair —
+    the speedup is only meaningful if the outputs are identical."""
+    decoder = AisDecoder()
+    staged = []
+    for obs in regional_run.observations:
+        ready = decoder.assemble(obs.sentence)
+        if ready is not None:
+            staged.append(
+                (obs.t_transmitted, ready[0], ready[1], obs.t_received)
+            )
+
+    def time_decode(force_scalar):
+        best, decoded, stats = float("inf"), None, None
+        for _ in range(DECODE_ROUNDS):
+            stats = Counter()
+            t0 = time.perf_counter()
+            decoded = ais_batch.decode_staged(
+                staged, stats, force_scalar=force_scalar
+            )
+            best = min(best, time.perf_counter() - t0)
+        return best, decoded, stats
+
+    scalar_s, scalar_decoded, scalar_stats = time_decode(True)
+    batch_s, batch_decoded, batch_stats = time_decode(False)
+    assert batch_decoded == scalar_decoded
+    assert batch_stats == scalar_stats
+
+    # Columnar vs object materialisation of the accepted fixes: the
+    # object path builds every message then one TrackPoint per position
+    # report (what the per-vessel phase does); the columnar path reads
+    # the FixBatch columns the decode pass filled.
+    t0 = time.perf_counter()
+    object_points = [
+        TrackPoint(t, m.lat, m.lon, m.sog_knots, m.cog_deg)
+        for t, m in scalar_decoded
+        if isinstance(m, (PositionReport, ClassBPositionReport))
+    ]
+    object_s = time.perf_counter() - t0
+    fixes = FixBatch()
+    ais_batch.decode_staged(staged, Counter(), fixes=fixes)
+    t0 = time.perf_counter()
+    columnar_points = fixes.trackpoints()
+    columnar_s = time.perf_counter() - t0
+    assert len(columnar_points) == len(object_points)
+
+    speedup = scalar_s / batch_s if batch_s > 0 else 0.0
+    if ais_batch.available():
+        # The hard floor lives in check_bench_trend.py; here just catch
+        # a vector path that stopped being one.
+        assert speedup > 1.0
+
+    report(
+        "",
+        f"FIG2 — decode axis ({len(staged)} assembled payloads, "
+        f"best of {DECODE_ROUNDS})",
+        f"  scalar: {scalar_s:.4f} s "
+        f"({len(staged) / scalar_s:>9,.0f} sentences/s)",
+        f"  batch:  {batch_s:.4f} s "
+        f"({len(staged) / batch_s:>9,.0f} sentences/s)  "
+        f"{speedup:.2f}x"
+        + ("" if ais_batch.available() else "  [numpy unavailable]"),
+        f"  fix materialisation: objects {object_s * 1000:.1f} ms vs "
+        f"columnar {columnar_s * 1000:.1f} ms "
+        f"({len(columnar_points)} track points)",
+    )
+    _RESULTS["decode"] = {
+        "n_staged": len(staged),
+        "vectorised": ais_batch.available(),
+        "min_speedup": DECODE_MIN_SPEEDUP,
+        "rounds": DECODE_ROUNDS,
+        "scalar": {
+            "seconds": round(scalar_s, 4),
+            "sentences_per_s": round(len(staged) / scalar_s, 1),
+        },
+        "batch": {
+            "seconds": round(batch_s, 4),
+            "sentences_per_s": round(len(staged) / batch_s, 1),
+        },
+        "speedup": round(speedup, 3),
+        "materialise": {
+            "n_points": len(columnar_points),
+            "object_s": round(object_s, 4),
+            "columnar_s": round(columnar_s, 4),
+        },
     }
     _write_json()
 

@@ -19,7 +19,7 @@ Result-set invariants (pair counts, chosen auto backend) are compared
 exactly: the fleets are seeded, so any drift there is a correctness
 regression, not noise.
 
-With ``--pipeline``, the sink-dispatch and workers sections of
+With ``--pipeline``, the sink-dispatch, workers and decode sections of
 ``BENCH_pipeline.json`` are guarded too — self-relative (no committed
 baseline needed): the async dispatcher must keep ingest within
 ``--dispatch-tolerance`` of the no-subscriber wall clock while the sync
@@ -27,7 +27,9 @@ path shows the slow-sink degradation, and the delivered/dropped
 accounting must reconcile exactly; the sharded runtime must keep exact
 product parity at every worker count and meet a hardware-aware speedup
 bar (>= 1.8x at 4 workers where threads can overlap, an overhead floor
-under the GIL or on small runners).
+under the GIL or on small runners); the vectorised batch decoder must
+hold its recorded speedup floor over the scalar loop whenever numpy is
+available.
 """
 
 import argparse
@@ -191,6 +193,42 @@ def check_pipeline_workers(pipeline: dict) -> list[str]:
     return failures
 
 
+def check_pipeline_decode(pipeline: dict) -> list[str]:
+    """Self-relative guard on the decode axis.
+
+    Scalar and batch decode are timed in the same run on the same
+    machine over the same assembled payloads, so their ratio needs no
+    calibration: when the vectorised path is available it must hold the
+    speedup floor the benchmark recorded, or the hot message types have
+    fallen off the vector path (a perf regression the parity tests
+    cannot see).  Without numpy the floor does not apply — the fallback
+    is the scalar loop itself.
+    """
+    decode = pipeline.get("decode")
+    if decode is None:
+        return ["decode section missing from pipeline JSON"]
+    if not decode.get("vectorised"):
+        print(
+            "  decode: vectorised path unavailable (no numpy); "
+            "speedup floor not applied"
+        )
+        return []
+    speedup = decode.get("speedup") or 0.0
+    required = decode.get("min_speedup") or 3.5
+    marker = "FAIL" if speedup < required else "ok"
+    print(
+        f"  decode: batch {speedup:.2f}x vs scalar over "
+        f"{decode.get('n_staged')} payloads (require >= {required}x)  "
+        f"{marker}"
+    )
+    if speedup < required:
+        return [
+            f"decode/batch: speedup {speedup:.2f}x below the required "
+            f"{required}x over the scalar loop"
+        ]
+    return []
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--current", default="BENCH_spatial.json")
@@ -239,6 +277,7 @@ def main(argv: list[str] | None = None) -> int:
                 pipeline, args.dispatch_tolerance
             )
             failures += check_pipeline_workers(pipeline)
+            failures += check_pipeline_decode(pipeline)
     if failures:
         print("\nREGRESSIONS:")
         for failure in failures:

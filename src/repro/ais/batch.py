@@ -1,0 +1,516 @@
+"""Vectorised micro-batch decoding of assembled AIS payloads.
+
+The scalar path (:mod:`repro.ais.decoder` over :class:`BitBuffer`) walks
+every payload character-by-character and every field bit-by-bit — fine
+for one sentence, ruinous for a feed.  This module decodes a whole
+micro-batch of *assembled* payloads in a handful of numpy passes:
+
+1. **De-armour** — the payload strings become one ``(rows, chars)``
+   ``uint8`` matrix; a 256-entry lookup table (lifted from
+   :data:`repro.ais.sixbit.ARMOR_TO_CODE`) maps every byte to its 6-bit
+   value in one gather, flagging invalid characters with ``-1``.
+2. **Unpack** — ``np.unpackbits`` on the left-shifted codes yields a
+   packed bit matrix; bits past each row's ``6*len - fill_bits`` extent
+   are masked to zero, reproducing the scalar path's fill-bit stripping
+   and zero-extension exactly.
+3. **Slice** — each fixed-layout field of the hot message types
+   (position reports 1/2/3, class B 18, static 5/24) is a precomputed
+   ``[start, start+width)`` column slice dotted with a power-of-two
+   weight vector; text fields reduce to ``(rows, chars, 6)`` code
+   matrices handed to the same :func:`~repro.ais.sixbit.sixbit_to_ascii`
+   the scalar path uses.
+
+Accepted position rows land in a :class:`FixBatch` — a columnar
+(struct-of-arrays) micro-batch whose python-scalar columns feed both the
+lazy per-fix message materialisation and the object-free
+:meth:`FixBatch.trackpoints` path.
+
+**Parity contract.**  The batch decoder only ever *accepts* rows; every
+row it cannot prove clean — unknown or extended message type, truncation
+below the type minimum, any invalid armour character, out-of-range fill
+bits — is routed through the unchanged scalar
+:func:`~repro.ais.decoder.finish_payload`, so rejection reasons, stats
+counter keys and output order are byte-identical to a scalar-only run.
+Field values come out of the same integer raws and the same scaling
+expressions (python ints divided by the same float constants), so
+decoded messages compare equal field-for-field.
+
+**Fallback semantics.**  Without numpy — the import is guarded, and
+``REPRO_NO_NUMPY=1`` forces the guard shut for testing — every call
+degrades to the scalar loop with identical behaviour.  Batches smaller
+than :data:`MIN_BATCH` take the scalar loop too: below that, array
+setup costs more than it saves.
+"""
+
+import os
+from collections import Counter
+from itertools import repeat as _repeat
+
+from repro.ais.decoder import (
+    _LATLON_SCALE,
+    _decode_rot,
+    finish_payload,
+)
+from repro.ais.sixbit import ARMOR_TO_CODE, sixbit_to_ascii
+from repro.ais.types import (
+    ClassBPositionReport,
+    NavigationStatus,
+    PositionReport,
+    StaticDataReport,
+    StaticVoyageData,
+)
+from repro.trajectory.points import TrackPoint
+
+
+def _load_numpy():
+    """numpy, or ``None`` when unavailable or disabled for testing."""
+    if os.environ.get("REPRO_NO_NUMPY") == "1":
+        return None
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - environment-dependent
+        return None
+    return numpy
+
+
+np = _load_numpy()
+
+#: Below this many staged payloads the scalar loop wins: building the
+#: char matrix and bit planes has fixed cost.  Execution choice only —
+#: results never depend on it.
+MIN_BATCH = 24
+
+#: 256-entry armour LUT as an array (int16 keeps the -1 invalid marker).
+_ARMOR_LUT = np.array(ARMOR_TO_CODE, dtype=np.int16) if np is not None else None
+#: 4-bit nav-status values are all defined, so decode is a list probe.
+_NAV = [NavigationStatus(value) for value in range(16)]
+
+# Raw position-report fields have tiny domains, so sentinel handling and
+# scaling become table probes.  Each table is built by the *scalar*
+# decoder's expression (or the helper itself, for rot), so every looked-
+# up value is bit-identical to what the scalar path computes.
+_SOG_TABLE = [None if raw == 1023 else raw / 10.0 for raw in range(1024)]
+_COG_TABLE = [None if raw >= 3600 else raw / 10.0 for raw in range(4096)]
+_HDG_TABLE = [None if raw == 511 else float(raw) for raw in range(512)]
+_SEC_TABLE = [None if sec >= 60 else sec for sec in range(64)]
+#: Indexed by the *unsigned* 8-bit raw (no sign pass needed).
+_ROT_TABLE = [
+    _decode_rot(raw - 256 if raw >= 128 else raw) for raw in range(256)
+]
+
+# -- bit-slice layout tables -------------------------------------------------
+# (start, width) offsets transcribed from the scalar read sequence in
+# repro.ais.decoder; the common header (type 0/6, repeat 6/2, mmsi 8/30)
+# is shared.  ``extent`` is the last bit any field of the type touches —
+# the bit matrix is padded to at least that many columns so truncated
+# rows zero-extend exactly like BitBuffer.read_uint past the end.
+_EXTENT = {"pos_a": 149, "pos_b": 148, "static5": 422, "static24": 162}
+
+
+class FixBatch:
+    """Columnar micro-batch of decoded position fixes (struct of arrays).
+
+    One instance carries the accepted position-report rows (types 1/2/3
+    and 18) of a decode micro-batch as parallel python-scalar columns:
+    ``t`` (transmission epoch), ``mmsi``, ``lat``/``lon`` (degrees,
+    availability sentinels 91/181 ride along exactly as in the object
+    form), ``sog`` (knots or ``None``), ``cog`` (degrees or ``None``).
+    The vectorised decode writes columns once; consumers either
+    materialise per-fix objects lazily from the columns or skip objects
+    entirely via :meth:`trackpoints`.
+    """
+
+    __slots__ = ("t", "mmsi", "lat", "lon", "sog", "cog")
+
+    def __init__(self) -> None:
+        self.t: list[float] = []
+        self.mmsi: list[int] = []
+        self.lat: list[float] = []
+        self.lon: list[float] = []
+        self.sog: list[float | None] = []
+        self.cog: list[float | None] = []
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    def append(self, t, mmsi, lat, lon, sog, cog) -> None:
+        self.t.append(t)
+        self.mmsi.append(mmsi)
+        self.lat.append(lat)
+        self.lon.append(lon)
+        self.sog.append(sog)
+        self.cog.append(cog)
+
+    def trackpoints(self) -> list[TrackPoint]:
+        """Materialise one :class:`TrackPoint` per fix, straight from the
+        columns — no intermediate message objects."""
+        return [
+            TrackPoint(t, lat, lon, sog, cog)
+            for t, lat, lon, sog, cog in zip(
+                self.t, self.lat, self.lon, self.sog, self.cog
+            )
+        ]
+
+
+def available() -> bool:
+    """True when the vectorised path can run (numpy importable and not
+    disabled via ``REPRO_NO_NUMPY=1``)."""
+    return np is not None
+
+
+def decode_staged(
+    staged: list[tuple[float, str, int, float]],
+    stats: Counter,
+    *,
+    force_scalar: bool = False,
+    fixes: FixBatch | None = None,
+) -> list[tuple[float, object]]:
+    """Decode assembled payloads, vectorising the hot message types.
+
+    ``staged`` rows are ``(t_transmitted, payload, fill_bits,
+    received_at)`` as produced by :meth:`AisDecoder.assemble`.  Returns
+    ``(t_transmitted, message)`` pairs in input order with undecodable
+    rows dropped; acceptance and rejection are counted into ``stats``
+    with exactly the keys the scalar path produces.  When ``fixes`` is
+    given, every accepted position row (types 1/2/3, 18) is also
+    appended to it — grouped by message type, release order within a
+    group (the reorder stage re-sorts on event time regardless).
+    """
+    if force_scalar or np is None or len(staged) < MIN_BATCH:
+        return _decode_scalar(staged, stats, fixes)
+
+    out: list[tuple[float, object] | None] = [None] * len(staged)
+    groups: dict[str, list[int]] = {
+        "pos_a": [], "pos_b": [], "static5": [], "static24": [],
+    }
+    scalar_rows: list[int] = []
+    scalar = scalar_rows.append
+    pos_a = groups["pos_a"].append
+    pos_b = groups["pos_b"].append
+    static5 = groups["static5"].append
+    static24 = groups["static24"].append
+    lut = ARMOR_TO_CODE
+    for i, (t, payload, fill, received_at) in enumerate(staged):
+        n = len(payload)
+        if n == 0 or not 0 <= fill <= 5:
+            scalar(i)
+            continue
+        first = ord(payload[0])
+        msg_type = lut[first] if first < 256 else -1
+        nbits = 6 * n - fill
+        if nbits < 38:
+            scalar(i)
+        elif msg_type in (1, 2, 3):
+            (pos_a if nbits >= 168 else scalar)(i)
+        elif msg_type == 18:
+            pos_b(i)
+        elif msg_type == 5:
+            (static5 if nbits >= 420 else scalar)(i)
+        elif msg_type == 24:
+            static24(i)
+        else:
+            scalar(i)
+
+    for key, idxs in groups.items():
+        if not idxs:
+            continue
+        bitmat, rows, bad = _bit_matrix(staged, idxs, _EXTENT[key])
+        scalar_rows.extend(bad)
+        if not rows:
+            continue
+        if key == "pos_a":
+            _materialise_pos_a(staged, rows, bitmat, out, fixes)
+        elif key == "pos_b":
+            _materialise_pos_b(staged, rows, bitmat, out, fixes)
+        elif key == "static5":
+            _materialise_static5(staged, rows, bitmat, out)
+        else:
+            _materialise_static24(staged, rows, bitmat, out)
+        stats["decoded"] += len(rows)
+
+    # Rows the vector pass could not prove clean take the scalar path —
+    # same errors, same counter keys, same (t, message) slot.
+    for i in scalar_rows:
+        t, payload, fill, received_at = staged[i]
+        message = finish_payload(payload, fill, received_at, stats)
+        if message is not None:
+            out[i] = (t, message)
+            _append_fix(fixes, t, message)
+    return [pair for pair in out if pair is not None]
+
+
+def _decode_scalar(staged, stats, fixes=None):
+    """The unchanged scalar loop (numpy-less fallback / tiny batches)."""
+    decoded: list[tuple[float, object]] = []
+    for t, payload, fill, received_at in staged:
+        message = finish_payload(payload, fill, received_at, stats)
+        if message is not None:
+            decoded.append((t, message))
+            _append_fix(fixes, t, message)
+    return decoded
+
+
+def _append_fix(fixes, t, message) -> None:
+    if fixes is not None and isinstance(
+        message, (PositionReport, ClassBPositionReport)
+    ):
+        fixes.append(
+            t, message.mmsi, message.lat, message.lon,
+            message.sog_knots, message.cog_deg,
+        )
+
+
+# -- vector plumbing ---------------------------------------------------------
+
+
+def _bit_matrix(staged, idxs, extent):
+    """Char matrix -> validated code matrix -> masked bit matrix.
+
+    Returns ``(bitmat, rows, bad)`` where ``rows`` are the staged
+    indices whose payloads de-armoured cleanly (bit matrix row order)
+    and ``bad`` are the indices to re-route through the scalar path.
+    """
+    k = len(idxs)
+    payloads = [staged[i][1] for i in idxs]
+    lengths = list(map(len, payloads))
+    width = max((extent + 5) // 6, max(lengths))
+    unencodable: set[int] = set()
+    chars = None
+    if min(lengths) == width:
+        # Fixed-layout types assemble to one payload length, so whole
+        # groups are usually uniform: encode them in a single pass
+        # instead of row by row.
+        try:
+            raw = "".join(payloads).encode("latin-1")
+        except UnicodeEncodeError:
+            pass  # some row has codepoints > 255; find it below
+        else:
+            chars = np.frombuffer(raw, dtype=np.uint8).reshape(k, width)
+    if chars is None:
+        buf = bytearray(b"0" * (width * k))  # '0' armours 6-bit value 0
+        for r, payload in enumerate(payloads):
+            try:
+                raw = payload.encode("latin-1")
+            except UnicodeEncodeError:
+                unencodable.add(r)  # codepoints > 255: invalid armour
+                continue
+            buf[r * width : r * width + len(raw)] = raw
+        chars = np.frombuffer(bytes(buf), dtype=np.uint8).reshape(k, width)
+    codes = _ARMOR_LUT[chars]
+    bad_mask = (codes < 0).any(axis=1)
+    for r in unencodable:
+        bad_mask[r] = True
+    good = ~bad_mask
+    rows = [idxs[r] for r in range(k) if good[r]]
+    bad = [idxs[r] for r in range(k) if not good[r]]
+    if not rows:
+        return None, rows, bad
+    # Left-shift each 6-bit code into a byte's high bits; unpackbits then
+    # yields 8 columns per char of which the first 6 are the code.
+    planes = np.unpackbits(
+        (codes[good].astype(np.uint8)) << 2, axis=1
+    ).reshape(len(rows), width, 8)
+    bitmat = planes[:, :, :6].reshape(len(rows), width * 6)
+    # Zero bits past each row's payload extent: this is both the fill-bit
+    # strip and the read-past-end zero-extension of the scalar path.
+    nbits = np.array(
+        [6 * len(staged[i][1]) - staged[i][2] for i in rows],
+        dtype=np.int64,
+    )
+    bitmat = bitmat & (
+        np.arange(width * 6, dtype=np.int64)[None, :] < nbits[:, None]
+    ).astype(np.uint8)
+    return bitmat, rows, bad
+
+
+def _uint(bitmat, start, width):
+    """Unsigned big-endian field: one masked slice, one matmul."""
+    weights = (1 << np.arange(width - 1, -1, -1, dtype=np.int64))
+    return bitmat[:, start : start + width].astype(np.int64) @ weights
+
+
+def _sint(bitmat, start, width):
+    """Two's-complement field."""
+    vals = _uint(bitmat, start, width)
+    half = 1 << (width - 1)
+    return np.where(vals >= half, vals - (1 << width), vals)
+
+
+def _text(bitmat, start, nchars):
+    """6-bit text field -> per-row code lists for sixbit_to_ascii."""
+    weights = (1 << np.arange(5, -1, -1, dtype=np.int64))
+    codes = (
+        bitmat[:, start : start + 6 * nchars]
+        .astype(np.int64)
+        .reshape(len(bitmat), nchars, 6)
+        @ weights
+    )
+    return codes.tolist()
+
+
+# -- per-type materialisation ------------------------------------------------
+# Raw integer columns come out of the bit matrix in one vectorised pass;
+# scaling and sentinel handling then run per row through the *same*
+# helpers and expressions as the scalar decoder, so every produced field
+# is computed by the identical final operation on the identical integer.
+
+
+def _header(bitmat):
+    return (
+        _uint(bitmat, 0, 6).tolist(),
+        _uint(bitmat, 6, 2).tolist(),
+        _uint(bitmat, 8, 30).tolist(),
+    )
+
+
+def _position_columns(staged, rows, bitmat, offsets):
+    """The shared position-report columns as python-scalar lists.
+
+    Scaling and sentinel handling use the *same expressions* as the
+    scalar helpers (`_decode_sog` and friends) on the same python ints,
+    so every value is bit-identical; the per-column list comprehensions
+    just run them without a per-row interpreter frame.  Longitude and
+    latitude divide as int64 arrays — conversion to float64 is exact
+    below 2**53 and IEEE division is correctly rounded either way, so
+    the quotients match the scalar ``int / float`` bit for bit.
+    """
+    o_sog, o_acc, o_lon, o_lat, o_cog, o_hdg, o_sec, o_raim = offsets
+    sog = _uint(bitmat, o_sog, 10).tolist()
+    acc = _uint(bitmat, o_acc, 1).tolist()
+    lon = (_sint(bitmat, o_lon, 28) / _LATLON_SCALE).tolist()
+    lat = (_sint(bitmat, o_lat, 27) / _LATLON_SCALE).tolist()
+    cog = _uint(bitmat, o_cog, 12).tolist()
+    heading = _uint(bitmat, o_hdg, 9).tolist()
+    second = _uint(bitmat, o_sec, 6).tolist()
+    raim = _uint(bitmat, o_raim, 1).tolist()
+    return (
+        lat,
+        lon,
+        [_SOG_TABLE[raw] for raw in sog],
+        [_COG_TABLE[raw] for raw in cog],
+        [_HDG_TABLE[raw] for raw in heading],
+        [_SEC_TABLE[sec] for sec in second],
+        [bool(v) for v in acc],
+        [bool(v) for v in raim],
+    )
+
+
+def _emit(out, fixes, rows, t_col, messages):
+    """Place ``(t, message)`` pairs into their output slots."""
+    pairs = zip(t_col, messages)
+    if fixes is None:
+        for i, pair in zip(rows, pairs):
+            out[i] = pair
+    else:
+        for i, pair in zip(rows, pairs):
+            out[i] = pair
+            _append_fix(fixes, pair[0], pair[1])
+
+
+def _materialise_pos_a(staged, rows, bitmat, out, fixes):
+    msg_type, rpt, mmsi = _header(bitmat)
+    lat, lon, sog, cog, heading, ts, acc, raim = _position_columns(
+        staged, rows, bitmat, (50, 60, 61, 89, 116, 128, 137, 148)
+    )
+    nav = [_NAV[v] for v in _uint(bitmat, 38, 4).tolist()]
+    rot = [_ROT_TABLE[v] for v in _uint(bitmat, 42, 8).tolist()]
+    t_col = [staged[i][0] for i in rows]
+    received = [staged[i][3] for i in rows]
+    # map() drives the constructors at C speed, positionally — the
+    # argument order is the dataclass field order.
+    messages = map(
+        PositionReport, mmsi, lat, lon, sog, cog, heading, nav, rot,
+        ts, acc, raim, msg_type, rpt, received,
+    )
+    _emit(out, fixes, rows, t_col, messages)
+
+
+def _materialise_pos_b(staged, rows, bitmat, out, fixes):
+    _, rpt, mmsi = _header(bitmat)
+    lat, lon, sog, cog, heading, ts, acc, raim = _position_columns(
+        staged, rows, bitmat, (46, 56, 57, 85, 112, 124, 133, 147)
+    )
+    t_col = [staged[i][0] for i in rows]
+    received = [staged[i][3] for i in rows]
+    messages = map(
+        ClassBPositionReport, mmsi, lat, lon, sog, cog, heading,
+        ts, acc, raim, _repeat(18), rpt, received,
+    )
+    _emit(out, fixes, rows, t_col, messages)
+
+
+def _materialise_static5(staged, rows, bitmat, out):
+    _, repeat, mmsi = _header(bitmat)
+    imo = _uint(bitmat, 40, 30).tolist()
+    callsign = _text(bitmat, 70, 7)
+    shipname = _text(bitmat, 112, 20)
+    ship_type = _uint(bitmat, 232, 8).tolist()
+    to_bow = _uint(bitmat, 240, 9).tolist()
+    to_stern = _uint(bitmat, 249, 9).tolist()
+    to_port = _uint(bitmat, 258, 6).tolist()
+    to_starboard = _uint(bitmat, 264, 6).tolist()
+    eta_month = _uint(bitmat, 274, 4).tolist()
+    eta_day = _uint(bitmat, 278, 5).tolist()
+    eta_hour = _uint(bitmat, 283, 5).tolist()
+    eta_minute = _uint(bitmat, 288, 6).tolist()
+    draught = _uint(bitmat, 294, 8).tolist()
+    destination = _text(bitmat, 302, 20)
+    for r, i in enumerate(rows):
+        t, _, __, received_at = staged[i]
+        out[i] = (t, StaticVoyageData(
+            mmsi=mmsi[r],
+            imo=imo[r],
+            callsign=sixbit_to_ascii(callsign[r]),
+            shipname=sixbit_to_ascii(shipname[r]),
+            ship_type_code=ship_type[r],
+            to_bow_m=to_bow[r],
+            to_stern_m=to_stern[r],
+            to_port_m=to_port[r],
+            to_starboard_m=to_starboard[r],
+            eta_month=eta_month[r],
+            eta_day=eta_day[r],
+            eta_hour=eta_hour[r],
+            eta_minute=eta_minute[r],
+            draught_m=draught[r] / 10.0,
+            destination=sixbit_to_ascii(destination[r]),
+            repeat=repeat[r],
+            received_at=received_at,
+        ))
+
+
+def _materialise_static24(staged, rows, bitmat, out):
+    _, repeat, mmsi = _header(bitmat)
+    part = _uint(bitmat, 38, 2).tolist()
+    shipname = _text(bitmat, 40, 20)  # part A layout
+    ship_type = _uint(bitmat, 40, 8).tolist()  # part B layout
+    vendor = _text(bitmat, 48, 7)
+    callsign = _text(bitmat, 90, 7)
+    to_bow = _uint(bitmat, 132, 9).tolist()
+    to_stern = _uint(bitmat, 141, 9).tolist()
+    to_port = _uint(bitmat, 150, 6).tolist()
+    to_starboard = _uint(bitmat, 156, 6).tolist()
+    for r, i in enumerate(rows):
+        t, _, __, received_at = staged[i]
+        if part[r] == 0:
+            message = StaticDataReport(
+                mmsi=mmsi[r],
+                part=0,
+                shipname=sixbit_to_ascii(shipname[r]),
+                repeat=repeat[r],
+                received_at=received_at,
+            )
+        else:
+            message = StaticDataReport(
+                mmsi=mmsi[r],
+                part=part[r],
+                ship_type_code=ship_type[r],
+                vendor_id=sixbit_to_ascii(vendor[r]),
+                callsign=sixbit_to_ascii(callsign[r]),
+                to_bow_m=to_bow[r],
+                to_stern_m=to_stern[r],
+                to_port_m=to_port[r],
+                to_starboard_m=to_starboard[r],
+                repeat=repeat[r],
+                received_at=received_at,
+            )
+        out[i] = (t, message)

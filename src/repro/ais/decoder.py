@@ -10,7 +10,7 @@ import math
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.ais.checksum import verify_checksum
+from repro.ais.checksum import nmea_checksum
 from repro.ais.sixbit import BitBuffer
 from repro.ais.types import (
     AisMessage,
@@ -280,10 +280,18 @@ class AisDecoder:
         if not sentence.startswith(("!AIVDM", "!AIVDO")):
             self.stats["not_aivdm"] += 1
             return None
-        if self.check_checksum and not verify_checksum(sentence):
-            self.stats["bad_checksum"] += 1
-            return None
         star = sentence.rfind("*")
+        if self.check_checksum:
+            # Inlined verify_checksum: this runs once per sentence on
+            # the serial half of the hot path, and the '*' position and
+            # body slice are reused for field parsing below.  The
+            # leading-character test is covered by startswith above.
+            if star == -1 or len(sentence) < star + 3 or (
+                nmea_checksum(sentence[1:star])
+                != sentence[star + 1 : star + 3].upper()
+            ):
+                self.stats["bad_checksum"] += 1
+                return None
         fields = sentence[1:star].split(",")
         if len(fields) != 7:
             self.stats["bad_field_count"] += 1

@@ -11,29 +11,46 @@ SIXBIT_ALPHABET = (
 )
 _SIXBIT_INDEX = {c: i for i, c in enumerate(SIXBIT_ALPHABET)}
 
+#: Armour lookup tables.  ``ARMOR_TO_CODE[byte]`` is the 6-bit value of a
+#: payload character (-1 for the bytes outside the armour alphabet), so
+#: both the scalar decoder and the vectorised batch decoder
+#: (:mod:`repro.ais.batch`, which lifts this table into a numpy LUT)
+#: classify a character with a single probe instead of range arithmetic.
+ARMOR_TO_CODE: tuple[int, ...] = tuple(
+    code - 48 if 48 <= code <= 87
+    else code - 56 if 96 <= code <= 119
+    else -1
+    for code in range(256)
+)
+#: ``CODE_TO_ARMOR[value]`` armours a 6-bit value as its payload character.
+CODE_TO_ARMOR: str = "".join(
+    chr(value + 48 if value < 40 else value + 56) for value in range(64)
+)
+#: Text lookup: 6-bit code (mod 64) -> alphabet byte, for bytes.translate.
+_TEXT_TABLE = bytes(ord(SIXBIT_ALPHABET[i & 0x3F]) for i in range(256))
+
 
 def char_to_armor(value: int) -> str:
     """Armour one 6-bit value (0..63) as a payload character."""
     if not 0 <= value <= 63:
         raise ValueError(f"6-bit value out of range: {value}")
-    return chr(value + 48 if value < 40 else value + 56)
+    return CODE_TO_ARMOR[value]
 
 
 def armor_to_char(char: str) -> int:
     """Recover the 6-bit value from a payload character."""
     code = ord(char)
-    if 48 <= code <= 87:
-        return code - 48
-    if 96 <= code <= 119:
-        return code - 56
-    raise ValueError(f"invalid AIS payload character: {char!r}")
+    value = ARMOR_TO_CODE[code] if code < 256 else -1
+    if value < 0:
+        raise ValueError(f"invalid AIS payload character: {char!r}")
+    return value
 
 
 def sixbit_to_ascii(values: list[int]) -> str:
     """Decode a sequence of 6-bit codes into message text, trimming the
     trailing '@' padding and whitespace per the AIS convention."""
-    text = "".join(SIXBIT_ALPHABET[v & 0x3F] for v in values)
-    return text.split("@", 1)[0].rstrip()
+    text = bytes(v & 0x3F for v in values).translate(_TEXT_TABLE)
+    return text.decode("ascii").split("@", 1)[0].rstrip()
 
 
 def ascii_to_sixbit(text: str, width_chars: int) -> list[int]:

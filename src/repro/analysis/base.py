@@ -59,7 +59,7 @@ PURE_METHODS = frozenset({
     "timestamp", "buffered", "next_due", "n_pending_instants",
     "n_open_runs", "n_open_segments", "open_segment_length",
     # stateless helpers
-    "predict", "snapshot", "describe", "stats", "contains",
+    "predict", "predict_many", "snapshot", "describe", "stats", "contains",
     "slice_time", "index_at_or_before", "headline", "cell_counts",
     "size_report", "liveness", "queue_depths", "stats_by_source",
     "events_of", "isdisjoint", "report", "last",

@@ -80,6 +80,13 @@ class PipelineConfig:
     cube_time_bucket_s: float = 3600.0
     #: Minimum fixes for a segment to participate in analytics.
     min_segment_points: int = 5
+    #: Decode AIS payloads with the vectorised micro-batch decoder
+    #: (:mod:`repro.ais.batch`).  Products are bit-identical either way
+    #: — the batch path only accepts what it can prove clean and routes
+    #: everything else through the scalar decoder — so ``False`` exists
+    #: for parity testing and for profiling the scalar path, not for
+    #: correctness.  Ignored (scalar decode) when numpy is unavailable.
+    batch_decode: bool = True
 
     # -- incremental stage runtime (batch replay and live share these) ----
     #: Collision screening cadence: pairs are screened at every instant of
@@ -190,6 +197,10 @@ class PipelineConfig:
             problems.append(
                 "monitor_max_alarms must be None or >= 1 "
                 f"(got {self.monitor_max_alarms!r})"
+            )
+        if not isinstance(self.batch_decode, bool):
+            problems.append(
+                f"batch_decode must be a bool (got {self.batch_decode!r})"
             )
         if isinstance(self.workers, bool) or not isinstance(self.workers, int):
             problems.append(

@@ -111,10 +111,9 @@ class ForecastStage(Stage):
                 pairs = zip(outcome.completed, outcome.forecasts)
             else:
                 pairs = (
-                    (segment, [
-                        state.predictor.predict(segment, horizon)
-                        for horizon in state.config.forecast_horizons_s
-                    ])
+                    (segment, state.predictor.predict_many(
+                        segment, state.config.forecast_horizons_s
+                    ))
                     for segment in outcome.completed
                 )
             for segment, predictions in pairs:

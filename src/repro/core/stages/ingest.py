@@ -28,7 +28,7 @@ frontiers would change which late records survive.
 
 from collections import Counter
 
-from repro.ais.decoder import finish_payload
+from repro.ais.batch import decode_staged
 from repro.ais.types import ClassBPositionReport, PositionReport
 from repro.core.config import PipelineConfig
 from repro.core.stages.base import Stage
@@ -48,10 +48,18 @@ _MIN_PARALLEL_ITEMS = 16
 
 
 class DecodeStage(Stage):
-    """NMEA sentences through the AIS codec (multipart state included)."""
+    """NMEA sentences through the AIS codec (multipart state included).
+
+    Payload decoding runs through :func:`repro.ais.batch.decode_staged`:
+    one vectorised pass per micro-batch for the hot message types, with
+    the scalar decoder handling every rejection and rare type so stats
+    and products are identical whichever path ran.
+    ``config.batch_decode = False`` forces the scalar loop everywhere.
+    """
 
     name = "decode"
     phase = "vessel"
+    state_reads = ("config",)
     state_writes = ("decoder",)
 
     def feed(
@@ -61,6 +69,7 @@ class DecodeStage(Stage):
         pool: ShardPool | None = None,
     ) -> list[tuple[float, object]]:
         decoder = state.decoder
+        force_scalar = not state.config.batch_decode
         # Serial half: framing, checksums, multipart reassembly.
         staged: list[tuple[float, str, int, float]] = []
         for obs in observations:
@@ -69,13 +78,13 @@ class DecodeStage(Stage):
                 staged.append(
                     (obs.t_transmitted, ready[0], ready[1], obs.t_received)
                 )
-        # Parallel half: stateless payload decoding, order-preserved.
+        # Stateless half: payload decoding, order-preserved.
         if pool is None or len(staged) < _MIN_PARALLEL_ITEMS:
-            decoded = _decode_chunk(staged, decoder.stats)[0]
+            decoded = _decode_chunk(staged, decoder.stats, force_scalar)[0]
         else:
             decoded = []
             for chunk_decoded, counts in pool.run([
-                (lambda c=chunk: _decode_chunk(c, Counter()))
+                (lambda c=chunk: _decode_chunk(c, Counter(), force_scalar))
                 for chunk in pool.split(staged)
             ]):
                 decoded.extend(chunk_decoded)
@@ -89,13 +98,11 @@ class DecodeStage(Stage):
 
 
 def _decode_chunk(
-    staged: list[tuple[float, str, int, float]], stats: Counter
+    staged: list[tuple[float, str, int, float]],
+    stats: Counter,
+    force_scalar: bool = False,
 ) -> tuple[list[tuple[float, object]], Counter]:
-    decoded: list[tuple[float, object]] = []
-    for t_transmitted, payload, fill, received_at in staged:
-        message = finish_payload(payload, fill, received_at, stats)
-        if message is not None:
-            decoded.append((t_transmitted, message))
+    decoded = decode_staged(staged, stats, force_scalar=force_scalar)
     return decoded, stats
 
 
@@ -248,7 +255,10 @@ def _vessel_phase(
                 record.t, message.lat, message.lon,
                 message.sog_knots, message.cog_deg,
             )
-            accepted = reconstructor.add(message, record.t)
+            # The raw fix and the reconstructor's candidate point are the
+            # same values; hand the one TrackPoint to both (it is frozen,
+            # so sharing is safe) instead of building it twice.
+            accepted = reconstructor.add_point(message.mmsi, outcome.raw_fix)
             if accepted is not None:
                 outcome.accepted = accepted
                 outcome.new_segment = (
@@ -284,10 +294,7 @@ def _segment_products(
         for segment in segments
     ]
     forecasts = [
-        [
-            predictor.predict(segment, horizon)
-            for horizon in config.forecast_horizons_s
-        ]
+        predictor.predict_many(segment, config.forecast_horizons_s)
         for segment in segments
     ]
     return synopses, forecasts

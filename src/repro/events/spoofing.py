@@ -15,7 +15,7 @@ reconstructor's cleaning hides the evidence:
 from collections import deque
 
 from repro.events.base import Event, EventKind
-from repro.geo import KNOTS_TO_MPS, haversine_m
+from repro.geo import KNOTS_TO_MPS, distance_bound_m, haversine_m
 from repro.trajectory.points import TrackPoint
 
 
@@ -150,6 +150,14 @@ class TeleportDetector:
             return None
         if self.max_pair_dt_s is not None and dt > self.max_pair_dt_s:
             return None
+        # Consecutive fixes are almost always metres apart, so a cheap
+        # upper bound on the jump usually proves "no event" without the
+        # haversine; when it cannot, the exact test below decides —
+        # decisions are bit-identical either way.
+        if distance_bound_m(
+            previous.lat, previous.lon, fix.lat, fix.lon
+        ) < self.min_jump_m:
+            return None
         jump = haversine_m(previous.lat, previous.lon, fix.lat, fix.lon)
         if jump < self.min_jump_m:
             return None
@@ -217,6 +225,15 @@ class IdentityClashDetector:
         suppressed_until = self._suppressed_until.get(mmsi, float("-inf"))
         for anchor in buffer:
             if anchor.t < suppressed_until:
+                continue
+            # Near-simultaneous fixes of one genuine transmitter sit
+            # within metres; the cheap bound proves "no clash" for those
+            # without a haversine per anchor.  A bound at or above the
+            # threshold falls through to the exact separation, so the
+            # emitted events (and suppression state) never change.
+            if distance_bound_m(
+                anchor.lat, anchor.lon, fix.lat, fix.lon
+            ) < self.min_separation_m:
                 continue
             separation = haversine_m(anchor.lat, anchor.lon, fix.lat, fix.lon)
             if separation >= self.min_separation_m:

@@ -40,8 +40,37 @@ class KalmanPredictor:
     ) -> PredictionWithUncertainty:
         """Fit on the fixes inside the tail window, predict ``horizon_s``
         past the last fix."""
-        if horizon_s < 0:
-            raise ValueError("horizon_s must be non-negative")
+        return self.predict_many(trajectory, (horizon_s,))[0]
+
+    def predict_many(
+        self, trajectory: Trajectory, horizons_s
+    ) -> list[PredictionWithUncertainty]:
+        """One prediction per horizon from a single filter fit.
+
+        ``CvKalmanFilter.predict`` projects the fitted state without
+        mutating it, so fitting once and predicting per horizon returns
+        exactly what per-horizon :meth:`predict` calls would — minus the
+        repeated fit, which dominates the cost (one covariance update
+        and inversion per tail fix).  The forecast stage evaluates every
+        configured horizon per segment through this path.
+        """
+        plane, kf = self._fit(trajectory)
+        predictions = []
+        for horizon_s in horizons_s:
+            if horizon_s < 0:
+                raise ValueError("horizon_s must be non-negative")
+            state = kf.predict(trajectory.t_end + horizon_s)
+            lat, lon = plane.to_latlon(*state.position_m)
+            predictions.append(PredictionWithUncertainty(
+                lat=lat,
+                lon=lon,
+                sigma_m=state.position_sigma_m(),
+                horizon_s=horizon_s,
+            ))
+        return predictions
+
+    def _fit(self, trajectory: Trajectory):
+        """Fit a filter to the track's tail window."""
         tail_start = trajectory.t_end - self.fit_window_s
         tail = [p for p in trajectory if p.t >= tail_start]
         if not tail:
@@ -53,14 +82,7 @@ class KalmanPredictor:
         )
         for point in tail:
             kf.update(point)
-        state = kf.predict(trajectory.t_end + horizon_s)
-        lat, lon = plane.to_latlon(*state.position_m)
-        return PredictionWithUncertainty(
-            lat=lat,
-            lon=lon,
-            sigma_m=state.position_sigma_m(),
-            horizon_s=horizon_s,
-        )
+        return plane, kf
 
     def predict_point(
         self, trajectory: Trajectory, horizon_s: float

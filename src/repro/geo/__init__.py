@@ -17,6 +17,7 @@ from repro.geo.constants import (
     M_TO_NM,
 )
 from repro.geo.distance import (
+    distance_bound_m,
     haversine_m,
     haversine_nm,
     initial_bearing_deg,
@@ -50,6 +51,7 @@ __all__ = [
     "MPS_TO_KNOTS",
     "NM_TO_M",
     "M_TO_NM",
+    "distance_bound_m",
     "haversine_m",
     "haversine_nm",
     "initial_bearing_deg",

@@ -89,6 +89,38 @@ def haversine_nm(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
     return haversine_m(lat1, lon1, lat2, lon2) * M_TO_NM
 
 
+#: Relative inflation applied to :func:`distance_bound_m` so the bound
+#: stays >= the *computed* :func:`haversine_m` even when the two are
+#: mathematically equal (a pure-meridian pair) and float rounding could
+#: otherwise order them either way.  1e-9 relative dwarfs the few-ulp
+#: rounding of either expression while staying far below any threshold
+#: a caller would compare against.
+_BOUND_MARGIN = 1.0 + 1e-9
+
+
+def distance_bound_m(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Cheap upper bound on :func:`haversine_m` (one cosine, no roots).
+
+    Follows the meridian from ``lat1`` to ``lat2``, then the parallel at
+    ``lat2`` across the wrapped longitude delta; any path is at least as
+    long as the great circle, so the sum bounds the distance from above.
+    Hot-loop gates use it to *skip* the haversine when the bound already
+    proves the decision (``bound < threshold`` implies
+    ``haversine_m(...) < threshold``); when the bound cannot prove it,
+    callers fall through to the exact distance, so decisions are
+    bit-identical to always computing it.  Requires in-range latitudes
+    (``|lat| <= 90``) — position-availability sentinels (lat 91) must be
+    filtered first, as every caller already does.
+    """
+    dphi = abs(math.radians(lat2 - lat1))
+    dlam = abs(math.radians(normalize_lon(lon2 - lon1)))
+    return (
+        EARTH_RADIUS_M
+        * (dphi + math.cos(math.radians(lat2)) * dlam)
+        * _BOUND_MARGIN
+    )
+
+
 def equirectangular_m(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
     """Fast flat-Earth distance approximation in metres.
 

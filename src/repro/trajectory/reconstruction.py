@@ -10,7 +10,7 @@ reporting gaps.
 from dataclasses import dataclass, field
 
 from repro.ais.types import ClassBPositionReport, PositionReport
-from repro.geo import KNOTS_TO_MPS, haversine_m
+from repro.geo import KNOTS_TO_MPS, distance_bound_m, haversine_m
 from repro.trajectory.points import TrackPoint, Trajectory
 
 
@@ -77,17 +77,28 @@ class TrackReconstructor:
         """
         if not msg.has_position:
             return None
-        state = self._states.setdefault(msg.mmsi, _TrackState())
-        point = TrackPoint(
+        return self.add_point(msg.mmsi, TrackPoint(
             t=t, lat=msg.lat, lon=msg.lon,
             sog_knots=msg.sog_knots, cog_deg=msg.cog_deg, source=source,
-        )
+        ))
+
+    def add_point(self, mmsi: int, point: TrackPoint) -> TrackPoint | None:
+        """Offer one already-built fix for ``mmsi``.
+
+        The hot-path entry: callers that already hold a
+        :class:`TrackPoint` for the fix (the vessel phase builds one per
+        record regardless) hand it in directly, and the accepted track
+        shares that object instead of constructing a second identical
+        one.  The caller must have filtered position-availability
+        sentinels (``msg.has_position``); :meth:`add` does both steps.
+        """
+        state = self._states.setdefault(mmsi, _TrackState())
         if not state.points:
             state.points.append(point)
             self.stats.accepted += 1
             return point
         last = state.points[-1]
-        dt = t - last.t
+        dt = point.t - last.t
         if dt <= 0:
             self.stats.out_of_order += 1
             return None
@@ -95,20 +106,28 @@ class TrackReconstructor:
             self.stats.duplicates += 1
             return None
         if dt > self.config.gap_timeout_s:
-            self._close_segment(msg.mmsi, state)
+            self._close_segment(mmsi, state)
             state.points.append(point)
             self.stats.accepted += 1
             return point
-        implied_speed = (
+        # Speed gate, cheapest-proof-first: the distance upper bound is
+        # monotone through the division, so a bound-implied speed at or
+        # under the limit proves the exact implied speed is too — the
+        # common accept case skips the haversine entirely.  Only when the
+        # bound cannot prove acceptance does the exact test run, so the
+        # accept/reject decision is bit-identical to always computing it.
+        if (
+            distance_bound_m(last.lat, last.lon, point.lat, point.lon)
+            / dt / KNOTS_TO_MPS > self.config.max_speed_knots
+        ) and (
             haversine_m(last.lat, last.lon, point.lat, point.lon)
-            / dt / KNOTS_TO_MPS
-        )
-        if implied_speed > self.config.max_speed_knots:
+            / dt / KNOTS_TO_MPS > self.config.max_speed_knots
+        ):
             state.consecutive_rejects += 1
             self.stats.speed_rejected += 1
             if state.consecutive_rejects >= self.config.max_consecutive_rejects:
                 # The new position is persistent: split and accept it.
-                self._close_segment(msg.mmsi, state)
+                self._close_segment(mmsi, state)
                 state.points.append(point)
                 state.consecutive_rejects = 0
                 self.stats.accepted += 1

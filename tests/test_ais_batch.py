@@ -1,0 +1,408 @@
+"""Batch-vs-scalar parity for the vectorised AIS decoder.
+
+The contract under test (see :mod:`repro.ais.batch`): whatever mix of
+clean, corrupt, truncated or exotic payloads a micro-batch carries, the
+vectorised decoder must produce the *same* ``(t, message)`` sequence and
+the *same* stats counter — key for key, count for count — as the scalar
+loop, because every row it cannot prove clean is routed through the
+scalar ``finish_payload`` unchanged.
+"""
+
+import math
+import struct
+from collections import Counter
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ais import (
+    AisDecoder,
+    ClassBPositionReport,
+    NavigationStatus,
+    PositionReport,
+    StaticDataReport,
+    StaticVoyageData,
+    encode_sentences,
+)
+from repro.ais import batch
+from repro.ais.batch import FixBatch, decode_staged
+from repro.ais.sixbit import SIXBIT_ALPHABET
+from repro.core.config import ConfigError, PipelineConfig
+from repro.trajectory.points import TrackPoint
+
+numpy_missing = not batch.available()
+
+mmsi_strategy = st.integers(min_value=200_000_000, max_value=775_999_999)
+lat_strategy = st.floats(min_value=-89.99, max_value=89.99)
+lon_strategy = st.floats(min_value=-179.99, max_value=179.99)
+sixbit_text = st.text(
+    alphabet=sorted(set(SIXBIT_ALPHABET) - {"@"}), min_size=0, max_size=24
+).map(lambda s: s.strip())
+
+
+@st.composite
+def position_report(draw):
+    return PositionReport(
+        mmsi=draw(mmsi_strategy),
+        lat=draw(lat_strategy),
+        lon=draw(lon_strategy),
+        sog_knots=draw(st.one_of(
+            st.none(), st.floats(min_value=0.0, max_value=102.0)
+        )),
+        cog_deg=draw(st.one_of(
+            st.none(), st.floats(min_value=0.0, max_value=359.9)
+        )),
+        heading_deg=draw(st.one_of(
+            st.none(),
+            st.integers(min_value=0, max_value=359).map(float),
+        )),
+        nav_status=draw(st.sampled_from(list(NavigationStatus))),
+        rot_deg_per_min=draw(st.one_of(
+            st.none(), st.floats(min_value=-120.0, max_value=120.0)
+        )),
+        timestamp_s=draw(st.one_of(
+            st.none(), st.integers(min_value=0, max_value=59)
+        )),
+        position_accuracy=draw(st.booleans()),
+        raim=draw(st.booleans()),
+        msg_type=draw(st.sampled_from([1, 2, 3])),
+    )
+
+
+@st.composite
+def class_b_report(draw):
+    return ClassBPositionReport(
+        mmsi=draw(mmsi_strategy),
+        lat=draw(lat_strategy),
+        lon=draw(lon_strategy),
+        sog_knots=draw(st.one_of(
+            st.none(), st.floats(min_value=0.0, max_value=102.0)
+        )),
+        cog_deg=draw(st.one_of(
+            st.none(), st.floats(min_value=0.0, max_value=359.9)
+        )),
+        heading_deg=draw(st.one_of(
+            st.none(),
+            st.integers(min_value=0, max_value=359).map(float),
+        )),
+        timestamp_s=draw(st.one_of(
+            st.none(), st.integers(min_value=0, max_value=59)
+        )),
+    )
+
+
+@st.composite
+def static_voyage(draw):
+    # Type 5 payloads always fragment (71 chars > MAX_PAYLOAD_CHARS), so
+    # every one exercises multipart reassembly ahead of the batch path.
+    return StaticVoyageData(
+        mmsi=draw(mmsi_strategy),
+        imo=draw(st.integers(min_value=0, max_value=2**30 - 1)),
+        callsign=draw(st.text(
+            alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789", max_size=7
+        )),
+        shipname=draw(sixbit_text),
+        ship_type_code=draw(st.integers(min_value=0, max_value=255)),
+        draught_m=draw(st.floats(min_value=0.0, max_value=25.5)),
+        destination=draw(sixbit_text),
+    )
+
+
+@st.composite
+def static_data(draw):
+    if draw(st.booleans()):
+        return StaticDataReport(
+            mmsi=draw(mmsi_strategy), part=0, shipname=draw(sixbit_text)
+        )
+    return StaticDataReport(
+        mmsi=draw(mmsi_strategy),
+        part=1,
+        ship_type_code=draw(st.integers(min_value=0, max_value=255)),
+        vendor_id=draw(st.text(
+            alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789", max_size=7
+        )),
+        callsign=draw(st.text(
+            alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789", max_size=7
+        )),
+        to_bow_m=draw(st.integers(min_value=0, max_value=511)),
+        to_stern_m=draw(st.integers(min_value=0, max_value=511)),
+    )
+
+
+any_message = st.one_of(
+    position_report(), class_b_report(), static_voyage(), static_data()
+)
+
+
+@contextmanager
+def min_batch(n):
+    """Temporarily lower the vector-path threshold so hypothesis-sized
+    batches exercise it (monkeypatch resets per test, not per example)."""
+    old = batch.MIN_BATCH
+    batch.MIN_BATCH = n
+    try:
+        yield
+    finally:
+        batch.MIN_BATCH = old
+
+
+def stage_fleet(messages):
+    """Encode messages and run them through real sentence assembly,
+    producing the ``(t, payload, fill, received_at)`` rows DecodeStage
+    hands to :func:`decode_staged`."""
+    decoder = AisDecoder()
+    staged = []
+    for k, msg in enumerate(messages):
+        t = 1000.0 + 10.0 * k
+        for sentence in encode_sentences(msg, sequence_id=k):
+            ready = decoder.assemble(sentence)
+            if ready is not None:
+                staged.append((t, ready[0], ready[1], t + 0.5))
+    return staged
+
+
+def assert_parity(staged):
+    """Batch output == scalar output, messages field-for-field and stats
+    counter key-for-key."""
+    batch_stats: Counter = Counter()
+    scalar_stats: Counter = Counter()
+    got = decode_staged(staged, batch_stats)
+    want = decode_staged(staged, scalar_stats, force_scalar=True)
+    assert batch_stats == scalar_stats
+    assert len(got) == len(want)
+    for (t_got, msg_got), (t_want, msg_want) in zip(got, want):
+        assert t_got == t_want
+        assert type(msg_got) is type(msg_want)
+        assert msg_got == msg_want
+        # Dataclass equality admits 0.0 == -0.0; the products must be
+        # *bit*-identical, so compare the float planes at the byte level.
+        for name in ("lat", "lon", "sog_knots", "cog_deg"):
+            a = getattr(msg_got, name, None)
+            b = getattr(msg_want, name, None)
+            if isinstance(a, float) or isinstance(b, float):
+                assert struct.pack("<d", a) == struct.pack("<d", b)
+    return got
+
+
+@pytest.mark.skipif(numpy_missing, reason="vector path needs numpy")
+class TestBatchScalarParity:
+    @given(st.lists(any_message, min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_random_fleets(self, messages):
+        # Force the vector path even for tiny hypothesis batches.
+        with min_batch(1):
+            staged = stage_fleet(messages)
+            got = assert_parity(staged)
+        assert len(got) == len(messages)
+
+    @given(st.lists(static_voyage(), min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_multipart_type5(self, messages):
+        with min_batch(1):
+            staged = stage_fleet(messages)
+            # Each type 5 spans two fragments; assembly must yield one
+            # staged payload per message with non-zero fill bits.
+            assert len(staged) == len(messages)
+            assert all(fill > 0 for _, __, fill, ___ in staged)
+            got = assert_parity(staged)
+        for (_, decoded), original in zip(got, messages):
+            assert decoded.shipname == original.shipname[:20].rstrip()
+            assert decoded.destination == original.destination[:20].rstrip()
+            assert math.isclose(
+                decoded.draught_m, original.draught_m, abs_tol=0.051
+            )
+
+    def test_small_batches_take_the_scalar_loop(self):
+        staged = stage_fleet(
+            [PositionReport(mmsi=211000001, lat=10.0, lon=20.0)]
+        )
+        assert len(staged) < batch.MIN_BATCH
+        assert_parity(staged)
+
+
+def _valid_staged(n=30):
+    return stage_fleet([
+        PositionReport(
+            mmsi=200_000_000 + k, lat=-60.0 + 4.0 * k, lon=12.5 * k - 170.0,
+            sog_knots=float(k % 40), cog_deg=9.0 * k,
+            msg_type=1 + k % 3,
+        )
+        for k in range(n)
+    ])
+
+
+def corruptions(staged):
+    """Every way a staged row can fail decode, applied to real payloads.
+
+    Each yielded row is rejected by the scalar decoder; the batch path
+    must reject all of them too, for the same reasons.
+    """
+    t, payload, fill, received = staged[0]
+    yield (t, "", 0, received)                      # empty payload
+    yield (t, payload, 6, received)                 # fill out of range
+    yield (t, payload, -1, received)                # negative fill
+    yield (t, payload[:4], 0, received)             # below common header
+    yield (t, payload[:20], 0, received)            # type 1 truncated
+    yield (t, payload[:1] + "[" + payload[2:], 0, received)   # bad armour
+    yield (t, payload[:1] + "ÿ" + payload[2:], 0, received)
+    yield (t, payload[:1] + "☃" + payload[2:], 0, received)  # > latin-1
+    yield (t, "6" + payload[1:], 0, received)       # unsupported type 6
+
+
+class TestCorruptAndTruncatedParity:
+    """Batch must reject exactly what scalar rejects — same dropped rows,
+    same ``decode_error:*`` counter keys, same survivors."""
+
+    @pytest.mark.skipif(numpy_missing, reason="vector path needs numpy")
+    def test_interleaved_corruption(self, monkeypatch):
+        monkeypatch.setattr(batch, "MIN_BATCH", 1)
+        staged = _valid_staged()
+        mixed = []
+        bad = list(corruptions(staged))
+        for k, row in enumerate(staged):
+            mixed.append(row)
+            if k < len(bad):
+                mixed.append(bad[k])
+        got = assert_parity(mixed)
+        # The corrupt rows must actually have been dropped (none decode).
+        assert len(got) == len(staged)
+
+    @pytest.mark.skipif(numpy_missing, reason="vector path needs numpy")
+    def test_error_counters_match_scalar_keys(self, monkeypatch):
+        monkeypatch.setattr(batch, "MIN_BATCH", 1)
+        valid = _valid_staged(6)
+        bad = list(corruptions(valid))
+        stats: Counter = Counter()
+        decode_staged(valid + bad, stats)
+        assert stats["decoded"] == len(valid)
+        assert stats["decode_error"] == len(bad)
+        # Reasons survive verbatim from the scalar decoder.
+        reasons = {
+            key for key in stats if key.startswith("decode_error:")
+        }
+        assert any("too short" in key for key in reasons)
+        assert any("truncated" in key for key in reasons)
+        assert any("unsupported" in key for key in reasons)
+        assert any("invalid" in key for key in reasons)
+
+    @pytest.mark.skipif(numpy_missing, reason="vector path needs numpy")
+    @given(
+        data=st.data(),
+        n_corrupt=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_byte_corruption(self, data, n_corrupt):
+        """Arbitrary single-character stomps anywhere in the payload."""
+        staged = _valid_staged(12)
+        for _ in range(n_corrupt):
+            row = data.draw(st.integers(0, len(staged) - 1))
+            t, payload, fill, received = staged[row]
+            pos = data.draw(st.integers(0, len(payload) - 1))
+            char = data.draw(st.characters(min_codepoint=1,
+                                           max_codepoint=0x2FF))
+            staged[row] = (
+                t, payload[:pos] + char + payload[pos + 1:], fill, received
+            )
+        with min_batch(1):
+            assert_parity(staged)
+
+
+class TestScalarFallback:
+    def test_force_scalar_flag(self):
+        staged = _valid_staged()
+        stats: Counter = Counter()
+        decoded = decode_staged(staged, stats, force_scalar=True)
+        assert len(decoded) == len(staged)
+        assert stats["decoded"] == len(staged)
+
+    def test_numpy_less_module_degrades_to_scalar(self, monkeypatch):
+        monkeypatch.setattr(batch, "np", None)
+        staged = _valid_staged()
+        stats: Counter = Counter()
+        decoded = decode_staged(staged, stats)
+        assert len(decoded) == len(staged)
+        assert stats["decoded"] == len(staged)
+
+    def test_env_guard_blocks_numpy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        assert batch._load_numpy() is None
+
+    def test_available_reports_module_state(self):
+        assert batch.available() == (batch.np is not None)
+
+
+class TestFixBatch:
+    def run_with_fixes(self, staged, **kwargs):
+        fixes = FixBatch()
+        stats: Counter = Counter()
+        decoded = decode_staged(staged, stats, fixes=fixes, **kwargs)
+        return decoded, fixes
+
+    def fixes_as_set(self, fixes):
+        return set(zip(fixes.t, fixes.mmsi, fixes.lat, fixes.lon,
+                       fixes.sog, fixes.cog))
+
+    @pytest.mark.skipif(numpy_missing, reason="vector path needs numpy")
+    def test_columns_match_scalar_fixes(self, monkeypatch):
+        monkeypatch.setattr(batch, "MIN_BATCH", 1)
+        messages = [
+            PositionReport(mmsi=200_000_000 + k, lat=1.0 * k, lon=2.0 * k,
+                           sog_knots=float(k), cog_deg=3.0 * k)
+            for k in range(10)
+        ] + [
+            ClassBPositionReport(mmsi=300_000_000 + k, lat=-k / 2.0,
+                                 lon=k / 3.0, sog_knots=8.0, cog_deg=90.0)
+            for k in range(10)
+        ] + [
+            StaticVoyageData(mmsi=400_000_000, shipname="NONPOSITIONAL"),
+        ]
+        staged = stage_fleet(messages)
+        decoded, vector_fixes = self.run_with_fixes(staged)
+        _, scalar_fixes = self.run_with_fixes(staged, force_scalar=True)
+        # Static rows contribute no fix; position rows all do.
+        assert len(vector_fixes) == len(scalar_fixes) == 20
+        # Vector fills columns grouped by message type; content is the
+        # same set, and within each type release order is preserved.
+        assert self.fixes_as_set(vector_fixes) == \
+            self.fixes_as_set(scalar_fixes)
+
+    def test_trackpoints_materialise_columns(self):
+        fixes = FixBatch()
+        fixes.append(10.0, 211000001, 54.1, 7.9, 12.5, 270.0)
+        fixes.append(11.0, 211000002, 54.2, 8.0, None, None)
+        assert len(fixes) == 2
+        points = fixes.trackpoints()
+        assert points == [
+            TrackPoint(10.0, 54.1, 7.9, 12.5, 270.0),
+            TrackPoint(11.0, 54.2, 8.0, None, None),
+        ]
+
+
+class TestPipelineLevelParity:
+    """`batch_decode` flips execution strategy only — every product of a
+    full pipeline run must be identical either way."""
+
+    def test_products_identical(self):
+        from repro.core.pipeline import MaritimePipeline
+        from repro.simulation import regional_scenario
+
+        run = regional_scenario(
+            n_vessels=6, duration_s=1800.0, seed=7
+        ).run()
+        vector = MaritimePipeline(
+            PipelineConfig(batch_decode=True)
+        ).process(run)
+        scalar = MaritimePipeline(
+            PipelineConfig(batch_decode=False)
+        ).process(run)
+        assert vector.events == scalar.events
+        assert vector.complex_events == scalar.complex_events
+        assert vector.forecasts == scalar.forecasts
+        assert vector.cube.total == scalar.cube.total
+        assert vector.cube.cell_counts() == scalar.cube.cell_counts()
+        assert len(vector.store) == len(scalar.store)
+
+    def test_batch_decode_must_be_bool(self):
+        with pytest.raises(ConfigError, match="batch_decode"):
+            PipelineConfig(batch_decode=1).validate()
