@@ -19,9 +19,9 @@ Result-set invariants (pair counts, chosen auto backend) are compared
 exactly: the fleets are seeded, so any drift there is a correctness
 regression, not noise.
 
-With ``--pipeline``, the sink-dispatch, workers and decode sections of
-``BENCH_pipeline.json`` are guarded too — self-relative (no committed
-baseline needed): the async dispatcher must keep ingest within
+With ``--pipeline``, the sink-dispatch, workers, decode and durability
+sections of ``BENCH_pipeline.json`` are guarded too — self-relative (no
+committed baseline needed): the async dispatcher must keep ingest within
 ``--dispatch-tolerance`` of the no-subscriber wall clock while the sync
 path shows the slow-sink degradation, and the delivered/dropped
 accounting must reconcile exactly; the sharded runtime must keep exact
@@ -29,7 +29,9 @@ product parity at every worker count and meet a hardware-aware speedup
 bar (>= 1.8x at 4 workers where threads can overlap, an overhead floor
 under the GIL or on small runners); the vectorised batch decoder must
 hold its recorded speedup floor over the scalar loop whenever numpy is
-available.
+available; and the durable-state overheads (SQLite track store attached,
+per-barrier checkpoints) must stay under their recorded ceilings with
+products identical to the bare pipeline.
 """
 
 import argparse
@@ -229,6 +231,49 @@ def check_pipeline_decode(pipeline: dict) -> list[str]:
     return []
 
 
+def check_pipeline_durability(pipeline: dict) -> list[str]:
+    """Self-relative guard on the durable-state axis.
+
+    Both overheads come from the same run on the same machine, so their
+    ratios need no calibration: archiving into the SQLite track store
+    (async, blocking overflow) and writing a full-state checkpoint at
+    every barrier must each stay under the ceiling the benchmark
+    recorded — a creeping serialisation hot spot shows up here long
+    before it breaks a latency target.  Product-equality flags are hard
+    invariants: durability must never change what the pipeline emits.
+    """
+    durability = pipeline.get("durability")
+    if durability is None:
+        return ["durability section missing from pipeline JSON"]
+    failures: list[str] = []
+    for axis in ("store", "checkpoint"):
+        section = durability.get(axis, {})
+        overhead = section.get("overhead_vs_baseline")
+        ceiling = section.get("max_overhead")
+        if overhead is None or not ceiling:
+            failures.append(f"durability/{axis}: overhead not recorded")
+            continue
+        marker = "FAIL" if overhead > ceiling else "ok"
+        print(
+            f"  durability: {axis} overhead {overhead:.2f}x vs bare "
+            f"pipeline (ceiling {ceiling}x)  {marker}"
+        )
+        if overhead > ceiling:
+            failures.append(
+                f"durability/{axis}: {overhead:.2f}x over the bare "
+                f"pipeline exceeds the {ceiling}x ceiling"
+            )
+        if not section.get("events_equal_baseline"):
+            failures.append(
+                f"durability/{axis}: products diverged from the bare "
+                "pipeline (correctness invariant, not noise)"
+            )
+    restore_s = durability.get("checkpoint", {}).get("restore_s")
+    if restore_s is None:
+        failures.append("durability/checkpoint: restore_s not recorded")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--current", default="BENCH_spatial.json")
@@ -278,6 +323,7 @@ def main(argv: list[str] | None = None) -> int:
             )
             failures += check_pipeline_workers(pipeline)
             failures += check_pipeline_decode(pipeline)
+            failures += check_pipeline_durability(pipeline)
     if failures:
         print("\nREGRESSIONS:")
         for failure in failures:

@@ -12,8 +12,17 @@ Commands:
   (``--json``);
 - ``map`` — render the global density map (Figure 1) as ASCII;
 - ``decode`` — decode NMEA sentences from a file or stdin;
+- ``store`` — query a SQLite track store written by ``pipeline --store``
+  (positions, tracks in a region, events, alarms, summary);
 - ``analyze`` — run the concurrency/causality invariant checkers over
   the source tree (``--strict`` gates CI).
+
+Durability flags on ``pipeline --live`` with real feeds: ``--store DB``
+archives every increment into a queryable SQLite store off the hot
+path; ``--checkpoint-dir DIR`` writes a watermark-consistent checkpoint
+per tick (``--checkpoint-every N`` thins that); ``--restore PATH``
+continues a crashed run from a checkpoint file (or the newest one in a
+directory), replaying the source from the recorded offset.
 """
 
 import argparse
@@ -96,6 +105,59 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --live: emit one JSON line per increment on stdout "
         "instead of the human-readable tick log",
     )
+    pipeline.add_argument(
+        "--store", metavar="DB",
+        help="archive increments (positions, segments, events, alarms) "
+        "into a queryable SQLite track store at DB; inserts run off the "
+        "pipeline thread (query it with 'repro store')",
+    )
+    pipeline.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="with --live and a real feed: write a watermark-consistent "
+        "checkpoint (ckpt-<n>.ckpt) at each increment barrier",
+    )
+    pipeline.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint every N-th increment (default 1)",
+    )
+    pipeline.add_argument(
+        "--restore", metavar="PATH",
+        help="with --live and a real feed: continue from a checkpoint "
+        "file, or from the newest checkpoint in a directory; the feed "
+        "is replayed from the recorded position",
+    )
+
+    store = sub.add_parser(
+        "store",
+        help="query a SQLite track store written by pipeline --store",
+    )
+    store.add_argument("db", help="path to the track store database")
+    store.add_argument(
+        "what",
+        choices=["summary", "positions", "tracks", "events", "alarms"],
+        help="summary: row counts; positions: one vessel's fixes "
+        "(--mmsi); tracks: segments intersecting --region; events: "
+        "archived events (--kind/--mmsi); alarms: monitoring alarms",
+    )
+    store.add_argument("--mmsi", type=int, help="vessel filter")
+    store.add_argument(
+        "--kind", help="event kind filter (e.g. rendezvous, gap)"
+    )
+    store.add_argument(
+        "--t0", type=float, default=float("-inf"),
+        help="window start, epoch seconds",
+    )
+    store.add_argument(
+        "--t1", type=float, default=float("inf"),
+        help="window end, epoch seconds",
+    )
+    store.add_argument(
+        "--region", metavar="LATMIN,LATMAX,LONMIN,LONMAX",
+        help="bounding box for 'tracks'",
+    )
+    store.add_argument(
+        "--limit", type=int, default=50, help="max rows to print"
+    )
 
     world_map = sub.add_parser("map", help="render the Figure 1 density map")
     world_map.add_argument("--vessels", type=int, default=150)
@@ -160,6 +222,15 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_pipeline(args) -> int:
+    if (args.checkpoint_dir or args.restore) and not (
+        args.nmea_file or args.nmea_tcp
+    ):
+        print(
+            "--checkpoint-dir/--restore need a resumable feed: use "
+            "--live with --nmea-file (or --nmea-tcp)",
+            file=sys.stderr,
+        )
+        return 2
     if args.nmea_file or args.nmea_tcp:
         if not args.live:
             print("--nmea-file/--nmea-tcp require --live", file=sys.stderr)
@@ -188,6 +259,14 @@ def _cmd_pipeline(args) -> int:
 def _run_pipeline_source(args) -> int:
     """Stream real feeds (files and/or sockets) through the façade;
     several feeds are merged on reception time."""
+    import os
+
+    from repro.persist import (
+        CheckpointError,
+        SqliteTrackStore,
+        latest_checkpoint,
+    )
+
     sources = [NmeaFileSource(path) for path in args.nmea_file]
     for endpoint in args.nmea_tcp:
         host, _, port = endpoint.rpartition(":")
@@ -195,9 +274,26 @@ def _run_pipeline_source(args) -> int:
             print("--nmea-tcp expects HOST:PORT", file=sys.stderr)
             return 2
         sources.append(NmeaTcpSource(host, int(port)))
-    monitor = MaritimeMonitor(
-        PipelineConfig(workers=args.workers)
-    ).attach(*sources)
+    monitor = MaritimeMonitor(PipelineConfig(workers=args.workers))
+    if args.restore:
+        path = args.restore
+        if os.path.isdir(path):
+            found = latest_checkpoint(path)
+            if found is None:
+                print(f"no *.ckpt files in {path}", file=sys.stderr)
+                return 2
+            path = found
+        try:
+            monitor.restore(path)
+        except CheckpointError as exc:
+            print(f"restore failed: {exc}", file=sys.stderr)
+            return 2
+        print(f"# restored from {path}", file=sys.stderr)
+    monitor.attach(*sources)
+    store = None
+    if args.store:
+        store = SqliteTrackStore(args.store)
+        store.attach(monitor.hub)
     if args.json:
         JsonlSink(sys.stdout).attach(monitor.hub)
     else:
@@ -206,7 +302,26 @@ def _run_pipeline_source(args) -> int:
         ).subscribe(
             on_event=lambda event: print("  " + event.describe())
         )
-    report = monitor.run(tick_s=args.tick)
+    try:
+        report = monitor.run(
+            tick_s=args.tick,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
+    finally:
+        if store is not None:
+            # run() drains the hub's async dispatchers before returning,
+            # so every increment has reached the store by now.
+            summary = store.summary()
+            store.close()
+            print(
+                f"# store {args.store}: "
+                f"{summary['vessel_positions']} positions, "
+                f"{summary['track_segments']} segments, "
+                f"{summary['events']} events, "
+                f"{summary['alarms']} alarms",
+                file=sys.stderr,
+            )
     print(report.describe(), file=sys.stderr)
     stats = report.source
     if stats is not None and (stats.n_dropped or stats.n_rejected or stats.errors):
@@ -229,6 +344,11 @@ def _run_pipeline_source(args) -> int:
 def _run_pipeline_live(pipeline, run, args) -> int:
     """Stream the feed through the incremental runtime tick by tick."""
     sink = JsonlSink(sys.stdout) if args.json else None
+    store = None
+    if args.store:
+        from repro.persist import SqliteTrackStore
+
+        store = SqliteTrackStore(args.store)
     n_ticks = 0
     n_records = 0
     n_events = 0
@@ -241,12 +361,16 @@ def _run_pipeline_live(pipeline, run, args) -> int:
         n_complex += len(increment.new_complex_events)
         if increment.overview is not None:
             last_overview = increment.overview
+        if store is not None:
+            store.write_increment(increment)
         if sink is not None:
             sink.write_increment(increment)
             continue
         print(increment.describe())
         for event in increment.new_events[: args.alerts]:
             print("  " + event.describe())
+    if store is not None:
+        store.close()
     out = sys.stderr if sink is not None else sys.stdout
     print(
         f"\n{n_ticks} ticks, {n_records} records, {n_events} events "
@@ -304,6 +428,81 @@ def _cmd_decode(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    """Query a track store database written by ``pipeline --store``."""
+    import os
+
+    from repro.persist import SqliteTrackStore
+
+    if not os.path.exists(args.db):
+        print(f"no such store: {args.db}", file=sys.stderr)
+        return 2
+    store = SqliteTrackStore(args.db)
+    try:
+        if args.what == "summary":
+            for key, value in store.summary().items():
+                print(f"{key}: {value}")
+            return 0
+        if args.what == "positions":
+            if args.mmsi is None:
+                print("positions needs --mmsi", file=sys.stderr)
+                return 2
+            rows = store.positions(args.mmsi, args.t0, args.t1)
+            for p in rows[: args.limit]:
+                sog = "" if p.sog_knots is None else f" {p.sog_knots:.1f}kn"
+                print(
+                    f"t={p.t:.0f} lat={p.lat:.5f} lon={p.lon:.5f}"
+                    f"{sog} [{p.source}]"
+                )
+        elif args.what == "tracks":
+            box = (-90.0, 90.0, -180.0, 180.0)
+            if args.region:
+                parts = args.region.split(",")
+                if len(parts) != 4:
+                    print(
+                        "--region expects LATMIN,LATMAX,LONMIN,LONMAX",
+                        file=sys.stderr,
+                    )
+                    return 2
+                box = tuple(float(v) for v in parts)
+            rows = store.tracks_in_region(*box, t0=args.t0, t1=args.t1)
+            if args.mmsi is not None:
+                rows = [r for r in rows if r["mmsi"] == args.mmsi]
+            for r in rows[: args.limit]:
+                print(
+                    f"segment {r['segment_id']}: mmsi={r['mmsi']} "
+                    f"t=[{r['t_start']:.0f}, {r['t_end']:.0f}] "
+                    f"{r['n_points']} points "
+                    f"lat=[{r['lat_min']:.3f}, {r['lat_max']:.3f}] "
+                    f"lon=[{r['lon_min']:.3f}, {r['lon_max']:.3f}]"
+                )
+        elif args.what == "events":
+            rows = store.events(
+                kind=args.kind, mmsi=args.mmsi, t0=args.t0, t1=args.t1
+            )
+            for event in rows[: args.limit]:
+                print(event.describe())
+        else:  # alarms
+            rows = store.alarms(args.t0, args.t1)
+            for a in rows[: args.limit]:
+                print(
+                    f"t={a.t:.0f} mmsi={a.mmsi} score={a.score:.2f} "
+                    f"{a.explanation}"
+                )
+        if len(rows) > args.limit:
+            print(
+                f"... {len(rows) - args.limit} more "
+                f"(raise --limit)", file=sys.stderr,
+            )
+        return 0
+    except ValueError as exc:
+        # e.g. an unknown --kind: surface the store's message verbatim.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        store.close()
+
+
 def _cmd_analyze(args) -> int:
     # Imported here: the analysis package is pure stdlib but pulls in
     # the AST machinery no other command needs.
@@ -331,6 +530,7 @@ def main(argv: list[str] | None = None) -> int:
         "pipeline": _cmd_pipeline,
         "map": _cmd_map,
         "decode": _cmd_decode,
+        "store": _cmd_store,
         "analyze": _cmd_analyze,
     }
     return handlers[args.command](args)

@@ -110,7 +110,25 @@ class PipelineConfig:
     #: The CEP engine keeps primitive events this long past each pattern
     #: window to absorb detection latency (a gap is only discovered when
     #: the silence ends).  Events later than this may miss matches.
-    cep_event_lateness_s: float = 4 * 3600.0
+    #: ``"auto"`` (the default) derives the allowance from the emission
+    #: latency actually observed — an EWMA of ``watermark - t_start`` at
+    #: feed time, clamped to ``[cep_lateness_floor_s,
+    #: cep_lateness_cap_s]`` and answering the cap until the first
+    #: event, so an idle stream never expires more aggressively than the
+    #: old static default.  An explicit number stays fully static.
+    cep_event_lateness_s: "float | str" = "auto"
+    #: Clamp bounds for the adaptive CEP lateness (``"auto"`` only).
+    #: The cap doubles as the pre-observation default and equals the old
+    #: static ``cep_event_lateness_s`` value.
+    cep_lateness_floor_s: float = 900.0
+    cep_lateness_cap_s: float = 4 * 3600.0
+    #: Soft ceiling on the total entry count ``size_report()`` sums (the
+    #: state a checkpoint must carry).  The session surfaces it as the
+    #: named ``"state-size"`` health probe: exceeding the ceiling
+    #: degrades that probe's status (one alarm per increment while
+    #: over), it never sheds state.  ``None`` disables the alarm; the
+    #: probe still reports sizes.
+    state_size_soft_limit: int | None = 1_000_000
     #: Live streams have no known end: train pattern-of-life on this much
     #: leading data, then monitor (replays compute the split from the
     #: scenario window via ``pol_training_fraction`` instead).
@@ -164,7 +182,29 @@ class PipelineConfig:
         non_negative("collision_suppress_s", self.collision_suppress_s)
         positive("vessel_ttl_s", self.vessel_ttl_s)
         positive("gap_head_ttl_s", self.gap_head_ttl_s)
-        non_negative("cep_event_lateness_s", self.cep_event_lateness_s)
+        if self.cep_event_lateness_s != "auto":
+            non_negative("cep_event_lateness_s", self.cep_event_lateness_s)
+        positive("cep_lateness_floor_s", self.cep_lateness_floor_s)
+        positive("cep_lateness_cap_s", self.cep_lateness_cap_s)
+        if (
+            isinstance(self.cep_lateness_floor_s, (int, float))
+            and isinstance(self.cep_lateness_cap_s, (int, float))
+            and not isinstance(self.cep_lateness_floor_s, bool)
+            and not isinstance(self.cep_lateness_cap_s, bool)
+            and self.cep_lateness_cap_s < self.cep_lateness_floor_s
+        ):
+            problems.append(
+                f"cep_lateness_cap_s ({self.cep_lateness_cap_s!r}) must be "
+                f">= cep_lateness_floor_s ({self.cep_lateness_floor_s!r})"
+            )
+        if self.state_size_soft_limit is not None and (
+            numeric("state_size_soft_limit", self.state_size_soft_limit)
+            and self.state_size_soft_limit < 1
+        ):
+            problems.append(
+                "state_size_soft_limit must be None or >= 1 "
+                f"(got {self.state_size_soft_limit!r})"
+            )
         non_negative("live_pol_training_s", self.live_pol_training_s)
         if numeric(
             "pol_training_fraction", self.pol_training_fraction

@@ -43,6 +43,12 @@ from repro.events.detectors import ZoneWatch
 from repro.events.pol import PatternOfLife
 from repro.forecasting.kalmanpredict import PredictionWithUncertainty
 from repro.fusion.association import MultiSourceTracker
+from repro.persist.checkpoint import (
+    CheckpointError,
+    CheckpointManifest,
+    config_fingerprint,
+    read_checkpoint,
+)
 from repro.simulation.scenario import ScenarioRun
 from repro.simulation.world import Port, REGIONAL_PORTS
 from repro.storage.store import TrajectoryStore
@@ -160,6 +166,50 @@ class MaritimePipeline:
             keep_products=keep_products,
         )
         return PipelineSession(state)
+
+    # -- crash recovery -------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """The logical-configuration fingerprint sessions of this
+        pipeline write into their checkpoints."""
+        return config_fingerprint(
+            self.config, self.ports, self.zones, self.cep_patterns
+        )
+
+    def restore_session(
+        self, path: str
+    ) -> "tuple[PipelineSession, CheckpointManifest]":
+        """Rebuild a session from a checkpoint file.
+
+        Verifies the snapshot's configuration fingerprint against this
+        pipeline's — config (minus the ``workers``/``batch_decode``
+        performance knobs), ports, zones and CEP patterns must all
+        match, or detector semantics would silently change mid-track —
+        then loads every state section into a fresh session.  The
+        session runs under *this* pipeline's ``config.workers``:
+        per-vessel state is re-partitioned on load, so a snapshot from a
+        4-worker run restores into a 1-worker session and vice versa.
+
+        Returns ``(session, manifest)``; the manifest carries the
+        watermark and recorded source positions the caller needs for
+        catch-up replay (:meth:`repro.monitor.MaritimeMonitor.restore`
+        wires that up end to end).
+        """
+        manifest, sections = read_checkpoint(path)
+        expected = self.fingerprint()
+        if manifest.config_fingerprint != expected:
+            raise CheckpointError(
+                f"checkpoint {path} was written under a different "
+                f"logical configuration (fingerprint "
+                f"{manifest.config_fingerprint[:12]}… != this pipeline's "
+                f"{expected[:12]}…): the config (ignoring workers/"
+                "batch_decode), ports, zones and CEP patterns must match "
+                "the writing session's — restoring under different "
+                "detector semantics would corrupt every open track"
+            )
+        session = self.new_session()
+        session.state.load_snapshot(sections)
+        return session, manifest
 
     # -- batch replay ---------------------------------------------------------
 

@@ -33,7 +33,7 @@ class DetectStage(Stage):
     state_reads = ("config", "ports", "zones", "watermark", "keep_products")
     state_writes = (
         "pol_split_t", "current", "pol", "gap_heads", "rendezvous",
-        "collisions", "cep", "events", "complex_events",
+        "collisions", "cep", "cep_lateness", "events", "complex_events",
     )
 
     def feed(
@@ -165,12 +165,24 @@ class DetectStage(Stage):
         """Accumulate, feed CEP (order-insensitive), expire old buffers."""
         complex_events: list[Event] = []
         all_new = list(upstream_events) + events
+        adaptive = state.cep_lateness
         for event in sorted(all_new, key=event_key):
+            if adaptive is not None:
+                # Emission latency relative to the buffer key: how far
+                # behind the watermark this event's start time is when
+                # the engine first sees it — exactly the lateness the
+                # expiry horizon must absorb.
+                adaptive.observe(state.watermark - event.t_start)
             complex_events.extend(state.cep.feed(event))
-        # Patterns without their own lateness_s inherit the global knob.
+        # Patterns without their own lateness_s inherit the global
+        # allowance: the adaptive tracker's current value, or the
+        # explicitly configured static knob.
         state.cep.expire(
             state.watermark,
-            default_lateness_s=state.config.cep_event_lateness_s,
+            default_lateness_s=(
+                adaptive.value() if adaptive is not None
+                else state.config.cep_event_lateness_s
+            ),
         )
         if state.keep_products:
             state.events.extend(all_new)

@@ -22,6 +22,7 @@ detection, CEP, overview) runs serially.  ``workers=1`` runs the same
 code inline on one shard — products are identical for every count.
 """
 
+import dataclasses
 import math
 import time
 
@@ -42,8 +43,51 @@ from repro.core.stages.state import (
     PipelineState,
     RecordOutcome,
 )
+from repro.persist.checkpoint import (
+    CheckpointManifest,
+    config_fingerprint,
+    write_checkpoint,
+)
 from repro.sinks.subscription import Subscription, SubscriptionHub
 from repro.visual.overview import MonitoringAlarm
+
+
+def _state_size_probe(state):
+    """A health probe holding ``size_report()`` under a soft ceiling.
+
+    Sums every bounded-structure size and alarms once per *crossing* of
+    ``config.state_size_soft_limit`` (re-arming when the total falls
+    back under), naming the largest tables so the alarm says where the
+    memory went — an eviction horizon misconfigured, a feed replaying
+    history, a fused picture never pruned.
+    """
+    limit = state.config.state_size_soft_limit
+    above = False
+
+    def probe(watermark: float) -> list[MonitoringAlarm]:
+        nonlocal above
+        report = state.size_report()
+        total = sum(report.values())
+        if total <= limit:
+            above = False
+            return []
+        if above:
+            return []
+        above = True
+        top = sorted(report.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
+        largest = ", ".join(f"{name}={n}" for name, n in top)
+        return [
+            MonitoringAlarm(
+                t=watermark if math.isfinite(watermark) else 0.0,
+                mmsi=0, lat=0.0, lon=0.0, score=1.0,
+                explanation=(
+                    f"state-size: {total} tracked entries exceed the "
+                    f"soft limit {limit} (largest: {largest})"
+                ),
+            )
+        ]
+
+    return probe
 
 
 def _sanitizer_probe(sanitizer):
@@ -108,6 +152,14 @@ class PipelineSession:
                 "ownership-sanitizer",
                 _sanitizer_probe(state.sanitizer),
             )
+        if state.config.state_size_soft_limit is not None:
+            self.health.register(
+                "state-size", _state_size_probe(state)
+            )
+        #: True while a feed/flush (and its synchronous subscription
+        #: callbacks) is on the stack — the window where no consistent
+        #: barrier state exists and :meth:`checkpoint` must refuse.
+        self._in_feed = False
         #: Worker pool for the per-vessel phase; ``None`` when
         #: ``config.workers == 1`` (the phase then runs inline on the
         #: caller's thread — same code path, one shard).
@@ -198,29 +250,37 @@ class PipelineSession:
             raise RuntimeError("session already flushed")
         state = self.state
         self._check_shard_count()
-        t0 = time.perf_counter()
-        observations = list(observations)
-        self.fuse.enqueue(state, radar_contacts, lrit_reports)
+        self._in_feed = True
+        try:
+            t0 = time.perf_counter()
+            observations = list(observations)
+            self.fuse.enqueue(state, radar_contacts, lrit_reports)
 
-        with self.decode.timed():
-            decoded = self.decode.feed(state, observations, pool=self._pool)
-        with self.reorder.timed():
-            records = self.reorder.feed(state, decoded)
-        with self.reconstruct.timed():
-            outcomes = self.reconstruct.feed(state, records, pool=self._pool)
-        increment = self._downstream(
-            outcomes,
-            final_outcomes=[],
-            t0=t0,
-            build_overview=build_overview,
-            flushing=False,
-        )
-        increment.n_observations = len(observations)
-        increment.n_decoded = len(decoded)
-        increment.n_records = len(records)
-        state.purge()
-        self.subscriptions.dispatch(increment)
-        return increment
+            with self.decode.timed():
+                decoded = self.decode.feed(
+                    state, observations, pool=self._pool
+                )
+            with self.reorder.timed():
+                records = self.reorder.feed(state, decoded)
+            with self.reconstruct.timed():
+                outcomes = self.reconstruct.feed(
+                    state, records, pool=self._pool
+                )
+            increment = self._downstream(
+                outcomes,
+                final_outcomes=[],
+                t0=t0,
+                build_overview=build_overview,
+                flushing=False,
+            )
+            increment.n_observations = len(observations)
+            increment.n_decoded = len(decoded)
+            increment.n_records = len(records)
+            state.purge()
+            self.subscriptions.dispatch(increment)
+            return increment
+        finally:
+            self._in_feed = False
 
     def flush(self, build_overview: bool = True) -> PipelineIncrement:
         """End of stream: drain every buffer and close open state."""
@@ -229,30 +289,88 @@ class PipelineSession:
         self._flushed = True
         state = self.state
         self._check_shard_count()
-        t0 = time.perf_counter()
-        with self.reorder.timed():
-            records = self.reorder.flush(state)
-        with self.reconstruct.timed():
-            outcomes = self.reconstruct.feed(state, records, pool=self._pool)
-            final_outcomes = self.reconstruct.flush(state, pool=self._pool)
-        increment = self._downstream(
-            outcomes,
-            final_outcomes=final_outcomes,
-            t0=t0,
-            build_overview=build_overview,
-            flushing=True,
+        self._in_feed = True
+        try:
+            t0 = time.perf_counter()
+            with self.reorder.timed():
+                records = self.reorder.flush(state)
+            with self.reconstruct.timed():
+                outcomes = self.reconstruct.feed(
+                    state, records, pool=self._pool
+                )
+                final_outcomes = self.reconstruct.flush(
+                    state, pool=self._pool
+                )
+            increment = self._downstream(
+                outcomes,
+                final_outcomes=final_outcomes,
+                t0=t0,
+                build_overview=build_overview,
+                flushing=True,
+            )
+            increment.n_records = len(records)
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+            self.subscriptions.dispatch(increment)
+            # End of stream is also end of delivery: drain the async
+            # dispatchers here so direct session users (not just the
+            # monitor façade) get final delivered/dropped books and no
+            # increments stranded in a daemon worker's queue at exit.
+            self.subscriptions.close(drain=True)
+            return increment
+        finally:
+            self._in_feed = False
+
+    # -- durable state -----------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """This session's logical-configuration fingerprint (what a
+        checkpoint binds to; see :mod:`repro.persist.checkpoint`)."""
+        state = self.state
+        return config_fingerprint(
+            state.config, state.ports, state.zones, state.cep.patterns
         )
-        increment.n_records = len(records)
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
-        self.subscriptions.dispatch(increment)
-        # End of stream is also end of delivery: drain the async
-        # dispatchers here so direct session users (not just the
-        # monitor façade) get final delivered/dropped books and no
-        # increments stranded in a daemon worker's queue at exit.
-        self.subscriptions.close(drain=True)
-        return increment
+
+    def checkpoint(
+        self,
+        path: str,
+        source_positions=(),
+        n_increments: int = 0,
+    ) -> CheckpointManifest:
+        """Write a watermark-consistent checkpoint of the session state.
+
+        Only valid at a barrier — between ``feed``/``flush`` calls, when
+        every record released so far has flowed through every stage.
+        Calling it *during* a feed (e.g. from a synchronous subscription
+        callback, which runs on the pipeline thread mid-dispatch) is
+        refused: there is no consistent state to capture mid-phase.
+
+        ``source_positions`` are the attached sources'
+        :class:`~repro.sources.SourcePosition` cursors (``None`` per
+        non-seekable source) recorded *at this same barrier*, so restore
+        replays exactly the unprocessed suffix.  ``n_increments`` is the
+        driver's increment counter, stored for catch-up accounting and
+        checkpoint naming.
+        """
+        if self._in_feed:
+            raise RuntimeError(
+                "checkpoint() is only valid at a watermark barrier — "
+                "between feed/flush calls, never from inside a "
+                "subscription callback delivered during one"
+            )
+        return write_checkpoint(
+            path,
+            self.state.export_snapshot(),
+            fingerprint=self.fingerprint(),
+            watermark=self.state.watermark,
+            workers=self.workers,
+            n_increments=n_increments,
+            source_positions=[
+                dataclasses.asdict(p) if p is not None else None
+                for p in source_positions
+            ],
+        )
 
     def _downstream(
         self,

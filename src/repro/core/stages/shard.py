@@ -66,6 +66,35 @@ class ShardState:
         self.clashes.evict_before(ttl_horizon)
         self.reconstructor.evict_idle(ttl_horizon)
 
+    # -- durable state -----------------------------------------------------
+
+    def export_vessels(self) -> dict:
+        """This shard's per-vessel state as plain copies (checkpointing).
+
+        The shape mirrors :meth:`absorb_vessels`'s input.  Checkpoints
+        merge the exports of every shard into one per-vessel map keyed by
+        MMSI, so a snapshot written under one worker count can be
+        re-partitioned (``shard_of(mmsi, new_n)``) under another.
+        """
+        return {
+            "tracks": self.reconstructor.export_state(),
+            "teleports": self.teleports.export_state(),
+            "clashes": self.clashes.export_state(),
+        }
+
+    def absorb_vessels(self, snapshot: dict) -> None:
+        """Load an :meth:`export_vessels`-shaped snapshot into this shard.
+
+        The caller (``PipelineState.load_snapshot``) is responsible for
+        routing: every MMSI in the snapshot must satisfy
+        ``shard_of(mmsi, n) == self.index`` for the session's shard
+        count, or the restored vessel would be stranded where no record
+        will ever reach it.
+        """
+        self.reconstructor.load_state(snapshot["tracks"])
+        self.teleports.load_state(snapshot["teleports"])
+        self.clashes.load_state(snapshot["clashes"])
+
 
 class ShardPool:
     """A bounded thread pool running per-batch shard tasks.

@@ -11,6 +11,7 @@ Ownership rules (documented per field; see also ``src/repro/core/README``):
 each field is written by exactly one stage, everything else only reads it.
 """
 
+import dataclasses
 from collections.abc import Hashable, Iterator
 from dataclasses import dataclass, field
 from typing import Any
@@ -18,9 +19,9 @@ from typing import Any
 from repro.ais.decoder import AisDecoder
 from repro.analysis.sanitize import create_sanitizer
 from repro.core.config import PipelineConfig
-from repro.core.stages.shard import ShardState
+from repro.core.stages.shard import ShardState, shard_of
 from repro.events.base import Event
-from repro.events.cep import CepEngine
+from repro.events.cep import AdaptiveLateness, CepEngine
 from repro.events.collision import CollisionRiskConfig, CollisionScreen
 from repro.events.pol import PatternOfLife
 from repro.events.rendezvous import IncrementalRendezvousDetector
@@ -33,6 +34,7 @@ from repro.storage.store import TrajectoryStore
 from repro.storage.triples import TripleStore
 from repro.streaming.watermarks import WatermarkReorderer
 from repro.trajectory.points import TrackPoint, Trajectory
+from repro.trajectory.reconstruction import ReconstructorStats
 from repro.visual.cube import SpatioTemporalCube
 from repro.visual.overview import MonitoringAlarm, SituationMonitor, SituationOverview
 
@@ -88,6 +90,31 @@ class TtlTable:
         for key in stale:
             del self._t[key]
             del self._values[key]
+
+    def export_entries(self) -> list[tuple]:
+        """Every ``(key, t, value)`` entry, sorted by key (checkpointing).
+
+        Sorting makes the export canonical — independent of insertion
+        order — so serialising a logically identical table is
+        deterministic whatever history produced it.
+        """
+        return sorted(
+            (key, self._t[key], value)
+            for key, value in self._values.items()
+        )
+
+    def load_entries(self, entries: list[tuple]) -> None:
+        """Replace the table's contents with :meth:`export_entries` output.
+
+        A method (not attribute surgery) so restore works through the
+        runtime ownership sanitizer's table proxies — the wrapped table
+        is loaded *into*, never swapped out from under its guard.
+        """
+        self._values.clear()
+        self._t.clear()
+        for key, t, value in entries:
+            self._t[key] = t
+            self._values[key] = value
 
 
 @dataclass
@@ -254,6 +281,16 @@ class PipelineState:
         # -- detection (detect stage) -------------------------------------
         self.pol = PatternOfLife()
         self.cep = CepEngine(list(cep_patterns))
+        #: Self-tuning CEP expiry lateness (``cep_event_lateness_s =
+        #: "auto"``, the default): an EWMA of observed detector emission
+        #: latency, clamped to the configured floor/cap.  ``None`` when
+        #: an explicit static value was configured.
+        self.cep_lateness = (
+            AdaptiveLateness(
+                config.cep_lateness_floor_s, config.cep_lateness_cap_s
+            )
+            if config.cep_event_lateness_s == "auto" else None
+        )
         self.current = TtlTable()  # mmsi -> latest accepted TrackPoint
         self.gap_heads = TtlTable()  # mmsi -> last fix of last segment
         if self.sanitizer is not None:
@@ -346,3 +383,178 @@ class PipelineState:
             "radar_queue": len(self.radar_queue),
             "lrit_queue": len(self.lrit_queue),
         }
+
+    # -- durable state ------------------------------------------------------
+
+    def export_snapshot(self) -> dict[str, object]:
+        """Every mutable field, grouped into named picklable sections.
+
+        Only callable at a barrier (between ``feed`` calls) — mid-phase
+        there is no consistent state to capture; the session enforces
+        that.  Objects that must share identity after a restore travel in
+        the *same* section (``pol``+``monitor``; the analytics
+        accumulators with the annotator that references them), so one
+        pickle per section preserves the reference graph.  Per-vessel
+        shard state is merged into one MMSI-keyed map, making the
+        snapshot independent of the worker count it was written under.
+        Set-valued state is exported as sorted lists so a logical state
+        always serialises identically.
+        """
+        merged = {
+            "track_states": {},
+            "finished": [],
+            "stats": ReconstructorStats(),
+            "teleports": {},
+            "clash_recent": {},
+            "clash_suppressed": {},
+        }
+        for shard in self.shards:
+            export = shard.export_vessels()
+            merged["track_states"].update(export["tracks"]["states"])
+            merged["finished"].extend(export["tracks"]["finished"])
+            for stats_field in dataclasses.fields(ReconstructorStats):
+                setattr(
+                    merged["stats"], stats_field.name,
+                    getattr(merged["stats"], stats_field.name)
+                    + getattr(export["tracks"]["stats"], stats_field.name),
+                )
+            merged["teleports"].update(export["teleports"])
+            merged["clash_recent"].update(export["clashes"]["recent"])
+            merged["clash_suppressed"].update(
+                export["clashes"]["suppressed_until"]
+            )
+        # Canonical order (close order is chronological per vessel, so
+        # this keeps each vessel's segments in close order).
+        merged["finished"].sort(key=lambda tr: (tr.mmsi, tr.t_start))
+        return {
+            "ingest": {
+                "decoder": self.decoder,
+                "reorderer": self.reorderer,
+                "watermark": self.watermark,
+                "pol_split_t": self.pol_split_t,
+                "keep_products": self.keep_products,
+            },
+            "vessels": merged,
+            "tables": {
+                "current": self.current.export_entries(),
+                "gap_heads": self.gap_heads.export_entries(),
+            },
+            "detectors": {
+                "pol_monitor": (self.pol, self.monitor),
+                "rendezvous": self.rendezvous,
+                "collisions": self.collisions,
+            },
+            "cep": {
+                "engine": self.cep.export_state(),
+                "lateness": self.cep_lateness,
+            },
+            "fusion": {
+                "fused": self.fused,
+                "radar_queue": list(self.radar_queue),
+                "lrit_queue": list(self.lrit_queue),
+                "uncorrelated_emitted": sorted(self.uncorrelated_emitted),
+            },
+            "analytics": {
+                "store": self.store,
+                "cube": self.cube,
+                "triples": self.triples,
+                "annotator": self.annotator,
+                "specs": self.specs,
+                "weather": self.weather,
+            },
+            "forecasts": dict(self.forecasts),
+            "products": {
+                "trajectories": list(self.trajectories),
+                "synopses": list(self.synopses),
+                "events": list(self.events),
+                "complex_events": list(self.complex_events),
+            },
+        }
+
+    def load_snapshot(self, sections: dict[str, object]) -> None:
+        """Restore an :meth:`export_snapshot` into this (fresh) state.
+
+        The state must have been built from the *same* configuration,
+        ports, zones and CEP patterns the snapshot was written under
+        (the checkpoint layer verifies the fingerprint) — but possibly a
+        different ``workers`` count: merged per-vessel state is routed
+        back through ``shard_of(mmsi, n)`` for whatever shard count this
+        state has.  Sanitizer-guarded objects (shards, the shared
+        tables) are loaded *into* via their own methods, never replaced,
+        so a sanitized process restores cleanly.
+        """
+        ingest = sections["ingest"]
+        self.decoder = ingest["decoder"]
+        self.reorderer = ingest["reorderer"]
+        self.watermark = ingest["watermark"]
+        self.pol_split_t = ingest["pol_split_t"]
+        # The snapshot's retention policy wins: continuing a warehousing
+        # replay must keep warehousing, whatever the restoring façade
+        # defaults to.
+        self.keep_products = ingest["keep_products"]
+
+        vessels = sections["vessels"]
+        n = len(self.shards)
+        per_shard = [
+            {
+                "tracks": {
+                    "states": {}, "finished": [],
+                    # Cumulative counters cannot be split by vessel;
+                    # the merged totals live on shard 0 (they are
+                    # aggregate diagnostics, never product inputs).
+                    "stats": ReconstructorStats(),
+                },
+                "teleports": {},
+                "clashes": {"recent": {}, "suppressed_until": {}},
+            }
+            for _ in range(n)
+        ]
+        per_shard[0]["tracks"]["stats"] = vessels["stats"]
+        for mmsi, entry in vessels["track_states"].items():
+            per_shard[shard_of(mmsi, n)]["tracks"]["states"][mmsi] = entry
+        for segment in vessels["finished"]:
+            per_shard[shard_of(segment.mmsi, n)]["tracks"]["finished"]\
+                .append(segment)
+        for mmsi, point in vessels["teleports"].items():
+            per_shard[shard_of(mmsi, n)]["teleports"][mmsi] = point
+        for mmsi, points in vessels["clash_recent"].items():
+            per_shard[shard_of(mmsi, n)]["clashes"]["recent"][mmsi] = points
+        for mmsi, deadline in vessels["clash_suppressed"].items():
+            per_shard[shard_of(mmsi, n)]["clashes"]["suppressed_until"][
+                mmsi] = deadline
+        for shard, snapshot in zip(self.shards, per_shard):
+            shard.absorb_vessels(snapshot)
+
+        tables = sections["tables"]
+        self.current.load_entries(tables["current"])
+        self.gap_heads.load_entries(tables["gap_heads"])
+
+        detectors = sections["detectors"]
+        self.pol, self.monitor = detectors["pol_monitor"]
+        self.rendezvous = detectors["rendezvous"]
+        self.collisions = detectors["collisions"]
+
+        cep = sections["cep"]
+        self.cep.load_state(cep["engine"])
+        self.cep_lateness = cep["lateness"]
+
+        fusion = sections["fusion"]
+        self.fused = fusion["fused"]
+        self.radar_queue = list(fusion["radar_queue"])
+        self.lrit_queue = list(fusion["lrit_queue"])
+        self.uncorrelated_emitted = set(fusion["uncorrelated_emitted"])
+
+        analytics = sections["analytics"]
+        self.store = analytics["store"]
+        self.cube = analytics["cube"]
+        self.triples = analytics["triples"]
+        self.annotator = analytics["annotator"]
+        self.specs = analytics["specs"]
+        self.weather = analytics["weather"]
+
+        self.forecasts = dict(sections["forecasts"])
+        products = sections["products"]
+        self.trajectories = list(products["trajectories"])
+        self.synopses = list(products["synopses"])
+        self.events = list(products["events"])
+        self.complex_events = list(products["complex_events"])

@@ -87,6 +87,56 @@ class SequencePattern:
             raise ValueError("lateness_s must be None or >= 0")
 
 
+class AdaptiveLateness:
+    """Self-tuning CEP lateness from observed detector emission latency.
+
+    The expiry horizon of :meth:`CepEngine.expire` must cover the
+    *detection latency* of the upstream detectors: a gap that started at
+    ``t`` is only discovered when the silence ends, so its event reaches
+    the engine ``watermark - t`` seconds "late" relative to its buffer
+    key.  Instead of a static worst-case knob, this tracks an EWMA of
+    the latency actually observed (``watermark - event.t_start`` at feed
+    time) and answers ``clamp(margin * ewma, floor_s, cap_s)`` — the
+    same shape as the adaptive :class:`~repro.sources.MergedSource`
+    holdback.  Until the first observation it answers ``cap_s`` (the
+    conservative static default), so an idle stream never expires more
+    aggressively than the static engine would.
+    """
+
+    def __init__(
+        self,
+        floor_s: float,
+        cap_s: float,
+        alpha: float = 0.2,
+        margin: float = 1.5,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if floor_s < 0 or cap_s < floor_s:
+            raise ValueError("need 0 <= floor_s <= cap_s")
+        self.floor_s = floor_s
+        self.cap_s = cap_s
+        self.alpha = alpha
+        self.margin = margin
+        self.ewma_s: float | None = None
+        self.n_observed = 0
+
+    def observe(self, latency_s: float) -> None:
+        """Fold one observed emission latency into the EWMA."""
+        latency_s = max(0.0, latency_s)
+        if self.ewma_s is None:
+            self.ewma_s = latency_s
+        else:
+            self.ewma_s += self.alpha * (latency_s - self.ewma_s)
+        self.n_observed += 1
+
+    def value(self) -> float:
+        """The lateness allowance to expire with, clamped to [floor, cap]."""
+        if self.ewma_s is None:
+            return self.cap_s
+        return min(self.cap_s, max(self.floor_s, self.margin * self.ewma_s))
+
+
 class CepEngine:
     """Multi-pattern matcher over canonically ordered event tuples.
 
@@ -180,6 +230,60 @@ class CepEngine:
         seen_horizon = low_watermark - max_horizon_s
         while self._seen_expiry and self._seen_expiry[0][0] < seen_horizon:
             self._seen.discard(heapq.heappop(self._seen_expiry))
+
+    # -- durable state -----------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Everything mutable, in canonical (set-free, sorted) form.
+
+        The exported value contains only plain containers and
+        :class:`~repro.events.base.Event` objects, ordered independently
+        of insertion history, so serialising it is deterministic for a
+        given logical state.  Patterns are *not* exported — they are
+        session configuration; :meth:`load_state` checks the names match.
+        """
+        return {
+            "patterns": [p.name for p in self.patterns],
+            "buffers": {
+                name: sorted(
+                    (
+                        (kind.value, list(keys), list(events))
+                        for kind, (keys, events) in per_kind.items()
+                    ),
+                )
+                for name, per_kind in self._buffers.items()
+            },
+            "seen": sorted(self._seen),
+            "n_fed": self.n_fed,
+        }
+
+    def load_state(self, snapshot: dict) -> None:
+        """Restore :meth:`export_state` output into this engine.
+
+        The engine must have been constructed with the same pattern list
+        (by name) the snapshot was taken under; a mismatch raises
+        ``ValueError`` — patterns are configuration, and matching against
+        buffers captured for different patterns would be silently wrong.
+        """
+        expected = [p.name for p in self.patterns]
+        if list(snapshot["patterns"]) != expected:
+            raise ValueError(
+                f"CEP pattern mismatch: snapshot was taken with patterns "
+                f"{list(snapshot['patterns'])!r}, engine has {expected!r}"
+            )
+        for pattern in self.patterns:
+            per_kind = self._buffers[pattern.name]
+            for keys, events in per_kind.values():
+                keys.clear()
+                events.clear()
+            for kind_value, keys, events in snapshot["buffers"][pattern.name]:
+                target_keys, target_events = per_kind[EventKind(kind_value)]
+                target_keys[:] = keys
+                target_events[:] = events
+        self._seen = set(snapshot["seen"])
+        # A sorted list is a valid min-heap already.
+        self._seen_expiry = list(snapshot["seen"])
+        self.n_fed = snapshot["n_fed"]
 
     def buffered(self) -> int:
         """Total buffered (pattern, event) entries — a state-size probe."""

@@ -52,6 +52,13 @@ def detect_collision_risk(
     )
     events: list[Event] = []
     for mmsi_a, mmsi_b, __ in index.all_pairs_within(config.screening_range_m):
+        # Canonical pair orientation: the index emits pairs in insertion
+        # order, which depends on how ``current_states`` was built — and
+        # a state restored from a checkpoint rebuilds its maps in sorted
+        # export order, not arrival order.  The pair is symmetric, so
+        # orient it by MMSI to keep products byte-identical across
+        # crash/restore and worker-count changes.
+        mmsi_a, mmsi_b = sorted((mmsi_a, mmsi_b))
         a = vessels[mmsi_a]
         b = vessels[mmsi_b]
         result = cpa_tcpa(
@@ -151,9 +158,7 @@ class CollisionScreen:
             if len(fresh) < 2:
                 continue
             for event in detect_collision_risk(fresh, self.config):
-                # Canonical pair orientation: the index emits (a, b) in
-                # insertion order, which need not repeat between screens.
-                pair = tuple(sorted(event.mmsis))
+                pair = event.mmsis  # already canonically oriented
                 last = self._last_alarm.get(pair)
                 if last is not None and screen_t - last < self.suppress_s:
                     continue

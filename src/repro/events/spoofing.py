@@ -140,6 +140,13 @@ class TeleportDetector:
         for mmsi in stale:
             del self._last[mmsi]
 
+    def export_state(self) -> dict[int, TrackPoint]:
+        """The last-fix-per-MMSI table, copied (checkpointing)."""
+        return dict(self._last)
+
+    def load_state(self, snapshot: dict[int, TrackPoint]) -> None:
+        self._last = dict(snapshot)
+
     def feed(self, mmsi: int, fix: TrackPoint) -> Event | None:
         previous = self._last.get(mmsi)
         self._last[mmsi] = fix
@@ -216,6 +223,22 @@ class IdentityClashDetector:
         for mmsi in stale:
             del self._recent[mmsi]
             self._suppressed_until.pop(mmsi, None)
+
+    def export_state(self) -> dict:
+        """Window buffers and suppression deadlines, as plain copies."""
+        return {
+            "recent": {
+                mmsi: list(buffer) for mmsi, buffer in self._recent.items()
+            },
+            "suppressed_until": dict(self._suppressed_until),
+        }
+
+    def load_state(self, snapshot: dict) -> None:
+        self._recent = {
+            mmsi: deque(points)
+            for mmsi, points in snapshot["recent"].items()
+        }
+        self._suppressed_until = dict(snapshot["suppressed_until"])
 
     def feed(self, mmsi: int, fix: TrackPoint) -> list[Event]:
         buffer = self._recent.setdefault(mmsi, deque())

@@ -31,18 +31,65 @@ drivers.
 """
 
 import math
+import os
 from dataclasses import dataclass, field
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import MaritimePipeline, PipelineResult
 from repro.core.stages import PipelineSession, StageStats
 from repro.sinks.subscription import SubscriptionHub
-from repro.sources.base import FeedLiveness, Source, SourceStats
+from repro.sources.base import (
+    FeedLiveness,
+    Source,
+    SourcePosition,
+    SourceStats,
+)
 from repro.sources.iterable import IterableSource
 from repro.sources.merge import MergedSource
 from repro.visual.overview import MonitoringAlarm
 
 __all__ = ["MaritimeMonitor", "MonitorReport", "SubscriptionReport"]
+
+
+class _SourceCursor:
+    """Iterate a source while tracking the barrier-consistent resume point.
+
+    ``run_live`` closes each micro-batch on the observation that opens
+    the *next* one, so at an increment boundary exactly one observation
+    may have been handed out but not fed.  The cursor records the
+    source's position before every read; :meth:`resume_position`
+    compares handed vs fed counts and returns the position *before* the
+    pending look-ahead observation — the exact point a restored run
+    must re-read from.  Sources without ``position()`` yield ``None``
+    positions (recorded as such in the checkpoint manifest).
+    """
+
+    def __init__(self, source) -> None:
+        self.source = source
+        self.n_handed = 0
+        self._before_last = self._position()
+
+    def _position(self) -> SourcePosition | None:
+        if hasattr(self.source, "position"):
+            return self.source.position()
+        return None
+
+    def __iter__(self):
+        iterator = iter(self.source)
+        while True:
+            before = self._position()
+            try:
+                obs = next(iterator)
+            except StopIteration:
+                return
+            self._before_last = before
+            self.n_handed += 1
+            yield obs
+
+    def resume_position(self, n_fed: int) -> SourcePosition | None:
+        if self.n_handed > n_fed:
+            return self._before_last
+        return self._position()
 
 
 @dataclass
@@ -147,6 +194,9 @@ class MaritimeMonitor:
         #: failing subscriber aborts :meth:`run` mid-stream.
         self.report: MonitorReport | None = None
         self._source = None
+        #: ``(session, manifest)`` staged by :meth:`restore`; consumed
+        #: by the next :meth:`run`.
+        self._restored = None
 
     @property
     def config(self) -> PipelineConfig:
@@ -235,6 +285,52 @@ class MaritimeMonitor:
         )
         return self
 
+    # -- crash recovery ----------------------------------------------------
+
+    def restore(self, path: str) -> "MaritimeMonitor":
+        """Stage a checkpointed session; the next :meth:`run` continues it.
+
+        The checkpoint's configuration fingerprint must match this
+        monitor's pipeline (config minus performance knobs, ports,
+        zones, CEP patterns) — a mismatch raises
+        :class:`~repro.persist.CheckpointError` before any state moves.
+        The restored session keeps the snapshot's retention policy and
+        may run under a different ``workers`` count than the writer.
+
+        At :meth:`run`, the attached source is sought back to the
+        position recorded at the checkpoint barrier (catch-up replay of
+        exactly the unprocessed suffix); a non-seekable stream source
+        reconnects live instead, relying on the restored watermark to
+        drop already-processed records.  Returns ``self`` for chaining::
+
+            MaritimeMonitor(config).restore("ckpt/ckpt-00000042.ckpt") \\
+                .attach(NmeaFileSource("feed.nmea")).run(tick_s=60.0)
+        """
+        if self.session is not None:
+            raise RuntimeError("this monitor has already run")
+        session, manifest = self.pipeline.restore_session(path)
+        self.keep_products = session.state.keep_products
+        self._restored = (session, manifest)
+        return self
+
+    def _seek_source(self, source, manifest) -> None:
+        """Seek the attached source to the checkpoint's recorded position."""
+        positions = manifest.source_positions
+        recorded = positions[0] if positions else None
+        if recorded is None:
+            return  # writer's source was not position-aware
+        position = SourcePosition(**recorded)
+        if position.kind == "stream":
+            return  # live socket: reconnect, watermark drops replays
+        if not hasattr(source, "seek"):
+            raise RuntimeError(
+                f"checkpoint recorded a {position.kind!r} source position "
+                f"but the attached source ({type(source).__name__}) cannot "
+                "seek — attach the same kind of source the writing run "
+                "used, or a seekable one"
+            )
+        source.seek(position)
+
     # -- execution ---------------------------------------------------------
 
     def run(
@@ -243,6 +339,8 @@ class MaritimeMonitor:
         pol_split_t: float | None = None,
         radar_contacts=(),
         lrit_reports=(),
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 1,
     ) -> MonitorReport:
         """Consume the attached source to exhaustion; returns the report.
 
@@ -250,18 +348,35 @@ class MaritimeMonitor:
         exhausted, or ``source.close()`` from another thread — the clean
         way to stop an endless live feed).  A monitor runs once;
         construct a new one for a new session.
+
+        With ``checkpoint_dir``, every ``checkpoint_every``-th increment
+        barrier writes a watermark-consistent checkpoint
+        (``ckpt-<n>.ckpt``, atomically replaced) recording the pipeline
+        state and the source position to resume from —
+        :meth:`restore` + ``run`` on a fresh monitor continues where a
+        crash stopped, with products identical to a never-interrupted
+        run.
         """
         if self._source is None:
             raise RuntimeError("no source attached — call attach() first")
         if self.session is not None:
             raise RuntimeError("this monitor has already run")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         source = self._source
-        session = self.pipeline.new_session(
-            specs=self.specs,
-            weather=self.weather,
-            pol_split_t=pol_split_t,
-            keep_products=self.keep_products,
-        )
+        n_base = 0
+        if self._restored is not None:
+            session, manifest = self._restored
+            self._restored = None
+            n_base = manifest.n_increments
+            self._seek_source(source, manifest)
+        else:
+            session = self.pipeline.new_session(
+                specs=self.specs,
+                weather=self.weather,
+                pol_split_t=pol_split_t,
+                keep_products=self.keep_products,
+            )
         session.subscriptions = self.hub
         if hasattr(source, "queue_depths"):
             # Merged feeds report one depth per child plus the total.
@@ -279,9 +394,18 @@ class MaritimeMonitor:
             )
         self.session = session
         report = self.report = MonitorReport()
+        cursor = None
+        stream = source
+        if checkpoint_dir is not None:
+            os.makedirs(checkpoint_dir, exist_ok=True)
+            # The cursor tracks handed-vs-fed counts so each checkpoint
+            # records the position before run_live's one-observation
+            # look-ahead; only paid for when checkpointing is on.
+            cursor = _SourceCursor(source)
+            stream = cursor
         try:
             for increment in self.pipeline.run_live(
-                iter(source),
+                iter(stream),
                 tick_s=tick_s,
                 radar_contacts=radar_contacts,
                 lrit_reports=lrit_reports,
@@ -295,6 +419,19 @@ class MaritimeMonitor:
                 report.n_alarms += len(increment.new_alarms)
                 report.n_forecast_updates += len(increment.updated_forecasts)
                 report.tick_seconds.append(increment.seconds)
+                if (
+                    cursor is not None
+                    and not session.flushed
+                    and report.n_increments % checkpoint_every == 0
+                ):
+                    n = n_base + report.n_increments
+                    session.checkpoint(
+                        os.path.join(checkpoint_dir, f"ckpt-{n:08d}.ckpt"),
+                        source_positions=[
+                            cursor.resume_position(report.n_observations)
+                        ],
+                        n_increments=n,
+                    )
         finally:
             # However the run ends — exhaustion or a subscriber raising
             # (sync callbacks are fail-fast) — stop the source so a TCP

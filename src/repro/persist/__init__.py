@@ -1,0 +1,39 @@
+"""Durable state: checkpoints, crash-restore, and the track archive.
+
+Three layers, one package (see ``README.md`` here):
+
+- :mod:`repro.persist.checkpoint` — watermark-consistent snapshot files
+  (sectioned, hashed, atomically replaced) with a configuration
+  fingerprint binding each snapshot to the logical pipeline setup.
+- Restore + catch-up — ``MaritimeMonitor.restore`` /
+  ``MaritimePipeline.restore_session`` rebuild a session from a
+  snapshot and seek the source back to the recorded position.
+- :mod:`repro.persist.store` — the queryable SQLite archive of
+  streaming products, fed off the hot path.
+"""
+
+from repro.persist.checkpoint import (
+    FORMAT_VERSION,
+    SCHEMA_VERSION,
+    CheckpointError,
+    CheckpointManifest,
+    config_fingerprint,
+    latest_checkpoint,
+    read_checkpoint,
+    read_manifest,
+    write_checkpoint,
+)
+from repro.persist.store import SqliteTrackStore
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SCHEMA_VERSION",
+    "CheckpointError",
+    "CheckpointManifest",
+    "SqliteTrackStore",
+    "config_fingerprint",
+    "latest_checkpoint",
+    "read_checkpoint",
+    "read_manifest",
+    "write_checkpoint",
+]

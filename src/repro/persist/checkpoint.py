@@ -1,0 +1,277 @@
+"""Versioned, watermark-consistent checkpoint files.
+
+One checkpoint is a single zip container holding:
+
+- ``manifest.json`` — format/schema versions, the configuration
+  fingerprint, the watermark and worker count at capture, the source
+  positions recorded for catch-up replay, and a SHA-256 per section;
+- ``sections/<name>.pkl`` — one pickle blob per
+  :meth:`~repro.core.stages.PipelineState.export_snapshot` section
+  (keyed like the tables ``size_report()`` enumerates: ingest, vessels,
+  tables, detectors, cep, fusion, analytics, forecasts, products).
+
+Sectioned pickling is the incremental-friendly unit: a section's bytes
+change only when its state does (exports are canonical — sorted, set
+free), readers can skip sections they do not need, and a future
+delta-encoding layer can diff per section.  Writes are atomic: the zip
+is built at ``<path>.tmp`` and published with ``os.replace``, so a
+crash mid-write can never leave a half-readable checkpoint under the
+final name.  Reads verify every hash and wrap every container failure
+(truncation, bad zip, missing or corrupt section, undecodable pickle)
+in :class:`CheckpointError` with the reason spelled out.
+
+**Compatibility policy** (see ``src/repro/persist/README.md``):
+``FORMAT_VERSION`` names the container layout, ``SCHEMA_VERSION`` the
+shape of the pickled state sections.  Either mismatching the reader is
+a hard :class:`CheckpointError` — snapshots are short-lived recovery
+artifacts, not archives, so no cross-version migration is attempted.
+The configuration fingerprint binds a snapshot to the *logical*
+configuration (config minus performance-only knobs, ports, zones, CEP
+patterns) it was captured under: restoring into a session whose
+fingerprint differs would silently change detector semantics mid-track,
+so it is refused.  ``workers`` and ``batch_decode`` are deliberately
+outside the fingerprint — both are execution choices with bit-identical
+products, which is what lets a snapshot written under one worker count
+restore under another.
+"""
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import zipfile
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SCHEMA_VERSION",
+    "CheckpointError",
+    "CheckpointManifest",
+    "config_fingerprint",
+    "latest_checkpoint",
+    "read_checkpoint",
+    "write_checkpoint",
+]
+
+#: Container layout version (zip member names, manifest keys).
+FORMAT_VERSION = 1
+#: State-section shape version (what the pickles deserialise into).
+SCHEMA_VERSION = 1
+
+_MANIFEST_NAME = "manifest.json"
+_SECTION_PREFIX = "sections/"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, read, or restored from."""
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointManifest:
+    """The self-describing header of one checkpoint file."""
+
+    format_version: int
+    schema_version: int
+    #: :func:`config_fingerprint` of the writing session.
+    config_fingerprint: str
+    #: Event-time watermark at the capture barrier.
+    watermark: float
+    #: Worker count the snapshot was written under (informational —
+    #: restore re-partitions per-vessel state for any count).
+    workers: int
+    #: Pipeline increments fed before this checkpoint was taken.
+    n_increments: int
+    #: One recorded position per attached source (dicts shaped by
+    #: :class:`~repro.sources.SourcePosition`; ``None`` entries mark
+    #: sources that cannot seek — catch-up then relies on the restored
+    #: reorder watermark dropping replayed records).
+    source_positions: list
+    #: ``{section name: hex SHA-256 of its pickle blob}``.
+    section_hashes: dict
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, raw: bytes) -> "CheckpointManifest":
+        try:
+            fields = json.loads(raw)
+            return cls(**{
+                f.name: fields[f.name] for f in dataclasses.fields(cls)
+            })
+        except (ValueError, TypeError, KeyError) as exc:
+            raise CheckpointError(
+                f"checkpoint manifest is unreadable: {exc}"
+            ) from exc
+
+
+def config_fingerprint(config, ports, zones, cep_patterns) -> str:
+    """SHA-256 binding a snapshot to its logical configuration.
+
+    Covers the schema version, every :class:`PipelineConfig` field
+    *except* the performance-only knobs (``workers``, ``batch_decode``
+    — execution choices with proven product parity), and the session's
+    ports, zones and CEP patterns.  All four inputs are dataclasses (or
+    lists of them), so ``repr`` is deterministic.
+    """
+    fields = dataclasses.asdict(config)
+    for perf_only in ("workers", "batch_decode"):
+        fields.pop(perf_only, None)
+    payload = repr((
+        SCHEMA_VERSION,
+        sorted(fields.items()),
+        [repr(p) for p in ports],
+        [repr(z) for z in zones],
+        [repr(p) for p in cep_patterns],
+    ))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def write_checkpoint(
+    path: str,
+    sections: dict,
+    *,
+    fingerprint: str,
+    watermark: float,
+    workers: int,
+    n_increments: int = 0,
+    source_positions: list | None = None,
+) -> CheckpointManifest:
+    """Serialise ``sections`` to ``path`` atomically; returns the manifest.
+
+    ``sections`` is :meth:`PipelineState.export_snapshot` output (any
+    ``{name: picklable}`` mapping works).  The file appears under its
+    final name only after every byte is on disk (write-then-rename).
+    """
+    blobs = {}
+    for name, payload in sections.items():
+        try:
+            blobs[name] = pickle.dumps(
+                payload, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception as exc:
+            raise CheckpointError(
+                f"section '{name}' is not serialisable: {exc!r}"
+            ) from exc
+    manifest = CheckpointManifest(
+        format_version=FORMAT_VERSION,
+        schema_version=SCHEMA_VERSION,
+        config_fingerprint=fingerprint,
+        watermark=watermark,
+        workers=workers,
+        n_increments=n_increments,
+        source_positions=list(source_positions or []),
+        section_hashes={
+            name: hashlib.sha256(blob).hexdigest()
+            for name, blob in sorted(blobs.items())
+        },
+    )
+    tmp = f"{path}.tmp"
+    try:
+        with zipfile.ZipFile(tmp, "w", zipfile.ZIP_DEFLATED) as archive:
+            archive.writestr(_MANIFEST_NAME, manifest.to_json())
+            for name, blob in sorted(blobs.items()):
+                archive.writestr(f"{_SECTION_PREFIX}{name}.pkl", blob)
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot write checkpoint {path}: {exc}"
+        ) from exc
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+    return manifest
+
+
+def read_manifest(path: str) -> CheckpointManifest:
+    """The manifest alone (cheap inspection — no section decoding)."""
+    with _open_archive(path) as archive:
+        return _load_manifest(archive, path)
+
+
+def read_checkpoint(path: str) -> tuple[CheckpointManifest, dict]:
+    """Load and verify a checkpoint; returns ``(manifest, sections)``.
+
+    Every way the container can be damaged — truncated file, bad zip
+    directory, missing section, hash mismatch, undecodable pickle —
+    raises :class:`CheckpointError` naming the problem; a checkpoint is
+    either fully intact or rejected.
+    """
+    with _open_archive(path) as archive:
+        manifest = _load_manifest(archive, path)
+        sections = {}
+        for name, expected in manifest.section_hashes.items():
+            member = f"{_SECTION_PREFIX}{name}.pkl"
+            try:
+                blob = archive.read(member)
+            except Exception as exc:
+                raise CheckpointError(
+                    f"checkpoint {path}: section '{name}' is missing or "
+                    f"unreadable: {exc!r}"
+                ) from exc
+            actual = hashlib.sha256(blob).hexdigest()
+            if actual != expected:
+                raise CheckpointError(
+                    f"checkpoint {path}: section '{name}' is corrupt "
+                    f"(sha256 {actual[:12]}… != manifest {expected[:12]}…)"
+                )
+            try:
+                sections[name] = pickle.loads(blob)
+            except Exception as exc:
+                raise CheckpointError(
+                    f"checkpoint {path}: section '{name}' does not "
+                    f"deserialise: {exc!r}"
+                ) from exc
+    return manifest, sections
+
+
+def latest_checkpoint(directory: str) -> str | None:
+    """The newest ``*.ckpt`` file in a checkpoint directory, or ``None``.
+
+    Monitor-written checkpoints embed the increment counter in the name
+    (``ckpt-00000042.ckpt``), so lexicographic order is capture order.
+    """
+    try:
+        names = sorted(
+            name for name in os.listdir(directory)
+            if name.endswith(".ckpt")
+        )
+    except OSError:
+        return None
+    if not names:
+        return None
+    return os.path.join(directory, names[-1])
+
+
+def _open_archive(path: str) -> zipfile.ZipFile:
+    try:
+        return zipfile.ZipFile(path, "r")
+    except (zipfile.BadZipFile, OSError) as exc:
+        raise CheckpointError(
+            f"not a readable checkpoint: {path}: {exc}"
+        ) from exc
+
+
+def _load_manifest(archive: zipfile.ZipFile, path: str) -> CheckpointManifest:
+    try:
+        raw = archive.read(_MANIFEST_NAME)
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint {path}: no {_MANIFEST_NAME} "
+            f"(truncated or not a checkpoint): {exc!r}"
+        ) from exc
+    manifest = CheckpointManifest.from_json(raw)
+    if manifest.format_version != FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path}: container format "
+            f"v{manifest.format_version} is not supported "
+            f"(this build reads v{FORMAT_VERSION})"
+        )
+    if manifest.schema_version != SCHEMA_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path}: state schema v{manifest.schema_version} "
+            f"is not supported (this build reads v{SCHEMA_VERSION}); "
+            "snapshots are recovery artifacts, not archives — take a "
+            "fresh checkpoint with the running build"
+        )
+    return manifest

@@ -1,0 +1,362 @@
+"""A queryable SQLite track store fed off the pipeline's hot path.
+
+:class:`SqliteTrackStore` is a durable sink for the pipeline's streaming
+products — accepted positions, closed track segments, primitive and
+complex events, monitoring alarms — shaped like the tracer-worker tables
+a surveillance back office would keep.  It subscribes to increments like
+any other sink (:meth:`attach`), defaulting to asynchronous dispatch
+with ``overflow="block"`` so the writer thread absorbs insert latency
+without ever losing an increment (a *store* wants the complete record,
+unlike a live display that wants the freshest — compare
+``drop_oldest`` in :mod:`repro.sinks.dispatch`).
+
+Write discipline: WAL journal with ``synchronous=NORMAL`` (group commit
+amortised across the batch, durable against process crash), one
+transaction per increment, ``executemany`` per table.  All access —
+writes from the dispatcher worker, queries from anywhere — serialises
+on one internal lock over a single ``check_same_thread=False``
+connection; SQLite itself is the second line of defence.
+
+Granularity note: positions are stored when their *segment closes*
+(the per-vessel phase owns open tracks; a point is final only once its
+segment is), so an open track's newest fixes live in the pipeline state
+— and its checkpoints — not here.  The store is the long-term product
+archive; the checkpoint is the recovery image.  Together they cover
+both.
+
+Queries return the same dataclasses the pipeline emits
+(:class:`~repro.trajectory.points.TrackPoint`,
+:class:`~repro.events.base.Event`,
+:class:`~repro.visual.overview.MonitoringAlarm`), so downstream code is
+indifferent to whether a product came from a live subscription or the
+archive.  One lossy corner: ``Event.details`` values that are not
+JSON-native round-trip as strings (``repr``) — ``details`` is
+explanation payload and excluded from event equality, so stored events
+still compare equal to their live originals.
+"""
+
+import json
+import sqlite3
+import threading
+
+from repro.events.base import Event, EventKind
+from repro.trajectory.points import TrackPoint, Trajectory
+from repro.visual.overview import MonitoringAlarm
+
+__all__ = ["SqliteTrackStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS vessel_positions (
+    segment_id INTEGER NOT NULL,
+    mmsi       INTEGER NOT NULL,
+    t          REAL    NOT NULL,
+    lat        REAL    NOT NULL,
+    lon        REAL    NOT NULL,
+    sog_knots  REAL,
+    cog_deg    REAL,
+    source     TEXT    NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_positions_mmsi_t
+    ON vessel_positions (mmsi, t);
+CREATE TABLE IF NOT EXISTS track_segments (
+    segment_id INTEGER PRIMARY KEY,
+    mmsi       INTEGER NOT NULL,
+    t_start    REAL    NOT NULL,
+    t_end      REAL    NOT NULL,
+    n_points   INTEGER NOT NULL,
+    lat_min    REAL    NOT NULL,
+    lat_max    REAL    NOT NULL,
+    lon_min    REAL    NOT NULL,
+    lon_max    REAL    NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_segments_mmsi_t
+    ON track_segments (mmsi, t_start);
+CREATE TABLE IF NOT EXISTS events (
+    kind       TEXT    NOT NULL,
+    is_complex INTEGER NOT NULL,
+    t_start    REAL    NOT NULL,
+    t_end      REAL    NOT NULL,
+    mmsis      TEXT    NOT NULL,
+    lat        REAL    NOT NULL,
+    lon        REAL    NOT NULL,
+    confidence REAL    NOT NULL,
+    details    TEXT    NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_events_kind_t
+    ON events (kind, t_start);
+CREATE TABLE IF NOT EXISTS alarms (
+    t           REAL    NOT NULL,
+    mmsi        INTEGER NOT NULL,
+    lat         REAL    NOT NULL,
+    lon         REAL    NOT NULL,
+    score       REAL    NOT NULL,
+    explanation TEXT    NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_alarms_t ON alarms (t);
+"""
+
+
+class SqliteTrackStore:
+    """Durable, queryable archive of pipeline products (stdlib SQLite)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        # One shared connection: increments arrive on a dispatcher
+        # worker, queries on the caller's thread; the store's own lock
+        # is the serialisation point.
+        self._db = sqlite3.connect(path, check_same_thread=False)
+        self._lock = threading.Lock()
+        self.n_increments = 0
+        with self._lock:
+            self._db.execute("PRAGMA journal_mode=WAL")
+            self._db.execute("PRAGMA synchronous=NORMAL")
+            self._db.executescript(_SCHEMA)
+            self._db.commit()
+
+    # -- write side --------------------------------------------------------
+
+    def write_increment(self, increment) -> None:
+        """Persist one increment's products in a single transaction."""
+        with self._lock:
+            cur = self._db.cursor()
+            try:
+                for segment in increment.new_segments:
+                    self._insert_segment(cur, segment)
+                self._insert_events(
+                    cur, increment.new_events, is_complex=0
+                )
+                self._insert_events(
+                    cur, increment.new_complex_events, is_complex=1
+                )
+                cur.executemany(
+                    "INSERT INTO alarms VALUES (?, ?, ?, ?, ?, ?)",
+                    [
+                        (a.t, a.mmsi, a.lat, a.lon, a.score, a.explanation)
+                        for a in increment.new_alarms
+                    ],
+                )
+                cur.execute(
+                    "INSERT INTO meta VALUES ('watermark', ?) "
+                    "ON CONFLICT (key) DO UPDATE SET value = excluded.value",
+                    (repr(increment.t_watermark),),
+                )
+                self._db.commit()
+            except BaseException:
+                self._db.rollback()
+                raise
+            self.n_increments += 1
+
+    def _insert_segment(self, cur, segment: Trajectory) -> None:
+        points = segment.points
+        cur.execute(
+            "INSERT INTO track_segments "
+            "(mmsi, t_start, t_end, n_points, "
+            " lat_min, lat_max, lon_min, lon_max) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                segment.mmsi, segment.t_start, segment.t_end, len(points),
+                min(p.lat for p in points), max(p.lat for p in points),
+                min(p.lon for p in points), max(p.lon for p in points),
+            ),
+        )
+        segment_id = cur.lastrowid
+        cur.executemany(
+            "INSERT INTO vessel_positions VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            [
+                (
+                    segment_id, segment.mmsi, p.t, p.lat, p.lon,
+                    p.sog_knots, p.cog_deg, p.source,
+                )
+                for p in points
+            ],
+        )
+
+    def _insert_events(self, cur, events, is_complex: int) -> None:
+        cur.executemany(
+            "INSERT INTO events VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [
+                (
+                    e.kind.value, is_complex, e.t_start, e.t_end,
+                    json.dumps(list(e.mmsis)), e.lat, e.lon, e.confidence,
+                    json.dumps(
+                        {str(k): v for k, v in e.details.items()},
+                        default=repr, sort_keys=True,
+                    ),
+                )
+                for e in events
+            ],
+        )
+
+    def attach(
+        self,
+        target,
+        async_dispatch: bool = True,
+        max_queue: int = 256,
+        overflow: str = "block",
+    ):
+        """Subscribe to a session, hub, or monitor; returns the handle.
+
+        Defaults move inserts off the pipeline thread (a dispatcher
+        worker drains a bounded queue) with ``block`` overflow: an
+        archive must be complete, so a saturated queue backpressures
+        the feed rather than dropping history.
+        """
+        hub = getattr(target, "hub", target)
+        return hub.subscribe(
+            on_increment=self.write_increment,
+            async_dispatch=async_dispatch,
+            max_queue=max_queue,
+            overflow=overflow,
+        )
+
+    # -- query side --------------------------------------------------------
+
+    def positions(
+        self,
+        mmsi: int,
+        t0: float = float("-inf"),
+        t1: float = float("inf"),
+    ) -> list[TrackPoint]:
+        """One vessel's archived fixes in ``[t0, t1]``, time-ordered."""
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT t, lat, lon, sog_knots, cog_deg, source "
+                "FROM vessel_positions "
+                "WHERE mmsi = ? AND t >= ? AND t <= ? ORDER BY t",
+                (mmsi, t0, t1),
+            ).fetchall()
+        return [TrackPoint(*row) for row in rows]
+
+    def tracks_in_region(
+        self,
+        lat_min: float,
+        lat_max: float,
+        lon_min: float,
+        lon_max: float,
+        t0: float = float("-inf"),
+        t1: float = float("inf"),
+    ) -> list[dict]:
+        """Segments whose bounding box intersects the query box in
+        ``[t0, t1]`` — records with segment id, mmsi, span and bbox.
+
+        Bbox intersection over-approximates the actual track (a segment
+        crossing near a corner may not enter the box); callers needing
+        exact geometry re-check via :meth:`segment_points`.
+        """
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT segment_id, mmsi, t_start, t_end, n_points, "
+                "       lat_min, lat_max, lon_min, lon_max "
+                "FROM track_segments "
+                "WHERE t_start <= ? AND t_end >= ? "
+                "  AND lat_min <= ? AND lat_max >= ? "
+                "  AND lon_min <= ? AND lon_max >= ? "
+                "ORDER BY t_start, mmsi",
+                (t1, t0, lat_max, lat_min, lon_max, lon_min),
+            ).fetchall()
+        keys = (
+            "segment_id", "mmsi", "t_start", "t_end", "n_points",
+            "lat_min", "lat_max", "lon_min", "lon_max",
+        )
+        return [dict(zip(keys, row)) for row in rows]
+
+    def segment_points(self, segment_id: int) -> list[TrackPoint]:
+        """The full point sequence of one archived segment."""
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT t, lat, lon, sog_knots, cog_deg, source "
+                "FROM vessel_positions WHERE segment_id = ? ORDER BY t",
+                (segment_id,),
+            ).fetchall()
+        return [TrackPoint(*row) for row in rows]
+
+    def events(
+        self,
+        kind: "str | EventKind | None" = None,
+        mmsi: int | None = None,
+        t0: float = float("-inf"),
+        t1: float = float("inf"),
+        include_complex: bool = True,
+    ) -> list[Event]:
+        """Archived events, optionally narrowed by kind and vessel.
+
+        ``kind`` accepts the enum or its string value.  The ``mmsi``
+        filter is applied in Python (membership in the event's vessel
+        tuple — events are multi-vessel).
+        """
+        query = (
+            "SELECT kind, t_start, t_end, mmsis, lat, lon, confidence, "
+            "       details FROM events WHERE t_start >= ? AND t_start <= ?"
+        )
+        params: list = [t0, t1]
+        if kind is not None:
+            kind_value = kind.value if isinstance(kind, EventKind) else kind
+            EventKind(kind_value)  # reject unknown kinds loudly
+            query += " AND kind = ?"
+            params.append(kind_value)
+        if not include_complex:
+            query += " AND is_complex = 0"
+        query += " ORDER BY t_start, kind, mmsis"
+        with self._lock:
+            rows = self._db.execute(query, params).fetchall()
+        out = []
+        for row in rows:
+            event = Event(
+                kind=EventKind(row[0]),
+                t_start=row[1],
+                t_end=row[2],
+                mmsis=tuple(json.loads(row[3])),
+                lat=row[4],
+                lon=row[5],
+                confidence=row[6],
+                details=json.loads(row[7]),
+            )
+            if mmsi is None or mmsi in event.mmsis:
+                out.append(event)
+        return out
+
+    def alarms(
+        self,
+        t0: float = float("-inf"),
+        t1: float = float("inf"),
+        min_score: float = 0.0,
+    ) -> list[MonitoringAlarm]:
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT t, mmsi, lat, lon, score, explanation FROM alarms "
+                "WHERE t >= ? AND t <= ? AND score >= ? ORDER BY t, mmsi",
+                (t0, t1, min_score),
+            ).fetchall()
+        return [MonitoringAlarm(*row) for row in rows]
+
+    def summary(self) -> dict:
+        """Row counts per table plus the last archived watermark."""
+        with self._lock:
+            counts = {
+                table: self._db.execute(
+                    f"SELECT COUNT(*) FROM {table}"  # noqa: S608 — fixed set
+                ).fetchone()[0]
+                for table in (
+                    "vessel_positions", "track_segments", "events", "alarms"
+                )
+            }
+            row = self._db.execute(
+                "SELECT value FROM meta WHERE key = 'watermark'"
+            ).fetchone()
+        counts["watermark"] = float(row[0]) if row is not None else None
+        return counts
+
+    def close(self) -> None:
+        with self._lock:
+            self._db.commit()
+            self._db.close()
+
+    def __enter__(self) -> "SqliteTrackStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

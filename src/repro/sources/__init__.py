@@ -14,7 +14,12 @@ See ``src/repro/sources/README.md`` for the protocol contract,
 timestamp grammar, overflow/reconnect and merge semantics.
 """
 
-from repro.sources.base import FeedLiveness, Source, SourceStats
+from repro.sources.base import (
+    FeedLiveness,
+    Source,
+    SourcePosition,
+    SourceStats,
+)
 from repro.sources.iterable import IterableSource
 from repro.sources.merge import MergedSource
 from repro.sources.nmea import (
@@ -28,6 +33,7 @@ from repro.sources.tcp import NmeaTcpSource
 __all__ = [
     "FeedLiveness",
     "Source",
+    "SourcePosition",
     "SourceStats",
     "IterableSource",
     "MergedSource",

@@ -16,7 +16,36 @@ from typing import Iterator, Protocol, runtime_checkable
 
 from repro.simulation.receivers import Observation
 
-__all__ = ["FeedLiveness", "Source", "SourceStats"]
+__all__ = ["FeedLiveness", "Source", "SourcePosition", "SourceStats"]
+
+
+@dataclass(frozen=True)
+class SourcePosition:
+    """A resumable cursor into a source's input, recorded at a barrier.
+
+    Sources that can replay — files, in-memory iterables — implement
+    ``position() -> SourcePosition`` and ``seek(position)`` (before
+    iteration starts); the checkpoint layer records the position whose
+    every earlier observation has been *fed* to the pipeline, so a
+    restored run re-reads exactly the unprocessed suffix.  Stream
+    sources (TCP) cannot seek: they report ``kind="stream"`` and
+    restore relies on the replayed pipeline watermark dropping
+    already-processed records instead.
+    """
+
+    #: ``"file"`` (byte offset), ``"index"`` (item offset) or
+    #: ``"stream"`` (not seekable; offset is informational).
+    kind: str
+    #: Byte offset (file) or item index (iterable) of the first input
+    #: *not yet consumed*.
+    offset: int
+    #: Reception time of the last observation yielded before this
+    #: position; ``None`` before the first.
+    t_last: float | None = None
+    #: Observations yielded up to this position — seeds the resumed
+    #: source's cumulative counter, which synthetic (untagged-line)
+    #: reception timelines derive their clock from.
+    n_observations: int = 0
 
 
 @dataclass
@@ -95,3 +124,8 @@ class Source(Protocol):
 
     def close(self) -> None:
         """Stop the feed; iteration ends after buffered items drain."""
+
+    # ``position()``/``seek(position)`` are optional extensions of the
+    # protocol (duck-typed, not required members): replayable sources
+    # provide them so checkpoints can record a resume point; consumers
+    # probe with ``hasattr``.

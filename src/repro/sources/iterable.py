@@ -3,7 +3,7 @@
 from typing import Iterable, Iterator
 
 from repro.simulation.receivers import Observation
-from repro.sources.base import SourceStats
+from repro.sources.base import SourcePosition, SourceStats
 
 __all__ = ["IterableSource"]
 
@@ -14,6 +14,11 @@ class IterableSource:
     The zero-cost source: replays, tests and benchmarks hand the feed
     they already hold in memory to the same façade a socket would feed.
     A generator is consumed once; a list can be iterated again.
+
+    Resumable when the underlying iterable is restartable (a list, a
+    range-backed generator factory): :meth:`position` is the index of
+    the next item, :meth:`seek` fast-forwards a fresh iteration past the
+    already-processed prefix.
     """
 
     def __init__(self, observations: Iterable[Observation],
@@ -21,14 +26,45 @@ class IterableSource:
         self._observations = observations
         self._stats = SourceStats(name=name)
         self._closed = False
+        self._index = 0
+        self._t_last: float | None = None
+        self._iterating = False
 
     def __iter__(self) -> Iterator[Observation]:
-        for obs in self._observations:
+        self._iterating = True
+        iterator = iter(self._observations)
+        # Fast-forward past a seeked prefix: those items were processed
+        # by the run that recorded the position, so they are skipped
+        # without counting.
+        for _ in range(self._index):
+            if next(iterator, None) is None:
+                return
+        for obs in iterator:
             if self._closed:
                 break
+            self._index += 1
             self._stats.n_lines += 1
             self._stats.n_observations += 1
+            self._t_last = obs.t_received
             yield obs
+
+    def position(self) -> SourcePosition:
+        return SourcePosition(
+            kind="index",
+            offset=self._index,
+            t_last=self._t_last,
+            n_observations=self._stats.n_observations,
+        )
+
+    def seek(self, position: SourcePosition) -> None:
+        if self._iterating:
+            raise RuntimeError(
+                "seek() must run before iteration starts — a consuming "
+                "source cannot jump"
+            )
+        self._index = int(position.offset)
+        self._t_last = position.t_last
+        self._stats.n_observations = position.n_observations
 
     def stats(self) -> SourceStats:
         return self._stats

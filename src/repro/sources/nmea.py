@@ -28,7 +28,7 @@ from typing import IO, Iterable, Iterator
 from repro.ais.checksum import nmea_checksum
 from repro.ais.decoder import AisDecoder
 from repro.simulation.receivers import Observation
-from repro.sources.base import SourceStats
+from repro.sources.base import SourcePosition, SourceStats
 
 __all__ = [
     "NmeaFileSource",
@@ -138,6 +138,15 @@ class NmeaFileSource:
     ``poll_interval_s`` once EOF is reached, ending only after
     ``idle_timeout_s`` without new data (``None`` = follow forever, until
     :meth:`close`).
+
+    The source is **resumable**: the file is read in binary mode so the
+    cursor is an exact byte offset, :meth:`position` reports the offset
+    of the first unconsumed line (plus the reception time last emitted
+    and the cumulative observation count the synthetic timeline derives
+    from), and :meth:`seek` — before iteration — restarts from a
+    recorded position.  Tail mode keeps the same offset discipline: a
+    half-written line is not consumed, so the recorded position never
+    splits a line.
     """
 
     def __init__(
@@ -160,11 +169,20 @@ class NmeaFileSource:
         self._stats = SourceStats(name=f"file:{path}")
         self._decoder = AisDecoder()
         self._closed = False
+        #: Byte offset of the first line not yet consumed; the resume
+        #: cursor.  Binary reads keep it exact (text-mode ``tell`` is
+        #: neither cheap nor a byte count).
+        self._offset = 0
+        self._t_last: float | None = None
+        self._iterating = False
 
     # -- iteration ---------------------------------------------------------
 
     def __iter__(self) -> Iterator[Observation]:
-        with open(self.path) as fh:
+        self._iterating = True
+        with open(self.path, "rb") as fh:
+            if self._offset:
+                fh.seek(self._offset)
             yield from self._drain(fh)
             idle_s = 0.0
             while self.tail and not self._closed:
@@ -177,21 +195,26 @@ class NmeaFileSource:
                     yield obs
                 idle_s = 0.0 if produced else idle_s + self.poll_interval_s
 
-    def _drain(self, fh: IO[str]) -> Iterator[Observation]:
-        """Yield observations for every complete line currently readable."""
+    def _drain(self, fh: IO[bytes]) -> Iterator[Observation]:
+        """Yield observations for every complete line currently readable.
+
+        Invariant: the file cursor equals ``self._offset`` on entry and
+        exit — a line advances the offset only once fully consumed, and
+        a half-written tail line rewinds, so :meth:`position` always
+        names a line boundary.
+        """
         while not self._closed:
-            # tell() is costly in text mode; only tail mode needs the
-            # rewind point for half-written lines.
-            position = fh.tell() if self.tail else 0
-            line = fh.readline()
-            if not line:
+            raw = fh.readline()
+            if not raw:
                 break
-            if not line.endswith("\n") and self.tail:
+            if not raw.endswith(b"\n") and self.tail:
                 # A writer mid-line: rewind and retry on the next poll.
-                fh.seek(position)
+                fh.seek(self._offset)
                 break
-            obs = self._observation(line)
+            self._offset += len(raw)
+            obs = self._observation(raw.decode("utf-8", errors="replace"))
             if obs is not None:
+                self._t_last = obs.t_received
                 yield obs
 
     def _observation(self, line: str) -> Observation | None:
@@ -224,6 +247,33 @@ class NmeaFileSource:
         )
 
     # -- protocol ----------------------------------------------------------
+
+    def position(self) -> SourcePosition:
+        """The resume cursor: first unconsumed byte, last emitted time,
+        observations yielded so far.  Safe between yields (each yield
+        leaves the offset on a line boundary)."""
+        return SourcePosition(
+            kind="file",
+            offset=self._offset,
+            t_last=self._t_last,
+            n_observations=self._stats.n_observations,
+        )
+
+    def seek(self, position: SourcePosition) -> None:
+        """Restart a not-yet-iterated source from a recorded position.
+
+        Seeds the cumulative observation counter too, so an untagged
+        file's synthetic reception timeline continues where the
+        recording run left off instead of restarting at ``start_t``.
+        """
+        if self._iterating:
+            raise RuntimeError(
+                "seek() must run before iteration starts — a consuming "
+                "source cannot jump"
+            )
+        self._offset = int(position.offset)
+        self._t_last = position.t_last
+        self._stats.n_observations = position.n_observations
 
     def stats(self) -> SourceStats:
         return self._stats

@@ -33,7 +33,7 @@ from typing import Iterator
 
 from repro.ais.decoder import AisDecoder
 from repro.simulation.receivers import Observation
-from repro.sources.base import SourceStats
+from repro.sources.base import SourcePosition, SourceStats
 from repro.sources.nmea import _tag_times, parse_tagged_line
 
 __all__ = ["NmeaTcpSource"]
@@ -75,6 +75,7 @@ class NmeaTcpSource:
         self._stop = threading.Event()
         self._reader: threading.Thread | None = None
         self._sock: socket.socket | None = None
+        self._t_last: float | None = None
 
     # -- reader thread -----------------------------------------------------
 
@@ -214,7 +215,20 @@ class NmeaTcpSource:
                 # "yielded downstream", and overflow victims never are.
                 self._stats.n_observations += 1
                 self._stats.queue_depth = len(self._queue)
+                self._t_last = obs.t_received
             yield obs
+
+    def position(self) -> SourcePosition:
+        """Watermark-only position: a socket cannot be rewound, so a
+        restored run reconnects live and relies on the replayed reorder
+        watermark to drop records already processed before the crash.
+        No ``seek`` is provided."""
+        return SourcePosition(
+            kind="stream",
+            offset=0,
+            t_last=self._t_last,
+            n_observations=self._stats.n_observations,
+        )
 
     def _feeding(self) -> bool:
         """True while more observations may still arrive."""

@@ -52,6 +52,26 @@ class TripleStore:
     def __len__(self) -> int:
         return self._count
 
+    # Pickle as a canonically ordered triple list, not the hash indexes:
+    # set/dict iteration order depends on insertion history, so a store
+    # rebuilt from a checkpoint would re-pickle to different bytes than
+    # the original.  Sorting by repr makes snapshots of equal stores
+    # byte-identical (and therefore diffable) regardless of feed order.
+    def __getstate__(self) -> dict:
+        triples = [
+            (s, p, o)
+            for s, s_level in self._spo.items()
+            for p, objects in s_level.items()
+            for o in objects
+        ]
+        triples.sort(key=lambda t: (repr(t[0]), repr(t[1]), repr(t[2])))
+        return {"triples": triples}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__()
+        for subject, predicate, obj in state["triples"]:
+            self.add(subject, predicate, obj)
+
     def add(self, subject: Any, predicate: Any, obj: Any) -> None:
         s_level = self._spo.setdefault(subject, {})
         objects = s_level.setdefault(predicate, set())

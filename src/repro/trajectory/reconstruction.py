@@ -7,6 +7,7 @@ by deduplicating, gating physically impossible jumps, and segmenting on
 reporting gaps.
 """
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.ais.types import ClassBPositionReport, PositionReport
@@ -192,6 +193,35 @@ class TrackReconstructor:
         if state and state.points:
             return state.points[-1]
         return None
+
+    # -- durable state -----------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Every mutable structure, as plain copies (checkpointing).
+
+        ``states`` maps MMSI to the open segment and reject counter,
+        ``finished`` is the not-yet-drained closed-segment list in close
+        order, ``stats`` a copy of the cumulative counters.  The copies
+        share the frozen :class:`TrackPoint`/:class:`Trajectory` payloads
+        but none of the mutable containers.
+        """
+        return {
+            "states": {
+                mmsi: (list(state.points), state.consecutive_rejects)
+                for mmsi, state in self._states.items()
+            },
+            "finished": list(self._finished),
+            "stats": dataclasses.replace(self.stats),
+        }
+
+    def load_state(self, snapshot: dict) -> None:
+        """Restore :meth:`export_state` output (config stays as built)."""
+        self._states = {
+            mmsi: _TrackState(list(points), rejects)
+            for mmsi, (points, rejects) in snapshot["states"].items()
+        }
+        self._finished = list(snapshot["finished"])
+        self.stats = dataclasses.replace(snapshot["stats"])
 
     def finish(self) -> list[Trajectory]:
         """Close all open segments and return every reconstructed segment,

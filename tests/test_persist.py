@@ -1,0 +1,817 @@
+"""Durable state: checkpoints, crash-restore parity, the track store.
+
+The headline property: **crash-at-tick-k + restore == uninterrupted**.
+A monitor that checkpoints at every barrier, is killed after any tick k,
+and is restored into a fresh process (any worker count) produces the
+exact event set, forecasts and cube the never-interrupted run produces —
+regional and antimeridian-seam scenarios alike.  Around it: the
+checkpoint container's integrity guarantees (atomicity, hash-verified
+sections, versioning, fingerprint binding), the resumable-source
+position contract, the SQLite track store's query parity with in-memory
+products, and the adaptive CEP lateness + state-size satellites.
+"""
+
+import dataclasses
+import functools
+import os
+import pickle
+import tempfile
+import zipfile
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MaritimePipeline, PipelineConfig
+from repro.core.config import ConfigError
+from repro.core.stages.state import TtlTable
+from repro.events.cep import AdaptiveLateness
+from repro.monitor import MaritimeMonitor
+from repro.persist import (
+    CheckpointError,
+    SqliteTrackStore,
+    config_fingerprint,
+    latest_checkpoint,
+    read_checkpoint,
+    read_manifest,
+    write_checkpoint,
+)
+from repro.simulation.world import Port
+from repro.sources import (
+    IterableSource,
+    NmeaFileSource,
+    NmeaTcpSource,
+    SourcePosition,
+    write_nmea_file,
+)
+
+from test_core_stages import SCENARIOS, event_keys
+
+TICK_S = 240.0
+
+
+@functools.lru_cache(maxsize=None)
+def scenario_run(name):
+    return SCENARIOS[name]().run()
+
+
+def _pol_split(run):
+    return MaritimePipeline(PipelineConfig())._pol_split(run)
+
+
+def _monitor(run, workers=1, **kwargs):
+    return MaritimeMonitor(
+        PipelineConfig(workers=workers),
+        specs=run.specs,
+        weather=run.weather,
+        keep_products=True,
+        **kwargs,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def uninterrupted(name):
+    """The never-crashed monitor products every restore must reproduce."""
+    run = scenario_run(name)
+    monitor = _monitor(run)
+    monitor.attach(IterableSource(list(run.observations)))
+    monitor.run(tick_s=TICK_S, pol_split_t=_pol_split(run))
+    return monitor.result()
+
+
+@functools.lru_cache(maxsize=None)
+def checkpointed(name, workers):
+    """One checkpoint-per-tick run; returns (dir, result, n_checkpoints)."""
+    run = scenario_run(name)
+    directory = tempfile.mkdtemp(prefix=f"ckpt-{name}-")
+    monitor = _monitor(run, workers=workers)
+    monitor.attach(IterableSource(list(run.observations)))
+    monitor.run(
+        tick_s=TICK_S, pol_split_t=_pol_split(run),
+        checkpoint_dir=directory,
+    )
+    names = sorted(os.listdir(directory))
+    return directory, monitor.result(), names
+
+
+def assert_same_products(result, baseline):
+    assert event_keys(result.events) == event_keys(baseline.events)
+    assert event_keys(result.complex_events) == event_keys(
+        baseline.complex_events
+    )
+    assert result.forecasts == baseline.forecasts
+    assert result.cube.total == baseline.cube.total
+    assert result.cube.cell_counts() == baseline.cube.cell_counts()
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint container
+
+
+class TestCheckpointContainer:
+    def _write(self, tmp_path, sections=None, **kwargs):
+        path = str(tmp_path / "x.ckpt")
+        write_checkpoint(
+            path,
+            sections if sections is not None else {"a": [1, 2], "b": {"k": 3}},
+            fingerprint=kwargs.pop("fingerprint", "f" * 64),
+            watermark=kwargs.pop("watermark", 42.0),
+            workers=kwargs.pop("workers", 1),
+            **kwargs,
+        )
+        return path
+
+    def test_round_trip(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            sections={"a": [1, 2.5, "x"], "b": {"k": (3, None)}},
+            n_increments=7,
+            source_positions=[{"kind": "file", "offset": 99}],
+        )
+        manifest, sections = read_checkpoint(path)
+        assert sections == {"a": [1, 2.5, "x"], "b": {"k": (3, None)}}
+        assert manifest.watermark == 42.0
+        assert manifest.n_increments == 7
+        assert manifest.source_positions == [{"kind": "file", "offset": 99}]
+        assert sorted(manifest.section_hashes) == ["a", "b"]
+
+    def test_no_tmp_residue(self, tmp_path):
+        path = self._write(tmp_path)
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = self._write(tmp_path)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) // 2])
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+    def test_not_a_zip_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.ckpt")
+        open(path, "w").write("not a checkpoint")
+        with pytest.raises(CheckpointError, match="not a readable"):
+            read_checkpoint(path)
+
+    def test_corrupt_section_rejected(self, tmp_path):
+        """Flipping section bytes without touching the manifest trips the
+        per-section hash."""
+        path = self._write(tmp_path)
+        with zipfile.ZipFile(path) as archive:
+            members = {n: archive.read(n) for n in archive.namelist()}
+        members["sections/a.pkl"] = pickle.dumps([9, 9, 9])
+        with zipfile.ZipFile(path, "w") as archive:
+            for name, blob in members.items():
+                archive.writestr(name, blob)
+        with pytest.raises(CheckpointError, match="corrupt"):
+            read_checkpoint(path)
+
+    def test_missing_section_rejected(self, tmp_path):
+        path = self._write(tmp_path)
+        with zipfile.ZipFile(path) as archive:
+            members = {n: archive.read(n) for n in archive.namelist()}
+        del members["sections/b.pkl"]
+        with zipfile.ZipFile(path, "w") as archive:
+            for name, blob in members.items():
+                archive.writestr(name, blob)
+        with pytest.raises(CheckpointError, match="missing"):
+            read_checkpoint(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = self._write(tmp_path)
+        manifest = read_manifest(path)
+        for bump in ("format_version", "schema_version"):
+            bad = dataclasses.replace(
+                manifest, **{bump: getattr(manifest, bump) + 1}
+            )
+            with zipfile.ZipFile(path) as archive:
+                members = {n: archive.read(n) for n in archive.namelist()}
+            members["manifest.json"] = bad.to_json()
+            with zipfile.ZipFile(path, "w") as archive:
+                for name, blob in members.items():
+                    archive.writestr(name, blob)
+            with pytest.raises(CheckpointError, match="not supported"):
+                read_checkpoint(path)
+
+    def test_unpicklable_section_rejected_before_write(self, tmp_path):
+        path = str(tmp_path / "x.ckpt")
+        with pytest.raises(CheckpointError, match="not serialisable"):
+            write_checkpoint(
+                path, {"bad": lambda: None},
+                fingerprint="f", watermark=0.0, workers=1,
+            )
+        assert not os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+
+    def test_latest_checkpoint(self, tmp_path):
+        assert latest_checkpoint(str(tmp_path)) is None
+        assert latest_checkpoint(str(tmp_path / "nope")) is None
+        for n in (3, 1, 12):
+            self._write(tmp_path)
+            os.replace(
+                str(tmp_path / "x.ckpt"),
+                str(tmp_path / f"ckpt-{n:08d}.ckpt"),
+            )
+        (tmp_path / "notes.txt").write_text("ignored")
+        assert latest_checkpoint(str(tmp_path)).endswith(
+            "ckpt-00000012.ckpt"
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sections=st.dictionaries(
+            st.text(
+                st.characters(
+                    whitelist_categories=("Ll", "Nd"), min_codepoint=48
+                ),
+                min_size=1, max_size=8,
+            ),
+            st.recursive(
+                st.none() | st.booleans() | st.integers()
+                | st.floats(allow_nan=False) | st.text(max_size=12),
+                lambda leaf: st.lists(leaf, max_size=4)
+                | st.dictionaries(st.text(max_size=6), leaf, max_size=4),
+                max_leaves=12,
+            ),
+            min_size=1, max_size=5,
+        ),
+        watermark=st.floats(allow_nan=False),
+    )
+    def test_property_round_trip(self, sections, watermark):
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "p.ckpt")
+            write_checkpoint(
+                path, sections,
+                fingerprint="f" * 64, watermark=watermark, workers=3,
+            )
+            manifest, loaded = read_checkpoint(path)
+            assert loaded == sections
+            assert manifest.watermark == watermark
+
+
+class TestFingerprint:
+    def test_ignores_performance_knobs(self):
+        a = PipelineConfig(workers=1, batch_decode=True)
+        b = PipelineConfig(workers=4, batch_decode=False)
+        assert config_fingerprint(a, [], [], []) == \
+            config_fingerprint(b, [], [], [])
+
+    def test_semantic_fields_bind(self):
+        a = PipelineConfig()
+        b = PipelineConfig(gap_min_s=a.gap_min_s + 1.0)
+        assert config_fingerprint(a, [], [], []) != \
+            config_fingerprint(b, [], [], [])
+
+    def test_ports_zones_patterns_bind(self):
+        config = PipelineConfig()
+        base = config_fingerprint(config, [], [], [])
+        port = Port("X", 1.0, 2.0)
+        assert config_fingerprint(config, [port], [], []) != base
+        from repro.core.pipeline import DARK_RENDEZVOUS
+        assert config_fingerprint(config, [], [], [DARK_RENDEZVOUS]) != base
+
+    def test_restore_rejects_mismatch(self, tmp_path):
+        run = scenario_run("regional")
+        path = str(tmp_path / "a.ckpt")
+        pipeline = MaritimePipeline(PipelineConfig())
+        session = pipeline.new_session(specs=run.specs)
+        session.checkpoint(path)
+        other = MaritimePipeline(PipelineConfig(gap_min_s=123.0))
+        with pytest.raises(CheckpointError, match="different logical"):
+            other.restore_session(path)
+
+    def test_restore_accepts_different_workers(self, tmp_path):
+        path = str(tmp_path / "a.ckpt")
+        MaritimePipeline(PipelineConfig(workers=2)).new_session()\
+            .checkpoint(path)
+        session, manifest = MaritimePipeline(
+            PipelineConfig(workers=4)
+        ).restore_session(path)
+        assert manifest.workers == 2
+        assert session.workers == 4
+
+
+# ---------------------------------------------------------------------------
+# Crash/restore parity — the tentpole property
+
+
+class TestCrashRestoreParity:
+    def _restore_and_finish(self, name, ckpt_path, workers):
+        run = scenario_run(name)
+        monitor = MaritimeMonitor(PipelineConfig(workers=workers))
+        monitor.restore(ckpt_path)
+        monitor.attach(IterableSource(list(run.observations)))
+        monitor.run(tick_s=TICK_S)
+        return monitor.result()
+
+    def test_checkpointing_does_not_change_products(self):
+        __, result, names = checkpointed("regional", workers=1)
+        assert len(names) > 5
+        assert_same_products(result, uninterrupted("regional"))
+
+    @pytest.mark.parametrize("position", ["first", "mid", "last"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_crash_at_k_equals_uninterrupted(self, position, workers):
+        directory, __, names = checkpointed("regional", workers=1)
+        k = {"first": 0, "mid": len(names) // 2, "last": -1}[position]
+        result = self._restore_and_finish(
+            "regional", os.path.join(directory, names[k]), workers
+        )
+        assert_same_products(result, uninterrupted("regional"))
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_seam_restore_across_worker_counts(self, workers):
+        """Snapshot written by a 2-worker run, restored under 1/2/4, on
+        traffic straddling the antimeridian."""
+        directory, result, names = checkpointed("seam", workers=2)
+        assert_same_products(result, uninterrupted("seam"))
+        restored = self._restore_and_finish(
+            "seam", os.path.join(directory, names[len(names) // 2]), workers
+        )
+        assert_same_products(restored, uninterrupted("seam"))
+
+    def test_real_crash_mid_run_then_restore(self, tmp_path):
+        """An actual mid-stream abort (failing subscriber), not just the
+        barrier-equivalence argument: restore from the last checkpoint
+        on disk and finish; products match the uninterrupted run."""
+        run = scenario_run("regional")
+        directory = str(tmp_path / "ck")
+
+        class Boom(Exception):
+            pass
+
+        ticks = {"n": 0}
+
+        def crash_after_8(increment):
+            ticks["n"] += 1
+            if ticks["n"] >= 8:
+                raise Boom()
+
+        monitor = _monitor(run)
+        monitor.attach(IterableSource(list(run.observations)))
+        monitor.subscribe(on_increment=crash_after_8)
+        with pytest.raises(Boom):
+            monitor.run(
+                tick_s=TICK_S, pol_split_t=_pol_split(run),
+                checkpoint_dir=directory,
+            )
+        last = latest_checkpoint(directory)
+        assert last is not None and last.endswith("ckpt-00000007.ckpt")
+        result = self._restore_and_finish("regional", last, workers=2)
+        assert_same_products(result, uninterrupted("regional"))
+
+    def test_restore_from_nmea_file_byte_offsets(self, tmp_path):
+        """The whole catch-up path over a real NMEA file: byte-offset
+        positions recorded at barriers, a fresh source sought to them."""
+        run = scenario_run("regional")
+        feed = str(tmp_path / "feed.nmea")
+        write_nmea_file(run.observations, feed)
+        directory = str(tmp_path / "ck")
+
+        monitor = _monitor(run)
+        monitor.attach(NmeaFileSource(feed))
+        monitor.run(
+            tick_s=TICK_S, pol_split_t=_pol_split(run),
+            checkpoint_dir=directory,
+        )
+        assert_same_products(monitor.result(), uninterrupted("regional"))
+
+        names = sorted(os.listdir(directory))
+        ckpt = os.path.join(directory, names[len(names) // 2])
+        manifest = read_manifest(ckpt)
+        recorded = manifest.source_positions[0]
+        assert recorded is not None and recorded["kind"] == "file"
+        assert 0 < recorded["offset"] < os.path.getsize(feed)
+
+        restored = MaritimeMonitor(PipelineConfig(workers=2))
+        restored.restore(ckpt)
+        restored.attach(NmeaFileSource(feed))
+        report = restored.run(tick_s=TICK_S)
+        assert_same_products(restored.result(), uninterrupted("regional"))
+        # Catch-up replay read only the unprocessed suffix.
+        assert report.n_observations < len(run.observations)
+
+    def test_checkpoint_every_thins_files(self, tmp_path):
+        run = scenario_run("regional")
+        directory = str(tmp_path / "ck")
+        monitor = _monitor(run)
+        monitor.attach(IterableSource(list(run.observations)))
+        monitor.run(
+            tick_s=TICK_S, pol_split_t=_pol_split(run),
+            checkpoint_dir=directory, checkpoint_every=5,
+        )
+        names = sorted(os.listdir(directory))
+        __, __, dense = checkpointed("regional", workers=1)
+        assert 0 < len(names) < len(dense)
+        assert all(
+            int(name[5:13]) % 5 == 0 for name in names
+        )
+
+    def test_checkpoint_mid_feed_refused(self):
+        """A synchronous subscriber runs mid-barrier: no consistent
+        state exists, so checkpoint() must refuse."""
+        run = scenario_run("regional")
+        pipeline = MaritimePipeline(PipelineConfig())
+        session = pipeline.new_session(specs=run.specs)
+        errors = []
+
+        def checkpoint_from_callback(increment):
+            with tempfile.TemporaryDirectory() as d:
+                try:
+                    session.checkpoint(os.path.join(d, "x.ckpt"))
+                except RuntimeError as exc:
+                    errors.append(str(exc))
+
+        session.subscribe(on_increment=checkpoint_from_callback)
+        session.feed(run.observations[:50])
+        assert errors and "watermark barrier" in errors[0]
+
+    def test_snapshot_reexport_is_canonical(self, tmp_path):
+        """Same worker count, no new records: a restored state exports
+        byte-identical section pickles (sorted sets, canonical orders —
+        the property that makes checkpoints diffable)."""
+        run = scenario_run("regional")
+        pipeline = MaritimePipeline(PipelineConfig())
+        session = pipeline.new_session(
+            specs=run.specs, weather=run.weather,
+            pol_split_t=_pol_split(run),
+        )
+        session.feed(run.observations[: len(run.observations) // 2])
+        path = str(tmp_path / "a.ckpt")
+        first = session.checkpoint(path)
+        restored, __ = pipeline.restore_session(path)
+        second = restored.checkpoint(str(tmp_path / "b.ckpt"))
+        assert first.section_hashes == second.section_hashes
+        assert first.watermark == second.watermark
+
+
+# ---------------------------------------------------------------------------
+# SQLite track store
+
+
+@functools.lru_cache(maxsize=None)
+def stored_run():
+    """One monitored run archived into a store; returns
+    (db_path, result, report)."""
+    run = scenario_run("regional")
+    directory = tempfile.mkdtemp(prefix="trackstore-")
+    db = os.path.join(directory, "tracks.db")
+    monitor = _monitor(run)
+    store = SqliteTrackStore(db)
+    store.attach(monitor)
+    monitor.attach(IterableSource(list(run.observations)))
+    report = monitor.run(tick_s=TICK_S, pol_split_t=_pol_split(run))
+    result = monitor.result()
+    store.close()
+    return db, result, report
+
+
+class TestSqliteTrackStore:
+    def test_positions_match_pipeline_segments(self):
+        db, result, __ = stored_run()
+        store = SqliteTrackStore(db)
+        mmsis = {t.mmsi for t in result.trajectories}
+        assert mmsis
+        for mmsi in mmsis:
+            expected = sorted(
+                (p for t in result.trajectories if t.mmsi == mmsi
+                 for p in t.points),
+                key=lambda p: p.t,
+            )
+            assert store.positions(mmsi) == expected
+        store.close()
+
+    def test_time_window_narrowing(self):
+        db, result, __ = stored_run()
+        store = SqliteTrackStore(db)
+        mmsi = result.trajectories[0].mmsi
+        full = store.positions(mmsi)
+        t0, t1 = full[2].t, full[-3].t
+        window = store.positions(mmsi, t0, t1)
+        assert window == [p for p in full if t0 <= p.t <= t1]
+        store.close()
+
+    def test_events_match_pipeline_products(self):
+        db, result, __ = stored_run()
+        store = SqliteTrackStore(db)
+        assert event_keys(store.events()) == event_keys(
+            result.events + result.complex_events
+        )
+        assert event_keys(store.events(include_complex=False)) == \
+            event_keys(result.events)
+        store.close()
+
+    def test_event_filters(self):
+        db, result, __ = stored_run()
+        store = SqliteTrackStore(db)
+        some = result.events[0]
+        by_kind = store.events(kind=some.kind)
+        assert by_kind and all(e.kind is some.kind for e in by_kind)
+        assert event_keys(by_kind) == event_keys(
+            [e for e in result.events + result.complex_events
+             if e.kind is some.kind]
+        )
+        mmsi = some.mmsis[0]
+        by_vessel = store.events(mmsi=mmsi)
+        assert by_vessel and all(mmsi in e.mmsis for e in by_vessel)
+        with pytest.raises(ValueError):
+            store.events(kind="not_a_kind")
+        store.close()
+
+    def test_tracks_in_region(self):
+        db, result, __ = stored_run()
+        store = SqliteTrackStore(db)
+        everywhere = store.tracks_in_region(-90, 90, -180, 180)
+        assert len(everywhere) == len(result.trajectories)
+        assert store.tracks_in_region(-89, -80, 100, 110) == []
+        segment = everywhere[0]
+        points = store.segment_points(segment["segment_id"])
+        assert len(points) == segment["n_points"]
+        assert all(
+            segment["lat_min"] <= p.lat <= segment["lat_max"]
+            for p in points
+        )
+        store.close()
+
+    def test_counts_reconcile_with_report(self):
+        db, result, report = stored_run()
+        store = SqliteTrackStore(db)
+        summary = store.summary()
+        assert summary["track_segments"] == len(result.trajectories)
+        assert summary["vessel_positions"] == sum(
+            len(t) for t in result.trajectories
+        )
+        assert summary["events"] == \
+            report.n_events + report.n_complex_events
+        assert summary["alarms"] == report.n_alarms
+        assert summary["watermark"] is not None
+        store.close()
+
+    def test_survives_reopen(self):
+        """Durability: a fresh connection (fresh process, in effect)
+        sees everything the writing run archived."""
+        db, result, __ = stored_run()
+        again = SqliteTrackStore(db)
+        assert again.summary()["track_segments"] == len(result.trajectories)
+        again.close()
+
+    def test_non_json_details_round_trip_as_equal_events(self, tmp_path):
+        from repro.events.base import Event, EventKind
+
+        db = str(tmp_path / "d.db")
+        store = SqliteTrackStore(db)
+        event = Event(
+            kind=EventKind.GAP, t_start=1.0, t_end=2.0, mmsis=(7,),
+            lat=0.0, lon=0.0,
+            details={"vessel": Port("X", 1.0, 2.0)},  # not JSON-native
+        )
+
+        class FakeIncrement:
+            t_watermark = 2.0
+            new_segments = ()
+            new_events = (event,)
+            new_complex_events = ()
+            new_alarms = ()
+
+        store.write_increment(FakeIncrement())
+        [loaded] = store.events()
+        assert loaded == event  # details excluded from equality
+        assert isinstance(loaded.details["vessel"], str)
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# Resumable sources
+
+
+class TestSourcePositions:
+    def _tagged_feed(self, tmp_path):
+        run = scenario_run("regional")
+        path = str(tmp_path / "feed.nmea")
+        write_nmea_file(run.observations, path)
+        # Compare against a full file read, not the simulator's feed:
+        # the file format drops per-fragment metadata the simulator had.
+        return path, list(NmeaFileSource(path))
+
+    def test_file_seek_yields_exact_suffix(self, tmp_path):
+        path, all_obs = self._tagged_feed(tmp_path)
+        source = NmeaFileSource(path)
+        iterator = iter(source)
+        consumed = [next(iterator) for __ in range(100)]
+        position = source.position()
+        assert position.kind == "file"
+        assert position.n_observations == 100
+        assert position.t_last == consumed[-1].t_received
+
+        resumed = NmeaFileSource(path)
+        resumed.seek(position)
+        suffix = list(resumed)
+        assert consumed + suffix == all_obs
+
+    def test_file_position_is_line_aligned(self, tmp_path):
+        path, __ = self._tagged_feed(tmp_path)
+        source = NmeaFileSource(path)
+        iterator = iter(source)
+        next(iterator)
+        offset = source.position().offset
+        with open(path, "rb") as fh:
+            fh.seek(offset - 1)
+            assert fh.read(1) == b"\n"
+
+    def test_synthetic_timeline_continues_after_seek(self, tmp_path):
+        """Untagged lines get reception times from the cumulative
+        observation counter — the seeded counter keeps the clock
+        monotonic across a restore."""
+        run = scenario_run("regional")
+        path = str(tmp_path / "bare.nmea")
+        with open(path, "w") as fh:
+            for obs in run.observations[:50]:
+                fh.write(obs.sentence + "\n")
+        full = list(NmeaFileSource(path, synthetic_interval_s=2.0))
+        source = NmeaFileSource(path, synthetic_interval_s=2.0)
+        iterator = iter(source)
+        head = [next(iterator) for __ in range(20)]
+        resumed = NmeaFileSource(path, synthetic_interval_s=2.0)
+        resumed.seek(source.position())
+        tail = list(resumed)
+        assert [o.t_received for o in head + tail] == \
+            [o.t_received for o in full]
+
+    def test_seek_after_iteration_started_refused(self, tmp_path):
+        path, __ = self._tagged_feed(tmp_path)
+        source = NmeaFileSource(path)
+        next(iter(source))
+        with pytest.raises(RuntimeError, match="before iteration"):
+            source.seek(SourcePosition(kind="file", offset=0))
+
+    def test_iterable_source_seek(self):
+        run = scenario_run("regional")
+        observations = list(run.observations)[:40]
+        source = IterableSource(observations)
+        iterator = iter(source)
+        head = [next(iterator) for __ in range(15)]
+        position = source.position()
+        assert position.kind == "index" and position.offset == 15
+
+        resumed = IterableSource(observations)
+        resumed.seek(position)
+        assert head + list(resumed) == observations
+        with pytest.raises(RuntimeError):
+            source.seek(position)
+
+    def test_tcp_source_is_stream_kind(self):
+        source = NmeaTcpSource("localhost", 1)  # never connected
+        position = source.position()
+        assert position.kind == "stream"
+        assert not hasattr(source, "seek")
+
+
+# ---------------------------------------------------------------------------
+# Satellites: adaptive CEP lateness, state-size probe, config validation
+
+
+class TestAdaptiveLateness:
+    def test_cap_until_first_observation(self):
+        lateness = AdaptiveLateness(floor_s=10.0, cap_s=100.0)
+        assert lateness.value() == 100.0
+        lateness.observe(0.0)
+        assert lateness.value() == 10.0  # clamped up to the floor
+
+    def test_tracks_ewma_with_margin(self):
+        lateness = AdaptiveLateness(
+            floor_s=0.0, cap_s=1e9, alpha=0.5, margin=2.0
+        )
+        lateness.observe(100.0)
+        assert lateness.value() == pytest.approx(200.0)
+        lateness.observe(200.0)  # ewma -> 150
+        assert lateness.value() == pytest.approx(300.0)
+        assert lateness.n_observed == 2
+
+    def test_clamps_to_cap_and_floor(self):
+        lateness = AdaptiveLateness(floor_s=50.0, cap_s=60.0)
+        lateness.observe(1e6)
+        assert lateness.value() == 60.0
+        lateness = AdaptiveLateness(floor_s=50.0, cap_s=60.0)
+        lateness.observe(0.0)
+        assert lateness.value() == 50.0
+
+    def test_negative_latency_clamped(self):
+        lateness = AdaptiveLateness(floor_s=0.0, cap_s=100.0)
+        lateness.observe(-5.0)  # an event ahead of the watermark
+        assert lateness.ewma_s == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        latencies=st.lists(
+            st.floats(min_value=-1e4, max_value=1e6), max_size=30
+        ),
+        floor=st.floats(min_value=0.0, max_value=1e3),
+        span=st.floats(min_value=0.0, max_value=1e4),
+    )
+    def test_value_always_within_bounds(self, latencies, floor, span):
+        lateness = AdaptiveLateness(floor_s=floor, cap_s=floor + span)
+        for latency in latencies:
+            lateness.observe(latency)
+        assert floor <= lateness.value() <= floor + span or (
+            not latencies and lateness.value() == floor + span
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveLateness(floor_s=-1.0, cap_s=10.0)
+        with pytest.raises(ValueError):
+            AdaptiveLateness(floor_s=10.0, cap_s=5.0)
+        with pytest.raises(ValueError):
+            AdaptiveLateness(floor_s=0.0, cap_s=1.0, alpha=0.0)
+
+    def test_config_wiring(self):
+        auto = MaritimePipeline(PipelineConfig()).new_session()
+        assert isinstance(auto.state.cep_lateness, AdaptiveLateness)
+        static = MaritimePipeline(
+            PipelineConfig(cep_event_lateness_s=3600.0)
+        ).new_session()
+        assert static.state.cep_lateness is None
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(cep_event_lateness_s=-1.0).validate()
+        with pytest.raises(ConfigError):
+            PipelineConfig(cep_event_lateness_s="soon").validate()
+        with pytest.raises(ConfigError):
+            PipelineConfig(cep_lateness_floor_s=100.0,
+                           cep_lateness_cap_s=50.0).validate()
+
+    def test_adaptive_survives_checkpoint(self, tmp_path):
+        run = scenario_run("regional")
+        pipeline = MaritimePipeline(PipelineConfig())
+        session = pipeline.new_session(specs=run.specs)
+        session.feed(run.observations[: len(run.observations) // 2])
+        before = session.state.cep_lateness
+        assert before.n_observed > 0
+        path = str(tmp_path / "a.ckpt")
+        session.checkpoint(path)
+        restored, __ = pipeline.restore_session(path)
+        after = restored.state.cep_lateness
+        assert after.ewma_s == before.ewma_s
+        assert after.n_observed == before.n_observed
+        assert after.value() == before.value()
+
+
+class TestStateSizeProbe:
+    def test_alarm_once_per_crossing(self):
+        run = scenario_run("regional")
+        pipeline = MaritimePipeline(PipelineConfig(state_size_soft_limit=5))
+        session = pipeline.new_session(specs=run.specs)
+        alarms = []
+        session.subscribe(
+            on_alarm=lambda a: alarms.append(a)
+        )
+        half = len(run.observations) // 2
+        session.feed(run.observations[:half])
+        session.feed(run.observations[half:])
+        session.flush()
+        sized = [a for a in alarms if "state-size" in a.explanation]
+        assert len(sized) == 1  # crossed once, stayed above: one alarm
+        assert "exceed the soft limit 5" in sized[0].explanation
+        assert "largest:" in sized[0].explanation
+        assert "state-size" in session.health.report()
+
+    def test_disabled_when_unlimited(self):
+        pipeline = MaritimePipeline(
+            PipelineConfig(state_size_soft_limit=None)
+        )
+        session = pipeline.new_session()
+        assert "state-size" not in session.health.report()
+
+    def test_limit_validation(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(state_size_soft_limit=0).validate()
+
+
+class TestTtlTableEntries:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.floats(min_value=0, max_value=1e6),
+                st.text(max_size=5),
+            ),
+            max_size=20,
+            unique_by=lambda e: e[0],
+        )
+    )
+    def test_export_load_round_trip(self, entries):
+        table = TtlTable()
+        for key, t, value in entries:
+            table.put(key, t, value)
+        exported = table.export_entries()
+        assert exported == sorted(exported)  # canonical order
+
+        loaded = TtlTable()
+        loaded.put(999, 0.0, "stale")  # load must clear pre-existing
+        loaded.load_entries(exported)
+        assert loaded.export_entries() == exported
+        assert len(loaded) == len(entries)
+        for key, t, value in entries:
+            assert loaded.get(key) == value
+            assert loaded.timestamp(key) == t

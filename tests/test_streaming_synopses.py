@@ -42,7 +42,10 @@ class TestCountMin:
         sketch = CountMinSketch(width=1024, depth=4)
         for i in range(1000):
             sketch.add(i % 50)
-        assert sketch.estimate("never-seen") <= 3 * 1000 / 1024 + 5
+        # Probe with an int: str hashes are salted per process, so a str
+        # probe key makes this a 1-in-200 hash-seed flake; int hashes
+        # are value-based and keep the estimate deterministic.
+        assert sketch.estimate(10**9) <= 3 * 1000 / 1024 + 5
 
     def test_weighted_add(self):
         sketch = CountMinSketch()
