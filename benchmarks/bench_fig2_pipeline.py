@@ -623,3 +623,181 @@ def test_fig2_durability(regional_run, tmp_path, report):
         },
     }
     _write_json()
+
+
+#: Subscriber-count axis for the fan-out benchmark (smoke shrinks it).
+FANOUT_SUBSCRIBERS = (100, 1_000, 10_000)
+FANOUT_SMOKE_SUBSCRIBERS = (50, 200, 1_000)
+#: Indexed dispatch must beat the full-scan hub by this factor at the
+#: largest subscriber count (the acceptance target; enforced by
+#: ``check_bench_trend.py --pipeline``).  Smoke fleets are too small to
+#: amortise the index probe, so the floor drops accordingly.
+FANOUT_MIN_SPEEDUP = 10.0
+FANOUT_SMOKE_MIN_SPEEDUP = 2.0
+FANOUT_TICKS = 48
+FANOUT_FLEET = 800
+FANOUT_EVENTS_PER_TICK = 3
+
+
+def _fanout_sink(__) -> None:
+    """Cheapest possible consumer: the bench times dispatch, not sinks."""
+
+
+def _fanout_increments(n_ticks: int):
+    """Synthetic increments with events scattered over a 10°x10° box."""
+    import random
+
+    from repro.core.stages import BackpressureMetrics, PipelineIncrement
+    from repro.events.base import Event, EventKind
+
+    rng = random.Random(1789)
+    kinds = (
+        EventKind.GAP, EventKind.GAP, EventKind.SPEED_ANOMALY,
+        EventKind.LOITERING,
+    )
+    increments = []
+    for tick in range(n_ticks):
+        events = []
+        for i in range(FANOUT_EVENTS_PER_TICK):
+            t = 60.0 * (tick + 1)
+            events.append(Event(
+                kind=kinds[(tick + i) % len(kinds)],
+                t_start=t, t_end=t + 60.0,
+                mmsis=(rng.randrange(1, FANOUT_FLEET + 1),),
+                lat=rng.uniform(45.0, 55.0), lon=rng.uniform(-10.0, 0.0),
+                confidence=0.9, details={},
+            ))
+        increments.append(PipelineIncrement(
+            t_watermark=60.0 * (tick + 1),
+            n_observations=FANOUT_EVENTS_PER_TICK,
+            n_records=FANOUT_EVENTS_PER_TICK,
+            new_events=events,
+            new_complex_events=[],
+            new_alarms=[],
+            updated_forecasts={},
+            backpressure=BackpressureMetrics(
+                feed_latency_s=0.0, records_deferred=0, queue_depths={},
+            ),
+        ))
+    return increments
+
+
+def _fanout_subscribe(hub, n: int) -> None:
+    """A realistic watch mix: mostly per-vessel, some regional, a few
+    kind-wide and firehose consumers.  Deterministic, so the indexed and
+    scan hubs carry identical subscriber populations."""
+    import random
+
+    from repro.events.base import EventKind
+    from repro.geo import CircleRegion
+
+    rng = random.Random(7)
+    for i in range(n):
+        roll = i % 100
+        if roll < 80:
+            hub.subscribe(
+                on_event=_fanout_sink,
+                mmsis=rng.sample(range(1, FANOUT_FLEET + 1), 2),
+            )
+        elif roll < 98:
+            hub.subscribe(
+                on_event=_fanout_sink,
+                region=CircleRegion(
+                    rng.uniform(45.5, 54.5), rng.uniform(-9.5, -0.5),
+                    30_000.0,
+                ),
+            )
+        elif roll == 98:
+            hub.subscribe(on_event=_fanout_sink,
+                          kinds=[EventKind.LOITERING])
+        else:
+            hub.subscribe(on_increment=_fanout_sink)
+
+
+def test_fig2_fanout(report):
+    """The fan-out axis: indexed candidate routing vs the full scan at
+    100/1k/10k subscribers, plus thread-count independence of the shared
+    dispatch pool."""
+    import threading
+
+    from repro.sinks import SubscriptionHub
+    from repro.sinks.dispatch import default_pool_workers
+
+    smoke = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+    counts = FANOUT_SMOKE_SUBSCRIBERS if smoke else FANOUT_SUBSCRIBERS
+    min_speedup = FANOUT_SMOKE_MIN_SPEEDUP if smoke else FANOUT_MIN_SPEEDUP
+    increments = _fanout_increments(FANOUT_TICKS)
+
+    def run_once(n: int, indexed: bool):
+        hub = SubscriptionHub(indexed=indexed)
+        _fanout_subscribe(hub, n)
+        t0 = time.perf_counter()
+        for increment in increments:
+            hub.dispatch(increment)
+        seconds = time.perf_counter() - t0
+        delivered = sum(
+            sum(s.delivered.values()) for s in hub.registry
+        )
+        return seconds, delivered
+
+    runs = []
+    lines = [
+        "",
+        f"FIG2 — subscription fan-out ({FANOUT_TICKS} increments, "
+        f"{FANOUT_EVENTS_PER_TICK} events each, fleet {FANOUT_FLEET})",
+    ]
+    for n in counts:
+        scan_s, scan_delivered = run_once(n, indexed=False)
+        indexed_s, indexed_delivered = run_once(n, indexed=True)
+        speedup = scan_s / indexed_s if indexed_s > 0 else 0.0
+
+        # Thread-count independence: async lanes ride the shared pool,
+        # so subscriber count must not move the thread count.
+        before = threading.active_count()
+        pooled = SubscriptionHub()
+        for __ in range(n):
+            pooled.subscribe(on_increment=_fanout_sink,
+                             async_dispatch=True)
+        threads_added = threading.active_count() - before
+        pooled.close()
+        assert threads_added <= default_pool_workers()
+
+        # The index only over-selects; exact filters still run, so the
+        # two hubs must deliver identically.
+        assert indexed_delivered == scan_delivered
+        runs.append({
+            "subscribers": n,
+            "scan_s": round(scan_s, 4),
+            "indexed_s": round(indexed_s, 4),
+            "speedup": round(speedup, 2),
+            "scan_increments_per_s": round(FANOUT_TICKS / scan_s, 1)
+            if scan_s > 0 else 0.0,
+            "indexed_increments_per_s": round(FANOUT_TICKS / indexed_s, 1)
+            if indexed_s > 0 else 0.0,
+            "delivered": indexed_delivered,
+            "events_equal": indexed_delivered == scan_delivered,
+            "threads_added": threads_added,
+        })
+        lines.append(
+            f"  {n:>6,} subscribers: scan {scan_s:.3f}s, indexed "
+            f"{indexed_s:.3f}s ({speedup:.1f}x; {threads_added} pool "
+            f"threads)"
+        )
+
+    largest = runs[-1]
+    assert largest["speedup"] >= min_speedup, (
+        f"indexed dispatch only {largest['speedup']:.1f}x the scan at "
+        f"{largest['subscribers']} subscribers (floor {min_speedup}x)"
+    )
+    assert len({r["threads_added"] for r in runs}) == 1
+
+    report(*lines)
+    _RESULTS["fanout"] = {
+        "ticks": FANOUT_TICKS,
+        "events_per_tick": FANOUT_EVENTS_PER_TICK,
+        "fleet": FANOUT_FLEET,
+        "min_speedup": min_speedup,
+        "pool_workers": default_pool_workers(),
+        "runs": runs,
+    }
+    _write_json()

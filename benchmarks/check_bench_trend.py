@@ -31,7 +31,11 @@ under the GIL or on small runners); the vectorised batch decoder must
 hold its recorded speedup floor over the scalar loop whenever numpy is
 available; and the durable-state overheads (SQLite track store attached,
 per-barrier checkpoints) must stay under their recorded ceilings with
-products identical to the bare pipeline.
+products identical to the bare pipeline.  The fan-out section guards the
+subscription index: indexed dispatch must beat the full-scan hub by the
+recorded floor at the largest subscriber count, deliver the identical
+event set, and the shared pool's thread count must not move with the
+subscriber count.
 """
 
 import argparse
@@ -231,6 +235,57 @@ def check_pipeline_decode(pipeline: dict) -> list[str]:
     return []
 
 
+def check_pipeline_fanout(pipeline: dict) -> list[str]:
+    """Self-relative guard on the subscription fan-out measurement.
+
+    Both hubs ran the same increments with the same subscriber
+    population on the same machine, so the speedup needs no
+    calibration: at the largest subscriber count the indexed hub must
+    beat the full scan by the floor the benchmark recorded (10x in full
+    runs).  Delivery equality is a hard invariant — the index may only
+    over-select, never drop — and the pool thread count must be the
+    same at every subscriber count (threads are a constant of the hub,
+    not of the audience).
+    """
+    fanout = pipeline.get("fanout")
+    if fanout is None:
+        return ["fanout section missing from pipeline JSON"]
+    runs = fanout.get("runs") or []
+    if not runs:
+        return ["fanout section carries no runs"]
+    failures: list[str] = []
+    floor = fanout.get("min_speedup") or 0.0
+    largest = max(runs, key=lambda run: run.get("subscribers") or 0)
+    speedup = largest.get("speedup") or 0.0
+    marker = "FAIL" if speedup < floor else "ok"
+    print(
+        f"  fanout: indexed {speedup:.1f}x the scan hub at "
+        f"{largest.get('subscribers'):,} subscribers "
+        f"(floor {floor}x)  {marker}"
+    )
+    if speedup < floor:
+        failures.append(
+            f"fanout: indexed dispatch only {speedup:.1f}x the scan "
+            f"baseline at {largest.get('subscribers')} subscribers "
+            f"(floor {floor}x)"
+        )
+    for run in runs:
+        if not run.get("events_equal"):
+            failures.append(
+                f"fanout: indexed delivery diverged from the scan at "
+                f"{run.get('subscribers')} subscribers (correctness "
+                "invariant, not noise)"
+            )
+    threads = {run.get("threads_added") for run in runs}
+    if len(threads) > 1:
+        failures.append(
+            f"fanout: pool thread count varies with subscriber count "
+            f"({sorted(threads)}) — dispatch threads must be a constant "
+            "of the hub"
+        )
+    return failures
+
+
 def check_pipeline_durability(pipeline: dict) -> list[str]:
     """Self-relative guard on the durable-state axis.
 
@@ -324,6 +379,7 @@ def main(argv: list[str] | None = None) -> int:
             failures += check_pipeline_workers(pipeline)
             failures += check_pipeline_decode(pipeline)
             failures += check_pipeline_durability(pipeline)
+            failures += check_pipeline_fanout(pipeline)
     if failures:
         print("\nREGRESSIONS:")
         for failure in failures:

@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the ``repro serve`` gateway, CI-friendly.
+
+Exercises the full serving stack as a black box, the way an operator
+would deploy it:
+
+1. generate a small regional scenario and write it as a TAG-blocked
+   NMEA feed file (``repro simulate --tagged``);
+2. launch ``repro serve --nmea-file <feed> --port 0 --hold -1
+   --allow-shutdown`` as a subprocess and parse the bound URL from its
+   ``# serving on http://...`` stderr line;
+3. poll ``GET /healthz`` until the replay has produced increments, then
+   assert ``/positions`` and ``/events`` return folded state;
+4. open one raw-socket WebSocket session on ``/stream``, verify the
+   RFC 6455 handshake, and read the close frame the gateway sends on
+   shutdown (the replay has already finished by the time the client
+   connects, so live frames are not guaranteed — the in-process live
+   delivery path is covered by tests/test_serve.py);
+5. ``POST /shutdown`` and assert the process exits cleanly (code 0).
+
+Run from the repo root:  PYTHONPATH=src python scripts/gateway_smoke.py
+Exit status is 0 on success; any failure prints the server's stderr.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import re
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+DEADLINE_S = 90.0
+POLL_S = 0.2
+SERVE_RE = re.compile(r"# serving on (http://\S+)")
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+
+class SmokeFailure(AssertionError):
+    pass
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def _python() -> list[str]:
+    return [sys.executable, "-m", "repro"]
+
+
+def _generate_feed(path: Path) -> None:
+    """Write a small TAG-blocked NMEA feed via the public CLI."""
+    result = subprocess.run(
+        _python() + [
+            "simulate", "--vessels", "8", "--hours", "0.5",
+            "--seed", "42", "--tagged", "--output", str(path),
+        ],
+        capture_output=True, text=True, timeout=DEADLINE_S,
+    )
+    _check(result.returncode == 0, f"simulate failed:\n{result.stderr}")
+    _check(path.stat().st_size > 0, "simulate wrote an empty feed")
+
+
+class _Server:
+    """The ``repro serve`` subprocess plus its captured stderr."""
+
+    def __init__(self, feed: Path):
+        self.proc = subprocess.Popen(
+            _python() + [
+                "serve", "--nmea-file", str(feed), "--port", "0",
+                "--tick", "300", "--hold", "-1", "--allow-shutdown",
+            ],
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+        )
+        self.stderr_lines: list[str] = []
+        self._url: str | None = None
+        self._url_seen = threading.Event()
+        self._reader = threading.Thread(target=self._drain, daemon=True)
+        self._reader.start()
+
+    def _drain(self) -> None:
+        assert self.proc.stderr is not None
+        for line in self.proc.stderr:
+            self.stderr_lines.append(line.rstrip())
+            match = SERVE_RE.search(line)
+            if match:
+                self._url = match.group(1).rstrip("/")
+                self._url_seen.set()
+        self._url_seen.set()  # EOF: unblock waiters even on startup failure
+
+    @property
+    def url(self) -> str:
+        self._url_seen.wait(DEADLINE_S)
+        _check(
+            self._url is not None,
+            "server never announced its URL:\n" + "\n".join(self.stderr_lines),
+        )
+        assert self._url is not None
+        return self._url
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+def _get_json(url: str, path: str) -> dict:
+    with urllib.request.urlopen(url + path, timeout=10) as response:
+        _check(response.status == 200, f"GET {path} -> {response.status}")
+        return json.loads(response.read())
+
+
+def _wait_for_replay(url: str) -> dict:
+    deadline = time.monotonic() + DEADLINE_S
+    while time.monotonic() < deadline:
+        health = _get_json(url, "/healthz")
+        if health.get("n_increments", 0) >= 1 and health.get("n_vessels", 0):
+            return health
+        time.sleep(POLL_S)
+    raise SmokeFailure("replay produced no increments before the deadline")
+
+
+def _websocket_session(url: str) -> None:
+    """Handshake on /stream and read the shutdown close frame later."""
+    host, __, port = url.removeprefix("http://").partition(":")
+    sock = socket.create_connection((host, int(port)), timeout=DEADLINE_S)
+    key = base64.b64encode(b"gateway-smoke-16").decode("ascii")
+    sock.sendall(
+        f"GET /stream HTTP/1.1\r\nHost: {host}:{port}\r\n"
+        f"Upgrade: websocket\r\nConnection: Upgrade\r\n"
+        f"Sec-WebSocket-Key: {key}\r\nSec-WebSocket-Version: 13\r\n\r\n"
+        .encode("ascii")
+    )
+    rfile = sock.makefile("rb")
+    status = rfile.readline()
+    _check(b"101" in status, f"expected 101 on /stream, got {status!r}")
+    headers = {}
+    while True:
+        line = rfile.readline().strip()
+        if not line:
+            break
+        name, __, value = line.decode("latin-1").partition(":")
+        headers[name.lower()] = value.strip()
+    expected = base64.b64encode(
+        hashlib.sha1((key + WS_GUID).encode("ascii")).digest()
+    ).decode("ascii")
+    _check(
+        headers.get("sec-websocket-accept") == expected,
+        "bad Sec-WebSocket-Accept in handshake",
+    )
+    # Keep the session parked; the gateway sends a 1001 close frame on
+    # shutdown, which _expect_close reads after POST /shutdown below.
+    _websocket_session.parked = (sock, rfile)  # type: ignore[attr-defined]
+
+
+def _expect_close_frame() -> None:
+    sock, rfile = _websocket_session.parked  # type: ignore[attr-defined]
+    try:
+        sock.settimeout(DEADLINE_S)
+        first = rfile.read(1)
+        # Frames queued before the close (if any replay increments raced
+        # in) are text frames; skip them until the close arrives.
+        while first:
+            opcode = first[0] & 0x0F
+            length = rfile.read(1)[0] & 0x7F
+            if length == 126:
+                (length,) = struct.unpack(">H", rfile.read(2))
+            elif length == 127:
+                (length,) = struct.unpack(">Q", rfile.read(8))
+            payload = rfile.read(length)
+            if opcode == 0x8:  # close
+                (code,) = struct.unpack(">H", payload[:2])
+                _check(code == 1001, f"close code {code}, expected 1001")
+                return
+            first = rfile.read(1)
+        raise SmokeFailure("socket closed without a WebSocket close frame")
+    finally:
+        sock.close()
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="gateway-smoke-") as tmp:
+        feed = Path(tmp) / "feed.nmea"
+        _generate_feed(feed)
+        print(f"feed: {feed.stat().st_size} bytes", flush=True)
+
+        server = _Server(feed)
+        try:
+            url = server.url
+            print(f"serving on {url}", flush=True)
+
+            health = _wait_for_replay(url)
+            print(
+                f"healthz: {health['n_increments']} increments, "
+                f"{health['n_vessels']} vessels, "
+                f"watermark {health['watermark']}", flush=True,
+            )
+
+            positions = _get_json(url, "/positions")["positions"]
+            _check(len(positions) >= 1, "no positions after replay")
+            _check(
+                all("mmsi" in row and "lat" in row for row in positions),
+                "malformed position rows",
+            )
+            track = _get_json(url, f"/tracks/{positions[0]['mmsi']}")
+            _check(len(track["points"]) >= 1, "empty track for a live vessel")
+            heat = _get_json(url, "/heatmap")
+            _check(sum(heat["cells"].values()) >= 1, "empty heatmap")
+            print(
+                f"http: {len(positions)} positions, "
+                f"{len(track['points'])} track points, "
+                f"{len(heat['cells'])} heat cells", flush=True,
+            )
+
+            _websocket_session(url)
+            print("websocket: handshake accepted", flush=True)
+
+            request = urllib.request.Request(
+                url + "/shutdown", data=b"", method="POST"
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                _check(response.status == 200, "shutdown not acknowledged")
+            _expect_close_frame()
+            print("websocket: clean 1001 close on shutdown", flush=True)
+
+            code = server.proc.wait(timeout=DEADLINE_S)
+            _check(code == 0, f"server exited {code}")
+            print("shutdown: exit 0", flush=True)
+        except BaseException:
+            server.kill()
+            print("--- server stderr ---", file=sys.stderr)
+            print("\n".join(server.stderr_lines), file=sys.stderr)
+            raise
+    print("gateway smoke: PASS", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,11 +25,23 @@ Writes are attribute stores, ``del``, augmented assignments, mutating
 container calls (``append``/``popleft``/…) and
 ``heapq.heappush/heappop`` on the attribute.  Element state reached
 through a container of bookkeeping objects (``MergedSource._feeds``
-holding ``_Feed`` instances) is tracked as one element path
-(``_feeds[].field``) — covering annotated parameters, indexing and
-iteration.  Sync attributes themselves are exempt (they *are* the
+holding ``_Feed`` instances, ``DispatchPool._lanes`` holding
+``_Lane``) is tracked as one element path (``_feeds[].field``) —
+covering annotated parameters, indexing, iteration and
+``pop``/``popleft`` bindings.  A private element class reached through
+*several* containers (lanes live in ``_lanes`` and transit ``_ready``)
+gets one canonical label, so worker-side and caller-side touches of
+the same object intersect no matter which container it was reached
+through.  Sync attributes themselves are exempt (they *are* the
 discipline), as is anything named in a class-level ``_lock_free``
 tuple, the documented lock-free allowlist.
+
+Classes without a ``Thread(target=self.x)`` worker can opt in with a
+class-level ``_thread_shared = True`` marker (``SubscriptionHub``, the
+serve gateway's state): the class declares that *any* public method may
+run on any thread — pool workers deliver callbacks that re-enter it —
+so every publicly-written attribute is treated as shared and must obey
+the lock discipline on every touch (a strict monitor).
 """
 
 import ast
@@ -81,7 +93,8 @@ class _ClassModel:
         self.cls = cls
         self.methods = {m.name: m for m in class_methods(cls)}
         self.sync_attrs = self._sync_attrs()
-        self.element_types = self._element_container_types()
+        self.element_types, self.element_containers = \
+            self._element_container_types()
         self.worker_entries = self._worker_entries()
         self.lock_free = set(class_literal_attr(cls, "_lock_free") or ())
         self.calls: dict[str, list] = {}       # method -> [(callee, in_lock)]
@@ -118,32 +131,138 @@ class _ClassModel:
                     out.add(path[1])
         return out
 
-    def _element_container_types(self) -> dict:
-        """Class names held as elements of self containers.
+    @staticmethod
+    def _private_class_name(node):
+        """``_Feed`` / ``_Lane`` constructor calls, by naming convention."""
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            name = node.func.id
+            if len(name) > 1 and name[0] == "_" and name[1].isupper():
+                return name
+        return None
+
+    @staticmethod
+    def _annotated_class(arg):
+        """A parameter's private-class annotation (``lane: "_Lane"``)."""
+        ann = arg.annotation
+        name = None
+        if isinstance(ann, ast.Name):
+            name = ann.id
+        elif isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            name = ann.value
+        if name and len(name) > 1 and name[0] == "_" and name[1].isupper():
+            return name
+        return None
+
+    def _element_container_types(self) -> tuple:
+        """Map private bookkeeping classes to the containers holding them.
 
         ``self._feeds = [_Feed(i, src) for ...]`` maps ``_Feed`` to the
         container attribute ``_feeds`` — parameters annotated ``_Feed``
-        then count as ``_feeds[]`` element accesses.
+        then count as element accesses.  Construction need not happen in
+        ``__init__`` or inline: ``made = _Lane(...)`` followed by
+        ``self._lanes.append(made)`` counts too, and once a name is known
+        to hold an element (constructed, annotated, or drawn out of a
+        tracked container) appending it to another self container tracks
+        that container as well — iterated to a fixed point, so transit
+        containers like ``DispatchPool._ready`` carry the same element
+        class as ``_lanes``.  Each class then gets ONE canonical label
+        shared by all its containers, making worker-side and caller-side
+        touches of the same object intersect regardless of the container
+        it was reached through.
+
+        Returns ``(element_types, element_containers)``: class name →
+        label, and container attribute → label.
         """
-        out: dict[str, str] = {}
-        init = self.methods.get("__init__")
-        if init is None:
-            return out
-        for node in ast.walk(init):
-            if not isinstance(node, ast.Assign):
-                continue
-            path = attr_path(node.targets[0]) if node.targets else None
-            if path is None or len(path) != 2 or path[0] != "self":
-                continue
-            for sub in ast.walk(node.value):
-                if not (isinstance(sub, ast.Call)
-                        and isinstance(sub.func, ast.Name)):
+        containers: dict[str, set] = {}   # class name -> container attrs
+
+        def self_container(expr):
+            if isinstance(expr, ast.Subscript):
+                expr = expr.value
+            path = attr_path(expr)
+            if path is not None and len(path) == 2 and path[0] == "self":
+                return path[1]
+            return None
+
+        def class_of_container(attr):
+            for cls_name, attrs in containers.items():
+                if attr in attrs:
+                    return cls_name
+            return None
+
+        # Seed: containers assigned a value that constructs elements.
+        for func in self.methods.values():
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Assign) or not node.targets:
                     continue
-                name = sub.func.id
-                # Private bookkeeping classes (_Feed) by convention.
-                if len(name) > 1 and name[0] == "_" and name[1].isupper():
-                    out[name] = path[1]
-        return out
+                path = attr_path(node.targets[0])
+                if path is None or len(path) != 2 or path[0] != "self":
+                    continue
+                for sub in ast.walk(node.value):
+                    name = self._private_class_name(sub)
+                    if name:
+                        containers.setdefault(name, set()).add(path[1])
+
+        # Flow: element-holding names appended to other containers.
+        while True:
+            changed = False
+            for func in self.methods.values():
+                known: dict[str, str] = {}
+                args = func.args
+                for arg in [*args.posonlyargs, *args.args,
+                            *args.kwonlyargs]:
+                    name = self._annotated_class(arg)
+                    if name:
+                        known[arg.arg] = name
+                for node in ast.walk(func):
+                    if isinstance(node, ast.Assign) and \
+                            len(node.targets) == 1 and \
+                            isinstance(node.targets[0], ast.Name):
+                        name = self._private_class_name(node.value)
+                        if name:
+                            known[node.targets[0].id] = name
+                        elif isinstance(node.value, ast.Call) and \
+                                isinstance(node.value.func, ast.Attribute) \
+                                and node.value.func.attr in ("pop",
+                                                             "popleft"):
+                            attr = self_container(node.value.func.value)
+                            cls_name = (
+                                class_of_container(attr) if attr else None
+                            )
+                            if cls_name:
+                                known[node.targets[0].id] = cls_name
+                    elif isinstance(node, (ast.For, ast.comprehension)):
+                        attr = self_container(node.iter)
+                        cls_name = (
+                            class_of_container(attr) if attr else None
+                        )
+                        if cls_name and isinstance(node.target, ast.Name):
+                            known[node.target.id] = cls_name
+                for node in ast.walk(func):
+                    if not (isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)
+                            and node.func.attr in ("append", "appendleft",
+                                                   "add")
+                            and node.args
+                            and isinstance(node.args[0], ast.Name)):
+                        continue
+                    cls_name = known.get(node.args[0].id)
+                    if cls_name is None:
+                        continue
+                    attr = self_container(node.func.value)
+                    if attr and attr not in containers.get(cls_name, set()):
+                        containers.setdefault(cls_name, set()).add(attr)
+                        changed = True
+            if not changed:
+                break
+
+        element_types: dict[str, str] = {}
+        element_containers: dict[str, str] = {}
+        for cls_name in sorted(containers):
+            label = min(containers[cls_name])
+            element_types[cls_name] = label
+            for attr in containers[cls_name]:
+                element_containers[attr] = label
+        return element_types, element_containers
 
     def _worker_entries(self) -> set:
         """Methods passed as ``target=self.x`` to a Thread anywhere."""
@@ -174,43 +293,41 @@ class _ClassModel:
         """Local names that are elements of a tracked container.
 
         Annotated parameters (``feed: _Feed``), ``for x in
-        self._feeds`` loops/comprehensions, and ``x =
-        self._feeds[...]`` bindings.
+        self._feeds`` loops/comprehensions, ``x = self._feeds[...]``
+        indexing, and ``x = self._ready.popleft()`` draws.  Values map
+        to the element class's canonical label, not the container name.
         """
         roots: dict[str, str] = {}
         args = func.args
         for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
-            ann = arg.annotation
-            name = None
-            if isinstance(ann, ast.Name):
-                name = ann.id
-            elif isinstance(ann, ast.Constant) and isinstance(
-                ann.value, str
-            ):
-                name = ann.value
+            name = self._annotated_class(arg)
             if name in self.element_types:
                 roots[arg.arg] = self.element_types[name]
 
-        def container_of(expr):
+        def label_of(expr):
             if isinstance(expr, ast.Subscript):
                 expr = expr.value
             path = attr_path(expr)
-            if path is not None and len(path) == 2 and path[0] == "self" \
-                    and path[1] in self.element_types.values():
-                return path[1]
+            if path is not None and len(path) == 2 and path[0] == "self":
+                return self.element_containers.get(path[1])
             return None
 
         for node in ast.walk(func):
             if isinstance(node, (ast.For, ast.comprehension)):
-                container = container_of(node.iter)
-                if container and isinstance(node.target, ast.Name):
-                    roots[node.target.id] = container
+                label = label_of(node.iter)
+                if label and isinstance(node.target, ast.Name):
+                    roots[node.target.id] = label
             elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
-                    and isinstance(node.targets[0], ast.Name) and \
-                    isinstance(node.value, ast.Subscript):
-                container = container_of(node.value)
-                if container:
-                    roots[node.targets[0].id] = container
+                    and isinstance(node.targets[0], ast.Name):
+                label = None
+                if isinstance(node.value, ast.Subscript):
+                    label = label_of(node.value)
+                elif isinstance(node.value, ast.Call) and \
+                        isinstance(node.value.func, ast.Attribute) and \
+                        node.value.func.attr in ("pop", "popleft"):
+                    label = label_of(node.value.func.value)
+                if label:
+                    roots[node.targets[0].id] = label
         return roots
 
     def _self_aliases(self, func) -> dict:
@@ -267,7 +384,10 @@ class _ClassModel:
                     container = attr_path(base.value)
                     if container is not None and len(container) == 2 and \
                             container[0] == "self":
-                        return (container[1] + "[]", node.attr)
+                        label = self.element_containers.get(
+                            container[1], container[1]
+                        )
+                        return (label + "[]", node.attr)
             elif isinstance(node, ast.Name) and node.id in aliases:
                 return aliases[node.id][:2]
             return None
@@ -380,16 +500,28 @@ class _ClassModel:
                 return held
 
     def findings(self) -> list:
-        if not self.worker_entries or not self.sync_attrs:
+        thread_shared = class_literal_attr(self.cls, "_thread_shared") is True
+        if not self.sync_attrs:
             return []
-        worker_set = self._closure(self.worker_entries)
+        if not self.worker_entries and not thread_shared:
+            return []
         public_roots = [
             name for name in self.methods
             if (not name.startswith("_") or name in (
                 "__iter__", "__len__", "__next__", "__enter__", "__exit__"
             )) and name not in self.worker_entries
         ]
-        public_set = self._closure(public_roots) - {"__init__"}
+        if thread_shared:
+            # Monitor discipline: any public method may run on any thread
+            # (hub callbacks arrive from pool workers), so every publicly
+            # reachable method counts as both sides of the race.
+            worker_set = self._closure(
+                set(public_roots) | self.worker_entries
+            )
+            public_set = worker_set - {"__init__"}
+        else:
+            worker_set = self._closure(self.worker_entries)
+            public_set = self._closure(public_roots) - {"__init__"}
         held = self._lock_held_only()
 
         def written_paths(method_names) -> set:

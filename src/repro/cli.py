@@ -13,7 +13,11 @@ Commands:
 - ``map`` — render the global density map (Figure 1) as ASCII;
 - ``decode`` — decode NMEA sentences from a file or stdin;
 - ``store`` — query a SQLite track store written by ``pipeline --store``
-  (positions, tracks in a region, events, alarms, summary);
+  (positions, tracks in a region, events, alarms, summary), or apply
+  the retention policy (``prune --keep-days N``);
+- ``serve`` — run a live feed behind the HTTP/WebSocket gateway
+  (positions, tracks, events, alerts, overview, geohash heatmap, and a
+  per-increment WebSocket stream at ``/stream``);
 - ``analyze`` — run the concurrency/causality invariant checkers over
   the source tree (``--strict`` gates CI).
 
@@ -134,10 +138,13 @@ def _build_parser() -> argparse.ArgumentParser:
     store.add_argument("db", help="path to the track store database")
     store.add_argument(
         "what",
-        choices=["summary", "positions", "tracks", "events", "alarms"],
+        choices=[
+            "summary", "positions", "tracks", "events", "alarms", "prune",
+        ],
         help="summary: row counts; positions: one vessel's fixes "
         "(--mmsi); tracks: segments intersecting --region; events: "
-        "archived events (--kind/--mmsi); alarms: monitoring alarms",
+        "archived events (--kind/--mmsi); alarms: monitoring alarms; "
+        "prune: apply the retention policy (--keep-days/--before)",
     )
     store.add_argument("--mmsi", type=int, help="vessel filter")
     store.add_argument(
@@ -157,6 +164,55 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     store.add_argument(
         "--limit", type=int, default=50, help="max rows to print"
+    )
+    store.add_argument(
+        "--keep-days", type=float, metavar="N",
+        help="with 'prune': delete products older than N days before "
+        "the store's watermark, then compact",
+    )
+    store.add_argument(
+        "--before", type=float, metavar="EPOCH",
+        help="with 'prune': delete products with event time < EPOCH "
+        "(alternative to --keep-days)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a live feed behind the HTTP/WebSocket gateway",
+        description="Stream a feed through the monitor with the serving "
+        "gateway attached: HTTP endpoints for positions/tracks/events/"
+        "alerts/overview/heatmap plus a per-increment WebSocket stream "
+        "at /stream.  Without --nmea-file/--nmea-tcp a regional "
+        "scenario is simulated and replayed.",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port to bind (0 picks a free port)",
+    )
+    serve.add_argument(
+        "--nmea-file", metavar="PATH", action="append", default=[],
+        help="stream observations from an NMEA file (repeatable; merged "
+        "with --nmea-tcp on reception time)",
+    )
+    serve.add_argument(
+        "--nmea-tcp", metavar="HOST:PORT", action="append", default=[],
+        help="stream observations from a line-framed NMEA TCP feed "
+        "(repeatable)",
+    )
+    serve.add_argument("--vessels", type=int, default=30)
+    serve.add_argument("--hours", type=float, default=2.0)
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--tick", type=float, default=300.0)
+    serve.add_argument("--workers", type=int, default=1)
+    serve.add_argument(
+        "--hold", type=float, default=0.0, metavar="SECONDS",
+        help="keep serving this long after the feed ends "
+        "(-1: until POST /shutdown or interrupt)",
+    )
+    serve.add_argument(
+        "--allow-shutdown", action="store_true",
+        help="enable POST /shutdown (for test harnesses)",
     )
 
     world_map = sub.add_parser("map", help="render the Figure 1 density map")
@@ -382,6 +438,62 @@ def _run_pipeline_live(pipeline, run, args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run a feed behind the HTTP/WebSocket gateway."""
+    from repro.serve import MonitorGateway
+
+    sources = [NmeaFileSource(path) for path in args.nmea_file]
+    for endpoint in args.nmea_tcp:
+        host, _, port = endpoint.rpartition(":")
+        if not host or not port.isdigit():
+            print("--nmea-tcp expects HOST:PORT", file=sys.stderr)
+            return 2
+        sources.append(NmeaTcpSource(host, int(port)))
+    if not sources:
+        run = regional_scenario(
+            n_vessels=args.vessels, duration_s=args.hours * 3600.0,
+            seed=args.seed,
+        ).run()
+        sources = [run.observations]
+        print(
+            f"# simulated feed: {len(run.observations)} observations "
+            f"from {len(run.specs)} vessels",
+            file=sys.stderr,
+        )
+    monitor = MaritimeMonitor(PipelineConfig(workers=args.workers))
+    monitor.attach(*sources)
+    gateway = MonitorGateway(
+        host=args.host, port=args.port,
+        allow_shutdown=args.allow_shutdown,
+    )
+    gateway.attach(monitor.hub)
+    gateway.start()
+    print(f"# serving on {gateway.url}", file=sys.stderr)
+    print(
+        "# endpoints: /healthz /positions /tracks/<mmsi> /events "
+        "/alerts /overview /heatmap  ws:/stream",
+        file=sys.stderr,
+    )
+    try:
+        report = monitor.run(tick_s=args.tick)
+        print(report.describe(), file=sys.stderr)
+        if args.hold:
+            print(
+                "# feed ended; holding (POST /shutdown or Ctrl-C to stop)"
+                if args.hold < 0
+                else f"# feed ended; holding {args.hold:.0f}s",
+                file=sys.stderr,
+            )
+            gateway.shutdown_requested.wait(
+                timeout=None if args.hold < 0 else args.hold
+            )
+    except KeyboardInterrupt:
+        print("# interrupted", file=sys.stderr)
+    finally:
+        gateway.close()
+    return 0
+
+
 def _cmd_map(args) -> int:
     from repro.ais.types import ClassBPositionReport, PositionReport
     from repro.geo import BoundingBox
@@ -439,6 +551,16 @@ def _cmd_store(args) -> int:
         return 2
     store = SqliteTrackStore(args.db)
     try:
+        if args.what == "prune":
+            if args.keep_days is None and args.before is None:
+                print("prune needs --keep-days or --before", file=sys.stderr)
+                return 2
+            result = store.prune(
+                keep_days=args.keep_days, before_t=args.before
+            )
+            for key, value in result.items():
+                print(f"{key}: {value}")
+            return 0
         if args.what == "summary":
             for key, value in store.summary().items():
                 print(f"{key}: {value}")
@@ -528,6 +650,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "simulate": _cmd_simulate,
         "pipeline": _cmd_pipeline,
+        "serve": _cmd_serve,
         "map": _cmd_map,
         "decode": _cmd_decode,
         "store": _cmd_store,

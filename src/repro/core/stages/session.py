@@ -49,6 +49,7 @@ from repro.persist.checkpoint import (
     write_checkpoint,
 )
 from repro.sinks.subscription import Subscription, SubscriptionHub
+from repro.trajectory.points import TrackPoint
 from repro.visual.overview import MonitoringAlarm
 
 
@@ -415,6 +416,14 @@ class PipelineSession:
         if state.keep_products:
             state.trajectories.extend(completed)
             state.synopses.extend(new_synopses)
+        # Live-position delta: the latest accepted fix per vessel this
+        # batch (outcomes are watermark-ordered, so last wins).  This is
+        # what position-shaped consumers — the serve gateway, the JSON
+        # rendering — read instead of re-deriving it from segments.
+        updated_positions: dict[int, TrackPoint] = {}
+        for outcome in all_outcomes:
+            if outcome.accepted is not None:
+                updated_positions[outcome.mmsi] = outcome.accepted
         seconds = time.perf_counter() - t0
         return PipelineIncrement(
             t_watermark=state.watermark,
@@ -424,6 +433,7 @@ class PipelineSession:
             new_complex_events=new_complex,
             updated_forecasts=updated_forecasts,
             new_alarms=new_alarms,
+            updated_positions=updated_positions,
             overview=snapshot,
             seconds=seconds,
             backpressure=self._backpressure(seconds),

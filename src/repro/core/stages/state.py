@@ -188,6 +188,10 @@ class PipelineIncrement:
         default_factory=dict
     )
     new_alarms: list[MonitoringAlarm] = field(default_factory=list)
+    #: Latest accepted fix per vessel that reported this batch — the
+    #: live-position delta consumed by the serve gateway and the JSON
+    #: rendering (a vessel appears only in ticks it reported in).
+    updated_positions: dict[int, TrackPoint] = field(default_factory=dict)
     overview: SituationOverview | None = None
     seconds: float = 0.0
     #: Queue depths and feed latency for this batch (always populated).

@@ -100,6 +100,16 @@ class CircleRegion:
 
         coslat = max(0.01, math.cos(math.radians(self.lat)))
         dlon = dlat / coslat
+        if dlon >= 180.0:
+            # The disc wraps more than half the globe in longitude;
+            # normalising lon±dlon would produce a box covering the
+            # *complement* of the disc.  Full longitude span instead.
+            return BoundingBox(
+                max(-90.0, self.lat - dlat),
+                min(90.0, self.lat + dlat),
+                -180.0,
+                180.0,
+            )
         return BoundingBox(
             max(-90.0, self.lat - dlat),
             min(90.0, self.lat + dlat),

@@ -178,6 +178,7 @@ class MaritimeMonitor:
         specs: dict | None = None,
         weather=None,
         keep_products: bool = False,
+        dispatch_workers: int | None = None,
     ) -> None:
         self.pipeline = MaritimePipeline(
             config, ports=ports, cep_patterns=cep_patterns, zones=zones
@@ -187,8 +188,12 @@ class MaritimeMonitor:
         self.keep_products = keep_products
         #: Subscriptions registered before and during the run; installed
         #: as the session's hub, so sinks may attach here at any time
-        #: (``sink.attach(monitor.hub)``).
-        self.hub = SubscriptionHub()
+        #: (``sink.attach(monitor.hub)``).  The hub routes dispatch
+        #: through its subscription index and, for async subscribers,
+        #: a shared worker pool sized by ``dispatch_workers`` (default:
+        #: a small machine-derived constant, independent of subscriber
+        #: count).
+        self.hub = SubscriptionHub(dispatch_workers=dispatch_workers)
         self.session: PipelineSession | None = None
         #: The running/last run's accounting — populated even when a
         #: failing subscriber aborts :meth:`run` mid-stream.

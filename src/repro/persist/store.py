@@ -114,6 +114,13 @@ class SqliteTrackStore:
         with self._lock:
             self._db.execute("PRAGMA journal_mode=WAL")
             self._db.execute("PRAGMA synchronous=NORMAL")
+            # Must precede table creation to take effect: lets prune()
+            # return freed pages with a cheap `PRAGMA incremental_vacuum`
+            # instead of a full VACUUM rewrite.  On a database created
+            # before this pragma existed it is a silent no-op (SQLite
+            # ignores auto_vacuum changes on non-empty files) — prune()
+            # detects that and falls back to VACUUM.
+            self._db.execute("PRAGMA auto_vacuum=INCREMENTAL")
             self._db.executescript(_SCHEMA)
             self._db.commit()
 
@@ -349,6 +356,88 @@ class SqliteTrackStore:
             ).fetchone()
         counts["watermark"] = float(row[0]) if row is not None else None
         return counts
+
+    # -- retention ---------------------------------------------------------
+
+    def prune(
+        self,
+        keep_days: float | None = None,
+        before_t: float | None = None,
+    ) -> dict:
+        """Apply the retention policy: delete old products, compact.
+
+        The horizon is ``before_t`` (epoch seconds), or ``watermark -
+        keep_days * 86400`` — retention is measured against *stream*
+        time, so pruning a replayed historical feed behaves the same as
+        pruning a live one.  Deleted per table (see the compaction
+        policy in ``src/repro/persist/README.md``):
+
+        - ``track_segments`` ending before the horizon, with their
+          positions — segments are pruned whole, never split, so a
+          still-recent segment keeps its full point sequence even when
+          its head predates the horizon;
+        - ``events`` ending before the horizon;
+        - ``alarms`` raised before the horizon.
+
+        Space is returned via ``PRAGMA incremental_vacuum`` on stores
+        created with incremental auto-vacuum (every store this class
+        creates), or a full ``VACUUM`` on legacy files.  Returns the
+        per-table deleted row counts plus the horizon.
+        """
+        if (keep_days is None) == (before_t is None):
+            raise ValueError("pass exactly one of keep_days / before_t")
+        if keep_days is not None:
+            if keep_days < 0:
+                raise ValueError("keep_days must be non-negative")
+            watermark = self.summary()["watermark"]
+            if watermark is None:
+                return {"horizon_t": None, "vessel_positions": 0,
+                        "track_segments": 0, "events": 0, "alarms": 0}
+            horizon = watermark - keep_days * 86400.0
+        else:
+            horizon = before_t
+        with self._lock:
+            cur = self._db.cursor()
+            try:
+                cur.execute(
+                    "DELETE FROM vessel_positions WHERE segment_id IN "
+                    "(SELECT segment_id FROM track_segments "
+                    " WHERE t_end < ?)",
+                    (horizon,),
+                )
+                n_positions = cur.rowcount
+                cur.execute(
+                    "DELETE FROM track_segments WHERE t_end < ?", (horizon,)
+                )
+                n_segments = cur.rowcount
+                cur.execute(
+                    "DELETE FROM events WHERE t_end < ?", (horizon,)
+                )
+                n_events = cur.rowcount
+                cur.execute("DELETE FROM alarms WHERE t < ?", (horizon,))
+                n_alarms = cur.rowcount
+                self._db.commit()
+            except BaseException:
+                self._db.rollback()
+                raise
+            (auto_vacuum,) = self._db.execute(
+                "PRAGMA auto_vacuum"
+            ).fetchone()
+            if auto_vacuum == 2:  # INCREMENTAL: free pages cheaply
+                self._db.execute("PRAGMA incremental_vacuum")
+            else:
+                # Legacy file predating the auto_vacuum pragma in
+                # __init__ (the setting is frozen at creation): full
+                # rewrite is the only way to return space.
+                self._db.execute("VACUUM")
+            self._db.commit()
+        return {
+            "horizon_t": horizon,
+            "vessel_positions": n_positions,
+            "track_segments": n_segments,
+            "events": n_events,
+            "alarms": n_alarms,
+        }
 
     def close(self) -> None:
         with self._lock:

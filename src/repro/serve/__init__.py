@@ -1,0 +1,13 @@
+"""The serving layer: a stdlib-only HTTP + WebSocket gateway.
+
+``repro serve`` (and :class:`MonitorGateway` programmatically) exposes
+the live monitoring picture — positions, tracks, events, alerts,
+situation overview, geohash heatmap tiles and a per-increment WebSocket
+stream — as an ordinary subscription on the hub, so it rides the
+dispatch plane's indexing, pooling, backpressure and accounting.  See
+``src/repro/serve/README.md`` for the endpoint and framing contract.
+"""
+
+from repro.serve.gateway import GatewayState, MonitorGateway
+
+__all__ = ["GatewayState", "MonitorGateway"]

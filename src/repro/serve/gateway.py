@@ -1,0 +1,487 @@
+"""The ``repro serve`` HTTP + WebSocket gateway.
+
+A stdlib-only serving front end over the subscription hub: the gateway
+is an ordinary hub subscriber (``async_dispatch=True``), so it inherits
+the dispatch plane's backpressure, bounded queues and delivery
+accounting, and shows up in ``MonitorReport.subscriptions`` like any
+other consumer.  One process can therefore replay or live-monitor a
+feed *and* serve operators concurrently:
+
+    gateway = MonitorGateway(port=8765)
+    gateway.attach(monitor)        # a hub subscription like any sink
+    gateway.start()
+    monitor.run()
+
+HTTP endpoints (all JSON):
+
+- ``GET /healthz`` — liveness, watermark, increment and client counts;
+- ``GET /positions[?bbox=latmin,latmax,lonmin,lonmax][&limit=N]`` —
+  latest accepted fix per vessel;
+- ``GET /tracks/<mmsi>`` — the vessel's recent position history;
+- ``GET /events[?kind=...][&limit=N]`` — recent events, newest last;
+- ``GET /alerts[?limit=N]`` — recent situation-monitor alarms;
+- ``GET /overview`` — the latest situation overview snapshot;
+- ``GET /heatmap[?precision=P]`` — position-density tiles named by
+  geohash (the cell grid's external lingua franca);
+- ``GET /stream`` — WebSocket upgrade: one text frame per increment
+  (the hub's shared JSON rendering, verbatim);
+- ``POST /shutdown`` — request process shutdown (only when the gateway
+  was built with ``allow_shutdown=True``; for test harnesses).
+
+Backpressure is bounded at both hops: the hub-side subscription lane
+drops oldest increments when the gateway falls behind the pipeline, and
+each WebSocket client has its own bounded frame queue dropping oldest
+when that client falls behind the gateway.  A slow dashboard can never
+stall ingestion or other subscribers, only blur itself.
+"""
+
+import json
+import threading
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.sinks.render import render
+from repro.spatial.cells import CellGrid, geohash_counts
+from repro.serve import ws as wsproto
+
+__all__ = ["GatewayState", "MonitorGateway"]
+
+#: Heatmap accumulation cell size.  Finer than the dispatch-routing
+#: grid: tiles are a visual product, routing only needs candidate
+#: pruning.
+HEAT_CELL_M = 20_000.0
+
+
+class _WSClient:
+    """One connected WebSocket stream: a bounded frame queue.
+
+    Passive record — every touch happens inside :class:`GatewayState`
+    methods under the state lock, except the handler thread's socket
+    writes (the handler owns its socket exclusively).
+    """
+
+    def __init__(self, max_queue: int) -> None:
+        self.max_queue = max_queue
+        self.queue: deque = deque()
+        self.open = True
+        self.n_sent = 0
+        self.n_dropped = 0
+
+
+class GatewayState:
+    """Live serving state accumulated from increments.
+
+    Written by the dispatch-pool worker delivering the gateway's
+    subscription; read by HTTP handler threads.  One lock guards all of
+    it; every public method is a complete critical section, and no
+    callback runs under the lock.
+    """
+
+    _thread_shared = True
+
+    def __init__(
+        self,
+        max_events: int = 512,
+        max_alerts: int = 512,
+        track_points: int = 256,
+        ws_queue: int = 64,
+        heat_cell_m: float = HEAT_CELL_M,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._grid = CellGrid(heat_cell_m)
+        self._positions: dict[int, dict] = {}
+        self._tracks: dict[int, deque] = {}
+        self._events: deque = deque(maxlen=max_events)
+        self._alerts: deque = deque(maxlen=max_alerts)
+        self._heat: dict = {}
+        self._overview: dict | None = None
+        self._watermark: float | None = None
+        self._n_increments = 0
+        self._track_points = track_points
+        self._ws_queue = ws_queue
+        self._clients: list = []
+        self._closed = False
+
+    # -- hub side (one dispatch-pool worker at a time) ---------------------
+
+    def update(self, increment) -> None:
+        """Fold one increment in and broadcast its frame to streams."""
+        rendering = render(increment)
+        as_dict = rendering.as_dict
+        frame = rendering.json_line
+        grid_key = self._grid.key
+        with self._changed:
+            self._watermark = increment.t_watermark
+            self._n_increments += 1
+            for row in as_dict["positions"]:
+                mmsi = row["mmsi"]
+                self._positions[mmsi] = row
+                track = self._tracks.get(mmsi)
+                if track is None:
+                    track = deque(maxlen=self._track_points)
+                    self._tracks[mmsi] = track
+                track.append(row)
+                cell = grid_key(row["lat"], row["lon"])
+                self._heat[cell] = self._heat.get(cell, 0) + 1
+            self._events.extend(as_dict["events"])
+            self._events.extend(as_dict["complex_events"])
+            self._alerts.extend(as_dict["alarms"])
+            if rendering.overview_dict is not None:
+                self._overview = rendering.overview_dict
+            for client in self._clients:
+                if not client.open:
+                    continue
+                if len(client.queue) >= client.max_queue:
+                    client.queue.popleft()  # drop-oldest, like the lane
+                    client.n_dropped += 1
+                client.queue.append(frame)
+            self._changed.notify_all()
+
+    # -- HTTP side ---------------------------------------------------------
+
+    def health(self) -> dict:
+        with self._lock:
+            return {
+                "status": "ok",
+                "watermark": self._watermark,
+                "n_increments": self._n_increments,
+                "n_vessels": len(self._positions),
+                "ws_clients": len(self._clients),
+            }
+
+    def positions(self, bbox=None, limit: int | None = None) -> list[dict]:
+        """Latest fix per vessel, optionally clipped to a bounding box."""
+        with self._lock:
+            rows = list(self._positions.values())
+        if bbox is not None:
+            rows = [
+                row for row in rows if bbox.contains(row["lat"], row["lon"])
+            ]
+        rows.sort(key=lambda row: row["mmsi"])
+        if limit is not None:
+            rows = rows[:limit]
+        return rows
+
+    def track(self, mmsi: int) -> list[dict]:
+        with self._lock:
+            track = self._tracks.get(mmsi)
+            return list(track) if track is not None else []
+
+    def events(self, kind: str | None = None,
+               limit: int | None = None) -> list[dict]:
+        with self._lock:
+            rows = list(self._events)
+        if kind is not None:
+            rows = [row for row in rows if row["kind"] == kind]
+        if limit is not None:
+            rows = rows[-limit:]
+        return rows
+
+    def alerts(self, limit: int | None = None) -> list[dict]:
+        with self._lock:
+            rows = list(self._alerts)
+        if limit is not None:
+            rows = rows[-limit:]
+        return rows
+
+    def overview(self) -> dict | None:
+        with self._lock:
+            return self._overview
+
+    def heatmap(self, precision: int | None = None) -> dict:
+        """Position-density tiles, named by geohash for interchange."""
+        with self._lock:
+            counts = list(self._heat.items())
+        return {
+            "cell_size_m": self._grid.cell_size_m,
+            "cells": geohash_counts(self._grid, counts, precision),
+        }
+
+    # -- WebSocket plumbing ------------------------------------------------
+
+    def register_client(self) -> _WSClient:
+        client = _WSClient(self._ws_queue)
+        with self._changed:
+            if self._closed:
+                client.open = False
+            else:
+                self._clients.append(client)
+        return client
+
+    def unregister_client(self, client: _WSClient) -> None:
+        with self._changed:
+            client.open = False
+            if client in self._clients:
+                self._clients.remove(client)
+            self._changed.notify_all()
+
+    def next_frame(self, client: _WSClient,
+                   timeout_s: float = 1.0) -> str | None:
+        """Block up to ``timeout_s`` for the client's next frame.
+
+        ``None`` means "nothing yet" while open; the handler loops.  A
+        closed state or client also returns ``None`` — the handler
+        checks :meth:`is_open` to distinguish.
+        """
+        with self._changed:
+            if not client.queue and client.open and not self._closed:
+                self._changed.wait(timeout=timeout_s)
+            if not client.queue:
+                return None
+            client.n_sent += 1
+            return client.queue.popleft()
+
+    def is_open(self, client: _WSClient) -> bool:
+        with self._lock:
+            return client.open and not self._closed
+
+    def close(self) -> None:
+        """Stop streaming: wake and release every WebSocket handler."""
+        with self._changed:
+            self._closed = True
+            for client in self._clients:
+                client.open = False
+            self._clients.clear()
+            self._changed.notify_all()
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    """Routes one request against ``self.server.gateway``."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        pass  # the gateway is quiet; operators watch /healthz
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send_json(self, payload, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Access-Control-Allow-Origin", "*")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _query(self) -> dict:
+        return parse_qs(urlparse(self.path).query)
+
+    def _int_param(self, query, name, default=None):
+        values = query.get(name)
+        if not values:
+            return default
+        return int(values[0])
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib handler name
+        try:
+            self._route_get()
+        except (ValueError, TypeError) as exc:
+            self._error(400, str(exc))
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to serve
+
+    def _route_get(self) -> None:
+        gateway = self.server.gateway
+        state = gateway.state
+        path = urlparse(self.path).path.rstrip("/") or "/"
+        query = self._query()
+        if path == "/stream":
+            self._serve_websocket(state)
+            return
+        if path in ("/", "/healthz"):
+            self._send_json(state.health())
+        elif path == "/positions":
+            bbox = None
+            if "bbox" in query:
+                from repro.geo.region import BoundingBox
+
+                parts = [float(p) for p in query["bbox"][0].split(",")]
+                if len(parts) != 4:
+                    raise ValueError(
+                        "bbox must be lat_min,lat_max,lon_min,lon_max"
+                    )
+                bbox = BoundingBox(*parts)
+            self._send_json({
+                "positions": state.positions(
+                    bbox=bbox, limit=self._int_param(query, "limit")
+                ),
+            })
+        elif path.startswith("/tracks/"):
+            mmsi = int(path.rsplit("/", 1)[1])
+            self._send_json({"mmsi": mmsi, "points": state.track(mmsi)})
+        elif path == "/events":
+            kinds = query.get("kind")
+            self._send_json({
+                "events": state.events(
+                    kind=kinds[0] if kinds else None,
+                    limit=self._int_param(query, "limit"),
+                ),
+            })
+        elif path == "/alerts":
+            self._send_json({
+                "alerts": state.alerts(
+                    limit=self._int_param(query, "limit")
+                ),
+            })
+        elif path == "/overview":
+            self._send_json({"overview": state.overview()})
+        elif path == "/heatmap":
+            self._send_json(
+                state.heatmap(self._int_param(query, "precision"))
+            )
+        else:
+            self._error(404, f"no such endpoint: {path}")
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib handler name
+        gateway = self.server.gateway
+        path = urlparse(self.path).path.rstrip("/")
+        if path == "/shutdown":
+            if not gateway.allow_shutdown:
+                self._error(403, "shutdown endpoint is disabled")
+                return
+            self._send_json({"status": "shutting down"})
+            gateway.shutdown_requested.set()
+        else:
+            self._error(404, f"no such endpoint: {path}")
+
+    # -- the stream --------------------------------------------------------
+
+    def _serve_websocket(self, state: GatewayState) -> None:
+        if self.headers.get("Upgrade", "").lower() != "websocket":
+            self._error(400, "/stream speaks WebSocket; send Upgrade")
+            return
+        key = self.headers.get("Sec-WebSocket-Key")
+        if not key:
+            self._error(400, "missing Sec-WebSocket-Key")
+            return
+        self.send_response(101, "Switching Protocols")
+        self.send_header("Upgrade", "websocket")
+        self.send_header("Connection", "Upgrade")
+        self.send_header("Sec-WebSocket-Accept", wsproto.accept_key(key))
+        self.end_headers()
+        self.close_connection = True
+        client = state.register_client()
+        try:
+            while state.is_open(client):
+                frame = state.next_frame(client, timeout_s=1.0)
+                if frame is None:
+                    continue
+                self.wfile.write(wsproto.encode_frame(frame))
+                self.wfile.flush()
+            self.wfile.write(wsproto.close_frame(1001, "gateway closing"))
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client hung up; the finally unregisters it
+        finally:
+            state.unregister_client(client)
+
+
+class MonitorGateway:
+    """HTTP/WebSocket front end over a subscription hub.
+
+    Construction is cheap and thread-free; :meth:`start` binds the
+    socket and spawns the server thread; :meth:`attach` registers the
+    hub subscription (async, bounded, drop-oldest) that feeds
+    :class:`GatewayState`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        max_events: int = 512,
+        max_alerts: int = 512,
+        track_points: int = 256,
+        ws_queue: int = 64,
+        heat_cell_m: float = HEAT_CELL_M,
+        allow_shutdown: bool = False,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.allow_shutdown = allow_shutdown
+        self.state = GatewayState(
+            max_events=max_events,
+            max_alerts=max_alerts,
+            track_points=track_points,
+            ws_queue=ws_queue,
+            heat_cell_m=heat_cell_m,
+        )
+        #: Set when a client POSTs /shutdown (and allow_shutdown=True);
+        #: the CLI waits on it.
+        self.shutdown_requested = threading.Event()
+        self.subscription = None
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def attach(
+        self,
+        target,
+        async_dispatch: bool = True,
+        max_queue: int = 64,
+        overflow: str = "drop_oldest",
+    ):
+        """Subscribe the gateway to a hub/monitor/session.
+
+        An ordinary hub subscription: backpressure and delivery books
+        are the dispatch plane's (visible in ``MonitorReport``).  Async
+        with ``drop_oldest`` by default — a stalled gateway sees the
+        freshest picture when it recovers and never stalls the
+        pipeline.
+        """
+        hub = getattr(target, "hub", None)
+        if hub is None:
+            hub = getattr(target, "subscriptions", target)
+        self.subscription = hub.subscribe(
+            on_increment=self.state.update,
+            async_dispatch=async_dispatch,
+            max_queue=max_queue,
+            overflow=overflow,
+        )
+        return self.subscription
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve in a daemon thread; returns ``(host, port)``
+        actually bound (``port=0`` picks a free port)."""
+        if self._server is not None:
+            raise RuntimeError("gateway already started")
+        server = ThreadingHTTPServer(
+            (self.host, self.port), _GatewayHandler
+        )
+        server.daemon_threads = True
+        server.gateway = self
+        self._server = server
+        self.port = server.server_address[1]
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name="serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.host, self.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving: release streams, close the subscription, join
+        the server thread."""
+        self.state.close()
+        if self.subscription is not None:
+            self.subscription.close()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None

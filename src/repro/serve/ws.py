@@ -1,0 +1,113 @@
+"""Minimal RFC 6455 WebSocket support for the serve gateway.
+
+Stdlib-only, server-side, text frames: exactly what a live position/
+alert stream needs and nothing more.  No extensions, no fragmentation
+on send (the gateway's frames are single-tick JSON), no compression.
+
+Implemented here rather than depending on a websocket library because
+the repo's hard constraint is a baked toolchain: the gateway must run
+anywhere the pipeline runs.
+"""
+
+import base64
+import hashlib
+import struct
+
+__all__ = [
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "OP_TEXT",
+    "WebSocketError",
+    "accept_key",
+    "close_frame",
+    "encode_frame",
+    "read_frame",
+]
+
+#: RFC 6455 §1.3 — the fixed GUID appended to the client key.
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Upper bound on a single client frame; the gateway's clients only
+#: ever send control frames and tiny subscribe messages.
+MAX_CLIENT_PAYLOAD = 1 << 20
+
+
+class WebSocketError(Exception):
+    """Protocol violation or unexpected socket close mid-frame."""
+
+
+def accept_key(client_key: str) -> str:
+    """``Sec-WebSocket-Accept`` value for a ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1(
+        (client_key.strip() + _WS_GUID).encode("ascii")
+    ).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_frame(payload: bytes | str, opcode: int = OP_TEXT) -> bytes:
+    """One unmasked, unfragmented server frame (servers never mask)."""
+    if isinstance(payload, str):
+        payload = payload.encode("utf-8")
+    length = len(payload)
+    head = bytes([0x80 | (opcode & 0x0F)])  # FIN + opcode
+    if length < 126:
+        head += bytes([length])
+    elif length < (1 << 16):
+        head += bytes([126]) + struct.pack(">H", length)
+    else:
+        head += bytes([127]) + struct.pack(">Q", length)
+    return head + payload
+
+
+def _read_exact(rfile, n: int) -> bytes:
+    buf = b""
+    while len(buf) < n:
+        chunk = rfile.read(n - len(buf))
+        if not chunk:
+            raise WebSocketError("socket closed mid-frame")
+        buf += chunk
+    return buf
+
+
+def read_frame(rfile) -> tuple[int, bytes]:
+    """Read one client frame -> ``(opcode, payload)``.
+
+    Client frames must be masked (RFC 6455 §5.1); unmasked frames are a
+    protocol error.  Fragmented client messages are refused — the
+    gateway's clients send only control frames and short texts.
+    """
+    b0, b1 = _read_exact(rfile, 2)
+    fin = b0 & 0x80
+    opcode = b0 & 0x0F
+    masked = b1 & 0x80
+    length = b1 & 0x7F
+    if not fin:
+        raise WebSocketError("fragmented client frames are not supported")
+    if not masked:
+        raise WebSocketError("client frames must be masked")
+    if length == 126:
+        (length,) = struct.unpack(">H", _read_exact(rfile, 2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", _read_exact(rfile, 8))
+    if length > MAX_CLIENT_PAYLOAD:
+        raise WebSocketError("client frame too large")
+    mask = _read_exact(rfile, 4)
+    payload = _read_exact(rfile, length) if length else b""
+    unmasked = bytes(
+        byte ^ mask[i % 4] for i, byte in enumerate(payload)
+    )
+    return opcode, unmasked
+
+
+def close_frame(code: int = 1000, reason: str = "") -> bytes:
+    """An unmasked close frame with a status code."""
+    payload = struct.pack(">H", code) + reason.encode("utf-8")
+    return encode_frame(payload, OP_CLOSE)

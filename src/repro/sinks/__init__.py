@@ -2,31 +2,45 @@
 
 :class:`Subscription` and :class:`SubscriptionHub` implement the
 ``session.subscribe(...)`` dispatch — synchronous by default, or
-behind a per-subscription :class:`AsyncDispatcher` (bounded handoff
-queue + worker thread) with ``async_dispatch=True`` so a slow sink
-never stalls ingestion; :class:`JsonlSink`, :class:`CallbackSink` and
-:class:`AlertLogSink` package the common downstream consumers.  See
-:mod:`repro.sinks.subscription` for the filter semantics and
-``src/repro/sinks/README.md`` for the dispatch contract.
+behind a bounded per-subscription FIFO lane on the hub's shared
+:class:`DispatchPool` with ``async_dispatch=True`` so a slow sink never
+stalls ingestion.  The hub routes through a
+:class:`~repro.sinks.index.SubscriptionIndex` (MMSI inverted index,
+region cell cover, kind buckets), probing candidates per increment
+instead of scanning every subscription.  :class:`JsonlSink`,
+:class:`CallbackSink` and :class:`AlertLogSink` package the common
+downstream consumers, all sharing one JSON rendering per tick
+(:func:`render`).  See :mod:`repro.sinks.subscription` for the filter
+semantics and ``src/repro/sinks/README.md`` for the dispatch contract.
 """
 
-from repro.sinks.dispatch import AsyncDispatcher
+from repro.sinks.dispatch import AsyncDispatcher, DispatchLane, DispatchPool
+from repro.sinks.index import SubscriptionIndex
 from repro.sinks.subscription import Subscription, SubscriptionHub
+from repro.sinks.render import (
+    IncrementRendering,
+    event_to_dict,
+    increment_to_dict,
+    render,
+)
 from repro.sinks.builtins import (
     AlertLogSink,
     CallbackSink,
     JsonlSink,
-    event_to_dict,
-    increment_to_dict,
 )
 
 __all__ = [
     "AsyncDispatcher",
+    "DispatchLane",
+    "DispatchPool",
+    "IncrementRendering",
     "Subscription",
     "SubscriptionHub",
+    "SubscriptionIndex",
     "AlertLogSink",
     "CallbackSink",
     "JsonlSink",
     "event_to_dict",
     "increment_to_dict",
+    "render",
 ]

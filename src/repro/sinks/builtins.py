@@ -17,6 +17,7 @@ from typing import IO, Callable
 
 from repro.core.decision import DecisionSupport, OperatorProfile
 from repro.events.base import Event
+from repro.sinks.render import event_to_dict, increment_to_dict, render
 
 __all__ = [
     "AlertLogSink",
@@ -27,21 +28,6 @@ __all__ = [
 ]
 
 
-def event_to_dict(event: Event) -> dict:
-    """JSON-safe view of one event (details included: explanations are
-    part of the product, §4)."""
-    return {
-        "kind": event.kind.value,
-        "t_start": event.t_start,
-        "t_end": event.t_end,
-        "mmsis": list(event.mmsis),
-        "lat": event.lat,
-        "lon": event.lon,
-        "confidence": event.confidence,
-        "details": {str(k): _json_safe(v) for k, v in event.details.items()},
-    }
-
-
 def _subscribable(target):
     """The object whose ``subscribe`` returns a Subscription handle.
 
@@ -49,62 +35,6 @@ def _subscribable(target):
     itself, so sinks attach to its hub instead.
     """
     return getattr(target, "hub", target)
-
-
-def _json_safe(value):
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    if isinstance(value, (list, tuple)):
-        return [_json_safe(v) for v in value]
-    if isinstance(value, dict):
-        return {str(k): _json_safe(v) for k, v in value.items()}
-    return str(value)
-
-
-def increment_to_dict(increment) -> dict:
-    """JSON-safe view of one :class:`PipelineIncrement` (the unit the
-    ``--json`` CLI mode and the JSONL sink stream)."""
-    backpressure = increment.backpressure
-    return {
-        "t_watermark": increment.t_watermark,
-        "n_observations": increment.n_observations,
-        "n_records": increment.n_records,
-        "n_segments": len(increment.new_segments),
-        "n_synopses": len(increment.new_synopses),
-        "events": [event_to_dict(e) for e in increment.new_events],
-        "complex_events": [
-            event_to_dict(e) for e in increment.new_complex_events
-        ],
-        "forecasts": {
-            str(mmsi): [
-                {
-                    "lat": p.lat,
-                    "lon": p.lon,
-                    "sigma_m": p.sigma_m,
-                    "horizon_s": p.horizon_s,
-                }
-                for p in predictions
-            ]
-            for mmsi, predictions in increment.updated_forecasts.items()
-        },
-        "alarms": [
-            {
-                "t": a.t,
-                "mmsi": a.mmsi,
-                "lat": a.lat,
-                "lon": a.lon,
-                "score": a.score,
-                "explanation": a.explanation,
-            }
-            for a in increment.new_alarms
-        ],
-        "seconds": increment.seconds,
-        "backpressure": {
-            "feed_latency_s": backpressure.feed_latency_s,
-            "records_deferred": backpressure.records_deferred,
-            "queue_depths": dict(backpressure.queue_depths),
-        },
-    }
 
 
 class JsonlSink:
@@ -126,13 +56,15 @@ class JsonlSink:
         self.n_lines = 0
 
     def write_increment(self, increment) -> None:
-        self._write(increment_to_dict(increment))
+        # The shared rendering: every JSON consumer of this tick — other
+        # JSONL sinks, the serve gateway — reuses the same dumped line.
+        self._write_line(render(increment).json_line)
 
     def write_event(self, event: Event) -> None:
-        self._write(event_to_dict(event))
+        self._write_line(json.dumps(event_to_dict(event), sort_keys=True) + "\n")
 
-    def _write(self, payload: dict) -> None:
-        self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
+    def _write_line(self, line: str) -> None:
+        self._fh.write(line)
         # Per-line flush: this sink serves live streams (the CLI --json
         # mode pipes it), where block buffering would delay increments
         # by whole ticks and lose the tail on interrupt.

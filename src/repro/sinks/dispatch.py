@@ -1,12 +1,22 @@
-"""Asynchronous subscription dispatch: a bounded handoff per slow sink.
+"""Asynchronous subscription dispatch: pooled workers, per-lane FIFO.
 
 Subscription callbacks run synchronously on the pipeline thread
 (:mod:`repro.sinks.subscription`), so one stalled consumer stalls
-ingestion for every feed.  :class:`AsyncDispatcher` is the opt-in
-escape hatch, mirroring the TCP source's queue semantics on the
-consumer side: the hub hands each increment to a bounded queue and
-returns immediately; a dedicated worker thread drains the queue and
-runs the subscription's callbacks in order.
+ingestion for every feed.  Asynchronous dispatch is the opt-in escape
+hatch: the hub hands each increment to a bounded per-subscription queue
+and returns immediately; worker threads drain the queues and run the
+subscription's callbacks in order.
+
+Through PR 5 every async subscription owned a dedicated worker thread.
+That shape cannot serve 10k+ subscribers (10k threads), so dispatch is
+now a :class:`DispatchPool`: ``workers`` shared threads (named
+``sink-dispatch``, like the dedicated workers they replace) multiplex
+every subscription's **lane** — a bounded FIFO queue plus delivery
+books.  A lane is handed to at most one worker at a time (it stays
+"scheduled" from the moment it enters the ready queue until its
+delivery completes), so per-subscription order is exactly the dedicated
+-thread contract while the thread count is a constant of the hub, not
+of the subscriber count.
 
 Overflow policy (``overflow=``):
 
@@ -19,31 +29,321 @@ Overflow policy (``overflow=``):
   is ever lost, at the price of backpressure reaching ingestion again
   once the queue is full (a bounded stall instead of an unbounded one).
 
-Delivery contract versus the sync path:
+Delivery contract versus the sync path (unchanged from PR 5):
 
-- Per-subscription order is preserved (one worker per subscription);
-  cross-subscription order is not — two async sinks see increments
-  independently.
+- Per-subscription order is preserved (serial lanes); cross-subscription
+  order is not — two async sinks see increments independently.
 - A callback raising does **not** propagate to the driver (it cannot:
-  the driver has moved on).  The dispatcher records the exception
-  (:attr:`error`), deactivates the subscription, and stops; callers
-  that need fail-fast semantics stay on the sync path.
-- ``close(drain=True)`` (the default, called by the hub's ``close``)
-  blocks until every queued increment is delivered, so
-  delivered/dropped accounting reconciles exactly:
-  ``n_submitted == n_delivered + n_dropped`` after close.
+  the driver has moved on).  The pool records the exception on the lane
+  (:attr:`DispatchLane.error`), deactivates the subscription and drops
+  its backlog; the worker itself survives to serve other lanes.
+- ``close(drain=True)`` (the default, what the hub's ``close`` does for
+  every lane via :meth:`DispatchPool.shutdown`) blocks until every
+  queued increment is delivered, so delivered/dropped accounting
+  reconciles exactly: ``n_submitted == n_delivered + n_dropped`` after
+  close.
+
+:class:`AsyncDispatcher` — the PR 5 dedicated-thread dispatcher — is
+retained verbatim at the bottom of this module.  The hub no longer
+creates it; it exists as a standalone utility and as the reference
+implementation the pooled-vs-dedicated delivery-book parity suite
+(``tests/test_dispatch_pool.py``) measures the pool against.
 """
 
+import os
 import threading
+import time
 from collections import deque
 
-__all__ = ["AsyncDispatcher"]
+__all__ = ["AsyncDispatcher", "DispatchLane", "DispatchPool"]
 
 _POLICIES = ("drop_oldest", "block")
 
 
+def validate_lane_params(max_queue: int, overflow: str) -> None:
+    """Reject bad queue parameters before any thread or lane exists."""
+    if max_queue <= 0:
+        raise ValueError("max_queue must be positive")
+    if overflow not in _POLICIES:
+        raise ValueError(f"overflow must be one of {_POLICIES}")
+
+
+def default_pool_workers() -> int:
+    """Worker count when the hub does not pin one: small and fixed.
+
+    The pool exists to decouple thread count from subscriber count, so
+    the default scales with the machine, never with the hub.
+    """
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+class _Lane:
+    """One subscription's bounded FIFO view onto a :class:`DispatchPool`.
+
+    The lane is a passive record plus thin delegates: every touch of its
+    queue and books happens inside :class:`DispatchPool` methods under
+    the pool lock (the lock-discipline checker tracks lanes as elements
+    of the pool's containers).  It intentionally exposes the same
+    surface as the retired dedicated-thread ``AsyncDispatcher`` —
+    ``submit``/``close``/``__len__`` plus the accounting attributes the
+    monitor report reads — so ``Subscription.dispatcher`` consumers are
+    indifferent to the pooling.
+    """
+
+    def __init__(self, pool, subscription, max_queue, overflow) -> None:
+        validate_lane_params(max_queue, overflow)
+        self.pool = pool
+        self.subscription = subscription
+        self.max_queue = max_queue
+        self.overflow = overflow
+        #: First exception a callback raised on a worker, if any.
+        self.error: BaseException | None = None
+        #: Set by a draining close that outlived its timeout: the books
+        #: were not final when read.
+        self.drain_timed_out = False
+        self.n_submitted = 0
+        self.n_delivered = 0
+        self.n_dropped = 0
+        self.queue_high_water = 0
+        self._queue: deque = deque()
+        #: True from entering the pool's ready queue until the worker
+        #: finishes delivering — the serial-FIFO exclusivity token.
+        self._scheduled = False
+        self._closing = False
+
+    def __len__(self) -> int:
+        return self.pool.lane_depth(self)
+
+    def submit(self, increment) -> None:
+        """Hand one increment off; never blocks under ``drop_oldest``."""
+        self.pool.submit(self, increment)
+
+    def close(self, drain: bool = True, timeout_s: float = 10.0) -> bool:
+        """Stop this lane; with ``drain`` deliver its backlog first."""
+        return self.pool.close_lane(self, drain=drain, timeout_s=timeout_s)
+
+    @property
+    def _worker(self):
+        """Liveness shim kept for callers that join/probe the PR 5
+        dedicated worker: the pool answers ``is_alive`` for its threads."""
+        return self.pool
+
+
+#: Public name for the per-subscription handle (``Subscription.dispatcher``).
+DispatchLane = _Lane
+
+
+class DispatchPool:
+    """Shared workers draining per-subscription serial FIFO lanes.
+
+    One pool per :class:`~repro.sinks.subscription.SubscriptionHub`,
+    created on the first async subscription.  All lane state — queues,
+    books, scheduling flags — is guarded by the single pool condition;
+    deliveries run outside it.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive")
+        self.workers = workers or default_pool_workers()
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        #: Every lane ever registered (accounting survives lane close).
+        self._lanes: list = []
+        #: Lanes with queued work and no worker attending them.
+        self._ready: deque = deque()
+        self._closing = False
+        self._threads = [
+            # Same thread name as the dedicated-thread era: operators
+            # (and tests) identify dispatch work by name, not by count.
+            threading.Thread(
+                target=self._run, name="sink-dispatch", daemon=True
+            )
+            for _ in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def is_alive(self) -> bool:
+        return any(thread.is_alive() for thread in self._threads)
+
+    # -- pipeline side -----------------------------------------------------
+
+    def lane(self, subscription, max_queue: int = 256,
+             overflow: str = "drop_oldest") -> _Lane:
+        """Register a subscription; returns its serial FIFO lane."""
+        made = _Lane(self, subscription, max_queue, overflow)
+        with self._changed:
+            if self._closing:
+                raise RuntimeError("dispatch pool is closed")
+            self._lanes.append(made)
+        return made
+
+    def lane_depth(self, lane: "_Lane") -> int:
+        with self._changed:
+            return len(lane._queue)
+
+    def submit(self, lane: "_Lane", increment) -> None:
+        """Queue one increment on a lane; never blocks under
+        ``drop_oldest``."""
+        with self._changed:
+            if lane._closing or self._closing or lane.error is not None:
+                return
+            if lane.overflow == "block":
+                while len(lane._queue) >= lane.max_queue:
+                    if lane._closing or self._closing or \
+                            lane.error is not None:
+                        return
+                    # Every transition notifies; the timeout is pure
+                    # liveness insurance, so keep it long (idle wakeup
+                    # cost, not latency).
+                    self._changed.wait(timeout=1.0)
+            elif len(lane._queue) >= lane.max_queue:
+                lane._queue.popleft()  # drop-oldest: newest picture wins
+                self._drop(lane, 1)
+            lane._queue.append(increment)
+            lane.n_submitted += 1
+            if len(lane._queue) > lane.queue_high_water:
+                lane.queue_high_water = len(lane._queue)
+            if not lane._scheduled:
+                lane._scheduled = True
+                self._ready.append(lane)
+            self._changed.notify_all()
+
+    # -- worker side -------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._changed:
+                while not self._ready and not self._closing:
+                    # Submit/close/shutdown all notify; long timeout
+                    # keeps an idle pool near-silent.
+                    self._changed.wait(timeout=1.0)
+                if not self._ready:
+                    # Shutting down with nothing left to drain.
+                    self._changed.notify_all()
+                    return
+                lane = self._ready.popleft()
+                if not lane._queue:
+                    # Backlog discarded (lane closed without drain)
+                    # between scheduling and service.
+                    lane._scheduled = False
+                    self._changed.notify_all()
+                    continue
+                increment = lane._queue.popleft()
+                self._changed.notify_all()  # wake a blocked submit
+            # The lane stays scheduled while its delivery runs: no other
+            # worker may touch it, which is the per-subscription FIFO.
+            try:
+                lane.subscription.dispatch(increment)
+            except BaseException as exc:  # noqa: BLE001 — recorded, not lost
+                with self._changed:
+                    lane.error = exc
+                    lane.subscription.active = False
+                    # The in-flight increment and the undelivered
+                    # backlog are all dropped, keeping the submitted ==
+                    # delivered + dropped invariant exact.  The worker
+                    # survives: only the lane is dead.
+                    self._drop(lane, 1 + len(lane._queue))
+                    lane._queue.clear()
+                    lane._scheduled = False
+                    self._changed.notify_all()
+                continue
+            with self._changed:
+                lane.n_delivered += 1
+                if lane._queue:
+                    self._ready.append(lane)
+                else:
+                    lane._scheduled = False
+                self._changed.notify_all()
+
+    def _drop(self, lane: "_Lane", n: int) -> None:
+        """Account ``n`` lost increments on both sides of the handoff
+        (lane books and ``Subscription.delivered``); callers hold the
+        pool lock."""
+        if n <= 0:
+            return
+        lane.n_dropped += n
+        delivered = lane.subscription.delivered
+        delivered["dropped_increments"] = (
+            delivered.get("dropped_increments", 0) + n
+        )
+
+    # -- teardown ----------------------------------------------------------
+
+    def close_lane(self, lane: "_Lane", drain: bool = True,
+                   timeout_s: float = 10.0) -> bool:
+        """Stop one lane; with ``drain`` wait for its backlog to deliver.
+
+        Returns whether the lane went quiescent within ``timeout_s``
+        (``False`` also recorded in ``lane.drain_timed_out``: the books
+        were not final when read).  ``timeout_s=0`` is fire-and-forget —
+        what ``Subscription.close()`` uses, so closing a stuck sink from
+        the pipeline thread never stalls ingestion.  Called from a pool
+        worker (a callback closing its own subscription) it never
+        waits: the in-flight delivery *is* the current frame.
+        """
+        with self._changed:
+            if not drain:
+                self._drop(lane, len(lane._queue))
+                lane._queue.clear()
+            lane._closing = True
+            self._changed.notify_all()
+        if not drain or timeout_s <= 0 or self._on_worker():
+            return True
+        deadline = time.monotonic() + timeout_s
+        with self._changed:
+            while lane._queue or lane._scheduled:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._changed.wait(timeout=min(remaining, 1.0))
+            lane.drain_timed_out = bool(lane._queue or lane._scheduled)
+            return not lane.drain_timed_out
+
+    def shutdown(self, drain: bool = True, timeout_s: float = 10.0) -> bool:
+        """Stop the pool; with ``drain`` deliver every backlog first.
+
+        Returns whether every worker finished within ``timeout_s``.
+        ``False`` means a sink slower than the timeout still holds
+        undelivered increments — the lanes left non-quiescent get their
+        ``drain_timed_out`` flagged, since their books were not final
+        when read.  Idempotent; called from a pool worker (a callback
+        tearing the hub down) it flags the shutdown and returns without
+        self-joining.
+        """
+        with self._changed:
+            if not drain:
+                for lane in self._lanes:
+                    self._drop(lane, len(lane._queue))
+                    lane._queue.clear()
+            self._closing = True
+            self._changed.notify_all()
+        if self._on_worker():
+            return True
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        finished = not self.is_alive()
+        with self._changed:
+            for lane in self._lanes:
+                if lane._queue or lane._scheduled:
+                    lane.drain_timed_out = True
+        return finished
+
+    def _on_worker(self) -> bool:
+        return threading.current_thread() in self._threads
+
+
 class AsyncDispatcher:
-    """Bounded queue + worker thread delivering to one subscription."""
+    """Bounded queue + dedicated worker thread for one subscription.
+
+    The PR 5 dispatcher, kept as a standalone utility and as the
+    reference implementation for the pooled-vs-dedicated delivery-book
+    parity suite.  The hub now routes async subscriptions through
+    :class:`DispatchPool` instead; construct this directly when one
+    consumer genuinely wants a private thread.
+    """
 
     def __init__(
         self,
@@ -157,9 +457,8 @@ class AsyncDispatcher:
         (``n_submitted > n_delivered + n_dropped`` until the daemon
         worker drains them) — also recorded in :attr:`drain_timed_out`.
         ``timeout_s=0`` is fire-and-forget: flag the shutdown and
-        return without waiting on the worker at all (what
-        ``Subscription.close()`` uses, so closing a stuck sink from the
-        pipeline thread never stalls ingestion).
+        return without waiting on the worker at all (so closing a stuck
+        sink from the pipeline thread never stalls ingestion).
         """
         with self._changed:
             if not drain:

@@ -1,0 +1,308 @@
+"""Routing index over subscriptions: probe candidates, don't scan.
+
+``SubscriptionHub.dispatch`` used to filter-check every subscription per
+increment — O(subscribers) per tick even when an increment carries a
+single event interesting to three consumers.  The
+:class:`SubscriptionIndex` inverts the filters instead, so dispatch
+probes O(events x filters-hit) candidate sets:
+
+- **MMSI inverted index** — a subscription with ``mmsis`` is registered
+  under each of its vessels; an event probes the bucket of every MMSI it
+  involves.
+- **Cell cover** — a subscription with a ``region`` (and no ``mmsis``)
+  is registered under the coarse :class:`~repro.spatial.cells.CellGrid`
+  cells covering its region's bounding box; an event or alarm probes
+  the single cell containing its position.  The cover is conservative
+  (bounding box, whole cells), so the index only ever *over*-selects:
+  the subscription's exact ``_wants_event``/``_wants_alarm`` filters
+  still run at delivery, and semantics are byte-identical to the scan.
+- **Kind buckets** — kind-only event subscriptions are registered per
+  :class:`~repro.events.base.EventKind`.
+- **Small dedicated buckets** for the rest: unfiltered event/alarm/
+  forecast consumers, whole-increment (``on_increment``) consumers, and
+  region subscriptions whose cover would be unreasonably large
+  (``broad``): these are scanned, but they are the consumers that want
+  (nearly) everything anyway.
+
+The index is a pure data structure with no locking of its own: the hub
+owns it and serialises every mutation *and* every probe under its lock
+(probing touches only immutable snapshots after that — the returned
+candidate set is freshly built per increment).
+"""
+
+from repro.geo.region import BoundingBox
+from repro.spatial.cells import CellGrid, CellKey
+
+__all__ = ["SubscriptionIndex", "cell_cover", "region_bounding_box"]
+
+#: Default routing-cell size.  Sized so a typical harbour/anchorage
+#: watch region (tens of km) covers a handful of cells: much coarser
+#: and every event's cell probe drags in region subscriptions whose
+#: exact ``contains`` (a haversine) then dominates dispatch; much finer
+#: and broad regions blow past ``MAX_COVER_CELLS`` into the broad
+#: bucket.  75 km keeps the whole globe at ~100k cells, populated
+#: lazily.
+INDEX_CELL_M = 75_000.0
+
+#: A region whose bounding box covers more cells than this is treated
+#: as "broad" and scanned instead of indexed — beyond this point the
+#: per-event cell probe saves less than the registration costs.
+MAX_COVER_CELLS = 512
+
+_EMPTY: frozenset = frozenset()
+
+
+def region_bounding_box(region) -> BoundingBox | None:
+    """A conservative :class:`BoundingBox` for a region, if derivable.
+
+    Accepts a :class:`BoundingBox` itself, anything exposing
+    ``bounding_box()`` (:class:`~repro.geo.region.CircleRegion`,
+    :class:`~repro.geo.region.PolygonRegion`), or anything carrying the
+    four ``lat_min``/``lat_max``/``lon_min``/``lon_max`` attributes.
+    Returns ``None`` for contains-only objects — those can't be indexed
+    spatially and fall into the broad bucket.
+    """
+    if isinstance(region, BoundingBox):
+        return region
+    derive = getattr(region, "bounding_box", None)
+    if callable(derive):
+        box = derive()
+        if isinstance(box, BoundingBox):
+            return box
+    if all(
+        hasattr(region, name)
+        for name in ("lat_min", "lat_max", "lon_min", "lon_max")
+    ):
+        try:
+            return BoundingBox(
+                float(region.lat_min),
+                float(region.lat_max),
+                float(region.lon_min),
+                float(region.lon_max),
+            )
+        except (TypeError, ValueError):
+            return None
+    return None
+
+
+def cell_cover(
+    grid: CellGrid, box: BoundingBox, max_cells: int = MAX_COVER_CELLS
+) -> list[CellKey] | None:
+    """Every grid cell intersecting a bounding box, or ``None`` if more
+    than ``max_cells`` would be needed.
+
+    Wrap-aware: an antimeridian-crossing box walks each band's longitude
+    cells modulo the band's cell count, so the cover never splits at
+    ±180 (cells don't either).  Edges are inclusive on both sides —
+    matching :meth:`BoundingBox.contains` — so any point the box
+    contains keys into a covered cell.
+    """
+    keys: list[CellKey] = []
+    band_lo = grid.band_of(box.lat_min)
+    band_hi = grid.band_of(box.lat_max)
+    full_span = (
+        not box.crosses_antimeridian
+        and box.lon_max - box.lon_min >= 360.0 - 1e-9
+    )
+    for band in range(band_lo, band_hi + 1):
+        n_lon, __ = grid.band_geometry(band)
+        if full_span:
+            count = n_lon
+            ix_lo = 0
+        else:
+            ix_lo = grid.lon_cell(box.lon_min, n_lon)
+            ix_hi = grid.lon_cell(box.lon_max, n_lon)
+            # Modulo walk from the west cell to the east cell handles
+            # both orderings (a crossing box has ix_lo > ix_hi in most
+            # bands; a band with one cell collapses to it).
+            count = (ix_hi - ix_lo) % n_lon + 1
+        if len(keys) + count > max_cells:
+            return None
+        for step in range(count):
+            keys.append((band, (ix_lo + step) % n_lon))
+    return keys
+
+
+class SubscriptionIndex:
+    """Inverted indexes from filter values to candidate subscriptions.
+
+    Subscriptions must be hashable by identity (the hub's
+    ``Subscription`` is ``@dataclass(eq=False)``).  Registration picks
+    the most selective usable facet per delivery channel:
+
+    - events/alarms: ``mmsis`` > ``region`` cell cover > (events only)
+      ``kinds`` > the channel's catch-all bucket;
+    - forecasts: ``mmsis`` or the forecast catch-all (``region`` and
+      ``kinds`` never gate forecasts — mirroring ``dispatch``);
+    - ``on_increment`` consumers always match every increment.
+
+    ``kinds`` never gates alarms (alarms carry no kind), so a
+    kinds-only subscription with ``on_alarm`` still lands in the alarm
+    catch-all.
+    """
+
+    def __init__(self, grid: CellGrid | None = None,
+                 max_cover_cells: int = MAX_COVER_CELLS) -> None:
+        self.grid = grid if grid is not None else CellGrid(INDEX_CELL_M)
+        self.max_cover_cells = max_cover_cells
+        #: ``on_increment`` consumers: candidates for every increment.
+        self._always: set = set()
+        self._by_mmsi: dict[int, set] = {}
+        self._by_cell: dict[CellKey, set] = {}
+        self._by_kind: dict[object, set] = {}
+        #: Unfiltered event consumers (no kinds/region/mmsis).
+        self._event_all: set = set()
+        #: Alarm consumers not selective by mmsi or indexable region.
+        self._alarm_all: set = set()
+        #: Forecast consumers without an mmsi filter.
+        self._forecast_all: set = set()
+        #: Region subscriptions whose cover is too large (or whose
+        #: region has no derivable bounding box): scanned per event and
+        #: alarm, like the pre-index hub scanned everyone.
+        self._broad: set = set()
+        #: Reverse map for :meth:`discard`: the (bucket, key) pairs a
+        #: subscription was registered under.
+        self._registered: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._registered)
+
+    # -- registration ------------------------------------------------------
+
+    def add(self, subscription) -> None:
+        """Register a subscription under its most selective facets."""
+        if subscription in self._registered:
+            return
+        entries: list[tuple[str, object]] = []
+        if subscription.on_increment is not None:
+            # Whole-increment consumers match unconditionally; no finer
+            # facet can prune them.
+            self._always.add(subscription)
+            entries.append(("always", None))
+            self._registered[subscription] = entries
+            return
+        by_mmsi = subscription.mmsis is not None
+        wants_positional = (
+            subscription.on_event is not None
+            or subscription.on_alarm is not None
+        )
+        if wants_positional:
+            if by_mmsi:
+                for mmsi in subscription.mmsis:
+                    self._by_mmsi.setdefault(mmsi, set()).add(subscription)
+                    entries.append(("mmsi", mmsi))
+            elif subscription.region is not None:
+                cover = None
+                box = region_bounding_box(subscription.region)
+                if box is not None:
+                    cover = cell_cover(self.grid, box, self.max_cover_cells)
+                if cover is None:
+                    self._broad.add(subscription)
+                    entries.append(("broad", None))
+                else:
+                    for cell in cover:
+                        self._by_cell.setdefault(cell, set()).add(
+                            subscription
+                        )
+                        entries.append(("cell", cell))
+            else:
+                if subscription.on_event is not None:
+                    if subscription.kinds is not None:
+                        for kind in subscription.kinds:
+                            self._by_kind.setdefault(kind, set()).add(
+                                subscription
+                            )
+                            entries.append(("kind", kind))
+                    else:
+                        self._event_all.add(subscription)
+                        entries.append(("event_all", None))
+                if subscription.on_alarm is not None:
+                    # Alarms carry no kind, so a kinds filter cannot
+                    # prune them: the alarm channel needs its own
+                    # catch-all registration.
+                    self._alarm_all.add(subscription)
+                    entries.append(("alarm_all", None))
+        if subscription.on_forecast is not None and not by_mmsi:
+            self._forecast_all.add(subscription)
+            entries.append(("forecast_all", None))
+        self._registered[subscription] = entries
+
+    def discard(self, subscription) -> None:
+        """Remove a subscription from every bucket it was indexed under."""
+        entries = self._registered.pop(subscription, None)
+        if not entries:
+            return
+        for bucket, key in entries:
+            if bucket == "always":
+                self._always.discard(subscription)
+            elif bucket == "mmsi":
+                self._unbucket(self._by_mmsi, key, subscription)
+            elif bucket == "cell":
+                self._unbucket(self._by_cell, key, subscription)
+            elif bucket == "kind":
+                self._unbucket(self._by_kind, key, subscription)
+            elif bucket == "event_all":
+                self._event_all.discard(subscription)
+            elif bucket == "alarm_all":
+                self._alarm_all.discard(subscription)
+            elif bucket == "forecast_all":
+                self._forecast_all.discard(subscription)
+            elif bucket == "broad":
+                self._broad.discard(subscription)
+
+    @staticmethod
+    def _unbucket(table: dict, key, subscription) -> None:
+        bucket = table.get(key)
+        if bucket is None:
+            return
+        bucket.discard(subscription)
+        if not bucket:
+            del table[key]
+
+    # -- probing -----------------------------------------------------------
+
+    def candidates(self, increment) -> set:
+        """Every subscription that *might* want part of this increment.
+
+        A superset by construction: the caller still runs each
+        candidate's exact filters at delivery.  Probes one MMSI bucket
+        per vessel involved, one cell bucket per event/alarm position,
+        one kind bucket per event kind, plus the relevant catch-alls.
+        """
+        out = set(self._always)
+        if increment.new_events or increment.new_complex_events:
+            by_mmsi = self._by_mmsi
+            by_cell = self._by_cell
+            by_kind = self._by_kind
+            grid_key = self.grid.key
+            for event in (
+                *increment.new_events,
+                *increment.new_complex_events,
+            ):
+                if by_mmsi:
+                    for mmsi in event.mmsis:
+                        out |= by_mmsi.get(mmsi, _EMPTY)
+                if by_cell:
+                    out |= by_cell.get(grid_key(event.lat, event.lon), _EMPTY)
+                if by_kind:
+                    out |= by_kind.get(event.kind, _EMPTY)
+            out |= self._event_all
+            out |= self._broad
+        if increment.new_alarms:
+            by_mmsi = self._by_mmsi
+            by_cell = self._by_cell
+            grid_key = self.grid.key
+            for alarm in increment.new_alarms:
+                if by_mmsi and alarm.mmsi is not None:
+                    out |= by_mmsi.get(alarm.mmsi, _EMPTY)
+                if by_cell:
+                    out |= by_cell.get(grid_key(alarm.lat, alarm.lon), _EMPTY)
+            out |= self._alarm_all
+            out |= self._broad
+        if increment.updated_forecasts:
+            by_mmsi = self._by_mmsi
+            if by_mmsi:
+                for mmsi in increment.updated_forecasts:
+                    out |= by_mmsi.get(mmsi, _EMPTY)
+            out |= self._forecast_all
+        return out

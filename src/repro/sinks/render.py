@@ -1,0 +1,209 @@
+"""Shared, per-tick JSON rendering of pipeline increments.
+
+Before this module every JSON-shaped consumer serialised each increment
+for itself: two JSONL sinks plus a gateway on the same hub meant three
+identical ``json.dumps`` of the same tick.  Rendering is now computed
+once per increment and shared: :func:`render` attaches a lazy
+:class:`IncrementRendering` to the increment object itself, and every
+consumer — :class:`~repro.sinks.builtins.JsonlSink`, the ``repro
+serve`` gateway, the CLI ``--json`` mode — reads the same immutable
+dicts and pre-dumped line.
+
+The canonical dict shapes (:func:`increment_to_dict`,
+:func:`event_to_dict`, :func:`alarm_to_dict`, :func:`overview_to_dict`)
+live here; :mod:`repro.sinks.builtins` re-exports the first two under
+their original names.
+
+Thread-safety: renderings are built outside any lock and cached with a
+plain attribute write.  Two dispatch-pool workers racing on a fresh
+increment may both build a rendering — the last write wins and both are
+equal, so the race is benign; after the first tick every reader shares
+one object.  The cached dicts are shared *by reference* and must be
+treated as immutable by every consumer.
+"""
+
+import json
+
+from repro.events.base import Event
+
+__all__ = [
+    "IncrementRendering",
+    "alarm_to_dict",
+    "event_to_dict",
+    "increment_to_dict",
+    "overview_to_dict",
+    "position_to_dict",
+    "render",
+]
+
+
+def _json_safe(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+def event_to_dict(event: Event) -> dict:
+    """JSON-safe view of one event (details included: explanations are
+    part of the product, §4)."""
+    return {
+        "kind": event.kind.value,
+        "t_start": event.t_start,
+        "t_end": event.t_end,
+        "mmsis": list(event.mmsis),
+        "lat": event.lat,
+        "lon": event.lon,
+        "confidence": event.confidence,
+        "details": {str(k): _json_safe(v) for k, v in event.details.items()},
+    }
+
+
+def alarm_to_dict(alarm) -> dict:
+    """JSON-safe view of one situation-monitor alarm."""
+    return {
+        "t": alarm.t,
+        "mmsi": alarm.mmsi,
+        "lat": alarm.lat,
+        "lon": alarm.lon,
+        "score": alarm.score,
+        "explanation": alarm.explanation,
+    }
+
+
+def position_to_dict(mmsi: int, point) -> dict:
+    """JSON-safe view of one vessel's latest accepted fix."""
+    return {
+        "mmsi": mmsi,
+        "t": point.t,
+        "lat": point.lat,
+        "lon": point.lon,
+        "sog_knots": point.sog_knots,
+        "cog_deg": point.cog_deg,
+    }
+
+
+def overview_to_dict(overview) -> dict | None:
+    """JSON-safe view of a :class:`SituationOverview` (or ``None``)."""
+    if overview is None:
+        return None
+    box = overview.box
+    return {
+        "t": overview.t,
+        "box": {
+            "lat_min": box.lat_min,
+            "lat_max": box.lat_max,
+            "lon_min": box.lon_min,
+            "lon_max": box.lon_max,
+        },
+        "n_vessels": overview.n_vessels,
+        "n_underway": overview.n_underway,
+        "n_stationary": overview.n_stationary,
+        "mean_speed_knots": overview.mean_speed_knots,
+        "events_last_hour": len(overview.events_last_hour),
+    }
+
+
+def increment_to_dict(increment) -> dict:
+    """JSON-safe view of one :class:`PipelineIncrement` (the unit the
+    ``--json`` CLI mode and the JSONL sink stream)."""
+    backpressure = increment.backpressure
+    return {
+        "t_watermark": increment.t_watermark,
+        "n_observations": increment.n_observations,
+        "n_records": increment.n_records,
+        "n_segments": len(increment.new_segments),
+        "n_synopses": len(increment.new_synopses),
+        "events": [event_to_dict(e) for e in increment.new_events],
+        "complex_events": [
+            event_to_dict(e) for e in increment.new_complex_events
+        ],
+        "forecasts": {
+            str(mmsi): [
+                {
+                    "lat": p.lat,
+                    "lon": p.lon,
+                    "sigma_m": p.sigma_m,
+                    "horizon_s": p.horizon_s,
+                }
+                for p in predictions
+            ]
+            for mmsi, predictions in increment.updated_forecasts.items()
+        },
+        "alarms": [alarm_to_dict(a) for a in increment.new_alarms],
+        "positions": [
+            position_to_dict(mmsi, point)
+            for mmsi, point in increment.updated_positions.items()
+        ],
+        "seconds": increment.seconds,
+        "backpressure": {
+            "feed_latency_s": backpressure.feed_latency_s,
+            "records_deferred": backpressure.records_deferred,
+            "queue_depths": dict(backpressure.queue_depths),
+        },
+    }
+
+
+class IncrementRendering:
+    """Lazy, memoised JSON views of one increment.
+
+    Built at most once per increment per view; attributes are computed
+    on first read and shared by reference afterwards — consumers must
+    not mutate them.
+    """
+
+    __slots__ = ("increment", "_dict", "_json_line", "_overview")
+
+    _UNSET = object()
+
+    def __init__(self, increment) -> None:
+        self.increment = increment
+        self._dict = None
+        self._json_line = None
+        self._overview = self._UNSET
+
+    @property
+    def as_dict(self) -> dict:
+        """The canonical :func:`increment_to_dict` view, computed once."""
+        made = self._dict
+        if made is None:
+            made = increment_to_dict(self.increment)
+            self._dict = made
+        return made
+
+    @property
+    def json_line(self) -> str:
+        """The increment as one newline-terminated JSON line."""
+        line = self._json_line
+        if line is None:
+            line = json.dumps(self.as_dict, sort_keys=True) + "\n"
+            self._json_line = line
+        return line
+
+    @property
+    def overview_dict(self) -> dict | None:
+        """The increment's situation overview, rendered once."""
+        made = self._overview
+        if made is self._UNSET:
+            made = overview_to_dict(self.increment.overview)
+            self._overview = made
+        return made
+
+
+def render(increment) -> IncrementRendering:
+    """The shared rendering of an increment, created on first request.
+
+    The rendering is cached on the increment object itself, so its
+    lifetime is exactly the increment's and any consumer of the same
+    tick — across threads, hubs or sinks — shares one serialisation.
+    """
+    cached = getattr(increment, "_rendering", None)
+    if cached is None:
+        cached = IncrementRendering(increment)
+        # Benign race: concurrent builders produce equal renderings and
+        # the last write wins.
+        increment._rendering = cached
+    return cached

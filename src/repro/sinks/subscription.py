@@ -24,17 +24,36 @@ Dispatch modes:
   thread in subscription order; a callback raising propagates to the
   driver — fail fast, the operator must know a consumer is broken.
 - **Async** (``async_dispatch=True``): increments are handed to a
-  bounded queue drained by a per-subscription worker thread
-  (:class:`~repro.sinks.dispatch.AsyncDispatcher`), so a slow sink
-  never stalls ingestion.  See that module for the overflow policies
-  and the weaker failure contract.
+  bounded per-subscription FIFO lane drained by the hub's shared
+  :class:`~repro.sinks.dispatch.DispatchPool`, so a slow sink never
+  stalls ingestion and the thread count stays a constant of the hub,
+  not of the subscriber count.  See that module for the overflow
+  policies and the weaker failure contract.
+
+Scaling: the hub routes through a
+:class:`~repro.sinks.index.SubscriptionIndex` by default — dispatch
+probes the index (MMSI inverted index, region cell cover, kind buckets)
+for the candidate set of each increment instead of filter-checking
+every subscription.  The index only ever over-selects; each candidate's
+exact filters still run at delivery, so ``indexed=False`` (the scan
+baseline, kept for benchmarking) is observably identical, just
+O(subscribers) per increment.
+
+Candidate gating changes *async accounting* for filtered subscriptions:
+a lane's ``n_submitted`` counts the increments that held something the
+index considered possibly relevant, not every tick (an ``on_increment``
+subscription is always a candidate, so its books are unchanged).  The
+``n_submitted == n_delivered + n_dropped`` reconciliation is unaffected.
 """
 
+import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.events.base import Event, EventKind
-from repro.sinks.dispatch import AsyncDispatcher
+from repro.sinks.dispatch import DispatchPool, validate_lane_params
+from repro.sinks.index import SubscriptionIndex
 
 __all__ = ["Subscription", "SubscriptionHub"]
 
@@ -48,9 +67,14 @@ def _normalise_kinds(kinds) -> frozenset[EventKind] | None:
     return frozenset(out)
 
 
-@dataclass
+@dataclass(eq=False)
 class Subscription:
-    """One consumer's view of the increment stream."""
+    """One consumer's view of the increment stream.
+
+    ``eq=False`` keeps identity hashing: the hub's index stores
+    subscriptions in sets, and two subscriptions with identical filters
+    are still distinct consumers.
+    """
 
     on_increment: Callable | None = None
     on_event: Callable[[Event], None] | None = None
@@ -64,8 +88,15 @@ class Subscription:
     delivered: dict = field(default_factory=dict)
     active: bool = True
     #: Present on async subscriptions: the bounded handoff that delivers
-    #: increments off the pipeline thread.
-    dispatcher: AsyncDispatcher | None = None
+    #: increments off the pipeline thread (a
+    #: :class:`~repro.sinks.dispatch.DispatchLane` on the hub's shared
+    #: pool; a standalone ``AsyncDispatcher`` also satisfies the
+    #: surface).
+    dispatcher: object | None = None
+    #: Subscribe-order rank, assigned by the hub: candidate sets come
+    #: back unordered from the index, and sorting by ``seq`` restores
+    #: the delivery order a full scan would have used.
+    seq: int = -1
 
     def __post_init__(self) -> None:
         self.kinds = _normalise_kinds(self.kinds)
@@ -139,10 +170,10 @@ class Subscription:
 
         An async subscription's queued backlog is discarded (counted as
         dropped) — close means "stop", not "finish up"; use the hub's
-        :meth:`SubscriptionHub.close` to drain instead.  The worker is
-        signalled, never joined: closing a stuck sink from the pipeline
-        thread must not stall ingestion (an in-flight callback finishes
-        on its own time, then the worker exits).
+        :meth:`SubscriptionHub.close` to drain instead.  The lane is
+        signalled, never waited on: closing a stuck sink from the
+        pipeline thread must not stall ingestion (an in-flight callback
+        finishes on its own time, then the lane goes quiet).
         """
         self.active = False
         if self.dispatcher is not None:
@@ -150,9 +181,27 @@ class Subscription:
 
 
 class SubscriptionHub:
-    """The session-side registry dispatching increments to subscribers."""
+    """The session-side registry dispatching increments to subscribers.
 
-    def __init__(self) -> None:
+    Thread-shared: ``subscribe``/``close`` may race dispatch (pool
+    workers run callbacks that re-enter the hub), so all registry and
+    index state is guarded by one lock.  Deliveries run outside it —
+    dispatch snapshots the subscription list and the candidate set under
+    the lock, then delivers lock-free, so a callback subscribing or
+    closing mid-dispatch never deadlocks (the newcomer simply misses
+    the in-flight increment; a closed subscription's ``active`` flag
+    suppresses its delivery).
+    """
+
+    _thread_shared = True
+
+    def __init__(
+        self,
+        indexed: bool = True,
+        dispatch_workers: int | None = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
         self._subscriptions: list[Subscription] = []
         #: Every subscription ever registered, in subscribe order —
         #: closed ones included, so end-of-run accounting (and async
@@ -162,9 +211,19 @@ class SubscriptionHub:
         #: monitor).  A long-lived hub with per-query subscription churn
         #: should be recreated per run rather than reused forever.
         self.registry: list[Subscription] = []
+        #: Candidate routing; ``None`` means scan every subscription
+        #: (the pre-index behaviour, kept as the bench baseline).
+        self._index: SubscriptionIndex | None = (
+            SubscriptionIndex() if indexed else None
+        )
+        self._dispatch_workers = dispatch_workers
+        #: Shared worker pool for async subscriptions, created on the
+        #: first async subscribe — a sync-only hub owns no threads.
+        self._pool: DispatchPool | None = None
 
     def __len__(self) -> int:
-        return len([s for s in self._subscriptions if s.active])
+        with self._lock:
+            return len([s for s in self._subscriptions if s.active])
 
     def subscribe(
         self,
@@ -181,14 +240,17 @@ class SubscriptionHub:
     ) -> Subscription:
         """Register a consumer; see the module docstring for semantics.
 
-        ``async_dispatch=True`` gives the subscription its own
-        :class:`~repro.sinks.dispatch.AsyncDispatcher` — a bounded
-        handoff queue (``max_queue`` deep, ``overflow`` policy
-        ``"drop_oldest"`` or ``"block"``) drained by a worker thread,
-        so this consumer can never stall the pipeline thread.
+        ``async_dispatch=True`` registers the subscription on the hub's
+        shared :class:`~repro.sinks.dispatch.DispatchPool`: a bounded
+        per-subscription FIFO lane (``max_queue`` deep, ``overflow``
+        policy ``"drop_oldest"`` or ``"block"``) drained by the pool's
+        workers, so this consumer can never stall the pipeline thread.
         """
         if not any((on_increment, on_event, on_alarm, on_forecast)):
             raise ValueError("a subscription needs at least one callback")
+        if async_dispatch:
+            # Fail before the pool (and its worker threads) exists.
+            validate_lane_params(max_queue, overflow)
         subscription = Subscription(
             on_increment=on_increment,
             on_event=on_event,
@@ -199,39 +261,73 @@ class SubscriptionHub:
             mmsis=mmsis,
         )
         if async_dispatch:
-            subscription.dispatcher = AsyncDispatcher(
+            subscription.dispatcher = self._ensure_pool().lane(
                 subscription, max_queue=max_queue, overflow=overflow
             )
-        self._subscriptions.append(subscription)
-        self.registry.append(subscription)
+        with self._lock:
+            subscription.seq = next(self._seq)
+            self._subscriptions.append(subscription)
+            self.registry.append(subscription)
+            if self._index is not None:
+                self._index.add(subscription)
         return subscription
 
+    def _ensure_pool(self) -> DispatchPool:
+        with self._lock:
+            if self._pool is None:
+                self._pool = DispatchPool(workers=self._dispatch_workers)
+            return self._pool
+
     def dispatch(self, increment) -> None:
-        # Snapshot: a callback may subscribe() (the newcomer must not
-        # receive the in-flight increment) or close() mid-iteration.
-        subscriptions = tuple(self._subscriptions)
+        # Snapshot under the lock: a callback may subscribe() (the
+        # newcomer must not receive the in-flight increment) or close()
+        # mid-iteration, possibly from a pool worker.
+        with self._lock:
+            subscriptions = tuple(self._subscriptions)
+            candidates = (
+                self._index.candidates(increment)
+                if self._index is not None
+                else None
+            )
+        if candidates is None or len(candidates) >= len(subscriptions):
+            # Full scan (or everyone matched): the list is already in
+            # delivery order.
+            targets = subscriptions
+        else:
+            # Deliver only to candidates — the whole point of the index
+            # at 10k subscribers — sorted back into subscribe order so
+            # the ordering contract matches the scan exactly.  The index
+            # only over-selects; each candidate's exact filters still
+            # run inside ``deliver``.
+            targets = sorted(candidates, key=lambda s: s.seq)
         closed = False
-        for subscription in subscriptions:
+        for subscription in targets:
             subscription.deliver(increment)
             closed = closed or not subscription.active
         if closed:
-            self._subscriptions = [
-                s for s in self._subscriptions if s.active
-            ]
+            with self._lock:
+                if self._index is not None:
+                    for subscription in self._subscriptions:
+                        if not subscription.active:
+                            self._index.discard(subscription)
+                self._subscriptions = [
+                    s for s in self._subscriptions if s.active
+                ]
 
     def close(self, drain: bool = True) -> None:
-        """Tear down every async dispatcher (draining by default).
+        """Tear down the dispatch pool (draining lanes by default).
 
         After close the delivered/dropped accounting is final —
         ``n_submitted == n_delivered + n_dropped`` for every async
-        subscription — unless a sink outlived the dispatcher's drain
-        timeout (then its ``drain_timed_out`` flags the still-open
+        subscription — unless a sink outlived the pool's drain timeout
+        (then its lane's ``drain_timed_out`` flags the still-open
         books).  Sync subscriptions are untouched and keep receiving;
         async subscriptions are *terminated*, so this is an end-of-run
         call — the monitor façade makes it once, after the source is
         exhausted (``run()`` refuses to run a monitor twice, so a
         closed hub is never re-driven).
         """
-        for subscription in self.registry:
-            if subscription.dispatcher is not None:
-                subscription.dispatcher.close(drain=drain)
+        with self._lock:
+            pool = self._pool
+        if pool is not None:
+            pool.shutdown(drain=drain)

@@ -1,0 +1,344 @@
+"""The pooled dispatch plane: hub re-entrancy, pooled-vs-dedicated
+delivery-book parity, indexed-vs-scan equivalence, thread independence."""
+
+import threading
+
+import pytest
+
+from repro.core.stages import BackpressureMetrics, PipelineIncrement
+from repro.events.base import Event, EventKind
+from repro.geo import CircleRegion
+from repro.sinks import AsyncDispatcher, SubscriptionHub
+from repro.sinks.dispatch import DispatchPool, default_pool_workers
+from repro.sinks.subscription import Subscription
+
+WAIT = 5.0
+
+
+def event(kind=EventKind.GAP, t=0.0, mmsis=(1,), lat=48.0, lon=-5.0):
+    return Event(
+        kind=kind, t_start=t, t_end=t + 60.0, mmsis=tuple(mmsis),
+        lat=lat, lon=lon, confidence=0.9, details={},
+    )
+
+
+def increment(events=(), tag=0):
+    return PipelineIncrement(
+        t_watermark=1000.0 + tag,
+        n_observations=1,
+        n_records=1,
+        new_events=list(events),
+        new_complex_events=[],
+        new_alarms=[],
+        updated_forecasts={},
+        backpressure=BackpressureMetrics(
+            feed_latency_s=0.0, records_deferred=0, queue_depths={},
+        ),
+    )
+
+
+class _GatedSink:
+    """A sink that parks its first delivery until released, so tests can
+    fill queues deterministically while a worker is mid-callback."""
+
+    def __init__(self):
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.got = []
+        self._first = True
+
+    def __call__(self, inc):
+        if self._first:
+            self._first = False
+            self.started.set()
+            assert self.release.wait(WAIT)
+        self.got.append(inc.t_watermark)
+
+
+class TestPoolContract:
+    def test_thread_count_independent_of_subscribers(self):
+        before = threading.active_count()
+        hub = SubscriptionHub()
+        subs = [
+            hub.subscribe(on_increment=lambda inc: None,
+                          async_dispatch=True)
+            for __ in range(500)
+        ]
+        added = threading.active_count() - before
+        assert added <= default_pool_workers()
+        # The PR 5 liveness surface still answers through the lane.
+        assert all(s.dispatcher._worker.is_alive() for s in subs)
+        hub.close()
+
+    def test_books_exact_after_drain_many_lanes(self):
+        hub = SubscriptionHub(dispatch_workers=2)
+        got = {i: [] for i in range(20)}
+        for i in range(20):
+            hub.subscribe(on_increment=got[i].append, async_dispatch=True)
+        for tick in range(10):
+            hub.dispatch(increment(tag=tick))
+        hub.close()
+        for sub in hub.registry:
+            lane = sub.dispatcher
+            assert lane.n_submitted == 10
+            assert lane.n_submitted == lane.n_delivered + lane.n_dropped
+            assert not lane.drain_timed_out
+        assert all(len(v) == 10 for v in got.values())
+
+    def test_per_lane_fifo_under_shared_workers(self):
+        hub = SubscriptionHub(dispatch_workers=4)
+        got = []
+        hub.subscribe(on_increment=got.append, async_dispatch=True)
+        ticks = 200
+        for tick in range(ticks):
+            hub.dispatch(increment(tag=tick))
+        hub.close()
+        assert [inc.t_watermark for inc in got] == [
+            1000.0 + tick for tick in range(ticks)
+        ]
+
+    def test_callback_error_kills_lane_not_pool(self):
+        hub = SubscriptionHub(dispatch_workers=1)
+        boom = hub.subscribe(
+            on_increment=lambda inc: 1 / 0, async_dispatch=True
+        )
+        got = []
+        ok = hub.subscribe(on_increment=got.append, async_dispatch=True)
+        for tick in range(5):
+            hub.dispatch(increment(tag=tick))
+        hub.close()
+        assert isinstance(boom.dispatcher.error, ZeroDivisionError)
+        assert not boom.active
+        assert boom.dispatcher.n_submitted == (
+            boom.dispatcher.n_delivered + boom.dispatcher.n_dropped
+        )
+        # The healthy lane rode the same (sole) worker to completion.
+        assert ok.dispatcher.n_delivered >= 1
+        assert len(got) == ok.dispatcher.n_delivered
+
+    def test_pool_refuses_lanes_after_shutdown(self):
+        pool = DispatchPool(workers=1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.lane(Subscription(on_increment=lambda inc: None))
+
+
+class TestHubReentrancy:
+    def test_subscribe_from_pool_worker_callback(self):
+        """A callback running on a pool worker subscribes mid-dispatch:
+        no deadlock, and the newcomer misses the in-flight increment."""
+        hub = SubscriptionHub(dispatch_workers=1)
+        late = []
+        done = threading.Event()
+
+        def joiner(inc):
+            if not late:
+                hub.subscribe(on_increment=late.append)
+            done.set()
+
+        hub.subscribe(on_increment=joiner, async_dispatch=True)
+        hub.dispatch(increment(tag=0))
+        assert done.wait(WAIT)
+        assert late == []  # missed the in-flight increment
+        hub.dispatch(increment(tag=1))
+        hub.close()
+        assert [inc.t_watermark for inc in late] == [1001.0]
+
+    def test_close_other_from_pool_worker_callback(self):
+        """A pool-worker callback closing another async subscription
+        must not deadlock (close is signal-only from a worker)."""
+        hub = SubscriptionHub(dispatch_workers=2)
+        victim_got = []
+        victim = hub.subscribe(
+            on_increment=victim_got.append, async_dispatch=True
+        )
+        done = threading.Event()
+
+        def closer(inc):
+            victim.close()
+            done.set()
+
+        hub.subscribe(on_increment=closer, async_dispatch=True)
+        hub.dispatch(increment(tag=0))
+        assert done.wait(WAIT)
+        hub.dispatch(increment(tag=1))
+        hub.close()
+        assert not victim.active
+        lane = victim.dispatcher
+        assert lane.n_submitted == lane.n_delivered + lane.n_dropped
+
+    def test_hub_close_from_pool_worker_callback(self):
+        """A callback tearing the whole hub down from a worker returns
+        without self-joining and the process stays live."""
+        hub = SubscriptionHub(dispatch_workers=1)
+        done = threading.Event()
+
+        def teardown(inc):
+            hub.close()
+            done.set()
+
+        hub.subscribe(on_increment=teardown, async_dispatch=True)
+        hub.dispatch(increment(tag=0))
+        assert done.wait(WAIT)
+        hub.close()  # idempotent from the pipeline thread
+
+
+class TestPooledVsDedicatedParity:
+    """The pool must keep the PR 5 dedicated-thread books exactly."""
+
+    def _drive(self, make_dispatcher, overflow):
+        """Submit a deterministic overflow pattern through a dispatcher
+        factory and return the final books."""
+        sink = _GatedSink()
+        subscription = Subscription(on_increment=sink)
+        dispatcher = make_dispatcher(subscription)
+        subscription.dispatcher = dispatcher
+
+        subscription.deliver(increment(tag=0))
+        assert sink.started.wait(WAIT)  # worker parked in the callback
+        # Queue capacity is 2: tags 1..4 force two deterministic drops
+        # under drop_oldest (1 and 2), or all deliver under block.
+        extra = 4 if overflow == "drop_oldest" else 2
+        for tag in range(1, 1 + extra):
+            subscription.deliver(increment(tag=tag))
+        sink.release.set()
+        assert dispatcher.close(drain=True, timeout_s=WAIT)
+        return {
+            "n_submitted": dispatcher.n_submitted,
+            "n_delivered": dispatcher.n_delivered,
+            "n_dropped": dispatcher.n_dropped,
+            "queue_high_water": dispatcher.queue_high_water,
+            "delivered_tags": sink.got,
+            "dropped_count": subscription.delivered.get(
+                "dropped_increments", 0
+            ),
+            "drain_timed_out": dispatcher.drain_timed_out,
+        }
+
+    @pytest.mark.parametrize("overflow", ["drop_oldest", "block"])
+    def test_books_match_dedicated_dispatcher(self, overflow):
+        pools = []
+
+        def pooled(subscription):
+            pool = DispatchPool(workers=1)
+            pools.append(pool)
+            return pool.lane(subscription, max_queue=2, overflow=overflow)
+
+        def dedicated(subscription):
+            return AsyncDispatcher(
+                subscription, max_queue=2, overflow=overflow
+            )
+
+        pooled_books = self._drive(pooled, overflow)
+        dedicated_books = self._drive(dedicated, overflow)
+        assert pooled_books == dedicated_books
+        assert pooled_books["n_submitted"] == (
+            pooled_books["n_delivered"] + pooled_books["n_dropped"]
+        )
+        if overflow == "drop_oldest":
+            # Oldest queued (tags 1, 2) lost; in-flight 0 and fresh 3, 4
+            # delivered in order.
+            assert pooled_books["delivered_tags"] == [1000.0, 1003.0,
+                                                      1004.0]
+            assert pooled_books["n_dropped"] == 2
+        else:
+            assert pooled_books["delivered_tags"] == [1000.0, 1001.0,
+                                                      1002.0]
+            assert pooled_books["n_dropped"] == 0
+        for pool in pools:
+            pool.shutdown()
+
+    def test_block_policy_stalls_submitter_until_space(self):
+        sink = _GatedSink()
+        subscription = Subscription(on_increment=sink)
+        pool = DispatchPool(workers=1)
+        lane = pool.lane(subscription, max_queue=1, overflow="block")
+        subscription.dispatcher = lane
+
+        subscription.deliver(increment(tag=0))
+        assert sink.started.wait(WAIT)
+        subscription.deliver(increment(tag=1))  # fills the queue
+
+        blocked_done = threading.Event()
+        submitter = threading.Thread(
+            target=lambda: (subscription.deliver(increment(tag=2)),
+                            blocked_done.set()),
+            daemon=True,
+        )
+        submitter.start()
+        assert not blocked_done.wait(0.2)  # genuinely backpressured
+        sink.release.set()
+        assert blocked_done.wait(WAIT)
+        submitter.join(WAIT)
+        assert pool.shutdown(timeout_s=WAIT)
+        assert sink.got == [1000.0, 1001.0, 1002.0]
+        assert lane.n_submitted == 3 == lane.n_delivered
+        assert lane.n_dropped == 0
+
+
+class TestIndexedEquivalence:
+    def _increments(self):
+        return [
+            increment(events=[
+                event(mmsis=(7,), lat=48.0, lon=-5.0),
+                event(kind=EventKind.LOITERING, mmsis=(9,),
+                      lat=51.0, lon=3.0),
+            ], tag=0),
+            increment(events=[
+                event(kind=EventKind.SPEED_ANOMALY, mmsis=(11,),
+                      lat=43.0, lon=6.0),
+            ], tag=1),
+            increment(tag=2),
+        ]
+
+    def _subscribe_mix(self, hub):
+        sinks = {
+            "mmsi": [], "region": [], "kind": [], "all": [], "inc": [],
+        }
+        hub.subscribe(on_event=sinks["mmsi"].append, mmsis=[7, 11])
+        hub.subscribe(
+            on_event=sinks["region"].append,
+            region=CircleRegion(48.0, -5.0, 50_000.0),
+        )
+        hub.subscribe(on_event=sinks["kind"].append,
+                      kinds=[EventKind.LOITERING])
+        hub.subscribe(on_event=sinks["all"].append)
+        hub.subscribe(on_increment=sinks["inc"].append)
+        return sinks
+
+    def test_indexed_hub_delivers_exactly_the_scan_set(self):
+        scan_hub = SubscriptionHub(indexed=False)
+        indexed_hub = SubscriptionHub(indexed=True)
+        scan_sinks = self._subscribe_mix(scan_hub)
+        indexed_sinks = self._subscribe_mix(indexed_hub)
+        for inc in self._increments():
+            scan_hub.dispatch(inc)
+        for inc in self._increments():
+            indexed_hub.dispatch(inc)
+        for key in scan_sinks:
+            assert len(indexed_sinks[key]) == len(scan_sinks[key]), key
+        # Spot the actual routing: per-vessel watch saw both its ships.
+        assert sorted(e.mmsis[0] for e in indexed_sinks["mmsi"]) == [7, 11]
+        assert [e.mmsis[0] for e in indexed_sinks["region"]] == [7]
+        assert [e.kind for e in indexed_sinks["kind"]] == [
+            EventKind.LOITERING
+        ]
+        assert len(indexed_sinks["all"]) == 3
+        assert len(indexed_sinks["inc"]) == 3
+
+    def test_candidate_gating_keeps_async_books_reconciled(self):
+        """A filtered async subscription's n_submitted counts candidate
+        increments only — and still reconciles exactly after close."""
+        hub = SubscriptionHub()
+        got = []
+        sub = hub.subscribe(
+            on_event=got.append, mmsis=[7], async_dispatch=True
+        )
+        for inc in self._increments():
+            hub.dispatch(inc)
+        hub.close()
+        lane = sub.dispatcher
+        # Only the first increment carried mmsi 7: one candidate tick.
+        assert lane.n_submitted == 1
+        assert lane.n_submitted == lane.n_delivered + lane.n_dropped
+        assert [e.mmsis[0] for e in got] == [7]

@@ -1,0 +1,269 @@
+"""The serve gateway: WS framing, state folding, HTTP/WS end to end."""
+
+import json
+import socket
+import struct
+import threading
+import urllib.request
+
+import pytest
+
+from repro.core.stages import BackpressureMetrics, PipelineIncrement
+from repro.events.base import Event, EventKind
+from repro.serve import GatewayState, MonitorGateway
+from repro.serve import ws as wsproto
+from repro.sinks import SubscriptionHub
+from repro.trajectory.points import TrackPoint
+from repro.visual.overview import MonitoringAlarm
+
+WAIT = 5.0
+
+
+def increment(tag=0, positions=None, events=(), alarms=()):
+    return PipelineIncrement(
+        t_watermark=1000.0 + tag,
+        n_observations=1,
+        n_records=1,
+        new_events=list(events),
+        new_complex_events=[],
+        new_alarms=list(alarms),
+        updated_forecasts={},
+        backpressure=BackpressureMetrics(
+            feed_latency_s=0.0, records_deferred=0, queue_depths={},
+        ),
+        updated_positions=dict(positions or {}),
+    )
+
+
+def fix(t=1000.0, lat=48.0, lon=-5.0, sog=10.0):
+    return TrackPoint(t=t, lat=lat, lon=lon, sog_knots=sog, cog_deg=90.0)
+
+
+def event(kind=EventKind.GAP, mmsis=(7,), lat=48.0, lon=-5.0):
+    return Event(
+        kind=kind, t_start=1000.0, t_end=1060.0, mmsis=tuple(mmsis),
+        lat=lat, lon=lon, confidence=0.9, details={},
+    )
+
+
+class TestWsFraming:
+    def test_accept_key_rfc6455_vector(self):
+        # The worked example from RFC 6455 §1.3.
+        assert wsproto.accept_key("dGhlIHNhbXBsZSBub25jZQ==") == (
+            "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    @pytest.mark.parametrize("size", [0, 5, 125, 126, 65535, 65536])
+    def test_server_frame_lengths(self, size):
+        frame = wsproto.encode_frame(b"x" * size, wsproto.OP_BINARY)
+        assert frame[0] == 0x80 | wsproto.OP_BINARY  # FIN + opcode
+        assert frame.endswith(b"x" * size)
+        declared = frame[1] & 0x7F
+        if size < 126:
+            assert declared == size
+        elif size < (1 << 16):
+            assert declared == 126
+            assert struct.unpack(">H", frame[2:4]) == (size,)
+        else:
+            assert declared == 127
+            assert struct.unpack(">Q", frame[2:10]) == (size,)
+
+    @staticmethod
+    def _masked(payload: bytes, opcode=wsproto.OP_TEXT) -> bytes:
+        """A client-side frame (clients must mask; RFC 6455 §5.1)."""
+        mask = b"\x12\x34\x56\x78"
+        head = bytes([0x80 | opcode, 0x80 | len(payload)])
+        body = bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+        return head + mask + body
+
+    def test_read_frame_unmasks_client_payload(self):
+        import io
+
+        opcode, payload = wsproto.read_frame(
+            io.BytesIO(self._masked(b"hello stream"))
+        )
+        assert opcode == wsproto.OP_TEXT
+        assert payload == b"hello stream"
+
+    def test_read_frame_rejects_unmasked(self):
+        import io
+
+        with pytest.raises(wsproto.WebSocketError):
+            wsproto.read_frame(io.BytesIO(wsproto.encode_frame("nope")))
+
+    def test_close_frame_carries_code(self):
+        frame = wsproto.close_frame(1001, "bye")
+        assert frame[0] == 0x80 | wsproto.OP_CLOSE
+        assert struct.unpack(">H", frame[2:4]) == (1001,)
+        assert frame.endswith(b"bye")
+
+
+class TestGatewayState:
+    def test_update_folds_positions_tracks_heat(self):
+        state = GatewayState(track_points=4)
+        for tick in range(6):
+            state.update(increment(
+                tag=tick,
+                positions={7: fix(t=1000.0 + tick, lat=48.0 + 0.001 * tick)},
+            ))
+        health = state.health()
+        assert health["n_increments"] == 6
+        assert health["watermark"] == 1005.0
+        assert health["n_vessels"] == 1
+        (row,) = state.positions()
+        assert row["mmsi"] == 7 and row["t"] == 1005.0
+        track = state.track(7)
+        assert len(track) == 4  # bounded history
+        assert track[-1]["t"] == 1005.0
+        heat = state.heatmap()
+        assert sum(heat["cells"].values()) == 6
+        assert all(isinstance(k, str) for k in heat["cells"])
+
+    def test_bbox_filter_and_events_alerts(self):
+        state = GatewayState()
+        state.update(increment(
+            positions={1: fix(lat=48.0, lon=-5.0),
+                       2: fix(lat=30.0, lon=10.0)},
+            events=[event(), event(kind=EventKind.LOITERING)],
+            alarms=[MonitoringAlarm(t=1000.0, mmsi=1, lat=48.0, lon=-5.0,
+                                    score=0.9, explanation="test")],
+        ))
+        from repro.geo.region import BoundingBox
+
+        rows = state.positions(bbox=BoundingBox(45.0, 50.0, -10.0, 0.0))
+        assert [r["mmsi"] for r in rows] == [1]
+        assert len(state.events()) == 2
+        assert [e["kind"] for e in state.events(kind="gap")] == ["gap"]
+        assert len(state.alerts()) == 1
+
+    def test_ws_client_queue_drops_oldest(self):
+        state = GatewayState(ws_queue=2)
+        client = state.register_client()
+        for tick in range(5):
+            state.update(increment(tag=tick))
+        assert client.n_dropped == 3
+        first = json.loads(state.next_frame(client, timeout_s=0.1))
+        assert first["t_watermark"] == 1003.0  # freshest picture wins
+        state.close()
+        assert not state.is_open(client)
+        assert state.next_frame(client, timeout_s=0.1) is not None  # drains
+        assert state.next_frame(client, timeout_s=0.1) is None
+
+
+class TestGatewayHttp:
+    @pytest.fixture()
+    def served(self):
+        hub = SubscriptionHub()
+        gateway = MonitorGateway(port=0, allow_shutdown=True)
+        gateway.attach(hub)
+        gateway.start()
+        yield hub, gateway
+        gateway.close()
+        hub.close()
+
+    def _get(self, gateway, path):
+        with urllib.request.urlopen(gateway.url + path, timeout=WAIT) as r:
+            return r.status, json.loads(r.read())
+
+    def _feed(self, hub, gateway, n=3):
+        for tick in range(n):
+            hub.dispatch(increment(
+                tag=tick,
+                positions={7: fix(t=1000.0 + tick)},
+                events=[event()] if tick == 0 else (),
+            ))
+        deadline = threading.Event()
+        for __ in range(100):
+            if gateway.state.health()["n_increments"] >= n:
+                return
+            deadline.wait(0.05)
+        raise AssertionError("gateway never saw the increments")
+
+    def test_endpoints_end_to_end(self, served):
+        hub, gateway = served
+        self._feed(hub, gateway)
+        status, health = self._get(gateway, "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        assert health["n_increments"] == 3
+        __, positions = self._get(gateway, "/positions?limit=10")
+        assert [r["mmsi"] for r in positions["positions"]] == [7]
+        __, track = self._get(gateway, "/tracks/7")
+        assert len(track["points"]) == 3
+        __, events = self._get(gateway, "/events?kind=gap")
+        assert len(events["events"]) == 1
+        __, heat = self._get(gateway, "/heatmap")
+        assert sum(heat["cells"].values()) == 3
+        with pytest.raises(urllib.error.HTTPError) as err:
+            self._get(gateway, "/nonsense")
+        assert err.value.code == 404
+
+    def test_shutdown_endpoint(self, served):
+        __, gateway = served
+        req = urllib.request.Request(
+            gateway.url + "/shutdown", data=b"", method="POST"
+        )
+        with urllib.request.urlopen(req, timeout=WAIT) as r:
+            assert r.status == 200
+        assert gateway.shutdown_requested.wait(WAIT)
+
+    def test_shutdown_forbidden_unless_enabled(self):
+        gateway = MonitorGateway(port=0)  # allow_shutdown defaults off
+        gateway.start()
+        try:
+            req = urllib.request.Request(
+                gateway.url + "/shutdown", data=b"", method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=WAIT)
+            assert err.value.code == 403
+            assert not gateway.shutdown_requested.is_set()
+        finally:
+            gateway.close()
+
+    def test_websocket_stream_delivers_increments(self, served):
+        hub, gateway = served
+        sock = socket.create_connection(
+            ("127.0.0.1", gateway.port), timeout=WAIT
+        )
+        try:
+            key = "dGhlIHNhbXBsZSBub25jZQ=="
+            sock.sendall(
+                f"GET /stream HTTP/1.1\r\n"
+                f"Host: 127.0.0.1:{gateway.port}\r\n"
+                f"Upgrade: websocket\r\nConnection: Upgrade\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n"
+                f"Sec-WebSocket-Version: 13\r\n\r\n".encode("ascii")
+            )
+            rfile = sock.makefile("rb")
+            status_line = rfile.readline()
+            assert b"101" in status_line
+            headers = {}
+            while True:
+                line = rfile.readline().strip()
+                if not line:
+                    break
+                name, __, value = line.decode().partition(":")
+                headers[name.lower()] = value.strip()
+            assert headers["sec-websocket-accept"] == wsproto.accept_key(key)
+
+            # The handler registers the client after the 101; don't
+            # broadcast until it is listed or the frame races past it.
+            gate = threading.Event()
+            for __ in range(100):
+                if gateway.state.health()["ws_clients"] >= 1:
+                    break
+                gate.wait(0.05)
+            assert gateway.state.health()["ws_clients"] == 1
+
+            self._feed(hub, gateway, n=1)
+            b0 = rfile.read(1)[0]
+            assert b0 == 0x80 | wsproto.OP_TEXT
+            length = rfile.read(1)[0] & 0x7F
+            if length == 126:
+                (length,) = struct.unpack(">H", rfile.read(2))
+            payload = rfile.read(length)
+            frame = json.loads(payload)
+            assert frame["t_watermark"] == 1000.0
+            assert frame["positions"][0]["mmsi"] == 7
+        finally:
+            sock.close()
